@@ -1,0 +1,193 @@
+// Figure 5 reproduction: runtime overhead of the Wintermute Query Engine.
+//
+// Protocol (paper Section VI-A): an HPL-like compute benchmark runs with and
+// without a Pusher active. The Pusher hosts a tester monitoring plugin
+// producing 1000 monotonic sensors at a 1 s interval (cache window 180 s)
+// and a tester operator plugin that performs a configurable number of
+// queries over its unit's inputs at each 1 s computation interval. Overhead
+// is the percentage increase in kernel execution time. The grid sweeps the
+// number of queries {2,10,100,500,1000} and the query temporal range
+// {0, 12.5 s, 25 s, 50 s, 100 s} (the paper's axis labels are in ms), in
+// both absolute (binary search, O(log N)) and relative (O(1)) query modes.
+// Each cell reports the median of several repetitions.
+//
+// Differences from the paper's testbed (see DESIGN.md): the kernel is a
+// single-threaded blocked DGEMM instead of full HPL on a 64-core KNL, and
+// overhead is computed from CPU time rather than wall-clock time: on the
+// shared machine this benchmark runs on, wall-clock noise (frequency
+// scaling, co-tenants) dwarfs sub-percent effects, whereas the CPU seconds
+// consumed by the monitoring threads relative to the kernel's CPU seconds
+// measure exactly the quantity that manifests as wall-clock slowdown on a
+// dedicated node. The footprint section reports process RSS and the total
+// readings the tester operators retrieved.
+
+#include <sys/resource.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/registry.h"
+#include "plugins/tester_operator.h"
+#include "pusher/plugins/tester_group.h"
+#include "pusher/pusher.h"
+#include "simulator/hpl_kernel.h"
+
+using namespace wm;
+using common::kNsPerMs;
+using common::kNsPerSec;
+using common::TimestampNs;
+
+namespace {
+
+constexpr std::size_t kSensors = 1000;
+constexpr std::size_t kMatrixSize = 160;
+constexpr int kRepetitionsPerCell = 3;
+constexpr double kKernelTargetSec = 1.5;
+
+double medianOf(std::vector<double> values) {
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+}
+
+/// Pre-fills the tester sensors' caches with 180 s of history ending now, so
+/// long-range queries have data from the first kernel second onward (the
+/// paper's runs are long enough for the window to fill naturally).
+void prefillCaches(pusher::Pusher& pusher, TimestampNs now) {
+    for (const auto& topic : pusher.cacheStore().topics()) {
+        sensors::SensorCache* cache = pusher.cacheStore().find(topic);
+        for (int s = 180; s >= 1; --s) {
+            cache->store({now - s * kNsPerSec, static_cast<double>(200 - s)});
+        }
+    }
+}
+
+double rssMegabytes() {
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// CPU seconds consumed by the whole process (all threads).
+double processCpuSec() {
+    struct timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// CPU seconds consumed by the calling thread only.
+double threadCpuSec() {
+    struct timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+int main() {
+    common::Logger::instance().setLevel(common::LogLevel::kError);
+    std::printf("=== Figure 5: Query Engine overhead vs HPL-like kernel ===\n\n");
+
+    // Warm up, then calibrate the kernel to ~kKernelTargetSec per run.
+    simulator::runHplKernel(kMatrixSize, 4);
+    const simulator::HplResult probe = simulator::runHplKernel(kMatrixSize, 8);
+    const std::size_t kernel_reps = std::max<std::size_t>(
+        1, static_cast<std::size_t>(8.0 * kKernelTargetSec / probe.elapsed_sec));
+    std::printf("kernel: %.2f GFLOP/s, %zu repetitions per run (~%.1f s)\n\n",
+                probe.gflops, kernel_reps,
+                probe.elapsed_sec / 8.0 * static_cast<double>(kernel_reps));
+
+    const std::vector<std::size_t> query_counts{2, 10, 100, 500, 1000};
+    const std::vector<TimestampNs> windows{0, 12500 * kNsPerMs, 25000 * kNsPerMs,
+                                           50000 * kNsPerMs, 100000 * kNsPerMs};
+    std::uint64_t total_readings_retrieved = 0;
+
+    for (const bool relative : {false, true}) {
+        std::printf("--- %s mode: overhead [%%] ---\n",
+                    relative ? "relative (O(1))" : "absolute (O(log N))");
+        std::printf("%12s", "range\\q");
+        for (std::size_t q : query_counts) std::printf("%9zu", q);
+        std::printf("\n");
+        for (TimestampNs window : windows) {
+            std::printf("%10lldms", static_cast<long long>(window / kNsPerMs));
+            for (std::size_t q : query_counts) {
+                std::vector<double> overheads;
+                for (int rep = 0; rep < kRepetitionsPerCell; ++rep) {
+                    pusher::Pusher pusher(pusher::PusherConfig{"fig5"});
+                    pusher::TesterGroupConfig tester;
+                    tester.num_sensors = kSensors;
+                    tester.interval_ns = kNsPerSec;
+                    pusher.addGroup(std::make_unique<pusher::TesterGroup>(tester));
+                    prefillCaches(pusher, common::nowNs());
+
+                    core::QueryEngine engine;
+                    engine.setCacheStore(&pusher.cacheStore());
+                    engine.rebuildTree();
+                    core::OperatorManager manager(core::makeHostContext(
+                        engine, &pusher.cacheStore(), nullptr, nullptr));
+                    plugins::registerBuiltinPlugins(manager);
+                    // All 1000 tester sensors are inputs of the single unit;
+                    // the operator cycles its queries across them.
+                    std::string input_block = "    input {\n";
+                    for (std::size_t s = 0; s < kSensors; ++s) {
+                        input_block +=
+                            "        sensor \"<topdown>test" + std::to_string(s) + "\"\n";
+                    }
+                    input_block += "    }\n";
+                    const auto parsed = common::parseConfig(
+                        "operator qload {\n"
+                        "    interval 1s\n"
+                        "    window " + std::to_string(window / kNsPerMs) + "ms\n"
+                        "    queryMode " +
+                        std::string(relative ? "relative" : "absolute") + "\n"
+                        "    queries " + std::to_string(q) + "\n"
+                        "    publish false\n" +
+                        input_block +
+                        "    output {\n        sensor \"<topdown>qcount\"\n    }\n"
+                        "}\n");
+                    if (!parsed.ok || manager.loadPlugin("tester", parsed.root) != 1) {
+                        std::fprintf(stderr, "fig5: configuration failed\n");
+                        return 1;
+                    }
+                    pusher.start();
+                    manager.start();
+                    const double process_before = processCpuSec();
+                    const double thread_before = threadCpuSec();
+                    simulator::runHplKernel(kMatrixSize, kernel_reps, rep + 100);
+                    const double kernel_cpu = threadCpuSec() - thread_before;
+                    manager.stop();
+                    pusher.stop();
+                    // CPU spent by the monitoring/analysis threads while the
+                    // kernel ran (and drained afterwards).
+                    const double monitoring_cpu =
+                        processCpuSec() - process_before - kernel_cpu;
+                    auto op = std::dynamic_pointer_cast<plugins::TesterOperator>(
+                        manager.findOperator("qload"));
+                    if (op) total_readings_retrieved += op->totalReadingsRetrieved();
+                    overheads.push_back(std::max(0.0, monitoring_cpu) / kernel_cpu *
+                                        100.0);
+                }
+                std::printf("%9.2f", medianOf(overheads));
+                std::fflush(stdout);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("--- footprint ---\n");
+    std::printf("process peak RSS: %.1f MB (paper: Pusher memory < 25 MB)\n",
+                rssMegabytes());
+    std::printf("total readings retrieved by tester operators: %llu\n",
+                static_cast<unsigned long long>(total_readings_retrieved));
+    std::printf("\npaper shape: overhead < 0.5%% in all cells; absolute mode slightly\n"
+                "worse than relative at the peak; no growth with query volume.\n");
+    return 0;
+}

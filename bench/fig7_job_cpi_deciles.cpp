@@ -1,0 +1,169 @@
+// Figure 7 reproduction: per-job CPI deciles over time (Case Study 2).
+//
+// Protocol (paper Section VI-C): four jobs each run one CORAL-2 application
+// (LAMMPS, AMG, Kripke, Nekbone) on 32 nodes. A perfmetrics operator in each
+// node's Pusher derives per-core CPI from the raw counters (one output per
+// CPU core); a persyst job operator in the Collect Agent aggregates the
+// per-core CPI of each job into deciles at every 1 s interval — each decile
+// point aggregates 32 nodes x 64 cores = 2048 samples. The series for
+// deciles 0, 2, 5, 8 and 10 are printed over each application's run.
+//
+// Expected qualitative signatures (the paper's reading of Fig. 7):
+//   LAMMPS  — CPI ~1.6, minimal decile spread (compute-bound).
+//   AMG     — low CPI up to decile 5, deciles 8/10 spiking to ~30
+//             (network latency).
+//   Kripke  — all deciles rise and fall together with each sweep iteration.
+//   Nekbone — low CPI first half; spread grows dramatically once the
+//             working set exceeds HBM capacity (>=20% of cores affected).
+//
+// The jobs run sequentially on a simulated 32-node partition (the paper ran
+// them as separate job submissions); raw counters stay Pusher-local and only
+// the derived CPI values cross MQTT, as the pipeline design intends.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "collectagent/collect_agent.h"
+#include "common/config.h"
+#include "common/logging.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/pusher.h"
+
+using namespace wm;
+using common::kNsPerSec;
+using common::TimestampNs;
+
+namespace {
+
+constexpr std::size_t kNodesPerJob = 32;
+constexpr std::size_t kCoresPerNode = 64;
+
+void runJob(simulator::AppKind app, const std::string& job_id) {
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    collectagent::CollectAgent agent({}, broker, storage);
+    agent.start();
+    jobs::JobManager jobs;
+
+    std::vector<std::unique_ptr<pusher::Pusher>> pushers;
+    std::vector<std::unique_ptr<core::QueryEngine>> engines;
+    std::vector<std::unique_ptr<core::OperatorManager>> managers;
+    std::vector<std::string> node_paths;
+
+    for (std::size_t n = 0; n < kNodesPerJob; ++n) {
+        const std::string node_path =
+            "/rack" + std::to_string(n / 8) + "/chassis0/server" + std::to_string(n % 8);
+        node_paths.push_back(node_path);
+        auto node = std::make_shared<pusher::SimulatedNode>(kCoresPerNode, 7000 + n);
+        node->startApp(app);
+        auto p = std::make_unique<pusher::Pusher>(pusher::PusherConfig{node_path}, &broker);
+        pusher::PerfsimGroupConfig perf;
+        perf.node_path = node_path;
+        perf.publish = false;  // raw counters stay local; only CPI crosses MQTT
+        p->addGroup(std::make_unique<pusher::PerfsimGroup>(perf, node));
+        p->sampleOnce(kNsPerSec);
+
+        auto engine = std::make_unique<core::QueryEngine>();
+        engine->setCacheStore(&p->cacheStore());
+        engine->rebuildTree();
+        auto manager = std::make_unique<core::OperatorManager>(
+            core::makeHostContext(*engine, &p->cacheStore(), &broker, nullptr));
+        plugins::registerBuiltinPlugins(*manager);
+        const auto pm = common::parseConfig(R"(
+operator pm {
+    interval 1s
+    window 3s
+    input {
+        sensor "<bottomup>cpu-cycles"
+        sensor "<bottomup>instructions"
+    }
+    output {
+        sensor "<bottomup>cpi"
+    }
+}
+)");
+        if (!pm.ok || manager->loadPlugin("perfmetrics", pm.root) != 1) {
+            std::fprintf(stderr, "fig7: perfmetrics configuration failed\n");
+            std::exit(1);
+        }
+        pushers.push_back(std::move(p));
+        engines.push_back(std::move(engine));
+        managers.push_back(std::move(manager));
+    }
+
+    jobs::JobRecord job;
+    job.job_id = job_id;
+    job.nodes = node_paths;
+    job.start_time = 0;
+    job.name = simulator::appName(app);
+    jobs.submit(job);
+
+    core::QueryEngine agent_engine;
+    agent_engine.setCacheStore(&agent.cacheStore());
+    agent_engine.setStorage(&storage);
+    core::OperatorManager agent_manager(core::makeHostContext(
+        agent_engine, &agent.cacheStore(), nullptr, &storage, &jobs));
+    plugins::registerBuiltinPlugins(agent_manager);
+    const auto ps = common::parseConfig(R"(
+operator ps {
+    interval 1s
+    window 3s
+    metric cpi
+}
+)");
+    if (!ps.ok || agent_manager.loadPlugin("persyst", ps.root) != 1) {
+        std::fprintf(stderr, "fig7: persyst configuration failed\n");
+        std::exit(1);
+    }
+
+    const auto duration = static_cast<TimestampNs>(simulator::appDefaultDurationSec(app));
+    std::printf("--- %s: CPI deciles vs time (32 nodes x 64 cores = 2048 samples) ---\n",
+                simulator::appName(app));
+    std::printf("%7s %8s %8s %8s %8s %8s\n", "t[s]", "dec0", "dec2", "dec5", "dec8",
+                "dec10");
+    for (TimestampNs t = 2; t <= duration; ++t) {
+        const TimestampNs now = t * kNsPerSec;
+        for (std::size_t n = 0; n < kNodesPerJob; ++n) {
+            pushers[n]->sampleOnce(now);
+            managers[n]->tickAll(now);
+        }
+        if (t == 4) agent_engine.rebuildTree();  // the cpi outputs are now known
+        agent_manager.tickAll(now);
+        if (t % 25 == 0) {
+            double dec[5] = {};
+            const int which[5] = {0, 2, 5, 8, 10};
+            bool have_all = true;
+            for (int i = 0; i < 5; ++i) {
+                const auto reading = storage.latest("/job/" + job_id + "/cpi-dec" +
+                                                    std::to_string(which[i]));
+                if (!reading) have_all = false;
+                dec[i] = reading ? reading->value : 0.0;
+            }
+            if (have_all) {
+                std::printf("%7lld %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+                            static_cast<long long>(t), dec[0], dec[1], dec[2], dec[3],
+                            dec[4]);
+            }
+        }
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+    common::Logger::instance().setLevel(common::LogLevel::kError);
+    std::printf("=== Figure 7: per-job CPI deciles for four CORAL-2 jobs ===\n\n");
+    runJob(simulator::AppKind::kLammps, "3001");
+    runJob(simulator::AppKind::kAmg, "3002");
+    runJob(simulator::AppKind::kKripke, "3003");
+    runJob(simulator::AppKind::kNekbone, "3004");
+    std::printf("paper shape: LAMMPS tight around CPI 1.6; AMG upper-decile spikes to\n"
+                "~30; Kripke sawtooth across all deciles; Nekbone spread widens in the\n"
+                "second half of the run (memory-limited tail of cores).\n");
+    return 0;
+}

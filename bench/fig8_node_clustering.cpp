@@ -1,0 +1,210 @@
+// Figure 8 reproduction: Bayesian Gaussian mixture clustering of compute
+// nodes (Case Study 3).
+//
+// Protocol (paper Section VI-D): a clustering operator in the Collect Agent
+// has one unit per compute node of the 148-node CooLMUC-3-like cluster.
+// Each unit's inputs are the node's power, temperature and CPU idle time
+// sensors; at each (hourly) computation the operator aggregates 2-week
+// windows — power/temperature as averages, the idle counter as a rate — and
+// fits a variational Bayesian Gaussian mixture over the 148 points. The
+// model determines the number of clusters autonomously; nodes below the
+// density threshold (0.001) under every component are outliers.
+//
+// The simulated 2 weeks assign every node a utilisation propensity (20% of
+// nodes mostly idle, 60% moderately loaded, 20% heavily loaded) and a random
+// job mix drawn from the CORAL-2 applications; one node draws ~20% more
+// power than its peers (the paper's suspicious node).
+//
+// Expected shape: the three metrics strongly correlate (nodes lie on a
+// linear power/temperature/idle trend); ~3 clusters with most nodes in the
+// middle one; the anomalous node flagged as an outlier.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "analytics/stats.h"
+#include "common/rng.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/clustering_operator.h"
+#include "plugins/registry.h"
+#include "simulator/node_model.h"
+#include "simulator/topology.h"
+
+using namespace wm;
+using common::kNsPerSec;
+using common::TimestampNs;
+
+namespace {
+
+constexpr double kWindowSec = 14.0 * 24.0 * 3600.0;  // two weeks
+constexpr double kStepSec = 300.0;                   // integration step
+constexpr std::size_t kCoresPerNode = 16;            // scaled from 64 (DESIGN.md)
+constexpr std::size_t kAnomalousNode = 42;
+
+/// Simulates one node's two weeks of operation and stores the three sensors.
+void simulateNode(std::size_t index, const std::string& path, double busy_fraction,
+                  bool anomalous, sensors::CacheStore& caches) {
+    simulator::NodeCharacteristics characteristics;
+    if (anomalous) characteristics.anomaly_power_factor = 1.2;
+    simulator::NodeModel node(kCoresPerNode, 9000 + index, characteristics);
+    common::Rng rng(31 + index);
+
+    sensors::SensorMetadata meta;
+    meta.interval_ns = static_cast<TimestampNs>(kStepSec) * kNsPerSec;
+    meta.topic = path + "/power";
+    auto& power = caches.getOrCreate(meta);
+    meta.topic = path + "/temp";
+    auto& temp = caches.getOrCreate(meta);
+    meta.topic = path + "/col_idle";
+    auto& idle = caches.getOrCreate(meta);
+
+    const simulator::AppKind apps[] = {simulator::AppKind::kHpl, simulator::AppKind::kKripke,
+                                       simulator::AppKind::kAmg, simulator::AppKind::kNekbone,
+                                       simulator::AppKind::kLammps};
+    double phase_remaining = 0.0;
+    for (double t = kStepSec; t <= kWindowSec; t += kStepSec) {
+        if (phase_remaining <= 0.0) {
+            // Draw the next phase: a job or an idle gap, with the node's
+            // utilisation propensity steering the choice.
+            if (rng.bernoulli(busy_fraction)) {
+                node.startApp(apps[rng.uniformInt(5)]);
+                phase_remaining = rng.uniform(1.0, 8.0) * 3600.0;  // job: 1-8 h
+            } else {
+                node.startApp(simulator::AppKind::kIdle);
+                phase_remaining = rng.uniform(0.5, 6.0) * 3600.0;
+            }
+        }
+        node.advance(kStepSec);
+        phase_remaining -= kStepSec;
+        const auto& sample = node.sample();
+        const auto ts = static_cast<TimestampNs>(t) * kNsPerSec;
+        power.store({ts, sample.power_w});
+        temp.store({ts, sample.temperature_c});
+        idle.store({ts, sample.idle_time_total});
+    }
+}
+
+}  // namespace
+
+int main() {
+    common::Logger::instance().setLevel(common::LogLevel::kError);
+    std::printf("=== Figure 8: Bayesian GMM clustering of 148 compute nodes ===\n\n");
+
+    const simulator::Topology topology = simulator::Topology::coolmuc3();
+    const std::size_t num_nodes = topology.nodeCount();
+    sensors::CacheStore caches(static_cast<TimestampNs>(kWindowSec * 1.1) * kNsPerSec);
+
+    common::Rng mix_rng(2026);
+    std::vector<double> busy_fractions(num_nodes);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+        const double draw = mix_rng.uniform();
+        if (draw < 0.2) {
+            busy_fractions[n] = mix_rng.uniform(0.04, 0.14);  // mostly idle
+        } else if (draw < 0.8) {
+            busy_fractions[n] = mix_rng.uniform(0.45, 0.60);  // the bulk
+        } else {
+            busy_fractions[n] = mix_rng.uniform(0.88, 0.97);  // heavy load
+        }
+    }
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+        simulateNode(n, topology.nodePath(n), busy_fractions[n], n == kAnomalousNode,
+                     caches);
+    }
+    std::printf("simulated %zu nodes x 2 weeks (%zu sensors, %.0f s sampling)\n\n",
+                num_nodes, caches.sensorCount(), kStepSec);
+
+    core::QueryEngine engine;
+    engine.setCacheStore(&caches);
+    engine.rebuildTree();
+    core::OperatorManager manager(
+        core::makeHostContext(engine, &caches, nullptr, nullptr));
+    plugins::registerBuiltinPlugins(manager);
+
+    const auto config = common::parseConfig(R"(
+operator nodecl {
+    interval 1h
+    window 15d
+    maxComponents 10
+    outlierThreshold 0.001
+    input {
+        sensor "<bottomup>power"
+        sensor "<bottomup>temp"
+        sensor "<bottomup>col_idle"
+    }
+    output {
+        sensor "<bottomup>cluster"
+    }
+}
+)");
+    if (!config.ok || manager.loadPlugin("clustering", config.root) != 1) {
+        std::fprintf(stderr, "fig8: clustering configuration failed\n");
+        return 1;
+    }
+    manager.tickAll(static_cast<TimestampNs>(kWindowSec) * kNsPerSec);
+    auto op = std::dynamic_pointer_cast<plugins::ClusteringOperator>(
+        manager.findOperator("nodecl"));
+
+    // --- Correlation structure (the paper's linear trend) -------------------
+    std::vector<double> powers, temps, idles;
+    std::vector<int> labels(num_nodes, -99);
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+        const std::string path = topology.nodePath(n);
+        const auto point = op->lastPointOf(path);
+        if (point.size() != 3) continue;
+        powers.push_back(point[0]);
+        temps.push_back(point[1]);
+        idles.push_back(point[2]);
+        const auto label = caches.find(path + "/cluster")->latest();
+        if (label) labels[n] = static_cast<int>(label->value);
+    }
+    std::printf("metric correlations over nodes: corr(power,temp)=%.3f  "
+                "corr(power,idle)=%.3f\n\n",
+                analytics::pearson(powers, temps).value_or(0.0),
+                analytics::pearson(powers, idles).value_or(0.0));
+
+    // --- Cluster summary -----------------------------------------------------
+    std::printf("fitted %zu mixture components (cap was 10)\n\n",
+                op->model().effectiveComponents());
+    struct Accumulator {
+        int count = 0;
+        double power = 0.0, temp = 0.0, idle = 0.0;
+    };
+    std::map<int, Accumulator> clusters;
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+        const auto point = op->lastPointOf(topology.nodePath(n));
+        if (point.size() != 3) continue;
+        auto& acc = clusters[labels[n]];
+        ++acc.count;
+        acc.power += point[0];
+        acc.temp += point[1];
+        acc.idle += point[2];
+    }
+    std::printf("%8s %6s %12s %10s %14s\n", "cluster", "nodes", "power[W]", "temp[C]",
+                "idle[cs/s]");
+    for (const auto& [label, acc] : clusters) {
+        std::printf("%8d %6d %12.1f %10.2f %14.1f\n", label, acc.count,
+                    acc.power / acc.count, acc.temp / acc.count, acc.idle / acc.count);
+    }
+
+    // --- Outliers ------------------------------------------------------------
+    std::printf("\noutliers (label -1):\n");
+    bool anomaly_flagged = false;
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+        if (labels[n] != -1) continue;
+        const auto point = op->lastPointOf(topology.nodePath(n));
+        std::printf("  %-28s power=%.1fW temp=%.2fC idle=%.1fcs/s%s\n",
+                    topology.nodePath(n).c_str(), point[0], point[1], point[2],
+                    n == kAnomalousNode ? "   <-- injected +20% power anomaly" : "");
+        if (n == kAnomalousNode) anomaly_flagged = true;
+    }
+    std::printf("\ninjected anomalous node flagged as outlier: %s\n",
+                anomaly_flagged ? "YES" : "NO");
+    std::printf("\npaper shape: 3 clusters along a correlated linear trend, most nodes\n"
+                "in the central cluster, and the ~20%%-extra-power node an outlier.\n");
+    return 0;
+}

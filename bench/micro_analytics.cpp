@@ -1,0 +1,115 @@
+// Microbenchmarks for the analytics substrate: the model costs behind the
+// case studies — random-forest fit/predict (Case Study 1), decile
+// aggregation at PerSyst scale (Case Study 2), and the variational Bayesian
+// GMM fit at cluster scale (Case Study 3).
+
+#include <benchmark/benchmark.h>
+
+#include "analytics/bayesian_gmm.h"
+#include "analytics/features.h"
+#include "analytics/random_forest.h"
+#include "analytics/stats.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace wm::analytics;
+using wm::common::Rng;
+
+void makeRegressionData(std::size_t n, std::size_t dim,
+                        std::vector<std::vector<double>>& x, std::vector<double>& y) {
+    Rng rng(17);
+    x.clear();
+    y.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> row(dim);
+        double target = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            row[d] = rng.uniform(0.0, 1.0);
+            target += (d % 3 == 0 ? 1.0 : -0.5) * row[d];
+        }
+        x.push_back(std::move(row));
+        y.push_back(target + rng.gaussian(0.0, 0.05));
+    }
+}
+
+void BM_RandomForestFit(benchmark::State& state) {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    makeRegressionData(static_cast<std::size_t>(state.range(0)), 24, x, y);
+    ForestParams params;
+    params.num_trees = 16;
+    params.tree.max_depth = 10;
+    for (auto _ : state) {
+        RandomForest forest;
+        benchmark::DoNotOptimize(forest.fit(x, y, params));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RandomForestFit)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    makeRegressionData(2000, 24, x, y);
+    RandomForest forest;
+    ForestParams params;
+    params.num_trees = 16;
+    forest.fit(x, y, params);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(forest.predict(x[i++ % x.size()]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+    // A typical regressor window: a handful of readings per sensor.
+    wm::sensors::ReadingVector window;
+    for (int i = 0; i < 8; ++i) {
+        window.push_back({i * wm::common::kNsPerSec, 100.0 + i});
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(extractFeatures(window, true));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_DecilesPersystScale(benchmark::State& state) {
+    // 2048 per-core CPI samples per decile point (32 nodes x 64 cores).
+    Rng rng(5);
+    std::vector<double> values;
+    for (int i = 0; i < 2048; ++i) values.push_back(rng.uniform(1.0, 30.0));
+    for (auto _ : state) {
+        auto copy = values;
+        benchmark::DoNotOptimize(deciles(std::move(copy)));
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_DecilesPersystScale);
+
+void BM_BayesianGmmFit148Nodes(benchmark::State& state) {
+    // Fig. 8 scale: 148 three-dimensional points, 10-component cap.
+    Rng rng(7);
+    std::vector<Vector> points;
+    for (int i = 0; i < 148; ++i) {
+        const double group = static_cast<double>(i % 3);
+        points.push_back({group * 80.0 + rng.gaussian(0.0, 8.0),
+                          45.0 + group * 3.0 + rng.gaussian(0.0, 0.4),
+                          1400.0 - group * 600.0 + rng.gaussian(0.0, 40.0)});
+    }
+    BgmmParams params;
+    params.max_components = 10;
+    for (auto _ : state) {
+        BayesianGmm model;
+        benchmark::DoNotOptimize(model.fit(points, params));
+    }
+    state.SetItemsProcessed(state.iterations() * 148);
+}
+BENCHMARK(BM_BayesianGmmFit148Nodes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Microbenchmarks for the sensor cache: store throughput and the complexity
+// split between the two Query Engine view modes — relative views use O(1)
+// positioning, absolute views use O(log N) binary search (paper Section V-B).
+
+#include <benchmark/benchmark.h>
+
+#include "sensors/sensor_cache.h"
+
+namespace {
+
+using wm::common::kNsPerSec;
+using wm::common::TimestampNs;
+using wm::sensors::SensorCache;
+
+void fillCache(SensorCache& cache, std::size_t n) {
+    for (std::size_t i = 1; i <= n; ++i) {
+        cache.store({static_cast<TimestampNs>(i) * kNsPerSec, static_cast<double>(i)});
+    }
+}
+
+void BM_CacheStore(benchmark::State& state) {
+    SensorCache cache(static_cast<TimestampNs>(state.range(0)) * kNsPerSec, kNsPerSec);
+    TimestampNs t = 0;
+    for (auto _ : state) {
+        t += kNsPerSec;
+        cache.store({t, 1.0});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheStore)->Arg(60)->Arg(600)->Arg(3600);
+
+/// Positioning cost of a relative view: a fixed-size (single-reading) view
+/// from caches of growing size. O(1): time should not grow with N.
+void BM_CacheViewRelativePositioning(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    SensorCache cache(static_cast<TimestampNs>(n + 10) * kNsPerSec, kNsPerSec);
+    fillCache(cache, n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.viewRelative(0));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CacheViewRelativePositioning)
+    ->RangeMultiplier(8)
+    ->Range(64, 262144)
+    ->Complexity(benchmark::o1);
+
+/// Positioning cost of an absolute view: a single-reading range located by
+/// binary search in caches of growing size. O(log N).
+void BM_CacheViewAbsolutePositioning(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    SensorCache cache(static_cast<TimestampNs>(n + 10) * kNsPerSec, kNsPerSec);
+    fillCache(cache, n);
+    const TimestampNs mid = static_cast<TimestampNs>(n / 2) * kNsPerSec;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.viewAbsolute(mid, mid));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CacheViewAbsolutePositioning)
+    ->RangeMultiplier(8)
+    ->Range(64, 262144)
+    ->Complexity(benchmark::oLogN);
+
+/// Full view extraction including the copy, for paper-sized windows.
+void BM_CacheViewRelativeWindow(benchmark::State& state) {
+    SensorCache cache(200 * kNsPerSec, kNsPerSec);
+    fillCache(cache, 180);
+    const TimestampNs window = static_cast<TimestampNs>(state.range(0)) * kNsPerSec;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.viewRelative(window));
+    }
+}
+BENCHMARK(BM_CacheViewRelativeWindow)->Arg(0)->Arg(12)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_CacheAverageRelative(benchmark::State& state) {
+    SensorCache cache(200 * kNsPerSec, kNsPerSec);
+    fillCache(cache, 180);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.averageRelative(60 * kNsPerSec));
+    }
+}
+BENCHMARK(BM_CacheAverageRelative);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Microbenchmarks for the MQTT substrate: topic matching and broker
+// publication fan-out, the per-reading costs of the DCDB data path.
+
+#include <benchmark/benchmark.h>
+
+#include "mqtt/broker.h"
+#include "mqtt/topic.h"
+
+namespace {
+
+using wm::mqtt::Broker;
+using wm::mqtt::Message;
+using wm::mqtt::topicMatches;
+
+void BM_TopicMatchExact(benchmark::State& state) {
+    const std::string filter = "/rack4/chassis2/server3/power";
+    const std::string topic = "/rack4/chassis2/server3/power";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(topicMatches(filter, topic));
+    }
+}
+BENCHMARK(BM_TopicMatchExact);
+
+void BM_TopicMatchWildcards(benchmark::State& state) {
+    const std::string filter = "/+/+/+/power";
+    const std::string topic = "/rack4/chassis2/server3/power";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(topicMatches(filter, topic));
+    }
+}
+BENCHMARK(BM_TopicMatchWildcards);
+
+void BM_TopicMatchHash(benchmark::State& state) {
+    const std::string filter = "/rack4/#";
+    const std::string topic = "/rack4/chassis2/server3/cpu17/instructions";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(topicMatches(filter, topic));
+    }
+}
+BENCHMARK(BM_TopicMatchHash);
+
+/// Publish cost against a broker with a growing number of subscriptions
+/// (the Collect Agent usually holds one catch-all; per-plugin filters add
+/// more).
+void BM_BrokerPublish(benchmark::State& state) {
+    Broker broker;
+    std::size_t sink = 0;
+    for (long i = 0; i < state.range(0); ++i) {
+        broker.subscribe("/rack" + std::to_string(i) + "/#",
+                         [&sink](const Message&) { ++sink; });
+    }
+    const Message message{"/rack0/chassis0/server0/power", {{1, 1.0}}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(broker.publish(message));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BrokerPublish)->Arg(1)->Arg(16)->Arg(148);
+
+}  // namespace
+
+BENCHMARK_MAIN();

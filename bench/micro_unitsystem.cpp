@@ -1,0 +1,85 @@
+// Microbenchmarks for the Unit System: sensor tree construction over
+// cluster-sized topic sets and pattern-unit resolution — the configurator
+// costs the paper's abstractions amortise over thousands of model instances.
+
+#include <benchmark/benchmark.h>
+
+#include "core/unit_system.h"
+#include "simulator/topology.h"
+
+namespace {
+
+using wm::core::SensorTree;
+using wm::core::UnitResolver;
+using wm::simulator::Topology;
+
+/// Topic set of an n-node cluster with per-cpu counters + node sensors.
+std::vector<std::string> clusterTopics(std::size_t nodes, std::size_t cpus) {
+    Topology topology = Topology::coolmuc3();
+    topology.max_nodes = nodes;
+    topology.cpus_per_node = cpus;
+    std::vector<std::string> topics;
+    for (const auto& node : topology.nodePaths()) {
+        topics.push_back(node + "/power");
+        topics.push_back(node + "/temp");
+        topics.push_back(node + "/col_idle");
+        for (std::size_t cpu = 0; cpu < cpus; ++cpu) {
+            const std::string cpu_path = Topology::cpuPath(node, cpu);
+            topics.push_back(cpu_path + "/cpu-cycles");
+            topics.push_back(cpu_path + "/instructions");
+        }
+    }
+    return topics;
+}
+
+void BM_SensorTreeBuild(benchmark::State& state) {
+    const auto topics =
+        clusterTopics(static_cast<std::size_t>(state.range(0)), 16);
+    for (auto _ : state) {
+        SensorTree tree;
+        benchmark::DoNotOptimize(tree.build(topics));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<long>(topics.size()));
+}
+BENCHMARK(BM_SensorTreeBuild)->Arg(16)->Arg(64)->Arg(148);
+
+void BM_PatternParse(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            wm::core::parsePattern("<bottomup-1, filter cpu[0-3]>cache-misses"));
+    }
+}
+BENCHMARK(BM_PatternParse);
+
+/// Full instantiation of the paper's Section III-C pattern unit over a
+/// 148-node cluster: one unit per compute node.
+void BM_UnitResolution(benchmark::State& state) {
+    SensorTree tree;
+    tree.build(clusterTopics(148, 16));
+    const auto unit_template = wm::core::makeUnitTemplate(
+        {"<bottomup-1>power", "<bottomup, filter cpu>cpu-cycles"},
+        {"<bottomup-1>healthy"});
+    const UnitResolver resolver(tree);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(resolver.resolveUnits(*unit_template));
+    }
+}
+BENCHMARK(BM_UnitResolution);
+
+/// Resolution anchored at a single node (the job-operator path).
+void BM_UnitResolutionSingleNode(benchmark::State& state) {
+    SensorTree tree;
+    tree.build(clusterTopics(148, 16));
+    const auto unit_template = wm::core::makeUnitTemplate(
+        {"<bottomup, filter cpu>instructions"}, {"<bottomup-1>out"});
+    const UnitResolver resolver(tree);
+    const std::string node = Topology::coolmuc3().nodePath(70);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(resolver.resolveUnitAt(node, *unit_template));
+    }
+}
+BENCHMARK(BM_UnitResolutionSingleNode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

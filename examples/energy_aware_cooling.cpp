@@ -1,0 +1,95 @@
+// Energy-aware cooling: infrastructure management (the first taxonomy class
+// of the paper's Section II-A, citing warm-water cooling optimisation). The
+// facility's cooling circuit is monitored like any other component; a
+// controller operator holds the return-water temperature at its design
+// point by actuating the inlet setpoint, while the outdoor temperature
+// swings over a simulated day and the cluster load changes. The facility
+// responds with changing chiller effort, visible as PUE.
+//
+//   ./energy_aware_cooling
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/facilitysim_group.h"
+#include "pusher/pusher.h"
+
+using namespace wm;
+using common::kNsPerSec;
+using common::TimestampNs;
+
+int main() {
+    common::Logger::instance().setLevel(common::LogLevel::kWarning);
+
+    // Cluster load profile over the day: night-time lull, daytime peak.
+    double it_power_kw = 250.0;
+    auto facility = std::make_shared<pusher::SimulatedFacility>(
+        simulator::FacilityCharacteristics{}, [&it_power_kw] { return it_power_kw * 1e3; });
+
+    pusher::Pusher pusher(pusher::PusherConfig{"/facility"});
+    pusher::FacilitysimGroupConfig group;
+    group.interval_ns = 60 * kNsPerSec;  // 1-minute facility sampling
+    pusher.addGroup(std::make_unique<pusher::FacilitysimGroup>(group, facility));
+
+    core::QueryEngine engine;
+    engine.setCacheStore(&pusher.cacheStore());
+    auto context = core::makeHostContext(engine, &pusher.cacheStore(), nullptr, nullptr);
+    context.actuate = [&facility](const std::string& knob, const std::string& target,
+                                  double value) {
+        if (knob != "inlet-setpoint" || target != "/facility") return false;
+        facility->setInletSetpoint(value);
+        return true;
+    };
+    core::OperatorManager manager(std::move(context));
+    plugins::registerBuiltinPlugins(manager);
+    pusher.sampleOnce(60 * kNsPerSec);
+    engine.rebuildTree();
+
+    const auto config = common::parseConfig(R"(
+operator returnhold {
+    interval 5m
+    knob inlet-setpoint
+    setpoint 46
+    gain 25
+    knobMin 30
+    knobMax 50
+    deadband 0.002
+    input {
+        sensor "<topdown>return-temp"
+    }
+    output {
+        sensor "<topdown>inlet-setpoint"
+    }
+}
+)");
+    if (!config.ok || manager.loadPlugin("controller", config.root) != 1) {
+        std::fprintf(stderr, "controller configuration failed\n");
+        return 1;
+    }
+
+    std::printf("%7s %9s %9s %10s %10s %10s %8s\n", "t[h]", "IT[kW]", "outdoor",
+                "inlet[C]", "return[C]", "cool[kW]", "PUE");
+    for (int minute = 2; minute <= 24 * 60; ++minute) {
+        const double hour = minute / 60.0;
+        // Load profile: 150 kW at night, ramping to 350 kW mid-day.
+        it_power_kw = 250.0 + 100.0 * std::sin(2.0 * M_PI * (hour - 9.0) / 24.0);
+        const TimestampNs t = static_cast<TimestampNs>(minute) * 60 * kNsPerSec;
+        pusher.sampleOnce(t);
+        manager.tickAll(t);
+        if (minute % 120 == 0) {
+            const auto sample = facility->sampleAt(t);
+            std::printf("%7.0f %9.0f %9.1f %10.2f %10.2f %10.1f %8.3f\n", hour,
+                        it_power_kw, sample.outdoor_temp_c, sample.inlet_temp_c,
+                        sample.return_temp_c, sample.cooling_power_w / 1e3, sample.pue);
+        }
+    }
+    std::printf("\nthe controller holds the return temperature at 46 C across the\n"
+                "load/outdoor swings by moving the inlet setpoint; warm-water\n"
+                "operation keeps the chiller idle (PUE near the 1.03 overhead floor).\n");
+    return 0;
+}

@@ -1,0 +1,304 @@
+#include "analytics/bayesian_gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "analytics/kmeans.h"
+#include "analytics/stats.h"
+
+namespace wm::analytics {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093454836;
+constexpr double kTinyResponsibility = 1e-10;
+}  // namespace
+
+double digamma(double x) {
+    // Recurrence to push the argument above 6, then the asymptotic series.
+    double result = 0.0;
+    while (x < 6.0) {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    result += std::log(x) - 0.5 * inv -
+              inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 -
+                      inv2 * (1.0 / 240.0 - inv2 * (1.0 / 132.0)))));
+    return result;
+}
+
+Vector BayesianGmm::standardizePoint(const Vector& point) const {
+    Vector out(point.size());
+    for (std::size_t d = 0; d < point.size(); ++d) {
+        out[d] = (point[d] - feature_mean_[d]) / feature_scale_[d];
+    }
+    return out;
+}
+
+bool BayesianGmm::fit(const std::vector<Vector>& points, const BgmmParams& params) {
+    components_.clear();
+    internal_.clear();
+    iterations_ = 0;
+    converged_ = false;
+
+    const std::size_t n = points.size();
+    if (n < 2) return false;
+    const std::size_t dim = points[0].size();
+    if (dim == 0) return false;
+    for (const auto& p : points) {
+        if (p.size() != dim) return false;
+    }
+
+    // --- Standardisation ---------------------------------------------------
+    feature_mean_.assign(dim, 0.0);
+    feature_scale_.assign(dim, 1.0);
+    if (params.standardize) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            StreamingStats stats;
+            for (const auto& p : points) stats.add(p[d]);
+            feature_mean_[d] = stats.mean();
+            feature_scale_[d] = stats.stddev() > 1e-12 ? stats.stddev() : 1.0;
+        }
+    }
+    density_jacobian_ = 1.0;
+    for (std::size_t d = 0; d < dim; ++d) density_jacobian_ /= feature_scale_[d];
+
+    std::vector<Vector> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = standardizePoint(points[i]);
+
+    const std::size_t K = std::max<std::size_t>(1, std::min(params.max_components, n));
+
+    // --- Priors -------------------------------------------------------------
+    const double alpha0 = params.weight_concentration_prior / static_cast<double>(K);
+    const double beta0 = params.mean_precision_prior;
+    const double nu0 = static_cast<double>(dim) + params.dof_offset;
+    const Vector m0(dim, 0.0);  // standardized data is centred
+    // E[Lambda] under the prior = nu0 * W0; choose W0 so that the prior
+    // expected covariance is prior_covariance_scale * I.
+    const double cov_scale = params.prior_covariance_scale > 0.0
+                                 ? params.prior_covariance_scale
+                                 : 0.15;
+    const Matrix w0inv = Matrix::identity(dim) * (nu0 * cov_scale);
+
+    // --- Initial responsibilities from k-means ------------------------------
+    KMeansParams km;
+    km.k = K;
+    km.seed = params.seed;
+    const KMeansResult init = kmeans(x, km);
+    std::vector<Vector> resp(n, Vector(K, kTinyResponsibility));
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t label = init.labels.empty() ? 0 : init.labels[i];
+        resp[i][std::min(label, K - 1)] = 1.0;
+        // Renormalise after smoothing.
+        const double total = std::accumulate(resp[i].begin(), resp[i].end(), 0.0);
+        for (double& r : resp[i]) r /= total;
+    }
+
+    // --- Variational coordinate ascent --------------------------------------
+    std::vector<double> nk(K), alpha(K), beta(K), nu(K);
+    std::vector<Vector> mk(K, Vector(dim, 0.0));
+    std::vector<Matrix> winv(K, Matrix(dim, dim));
+    std::vector<std::optional<Cholesky>> winv_chol(K);
+
+    double prev_bound = -std::numeric_limits<double>::infinity();
+    for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+        iterations_ = iter + 1;
+
+        // M-step: update the posterior parameters from responsibilities.
+        for (std::size_t k = 0; k < K; ++k) {
+            nk[k] = 0.0;
+            Vector xbar(dim, 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+                nk[k] += resp[i][k];
+                for (std::size_t d = 0; d < dim; ++d) xbar[d] += resp[i][k] * x[i][d];
+            }
+            const double nk_safe = nk[k] + 1e-10;
+            for (double& v : xbar) v /= nk_safe;
+
+            Matrix sk(dim, dim);
+            for (std::size_t i = 0; i < n; ++i) {
+                const double r = resp[i][k];
+                if (r < kTinyResponsibility) continue;
+                for (std::size_t a = 0; a < dim; ++a) {
+                    const double da = x[i][a] - xbar[a];
+                    for (std::size_t b = 0; b <= a; ++b) {
+                        const double v = r * da * (x[i][b] - xbar[b]);
+                        sk(a, b) += v;
+                        if (a != b) sk(b, a) += v;
+                    }
+                }
+            }
+            sk = sk * (1.0 / nk_safe);
+
+            alpha[k] = alpha0 + nk[k];
+            beta[k] = beta0 + nk[k];
+            nu[k] = nu0 + nk[k];
+            for (std::size_t d = 0; d < dim; ++d) {
+                mk[k][d] = (beta0 * m0[d] + nk[k] * xbar[d]) / beta[k];
+            }
+            const Vector dm = subtract(xbar, m0);
+            winv[k] = w0inv + sk * nk[k] +
+                      Matrix::outer(dm, beta0 * nk[k] / (beta0 + nk[k]));
+            winv_chol[k] = Cholesky::decompose(winv[k]);
+            if (!winv_chol[k]) {
+                // Regularise a degenerate scatter and retry once.
+                winv[k] += Matrix::identity(dim) * 1e-6;
+                winv_chol[k] = Cholesky::decompose(winv[k]);
+                if (!winv_chol[k]) return false;
+            }
+        }
+
+        // E-step: recompute responsibilities.
+        const double alpha_total = std::accumulate(alpha.begin(), alpha.end(), 0.0);
+        std::vector<double> ln_pi(K), ln_lambda(K);
+        for (std::size_t k = 0; k < K; ++k) {
+            ln_pi[k] = digamma(alpha[k]) - digamma(alpha_total);
+            double acc = static_cast<double>(dim) * std::log(2.0) - winv_chol[k]->logDet();
+            for (std::size_t d = 0; d < dim; ++d) {
+                acc += digamma(0.5 * (nu[k] - static_cast<double>(d)));
+            }
+            ln_lambda[k] = acc;
+        }
+
+        double bound = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            Vector ln_rho(K);
+            double max_ln = -std::numeric_limits<double>::infinity();
+            for (std::size_t k = 0; k < K; ++k) {
+                // (x - m)^T W (x - m) computed via the Cholesky of W^{-1}.
+                const double maha = winv_chol[k]->mahalanobis2(x[i], mk[k]);
+                ln_rho[k] = ln_pi[k] + 0.5 * ln_lambda[k] -
+                            0.5 * static_cast<double>(dim) * kLog2Pi -
+                            0.5 * (static_cast<double>(dim) / beta[k] + nu[k] * maha);
+                max_ln = std::max(max_ln, ln_rho[k]);
+            }
+            double norm = 0.0;
+            for (std::size_t k = 0; k < K; ++k) norm += std::exp(ln_rho[k] - max_ln);
+            const double ln_norm = max_ln + std::log(norm);
+            bound += ln_norm;
+            for (std::size_t k = 0; k < K; ++k) {
+                resp[i][k] = std::max(std::exp(ln_rho[k] - ln_norm), kTinyResponsibility);
+            }
+        }
+        bound /= static_cast<double>(n);
+        if (std::abs(bound - prev_bound) < params.tolerance) {
+            converged_ = true;
+            break;
+        }
+        prev_bound = bound;
+    }
+
+    // --- Extract fitted components ------------------------------------------
+    const double alpha_total = std::accumulate(alpha.begin(), alpha.end(), 0.0);
+    struct Extracted {
+        double weight;
+        std::size_t k;
+    };
+    std::vector<Extracted> order;
+    for (std::size_t k = 0; k < K; ++k) {
+        order.push_back({alpha[k] / alpha_total, k});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Extracted& a, const Extracted& b) { return a.weight > b.weight; });
+
+    for (const auto& [weight, k] : order) {
+        if (weight < params.weight_floor) continue;
+        if (weight * static_cast<double>(n) < params.min_cluster_points) continue;
+        // Expected covariance of the Gaussian-Wishart posterior:
+        // E[Sigma] = W^{-1} / (nu - D - 1).
+        const double dof = std::max(nu[k] - static_cast<double>(dim) - 1.0, 1e-6);
+        Matrix expected_cov = winv[k] * (1.0 / dof);
+
+        const auto chol = Cholesky::decompose(expected_cov);
+        if (!chol) continue;
+
+        InternalComponent internal{
+            weight, mk[k], *chol,
+            -0.5 * (static_cast<double>(dim) * kLog2Pi + chol->logDet())};
+        internal_.push_back(std::move(internal));
+
+        BgmmComponent comp;
+        comp.weight = weight;
+        comp.mean.resize(dim);
+        for (std::size_t d = 0; d < dim; ++d) {
+            comp.mean[d] = mk[k][d] * feature_scale_[d] + feature_mean_[d];
+        }
+        comp.covariance = Matrix(dim, dim);
+        for (std::size_t a = 0; a < dim; ++a) {
+            for (std::size_t b = 0; b < dim; ++b) {
+                comp.covariance(a, b) =
+                    expected_cov(a, b) * feature_scale_[a] * feature_scale_[b];
+            }
+        }
+        components_.push_back(std::move(comp));
+    }
+    return !components_.empty();
+}
+
+double BayesianGmm::componentLogPdf(std::size_t k, const Vector& x_std) const {
+    const InternalComponent& comp = internal_[k];
+    return comp.log_norm - 0.5 * comp.cov_chol.mahalanobis2(x_std, comp.mean);
+}
+
+std::size_t BayesianGmm::predictLabel(const Vector& point) const {
+    const Vector probs = predictProbabilities(point);
+    return static_cast<std::size_t>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+Vector BayesianGmm::predictProbabilities(const Vector& point) const {
+    Vector out(internal_.size(), 0.0);
+    if (internal_.empty()) return out;
+    const Vector x = standardizePoint(point);
+    double max_ln = -std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < internal_.size(); ++k) {
+        out[k] = std::log(internal_[k].weight) + componentLogPdf(k, x);
+        max_ln = std::max(max_ln, out[k]);
+    }
+    double total = 0.0;
+    for (double& v : out) {
+        v = std::exp(v - max_ln);
+        total += v;
+    }
+    for (double& v : out) v /= total;
+    return out;
+}
+
+double BayesianGmm::maxComponentDensity(const Vector& point) const {
+    // Mode-relative density: exp(-1/2 * Mahalanobis^2) against the closest
+    // component, i.e. the component's PDF normalised to 1 at its mode. This
+    // makes the paper's p < 0.001 outlier threshold scale-free (raw
+    // densities over e.g. watts x degC x counter-rates shrink with the units
+    // and the tightness of the clusters); 0.001 corresponds to lying more
+    // than ~3.7 sigma from every fitted component.
+    if (internal_.empty()) return 0.0;
+    const Vector x = standardizePoint(point);
+    double best_maha2 = std::numeric_limits<double>::infinity();
+    for (const auto& comp : internal_) {
+        best_maha2 = std::min(best_maha2, comp.cov_chol.mahalanobis2(x, comp.mean));
+    }
+    return std::exp(-0.5 * best_maha2);
+}
+
+bool BayesianGmm::isOutlier(const Vector& point, double threshold) const {
+    return maxComponentDensity(point) < threshold;
+}
+
+double BayesianGmm::scoreLogLikelihood(const Vector& point) const {
+    if (internal_.empty()) return -std::numeric_limits<double>::infinity();
+    const Vector x = standardizePoint(point);
+    double max_ln = -std::numeric_limits<double>::infinity();
+    Vector ln(internal_.size());
+    for (std::size_t k = 0; k < internal_.size(); ++k) {
+        ln[k] = std::log(internal_[k].weight) + componentLogPdf(k, x);
+        max_ln = std::max(max_ln, ln[k]);
+    }
+    double total = 0.0;
+    for (double v : ln) total += std::exp(v - max_ln);
+    return max_ln + std::log(total) + std::log(density_jacobian_);
+}
+
+}  // namespace wm::analytics

@@ -1,0 +1,121 @@
+#pragma once
+
+// Variational Bayesian Gaussian mixture model (Bishop, PRML §10.2; the model
+// family of Roberts et al. cited by the paper for Case Study 3). Unlike an
+// EM-fitted GMM, the Dirichlet prior over mixture weights drives superfluous
+// components towards zero weight, so the model determines the effective
+// number of clusters from data — the property the paper relies on for
+// unattended online operation.
+//
+// Full-covariance components with Gaussian-Wishart priors. Fitting maximises
+// the evidence lower bound by coordinate ascent; initial responsibilities
+// come from k-means++. Points whose density is below a threshold under every
+// fitted component's (expected) Gaussian PDF are labelled outliers, matching
+// the paper's p < 0.001 rule.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analytics/linalg.h"
+
+namespace wm::analytics {
+
+struct BgmmParams {
+    /// Upper bound on the number of components (the model prunes from here).
+    std::size_t max_components = 10;
+    std::size_t max_iterations = 200;
+    double tolerance = 1e-4;  // convergence threshold on mean log-responsibility change
+    /// Dirichlet concentration prior; small values favour few clusters.
+    double weight_concentration_prior = 1.0;
+    /// Prior degrees of freedom offset; nu0 = dim + dof_offset.
+    double dof_offset = 0.0;
+    /// Gaussian mean prior precision scaling.
+    double mean_precision_prior = 0.05;
+    /// Scale of the prior expected covariance in standardized feature space:
+    /// E[Sigma] under the Wishart prior is `prior_covariance_scale * I`.
+    /// Individual clusters occupy a fraction of the overall data spread, so
+    /// values well below 1 keep the prior from inflating tight clusters
+    /// (which would merge neighbours and mask outliers).
+    double prior_covariance_scale = 0.15;
+    /// Standardise features to zero mean / unit variance before fitting.
+    bool standardize = true;
+    /// Components with weight below this are dropped from the fitted model.
+    /// Superfluous components keep a residual weight of roughly
+    /// alpha0 / (N + K * alpha0) under the Dirichlet prior, so the floor
+    /// must sit above that but below the smallest real cluster's share.
+    double weight_floor = 0.02;
+    /// Components whose effective membership (weight * N) falls below this
+    /// are also dropped: a component latched onto one stray point is an
+    /// outlier, not a cluster.
+    double min_cluster_points = 2.0;
+    std::uint64_t seed = 42;
+};
+
+struct BgmmComponent {
+    double weight = 0.0;       // normalised posterior mixing weight
+    Vector mean;               // posterior mean (original feature space)
+    Matrix covariance;         // expected covariance (original feature space)
+};
+
+class BayesianGmm {
+  public:
+    /// Fits the model. Returns false for empty/degenerate input (fewer than
+    /// 2 points, inconsistent dimensions).
+    bool fit(const std::vector<Vector>& points, const BgmmParams& params = {});
+
+    bool trained() const { return !components_.empty(); }
+
+    /// Fitted (pruned) components, ordered by decreasing weight.
+    const std::vector<BgmmComponent>& components() const { return components_; }
+    std::size_t effectiveComponents() const { return components_.size(); }
+
+    /// Index of the most likely component for a point.
+    std::size_t predictLabel(const Vector& point) const;
+
+    /// Per-component posterior probabilities (responsibilities) for a point.
+    Vector predictProbabilities(const Vector& point) const;
+
+    /// Mode-relative density of the closest component: exp(-Mahalanobis^2/2)
+    /// in standardized feature space, i.e. 1 at a component's mode and
+    /// ~0.001 at 3.7 sigma. Scale-free, so the paper's outlier rule can
+    /// threshold it directly.
+    double maxComponentDensity(const Vector& point) const;
+
+    /// True when every fitted component assigns density < threshold.
+    bool isOutlier(const Vector& point, double threshold = 1e-3) const;
+
+    /// Mixture log-likelihood of a point.
+    double scoreLogLikelihood(const Vector& point) const;
+
+    std::size_t iterationsRun() const { return iterations_; }
+    bool converged() const { return converged_; }
+
+  private:
+    /// Gaussian log-pdf under component k (in standardized space).
+    double componentLogPdf(std::size_t k, const Vector& x_std) const;
+    Vector standardizePoint(const Vector& point) const;
+
+    std::vector<BgmmComponent> components_;  // original-space parameters
+    // Standardized-space parameters used for density evaluation.
+    struct InternalComponent {
+        double weight;
+        Vector mean;
+        Cholesky cov_chol;
+        double log_norm;  // -0.5 * (D log 2pi + log|Sigma|)
+    };
+    std::vector<InternalComponent> internal_;
+    Vector feature_mean_;
+    Vector feature_scale_;
+    /// Density Jacobian factor between standardized and original space.
+    double density_jacobian_ = 1.0;
+    std::size_t iterations_ = 0;
+    bool converged_ = false;
+};
+
+/// Digamma function (psi), needed by the variational updates. Accurate to
+/// ~1e-12 for positive arguments via recurrence + asymptotic expansion.
+double digamma(double x);
+
+}  // namespace wm::analytics

@@ -1,0 +1,224 @@
+#include "analytics/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace wm::analytics {
+
+namespace {
+
+/// Gini impurity of a class histogram with `total` samples.
+double gini(const std::vector<double>& histogram, double total) {
+    if (total <= 0.0) return 0.0;
+    double acc = 1.0;
+    for (double count : histogram) {
+        const double p = count / total;
+        acc -= p * p;
+    }
+    return acc;
+}
+
+struct SplitCandidate {
+    bool valid = false;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double score = std::numeric_limits<double>::infinity();  // weighted Gini
+};
+
+SplitCandidate bestSplitOnFeature(const std::vector<std::vector<double>>& features,
+                                  const std::vector<std::size_t>& labels,
+                                  const std::vector<std::size_t>& rows, std::size_t begin,
+                                  std::size_t end, std::size_t feature,
+                                  std::size_t num_classes,
+                                  std::size_t min_samples_leaf) {
+    SplitCandidate best;
+    best.feature = feature;
+    const std::size_t n = end - begin;
+    std::vector<std::size_t> order(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   rows.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return features[a][feature] < features[b][feature];
+    });
+    std::vector<double> left(num_classes, 0.0);
+    std::vector<double> right(num_classes, 0.0);
+    for (std::size_t i = 0; i < n; ++i) right[labels[order[i]]] += 1.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const std::size_t label = labels[order[i]];
+        left[label] += 1.0;
+        right[label] -= 1.0;
+        const double x_here = features[order[i]][feature];
+        const double x_next = features[order[i + 1]][feature];
+        if (x_here == x_next) continue;
+        const std::size_t left_n = i + 1;
+        const std::size_t right_n = n - left_n;
+        if (left_n < min_samples_leaf || right_n < min_samples_leaf) continue;
+        const double score = gini(left, static_cast<double>(left_n)) *
+                                 static_cast<double>(left_n) +
+                             gini(right, static_cast<double>(right_n)) *
+                                 static_cast<double>(right_n);
+        if (score < best.score) {
+            best.valid = true;
+            best.score = score;
+            best.threshold = 0.5 * (x_here + x_next);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+void ClassificationTree::fit(const std::vector<std::vector<double>>& features,
+                             const std::vector<std::size_t>& labels,
+                             const std::vector<std::size_t>& rows,
+                             std::size_t num_classes, const ClassifierTreeParams& params,
+                             common::Rng& rng) {
+    nodes_.clear();
+    if (rows.empty() || features.empty() || num_classes == 0) return;
+    std::vector<std::size_t> work(rows);
+    build(features, labels, work, 0, work.size(), 0, num_classes, params, rng);
+}
+
+std::int32_t ClassificationTree::build(const std::vector<std::vector<double>>& features,
+                                       const std::vector<std::size_t>& labels,
+                                       std::vector<std::size_t>& rows, std::size_t begin,
+                                       std::size_t end, std::size_t depth,
+                                       std::size_t num_classes,
+                                       const ClassifierTreeParams& params,
+                                       common::Rng& rng) {
+    const std::size_t n = end - begin;
+    const std::int32_t index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+
+    std::vector<double> histogram(num_classes, 0.0);
+    for (std::size_t i = begin; i < end; ++i) histogram[labels[rows[i]]] += 1.0;
+    nodes_[static_cast<std::size_t>(index)].label = static_cast<std::uint32_t>(
+        std::max_element(histogram.begin(), histogram.end()) - histogram.begin());
+    const double node_gini = gini(histogram, static_cast<double>(n));
+    if (depth >= params.max_depth || n < params.min_samples_split || node_gini <= 0.0) {
+        return index;
+    }
+
+    const std::size_t num_features = features[rows[begin]].size();
+    std::vector<std::size_t> candidates;
+    if (params.features_per_split == 0 || params.features_per_split >= num_features) {
+        candidates.resize(num_features);
+        std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+    } else {
+        candidates = rng.sampleWithoutReplacement(num_features, params.features_per_split);
+    }
+    SplitCandidate best;
+    for (std::size_t feature : candidates) {
+        const SplitCandidate cand =
+            bestSplitOnFeature(features, labels, rows, begin, end, feature, num_classes,
+                               params.min_samples_leaf);
+        if (cand.valid && cand.score < best.score) best = cand;
+    }
+    if (!best.valid) return index;
+
+    auto middle = std::partition(
+        rows.begin() + static_cast<std::ptrdiff_t>(begin),
+        rows.begin() + static_cast<std::ptrdiff_t>(end),
+        [&](std::size_t r) { return features[r][best.feature] <= best.threshold; });
+    const std::size_t mid = static_cast<std::size_t>(middle - rows.begin());
+    if (mid == begin || mid == end) return index;
+
+    nodes_[static_cast<std::size_t>(index)].feature_index =
+        static_cast<std::int32_t>(best.feature);
+    nodes_[static_cast<std::size_t>(index)].threshold = best.threshold;
+    const std::int32_t left =
+        build(features, labels, rows, begin, mid, depth + 1, num_classes, params, rng);
+    nodes_[static_cast<std::size_t>(index)].left = left;
+    const std::int32_t right =
+        build(features, labels, rows, mid, end, depth + 1, num_classes, params, rng);
+    nodes_[static_cast<std::size_t>(index)].right = right;
+    return index;
+}
+
+std::size_t ClassificationTree::predict(const std::vector<double>& features) const {
+    if (nodes_.empty()) return 0;
+    std::size_t index = 0;
+    for (;;) {
+        const Node& node = nodes_[index];
+        if (node.feature_index < 0) return node.label;
+        const auto f = static_cast<std::size_t>(node.feature_index);
+        const double x = f < features.size() ? features[f] : 0.0;
+        index = static_cast<std::size_t>(x <= node.threshold ? node.left : node.right);
+    }
+}
+
+bool RandomForestClassifier::fit(const std::vector<std::vector<double>>& features,
+                                 const std::vector<std::size_t>& labels,
+                                 const ClassifierForestParams& params) {
+    trees_.clear();
+    num_classes_ = 0;
+    oob_accuracy_ = std::numeric_limits<double>::quiet_NaN();
+    const std::size_t n = features.size();
+    if (n == 0 || labels.size() != n || params.num_trees == 0) return false;
+    const std::size_t dim = features[0].size();
+    for (const auto& row : features) {
+        if (row.size() != dim) return false;
+    }
+    for (std::size_t label : labels) num_classes_ = std::max(num_classes_, label + 1);
+
+    ClassifierTreeParams tree_params = params.tree;
+    if (tree_params.features_per_split == 0) {
+        tree_params.features_per_split =
+            static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(dim))));
+    }
+    const std::size_t samples_per_tree = std::max<std::size_t>(
+        1, static_cast<std::size_t>(params.bootstrap_fraction * static_cast<double>(n)));
+
+    common::Rng rng(params.seed);
+    trees_.resize(params.num_trees);
+    std::vector<std::vector<double>> oob_votes(n, std::vector<double>(num_classes_, 0.0));
+    std::vector<char> in_bag(n);
+    for (auto& tree : trees_) {
+        std::fill(in_bag.begin(), in_bag.end(), 0);
+        std::vector<std::size_t> bag(samples_per_tree);
+        for (auto& row : bag) {
+            row = static_cast<std::size_t>(rng.uniformInt(n));
+            in_bag[row] = 1;
+        }
+        tree.fit(features, labels, bag, num_classes_, tree_params, rng);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!in_bag[i]) oob_votes[i][tree.predict(features[i])] += 1.0;
+        }
+    }
+    std::size_t correct = 0;
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double total = 0.0;
+        for (double v : oob_votes[i]) total += v;
+        if (total == 0.0) continue;
+        const std::size_t vote = static_cast<std::size_t>(
+            std::max_element(oob_votes[i].begin(), oob_votes[i].end()) -
+            oob_votes[i].begin());
+        if (vote == labels[i]) ++correct;
+        ++covered;
+    }
+    if (covered > 0) {
+        oob_accuracy_ = static_cast<double>(correct) / static_cast<double>(covered);
+    }
+    return true;
+}
+
+std::size_t RandomForestClassifier::predict(const std::vector<double>& features) const {
+    const auto probabilities = predictProbabilities(features);
+    if (probabilities.empty()) return 0;
+    return static_cast<std::size_t>(
+        std::max_element(probabilities.begin(), probabilities.end()) -
+        probabilities.begin());
+}
+
+std::vector<double> RandomForestClassifier::predictProbabilities(
+    const std::vector<double>& features) const {
+    std::vector<double> votes(num_classes_, 0.0);
+    if (trees_.empty() || num_classes_ == 0) return votes;
+    for (const auto& tree : trees_) votes[tree.predict(features)] += 1.0;
+    for (double& v : votes) v /= static_cast<double>(trees_.size());
+    return votes;
+}
+
+}  // namespace wm::analytics

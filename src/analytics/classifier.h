@@ -1,0 +1,90 @@
+#pragma once
+
+// Classification counterpart of the regression forest: CART trees with Gini
+// impurity and a bagged majority-vote ensemble. Substrate for the
+// application-fingerprinting taxonomy class (paper Section II-A: predicting
+// the behaviour/identity of user jobs from monitoring data).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wm::analytics {
+
+struct ClassifierTreeParams {
+    std::size_t max_depth = 12;
+    std::size_t min_samples_split = 4;
+    std::size_t min_samples_leaf = 1;
+    /// Candidate features per split; 0 = all.
+    std::size_t features_per_split = 0;
+};
+
+class ClassificationTree {
+  public:
+    /// Fits on rows indexing into the dataset; labels are class ids in
+    /// [0, num_classes).
+    void fit(const std::vector<std::vector<double>>& features,
+             const std::vector<std::size_t>& labels, const std::vector<std::size_t>& rows,
+             std::size_t num_classes, const ClassifierTreeParams& params,
+             common::Rng& rng);
+
+    /// Predicted class id; 0 if untrained.
+    std::size_t predict(const std::vector<double>& features) const;
+
+    bool trained() const { return !nodes_.empty(); }
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Node {
+        std::int32_t feature_index = -1;  // leaf when negative
+        double threshold = 0.0;
+        std::uint32_t label = 0;  // majority class at this node
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+    };
+
+    std::int32_t build(const std::vector<std::vector<double>>& features,
+                       const std::vector<std::size_t>& labels,
+                       std::vector<std::size_t>& rows, std::size_t begin, std::size_t end,
+                       std::size_t depth, std::size_t num_classes,
+                       const ClassifierTreeParams& params, common::Rng& rng);
+
+    std::vector<Node> nodes_;
+};
+
+struct ClassifierForestParams {
+    std::size_t num_trees = 32;
+    ClassifierTreeParams tree;
+    double bootstrap_fraction = 1.0;
+    std::uint64_t seed = 42;
+};
+
+class RandomForestClassifier {
+  public:
+    /// Fits the ensemble; features_per_split of 0 resolves to sqrt(dim).
+    /// Returns false on empty/inconsistent input.
+    bool fit(const std::vector<std::vector<double>>& features,
+             const std::vector<std::size_t>& labels,
+             const ClassifierForestParams& params = {});
+
+    /// Majority-vote class; 0 when untrained.
+    std::size_t predict(const std::vector<double>& features) const;
+
+    /// Vote distribution over classes (sums to 1 when trained).
+    std::vector<double> predictProbabilities(const std::vector<double>& features) const;
+
+    /// Out-of-bag accuracy estimated during fit (NaN when unavailable).
+    double oobAccuracy() const { return oob_accuracy_; }
+
+    bool trained() const { return !trees_.empty(); }
+    std::size_t classCount() const { return num_classes_; }
+
+  private:
+    std::vector<ClassificationTree> trees_;
+    std::size_t num_classes_ = 0;
+    double oob_accuracy_ = 0.0;
+};
+
+}  // namespace wm::analytics

@@ -1,0 +1,173 @@
+#include "analytics/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace wm::analytics {
+
+namespace {
+
+struct SplitCandidate {
+    bool valid = false;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double score = std::numeric_limits<double>::infinity();  // weighted SSE
+};
+
+/// Finds the best threshold on one feature for rows [begin, end).
+/// Uses the sorted-prefix trick: O(n log n) per feature.
+SplitCandidate bestSplitOnFeature(const std::vector<std::vector<double>>& features,
+                                  const std::vector<double>& responses,
+                                  const std::vector<std::size_t>& rows, std::size_t begin,
+                                  std::size_t end, std::size_t feature,
+                                  std::size_t min_samples_leaf) {
+    SplitCandidate best;
+    best.feature = feature;
+    const std::size_t n = end - begin;
+    // Sort row indices by the feature value.
+    std::vector<std::size_t> order(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   rows.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return features[a][feature] < features[b][feature];
+    });
+    // Prefix sums of responses and squared responses.
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    double total_sum = 0.0;
+    double total_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double y = responses[order[i]];
+        total_sum += y;
+        total_sq += y * y;
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        const double y = responses[order[i]];
+        left_sum += y;
+        left_sq += y * y;
+        const double x_here = features[order[i]][feature];
+        const double x_next = features[order[i + 1]][feature];
+        if (x_here == x_next) continue;  // cannot split between equal values
+        const std::size_t left_n = i + 1;
+        const std::size_t right_n = n - left_n;
+        if (left_n < min_samples_leaf || right_n < min_samples_leaf) continue;
+        // SSE = sum(y^2) - n*mean^2 per side.
+        const double right_sum = total_sum - left_sum;
+        const double right_sq = total_sq - left_sq;
+        const double sse_left = left_sq - left_sum * left_sum / static_cast<double>(left_n);
+        const double sse_right =
+            right_sq - right_sum * right_sum / static_cast<double>(right_n);
+        const double score = sse_left + sse_right;
+        if (score < best.score) {
+            best.valid = true;
+            best.score = score;
+            best.threshold = 0.5 * (x_here + x_next);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& features,
+                       const std::vector<double>& responses,
+                       const std::vector<std::size_t>& rows, const TreeParams& params,
+                       common::Rng& rng) {
+    nodes_.clear();
+    if (rows.empty() || features.empty()) return;
+    std::vector<std::size_t> work(rows);
+    build(features, responses, work, 0, work.size(), 0, params, rng);
+}
+
+std::int32_t DecisionTree::build(const std::vector<std::vector<double>>& features,
+                                 const std::vector<double>& responses,
+                                 std::vector<std::size_t>& rows, std::size_t begin,
+                                 std::size_t end, std::size_t depth,
+                                 const TreeParams& params, common::Rng& rng) {
+    const std::size_t n = end - begin;
+    const std::int32_t index = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+
+    // Leaf prediction: mean response over the node's rows.
+    double sum = 0.0;
+    double sq = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const double y = responses[rows[i]];
+        sum += y;
+        sq += y * y;
+    }
+    nodes_[static_cast<std::size_t>(index)].value = sum / static_cast<double>(n);
+    const double node_sse = sq - sum * sum / static_cast<double>(n);
+
+    if (depth >= params.max_depth || n < params.min_samples_split || node_sse <= 1e-12) {
+        return index;
+    }
+
+    // Candidate features: all, or a uniform random subset.
+    const std::size_t num_features = features[rows[begin]].size();
+    std::vector<std::size_t> candidates;
+    if (params.features_per_split == 0 || params.features_per_split >= num_features) {
+        candidates.resize(num_features);
+        std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+    } else {
+        candidates = rng.sampleWithoutReplacement(num_features, params.features_per_split);
+    }
+
+    SplitCandidate best;
+    for (std::size_t feature : candidates) {
+        const SplitCandidate cand = bestSplitOnFeature(features, responses, rows, begin, end,
+                                                       feature, params.min_samples_leaf);
+        if (cand.valid && cand.score < best.score) best = cand;
+    }
+    if (!best.valid) return index;
+    const double improvement = node_sse - best.score;
+    if (improvement < params.min_impurity_decrease * node_sse) return index;
+
+    // Partition rows in place around the threshold.
+    auto middle = std::partition(
+        rows.begin() + static_cast<std::ptrdiff_t>(begin),
+        rows.begin() + static_cast<std::ptrdiff_t>(end),
+        [&](std::size_t r) { return features[r][best.feature] <= best.threshold; });
+    const std::size_t mid = static_cast<std::size_t>(middle - rows.begin());
+    if (mid == begin || mid == end) return index;  // degenerate partition
+
+    nodes_[static_cast<std::size_t>(index)].feature_index =
+        static_cast<std::int32_t>(best.feature);
+    nodes_[static_cast<std::size_t>(index)].threshold = best.threshold;
+    const std::int32_t left =
+        build(features, responses, rows, begin, mid, depth + 1, params, rng);
+    nodes_[static_cast<std::size_t>(index)].left = left;
+    const std::int32_t right =
+        build(features, responses, rows, mid, end, depth + 1, params, rng);
+    nodes_[static_cast<std::size_t>(index)].right = right;
+    return index;
+}
+
+double DecisionTree::predict(const std::vector<double>& features) const {
+    if (nodes_.empty()) return 0.0;
+    std::size_t index = 0;
+    for (;;) {
+        const Node& node = nodes_[index];
+        if (node.feature_index < 0) return node.value;
+        const std::size_t f = static_cast<std::size_t>(node.feature_index);
+        const double x = f < features.size() ? features[f] : 0.0;
+        index = static_cast<std::size_t>(x <= node.threshold ? node.left : node.right);
+    }
+}
+
+std::size_t DecisionTree::depth() const {
+    if (nodes_.empty()) return 0;
+    // Iterative depth computation over the node array.
+    std::vector<std::size_t> depth_of(nodes_.size(), 0);
+    std::size_t worst = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node& node = nodes_[i];
+        if (node.left >= 0) depth_of[static_cast<std::size_t>(node.left)] = depth_of[i] + 1;
+        if (node.right >= 0) depth_of[static_cast<std::size_t>(node.right)] = depth_of[i] + 1;
+        worst = std::max(worst, depth_of[i]);
+    }
+    return worst;
+}
+
+}  // namespace wm::analytics

@@ -1,0 +1,61 @@
+#pragma once
+
+// CART regression tree: greedy binary splits minimising the weighted sum of
+// child variances (equivalently, maximising variance reduction). The tree is
+// the base learner of the random forest behind the regressor plugin; the
+// paper's original used OpenCV's RTrees, which implements the same family.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wm::analytics {
+
+struct TreeParams {
+    std::size_t max_depth = 12;
+    std::size_t min_samples_split = 4;
+    std::size_t min_samples_leaf = 2;
+    /// Number of candidate features per split; 0 = all (plain CART),
+    /// otherwise a random subset (random-forest style decorrelation).
+    std::size_t features_per_split = 0;
+    /// Splits improving variance by less than this fraction are rejected.
+    double min_impurity_decrease = 0.0;
+};
+
+class DecisionTree {
+  public:
+    /// Fits the tree on row-major samples; `rows` indexes into the dataset
+    /// (callers pass bootstrap samples without copying the data). Pass all
+    /// indices for a plain fit. `rng` drives feature subsampling.
+    void fit(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& responses, const std::vector<std::size_t>& rows,
+             const TreeParams& params, common::Rng& rng);
+
+    /// Predicted response for one feature vector; 0.0 if the tree is empty.
+    double predict(const std::vector<double>& features) const;
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t depth() const;
+    bool trained() const { return !nodes_.empty(); }
+
+  private:
+    struct Node {
+        // Leaf when feature_index < 0.
+        std::int32_t feature_index = -1;
+        double threshold = 0.0;
+        double value = 0.0;   // leaf prediction (mean of responses)
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+    };
+
+    std::int32_t build(const std::vector<std::vector<double>>& features,
+                       const std::vector<double>& responses, std::vector<std::size_t>& rows,
+                       std::size_t begin, std::size_t end, std::size_t depth,
+                       const TreeParams& params, common::Rng& rng);
+
+    std::vector<Node> nodes_;
+};
+
+}  // namespace wm::analytics

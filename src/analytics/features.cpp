@@ -1,0 +1,98 @@
+#include "analytics/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/stats.h"
+#include "common/time_utils.h"
+
+namespace wm::analytics {
+
+const char* featureName(Feature feature) {
+    switch (feature) {
+        case Feature::kMean: return "mean";
+        case Feature::kStdDev: return "stddev";
+        case Feature::kMin: return "min";
+        case Feature::kMax: return "max";
+        case Feature::kLast: return "last";
+        case Feature::kDelta: return "delta";
+        case Feature::kSlope: return "slope";
+        case Feature::kMedian: return "median";
+        case Feature::kCount_: break;
+    }
+    return "unknown";
+}
+
+std::vector<double> extractFeatures(const sensors::ReadingVector& window, bool monotonic) {
+    std::vector<double> block(kFeaturesPerSensor, 0.0);
+    if (window.empty()) return block;
+
+    std::vector<double> values;
+    values.reserve(window.size());
+    if (monotonic && window.size() > 1) {
+        for (std::size_t i = 1; i < window.size(); ++i) {
+            values.push_back(window[i].value - window[i - 1].value);
+        }
+    } else {
+        for (const auto& reading : window) values.push_back(reading.value);
+    }
+    if (values.empty()) values.push_back(0.0);
+
+    block[static_cast<std::size_t>(Feature::kMean)] = mean(values).value_or(0.0);
+    block[static_cast<std::size_t>(Feature::kStdDev)] = stddev(values).value_or(0.0);
+    block[static_cast<std::size_t>(Feature::kMin)] = minimum(values).value_or(0.0);
+    block[static_cast<std::size_t>(Feature::kMax)] = maximum(values).value_or(0.0);
+    block[static_cast<std::size_t>(Feature::kLast)] = values.back();
+    block[static_cast<std::size_t>(Feature::kDelta)] = values.back() - values.front();
+    block[static_cast<std::size_t>(Feature::kMedian)] = median(values).value_or(0.0);
+
+    // Least-squares slope in value units per second, over the window's
+    // actual timestamps (robust to irregular sampling).
+    if (window.size() >= 2) {
+        const double t0 = static_cast<double>(window.front().timestamp);
+        double st = 0.0;
+        double sv = 0.0;
+        double stt = 0.0;
+        double stv = 0.0;
+        const std::size_t n = values.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            // When differencing, align value i with the i+1-th timestamp.
+            const std::size_t ti = monotonic ? i + 1 : i;
+            const double t = (static_cast<double>(window[ti].timestamp) - t0) /
+                             static_cast<double>(common::kNsPerSec);
+            st += t;
+            sv += values[i];
+            stt += t * t;
+            stv += t * values[i];
+        }
+        const double denom = static_cast<double>(n) * stt - st * st;
+        if (std::abs(denom) > 1e-12) {
+            block[static_cast<std::size_t>(Feature::kSlope)] =
+                (static_cast<double>(n) * stv - st * sv) / denom;
+        }
+    }
+    return block;
+}
+
+std::vector<double> concatFeatures(const std::vector<std::vector<double>>& blocks) {
+    std::vector<double> out;
+    std::size_t total = 0;
+    for (const auto& block : blocks) total += block.size();
+    out.reserve(total);
+    for (const auto& block : blocks) out.insert(out.end(), block.begin(), block.end());
+    return out;
+}
+
+bool TrainingSet::add(std::vector<double> features, double response) {
+    if (full()) return false;
+    samples_.push_back(std::move(features));
+    responses_.push_back(response);
+    return true;
+}
+
+void TrainingSet::clear() {
+    samples_.clear();
+    responses_.clear();
+}
+
+}  // namespace wm::analytics

@@ -1,0 +1,66 @@
+#pragma once
+
+// Statistical feature extraction over sensor reading windows. This is the
+// front end of the regressor plugin (Case Study 1): at each computation
+// interval a fixed-length feature block is computed per input sensor, the
+// per-sensor blocks are concatenated into one feature vector, and the vector
+// is fed to the random forest.
+
+#include <string>
+#include <vector>
+
+#include "sensors/reading.h"
+
+namespace wm::analytics {
+
+/// The features extracted per sensor window, in this order.
+enum class Feature {
+    kMean = 0,
+    kStdDev,
+    kMin,
+    kMax,
+    kLast,
+    kDelta,       // last - first (captures trends and counter increments)
+    kSlope,       // least-squares slope per second
+    kMedian,
+    kCount_,      // sentinel
+};
+
+constexpr std::size_t kFeaturesPerSensor = static_cast<std::size_t>(Feature::kCount_);
+
+/// Human-readable feature names, index-aligned with the enum.
+const char* featureName(Feature feature);
+
+/// Computes the per-sensor feature block; an empty window yields zeros.
+/// If `monotonic` is set, values are first differenced (counter semantics).
+std::vector<double> extractFeatures(const sensors::ReadingVector& window,
+                                    bool monotonic = false);
+
+/// Concatenates per-sensor blocks into a single feature vector.
+std::vector<double> concatFeatures(const std::vector<std::vector<double>>& blocks);
+
+/// A growing training set of (feature vector, response) pairs with a cap,
+/// as accumulated in memory by the regressor plugin until training size is
+/// reached.
+class TrainingSet {
+  public:
+    explicit TrainingSet(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Adds a sample; returns false (and drops it) when full.
+    bool add(std::vector<double> features, double response);
+
+    bool full() const { return samples_.size() >= capacity_; }
+    std::size_t size() const { return samples_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    void clear();
+
+    const std::vector<std::vector<double>>& features() const { return samples_; }
+    const std::vector<double>& responses() const { return responses_; }
+
+  private:
+    std::size_t capacity_;
+    std::vector<std::vector<double>> samples_;
+    std::vector<double> responses_;
+};
+
+}  // namespace wm::analytics

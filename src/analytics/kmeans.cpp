@@ -1,0 +1,100 @@
+#include "analytics/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wm::analytics {
+
+namespace {
+
+double squaredDistance(const Vector& a, const Vector& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<Vector>& points, const KMeansParams& params) {
+    KMeansResult result;
+    const std::size_t n = points.size();
+    std::size_t k = std::min(params.k, n);
+    if (n == 0 || k == 0) return result;
+    common::Rng rng(params.seed);
+
+    // k-means++ seeding: first centroid uniform, then proportional to the
+    // squared distance to the nearest chosen centroid.
+    result.centroids.push_back(points[rng.uniformInt(n)]);
+    std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+    while (result.centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            dist2[i] = std::min(dist2[i], squaredDistance(points[i], result.centroids.back()));
+            total += dist2[i];
+        }
+        if (total <= 0.0) break;  // all remaining points coincide with centroids
+        double pick = rng.uniform() * total;
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            pick -= dist2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        result.centroids.push_back(points[chosen]);
+    }
+    k = result.centroids.size();
+
+    result.labels.assign(n, 0);
+    double prev_inertia = std::numeric_limits<double>::infinity();
+    for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+        // Assignment step.
+        result.inertia = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            std::size_t best_k = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = squaredDistance(points[i], result.centroids[c]);
+                if (d < best) {
+                    best = d;
+                    best_k = c;
+                }
+            }
+            result.labels[i] = best_k;
+            result.inertia += best;
+        }
+        // Update step.
+        const std::size_t dim = points[0].size();
+        std::vector<Vector> sums(k, Vector(dim, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = result.labels[i];
+            for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+            ++counts[c];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) continue;  // keep the old centroid for empty clusters
+            for (std::size_t d = 0; d < dim; ++d) {
+                result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+            }
+        }
+        // Convergence on relative inertia change.
+        if (prev_inertia < std::numeric_limits<double>::infinity()) {
+            const double change = std::abs(prev_inertia - result.inertia);
+            if (change <= params.tolerance * std::max(prev_inertia, 1e-12)) {
+                result.converged = true;
+                break;
+            }
+        }
+        prev_inertia = result.inertia;
+    }
+    return result;
+}
+
+}  // namespace wm::analytics

@@ -1,0 +1,33 @@
+#pragma once
+
+// k-means with k-means++ seeding. Used to initialise the variational
+// Bayesian GMM responsibilities and available stand-alone.
+
+#include <cstddef>
+#include <vector>
+
+#include "analytics/linalg.h"
+#include "common/rng.h"
+
+namespace wm::analytics {
+
+struct KMeansResult {
+    std::vector<Vector> centroids;
+    std::vector<std::size_t> labels;  // one per input point
+    double inertia = 0.0;             // sum of squared distances to centroids
+    std::size_t iterations = 0;
+    bool converged = false;
+};
+
+struct KMeansParams {
+    std::size_t k = 3;
+    std::size_t max_iterations = 100;
+    double tolerance = 1e-6;  // relative inertia change for convergence
+    std::uint64_t seed = 42;
+};
+
+/// Runs k-means++ / Lloyd. Empty input or k == 0 yields an empty result.
+/// If there are fewer points than k, k is reduced to the point count.
+KMeansResult kmeans(const std::vector<Vector>& points, const KMeansParams& params = {});
+
+}  // namespace wm::analytics

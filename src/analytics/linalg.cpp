@@ -1,0 +1,220 @@
+#include "analytics/linalg.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace wm::analytics {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        if (row.size() != cols_) throw std::invalid_argument("ragged initializer");
+        for (double v : row) data_.push_back(v);
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+    Matrix m(d.size(), d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+    return m;
+}
+
+Matrix Matrix::outer(const Vector& v, double scale) {
+    Matrix m(v.size(), v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        for (std::size_t j = 0; j < v.size(); ++j) m(i, j) = scale * v[i] * v[j];
+    }
+    return m;
+}
+
+Matrix Matrix::transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    }
+    return t;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+    assert(cols_ == other.rows_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0) continue;
+            for (std::size_t c = 0; c < other.cols_; ++c) {
+                out(r, c) += a * other(k, c);
+            }
+        }
+    }
+    return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * scalar;
+    return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+}
+
+Vector Matrix::multiply(const Vector& v) const {
+    assert(cols_ == v.size());
+    Vector out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+double Matrix::trace() const {
+    double acc = 0.0;
+    const std::size_t n = std::min(rows_, cols_);
+    for (std::size_t i = 0; i < n; ++i) acc += (*this)(i, i);
+    return acc;
+}
+
+double Matrix::maxAbsDiff(const Matrix& other) const {
+    assert(rows_ == other.rows_ && cols_ == other.cols_);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+    }
+    return worst;
+}
+
+std::optional<Cholesky> Cholesky::decompose(const Matrix& a) {
+    if (a.rows() != a.cols()) return std::nullopt;
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+            if (i == j) {
+                if (acc <= 0.0 || !std::isfinite(acc)) return std::nullopt;
+                l(i, i) = std::sqrt(acc);
+            } else {
+                l(i, j) = acc / l(j, j);
+            }
+        }
+    }
+    return Cholesky(std::move(l));
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+    const std::size_t n = dim();
+    assert(b.size() == n);
+    // Forward substitution: L y = b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+        y[i] = acc / l_(i, i);
+    }
+    // Backward substitution: L^T x = y.
+    Vector x(n);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double acc = y[i];
+        for (std::size_t k = i + 1; k < n; ++k) acc -= l_(k, i) * x[k];
+        x[i] = acc / l_(i, i);
+    }
+    return x;
+}
+
+double Cholesky::logDet() const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) acc += std::log(l_(i, i));
+    return 2.0 * acc;
+}
+
+double Cholesky::mahalanobis2(const Vector& x, const Vector& mu) const {
+    const std::size_t n = dim();
+    assert(x.size() == n && mu.size() == n);
+    // Solve L z = (x - mu); the squared distance is ||z||^2.
+    Vector z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = x[i] - mu[i];
+        for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * z[k];
+        z[i] = acc / l_(i, i);
+    }
+    double acc = 0.0;
+    for (double v : z) acc += v * v;
+    return acc;
+}
+
+Matrix Cholesky::inverse() const {
+    const std::size_t n = dim();
+    Matrix inv(n, n);
+    Vector e(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+        e[c] = 1.0;
+        const Vector col = solve(e);
+        for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+        e[c] = 0.0;
+    }
+    return inv;
+}
+
+double dot(const Vector& a, const Vector& b) {
+    assert(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+    assert(a.size() == b.size());
+    Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+    return out;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+    assert(a.size() == b.size());
+    Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+    return out;
+}
+
+Vector scale(const Vector& a, double s) {
+    Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+    return out;
+}
+
+double norm2(const Vector& a) {
+    return std::sqrt(dot(a, a));
+}
+
+}  // namespace wm::analytics

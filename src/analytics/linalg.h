@@ -1,0 +1,92 @@
+#pragma once
+
+// Small dense linear algebra for the analytics substrate. The Bayesian GMM
+// works on low-dimensional feature spaces (Case Study 3 uses D=3), so a
+// straightforward row-major matrix with Cholesky-based factorisation is both
+// sufficient and cache-friendly. No external BLAS dependency.
+
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <vector>
+
+namespace wm::analytics {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class Matrix {
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    static Matrix identity(std::size_t n);
+    /// Diagonal matrix from a vector.
+    static Matrix diagonal(const Vector& d);
+    /// Outer product v * v^T scaled by `scale`.
+    static Matrix outer(const Vector& v, double scale = 1.0);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+    Matrix transpose() const;
+    Matrix operator+(const Matrix& other) const;
+    Matrix operator-(const Matrix& other) const;
+    Matrix operator*(const Matrix& other) const;
+    Matrix operator*(double scalar) const;
+    Matrix& operator+=(const Matrix& other);
+
+    Vector multiply(const Vector& v) const;
+    double trace() const;
+
+    /// Maximum absolute element-wise difference (for tests).
+    double maxAbsDiff(const Matrix& other) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Exposes the solve/determinant operations the VB-GMM needs without ever
+/// forming an explicit inverse.
+class Cholesky {
+  public:
+    /// Factorises `a` (must be square, symmetric, positive definite).
+    /// Returns std::nullopt when the matrix is not positive definite.
+    static std::optional<Cholesky> decompose(const Matrix& a);
+
+    const Matrix& lower() const { return l_; }
+    std::size_t dim() const { return l_.rows(); }
+
+    /// Solves A x = b.
+    Vector solve(const Vector& b) const;
+
+    /// log(det(A)) = 2 * sum(log(L_ii)).
+    double logDet() const;
+
+    /// Squared Mahalanobis distance: (x-mu)^T A^{-1} (x-mu).
+    double mahalanobis2(const Vector& x, const Vector& mu) const;
+
+    /// Explicit inverse of A (small matrices only; used by tests).
+    Matrix inverse() const;
+
+  private:
+    explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+    Matrix l_;
+};
+
+// Vector helpers.
+double dot(const Vector& a, const Vector& b);
+Vector add(const Vector& a, const Vector& b);
+Vector subtract(const Vector& a, const Vector& b);
+Vector scale(const Vector& a, double s);
+double norm2(const Vector& a);
+
+}  // namespace wm::analytics

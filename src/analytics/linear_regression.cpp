@@ -1,0 +1,86 @@
+#include "analytics/linear_regression.h"
+
+#include <cmath>
+
+#include "analytics/stats.h"
+
+namespace wm::analytics {
+
+bool LinearRegression::fit(const std::vector<std::vector<double>>& features,
+                           const std::vector<double>& responses,
+                           const LinearRegressionParams& params) {
+    trained_ = false;
+    const std::size_t n = features.size();
+    if (n < 2 || responses.size() != n) return false;
+    const std::size_t dim = features[0].size();
+    if (dim == 0) return false;
+    for (const auto& row : features) {
+        if (row.size() != dim) return false;
+    }
+
+    // Standardisation (applied internally; weights are mapped back).
+    Vector mean(dim, 0.0);
+    Vector scale(dim, 1.0);
+    if (params.standardize) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            StreamingStats stats;
+            for (const auto& row : features) stats.add(row[d]);
+            mean[d] = stats.mean();
+            scale[d] = stats.stddev() > 1e-12 ? stats.stddev() : 1.0;
+        }
+    }
+    double y_mean = 0.0;
+    for (double y : responses) y_mean += y;
+    y_mean /= static_cast<double>(n);
+
+    // Normal equations on centred data: (X^T X + l2 I) w = X^T y.
+    Matrix xtx(dim, dim);
+    Vector xty(dim, 0.0);
+    Vector x(dim);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t d = 0; d < dim; ++d) {
+            x[d] = (features[i][d] - mean[d]) / scale[d];
+        }
+        const double y = responses[i] - y_mean;
+        for (std::size_t a = 0; a < dim; ++a) {
+            xty[a] += x[a] * y;
+            for (std::size_t b = 0; b <= a; ++b) {
+                xtx(a, b) += x[a] * x[b];
+            }
+        }
+    }
+    for (std::size_t a = 0; a < dim; ++a) {
+        for (std::size_t b = a + 1; b < dim; ++b) xtx(a, b) = xtx(b, a);
+        xtx(a, a) += std::max(params.l2, 1e-10) * static_cast<double>(n);
+    }
+    const auto chol = Cholesky::decompose(xtx);
+    if (!chol) return false;
+    const Vector w_std = chol->solve(xty);
+
+    // Map the standardized weights back to original feature space.
+    weights_.assign(dim, 0.0);
+    intercept_ = y_mean;
+    for (std::size_t d = 0; d < dim; ++d) {
+        weights_[d] = w_std[d] / scale[d];
+        intercept_ -= weights_[d] * mean[d];
+    }
+    trained_ = true;
+
+    double sse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double err = predict(features[i]) - responses[i];
+        sse += err * err;
+    }
+    train_rmse_ = std::sqrt(sse / static_cast<double>(n));
+    return true;
+}
+
+double LinearRegression::predict(const std::vector<double>& features) const {
+    if (!trained_) return 0.0;
+    double acc = intercept_;
+    const std::size_t dim = std::min(features.size(), weights_.size());
+    for (std::size_t d = 0; d < dim; ++d) acc += weights_[d] * features[d];
+    return acc;
+}
+
+}  // namespace wm::analytics

@@ -1,0 +1,49 @@
+#pragma once
+
+// Ridge-regularised linear least squares — the classical baseline for the
+// power-prediction case study (the supervised-learning family of Ozer et
+// al., which the paper's regressor builds on). Solved via the normal
+// equations with a Cholesky factorisation; the ridge term keeps the system
+// well-posed under collinear features (common with per-core counters).
+
+#include <cstddef>
+#include <vector>
+
+#include "analytics/linalg.h"
+
+namespace wm::analytics {
+
+struct LinearRegressionParams {
+    /// Ridge penalty on the (standardized) coefficients; 0 = plain OLS.
+    double l2 = 1e-3;
+    /// Standardise features before fitting (recommended: the penalty is
+    /// scale-sensitive and counters span many orders of magnitude).
+    bool standardize = true;
+};
+
+class LinearRegression {
+  public:
+    /// Fits y ~ w.x + b. Returns false on empty/inconsistent input or a
+    /// numerically degenerate system.
+    bool fit(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& responses,
+             const LinearRegressionParams& params = {});
+
+    double predict(const std::vector<double>& features) const;
+
+    bool trained() const { return trained_; }
+    /// Coefficients in original feature space (index-aligned with inputs).
+    const Vector& coefficients() const { return weights_; }
+    double intercept() const { return intercept_; }
+
+    /// In-sample root mean squared error recorded at fit time.
+    double trainRmse() const { return train_rmse_; }
+
+  private:
+    bool trained_ = false;
+    Vector weights_;
+    double intercept_ = 0.0;
+    double train_rmse_ = 0.0;
+};
+
+}  // namespace wm::analytics

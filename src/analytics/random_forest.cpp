@@ -1,0 +1,78 @@
+#include "analytics/random_forest.h"
+
+#include <cmath>
+#include <limits>
+
+namespace wm::analytics {
+
+bool RandomForest::fit(const std::vector<std::vector<double>>& features,
+                       const std::vector<double>& responses, const ForestParams& params) {
+    trees_.clear();
+    oob_rmse_ = std::numeric_limits<double>::quiet_NaN();
+    const std::size_t n = features.size();
+    if (n == 0 || responses.size() != n || params.num_trees == 0) return false;
+    const std::size_t num_features = features[0].size();
+    for (const auto& row : features) {
+        if (row.size() != num_features) return false;
+    }
+
+    TreeParams tree_params = params.tree;
+    if (tree_params.features_per_split == 0) {
+        tree_params.features_per_split = static_cast<std::size_t>(
+            std::ceil(std::sqrt(static_cast<double>(num_features))));
+    }
+    const std::size_t samples_per_tree = std::max<std::size_t>(
+        1, static_cast<std::size_t>(params.bootstrap_fraction * static_cast<double>(n)));
+
+    common::Rng rng(params.seed);
+    trees_.resize(params.num_trees);
+
+    // Out-of-bag bookkeeping: accumulate predictions from trees that did not
+    // see each sample.
+    std::vector<double> oob_sum(n, 0.0);
+    std::vector<std::size_t> oob_count(n, 0);
+    std::vector<char> in_bag(n);
+
+    for (auto& tree : trees_) {
+        std::fill(in_bag.begin(), in_bag.end(), 0);
+        std::vector<std::size_t> bag(samples_per_tree);
+        for (auto& row : bag) {
+            row = static_cast<std::size_t>(rng.uniformInt(n));
+            in_bag[row] = 1;
+        }
+        tree.fit(features, responses, bag, tree_params, rng);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (in_bag[i]) continue;
+            oob_sum[i] += tree.predict(features[i]);
+            ++oob_count[i];
+        }
+    }
+
+    double sse = 0.0;
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (oob_count[i] == 0) continue;
+        const double err = oob_sum[i] / static_cast<double>(oob_count[i]) - responses[i];
+        sse += err * err;
+        ++covered;
+    }
+    if (covered > 0) oob_rmse_ = std::sqrt(sse / static_cast<double>(covered));
+    return true;
+}
+
+double RandomForest::predict(const std::vector<double>& features) const {
+    if (trees_.empty()) return 0.0;
+    double acc = 0.0;
+    for (const auto& tree : trees_) acc += tree.predict(features);
+    return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predictBatch(
+    const std::vector<std::vector<double>>& features) const {
+    std::vector<double> out;
+    out.reserve(features.size());
+    for (const auto& row : features) out.push_back(predict(row));
+    return out;
+}
+
+}  // namespace wm::analytics

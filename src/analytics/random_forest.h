@@ -1,0 +1,54 @@
+#pragma once
+
+// Random forest regressor: bagged CART trees with per-split feature
+// subsampling. The model behind the regressor operator plugin (Case Study 1,
+// power prediction). Deterministic given the seed.
+
+#include <cstddef>
+#include <vector>
+
+#include "analytics/decision_tree.h"
+#include "common/rng.h"
+
+namespace wm::analytics {
+
+struct ForestParams {
+    std::size_t num_trees = 32;
+    TreeParams tree;
+    /// Fraction of the training set drawn (with replacement) per tree.
+    double bootstrap_fraction = 1.0;
+    std::uint64_t seed = 42;
+
+    ForestParams() {
+        // Forest defaults differ from a single CART: decorrelate via
+        // sqrt-style feature subsampling (resolved at fit time when 0).
+        tree.features_per_split = 0;
+    }
+};
+
+class RandomForest {
+  public:
+    /// Fits on row-major data. If params.tree.features_per_split is 0 it is
+    /// resolved to ceil(sqrt(num_features)). Returns false on empty or
+    /// inconsistent input.
+    bool fit(const std::vector<std::vector<double>>& features,
+             const std::vector<double>& responses, const ForestParams& params = {});
+
+    /// Mean prediction over all trees; 0.0 when untrained.
+    double predict(const std::vector<double>& features) const;
+
+    /// Per-sample predictions.
+    std::vector<double> predictBatch(const std::vector<std::vector<double>>& features) const;
+
+    /// Out-of-bag RMSE estimated during fit (NaN when unavailable).
+    double oobRmse() const { return oob_rmse_; }
+
+    bool trained() const { return !trees_.empty(); }
+    std::size_t treeCount() const { return trees_.size(); }
+
+  private:
+    std::vector<DecisionTree> trees_;
+    double oob_rmse_ = 0.0;
+};
+
+}  // namespace wm::analytics

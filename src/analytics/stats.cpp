@@ -1,0 +1,136 @@
+#include "analytics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wm::analytics {
+
+double sum(const std::vector<double>& values) {
+    double total = 0.0;
+    for (double v : values) total += v;
+    return total;
+}
+
+std::optional<double> mean(const std::vector<double>& values) {
+    if (values.empty()) return std::nullopt;
+    return sum(values) / static_cast<double>(values.size());
+}
+
+std::optional<double> variance(const std::vector<double>& values) {
+    if (values.empty()) return std::nullopt;
+    if (values.size() < 2) return 0.0;
+    const double m = *mean(values);
+    double acc = 0.0;
+    for (double v : values) acc += (v - m) * (v - m);
+    return acc / static_cast<double>(values.size() - 1);
+}
+
+std::optional<double> stddev(const std::vector<double>& values) {
+    const auto var = variance(values);
+    if (!var) return std::nullopt;
+    return std::sqrt(*var);
+}
+
+std::optional<double> minimum(const std::vector<double>& values) {
+    if (values.empty()) return std::nullopt;
+    return *std::min_element(values.begin(), values.end());
+}
+
+std::optional<double> maximum(const std::vector<double>& values) {
+    if (values.empty()) return std::nullopt;
+    return *std::max_element(values.begin(), values.end());
+}
+
+std::optional<double> median(const std::vector<double>& values) {
+    return quantile(values, 0.5);
+}
+
+std::optional<double> quantile(const std::vector<double>& values, double q) {
+    if (values.empty()) return std::nullopt;
+    std::vector<double> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+    const auto result = quantilesSorted(sorted, {q});
+    return result.empty() ? std::nullopt : std::optional<double>(result[0]);
+}
+
+std::vector<double> quantilesSorted(const std::vector<double>& sorted,
+                                    const std::vector<double>& qs) {
+    std::vector<double> out;
+    if (sorted.empty()) return out;
+    out.reserve(qs.size());
+    for (double q : qs) {
+        q = std::clamp(q, 0.0, 1.0);
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        out.push_back(sorted[lo] * (1.0 - frac) + sorted[hi] * frac);
+    }
+    return out;
+}
+
+std::vector<double> deciles(std::vector<double> values) {
+    if (values.empty()) return {};
+    std::sort(values.begin(), values.end());
+    std::vector<double> qs;
+    qs.reserve(11);
+    for (int i = 0; i <= 10; ++i) qs.push_back(static_cast<double>(i) / 10.0);
+    return quantilesSorted(values, qs);
+}
+
+std::optional<double> pearson(const std::vector<double>& x, const std::vector<double>& y) {
+    if (x.size() != y.size() || x.size() < 2) return std::nullopt;
+    const double mx = *mean(x);
+    const double my = *mean(y);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0) return std::nullopt;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+void StreamingStats::add(double value) {
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void StreamingStats::reset() {
+    *this = StreamingStats{};
+}
+
+double StreamingStats::variance() const {
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const {
+    return std::sqrt(variance());
+}
+
+double Ewma::update(double value) {
+    if (!initialized_) {
+        value_ = value;
+        initialized_ = true;
+    } else {
+        value_ = alpha_ * value + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+}  // namespace wm::analytics

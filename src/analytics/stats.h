@@ -1,0 +1,76 @@
+#pragma once
+
+// Descriptive statistics shared by the operator plugins: batch summaries
+// over reading windows (perfmetrics/aggregator), quantiles and deciles
+// (the persyst plugin's job-level indicators), and a numerically stable
+// streaming accumulator (Welford) for operator-level outputs such as the
+// running error of a model.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace wm::analytics {
+
+/// Batch helpers. All functions return std::nullopt / empty for empty input.
+double sum(const std::vector<double>& values);
+std::optional<double> mean(const std::vector<double>& values);
+/// Sample variance (n-1 denominator); 0 for fewer than 2 values.
+std::optional<double> variance(const std::vector<double>& values);
+std::optional<double> stddev(const std::vector<double>& values);
+std::optional<double> minimum(const std::vector<double>& values);
+std::optional<double> maximum(const std::vector<double>& values);
+std::optional<double> median(const std::vector<double>& values);
+
+/// Quantile with linear interpolation between order statistics, q in [0,1].
+/// Sorts a copy of the input; use quantilesSorted for repeated queries.
+std::optional<double> quantile(const std::vector<double>& values, double q);
+
+/// Multiple quantiles over pre-sorted data (ascending).
+std::vector<double> quantilesSorted(const std::vector<double>& sorted,
+                                    const std::vector<double>& qs);
+
+/// The 11 deciles (0.0, 0.1, ..., 1.0): minimum, 9 inner deciles, maximum.
+/// This is the quantity the persyst plugin transports per job and metric.
+std::vector<double> deciles(std::vector<double> values);
+
+/// Pearson correlation coefficient; nullopt if either side is constant.
+std::optional<double> pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class StreamingStats {
+  public:
+    void add(double value);
+    void reset();
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+    /// Sample variance; 0 with fewer than 2 observations.
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Exponential moving average with configurable smoothing factor.
+class Ewma {
+  public:
+    explicit Ewma(double alpha = 0.1) : alpha_(alpha) {}
+    double update(double value);
+    double value() const { return value_; }
+    bool initialized() const { return initialized_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+}  // namespace wm::analytics

@@ -1,0 +1,344 @@
+// wintermuted — all-in-one DCDB/Wintermute daemon over the simulated
+// cluster. It stands up the full data path of Fig. 3 in one process
+// (per-node Pushers -> in-process MQTT broker -> Collect Agent -> storage
+// backend), hosts Wintermute operators on both sides, and serves the
+// control + data REST API over real HTTP. Configuration uses the DCDB-style
+// INFO format (see configs/wintermuted.cfg).
+//
+// Usage:
+//   wintermuted --config configs/wintermuted.cfg [--port 8080]
+//               [--duration 60]     # seconds; 0 = run until SIGINT
+//
+// REST endpoints (on top of the Wintermute API of OperatorManager::bindRest):
+//   GET /sensors                     list all sensor topics
+//   GET /sensors/latest?topic=T      latest reading of a sensor
+//   GET /sensors/series?topic=T&window=10s   recent readings
+//   GET /status                      entity statistics
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "collectagent/collect_agent.h"
+#include "common/config.h"
+#include "common/logging.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/facilitysim_group.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/plugins/procfssim_group.h"
+#include "pusher/plugins/sysfssim_group.h"
+#include "pusher/plugins/tester_group.h"
+#include "pusher/pusher.h"
+#include "rest/http_server.h"
+#include "simulator/topology.h"
+
+using namespace wm;
+using common::kNsPerSec;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void onSignal(int) {
+    g_stop = 1;
+}
+
+struct Daemon {
+    simulator::Topology topology;
+    pusher::SimulatedFacilityPtr facility;
+    mqtt::AsyncBroker broker;
+    storage::StorageBackend storage;
+    std::unique_ptr<collectagent::CollectAgent> agent;
+    jobs::JobManager jobs;
+    std::vector<std::shared_ptr<pusher::SimulatedNode>> nodes;
+    std::vector<std::unique_ptr<pusher::Pusher>> pushers;
+    std::vector<std::unique_ptr<core::QueryEngine>> pusher_engines;
+    std::vector<std::unique_ptr<core::OperatorManager>> pusher_managers;
+    core::QueryEngine agent_engine;
+    std::unique_ptr<core::OperatorManager> agent_manager;
+    rest::Router router;
+    std::unique_ptr<rest::HttpServer> server;
+};
+
+/// Builds the cluster from the `cluster` and `pusher` config blocks.
+void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
+    const common::ConfigNode* cluster = root.child("cluster");
+    simulator::Topology& topology = daemon.topology;
+    if (cluster != nullptr) {
+        topology.racks = static_cast<std::size_t>(cluster->getInt("racks", 2));
+        topology.chassis_per_rack =
+            static_cast<std::size_t>(cluster->getInt("chassisPerRack", 2));
+        topology.nodes_per_chassis =
+            static_cast<std::size_t>(cluster->getInt("nodesPerChassis", 2));
+        topology.cpus_per_node =
+            static_cast<std::size_t>(cluster->getInt("cpusPerNode", 8));
+        topology.max_nodes = static_cast<std::size_t>(cluster->getInt("maxNodes", 0));
+    }
+    const simulator::AppKind app = simulator::appFromName(
+        cluster != nullptr ? cluster->getString("app", "lammps") : "lammps");
+
+    const common::ConfigNode* pusher_cfg = root.child("pusher");
+    common::TimestampNs sampling = kNsPerSec;
+    common::TimestampNs window = 180 * kNsPerSec;
+    if (pusher_cfg != nullptr) {
+        sampling = pusher_cfg->getDurationNs("samplingInterval", kNsPerSec);
+        window = pusher_cfg->getDurationNs("cacheWindow", 180 * kNsPerSec);
+    }
+
+    daemon.agent = std::make_unique<collectagent::CollectAgent>(
+        collectagent::CollectAgentConfig{"collectagent", "#", window, true},
+        daemon.broker, daemon.storage);
+    daemon.agent->start();
+
+    for (std::size_t n = 0; n < topology.nodeCount(); ++n) {
+        const std::string node_path = topology.nodePath(n);
+        auto node =
+            std::make_shared<pusher::SimulatedNode>(topology.cpus_per_node, 1000 + n);
+        node->startApp(app);
+        daemon.nodes.push_back(node);
+        auto p = std::make_unique<pusher::Pusher>(
+            pusher::PusherConfig{node_path, window, 2}, &daemon.broker);
+        pusher::PerfsimGroupConfig perf;
+        perf.node_path = node_path;
+        perf.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::PerfsimGroup>(perf, node));
+        pusher::SysfssimGroupConfig sys;
+        sys.node_path = node_path;
+        sys.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::SysfssimGroup>(sys, node));
+        pusher::ProcfssimGroupConfig proc;
+        proc.node_path = node_path;
+        proc.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::ProcfssimGroup>(proc, node));
+        daemon.pushers.push_back(std::move(p));
+    }
+
+    // Facility level (holistic monitoring): one cooling circuit fed by the
+    // sum of the nodes' most recent power readings.
+    if (root.child("facility") == nullptr ||
+        root.child("facility")->getBool("enabled", true)) {
+        Daemon* self = &daemon;
+        daemon.facility = std::make_shared<pusher::SimulatedFacility>(
+            simulator::FacilityCharacteristics{}, [self] {
+                double total = 0.0;
+                for (const auto& p : self->pushers) {
+                    const auto* cache =
+                        p->cacheStore().find(p->name() + "/power");
+                    if (cache != nullptr) {
+                        const auto latest = cache->latest();
+                        if (latest) total += latest->value;
+                    }
+                }
+                return total;
+            });
+        auto facility_pusher = std::make_unique<pusher::Pusher>(
+            pusher::PusherConfig{"/facility", window, 2}, &daemon.broker);
+        pusher::FacilitysimGroupConfig facility_group;
+        facility_group.interval_ns = sampling;
+        facility_pusher->addGroup(std::make_unique<pusher::FacilitysimGroup>(
+            facility_group, daemon.facility));
+        daemon.pushers.push_back(std::move(facility_pusher));
+    }
+}
+
+/// Creates the Wintermute hosts and loads the configured plugins.
+bool loadWintermute(Daemon& daemon, const common::ConfigNode& root) {
+    for (auto& p : daemon.pushers) {
+        auto engine = std::make_unique<core::QueryEngine>();
+        engine->setCacheStore(&p->cacheStore());
+        auto manager = std::make_unique<core::OperatorManager>(core::makeHostContext(
+            *engine, &p->cacheStore(), &daemon.broker, nullptr));
+        plugins::registerBuiltinPlugins(*manager);
+        daemon.pusher_engines.push_back(std::move(engine));
+        daemon.pusher_managers.push_back(std::move(manager));
+    }
+    daemon.agent_engine.setCacheStore(&daemon.agent->cacheStore());
+    daemon.agent_engine.setStorage(&daemon.storage);
+    auto agent_context = core::makeHostContext(
+        daemon.agent_engine, &daemon.agent->cacheStore(), nullptr, &daemon.storage,
+        &daemon.jobs);
+    // Control authority: feedback-loop operators in the Collect Agent can
+    // actuate the facility's inlet setpoint and per-node DVFS.
+    Daemon* self = &daemon;
+    agent_context.actuate = [self](const std::string& knob, const std::string& target,
+                                   double value) {
+        if (knob == "inlet-setpoint" && target == "/facility" && self->facility) {
+            self->facility->setInletSetpoint(value);
+            return true;
+        }
+        if (knob == "dvfs") {
+            for (std::size_t n = 0; n < self->nodes.size(); ++n) {
+                if (self->topology.nodePath(n) == target) {
+                    self->nodes[n]->setFrequencyScale(value);
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+    daemon.agent_manager = std::make_unique<core::OperatorManager>(std::move(agent_context));
+    plugins::registerBuiltinPlugins(*daemon.agent_manager);
+
+    // One initial sampling pass so unit resolution sees the sensors.
+    for (auto& p : daemon.pushers) p->sampleOnce(common::nowNs());
+    daemon.broker.flush();
+    for (auto& engine : daemon.pusher_engines) engine->rebuildTree();
+    daemon.agent_engine.rebuildTree();
+
+    // Plugin blocks: `plugin <name> { host pusher|collectagent; operator .. }`.
+    for (const auto* plugin : root.childrenOf("plugin")) {
+        const std::string name = plugin->value();
+        const std::string host = plugin->getString("host", "collectagent");
+        int created = 0;
+        if (host == "pusher") {
+            for (auto& manager : daemon.pusher_managers) {
+                const int n = manager->loadPlugin(name, *plugin);
+                if (n < 0) {
+                    WM_LOG(kError, "wintermuted") << "unknown plugin: " << name;
+                    return false;
+                }
+                created += n;
+            }
+        } else {
+            created = daemon.agent_manager->loadPlugin(name, *plugin);
+            if (created < 0) {
+                WM_LOG(kError, "wintermuted") << "unknown plugin: " << name;
+                return false;
+            }
+        }
+        WM_LOG(kInfo, "wintermuted")
+            << "plugin " << name << " on " << host << ": " << created << " operators";
+    }
+    return true;
+}
+
+void bindDataRest(Daemon& daemon) {
+    daemon.router.route("GET", "/sensors", [&daemon](const rest::Request&) {
+        std::ostringstream body;
+        body << "{\"sensors\":[";
+        const auto topics = daemon.agent->cacheStore().topics();
+        for (std::size_t i = 0; i < topics.size(); ++i) {
+            if (i > 0) body << ',';
+            body << '"' << rest::jsonEscape(topics[i]) << '"';
+        }
+        body << "]}";
+        return rest::Response::ok(body.str());
+    });
+    daemon.router.route("GET", "/sensors/latest", [&daemon](const rest::Request& request) {
+        auto it = request.query.find("topic");
+        if (it == request.query.end()) return rest::Response::badRequest("topic required");
+        const auto reading = daemon.agent_engine.latest(it->second);
+        if (!reading) return rest::Response::notFound("no data for " + it->second);
+        std::ostringstream body;
+        body << "{\"topic\":\"" << rest::jsonEscape(it->second)
+             << "\",\"timestamp\":" << reading->timestamp
+             << ",\"value\":" << reading->value << "}";
+        return rest::Response::ok(body.str());
+    });
+    daemon.router.route("GET", "/sensors/series", [&daemon](const rest::Request& request) {
+        auto topic_it = request.query.find("topic");
+        if (topic_it == request.query.end()) {
+            return rest::Response::badRequest("topic required");
+        }
+        common::TimestampNs window = 10 * kNsPerSec;
+        auto window_it = request.query.find("window");
+        if (window_it != request.query.end()) {
+            const auto parsed = common::parseDuration(window_it->second);
+            if (!parsed) return rest::Response::badRequest("bad window");
+            window = *parsed;
+        }
+        const auto readings = daemon.agent_engine.queryRelative(topic_it->second, window);
+        std::ostringstream body;
+        body << "{\"topic\":\"" << rest::jsonEscape(topic_it->second)
+             << "\",\"readings\":[";
+        for (std::size_t i = 0; i < readings.size(); ++i) {
+            if (i > 0) body << ',';
+            body << "{\"t\":" << readings[i].timestamp << ",\"v\":" << readings[i].value
+                 << "}";
+        }
+        body << "]}";
+        return rest::Response::ok(body.str());
+    });
+    daemon.router.route("GET", "/status", [&daemon](const rest::Request&) {
+        std::uint64_t sampled = 0;
+        for (const auto& p : daemon.pushers) sampled += p->readingsSampled();
+        const auto stats = daemon.storage.stats();
+        std::ostringstream body;
+        body << "{\"nodes\":" << daemon.nodes.size()
+             << ",\"readingsSampled\":" << sampled
+             << ",\"messagesReceived\":" << daemon.agent->messagesReceived()
+             << ",\"storedReadings\":" << stats.reading_count
+             << ",\"sensors\":" << daemon.agent->cacheStore().sensorCount() << "}";
+        return rest::Response::ok(body.str());
+    });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string config_path = "configs/wintermuted.cfg";
+    std::uint16_t port = 8080;
+    int duration_sec = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+            config_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+            duration_sec = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--config FILE] [--port N] [--duration SEC]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const auto config = common::parseConfigFile(config_path);
+    if (!config.ok) {
+        std::fprintf(stderr, "wintermuted: config error in %s: %s (line %zu)\n",
+                     config_path.c_str(), config.error.c_str(), config.error_line);
+        return 1;
+    }
+
+    Daemon daemon;
+    buildCluster(daemon, config.root);
+    if (!loadWintermute(daemon, config.root)) return 1;
+    bindDataRest(daemon);
+    daemon.agent_manager->bindRest(daemon.router);
+
+    daemon.server = std::make_unique<rest::HttpServer>(daemon.router);
+    if (!daemon.server->start(port)) {
+        std::fprintf(stderr, "wintermuted: cannot bind port %u\n", port);
+        return 1;
+    }
+    for (auto& p : daemon.pushers) p->start();
+    for (auto& manager : daemon.pusher_managers) manager->start();
+    daemon.agent_manager->start();
+    std::printf("wintermuted: %zu nodes, REST on 127.0.0.1:%u, %s\n",
+                daemon.nodes.size(), daemon.server->port(),
+                duration_sec > 0 ? "timed run" : "Ctrl-C to stop");
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    const auto started = std::chrono::steady_clock::now();
+    while (g_stop == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (duration_sec > 0 &&
+            std::chrono::steady_clock::now() - started >=
+                std::chrono::seconds(duration_sec)) {
+            break;
+        }
+    }
+
+    std::printf("wintermuted: shutting down\n");
+    daemon.agent_manager->stop();
+    for (auto& manager : daemon.pusher_managers) manager->stop();
+    for (auto& p : daemon.pushers) p->stop();
+    daemon.server->stop();
+    daemon.agent->stop();
+    return 0;
+}

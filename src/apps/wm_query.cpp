@@ -1,0 +1,123 @@
+// wm_query — command-line client for a running wintermuted (the dcdbquery
+// equivalent): queries the daemon's REST API and prints the results.
+//
+// Usage:
+//   wm_query [--host 127.0.0.1] [--port 8080] COMMAND [ARGS]
+//
+// Commands:
+//   sensors                          list sensor topics
+//   latest  TOPIC                    newest reading of a sensor
+//   series  TOPIC [WINDOW]           recent readings (default window 10s)
+//   status                           entity statistics
+//   operators                        Wintermute operator list
+//   units   OPERATOR                 units of an operator
+//   compute OPERATOR UNIT            trigger an on-demand computation
+//   load    PLUGIN CONFIG-FILE       load a plugin configuration dynamically
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "rest/http_server.h"
+
+using wm::rest::httpRequest;
+using wm::rest::HttpResult;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--host H] [--port N] "
+                 "sensors|latest|series|status|operators|units|compute|load [args]\n",
+                 argv0);
+    return 2;
+}
+
+/// URL-encodes a path value for use inside a query string.
+std::string urlEncode(const std::string& text) {
+    std::ostringstream out;
+    for (unsigned char c : text) {
+        if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+            out << c;
+        } else {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "%%%02X", c);
+            out << buf;
+        }
+    }
+    return out.str();
+}
+
+int show(const HttpResult& result) {
+    if (!result.ok) {
+        std::fprintf(stderr, "error: %s\n", result.error.c_str());
+        return 1;
+    }
+    std::printf("%s\n", result.body.c_str());
+    return result.status == 200 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 8080;
+    int arg = 1;
+    while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+        if (std::strcmp(argv[arg], "--host") == 0 && arg + 1 < argc) {
+            host = argv[++arg];
+        } else if (std::strcmp(argv[arg], "--port") == 0 && arg + 1 < argc) {
+            port = static_cast<std::uint16_t>(std::atoi(argv[++arg]));
+        } else {
+            return usage(argv[0]);
+        }
+        ++arg;
+    }
+    if (arg >= argc) return usage(argv[0]);
+    const std::string command = argv[arg++];
+
+    if (command == "sensors") {
+        return show(httpRequest(host, port, "GET", "/sensors"));
+    }
+    if (command == "status") {
+        return show(httpRequest(host, port, "GET", "/status"));
+    }
+    if (command == "operators") {
+        return show(httpRequest(host, port, "GET", "/wintermute/operators"));
+    }
+    if (command == "latest" && arg < argc) {
+        return show(httpRequest(host, port, "GET",
+                                "/sensors/latest?topic=" + urlEncode(argv[arg])));
+    }
+    if (command == "series" && arg < argc) {
+        const std::string window = arg + 1 < argc ? argv[arg + 1] : "10s";
+        return show(httpRequest(host, port, "GET",
+                                "/sensors/series?topic=" + urlEncode(argv[arg]) +
+                                    "&window=" + urlEncode(window)));
+    }
+    if (command == "units" && arg < argc) {
+        return show(httpRequest(host, port, "GET",
+                                std::string("/wintermute/units/") + argv[arg]));
+    }
+    if (command == "compute" && arg + 1 < argc) {
+        return show(httpRequest(host, port, "PUT",
+                                std::string("/wintermute/compute?operator=") +
+                                    urlEncode(argv[arg]) +
+                                    "&unit=" + urlEncode(argv[arg + 1])));
+    }
+    if (command == "load" && arg + 1 < argc) {
+        std::ifstream in(argv[arg + 1]);
+        if (!in.is_open()) {
+            std::fprintf(stderr, "error: cannot open %s\n", argv[arg + 1]);
+            return 1;
+        }
+        std::ostringstream body;
+        body << in.rdbuf();
+        return show(httpRequest(host, port, "POST",
+                                std::string("/wintermute/load/") + argv[arg],
+                                body.str()));
+    }
+    return usage(argv[0]);
+}

@@ -1,0 +1,43 @@
+#include "collectagent/collect_agent.h"
+
+#include "common/logging.h"
+
+namespace wm::collectagent {
+
+CollectAgent::CollectAgent(CollectAgentConfig config, mqtt::Broker& broker,
+                           storage::StorageBackend& storage)
+    : config_(std::move(config)),
+      broker_(broker),
+      storage_(storage),
+      cache_store_(config_.cache_window_ns) {}
+
+CollectAgent::~CollectAgent() {
+    stop();
+}
+
+void CollectAgent::start() {
+    if (subscription_ != 0) return;
+    subscription_ = broker_.subscribe(
+        config_.filter, [this](const mqtt::Message& message) { onMessage(message); });
+    WM_LOG(kInfo, "collectagent")
+        << config_.name << ": subscribed to '" << config_.filter << "'";
+}
+
+void CollectAgent::stop() {
+    if (subscription_ == 0) return;
+    broker_.unsubscribe(subscription_);
+    subscription_ = 0;
+    WM_LOG(kInfo, "collectagent") << config_.name << ": stopped";
+}
+
+void CollectAgent::onMessage(const mqtt::Message& message) {
+    messages_received_.fetch_add(1, std::memory_order_relaxed);
+    sensors::SensorCache& cache = cache_store_.getOrCreate(message.topic);
+    for (const auto& reading : message.readings) cache.store(reading);
+    if (config_.forward_to_storage) {
+        storage_.insertBatch(message.topic, message.readings);
+    }
+    readings_stored_.fetch_add(message.readings.size(), std::memory_order_relaxed);
+}
+
+}  // namespace wm::collectagent

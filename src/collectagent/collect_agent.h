@@ -1,0 +1,63 @@
+#pragma once
+
+// The Collect Agent: DCDB's data broker. It subscribes to the MQTT broker,
+// maintains its own sensor caches over the full system's sensor space, and
+// forwards all readings to the Storage Backend. Wintermute operators
+// instantiated in a Collect Agent see every sensor in the system, with
+// cache-first/storage-fallback reads through the Query Engine.
+
+#include <atomic>
+#include <string>
+
+#include "mqtt/broker.h"
+#include "sensors/sensor_cache.h"
+#include "storage/storage_backend.h"
+
+namespace wm::collectagent {
+
+struct CollectAgentConfig {
+    std::string name = "collectagent";
+    /// MQTT subscription filter; "#" receives everything.
+    std::string filter = "#";
+    common::TimestampNs cache_window_ns = 180 * common::kNsPerSec;
+    /// Forward received readings to the storage backend.
+    bool forward_to_storage = true;
+};
+
+class CollectAgent {
+  public:
+    /// The agent subscribes on `broker` and writes to `storage`; both must
+    /// outlive the agent.
+    CollectAgent(CollectAgentConfig config, mqtt::Broker& broker,
+                 storage::StorageBackend& storage);
+    ~CollectAgent();
+
+    CollectAgent(const CollectAgent&) = delete;
+    CollectAgent& operator=(const CollectAgent&) = delete;
+
+    /// Subscribes to the broker; idempotent.
+    void start();
+    /// Unsubscribes; already-delivered messages are fully processed.
+    void stop();
+    bool running() const { return subscription_ != 0; }
+
+    sensors::CacheStore& cacheStore() { return cache_store_; }
+    storage::StorageBackend& storage() { return storage_; }
+    const std::string& name() const { return config_.name; }
+
+    std::uint64_t messagesReceived() const { return messages_received_.load(); }
+    std::uint64_t readingsStored() const { return readings_stored_.load(); }
+
+  private:
+    void onMessage(const mqtt::Message& message);
+
+    CollectAgentConfig config_;
+    mqtt::Broker& broker_;
+    storage::StorageBackend& storage_;
+    sensors::CacheStore cache_store_;
+    mqtt::SubscriptionId subscription_ = 0;
+    std::atomic<std::uint64_t> messages_received_{0};
+    std::atomic<std::uint64_t> readings_stored_{0};
+};
+
+}  // namespace wm::collectagent

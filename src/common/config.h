@@ -1,0 +1,89 @@
+#pragma once
+
+// Hierarchical configuration parser for the INFO-like format used by DCDB
+// configuration files:
+//
+//   global {
+//       mqttPrefix /cluster
+//       cacheInterval 180s
+//   }
+//   template_operator avg1 {
+//       interval    1000
+//       input {
+//           sensor "<bottomup>col_user"
+//       }
+//       output {
+//           sensor "<bottomup, filter cpu>avg"
+//       }
+//   }
+//
+// Grammar: a node is `key [value] [{ children... }]`. Values may be quoted to
+// embed whitespace. Lines starting with '#' or ';' are comments. Keys may
+// repeat at the same level (e.g. several `sensor` entries).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wm::common {
+
+/// One node of a parsed configuration tree.
+class ConfigNode {
+  public:
+    ConfigNode() = default;
+    ConfigNode(std::string key, std::string value)
+        : key_(std::move(key)), value_(std::move(value)) {}
+
+    const std::string& key() const { return key_; }
+    const std::string& value() const { return value_; }
+    void setKey(std::string key) { key_ = std::move(key); }
+    void setValue(std::string value) { value_ = std::move(value); }
+
+    const std::vector<ConfigNode>& children() const { return children_; }
+    std::vector<ConfigNode>& children() { return children_; }
+    ConfigNode& addChild(std::string key, std::string value = "");
+
+    /// First direct child with the given key, or nullptr.
+    const ConfigNode* child(const std::string& key) const;
+
+    /// All direct children with the given key.
+    std::vector<const ConfigNode*> childrenOf(const std::string& key) const;
+
+    /// Value of the first direct child with the given key, if any.
+    std::optional<std::string> childValue(const std::string& key) const;
+
+    /// Typed accessors with defaults; parse failures fall back to the default.
+    std::string getString(const std::string& key, const std::string& fallback = "") const;
+    std::int64_t getInt(const std::string& key, std::int64_t fallback = 0) const;
+    double getDouble(const std::string& key, double fallback = 0.0) const;
+    bool getBool(const std::string& key, bool fallback = false) const;
+    /// Duration accessor using parseDuration() semantics; returns nanoseconds.
+    std::int64_t getDurationNs(const std::string& key, std::int64_t fallback_ns = 0) const;
+
+    /// Serialises the subtree back to the textual format (round-trippable).
+    std::string toString(int indent = 0) const;
+
+  private:
+    std::string key_;
+    std::string value_;
+    std::vector<ConfigNode> children_;
+};
+
+/// Result of a parse: either a root node (with empty key) or an error.
+struct ConfigParseResult {
+    ConfigNode root;
+    bool ok = false;
+    std::string error;      // human-readable message when !ok
+    std::size_t error_line = 0;
+};
+
+/// Parses configuration text. The returned root node is an anonymous
+/// container whose children are the top-level entries.
+ConfigParseResult parseConfig(const std::string& text);
+
+/// Parses a configuration file from disk.
+ConfigParseResult parseConfigFile(const std::string& path);
+
+}  // namespace wm::common

@@ -1,0 +1,92 @@
+#include "common/logging.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+namespace wm::common {
+
+const char* logLevelName(LogLevel level) {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarning: return "WARNING";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kFatal: return "FATAL";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "UNKNOWN";
+}
+
+LogLevel logLevelFromName(const std::string& name) {
+    std::string upper(name);
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    if (upper == "TRACE") return LogLevel::kTrace;
+    if (upper == "DEBUG") return LogLevel::kDebug;
+    if (upper == "INFO") return LogLevel::kInfo;
+    if (upper == "WARNING" || upper == "WARN") return LogLevel::kWarning;
+    if (upper == "ERROR") return LogLevel::kError;
+    if (upper == "FATAL") return LogLevel::kFatal;
+    if (upper == "OFF") return LogLevel::kOff;
+    return LogLevel::kInfo;
+}
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+void Logger::setLevel(LogLevel level) {
+    std::lock_guard lock(mutex_);
+    level_ = level;
+}
+
+LogLevel Logger::level() const {
+    std::lock_guard lock(mutex_);
+    return level_;
+}
+
+bool Logger::setLogFile(const std::string& path) {
+    std::lock_guard lock(mutex_);
+    if (file_.is_open()) file_.close();
+    if (path.empty()) return true;
+    file_.open(path, std::ios::app);
+    return file_.is_open();
+}
+
+void Logger::setStderrEnabled(bool enabled) {
+    std::lock_guard lock(mutex_);
+    stderr_enabled_ = enabled;
+}
+
+void Logger::log(LogLevel level, const std::string& module, const std::string& message) {
+    std::lock_guard lock(mutex_);
+    if (level < level_) return;
+    const auto now = std::chrono::system_clock::now();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now.time_since_epoch()).count();
+    char line[256];
+    std::snprintf(line, sizeof(line), "[%lld.%06lld] %-7s [%s] ",
+                  static_cast<long long>(us / 1000000), static_cast<long long>(us % 1000000),
+                  logLevelName(level), module.c_str());
+    if (stderr_enabled_) {
+        std::fputs(line, stderr);
+        std::fputs(message.c_str(), stderr);
+        std::fputc('\n', stderr);
+    }
+    if (file_.is_open()) {
+        file_ << line << message << '\n';
+        file_.flush();
+    }
+    ++emitted_;
+}
+
+std::uint64_t Logger::emittedCount() const {
+    std::lock_guard lock(mutex_);
+    return emitted_;
+}
+
+}  // namespace wm::common

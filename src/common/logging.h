@@ -1,0 +1,89 @@
+#pragma once
+
+// Thread-safe, leveled logging facility used by every DCDB/Wintermute entity.
+// Mirrors the role of DCDB's LogManager: a process-global sink with per-module
+// severity tags, writing to stderr and optionally to a file.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace wm::common {
+
+enum class LogLevel : std::uint8_t {
+    kTrace = 0,
+    kDebug = 1,
+    kInfo = 2,
+    kWarning = 3,
+    kError = 4,
+    kFatal = 5,
+    kOff = 6,
+};
+
+/// Returns the canonical upper-case name of a level ("INFO", "ERROR", ...).
+const char* logLevelName(LogLevel level);
+
+/// Parses a level name (case-insensitive); returns kInfo for unknown names.
+LogLevel logLevelFromName(const std::string& name);
+
+/// Process-global logging sink. All methods are thread-safe.
+class Logger {
+  public:
+    /// Returns the singleton logger instance.
+    static Logger& instance();
+
+    /// Sets the minimum severity that will be emitted.
+    void setLevel(LogLevel level);
+    LogLevel level() const;
+
+    /// Mirrors output to the given file (in addition to stderr).
+    /// Passing an empty path disables file output. Returns false on open error.
+    bool setLogFile(const std::string& path);
+
+    /// Enables/disables the stderr sink (useful to silence benchmarks).
+    void setStderrEnabled(bool enabled);
+
+    /// Emits one formatted record if `level` passes the threshold.
+    void log(LogLevel level, const std::string& module, const std::string& message);
+
+    /// Number of records emitted since construction (for tests).
+    std::uint64_t emittedCount() const;
+
+  private:
+    Logger() = default;
+
+    mutable std::mutex mutex_;
+    LogLevel level_ = LogLevel::kInfo;
+    bool stderr_enabled_ = true;
+    std::ofstream file_;
+    std::uint64_t emitted_ = 0;
+};
+
+/// Stream-style log statement builder:
+///   LOG(kInfo, "pusher") << "started " << n << " groups";
+class LogStatement {
+  public:
+    LogStatement(LogLevel level, std::string module)
+        : level_(level), module_(std::move(module)) {}
+    ~LogStatement() { Logger::instance().log(level_, module_, stream_.str()); }
+
+    LogStatement(const LogStatement&) = delete;
+    LogStatement& operator=(const LogStatement&) = delete;
+
+    template <typename T>
+    LogStatement& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::string module_;
+    std::ostringstream stream_;
+};
+
+}  // namespace wm::common
+
+#define WM_LOG(level, module) ::wm::common::LogStatement(::wm::common::LogLevel::level, module)

@@ -1,0 +1,20 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace wm::common {
+
+std::vector<std::size_t> Rng::sampleWithoutReplacement(std::size_t n, std::size_t k) {
+    if (k > n) k = n;
+    // Partial Fisher-Yates over an index vector: O(n) memory, O(k) swaps.
+    std::vector<std::size_t> indices(n);
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + static_cast<std::size_t>(uniformInt(n - i));
+        std::swap(indices[i], indices[j]);
+    }
+    indices.resize(k);
+    return indices;
+}
+
+}  // namespace wm::common

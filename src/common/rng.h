@@ -1,0 +1,122 @@
+#pragma once
+
+// Deterministic random number generation for the simulator and the analytics
+// substrate. Every stochastic component takes an explicit seed so that
+// experiments and tests are exactly reproducible across runs and platforms.
+// The core generator is xoshiro256**, seeded through SplitMix64.
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace wm::common {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience distributions. Not thread-safe; create
+/// one instance per thread or per simulated entity.
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+        has_gauss_ = false;
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type operator()() { return next(); }
+
+    std::uint64_t next() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t uniformInt(std::uint64_t bound) {
+        // Lemire's nearly-divisionless bounded integers.
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0ULL - bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<__uint128_t>(next()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Standard normal deviate (Marsaglia polar method).
+    double gaussian() {
+        if (has_gauss_) {
+            has_gauss_ = false;
+            return cached_gauss_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double factor = std::sqrt(-2.0 * std::log(s) / s);
+        cached_gauss_ = v * factor;
+        has_gauss_ = true;
+        return u * factor;
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+    /// Exponential deviate with the given rate (lambda > 0).
+    double exponential(double rate) { return -std::log(1.0 - uniform()) / rate; }
+
+    /// True with probability p.
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /// In-place Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(uniformInt(i));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /// k distinct indices sampled without replacement from [0, n).
+    std::vector<std::size_t> sampleWithoutReplacement(std::size_t n, std::size_t k);
+
+  private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    std::uint64_t state_[4] = {};
+    bool has_gauss_ = false;
+    double cached_gauss_ = 0.0;
+};
+
+}  // namespace wm::common

@@ -1,0 +1,82 @@
+#pragma once
+
+// Periodic task scheduler driving the "Online" operational mode: sensor
+// groups and online operators register a callback and an interval, and a
+// single timer thread dispatches ticks to a ThreadPool. Intervals are aligned
+// to the interval grid (DCDB aligns sampling to multiples of the interval so
+// readings from different entities share timestamps and can be correlated).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/time_utils.h"
+
+namespace wm::common {
+
+using TaskId = std::uint64_t;
+
+class PeriodicScheduler {
+  public:
+    /// The scheduler dispatches callbacks on `pool`; the caller keeps
+    /// ownership of the pool, which must outlive the scheduler.
+    explicit PeriodicScheduler(ThreadPool& pool);
+    ~PeriodicScheduler();
+
+    PeriodicScheduler(const PeriodicScheduler&) = delete;
+    PeriodicScheduler& operator=(const PeriodicScheduler&) = delete;
+
+    /// Registers a periodic task; the first tick fires at the next multiple
+    /// of `interval_ns` on the wall clock (grid alignment). The callback
+    /// receives the nominal tick timestamp. Returns a handle for cancel().
+    TaskId schedulePeriodic(TimestampNs interval_ns,
+                            std::function<void(TimestampNs)> callback);
+
+    /// Registers a one-shot task firing `delay_ns` from now.
+    TaskId scheduleOnce(TimestampNs delay_ns, std::function<void(TimestampNs)> callback);
+
+    /// Cancels a task; pending dispatches may still run. Returns true if the
+    /// task existed.
+    bool cancel(TaskId id);
+
+    /// Stops the timer thread; no further ticks fire after return.
+    void stop();
+
+    std::size_t taskCount() const;
+
+  private:
+    struct Task {
+        TaskId id;
+        TimestampNs interval_ns;  // 0 for one-shot
+        TimestampNs next_fire;
+        std::function<void(TimestampNs)> callback;
+    };
+
+    struct QueueEntry {
+        TimestampNs fire_at;
+        TaskId id;
+        bool operator>(const QueueEntry& other) const {
+            return fire_at > other.fire_at || (fire_at == other.fire_at && id > other.id);
+        }
+    };
+
+    void timerLoop();
+
+    ThreadPool& pool_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<TaskId, Task> tasks_;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+    TaskId next_id_ = 1;
+    bool stopping_ = false;
+    std::thread timer_thread_;
+};
+
+}  // namespace wm::common

@@ -1,0 +1,122 @@
+#include "common/string_utils.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wm::common {
+
+std::vector<std::string> split(std::string_view text, char sep, bool keep_empty) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(sep, start);
+        if (end == std::string_view::npos) end = text.size();
+        if (end > start || keep_empty) parts.emplace_back(text.substr(start, end - start));
+        if (end == text.size()) break;
+        start = end + 1;
+    }
+    // Handle a trailing separator when keeping empties.
+    if (keep_empty && !text.empty() && text.back() == sep) parts.emplace_back();
+    return parts;
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out.push_back(sep);
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string trim(std::string_view text) {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view text, std::string_view suffix) {
+    return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string toLower(std::string_view text) {
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+std::string normalizePath(std::string_view path) {
+    std::string out = "/";
+    for (const auto& segment : split(path, '/')) {
+        if (out.size() > 1) out.push_back('/');
+        out += segment;
+    }
+    return out;
+}
+
+std::vector<std::string> pathSegments(std::string_view path) {
+    return split(path, '/');
+}
+
+std::string pathLeaf(std::string_view path) {
+    auto segments = pathSegments(path);
+    return segments.empty() ? std::string() : segments.back();
+}
+
+std::string pathParent(std::string_view path) {
+    auto segments = pathSegments(path);
+    if (segments.size() <= 1) return "/";
+    segments.pop_back();
+    return "/" + join(segments, '/');
+}
+
+std::string pathJoin(std::string_view base, std::string_view leaf) {
+    std::string combined(base);
+    combined.push_back('/');
+    combined += leaf;
+    return normalizePath(combined);
+}
+
+namespace {
+
+/// True when `p` is already canonical: leading '/', no empty segments, no
+/// trailing slash (except the bare root).
+bool isCanonicalPath(std::string_view p) {
+    if (p.empty() || p.front() != '/') return false;
+    if (p.size() == 1) return true;
+    if (p.back() == '/') return false;
+    return p.find("//") == std::string_view::npos;
+}
+
+bool isPathAncestorCanonical(std::string_view a, std::string_view p) {
+    if (a == "/") return true;
+    if (a.size() > p.size()) return false;
+    if (p.substr(0, a.size()) != a) return false;
+    return p.size() == a.size() || p[a.size()] == '/';
+}
+
+}  // namespace
+
+bool isPathAncestor(std::string_view ancestor, std::string_view path) {
+    // Allocation-free fast path: unit resolution calls this for every
+    // (domain node, unit) pair, and tree-derived paths are always canonical.
+    if (isCanonicalPath(ancestor) && isCanonicalPath(path)) {
+        return isPathAncestorCanonical(ancestor, path);
+    }
+    const std::string a = normalizePath(ancestor);
+    const std::string p = normalizePath(path);
+    return isPathAncestorCanonical(a, p);
+}
+
+std::size_t pathDepth(std::string_view path) {
+    return pathSegments(path).size();
+}
+
+}  // namespace wm::common

@@ -1,0 +1,55 @@
+#pragma once
+
+// Small string helpers used across the stack, with a focus on MQTT-style
+// topic paths ("/rack4/chassis2/server3/power") which identify every sensor
+// in DCDB and drive the Wintermute Unit System's tree representation.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wm::common {
+
+/// Splits `text` on `sep`, dropping empty segments when `keep_empty` is false.
+std::vector<std::string> split(std::string_view text, char sep, bool keep_empty = false);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string toLower(std::string_view text);
+
+// --- Topic path helpers -----------------------------------------------------
+// A canonical topic starts with '/' and has no trailing slash or empty
+// segments, e.g. "/rack0/chassis1/server2/power". The root path is "/".
+
+/// Normalises a path: ensures a single leading '/', collapses duplicate
+/// slashes, removes a trailing slash (except for the root path "/").
+std::string normalizePath(std::string_view path);
+
+/// Splits a canonical topic into its segments ("/a/b/c" -> {"a","b","c"}).
+std::vector<std::string> pathSegments(std::string_view path);
+
+/// Returns the last segment of a topic ("" for the root path).
+std::string pathLeaf(std::string_view path);
+
+/// Returns the parent path ("/a/b/c" -> "/a/b"; "/a" -> "/"; "/" -> "/").
+std::string pathParent(std::string_view path);
+
+/// Joins two path fragments with normalisation.
+std::string pathJoin(std::string_view base, std::string_view leaf);
+
+/// True if `ancestor` is a (non-strict) prefix-path of `path`
+/// ("/a/b" is an ancestor of "/a/b/c" and of itself; "/" of everything).
+bool isPathAncestor(std::string_view ancestor, std::string_view path);
+
+/// Depth of a canonical path: "/" -> 0, "/a" -> 1, "/a/b" -> 2.
+std::size_t pathDepth(std::string_view path);
+
+}  // namespace wm::common

@@ -1,0 +1,68 @@
+#include "common/thread_pool.h"
+
+namespace wm::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+}
+
+void ThreadPool::post(std::function<void()> func) {
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_) throw std::runtime_error("ThreadPool: post after shutdown");
+        tasks_.push(std::move(func));
+    }
+    cv_.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::pendingTasks() const {
+    std::lock_guard lock(mutex_);
+    return tasks_.size();
+}
+
+void ThreadPool::workerLoop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty()) return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+            ++active_;
+        }
+        try {
+            task();
+        } catch (...) {
+            // Tasks must not take down a worker; exceptions surface via the
+            // future for submit(), and are swallowed for post().
+        }
+        {
+            std::lock_guard lock(mutex_);
+            --active_;
+            if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+        }
+    }
+}
+
+}  // namespace wm::common

@@ -1,0 +1,65 @@
+#pragma once
+
+// Fixed-size worker pool used by the Operator Manager to run operator
+// computations asynchronously (the paper's "parallel" unit-management mode)
+// and by the Pusher to decouple sampling from publishing.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wm::common {
+
+class ThreadPool {
+  public:
+    /// Creates `num_threads` workers (at least 1).
+    explicit ThreadPool(std::size_t num_threads = std::thread::hardware_concurrency());
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues a task; returns a future for its result. Throws
+    /// std::runtime_error if the pool is shutting down.
+    template <typename F>
+    auto submit(F&& func) -> std::future<std::invoke_result_t<F>> {
+        using Result = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(func));
+        auto future = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+            tasks_.emplace([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /// Fire-and-forget variant without future overhead.
+    void post(std::function<void()> func);
+
+    /// Blocks until the queue is empty and all workers are idle.
+    void waitIdle();
+
+    std::size_t threadCount() const { return workers_.size(); }
+    std::size_t pendingTasks() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idle_cv_;
+    std::queue<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    std::size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace wm::common

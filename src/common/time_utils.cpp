@@ -1,0 +1,115 @@
+#include "common/time_utils.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+
+namespace wm::common {
+
+TimestampNs SystemClock::now() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+namespace {
+SystemClock& systemClockInstance() {
+    static SystemClock clock;
+    return clock;
+}
+std::atomic<ClockSource*> g_clock{nullptr};
+}  // namespace
+
+ClockSource& globalClock() {
+    ClockSource* clock = g_clock.load(std::memory_order_acquire);
+    return clock != nullptr ? *clock : systemClockInstance();
+}
+
+void setGlobalClock(ClockSource* clock) {
+    g_clock.store(clock, std::memory_order_release);
+}
+
+TimestampNs nowNs() {
+    return globalClock().now();
+}
+
+std::optional<TimestampNs> parseDuration(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    std::size_t pos = 0;
+    // Parse the numeric part (integral or decimal).
+    bool seen_digit = false;
+    bool seen_dot = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.')) {
+        if (text[pos] == '.') {
+            if (seen_dot) return std::nullopt;
+            seen_dot = true;
+        } else {
+            seen_digit = true;
+        }
+        ++pos;
+    }
+    if (!seen_digit) return std::nullopt;
+    double value = 0.0;
+    try {
+        value = std::stod(text.substr(0, pos));
+    } catch (...) {
+        return std::nullopt;
+    }
+    std::string unit = text.substr(pos);
+    double scale = 0.0;
+    if (unit.empty() || unit == "ms") {
+        scale = static_cast<double>(kNsPerMs);
+    } else if (unit == "ns") {
+        scale = 1.0;
+    } else if (unit == "us") {
+        scale = static_cast<double>(kNsPerUs);
+    } else if (unit == "s") {
+        scale = static_cast<double>(kNsPerSec);
+    } else if (unit == "m" || unit == "min") {
+        scale = static_cast<double>(kNsPerMin);
+    } else if (unit == "h") {
+        scale = static_cast<double>(kNsPerHour);
+    } else if (unit == "d") {
+        scale = static_cast<double>(kNsPerDay);
+    } else {
+        return std::nullopt;
+    }
+    const double ns = value * scale;
+    if (ns < 0 || ns > 9.2e18) return std::nullopt;
+    return static_cast<TimestampNs>(ns);
+}
+
+std::string formatDuration(TimestampNs ns) {
+    char buf[64];
+    const char* unit = "ns";
+    double value = static_cast<double>(ns);
+    if (ns >= kNsPerDay) {
+        value /= static_cast<double>(kNsPerDay);
+        unit = "d";
+    } else if (ns >= kNsPerHour) {
+        value /= static_cast<double>(kNsPerHour);
+        unit = "h";
+    } else if (ns >= kNsPerMin) {
+        value /= static_cast<double>(kNsPerMin);
+        unit = "m";
+    } else if (ns >= kNsPerSec) {
+        value /= static_cast<double>(kNsPerSec);
+        unit = "s";
+    } else if (ns >= kNsPerMs) {
+        value /= static_cast<double>(kNsPerMs);
+        unit = "ms";
+    } else if (ns >= kNsPerUs) {
+        value /= static_cast<double>(kNsPerUs);
+        unit = "us";
+    }
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+        std::snprintf(buf, sizeof(buf), "%lld%s", static_cast<long long>(value), unit);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f%s", value, unit);
+    }
+    return buf;
+}
+
+}  // namespace wm::common

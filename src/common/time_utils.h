@@ -1,0 +1,69 @@
+#pragma once
+
+// Time representation shared by the whole stack. DCDB identifies every sensor
+// reading by a nanosecond-resolution integer timestamp; we follow that scheme.
+// A process-wide ClockSource indirection lets the simulator and the tests run
+// the full stack against virtual time, deterministically and faster than
+// real time, while production entities use the system clock.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace wm::common {
+
+/// Nanoseconds since the UNIX epoch (or since simulation start in virtual mode).
+using TimestampNs = std::int64_t;
+
+constexpr TimestampNs kNsPerUs = 1000;
+constexpr TimestampNs kNsPerMs = 1000 * kNsPerUs;
+constexpr TimestampNs kNsPerSec = 1000 * kNsPerMs;
+constexpr TimestampNs kNsPerMin = 60 * kNsPerSec;
+constexpr TimestampNs kNsPerHour = 60 * kNsPerMin;
+constexpr TimestampNs kNsPerDay = 24 * kNsPerHour;
+
+/// Abstract clock used by every time-dependent component.
+class ClockSource {
+  public:
+    virtual ~ClockSource() = default;
+    virtual TimestampNs now() const = 0;
+};
+
+/// Clock backed by std::chrono::system_clock.
+class SystemClock final : public ClockSource {
+  public:
+    TimestampNs now() const override;
+};
+
+/// Manually-advanced clock for simulation and deterministic tests.
+class VirtualClock final : public ClockSource {
+  public:
+    explicit VirtualClock(TimestampNs start = 0) : now_(start) {}
+    TimestampNs now() const override { return now_; }
+    void advance(TimestampNs delta) { now_ += delta; }
+    void set(TimestampNs t) { now_ = t; }
+
+  private:
+    TimestampNs now_;
+};
+
+/// Returns the process-global clock (SystemClock unless overridden).
+ClockSource& globalClock();
+
+/// Overrides the global clock; pass nullptr to restore the system clock.
+/// The caller retains ownership of `clock` and must outlive its use.
+void setGlobalClock(ClockSource* clock);
+
+/// Shorthand for globalClock().now().
+TimestampNs nowNs();
+
+/// Parses human-friendly durations such as "250ms", "1s", "2m", "12h", "14d",
+/// "1500" (plain numbers are milliseconds, matching DCDB config conventions).
+/// Returns std::nullopt on malformed input or negative values.
+std::optional<TimestampNs> parseDuration(const std::string& text);
+
+/// Formats a duration compactly ("1.5s", "250ms", "2h"...). For diagnostics.
+std::string formatDuration(TimestampNs ns);
+
+}  // namespace wm::common

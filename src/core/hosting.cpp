@@ -1,0 +1,26 @@
+#include "core/hosting.h"
+
+namespace wm::core {
+
+OperatorContext makeHostContext(QueryEngine& query_engine,
+                                sensors::CacheStore* cache_store, mqtt::Broker* broker,
+                                storage::StorageBackend* storage,
+                                jobs::JobManager* job_manager) {
+    OperatorContext context;
+    context.query_engine = &query_engine;
+    context.job_manager = job_manager;
+    context.publish = [cache_store, broker, storage](const SensorValue& value) {
+        if (cache_store != nullptr) {
+            cache_store->getOrCreate(value.topic).store(value.reading);
+        }
+        if (broker != nullptr) {
+            broker->publish({value.topic, {value.reading}});
+        }
+        if (storage != nullptr) {
+            storage->insert(value.topic, value.reading);
+        }
+    };
+    return context;
+}
+
+}  // namespace wm::core

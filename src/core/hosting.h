@@ -1,0 +1,33 @@
+#pragma once
+
+// Host wiring for the Wintermute framework (paper Fig. 3/4): builds the
+// OperatorContext for the two instantiation scenarios.
+//
+//  * Pusher host — operators see locally-sampled sensors through the sensor
+//    cache; outputs go back into the cache and (optionally) out over MQTT,
+//    so Collect-Agent-side stages of a pipeline can consume them.
+//  * Collect Agent host — operators see the full sensor space (caches with
+//    storage fallback); outputs go into the agent's cache and the storage
+//    backend; job-related data is available through the Job Manager.
+
+#include "core/operator.h"
+#include "core/query_engine.h"
+#include "jobs/job_manager.h"
+#include "mqtt/broker.h"
+#include "sensors/sensor_cache.h"
+#include "storage/storage_backend.h"
+
+namespace wm::core {
+
+/// General-purpose context builder. `query_engine` must already be wired to
+/// the host's cache store (and storage, when present). Output values are
+/// stored into `cache_store`, forwarded to `broker` and inserted into
+/// `storage` — pass nullptr for sinks the host does not have. All pointers
+/// are borrowed and must outlive the operators.
+OperatorContext makeHostContext(QueryEngine& query_engine,
+                                sensors::CacheStore* cache_store,
+                                mqtt::Broker* broker,
+                                storage::StorageBackend* storage,
+                                jobs::JobManager* job_manager = nullptr);
+
+}  // namespace wm::core

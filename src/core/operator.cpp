@@ -1,0 +1,197 @@
+#include "core/operator.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace wm::core {
+
+OperatorConfig parseOperatorConfig(const common::ConfigNode& node,
+                                   const std::string& plugin) {
+    OperatorConfig config;
+    config.plugin = plugin;
+    config.name = node.value().empty() ? plugin : node.value();
+    const std::string mode = common::toLower(node.getString("mode", "online"));
+    config.mode = mode == "ondemand" || mode == "on-demand" ? OperatorMode::kOnDemand
+                                                            : OperatorMode::kOnline;
+    const std::string unit_mode = common::toLower(node.getString("unitMode", "sequential"));
+    config.unit_mode =
+        unit_mode == "parallel" ? UnitMode::kParallel : UnitMode::kSequential;
+    config.interval_ns = node.getDurationNs("interval", common::kNsPerSec);
+    config.window_ns = node.getDurationNs("window", config.interval_ns);
+    const std::string query_mode = common::toLower(node.getString("queryMode", "relative"));
+    config.relative_queries = query_mode != "absolute";
+    config.publish_outputs = node.getBool("publish", true);
+    if (const auto* input = node.child("input")) {
+        for (const auto* sensor : input->childrenOf("sensor")) {
+            config.input_patterns.push_back(sensor->value());
+        }
+    }
+    if (const auto* output = node.child("output")) {
+        for (const auto* sensor : output->childrenOf("sensor")) {
+            config.output_patterns.push_back(sensor->value());
+        }
+    }
+    if (const auto* global = node.child("globalOutput")) {
+        for (const auto* sensor : global->childrenOf("sensor")) {
+            config.global_output_topics.push_back(
+                common::normalizePath(sensor->value()));
+        }
+    }
+    return config;
+}
+
+void OperatorTemplate::setUnits(std::vector<Unit> units) {
+    std::lock_guard lock(units_mutex_);
+    units_ = std::move(units);
+}
+
+std::vector<Unit> OperatorTemplate::units() const {
+    std::lock_guard lock(units_mutex_);
+    return units_;
+}
+
+void OperatorTemplate::computeAll(common::TimestampNs t) {
+    if (!enabled_.load()) return;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<Unit> snapshot = units();
+    // Sequential processing shares the operator's model safely; Parallel
+    // semantics (one model per unit) are realised by the configurator
+    // splitting units across operator instances, so iteration stays linear
+    // here either way.
+    for (const auto& unit : snapshot) {
+        computeUnitChecked(unit, t, nullptr);
+    }
+    // Operator-level outputs: one pass per computation, mapped positionally
+    // onto the configured global output topics.
+    if (!config_.global_output_topics.empty() && config_.publish_outputs &&
+        context_.publish) {
+        try {
+            const std::vector<double> values = computeOperatorLevel(t);
+            const std::size_t n =
+                std::min(values.size(), config_.global_output_topics.size());
+            for (std::size_t i = 0; i < n; ++i) {
+                context_.publish({config_.global_output_topics[i], {t, values[i]}});
+            }
+        } catch (const std::exception& e) {
+            error_count_.fetch_add(1, std::memory_order_relaxed);
+            WM_LOG(kWarning, "operator")
+                << config_.name << ": operator-level compute failed: " << e.what();
+        }
+    }
+    const auto end = std::chrono::steady_clock::now();
+    last_duration_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+}
+
+std::vector<double> OperatorTemplate::computeOperatorLevel(common::TimestampNs) {
+    return {};
+}
+
+std::optional<std::vector<SensorValue>> OperatorTemplate::computeOnDemand(
+    const std::string& unit_name, common::TimestampNs t) {
+    const std::string canonical = common::normalizePath(unit_name);
+    std::optional<Unit> match;
+    {
+        std::lock_guard lock(units_mutex_);
+        for (const auto& unit : units_) {
+            if (unit.name == canonical) {
+                match = unit;
+                break;
+            }
+        }
+    }
+    if (!match) return std::nullopt;
+    std::vector<SensorValue> collected;
+    computeUnitChecked(*match, t, &collected);
+    return collected;
+}
+
+sensors::ReadingVector OperatorTemplate::queryInput(const std::string& topic,
+                                                    common::TimestampNs t) const {
+    if (context_.query_engine == nullptr) return {};
+    if (config_.relative_queries) {
+        return context_.query_engine->queryRelative(topic, config_.window_ns);
+    }
+    return context_.query_engine->queryAbsolute(topic, t - config_.window_ns, t);
+}
+
+void OperatorTemplate::computeUnitChecked(const Unit& unit, common::TimestampNs t,
+                                          std::vector<SensorValue>* collected) {
+    try {
+        std::vector<SensorValue> outputs = compute(unit, t);
+        compute_count_.fetch_add(1, std::memory_order_relaxed);
+        if (config_.publish_outputs && context_.publish) {
+            for (const auto& value : outputs) context_.publish(value);
+        }
+        if (collected != nullptr) {
+            collected->insert(collected->end(), std::make_move_iterator(outputs.begin()),
+                              std::make_move_iterator(outputs.end()));
+        }
+    } catch (const std::exception& e) {
+        error_count_.fetch_add(1, std::memory_order_relaxed);
+        WM_LOG(kWarning, "operator")
+            << config_.name << ": compute failed for unit " << unit.name << ": " << e.what();
+    }
+}
+
+void JobOperatorTemplate::computeAll(common::TimestampNs t) {
+    if (!enabled_.load()) return;
+    // Re-resolve units only when the running-job set or the sensor space
+    // changed; resolution scans the tree per job node and would otherwise
+    // dominate every tick.
+    std::string signature;
+    if (context_.job_manager != nullptr) {
+        for (const auto& job : context_.job_manager->runningAt(t)) {
+            signature += job.job_id;
+            signature += ';';
+        }
+    }
+    const std::size_t tree_sensors =
+        context_.query_engine != nullptr ? context_.query_engine->tree().sensorCount() : 0;
+    if (signature != last_job_signature_ || tree_sensors != last_tree_sensors_) {
+        setUnits(buildJobUnits(t));
+        last_job_signature_ = std::move(signature);
+        last_tree_sensors_ = tree_sensors;
+    }
+    OperatorTemplate::computeAll(t);
+}
+
+std::vector<Unit> JobOperatorTemplate::buildJobUnits(common::TimestampNs t) const {
+    std::vector<Unit> units;
+    if (context_.job_manager == nullptr || context_.query_engine == nullptr) return units;
+    const UnitResolver resolver(context_.query_engine->tree());
+    for (const auto& job : context_.job_manager->runningAt(t)) {
+        Unit unit;
+        unit.name = "/job/" + job.job_id;
+        // Inputs: each input expression resolved against every node the job
+        // runs on; a job unit is built when at least one node resolves.
+        bool any_input = config_.input_patterns.empty();
+        for (const auto& expression : unit_template_.inputs) {
+            for (const auto& node : job.nodes) {
+                UnitTemplate probe;
+                probe.inputs.push_back(expression);
+                auto resolved = resolver.resolveUnitAt(common::normalizePath(node), probe);
+                if (resolved && !resolved->inputs.empty()) {
+                    any_input = true;
+                    unit.inputs.insert(unit.inputs.end(), resolved->inputs.begin(),
+                                       resolved->inputs.end());
+                }
+            }
+        }
+        if (!any_input) continue;
+        std::sort(unit.inputs.begin(), unit.inputs.end());
+        unit.inputs.erase(std::unique(unit.inputs.begin(), unit.inputs.end()),
+                          unit.inputs.end());
+        // Outputs live under the job unit: "/job/<id>/<sensor>".
+        for (const auto& expression : unit_template_.outputs) {
+            unit.outputs.push_back(common::pathJoin(unit.name, expression.sensor_name));
+        }
+        units.push_back(std::move(unit));
+    }
+    return units;
+}
+
+}  // namespace wm::core

@@ -1,0 +1,196 @@
+#pragma once
+
+// The Wintermute operator framework (paper Sections IV-B and V-C).
+// Operators are computational entities performing ODA tasks over a set of
+// units. They are configured with:
+//
+//  * a location — wherever the hosting entity (Pusher / Collect Agent) runs;
+//    isolation from the location comes from the OperatorContext, which wires
+//    the Query Engine (input) and a publish callback (output);
+//  * an operational mode — Online (invoked at regular intervals, producing
+//    time-series outputs) or OnDemand (invoked via the REST API);
+//  * a unit mode — Sequential (all units share the operator's model and are
+//    processed in order) or Parallel (units are dispatched concurrently; for
+//    stateful models the configurator instantiates one operator per unit).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/time_utils.h"
+#include "core/query_engine.h"
+#include "core/unit_system.h"
+#include "jobs/job_manager.h"
+#include "sensors/reading.h"
+
+namespace wm::core {
+
+enum class OperatorMode { kOnline, kOnDemand };
+enum class UnitMode { kSequential, kParallel };
+
+/// Settings common to every operator, parsed from its configuration block.
+struct OperatorConfig {
+    std::string name;
+    std::string plugin;
+    OperatorMode mode = OperatorMode::kOnline;
+    UnitMode unit_mode = UnitMode::kSequential;
+    /// Computation interval for Online mode.
+    common::TimestampNs interval_ns = common::kNsPerSec;
+    /// Default input query window (relative offset).
+    common::TimestampNs window_ns = common::kNsPerSec;
+    /// Query Engine mode: relative offsets (true) or absolute ranges.
+    bool relative_queries = true;
+    /// Whether outputs are pushed into the sensor space.
+    bool publish_outputs = true;
+    /// Raw pattern strings, resolved against the sensor tree by the
+    /// configurator.
+    std::vector<std::string> input_patterns;
+    std::vector<std::string> output_patterns;
+    /// Operator-level output topics (absolute), written once per
+    /// computation pass rather than per unit — e.g. the average error of a
+    /// model applied to all units (paper Section V-C).
+    std::vector<std::string> global_output_topics;
+};
+
+/// Parses the common operator settings from a config block. Plugin-specific
+/// keys are read by the plugin's own configurator from the same node.
+OperatorConfig parseOperatorConfig(const common::ConfigNode& node,
+                                   const std::string& plugin);
+
+/// One output value bound to its sensor topic.
+struct SensorValue {
+    std::string topic;
+    sensors::Reading reading;
+};
+
+/// Wiring an operator receives from its hosting entity.
+struct OperatorContext {
+    QueryEngine* query_engine = nullptr;
+    /// Output delivery (cache insert + MQTT / storage write, host-specific).
+    std::function<void(const SensorValue&)> publish;
+    /// Only set for hosts with resource-manager access (job operators).
+    jobs::JobManager* job_manager = nullptr;
+    /// Knob actuation for feedback-loop operators (paper Section IV-B-d):
+    /// the host maps (knob name, target component path, value) onto the
+    /// system — e.g. a DVFS setting on a node. Returns false when the knob
+    /// or target is unknown. Unset on hosts without control authority.
+    std::function<bool(const std::string& knob, const std::string& target, double value)>
+        actuate;
+};
+
+/// Abstract operator as seen by the Operator Manager.
+class OperatorInterface {
+  public:
+    explicit OperatorInterface(OperatorConfig config, OperatorContext context)
+        : config_(std::move(config)), context_(std::move(context)) {}
+    virtual ~OperatorInterface() = default;
+
+    const OperatorConfig& config() const { return config_; }
+    const std::string& name() const { return config_.name; }
+    const std::string& plugin() const { return config_.plugin; }
+
+    /// Snapshot of the operator's current units.
+    virtual std::vector<Unit> units() const = 0;
+
+    /// One computation pass over all units at nominal time `t` (Online tick).
+    virtual void computeAll(common::TimestampNs t) = 0;
+
+    /// On-demand computation of one unit; returns its outputs. Nullopt when
+    /// the unit is unknown.
+    virtual std::optional<std::vector<SensorValue>> computeOnDemand(
+        const std::string& unit_name, common::TimestampNs t) = 0;
+
+    /// Enabled state, togglable over the REST API.
+    bool enabled() const { return enabled_.load(); }
+    void setEnabled(bool enabled) { enabled_.store(enabled); }
+
+    std::uint64_t computeCount() const { return compute_count_.load(); }
+    std::uint64_t errorCount() const { return error_count_.load(); }
+    /// Duration of the last computeAll pass.
+    common::TimestampNs lastComputeDurationNs() const { return last_duration_ns_.load(); }
+
+  protected:
+    OperatorConfig config_;
+    OperatorContext context_;
+    std::atomic<bool> enabled_{true};
+    std::atomic<std::uint64_t> compute_count_{0};
+    std::atomic<std::uint64_t> error_count_{0};
+    std::atomic<common::TimestampNs> last_duration_ns_{0};
+};
+
+using OperatorPtr = std::shared_ptr<OperatorInterface>;
+
+/// Base class for concrete operator plugins: owns the resolved units and
+/// implements unit iteration, output publication, error isolation and
+/// timing. Plugins override compute() — and optionally opLevelOutputs() for
+/// operator-level outputs such as a model's running error.
+class OperatorTemplate : public OperatorInterface {
+  public:
+    OperatorTemplate(OperatorConfig config, OperatorContext context)
+        : OperatorInterface(std::move(config), std::move(context)) {}
+
+    void setUnits(std::vector<Unit> units);
+    std::vector<Unit> units() const override;
+
+    void computeAll(common::TimestampNs t) override;
+    std::optional<std::vector<SensorValue>> computeOnDemand(
+        const std::string& unit_name, common::TimestampNs t) override;
+
+  protected:
+    /// Plugin-specific computation for one unit: query inputs through the
+    /// context's Query Engine, return output values (typically one per
+    /// unit output topic). Exceptions are caught and counted by the base.
+    virtual std::vector<SensorValue> compute(const Unit& unit, common::TimestampNs t) = 0;
+
+    /// Operator-level outputs, emitted once per computeAll pass after the
+    /// unit iteration; the default produces nothing. Plugins map returned
+    /// values positionally onto config().global_output_topics.
+    virtual std::vector<double> computeOperatorLevel(common::TimestampNs t);
+
+    /// Convenience input query honouring the operator's configured window
+    /// and query mode.
+    sensors::ReadingVector queryInput(const std::string& topic,
+                                      common::TimestampNs t) const;
+
+    /// Units guarded for concurrent access (job operators rebuild them).
+    mutable std::mutex units_mutex_;
+    std::vector<Unit> units_;
+
+  private:
+    void computeUnitChecked(const Unit& unit, common::TimestampNs t,
+                            std::vector<SensorValue>* collected);
+};
+
+/// Base class for job operators (paper Section V-C): units are materialised
+/// per running job at every computation, anchored on the job's node list.
+/// Unit names take the form "/job/<id>"; input expressions resolve against
+/// each of the job's nodes and outputs live under the job unit.
+class JobOperatorTemplate : public OperatorTemplate {
+  public:
+    JobOperatorTemplate(OperatorConfig config, OperatorContext context,
+                        UnitTemplate unit_template)
+        : OperatorTemplate(std::move(config), std::move(context)),
+          unit_template_(std::move(unit_template)) {}
+
+    void computeAll(common::TimestampNs t) override;
+
+    /// Materialises units for the jobs running at time `t`.
+    std::vector<Unit> buildJobUnits(common::TimestampNs t) const;
+
+  protected:
+    UnitTemplate unit_template_;
+
+  private:
+    /// Unit resolution is expensive (tree scans per job node); units are
+    /// rebuilt only when the running-job set or the sensor tree changes.
+    std::string last_job_signature_;
+    std::size_t last_tree_sensors_ = 0;
+};
+
+}  // namespace wm::core

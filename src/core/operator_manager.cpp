@@ -1,0 +1,224 @@
+#include "core/operator_manager.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace wm::core {
+
+OperatorManager::OperatorManager(OperatorContext context, std::size_t worker_threads)
+    : context_(std::move(context)), pool_(worker_threads), scheduler_(pool_) {}
+
+OperatorManager::~OperatorManager() {
+    stop();
+    scheduler_.stop();
+}
+
+bool OperatorManager::registerPlugin(const std::string& plugin,
+                                     ConfiguratorFn configurator) {
+    std::lock_guard lock(mutex_);
+    return plugins_.emplace(plugin, std::move(configurator)).second;
+}
+
+std::vector<std::string> OperatorManager::pluginNames() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(plugins_.size());
+    for (const auto& [name, fn] : plugins_) out.push_back(name);
+    return out;
+}
+
+int OperatorManager::loadPlugin(const std::string& plugin,
+                                const common::ConfigNode& root) {
+    ConfiguratorFn configurator;
+    {
+        std::lock_guard lock(mutex_);
+        auto it = plugins_.find(plugin);
+        if (it == plugins_.end()) return -1;
+        configurator = it->second;
+    }
+    int created = 0;
+    for (const auto& node : root.children()) {
+        if (node.key() != "operator") continue;
+        std::vector<OperatorPtr> ops = configurator(node, context_);
+        for (auto& op : ops) {
+            addOperator(op);
+            ++created;
+        }
+    }
+    WM_LOG(kInfo, "wintermute") << "plugin '" << plugin << "': created " << created
+                                << " operators";
+    return created;
+}
+
+void OperatorManager::addOperator(OperatorPtr op) {
+    std::lock_guard lock(mutex_);
+    operators_.push_back(op);
+    if (running_ && op->config().mode == OperatorMode::kOnline) {
+        scheduleOperator(op);
+    }
+}
+
+void OperatorManager::scheduleOperator(const OperatorPtr& op) {
+    // Caller holds mutex_.
+    std::weak_ptr<OperatorInterface> weak = op;
+    task_ids_.push_back(scheduler_.schedulePeriodic(
+        op->config().interval_ns, [weak](common::TimestampNs t) {
+            if (const OperatorPtr strong = weak.lock()) strong->computeAll(t);
+        }));
+}
+
+void OperatorManager::start() {
+    std::lock_guard lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    for (const auto& op : operators_) {
+        if (op->config().mode == OperatorMode::kOnline) scheduleOperator(op);
+    }
+}
+
+void OperatorManager::stop() {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    running_ = false;
+    for (common::TaskId id : task_ids_) scheduler_.cancel(id);
+    task_ids_.clear();
+}
+
+void OperatorManager::tickAll(common::TimestampNs t) {
+    for (const auto& op : operators()) {
+        if (op->config().mode == OperatorMode::kOnline && op->enabled()) {
+            op->computeAll(t);
+        }
+    }
+}
+
+std::vector<OperatorPtr> OperatorManager::operators() const {
+    std::lock_guard lock(mutex_);
+    return operators_;
+}
+
+OperatorPtr OperatorManager::findOperator(const std::string& name) const {
+    std::lock_guard lock(mutex_);
+    for (const auto& op : operators_) {
+        if (op->name() == name) return op;
+    }
+    return nullptr;
+}
+
+std::optional<std::vector<SensorValue>> OperatorManager::computeOnDemand(
+    const std::string& operator_name, const std::string& unit_name,
+    common::TimestampNs t) {
+    const OperatorPtr op = findOperator(operator_name);
+    if (!op) return std::nullopt;
+    return op->computeOnDemand(unit_name, t);
+}
+
+void OperatorManager::bindRest(rest::Router& router) {
+    // GET /wintermute/plugins — registered plugin types.
+    router.route("GET", "/wintermute/plugins", [this](const rest::Request&) {
+        std::ostringstream body;
+        body << "{\"plugins\":[";
+        const auto names = pluginNames();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (i > 0) body << ',';
+            body << '"' << rest::jsonEscape(names[i]) << '"';
+        }
+        body << "]}";
+        return rest::Response::ok(body.str());
+    });
+
+    // GET /wintermute/operators — instantiated operators and their state.
+    router.route("GET", "/wintermute/operators", [this](const rest::Request&) {
+        std::ostringstream body;
+        body << "{\"operators\":[";
+        const auto ops = operators();
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const auto& op = ops[i];
+            if (i > 0) body << ',';
+            body << "{\"name\":\"" << rest::jsonEscape(op->name()) << "\",\"plugin\":\""
+                 << rest::jsonEscape(op->plugin()) << "\",\"mode\":\""
+                 << (op->config().mode == OperatorMode::kOnline ? "online" : "ondemand")
+                 << "\",\"enabled\":" << (op->enabled() ? "true" : "false")
+                 << ",\"units\":" << op->units().size()
+                 << ",\"computes\":" << op->computeCount()
+                 << ",\"errors\":" << op->errorCount() << "}";
+        }
+        body << "]}";
+        return rest::Response::ok(body.str());
+    });
+
+    // GET /wintermute/units/:operator — the operator's unit names.
+    router.route("GET", "/wintermute/units/:operator", [this](const rest::Request& request) {
+        const OperatorPtr op = findOperator(request.path_params.at("operator"));
+        if (!op) return rest::Response::notFound("unknown operator");
+        std::ostringstream body;
+        body << "{\"units\":[";
+        const auto units = op->units();
+        for (std::size_t i = 0; i < units.size(); ++i) {
+            if (i > 0) body << ',';
+            body << '"' << rest::jsonEscape(units[i].name) << '"';
+        }
+        body << "]}";
+        return rest::Response::ok(body.str());
+    });
+
+    // PUT /wintermute/operators/:operator/start|stop — lifecycle toggles.
+    router.route("PUT", "/wintermute/operators/:operator/:action",
+                 [this](const rest::Request& request) {
+                     const OperatorPtr op = findOperator(request.path_params.at("operator"));
+                     if (!op) return rest::Response::notFound("unknown operator");
+                     const std::string& action = request.path_params.at("action");
+                     if (action == "start") {
+                         op->setEnabled(true);
+                     } else if (action == "stop") {
+                         op->setEnabled(false);
+                     } else {
+                         return rest::Response::badRequest("unknown action: " + action);
+                     }
+                     return rest::Response::ok("{\"status\":\"ok\"}");
+                 });
+
+    // POST /wintermute/load/:plugin — dynamic plugin loading (paper Section
+    // V-A: "these requests can instruct the manager to start, stop, or load
+    // plugins dynamically"). The request body is a plugin configuration in
+    // the usual format; created operators start according to their mode.
+    router.route("POST", "/wintermute/load/:plugin", [this](const rest::Request& request) {
+        const std::string& plugin = request.path_params.at("plugin");
+        const auto parsed = common::parseConfig(request.body);
+        if (!parsed.ok) {
+            return rest::Response::badRequest("config parse error at line " +
+                                              std::to_string(parsed.error_line) + ": " +
+                                              parsed.error);
+        }
+        const int created = loadPlugin(plugin, parsed.root);
+        if (created < 0) return rest::Response::notFound("unknown plugin: " + plugin);
+        return rest::Response::ok("{\"created\":" + std::to_string(created) + "}");
+    });
+
+    // PUT /wintermute/compute?operator=X&unit=Y — On-demand mode trigger.
+    // Output data is propagated only as the response to this request.
+    router.route("PUT", "/wintermute/compute", [this](const rest::Request& request) {
+        const auto op_it = request.query.find("operator");
+        const auto unit_it = request.query.find("unit");
+        if (op_it == request.query.end() || unit_it == request.query.end()) {
+            return rest::Response::badRequest("operator and unit query parameters required");
+        }
+        const auto outputs =
+            computeOnDemand(op_it->second, unit_it->second, common::nowNs());
+        if (!outputs) return rest::Response::notFound("unknown operator or unit");
+        std::ostringstream body;
+        body << "{\"outputs\":[";
+        for (std::size_t i = 0; i < outputs->size(); ++i) {
+            const auto& value = (*outputs)[i];
+            if (i > 0) body << ',';
+            body << "{\"sensor\":\"" << rest::jsonEscape(value.topic)
+                 << "\",\"timestamp\":" << value.reading.timestamp
+                 << ",\"value\":" << value.reading.value << "}";
+        }
+        body << "]}";
+        return rest::Response::ok(body.str());
+    });
+}
+
+}  // namespace wm::core

@@ -1,0 +1,89 @@
+#pragma once
+
+// The Operator Manager (paper Section V-A): reads Wintermute configuration,
+// instantiates plugins through a registry of configurators, manages operator
+// life cycle (start/stop/dynamic load), schedules Online operators, and
+// exposes the ODA RESTful API (plugin listing, lifecycle actions, on-demand
+// unit computation).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/scheduler.h"
+#include "common/thread_pool.h"
+#include "core/operator.h"
+#include "rest/router.h"
+
+namespace wm::core {
+
+/// A plugin's configurator: builds operators (with resolved units) from the
+/// plugin's configuration block. Mirrors the Configurator component of
+/// Section V-C.
+using ConfiguratorFn = std::function<std::vector<OperatorPtr>(
+    const common::ConfigNode& config, const OperatorContext& context)>;
+
+class OperatorManager {
+  public:
+    /// Operators run with `context`; Online ticks dispatch on an internal
+    /// pool of `worker_threads`.
+    explicit OperatorManager(OperatorContext context, std::size_t worker_threads = 2);
+    ~OperatorManager();
+
+    OperatorManager(const OperatorManager&) = delete;
+    OperatorManager& operator=(const OperatorManager&) = delete;
+
+    /// Registers a plugin type. Returns false on duplicate names.
+    bool registerPlugin(const std::string& plugin, ConfiguratorFn configurator);
+    std::vector<std::string> pluginNames() const;
+
+    /// Instantiates operators from a plugin's configuration root: every
+    /// child block named "operator" (or "template_operator", which only
+    /// defines defaults and creates nothing) is passed to the configurator.
+    /// Returns the number of operators created, or -1 for unknown plugins.
+    int loadPlugin(const std::string& plugin, const common::ConfigNode& root);
+
+    /// Adds an externally-built operator (e.g. from code rather than config).
+    void addOperator(OperatorPtr op);
+
+    /// Starts scheduled computation of Online operators.
+    void start();
+    /// Cancels scheduling; running computations finish.
+    void stop();
+    bool running() const { return running_; }
+
+    /// Synchronously ticks every enabled Online operator once at time `t`
+    /// (deterministic virtual-time runs and benches).
+    void tickAll(common::TimestampNs t);
+
+    std::vector<OperatorPtr> operators() const;
+    OperatorPtr findOperator(const std::string& name) const;
+
+    /// On-demand computation entry point (also used by the REST route).
+    std::optional<std::vector<SensorValue>> computeOnDemand(
+        const std::string& operator_name, const std::string& unit_name,
+        common::TimestampNs t);
+
+    /// Publishes the ODA REST API on `router` under /wintermute/... .
+    void bindRest(rest::Router& router);
+
+    const OperatorContext& context() const { return context_; }
+
+  private:
+    void scheduleOperator(const OperatorPtr& op);
+
+    OperatorContext context_;
+    common::ThreadPool pool_;
+    common::PeriodicScheduler scheduler_;
+    mutable std::mutex mutex_;
+    std::map<std::string, ConfiguratorFn> plugins_;
+    std::vector<OperatorPtr> operators_;
+    std::vector<common::TaskId> task_ids_;
+    bool running_ = false;
+};
+
+}  // namespace wm::core

@@ -1,0 +1,110 @@
+#include "core/query_engine.h"
+
+#include "common/time_utils.h"
+
+namespace wm::core {
+
+QueryEngine& QueryEngine::instance() {
+    static QueryEngine engine;
+    return engine;
+}
+
+void QueryEngine::setCacheStore(sensors::CacheStore* store) {
+    cache_store_ = store;
+}
+
+void QueryEngine::setStorage(storage::StorageBackend* storage) {
+    storage_ = storage;
+}
+
+std::size_t QueryEngine::rebuildTree() {
+    std::vector<std::string> topics;
+    if (cache_store_ != nullptr) topics = cache_store_->topics();
+    if (storage_ != nullptr) {
+        for (auto& topic : storage_->topics()) topics.push_back(std::move(topic));
+    }
+    std::lock_guard lock(tree_mutex_);
+    return tree_.build(topics);
+}
+
+void QueryEngine::addTopics(const std::vector<std::string>& topics) {
+    std::lock_guard lock(tree_mutex_);
+    for (const auto& topic : topics) tree_.addSensor(topic);
+}
+
+sensors::ReadingVector QueryEngine::queryRelative(const std::string& topic,
+                                                  common::TimestampNs offset_ns) const {
+    if (cache_store_ != nullptr) {
+        const sensors::SensorCache* cache = cache_store_->find(topic);
+        // The cache covers the window only when the requested offset fits
+        // inside its retention window.
+        if (cache != nullptr && !cache->empty() && offset_ns <= cache->windowNs()) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return cache->viewRelative(offset_ns);
+        }
+    }
+    if (storage_ != nullptr) {
+        storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        const auto newest = storage_->latest(topic);
+        if (!newest) return {};
+        return storage_->query(topic, newest->timestamp - offset_ns, newest->timestamp);
+    }
+    // Cache-only host with an over-long offset: serve what the cache has.
+    if (cache_store_ != nullptr) {
+        const sensors::SensorCache* cache = cache_store_->find(topic);
+        if (cache != nullptr) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return cache->viewRelative(offset_ns);
+        }
+    }
+    return {};
+}
+
+sensors::ReadingVector QueryEngine::queryAbsolute(const std::string& topic,
+                                                  common::TimestampNs t0,
+                                                  common::TimestampNs t1) const {
+    if (cache_store_ != nullptr) {
+        const sensors::SensorCache* cache = cache_store_->find(topic);
+        if (cache != nullptr && !cache->empty()) {
+            // The cache can only answer if the range begins inside its
+            // retained window.
+            const auto newest = cache->latest();
+            if (newest && t0 >= newest->timestamp - cache->windowNs()) {
+                cache_hits_.fetch_add(1, std::memory_order_relaxed);
+                return cache->viewAbsolute(t0, t1);
+            }
+        }
+    }
+    if (storage_ != nullptr) {
+        storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return storage_->query(topic, t0, t1);
+    }
+    if (cache_store_ != nullptr) {
+        const sensors::SensorCache* cache = cache_store_->find(topic);
+        if (cache != nullptr) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return cache->viewAbsolute(t0, t1);
+        }
+    }
+    return {};
+}
+
+std::optional<sensors::Reading> QueryEngine::latest(const std::string& topic) const {
+    if (cache_store_ != nullptr) {
+        const sensors::SensorCache* cache = cache_store_->find(topic);
+        if (cache != nullptr) {
+            const auto reading = cache->latest();
+            if (reading) {
+                cache_hits_.fetch_add(1, std::memory_order_relaxed);
+                return reading;
+            }
+        }
+    }
+    if (storage_ != nullptr) {
+        storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return storage_->latest(topic);
+    }
+    return std::nullopt;
+}
+
+}  // namespace wm::core

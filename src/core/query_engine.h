@@ -1,0 +1,80 @@
+#pragma once
+
+// The Query Engine (paper Section V-B): the single component through which
+// operator plugins obtain sensor data and discover the sensor space. It
+// keeps the SensorTree/navigator built over all known topics, and serves
+// time-range queries cache-first with storage fallback:
+//
+//  * relative mode — offsets against the most recent reading; O(1) cache
+//    view computation;
+//  * absolute mode — wall-clock timestamp ranges; O(log N) binary search.
+//
+// The hosting entity (Pusher or Collect Agent) wires in its cache store and,
+// for Collect Agents, the storage backend, at startup. Plugins are thereby
+// isolated from where they run — the same plugin code works in both.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sensor_tree.h"
+#include "sensors/sensor_cache.h"
+#include "storage/storage_backend.h"
+
+namespace wm::core {
+
+class QueryEngine {
+  public:
+    QueryEngine() = default;
+
+    /// Process-wide instance (DCDB uses a singleton; tests construct their
+    /// own instances instead).
+    static QueryEngine& instance();
+
+    /// Wires the local sensor caches (the fast path). Not owned.
+    void setCacheStore(sensors::CacheStore* store);
+    /// Wires the storage backend fallback (Collect Agent only). Not owned.
+    void setStorage(storage::StorageBackend* storage);
+
+    /// Rebuilds the sensor tree from every topic known to the cache store
+    /// and (when wired) the storage backend. Returns the sensor count.
+    std::size_t rebuildTree();
+
+    /// Extends the tree with topics not yet present (e.g. operator outputs
+    /// declared before their first reading).
+    void addTopics(const std::vector<std::string>& topics);
+
+    /// Read access to the navigator. The reference remains valid; rebuilds
+    /// happen in place under the engine's lock — callers resolving units
+    /// hold no readings, so brief staleness is acceptable.
+    const SensorTree& tree() const { return tree_; }
+
+    /// Relative query: the last `offset_ns` of data for `topic`, ending at
+    /// the most recent reading. Cache-first; falls back to storage using the
+    /// current time as the anchor.
+    sensors::ReadingVector queryRelative(const std::string& topic,
+                                         common::TimestampNs offset_ns) const;
+
+    /// Absolute query: readings with t0 <= timestamp <= t1.
+    sensors::ReadingVector queryAbsolute(const std::string& topic, common::TimestampNs t0,
+                                         common::TimestampNs t1) const;
+
+    /// Most recent reading of a topic (cache-first).
+    std::optional<sensors::Reading> latest(const std::string& topic) const;
+
+    std::uint64_t cacheHits() const { return cache_hits_.load(); }
+    std::uint64_t storageFallbacks() const { return storage_fallbacks_.load(); }
+
+  private:
+    mutable std::mutex tree_mutex_;
+    SensorTree tree_;
+    sensors::CacheStore* cache_store_ = nullptr;
+    storage::StorageBackend* storage_ = nullptr;
+    mutable std::atomic<std::uint64_t> cache_hits_{0};
+    mutable std::atomic<std::uint64_t> storage_fallbacks_{0};
+};
+
+}  // namespace wm::core

@@ -1,0 +1,91 @@
+#include "core/sensor_tree.h"
+
+#include <algorithm>
+
+#include "common/string_utils.h"
+
+namespace wm::core {
+
+std::size_t SensorTree::build(const std::vector<std::string>& sensor_topics) {
+    clear();
+    std::size_t inserted = 0;
+    for (const auto& topic : sensor_topics) {
+        if (addSensor(topic)) ++inserted;
+    }
+    return inserted;
+}
+
+bool SensorTree::addSensor(const std::string& topic) {
+    const std::string canonical = common::normalizePath(topic);
+    const auto segments = common::pathSegments(canonical);
+    if (segments.empty()) return false;  // the bare root is not a sensor
+
+    // Ensure the component chain exists: every prefix of the topic except
+    // the final (sensor) segment.
+    std::string path = "/";
+    nodes_["/"];  // root always exists
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+        const std::string child = common::pathJoin(path, segments[i]);
+        nodes_[path].children.insert(child);
+        Node& node = nodes_[child];
+        node.depth = i + 1;
+        max_depth_ = std::max(max_depth_, node.depth);
+        path = child;
+    }
+    const bool added = nodes_[path].sensors.insert(segments.back()).second;
+    if (added) ++sensor_count_;
+    return added;
+}
+
+void SensorTree::clear() {
+    nodes_.clear();
+    max_depth_ = 0;
+    sensor_count_ = 0;
+}
+
+bool SensorTree::hasNode(const std::string& path) const {
+    return nodes_.count(common::normalizePath(path)) > 0;
+}
+
+std::vector<std::string> SensorTree::sensorsOf(const std::string& path) const {
+    auto it = nodes_.find(common::normalizePath(path));
+    if (it == nodes_.end()) return {};
+    return {it->second.sensors.begin(), it->second.sensors.end()};
+}
+
+bool SensorTree::hasSensor(const std::string& path, const std::string& name) const {
+    auto it = nodes_.find(common::normalizePath(path));
+    return it != nodes_.end() && it->second.sensors.count(name) > 0;
+}
+
+std::vector<std::string> SensorTree::children(const std::string& path) const {
+    auto it = nodes_.find(common::normalizePath(path));
+    if (it == nodes_.end()) return {};
+    return {it->second.children.begin(), it->second.children.end()};
+}
+
+std::vector<std::string> SensorTree::nodesAtDepth(std::size_t depth) const {
+    std::vector<std::string> out;
+    for (const auto& [path, node] : nodes_) {
+        if (node.depth == depth && (depth > 0 || path == "/")) out.push_back(path);
+    }
+    return out;  // std::map iteration is already sorted
+}
+
+std::vector<std::string> SensorTree::allSensors() const {
+    std::vector<std::string> out;
+    out.reserve(sensor_count_);
+    for (const auto& [path, node] : nodes_) {
+        for (const auto& sensor : node.sensors) {
+            out.push_back(common::pathJoin(path, sensor));
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool SensorTree::hierarchicallyRelated(const std::string& a, const std::string& b) {
+    return common::isPathAncestor(a, b) || common::isPathAncestor(b, a);
+}
+
+}  // namespace wm::core

@@ -1,0 +1,74 @@
+#pragma once
+
+// The sensor tree of the Wintermute Unit System (paper Section III-A).
+// Sensor topics are slash-separated paths expressing physical/logical
+// placement; the tree built from them has system components (rack, chassis,
+// node, CPU, ...) as internal nodes and sensors as leaves. The tree is the
+// substrate for pattern-based unit resolution: vertical navigation selects a
+// tree level (topdown/bottomup), horizontal navigation filters nodes within
+// the level.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wm::core {
+
+/// Immutable-after-build tree over the sensor space.
+class SensorTree {
+  public:
+    /// Builds the tree from a list of sensor topics. Invalid topics (not
+    /// starting with '/', no sensor segment) are skipped; returns the number
+    /// of sensors inserted.
+    std::size_t build(const std::vector<std::string>& sensor_topics);
+
+    /// Adds one sensor to an existing tree; false for invalid topics.
+    bool addSensor(const std::string& topic);
+
+    void clear();
+
+    /// True if `path` names a component node ("/" is always present).
+    bool hasNode(const std::string& path) const;
+
+    /// Sensor names (leaf segments) attached to a component node.
+    std::vector<std::string> sensorsOf(const std::string& path) const;
+
+    /// True if component `path` has a sensor called `name`.
+    bool hasSensor(const std::string& path, const std::string& name) const;
+
+    /// Child component paths of `path`, sorted.
+    std::vector<std::string> children(const std::string& path) const;
+
+    /// Component paths at tree depth `depth` (root = 0), sorted.
+    std::vector<std::string> nodesAtDepth(std::size_t depth) const;
+
+    /// Deepest component depth in the tree (0 when only the root exists).
+    std::size_t maxDepth() const { return max_depth_; }
+
+    /// All sensor topics in the tree, sorted.
+    std::vector<std::string> allSensors() const;
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t sensorCount() const { return sensor_count_; }
+
+    /// True if `a` is an ancestor of `b`, b of a, or a == b — the
+    /// "connected by an ascending or descending path" relation that unit
+    /// input resolution requires (paper Section III-B).
+    static bool hierarchicallyRelated(const std::string& a, const std::string& b);
+
+  private:
+    struct Node {
+        std::set<std::string> sensors;   // leaf names
+        std::set<std::string> children;  // child component paths
+        std::size_t depth = 0;
+    };
+
+    std::map<std::string, Node> nodes_;  // keyed by canonical component path
+    std::size_t max_depth_ = 0;
+    std::size_t sensor_count_ = 0;
+};
+
+}  // namespace wm::core

@@ -1,0 +1,239 @@
+#include "core/unit_system.h"
+
+#include <algorithm>
+
+#include "common/string_utils.h"
+
+namespace wm::core {
+
+std::optional<std::size_t> PatternExpression::resolveDepth(std::size_t max_depth) const {
+    // The root (depth 0) is excluded from pattern navigation: topdown is
+    // depth 1, bottomup is the deepest component level.
+    if (anchor == LevelAnchor::kAbsolute) return std::nullopt;
+    long depth = 0;
+    if (anchor == LevelAnchor::kTopDown) {
+        depth = 1 + offset;
+    } else {
+        depth = static_cast<long>(max_depth) + offset;  // offset is <= 0 here
+    }
+    if (depth < 1 || depth > static_cast<long>(max_depth)) return std::nullopt;
+    return static_cast<std::size_t>(depth);
+}
+
+std::string PatternExpression::toString() const {
+    if (anchor == LevelAnchor::kAbsolute) return sensor_name;
+    std::string out = "<";
+    if (anchor == LevelAnchor::kTopDown) {
+        out += "topdown";
+        if (offset != 0) out += "+" + std::to_string(offset);
+    } else {
+        out += "bottomup";
+        if (offset != 0) out += std::to_string(offset);  // negative, keeps the '-'
+    }
+    if (!filter.empty()) out += ", filter " + filter;
+    out += ">" + sensor_name;
+    return out;
+}
+
+std::optional<PatternExpression> parsePattern(const std::string& text) {
+    const std::string trimmed = common::trim(text);
+    if (trimmed.empty()) return std::nullopt;
+    PatternExpression expr;
+    if (trimmed[0] != '<') {
+        // Absolute topic: must be a canonical path with at least one segment.
+        if (trimmed[0] != '/') return std::nullopt;
+        expr.anchor = LevelAnchor::kAbsolute;
+        expr.sensor_name = common::normalizePath(trimmed);
+        if (expr.sensor_name == "/") return std::nullopt;
+        return expr;
+    }
+    const std::size_t close = trimmed.find('>');
+    if (close == std::string::npos) return std::nullopt;
+    expr.sensor_name = common::trim(trimmed.substr(close + 1));
+    if (expr.sensor_name.empty() || expr.sensor_name.find('/') != std::string::npos) {
+        return std::nullopt;
+    }
+
+    // Inside the angle brackets: "LEVELSPEC[, filter REGEX]".
+    const std::string inner = trimmed.substr(1, close - 1);
+    const auto parts = common::split(inner, ',');
+    if (parts.empty()) return std::nullopt;
+
+    const std::string level = common::trim(parts[0]);
+    static const std::regex level_re(R"(^(topdown|bottomup)([+-]\d+)?$)");
+    std::smatch match;
+    if (!std::regex_match(level, match, level_re)) return std::nullopt;
+    expr.anchor = match[1] == "topdown" ? LevelAnchor::kTopDown : LevelAnchor::kBottomUp;
+    if (match[2].matched) {
+        expr.offset = std::stoi(match[2].str());
+    }
+    // Direction sanity: topdown descends (+), bottomup ascends (-).
+    if (expr.anchor == LevelAnchor::kTopDown && expr.offset < 0) return std::nullopt;
+    if (expr.anchor == LevelAnchor::kBottomUp && expr.offset > 0) return std::nullopt;
+
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::string clause = common::trim(parts[i]);
+        if (common::startsWith(clause, "filter")) {
+            expr.filter = common::trim(clause.substr(6));
+            if (expr.filter.empty()) return std::nullopt;
+            // Validate the regex eagerly for a clear configuration error.
+            try {
+                std::regex probe(expr.filter);
+            } catch (const std::regex_error&) {
+                return std::nullopt;
+            }
+        } else {
+            return std::nullopt;
+        }
+    }
+    return expr;
+}
+
+std::optional<UnitTemplate> makeUnitTemplate(
+    const std::vector<std::string>& input_patterns,
+    const std::vector<std::string>& output_patterns) {
+    UnitTemplate out;
+    for (const auto& text : input_patterns) {
+        auto expr = parsePattern(text);
+        if (!expr) return std::nullopt;
+        out.inputs.push_back(std::move(*expr));
+    }
+    for (const auto& text : output_patterns) {
+        auto expr = parsePattern(text);
+        if (!expr) return std::nullopt;
+        out.outputs.push_back(std::move(*expr));
+    }
+    return out;
+}
+
+std::vector<std::string> UnitResolver::domain(const PatternExpression& expression,
+                                              bool require_sensor) const {
+    if (expression.anchor == LevelAnchor::kAbsolute) {
+        // Absolute expressions have a single-node domain: the topic's parent.
+        const std::string parent = common::pathParent(expression.sensor_name);
+        const std::string name = common::pathLeaf(expression.sensor_name);
+        if (!tree_.hasNode(parent)) return {};
+        if (require_sensor && !tree_.hasSensor(parent, name)) return {};
+        return {parent};
+    }
+    const auto depth = expression.resolveDepth(tree_.maxDepth());
+    if (!depth) return {};
+    std::vector<std::string> nodes = tree_.nodesAtDepth(*depth);
+    std::vector<std::string> out;
+    std::optional<std::regex> filter;
+    if (!expression.filter.empty()) filter.emplace(expression.filter);
+    for (auto& node : nodes) {
+        if (filter && !std::regex_search(node, *filter)) continue;
+        if (require_sensor && !tree_.hasSensor(node, expression.sensor_name)) continue;
+        out.push_back(std::move(node));
+    }
+    return out;
+}
+
+std::vector<Unit> UnitResolver::resolveUnits(const UnitTemplate& unit_template) const {
+    std::vector<Unit> units;
+    if (unit_template.outputs.empty()) return units;
+    // Step (a): the first output expression's domain defines the units.
+    const std::vector<std::string> anchors =
+        domain(unit_template.outputs.front(), /*require_sensor=*/false);
+    // Steps (b)+(c): one unit per domain node, with all expressions resolved
+    // relative to it. Each expression's domain is computed once (tree scan +
+    // filter regex) and only the cheap hierarchy test runs per unit.
+    struct PreparedExpression {
+        const PatternExpression* expression;
+        std::vector<std::string> domain;
+        bool is_input;
+    };
+    std::vector<PreparedExpression> inputs;
+    inputs.reserve(unit_template.inputs.size());
+    for (const auto& expression : unit_template.inputs) {
+        inputs.push_back({&expression, domain(expression, /*require_sensor=*/true), true});
+    }
+    std::vector<PreparedExpression> outputs;
+    outputs.reserve(unit_template.outputs.size());
+    for (const auto& expression : unit_template.outputs) {
+        outputs.push_back(
+            {&expression, domain(expression, /*require_sensor=*/false), false});
+    }
+
+    const auto resolveFromDomain = [](const PreparedExpression& prepared,
+                                      const std::string& unit_node,
+                                      std::vector<std::string>& sink) {
+        if (prepared.expression->anchor == LevelAnchor::kAbsolute) {
+            // Absolute inputs must exist; absolute outputs are created by
+            // the operator and pass unconditionally.
+            if (prepared.is_input && prepared.domain.empty()) return false;
+            sink.push_back(prepared.expression->sensor_name);
+            return true;
+        }
+        bool any = false;
+        for (const auto& node : prepared.domain) {
+            if (!SensorTree::hierarchicallyRelated(node, unit_node)) continue;
+            sink.push_back(common::pathJoin(node, prepared.expression->sensor_name));
+            any = true;
+        }
+        return any;
+    };
+
+    for (const auto& anchor : anchors) {
+        Unit unit;
+        unit.name = anchor;
+        bool complete = true;
+        for (const auto& prepared : inputs) {
+            if (!resolveFromDomain(prepared, anchor, unit.inputs)) {
+                complete = false;  // the unit cannot be built
+                break;
+            }
+        }
+        if (!complete) continue;
+        for (const auto& prepared : outputs) {
+            if (!resolveFromDomain(prepared, anchor, unit.outputs)) {
+                complete = false;
+                break;
+            }
+        }
+        if (complete) units.push_back(std::move(unit));
+    }
+    return units;
+}
+
+std::optional<Unit> UnitResolver::resolveUnitAt(const std::string& node_path,
+                                                const UnitTemplate& unit_template) const {
+    const std::string canonical = common::normalizePath(node_path);
+    if (!tree_.hasNode(canonical)) return std::nullopt;
+    Unit unit;
+    unit.name = canonical;
+    for (const auto& expression : unit_template.inputs) {
+        const auto resolved = resolveExpression(expression, canonical, /*require_sensor=*/true);
+        if (resolved.empty()) return std::nullopt;  // the unit cannot be built
+        unit.inputs.insert(unit.inputs.end(), resolved.begin(), resolved.end());
+    }
+    for (const auto& expression : unit_template.outputs) {
+        const auto resolved =
+            resolveExpression(expression, canonical, /*require_sensor=*/false);
+        if (resolved.empty()) return std::nullopt;
+        unit.outputs.insert(unit.outputs.end(), resolved.begin(), resolved.end());
+    }
+    return unit;
+}
+
+std::vector<std::string> UnitResolver::resolveExpression(
+    const PatternExpression& expression, const std::string& unit_node,
+    bool require_sensor) const {
+    if (expression.anchor == LevelAnchor::kAbsolute) {
+        // Absolute topics bypass hierarchy matching entirely.
+        const std::string parent = common::pathParent(expression.sensor_name);
+        const std::string name = common::pathLeaf(expression.sensor_name);
+        if (require_sensor && !tree_.hasSensor(parent, name)) return {};
+        return {expression.sensor_name};
+    }
+    std::vector<std::string> out;
+    for (const auto& node : domain(expression, require_sensor)) {
+        if (!SensorTree::hierarchicallyRelated(node, unit_node)) continue;
+        out.push_back(common::pathJoin(node, expression.sensor_name));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace wm::core

@@ -1,0 +1,99 @@
+#pragma once
+
+// Pattern units and their resolution (paper Sections III-B/III-C). A pattern
+// expression names a sensor together with a vertical tree-level selector and
+// an optional horizontal filter:
+//
+//     <topdown+1>power              one level below the highest level
+//     <bottomup, filter cpu>cpu-cycles   deepest level, node paths ~ /cpu/
+//     <bottomup-1>healthy           one level above the deepest level
+//     /rack0/chassis0/power         absolute topic (no pattern)
+//
+// Resolution (the configurator algorithm of Section V-C): the domain of the
+// first output expression yields one unit per matching node; for each unit,
+// every expression is resolved to the domain nodes that are hierarchically
+// related to the unit's node, producing the unit's concrete sensor topics.
+
+#include <optional>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "core/sensor_tree.h"
+
+namespace wm::core {
+
+/// Vertical navigation anchor of a pattern expression.
+enum class LevelAnchor {
+    kAbsolute,  // no pattern: the expression is a full topic
+    kTopDown,   // highest tree level (below the root), +k goes deeper
+    kBottomUp,  // deepest tree level, -k goes shallower
+};
+
+struct PatternExpression {
+    LevelAnchor anchor = LevelAnchor::kAbsolute;
+    int offset = 0;          // +k for topdown, -k for bottomup (stored signed)
+    std::string filter;      // empty = no horizontal filtering
+    std::string sensor_name; // last topic segment (or full topic if absolute)
+
+    /// Resolves the anchor to an absolute tree depth given the tree's
+    /// maximum depth; nullopt when out of range or absolute.
+    std::optional<std::size_t> resolveDepth(std::size_t max_depth) const;
+
+    /// Round-trippable textual form.
+    std::string toString() const;
+};
+
+/// Parses a pattern expression string; nullopt on malformed input.
+std::optional<PatternExpression> parsePattern(const std::string& text);
+
+/// A unit: the atomic component an operator's computation is bound to.
+struct Unit {
+    std::string name;                  // the node path the unit represents
+    std::vector<std::string> inputs;   // resolved input sensor topics
+    std::vector<std::string> outputs;  // resolved output sensor topics
+};
+
+/// A pattern unit: abstract I/O specification, instantiable anywhere in the
+/// tree where its expressions resolve.
+struct UnitTemplate {
+    std::vector<PatternExpression> inputs;
+    std::vector<PatternExpression> outputs;
+};
+
+/// Parses input/output pattern strings into a template; nullopt if any
+/// expression is malformed.
+std::optional<UnitTemplate> makeUnitTemplate(const std::vector<std::string>& input_patterns,
+                                             const std::vector<std::string>& output_patterns);
+
+class UnitResolver {
+  public:
+    explicit UnitResolver(const SensorTree& tree) : tree_(tree) {}
+
+    /// Domain of an expression: the tree nodes its level/filter matches.
+    /// For inputs the node must carry the named sensor; outputs only need
+    /// the node to exist (output sensors are created by the operator).
+    std::vector<std::string> domain(const PatternExpression& expression,
+                                    bool require_sensor) const;
+
+    /// Instantiates all units of a template: one unit per node in the first
+    /// output expression's domain; units whose inputs cannot be resolved are
+    /// dropped (paper: "if no node satisfies it, the unit cannot be built").
+    std::vector<Unit> resolveUnits(const UnitTemplate& unit_template) const;
+
+    /// Builds the unit anchored at a specific node path (used by job
+    /// operators, which anchor units at each job's nodes). Returns nullopt
+    /// when any input expression resolves to no sensors.
+    std::optional<Unit> resolveUnitAt(const std::string& node_path,
+                                      const UnitTemplate& unit_template) const;
+
+  private:
+    /// Expression resolution relative to a unit node.
+    std::vector<std::string> resolveExpression(const PatternExpression& expression,
+                                               const std::string& unit_node,
+                                               bool require_sensor) const;
+
+    const SensorTree& tree_;
+};
+
+}  // namespace wm::core

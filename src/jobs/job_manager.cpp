@@ -1,0 +1,84 @@
+#include "jobs/job_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wm::jobs {
+
+bool JobManager::submit(const JobRecord& job) {
+    if (job.job_id.empty() || job.nodes.empty()) return false;
+    std::lock_guard lock(mutex_);
+    for (const auto& existing : jobs_) {
+        if (existing.job_id == job.job_id && existing.end_time == 0) return false;
+    }
+    jobs_.push_back(job);
+    return true;
+}
+
+bool JobManager::complete(const std::string& job_id, common::TimestampNs end_time) {
+    std::lock_guard lock(mutex_);
+    for (auto& job : jobs_) {
+        if (job.job_id == job_id && job.end_time == 0) {
+            job.end_time = end_time;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<JobRecord> JobManager::find(const std::string& job_id) const {
+    std::lock_guard lock(mutex_);
+    // Prefer the running instance; fall back to the most recent.
+    const JobRecord* found = nullptr;
+    for (const auto& job : jobs_) {
+        if (job.job_id != job_id) continue;
+        found = &job;
+        if (job.end_time == 0) break;
+    }
+    if (found == nullptr) return std::nullopt;
+    return *found;
+}
+
+std::vector<JobRecord> JobManager::runningAt(common::TimestampNs t) const {
+    std::lock_guard lock(mutex_);
+    std::vector<JobRecord> out;
+    for (const auto& job : jobs_) {
+        if (job.runningAt(t)) out.push_back(job);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const JobRecord& a, const JobRecord& b) { return a.job_id < b.job_id; });
+    return out;
+}
+
+std::vector<JobRecord> JobManager::inInterval(common::TimestampNs t0,
+                                              common::TimestampNs t1) const {
+    std::lock_guard lock(mutex_);
+    std::vector<JobRecord> out;
+    for (const auto& job : jobs_) {
+        const common::TimestampNs end = job.end_time == 0
+                                            ? std::numeric_limits<common::TimestampNs>::max()
+                                            : job.end_time;
+        if (job.start_time <= t1 && end > t0) out.push_back(job);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const JobRecord& a, const JobRecord& b) { return a.job_id < b.job_id; });
+    return out;
+}
+
+std::vector<JobRecord> JobManager::jobsOnNode(const std::string& node_path,
+                                              common::TimestampNs t) const {
+    std::vector<JobRecord> out;
+    for (const auto& job : runningAt(t)) {
+        if (std::find(job.nodes.begin(), job.nodes.end(), node_path) != job.nodes.end()) {
+            out.push_back(job);
+        }
+    }
+    return out;
+}
+
+std::size_t JobManager::jobCount() const {
+    std::lock_guard lock(mutex_);
+    return jobs_.size();
+}
+
+}  // namespace wm::jobs

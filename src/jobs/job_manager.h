@@ -1,0 +1,62 @@
+#pragma once
+
+// Job accounting, standing in for the SLURM-style resource manager DCDB
+// queries for job-related data. Job operator plugins (e.g. persyst) resolve
+// one unit per running job, using the job's node list to aggregate per-node
+// or per-core sensors into job-level outputs.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time_utils.h"
+
+namespace wm::jobs {
+
+struct JobRecord {
+    std::string job_id;
+    std::string user_id;
+    /// Canonical node paths the job runs on ("/rack0/chassis1/server2").
+    std::vector<std::string> nodes;
+    common::TimestampNs start_time = 0;
+    /// 0 while the job is running.
+    common::TimestampNs end_time = 0;
+    /// Free-form name (e.g. the application), for diagnostics.
+    std::string name;
+
+    bool runningAt(common::TimestampNs t) const {
+        return start_time <= t && (end_time == 0 || t < end_time);
+    }
+};
+
+class JobManager {
+  public:
+    /// Registers a job; rejects duplicate active job ids. Returns false on
+    /// rejection or an empty node list.
+    bool submit(const JobRecord& job);
+
+    /// Marks a job as completed at `end_time`; false if unknown or ended.
+    bool complete(const std::string& job_id, common::TimestampNs end_time);
+
+    std::optional<JobRecord> find(const std::string& job_id) const;
+
+    /// Jobs running at time `t`, ordered by job id.
+    std::vector<JobRecord> runningAt(common::TimestampNs t) const;
+
+    /// Jobs whose [start, end) interval intersects [t0, t1].
+    std::vector<JobRecord> inInterval(common::TimestampNs t0, common::TimestampNs t1) const;
+
+    /// All jobs a node participated in at time `t`.
+    std::vector<JobRecord> jobsOnNode(const std::string& node_path,
+                                      common::TimestampNs t) const;
+
+    std::size_t jobCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<JobRecord> jobs_;
+};
+
+}  // namespace wm::jobs

@@ -1,0 +1,109 @@
+#include "mqtt/broker.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace wm::mqtt {
+
+SubscriptionId Broker::subscribe(const std::string& filter, MessageHandler handler) {
+    if (!isValidFilter(filter)) return 0;
+    std::unique_lock lock(mutex_);
+    const SubscriptionId id = next_id_.fetch_add(1);
+    subscriptions_.push_back({id, filter, std::move(handler)});
+    return id;
+}
+
+bool Broker::unsubscribe(SubscriptionId id) {
+    std::unique_lock lock(mutex_);
+    auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
+                           [id](const Subscription& s) { return s.id == id; });
+    if (it == subscriptions_.end()) return false;
+    subscriptions_.erase(it);
+    return true;
+}
+
+int Broker::publish(const Message& message) {
+    if (!isValidTopic(message.topic)) return -1;
+    return deliver(message);
+}
+
+std::size_t Broker::subscriptionCount() const {
+    std::shared_lock lock(mutex_);
+    return subscriptions_.size();
+}
+
+int Broker::deliver(const Message& message) {
+    published_.fetch_add(1, std::memory_order_relaxed);
+    // Snapshot matching handlers under the shared lock, call them outside it
+    // so handlers may themselves publish or (un)subscribe without deadlock.
+    std::vector<MessageHandler> handlers;
+    {
+        std::shared_lock lock(mutex_);
+        for (const auto& sub : subscriptions_) {
+            if (topicMatches(sub.filter, message.topic)) handlers.push_back(sub.handler);
+        }
+    }
+    for (const auto& handler : handlers) handler(message);
+    return static_cast<int>(handlers.size());
+}
+
+AsyncBroker::AsyncBroker(std::size_t max_queue) : max_queue_(max_queue) {
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+AsyncBroker::~AsyncBroker() {
+    {
+        std::lock_guard lock(queue_mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+int AsyncBroker::publish(const Message& message) {
+    if (!isValidTopic(message.topic)) return -1;
+    std::unique_lock lock(queue_mutex_);
+    queue_cv_.wait(lock, [this] { return stopping_ || queue_.size() < max_queue_; });
+    if (stopping_) return -1;
+    queue_.push(message);
+    const int depth = static_cast<int>(queue_.size());
+    lock.unlock();
+    queue_cv_.notify_all();
+    return depth;
+}
+
+void AsyncBroker::flush() {
+    std::unique_lock lock(queue_mutex_);
+    drained_cv_.wait(lock, [this] { return queue_.empty() && !dispatching_; });
+}
+
+std::size_t AsyncBroker::queueDepth() const {
+    std::lock_guard lock(queue_mutex_);
+    return queue_.size();
+}
+
+void AsyncBroker::dispatchLoop() {
+    for (;;) {
+        Message message;
+        {
+            std::unique_lock lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_) return;
+                continue;
+            }
+            message = std::move(queue_.front());
+            queue_.pop();
+            dispatching_ = true;
+        }
+        queue_cv_.notify_all();  // wake publishers blocked on back-pressure
+        deliver(message);
+        {
+            std::lock_guard lock(queue_mutex_);
+            dispatching_ = false;
+            if (queue_.empty()) drained_cv_.notify_all();
+        }
+    }
+}
+
+}  // namespace wm::mqtt

@@ -1,0 +1,103 @@
+#pragma once
+
+// In-process message broker standing in for DCDB's external MQTT server
+// (see DESIGN.md, substitutions). Pushers publish sensor readings to topics;
+// Collect Agents subscribe with wildcard filters. Two delivery modes are
+// provided:
+//
+//  * Broker           — synchronous: publish() invokes matching callbacks
+//                       inline; deterministic, used by tests and simulation.
+//  * AsyncBroker      — queued: publish() enqueues and a dispatcher thread
+//                       delivers, decoupling producers from consumers exactly
+//                       like a networked MQTT broker does.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mqtt/topic.h"
+#include "sensors/reading.h"
+
+namespace wm::mqtt {
+
+/// A published message: a sensor topic plus a batch of readings.
+struct Message {
+    std::string topic;
+    sensors::ReadingVector readings;
+};
+
+using SubscriptionId = std::uint64_t;
+using MessageHandler = std::function<void(const Message&)>;
+
+/// Synchronous broker. Thread-safe; handlers run on the publishing thread.
+class Broker {
+  public:
+    virtual ~Broker() = default;
+
+    /// Subscribes `handler` to all topics matching `filter`.
+    /// Returns 0 if the filter is invalid.
+    SubscriptionId subscribe(const std::string& filter, MessageHandler handler);
+
+    /// Removes a subscription; returns true if it existed.
+    bool unsubscribe(SubscriptionId id);
+
+    /// Delivers `message` to matching subscribers. Returns the number of
+    /// subscribers reached, or -1 for an invalid topic.
+    virtual int publish(const Message& message);
+
+    std::size_t subscriptionCount() const;
+    std::uint64_t publishedCount() const { return published_.load(); }
+
+  protected:
+    int deliver(const Message& message);
+
+  private:
+    struct Subscription {
+        SubscriptionId id;
+        std::string filter;
+        MessageHandler handler;
+    };
+
+    mutable std::shared_mutex mutex_;
+    std::vector<Subscription> subscriptions_;
+    std::atomic<SubscriptionId> next_id_{1};
+    std::atomic<std::uint64_t> published_{0};
+};
+
+/// Asynchronous broker: a bounded queue plus one dispatcher thread.
+class AsyncBroker final : public Broker {
+  public:
+    explicit AsyncBroker(std::size_t max_queue = 65536);
+    ~AsyncBroker() override;
+
+    /// Enqueues the message for asynchronous delivery. Returns the current
+    /// queue depth, or -1 for an invalid topic; blocks when the queue is full
+    /// (back-pressure, like a TCP-backed MQTT client would).
+    int publish(const Message& message) override;
+
+    /// Blocks until the queue has drained and the dispatcher is idle.
+    void flush();
+
+    std::size_t queueDepth() const;
+
+  private:
+    void dispatchLoop();
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::condition_variable drained_cv_;
+    std::queue<Message> queue_;
+    std::size_t max_queue_;
+    bool stopping_ = false;
+    bool dispatching_ = false;
+    std::thread dispatcher_;
+};
+
+}  // namespace wm::mqtt

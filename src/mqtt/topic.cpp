@@ -1,0 +1,51 @@
+#include "mqtt/topic.h"
+
+#include "common/string_utils.h"
+
+namespace wm::mqtt {
+
+bool isValidTopic(std::string_view topic) {
+    if (topic.empty()) return false;
+    for (char c : topic) {
+        if (c == '+' || c == '#') return false;
+    }
+    // Reject empty middle segments ("//") but allow a single leading slash.
+    const auto segments = common::split(topic, '/', /*keep_empty=*/true);
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+        if (segments[i].empty()) return false;
+    }
+    return segments.size() > 1 || !segments[0].empty();
+}
+
+bool isValidFilter(std::string_view filter) {
+    if (filter.empty()) return false;
+    const auto segments = common::split(filter, '/', /*keep_empty=*/true);
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        const std::string& seg = segments[i];
+        if (i > 0 && seg.empty()) return false;
+        if (seg == "#" && i + 1 != segments.size()) return false;
+        if (seg.size() > 1 && (seg.find('+') != std::string::npos ||
+                               seg.find('#') != std::string::npos)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool topicMatches(std::string_view filter, std::string_view topic) {
+    const auto fparts = common::split(filter, '/', /*keep_empty=*/true);
+    const auto tparts = common::split(topic, '/', /*keep_empty=*/true);
+    std::size_t fi = 0;
+    std::size_t ti = 0;
+    while (fi < fparts.size()) {
+        const std::string& fseg = fparts[fi];
+        if (fseg == "#") return true;  // matches the remainder, even if empty
+        if (ti >= tparts.size()) return false;
+        if (fseg != "+" && fseg != tparts[ti]) return false;
+        ++fi;
+        ++ti;
+    }
+    return ti == tparts.size();
+}
+
+}  // namespace wm::mqtt

@@ -1,0 +1,23 @@
+#pragma once
+
+// MQTT topic semantics: hierarchical slash-separated topics with the standard
+// wildcards for subscriptions — '+' matches exactly one level, '#' matches
+// any number of trailing levels. DCDB sensor topics comply with this scheme,
+// so sensor names double as MQTT topics.
+
+#include <string>
+#include <string_view>
+
+namespace wm::mqtt {
+
+/// True if `topic` is valid for publishing: non-empty segments, no wildcards.
+bool isValidTopic(std::string_view topic);
+
+/// True if `filter` is a valid subscription filter: '+' only as a whole
+/// segment, '#' only as the last segment.
+bool isValidFilter(std::string_view filter);
+
+/// MQTT matching: does `filter` (possibly with wildcards) match `topic`?
+bool topicMatches(std::string_view filter, std::string_view topic);
+
+}  // namespace wm::mqtt

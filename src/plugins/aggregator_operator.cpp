@@ -1,0 +1,68 @@
+#include "plugins/aggregator_operator.h"
+
+#include "analytics/stats.h"
+#include "common/string_utils.h"
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+AggregationKind aggregationFromName(const std::string& name) {
+    const std::string lower = common::toLower(name);
+    if (lower == "sum") return AggregationKind::kSum;
+    if (lower == "minimum" || lower == "min") return AggregationKind::kMinimum;
+    if (lower == "maximum" || lower == "max") return AggregationKind::kMaximum;
+    if (lower == "median") return AggregationKind::kMedian;
+    if (lower == "quantile") return AggregationKind::kQuantile;
+    return AggregationKind::kAverage;
+}
+
+std::vector<core::SensorValue> AggregatorOperator::compute(const core::Unit& unit,
+                                                           common::TimestampNs t) {
+    std::vector<double> values;
+    for (const auto& topic : unit.inputs) {
+        const sensors::ReadingVector window = queryInput(topic, t);
+        if (window.empty()) continue;
+        if (delta_) {
+            values.push_back(window.back().value - window.front().value);
+        } else {
+            for (const auto& reading : window) values.push_back(reading.value);
+        }
+    }
+    std::vector<core::SensorValue> out;
+    if (values.empty()) return out;
+    double result = 0.0;
+    switch (kind_) {
+        case AggregationKind::kAverage: result = analytics::mean(values).value_or(0); break;
+        case AggregationKind::kSum: result = analytics::sum(values); break;
+        case AggregationKind::kMinimum:
+            result = analytics::minimum(values).value_or(0);
+            break;
+        case AggregationKind::kMaximum:
+            result = analytics::maximum(values).value_or(0);
+            break;
+        case AggregationKind::kMedian: result = analytics::median(values).value_or(0); break;
+        case AggregationKind::kQuantile:
+            result = analytics::quantile(values, quantile_).value_or(0);
+            break;
+    }
+    for (const auto& topic : unit.outputs) {
+        out.push_back({topic, {t, result}});
+    }
+    return out;
+}
+
+std::vector<core::OperatorPtr> configureAggregator(const common::ConfigNode& node,
+                                                   const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "aggregator",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode& n) {
+            const AggregationKind kind =
+                aggregationFromName(n.getString("operation", "average"));
+            const double quantile = n.getDouble("quantile", 0.5);
+            const bool delta = n.getBool("delta", false);
+            return std::make_shared<AggregatorOperator>(config, ctx, kind, quantile, delta);
+        });
+}
+
+}  // namespace wm::plugins

@@ -1,0 +1,51 @@
+#pragma once
+
+// Aggregator operator plugin: windowed reductions over unit inputs. The
+// general-purpose workhorse the paper describes for metric aggregation
+// (Wintermute's production deployment on CooLMUC-3 performs exactly this).
+//
+// Plugin-specific configuration keys:
+//   operation  average|sum|minimum|maximum|median|quantile  (default average)
+//   quantile   <q in [0,1]>     only for operation=quantile (default 0.5)
+//   delta      true|false       difference monotonic counters first
+
+#include <string>
+
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+enum class AggregationKind {
+    kAverage,
+    kSum,
+    kMinimum,
+    kMaximum,
+    kMedian,
+    kQuantile,
+};
+
+AggregationKind aggregationFromName(const std::string& name);
+
+class AggregatorOperator final : public core::OperatorTemplate {
+  public:
+    AggregatorOperator(core::OperatorConfig config, core::OperatorContext context,
+                       AggregationKind kind, double quantile, bool delta)
+        : core::OperatorTemplate(std::move(config), std::move(context)),
+          kind_(kind),
+          quantile_(quantile),
+          delta_(delta) {}
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    AggregationKind kind_;
+    double quantile_;
+    bool delta_;
+};
+
+std::vector<core::OperatorPtr> configureAggregator(const common::ConfigNode& node,
+                                                   const core::OperatorContext& context);
+
+}  // namespace wm::plugins

@@ -1,0 +1,103 @@
+#include "plugins/classifier_operator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/features.h"
+#include "common/logging.h"
+#include "common/string_utils.h"
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+bool ClassifierOperator::trainNow() {
+    if (training_features_.size() < 16) return false;
+    const bool ok = forest_.fit(training_features_, training_labels_, settings_.forest);
+    if (ok) {
+        WM_LOG(kInfo, "classifier")
+            << config_.name << ": trained on " << training_features_.size()
+            << " samples, " << forest_.classCount()
+            << " classes, OOB accuracy = " << forest_.oobAccuracy();
+    }
+    return ok;
+}
+
+std::vector<double> ClassifierOperator::buildFeatures(const core::Unit& unit,
+                                                      common::TimestampNs t) const {
+    std::vector<std::vector<double>> blocks;
+    for (const auto& topic : unit.inputs) {
+        const std::string name = common::pathLeaf(topic);
+        if (name == settings_.label_sensor) continue;
+        const bool monotonic = settings_.counter_names.count(name) > 0;
+        blocks.push_back(analytics::extractFeatures(queryInput(topic, t), monotonic));
+    }
+    return analytics::concatFeatures(blocks);
+}
+
+std::optional<std::size_t> ClassifierOperator::currentLabel(const core::Unit& unit) const {
+    if (context_.query_engine == nullptr) return std::nullopt;
+    for (const auto& topic : unit.inputs) {
+        if (common::pathLeaf(topic) != settings_.label_sensor) continue;
+        const auto latest = context_.query_engine->latest(topic);
+        if (latest && latest->value >= 0.0) {
+            return static_cast<std::size_t>(latest->value);
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<core::SensorValue> ClassifierOperator::compute(const core::Unit& unit,
+                                                           common::TimestampNs t) {
+    std::vector<core::SensorValue> out;
+    std::vector<double> features = buildFeatures(unit, t);
+    if (features.empty()) return out;
+
+    if (!forest_.trained()) {
+        const auto label = currentLabel(unit);
+        if (label) {
+            training_features_.push_back(std::move(features));
+            training_labels_.push_back(*label);
+            if (training_features_.size() >= settings_.training_samples) trainNow();
+        }
+        return out;
+    }
+
+    const auto probabilities = forest_.predictProbabilities(features);
+    const std::size_t predicted = static_cast<std::size_t>(
+        std::max_element(probabilities.begin(), probabilities.end()) -
+        probabilities.begin());
+    if (!unit.outputs.empty()) {
+        out.push_back({unit.outputs[0], {t, static_cast<double>(predicted)}});
+    }
+    if (unit.outputs.size() > 1) {
+        out.push_back({unit.outputs[1], {t, probabilities[predicted]}});
+    }
+    return out;
+}
+
+std::vector<core::OperatorPtr> configureClassifier(const common::ConfigNode& node,
+                                                   const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "classifier",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode& n) {
+            ClassifierSettings settings;
+            settings.label_sensor = n.getString("labelSensor", "app-label");
+            settings.training_samples =
+                static_cast<std::size_t>(n.getInt("trainingSamples", 2000));
+            settings.forest.num_trees = static_cast<std::size_t>(n.getInt("trees", 32));
+            settings.forest.tree.max_depth =
+                static_cast<std::size_t>(n.getInt("maxDepth", 12));
+            settings.forest.seed = static_cast<std::uint64_t>(n.getInt("seed", 42));
+            const auto counters = n.childrenOf("counters");
+            if (!counters.empty()) {
+                settings.counter_names.clear();
+                for (const auto* counter : counters) {
+                    settings.counter_names.insert(counter->value());
+                }
+            }
+            return std::make_shared<ClassifierOperator>(config, ctx, std::move(settings));
+        });
+}
+
+}  // namespace wm::plugins

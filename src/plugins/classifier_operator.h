@@ -1,0 +1,69 @@
+#pragma once
+
+// Classifier operator plugin: application fingerprinting (paper Section
+// II-A — "optimizing management decisions by predicting the behavior of
+// user jobs"). Statistical features over the unit's input sensors feed a
+// random-forest classifier; ground-truth class ids come from a designated
+// label sensor during the training phase (fed by the job catalogue in a
+// production deployment, or by a teaching run). Once trained, the operator
+// emits the predicted class id on the unit's first output sensor and the
+// prediction confidence (majority vote share) on the second, when present.
+//
+// Plugin-specific configuration keys:
+//   labelSensor      <name>   leaf name of the input carrying class ids
+//                             (default "app-label"); excluded from features
+//   trainingSamples  <n>      training-set size (default 2000)
+//   trees            <n>      forest size (default 32)
+//   maxDepth         <n>      tree depth cap (default 12)
+//   seed             <n>      RNG seed (default 42)
+//   counters         <name> ... repeatable: monotonic inputs (differenced)
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analytics/classifier.h"
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+struct ClassifierSettings {
+    std::string label_sensor = "app-label";
+    std::size_t training_samples = 2000;
+    analytics::ClassifierForestParams forest;
+    std::set<std::string> counter_names = {"cpu-cycles", "instructions", "cache-misses",
+                                           "vector-ops", "branch-misses", "col_idle"};
+};
+
+class ClassifierOperator final : public core::OperatorTemplate {
+  public:
+    ClassifierOperator(core::OperatorConfig config, core::OperatorContext context,
+                       ClassifierSettings settings)
+        : core::OperatorTemplate(std::move(config), std::move(context)),
+          settings_(std::move(settings)) {}
+
+    bool modelTrained() const { return forest_.trained(); }
+    std::size_t trainingSetSize() const { return training_features_.size(); }
+    double oobAccuracy() const { return forest_.oobAccuracy(); }
+
+    /// Forces training on the samples accumulated so far.
+    bool trainNow();
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    std::vector<double> buildFeatures(const core::Unit& unit, common::TimestampNs t) const;
+    std::optional<std::size_t> currentLabel(const core::Unit& unit) const;
+
+    ClassifierSettings settings_;
+    std::vector<std::vector<double>> training_features_;
+    std::vector<std::size_t> training_labels_;
+    analytics::RandomForestClassifier forest_;
+};
+
+std::vector<core::OperatorPtr> configureClassifier(const common::ConfigNode& node,
+                                                   const core::OperatorContext& context);
+
+}  // namespace wm::plugins

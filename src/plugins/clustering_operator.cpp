@@ -1,0 +1,126 @@
+#include "plugins/clustering_operator.h"
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+analytics::Vector ClusteringOperator::buildPoint(const core::Unit& unit,
+                                                 common::TimestampNs t) const {
+    analytics::Vector point;
+    point.reserve(unit.inputs.size());
+    for (const auto& topic : unit.inputs) {
+        const sensors::ReadingVector window = queryInput(topic, t);
+        if (window.empty()) return {};
+        if (settings_.rate_sensors.count(common::pathLeaf(topic)) > 0) {
+            // Monotonic counter: convert to a rate per second over the window.
+            if (window.size() < 2) return {};
+            const double span_sec =
+                static_cast<double>(window.back().timestamp - window.front().timestamp) /
+                static_cast<double>(common::kNsPerSec);
+            if (span_sec <= 0.0) return {};
+            point.push_back((window.back().value - window.front().value) / span_sec);
+        } else {
+            double sum = 0.0;
+            for (const auto& reading : window) sum += reading.value;
+            point.push_back(sum / static_cast<double>(window.size()));
+        }
+    }
+    return point;
+}
+
+void ClusteringOperator::computeAll(common::TimestampNs t) {
+    if (!enabled_.load()) return;
+    // Phase 1: one point per unit (units with missing data are skipped).
+    std::vector<analytics::Vector> points;
+    std::vector<core::Unit> snapshot = units();
+    {
+        std::lock_guard lock(points_mutex_);
+        last_points_.clear();
+        for (const auto& unit : snapshot) {
+            analytics::Vector point = buildPoint(unit, t);
+            if (point.empty()) continue;
+            points.push_back(point);
+            last_points_[unit.name] = std::move(point);
+        }
+    }
+    // Phase 2: fit the mixture over all units' points, then robust-refine:
+    // provisionally trim tail points and refit on the inliers so that a
+    // genuine anomaly cannot inflate its own cluster's covariance.
+    if (points.size() >= 3) {
+        analytics::BgmmParams params;
+        params.max_components = settings_.max_components;
+        params.seed = settings_.seed;
+        if (!model_.fit(points, params)) {
+            WM_LOG(kWarning, "clustering")
+                << config_.name << ": mixture fit failed on " << points.size() << " points";
+        }
+        for (std::size_t pass = 0; pass < settings_.refine_passes && model_.trained();
+             ++pass) {
+            std::vector<analytics::Vector> inliers;
+            inliers.reserve(points.size());
+            for (const auto& point : points) {
+                if (model_.maxComponentDensity(point) >= settings_.trim_threshold) {
+                    inliers.push_back(point);
+                }
+            }
+            if (inliers.size() == points.size() || inliers.size() < 3) break;
+            analytics::BayesianGmm refined;
+            if (!refined.fit(inliers, params)) break;
+            model_ = std::move(refined);
+        }
+    }
+    // Phase 3: label each unit through the regular per-unit path (keeps
+    // publication, error isolation and statistics uniform).
+    core::OperatorTemplate::computeAll(t);
+}
+
+std::vector<core::SensorValue> ClusteringOperator::compute(const core::Unit& unit,
+                                                           common::TimestampNs t) {
+    std::vector<core::SensorValue> out;
+    if (!model_.trained()) return out;
+    analytics::Vector point = lastPointOf(unit.name);
+    if (point.empty()) point = buildPoint(unit, t);
+    if (point.empty()) return out;
+    double label;
+    if (model_.isOutlier(point, settings_.outlier_threshold)) {
+        label = -1.0;
+    } else {
+        label = static_cast<double>(model_.predictLabel(point));
+    }
+    for (const auto& topic : unit.outputs) {
+        out.push_back({topic, {t, label}});
+    }
+    return out;
+}
+
+analytics::Vector ClusteringOperator::lastPointOf(const std::string& unit_name) const {
+    std::lock_guard lock(points_mutex_);
+    auto it = last_points_.find(unit_name);
+    return it == last_points_.end() ? analytics::Vector{} : it->second;
+}
+
+std::vector<core::OperatorPtr> configureClustering(const common::ConfigNode& node,
+                                                   const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "clustering",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode& n) {
+            ClusteringSettings settings;
+            settings.max_components =
+                static_cast<std::size_t>(n.getInt("maxComponents", 10));
+            settings.outlier_threshold = n.getDouble("outlierThreshold", 1e-3);
+            settings.refine_passes = static_cast<std::size_t>(n.getInt("refinePasses", 1));
+            settings.trim_threshold = n.getDouble("trimThreshold", 0.05);
+            settings.seed = static_cast<std::uint64_t>(n.getInt("seed", 42));
+            const auto rates = n.childrenOf("rates");
+            if (!rates.empty()) {
+                settings.rate_sensors.clear();
+                for (const auto* rate : rates) settings.rate_sensors.insert(rate->value());
+            }
+            return std::make_shared<ClusteringOperator>(config, ctx, std::move(settings));
+        });
+}
+
+}  // namespace wm::plugins

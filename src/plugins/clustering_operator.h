@@ -1,0 +1,83 @@
+#pragma once
+
+// Clustering operator plugin (Case Study 3, performance-anomaly
+// identification): variational Bayesian Gaussian mixture clustering over
+// long-window aggregates of each unit's input sensors. Every unit (one per
+// compute node in the paper) becomes a point whose coordinates are the
+// window averages of its inputs (monotonic counters are turned into rates);
+// the model determines the number of clusters autonomously and units whose
+// density falls below the threshold under every fitted component are
+// labelled outliers (emitted as label -1).
+//
+// This operator performs a cross-unit computation: the model is fitted over
+// all units at once (units may access each other for correlation, paper
+// Section V-C), then each unit is labelled individually.
+//
+// Plugin-specific configuration keys:
+//   maxComponents     <n>      component cap for the mixture (default 10)
+//   outlierThreshold  <p>      density threshold (default 0.001)
+//   seed              <n>      RNG seed (default 42)
+//   rates             <name> ...  repeatable: inputs converted to rates
+//                                 per second (default: "col_idle")
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analytics/bayesian_gmm.h"
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+struct ClusteringSettings {
+    std::size_t max_components = 10;
+    double outlier_threshold = 1e-3;
+    /// Robust refinement: after fitting, points whose mode-relative density
+    /// falls below `trim_threshold` are provisionally excluded and the model
+    /// is refitted on the inliers (up to `refine_passes` times). Without
+    /// this, an anomalous point inflates its own cluster's covariance enough
+    /// to hide inside the final threshold. 0 passes disables refinement.
+    std::size_t refine_passes = 1;
+    double trim_threshold = 0.05;
+    std::uint64_t seed = 42;
+    std::set<std::string> rate_sensors = {"col_idle"};
+};
+
+class ClusteringOperator final : public core::OperatorTemplate {
+  public:
+    ClusteringOperator(core::OperatorConfig config, core::OperatorContext context,
+                       ClusteringSettings settings)
+        : core::OperatorTemplate(std::move(config), std::move(context)),
+          settings_(std::move(settings)) {}
+
+    /// Fits the mixture over all units, then labels each unit.
+    void computeAll(common::TimestampNs t) override;
+
+    const analytics::BayesianGmm& model() const { return model_; }
+    bool modelTrained() const { return model_.trained(); }
+
+    /// The feature point (window aggregates) computed for a unit on the last
+    /// pass; empty if the unit had missing data.
+    analytics::Vector lastPointOf(const std::string& unit_name) const;
+
+  protected:
+    /// Labels one unit with the current model (used for per-unit and
+    /// on-demand computation after a fit).
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    /// Aggregates the unit's inputs over the configured window into a point.
+    /// Returns an empty vector when any input has no data.
+    analytics::Vector buildPoint(const core::Unit& unit, common::TimestampNs t) const;
+
+    ClusteringSettings settings_;
+    analytics::BayesianGmm model_;
+    mutable std::mutex points_mutex_;
+    std::map<std::string, analytics::Vector> last_points_;  // keyed by unit name
+};
+
+std::vector<core::OperatorPtr> configureClustering(const common::ConfigNode& node,
+                                                   const core::OperatorContext& context);
+
+}  // namespace wm::plugins

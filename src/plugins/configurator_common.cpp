@@ -1,0 +1,57 @@
+#include "plugins/configurator_common.h"
+
+#include "common/logging.h"
+
+namespace wm::plugins {
+
+std::vector<core::OperatorPtr> configureStandard(const common::ConfigNode& node,
+                                                 const core::OperatorContext& context,
+                                                 const std::string& plugin,
+                                                 const OperatorFactory& factory) {
+    std::vector<core::OperatorPtr> out;
+    core::OperatorConfig config = core::parseOperatorConfig(node, plugin);
+    if (context.query_engine == nullptr) return out;
+
+    const auto unit_template =
+        core::makeUnitTemplate(config.input_patterns, config.output_patterns);
+    if (!unit_template) {
+        WM_LOG(kError, "wintermute")
+            << plugin << "/" << config.name << ": malformed pattern expression";
+        return out;
+    }
+    const core::UnitResolver resolver(context.query_engine->tree());
+    std::vector<core::Unit> units = resolver.resolveUnits(*unit_template);
+    if (units.empty()) {
+        WM_LOG(kWarning, "wintermute")
+            << plugin << "/" << config.name << ": no units resolved";
+        return out;
+    }
+
+    // Make operator outputs discoverable for downstream pipeline stages.
+    std::vector<std::string> output_topics;
+    for (const auto& unit : units) {
+        output_topics.insert(output_topics.end(), unit.outputs.begin(), unit.outputs.end());
+    }
+    context.query_engine->addTopics(output_topics);
+
+    if (config.unit_mode == core::UnitMode::kParallel) {
+        // One operator (and thus one model) per unit.
+        for (std::size_t i = 0; i < units.size(); ++i) {
+            core::OperatorConfig per_unit = config;
+            per_unit.name = config.name + "#" + std::to_string(i);
+            auto op = factory(per_unit, context, node);
+            if (!op) continue;
+            op->setUnits({units[i]});
+            out.push_back(std::move(op));
+        }
+    } else {
+        auto op = factory(config, context, node);
+        if (op) {
+            op->setUnits(std::move(units));
+            out.push_back(std::move(op));
+        }
+    }
+    return out;
+}
+
+}  // namespace wm::plugins

@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared configurator machinery for operator plugins (paper Section V-C):
+// parse the common operator settings, build the pattern-unit template,
+// resolve units against the current sensor tree, and honour the unit
+// management mode — Sequential keeps all units in one operator (shared
+// model), Parallel instantiates one operator per unit (one model per unit,
+// concurrently schedulable).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+/// Factory invoked once per operator instance to be created; receives the
+/// operator's config (with units already decided) and the plugin block for
+/// plugin-specific keys.
+using OperatorFactory = std::function<std::shared_ptr<core::OperatorTemplate>(
+    const core::OperatorConfig& config, const core::OperatorContext& context,
+    const common::ConfigNode& node)>;
+
+/// Standard configuration flow for unit-based plugins. Returns the created
+/// operators; empty when the pattern template is malformed or no units
+/// resolve. Registers all output topics with the Query Engine's tree so that
+/// downstream pipeline stages can resolve them as inputs.
+std::vector<core::OperatorPtr> configureStandard(const common::ConfigNode& node,
+                                                 const core::OperatorContext& context,
+                                                 const std::string& plugin,
+                                                 const OperatorFactory& factory);
+
+}  // namespace wm::plugins

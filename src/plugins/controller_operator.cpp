@@ -1,0 +1,68 @@
+#include "plugins/controller_operator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+double ControllerOperator::knobValueOf(const std::string& unit_name) const {
+    std::lock_guard lock(knob_mutex_);
+    auto it = knob_values_.find(unit_name);
+    return it == knob_values_.end() ? settings_.knob_max : it->second;
+}
+
+std::vector<core::SensorValue> ControllerOperator::compute(const core::Unit& unit,
+                                                           common::TimestampNs t) {
+    std::vector<core::SensorValue> out;
+    if (unit.inputs.empty() || context_.query_engine == nullptr ||
+        settings_.setpoint == 0.0) {
+        return out;
+    }
+    const auto latest = context_.query_engine->latest(unit.inputs.front());
+    if (!latest) return out;
+
+    double knob;
+    {
+        std::lock_guard lock(knob_mutex_);
+        knob = knob_values_.count(unit.name) ? knob_values_[unit.name]
+                                             : settings_.knob_max;
+    }
+    const double error = (latest->value - settings_.setpoint) / settings_.setpoint;
+    if (std::abs(error) > settings_.deadband) {
+        knob = std::clamp(knob - settings_.gain * error, settings_.knob_min,
+                          settings_.knob_max);
+        if (context_.actuate && context_.actuate(settings_.knob, unit.name, knob)) {
+            actuations_.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::lock_guard lock(knob_mutex_);
+        knob_values_[unit.name] = knob;
+    }
+    for (const auto& topic : unit.outputs) {
+        out.push_back({topic, {t, knob}});
+    }
+    return out;
+}
+
+std::vector<core::OperatorPtr> configureController(const common::ConfigNode& node,
+                                                   const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "controller",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode& n) -> std::shared_ptr<core::OperatorTemplate> {
+            ControllerSettings settings;
+            settings.knob = n.getString("knob", "dvfs");
+            settings.setpoint = n.getDouble("setpoint", 0.0);
+            settings.gain = n.getDouble("gain", 0.1);
+            settings.knob_min = n.getDouble("knobMin", 0.5);
+            settings.knob_max = n.getDouble("knobMax", 1.0);
+            settings.deadband = n.getDouble("deadband", 0.02);
+            if (settings.setpoint == 0.0 || settings.knob_min > settings.knob_max) {
+                return nullptr;  // a controller without a setpoint is inert
+            }
+            return std::make_shared<ControllerOperator>(config, ctx, std::move(settings));
+        });
+}
+
+}  // namespace wm::plugins

@@ -1,0 +1,67 @@
+#pragma once
+
+// Controller operator plugin: the feedback-loop endpoint of an analysis
+// pipeline (paper Section IV-B-d, "control operators at the end of the
+// pipeline that use processed data to tune system knobs"; runtime
+// optimization in the taxonomy of Section II). For each unit, the latest
+// value of the first input sensor is compared with a setpoint and a knob on
+// the unit's component is adjusted with a clamped integrating controller:
+//
+//     knob <- clamp(knob - gain * (value - setpoint) / setpoint)
+//
+// e.g. power capping: input = node power, setpoint = cap, knob = DVFS
+// frequency scale. The knob's current value is also emitted on the unit's
+// output sensor, so the control action is itself monitored.
+//
+// Plugin-specific configuration keys:
+//   knob       <name>     actuator name passed to the host (default "dvfs")
+//   setpoint   <value>    control target (required)
+//   gain       <g>        integration gain (default 0.1)
+//   knobMin    <v>        clamp range (defaults 0.5 / 1.0, DVFS-style)
+//   knobMax    <v>
+//   deadband   <fraction> no actuation while |error|/setpoint is below this
+//                         (default 0.02)
+
+#include <map>
+#include <string>
+
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+struct ControllerSettings {
+    std::string knob = "dvfs";
+    double setpoint = 0.0;
+    double gain = 0.1;
+    double knob_min = 0.5;
+    double knob_max = 1.0;
+    double deadband = 0.02;
+};
+
+class ControllerOperator final : public core::OperatorTemplate {
+  public:
+    ControllerOperator(core::OperatorConfig config, core::OperatorContext context,
+                       ControllerSettings settings)
+        : core::OperatorTemplate(std::move(config), std::move(context)),
+          settings_(std::move(settings)) {}
+
+    /// Current knob value held for a unit (knob_max until first actuation).
+    double knobValueOf(const std::string& unit_name) const;
+
+    std::uint64_t actuationCount() const { return actuations_.load(); }
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    ControllerSettings settings_;
+    mutable std::mutex knob_mutex_;
+    std::map<std::string, double> knob_values_;  // keyed by unit name
+    std::atomic<std::uint64_t> actuations_{0};
+};
+
+std::vector<core::OperatorPtr> configureController(const common::ConfigNode& node,
+                                                   const core::OperatorContext& context);
+
+}  // namespace wm::plugins

@@ -1,0 +1,78 @@
+#include "plugins/filesink_operator.h"
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+FilesinkOperator::FilesinkOperator(core::OperatorConfig config,
+                                   core::OperatorContext context, std::string path,
+                                   bool auto_flush)
+    : core::OperatorTemplate(std::move(config), std::move(context)),
+      auto_flush_(auto_flush) {
+    out_.open(path, std::ios::app);
+    if (!out_.is_open()) {
+        WM_LOG(kError, "filesink") << config_.name << ": cannot open " << path;
+    } else if (out_.tellp() == 0) {
+        out_ << "topic,timestamp,value\n";
+    }
+}
+
+std::vector<core::SensorValue> FilesinkOperator::compute(const core::Unit& unit,
+                                                         common::TimestampNs t) {
+    if (!out_.is_open()) return {};
+    for (const auto& topic : unit.inputs) {
+        const common::TimestampNs watermark =
+            last_written_.count(topic) ? last_written_[topic] : -1;
+        for (const auto& reading : queryInput(topic, t)) {
+            if (reading.timestamp <= watermark) continue;
+            out_ << topic << ',' << reading.timestamp << ',' << reading.value << '\n';
+            ++rows_written_;
+            last_written_[topic] = reading.timestamp;
+        }
+    }
+    if (auto_flush_) out_.flush();
+    return {};  // a sink has no sensor outputs
+}
+
+std::vector<core::OperatorPtr> configureFilesink(const common::ConfigNode& node,
+                                                 const core::OperatorContext& context) {
+    // Sinks have no output sensors; synthesise a unit template from the
+    // inputs alone by anchoring units at the inputs' own level.
+    common::ConfigNode patched = node;
+    core::OperatorConfig probe = core::parseOperatorConfig(node, "filesink");
+    if (probe.output_patterns.empty() && !probe.input_patterns.empty()) {
+        // Anchor one unit at each node matched by the first input pattern;
+        // for an absolute first input, anchor a single unit at its parent.
+        const auto expr = core::parsePattern(probe.input_patterns.front());
+        if (expr) {
+            auto& output_block = patched.addChild("output");
+            if (expr->anchor == core::LevelAnchor::kAbsolute) {
+                output_block.addChild(
+                    "sensor", common::pathJoin(common::pathParent(expr->sensor_name),
+                                               "_filesink"));
+            } else {
+                core::PatternExpression out_expr = *expr;
+                out_expr.sensor_name = "_filesink";
+                output_block.addChild("sensor", out_expr.toString());
+            }
+        }
+    }
+    const std::string path = node.getString("path");
+    const bool auto_flush = node.getBool("autoFlush", false);
+    if (path.empty()) {
+        WM_LOG(kError, "filesink") << "missing 'path' configuration key";
+        return {};
+    }
+    return configureStandard(
+        patched, context, "filesink",
+        [path, auto_flush](const core::OperatorConfig& config,
+                           const core::OperatorContext& ctx, const common::ConfigNode&) {
+            core::OperatorConfig adjusted = config;
+            adjusted.publish_outputs = false;  // the synthetic output is never emitted
+            return std::make_shared<FilesinkOperator>(adjusted, ctx, path, auto_flush);
+        });
+}
+
+}  // namespace wm::plugins

@@ -1,0 +1,48 @@
+#pragma once
+
+// Filesink operator plugin: appends each unit's input sensor readings to a
+// CSV file at every computation interval. This is the export endpoint of
+// analysis pipelines — DCDB feeds visualization front-ends from similar
+// sinks — and doubles as a trace recorder for offline analysis of operator
+// outputs.
+//
+// Plugin-specific configuration keys:
+//   path       <file>    output CSV path (required); rows are
+//                         "topic,timestamp,value"
+//   autoFlush  true|false flush after every computation (default false)
+//
+// Readings are deduplicated by timestamp per topic, so overlapping query
+// windows do not produce duplicate rows.
+
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+class FilesinkOperator final : public core::OperatorTemplate {
+  public:
+    FilesinkOperator(core::OperatorConfig config, core::OperatorContext context,
+                     std::string path, bool auto_flush);
+
+    std::uint64_t rowsWritten() const { return rows_written_; }
+    bool fileOpen() const { return out_.is_open(); }
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    std::ofstream out_;
+    bool auto_flush_;
+    std::uint64_t rows_written_ = 0;
+    /// Last timestamp written per topic (dedup across overlapping windows).
+    std::map<std::string, common::TimestampNs> last_written_;
+};
+
+std::vector<core::OperatorPtr> configureFilesink(const common::ConfigNode& node,
+                                                 const core::OperatorContext& context);
+
+}  // namespace wm::plugins

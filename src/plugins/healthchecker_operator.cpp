@@ -1,0 +1,60 @@
+#include "plugins/healthchecker_operator.h"
+
+#include "common/string_utils.h"
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+std::vector<core::SensorValue> HealthcheckerOperator::compute(const core::Unit& unit,
+                                                              common::TimestampNs t) {
+    bool healthy = true;
+    for (const auto& topic : unit.inputs) {
+        const std::string name = common::pathLeaf(topic);
+        for (const auto& check : checks_) {
+            if (check.sensor_name != name) continue;
+            if (context_.query_engine == nullptr) continue;
+            const auto latest = context_.query_engine->latest(topic);
+            if (!latest) {
+                healthy = false;  // a silent sensor is itself unhealthy
+                continue;
+            }
+            if (check.min && latest->value < *check.min) healthy = false;
+            if (check.max && latest->value > *check.max) healthy = false;
+        }
+    }
+    std::vector<core::SensorValue> out;
+    for (const auto& topic : unit.outputs) {
+        out.push_back({topic, {t, healthy ? 1.0 : 0.0}});
+    }
+    return out;
+}
+
+std::vector<core::OperatorPtr> configureHealthchecker(
+    const common::ConfigNode& node, const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "healthchecker",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode& n) {
+            std::vector<HealthCheck> checks;
+            for (const auto* block : n.childrenOf("check")) {
+                HealthCheck check;
+                check.sensor_name = block->value();
+                if (const auto* min = block->child("min")) {
+                    try {
+                        check.min = std::stod(min->value());
+                    } catch (...) {
+                    }
+                }
+                if (const auto* max = block->child("max")) {
+                    try {
+                        check.max = std::stod(max->value());
+                    } catch (...) {
+                    }
+                }
+                if (!check.sensor_name.empty()) checks.push_back(std::move(check));
+            }
+            return std::make_shared<HealthcheckerOperator>(config, ctx, std::move(checks));
+        });
+}
+
+}  // namespace wm::plugins

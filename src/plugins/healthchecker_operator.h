@@ -1,0 +1,47 @@
+#pragma once
+
+// Healthchecker operator plugin: the paper's running example (Section III-B,
+// the "healthy" output of a compute-node unit). Evaluates range checks over
+// the latest readings of the unit's inputs and emits 1 (healthy) or 0.
+//
+// Plugin-specific configuration keys (repeatable `check` blocks):
+//   check <sensor-name> {
+//       min <value>      lower bound (optional)
+//       max <value>      upper bound (optional)
+//   }
+// A unit is healthy when every configured check passes for every matching
+// input sensor. Inputs without a matching check are ignored.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+struct HealthCheck {
+    std::string sensor_name;  // matched against the input's leaf name
+    std::optional<double> min;
+    std::optional<double> max;
+};
+
+class HealthcheckerOperator final : public core::OperatorTemplate {
+  public:
+    HealthcheckerOperator(core::OperatorConfig config, core::OperatorContext context,
+                          std::vector<HealthCheck> checks)
+        : core::OperatorTemplate(std::move(config), std::move(context)),
+          checks_(std::move(checks)) {}
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    std::vector<HealthCheck> checks_;
+};
+
+std::vector<core::OperatorPtr> configureHealthchecker(const common::ConfigNode& node,
+                                                      const core::OperatorContext& context);
+
+}  // namespace wm::plugins

@@ -1,0 +1,98 @@
+#include "plugins/perfmetrics_operator.h"
+
+#include <cmath>
+
+#include "common/string_utils.h"
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+namespace {
+
+/// Delta of a monotonic counter over the window, plus the covered time span.
+struct CounterDelta {
+    double delta = 0.0;
+    double span_sec = 0.0;
+    bool valid = false;
+};
+
+CounterDelta deltaOf(const sensors::ReadingVector& window) {
+    CounterDelta out;
+    if (window.size() < 2) return out;
+    out.delta = window.back().value - window.front().value;
+    out.span_sec = static_cast<double>(window.back().timestamp - window.front().timestamp) /
+                   static_cast<double>(common::kNsPerSec);
+    out.valid = out.delta >= 0.0 && out.span_sec > 0.0;
+    return out;
+}
+
+}  // namespace
+
+std::vector<core::SensorValue> PerfmetricsOperator::compute(const core::Unit& unit,
+                                                            common::TimestampNs t) {
+    // Locate the raw counters among the unit's inputs by sensor name.
+    CounterDelta cycles, instructions, cache_misses, vector_ops, branch_misses;
+    for (const auto& topic : unit.inputs) {
+        const std::string name = common::pathLeaf(topic);
+        CounterDelta* target = nullptr;
+        if (name == "cpu-cycles") {
+            target = &cycles;
+        } else if (name == "instructions") {
+            target = &instructions;
+        } else if (name == "cache-misses") {
+            target = &cache_misses;
+        } else if (name == "vector-ops") {
+            target = &vector_ops;
+        } else if (name == "branch-misses") {
+            target = &branch_misses;
+        }
+        if (target != nullptr) *target = deltaOf(queryInput(topic, t));
+    }
+
+    std::vector<core::SensorValue> out;
+    for (const auto& topic : unit.outputs) {
+        const std::string metric = common::pathLeaf(topic);
+        double value = 0.0;
+        bool valid = false;
+        if (metric == "cpi" && cycles.valid && instructions.valid &&
+            instructions.delta > 0.0) {
+            value = cycles.delta / instructions.delta;
+            valid = true;
+        } else if (metric == "ips" && instructions.valid) {
+            value = instructions.delta / instructions.span_sec;
+            valid = true;
+        } else if (metric == "vecratio" && vector_ops.valid && instructions.valid &&
+                   instructions.delta > 0.0) {
+            value = vector_ops.delta / instructions.delta;
+            valid = true;
+        } else if (metric == "missrate" && cache_misses.valid && instructions.valid &&
+                   instructions.delta > 0.0) {
+            value = cache_misses.delta / instructions.delta;
+            valid = true;
+        } else if (metric == "branchrate" && branch_misses.valid && instructions.valid &&
+                   instructions.delta > 0.0) {
+            value = branch_misses.delta / instructions.delta;
+            valid = true;
+        } else if (metric == "gflops" && vector_ops.valid) {
+            // FLOPS proxy: vector operations at 8 DP lanes (KNL AVX-512).
+            value = vector_ops.delta * 8.0 / vector_ops.span_sec / 1e9;
+            valid = true;
+        }
+        if (valid && std::isfinite(value)) {
+            out.push_back({topic, {t, value}});
+        }
+    }
+    return out;
+}
+
+std::vector<core::OperatorPtr> configurePerfmetrics(const common::ConfigNode& node,
+                                                    const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "perfmetrics",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode&) {
+            return std::make_shared<PerfmetricsOperator>(config, ctx);
+        });
+}
+
+}  // namespace wm::plugins

@@ -1,0 +1,33 @@
+#pragma once
+
+// Perfmetrics operator plugin (Case Study 2, Pusher side): computes derived
+// performance metrics from raw per-CPU hardware counters — cycles per
+// instruction (CPI), instructions per second, vectorisation ratio, cache
+// miss rate, branch miss rate and a GFLOPS proxy. Counter inputs are
+// monotonic; the plugin works on deltas over the configured window.
+//
+// The metric emitted on each output sensor is chosen by the output sensor's
+// name: "cpi", "ips", "vecratio", "missrate", "branchrate" or "gflops".
+// Counter inputs are recognised by their names: "cpu-cycles",
+// "instructions", "cache-misses", "vector-ops", "branch-misses".
+
+#include <string>
+
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+class PerfmetricsOperator final : public core::OperatorTemplate {
+  public:
+    PerfmetricsOperator(core::OperatorConfig config, core::OperatorContext context)
+        : core::OperatorTemplate(std::move(config), std::move(context)) {}
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+};
+
+std::vector<core::OperatorPtr> configurePerfmetrics(const common::ConfigNode& node,
+                                                    const core::OperatorContext& context);
+
+}  // namespace wm::plugins

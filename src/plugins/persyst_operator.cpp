@@ -1,0 +1,66 @@
+#include "plugins/persyst_operator.h"
+
+#include "analytics/stats.h"
+#include "common/logging.h"
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+std::vector<core::SensorValue> PersystOperator::compute(const core::Unit& unit,
+                                                        common::TimestampNs t) {
+    // One sample per core: the mean of the metric's readings in the window
+    // (falls back to the latest reading when only one is available).
+    std::vector<double> values;
+    values.reserve(unit.inputs.size());
+    for (const auto& topic : unit.inputs) {
+        const sensors::ReadingVector window = queryInput(topic, t);
+        if (window.empty()) continue;
+        double sum = 0.0;
+        for (const auto& reading : window) sum += reading.value;
+        values.push_back(sum / static_cast<double>(window.size()));
+    }
+    std::vector<core::SensorValue> out;
+    if (values.empty()) return out;
+    const double mean = analytics::mean(values).value_or(0.0);
+    const std::vector<double> deciles = analytics::deciles(std::move(values));
+    const std::size_t n = std::min(deciles.size(), unit.outputs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back({unit.outputs[i], {t, deciles[i]}});
+    }
+    if (unit.outputs.size() > deciles.size()) {
+        out.push_back({unit.outputs[deciles.size()], {t, mean}});
+    }
+    return out;
+}
+
+std::vector<core::OperatorPtr> configurePersyst(const common::ConfigNode& node,
+                                                const core::OperatorContext& context) {
+    std::vector<core::OperatorPtr> out;
+    core::OperatorConfig config = core::parseOperatorConfig(node, "persyst");
+    const std::string metric = node.getString("metric", "cpi");
+
+    // Default input pattern: the metric on every CPU-level node.
+    if (config.input_patterns.empty()) {
+        config.input_patterns.push_back("<bottomup, filter cpu>" + metric);
+    }
+    // Outputs: the 11 deciles of the metric (<metric>-dec0 ... -dec10) plus
+    // the job-level mean (<metric>-avg), the statistical indicators of
+    // Section VI-C.
+    config.output_patterns.clear();
+    for (int i = 0; i <= 10; ++i) {
+        config.output_patterns.push_back("<bottomup>" + metric + "-dec" + std::to_string(i));
+    }
+    config.output_patterns.push_back("<bottomup>" + metric + "-avg");
+    const auto unit_template =
+        core::makeUnitTemplate(config.input_patterns, config.output_patterns);
+    if (!unit_template) {
+        WM_LOG(kError, "wintermute") << "persyst/" << config.name
+                                     << ": malformed pattern expression";
+        return out;
+    }
+    out.push_back(
+        std::make_shared<PersystOperator>(config, context, *unit_template, metric));
+    return out;
+}
+
+}  // namespace wm::plugins

@@ -1,0 +1,44 @@
+#pragma once
+
+// PerSyst operator plugin (Case Study 2, Collect Agent side): a job operator
+// that aggregates a per-core derived metric (typically the perfmetrics
+// plugin's CPI output) into job-level decile indicators. At each computation
+// interval, one unit is materialised per running job; the unit's inputs are
+// the metric sensors of every core of every node the job runs on, and its
+// outputs are the 11 deciles (minimum, 9 inner deciles, maximum) of their
+// distribution plus the job-level mean — the quantile transport scheme of
+// the original PerSyst tool.
+//
+// Plugin-specific configuration keys:
+//   metric  <name>   the per-core metric to aggregate (default "cpi"); the
+//                    input pattern is built as <bottomup, filter cpu><metric>
+//                    unless explicit input sensors are configured.
+
+#include <string>
+
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+class PersystOperator final : public core::JobOperatorTemplate {
+  public:
+    PersystOperator(core::OperatorConfig config, core::OperatorContext context,
+                    core::UnitTemplate unit_template, std::string metric)
+        : core::JobOperatorTemplate(std::move(config), std::move(context),
+                                    std::move(unit_template)),
+          metric_(std::move(metric)) {}
+
+    const std::string& metric() const { return metric_; }
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    std::string metric_;
+};
+
+std::vector<core::OperatorPtr> configurePersyst(const common::ConfigNode& node,
+                                                const core::OperatorContext& context);
+
+}  // namespace wm::plugins

@@ -1,0 +1,31 @@
+#include "plugins/registry.h"
+
+#include "plugins/aggregator_operator.h"
+#include "plugins/classifier_operator.h"
+#include "plugins/clustering_operator.h"
+#include "plugins/controller_operator.h"
+#include "plugins/filesink_operator.h"
+#include "plugins/healthchecker_operator.h"
+#include "plugins/perfmetrics_operator.h"
+#include "plugins/persyst_operator.h"
+#include "plugins/regressor_operator.h"
+#include "plugins/smoothing_operator.h"
+#include "plugins/tester_operator.h"
+
+namespace wm::plugins {
+
+void registerBuiltinPlugins(core::OperatorManager& manager) {
+    manager.registerPlugin("tester", configureTester);
+    manager.registerPlugin("aggregator", configureAggregator);
+    manager.registerPlugin("smoothing", configureSmoothing);
+    manager.registerPlugin("perfmetrics", configurePerfmetrics);
+    manager.registerPlugin("healthchecker", configureHealthchecker);
+    manager.registerPlugin("regressor", configureRegressor);
+    manager.registerPlugin("persyst", configurePersyst);
+    manager.registerPlugin("clustering", configureClustering);
+    manager.registerPlugin("controller", configureController);
+    manager.registerPlugin("filesink", configureFilesink);
+    manager.registerPlugin("classifier", configureClassifier);
+}
+
+}  // namespace wm::plugins

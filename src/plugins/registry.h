@@ -1,0 +1,18 @@
+#pragma once
+
+// Registration of all built-in operator plugins with an Operator Manager.
+// DCDB loads plugins as shared objects at runtime; this reproduction links
+// them statically and registers their configurators by name, preserving the
+// dynamic-instantiation workflow (configuration blocks select plugins by
+// name at runtime).
+
+#include "core/operator_manager.h"
+
+namespace wm::plugins {
+
+/// Registers every built-in plugin: tester, aggregator, smoothing,
+/// perfmetrics, healthchecker, regressor, persyst, clustering, controller,
+/// filesink.
+void registerBuiltinPlugins(core::OperatorManager& manager);
+
+}  // namespace wm::plugins

@@ -1,0 +1,132 @@
+#include "plugins/regressor_operator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+bool RegressorOperator::trainNow() {
+    if (training_set_.size() < 16) return false;
+    bool ok;
+    if (settings_.model == RegressorModel::kLinear) {
+        ok = linear_.fit(training_set_.features(), training_set_.responses(),
+                         settings_.linear);
+    } else {
+        ok = forest_.fit(training_set_.features(), training_set_.responses(),
+                         settings_.forest);
+    }
+    if (ok) {
+        WM_LOG(kInfo, "regressor") << config_.name << ": trained on "
+                                   << training_set_.size()
+                                   << " samples, RMSE = " << oobRmse();
+    }
+    return ok;
+}
+
+double RegressorOperator::predictValue(const std::vector<double>& features) const {
+    return settings_.model == RegressorModel::kLinear ? linear_.predict(features)
+                                                      : forest_.predict(features);
+}
+
+std::vector<double> RegressorOperator::buildFeatures(const core::Unit& unit,
+                                                     common::TimestampNs t) const {
+    std::vector<std::vector<double>> blocks;
+    blocks.reserve(unit.inputs.size());
+    for (const auto& topic : unit.inputs) {
+        const bool monotonic = settings_.counter_names.count(common::pathLeaf(topic)) > 0;
+        blocks.push_back(analytics::extractFeatures(queryInput(topic, t), monotonic));
+    }
+    return analytics::concatFeatures(blocks);
+}
+
+std::optional<double> RegressorOperator::currentTarget(const core::Unit& unit) const {
+    if (context_.query_engine == nullptr) return std::nullopt;
+    for (const auto& topic : unit.inputs) {
+        if (common::pathLeaf(topic) != settings_.target) continue;
+        const auto latest = context_.query_engine->latest(topic);
+        if (latest) return latest->value;
+    }
+    return std::nullopt;
+}
+
+std::vector<core::SensorValue> RegressorOperator::compute(const core::Unit& unit,
+                                                          common::TimestampNs t) {
+    std::vector<core::SensorValue> out;
+    std::vector<double> features = buildFeatures(unit, t);
+
+    if (!modelTrained()) {
+        // Accumulation phase: pair the previous interval's features with the
+        // current target reading.
+        const auto target = currentTarget(unit);
+        auto pending = pending_features_.find(unit.name);
+        if (target && pending != pending_features_.end()) {
+            training_set_.add(std::move(pending->second), *target);
+            pending_features_.erase(pending);
+        }
+        pending_features_[unit.name] = std::move(features);
+        if (training_set_.full()) trainNow();
+        return out;
+    }
+
+    // Prediction phase: the forest estimates the target one interval ahead.
+    // Score the previous interval's prediction against the target that has
+    // now materialised (online error tracking).
+    const auto target = currentTarget(unit);
+    auto pending = pending_predictions_.find(unit.name);
+    if (target && pending != pending_predictions_.end() && *target != 0.0) {
+        online_error_.add(std::abs(pending->second - *target) / std::abs(*target));
+    }
+    const double prediction = predictValue(features);
+    pending_predictions_[unit.name] = prediction;
+    for (const auto& topic : unit.outputs) {
+        out.push_back({topic, {t, prediction}});
+    }
+    return out;
+}
+
+double RegressorOperator::onlineRelativeError() const {
+    return online_error_.count() > 0 ? online_error_.mean() : 0.0;
+}
+
+std::vector<double> RegressorOperator::computeOperatorLevel(common::TimestampNs) {
+    const double progress =
+        settings_.training_samples > 0
+            ? static_cast<double>(training_set_.size()) /
+                  static_cast<double>(settings_.training_samples)
+            : 0.0;
+    return {progress, modelTrained() ? oobRmse() : 0.0, onlineRelativeError()};
+}
+
+std::vector<core::OperatorPtr> configureRegressor(const common::ConfigNode& node,
+                                                  const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "regressor",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode& n) {
+            RegressorSettings settings;
+            settings.target = n.getString("target", "power");
+            settings.model = common::toLower(n.getString("model", "randomforest")) ==
+                                     "linear"
+                                 ? RegressorModel::kLinear
+                                 : RegressorModel::kRandomForest;
+            settings.training_samples =
+                static_cast<std::size_t>(n.getInt("trainingSamples", 30000));
+            settings.forest.num_trees = static_cast<std::size_t>(n.getInt("trees", 32));
+            settings.forest.tree.max_depth =
+                static_cast<std::size_t>(n.getInt("maxDepth", 12));
+            settings.forest.seed = static_cast<std::uint64_t>(n.getInt("seed", 42));
+            const auto counters = n.childrenOf("counters");
+            if (!counters.empty()) {
+                settings.counter_names.clear();
+                for (const auto* counter : counters) {
+                    settings.counter_names.insert(counter->value());
+                }
+            }
+            return std::make_shared<RegressorOperator>(config, ctx, std::move(settings));
+        });
+}
+
+}  // namespace wm::plugins

@@ -1,0 +1,110 @@
+#pragma once
+
+// Regressor operator plugin (Case Study 1, power consumption prediction).
+// At each computation interval, statistical features (mean, stddev, slope,
+// ...) are extracted from the recent readings of every input sensor and
+// concatenated into a feature vector; a random forest regresses the target
+// sensor's value one interval ahead. Training is automatic: feature vectors
+// and responses accumulate in memory until the configured training-set size
+// is reached, then the forest is fitted and the operator switches to
+// prediction. The model is shared by all units of the operator (paper
+// Section VI-B); use unitMode parallel for per-unit models.
+//
+// Plugin-specific configuration keys:
+//   target           <sensor-name>   leaf name of the input to predict
+//                                    (default "power")
+//   model            randomforest|linear   model family (default
+//                                    randomforest; linear = ridge baseline)
+//   trainingSamples  <n>             training-set size (default 30000)
+//   trees            <n>             forest size (default 32)
+//   maxDepth         <n>             tree depth cap (default 12)
+//   seed             <n>             RNG seed (default 42)
+//   counters         <name> ...      repeatable: inputs treated as monotonic
+//                                    counters (differenced before features);
+//                                    defaults cover the perfsim counters.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analytics/features.h"
+#include "analytics/stats.h"
+#include "analytics/linear_regression.h"
+#include "analytics/random_forest.h"
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+enum class RegressorModel { kRandomForest, kLinear };
+
+struct RegressorSettings {
+    std::string target = "power";
+    std::size_t training_samples = 30000;
+    RegressorModel model = RegressorModel::kRandomForest;
+    analytics::ForestParams forest;
+    analytics::LinearRegressionParams linear;
+    std::set<std::string> counter_names = {"cpu-cycles", "instructions", "cache-misses",
+                                           "vector-ops", "branch-misses", "col_idle"};
+};
+
+class RegressorOperator final : public core::OperatorTemplate {
+  public:
+    RegressorOperator(core::OperatorConfig config, core::OperatorContext context,
+                      RegressorSettings settings)
+        : core::OperatorTemplate(std::move(config), std::move(context)),
+          settings_(std::move(settings)),
+          training_set_(settings_.training_samples) {}
+
+    bool modelTrained() const {
+        return settings_.model == RegressorModel::kLinear ? linear_.trained()
+                                                          : forest_.trained();
+    }
+    std::size_t trainingSetSize() const { return training_set_.size(); }
+    /// OOB RMSE of the forest, or the train RMSE of the linear baseline.
+    double oobRmse() const {
+        return settings_.model == RegressorModel::kLinear ? linear_.trainRmse()
+                                                          : forest_.oobRmse();
+    }
+
+    /// Forces training with the currently accumulated samples (benches use
+    /// this to train on a shorter-than-default accumulation).
+    bool trainNow();
+
+    /// Running mean absolute relative error of the online predictions.
+    double onlineRelativeError() const;
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+    /// Operator-level outputs (mapped onto `globalOutput` sensors, in
+    /// order): training progress [0,1], OOB RMSE, online mean relative
+    /// error — "the average error of a model applied to a set of units"
+    /// from the paper's Section V-C.
+    std::vector<double> computeOperatorLevel(common::TimestampNs t) override;
+
+  private:
+    /// Feature vector from the unit's current input windows.
+    std::vector<double> buildFeatures(const core::Unit& unit, common::TimestampNs t) const;
+    /// Latest value of the unit's target input, if present.
+    std::optional<double> currentTarget(const core::Unit& unit) const;
+
+    double predictValue(const std::vector<double>& features) const;
+
+    RegressorSettings settings_;
+    analytics::TrainingSet training_set_;
+    analytics::RandomForest forest_;
+    analytics::LinearRegression linear_;
+    /// Features captured at the previous interval, per unit: the supervised
+    /// pair is (features at t-1) -> (target at t).
+    std::map<std::string, std::vector<double>> pending_features_;
+    /// Previous interval's prediction per unit, scored against the next
+    /// target reading to track the online error.
+    std::map<std::string, double> pending_predictions_;
+    analytics::StreamingStats online_error_;
+};
+
+std::vector<core::OperatorPtr> configureRegressor(const common::ConfigNode& node,
+                                                  const core::OperatorContext& context);
+
+}  // namespace wm::plugins

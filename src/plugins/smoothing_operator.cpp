@@ -1,0 +1,34 @@
+#include "plugins/smoothing_operator.h"
+
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+std::vector<core::SensorValue> SmoothingOperator::compute(const core::Unit& unit,
+                                                          common::TimestampNs t) {
+    std::vector<core::SensorValue> out;
+    const std::size_t n = std::min(unit.inputs.size(), unit.outputs.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (context_.query_engine == nullptr) break;
+        const auto latest = context_.query_engine->latest(unit.inputs[i]);
+        if (!latest) continue;
+        auto it = state_.try_emplace(unit.inputs[i], analytics::Ewma(alpha_)).first;
+        const double smoothed = it->second.update(latest->value);
+        out.push_back({unit.outputs[i], {t, smoothed}});
+    }
+    return out;
+}
+
+std::vector<core::OperatorPtr> configureSmoothing(const common::ConfigNode& node,
+                                                  const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "smoothing",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode& n) {
+            double alpha = n.getDouble("alpha", 0.2);
+            if (alpha <= 0.0 || alpha > 1.0) alpha = 0.2;
+            return std::make_shared<SmoothingOperator>(config, ctx, alpha);
+        });
+}
+
+}  // namespace wm::plugins

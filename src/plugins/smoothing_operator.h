@@ -1,0 +1,37 @@
+#pragma once
+
+// Smoothing operator plugin: exponential moving average over each input
+// sensor, emitted to the positionally-matching output sensor. Units must
+// therefore have equally many inputs and outputs (the configurator warns
+// otherwise and the extra inputs are ignored).
+//
+// Plugin-specific configuration keys:
+//   alpha   <a in (0,1]>    EWMA smoothing factor (default 0.2)
+
+#include <map>
+#include <string>
+
+#include "analytics/stats.h"
+#include "core/operator.h"
+
+namespace wm::plugins {
+
+class SmoothingOperator final : public core::OperatorTemplate {
+  public:
+    SmoothingOperator(core::OperatorConfig config, core::OperatorContext context,
+                      double alpha)
+        : core::OperatorTemplate(std::move(config), std::move(context)), alpha_(alpha) {}
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    double alpha_;
+    std::map<std::string, analytics::Ewma> state_;  // keyed by input topic
+};
+
+std::vector<core::OperatorPtr> configureSmoothing(const common::ConfigNode& node,
+                                                  const core::OperatorContext& context);
+
+}  // namespace wm::plugins

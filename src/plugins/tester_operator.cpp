@@ -1,0 +1,35 @@
+#include "plugins/tester_operator.h"
+
+#include "plugins/configurator_common.h"
+
+namespace wm::plugins {
+
+std::vector<core::SensorValue> TesterOperator::compute(const core::Unit& unit,
+                                                       common::TimestampNs t) {
+    std::uint64_t retrieved = 0;
+    if (!unit.inputs.empty()) {
+        for (std::size_t q = 0; q < num_queries_; ++q) {
+            const std::string& topic = unit.inputs[q % unit.inputs.size()];
+            retrieved += queryInput(topic, t).size();
+        }
+    }
+    readings_retrieved_.fetch_add(retrieved, std::memory_order_relaxed);
+    std::vector<core::SensorValue> out;
+    for (const auto& topic : unit.outputs) {
+        out.push_back({topic, {t, static_cast<double>(retrieved)}});
+    }
+    return out;
+}
+
+std::vector<core::OperatorPtr> configureTester(const common::ConfigNode& node,
+                                               const core::OperatorContext& context) {
+    return configureStandard(
+        node, context, "tester",
+        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+           const common::ConfigNode& n) {
+            const auto queries = static_cast<std::size_t>(n.getInt("queries", 10));
+            return std::make_shared<TesterOperator>(config, ctx, queries);
+        });
+}
+
+}  // namespace wm::plugins

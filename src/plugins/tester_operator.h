@@ -1,0 +1,42 @@
+#pragma once
+
+// The tester operator plugin of the Fig. 5 overhead experiment: at each
+// computation interval it performs a configurable number of queries over the
+// input sensors of its units, exercising the Query Engine under a controlled
+// load. The output sensor (when configured) reports the number of readings
+// retrieved, so the load itself is observable as a time series.
+//
+// Plugin-specific configuration keys:
+//   queries   <n>      queries per computation interval (default 10)
+//
+// The query temporal range and mode come from the common `window` and
+// `queryMode` keys.
+
+#include "core/operator.h"
+#include "core/operator_manager.h"
+
+namespace wm::plugins {
+
+class TesterOperator final : public core::OperatorTemplate {
+  public:
+    TesterOperator(core::OperatorConfig config, core::OperatorContext context,
+                   std::size_t num_queries)
+        : core::OperatorTemplate(std::move(config), std::move(context)),
+          num_queries_(num_queries) {}
+
+    std::uint64_t totalReadingsRetrieved() const { return readings_retrieved_.load(); }
+
+  protected:
+    std::vector<core::SensorValue> compute(const core::Unit& unit,
+                                           common::TimestampNs t) override;
+
+  private:
+    std::size_t num_queries_;
+    std::atomic<std::uint64_t> readings_retrieved_{0};
+};
+
+/// Configurator for the Operator Manager's plugin registry.
+std::vector<core::OperatorPtr> configureTester(const common::ConfigNode& node,
+                                               const core::OperatorContext& context);
+
+}  // namespace wm::plugins

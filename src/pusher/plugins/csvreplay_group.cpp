@@ -1,0 +1,76 @@
+#include "pusher/plugins/csvreplay_group.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace wm::pusher {
+
+CsvReplayGroup::CsvReplayGroup(CsvReplayConfig config) : config_(std::move(config)) {
+    if (config_.slice_ns <= 0) config_.slice_ns = config_.interval_ns;
+    std::ifstream in(config_.path);
+    if (!in.is_open()) {
+        WM_LOG(kError, "csvreplay") << config_.name << ": cannot open " << config_.path;
+        return;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || common::startsWith(line, "topic,")) continue;
+        const std::size_t c1 = line.find(',');
+        const std::size_t c2 = line.find(',', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos) continue;
+        Row row;
+        try {
+            row.topic = common::normalizePath(config_.topic_prefix +
+                                              line.substr(0, c1));
+            row.timestamp = std::stoll(line.substr(c1 + 1, c2 - c1 - 1));
+            row.value = std::stod(line.substr(c2 + 1));
+        } catch (...) {
+            continue;  // skip malformed rows
+        }
+        rows_.push_back(std::move(row));
+    }
+    std::sort(rows_.begin(), rows_.end(),
+              [](const Row& a, const Row& b) { return a.timestamp < b.timestamp; });
+    if (!rows_.empty()) replay_position_ = rows_.front().timestamp;
+    WM_LOG(kInfo, "csvreplay") << config_.name << ": loaded " << rows_.size()
+                               << " rows from " << config_.path;
+}
+
+std::vector<sensors::SensorMetadata> CsvReplayGroup::sensors() const {
+    std::set<std::string> topics;
+    for (const auto& row : rows_) topics.insert(row.topic);
+    std::vector<sensors::SensorMetadata> out;
+    out.reserve(topics.size());
+    for (const auto& topic : topics) {
+        sensors::SensorMetadata metadata;
+        metadata.topic = topic;
+        metadata.interval_ns = config_.interval_ns;
+        out.push_back(std::move(metadata));
+    }
+    return out;
+}
+
+std::vector<SampledReading> CsvReplayGroup::read(common::TimestampNs t) {
+    std::vector<SampledReading> out;
+    if (rows_.empty()) return out;
+    if (cursor_ >= rows_.size()) {
+        if (!config_.loop) return out;
+        cursor_ = 0;
+        replay_position_ = rows_.front().timestamp;
+    }
+    // Emit all rows inside the next slice of the recorded time axis,
+    // re-stamped onto the live timeline.
+    const common::TimestampNs slice_end = replay_position_ + config_.slice_ns;
+    while (cursor_ < rows_.size() && rows_[cursor_].timestamp < slice_end) {
+        out.push_back({rows_[cursor_].topic, {t, rows_[cursor_].value}});
+        ++cursor_;
+    }
+    replay_position_ = slice_end;
+    return out;
+}
+
+}  // namespace wm::pusher

@@ -1,0 +1,62 @@
+#pragma once
+
+// CSV replay monitoring plugin: feeds recorded sensor traces through the
+// Pusher as if they were sampled live. Rows use the storage backend's CSV
+// schema ("topic,timestamp,value"). At each sampling tick the plugin emits
+// every recorded reading belonging to the next slice of the recorded time
+// axis, re-stamped onto the live timeline — so a trace captured at any rate
+// replays at the configured interval, optionally looping.
+//
+// This is the bridge between offline data (production traces, the storage
+// backend's dumpCsv output, or external datasets) and the online analysis
+// stack: operators, pipelines and models run identically on replayed data.
+
+#include <string>
+#include <vector>
+
+#include "pusher/sensor_group.h"
+
+namespace wm::pusher {
+
+struct CsvReplayConfig {
+    std::string name = "csvreplay";
+    /// CSV file with "topic,timestamp,value" rows (header optional).
+    std::string path;
+    common::TimestampNs interval_ns = common::kNsPerSec;
+    /// Recorded time covered per tick; defaults to interval_ns (1:1 replay).
+    common::TimestampNs slice_ns = 0;
+    /// Restart from the beginning when the trace is exhausted.
+    bool loop = true;
+    /// Prefix prepended to every replayed topic (e.g. "/replay").
+    std::string topic_prefix;
+};
+
+class CsvReplayGroup final : public SensorGroup {
+  public:
+    explicit CsvReplayGroup(CsvReplayConfig config);
+
+    /// False when the trace file could not be read or held no valid rows.
+    bool loaded() const { return !rows_.empty(); }
+    std::size_t rowCount() const { return rows_.size(); }
+    /// True once a non-looping replay has emitted every row.
+    bool exhausted() const { return !config_.loop && cursor_ >= rows_.size(); }
+
+    const std::string& name() const override { return config_.name; }
+    common::TimestampNs intervalNs() const override { return config_.interval_ns; }
+    std::vector<sensors::SensorMetadata> sensors() const override;
+    std::vector<SampledReading> read(common::TimestampNs t) override;
+
+  private:
+    struct Row {
+        std::string topic;
+        common::TimestampNs timestamp;
+        double value;
+    };
+
+    CsvReplayConfig config_;
+    std::vector<Row> rows_;          // sorted by recorded timestamp
+    std::size_t cursor_ = 0;         // next row to emit
+    common::TimestampNs replay_position_ = 0;  // recorded-time watermark
+};
+
+}  // namespace wm::pusher

@@ -1,0 +1,41 @@
+#include "pusher/plugins/facilitysim_group.h"
+
+#include "common/string_utils.h"
+
+namespace wm::pusher {
+
+FacilitysimGroup::FacilitysimGroup(FacilitysimGroupConfig config,
+                                   SimulatedFacilityPtr facility)
+    : config_(std::move(config)), facility_(std::move(facility)) {}
+
+std::vector<sensors::SensorMetadata> FacilitysimGroup::sensors() const {
+    std::vector<sensors::SensorMetadata> out;
+    const struct {
+        const char* name;
+        const char* unit;
+    } kSensors[] = {{"inlet-temp", "C"},    {"return-temp", "C"},
+                    {"outdoor-temp", "C"},  {"cooling-power", "W"},
+                    {"it-power", "W"},      {"pue", ""}};
+    for (const auto& sensor : kSensors) {
+        sensors::SensorMetadata metadata;
+        metadata.topic = common::pathJoin(config_.prefix, sensor.name);
+        metadata.unit = sensor.unit;
+        metadata.interval_ns = config_.interval_ns;
+        out.push_back(std::move(metadata));
+    }
+    return out;
+}
+
+std::vector<SampledReading> FacilitysimGroup::read(common::TimestampNs t) {
+    const simulator::FacilitySample sample = facility_->sampleAt(t);
+    return {
+        {common::pathJoin(config_.prefix, "inlet-temp"), {t, sample.inlet_temp_c}},
+        {common::pathJoin(config_.prefix, "return-temp"), {t, sample.return_temp_c}},
+        {common::pathJoin(config_.prefix, "outdoor-temp"), {t, sample.outdoor_temp_c}},
+        {common::pathJoin(config_.prefix, "cooling-power"), {t, sample.cooling_power_w}},
+        {common::pathJoin(config_.prefix, "it-power"), {t, sample.it_power_w}},
+        {common::pathJoin(config_.prefix, "pue"), {t, sample.pue}},
+    };
+}
+
+}  // namespace wm::pusher

@@ -1,0 +1,88 @@
+#pragma once
+
+// Facility-level monitoring plugin backed by the cooling-circuit model:
+// sensors under "/facility/..." (inlet/return/outdoor temperatures, cooling
+// power, IT power, PUE). The IT load is supplied by a callback so the
+// facility integrates whatever cluster feeds it — holistic monitoring from
+// the facility down to the CPUs, as the paper's title promises.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pusher/sensor_group.h"
+#include "simulator/facility_model.h"
+
+namespace wm::pusher {
+
+struct FacilitysimGroupConfig {
+    std::string name = "facilitysim";
+    std::string prefix = "/facility";
+    common::TimestampNs interval_ns = common::kNsPerSec;
+};
+
+/// Thread-safe wrapper shared between the sampling plugin and actuators.
+class SimulatedFacility {
+  public:
+    explicit SimulatedFacility(simulator::FacilityCharacteristics characteristics = {},
+                               std::function<double()> it_power_source = nullptr)
+        : model_(characteristics), it_power_source_(std::move(it_power_source)) {}
+
+    simulator::FacilitySample sampleAt(common::TimestampNs t) {
+        std::lock_guard lock(mutex_);
+        if (last_time_ == 0) {
+            last_time_ = t;
+            model_.advance(1.0, currentItPower());
+        } else if (t > last_time_) {
+            double dt = static_cast<double>(t - last_time_) /
+                        static_cast<double>(common::kNsPerSec);
+            while (dt > 0.0) {
+                const double slice = std::min(dt, 60.0);
+                model_.advance(slice, currentItPower());
+                dt -= slice;
+            }
+            last_time_ = t;
+        }
+        return model_.sample();
+    }
+
+    void setInletSetpoint(double temp_c) {
+        std::lock_guard lock(mutex_);
+        model_.setInletSetpoint(temp_c);
+    }
+
+    double inletSetpoint() const {
+        std::lock_guard lock(mutex_);
+        return model_.inletSetpoint();
+    }
+
+  private:
+    double currentItPower() const {
+        return it_power_source_ ? it_power_source_() : 0.0;
+    }
+
+    mutable std::mutex mutex_;
+    simulator::FacilityModel model_;
+    std::function<double()> it_power_source_;
+    common::TimestampNs last_time_ = 0;
+};
+
+using SimulatedFacilityPtr = std::shared_ptr<SimulatedFacility>;
+
+class FacilitysimGroup final : public SensorGroup {
+  public:
+    FacilitysimGroup(FacilitysimGroupConfig config, SimulatedFacilityPtr facility);
+
+    const std::string& name() const override { return config_.name; }
+    common::TimestampNs intervalNs() const override { return config_.interval_ns; }
+    std::vector<sensors::SensorMetadata> sensors() const override;
+    std::vector<SampledReading> read(common::TimestampNs t) override;
+
+  private:
+    FacilitysimGroupConfig config_;
+    SimulatedFacilityPtr facility_;
+};
+
+}  // namespace wm::pusher

@@ -1,0 +1,56 @@
+#include "pusher/plugins/perfsim_group.h"
+
+#include "common/string_utils.h"
+#include "simulator/topology.h"
+
+namespace wm::pusher {
+
+PerfsimGroup::PerfsimGroup(PerfsimGroupConfig config, SimulatedNodePtr node)
+    : config_(std::move(config)), node_(std::move(node)) {}
+
+const std::vector<std::string>& PerfsimGroup::counterNames() {
+    static const std::vector<std::string> names = {
+        "cpu-cycles", "instructions", "cache-misses", "vector-ops", "branch-misses"};
+    return names;
+}
+
+std::vector<sensors::SensorMetadata> PerfsimGroup::sensors() const {
+    std::vector<sensors::SensorMetadata> out;
+    const std::size_t cores = node_->coreCount();
+    out.reserve(cores * counterNames().size());
+    for (std::size_t core = 0; core < cores; ++core) {
+        const std::string cpu_path =
+            simulator::Topology::cpuPath(config_.node_path, core);
+        for (const auto& counter : counterNames()) {
+            sensors::SensorMetadata metadata;
+            metadata.topic = common::pathJoin(cpu_path, counter);
+            metadata.interval_ns = config_.interval_ns;
+            metadata.monotonic = true;
+            metadata.publish = config_.publish;
+            out.push_back(std::move(metadata));
+        }
+    }
+    return out;
+}
+
+std::vector<SampledReading> PerfsimGroup::read(common::TimestampNs t) {
+    const simulator::NodeSample sample = node_->sampleAt(t);
+    std::vector<SampledReading> out;
+    out.reserve(sample.cores.size() * counterNames().size());
+    for (std::size_t core = 0; core < sample.cores.size(); ++core) {
+        const std::string cpu_path =
+            simulator::Topology::cpuPath(config_.node_path, core);
+        const simulator::CoreCounters& counters = sample.cores[core];
+        out.push_back({common::pathJoin(cpu_path, "cpu-cycles"), {t, counters.cycles}});
+        out.push_back(
+            {common::pathJoin(cpu_path, "instructions"), {t, counters.instructions}});
+        out.push_back(
+            {common::pathJoin(cpu_path, "cache-misses"), {t, counters.cache_misses}});
+        out.push_back({common::pathJoin(cpu_path, "vector-ops"), {t, counters.vector_ops}});
+        out.push_back(
+            {common::pathJoin(cpu_path, "branch-misses"), {t, counters.branch_misses}});
+    }
+    return out;
+}
+
+}  // namespace wm::pusher

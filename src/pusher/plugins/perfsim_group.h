@@ -1,0 +1,42 @@
+#pragma once
+
+// perfevent-style monitoring plugin backed by the simulator: per-CPU
+// monotonic hardware counters (cycles, instructions, cache misses, vector
+// operations, branch misses) under "<node>/cpuK/<counter>".
+
+#include <string>
+#include <vector>
+
+#include "pusher/sensor_group.h"
+#include "pusher/sim_node.h"
+
+namespace wm::pusher {
+
+struct PerfsimGroupConfig {
+    std::string name = "perfsim";
+    /// Node path prefix, e.g. "/rack0/chassis0/server0".
+    std::string node_path;
+    common::TimestampNs interval_ns = common::kNsPerSec;
+    /// Whether raw counters are published over MQTT. Pipelines that derive
+    /// metrics locally (perfmetrics) keep the raw counters Pusher-local.
+    bool publish = true;
+};
+
+class PerfsimGroup final : public SensorGroup {
+  public:
+    PerfsimGroup(PerfsimGroupConfig config, SimulatedNodePtr node);
+
+    const std::string& name() const override { return config_.name; }
+    common::TimestampNs intervalNs() const override { return config_.interval_ns; }
+    std::vector<sensors::SensorMetadata> sensors() const override;
+    std::vector<SampledReading> read(common::TimestampNs t) override;
+
+    /// The per-CPU counter names this plugin exposes.
+    static const std::vector<std::string>& counterNames();
+
+  private:
+    PerfsimGroupConfig config_;
+    SimulatedNodePtr node_;
+};
+
+}  // namespace wm::pusher

@@ -1,0 +1,34 @@
+#include "pusher/plugins/procfssim_group.h"
+
+#include "common/string_utils.h"
+
+namespace wm::pusher {
+
+ProcfssimGroup::ProcfssimGroup(ProcfssimGroupConfig config, SimulatedNodePtr node)
+    : config_(std::move(config)), node_(std::move(node)) {}
+
+std::vector<sensors::SensorMetadata> ProcfssimGroup::sensors() const {
+    std::vector<sensors::SensorMetadata> out;
+    sensors::SensorMetadata memfree;
+    memfree.topic = common::pathJoin(config_.node_path, "memfree");
+    memfree.unit = "GB";
+    memfree.interval_ns = config_.interval_ns;
+    out.push_back(std::move(memfree));
+    sensors::SensorMetadata idle;
+    idle.topic = common::pathJoin(config_.node_path, "col_idle");
+    idle.unit = "cs";
+    idle.interval_ns = config_.interval_ns;
+    idle.monotonic = true;
+    out.push_back(std::move(idle));
+    return out;
+}
+
+std::vector<SampledReading> ProcfssimGroup::read(common::TimestampNs t) {
+    const simulator::NodeSample sample = node_->sampleAt(t);
+    return {
+        {common::pathJoin(config_.node_path, "memfree"), {t, sample.memory_free_gb}},
+        {common::pathJoin(config_.node_path, "col_idle"), {t, sample.idle_time_total}},
+    };
+}
+
+}  // namespace wm::pusher

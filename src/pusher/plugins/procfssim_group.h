@@ -1,0 +1,35 @@
+#pragma once
+
+// ProcFS-style monitoring plugin backed by the simulator: node-level memory
+// availability and the accumulated CPU idle-time counter ("col_idle",
+// /proc/stat semantics) under "<node>/memfree" and "<node>/col_idle".
+
+#include <string>
+#include <vector>
+
+#include "pusher/sensor_group.h"
+#include "pusher/sim_node.h"
+
+namespace wm::pusher {
+
+struct ProcfssimGroupConfig {
+    std::string name = "procfssim";
+    std::string node_path;
+    common::TimestampNs interval_ns = common::kNsPerSec;
+};
+
+class ProcfssimGroup final : public SensorGroup {
+  public:
+    ProcfssimGroup(ProcfssimGroupConfig config, SimulatedNodePtr node);
+
+    const std::string& name() const override { return config_.name; }
+    common::TimestampNs intervalNs() const override { return config_.interval_ns; }
+    std::vector<sensors::SensorMetadata> sensors() const override;
+    std::vector<SampledReading> read(common::TimestampNs t) override;
+
+  private:
+    ProcfssimGroupConfig config_;
+    SimulatedNodePtr node_;
+};
+
+}  // namespace wm::pusher

@@ -1,0 +1,33 @@
+#include "pusher/plugins/sysfssim_group.h"
+
+#include "common/string_utils.h"
+
+namespace wm::pusher {
+
+SysfssimGroup::SysfssimGroup(SysfssimGroupConfig config, SimulatedNodePtr node)
+    : config_(std::move(config)), node_(std::move(node)) {}
+
+std::vector<sensors::SensorMetadata> SysfssimGroup::sensors() const {
+    std::vector<sensors::SensorMetadata> out;
+    sensors::SensorMetadata power;
+    power.topic = common::pathJoin(config_.node_path, "power");
+    power.unit = "W";
+    power.interval_ns = config_.interval_ns;
+    out.push_back(std::move(power));
+    sensors::SensorMetadata temp;
+    temp.topic = common::pathJoin(config_.node_path, "temp");
+    temp.unit = "C";
+    temp.interval_ns = config_.interval_ns;
+    out.push_back(std::move(temp));
+    return out;
+}
+
+std::vector<SampledReading> SysfssimGroup::read(common::TimestampNs t) {
+    const simulator::NodeSample sample = node_->sampleAt(t);
+    return {
+        {common::pathJoin(config_.node_path, "power"), {t, sample.power_w}},
+        {common::pathJoin(config_.node_path, "temp"), {t, sample.temperature_c}},
+    };
+}
+
+}  // namespace wm::pusher

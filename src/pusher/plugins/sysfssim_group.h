@@ -1,0 +1,35 @@
+#pragma once
+
+// sysFS-style monitoring plugin backed by the simulator: node-level power
+// (as measured at the supply) and temperature sensors under
+// "<node>/power" and "<node>/temp".
+
+#include <string>
+#include <vector>
+
+#include "pusher/sensor_group.h"
+#include "pusher/sim_node.h"
+
+namespace wm::pusher {
+
+struct SysfssimGroupConfig {
+    std::string name = "sysfssim";
+    std::string node_path;
+    common::TimestampNs interval_ns = common::kNsPerSec;
+};
+
+class SysfssimGroup final : public SensorGroup {
+  public:
+    SysfssimGroup(SysfssimGroupConfig config, SimulatedNodePtr node);
+
+    const std::string& name() const override { return config_.name; }
+    common::TimestampNs intervalNs() const override { return config_.interval_ns; }
+    std::vector<sensors::SensorMetadata> sensors() const override;
+    std::vector<SampledReading> read(common::TimestampNs t) override;
+
+  private:
+    SysfssimGroupConfig config_;
+    SimulatedNodePtr node_;
+};
+
+}  // namespace wm::pusher

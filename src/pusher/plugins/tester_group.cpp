@@ -1,0 +1,38 @@
+#include "pusher/plugins/tester_group.h"
+
+#include "common/string_utils.h"
+
+namespace wm::pusher {
+
+TesterGroup::TesterGroup(TesterGroupConfig config) : config_(std::move(config)) {
+    topics_.reserve(config_.num_sensors);
+    for (std::size_t i = 0; i < config_.num_sensors; ++i) {
+        topics_.push_back(common::pathJoin(config_.prefix, "test" + std::to_string(i)));
+    }
+}
+
+std::vector<sensors::SensorMetadata> TesterGroup::sensors() const {
+    std::vector<sensors::SensorMetadata> out;
+    out.reserve(topics_.size());
+    for (const auto& topic : topics_) {
+        sensors::SensorMetadata metadata;
+        metadata.topic = topic;
+        metadata.interval_ns = config_.interval_ns;
+        metadata.monotonic = true;
+        out.push_back(std::move(metadata));
+    }
+    return out;
+}
+
+std::vector<SampledReading> TesterGroup::read(common::TimestampNs t) {
+    value_ += config_.increment;
+    ++ticks_;
+    std::vector<SampledReading> out;
+    out.reserve(topics_.size());
+    for (const auto& topic : topics_) {
+        out.push_back({topic, {t, value_}});
+    }
+    return out;
+}
+
+}  // namespace wm::pusher

@@ -1,0 +1,44 @@
+#pragma once
+
+// The tester monitoring plugin: produces a configurable number of monotonic
+// synthetic sensors with negligible sampling cost. This is the baseline data
+// source of the paper's Fig. 5 overhead experiment (1000 monotonic sensors
+// at a 1 s interval).
+
+#include <string>
+#include <vector>
+
+#include "pusher/sensor_group.h"
+
+namespace wm::pusher {
+
+struct TesterGroupConfig {
+    std::string name = "tester";
+    /// Topic prefix under which sensors are created; sensor i becomes
+    /// "<prefix>/test<i>".
+    std::string prefix = "/test";
+    std::size_t num_sensors = 1000;
+    common::TimestampNs interval_ns = common::kNsPerSec;
+    /// Per-tick increment of each monotonic sensor.
+    double increment = 1.0;
+};
+
+class TesterGroup final : public SensorGroup {
+  public:
+    explicit TesterGroup(TesterGroupConfig config);
+
+    const std::string& name() const override { return config_.name; }
+    common::TimestampNs intervalNs() const override { return config_.interval_ns; }
+    std::vector<sensors::SensorMetadata> sensors() const override;
+    std::vector<SampledReading> read(common::TimestampNs t) override;
+
+    std::uint64_t ticks() const { return ticks_; }
+
+  private:
+    TesterGroupConfig config_;
+    std::vector<std::string> topics_;
+    double value_ = 0.0;
+    std::uint64_t ticks_ = 0;
+};
+
+}  // namespace wm::pusher

@@ -1,0 +1,87 @@
+#include "pusher/pusher.h"
+
+#include "common/logging.h"
+
+namespace wm::pusher {
+
+Pusher::Pusher(PusherConfig config, mqtt::Broker* broker)
+    : config_(std::move(config)),
+      broker_(broker),
+      cache_store_(config_.cache_window_ns),
+      pool_(config_.worker_threads),
+      scheduler_(pool_) {}
+
+Pusher::~Pusher() {
+    stop();
+    scheduler_.stop();
+}
+
+void Pusher::addGroup(SensorGroupPtr group) {
+    // Create cache entries up front so the Query Engine can discover the
+    // sensor space before the first sample arrives.
+    for (const auto& metadata : group->sensors()) {
+        cache_store_.getOrCreate(metadata);
+    }
+    SensorGroup* raw = group.get();
+    std::lock_guard lock(groups_mutex_);
+    groups_.push_back(std::move(group));
+    if (running_.load()) {
+        task_ids_.push_back(scheduler_.schedulePeriodic(
+            raw->intervalNs(), [this, raw](common::TimestampNs t) { tickGroup(*raw, t); }));
+    }
+}
+
+void Pusher::start() {
+    if (running_.exchange(true)) return;
+    std::lock_guard lock(groups_mutex_);
+    for (const auto& group : groups_) {
+        SensorGroup* raw = group.get();
+        task_ids_.push_back(scheduler_.schedulePeriodic(
+            raw->intervalNs(), [this, raw](common::TimestampNs t) { tickGroup(*raw, t); }));
+    }
+    WM_LOG(kInfo, "pusher") << config_.name << ": started " << groups_.size()
+                            << " sensor groups";
+}
+
+void Pusher::stop() {
+    if (!running_.exchange(false)) return;
+    std::lock_guard lock(groups_mutex_);
+    for (common::TaskId id : task_ids_) scheduler_.cancel(id);
+    task_ids_.clear();
+    pool_.waitIdle();
+    WM_LOG(kInfo, "pusher") << config_.name << ": stopped";
+}
+
+void Pusher::sampleOnce(common::TimestampNs t) {
+    std::vector<SensorGroup*> groups;
+    {
+        std::lock_guard lock(groups_mutex_);
+        groups.reserve(groups_.size());
+        for (const auto& group : groups_) groups.push_back(group.get());
+    }
+    for (SensorGroup* group : groups) tickGroup(*group, t);
+}
+
+void Pusher::tickGroup(SensorGroup& group, common::TimestampNs t) {
+    const std::vector<SampledReading> sampled = group.read(t);
+    for (const auto& item : sampled) {
+        sensors::SensorCache* cache = cache_store_.find(item.topic);
+        if (cache == nullptr) cache = &cache_store_.getOrCreate(item.topic);
+        cache->store(item.reading);
+    }
+    readings_sampled_.fetch_add(sampled.size(), std::memory_order_relaxed);
+    if (broker_ != nullptr) {
+        for (const auto& item : sampled) {
+            if (!cache_store_.publishAllowed(item.topic)) continue;
+            broker_->publish({item.topic, {item.reading}});
+            messages_published_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+std::size_t Pusher::groupCount() const {
+    std::lock_guard lock(groups_mutex_);
+    return groups_.size();
+}
+
+}  // namespace wm::pusher

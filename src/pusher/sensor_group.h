@@ -1,0 +1,46 @@
+#pragma once
+
+// Monitoring plugin interface of the Pusher. A plugin contributes one or
+// more sensor groups; each group samples a set of sensors at a common
+// interval. This mirrors DCDB's plugin architecture (perfevent, sysFS,
+// ProcFS, OPA, ...) — here the hardware-facing plugins are backed by the
+// cluster simulator (see DESIGN.md, substitutions), while the tester plugin
+// is a faithful port of the synthetic-load plugin the paper's Fig. 5 uses.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "sensors/metadata.h"
+#include "sensors/reading.h"
+
+namespace wm::pusher {
+
+/// One sampled value bound to its sensor topic.
+struct SampledReading {
+    std::string topic;
+    sensors::Reading reading;
+};
+
+class SensorGroup {
+  public:
+    virtual ~SensorGroup() = default;
+
+    /// Group name, for logging and the REST API.
+    virtual const std::string& name() const = 0;
+
+    /// Sampling interval of the group.
+    virtual common::TimestampNs intervalNs() const = 0;
+
+    /// Static metadata of every sensor the group produces.
+    virtual std::vector<sensors::SensorMetadata> sensors() const = 0;
+
+    /// Samples all sensors at the nominal tick timestamp `t`.
+    virtual std::vector<SampledReading> read(common::TimestampNs t) = 0;
+};
+
+using SensorGroupPtr = std::unique_ptr<SensorGroup>;
+
+}  // namespace wm::pusher

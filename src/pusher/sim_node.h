@@ -1,0 +1,82 @@
+#pragma once
+
+// Adapter between the simulator's NodeModel and the sampling plugins: the
+// plugins ask for "the node state at timestamp t" and the adapter advances
+// the physics model lazily to that time. Several sensor groups (perfsim,
+// sysfssim, procfssim) share one SimulatedNode, just as real plugins share
+// one physical node.
+
+#include <memory>
+#include <mutex>
+
+#include "common/time_utils.h"
+#include "simulator/node_model.h"
+
+namespace wm::pusher {
+
+class SimulatedNode {
+  public:
+    SimulatedNode(std::size_t num_cores, std::uint64_t seed,
+                  simulator::NodeCharacteristics characteristics = {})
+        : model_(num_cores, seed, characteristics) {}
+
+    /// Advances the model to `t` (no-op if t is in the past) and returns a
+    /// snapshot of the node state. Thread-safe.
+    simulator::NodeSample sampleAt(common::TimestampNs t) {
+        std::lock_guard lock(mutex_);
+        if (last_time_ == 0) {
+            last_time_ = t;
+            // Warm up so counters are non-zero on the first sample.
+            model_.advance(0.1);
+        } else if (t > last_time_) {
+            // Integrate in bounded slices so thermal dynamics stay accurate
+            // across long gaps (e.g. coarse sampling intervals).
+            double dt = static_cast<double>(t - last_time_) /
+                        static_cast<double>(common::kNsPerSec);
+            while (dt > 0.0) {
+                const double slice = std::min(dt, 5.0);
+                model_.advance(slice);
+                dt -= slice;
+            }
+            last_time_ = t;
+        }
+        return model_.sample();
+    }
+
+    void startApp(simulator::AppKind kind) {
+        std::lock_guard lock(mutex_);
+        model_.startApp(kind);
+    }
+
+    /// DVFS actuation entry point for feedback-loop operators.
+    void setFrequencyScale(double scale) {
+        std::lock_guard lock(mutex_);
+        model_.setFrequencyScale(scale);
+    }
+
+    double frequencyScale() const {
+        std::lock_guard lock(mutex_);
+        return model_.frequencyScale();
+    }
+
+    simulator::AppKind currentApp() const {
+        std::lock_guard lock(mutex_);
+        return model_.currentApp();
+    }
+
+    std::size_t coreCount() const { return core_count_cached(); }
+
+  private:
+    std::size_t core_count_cached() const {
+        std::lock_guard lock(mutex_);
+        return model_.coreCount();
+    }
+
+    mutable std::mutex mutex_;
+    simulator::NodeModel model_;
+    common::TimestampNs last_time_ = 0;
+};
+
+using SimulatedNodePtr = std::shared_ptr<SimulatedNode>;
+
+}  // namespace wm::pusher

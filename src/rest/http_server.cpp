@@ -1,0 +1,254 @@
+#include "rest/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_utils.h"
+
+namespace wm::rest {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 1 << 20;  // 1 MiB
+
+/// Reads until the full request (headers + Content-Length body) is buffered.
+/// Returns false on timeout, overflow or connection error.
+bool readRequest(int fd, std::string& raw, int timeout_ms) {
+    char chunk[4096];
+    std::size_t header_end = std::string::npos;
+    std::size_t content_length = 0;
+    for (;;) {
+        if (header_end != std::string::npos &&
+            raw.size() >= header_end + 4 + content_length) {
+            return true;
+        }
+        struct pollfd pfd{fd, POLLIN, 0};
+        const int rv = ::poll(&pfd, 1, timeout_ms);
+        if (rv <= 0) return false;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) return false;
+        raw.append(chunk, static_cast<std::size_t>(n));
+        if (raw.size() > kMaxRequestBytes) return false;
+        if (header_end == std::string::npos) {
+            header_end = raw.find("\r\n\r\n");
+            if (header_end != std::string::npos) {
+                // Extract Content-Length, if present.
+                const std::string headers = common::toLower(raw.substr(0, header_end));
+                const std::size_t pos = headers.find("content-length:");
+                if (pos != std::string::npos) {
+                    try {
+                        content_length = static_cast<std::size_t>(
+                            std::stoul(headers.substr(pos + 15)));
+                    } catch (...) {
+                        return false;
+                    }
+                    if (content_length > kMaxRequestBytes) return false;
+                }
+            }
+        }
+    }
+}
+
+bool writeAll(int fd, const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+const char* statusText(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 500: return "Internal Server Error";
+        default: return "Unknown";
+    }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Router& router) : router_(router) {}
+
+HttpServer::~HttpServer() {
+    stop();
+}
+
+bool HttpServer::start(std::uint16_t port) {
+    if (running_.load()) return false;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(listen_fd_, 16) < 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    running_.store(true);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    WM_LOG(kInfo, "rest") << "HTTP server listening on 127.0.0.1:" << port_;
+    return true;
+}
+
+void HttpServer::stop() {
+    if (!running_.exchange(false)) return;
+    // Closing the listening socket unblocks accept().
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    if (acceptor_.joinable()) acceptor_.join();
+    std::lock_guard lock(workers_mutex_);
+    for (auto& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+}
+
+void HttpServer::acceptLoop() {
+    while (running_.load()) {
+        sockaddr_in peer{};
+        socklen_t len = sizeof(peer);
+        const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+        if (fd < 0) {
+            if (!running_.load()) return;
+            continue;
+        }
+        std::lock_guard lock(workers_mutex_);
+        // Reap finished workers opportunistically to bound the vector.
+        if (workers_.size() > 64) {
+            for (auto& worker : workers_) {
+                if (worker.joinable()) worker.join();
+            }
+            workers_.clear();
+        }
+        workers_.emplace_back([this, fd] { handleConnection(fd); });
+    }
+}
+
+void HttpServer::handleConnection(int fd) {
+    std::string raw;
+    Response response;
+    if (!readRequest(fd, raw, 5000)) {
+        ::close(fd);
+        return;
+    }
+    // Parse the request line: METHOD SP target SP version.
+    const std::size_t line_end = raw.find("\r\n");
+    const auto parts = common::split(raw.substr(0, line_end), ' ');
+    if (parts.size() < 3) {
+        response = Response::badRequest("malformed request line");
+    } else {
+        Request request;
+        request.method = parts[0];
+        std::string target = parts[1];
+        const std::size_t qpos = target.find('?');
+        if (qpos != std::string::npos) {
+            request.query = Router::parseQuery(target.substr(qpos + 1));
+            target = target.substr(0, qpos);
+        }
+        request.path = target;
+        const std::size_t header_end = raw.find("\r\n\r\n");
+        if (header_end != std::string::npos) request.body = raw.substr(header_end + 4);
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        response = router_.dispatch(std::move(request));
+    }
+    std::ostringstream out;
+    out << "HTTP/1.1 " << response.status << ' ' << statusText(response.status) << "\r\n"
+        << "Content-Type: " << response.content_type << "\r\n"
+        << "Content-Length: " << response.body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << response.body;
+    writeAll(fd, out.str());
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+}
+
+HttpResult httpRequest(const std::string& host, std::uint16_t port,
+                       const std::string& method, const std::string& target,
+                       const std::string& body, int timeout_ms) {
+    HttpResult result;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        result.error = "socket() failed";
+        return result;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        result.error = "invalid host address";
+        ::close(fd);
+        return result;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        result.error = "connect() failed";
+        ::close(fd);
+        return result;
+    }
+    std::ostringstream request;
+    request << method << ' ' << target << " HTTP/1.1\r\n"
+            << "Host: " << host << "\r\n"
+            << "Content-Length: " << body.size() << "\r\n"
+            << "Connection: close\r\n\r\n"
+            << body;
+    if (!writeAll(fd, request.str())) {
+        result.error = "send() failed";
+        ::close(fd);
+        return result;
+    }
+    std::string raw;
+    char chunk[4096];
+    for (;;) {
+        struct pollfd pfd{fd, POLLIN, 0};
+        const int rv = ::poll(&pfd, 1, timeout_ms);
+        if (rv <= 0) break;
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        raw.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const std::size_t line_end = raw.find("\r\n");
+    if (line_end == std::string::npos) {
+        result.error = "malformed response";
+        return result;
+    }
+    const auto parts = common::split(raw.substr(0, line_end), ' ');
+    if (parts.size() < 2) {
+        result.error = "malformed status line";
+        return result;
+    }
+    try {
+        result.status = std::stoi(parts[1]);
+    } catch (...) {
+        result.error = "malformed status code";
+        return result;
+    }
+    const std::size_t header_end = raw.find("\r\n\r\n");
+    if (header_end != std::string::npos) result.body = raw.substr(header_end + 4);
+    result.ok = true;
+    return result;
+}
+
+}  // namespace wm::rest

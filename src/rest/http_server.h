@@ -1,0 +1,68 @@
+#pragma once
+
+// Minimal HTTP/1.1 server over POSIX sockets, standing in for the
+// Boost.Asio-based HTTPS server DCDB embeds in every component (see
+// DESIGN.md, substitutions). One acceptor thread, one handler thread per
+// connection, connection-close semantics. Dispatch goes through a Router,
+// so the same handlers serve in-process and over-the-wire requests.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rest/router.h"
+
+namespace wm::rest {
+
+class HttpServer {
+  public:
+    /// The server dispatches into `router`; the caller keeps ownership and
+    /// must keep the router alive while the server runs.
+    explicit HttpServer(Router& router);
+    ~HttpServer();
+
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+    /// acceptor thread. Returns false on bind/listen failure.
+    bool start(std::uint16_t port = 0);
+
+    /// Stops accepting, closes the listener and joins worker threads.
+    void stop();
+
+    bool running() const { return running_.load(); }
+    std::uint16_t port() const { return port_; }
+    std::uint64_t requestCount() const { return requests_.load(); }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    Router& router_;
+    std::atomic<bool> running_{false};
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptor_;
+    std::mutex workers_mutex_;
+    std::vector<std::thread> workers_;
+    std::atomic<std::uint64_t> requests_{0};
+};
+
+/// Blocking HTTP/1.1 client for tests and examples.
+struct HttpResult {
+    bool ok = false;        // transport-level success
+    int status = 0;
+    std::string body;
+    std::string error;      // transport error description when !ok
+};
+
+HttpResult httpRequest(const std::string& host, std::uint16_t port,
+                       const std::string& method, const std::string& target,
+                       const std::string& body = "", int timeout_ms = 5000);
+
+}  // namespace wm::rest

@@ -1,0 +1,121 @@
+#include "rest/router.h"
+
+#include <mutex>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace wm::rest {
+
+Response Response::notFound(const std::string& what) {
+    return {404, "{\"error\":\"" + jsonEscape(what) + "\"}", "application/json"};
+}
+
+Response Response::badRequest(const std::string& what) {
+    return {400, "{\"error\":\"" + jsonEscape(what) + "\"}", "application/json"};
+}
+
+Response Response::error(const std::string& what) {
+    return {500, "{\"error\":\"" + jsonEscape(what) + "\"}", "application/json"};
+}
+
+bool Router::route(const std::string& method, const std::string& pattern, Handler handler) {
+    if (method.empty() || pattern.empty() || pattern[0] != '/') return false;
+    Route entry;
+    entry.method = method;
+    entry.segments = common::split(pattern, '/');
+    entry.handler = std::move(handler);
+    std::unique_lock lock(mutex_);
+    routes_.push_back(std::move(entry));
+    return true;
+}
+
+Response Router::dispatch(Request request) const {
+    const auto segments = common::split(request.path, '/');
+    std::shared_lock lock(mutex_);
+    // Later routes win: iterate in reverse registration order.
+    for (auto it = routes_.rbegin(); it != routes_.rend(); ++it) {
+        const Route& route = *it;
+        if (route.method != request.method) continue;
+        if (route.segments.size() != segments.size()) continue;
+        std::map<std::string, std::string> params;
+        bool match = true;
+        for (std::size_t i = 0; i < segments.size(); ++i) {
+            const std::string& pat = route.segments[i];
+            if (!pat.empty() && pat[0] == ':') {
+                params[pat.substr(1)] = segments[i];
+            } else if (pat != segments[i]) {
+                match = false;
+                break;
+            }
+        }
+        if (!match) continue;
+        Handler handler = route.handler;
+        lock.unlock();
+        request.path_params = std::move(params);
+        try {
+            return handler(request);
+        } catch (const std::exception& e) {
+            return Response::error(e.what());
+        }
+    }
+    return Response::notFound("no route for " + request.method + " " + request.path);
+}
+
+std::map<std::string, std::string> Router::parseQuery(const std::string& query) {
+    std::map<std::string, std::string> out;
+    for (const auto& pair : common::split(query, '&')) {
+        const std::size_t eq = pair.find('=');
+        std::string key = eq == std::string::npos ? pair : pair.substr(0, eq);
+        std::string value = eq == std::string::npos ? "" : pair.substr(eq + 1);
+        auto decode = [](std::string& text) {
+            std::string decoded;
+            for (std::size_t i = 0; i < text.size(); ++i) {
+                if (text[i] == '+') {
+                    decoded.push_back(' ');
+                } else if (text[i] == '%' && i + 2 < text.size()) {
+                    decoded.push_back(static_cast<char>(
+                        std::stoi(text.substr(i + 1, 2), nullptr, 16)));
+                    i += 2;
+                } else {
+                    decoded.push_back(text[i]);
+                }
+            }
+            text = decoded;
+        };
+        decode(key);
+        decode(value);
+        if (!key.empty()) out[key] = value;
+    }
+    return out;
+}
+
+std::size_t Router::routeCount() const {
+    std::shared_lock lock(mutex_);
+    return routes_.size();
+}
+
+std::string jsonEscape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace wm::rest

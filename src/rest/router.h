@@ -1,0 +1,70 @@
+#pragma once
+
+// REST request routing for the control API every DCDB component exposes.
+// Routes are registered as "METHOD /path/:param/..." patterns; ':name'
+// segments capture path parameters. The router is transport-agnostic — the
+// in-process API and the HTTP server (http_server.h) both dispatch through
+// it, so on-demand operators can be triggered either way.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace wm::rest {
+
+struct Request {
+    std::string method;  // "GET", "POST", "PUT", "DELETE"
+    std::string path;    // path component, no query string
+    std::map<std::string, std::string> query;        // parsed query parameters
+    std::map<std::string, std::string> path_params;  // ':name' captures
+    std::string body;
+};
+
+struct Response {
+    int status = 200;
+    std::string body;
+    std::string content_type = "application/json";
+
+    static Response ok(std::string body) { return {200, std::move(body), "application/json"}; }
+    static Response text(std::string body) { return {200, std::move(body), "text/plain"}; }
+    static Response notFound(const std::string& what = "not found");
+    static Response badRequest(const std::string& what);
+    static Response error(const std::string& what);
+};
+
+using Handler = std::function<Response(const Request&)>;
+
+class Router {
+  public:
+    /// Registers a handler for `method` + `pattern`. Pattern segments may be
+    /// literals or ':name' captures. Later registrations win on exact
+    /// duplicates. Returns false for malformed patterns.
+    bool route(const std::string& method, const std::string& pattern, Handler handler);
+
+    /// Dispatches a request; fills `path_params` on a match. Unmatched
+    /// requests yield 404.
+    Response dispatch(Request request) const;
+
+    /// Parses "a=1&b=2" into a map (no URL decoding beyond '%xx' and '+').
+    static std::map<std::string, std::string> parseQuery(const std::string& query);
+
+    std::size_t routeCount() const;
+
+  private:
+    struct Route {
+        std::string method;
+        std::vector<std::string> segments;
+        Handler handler;
+    };
+
+    mutable std::shared_mutex mutex_;
+    std::vector<Route> routes_;
+};
+
+/// Minimal JSON-ish escaping for string values embedded in responses.
+std::string jsonEscape(const std::string& text);
+
+}  // namespace wm::rest

@@ -1,0 +1,35 @@
+#pragma once
+
+// Static description of a sensor: its topic (which doubles as its unique
+// name and its position in the sensor tree), unit, sampling interval and
+// publication settings. Mirrors DCDB's SensorMetadata.
+
+#include <string>
+
+#include "common/string_utils.h"
+#include "common/time_utils.h"
+
+namespace wm::sensors {
+
+struct SensorMetadata {
+    /// Canonical slash-separated topic, e.g. "/rack0/chassis1/server2/power".
+    std::string topic;
+    /// Physical unit for display purposes ("W", "C", "ops", ...).
+    std::string unit;
+    /// Nominal sampling interval; 0 when the sensor is event-driven.
+    common::TimestampNs interval_ns = common::kNsPerSec;
+    /// Multiplicative scaling factor applied on ingestion.
+    double scale = 1.0;
+    /// Whether readings are forwarded over MQTT to the Collect Agent.
+    bool publish = true;
+    /// Whether the sensor is monotonically increasing (e.g. a counter);
+    /// consumers may take deltas instead of raw values.
+    bool monotonic = false;
+    /// Time-to-live in the storage backend; 0 keeps data indefinitely.
+    common::TimestampNs ttl_ns = 0;
+
+    /// Sensor name = last topic segment.
+    std::string name() const { return common::pathLeaf(topic); }
+};
+
+}  // namespace wm::sensors

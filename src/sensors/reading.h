@@ -1,0 +1,22 @@
+#pragma once
+
+// The atomic monitoring datum of the whole stack: DCDB identifies every
+// sensor reading by a numerical value and a timestamp.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_utils.h"
+
+namespace wm::sensors {
+
+struct Reading {
+    common::TimestampNs timestamp = 0;
+    double value = 0.0;
+
+    friend bool operator==(const Reading&, const Reading&) = default;
+};
+
+using ReadingVector = std::vector<Reading>;
+
+}  // namespace wm::sensors

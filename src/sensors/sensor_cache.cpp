@@ -1,0 +1,211 @@
+#include "sensors/sensor_cache.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace wm::sensors {
+
+SensorCache::SensorCache(common::TimestampNs window_ns,
+                         common::TimestampNs nominal_interval_ns)
+    : window_ns_(window_ns > 0 ? window_ns : common::kNsPerSec),
+      interval_estimate_ns_(nominal_interval_ns > 0 ? nominal_interval_ns
+                                                    : common::kNsPerSec) {
+    // Start with capacity for one window at the nominal rate (plus slack);
+    // the buffer grows geometrically if the real rate is higher.
+    const std::size_t estimate =
+        static_cast<std::size_t>(window_ns_ / interval_estimate_ns_) + 8;
+    buffer_.resize(estimate);
+}
+
+bool SensorCache::store(const Reading& reading) {
+    std::unique_lock lock(mutex_);
+    if (count_ > 0) {
+        const Reading& newest = at(count_ - 1);
+        if (reading.timestamp < newest.timestamp - window_ns_) return false;
+        if (reading.timestamp >= newest.timestamp) {
+            // Common fast path: in-order arrival. Refine the interval
+            // estimate with an exponential moving average.
+            const common::TimestampNs delta = reading.timestamp - newest.timestamp;
+            if (delta > 0) {
+                interval_estimate_ns_ = (interval_estimate_ns_ * 7 + delta) / 8;
+                if (interval_estimate_ns_ <= 0) interval_estimate_ns_ = 1;
+            }
+            ensureCapacityLocked();
+            at(count_) = reading;
+            ++count_;
+        } else {
+            // Out-of-order: insert while keeping time order (rare path).
+            ensureCapacityLocked();
+            std::size_t pos = lowerBoundLocked(reading.timestamp);
+            for (std::size_t i = count_; i > pos; --i) at(i) = at(i - 1);
+            at(pos) = reading;
+            ++count_;
+        }
+    } else {
+        ensureCapacityLocked();
+        at(0) = reading;
+        count_ = 1;
+    }
+    evictExpiredLocked();
+    return true;
+}
+
+std::optional<Reading> SensorCache::latest() const {
+    std::shared_lock lock(mutex_);
+    if (count_ == 0) return std::nullopt;
+    return at(count_ - 1);
+}
+
+ReadingVector SensorCache::viewRelative(common::TimestampNs offset_ns) const {
+    std::shared_lock lock(mutex_);
+    if (count_ == 0) return {};
+    if (offset_ns <= 0) return {at(count_ - 1)};
+    const common::TimestampNs newest = at(count_ - 1).timestamp;
+    const common::TimestampNs cutoff = newest - offset_ns;
+    // O(1) positioning: estimate how many readings fit in the offset, then
+    // fix up locally (a few steps at most when sampling is near-uniform).
+    std::size_t span = static_cast<std::size_t>(offset_ns / interval_estimate_ns_) + 1;
+    span = std::min(span, count_);
+    std::size_t first = count_ - span;
+    while (first > 0 && at(first - 1).timestamp >= cutoff) --first;
+    while (first < count_ && at(first).timestamp < cutoff) ++first;
+    return copyRangeLocked(first, count_);
+}
+
+ReadingVector SensorCache::viewAbsolute(common::TimestampNs t0,
+                                        common::TimestampNs t1) const {
+    std::shared_lock lock(mutex_);
+    if (count_ == 0 || t1 < t0) return {};
+    const std::size_t first = lowerBoundLocked(t0);
+    std::size_t last = lowerBoundLocked(t1 + 1);
+    return copyRangeLocked(first, last);
+}
+
+std::optional<double> SensorCache::averageRelative(common::TimestampNs offset_ns) const {
+    const ReadingVector view = viewRelative(offset_ns);
+    if (view.empty()) return std::nullopt;
+    double sum = 0.0;
+    for (const auto& reading : view) sum += reading.value;
+    return sum / static_cast<double>(view.size());
+}
+
+std::size_t SensorCache::size() const {
+    std::shared_lock lock(mutex_);
+    return count_;
+}
+
+common::TimestampNs SensorCache::estimatedIntervalNs() const {
+    std::shared_lock lock(mutex_);
+    return interval_estimate_ns_;
+}
+
+void SensorCache::evictExpiredLocked() {
+    if (count_ == 0) return;
+    const common::TimestampNs cutoff = at(count_ - 1).timestamp - window_ns_;
+    while (count_ > 1 && at(0).timestamp < cutoff) {
+        head_ = (head_ + 1) % buffer_.size();
+        --count_;
+    }
+}
+
+void SensorCache::ensureCapacityLocked() {
+    if (count_ < buffer_.size()) return;
+    std::vector<Reading> grown(buffer_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) grown[i] = at(i);
+    buffer_ = std::move(grown);
+    head_ = 0;
+}
+
+std::size_t SensorCache::lowerBoundLocked(common::TimestampNs t) const {
+    std::size_t lo = 0;
+    std::size_t hi = count_;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (at(mid).timestamp < t) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+ReadingVector SensorCache::copyRangeLocked(std::size_t first, std::size_t last) const {
+    ReadingVector out;
+    if (first >= last) return out;
+    // The logical range spans at most two contiguous chunks of the ring;
+    // bulk-copy them instead of per-element modulo indexing.
+    const std::size_t count = last - first;
+    const std::size_t start = physicalIndex(first);
+    const std::size_t first_chunk = std::min(count, buffer_.size() - start);
+    out.reserve(count);
+    out.insert(out.end(), buffer_.begin() + static_cast<std::ptrdiff_t>(start),
+               buffer_.begin() + static_cast<std::ptrdiff_t>(start + first_chunk));
+    out.insert(out.end(), buffer_.begin(),
+               buffer_.begin() + static_cast<std::ptrdiff_t>(count - first_chunk));
+    return out;
+}
+
+SensorCache& CacheStore::getOrCreate(const SensorMetadata& metadata) {
+    {
+        std::shared_lock lock(mutex_);
+        auto it = entries_.find(metadata.topic);
+        if (it != entries_.end()) return *it->second.cache;
+    }
+    std::unique_lock lock(mutex_);
+    auto it = entries_.find(metadata.topic);
+    if (it == entries_.end()) {
+        Entry entry;
+        entry.metadata = metadata;
+        entry.cache = std::make_unique<SensorCache>(default_window_ns_, metadata.interval_ns);
+        it = entries_.emplace(metadata.topic, std::move(entry)).first;
+    }
+    return *it->second.cache;
+}
+
+SensorCache& CacheStore::getOrCreate(const std::string& topic) {
+    SensorMetadata metadata;
+    metadata.topic = topic;
+    return getOrCreate(metadata);
+}
+
+const SensorCache* CacheStore::find(const std::string& topic) const {
+    std::shared_lock lock(mutex_);
+    auto it = entries_.find(topic);
+    return it == entries_.end() ? nullptr : it->second.cache.get();
+}
+
+SensorCache* CacheStore::find(const std::string& topic) {
+    std::shared_lock lock(mutex_);
+    auto it = entries_.find(topic);
+    return it == entries_.end() ? nullptr : it->second.cache.get();
+}
+
+SensorMetadata CacheStore::metadataFor(const std::string& topic) const {
+    std::shared_lock lock(mutex_);
+    auto it = entries_.find(topic);
+    return it == entries_.end() ? SensorMetadata{} : it->second.metadata;
+}
+
+bool CacheStore::publishAllowed(const std::string& topic) const {
+    std::shared_lock lock(mutex_);
+    auto it = entries_.find(topic);
+    return it == entries_.end() || it->second.metadata.topic.empty() ||
+           it->second.metadata.publish;
+}
+
+std::vector<std::string> CacheStore::topics() const {
+    std::shared_lock lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [topic, entry] : entries_) out.push_back(topic);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t CacheStore::sensorCount() const {
+    std::shared_lock lock(mutex_);
+    return entries_.size();
+}
+
+}  // namespace wm::sensors

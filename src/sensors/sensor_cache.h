@@ -1,0 +1,121 @@
+#pragma once
+
+// In-memory per-sensor cache of recent readings. This is the hot data path of
+// the whole framework: Pushers fill it at sampling time and the Wintermute
+// Query Engine reads views from it instead of round-tripping to the storage
+// backend. The cache retains readings within a sliding time window and
+// supports the two query modes the paper evaluates (Fig. 5):
+//
+//  * relative mode — "the last X nanoseconds of data", resolved against the
+//    most recent reading with O(1) index arithmetic over the ring buffer,
+//    exploiting the (near-)uniform sampling interval;
+//  * absolute mode — "[t0, t1] by wall-clock timestamp", resolved with a
+//    binary search over the ring, O(log N).
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "sensors/metadata.h"
+#include "sensors/reading.h"
+
+namespace wm::sensors {
+
+class SensorCache {
+  public:
+    /// `window_ns` is the retention window; readings older than
+    /// (newest - window) are evicted on insertion. `nominal_interval_ns`
+    /// seeds the O(1) relative-view arithmetic and is refined online from
+    /// observed inter-arrival times.
+    explicit SensorCache(common::TimestampNs window_ns = 180 * common::kNsPerSec,
+                         common::TimestampNs nominal_interval_ns = common::kNsPerSec);
+
+    /// Inserts a reading. Out-of-order readings (older than the newest) are
+    /// accepted only if they still fall inside the window; they are placed
+    /// to keep the buffer time-ordered. Returns false if dropped.
+    bool store(const Reading& reading);
+
+    /// Most recent reading, if any.
+    std::optional<Reading> latest() const;
+
+    /// Relative view: all readings with timestamp >= newest - offset_ns.
+    /// O(1) positioning via interval arithmetic, then a bounded local fix-up.
+    ReadingVector viewRelative(common::TimestampNs offset_ns) const;
+
+    /// Absolute view: all readings with t0 <= timestamp <= t1. O(log N).
+    ReadingVector viewAbsolute(common::TimestampNs t0, common::TimestampNs t1) const;
+
+    /// Average of readings newer than (newest - offset_ns); nullopt if empty.
+    std::optional<double> averageRelative(common::TimestampNs offset_ns) const;
+
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+    common::TimestampNs windowNs() const { return window_ns_; }
+
+    /// Current estimate of the sampling interval (refined from data).
+    common::TimestampNs estimatedIntervalNs() const;
+
+  private:
+    // Index helpers; callers hold the lock.
+    std::size_t physicalIndex(std::size_t logical) const {
+        return (head_ + logical) % buffer_.size();
+    }
+    const Reading& at(std::size_t logical) const { return buffer_[physicalIndex(logical)]; }
+    Reading& at(std::size_t logical) { return buffer_[physicalIndex(logical)]; }
+    void evictExpiredLocked();
+    void ensureCapacityLocked();
+    /// First logical index with timestamp >= t (binary search), or count_.
+    std::size_t lowerBoundLocked(common::TimestampNs t) const;
+    ReadingVector copyRangeLocked(std::size_t first, std::size_t last) const;
+
+    mutable std::shared_mutex mutex_;
+    std::vector<Reading> buffer_;  // ring: logical order = insertion/time order
+    std::size_t head_ = 0;         // physical index of the oldest element
+    std::size_t count_ = 0;
+    common::TimestampNs window_ns_;
+    common::TimestampNs interval_estimate_ns_;
+};
+
+/// Registry mapping sensor topics to their caches; shared between the
+/// sampling side (Pusher plugins) and the query side (Query Engine).
+class CacheStore {
+  public:
+    explicit CacheStore(common::TimestampNs default_window_ns = 180 * common::kNsPerSec)
+        : default_window_ns_(default_window_ns) {}
+
+    /// Returns the cache for `topic`, creating it on first use.
+    SensorCache& getOrCreate(const SensorMetadata& metadata);
+    SensorCache& getOrCreate(const std::string& topic);
+
+    /// Returns nullptr when the topic has no cache yet.
+    const SensorCache* find(const std::string& topic) const;
+    SensorCache* find(const std::string& topic);
+
+    /// Metadata recorded at creation time (empty topic when unknown).
+    SensorMetadata metadataFor(const std::string& topic) const;
+
+    /// Publish flag without copying the full metadata (hot path of the
+    /// Pusher's publication loop). Unknown topics default to publishable.
+    bool publishAllowed(const std::string& topic) const;
+
+    std::vector<std::string> topics() const;
+    std::size_t sensorCount() const;
+    common::TimestampNs defaultWindowNs() const { return default_window_ns_; }
+
+  private:
+    struct Entry {
+        SensorMetadata metadata;
+        std::unique_ptr<SensorCache> cache;
+    };
+
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::string, Entry> entries_;
+    common::TimestampNs default_window_ns_;
+};
+
+}  // namespace wm::sensors

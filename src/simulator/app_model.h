@@ -1,0 +1,74 @@
+#pragma once
+
+// Application workload signal models. Each model reproduces the qualitative
+// per-core performance signature the paper reports for the CORAL-2
+// applications it runs on CooLMUC-3 (Section VI):
+//
+//  * LAMMPS  — compute-bound: low CPI (~1.6) with minimal spread.
+//  * AMG     — network-bound: low CPI for most cores, but a tail of cores
+//              (upper deciles) spiking to CPI ~30 under network latency.
+//  * Kripke  — iterative sweeps: CPI rises and falls with each iteration,
+//              visible across all deciles (sawtooth).
+//  * Nekbone — batch of growing problem sizes: compute-bound (low CPI) in
+//              the first half, then >=20% of cores become memory-limited
+//              once the working set exceeds the 16 GB HBM, with a widening
+//              decile spread.
+//  * HPL     — steady compute-bound load (the Fig. 5 interference target).
+//  * Idle    — background OS noise only.
+//
+// Models are pure functions of (app, time, core, seed): deterministic and
+// cheap enough to evaluate for 148 nodes x 64 cores over weeks of virtual
+// time. The per-(core, time-block) event structure is hash-driven so that a
+// given run is reproducible regardless of query order.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wm::simulator {
+
+enum class AppKind {
+    kIdle = 0,
+    kHpl,
+    kKripke,
+    kAmg,
+    kNekbone,
+    kLammps,
+};
+
+const char* appName(AppKind kind);
+/// Parses an application name (case-insensitive); kIdle for unknown names.
+AppKind appFromName(const std::string& name);
+
+/// Typical standalone run length in seconds (matches the Fig. 7 x-axes).
+double appDefaultDurationSec(AppKind kind);
+
+/// Per-core state of an application at a point in time.
+struct CoreActivity {
+    double cpi = 1.0;           // cycles per instruction
+    double utilization = 0.0;   // busy fraction of the interval, [0, 1]
+    double vector_ratio = 0.0;  // vector instructions / all instructions
+    double cache_miss_rate = 0.0;  // misses per instruction
+};
+
+class AppModel {
+  public:
+    /// `seed` individualises the run (e.g. per node), keeping determinism.
+    AppModel(AppKind kind, std::uint64_t seed = 0) : kind_(kind), seed_(seed) {}
+
+    AppKind kind() const { return kind_; }
+
+    /// Activity of core `core` (of `num_cores`) at `t_sec` seconds into the
+    /// run. Deterministic in (kind, seed, core, t_sec).
+    CoreActivity coreActivity(double t_sec, std::size_t core, std::size_t num_cores) const;
+
+    /// Whole-application progress indicator in [0, 1] given the default
+    /// duration; callers may loop runs by wrapping t_sec.
+    double progress(double t_sec) const;
+
+  private:
+    AppKind kind_;
+    std::uint64_t seed_;
+};
+
+}  // namespace wm::simulator

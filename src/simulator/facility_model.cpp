@@ -1,0 +1,61 @@
+#include "simulator/facility_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wm::simulator {
+
+FacilityModel::FacilityModel(FacilityCharacteristics characteristics)
+    : characteristics_(characteristics),
+      setpoint_c_(characteristics.nominal_inlet_c) {
+    sample_.inlet_temp_c = setpoint_c_;
+    sample_.return_temp_c = setpoint_c_;
+    sample_.outdoor_temp_c = characteristics_.outdoor_mean_c;
+    sample_.flow_kg_per_s = characteristics_.flow_kg_per_s;
+}
+
+void FacilityModel::setInletSetpoint(double temp_c) {
+    setpoint_c_ = std::clamp(temp_c, characteristics_.min_inlet_c,
+                             characteristics_.max_inlet_c);
+}
+
+void FacilityModel::advance(double dt_sec, double it_power_w) {
+    if (dt_sec <= 0.0) return;
+    time_sec_ += dt_sec;
+    sample_.it_power_w = std::max(it_power_w, 0.0);
+
+    // Diurnal outdoor temperature (24 h sine).
+    sample_.outdoor_temp_c =
+        characteristics_.outdoor_mean_c +
+        characteristics_.outdoor_swing_c *
+            std::sin(2.0 * M_PI * time_sec_ / 86400.0);
+
+    // The loop's inlet relaxes towards the setpoint with the loop time
+    // constant; the return temperature follows from the IT heat load:
+    //   dT = P / (flow * c_p).
+    const double blend = 1.0 - std::exp(-dt_sec / characteristics_.loop_tau_sec);
+    sample_.inlet_temp_c += (setpoint_c_ - sample_.inlet_temp_c) * blend;
+    const double delta_t =
+        sample_.it_power_w /
+        (characteristics_.flow_kg_per_s * characteristics_.water_heat_capacity);
+    sample_.return_temp_c = sample_.inlet_temp_c + delta_t;
+
+    // Heat rejection: when the return water is warmer than outdoors, the dry
+    // cooler rejects heat nearly for free; otherwise the chiller works
+    // against the lift with a degrading COP. Warmer inlet setpoints raise
+    // the return temperature and cut the lift — the energy-aware knob.
+    const double lift = std::max(sample_.outdoor_temp_c - sample_.return_temp_c, 0.0);
+    const double cop = std::max(
+        characteristics_.cop_base - characteristics_.cop_per_kelvin_lift * lift, 1.2);
+    const double chiller_w = lift > 0.0 ? sample_.it_power_w / cop : 0.0;
+    // Free-cooling still costs fan power, folded into the fixed overhead.
+    sample_.cooling_power_w =
+        chiller_w + characteristics_.overhead_fraction * sample_.it_power_w;
+    sample_.pue = sample_.it_power_w > 0.0
+                      ? (sample_.it_power_w + sample_.cooling_power_w) /
+                            sample_.it_power_w
+                      : 1.0;
+    sample_.flow_kg_per_s = characteristics_.flow_kg_per_s;
+}
+
+}  // namespace wm::simulator

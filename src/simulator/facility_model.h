@@ -1,0 +1,67 @@
+#pragma once
+
+// Facility-level model: the warm-water cooling circuit serving the cluster
+// (infrastructure management, the first taxonomy class of paper Section
+// II-A; CooLMUC-3 itself is warm-water cooled). The model tracks the supply
+// (inlet) and return water temperatures of the loop, the heat-exchanger
+// power needed to reject the IT load against the outdoor temperature, and
+// the resulting PUE. The inlet setpoint is an actuation knob: energy-aware
+// cooling raises it when the load allows, cutting chiller effort (paper
+// references [17], [18]).
+
+#include <cstdint>
+
+namespace wm::simulator {
+
+struct FacilityCharacteristics {
+    double nominal_inlet_c = 42.0;     // warm-water design point
+    double min_inlet_c = 30.0;
+    double max_inlet_c = 50.0;
+    double flow_kg_per_s = 18.0;       // loop mass flow
+    double water_heat_capacity = 4186.0;  // J/(kg K)
+    double loop_tau_sec = 120.0;       // thermal inertia of the loop
+    /// Chiller coefficient of performance at zero lift, and its degradation
+    /// per Kelvin of lift (outdoor above return means free cooling).
+    double cop_base = 8.0;
+    double cop_per_kelvin_lift = 0.25;
+    /// Fixed facility overhead (pumps, fans) as a fraction of IT power.
+    double overhead_fraction = 0.03;
+    /// Diurnal outdoor temperature: mean and daily swing amplitude.
+    double outdoor_mean_c = 15.0;
+    double outdoor_swing_c = 8.0;
+};
+
+/// Instantaneous facility state exposed to monitoring.
+struct FacilitySample {
+    double inlet_temp_c = 0.0;
+    double return_temp_c = 0.0;
+    double outdoor_temp_c = 0.0;
+    double flow_kg_per_s = 0.0;
+    double cooling_power_w = 0.0;  // chiller + overhead electrical power
+    double it_power_w = 0.0;
+    double pue = 1.0;
+};
+
+class FacilityModel {
+  public:
+    explicit FacilityModel(FacilityCharacteristics characteristics = {});
+
+    /// Sets the inlet temperature setpoint (clamped to the design range) —
+    /// the knob infrastructure feedback loops actuate.
+    void setInletSetpoint(double temp_c);
+    double inletSetpoint() const { return setpoint_c_; }
+
+    /// Advances the loop by `dt_sec` under `it_power_w` of IT load.
+    void advance(double dt_sec, double it_power_w);
+
+    const FacilitySample& sample() const { return sample_; }
+    double totalTimeSec() const { return time_sec_; }
+
+  private:
+    FacilityCharacteristics characteristics_;
+    double setpoint_c_;
+    double time_sec_ = 0.0;
+    FacilitySample sample_;
+};
+
+}  // namespace wm::simulator

@@ -1,0 +1,69 @@
+#include "simulator/hpl_kernel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wm::simulator {
+
+namespace {
+
+/// Blocked C += A * B over n x n row-major matrices.
+void dgemmBlocked(const double* a, const double* b, double* c, std::size_t n) {
+    constexpr std::size_t kBlock = 48;
+    for (std::size_t ii = 0; ii < n; ii += kBlock) {
+        const std::size_t imax = std::min(ii + kBlock, n);
+        for (std::size_t kk = 0; kk < n; kk += kBlock) {
+            const std::size_t kmax = std::min(kk + kBlock, n);
+            for (std::size_t jj = 0; jj < n; jj += kBlock) {
+                const std::size_t jmax = std::min(jj + kBlock, n);
+                for (std::size_t i = ii; i < imax; ++i) {
+                    for (std::size_t k = kk; k < kmax; ++k) {
+                        const double aik = a[i * n + k];
+                        double* crow = c + i * n;
+                        const double* brow = b + k * n;
+                        for (std::size_t j = jj; j < jmax; ++j) {
+                            crow[j] += aik * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+HplResult runHplKernel(std::size_t n, std::size_t repetitions, std::uint64_t seed) {
+    HplResult result;
+    if (n == 0 || repetitions == 0) return result;
+    std::vector<double> a(n * n);
+    std::vector<double> b(n * n);
+    std::vector<double> c(n * n, 0.0);
+    common::Rng rng(seed);
+    for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+        dgemmBlocked(a.data(), b.data(), c.data(), n);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    result.elapsed_sec = std::chrono::duration<double>(end - start).count();
+
+    for (double v : c) result.checksum += v;
+    const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                         static_cast<double>(n) * static_cast<double>(repetitions);
+    result.gflops = result.elapsed_sec > 0 ? flops / result.elapsed_sec / 1e9 : 0.0;
+    return result;
+}
+
+std::size_t calibrateHplRepetitions(std::size_t n, double target_sec) {
+    const HplResult probe = runHplKernel(n, 1);
+    if (probe.elapsed_sec <= 0.0) return 1;
+    return std::max<std::size_t>(1, static_cast<std::size_t>(target_sec / probe.elapsed_sec));
+}
+
+}  // namespace wm::simulator

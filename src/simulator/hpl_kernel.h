@@ -1,0 +1,29 @@
+#pragma once
+
+// A real compute kernel standing in for the High-Performance Linpack run of
+// the Fig. 5 overhead experiment. The kernel performs repeated blocked
+// matrix-matrix multiplications (the DGEMM inner loop that dominates HPL);
+// because it is genuinely CPU-bound, running a Pusher alongside it measures
+// real interference, which is exactly what the paper's overhead metric
+// captures.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wm::simulator {
+
+struct HplResult {
+    double elapsed_sec = 0.0;
+    double gflops = 0.0;
+    double checksum = 0.0;  // defeats dead-code elimination; also a sanity check
+};
+
+/// Runs `repetitions` multiplications of n x n matrices (blocked, single
+/// thread). Matrices are filled deterministically from `seed`.
+HplResult runHplKernel(std::size_t n, std::size_t repetitions, std::uint64_t seed = 7);
+
+/// Calibrates a repetition count so the kernel runs for roughly
+/// `target_sec` at the given problem size.
+std::size_t calibrateHplRepetitions(std::size_t n, double target_sec);
+
+}  // namespace wm::simulator

@@ -1,0 +1,113 @@
+#include "simulator/node_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wm::simulator {
+
+NodeModel::NodeModel(std::size_t num_cores, std::uint64_t node_seed,
+                     NodeCharacteristics characteristics)
+    : characteristics_(characteristics),
+      app_(AppKind::kIdle, node_seed),
+      seed_(node_seed),
+      rng_(node_seed ^ 0xA5A5A5A5DEADBEEFULL) {
+    sample_.cores.resize(std::max<std::size_t>(num_cores, 1));
+    // Manufacturing variability: a fixed per-node factor around 1.0.
+    power_factor_ =
+        std::clamp(1.0 + characteristics_.power_variability * rng_.gaussian(), 0.85, 1.15) *
+        characteristics_.anomaly_power_factor;
+    sample_.temperature_c =
+        characteristics_.inlet_temp_c + characteristics_.idle_power_w *
+                                            characteristics_.temp_per_watt;
+    sample_.memory_free_gb = characteristics_.total_memory_gb - 4.0;  // OS baseline
+    sample_.power_w = characteristics_.idle_power_w * power_factor_;
+}
+
+void NodeModel::startApp(AppKind kind) {
+    app_ = AppModel(kind, seed_);
+    app_time_sec_ = 0.0;
+}
+
+void NodeModel::setFrequencyScale(double scale) {
+    sample_.frequency_scale = std::clamp(scale, 0.5, 1.0);
+}
+
+void NodeModel::advance(double dt_sec) {
+    if (dt_sec <= 0.0) return;
+    const std::size_t num_cores = sample_.cores.size();
+
+    double util_sum = 0.0;
+    double ipc_sum = 0.0;
+    double miss_rate_sum = 0.0;
+    const double freq_scale = sample_.frequency_scale;
+    for (std::size_t core = 0; core < num_cores; ++core) {
+        const CoreActivity activity = app_.coreActivity(app_time_sec_, core, num_cores);
+        const double busy_cycles =
+            characteristics_.freq_hz * freq_scale * activity.utilization * dt_sec;
+        const double instructions = busy_cycles / activity.cpi;
+        CoreCounters& counters = sample_.cores[core];
+        counters.cycles += busy_cycles;
+        counters.instructions += instructions;
+        counters.cache_misses += instructions * activity.cache_miss_rate;
+        counters.vector_ops += instructions * activity.vector_ratio;
+        counters.branch_misses += instructions * 0.004;
+        sample_.idle_time_total += (1.0 - activity.utilization) * dt_sec * 100.0;  // cs
+        util_sum += activity.utilization;
+        ipc_sum += 1.0 / activity.cpi;
+        miss_rate_sum += activity.cache_miss_rate;
+    }
+    const double avg_util = util_sum / static_cast<double>(num_cores);
+    const double avg_ipc = ipc_sum / static_cast<double>(num_cores);
+    const double avg_miss = miss_rate_sum / static_cast<double>(num_cores);
+
+    // Power: idle floor + dynamic part driven by utilisation and IPC (a
+    // stalled core burns less than a retiring one) + memory-traffic part,
+    // all scaled by the node's variability factor; plus short unpredictable
+    // turbo/electrical spikes and sensor noise (the residual the paper's
+    // model cannot capture either).
+    // Dynamic power scales roughly with f*V^2; under DVFS, V tracks f, so
+    // the dynamic part falls off quadratically with the frequency scale.
+    double power = characteristics_.idle_power_w +
+                   characteristics_.max_dynamic_power_w * freq_scale * freq_scale *
+                       avg_util * (0.55 + 0.45 * std::min(avg_ipc, 1.0)) +
+                   420.0 * std::min(avg_miss, 0.08);
+    power *= power_factor_;
+    // Turbo / power-management transients last ~250 ms: they touch a fixed
+    // fraction of samples at any sub-second rate, show near-full amplitude
+    // in short integration windows and average out in long ones.
+    const double spike_scale = std::clamp(0.25 / dt_sec, 0.8, 1.5);
+    if (rng_.bernoulli(0.4)) {
+        power += rng_.uniform(8.0, 45.0) * spike_scale;
+    }
+    // Meter noise grows as the integration window shrinks.
+    power += rng_.gaussian(0.0, 3.0 * std::sqrt(std::clamp(0.25 / dt_sec, 0.5, 2.5)));
+    sample_.power_w = std::max(power, characteristics_.idle_power_w * 0.9);
+
+    // RC thermal response towards the power-dependent steady state.
+    const double target_temp = characteristics_.inlet_temp_c +
+                               sample_.power_w * characteristics_.temp_per_watt;
+    const double blend = 1.0 - std::exp(-dt_sec / characteristics_.thermal_tau_sec);
+    sample_.temperature_c += (target_temp - sample_.temperature_c) * blend;
+
+    // Memory occupancy: apps allocate towards a per-app working set.
+    double target_free = characteristics_.total_memory_gb - 4.0;
+    switch (app_.kind()) {
+        case AppKind::kIdle: break;
+        case AppKind::kHpl: target_free -= 70.0; break;
+        case AppKind::kKripke: target_free -= 40.0; break;
+        case AppKind::kAmg: target_free -= 35.0; break;
+        case AppKind::kNekbone:
+            // Growing problem sizes: working set grows through the run and
+            // crosses the HBM capacity mid-run.
+            target_free -= 8.0 + 40.0 * app_.progress(app_time_sec_);
+            break;
+        case AppKind::kLammps: target_free -= 30.0; break;
+    }
+    sample_.memory_free_gb +=
+        (std::max(target_free, 1.0) - sample_.memory_free_gb) * std::min(dt_sec / 20.0, 1.0);
+
+    app_time_sec_ += dt_sec;
+    total_time_sec_ += dt_sec;
+}
+
+}  // namespace wm::simulator

@@ -1,0 +1,103 @@
+#pragma once
+
+// Per-node hardware model: integrates application core activity into the
+// sensor signals a real compute node exposes — per-core monotonic
+// performance counters (cycles, instructions, cache misses, vector ops),
+// node power at the supply, an RC thermal model, memory occupancy and an
+// accumulated CPU idle-time counter. Includes per-node manufacturing
+// variability (the paper highlights power variance between nodes) and an
+// optional anomaly mode (a node drawing ~20% extra power, the Fig. 8
+// outlier).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "simulator/app_model.h"
+
+namespace wm::simulator {
+
+/// Static electrical/thermal characteristics of a node (KNL-like defaults).
+struct NodeCharacteristics {
+    double freq_hz = 1.3e9;          // nominal core frequency
+    double idle_power_w = 75.0;      // node power at idle
+    double max_dynamic_power_w = 195.0;  // additional power at full load
+    double inlet_temp_c = 42.0;      // warm-water cooling inlet
+    double temp_per_watt = 0.042;    // steady-state degC per watt
+    double thermal_tau_sec = 60.0;   // RC time constant
+    double total_memory_gb = 96.0;
+    double hbm_memory_gb = 16.0;
+    /// Std-dev of the per-node manufacturing power variability factor.
+    double power_variability = 0.04;
+    /// Extra multiplicative power draw for anomalous nodes (1.0 = healthy).
+    double anomaly_power_factor = 1.0;
+};
+
+/// Monotonic per-core counters, in the style of perf events.
+struct CoreCounters {
+    double cycles = 0.0;
+    double instructions = 0.0;
+    double cache_misses = 0.0;
+    double vector_ops = 0.0;
+    double branch_misses = 0.0;
+};
+
+/// Instantaneous node state exposed to the monitoring plugins.
+struct NodeSample {
+    double power_w = 0.0;
+    double temperature_c = 0.0;
+    double memory_free_gb = 0.0;
+    /// Current DVFS setting as a fraction of nominal frequency, [0.5, 1.0].
+    double frequency_scale = 1.0;
+    /// Accumulated idle time across all cores, in core-centiseconds
+    /// (matches the /proc/stat-style col_idle units of the paper's plots).
+    double idle_time_total = 0.0;
+    std::vector<CoreCounters> cores;
+};
+
+class NodeModel {
+  public:
+    /// `node_seed` individualises variability; derived values (power factor)
+    /// are deterministic in it.
+    NodeModel(std::size_t num_cores, std::uint64_t node_seed,
+              NodeCharacteristics characteristics = {});
+
+    /// Switches the running application; resets the app-local clock.
+    void startApp(AppKind kind);
+    AppKind currentApp() const { return app_.kind(); }
+
+    /// DVFS knob: scales core frequency (and, quadratically, the dynamic
+    /// power) — the actuation target of runtime-optimization feedback loops.
+    /// Clamped to [0.5, 1.0].
+    void setFrequencyScale(double scale);
+    double frequencyScale() const { return sample_.frequency_scale; }
+
+    /// Advances the model by `dt_sec` of simulated time, integrating the
+    /// counters and updating power/thermal state.
+    void advance(double dt_sec);
+
+    /// Current sensor values (counters are cumulative since construction).
+    const NodeSample& sample() const { return sample_; }
+
+    /// Seconds the current application has been running.
+    double appTimeSec() const { return app_time_sec_; }
+    /// Total simulated seconds since construction.
+    double totalTimeSec() const { return total_time_sec_; }
+
+    std::size_t coreCount() const { return sample_.cores.size(); }
+    /// The node's manufacturing variability factor (for tests/analysis).
+    double powerFactor() const { return power_factor_; }
+
+  private:
+    NodeCharacteristics characteristics_;
+    AppModel app_;
+    std::uint64_t seed_;
+    common::Rng rng_;
+    double power_factor_;
+    double app_time_sec_ = 0.0;
+    double total_time_sec_ = 0.0;
+    NodeSample sample_;
+};
+
+}  // namespace wm::simulator

@@ -1,0 +1,48 @@
+#include "simulator/topology.h"
+
+#include <stdexcept>
+
+namespace wm::simulator {
+
+std::size_t Topology::nodeCount() const {
+    const std::size_t raw = racks * chassis_per_rack * nodes_per_chassis;
+    return max_nodes > 0 ? std::min(raw, max_nodes) : raw;
+}
+
+std::string Topology::nodePath(std::size_t node_index) const {
+    if (node_index >= nodeCount()) throw std::out_of_range("node index out of range");
+    const std::size_t per_rack = chassis_per_rack * nodes_per_chassis;
+    const std::size_t rack = node_index / per_rack;
+    const std::size_t chassis = (node_index % per_rack) / nodes_per_chassis;
+    const std::size_t server = node_index % nodes_per_chassis;
+    return "/rack" + std::to_string(rack) + "/chassis" + std::to_string(chassis) +
+           "/server" + std::to_string(server);
+}
+
+std::vector<std::string> Topology::nodePaths() const {
+    std::vector<std::string> out;
+    const std::size_t n = nodeCount();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(nodePath(i));
+    return out;
+}
+
+std::string Topology::cpuPath(const std::string& node_path, std::size_t cpu_index) {
+    return node_path + "/cpu" + std::to_string(cpu_index);
+}
+
+Topology Topology::tiny() {
+    Topology t;
+    t.racks = 2;
+    t.chassis_per_rack = 2;
+    t.nodes_per_chassis = 2;
+    t.cpus_per_node = 4;
+    t.max_nodes = 0;
+    return t;
+}
+
+Topology Topology::coolmuc3() {
+    return Topology{};
+}
+
+}  // namespace wm::simulator

@@ -1,0 +1,42 @@
+#pragma once
+
+// Cluster topology model: racks containing chassis containing compute nodes
+// containing CPUs, mirroring the physical hierarchy that DCDB encodes in its
+// slash-separated sensor topics. The default parameters approximate the
+// CooLMUC-3 system of the paper (148 Knights-Landing nodes with 64 cores).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wm::simulator {
+
+struct Topology {
+    std::size_t racks = 5;
+    std::size_t chassis_per_rack = 6;
+    std::size_t nodes_per_chassis = 5;
+    std::size_t cpus_per_node = 64;
+    /// Cap on the total node count (the last chassis may be partial);
+    /// 0 means no cap. CooLMUC-3 has 148 nodes out of a 150-slot layout.
+    std::size_t max_nodes = 148;
+
+    /// Total number of compute nodes, honouring `max_nodes`.
+    std::size_t nodeCount() const;
+
+    /// Canonical path of the i-th node: "/rackR/chassisC/serverS".
+    std::string nodePath(std::size_t node_index) const;
+
+    /// All node paths in index order.
+    std::vector<std::string> nodePaths() const;
+
+    /// Path of a CPU under a node: "<node>/cpuK".
+    static std::string cpuPath(const std::string& node_path, std::size_t cpu_index);
+
+    /// A small topology for fast tests (2x2x2 nodes, 4 CPUs).
+    static Topology tiny();
+
+    /// The CooLMUC-3-like default.
+    static Topology coolmuc3();
+};
+
+}  // namespace wm::simulator

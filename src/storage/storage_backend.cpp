@@ -1,0 +1,181 @@
+#include "storage/storage_backend.h"
+
+#include <algorithm>
+#include <mutex>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "mqtt/topic.h"
+
+namespace wm::storage {
+
+namespace {
+
+/// Inserts `reading` into the sorted vector, fast-pathing in-order appends.
+void insertSorted(sensors::ReadingVector& readings, const sensors::Reading& reading) {
+    if (readings.empty() || readings.back().timestamp <= reading.timestamp) {
+        readings.push_back(reading);
+        return;
+    }
+    auto it = std::upper_bound(readings.begin(), readings.end(), reading,
+                               [](const sensors::Reading& a, const sensors::Reading& b) {
+                                   return a.timestamp < b.timestamp;
+                               });
+    readings.insert(it, reading);
+}
+
+}  // namespace
+
+void StorageBackend::simulateLatency() const {
+    if (simulated_latency_ns_ <= 0) return;
+    // Busy-wait: sleep granularity on most kernels is far coarser than the
+    // sub-millisecond latencies being modelled.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::nanoseconds(simulated_latency_ns_);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+}
+
+void StorageBackend::insert(const std::string& topic, const sensors::Reading& reading) {
+    std::unique_lock lock(mutex_);
+    insertSorted(series_[topic].readings, reading);
+    ++inserts_;
+}
+
+void StorageBackend::insertBatch(const std::string& topic,
+                                 const sensors::ReadingVector& readings) {
+    std::unique_lock lock(mutex_);
+    auto& series = series_[topic];
+    for (const auto& reading : readings) insertSorted(series.readings, reading);
+    inserts_ += readings.size();
+}
+
+void StorageBackend::publishMetadata(const sensors::SensorMetadata& metadata) {
+    std::unique_lock lock(mutex_);
+    series_[metadata.topic].metadata = metadata;
+}
+
+std::optional<sensors::SensorMetadata> StorageBackend::metadataFor(
+    const std::string& topic) const {
+    std::shared_lock lock(mutex_);
+    auto it = series_.find(topic);
+    if (it == series_.end() || it->second.metadata.topic.empty()) return std::nullopt;
+    return it->second.metadata;
+}
+
+sensors::ReadingVector StorageBackend::query(const std::string& topic,
+                                             common::TimestampNs t0,
+                                             common::TimestampNs t1) const {
+    simulateLatency();
+    std::shared_lock lock(mutex_);
+    ++queries_;
+    auto it = series_.find(topic);
+    if (it == series_.end() || t1 < t0) return {};
+    const auto& readings = it->second.readings;
+    auto first = std::lower_bound(readings.begin(), readings.end(), t0,
+                                  [](const sensors::Reading& r, common::TimestampNs t) {
+                                      return r.timestamp < t;
+                                  });
+    auto last = std::upper_bound(readings.begin(), readings.end(), t1,
+                                 [](common::TimestampNs t, const sensors::Reading& r) {
+                                     return t < r.timestamp;
+                                 });
+    return sensors::ReadingVector(first, last);
+}
+
+std::optional<sensors::Reading> StorageBackend::latest(const std::string& topic) const {
+    simulateLatency();
+    std::shared_lock lock(mutex_);
+    ++queries_;
+    auto it = series_.find(topic);
+    if (it == series_.end() || it->second.readings.empty()) return std::nullopt;
+    return it->second.readings.back();
+}
+
+std::vector<std::string> StorageBackend::topics() const {
+    std::shared_lock lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto& [topic, series] : series_) out.push_back(topic);
+    return out;
+}
+
+std::vector<std::string> StorageBackend::topicsMatching(const std::string& filter) const {
+    std::shared_lock lock(mutex_);
+    std::vector<std::string> out;
+    for (const auto& [topic, series] : series_) {
+        if (mqtt::topicMatches(filter, topic)) out.push_back(topic);
+    }
+    return out;
+}
+
+std::size_t StorageBackend::pruneExpired() {
+    std::unique_lock lock(mutex_);
+    std::size_t removed = 0;
+    for (auto& [topic, series] : series_) {
+        common::TimestampNs ttl = series.metadata.ttl_ns;
+        if (ttl == 0) ttl = default_ttl_ns_;
+        if (ttl == 0 || series.readings.empty()) continue;
+        const common::TimestampNs cutoff = series.readings.back().timestamp - ttl;
+        auto first_kept = std::lower_bound(
+            series.readings.begin(), series.readings.end(), cutoff,
+            [](const sensors::Reading& r, common::TimestampNs t) { return r.timestamp < t; });
+        removed += static_cast<std::size_t>(first_kept - series.readings.begin());
+        series.readings.erase(series.readings.begin(), first_kept);
+    }
+    return removed;
+}
+
+bool StorageBackend::dropSensor(const std::string& topic) {
+    std::unique_lock lock(mutex_);
+    return series_.erase(topic) > 0;
+}
+
+StorageStats StorageBackend::stats() const {
+    std::shared_lock lock(mutex_);
+    StorageStats stats;
+    stats.sensor_count = series_.size();
+    for (const auto& [topic, series] : series_) stats.reading_count += series.readings.size();
+    stats.inserts = inserts_;
+    stats.queries = queries_;
+    return stats;
+}
+
+bool StorageBackend::dumpCsv(const std::string& path) const {
+    std::shared_lock lock(mutex_);
+    std::ofstream out(path);
+    if (!out.is_open()) return false;
+    out << "topic,timestamp,value\n";
+    for (const auto& [topic, series] : series_) {
+        for (const auto& reading : series.readings) {
+            out << topic << ',' << reading.timestamp << ',' << reading.value << '\n';
+        }
+    }
+    return out.good();
+}
+
+bool StorageBackend::loadCsv(const std::string& path) {
+    std::ifstream in(path);
+    if (!in.is_open()) return false;
+    std::string line;
+    std::getline(in, line);  // header
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const std::size_t c1 = line.find(',');
+        const std::size_t c2 = line.find(',', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos) return false;
+        try {
+            const std::string topic = line.substr(0, c1);
+            sensors::Reading reading;
+            reading.timestamp = std::stoll(line.substr(c1 + 1, c2 - c1 - 1));
+            reading.value = std::stod(line.substr(c2 + 1));
+            insert(topic, reading);
+        } catch (...) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace wm::storage

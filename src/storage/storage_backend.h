@@ -1,0 +1,96 @@
+#pragma once
+
+// Time-series storage backend, the stand-in for DCDB's Apache Cassandra
+// deployment (see DESIGN.md, substitutions). The Collect Agent inserts every
+// reading it receives; the Query Engine falls back to it when the requested
+// range is not covered by a sensor cache. The store keeps one ordered series
+// per sensor topic, supports range queries, TTL-based pruning, and CSV
+// persistence so long experiments (e.g. the 2-week clustering windows of
+// Case Study 3) can be checkpointed.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "sensors/metadata.h"
+#include "sensors/reading.h"
+
+namespace wm::storage {
+
+struct StorageStats {
+    std::size_t sensor_count = 0;
+    std::size_t reading_count = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t queries = 0;
+};
+
+class StorageBackend {
+  public:
+    /// `default_ttl_ns` prunes readings older than (newest - ttl) per sensor;
+    /// 0 disables pruning.
+    explicit StorageBackend(common::TimestampNs default_ttl_ns = 0)
+        : default_ttl_ns_(default_ttl_ns) {}
+
+    /// Simulates the per-query round-trip latency of a networked backend
+    /// (the production deployment queries Cassandra over the network);
+    /// applied to query()/latest(). 0 disables. For experiments only.
+    void setSimulatedQueryLatency(common::TimestampNs latency_ns) {
+        simulated_latency_ns_ = latency_ns;
+    }
+
+    /// Inserts one reading for `topic`. Out-of-order inserts are supported.
+    void insert(const std::string& topic, const sensors::Reading& reading);
+
+    /// Inserts a batch for one topic (the MQTT message granularity).
+    void insertBatch(const std::string& topic, const sensors::ReadingVector& readings);
+
+    /// Records sensor metadata (idempotent).
+    void publishMetadata(const sensors::SensorMetadata& metadata);
+    std::optional<sensors::SensorMetadata> metadataFor(const std::string& topic) const;
+
+    /// All readings of `topic` with t0 <= timestamp <= t1, in time order.
+    sensors::ReadingVector query(const std::string& topic, common::TimestampNs t0,
+                                 common::TimestampNs t1) const;
+
+    /// Most recent reading of `topic`.
+    std::optional<sensors::Reading> latest(const std::string& topic) const;
+
+    /// All known sensor topics, sorted.
+    std::vector<std::string> topics() const;
+
+    /// Topics matching an MQTT-style filter (used by tree reconstruction).
+    std::vector<std::string> topicsMatching(const std::string& filter) const;
+
+    /// Drops readings older than each sensor's TTL; returns readings removed.
+    std::size_t pruneExpired();
+
+    /// Removes all data for a topic; returns true if it existed.
+    bool dropSensor(const std::string& topic);
+
+    StorageStats stats() const;
+
+    /// CSV persistence: "topic,timestamp,value" rows.
+    bool dumpCsv(const std::string& path) const;
+    bool loadCsv(const std::string& path);
+
+  private:
+    struct Series {
+        sensors::SensorMetadata metadata;
+        sensors::ReadingVector readings;  // kept sorted by timestamp
+    };
+
+    void simulateLatency() const;
+
+    mutable std::shared_mutex mutex_;
+    std::map<std::string, Series> series_;
+    common::TimestampNs default_ttl_ns_;
+    common::TimestampNs simulated_latency_ns_ = 0;
+    mutable std::uint64_t inserts_ = 0;
+    mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace wm::storage

@@ -1,0 +1,112 @@
+#include "collectagent/collect_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "pusher/plugins/tester_group.h"
+#include "pusher/pusher.h"
+
+namespace wm::collectagent {
+namespace {
+
+using common::kNsPerSec;
+
+TEST(CollectAgent, StoresAndForwardsReceivedReadings) {
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    CollectAgent agent({}, broker, storage);
+    agent.start();
+    broker.publish({"/n0/power", {{kNsPerSec, 100.0}, {2 * kNsPerSec, 110.0}}});
+    EXPECT_EQ(agent.messagesReceived(), 1u);
+    EXPECT_EQ(agent.readingsStored(), 2u);
+    // Cache side.
+    const auto* cache = agent.cacheStore().find("/n0/power");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_DOUBLE_EQ(cache->latest()->value, 110.0);
+    // Storage side.
+    EXPECT_EQ(storage.query("/n0/power", 0, 10 * kNsPerSec).size(), 2u);
+}
+
+TEST(CollectAgent, FilterRestrictsSubscription) {
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    CollectAgentConfig config;
+    config.filter = "/rack0/#";
+    CollectAgent agent(config, broker, storage);
+    agent.start();
+    broker.publish({"/rack0/power", {{1, 1.0}}});
+    broker.publish({"/rack1/power", {{1, 1.0}}});
+    EXPECT_EQ(agent.messagesReceived(), 1u);
+    EXPECT_EQ(agent.cacheStore().find("/rack1/power"), nullptr);
+}
+
+TEST(CollectAgent, StorageForwardingCanBeDisabled) {
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    CollectAgentConfig config;
+    config.forward_to_storage = false;
+    CollectAgent agent(config, broker, storage);
+    agent.start();
+    broker.publish({"/s", {{1, 1.0}}});
+    EXPECT_NE(agent.cacheStore().find("/s"), nullptr);
+    EXPECT_TRUE(storage.topics().empty());
+}
+
+TEST(CollectAgent, StopUnsubscribes) {
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    CollectAgent agent({}, broker, storage);
+    agent.start();
+    EXPECT_TRUE(agent.running());
+    agent.stop();
+    EXPECT_FALSE(agent.running());
+    broker.publish({"/s", {{1, 1.0}}});
+    EXPECT_EQ(agent.messagesReceived(), 0u);
+}
+
+TEST(CollectAgent, StartIsIdempotent) {
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    CollectAgent agent({}, broker, storage);
+    agent.start();
+    agent.start();
+    broker.publish({"/s", {{1, 1.0}}});
+    EXPECT_EQ(agent.messagesReceived(), 1u);  // no duplicate subscription
+}
+
+TEST(CollectAgent, EndToEndFromPusher) {
+    // The canonical DCDB data flow: Pusher -> broker -> Collect Agent ->
+    // storage, all in-process.
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    CollectAgent agent({}, broker, storage);
+    agent.start();
+
+    pusher::Pusher pusher({}, &broker);
+    pusher::TesterGroupConfig tester;
+    tester.num_sensors = 8;
+    pusher.addGroup(std::make_unique<pusher::TesterGroup>(tester));
+    for (int tick = 1; tick <= 5; ++tick) {
+        pusher.sampleOnce(tick * kNsPerSec);
+    }
+    EXPECT_EQ(agent.messagesReceived(), 40u);
+    EXPECT_EQ(storage.stats().reading_count, 40u);
+    const auto series = storage.query("/test/test0", 0, 100 * kNsPerSec);
+    ASSERT_EQ(series.size(), 5u);
+    EXPECT_DOUBLE_EQ(series.back().value, 5.0);
+}
+
+TEST(CollectAgent, AsyncBrokerDataFlow) {
+    mqtt::AsyncBroker broker;
+    storage::StorageBackend storage;
+    CollectAgent agent({}, broker, storage);
+    agent.start();
+    for (int i = 1; i <= 20; ++i) {
+        broker.publish({"/s", {{i * kNsPerSec, static_cast<double>(i)}}});
+    }
+    broker.flush();
+    EXPECT_EQ(agent.messagesReceived(), 20u);
+    EXPECT_EQ(storage.query("/s", 0, 100 * kNsPerSec).size(), 20u);
+}
+
+}  // namespace
+}  // namespace wm::collectagent

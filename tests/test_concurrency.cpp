@@ -1,0 +1,189 @@
+// Concurrency tests: the hot data structures under simultaneous producers
+// and consumers — the sensor cache written by the Pusher's sampling thread
+// while operators read views, the broker publishing from several threads,
+// and the full Pusher + Operator Manager running on real scheduled threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "mqtt/broker.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/tester_group.h"
+#include "pusher/pusher.h"
+#include "sensors/sensor_cache.h"
+
+namespace wm {
+namespace {
+
+using common::kNsPerMs;
+using common::kNsPerSec;
+using common::TimestampNs;
+
+TEST(CacheConcurrency, WriterWithManyReaders) {
+    sensors::SensorCache cache(60 * kNsPerSec, kNsPerMs);
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<bool> violation{false};
+
+    std::thread writer([&] {
+        TimestampNs t = 0;
+        while (!stop.load()) {
+            t += kNsPerMs;
+            cache.store({t, static_cast<double>(t)});
+        }
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                const auto view = cache.viewRelative(50 * kNsPerMs);
+                // Invariant under concurrency: views stay time-ordered and
+                // values equal their timestamps.
+                for (std::size_t i = 0; i < view.size(); ++i) {
+                    if (view[i].value != static_cast<double>(view[i].timestamp) ||
+                        (i > 0 && view[i - 1].timestamp > view[i].timestamp)) {
+                        violation.store(true);
+                    }
+                }
+                reads.fetch_add(1);
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    stop.store(true);
+    writer.join();
+    for (auto& reader : readers) reader.join();
+    EXPECT_FALSE(violation.load());
+    EXPECT_GT(reads.load(), 100u);
+}
+
+TEST(CacheStoreConcurrency, ConcurrentGetOrCreate) {
+    sensors::CacheStore store;
+    std::vector<std::thread> threads;
+    std::atomic<bool> mismatch{false};
+    for (int worker = 0; worker < 4; ++worker) {
+        threads.emplace_back([&store, &mismatch] {
+            for (int i = 0; i < 500; ++i) {
+                const std::string topic = "/t" + std::to_string(i % 50);
+                sensors::SensorCache& first = store.getOrCreate(topic);
+                sensors::SensorCache& second = store.getOrCreate(topic);
+                if (&first != &second) mismatch.store(true);
+                first.store({i, 1.0});
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_FALSE(mismatch.load());
+    EXPECT_EQ(store.sensorCount(), 50u);
+}
+
+TEST(BrokerConcurrency, ParallelPublishersSingleSubscriber) {
+    mqtt::Broker broker;
+    std::atomic<std::uint64_t> received{0};
+    broker.subscribe("#", [&](const mqtt::Message&) { received.fetch_add(1); });
+    std::vector<std::thread> publishers;
+    constexpr int kPerThread = 2000;
+    for (int p = 0; p < 4; ++p) {
+        publishers.emplace_back([&broker, p] {
+            for (int i = 0; i < kPerThread; ++i) {
+                broker.publish({"/p" + std::to_string(p), {{i, 1.0}}});
+            }
+        });
+    }
+    for (auto& publisher : publishers) publisher.join();
+    EXPECT_EQ(received.load(), 4u * kPerThread);
+}
+
+TEST(BrokerConcurrency, SubscribeUnsubscribeWhilePublishing) {
+    mqtt::Broker broker;
+    std::atomic<bool> stop{false};
+    std::thread publisher([&] {
+        while (!stop.load()) broker.publish({"/t", {{1, 1.0}}});
+    });
+    for (int i = 0; i < 200; ++i) {
+        const auto id = broker.subscribe("#", [](const mqtt::Message&) {});
+        ASSERT_NE(id, 0u);
+        ASSERT_TRUE(broker.unsubscribe(id));
+    }
+    stop.store(true);
+    publisher.join();
+    EXPECT_EQ(broker.subscriptionCount(), 0u);
+}
+
+TEST(AsyncBrokerConcurrency, BackPressureDoesNotDrop) {
+    mqtt::AsyncBroker broker(/*max_queue=*/64);
+    std::atomic<std::uint64_t> received{0};
+    broker.subscribe("#", [&](const mqtt::Message&) {
+        received.fetch_add(1);
+    });
+    std::vector<std::thread> publishers;
+    constexpr int kPerThread = 3000;
+    for (int p = 0; p < 3; ++p) {
+        publishers.emplace_back([&broker] {
+            for (int i = 0; i < kPerThread; ++i) {
+                ASSERT_GE(broker.publish({"/q", {{i, 1.0}}}), 0);
+            }
+        });
+    }
+    for (auto& publisher : publishers) publisher.join();
+    broker.flush();
+    EXPECT_EQ(received.load(), 3u * kPerThread);
+}
+
+TEST(FullStackConcurrency, ScheduledPusherWithLiveOperators) {
+    // Real scheduled sampling + online operators + REST-style on-demand
+    // reads racing against them.
+    pusher::Pusher pusher(pusher::PusherConfig{"stress", 60 * kNsPerSec, 2});
+    pusher::TesterGroupConfig tester;
+    tester.num_sensors = 50;
+    tester.interval_ns = 20 * kNsPerMs;
+    pusher.addGroup(std::make_unique<pusher::TesterGroup>(tester));
+
+    core::QueryEngine engine;
+    engine.setCacheStore(&pusher.cacheStore());
+    engine.rebuildTree();
+    core::OperatorManager manager(
+        core::makeHostContext(engine, &pusher.cacheStore(), nullptr, nullptr));
+    plugins::registerBuiltinPlugins(manager);
+    const auto config = common::parseConfig(R"(
+operator live {
+    interval 20ms
+    window 1s
+    operation average
+    input {
+        sensor "<topdown>test0"
+    }
+    output {
+        sensor "<topdown>test0-avg"
+    }
+}
+)");
+    ASSERT_TRUE(config.ok);
+    ASSERT_EQ(manager.loadPlugin("aggregator", config.root), 1);
+
+    pusher.start();
+    manager.start();
+    std::atomic<bool> stop{false};
+    std::thread prober([&] {
+        while (!stop.load()) {
+            engine.latest("/test/test0");
+            engine.queryRelative("/test/test0-avg", kNsPerSec);
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    stop.store(true);
+    prober.join();
+    manager.stop();
+    pusher.stop();
+    const auto op = manager.findOperator("live");
+    EXPECT_GT(op->computeCount(), 3u);
+    EXPECT_EQ(op->errorCount(), 0u);
+    EXPECT_GT(pusher.readingsSampled(), 100u);
+}
+
+}  // namespace
+}  // namespace wm

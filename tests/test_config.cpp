@@ -1,0 +1,147 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/time_utils.h"
+
+namespace wm::common {
+namespace {
+
+TEST(ConfigParser, FlatKeyValues) {
+    const auto result = parseConfig("alpha 1\nbeta two\ngamma 3.5\n");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.root.getInt("alpha"), 1);
+    EXPECT_EQ(result.root.getString("beta"), "two");
+    EXPECT_DOUBLE_EQ(result.root.getDouble("gamma"), 3.5);
+}
+
+TEST(ConfigParser, NestedBlocks) {
+    const auto result = parseConfig(R"(
+global {
+    mqttPrefix /cluster
+    cacheInterval 180s
+}
+operator avg1 {
+    interval 1000
+    input {
+        sensor "<bottomup>col_user"
+        sensor "<bottomup, filter cpu>cpi"
+    }
+}
+)");
+    ASSERT_TRUE(result.ok) << result.error;
+    const ConfigNode* global = result.root.child("global");
+    ASSERT_NE(global, nullptr);
+    EXPECT_EQ(global->getString("mqttPrefix"), "/cluster");
+    EXPECT_EQ(global->getDurationNs("cacheInterval"), 180 * kNsPerSec);
+
+    const ConfigNode* op = result.root.child("operator");
+    ASSERT_NE(op, nullptr);
+    EXPECT_EQ(op->value(), "avg1");
+    EXPECT_EQ(op->getInt("interval"), 1000);
+    const ConfigNode* input = op->child("input");
+    ASSERT_NE(input, nullptr);
+    const auto sensors = input->childrenOf("sensor");
+    ASSERT_EQ(sensors.size(), 2u);
+    EXPECT_EQ(sensors[0]->value(), "<bottomup>col_user");
+    EXPECT_EQ(sensors[1]->value(), "<bottomup, filter cpu>cpi");
+}
+
+TEST(ConfigParser, CommentsAreIgnored) {
+    const auto result = parseConfig(
+        "# leading comment\nkey value  # trailing comment\n; semicolon comment\nother 2\n");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.root.getString("key"), "value");
+    EXPECT_EQ(result.root.getInt("other"), 2);
+}
+
+TEST(ConfigParser, QuotedValuesKeepWhitespace) {
+    const auto result = parseConfig("name \"hello world\"\n");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.root.getString("name"), "hello world");
+}
+
+TEST(ConfigParser, RepeatedKeysAtSameLevel) {
+    const auto result = parseConfig("sensor a\nsensor b\nsensor c\n");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.root.childrenOf("sensor").size(), 3u);
+}
+
+TEST(ConfigParser, ErrorOnUnmatchedClose) {
+    const auto result = parseConfig("a 1\n}\n");
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.error_line, 2u);
+}
+
+TEST(ConfigParser, ErrorOnUnterminatedBlock) {
+    const auto result = parseConfig("block {\n  key 1\n");
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(ConfigParser, ErrorOnUnterminatedString) {
+    const auto result = parseConfig("name \"oops\n");
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(ConfigParser, BoolAccessorVariants) {
+    const auto result =
+        parseConfig("a true\nb off\nc YES\nd 0\ne nonsense\n");
+    ASSERT_TRUE(result.ok);
+    EXPECT_TRUE(result.root.getBool("a"));
+    EXPECT_FALSE(result.root.getBool("b", true));
+    EXPECT_TRUE(result.root.getBool("c"));
+    EXPECT_FALSE(result.root.getBool("d", true));
+    EXPECT_TRUE(result.root.getBool("e", true));  // fallback on junk
+}
+
+TEST(ConfigParser, DefaultsOnMissingKeys) {
+    const auto result = parseConfig("present 5\n");
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.root.getInt("absent", 99), 99);
+    EXPECT_EQ(result.root.getString("absent", "fb"), "fb");
+    EXPECT_EQ(result.root.getDurationNs("absent", 7), 7);
+    EXPECT_EQ(result.root.child("absent"), nullptr);
+    EXPECT_FALSE(result.root.childValue("absent").has_value());
+}
+
+TEST(ConfigParser, RoundTripThroughToString) {
+    const std::string text = R"(global {
+    prefix /cluster
+}
+operator avg {
+    interval 1000
+    input {
+        sensor "<bottomup>power"
+    }
+}
+)";
+    const auto first = parseConfig(text);
+    ASSERT_TRUE(first.ok) << first.error;
+    const auto second = parseConfig(first.root.toString());
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(first.root.toString(), second.root.toString());
+}
+
+TEST(ConfigParser, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/wm_config_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "key value\nblock {\n  inner 42\n}\n";
+    }
+    const auto result = parseConfigFile(path);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.root.getString("key"), "value");
+    ASSERT_NE(result.root.child("block"), nullptr);
+    EXPECT_EQ(result.root.child("block")->getInt("inner"), 42);
+}
+
+TEST(ConfigParser, MissingFileReportsError) {
+    const auto result = parseConfigFile("/nonexistent/path/file.cfg");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wm::common

@@ -1,0 +1,110 @@
+#include "analytics/features.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/time_utils.h"
+
+namespace wm::analytics {
+namespace {
+
+using common::kNsPerSec;
+using sensors::Reading;
+using sensors::ReadingVector;
+
+ReadingVector linearSeries(std::size_t n, double start, double step) {
+    ReadingVector out;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back({static_cast<common::TimestampNs>(i) * kNsPerSec,
+                       start + step * static_cast<double>(i)});
+    }
+    return out;
+}
+
+double featureOf(const std::vector<double>& block, Feature f) {
+    return block[static_cast<std::size_t>(f)];
+}
+
+TEST(ExtractFeatures, EmptyWindowIsZeros) {
+    const auto block = extractFeatures({});
+    ASSERT_EQ(block.size(), kFeaturesPerSensor);
+    for (double v : block) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ExtractFeatures, LinearSeriesValues) {
+    // Values 10, 12, 14, 16, 18 at 1 s spacing.
+    const auto block = extractFeatures(linearSeries(5, 10.0, 2.0));
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kMean), 14.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kMin), 10.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kMax), 18.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kLast), 18.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kDelta), 8.0);
+    EXPECT_NEAR(featureOf(block, Feature::kSlope), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kMedian), 14.0);
+}
+
+TEST(ExtractFeatures, ConstantSeriesHasZeroSpread) {
+    const auto block = extractFeatures(linearSeries(10, 5.0, 0.0));
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kStdDev), 0.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kSlope), 0.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kDelta), 0.0);
+}
+
+TEST(ExtractFeatures, MonotonicDifferencesCounters) {
+    // Counter increments of exactly 100 per second -> differenced features
+    // describe the constant increment.
+    const auto block = extractFeatures(linearSeries(6, 1000.0, 100.0), /*monotonic=*/true);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kMean), 100.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kStdDev), 0.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kLast), 100.0);
+}
+
+TEST(ExtractFeatures, SingleReadingWindow) {
+    const auto block = extractFeatures({{0, 7.0}});
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kMean), 7.0);
+    EXPECT_DOUBLE_EQ(featureOf(block, Feature::kSlope), 0.0);
+}
+
+TEST(ExtractFeatures, IrregularTimestampsSlope) {
+    // Value doubles over a 4 s gap: slope = 0.5/s on the second segment mix.
+    ReadingVector window{{0, 0.0}, {4 * kNsPerSec, 2.0}};
+    const auto block = extractFeatures(window);
+    EXPECT_NEAR(featureOf(block, Feature::kSlope), 0.5, 1e-9);
+}
+
+TEST(FeatureNames, AllDistinct) {
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kFeaturesPerSensor; ++i) {
+        names.insert(featureName(static_cast<Feature>(i)));
+    }
+    EXPECT_EQ(names.size(), kFeaturesPerSensor);
+}
+
+TEST(ConcatFeatures, PreservesOrder) {
+    const auto joined = concatFeatures({{1.0, 2.0}, {3.0}, {}, {4.0, 5.0}});
+    EXPECT_EQ(joined, (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(TrainingSet, FillsToCapacity) {
+    TrainingSet set(3);
+    EXPECT_TRUE(set.add({1.0}, 1.0));
+    EXPECT_TRUE(set.add({2.0}, 2.0));
+    EXPECT_FALSE(set.full());
+    EXPECT_TRUE(set.add({3.0}, 3.0));
+    EXPECT_TRUE(set.full());
+    EXPECT_FALSE(set.add({4.0}, 4.0));  // rejected when full
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_EQ(set.responses(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(TrainingSet, ClearEmpties) {
+    TrainingSet set(2);
+    set.add({1.0}, 1.0);
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_FALSE(set.full());
+}
+
+}  // namespace
+}  // namespace wm::analytics

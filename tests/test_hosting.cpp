@@ -1,0 +1,85 @@
+// Tests for the host wiring (core/hosting.h): the publish fan-out into
+// cache / broker / storage sinks, and degenerate host configurations.
+
+#include "core/hosting.h"
+
+#include <gtest/gtest.h>
+
+namespace wm::core {
+namespace {
+
+using common::kNsPerSec;
+
+class PassthroughOperator final : public OperatorTemplate {
+  public:
+    using OperatorTemplate::OperatorTemplate;
+
+  protected:
+    std::vector<SensorValue> compute(const Unit& unit, common::TimestampNs t) override {
+        std::vector<SensorValue> out;
+        for (const auto& topic : unit.outputs) out.push_back({topic, {t, 42.0}});
+        return out;
+    }
+};
+
+TEST(Hosting, PublishFansOutToAllSinks) {
+    sensors::CacheStore caches;
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    QueryEngine engine;
+    engine.setCacheStore(&caches);
+    std::atomic<int> broker_hits{0};
+    broker.subscribe("#", [&](const mqtt::Message&) { broker_hits.fetch_add(1); });
+
+    const OperatorContext context =
+        makeHostContext(engine, &caches, &broker, &storage);
+    context.publish({"/x/out", {kNsPerSec, 7.5}});
+
+    ASSERT_NE(caches.find("/x/out"), nullptr);
+    EXPECT_DOUBLE_EQ(caches.find("/x/out")->latest()->value, 7.5);
+    EXPECT_EQ(broker_hits.load(), 1);
+    ASSERT_TRUE(storage.latest("/x/out").has_value());
+    EXPECT_DOUBLE_EQ(storage.latest("/x/out")->value, 7.5);
+}
+
+TEST(Hosting, NullSinksAreSkipped) {
+    sensors::CacheStore caches;
+    QueryEngine engine;
+    engine.setCacheStore(&caches);
+    const OperatorContext context = makeHostContext(engine, nullptr, nullptr, nullptr);
+    // Publishing into a sink-less host must be a harmless no-op.
+    context.publish({"/void/out", {kNsPerSec, 1.0}});
+    EXPECT_EQ(caches.find("/void/out"), nullptr);
+}
+
+TEST(Hosting, OperatorWithoutQueryEngineProducesNoInputData) {
+    sensors::CacheStore caches;
+    QueryEngine engine;
+    engine.setCacheStore(&caches);
+    OperatorContext context = makeHostContext(engine, &caches, nullptr, nullptr);
+    context.query_engine = nullptr;  // simulated mis-wiring
+
+    OperatorConfig config;
+    config.name = "p";
+    auto op = std::make_shared<PassthroughOperator>(config, context);
+    op->setUnits({{"/n", {"/n/in"}, {"/n/out"}}});
+    // Must not crash; the operator still emits its constant output.
+    op->computeAll(kNsPerSec);
+    EXPECT_EQ(op->errorCount(), 0u);
+    ASSERT_NE(caches.find("/n/out"), nullptr);
+}
+
+TEST(Hosting, JobManagerIsPassedThrough) {
+    sensors::CacheStore caches;
+    jobs::JobManager jobs;
+    QueryEngine engine;
+    engine.setCacheStore(&caches);
+    const OperatorContext context =
+        makeHostContext(engine, &caches, nullptr, nullptr, &jobs);
+    EXPECT_EQ(context.job_manager, &jobs);
+    EXPECT_EQ(context.query_engine, &engine);
+    EXPECT_FALSE(context.actuate);  // no control authority unless wired
+}
+
+}  // namespace
+}  // namespace wm::core

@@ -1,0 +1,332 @@
+// Full-stack integration tests reproducing the paper's deployment scenarios
+// end to end, on virtual time:
+//
+//  1. The Case-Study-2 pipeline: simulator-backed Pushers run perfmetrics
+//     operators whose CPI outputs flow over MQTT into a Collect Agent, where
+//     a persyst job operator aggregates them into per-job deciles.
+//  2. The Case-Study-1 loop: a regressor operator inside a Pusher trains on
+//     live counters and predicts node power.
+//  3. On-demand operators triggered through the REST API over real HTTP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collectagent/collect_agent.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/regressor_operator.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/plugins/sysfssim_group.h"
+#include "pusher/pusher.h"
+#include "rest/http_server.h"
+
+namespace wm {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+
+/// A two-node simulated mini-cluster with the full DCDB data path and
+/// Wintermute hosted in both Pushers and the Collect Agent.
+class MiniCluster {
+  public:
+    static constexpr std::size_t kCpusPerNode = 4;
+
+    explicit MiniCluster(simulator::AppKind app) {
+        agent_ = std::make_unique<collectagent::CollectAgent>(
+            collectagent::CollectAgentConfig{}, broker_, storage_);
+        agent_->start();
+        for (std::size_t n = 0; n < 2; ++n) {
+            const std::string node_path = "/r0/c0/s" + std::to_string(n);
+            node_paths_.push_back(node_path);
+            auto node = std::make_shared<pusher::SimulatedNode>(kCpusPerNode, 100 + n);
+            node->startApp(app);
+            sim_nodes_.push_back(node);
+
+            auto p = std::make_unique<pusher::Pusher>(pusher::PusherConfig{node_path},
+                                                      &broker_);
+            pusher::PerfsimGroupConfig perf;
+            perf.node_path = node_path;
+            p->addGroup(std::make_unique<pusher::PerfsimGroup>(perf, node));
+            pusher::SysfssimGroupConfig sys;
+            sys.node_path = node_path;
+            p->addGroup(std::make_unique<pusher::SysfssimGroup>(sys, node));
+            pushers_.push_back(std::move(p));
+        }
+        // Wintermute in each Pusher.
+        for (auto& p : pushers_) {
+            auto engine = std::make_unique<core::QueryEngine>();
+            engine->setCacheStore(&p->cacheStore());
+            auto manager = std::make_unique<core::OperatorManager>(
+                core::makeHostContext(*engine, &p->cacheStore(), &broker_, nullptr));
+            plugins::registerBuiltinPlugins(*manager);
+            pusher_engines_.push_back(std::move(engine));
+            pusher_managers_.push_back(std::move(manager));
+        }
+        // Wintermute in the Collect Agent (with job access and storage).
+        agent_engine_.setCacheStore(&agent_->cacheStore());
+        agent_engine_.setStorage(&storage_);
+        agent_manager_ = std::make_unique<core::OperatorManager>(core::makeHostContext(
+            agent_engine_, &agent_->cacheStore(), nullptr, &storage_, &jobs_));
+        plugins::registerBuiltinPlugins(*agent_manager_);
+    }
+
+    /// One virtual second: sample all pushers, tick all operator managers.
+    void tick(TimestampNs t) {
+        for (auto& p : pushers_) p->sampleOnce(t);
+        for (auto& manager : pusher_managers_) manager->tickAll(t);
+        agent_manager_->tickAll(t);
+    }
+
+    mqtt::Broker broker_;
+    storage::StorageBackend storage_;
+    jobs::JobManager jobs_;
+    std::unique_ptr<collectagent::CollectAgent> agent_;
+    std::vector<std::string> node_paths_;
+    std::vector<std::shared_ptr<pusher::SimulatedNode>> sim_nodes_;
+    std::vector<std::unique_ptr<pusher::Pusher>> pushers_;
+    std::vector<std::unique_ptr<core::QueryEngine>> pusher_engines_;
+    std::vector<std::unique_ptr<core::OperatorManager>> pusher_managers_;
+    core::QueryEngine agent_engine_;
+    std::unique_ptr<core::OperatorManager> agent_manager_;
+};
+
+int loadConfig(core::OperatorManager& manager, const std::string& plugin,
+               const std::string& text) {
+    const auto parsed = common::parseConfig(text);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return manager.loadPlugin(plugin, parsed.root);
+}
+
+TEST(Integration, PerfmetricsPersystPipeline) {
+    MiniCluster cluster(simulator::AppKind::kLammps);
+    // Warm the sensor space so unit resolution sees all topics.
+    cluster.tick(1 * kNsPerSec);
+    for (auto& engine : cluster.pusher_engines_) engine->rebuildTree();
+    cluster.agent_engine_.rebuildTree();
+
+    // Stage 1: perfmetrics (CPI per cpu) in each Pusher.
+    const std::string perf_config = R"(
+operator pm {
+    interval 1s
+    window 3s
+    input {
+        sensor "<bottomup>cpu-cycles"
+        sensor "<bottomup>instructions"
+    }
+    output {
+        sensor "<bottomup>cpi"
+    }
+}
+)";
+    for (auto& manager : cluster.pusher_managers_) {
+        ASSERT_EQ(loadConfig(*manager, "perfmetrics", perf_config), 1);
+    }
+
+    // A job across both nodes.
+    jobs::JobRecord job;
+    job.job_id = "1234";
+    job.nodes = cluster.node_paths_;
+    job.start_time = 0;
+    cluster.jobs_.submit(job);
+
+    // Stage 2: persyst job operator in the Collect Agent. Its input (the
+    // cpi outputs of stage 1) reaches the agent over MQTT.
+    ASSERT_EQ(loadConfig(*cluster.agent_manager_, "persyst", R"(
+operator ps {
+    interval 1s
+    window 3s
+    metric cpi
+}
+)"),
+              1);
+
+    for (TimestampNs t = 2; t <= 10; ++t) cluster.tick(t * kNsPerSec);
+    // The agent must re-discover the cpi sensors produced by stage 1 before
+    // persyst units can resolve; rebuild and tick again.
+    cluster.agent_engine_.rebuildTree();
+    for (TimestampNs t = 11; t <= 13; ++t) cluster.tick(t * kNsPerSec);
+
+    // Deciles of per-core CPI for the job: 2 nodes x 4 cpus = 8 samples;
+    // LAMMPS is low-CPI with small spread.
+    const auto dec5 = cluster.storage_.latest("/job/1234/cpi-dec5");
+    const auto dec0 = cluster.storage_.latest("/job/1234/cpi-dec0");
+    const auto dec10 = cluster.storage_.latest("/job/1234/cpi-dec10");
+    ASSERT_TRUE(dec5.has_value());
+    ASSERT_TRUE(dec0.has_value());
+    ASSERT_TRUE(dec10.has_value());
+    EXPECT_NEAR(dec5->value, 1.6, 0.5);
+    EXPECT_LE(dec0->value, dec5->value);
+    EXPECT_LE(dec5->value, dec10->value);
+    EXPECT_LT(dec10->value, 3.0);  // no spikes for a compute-bound app
+}
+
+TEST(Integration, RegressorPredictsNodePowerInPusher) {
+    MiniCluster cluster(simulator::AppKind::kHpl);
+    cluster.tick(1 * kNsPerSec);
+    for (auto& engine : cluster.pusher_engines_) engine->rebuildTree();
+
+    ASSERT_EQ(loadConfig(*cluster.pusher_managers_[0], "regressor", R"(
+operator reg {
+    interval 1s
+    window 3s
+    target power
+    trainingSamples 100
+    trees 12
+    maxDepth 8
+    input {
+        sensor "<bottomup-1>power"
+        sensor "<bottomup, filter cpu>cpu-cycles"
+        sensor "<bottomup, filter cpu>instructions"
+        sensor "<bottomup, filter cpu>cache-misses"
+    }
+    output {
+        sensor "<bottomup-1>power-pred"
+    }
+}
+)"),
+              1);
+    auto op = std::dynamic_pointer_cast<plugins::RegressorOperator>(
+        cluster.pusher_managers_[0]->findOperator("reg"));
+    ASSERT_NE(op, nullptr);
+
+    TimestampNs t = 2 * kNsPerSec;
+    for (int i = 0; i < 130 && !op->modelTrained(); ++i, t += kNsPerSec) {
+        cluster.tick(t);
+    }
+    ASSERT_TRUE(op->modelTrained());
+
+    // Evaluate online for 30 more seconds: relative error against the real
+    // power signal should be small for the steady HPL workload.
+    double err_sum = 0.0;
+    int samples = 0;
+    for (int i = 0; i < 30; ++i, t += kNsPerSec) {
+        cluster.tick(t);
+        const auto pred =
+            cluster.pushers_[0]->cacheStore().find("/r0/c0/s0/power-pred")->latest();
+        const auto real =
+            cluster.pushers_[0]->cacheStore().find("/r0/c0/s0/power")->latest();
+        ASSERT_TRUE(pred.has_value());
+        ASSERT_TRUE(real.has_value());
+        err_sum += std::abs(pred->value - real->value) / real->value;
+        ++samples;
+    }
+    const double avg_rel_error = err_sum / samples;
+    EXPECT_LT(avg_rel_error, 0.12) << "average relative error too high";
+}
+
+TEST(Integration, OnDemandOverHttp) {
+    MiniCluster cluster(simulator::AppKind::kKripke);
+    for (TimestampNs t = 1; t <= 5; ++t) cluster.tick(t * kNsPerSec);
+    cluster.agent_engine_.rebuildTree();
+
+    ASSERT_EQ(loadConfig(*cluster.agent_manager_, "aggregator", R"(
+operator powavg {
+    mode ondemand
+    window 5s
+    operation average
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>power-avg"
+    }
+}
+)"),
+              1);
+
+    rest::Router router;
+    cluster.agent_manager_->bindRest(router);
+    rest::HttpServer server(router);
+    ASSERT_TRUE(server.start(0));
+
+    const auto result = rest::httpRequest(
+        "127.0.0.1", server.port(), "PUT",
+        "/wintermute/compute?operator=powavg&unit=%2Fr0%2Fc0%2Fs0");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_NE(result.body.find("/r0/c0/s0/power-avg"), std::string::npos);
+    // On-demand outputs are propagated only via the response, but our host
+    // context also caches them; the value must be a plausible node power.
+    const std::size_t pos = result.body.find("\"value\":");
+    ASSERT_NE(pos, std::string::npos);
+    const double value = std::stod(result.body.substr(pos + 8));
+    EXPECT_GT(value, 50.0);
+    EXPECT_LT(value, 500.0);
+}
+
+TEST(Integration, PusherOperatorOutputsReachStorageViaBroker) {
+    // A Pusher-side operator publishes its outputs over MQTT; the Collect
+    // Agent must persist them like any other sensor (pipeline prerequisite).
+    MiniCluster cluster(simulator::AppKind::kAmg);
+    cluster.tick(1 * kNsPerSec);
+    for (auto& engine : cluster.pusher_engines_) engine->rebuildTree();
+    for (auto& manager : cluster.pusher_managers_) {
+        ASSERT_EQ(loadConfig(*manager, "aggregator", R"(
+operator live {
+    interval 1s
+    window 2s
+    operation maximum
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>power-peak"
+    }
+}
+)"),
+                  1);
+    }
+    for (TimestampNs t = 2; t <= 6; ++t) cluster.tick(t * kNsPerSec);
+    for (const auto& node : cluster.node_paths_) {
+        const auto peak = cluster.storage_.latest(node + "/power-peak");
+        ASSERT_TRUE(peak.has_value()) << node;
+        EXPECT_GT(peak->value, 50.0);
+    }
+}
+
+TEST(Integration, ClusteringAcrossCollectAgentSensorSpace) {
+    // Node-level clustering in the Collect Agent over data arriving from
+    // pushers (abbreviated Case Study 3 on two nodes plus synthetic peers).
+    MiniCluster cluster(simulator::AppKind::kLammps);
+    for (TimestampNs t = 1; t <= 20; ++t) cluster.tick(t * kNsPerSec);
+
+    // Augment the agent's sensor space with synthetic nodes so the mixture
+    // has enough points; two tight groups.
+    for (int i = 0; i < 20; ++i) {
+        const std::string node = "/r9/c0/s" + std::to_string(i);
+        auto& cache = cluster.agent_->cacheStore().getOrCreate(node + "/power");
+        common::Rng rng(static_cast<std::uint64_t>(i) + 50);
+        const double base = i < 10 ? 120.0 : 260.0;
+        for (int k = 1; k <= 20; ++k) {
+            cache.store({k * kNsPerSec, base + rng.gaussian(0.0, 3.0)});
+        }
+    }
+    cluster.agent_engine_.rebuildTree();
+
+    ASSERT_EQ(loadConfig(*cluster.agent_manager_, "clustering", R"(
+operator nodecl {
+    interval 1h
+    window 19s
+    maxComponents 8
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>powcluster"
+    }
+}
+)"),
+              1);
+    cluster.agent_manager_->tickAll(20 * kNsPerSec);
+    const auto a = cluster.storage_.latest("/r9/c0/s0/powcluster");
+    const auto b = cluster.storage_.latest("/r9/c0/s15/powcluster");
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_NE(a->value, b->value);  // the two power groups separate
+}
+
+}  // namespace
+}  // namespace wm

@@ -1,0 +1,108 @@
+#include "jobs/job_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace wm::jobs {
+namespace {
+
+using common::kNsPerSec;
+
+JobRecord makeJob(const std::string& id, common::TimestampNs start,
+                  common::TimestampNs end = 0) {
+    JobRecord job;
+    job.job_id = id;
+    job.user_id = "user1";
+    job.nodes = {"/rack0/chassis0/server0", "/rack0/chassis0/server1"};
+    job.start_time = start;
+    job.end_time = end;
+    return job;
+}
+
+TEST(JobManager, SubmitAndFind) {
+    JobManager manager;
+    EXPECT_TRUE(manager.submit(makeJob("1001", 10 * kNsPerSec)));
+    const auto found = manager.find("1001");
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->nodes.size(), 2u);
+    EXPECT_FALSE(manager.find("9999").has_value());
+}
+
+TEST(JobManager, RejectsInvalidSubmissions) {
+    JobManager manager;
+    JobRecord no_id = makeJob("", 0);
+    EXPECT_FALSE(manager.submit(no_id));
+    JobRecord no_nodes = makeJob("1", 0);
+    no_nodes.nodes.clear();
+    EXPECT_FALSE(manager.submit(no_nodes));
+    EXPECT_TRUE(manager.submit(makeJob("1", 0)));
+    EXPECT_FALSE(manager.submit(makeJob("1", 5)));  // duplicate active id
+}
+
+TEST(JobManager, ResubmitAfterCompletionAllowed) {
+    JobManager manager;
+    EXPECT_TRUE(manager.submit(makeJob("1", 0)));
+    EXPECT_TRUE(manager.complete("1", 10 * kNsPerSec));
+    EXPECT_TRUE(manager.submit(makeJob("1", 20 * kNsPerSec)));
+}
+
+TEST(JobManager, CompleteOnlyOnce) {
+    JobManager manager;
+    manager.submit(makeJob("1", 0));
+    EXPECT_TRUE(manager.complete("1", 5));
+    EXPECT_FALSE(manager.complete("1", 6));
+    EXPECT_FALSE(manager.complete("ghost", 6));
+}
+
+TEST(JobManager, RunningAtRespectsBoundaries) {
+    JobManager manager;
+    manager.submit(makeJob("1", 10 * kNsPerSec, 20 * kNsPerSec));
+    manager.submit(makeJob("2", 15 * kNsPerSec));  // still running
+    EXPECT_TRUE(manager.runningAt(5 * kNsPerSec).empty());
+    EXPECT_EQ(manager.runningAt(10 * kNsPerSec).size(), 1u);   // start inclusive
+    EXPECT_EQ(manager.runningAt(19 * kNsPerSec).size(), 2u);
+    EXPECT_EQ(manager.runningAt(20 * kNsPerSec).size(), 1u);   // end exclusive
+    EXPECT_EQ(manager.runningAt(100 * kNsPerSec)[0].job_id, "2");
+}
+
+TEST(JobManager, RunningAtIsSortedByJobId) {
+    JobManager manager;
+    manager.submit(makeJob("20", 0));
+    manager.submit(makeJob("10", 0));
+    const auto running = manager.runningAt(1);
+    ASSERT_EQ(running.size(), 2u);
+    EXPECT_EQ(running[0].job_id, "10");
+    EXPECT_EQ(running[1].job_id, "20");
+}
+
+TEST(JobManager, IntervalIntersection) {
+    JobManager manager;
+    manager.submit(makeJob("1", 10 * kNsPerSec, 20 * kNsPerSec));
+    manager.submit(makeJob("2", 30 * kNsPerSec, 40 * kNsPerSec));
+    EXPECT_EQ(manager.inInterval(0, 5 * kNsPerSec).size(), 0u);
+    EXPECT_EQ(manager.inInterval(15 * kNsPerSec, 35 * kNsPerSec).size(), 2u);
+    EXPECT_EQ(manager.inInterval(25 * kNsPerSec, 28 * kNsPerSec).size(), 0u);
+}
+
+TEST(JobManager, JobsOnNode) {
+    JobManager manager;
+    manager.submit(makeJob("1", 0));
+    auto other = makeJob("2", 0);
+    other.nodes = {"/rack1/chassis0/server0"};
+    manager.submit(other);
+    EXPECT_EQ(manager.jobsOnNode("/rack0/chassis0/server0", 1).size(), 1u);
+    EXPECT_EQ(manager.jobsOnNode("/rack1/chassis0/server0", 1).size(), 1u);
+    EXPECT_EQ(manager.jobsOnNode("/rack9/chassis0/server0", 1).size(), 0u);
+}
+
+TEST(JobRecord, RunningAtSemantics) {
+    const JobRecord running = makeJob("1", 10, 0);
+    EXPECT_TRUE(running.runningAt(10));
+    EXPECT_TRUE(running.runningAt(1000000));
+    EXPECT_FALSE(running.runningAt(9));
+    const JobRecord ended = makeJob("1", 10, 20);
+    EXPECT_TRUE(ended.runningAt(19));
+    EXPECT_FALSE(ended.runningAt(20));
+}
+
+}  // namespace
+}  // namespace wm::jobs

@@ -1,0 +1,146 @@
+#include "analytics/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace wm::analytics {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    m(1, 0) = 9.0;
+    EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+    const Matrix id = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(id(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(id(0, 2), 0.0);
+    const Matrix d = Matrix::diagonal({2.0, 3.0});
+    EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+    EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, Multiply) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeAndTrace) {
+    const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    const Matrix t = a.transpose();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ((a * t).trace(), 1 + 4 + 9 + 16 + 25 + 36);
+}
+
+TEST(Matrix, VectorMultiply) {
+    const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const Vector v = a.multiply({1.0, 1.0});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, OuterProduct) {
+    const Matrix o = Matrix::outer({1.0, 2.0}, 2.0);
+    EXPECT_DOUBLE_EQ(o(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(o(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(o(1, 1), 8.0);
+}
+
+TEST(Cholesky, FactorisesSpdMatrix) {
+    const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+    const auto chol = Cholesky::decompose(a);
+    ASSERT_TRUE(chol.has_value());
+    const Matrix& l = chol->lower();
+    // Reconstruct: L * L^T == A.
+    const Matrix reconstructed = l * l.transpose();
+    EXPECT_LT(reconstructed.maxAbsDiff(a), 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+    EXPECT_FALSE(Cholesky::decompose(Matrix{{1.0, 2.0}, {2.0, 1.0}}).has_value());
+    EXPECT_FALSE(Cholesky::decompose(Matrix{{0.0}}).has_value());
+    EXPECT_FALSE(Cholesky::decompose(Matrix(2, 3)).has_value());  // non-square
+}
+
+TEST(Cholesky, SolveRecoversSolution) {
+    const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+    const auto chol = Cholesky::decompose(a);
+    ASSERT_TRUE(chol.has_value());
+    const Vector x{1.5, -2.0};
+    const Vector b = a.multiply(x);
+    const Vector solved = chol->solve(b);
+    EXPECT_NEAR(solved[0], x[0], 1e-12);
+    EXPECT_NEAR(solved[1], x[1], 1e-12);
+}
+
+TEST(Cholesky, LogDetMatchesKnownValue) {
+    // det([[4,2],[2,3]]) = 8.
+    const auto chol = Cholesky::decompose(Matrix{{4.0, 2.0}, {2.0, 3.0}});
+    ASSERT_TRUE(chol.has_value());
+    EXPECT_NEAR(chol->logDet(), std::log(8.0), 1e-12);
+}
+
+TEST(Cholesky, InverseTimesOriginalIsIdentity) {
+    const Matrix a{{5.0, 1.0, 0.5}, {1.0, 4.0, 0.2}, {0.5, 0.2, 3.0}};
+    const auto chol = Cholesky::decompose(a);
+    ASSERT_TRUE(chol.has_value());
+    const Matrix product = a * chol->inverse();
+    EXPECT_LT(product.maxAbsDiff(Matrix::identity(3)), 1e-10);
+}
+
+TEST(Cholesky, Mahalanobis2MatchesExplicitForm) {
+    const Matrix a{{2.0, 0.3}, {0.3, 1.0}};
+    const auto chol = Cholesky::decompose(a);
+    ASSERT_TRUE(chol.has_value());
+    const Vector x{1.0, 2.0};
+    const Vector mu{0.5, 0.5};
+    const Vector d = subtract(x, mu);
+    const Vector solved = chol->solve(d);
+    EXPECT_NEAR(chol->mahalanobis2(x, mu), dot(d, solved), 1e-12);
+}
+
+TEST(Cholesky, RandomSpdRoundTrips) {
+    common::Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + trial % 5;
+        // Build SPD as B*B^T + n*I.
+        Matrix b(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+        }
+        const Matrix a =
+            b * b.transpose() + Matrix::identity(n) * static_cast<double>(n);
+        const auto chol = Cholesky::decompose(a);
+        ASSERT_TRUE(chol.has_value());
+        const Matrix rec = chol->lower() * chol->lower().transpose();
+        EXPECT_LT(rec.maxAbsDiff(a), 1e-9);
+    }
+}
+
+TEST(VectorOps, Basics) {
+    const Vector a{1.0, 2.0, 3.0};
+    const Vector b{4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+    EXPECT_EQ(add(a, b), (Vector{5.0, 7.0, 9.0}));
+    EXPECT_EQ(subtract(b, a), (Vector{3.0, 3.0, 3.0}));
+    EXPECT_EQ(scale(a, 2.0), (Vector{2.0, 4.0, 6.0}));
+    EXPECT_NEAR(norm2({3.0, 4.0}), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wm::analytics

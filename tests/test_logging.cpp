@@ -1,0 +1,82 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace wm::common {
+namespace {
+
+/// The logger is a process-global singleton; tests restore its state.
+class LoggingTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        Logger::instance().setStderrEnabled(false);
+        Logger::instance().setLevel(LogLevel::kInfo);
+    }
+    void TearDown() override {
+        Logger::instance().setLogFile("");
+        Logger::instance().setLevel(LogLevel::kInfo);
+        Logger::instance().setStderrEnabled(true);
+    }
+};
+
+TEST_F(LoggingTest, LevelNamesRoundTrip) {
+    for (LogLevel level : {LogLevel::kTrace, LogLevel::kDebug, LogLevel::kInfo,
+                           LogLevel::kWarning, LogLevel::kError, LogLevel::kFatal}) {
+        EXPECT_EQ(logLevelFromName(logLevelName(level)), level);
+    }
+    EXPECT_EQ(logLevelFromName("warn"), LogLevel::kWarning);
+    EXPECT_EQ(logLevelFromName("DEBUG"), LogLevel::kDebug);
+    EXPECT_EQ(logLevelFromName("garbage"), LogLevel::kInfo);  // fallback
+}
+
+TEST_F(LoggingTest, ThresholdFiltersRecords) {
+    Logger& logger = Logger::instance();
+    logger.setLevel(LogLevel::kWarning);
+    const std::uint64_t before = logger.emittedCount();
+    logger.log(LogLevel::kInfo, "test", "dropped");
+    logger.log(LogLevel::kDebug, "test", "dropped");
+    EXPECT_EQ(logger.emittedCount(), before);
+    logger.log(LogLevel::kWarning, "test", "kept");
+    logger.log(LogLevel::kError, "test", "kept");
+    EXPECT_EQ(logger.emittedCount(), before + 2);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+    Logger& logger = Logger::instance();
+    logger.setLevel(LogLevel::kOff);
+    const std::uint64_t before = logger.emittedCount();
+    logger.log(LogLevel::kFatal, "test", "dropped");
+    EXPECT_EQ(logger.emittedCount(), before);
+}
+
+TEST_F(LoggingTest, FileSinkReceivesRecords) {
+    const std::string path = ::testing::TempDir() + "/wm_log_test.log";
+    std::remove(path.c_str());
+    Logger& logger = Logger::instance();
+    ASSERT_TRUE(logger.setLogFile(path));
+    logger.log(LogLevel::kError, "module-x", "something went wrong");
+    logger.setLogFile("");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_NE(line.find("ERROR"), std::string::npos);
+    EXPECT_NE(line.find("[module-x]"), std::string::npos);
+    EXPECT_NE(line.find("something went wrong"), std::string::npos);
+}
+
+TEST_F(LoggingTest, BadLogFilePathFails) {
+    EXPECT_FALSE(Logger::instance().setLogFile("/no/such/dir/file.log"));
+}
+
+TEST_F(LoggingTest, StreamStatementFormats) {
+    Logger& logger = Logger::instance();
+    const std::uint64_t before = logger.emittedCount();
+    WM_LOG(kError, "stream") << "value=" << 42 << " pi=" << 3.14;
+    EXPECT_EQ(logger.emittedCount(), before + 1);
+}
+
+}  // namespace
+}  // namespace wm::common

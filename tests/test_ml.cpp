@@ -1,0 +1,347 @@
+// Tests for the machine-learning substrate: k-means, CART regression trees,
+// random forests and the variational Bayesian GMM.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "analytics/bayesian_gmm.h"
+#include "analytics/decision_tree.h"
+#include "analytics/kmeans.h"
+#include "analytics/random_forest.h"
+#include "common/rng.h"
+
+namespace wm::analytics {
+namespace {
+
+// --- k-means ----------------------------------------------------------------
+
+std::vector<Vector> threeBlobs(common::Rng& rng, std::size_t per_blob = 50) {
+    const std::vector<Vector> centers{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+    std::vector<Vector> points;
+    for (const auto& center : centers) {
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            points.push_back(
+                {center[0] + rng.gaussian(0.0, 0.5), center[1] + rng.gaussian(0.0, 0.5)});
+        }
+    }
+    return points;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+    common::Rng rng(3);
+    const auto points = threeBlobs(rng);
+    KMeansParams params;
+    params.k = 3;
+    const KMeansResult result = kmeans(points, params);
+    ASSERT_EQ(result.centroids.size(), 3u);
+    EXPECT_TRUE(result.converged);
+    // Each blob's points share one label, and the three labels differ.
+    std::set<std::size_t> blob_labels;
+    for (std::size_t blob = 0; blob < 3; ++blob) {
+        const std::size_t label = result.labels[blob * 50];
+        for (std::size_t i = 0; i < 50; ++i) {
+            ASSERT_EQ(result.labels[blob * 50 + i], label) << "blob " << blob;
+        }
+        blob_labels.insert(label);
+    }
+    EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeans, EmptyAndDegenerateInputs) {
+    EXPECT_TRUE(kmeans({}).centroids.empty());
+    KMeansParams params;
+    params.k = 5;
+    const auto result = kmeans({{1.0}, {2.0}}, params);  // fewer points than k
+    EXPECT_LE(result.centroids.size(), 2u);
+    ASSERT_EQ(result.labels.size(), 2u);
+}
+
+TEST(KMeans, IdenticalPointsCollapse) {
+    const std::vector<Vector> same(10, Vector{3.0, 3.0});
+    KMeansParams params;
+    params.k = 3;
+    const auto result = kmeans(same, params);
+    ASSERT_FALSE(result.centroids.empty());
+    EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+    common::Rng rng(4);
+    const auto points = threeBlobs(rng);
+    KMeansParams params;
+    params.k = 3;
+    params.seed = 77;
+    const auto a = kmeans(points, params);
+    const auto b = kmeans(points, params);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+// --- decision tree ----------------------------------------------------------
+
+TEST(DecisionTree, FitsStepFunction) {
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        const double v = i / 200.0;
+        x.push_back({v});
+        y.push_back(v < 0.5 ? 1.0 : 5.0);
+    }
+    std::vector<std::size_t> rows(x.size());
+    std::iota(rows.begin(), rows.end(), 0u);
+    DecisionTree tree;
+    common::Rng rng(1);
+    tree.fit(x, y, rows, TreeParams{}, rng);
+    ASSERT_TRUE(tree.trained());
+    EXPECT_NEAR(tree.predict({0.2}), 1.0, 1e-9);
+    EXPECT_NEAR(tree.predict({0.8}), 5.0, 1e-9);
+}
+
+TEST(DecisionTree, ConstantResponseIsSingleLeaf) {
+    std::vector<std::vector<double>> x{{1.0}, {2.0}, {3.0}, {4.0}};
+    std::vector<double> y{7.0, 7.0, 7.0, 7.0};
+    std::vector<std::size_t> rows{0, 1, 2, 3};
+    DecisionTree tree;
+    common::Rng rng(1);
+    tree.fit(x, y, rows, TreeParams{}, rng);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_DOUBLE_EQ(tree.predict({99.0}), 7.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+    common::Rng data_rng(2);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 500; ++i) {
+        const double v = data_rng.uniform();
+        x.push_back({v});
+        y.push_back(std::sin(20.0 * v));
+    }
+    std::vector<std::size_t> rows(x.size());
+    std::iota(rows.begin(), rows.end(), 0u);
+    TreeParams params;
+    params.max_depth = 3;
+    DecisionTree tree;
+    common::Rng rng(1);
+    tree.fit(x, y, rows, params, rng);
+    EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, EmptyFitIsUntrained) {
+    DecisionTree tree;
+    common::Rng rng(1);
+    tree.fit({}, {}, {}, TreeParams{}, rng);
+    EXPECT_FALSE(tree.trained());
+    EXPECT_DOUBLE_EQ(tree.predict({1.0}), 0.0);
+}
+
+TEST(DecisionTree, MultiFeatureSplitSelection) {
+    // y depends only on feature 1; the tree should ignore feature 0.
+    common::Rng data_rng(3);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 300; ++i) {
+        const double noise = data_rng.uniform();
+        const double signal = data_rng.uniform();
+        x.push_back({noise, signal});
+        y.push_back(signal > 0.5 ? 10.0 : -10.0);
+    }
+    std::vector<std::size_t> rows(x.size());
+    std::iota(rows.begin(), rows.end(), 0u);
+    DecisionTree tree;
+    common::Rng rng(1);
+    tree.fit(x, y, rows, TreeParams{}, rng);
+    EXPECT_NEAR(tree.predict({0.1, 0.9}), 10.0, 0.5);
+    EXPECT_NEAR(tree.predict({0.9, 0.1}), -10.0, 0.5);
+}
+
+// --- random forest ----------------------------------------------------------
+
+TEST(RandomForest, LearnsSmoothFunction) {
+    common::Rng data_rng(5);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 2000; ++i) {
+        const double a = data_rng.uniform();
+        const double b = data_rng.uniform();
+        x.push_back({a, b});
+        y.push_back(3.0 * a + std::sin(6.0 * b));
+    }
+    RandomForest forest;
+    ForestParams params;
+    params.num_trees = 24;
+    ASSERT_TRUE(forest.fit(x, y, params));
+    EXPECT_EQ(forest.treeCount(), 24u);
+    // In-sample RMSE should be small; OOB reported and finite.
+    double sse = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double err = forest.predict(x[i]) - y[i];
+        sse += err * err;
+    }
+    EXPECT_LT(std::sqrt(sse / static_cast<double>(x.size())), 0.25);
+    EXPECT_TRUE(std::isfinite(forest.oobRmse()));
+    EXPECT_LT(forest.oobRmse(), 0.5);
+}
+
+TEST(RandomForest, RejectsBadInput) {
+    RandomForest forest;
+    EXPECT_FALSE(forest.fit({}, {}));
+    EXPECT_FALSE(forest.fit({{1.0}}, {1.0, 2.0}));          // size mismatch
+    EXPECT_FALSE(forest.fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}));  // ragged
+    EXPECT_FALSE(forest.trained());
+    EXPECT_DOUBLE_EQ(forest.predict({1.0}), 0.0);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+    common::Rng data_rng(6);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 300; ++i) {
+        const double v = data_rng.uniform();
+        x.push_back({v});
+        y.push_back(v * v);
+    }
+    RandomForest a;
+    RandomForest b;
+    ForestParams params;
+    params.seed = 123;
+    a.fit(x, y, params);
+    b.fit(x, y, params);
+    for (double probe = 0.05; probe < 1.0; probe += 0.1) {
+        EXPECT_DOUBLE_EQ(a.predict({probe}), b.predict({probe}));
+    }
+}
+
+TEST(RandomForest, PredictBatchMatchesScalar) {
+    std::vector<std::vector<double>> x{{0.1}, {0.5}, {0.9}};
+    std::vector<double> y{1.0, 2.0, 3.0};
+    RandomForest forest;
+    ForestParams params;
+    params.num_trees = 4;
+    forest.fit(x, y, params);
+    const auto batch = forest.predictBatch(x);
+    ASSERT_EQ(batch.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(batch[i], forest.predict(x[i]));
+    }
+}
+
+// --- Bayesian GMM -----------------------------------------------------------
+
+TEST(Digamma, KnownValues) {
+    // digamma(1) = -gamma (Euler-Mascheroni).
+    EXPECT_NEAR(digamma(1.0), -0.5772156649015329, 1e-10);
+    // Recurrence: digamma(x+1) = digamma(x) + 1/x.
+    EXPECT_NEAR(digamma(4.5), digamma(3.5) + 1.0 / 3.5, 1e-10);
+    // Large-argument asymptotics: digamma(x) ~ ln(x) - 1/(2x).
+    EXPECT_NEAR(digamma(1000.0), std::log(1000.0) - 0.0005, 1e-6);
+}
+
+TEST(BayesianGmm, RecoversClusterCountAutomatically) {
+    common::Rng rng(7);
+    const auto points = threeBlobs(rng, 80);
+    BayesianGmm model;
+    BgmmParams params;
+    params.max_components = 10;  // deliberately over-provisioned
+    params.seed = 7;
+    ASSERT_TRUE(model.fit(points, params));
+    // The Dirichlet prior should prune to ~3 effective components.
+    EXPECT_GE(model.effectiveComponents(), 3u);
+    EXPECT_LE(model.effectiveComponents(), 4u);
+    // Weights sum to ~1 over the retained components.
+    double total = 0.0;
+    for (const auto& comp : model.components()) total += comp.weight;
+    EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST(BayesianGmm, LabelsSeparateBlobs) {
+    common::Rng rng(8);
+    const auto points = threeBlobs(rng, 60);
+    BayesianGmm model;
+    BgmmParams params;
+    params.seed = 8;
+    ASSERT_TRUE(model.fit(points, params));
+    const std::size_t l0 = model.predictLabel({0.0, 0.0});
+    const std::size_t l1 = model.predictLabel({10.0, 0.0});
+    const std::size_t l2 = model.predictLabel({0.0, 10.0});
+    EXPECT_NE(l0, l1);
+    EXPECT_NE(l0, l2);
+    EXPECT_NE(l1, l2);
+}
+
+TEST(BayesianGmm, FlagsFarOutliers) {
+    common::Rng rng(9);
+    const auto points = threeBlobs(rng, 60);
+    BayesianGmm model;
+    BgmmParams params;
+    params.seed = 9;
+    ASSERT_TRUE(model.fit(points, params));
+    EXPECT_TRUE(model.isOutlier({100.0, 100.0}, 1e-3));
+    EXPECT_FALSE(model.isOutlier({0.1, -0.1}, 1e-3));
+    EXPECT_GT(model.maxComponentDensity({0.0, 0.0}),
+              model.maxComponentDensity({50.0, 50.0}));
+}
+
+TEST(BayesianGmm, ProbabilitiesAreNormalised) {
+    common::Rng rng(10);
+    const auto points = threeBlobs(rng, 40);
+    BayesianGmm model;
+    ASSERT_TRUE(model.fit(points));
+    const Vector probs = model.predictProbabilities({5.0, 5.0});
+    double total = 0.0;
+    for (double p : probs) {
+        EXPECT_GE(p, 0.0);
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BayesianGmm, RejectsDegenerateInput) {
+    BayesianGmm model;
+    EXPECT_FALSE(model.fit({}));
+    EXPECT_FALSE(model.fit({{1.0}}));                       // single point
+    EXPECT_FALSE(model.fit({{1.0, 2.0}, {1.0}}));           // ragged dims
+    EXPECT_FALSE(model.trained());
+}
+
+TEST(BayesianGmm, ScoreIsHigherNearMass) {
+    common::Rng rng(11);
+    const auto points = threeBlobs(rng, 50);
+    BayesianGmm model;
+    ASSERT_TRUE(model.fit(points));
+    EXPECT_GT(model.scoreLogLikelihood({0.0, 0.0}),
+              model.scoreLogLikelihood({30.0, 30.0}));
+}
+
+TEST(BayesianGmm, WorksWithoutStandardization) {
+    common::Rng rng(12);
+    const auto points = threeBlobs(rng, 50);
+    BayesianGmm model;
+    BgmmParams params;
+    params.standardize = false;
+    ASSERT_TRUE(model.fit(points, params));
+    EXPECT_GE(model.effectiveComponents(), 2u);
+}
+
+TEST(BayesianGmm, MeansLieNearTrueCenters) {
+    common::Rng rng(13);
+    const auto points = threeBlobs(rng, 100);
+    BayesianGmm model;
+    BgmmParams params;
+    params.seed = 13;
+    ASSERT_TRUE(model.fit(points, params));
+    const std::vector<Vector> centers{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+    for (const auto& center : centers) {
+        double best = 1e18;
+        for (const auto& comp : model.components()) {
+            best = std::min(best, norm2(subtract(comp.mean, center)));
+        }
+        EXPECT_LT(best, 0.5) << "no component near (" << center[0] << "," << center[1] << ")";
+    }
+}
+
+}  // namespace
+}  // namespace wm::analytics

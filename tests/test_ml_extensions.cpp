@@ -1,0 +1,302 @@
+// Tests for the ML substrate extensions: ridge linear regression and the
+// random-forest classifier, plus the classifier operator plugin performing
+// application fingerprinting against the simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "analytics/classifier.h"
+#include "analytics/linear_regression.h"
+#include "common/rng.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/classifier_operator.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/pusher.h"
+
+namespace wm::analytics {
+namespace {
+
+// --- linear regression --------------------------------------------------------
+
+TEST(LinearRegression, RecoversExactLinearModel) {
+    common::Rng rng(1);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-5.0, 5.0);
+        const double b = rng.uniform(0.0, 100.0);
+        x.push_back({a, b});
+        y.push_back(3.0 * a - 0.5 * b + 7.0);
+    }
+    LinearRegression model;
+    LinearRegressionParams params;
+    params.l2 = 1e-9;  // exact recovery needs a negligible ridge bias
+    ASSERT_TRUE(model.fit(x, y, params));
+    EXPECT_NEAR(model.coefficients()[0], 3.0, 1e-3);
+    EXPECT_NEAR(model.coefficients()[1], -0.5, 1e-3);
+    EXPECT_NEAR(model.intercept(), 7.0, 1e-2);
+    EXPECT_LT(model.trainRmse(), 0.05);
+    EXPECT_NEAR(model.predict({1.0, 10.0}), 3.0 - 5.0 + 7.0, 0.05);
+}
+
+TEST(LinearRegression, HandlesNoisyData) {
+    common::Rng rng(2);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 500; ++i) {
+        const double a = rng.uniform(0.0, 1.0);
+        x.push_back({a});
+        y.push_back(2.0 * a + rng.gaussian(0.0, 0.1));
+    }
+    LinearRegression model;
+    ASSERT_TRUE(model.fit(x, y));
+    EXPECT_NEAR(model.coefficients()[0], 2.0, 0.05);
+    EXPECT_NEAR(model.trainRmse(), 0.1, 0.03);
+}
+
+TEST(LinearRegression, RidgeSurvivesCollinearFeatures) {
+    common::Rng rng(3);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 100; ++i) {
+        const double a = rng.uniform(0.0, 1.0);
+        x.push_back({a, 2.0 * a, 3.0 * a});  // perfectly collinear
+        y.push_back(a * 6.0);
+    }
+    LinearRegression model;
+    ASSERT_TRUE(model.fit(x, y));
+    EXPECT_NEAR(model.predict({0.5, 1.0, 1.5}), 3.0, 0.1);
+}
+
+TEST(LinearRegression, RejectsDegenerateInput) {
+    LinearRegression model;
+    EXPECT_FALSE(model.fit({}, {}));
+    EXPECT_FALSE(model.fit({{1.0}}, {1.0}));               // single sample
+    EXPECT_FALSE(model.fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}));  // ragged
+    EXPECT_FALSE(model.trained());
+    EXPECT_DOUBLE_EQ(model.predict({1.0}), 0.0);
+}
+
+// --- classification forest ----------------------------------------------------
+
+/// Two interleaved class regions on a 2D grid.
+void makeClassData(common::Rng& rng, std::size_t n,
+                   std::vector<std::vector<double>>& x,
+                   std::vector<std::size_t>& labels) {
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.uniform(0.0, 1.0);
+        const double b = rng.uniform(0.0, 1.0);
+        x.push_back({a, b});
+        labels.push_back((a > 0.5) == (b > 0.5) ? 0 : 1);  // XOR pattern
+    }
+}
+
+TEST(ClassificationTree, LearnsXorPattern) {
+    common::Rng data_rng(5);
+    std::vector<std::vector<double>> x;
+    std::vector<std::size_t> labels;
+    makeClassData(data_rng, 500, x, labels);
+    std::vector<std::size_t> rows(x.size());
+    std::iota(rows.begin(), rows.end(), 0u);
+    ClassificationTree tree;
+    common::Rng rng(1);
+    tree.fit(x, labels, rows, 2, ClassifierTreeParams{}, rng);
+    ASSERT_TRUE(tree.trained());
+    EXPECT_EQ(tree.predict({0.2, 0.2}), 0u);
+    EXPECT_EQ(tree.predict({0.8, 0.8}), 0u);
+    EXPECT_EQ(tree.predict({0.2, 0.8}), 1u);
+    EXPECT_EQ(tree.predict({0.8, 0.2}), 1u);
+}
+
+TEST(ClassificationTree, PureNodeIsLeaf) {
+    std::vector<std::vector<double>> x{{1.0}, {2.0}, {3.0}};
+    std::vector<std::size_t> labels{1, 1, 1};
+    std::vector<std::size_t> rows{0, 1, 2};
+    ClassificationTree tree;
+    common::Rng rng(1);
+    tree.fit(x, labels, rows, 2, ClassifierTreeParams{}, rng);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_EQ(tree.predict({42.0}), 1u);
+}
+
+TEST(RandomForestClassifier, HighOobAccuracyOnSeparableData) {
+    common::Rng data_rng(7);
+    std::vector<std::vector<double>> x;
+    std::vector<std::size_t> labels;
+    makeClassData(data_rng, 1000, x, labels);
+    RandomForestClassifier forest;
+    ClassifierForestParams params;
+    params.num_trees = 16;
+    ASSERT_TRUE(forest.fit(x, labels, params));
+    EXPECT_EQ(forest.classCount(), 2u);
+    EXPECT_GT(forest.oobAccuracy(), 0.9);
+}
+
+TEST(RandomForestClassifier, ProbabilitiesSumToOne) {
+    common::Rng data_rng(8);
+    std::vector<std::vector<double>> x;
+    std::vector<std::size_t> labels;
+    makeClassData(data_rng, 200, x, labels);
+    RandomForestClassifier forest;
+    ASSERT_TRUE(forest.fit(x, labels));
+    const auto probabilities = forest.predictProbabilities({0.3, 0.7});
+    double total = 0.0;
+    for (double p : probabilities) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForestClassifier, MultiClass) {
+    common::Rng rng(9);
+    std::vector<std::vector<double>> x;
+    std::vector<std::size_t> labels;
+    for (int i = 0; i < 600; ++i) {
+        const double a = rng.uniform(0.0, 3.0);
+        x.push_back({a});
+        labels.push_back(static_cast<std::size_t>(a));  // 3 bands
+    }
+    RandomForestClassifier forest;
+    ASSERT_TRUE(forest.fit(x, labels));
+    EXPECT_EQ(forest.classCount(), 3u);
+    EXPECT_EQ(forest.predict({0.5}), 0u);
+    EXPECT_EQ(forest.predict({1.5}), 1u);
+    EXPECT_EQ(forest.predict({2.5}), 2u);
+}
+
+TEST(RandomForestClassifier, RejectsBadInput) {
+    RandomForestClassifier forest;
+    EXPECT_FALSE(forest.fit({}, {}));
+    EXPECT_FALSE(forest.fit({{1.0}}, {0, 1}));
+    EXPECT_FALSE(forest.trained());
+}
+
+}  // namespace
+}  // namespace wm::analytics
+
+namespace wm::plugins {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+
+TEST(ClassifierPlugin, FingerprintsApplications) {
+    // A simulated node alternating between two applications with distinct
+    // counter signatures; a synthetic label sensor supplies ground truth
+    // during training. After training, the classifier must identify the
+    // running app from counters alone.
+    const std::string node_path = "/r0/c0/s0";
+    auto node = std::make_shared<pusher::SimulatedNode>(4, 99);
+    pusher::Pusher pusher(pusher::PusherConfig{node_path});
+    pusher::PerfsimGroupConfig perf;
+    perf.node_path = node_path;
+    pusher.addGroup(std::make_unique<pusher::PerfsimGroup>(perf, node));
+
+    core::QueryEngine engine;
+    engine.setCacheStore(&pusher.cacheStore());
+    core::OperatorManager manager(
+        core::makeHostContext(engine, &pusher.cacheStore(), nullptr, nullptr));
+    registerBuiltinPlugins(manager);
+
+    auto& label_cache = pusher.cacheStore().getOrCreate(node_path + "/app-label");
+    pusher.sampleOnce(kNsPerSec);
+    label_cache.store({kNsPerSec, 0.0});
+    engine.rebuildTree();
+
+    const auto config = common::parseConfig(R"(
+operator fingerprint {
+    interval 1s
+    window 3s
+    trainingSamples 120
+    trees 12
+    maxDepth 8
+    input {
+        sensor "<bottomup-1>app-label"
+        sensor "<bottomup, filter cpu>cpu-cycles"
+        sensor "<bottomup, filter cpu>instructions"
+        sensor "<bottomup, filter cpu>cache-misses"
+        sensor "<bottomup, filter cpu>vector-ops"
+    }
+    output {
+        sensor "<bottomup-1>app-predicted"
+        sensor "<bottomup-1>app-confidence"
+    }
+}
+)");
+    ASSERT_TRUE(config.ok) << config.error;
+    ASSERT_EQ(manager.loadPlugin("classifier", config.root), 1);
+    auto op = std::dynamic_pointer_cast<ClassifierOperator>(
+        manager.findOperator("fingerprint"));
+    ASSERT_NE(op, nullptr);
+
+    // Training: alternate LAMMPS (class 0) and Kripke (class 1).
+    TimestampNs t = 2 * kNsPerSec;
+    int phase = 0;
+    node->startApp(simulator::AppKind::kLammps);
+    while (!op->modelTrained() && t < 500 * kNsPerSec) {
+        if ((t / kNsPerSec) % 30 == 0) {
+            phase = 1 - phase;
+            node->startApp(phase == 0 ? simulator::AppKind::kLammps
+                                      : simulator::AppKind::kKripke);
+        }
+        pusher.sampleOnce(t);
+        label_cache.store({t, static_cast<double>(phase)});
+        manager.tickAll(t);
+        t += kNsPerSec;
+    }
+    ASSERT_TRUE(op->modelTrained());
+    EXPECT_GT(op->oobAccuracy(), 0.85);
+
+    // Online identification without labels.
+    auto classify = [&](simulator::AppKind app) {
+        node->startApp(app);
+        for (int i = 0; i < 6; ++i, t += kNsPerSec) {
+            pusher.sampleOnce(t);
+            manager.tickAll(t);
+        }
+        return pusher.cacheStore().find(node_path + "/app-predicted")->latest()->value;
+    };
+    EXPECT_DOUBLE_EQ(classify(simulator::AppKind::kLammps), 0.0);
+    EXPECT_DOUBLE_EQ(classify(simulator::AppKind::kKripke), 1.0);
+    const auto confidence =
+        pusher.cacheStore().find(node_path + "/app-confidence")->latest();
+    ASSERT_TRUE(confidence.has_value());
+    EXPECT_GT(confidence->value, 0.6);
+}
+
+TEST(ClassifierPlugin, NoTrainingWithoutLabelSensor) {
+    sensors::CacheStore caches;
+    core::QueryEngine engine;
+    engine.setCacheStore(&caches);
+    for (int i = 0; i < 10; ++i) {
+        caches.getOrCreate("/n0/cpu-cycles").store({i * kNsPerSec, i * 1e9});
+    }
+    engine.rebuildTree();
+    core::OperatorManager manager(
+        core::makeHostContext(engine, &caches, nullptr, nullptr));
+    registerBuiltinPlugins(manager);
+    const auto config = common::parseConfig(R"(
+operator fp {
+    interval 1s
+    window 3s
+    trainingSamples 5
+    input {
+        sensor "<bottomup>cpu-cycles"
+    }
+    output {
+        sensor "<bottomup>pred"
+    }
+}
+)");
+    ASSERT_TRUE(config.ok);
+    ASSERT_EQ(manager.loadPlugin("classifier", config.root), 1);
+    auto op = std::dynamic_pointer_cast<ClassifierOperator>(manager.findOperator("fp"));
+    for (int i = 0; i < 10; ++i) manager.tickAll((20 + i) * kNsPerSec);
+    EXPECT_FALSE(op->modelTrained());
+    EXPECT_EQ(op->trainingSetSize(), 0u);  // no label, no samples
+}
+
+}  // namespace
+}  // namespace wm::plugins

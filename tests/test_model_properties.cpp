@@ -1,0 +1,184 @@
+// Property tests on the analytics models: invariants that must hold for any
+// seeded random dataset.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/bayesian_gmm.h"
+#include "analytics/classifier.h"
+#include "analytics/features.h"
+#include "analytics/random_forest.h"
+#include "common/rng.h"
+
+namespace wm::analytics {
+namespace {
+
+using common::Rng;
+
+class ForestProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// A regression forest averages tree leaf means, so its prediction can never
+/// leave the convex hull of the training responses.
+TEST_P(ForestProperties, PredictionsBoundedByTrainingRange) {
+    Rng rng(GetParam());
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 300; ++i) {
+        x.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)});
+        y.push_back(rng.uniform(-50.0, 50.0));
+    }
+    RandomForest forest;
+    ForestParams params;
+    params.num_trees = 8;
+    params.seed = GetParam();
+    ASSERT_TRUE(forest.fit(x, y, params));
+    const double lo = *std::min_element(y.begin(), y.end());
+    const double hi = *std::max_element(y.begin(), y.end());
+    for (int probe = 0; probe < 50; ++probe) {
+        // Probe far outside the training domain too.
+        const double p =
+            forest.predict({rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)});
+        EXPECT_GE(p, lo);
+        EXPECT_LE(p, hi);
+    }
+}
+
+/// Determinism: identical data + seed produce identical models.
+TEST_P(ForestProperties, FitIsDeterministic) {
+    Rng rng(GetParam() + 100);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        x.push_back({rng.uniform(0.0, 1.0)});
+        y.push_back(std::sin(x.back()[0] * 9.0));
+    }
+    ForestParams params;
+    params.seed = GetParam();
+    RandomForest a;
+    RandomForest b;
+    a.fit(x, y, params);
+    b.fit(x, y, params);
+    for (double probe = 0.0; probe <= 1.0; probe += 0.05) {
+        ASSERT_DOUBLE_EQ(a.predict({probe}), b.predict({probe}));
+    }
+    EXPECT_DOUBLE_EQ(a.oobRmse(), b.oobRmse());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestProperties, ::testing::Values(1u, 5u, 9u));
+
+class GmmProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Determinism and label-permutation stability of the Bayesian GMM.
+TEST_P(GmmProperties, FitIsDeterministicForSeed) {
+    Rng rng(GetParam());
+    std::vector<Vector> points;
+    for (int i = 0; i < 120; ++i) {
+        const double group = static_cast<double>(i % 2) * 10.0;
+        points.push_back({group + rng.gaussian(0.0, 0.8), rng.gaussian(0.0, 1.0)});
+    }
+    BgmmParams params;
+    params.seed = GetParam();
+    BayesianGmm a;
+    BayesianGmm b;
+    ASSERT_TRUE(a.fit(points, params));
+    ASSERT_TRUE(b.fit(points, params));
+    ASSERT_EQ(a.effectiveComponents(), b.effectiveComponents());
+    for (const auto& point : points) {
+        ASSERT_EQ(a.predictLabel(point), b.predictLabel(point));
+        ASSERT_DOUBLE_EQ(a.maxComponentDensity(point), b.maxComponentDensity(point));
+    }
+}
+
+/// Component weights are a sub-probability vector and means are finite.
+TEST_P(GmmProperties, ComponentSanity) {
+    Rng rng(GetParam() + 40);
+    std::vector<Vector> points;
+    for (int i = 0; i < 150; ++i) {
+        points.push_back({rng.gaussian(0.0, 1.0), rng.gaussian(5.0, 2.0),
+                          rng.gaussian(-3.0, 0.5)});
+    }
+    BayesianGmm model;
+    BgmmParams params;
+    params.seed = GetParam();
+    ASSERT_TRUE(model.fit(points, params));
+    double total = 0.0;
+    for (const auto& comp : model.components()) {
+        EXPECT_GT(comp.weight, 0.0);
+        total += comp.weight;
+        for (double m : comp.mean) EXPECT_TRUE(std::isfinite(m));
+        for (std::size_t d = 0; d < comp.mean.size(); ++d) {
+            EXPECT_GT(comp.covariance(d, d), 0.0);  // positive variances
+        }
+    }
+    EXPECT_LE(total, 1.0 + 1e-9);
+    EXPECT_GT(total, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GmmProperties, ::testing::Values(2u, 6u, 10u));
+
+/// Class-label relabeling: permuting class ids permutes predictions
+/// identically (no hidden ordering assumptions in the classifier).
+TEST(ClassifierProperties, LabelPermutationEquivariance) {
+    Rng rng(3);
+    std::vector<std::vector<double>> x;
+    std::vector<std::size_t> labels;
+    for (int i = 0; i < 400; ++i) {
+        const double a = rng.uniform(0.0, 3.0);
+        x.push_back({a, rng.uniform(0.0, 1.0)});
+        labels.push_back(static_cast<std::size_t>(a));
+    }
+    // Permutation 0->2, 1->0, 2->1.
+    const std::size_t perm[3] = {2, 0, 1};
+    std::vector<std::size_t> permuted;
+    for (std::size_t label : labels) permuted.push_back(perm[label]);
+
+    ClassifierForestParams params;
+    params.seed = 11;
+    RandomForestClassifier original;
+    RandomForestClassifier relabeled;
+    ASSERT_TRUE(original.fit(x, labels, params));
+    ASSERT_TRUE(relabeled.fit(x, permuted, params));
+    int agreements = 0;
+    for (int probe = 0; probe < 60; ++probe) {
+        const std::vector<double> point{rng.uniform(0.0, 3.0), rng.uniform(0.0, 1.0)};
+        if (perm[original.predict(point)] == relabeled.predict(point)) ++agreements;
+    }
+    // Tie-breaking inside trees may differ on boundary points; near-total
+    // agreement is the invariant.
+    EXPECT_GE(agreements, 55);
+}
+
+/// Feature extraction is invariant under time translation.
+TEST(FeatureProperties, TimeTranslationInvariance) {
+    Rng rng(21);
+    sensors::ReadingVector window;
+    common::TimestampNs t = 0;
+    for (int i = 0; i < 20; ++i) {
+        t += common::kNsPerSec;
+        window.push_back({t, rng.uniform(0.0, 10.0)});
+    }
+    sensors::ReadingVector shifted = window;
+    for (auto& reading : shifted) reading.timestamp += 86400 * common::kNsPerSec;
+    EXPECT_EQ(extractFeatures(window), extractFeatures(shifted));
+    EXPECT_EQ(extractFeatures(window, true), extractFeatures(shifted, true));
+}
+
+/// Feature extraction scales linearly with the values for linear features.
+TEST(FeatureProperties, ValueScalingAffectsLinearFeaturesLinearly) {
+    sensors::ReadingVector window;
+    for (int i = 0; i < 10; ++i) {
+        window.push_back({i * common::kNsPerSec, static_cast<double>(i * i)});
+    }
+    sensors::ReadingVector doubled = window;
+    for (auto& reading : doubled) reading.value *= 2.0;
+    const auto base = extractFeatures(window);
+    const auto scaled = extractFeatures(doubled);
+    for (std::size_t f = 0; f < base.size(); ++f) {
+        EXPECT_NEAR(scaled[f], 2.0 * base[f], 1e-9) << featureName(static_cast<Feature>(f));
+    }
+}
+
+}  // namespace
+}  // namespace wm::analytics

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mqtt/broker.h"
+#include "mqtt/topic.h"
+
+namespace wm::mqtt {
+namespace {
+
+struct MatchCase {
+    std::string filter;
+    std::string topic;
+    bool matches;
+};
+
+class TopicMatching : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(TopicMatching, MqttSemantics) {
+    const MatchCase& c = GetParam();
+    EXPECT_EQ(topicMatches(c.filter, c.topic), c.matches)
+        << c.filter << " vs " << c.topic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TopicMatching,
+    ::testing::Values(
+        MatchCase{"/a/b/c", "/a/b/c", true}, MatchCase{"/a/b/c", "/a/b/d", false},
+        MatchCase{"/a/+/c", "/a/b/c", true}, MatchCase{"/a/+/c", "/a/b/d/c", false},
+        // Per MQTT, '#' also matches the parent level itself.
+        MatchCase{"/a/#", "/a/b/c/d", true}, MatchCase{"/a/#", "/a", true},
+        MatchCase{"#", "/anything/at/all", true},
+        MatchCase{"/+/+/+/power", "/rack0/chassis1/server2/power", true},
+        MatchCase{"/+/+/+/power", "/rack0/chassis1/server2/temp", false},
+        MatchCase{"/a/b", "/a/b/c", false}, MatchCase{"/a/b/c", "/a/b", false},
+        MatchCase{"/rack0/#", "/rack1/power", false}));
+
+TEST(TopicValidation, PublishTopics) {
+    EXPECT_TRUE(isValidTopic("/a/b/c"));
+    EXPECT_TRUE(isValidTopic("relative/topic"));
+    EXPECT_FALSE(isValidTopic(""));
+    EXPECT_FALSE(isValidTopic("/a/+/c"));
+    EXPECT_FALSE(isValidTopic("/a/#"));
+    EXPECT_FALSE(isValidTopic("/a//b"));
+}
+
+TEST(TopicValidation, SubscriptionFilters) {
+    EXPECT_TRUE(isValidFilter("#"));
+    EXPECT_TRUE(isValidFilter("/a/+/c"));
+    EXPECT_TRUE(isValidFilter("/a/#"));
+    EXPECT_FALSE(isValidFilter(""));
+    EXPECT_FALSE(isValidFilter("/a/#/c"));   // '#' must be last
+    EXPECT_FALSE(isValidFilter("/a/b+/c"));  // '+' must be a whole segment
+}
+
+TEST(Broker, DeliversToMatchingSubscribers) {
+    Broker broker;
+    std::vector<std::string> received;
+    broker.subscribe("/rack0/#",
+                     [&](const Message& m) { received.push_back(m.topic); });
+    broker.subscribe("/rack1/#",
+                     [&](const Message& m) { received.push_back("other:" + m.topic); });
+    EXPECT_EQ(broker.publish({"/rack0/power", {{1, 2.0}}}), 1);
+    EXPECT_EQ(broker.publish({"/rack1/power", {{1, 2.0}}}), 1);
+    EXPECT_EQ(broker.publish({"/rack2/power", {{1, 2.0}}}), 0);
+    ASSERT_EQ(received.size(), 2u);
+    EXPECT_EQ(received[0], "/rack0/power");
+    EXPECT_EQ(received[1], "other:/rack1/power");
+}
+
+TEST(Broker, PayloadIntegrity) {
+    Broker broker;
+    Message captured;
+    broker.subscribe("#", [&](const Message& m) { captured = m; });
+    const Message sent{"/a/b", {{100, 1.5}, {200, 2.5}}};
+    broker.publish(sent);
+    EXPECT_EQ(captured.topic, sent.topic);
+    ASSERT_EQ(captured.readings.size(), 2u);
+    EXPECT_EQ(captured.readings[1].timestamp, 200);
+    EXPECT_DOUBLE_EQ(captured.readings[1].value, 2.5);
+}
+
+TEST(Broker, RejectsInvalidTopicAndFilter) {
+    Broker broker;
+    EXPECT_EQ(broker.subscribe("/a/#/b", [](const Message&) {}), 0u);
+    EXPECT_EQ(broker.publish({"/a/+/b", {}}), -1);
+}
+
+TEST(Broker, Unsubscribe) {
+    Broker broker;
+    std::atomic<int> count{0};
+    const SubscriptionId id =
+        broker.subscribe("#", [&](const Message&) { count.fetch_add(1); });
+    broker.publish({"/t", {}});
+    EXPECT_TRUE(broker.unsubscribe(id));
+    EXPECT_FALSE(broker.unsubscribe(id));
+    broker.publish({"/t", {}});
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Broker, HandlerMayPublishWithoutDeadlock) {
+    Broker broker;
+    std::atomic<int> secondary{0};
+    broker.subscribe("/chain/stage2",
+                     [&](const Message&) { secondary.fetch_add(1); });
+    broker.subscribe("/chain/stage1", [&](const Message&) {
+        broker.publish({"/chain/stage2", {}});
+    });
+    broker.publish({"/chain/stage1", {}});
+    EXPECT_EQ(secondary.load(), 1);
+}
+
+TEST(AsyncBroker, DeliversAsynchronously) {
+    AsyncBroker broker;
+    std::atomic<int> count{0};
+    broker.subscribe("#", [&](const Message&) { count.fetch_add(1); });
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_GE(broker.publish({"/s", {{i, 1.0}}}), 0);
+    }
+    broker.flush();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(AsyncBroker, FlushOnEmptyQueueReturns) {
+    AsyncBroker broker;
+    broker.flush();  // must not hang
+    SUCCEED();
+}
+
+TEST(AsyncBroker, OrderIsPreserved) {
+    AsyncBroker broker;
+    std::vector<double> seen;
+    std::mutex mutex;
+    broker.subscribe("#", [&](const Message& m) {
+        std::lock_guard lock(mutex);
+        seen.push_back(m.readings[0].value);
+    });
+    for (int i = 0; i < 50; ++i) broker.publish({"/s", {{i, static_cast<double>(i)}}});
+    broker.flush();
+    std::lock_guard lock(mutex);
+    ASSERT_EQ(seen.size(), 50u);
+    for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace wm::mqtt

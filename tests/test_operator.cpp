@@ -1,0 +1,263 @@
+// Tests for the operator framework: OperatorTemplate unit iteration, output
+// publication, error isolation, on-demand computation, and job operators.
+
+#include "core/operator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "core/hosting.h"
+
+namespace wm::core {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+
+/// Minimal concrete operator: copies the latest value of each input to the
+/// positionally matching output, multiplied by a gain.
+class GainOperator final : public OperatorTemplate {
+  public:
+    GainOperator(OperatorConfig config, OperatorContext context, double gain)
+        : OperatorTemplate(std::move(config), std::move(context)), gain_(gain) {}
+
+    bool throw_on_compute = false;
+
+  protected:
+    std::vector<SensorValue> compute(const Unit& unit, TimestampNs t) override {
+        if (throw_on_compute) throw std::runtime_error("synthetic failure");
+        std::vector<SensorValue> out;
+        const std::size_t n = std::min(unit.inputs.size(), unit.outputs.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto latest = context_.query_engine->latest(unit.inputs[i]);
+            if (latest) out.push_back({unit.outputs[i], {t, latest->value * gain_}});
+        }
+        return out;
+    }
+
+  private:
+    double gain_;
+};
+
+class OperatorTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        engine_.setCacheStore(&caches_);
+        caches_.getOrCreate("/n0/power").store({kNsPerSec, 100.0});
+        caches_.getOrCreate("/n1/power").store({kNsPerSec, 200.0});
+        engine_.rebuildTree();
+        context_ = makeHostContext(engine_, &caches_, nullptr, nullptr, &jobs_);
+    }
+
+    OperatorPtr makeGain(double gain) {
+        OperatorConfig config;
+        config.name = "gain1";
+        config.plugin = "gain";
+        config.window_ns = 10 * kNsPerSec;
+        auto op = std::make_shared<GainOperator>(config, context_, gain);
+        op->setUnits({{"/n0", {"/n0/power"}, {"/n0/scaled"}},
+                      {"/n1", {"/n1/power"}, {"/n1/scaled"}}});
+        return op;
+    }
+
+    sensors::CacheStore caches_;
+    QueryEngine engine_;
+    jobs::JobManager jobs_;
+    OperatorContext context_;
+};
+
+TEST_F(OperatorTest, ComputeAllPublishesOutputs) {
+    auto op = makeGain(2.0);
+    op->computeAll(5 * kNsPerSec);
+    const auto* scaled0 = caches_.find("/n0/scaled");
+    const auto* scaled1 = caches_.find("/n1/scaled");
+    ASSERT_NE(scaled0, nullptr);
+    ASSERT_NE(scaled1, nullptr);
+    EXPECT_DOUBLE_EQ(scaled0->latest()->value, 200.0);
+    EXPECT_DOUBLE_EQ(scaled1->latest()->value, 400.0);
+    EXPECT_EQ(op->computeCount(), 2u);
+    EXPECT_EQ(op->errorCount(), 0u);
+}
+
+TEST_F(OperatorTest, DisabledOperatorDoesNothing) {
+    auto op = makeGain(2.0);
+    op->setEnabled(false);
+    op->computeAll(5 * kNsPerSec);
+    EXPECT_EQ(caches_.find("/n0/scaled"), nullptr);
+    EXPECT_EQ(op->computeCount(), 0u);
+}
+
+TEST_F(OperatorTest, ExceptionsAreIsolatedAndCounted) {
+    auto op = makeGain(2.0);
+    auto* gain = static_cast<GainOperator*>(op.get());
+    gain->throw_on_compute = true;
+    op->computeAll(5 * kNsPerSec);
+    EXPECT_EQ(op->errorCount(), 2u);
+    EXPECT_EQ(op->computeCount(), 0u);
+}
+
+TEST_F(OperatorTest, OnDemandReturnsOutputsForKnownUnit) {
+    auto op = makeGain(3.0);
+    const auto outputs = op->computeOnDemand("/n1", 7 * kNsPerSec);
+    ASSERT_TRUE(outputs.has_value());
+    ASSERT_EQ(outputs->size(), 1u);
+    EXPECT_EQ((*outputs)[0].topic, "/n1/scaled");
+    EXPECT_DOUBLE_EQ((*outputs)[0].reading.value, 600.0);
+}
+
+TEST_F(OperatorTest, OnDemandUnknownUnitIsNullopt) {
+    auto op = makeGain(1.0);
+    EXPECT_FALSE(op->computeOnDemand("/ghost", kNsPerSec).has_value());
+}
+
+TEST_F(OperatorTest, OnDemandNormalisesUnitName) {
+    auto op = makeGain(1.0);
+    EXPECT_TRUE(op->computeOnDemand("n0/", kNsPerSec).has_value());
+}
+
+TEST_F(OperatorTest, PublishCanBeSuppressed) {
+    OperatorConfig config;
+    config.name = "silent";
+    config.publish_outputs = false;
+    auto op = std::make_shared<GainOperator>(config, context_, 1.0);
+    op->setUnits({{"/n0", {"/n0/power"}, {"/n0/quiet"}}});
+    op->computeAll(kNsPerSec);
+    EXPECT_EQ(caches_.find("/n0/quiet"), nullptr);
+    // But on-demand still returns values.
+    const auto outputs = op->computeOnDemand("/n0", kNsPerSec);
+    ASSERT_TRUE(outputs.has_value());
+    EXPECT_EQ(outputs->size(), 1u);
+}
+
+TEST(ParseOperatorConfig, ReadsCommonKeys) {
+    const auto parsed = common::parseConfig(R"(
+operator avg1 {
+    mode ondemand
+    unitMode parallel
+    interval 250ms
+    window 2s
+    queryMode absolute
+    publish false
+    input {
+        sensor "<bottomup>power"
+        sensor "<bottomup>temp"
+    }
+    output {
+        sensor "<bottomup>out"
+    }
+}
+)");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const OperatorConfig config =
+        parseOperatorConfig(*parsed.root.child("operator"), "aggregator");
+    EXPECT_EQ(config.name, "avg1");
+    EXPECT_EQ(config.plugin, "aggregator");
+    EXPECT_EQ(config.mode, OperatorMode::kOnDemand);
+    EXPECT_EQ(config.unit_mode, UnitMode::kParallel);
+    EXPECT_EQ(config.interval_ns, 250 * common::kNsPerMs);
+    EXPECT_EQ(config.window_ns, 2 * kNsPerSec);
+    EXPECT_FALSE(config.relative_queries);
+    EXPECT_FALSE(config.publish_outputs);
+    EXPECT_EQ(config.input_patterns.size(), 2u);
+    EXPECT_EQ(config.output_patterns.size(), 1u);
+}
+
+TEST(ParseOperatorConfig, DefaultsAreOnlineSequentialRelative) {
+    const auto parsed = common::parseConfig("operator x {\n interval 1s\n}\n");
+    ASSERT_TRUE(parsed.ok);
+    const OperatorConfig config =
+        parseOperatorConfig(*parsed.root.child("operator"), "p");
+    EXPECT_EQ(config.mode, OperatorMode::kOnline);
+    EXPECT_EQ(config.unit_mode, UnitMode::kSequential);
+    EXPECT_TRUE(config.relative_queries);
+    EXPECT_TRUE(config.publish_outputs);
+    EXPECT_EQ(config.window_ns, config.interval_ns);  // window defaults to interval
+}
+
+// --- job operators -----------------------------------------------------------
+
+class EchoJobOperator final : public JobOperatorTemplate {
+  public:
+    using JobOperatorTemplate::JobOperatorTemplate;
+
+  protected:
+    std::vector<SensorValue> compute(const Unit& unit, TimestampNs t) override {
+        // Emit the number of inputs to each output.
+        std::vector<SensorValue> out;
+        for (const auto& topic : unit.outputs) {
+            out.push_back({topic, {t, static_cast<double>(unit.inputs.size())}});
+        }
+        return out;
+    }
+};
+
+class JobOperatorTest : public OperatorTest {
+  protected:
+    void SetUp() override {
+        OperatorTest::SetUp();
+        jobs::JobRecord job;
+        job.job_id = "4711";
+        job.nodes = {"/n0", "/n1"};
+        job.start_time = 0;
+        jobs_.submit(job);
+    }
+
+    OperatorPtr makeJobOp() {
+        OperatorConfig config;
+        config.name = "jobop";
+        config.window_ns = 10 * kNsPerSec;
+        config.input_patterns = {"<bottomup>power"};
+        const auto unit_template =
+            makeUnitTemplate(config.input_patterns, {"<bottomup>inputs-count"});
+        return std::make_shared<EchoJobOperator>(config, context_, *unit_template);
+    }
+};
+
+TEST_F(JobOperatorTest, BuildsOneUnitPerRunningJob) {
+    auto op = makeJobOp();
+    op->computeAll(kNsPerSec);
+    const auto units = op->units();
+    ASSERT_EQ(units.size(), 1u);
+    EXPECT_EQ(units[0].name, "/job/4711");
+    EXPECT_EQ(units[0].inputs.size(), 2u);  // power from both nodes
+    ASSERT_EQ(units[0].outputs.size(), 1u);
+    EXPECT_EQ(units[0].outputs[0], "/job/4711/inputs-count");
+    const auto* output = caches_.find("/job/4711/inputs-count");
+    ASSERT_NE(output, nullptr);
+    EXPECT_DOUBLE_EQ(output->latest()->value, 2.0);
+}
+
+TEST_F(JobOperatorTest, UnitsDisappearWhenJobEnds) {
+    auto op = makeJobOp();
+    op->computeAll(kNsPerSec);
+    EXPECT_EQ(op->units().size(), 1u);
+    jobs_.complete("4711", 2 * kNsPerSec);
+    op->computeAll(3 * kNsPerSec);
+    EXPECT_TRUE(op->units().empty());
+}
+
+TEST_F(JobOperatorTest, MultipleJobsYieldMultipleUnits) {
+    jobs::JobRecord second;
+    second.job_id = "4712";
+    second.nodes = {"/n1"};
+    second.start_time = 0;
+    jobs_.submit(second);
+    auto op = makeJobOp();
+    op->computeAll(kNsPerSec);
+    EXPECT_EQ(op->units().size(), 2u);
+}
+
+TEST_F(JobOperatorTest, JobsOnUnknownNodesYieldNoUnit) {
+    jobs::JobRecord ghost;
+    ghost.job_id = "4713";
+    ghost.nodes = {"/rack9/ghost"};
+    ghost.start_time = 0;
+    jobs_.submit(ghost);
+    auto op = makeJobOp();
+    op->computeAll(kNsPerSec);
+    // Only the job on known nodes materialises.
+    EXPECT_EQ(op->units().size(), 1u);
+}
+
+}  // namespace
+}  // namespace wm::core

@@ -1,0 +1,182 @@
+// Tests for operator-level outputs (paper Section V-C) and dynamic plugin
+// loading through the REST API (paper Section V-A).
+
+#include <gtest/gtest.h>
+
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/registry.h"
+#include "plugins/regressor_operator.h"
+#include "rest/http_server.h"
+
+namespace wm::core {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+
+/// Operator emitting a fixed set of operator-level values.
+class GlobalEmitter final : public OperatorTemplate {
+  public:
+    using OperatorTemplate::OperatorTemplate;
+    std::vector<double> global_values{1.5, 2.5};
+
+  protected:
+    std::vector<SensorValue> compute(const Unit&, TimestampNs) override { return {}; }
+    std::vector<double> computeOperatorLevel(TimestampNs) override {
+        return global_values;
+    }
+};
+
+class OperatorExtensionTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        engine_.setCacheStore(&caches_);
+        for (int i = 0; i < 10; ++i) {
+            caches_.getOrCreate("/n0/power").store({i * kNsPerSec, 100.0 + i});
+        }
+        engine_.rebuildTree();
+        context_ = makeHostContext(engine_, &caches_, nullptr, nullptr);
+        manager_ = std::make_unique<OperatorManager>(context_);
+        plugins::registerBuiltinPlugins(*manager_);
+    }
+
+    sensors::CacheStore caches_;
+    QueryEngine engine_;
+    OperatorContext context_;
+    std::unique_ptr<OperatorManager> manager_;
+};
+
+TEST_F(OperatorExtensionTest, GlobalOutputsArePublished) {
+    OperatorConfig config;
+    config.name = "ge";
+    config.global_output_topics = {"/ops/ge/alpha", "/ops/ge/beta"};
+    auto op = std::make_shared<GlobalEmitter>(config, context_);
+    op->setUnits({{"/n0", {"/n0/power"}, {}}});
+    op->computeAll(20 * kNsPerSec);
+    ASSERT_NE(caches_.find("/ops/ge/alpha"), nullptr);
+    EXPECT_DOUBLE_EQ(caches_.find("/ops/ge/alpha")->latest()->value, 1.5);
+    EXPECT_DOUBLE_EQ(caches_.find("/ops/ge/beta")->latest()->value, 2.5);
+}
+
+TEST_F(OperatorExtensionTest, GlobalOutputsTruncateToConfiguredTopics) {
+    OperatorConfig config;
+    config.name = "ge2";
+    config.global_output_topics = {"/ops/ge2/only"};
+    auto op = std::make_shared<GlobalEmitter>(config, context_);
+    op->setUnits({{"/n0", {"/n0/power"}, {}}});
+    op->computeAll(20 * kNsPerSec);
+    EXPECT_NE(caches_.find("/ops/ge2/only"), nullptr);
+    EXPECT_EQ(caches_.find("/ops/ge2/beta"), nullptr);
+}
+
+TEST_F(OperatorExtensionTest, GlobalOutputConfigKeyIsParsed) {
+    const auto parsed = common::parseConfig(R"(
+operator x {
+    interval 1s
+    globalOutput {
+        sensor /ops/x/error
+        sensor /ops/x/progress
+    }
+}
+)");
+    ASSERT_TRUE(parsed.ok);
+    const OperatorConfig config = parseOperatorConfig(*parsed.root.child("operator"), "p");
+    ASSERT_EQ(config.global_output_topics.size(), 2u);
+    EXPECT_EQ(config.global_output_topics[0], "/ops/x/error");
+}
+
+TEST_F(OperatorExtensionTest, RegressorPublishesTrainingProgress) {
+    const auto parsed = common::parseConfig(R"(
+operator reg {
+    interval 1s
+    window 3s
+    target power
+    trainingSamples 100
+    input {
+        sensor "<bottomup>power"
+    }
+    output {
+        sensor "<bottomup>power-pred"
+    }
+    globalOutput {
+        sensor /ops/reg/progress
+        sensor /ops/reg/oob-rmse
+        sensor /ops/reg/online-error
+    }
+}
+)");
+    ASSERT_TRUE(parsed.ok);
+    ASSERT_EQ(manager_->loadPlugin("regressor", parsed.root), 1);
+    TimestampNs t = 20 * kNsPerSec;
+    for (int i = 0; i < 5; ++i, t += kNsPerSec) {
+        caches_.getOrCreate("/n0/power").store({t, 100.0});
+        manager_->tickAll(t);
+    }
+    const auto* progress = caches_.find("/ops/reg/progress");
+    ASSERT_NE(progress, nullptr);
+    ASSERT_TRUE(progress->latest().has_value());
+    // 4 accumulated samples out of 100 (the first tick only primes features).
+    EXPECT_NEAR(progress->latest()->value, 0.04, 0.011);
+}
+
+TEST_F(OperatorExtensionTest, DynamicPluginLoadOverRest) {
+    rest::Router router;
+    manager_->bindRest(router);
+    rest::Request request;
+    request.method = "POST";
+    request.path = "/wintermute/load/aggregator";
+    request.body = R"(
+operator dyn {
+    interval 1s
+    window 10s
+    operation maximum
+    input {
+        sensor "<bottomup>power"
+    }
+    output {
+        sensor "<bottomup>power-dynmax"
+    }
+}
+)";
+    const auto response = router.dispatch(request);
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("\"created\":1"), std::string::npos);
+    ASSERT_NE(manager_->findOperator("dyn"), nullptr);
+    manager_->tickAll(20 * kNsPerSec);
+    ASSERT_NE(caches_.find("/n0/power-dynmax"), nullptr);
+    EXPECT_DOUBLE_EQ(caches_.find("/n0/power-dynmax")->latest()->value, 109.0);
+}
+
+TEST_F(OperatorExtensionTest, DynamicLoadRejectsBadConfigAndPlugin) {
+    rest::Router router;
+    manager_->bindRest(router);
+    rest::Request request;
+    request.method = "POST";
+    request.path = "/wintermute/load/aggregator";
+    request.body = "operator x {\n  unterminated\n";
+    EXPECT_EQ(router.dispatch(request).status, 400);
+    request.path = "/wintermute/load/no-such-plugin";
+    request.body = "operator x {\n}\n";
+    EXPECT_EQ(router.dispatch(request).status, 404);
+}
+
+TEST_F(OperatorExtensionTest, DynamicLoadOverRealHttp) {
+    rest::Router router;
+    manager_->bindRest(router);
+    rest::HttpServer server(router);
+    ASSERT_TRUE(server.start(0));
+    const std::string body =
+        "operator httpdyn {\n    interval 1s\n    window 10s\n"
+        "    operation minimum\n"
+        "    input {\n        sensor \"<bottomup>power\"\n    }\n"
+        "    output {\n        sensor \"<bottomup>power-dynmin\"\n    }\n}\n";
+    const auto result = rest::httpRequest("127.0.0.1", server.port(), "POST",
+                                          "/wintermute/load/aggregator", body);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_NE(manager_->findOperator("httpdyn"), nullptr);
+}
+
+}  // namespace
+}  // namespace wm::core

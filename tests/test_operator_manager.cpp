@@ -1,0 +1,220 @@
+// Operator Manager tests: plugin registry, configuration loading, lifecycle,
+// manual ticking and the REST API bindings.
+
+#include "core/operator_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hosting.h"
+#include "plugins/registry.h"
+#include "rest/http_server.h"
+
+namespace wm::core {
+namespace {
+
+using common::kNsPerSec;
+
+class OperatorManagerTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        engine_.setCacheStore(&caches_);
+        // Two nodes with power sensors.
+        for (const std::string node : {"/n0", "/n1"}) {
+            sensors::SensorCache& cache = caches_.getOrCreate(node + "/power");
+            for (int i = 0; i < 10; ++i) {
+                cache.store({i * kNsPerSec, 100.0 + i});
+            }
+        }
+        engine_.rebuildTree();
+        manager_ = std::make_unique<OperatorManager>(
+            makeHostContext(engine_, &caches_, nullptr, nullptr));
+        plugins::registerBuiltinPlugins(*manager_);
+    }
+
+    int loadAggregator(const std::string& extra = "") {
+        const auto parsed = common::parseConfig(
+            "operator avg1 {\n"
+            "    interval 1s\n"
+            "    window 10s\n" +
+            extra +
+            "    input {\n"
+            "        sensor \"<bottomup>power\"\n"
+            "    }\n"
+            "    output {\n"
+            "        sensor \"<bottomup>power-avg\"\n"
+            "    }\n"
+            "}\n");
+        EXPECT_TRUE(parsed.ok) << parsed.error;
+        return manager_->loadPlugin("aggregator", parsed.root);
+    }
+
+    sensors::CacheStore caches_;
+    QueryEngine engine_;
+    std::unique_ptr<OperatorManager> manager_;
+};
+
+TEST_F(OperatorManagerTest, BuiltinPluginsAreRegistered) {
+    const auto names = manager_->pluginNames();
+    for (const std::string expected :
+         {"tester", "aggregator", "smoothing", "perfmetrics", "healthchecker",
+          "regressor", "persyst", "clustering"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+            << expected;
+    }
+}
+
+TEST_F(OperatorManagerTest, DuplicatePluginRegistrationRejected) {
+    EXPECT_FALSE(manager_->registerPlugin(
+        "tester", [](const common::ConfigNode&, const OperatorContext&) {
+            return std::vector<OperatorPtr>{};
+        }));
+}
+
+TEST_F(OperatorManagerTest, LoadPluginCreatesOperatorsWithUnits) {
+    EXPECT_EQ(loadAggregator(), 1);
+    const OperatorPtr op = manager_->findOperator("avg1");
+    ASSERT_NE(op, nullptr);
+    EXPECT_EQ(op->plugin(), "aggregator");
+    EXPECT_EQ(op->units().size(), 2u);  // one per node
+}
+
+TEST_F(OperatorManagerTest, UnknownPluginIsError) {
+    const auto parsed = common::parseConfig("operator x {\n}\n");
+    ASSERT_TRUE(parsed.ok);
+    EXPECT_EQ(manager_->loadPlugin("no-such-plugin", parsed.root), -1);
+}
+
+TEST_F(OperatorManagerTest, ParallelUnitModeSplitsOperators) {
+    EXPECT_EQ(loadAggregator("    unitMode parallel\n"), 2);
+    EXPECT_EQ(manager_->operators().size(), 2u);
+    for (const auto& op : manager_->operators()) {
+        EXPECT_EQ(op->units().size(), 1u);
+    }
+}
+
+TEST_F(OperatorManagerTest, TickAllComputesOnlineOperators) {
+    loadAggregator();
+    manager_->tickAll(20 * kNsPerSec);
+    const auto* output = caches_.find("/n0/power-avg");
+    ASSERT_NE(output, nullptr);
+    // Average of 100..109 = 104.5.
+    EXPECT_DOUBLE_EQ(output->latest()->value, 104.5);
+}
+
+TEST_F(OperatorManagerTest, OutputsEnterTheSensorTreeForPipelines) {
+    loadAggregator();
+    // The aggregator's declared outputs must be discoverable by a downstream
+    // operator before the first tick (pipeline resolution).
+    EXPECT_TRUE(engine_.tree().hasSensor("/n0", "power-avg"));
+}
+
+TEST_F(OperatorManagerTest, OnDemandThroughManager) {
+    loadAggregator("    mode ondemand\n");
+    const auto outputs = manager_->computeOnDemand("avg1", "/n1", 20 * kNsPerSec);
+    ASSERT_TRUE(outputs.has_value());
+    ASSERT_EQ(outputs->size(), 1u);
+    EXPECT_EQ((*outputs)[0].topic, "/n1/power-avg");
+    // On-demand operators are not ticked by tickAll.
+    manager_->tickAll(30 * kNsPerSec);
+    EXPECT_EQ(caches_.find("/n0/power-avg"), nullptr);
+}
+
+TEST_F(OperatorManagerTest, ComputeOnDemandUnknownOperator) {
+    EXPECT_FALSE(manager_->computeOnDemand("ghost", "/n0", 0).has_value());
+}
+
+TEST_F(OperatorManagerTest, ScheduledOnlineOperatorsFire) {
+    const auto parsed = common::parseConfig(
+        "operator fast {\n"
+        "    interval 30ms\n"
+        "    window 10s\n"
+        "    input {\n        sensor \"<bottomup>power\"\n    }\n"
+        "    output {\n        sensor \"<bottomup>power-live\"\n    }\n"
+        "}\n");
+    ASSERT_TRUE(parsed.ok);
+    ASSERT_EQ(manager_->loadPlugin("aggregator", parsed.root), 1);
+    manager_->start();
+    EXPECT_TRUE(manager_->running());
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    manager_->stop();
+    const OperatorPtr op = manager_->findOperator("fast");
+    ASSERT_NE(op, nullptr);
+    EXPECT_GE(op->computeCount(), 2u);
+    ASSERT_NE(caches_.find("/n0/power-live"), nullptr);
+}
+
+TEST_F(OperatorManagerTest, RestEndpoints) {
+    loadAggregator();
+    rest::Router router;
+    manager_->bindRest(router);
+
+    const auto plugins = router.dispatch({"GET", "/wintermute/plugins", {}, {}, ""});
+    EXPECT_EQ(plugins.status, 200);
+    EXPECT_NE(plugins.body.find("\"aggregator\""), std::string::npos);
+
+    const auto operators = router.dispatch({"GET", "/wintermute/operators", {}, {}, ""});
+    EXPECT_EQ(operators.status, 200);
+    EXPECT_NE(operators.body.find("\"avg1\""), std::string::npos);
+    EXPECT_NE(operators.body.find("\"units\":2"), std::string::npos);
+
+    const auto units = router.dispatch({"GET", "/wintermute/units/avg1", {}, {}, ""});
+    EXPECT_EQ(units.status, 200);
+    EXPECT_NE(units.body.find("\"/n0\""), std::string::npos);
+
+    const auto missing = router.dispatch({"GET", "/wintermute/units/ghost", {}, {}, ""});
+    EXPECT_EQ(missing.status, 404);
+}
+
+TEST_F(OperatorManagerTest, RestLifecycleToggles) {
+    loadAggregator();
+    rest::Router router;
+    manager_->bindRest(router);
+    const auto stop =
+        router.dispatch({"PUT", "/wintermute/operators/avg1/stop", {}, {}, ""});
+    EXPECT_EQ(stop.status, 200);
+    EXPECT_FALSE(manager_->findOperator("avg1")->enabled());
+    manager_->tickAll(30 * kNsPerSec);
+    EXPECT_EQ(caches_.find("/n0/power-avg"), nullptr);  // disabled: no output
+    const auto start =
+        router.dispatch({"PUT", "/wintermute/operators/avg1/start", {}, {}, ""});
+    EXPECT_EQ(start.status, 200);
+    EXPECT_TRUE(manager_->findOperator("avg1")->enabled());
+    const auto bad =
+        router.dispatch({"PUT", "/wintermute/operators/avg1/reboot", {}, {}, ""});
+    EXPECT_EQ(bad.status, 400);
+}
+
+TEST_F(OperatorManagerTest, RestOnDemandCompute) {
+    loadAggregator("    mode ondemand\n");
+    rest::Router router;
+    manager_->bindRest(router);
+    rest::Request request;
+    request.method = "PUT";
+    request.path = "/wintermute/compute";
+    request.query = {{"operator", "avg1"}, {"unit", "/n0"}};
+    const auto response = router.dispatch(request);
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("/n0/power-avg"), std::string::npos);
+    EXPECT_NE(response.body.find("104.5"), std::string::npos);
+
+    rest::Request missing_params;
+    missing_params.method = "PUT";
+    missing_params.path = "/wintermute/compute";
+    EXPECT_EQ(router.dispatch(missing_params).status, 400);
+}
+
+TEST_F(OperatorManagerTest, RestOverHttpEndToEnd) {
+    loadAggregator();
+    rest::Router router;
+    manager_->bindRest(router);
+    rest::HttpServer server(router);
+    ASSERT_TRUE(server.start(0));
+    const auto result =
+        rest::httpRequest("127.0.0.1", server.port(), "GET", "/wintermute/operators");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_NE(result.body.find("avg1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wm::core

@@ -1,0 +1,425 @@
+// Behavioural tests for the operator plugins: tester, aggregator, smoothing,
+// perfmetrics, healthchecker, regressor, persyst, clustering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "plugins/clustering_operator.h"
+#include "plugins/regressor_operator.h"
+#include "plugins/registry.h"
+
+namespace wm::plugins {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+using core::OperatorManager;
+using core::OperatorPtr;
+
+/// Shared fixture: a small two-node sensor space with raw counters, power
+/// and temperature, plus an OperatorManager with all plugins registered.
+class PluginTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        engine_.setCacheStore(&caches_);
+        // Two nodes x two cpus with monotonic counters; node-level power.
+        for (const std::string node : {"/r0/c0/s0", "/r0/c0/s1"}) {
+            for (int cpu = 0; cpu < 2; ++cpu) {
+                const std::string base = node + "/cpu" + std::to_string(cpu);
+                fillCounter(base + "/cpu-cycles", 2.0e9);       // 2 GHz busy
+                fillCounter(base + "/instructions", 1.0e9);     // CPI = 2
+                fillCounter(base + "/cache-misses", 1.0e7);     // 0.01 miss/instr
+                fillCounter(base + "/vector-ops", 4.0e8);       // 0.4 vec ratio
+                fillCounter(base + "/branch-misses", 4.0e6);
+            }
+            fillValue(node + "/power", 150.0, 2.0);
+            fillValue(node + "/temp", 48.0, 0.1);
+        }
+        engine_.rebuildTree();
+        manager_ = std::make_unique<OperatorManager>(
+            core::makeHostContext(engine_, &caches_, nullptr, nullptr, &jobs_));
+        registerBuiltinPlugins(*manager_);
+    }
+
+    /// Monotonic counter increasing by `rate` per second for 30 ticks.
+    void fillCounter(const std::string& topic, double rate) {
+        sensors::SensorCache& cache = caches_.getOrCreate(topic);
+        for (int i = 0; i <= 30; ++i) {
+            cache.store({i * kNsPerSec, rate * i});
+        }
+    }
+
+    /// Value sensor oscillating around `center` for 30 ticks.
+    void fillValue(const std::string& topic, double center, double amplitude) {
+        sensors::SensorCache& cache = caches_.getOrCreate(topic);
+        for (int i = 0; i <= 30; ++i) {
+            cache.store({i * kNsPerSec, center + amplitude * ((i % 2 == 0) ? 1.0 : -1.0)});
+        }
+    }
+
+    int load(const std::string& plugin, const std::string& config_text) {
+        const auto parsed = common::parseConfig(config_text);
+        EXPECT_TRUE(parsed.ok) << parsed.error;
+        return manager_->loadPlugin(plugin, parsed.root);
+    }
+
+    double outputValue(const std::string& topic) {
+        const auto* cache = caches_.find(topic);
+        if (cache == nullptr || !cache->latest()) return std::nan("");
+        return cache->latest()->value;
+    }
+
+    sensors::CacheStore caches_;
+    core::QueryEngine engine_;
+    jobs::JobManager jobs_;
+    std::unique_ptr<OperatorManager> manager_;
+};
+
+TEST_F(PluginTest, TesterPerformsQueriesAndReportsCount) {
+    ASSERT_EQ(load("tester", R"(
+operator t1 {
+    interval 1s
+    window 10s
+    queries 7
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>tester-out"
+    }
+}
+)"),
+              1);  // one operator holding one unit per server (sequential)
+    manager_->tickAll(30 * kNsPerSec);
+    // 7 queries over an 10 s window with 11 readings each = 77 readings.
+    EXPECT_DOUBLE_EQ(outputValue("/r0/c0/s0/tester-out"), 77.0);
+}
+
+TEST_F(PluginTest, AggregatorAverageAndMax) {
+    ASSERT_EQ(load("aggregator", R"(
+operator avg {
+    interval 1s
+    window 9s
+    operation average
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>power-avg"
+    }
+}
+operator peak {
+    interval 1s
+    window 9s
+    operation maximum
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>power-max"
+    }
+}
+)"),
+              2);
+    manager_->tickAll(30 * kNsPerSec);
+    // Window t in [21,30]: 5 highs (152) + 5 lows (148) -> avg 150.
+    EXPECT_NEAR(outputValue("/r0/c0/s0/power-avg"), 150.0, 1e-9);
+    EXPECT_DOUBLE_EQ(outputValue("/r0/c0/s0/power-max"), 152.0);
+}
+
+TEST_F(PluginTest, AggregatorDeltaOnCounters) {
+    ASSERT_EQ(load("aggregator", R"(
+operator cyc {
+    interval 1s
+    window 10s
+    operation sum
+    delta true
+    input {
+        sensor "<bottomup, filter cpu0>cpu-cycles"
+    }
+    output {
+        sensor "<bottomup-1>cycles-delta"
+    }
+}
+)"),
+              1);
+    manager_->tickAll(30 * kNsPerSec);
+    // One cpu0 per server unit; 10 s of 2e9 cycles/s.
+    EXPECT_NEAR(outputValue("/r0/c0/s0/cycles-delta"), 2.0e10, 1e3);
+}
+
+TEST_F(PluginTest, SmoothingConvergesTowardsMean) {
+    ASSERT_EQ(load("smoothing", R"(
+operator smooth {
+    interval 1s
+    alpha 0.25
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>power-smooth"
+    }
+}
+)"),
+              1);
+    for (int tick = 0; tick < 10; ++tick) {
+        manager_->tickAll((31 + tick) * kNsPerSec);
+    }
+    // EWMA of +-2 oscillation around 150 stays within the band.
+    EXPECT_NEAR(outputValue("/r0/c0/s0/power-smooth"), 150.0, 2.0);
+}
+
+TEST_F(PluginTest, PerfmetricsDerivedValues) {
+    ASSERT_EQ(load("perfmetrics", R"(
+operator pm {
+    interval 1s
+    window 10s
+    input {
+        sensor "<bottomup>cpu-cycles"
+        sensor "<bottomup>instructions"
+        sensor "<bottomup>cache-misses"
+        sensor "<bottomup>vector-ops"
+        sensor "<bottomup>branch-misses"
+    }
+    output {
+        sensor "<bottomup>cpi"
+        sensor "<bottomup>vecratio"
+        sensor "<bottomup>missrate"
+        sensor "<bottomup>ips"
+    }
+}
+)"),
+              1);
+    manager_->tickAll(30 * kNsPerSec);
+    EXPECT_NEAR(outputValue("/r0/c0/s0/cpu0/cpi"), 2.0, 1e-9);
+    EXPECT_NEAR(outputValue("/r0/c0/s0/cpu0/vecratio"), 0.4, 1e-9);
+    EXPECT_NEAR(outputValue("/r0/c0/s0/cpu0/missrate"), 0.01, 1e-9);
+    EXPECT_NEAR(outputValue("/r0/c0/s1/cpu1/ips"), 1.0e9, 1.0);
+}
+
+TEST_F(PluginTest, HealthcheckerFlagsOutOfRange) {
+    ASSERT_EQ(load("healthchecker", R"(
+operator hc {
+    interval 1s
+    check power {
+        max 200
+    }
+    check temp {
+        min 10
+        max 60
+    }
+    input {
+        sensor "<bottomup-1>power"
+        sensor "<bottomup-1>temp"
+    }
+    output {
+        sensor "<bottomup-1>healthy"
+    }
+}
+)"),
+              1);
+    manager_->tickAll(30 * kNsPerSec);
+    EXPECT_DOUBLE_EQ(outputValue("/r0/c0/s0/healthy"), 1.0);
+    // Push power beyond the limit on one node and re-tick.
+    caches_.getOrCreate("/r0/c0/s0/power").store({31 * kNsPerSec, 500.0});
+    manager_->tickAll(31 * kNsPerSec);
+    EXPECT_DOUBLE_EQ(outputValue("/r0/c0/s0/healthy"), 0.0);
+    EXPECT_DOUBLE_EQ(outputValue("/r0/c0/s1/healthy"), 1.0);
+}
+
+TEST_F(PluginTest, RegressorTrainsThenPredicts) {
+    ASSERT_EQ(load("regressor", R"(
+operator reg {
+    interval 1s
+    window 4s
+    target power
+    trainingSamples 60
+    trees 8
+    maxDepth 6
+    input {
+        sensor "<bottomup-1>power"
+        sensor "<bottomup, filter cpu>cpu-cycles"
+        sensor "<bottomup, filter cpu>instructions"
+    }
+    output {
+        sensor "<bottomup-1>power-pred"
+    }
+}
+)"),
+              1);
+    auto op = std::dynamic_pointer_cast<RegressorOperator>(manager_->findOperator("reg"));
+    ASSERT_NE(op, nullptr);
+    // Feed ticks: extend sensors and tick until the model trains.
+    TimestampNs t = 31 * kNsPerSec;
+    for (int i = 0; i < 80 && !op->modelTrained(); ++i, t += kNsPerSec) {
+        for (const std::string node : {"/r0/c0/s0", "/r0/c0/s1"}) {
+            caches_.getOrCreate(node + "/power")
+                .store({t, 150.0 + 2.0 * ((t / kNsPerSec) % 2 == 0 ? 1.0 : -1.0)});
+            for (int cpu = 0; cpu < 2; ++cpu) {
+                const std::string base = node + "/cpu" + std::to_string(cpu);
+                const double sec = static_cast<double>(t / kNsPerSec);
+                caches_.getOrCreate(base + "/cpu-cycles").store({t, 2.0e9 * sec});
+                caches_.getOrCreate(base + "/instructions").store({t, 1.0e9 * sec});
+            }
+        }
+        manager_->tickAll(t);
+    }
+    ASSERT_TRUE(op->modelTrained());
+    EXPECT_TRUE(std::isfinite(op->oobRmse()));
+    manager_->tickAll(t);
+    // Prediction lands near the 150 W band.
+    EXPECT_NEAR(outputValue("/r0/c0/s0/power-pred"), 150.0, 10.0);
+}
+
+TEST_F(PluginTest, RegressorSuppressesOutputUntilTrained) {
+    ASSERT_EQ(load("regressor", R"(
+operator reg2 {
+    interval 1s
+    window 4s
+    target power
+    trainingSamples 100000
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>power-pred2"
+    }
+}
+)"),
+              1);
+    manager_->tickAll(30 * kNsPerSec);
+    EXPECT_TRUE(std::isnan(outputValue("/r0/c0/s0/power-pred2")));
+}
+
+TEST_F(PluginTest, PersystEmitsJobDeciles) {
+    // A job spanning both servers; per-cpu "cpi" metric sensors provided
+    // directly (as the perfmetrics stage would).
+    for (const std::string node : {"/r0/c0/s0", "/r0/c0/s1"}) {
+        for (int cpu = 0; cpu < 2; ++cpu) {
+            const std::string topic = node + "/cpu" + std::to_string(cpu) + "/cpi";
+            sensors::SensorCache& cache = caches_.getOrCreate(topic);
+            // Distinct constant per cpu: 1, 2, 3, 4.
+            const double value =
+                (node.back() == '0' ? 0.0 : 2.0) + (cpu == 0 ? 1.0 : 2.0);
+            for (int i = 0; i <= 30; ++i) cache.store({i * kNsPerSec, value});
+        }
+    }
+    engine_.rebuildTree();
+    jobs::JobRecord job;
+    job.job_id = "77";
+    job.nodes = {"/r0/c0/s0", "/r0/c0/s1"};
+    job.start_time = 0;
+    jobs_.submit(job);
+
+    ASSERT_EQ(load("persyst", R"(
+operator ps {
+    interval 1s
+    window 5s
+    metric cpi
+}
+)"),
+              1);
+    manager_->tickAll(30 * kNsPerSec);
+    // Values {1,2,3,4}: decile 0 = 1, decile 10 = 4, median = mean = 2.5.
+    EXPECT_DOUBLE_EQ(outputValue("/job/77/cpi-dec0"), 1.0);
+    EXPECT_DOUBLE_EQ(outputValue("/job/77/cpi-dec10"), 4.0);
+    EXPECT_DOUBLE_EQ(outputValue("/job/77/cpi-dec5"), 2.5);
+    EXPECT_DOUBLE_EQ(outputValue("/job/77/cpi-avg"), 2.5);
+}
+
+TEST_F(PluginTest, ClusteringLabelsNodesAndOutliers) {
+    // Build 30 synthetic "nodes" with power/temp/col_idle sensors forming
+    // two groups plus one extreme outlier.
+    std::vector<std::string> nodes;
+    for (int i = 0; i < 31; ++i) {
+        const std::string node = "/cl/n" + std::to_string(i);
+        nodes.push_back(node);
+        double power = (i < 15) ? 100.0 : 200.0;
+        double temp = (i < 15) ? 45.0 : 52.0;
+        double idle_rate = (i < 15) ? 500.0 : 50.0;  // cs per second
+        if (i == 30) {  // anomalous node: high power at high idle
+            power = 320.0;
+            temp = 58.0;
+            idle_rate = 500.0;
+        }
+        auto& pc = caches_.getOrCreate(node + "/power");
+        auto& tc = caches_.getOrCreate(node + "/temp");
+        auto& ic = caches_.getOrCreate(node + "/col_idle");
+        common::Rng rng(static_cast<std::uint64_t>(i) + 1);
+        for (int k = 0; k <= 20; ++k) {
+            pc.store({k * kNsPerSec, power + rng.gaussian(0.0, 2.0)});
+            tc.store({k * kNsPerSec, temp + rng.gaussian(0.0, 0.3)});
+            ic.store({k * kNsPerSec, idle_rate * k});
+        }
+    }
+    engine_.rebuildTree();
+    ASSERT_EQ(load("clustering", R"(
+operator cl {
+    interval 1h
+    window 20s
+    maxComponents 6
+    outlierThreshold 0.001
+    input {
+        sensor "<topdown+1, filter /cl/>power"
+        sensor "<topdown+1, filter /cl/>temp"
+        sensor "<topdown+1, filter /cl/>col_idle"
+    }
+    output {
+        sensor "<topdown+1, filter /cl/>cluster-label"
+    }
+}
+)"),
+              1);
+    manager_->tickAll(20 * kNsPerSec);
+    auto op = std::dynamic_pointer_cast<ClusteringOperator>(manager_->findOperator("cl"));
+    ASSERT_NE(op, nullptr);
+    ASSERT_TRUE(op->modelTrained());
+    // Two groups are separated; the anomalous node is an outlier (-1).
+    const double label_a = outputValue("/cl/n0/cluster-label");
+    const double label_b = outputValue("/cl/n20/cluster-label");
+    EXPECT_GE(label_a, 0.0);
+    EXPECT_GE(label_b, 0.0);
+    EXPECT_NE(label_a, label_b);
+    EXPECT_DOUBLE_EQ(outputValue("/cl/n30/cluster-label"), -1.0);
+    // Same-group nodes share a label.
+    EXPECT_DOUBLE_EQ(outputValue("/cl/n1/cluster-label"), label_a);
+    EXPECT_DOUBLE_EQ(outputValue("/cl/n21/cluster-label"), label_b);
+}
+
+TEST_F(PluginTest, ClusteringUsesIdleRateNotCounter) {
+    // Verifies the rate conversion: a monotonic col_idle counter must enter
+    // the model as its growth rate.
+    for (int i = 0; i < 6; ++i) {
+        const std::string node = "/rt/n" + std::to_string(i);
+        auto& pc = caches_.getOrCreate(node + "/col_idle");
+        for (int k = 0; k <= 10; ++k) {
+            pc.store({k * kNsPerSec, 100.0 * k + i});  // rate 100 cs/s each
+        }
+    }
+    engine_.rebuildTree();
+    ASSERT_EQ(load("clustering", R"(
+operator rt {
+    interval 1h
+    window 10s
+    input {
+        sensor "<topdown+1, filter /rt/>col_idle"
+    }
+    output {
+        sensor "<topdown+1, filter /rt/>rt-label"
+    }
+}
+)"),
+              1);
+    manager_->tickAll(10 * kNsPerSec);
+    auto op = std::dynamic_pointer_cast<ClusteringOperator>(manager_->findOperator("rt"));
+    ASSERT_NE(op, nullptr);
+    const auto point = op->lastPointOf("/rt/n0");
+    ASSERT_EQ(point.size(), 1u);
+    EXPECT_NEAR(point[0], 100.0, 1.0);  // the rate, not the raw counter value
+}
+
+}  // namespace
+}  // namespace wm::plugins

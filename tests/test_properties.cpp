@@ -1,0 +1,237 @@
+// Property-based tests: invariants checked over randomized inputs, seeded
+// and reproducible. These complement the example-based tests with coverage
+// of the input space — random sensor trees, random pattern units, random
+// reading streams and random config round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analytics/stats.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/unit_system.h"
+#include "mqtt/topic.h"
+#include "sensors/sensor_cache.h"
+#include "storage/storage_backend.h"
+
+namespace wm {
+namespace {
+
+using common::kNsPerSec;
+using common::Rng;
+using common::TimestampNs;
+
+/// Random canonical sensor topic with depth in [1, 5].
+std::string randomTopic(Rng& rng) {
+    static const char* segments[] = {"rack", "chassis", "server", "cpu", "dimm"};
+    static const char* sensors[] = {"power", "temp", "cpi", "flops", "col_idle", "err"};
+    const std::size_t depth = 1 + rng.uniformInt(4);
+    std::string topic;
+    for (std::size_t d = 0; d < depth; ++d) {
+        topic += "/" + std::string(segments[d]) + std::to_string(rng.uniformInt(4));
+    }
+    topic += "/" + std::string(sensors[rng.uniformInt(6)]);
+    return topic;
+}
+
+class TreeProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// The tree faithfully stores exactly the distinct topics inserted.
+TEST_P(TreeProperties, RoundTripsSensors) {
+    Rng rng(GetParam());
+    std::set<std::string> topics;
+    for (int i = 0; i < 200; ++i) topics.insert(randomTopic(rng));
+    core::SensorTree tree;
+    tree.build({topics.begin(), topics.end()});
+    EXPECT_EQ(tree.sensorCount(), topics.size());
+    const auto round_tripped = tree.allSensors();
+    EXPECT_EQ(std::set<std::string>(round_tripped.begin(), round_tripped.end()), topics);
+}
+
+/// Every sensor's component chain exists, with consistent depths.
+TEST_P(TreeProperties, ComponentChainsAreComplete) {
+    Rng rng(GetParam() + 1000);
+    std::vector<std::string> topics;
+    for (int i = 0; i < 100; ++i) topics.push_back(randomTopic(rng));
+    core::SensorTree tree;
+    tree.build(topics);
+    for (const auto& topic : topics) {
+        std::string node = common::pathParent(topic);
+        while (node != "/") {
+            ASSERT_TRUE(tree.hasNode(node)) << node;
+            node = common::pathParent(node);
+        }
+    }
+    // nodesAtDepth partitions all non-root component nodes.
+    std::size_t total = 1;  // root
+    for (std::size_t depth = 1; depth <= tree.maxDepth(); ++depth) {
+        total += tree.nodesAtDepth(depth).size();
+    }
+    EXPECT_EQ(total, tree.nodeCount());
+}
+
+/// Resolved units only ever reference sensors that exist in the tree, and
+/// every input is hierarchically related to the unit node.
+TEST_P(TreeProperties, ResolutionInvariants) {
+    Rng rng(GetParam() + 2000);
+    std::vector<std::string> topics;
+    for (int i = 0; i < 300; ++i) topics.push_back(randomTopic(rng));
+    core::SensorTree tree;
+    tree.build(topics);
+    const core::UnitResolver resolver(tree);
+
+    static const char* names[] = {"power", "temp", "cpi", "flops", "col_idle"};
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::string anchor =
+            rng.bernoulli(0.5) ? "<bottomup>" : "<bottomup-1>";
+        const std::string in1 =
+            std::string("<topdown>") + names[rng.uniformInt(5)];
+        const std::string in2 = anchor + names[rng.uniformInt(5)];
+        const auto unit_template =
+            core::makeUnitTemplate({in1, in2}, {anchor + "out"});
+        ASSERT_TRUE(unit_template.has_value());
+        for (const auto& unit : resolver.resolveUnits(*unit_template)) {
+            EXPECT_TRUE(tree.hasNode(unit.name));
+            for (const auto& input : unit.inputs) {
+                EXPECT_TRUE(tree.hasSensor(common::pathParent(input),
+                                           common::pathLeaf(input)))
+                    << input;
+                EXPECT_TRUE(core::SensorTree::hierarchicallyRelated(
+                    common::pathParent(input), unit.name))
+                    << input << " vs " << unit.name;
+            }
+            EXPECT_FALSE(unit.outputs.empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeProperties, ::testing::Values(11u, 22u, 33u, 44u));
+
+class CacheProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// The cache and the storage backend agree on every absolute range query
+/// that lies within the cache's retention window.
+TEST_P(CacheProperties, CacheMatchesStorageWithinWindow) {
+    Rng rng(GetParam());
+    sensors::SensorCache cache(120 * kNsPerSec, kNsPerSec);
+    storage::StorageBackend storage;
+    TimestampNs t = 0;
+    for (int i = 0; i < 400; ++i) {
+        t += static_cast<TimestampNs>(rng.uniform(0.2, 2.0) * kNsPerSec);
+        const sensors::Reading reading{t, rng.uniform(-10.0, 10.0)};
+        cache.store(reading);
+        storage.insert("/s", reading);
+    }
+    const TimestampNs newest = cache.latest()->timestamp;
+    const TimestampNs oldest_cached = newest - cache.windowNs();
+    for (int trial = 0; trial < 50; ++trial) {
+        TimestampNs a = newest - static_cast<TimestampNs>(
+                                     rng.uniform(0.0, 100.0) * kNsPerSec);
+        TimestampNs b = newest - static_cast<TimestampNs>(
+                                     rng.uniform(0.0, 100.0) * kNsPerSec);
+        if (a > b) std::swap(a, b);
+        if (a <= oldest_cached) continue;
+        EXPECT_EQ(cache.viewAbsolute(a, b), storage.query("/s", a, b))
+            << "range [" << a << "," << b << "]";
+    }
+}
+
+/// Views are always time-ordered and within the requested bounds.
+TEST_P(CacheProperties, ViewsAreOrderedAndBounded) {
+    Rng rng(GetParam() + 500);
+    sensors::SensorCache cache(300 * kNsPerSec, kNsPerSec);
+    TimestampNs t = 0;
+    for (int i = 0; i < 500; ++i) {
+        t += static_cast<TimestampNs>(rng.uniform(0.1, 3.0) * kNsPerSec);
+        cache.store({t, 0.0});
+    }
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto offset =
+            static_cast<TimestampNs>(rng.uniform(0.0, 400.0) * kNsPerSec);
+        const auto view = cache.viewRelative(offset);
+        const TimestampNs newest = cache.latest()->timestamp;
+        for (std::size_t i = 0; i < view.size(); ++i) {
+            EXPECT_GE(view[i].timestamp, newest - offset);
+            EXPECT_LE(view[i].timestamp, newest);
+            if (i > 0) EXPECT_LE(view[i - 1].timestamp, view[i].timestamp);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheProperties, ::testing::Values(7u, 14u, 21u));
+
+class QuantileProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Deciles are monotone, bounded by min/max, and permutation-invariant.
+TEST_P(QuantileProperties, DecileInvariants) {
+    Rng rng(GetParam());
+    std::vector<double> values;
+    const std::size_t n = 1 + rng.uniformInt(500);
+    for (std::size_t i = 0; i < n; ++i) values.push_back(rng.gaussian(0.0, 100.0));
+    const auto d = analytics::deciles(values);
+    ASSERT_EQ(d.size(), 11u);
+    EXPECT_DOUBLE_EQ(d.front(), *analytics::minimum(values));
+    EXPECT_DOUBLE_EQ(d.back(), *analytics::maximum(values));
+    for (std::size_t i = 1; i < d.size(); ++i) EXPECT_GE(d[i], d[i - 1]);
+    auto shuffled = values;
+    rng.shuffle(shuffled);
+    EXPECT_EQ(analytics::deciles(shuffled), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileProperties,
+                         ::testing::Values(3u, 6u, 9u, 12u, 15u));
+
+class TopicProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Every valid topic matches itself, "#", and its own prefix filters.
+TEST_P(TopicProperties, MatchingAxioms) {
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::string topic = randomTopic(rng);
+        ASSERT_TRUE(mqtt::isValidTopic(topic));
+        EXPECT_TRUE(mqtt::topicMatches(topic, topic));
+        EXPECT_TRUE(mqtt::topicMatches("#", topic));
+        // Replace one segment with '+': still matches.
+        auto segments = common::pathSegments(topic);
+        const std::size_t victim = rng.uniformInt(segments.size());
+        segments[victim] = "+";
+        EXPECT_TRUE(mqtt::topicMatches("/" + common::join(segments, '/'), topic));
+        // Prefix + '#': matches.
+        auto prefix = common::pathSegments(topic);
+        prefix.resize(1 + rng.uniformInt(prefix.size()));
+        EXPECT_TRUE(
+            mqtt::topicMatches("/" + common::join(prefix, '/') + "/#", topic));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopicProperties, ::testing::Values(2u, 4u, 8u));
+
+/// Config trees survive a serialise/parse round trip structurally.
+TEST(ConfigProperties, RandomRoundTrip) {
+    Rng rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        common::ConfigNode root;
+        std::function<void(common::ConfigNode&, int)> grow =
+            [&](common::ConfigNode& node, int depth) {
+                const std::size_t children = 1 + rng.uniformInt(4);
+                for (std::size_t i = 0; i < children; ++i) {
+                    auto& child = node.addChild(
+                        "key" + std::to_string(rng.uniformInt(10)),
+                        rng.bernoulli(0.5)
+                            ? "value" + std::to_string(rng.uniformInt(100))
+                            : "");
+                    if (depth < 3 && rng.bernoulli(0.4)) grow(child, depth + 1);
+                }
+            };
+        grow(root, 0);
+        const std::string text = root.toString();
+        const auto parsed = common::parseConfig(text);
+        ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << text;
+        EXPECT_EQ(parsed.root.toString(), text);
+    }
+}
+
+}  // namespace
+}  // namespace wm

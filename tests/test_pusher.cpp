@@ -1,0 +1,165 @@
+// Pusher and monitoring-plugin tests: sampling, cache filling, MQTT
+// publication, and the simulator-backed sensor groups.
+
+#include "pusher/pusher.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/plugins/procfssim_group.h"
+#include "pusher/plugins/sysfssim_group.h"
+#include "pusher/plugins/tester_group.h"
+
+namespace wm::pusher {
+namespace {
+
+using common::kNsPerMs;
+using common::kNsPerSec;
+
+TEST(TesterGroup, ProducesMonotonicSensors) {
+    TesterGroupConfig config;
+    config.num_sensors = 5;
+    config.prefix = "/test";
+    TesterGroup group(config);
+    EXPECT_EQ(group.sensors().size(), 5u);
+    EXPECT_TRUE(group.sensors()[0].monotonic);
+    const auto first = group.read(kNsPerSec);
+    const auto second = group.read(2 * kNsPerSec);
+    ASSERT_EQ(first.size(), 5u);
+    EXPECT_EQ(first[0].topic, "/test/test0");
+    EXPECT_LT(first[0].reading.value, second[0].reading.value);
+    EXPECT_EQ(group.ticks(), 2u);
+}
+
+TEST(SimGroups, ShareOneNodeModel) {
+    auto node = std::make_shared<SimulatedNode>(4, 42);
+    node->startApp(simulator::AppKind::kHpl);
+
+    PerfsimGroupConfig perf_config;
+    perf_config.node_path = "/r0/c0/s0";
+    PerfsimGroup perf(perf_config, node);
+    SysfssimGroupConfig sys_config;
+    sys_config.node_path = "/r0/c0/s0";
+    SysfssimGroup sys(sys_config, node);
+    ProcfssimGroupConfig proc_config;
+    proc_config.node_path = "/r0/c0/s0";
+    ProcfssimGroup proc(proc_config, node);
+
+    // 4 cpus x 5 counters.
+    EXPECT_EQ(perf.sensors().size(), 20u);
+    EXPECT_EQ(sys.sensors().size(), 2u);
+    EXPECT_EQ(proc.sensors().size(), 2u);
+
+    const auto perf_readings = perf.read(10 * kNsPerSec);
+    const auto sys_readings = sys.read(10 * kNsPerSec);
+    const auto proc_readings = proc.read(10 * kNsPerSec);
+    EXPECT_EQ(perf_readings.size(), 20u);
+    ASSERT_EQ(sys_readings.size(), 2u);
+    EXPECT_EQ(sys_readings[0].topic, "/r0/c0/s0/power");
+    EXPECT_GT(sys_readings[0].reading.value, 50.0);  // plausible node power
+    ASSERT_EQ(proc_readings.size(), 2u);
+    EXPECT_EQ(proc_readings[0].topic, "/r0/c0/s0/memfree");
+    // Counters advance between samples.
+    const auto later = perf.read(20 * kNsPerSec);
+    EXPECT_GT(later[0].reading.value, perf_readings[0].reading.value);
+}
+
+TEST(SimulatedNode, TimeNeverRunsBackwards) {
+    SimulatedNode node(2, 7);
+    const auto at_10 = node.sampleAt(10 * kNsPerSec);
+    const auto at_5 = node.sampleAt(5 * kNsPerSec);  // past: state unchanged
+    EXPECT_DOUBLE_EQ(at_5.cores[0].cycles, at_10.cores[0].cycles);
+}
+
+TEST(Pusher, SampleOnceFillsCaches) {
+    Pusher pusher({});
+    TesterGroupConfig config;
+    config.num_sensors = 10;
+    pusher.addGroup(std::make_unique<TesterGroup>(config));
+    EXPECT_EQ(pusher.cacheStore().sensorCount(), 10u);  // pre-created
+    pusher.sampleOnce(kNsPerSec);
+    EXPECT_EQ(pusher.readingsSampled(), 10u);
+    const auto* cache = pusher.cacheStore().find("/test/test3");
+    ASSERT_NE(cache, nullptr);
+    ASSERT_TRUE(cache->latest().has_value());
+    EXPECT_EQ(cache->latest()->timestamp, kNsPerSec);
+}
+
+TEST(Pusher, PublishesOverMqtt) {
+    mqtt::Broker broker;
+    std::atomic<int> received{0};
+    broker.subscribe("/test/#", [&](const mqtt::Message&) { received.fetch_add(1); });
+    PusherConfig config;
+    Pusher pusher(config, &broker);
+    TesterGroupConfig tester;
+    tester.num_sensors = 4;
+    pusher.addGroup(std::make_unique<TesterGroup>(tester));
+    pusher.sampleOnce(kNsPerSec);
+    EXPECT_EQ(received.load(), 4);
+    EXPECT_EQ(pusher.messagesPublished(), 4u);
+}
+
+TEST(Pusher, RespectsPublishFlagInMetadata) {
+    // A group whose sensors carry publish=false must stay cache-local.
+    class PrivateGroup final : public SensorGroup {
+      public:
+        const std::string& name() const override { return name_; }
+        common::TimestampNs intervalNs() const override { return kNsPerSec; }
+        std::vector<sensors::SensorMetadata> sensors() const override {
+            sensors::SensorMetadata metadata;
+            metadata.topic = "/private/value";
+            metadata.publish = false;
+            return {metadata};
+        }
+        std::vector<SampledReading> read(common::TimestampNs t) override {
+            return {{"/private/value", {t, 1.0}}};
+        }
+
+      private:
+        std::string name_ = "private";
+    };
+
+    mqtt::Broker broker;
+    std::atomic<int> received{0};
+    broker.subscribe("#", [&](const mqtt::Message&) { received.fetch_add(1); });
+    Pusher pusher({}, &broker);
+    pusher.addGroup(std::make_unique<PrivateGroup>());
+    pusher.sampleOnce(kNsPerSec);
+    EXPECT_EQ(received.load(), 0);
+    EXPECT_NE(pusher.cacheStore().find("/private/value"), nullptr);
+}
+
+TEST(Pusher, ScheduledSamplingRuns) {
+    Pusher pusher({});
+    TesterGroupConfig config;
+    config.num_sensors = 2;
+    config.interval_ns = 30 * kNsPerMs;
+    pusher.addGroup(std::make_unique<TesterGroup>(config));
+    pusher.start();
+    EXPECT_TRUE(pusher.running());
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    pusher.stop();
+    EXPECT_FALSE(pusher.running());
+    EXPECT_GE(pusher.readingsSampled(), 4u);
+    const std::uint64_t at_stop = pusher.readingsSampled();
+    std::this_thread::sleep_for(std::chrono::milliseconds(70));
+    EXPECT_EQ(pusher.readingsSampled(), at_stop);
+}
+
+TEST(Pusher, AddGroupWhileRunning) {
+    Pusher pusher({});
+    pusher.start();
+    TesterGroupConfig config;
+    config.num_sensors = 1;
+    config.interval_ns = 20 * kNsPerMs;
+    pusher.addGroup(std::make_unique<TesterGroup>(config));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    pusher.stop();
+    EXPECT_GE(pusher.readingsSampled(), 2u);
+    EXPECT_EQ(pusher.groupCount(), 1u);
+}
+
+}  // namespace
+}  // namespace wm::pusher

@@ -1,0 +1,112 @@
+#include "core/query_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace wm::core {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+
+class QueryEngineTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        engine_.setCacheStore(&caches_);
+        engine_.setStorage(&storage_);
+        // Cache window is 180 s; fill cache with the last 100 s and storage
+        // with a much longer history.
+        sensors::SensorCache& cache = caches_.getOrCreate("/node/power");
+        for (int i = 900; i < 1000; ++i) {
+            cache.store({i * kNsPerSec, static_cast<double>(i)});
+        }
+        for (int i = 0; i < 1000; ++i) {
+            storage_.insert("/node/power", {i * kNsPerSec, static_cast<double>(i)});
+        }
+        storage_.insert("/only/storage", {5 * kNsPerSec, 42.0});
+    }
+
+    sensors::CacheStore caches_{180 * kNsPerSec};
+    storage::StorageBackend storage_;
+    QueryEngine engine_;
+};
+
+TEST_F(QueryEngineTest, RelativeQueryHitsCache) {
+    const auto view = engine_.queryRelative("/node/power", 10 * kNsPerSec);
+    ASSERT_EQ(view.size(), 11u);
+    EXPECT_DOUBLE_EQ(view.back().value, 999.0);
+    EXPECT_GE(engine_.cacheHits(), 1u);
+    EXPECT_EQ(engine_.storageFallbacks(), 0u);
+}
+
+TEST_F(QueryEngineTest, RelativeQueryFallsBackForLongOffsets) {
+    // 500 s exceeds the cache window; the engine must use the backend.
+    const auto view = engine_.queryRelative("/node/power", 500 * kNsPerSec);
+    EXPECT_EQ(view.size(), 501u);
+    EXPECT_GE(engine_.storageFallbacks(), 1u);
+}
+
+TEST_F(QueryEngineTest, AbsoluteQueryHitsCacheWhenCovered) {
+    const auto view =
+        engine_.queryAbsolute("/node/power", 950 * kNsPerSec, 960 * kNsPerSec);
+    EXPECT_EQ(view.size(), 11u);
+    EXPECT_EQ(engine_.storageFallbacks(), 0u);
+}
+
+TEST_F(QueryEngineTest, AbsoluteQueryUsesStorageForOldRanges) {
+    const auto view = engine_.queryAbsolute("/node/power", 0, 50 * kNsPerSec);
+    EXPECT_EQ(view.size(), 51u);
+    EXPECT_GE(engine_.storageFallbacks(), 1u);
+}
+
+TEST_F(QueryEngineTest, StorageOnlySensors) {
+    const auto latest = engine_.latest("/only/storage");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_DOUBLE_EQ(latest->value, 42.0);
+}
+
+TEST_F(QueryEngineTest, LatestPrefersCache) {
+    const auto latest = engine_.latest("/node/power");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_DOUBLE_EQ(latest->value, 999.0);
+}
+
+TEST_F(QueryEngineTest, UnknownTopicIsEmpty) {
+    EXPECT_TRUE(engine_.queryRelative("/ghost", kNsPerSec).empty());
+    EXPECT_TRUE(engine_.queryAbsolute("/ghost", 0, 10).empty());
+    EXPECT_FALSE(engine_.latest("/ghost").has_value());
+}
+
+TEST_F(QueryEngineTest, RebuildTreeMergesCacheAndStorageTopics) {
+    EXPECT_EQ(engine_.rebuildTree(), 2u);
+    EXPECT_TRUE(engine_.tree().hasSensor("/node", "power"));
+    EXPECT_TRUE(engine_.tree().hasSensor("/only", "storage"));
+}
+
+TEST_F(QueryEngineTest, AddTopicsExtendsTree) {
+    engine_.rebuildTree();
+    engine_.addTopics({"/node/prediction"});
+    EXPECT_TRUE(engine_.tree().hasSensor("/node", "prediction"));
+    // Existing sensors survive.
+    EXPECT_TRUE(engine_.tree().hasSensor("/node", "power"));
+}
+
+TEST(QueryEngineCacheOnly, ServesFromCacheWithoutStorage) {
+    sensors::CacheStore caches;
+    QueryEngine engine;
+    engine.setCacheStore(&caches);
+    sensors::SensorCache& cache = caches.getOrCreate("/s");
+    for (int i = 0; i < 10; ++i) cache.store({i * kNsPerSec, static_cast<double>(i)});
+    EXPECT_EQ(engine.queryRelative("/s", 4 * kNsPerSec).size(), 5u);
+    EXPECT_EQ(engine.queryAbsolute("/s", 0, 3 * kNsPerSec).size(), 4u);
+    // Over-long offsets degrade to whatever the cache holds.
+    EXPECT_EQ(engine.queryRelative("/s", 10000 * kNsPerSec).size(), 10u);
+}
+
+TEST(QueryEngineSingleton, IsStable) {
+    QueryEngine& a = QueryEngine::instance();
+    QueryEngine& b = QueryEngine::instance();
+    EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace wm::core

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "rest/http_server.h"
+#include "rest/router.h"
+
+namespace wm::rest {
+namespace {
+
+TEST(Router, DispatchesExactRoutes) {
+    Router router;
+    router.route("GET", "/hello", [](const Request&) { return Response::text("hi"); });
+    const Response response = router.dispatch({"GET", "/hello", {}, {}, ""});
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "hi");
+}
+
+TEST(Router, MethodMatters) {
+    Router router;
+    router.route("GET", "/x", [](const Request&) { return Response::text("get"); });
+    EXPECT_EQ(router.dispatch({"POST", "/x", {}, {}, ""}).status, 404);
+}
+
+TEST(Router, PathParamsAreCaptured) {
+    Router router;
+    router.route("GET", "/operators/:name/units", [](const Request& request) {
+        return Response::text(request.path_params.at("name"));
+    });
+    const Response response = router.dispatch({"GET", "/operators/avg1/units", {}, {}, ""});
+    EXPECT_EQ(response.body, "avg1");
+}
+
+TEST(Router, LaterRoutesWin) {
+    Router router;
+    router.route("GET", "/x", [](const Request&) { return Response::text("first"); });
+    router.route("GET", "/x", [](const Request&) { return Response::text("second"); });
+    EXPECT_EQ(router.dispatch({"GET", "/x", {}, {}, ""}).body, "second");
+}
+
+TEST(Router, UnmatchedIs404) {
+    Router router;
+    const Response response = router.dispatch({"GET", "/nothing", {}, {}, ""});
+    EXPECT_EQ(response.status, 404);
+}
+
+TEST(Router, HandlerExceptionsBecome500) {
+    Router router;
+    router.route("GET", "/boom",
+                 [](const Request&) -> Response { throw std::runtime_error("bad"); });
+    const Response response = router.dispatch({"GET", "/boom", {}, {}, ""});
+    EXPECT_EQ(response.status, 500);
+    EXPECT_NE(response.body.find("bad"), std::string::npos);
+}
+
+TEST(Router, RejectsMalformedPatterns) {
+    Router router;
+    EXPECT_FALSE(router.route("GET", "no-slash", [](const Request&) {
+        return Response::text("");
+    }));
+    EXPECT_FALSE(router.route("", "/x", [](const Request&) { return Response::text(""); }));
+}
+
+TEST(ParseQuery, DecodesPairs) {
+    const auto q = Router::parseQuery("a=1&b=hello+world&c=%2Fpath&flag");
+    EXPECT_EQ(q.at("a"), "1");
+    EXPECT_EQ(q.at("b"), "hello world");
+    EXPECT_EQ(q.at("c"), "/path");
+    EXPECT_EQ(q.at("flag"), "");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+}
+
+class HttpServerTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        router_.route("GET", "/ping",
+                      [](const Request&) { return Response::text("pong"); });
+        router_.route("POST", "/echo", [](const Request& request) {
+            return Response::text(request.body);
+        });
+        router_.route("GET", "/query", [](const Request& request) {
+            auto it = request.query.find("name");
+            return Response::text(it == request.query.end() ? "none" : it->second);
+        });
+        server_ = std::make_unique<HttpServer>(router_);
+        ASSERT_TRUE(server_->start(0));
+    }
+
+    Router router_;
+    std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, GetRoundTrip) {
+    const HttpResult result = httpRequest("127.0.0.1", server_->port(), "GET", "/ping");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_EQ(result.body, "pong");
+}
+
+TEST_F(HttpServerTest, PostBodyRoundTrip) {
+    const HttpResult result =
+        httpRequest("127.0.0.1", server_->port(), "POST", "/echo", "payload");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.body, "payload");
+}
+
+TEST_F(HttpServerTest, QueryStringParsing) {
+    const HttpResult result =
+        httpRequest("127.0.0.1", server_->port(), "GET", "/query?name=wintermute");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.body, "wintermute");
+}
+
+TEST_F(HttpServerTest, UnknownRouteIs404) {
+    const HttpResult result = httpRequest("127.0.0.1", server_->port(), "GET", "/missing");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.status, 404);
+}
+
+TEST_F(HttpServerTest, SequentialRequests) {
+    for (int i = 0; i < 10; ++i) {
+        const HttpResult result = httpRequest("127.0.0.1", server_->port(), "GET", "/ping");
+        ASSERT_TRUE(result.ok) << result.error;
+    }
+    EXPECT_GE(server_->requestCount(), 10u);
+}
+
+TEST_F(HttpServerTest, StopUnbindsPort) {
+    const std::uint16_t port = server_->port();
+    server_->stop();
+    EXPECT_FALSE(server_->running());
+    const HttpResult result = httpRequest("127.0.0.1", port, "GET", "/ping", "", 500);
+    EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace wm::rest

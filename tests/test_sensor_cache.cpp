@@ -1,0 +1,175 @@
+#include "sensors/sensor_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wm::sensors {
+namespace {
+
+using common::kNsPerMs;
+using common::kNsPerSec;
+using common::TimestampNs;
+
+/// Fills a cache with `n` readings spaced `interval` apart starting at t0.
+void fill(SensorCache& cache, std::size_t n, TimestampNs t0 = 0,
+          TimestampNs interval = kNsPerSec) {
+    for (std::size_t i = 0; i < n; ++i) {
+        cache.store({t0 + static_cast<TimestampNs>(i) * interval, static_cast<double>(i)});
+    }
+}
+
+TEST(SensorCache, LatestReturnsNewest) {
+    SensorCache cache;
+    EXPECT_FALSE(cache.latest().has_value());
+    fill(cache, 5);
+    ASSERT_TRUE(cache.latest().has_value());
+    EXPECT_DOUBLE_EQ(cache.latest()->value, 4.0);
+}
+
+TEST(SensorCache, EvictsOutsideWindow) {
+    SensorCache cache(10 * kNsPerSec, kNsPerSec);
+    fill(cache, 100);
+    // Window is 10 s: the newest reading is at t=99 s, so t >= 89 s survive.
+    EXPECT_EQ(cache.size(), 11u);
+    const auto view = cache.viewRelative(10 * kNsPerSec);
+    ASSERT_FALSE(view.empty());
+    EXPECT_DOUBLE_EQ(view.front().value, 89.0);
+}
+
+TEST(SensorCache, RelativeViewBoundaries) {
+    SensorCache cache(100 * kNsPerSec, kNsPerSec);
+    fill(cache, 50);
+    // offset 0: just the most recent reading.
+    const auto latest_only = cache.viewRelative(0);
+    ASSERT_EQ(latest_only.size(), 1u);
+    EXPECT_DOUBLE_EQ(latest_only[0].value, 49.0);
+    // offset covering 5 intervals: readings at t in [44, 49] inclusive.
+    const auto five = cache.viewRelative(5 * kNsPerSec);
+    ASSERT_EQ(five.size(), 6u);
+    EXPECT_DOUBLE_EQ(five.front().value, 44.0);
+    EXPECT_DOUBLE_EQ(five.back().value, 49.0);
+}
+
+TEST(SensorCache, AbsoluteViewBoundaries) {
+    SensorCache cache(100 * kNsPerSec, kNsPerSec);
+    fill(cache, 50);
+    const auto view = cache.viewAbsolute(10 * kNsPerSec, 12 * kNsPerSec);
+    ASSERT_EQ(view.size(), 3u);
+    EXPECT_DOUBLE_EQ(view[0].value, 10.0);
+    EXPECT_DOUBLE_EQ(view[2].value, 12.0);
+    // Inverted and empty ranges.
+    EXPECT_TRUE(cache.viewAbsolute(12 * kNsPerSec, 10 * kNsPerSec).empty());
+    EXPECT_TRUE(cache.viewAbsolute(500 * kNsPerSec, 600 * kNsPerSec).empty());
+}
+
+TEST(SensorCache, AbsoluteMatchesRelativeOnUniformData) {
+    SensorCache cache(1000 * kNsPerSec, kNsPerSec);
+    fill(cache, 200);
+    const TimestampNs newest = cache.latest()->timestamp;
+    for (const TimestampNs offset :
+         {TimestampNs{0}, kNsPerSec, 7 * kNsPerSec, 50 * kNsPerSec, 199 * kNsPerSec}) {
+        const auto rel = cache.viewRelative(offset);
+        const auto abs = cache.viewAbsolute(newest - offset, newest);
+        EXPECT_EQ(rel, abs) << "offset=" << offset;
+    }
+}
+
+TEST(SensorCache, OutOfOrderInsertKeepsTimeOrder) {
+    SensorCache cache(100 * kNsPerSec, kNsPerSec);
+    cache.store({10 * kNsPerSec, 10.0});
+    cache.store({30 * kNsPerSec, 30.0});
+    cache.store({20 * kNsPerSec, 20.0});  // late arrival
+    const auto view = cache.viewAbsolute(0, 100 * kNsPerSec);
+    ASSERT_EQ(view.size(), 3u);
+    EXPECT_DOUBLE_EQ(view[0].value, 10.0);
+    EXPECT_DOUBLE_EQ(view[1].value, 20.0);
+    EXPECT_DOUBLE_EQ(view[2].value, 30.0);
+}
+
+TEST(SensorCache, DropsTooOldReadings) {
+    SensorCache cache(10 * kNsPerSec, kNsPerSec);
+    cache.store({100 * kNsPerSec, 1.0});
+    EXPECT_FALSE(cache.store({50 * kNsPerSec, 2.0}));  // far outside the window
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SensorCache, GrowsBeyondNominalCapacity) {
+    // Nominal interval of 1 s suggests ~10 slots, but data arrives at 10 Hz.
+    SensorCache cache(10 * kNsPerSec, kNsPerSec);
+    for (int i = 0; i < 500; ++i) {
+        cache.store({static_cast<TimestampNs>(i) * 100 * kNsPerMs, static_cast<double>(i)});
+    }
+    // 10 s window at 10 Hz = 101 readings retained.
+    EXPECT_EQ(cache.size(), 101u);
+    EXPECT_NEAR(static_cast<double>(cache.estimatedIntervalNs()),
+                static_cast<double>(100 * kNsPerMs),
+                static_cast<double>(20 * kNsPerMs));
+}
+
+TEST(SensorCache, AverageRelative) {
+    SensorCache cache(100 * kNsPerSec, kNsPerSec);
+    fill(cache, 10);
+    // Last 4 readings: values 6,7,8,9 (offset 3 s from t=9 s).
+    const auto avg = cache.averageRelative(3 * kNsPerSec);
+    ASSERT_TRUE(avg.has_value());
+    EXPECT_DOUBLE_EQ(*avg, 7.5);
+    SensorCache empty;
+    EXPECT_FALSE(empty.averageRelative(kNsPerSec).has_value());
+}
+
+/// Property sweep: relative and absolute views agree for random jittered
+/// series at many offsets.
+class CacheViewEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheViewEquivalence, JitteredSeries) {
+    common::Rng rng(GetParam());
+    SensorCache cache(500 * kNsPerSec, kNsPerSec);
+    TimestampNs t = 0;
+    for (int i = 0; i < 300; ++i) {
+        t += static_cast<TimestampNs>(rng.uniform(0.5, 1.5) * kNsPerSec);
+        cache.store({t, rng.uniform(0.0, 100.0)});
+    }
+    const TimestampNs newest = cache.latest()->timestamp;
+    for (int trial = 0; trial < 25; ++trial) {
+        const auto offset = static_cast<TimestampNs>(rng.uniform(0.0, 400.0) * kNsPerSec);
+        const auto rel = cache.viewRelative(offset);
+        const auto abs = cache.viewAbsolute(newest - offset, newest);
+        ASSERT_EQ(rel, abs) << "seed=" << GetParam() << " offset=" << offset;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheViewEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(CacheStore, CreatesOnDemandAndFinds) {
+    CacheStore store;
+    EXPECT_EQ(store.find("/a/b"), nullptr);
+    SensorMetadata metadata;
+    metadata.topic = "/a/b";
+    metadata.unit = "W";
+    SensorCache& cache = store.getOrCreate(metadata);
+    cache.store({1, 2.0});
+    ASSERT_NE(store.find("/a/b"), nullptr);
+    EXPECT_EQ(store.find("/a/b"), &cache);
+    EXPECT_EQ(store.metadataFor("/a/b").unit, "W");
+    EXPECT_EQ(store.sensorCount(), 1u);
+}
+
+TEST(CacheStore, GetOrCreateIsIdempotent) {
+    CacheStore store;
+    SensorCache& first = store.getOrCreate("/x");
+    SensorCache& second = store.getOrCreate("/x");
+    EXPECT_EQ(&first, &second);
+}
+
+TEST(CacheStore, TopicsAreSorted) {
+    CacheStore store;
+    store.getOrCreate("/b");
+    store.getOrCreate("/a");
+    store.getOrCreate("/c");
+    EXPECT_EQ(store.topics(), (std::vector<std::string>{"/a", "/b", "/c"}));
+}
+
+}  // namespace
+}  // namespace wm::sensors

@@ -1,0 +1,121 @@
+#include "core/sensor_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace wm::core {
+namespace {
+
+/// The sensor space of the paper's Figure 2 (abbreviated to one rack branch
+/// plus the root-level sensors).
+std::vector<std::string> figure2Topics() {
+    return {
+        "/db-uptime",
+        "/time-to-live",
+        "/r03/inlet-temp",
+        "/r03/c02/power",
+        "/r03/c02/s02/memfree",
+        "/r03/c02/s02/cpu0/cache-misses",
+        "/r03/c02/s02/cpu0/cpu-cycles",
+        "/r03/c02/s02/cpu1/cache-misses",
+        "/r03/c02/s02/cpu1/cpu-cycles",
+        "/r03/c02/s01/memfree",
+        "/r03/c02/s01/cpu0/cache-misses",
+        "/r03/c02/s01/cpu0/cpu-cycles",
+    };
+}
+
+TEST(SensorTree, BuildCountsSensors) {
+    SensorTree tree;
+    EXPECT_EQ(tree.build(figure2Topics()), figure2Topics().size());
+    EXPECT_EQ(tree.sensorCount(), figure2Topics().size());
+}
+
+TEST(SensorTree, ComponentNodesExist) {
+    SensorTree tree;
+    tree.build(figure2Topics());
+    EXPECT_TRUE(tree.hasNode("/"));
+    EXPECT_TRUE(tree.hasNode("/r03"));
+    EXPECT_TRUE(tree.hasNode("/r03/c02"));
+    EXPECT_TRUE(tree.hasNode("/r03/c02/s02"));
+    EXPECT_TRUE(tree.hasNode("/r03/c02/s02/cpu1"));
+    EXPECT_FALSE(tree.hasNode("/r99"));
+    // A sensor topic is not a component node.
+    EXPECT_FALSE(tree.hasNode("/r03/c02/power"));
+}
+
+TEST(SensorTree, SensorsAttachToTheirComponent) {
+    SensorTree tree;
+    tree.build(figure2Topics());
+    EXPECT_EQ(tree.sensorsOf("/"), (std::vector<std::string>{"db-uptime", "time-to-live"}));
+    EXPECT_EQ(tree.sensorsOf("/r03/c02"), (std::vector<std::string>{"power"}));
+    EXPECT_TRUE(tree.hasSensor("/r03/c02/s02/cpu0", "cpu-cycles"));
+    EXPECT_FALSE(tree.hasSensor("/r03/c02/s02/cpu0", "power"));
+    EXPECT_TRUE(tree.sensorsOf("/unknown").empty());
+}
+
+TEST(SensorTree, DepthBookkeeping) {
+    SensorTree tree;
+    tree.build(figure2Topics());
+    EXPECT_EQ(tree.maxDepth(), 4u);  // rack / chassis / server / cpu
+    EXPECT_EQ(tree.nodesAtDepth(1), (std::vector<std::string>{"/r03"}));
+    EXPECT_EQ(tree.nodesAtDepth(3).size(), 2u);  // s01, s02
+    EXPECT_EQ(tree.nodesAtDepth(4).size(), 3u);  // cpu0 x2 + cpu1
+    EXPECT_EQ(tree.nodesAtDepth(0), (std::vector<std::string>{"/"}));
+}
+
+TEST(SensorTree, ChildrenAreSorted) {
+    SensorTree tree;
+    tree.build(figure2Topics());
+    EXPECT_EQ(tree.children("/r03/c02"),
+              (std::vector<std::string>{"/r03/c02/s01", "/r03/c02/s02"}));
+    EXPECT_TRUE(tree.children("/r03/c02/s01/cpu0").empty());
+}
+
+TEST(SensorTree, AddSensorIncrementally) {
+    SensorTree tree;
+    tree.build(figure2Topics());
+    EXPECT_TRUE(tree.addSensor("/r03/c02/s02/healthy"));
+    EXPECT_TRUE(tree.hasSensor("/r03/c02/s02", "healthy"));
+    // Duplicates are rejected.
+    EXPECT_FALSE(tree.addSensor("/r03/c02/s02/healthy"));
+    // Invalid topics too.
+    EXPECT_FALSE(tree.addSensor("/"));
+    EXPECT_FALSE(tree.addSensor(""));
+}
+
+TEST(SensorTree, AllSensorsRoundTrip) {
+    SensorTree tree;
+    auto topics = figure2Topics();
+    tree.build(topics);
+    std::sort(topics.begin(), topics.end());
+    EXPECT_EQ(tree.allSensors(), topics);
+}
+
+TEST(SensorTree, ClearResets) {
+    SensorTree tree;
+    tree.build(figure2Topics());
+    tree.clear();
+    EXPECT_EQ(tree.sensorCount(), 0u);
+    EXPECT_EQ(tree.maxDepth(), 0u);
+    EXPECT_FALSE(tree.hasNode("/r03"));
+}
+
+TEST(SensorTree, HierarchicalRelation) {
+    EXPECT_TRUE(SensorTree::hierarchicallyRelated("/a/b", "/a/b/c"));      // descendant
+    EXPECT_TRUE(SensorTree::hierarchicallyRelated("/a/b/c", "/a/b"));      // ancestor
+    EXPECT_TRUE(SensorTree::hierarchicallyRelated("/a/b", "/a/b"));        // self
+    EXPECT_FALSE(SensorTree::hierarchicallyRelated("/a/b", "/a/c"));       // sibling
+    EXPECT_FALSE(SensorTree::hierarchicallyRelated("/a/b/x", "/a/c/y"));   // cousins
+    EXPECT_TRUE(SensorTree::hierarchicallyRelated("/", "/anything"));
+}
+
+TEST(SensorTree, UnevenBranchDepths) {
+    SensorTree tree;
+    tree.build({"/shallow/sensor", "/deep/a/b/c/sensor"});
+    EXPECT_EQ(tree.maxDepth(), 4u);
+    EXPECT_TRUE(tree.hasSensor("/shallow", "sensor"));
+    EXPECT_TRUE(tree.hasSensor("/deep/a/b/c", "sensor"));
+}
+
+}  // namespace
+}  // namespace wm::core

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "simulator/app_model.h"
+#include "simulator/hpl_kernel.h"
+#include "simulator/node_model.h"
+#include "simulator/topology.h"
+
+namespace wm::simulator {
+namespace {
+
+TEST(Topology, NodeCountHonoursCap) {
+    const Topology cm3 = Topology::coolmuc3();
+    EXPECT_EQ(cm3.nodeCount(), 148u);  // 150-slot layout capped at 148
+    Topology uncapped = cm3;
+    uncapped.max_nodes = 0;
+    EXPECT_EQ(uncapped.nodeCount(), 150u);
+}
+
+TEST(Topology, PathsAreHierarchical) {
+    const Topology t = Topology::tiny();
+    EXPECT_EQ(t.nodeCount(), 8u);
+    EXPECT_EQ(t.nodePath(0), "/rack0/chassis0/server0");
+    EXPECT_EQ(t.nodePath(7), "/rack1/chassis1/server1");
+    EXPECT_THROW(t.nodePath(8), std::out_of_range);
+}
+
+TEST(Topology, AllPathsDistinct) {
+    const Topology t = Topology::coolmuc3();
+    const auto paths = t.nodePaths();
+    std::set<std::string> unique(paths.begin(), paths.end());
+    EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(Topology, CpuPaths) {
+    EXPECT_EQ(Topology::cpuPath("/rack0/chassis0/server0", 63),
+              "/rack0/chassis0/server0/cpu63");
+}
+
+TEST(AppModel, NamesRoundTrip) {
+    for (AppKind kind : {AppKind::kIdle, AppKind::kHpl, AppKind::kKripke, AppKind::kAmg,
+                         AppKind::kNekbone, AppKind::kLammps}) {
+        EXPECT_EQ(appFromName(appName(kind)), kind);
+    }
+    EXPECT_EQ(appFromName("unknown-app"), AppKind::kIdle);
+    EXPECT_EQ(appFromName("KRIPKE"), AppKind::kKripke);
+}
+
+TEST(AppModel, DeterministicActivity) {
+    const AppModel a(AppKind::kAmg, 42);
+    const AppModel b(AppKind::kAmg, 42);
+    for (double t = 0.0; t < 50.0; t += 7.3) {
+        const CoreActivity ca = a.coreActivity(t, 3, 64);
+        const CoreActivity cb = b.coreActivity(t, 3, 64);
+        EXPECT_DOUBLE_EQ(ca.cpi, cb.cpi);
+        EXPECT_DOUBLE_EQ(ca.utilization, cb.utilization);
+    }
+}
+
+TEST(AppModel, LammpsIsLowCpiLowSpread) {
+    const AppModel model(AppKind::kLammps, 1);
+    std::vector<double> cpis;
+    for (std::size_t core = 0; core < 64; ++core) {
+        for (double t = 10.0; t < 100.0; t += 10.0) {
+            cpis.push_back(model.coreActivity(t, core, 64).cpi);
+        }
+    }
+    double sum = 0.0;
+    double max = 0.0;
+    for (double c : cpis) {
+        sum += c;
+        max = std::max(max, c);
+    }
+    EXPECT_NEAR(sum / static_cast<double>(cpis.size()), 1.6, 0.3);
+    EXPECT_LT(max, 3.0);  // no communication spikes
+}
+
+TEST(AppModel, AmgHasSpikingTail) {
+    const AppModel model(AppKind::kAmg, 2);
+    double max_cpi = 0.0;
+    std::size_t spiking = 0;
+    std::size_t total = 0;
+    for (std::size_t core = 0; core < 64; ++core) {
+        for (double t = 0.0; t < 200.0; t += 5.0) {
+            const double cpi = model.coreActivity(t, core, 64).cpi;
+            max_cpi = std::max(max_cpi, cpi);
+            if (cpi > 8.0) ++spiking;
+            ++total;
+        }
+    }
+    EXPECT_GT(max_cpi, 20.0);  // latency spikes reach CPI ~30
+    const double fraction = static_cast<double>(spiking) / static_cast<double>(total);
+    EXPECT_GT(fraction, 0.10);
+    EXPECT_LT(fraction, 0.30);  // only the upper-decile tail spikes
+}
+
+TEST(AppModel, KripkeIsPeriodicAcrossAllCores) {
+    const AppModel model(AppKind::kKripke, 3);
+    // The sawtooth peaks mid-iteration for every core simultaneously.
+    const double low = model.coreActivity(1.0, 5, 64).cpi;
+    const double high = model.coreActivity(30.0, 5, 64).cpi;  // 0.67 into the period
+    EXPECT_GT(high, low + 4.0);
+    // Next iteration behaves the same.
+    const double high2 = model.coreActivity(30.0 + 45.0, 5, 64).cpi;
+    EXPECT_NEAR(high, high2, 2.5);
+}
+
+TEST(AppModel, NekboneSpreadGrowsInSecondHalf) {
+    const AppModel model(AppKind::kNekbone, 4);
+    auto spread_at = [&](double t) {
+        double lo = 1e9;
+        double hi = 0.0;
+        for (std::size_t core = 0; core < 64; ++core) {
+            const double cpi = model.coreActivity(t, core, 64).cpi;
+            lo = std::min(lo, cpi);
+            hi = std::max(hi, cpi);
+        }
+        return hi - lo;
+    };
+    EXPECT_LT(spread_at(100.0), 2.0);   // first half: compute-bound
+    EXPECT_GT(spread_at(700.0), 10.0);  // second half: memory-limited tail
+}
+
+TEST(AppModel, IdleHasNearZeroUtilization) {
+    const AppModel model(AppKind::kIdle, 5);
+    for (std::size_t core = 1; core < 8; ++core) {
+        EXPECT_LT(model.coreActivity(50.0, core, 8).utilization, 0.1);
+    }
+}
+
+TEST(NodeModel, CountersAreMonotonic) {
+    NodeModel node(8, 11);
+    node.startApp(AppKind::kHpl);
+    std::vector<CoreCounters> previous = node.sample().cores;
+    for (int step = 0; step < 20; ++step) {
+        node.advance(1.0);
+        const auto& cores = node.sample().cores;
+        for (std::size_t c = 0; c < cores.size(); ++c) {
+            EXPECT_GE(cores[c].cycles, previous[c].cycles);
+            EXPECT_GE(cores[c].instructions, previous[c].instructions);
+            EXPECT_GE(cores[c].cache_misses, previous[c].cache_misses);
+        }
+        previous = cores;
+    }
+}
+
+TEST(NodeModel, PowerRisesUnderLoad) {
+    NodeModel node(8, 12);
+    for (int i = 0; i < 30; ++i) node.advance(1.0);
+    const double idle_power = node.sample().power_w;
+    node.startApp(AppKind::kHpl);
+    for (int i = 0; i < 30; ++i) node.advance(1.0);
+    const double busy_power = node.sample().power_w;
+    EXPECT_GT(busy_power, idle_power + 80.0);
+}
+
+TEST(NodeModel, TemperatureFollowsPowerWithLag) {
+    NodeModel node(8, 13);
+    node.startApp(AppKind::kHpl);
+    node.advance(1.0);
+    const double temp_early = node.sample().temperature_c;
+    for (int i = 0; i < 300; ++i) node.advance(1.0);
+    const double temp_late = node.sample().temperature_c;
+    EXPECT_GT(temp_late, temp_early + 2.0);  // RC model converges upward
+}
+
+TEST(NodeModel, IdleCounterGrowsFasterWhenIdle) {
+    NodeModel busy(8, 14);
+    NodeModel idle(8, 14);
+    busy.startApp(AppKind::kHpl);
+    idle.startApp(AppKind::kIdle);
+    for (int i = 0; i < 20; ++i) {
+        busy.advance(1.0);
+        idle.advance(1.0);
+    }
+    EXPECT_GT(idle.sample().idle_time_total, busy.sample().idle_time_total * 5.0);
+}
+
+TEST(NodeModel, AnomalousNodeDrawsMorePower) {
+    NodeCharacteristics anomalous;
+    anomalous.anomaly_power_factor = 1.2;
+    anomalous.power_variability = 0.0;
+    NodeCharacteristics healthy;
+    healthy.power_variability = 0.0;
+    NodeModel bad(8, 15, anomalous);
+    NodeModel good(8, 15, healthy);
+    bad.startApp(AppKind::kLammps);
+    good.startApp(AppKind::kLammps);
+    double bad_sum = 0.0;
+    double good_sum = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        bad.advance(1.0);
+        good.advance(1.0);
+        bad_sum += bad.sample().power_w;
+        good_sum += good.sample().power_w;
+    }
+    EXPECT_GT(bad_sum / good_sum, 1.12);
+}
+
+TEST(NodeModel, NekboneMemoryShrinksThroughRun) {
+    NodeModel node(8, 16);
+    node.startApp(AppKind::kNekbone);
+    for (int i = 0; i < 100; ++i) node.advance(1.0);
+    const double early_free = node.sample().memory_free_gb;
+    for (int i = 0; i < 600; ++i) node.advance(1.0);
+    const double late_free = node.sample().memory_free_gb;
+    EXPECT_LT(late_free, early_free - 10.0);
+}
+
+TEST(HplKernel, ProducesWorkAndChecksum) {
+    const HplResult result = runHplKernel(64, 2);
+    EXPECT_GT(result.elapsed_sec, 0.0);
+    EXPECT_GT(result.gflops, 0.0);
+    EXPECT_NE(result.checksum, 0.0);
+}
+
+TEST(HplKernel, DeterministicChecksum) {
+    const HplResult a = runHplKernel(48, 3, 7);
+    const HplResult b = runHplKernel(48, 3, 7);
+    EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+}
+
+TEST(HplKernel, DegenerateParams) {
+    EXPECT_EQ(runHplKernel(0, 5).elapsed_sec, 0.0);
+    EXPECT_EQ(runHplKernel(16, 0).elapsed_sec, 0.0);
+}
+
+TEST(HplKernel, CalibrationIsPositive) {
+    EXPECT_GE(calibrateHplRepetitions(32, 0.01), 1u);
+}
+
+}  // namespace
+}  // namespace wm::simulator

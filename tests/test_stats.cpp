@@ -1,0 +1,134 @@
+#include "analytics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wm::analytics {
+namespace {
+
+TEST(BatchStats, BasicSummaries) {
+    const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(sum(v), 40.0);
+    EXPECT_DOUBLE_EQ(*mean(v), 5.0);
+    EXPECT_NEAR(*stddev(v), 2.138, 0.001);  // sample stddev
+    EXPECT_DOUBLE_EQ(*minimum(v), 2.0);
+    EXPECT_DOUBLE_EQ(*maximum(v), 9.0);
+}
+
+TEST(BatchStats, EmptyInputsAreNullopt) {
+    const std::vector<double> empty;
+    EXPECT_FALSE(mean(empty).has_value());
+    EXPECT_FALSE(variance(empty).has_value());
+    EXPECT_FALSE(minimum(empty).has_value());
+    EXPECT_FALSE(maximum(empty).has_value());
+    EXPECT_FALSE(median(empty).has_value());
+    EXPECT_FALSE(quantile(empty, 0.5).has_value());
+    EXPECT_TRUE(deciles({}).empty());
+}
+
+TEST(BatchStats, SingleValue) {
+    const std::vector<double> one{42.0};
+    EXPECT_DOUBLE_EQ(*mean(one), 42.0);
+    EXPECT_DOUBLE_EQ(*variance(one), 0.0);
+    EXPECT_DOUBLE_EQ(*median(one), 42.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+    const std::vector<double> v{0.0, 10.0};  // median interpolates halfway
+    EXPECT_DOUBLE_EQ(*quantile(v, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(*quantile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(*quantile(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(*quantile(v, 1.0), 10.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+    const std::vector<double> v{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(*quantile(v, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(*quantile(v, 1.5), 3.0);
+}
+
+TEST(Deciles, ElevenValuesMinToMax) {
+    std::vector<double> v;
+    for (int i = 0; i <= 100; ++i) v.push_back(static_cast<double>(i));
+    const auto d = deciles(v);
+    ASSERT_EQ(d.size(), 11u);
+    EXPECT_DOUBLE_EQ(d.front(), 0.0);    // decile 0 = minimum
+    EXPECT_DOUBLE_EQ(d[5], 50.0);        // decile 5 = median
+    EXPECT_DOUBLE_EQ(d.back(), 100.0);   // decile 10 = maximum
+    for (std::size_t i = 1; i < d.size(); ++i) EXPECT_GE(d[i], d[i - 1]);
+}
+
+TEST(Deciles, UnsortedInputHandled) {
+    const auto d = deciles({9.0, 1.0, 5.0, 3.0, 7.0});
+    ASSERT_EQ(d.size(), 11u);
+    EXPECT_DOUBLE_EQ(d.front(), 1.0);
+    EXPECT_DOUBLE_EQ(d.back(), 9.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(*pearson(x, y), 1.0, 1e-12);
+    const std::vector<double> neg{8.0, 6.0, 4.0, 2.0};
+    EXPECT_NEAR(*pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+    EXPECT_FALSE(pearson({1.0}, {2.0}).has_value());          // too short
+    EXPECT_FALSE(pearson({1.0, 2.0}, {1.0}).has_value());     // mismatched
+    EXPECT_FALSE(pearson({1.0, 1.0}, {1.0, 2.0}).has_value());  // constant side
+}
+
+TEST(StreamingStats, MatchesBatchComputation) {
+    common::Rng rng(5);
+    std::vector<double> values;
+    StreamingStats stream;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.gaussian(10.0, 3.0);
+        values.push_back(v);
+        stream.add(v);
+    }
+    EXPECT_NEAR(stream.mean(), *mean(values), 1e-9);
+    EXPECT_NEAR(stream.variance(), *variance(values), 1e-6);
+    EXPECT_DOUBLE_EQ(stream.min(), *minimum(values));
+    EXPECT_DOUBLE_EQ(stream.max(), *maximum(values));
+    EXPECT_EQ(stream.count(), 1000u);
+}
+
+TEST(StreamingStats, ResetClearsState) {
+    StreamingStats stream;
+    stream.add(5.0);
+    stream.add(7.0);
+    stream.reset();
+    EXPECT_EQ(stream.count(), 0u);
+    EXPECT_DOUBLE_EQ(stream.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stream.variance(), 0.0);
+}
+
+TEST(StreamingStats, StableUnderLargeOffsets) {
+    // Welford should survive a large constant offset without catastrophic
+    // cancellation.
+    StreamingStats stream;
+    for (int i = 0; i < 100; ++i) stream.add(1e9 + (i % 2));
+    EXPECT_NEAR(stream.variance(), 0.2525, 0.001);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+    Ewma ewma(0.5);
+    EXPECT_FALSE(ewma.initialized());
+    ewma.update(10.0);
+    EXPECT_DOUBLE_EQ(ewma.value(), 10.0);  // first sample initialises
+    for (int i = 0; i < 50; ++i) ewma.update(20.0);
+    EXPECT_NEAR(ewma.value(), 20.0, 1e-9);
+}
+
+TEST(Ewma, SmoothsSpikes) {
+    Ewma ewma(0.1);
+    for (int i = 0; i < 10; ++i) ewma.update(100.0);
+    ewma.update(200.0);  // single spike
+    EXPECT_LT(ewma.value(), 115.0);
+}
+
+}  // namespace
+}  // namespace wm::analytics

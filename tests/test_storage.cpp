@@ -1,0 +1,143 @@
+#include "storage/storage_backend.h"
+
+#include <gtest/gtest.h>
+
+namespace wm::storage {
+namespace {
+
+using common::kNsPerSec;
+using sensors::Reading;
+
+TEST(StorageBackend, InsertAndRangeQuery) {
+    StorageBackend storage;
+    for (int i = 0; i < 10; ++i) {
+        storage.insert("/a/power", {i * kNsPerSec, static_cast<double>(i)});
+    }
+    const auto view = storage.query("/a/power", 3 * kNsPerSec, 6 * kNsPerSec);
+    ASSERT_EQ(view.size(), 4u);
+    EXPECT_DOUBLE_EQ(view.front().value, 3.0);
+    EXPECT_DOUBLE_EQ(view.back().value, 6.0);
+}
+
+TEST(StorageBackend, QueryUnknownTopicIsEmpty) {
+    StorageBackend storage;
+    EXPECT_TRUE(storage.query("/none", 0, 100).empty());
+    EXPECT_FALSE(storage.latest("/none").has_value());
+}
+
+TEST(StorageBackend, OutOfOrderInsertsAreSorted) {
+    StorageBackend storage;
+    storage.insert("/s", {30, 3.0});
+    storage.insert("/s", {10, 1.0});
+    storage.insert("/s", {20, 2.0});
+    const auto view = storage.query("/s", 0, 100);
+    ASSERT_EQ(view.size(), 3u);
+    EXPECT_EQ(view[0].timestamp, 10);
+    EXPECT_EQ(view[1].timestamp, 20);
+    EXPECT_EQ(view[2].timestamp, 30);
+}
+
+TEST(StorageBackend, BatchInsert) {
+    StorageBackend storage;
+    storage.insertBatch("/s", {{1, 1.0}, {2, 2.0}, {3, 3.0}});
+    EXPECT_EQ(storage.query("/s", 0, 10).size(), 3u);
+    EXPECT_EQ(storage.stats().inserts, 3u);
+}
+
+TEST(StorageBackend, LatestReading) {
+    StorageBackend storage;
+    storage.insert("/s", {5, 50.0});
+    storage.insert("/s", {9, 90.0});
+    const auto latest = storage.latest("/s");
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->timestamp, 9);
+}
+
+TEST(StorageBackend, MetadataRoundTrip) {
+    StorageBackend storage;
+    sensors::SensorMetadata metadata;
+    metadata.topic = "/s";
+    metadata.unit = "W";
+    metadata.monotonic = true;
+    storage.publishMetadata(metadata);
+    const auto out = storage.metadataFor("/s");
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->unit, "W");
+    EXPECT_TRUE(out->monotonic);
+    EXPECT_FALSE(storage.metadataFor("/other").has_value());
+}
+
+TEST(StorageBackend, TopicsMatchingFilter) {
+    StorageBackend storage;
+    storage.insert("/rack0/server0/power", {1, 1.0});
+    storage.insert("/rack0/server1/power", {1, 1.0});
+    storage.insert("/rack0/server1/temp", {1, 1.0});
+    EXPECT_EQ(storage.topicsMatching("/rack0/+/power").size(), 2u);
+    EXPECT_EQ(storage.topicsMatching("#").size(), 3u);
+    EXPECT_EQ(storage.topics().size(), 3u);
+}
+
+TEST(StorageBackend, TtlPruning) {
+    StorageBackend storage(10 * kNsPerSec);
+    for (int i = 0; i < 100; ++i) {
+        storage.insert("/s", {i * kNsPerSec, static_cast<double>(i)});
+    }
+    const std::size_t removed = storage.pruneExpired();
+    EXPECT_EQ(removed, 89u);  // keep t in [89, 99]
+    EXPECT_EQ(storage.query("/s", 0, 1000 * kNsPerSec).size(), 11u);
+}
+
+TEST(StorageBackend, PerSensorTtlOverridesDefault) {
+    StorageBackend storage(10 * kNsPerSec);
+    sensors::SensorMetadata metadata;
+    metadata.topic = "/long";
+    metadata.ttl_ns = 50 * kNsPerSec;
+    storage.publishMetadata(metadata);
+    for (int i = 0; i < 100; ++i) {
+        storage.insert("/long", {i * kNsPerSec, 0.0});
+    }
+    storage.pruneExpired();
+    EXPECT_EQ(storage.query("/long", 0, 1000 * kNsPerSec).size(), 51u);
+}
+
+TEST(StorageBackend, DropSensor) {
+    StorageBackend storage;
+    storage.insert("/s", {1, 1.0});
+    EXPECT_TRUE(storage.dropSensor("/s"));
+    EXPECT_FALSE(storage.dropSensor("/s"));
+    EXPECT_TRUE(storage.topics().empty());
+}
+
+TEST(StorageBackend, CsvRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/wm_storage_test.csv";
+    StorageBackend storage;
+    storage.insert("/a", {1, 1.5});
+    storage.insert("/a", {2, 2.5});
+    storage.insert("/b", {3, -4.0});
+    ASSERT_TRUE(storage.dumpCsv(path));
+
+    StorageBackend loaded;
+    ASSERT_TRUE(loaded.loadCsv(path));
+    EXPECT_EQ(loaded.topics().size(), 2u);
+    const auto a = loaded.query("/a", 0, 10);
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_DOUBLE_EQ(a[1].value, 2.5);
+    const auto b = loaded.query("/b", 0, 10);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_DOUBLE_EQ(b[0].value, -4.0);
+}
+
+TEST(StorageBackend, StatsCountEverything) {
+    StorageBackend storage;
+    storage.insert("/a", {1, 1.0});
+    storage.insert("/b", {1, 1.0});
+    storage.query("/a", 0, 10);
+    const StorageStats stats = storage.stats();
+    EXPECT_EQ(stats.sensor_count, 2u);
+    EXPECT_EQ(stats.reading_count, 2u);
+    EXPECT_EQ(stats.inserts, 2u);
+    EXPECT_GE(stats.queries, 1u);
+}
+
+}  // namespace
+}  // namespace wm::storage

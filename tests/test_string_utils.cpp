@@ -1,0 +1,92 @@
+#include "common/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace wm::common {
+namespace {
+
+TEST(Split, BasicSeparation) {
+    EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, DropsEmptySegmentsByDefault) {
+    EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(split(",,a,", ','), (std::vector<std::string>{"a"}));
+}
+
+TEST(Split, KeepsEmptySegmentsOnRequest) {
+    EXPECT_EQ(split("a,,b", ',', true), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Split, EmptyInput) {
+    EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(Join, RoundTripsWithSplit) {
+    const std::vector<std::string> parts{"x", "y", "z"};
+    EXPECT_EQ(split(join(parts, '/'), '/'), parts);
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim("no-op"), "no-op");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(PrefixSuffix, Predicates) {
+    EXPECT_TRUE(startsWith("/rack0/power", "/rack0"));
+    EXPECT_FALSE(startsWith("/rack0", "/rack0/power"));
+    EXPECT_TRUE(endsWith("/rack0/power", "power"));
+    EXPECT_FALSE(endsWith("power", "/rack0/power"));
+}
+
+TEST(ToLower, AsciiOnly) {
+    EXPECT_EQ(toLower("PoWeR"), "power");
+}
+
+struct PathCase {
+    std::string input;
+    std::string normalized;
+    std::string leaf;
+    std::string parent;
+    std::size_t depth;
+};
+
+class PathNormalization : public ::testing::TestWithParam<PathCase> {};
+
+TEST_P(PathNormalization, AllDerivations) {
+    const PathCase& c = GetParam();
+    EXPECT_EQ(normalizePath(c.input), c.normalized);
+    EXPECT_EQ(pathLeaf(c.input), c.leaf);
+    EXPECT_EQ(pathParent(c.input), c.parent);
+    EXPECT_EQ(pathDepth(c.input), c.depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, PathNormalization,
+    ::testing::Values(
+        PathCase{"/rack0/chassis1/power", "/rack0/chassis1/power", "power",
+                 "/rack0/chassis1", 3},
+        PathCase{"rack0/power", "/rack0/power", "power", "/rack0", 2},
+        PathCase{"//rack0///power/", "/rack0/power", "power", "/rack0", 2},
+        PathCase{"/", "/", "", "/", 0},
+        PathCase{"", "/", "", "/", 0},
+        PathCase{"/sensor", "/sensor", "sensor", "/", 1}));
+
+TEST(PathJoin, NormalizesResult) {
+    EXPECT_EQ(pathJoin("/rack0", "power"), "/rack0/power");
+    EXPECT_EQ(pathJoin("/rack0/", "/power"), "/rack0/power");
+    EXPECT_EQ(pathJoin("/", "power"), "/power");
+}
+
+TEST(PathAncestry, ReflexiveAndStrict) {
+    EXPECT_TRUE(isPathAncestor("/a/b", "/a/b/c"));
+    EXPECT_TRUE(isPathAncestor("/a/b", "/a/b"));
+    EXPECT_TRUE(isPathAncestor("/", "/anything"));
+    EXPECT_FALSE(isPathAncestor("/a/b/c", "/a/b"));
+    // Segment boundaries matter: "/a/b" is not an ancestor of "/a/bc".
+    EXPECT_FALSE(isPathAncestor("/a/b", "/a/bc"));
+}
+
+}  // namespace
+}  // namespace wm::common

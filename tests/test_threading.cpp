@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/scheduler.h"
+#include "common/thread_pool.h"
+
+namespace wm::common {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 21 * 2; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, RunsManyTasks) {
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 200; ++i) {
+        pool.post([&counter] { counter.fetch_add(1); });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+    ThreadPool pool(1);
+    auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SurvivesThrowingPostedTasks) {
+    ThreadPool pool(1);
+    pool.post([] { throw std::runtime_error("swallowed"); });
+    auto future = pool.submit([] { return 7; });
+    EXPECT_EQ(future.get(), 7);
+}
+
+TEST(ThreadPool, AtLeastOneThread) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.post([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            done.fetch_add(1);
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(PeriodicScheduler, FiresPeriodically) {
+    ThreadPool pool(2);
+    PeriodicScheduler scheduler(pool);
+    std::atomic<int> ticks{0};
+    scheduler.schedulePeriodic(20 * kNsPerMs, [&ticks](TimestampNs) { ticks.fetch_add(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    scheduler.stop();
+    const int observed = ticks.load();
+    EXPECT_GE(observed, 3);
+    EXPECT_LE(observed, 10);
+}
+
+TEST(PeriodicScheduler, TickTimestampsAreGridAligned) {
+    ThreadPool pool(1);
+    PeriodicScheduler scheduler(pool);
+    std::vector<TimestampNs> stamps;
+    std::mutex mutex;
+    const TimestampNs interval = 25 * kNsPerMs;
+    scheduler.schedulePeriodic(interval, [&](TimestampNs t) {
+        std::lock_guard lock(mutex);
+        stamps.push_back(t);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    scheduler.stop();
+    std::lock_guard lock(mutex);
+    ASSERT_GE(stamps.size(), 2u);
+    for (TimestampNs t : stamps) EXPECT_EQ(t % interval, 0);
+}
+
+TEST(PeriodicScheduler, CancelStopsFiring) {
+    ThreadPool pool(1);
+    PeriodicScheduler scheduler(pool);
+    std::atomic<int> ticks{0};
+    const TaskId id =
+        scheduler.schedulePeriodic(10 * kNsPerMs, [&ticks](TimestampNs) { ticks.fetch_add(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_TRUE(scheduler.cancel(id));
+    const int at_cancel = ticks.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_LE(ticks.load(), at_cancel + 1);  // at most one in-flight tick
+    EXPECT_FALSE(scheduler.cancel(id));
+}
+
+TEST(PeriodicScheduler, OneShotFiresOnce) {
+    ThreadPool pool(1);
+    PeriodicScheduler scheduler(pool);
+    std::atomic<int> fired{0};
+    scheduler.scheduleOnce(5 * kNsPerMs, [&fired](TimestampNs) { fired.fetch_add(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(scheduler.taskCount(), 0u);
+}
+
+TEST(PeriodicScheduler, StopPreventsFurtherTicks) {
+    ThreadPool pool(1);
+    auto scheduler = std::make_unique<PeriodicScheduler>(pool);
+    std::atomic<int> ticks{0};
+    scheduler->schedulePeriodic(10 * kNsPerMs, [&ticks](TimestampNs) { ticks.fetch_add(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(35));
+    scheduler->stop();
+    const int at_stop = ticks.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_EQ(ticks.load(), at_stop);
+}
+
+}  // namespace
+}  // namespace wm::common

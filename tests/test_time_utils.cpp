@@ -1,0 +1,77 @@
+#include "common/time_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace wm::common {
+namespace {
+
+TEST(ParseDuration, PlainNumbersAreMilliseconds) {
+    EXPECT_EQ(parseDuration("250"), 250 * kNsPerMs);
+    EXPECT_EQ(parseDuration("0"), 0);
+}
+
+struct DurationCase {
+    std::string text;
+    TimestampNs expected;
+};
+
+class DurationParsing : public ::testing::TestWithParam<DurationCase> {};
+
+TEST_P(DurationParsing, Parses) {
+    EXPECT_EQ(parseDuration(GetParam().text), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Units, DurationParsing,
+    ::testing::Values(DurationCase{"100ns", 100}, DurationCase{"5us", 5 * kNsPerUs},
+                      DurationCase{"250ms", 250 * kNsPerMs}, DurationCase{"1s", kNsPerSec},
+                      DurationCase{"2m", 2 * kNsPerMin}, DurationCase{"12h", 12 * kNsPerHour},
+                      DurationCase{"14d", 14 * kNsPerDay},
+                      DurationCase{"1.5s", kNsPerSec + 500 * kNsPerMs},
+                      DurationCase{"0.5ms", 500 * kNsPerUs}));
+
+TEST(ParseDuration, RejectsMalformedInput) {
+    EXPECT_FALSE(parseDuration("").has_value());
+    EXPECT_FALSE(parseDuration("abc").has_value());
+    EXPECT_FALSE(parseDuration("1x").has_value());
+    EXPECT_FALSE(parseDuration("1.2.3s").has_value());
+    EXPECT_FALSE(parseDuration("ms").has_value());
+}
+
+TEST(FormatDuration, PicksLargestFittingUnit) {
+    EXPECT_EQ(formatDuration(250 * kNsPerMs), "250ms");
+    EXPECT_EQ(formatDuration(kNsPerSec), "1s");
+    EXPECT_EQ(formatDuration(90 * kNsPerSec), "1.50m");
+    EXPECT_EQ(formatDuration(2 * kNsPerDay), "2d");
+    EXPECT_EQ(formatDuration(500), "500ns");
+}
+
+TEST(VirtualClock, AdvancesManually) {
+    VirtualClock clock(1000);
+    EXPECT_EQ(clock.now(), 1000);
+    clock.advance(500);
+    EXPECT_EQ(clock.now(), 1500);
+    clock.set(42);
+    EXPECT_EQ(clock.now(), 42);
+}
+
+TEST(GlobalClock, OverrideAndRestore) {
+    VirtualClock clock(12345);
+    setGlobalClock(&clock);
+    EXPECT_EQ(nowNs(), 12345);
+    clock.advance(5);
+    EXPECT_EQ(nowNs(), 12350);
+    setGlobalClock(nullptr);
+    // Back on the system clock: strictly positive, far from the virtual value.
+    EXPECT_GT(nowNs(), TimestampNs{1'000'000'000'000'000});
+}
+
+TEST(SystemClock, IsMonotonicEnough) {
+    SystemClock clock;
+    const TimestampNs a = clock.now();
+    const TimestampNs b = clock.now();
+    EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace wm::common

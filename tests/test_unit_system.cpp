@@ -1,0 +1,254 @@
+#include "core/unit_system.h"
+
+#include <gtest/gtest.h>
+
+namespace wm::core {
+namespace {
+
+// --- Pattern parsing ---------------------------------------------------------
+
+struct ParseCase {
+    std::string text;
+    bool ok;
+    LevelAnchor anchor;
+    int offset;
+    std::string filter;
+    std::string sensor;
+};
+
+class PatternParsing : public ::testing::TestWithParam<ParseCase> {};
+
+TEST_P(PatternParsing, Cases) {
+    const ParseCase& c = GetParam();
+    const auto parsed = parsePattern(c.text);
+    ASSERT_EQ(parsed.has_value(), c.ok) << c.text;
+    if (!c.ok) return;
+    EXPECT_EQ(parsed->anchor, c.anchor);
+    EXPECT_EQ(parsed->offset, c.offset);
+    EXPECT_EQ(parsed->filter, c.filter);
+    EXPECT_EQ(parsed->sensor_name, c.sensor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PatternParsing,
+    ::testing::Values(
+        // The paper's Section III-C pattern expressions.
+        ParseCase{"<topdown+1>power", true, LevelAnchor::kTopDown, 1, "", "power"},
+        ParseCase{"<bottomup, filter cpu>cpu-cycles", true, LevelAnchor::kBottomUp, 0,
+                  "cpu", "cpu-cycles"},
+        ParseCase{"<bottomup, filter cpu>cache-misses", true, LevelAnchor::kBottomUp, 0,
+                  "cpu", "cache-misses"},
+        ParseCase{"<bottomup-1>healthy", true, LevelAnchor::kBottomUp, -1, "", "healthy"},
+        // Bare anchors and absolute topics.
+        ParseCase{"<topdown>power", true, LevelAnchor::kTopDown, 0, "", "power"},
+        ParseCase{"<bottomup>cpi", true, LevelAnchor::kBottomUp, 0, "", "cpi"},
+        ParseCase{"/rack0/chassis0/power", true, LevelAnchor::kAbsolute, 0, "",
+                  "/rack0/chassis0/power"},
+        // Whitespace robustness.
+        ParseCase{"  <bottomup-2> deep ", true, LevelAnchor::kBottomUp, -2, "", "deep"},
+        // Malformed expressions.
+        ParseCase{"", false, LevelAnchor::kAbsolute, 0, "", ""},
+        ParseCase{"<topdown-1>power", false, LevelAnchor::kTopDown, 0, "", ""},
+        ParseCase{"<bottomup+1>power", false, LevelAnchor::kBottomUp, 0, "", ""},
+        ParseCase{"<sideways>power", false, LevelAnchor::kTopDown, 0, "", ""},
+        ParseCase{"<topdown>", false, LevelAnchor::kTopDown, 0, "", ""},
+        ParseCase{"<topdown power", false, LevelAnchor::kTopDown, 0, "", ""},
+        ParseCase{"<topdown, unknown x>power", false, LevelAnchor::kTopDown, 0, "", ""},
+        ParseCase{"<bottomup, filter >power", false, LevelAnchor::kBottomUp, 0, "", ""},
+        ParseCase{"<bottomup, filter [>power", false, LevelAnchor::kBottomUp, 0, "", ""},
+        ParseCase{"noslash", false, LevelAnchor::kAbsolute, 0, "", ""},
+        ParseCase{"<bottomup>a/b", false, LevelAnchor::kBottomUp, 0, "", ""}));
+
+TEST(PatternExpression, ToStringRoundTrips) {
+    for (const std::string text :
+         {"<topdown+1>power", "<bottomup, filter cpu>cpu-cycles", "<bottomup-1>healthy",
+          "<bottomup>cpi", "/abs/topic"}) {
+        const auto parsed = parsePattern(text);
+        ASSERT_TRUE(parsed.has_value()) << text;
+        const auto reparsed = parsePattern(parsed->toString());
+        ASSERT_TRUE(reparsed.has_value()) << parsed->toString();
+        EXPECT_EQ(reparsed->anchor, parsed->anchor);
+        EXPECT_EQ(reparsed->offset, parsed->offset);
+        EXPECT_EQ(reparsed->filter, parsed->filter);
+        EXPECT_EQ(reparsed->sensor_name, parsed->sensor_name);
+    }
+}
+
+TEST(PatternExpression, ResolveDepth) {
+    PatternExpression expr;
+    expr.anchor = LevelAnchor::kTopDown;
+    expr.offset = 0;
+    EXPECT_EQ(expr.resolveDepth(4), 1u);
+    expr.offset = 2;
+    EXPECT_EQ(expr.resolveDepth(4), 3u);
+    expr.offset = 4;
+    EXPECT_FALSE(expr.resolveDepth(4).has_value());  // past the deepest level
+    expr.anchor = LevelAnchor::kBottomUp;
+    expr.offset = 0;
+    EXPECT_EQ(expr.resolveDepth(4), 4u);
+    expr.offset = -3;
+    EXPECT_EQ(expr.resolveDepth(4), 1u);
+    expr.offset = -4;
+    EXPECT_FALSE(expr.resolveDepth(4).has_value());  // the root is excluded
+    expr.anchor = LevelAnchor::kAbsolute;
+    EXPECT_FALSE(expr.resolveDepth(4).has_value());
+}
+
+// --- Unit resolution: the paper's Figure 2 example ---------------------------
+
+/// Two racks, two chassis each, two servers each, two cpus each — plus the
+/// exact sensors of Figure 2.
+class UnitResolution : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        std::vector<std::string> topics;
+        for (const std::string rack : {"r01", "r02"}) {
+            topics.push_back("/" + rack + "/inlet-temp");
+            for (const std::string chassis : {"c01", "c02"}) {
+                const std::string cpath = "/" + rack + "/" + chassis;
+                topics.push_back(cpath + "/power");
+                for (const std::string server : {"s01", "s02"}) {
+                    const std::string spath = cpath + "/" + server;
+                    topics.push_back(spath + "/memfree");
+                    for (const std::string cpu : {"cpu0", "cpu1"}) {
+                        topics.push_back(spath + "/" + cpu + "/cpu-cycles");
+                        topics.push_back(spath + "/" + cpu + "/cache-misses");
+                    }
+                }
+            }
+        }
+        topics.push_back("/db-uptime");
+        tree_.build(topics);
+    }
+
+    SensorTree tree_;
+};
+
+TEST_F(UnitResolution, PaperExampleUnitAtS02) {
+    // input:  <topdown+1>power ; <bottomup, filter cpu>cpu-cycles ;
+    //         <bottomup, filter cpu>cache-misses
+    // output: <bottomup-1>healthy
+    const auto unit_template = makeUnitTemplate(
+        {"<topdown+1>power", "<bottomup, filter cpu>cpu-cycles",
+         "<bottomup, filter cpu>cache-misses"},
+        {"<bottomup-1>healthy"});
+    ASSERT_TRUE(unit_template.has_value());
+    const UnitResolver resolver(tree_);
+    const auto unit = resolver.resolveUnitAt("/r01/c02/s02", *unit_template);
+    ASSERT_TRUE(unit.has_value());
+    EXPECT_EQ(unit->name, "/r01/c02/s02");
+    // Power resolves one level below topdown: the chassis the unit belongs to.
+    // The two cpus contribute cycles and cache misses each.
+    const std::vector<std::string> expected_inputs{
+        "/r01/c02/power",
+        "/r01/c02/s02/cpu0/cpu-cycles",
+        "/r01/c02/s02/cpu1/cpu-cycles",
+        "/r01/c02/s02/cpu0/cache-misses",
+        "/r01/c02/s02/cpu1/cache-misses",
+    };
+    // resolveExpression sorts within each expression; compare as sets.
+    EXPECT_EQ(std::set<std::string>(unit->inputs.begin(), unit->inputs.end()),
+              std::set<std::string>(expected_inputs.begin(), expected_inputs.end()));
+    ASSERT_EQ(unit->outputs.size(), 1u);
+    EXPECT_EQ(unit->outputs[0], "/r01/c02/s02/healthy");
+}
+
+TEST_F(UnitResolution, ResolveUnitsCreatesOnePerServer) {
+    const auto unit_template = makeUnitTemplate(
+        {"<topdown+1>power", "<bottomup, filter cpu>cpu-cycles"}, {"<bottomup-1>healthy"});
+    ASSERT_TRUE(unit_template.has_value());
+    const UnitResolver resolver(tree_);
+    const auto units = resolver.resolveUnits(*unit_template);
+    // 2 racks x 2 chassis x 2 servers = 8 units.
+    ASSERT_EQ(units.size(), 8u);
+    std::set<std::string> names;
+    for (const auto& unit : units) names.insert(unit.name);
+    EXPECT_EQ(names.size(), 8u);
+    EXPECT_TRUE(names.count("/r02/c01/s01") == 1);
+}
+
+TEST_F(UnitResolution, FilterRestrictsDomain) {
+    PatternExpression expr = *parsePattern("<bottomup-1, filter s01>memfree");
+    const UnitResolver resolver(tree_);
+    const auto domain = resolver.domain(expr, /*require_sensor=*/true);
+    EXPECT_EQ(domain.size(), 4u);  // only the s01 servers
+    for (const auto& node : domain) {
+        EXPECT_NE(node.find("s01"), std::string::npos);
+    }
+}
+
+TEST_F(UnitResolution, InputRequiresSensorPresence) {
+    // "inlet-temp" exists only at rack level; requiring it at chassis level
+    // yields an empty domain and therefore no unit.
+    const auto unit_template =
+        makeUnitTemplate({"<topdown+1>inlet-temp"}, {"<bottomup-1>out"});
+    ASSERT_TRUE(unit_template.has_value());
+    const UnitResolver resolver(tree_);
+    EXPECT_TRUE(resolver.resolveUnits(*unit_template).empty());
+}
+
+TEST_F(UnitResolution, HierarchicallyUnrelatedNodesExcluded) {
+    // From unit /r01/c01/s01, the cpus of other servers must not appear.
+    const auto unit_template =
+        makeUnitTemplate({"<bottomup>cpu-cycles"}, {"<bottomup-1>out"});
+    ASSERT_TRUE(unit_template.has_value());
+    const UnitResolver resolver(tree_);
+    const auto unit = resolver.resolveUnitAt("/r01/c01/s01", *unit_template);
+    ASSERT_TRUE(unit.has_value());
+    ASSERT_EQ(unit->inputs.size(), 2u);
+    for (const auto& topic : unit->inputs) {
+        EXPECT_EQ(topic.find("/r01/c01/s01/"), 0u) << topic;
+    }
+}
+
+TEST_F(UnitResolution, AscendingPathInputs) {
+    // A rack-level sensor seen from a cpu-level unit (ascending resolution).
+    const auto unit_template =
+        makeUnitTemplate({"<topdown>inlet-temp"}, {"<bottomup>busy"});
+    ASSERT_TRUE(unit_template.has_value());
+    const UnitResolver resolver(tree_);
+    const auto unit = resolver.resolveUnitAt("/r02/c01/s01/cpu0", *unit_template);
+    ASSERT_TRUE(unit.has_value());
+    ASSERT_EQ(unit->inputs.size(), 1u);
+    EXPECT_EQ(unit->inputs[0], "/r02/inlet-temp");
+}
+
+TEST_F(UnitResolution, AbsoluteInputBypassesHierarchy) {
+    const auto unit_template =
+        makeUnitTemplate({"/db-uptime", "<bottomup>cpu-cycles"}, {"<bottomup>score"});
+    ASSERT_TRUE(unit_template.has_value());
+    const UnitResolver resolver(tree_);
+    const auto unit = resolver.resolveUnitAt("/r01/c01/s01/cpu1", *unit_template);
+    ASSERT_TRUE(unit.has_value());
+    EXPECT_EQ(unit->inputs[0], "/db-uptime");
+}
+
+TEST_F(UnitResolution, MissingAbsoluteInputFailsUnit) {
+    const auto unit_template =
+        makeUnitTemplate({"/no/such/sensor"}, {"<bottomup>score"});
+    ASSERT_TRUE(unit_template.has_value());
+    const UnitResolver resolver(tree_);
+    EXPECT_FALSE(resolver.resolveUnitAt("/r01/c01/s01/cpu1", *unit_template).has_value());
+}
+
+TEST_F(UnitResolution, UnknownUnitNodeFails) {
+    const auto unit_template = makeUnitTemplate({}, {"<bottomup>out"});
+    ASSERT_TRUE(unit_template.has_value());
+    const UnitResolver resolver(tree_);
+    EXPECT_FALSE(resolver.resolveUnitAt("/r09/c09/s09", *unit_template).has_value());
+}
+
+TEST_F(UnitResolution, NoOutputsMeansNoUnits) {
+    UnitTemplate empty;
+    const UnitResolver resolver(tree_);
+    EXPECT_TRUE(resolver.resolveUnits(empty).empty());
+}
+
+TEST(MakeUnitTemplate, PropagatesParseFailures) {
+    EXPECT_FALSE(makeUnitTemplate({"<bad"}, {"<bottomup>x"}).has_value());
+    EXPECT_FALSE(makeUnitTemplate({"<bottomup>x"}, {"garbage"}).has_value());
+    EXPECT_TRUE(makeUnitTemplate({}, {}).has_value());
+}
+
+}  // namespace
+}  // namespace wm::core
