@@ -16,17 +16,22 @@ CollectAgent::~CollectAgent() {
 }
 
 void CollectAgent::start() {
-    if (subscription_ != 0) return;
-    subscription_ = broker_.subscribe(
-        config_.filter, [this](const mqtt::Message& message) { onMessage(message); });
+    common::MutexLock lock(lifecycle_mutex_);
+    if (subscription_.load(std::memory_order_relaxed) != 0) return;
+    subscription_.store(
+        broker_.subscribe(config_.filter,
+                          [this](const mqtt::Message& message) { onMessage(message); }),
+        std::memory_order_release);
     WM_LOG(kInfo, "collectagent")
         << config_.name << ": subscribed to '" << config_.filter << "'";
 }
 
 void CollectAgent::stop() {
-    if (subscription_ == 0) return;
-    broker_.unsubscribe(subscription_);
-    subscription_ = 0;
+    common::MutexLock lock(lifecycle_mutex_);
+    const mqtt::SubscriptionId id = subscription_.load(std::memory_order_relaxed);
+    if (id == 0) return;
+    broker_.unsubscribe(id);
+    subscription_.store(0, std::memory_order_release);
     WM_LOG(kInfo, "collectagent") << config_.name << ": stopped";
 }
 

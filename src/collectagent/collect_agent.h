@@ -9,6 +9,7 @@
 #include <atomic>
 #include <string>
 
+#include "common/mutex.h"
 #include "mqtt/broker.h"
 #include "sensors/sensor_cache.h"
 #include "storage/storage_backend.h"
@@ -39,7 +40,7 @@ class CollectAgent {
     void start();
     /// Unsubscribes; already-delivered messages are fully processed.
     void stop();
-    bool running() const { return subscription_ != 0; }
+    bool running() const { return subscription_.load(std::memory_order_acquire) != 0; }
 
     sensors::CacheStore& cacheStore() { return cache_store_; }
     storage::StorageBackend& storage() { return storage_; }
@@ -55,7 +56,12 @@ class CollectAgent {
     mqtt::Broker& broker_;
     storage::StorageBackend& storage_;
     sensors::CacheStore cache_store_;
-    mqtt::SubscriptionId subscription_ = 0;
+    /// Serialises start()/stop() so concurrent lifecycle calls cannot leak a
+    /// subscription. Holding it across subscribe/unsubscribe is legal:
+    /// kCollectAgent ranks below kBroker.
+    common::Mutex lifecycle_mutex_{"CollectAgent", common::LockRank::kCollectAgent};
+    // Atomic: running() reads it without the lock.
+    std::atomic<mqtt::SubscriptionId> subscription_{0};
     std::atomic<std::uint64_t> messages_received_{0};
     std::atomic<std::uint64_t> readings_stored_{0};
 };

@@ -1,0 +1,105 @@
+#include "common/lock_order.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wm::common::lockorder {
+
+#ifdef WM_LOCK_ORDER_CHECK
+
+namespace {
+
+// Per-thread held-lock stack. Deliberately trivially destructible (fixed
+// array + count, no destructor) so releases running during thread/static
+// teardown never touch a destroyed thread_local object.
+struct Held {
+    const void* handle;
+    const char* name;
+    int rank;
+};
+
+constexpr std::size_t kMaxHeld = 64;
+thread_local Held t_held[kMaxHeld];
+thread_local std::size_t t_held_count = 0;
+
+// Global acquired-after graph over rank pairs: edges[a][b] records that some
+// thread acquired a rank-b lock while holding a rank-a lock. With strict
+// rank ordering enforced below, a would-be reverse edge is a cycle.
+constexpr int kMaxRank = 100;
+std::atomic<bool> g_edges[kMaxRank][kMaxRank];
+
+[[noreturn]] void abortWithStack(const char* what, const char* name, int rank) {
+    std::fprintf(stderr, "wm::lockorder FATAL: %s: acquiring \"%s\" (rank %d)\n", what,
+                 name, rank);
+    std::fprintf(stderr, "  locks held by this thread (acquisition order):\n");
+    for (std::size_t i = 0; i < t_held_count; ++i) {
+        std::fprintf(stderr, "    %zu. \"%s\" (rank %d)\n", i + 1, t_held[i].name,
+                     t_held[i].rank);
+    }
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace
+
+void onAcquire(const void* handle, const char* name, LockRank rank) {
+    const int new_rank = static_cast<int>(rank);
+    for (std::size_t i = 0; i < t_held_count; ++i) {
+        if (t_held[i].handle == handle) {
+            abortWithStack("recursive acquisition", name, new_rank);
+        }
+    }
+    if (new_rank != 0) {
+        for (std::size_t i = 0; i < t_held_count; ++i) {
+            const int held_rank = t_held[i].rank;
+            if (held_rank == 0) continue;
+            if (held_rank >= new_rank) {
+                const bool proven_cycle =
+                    new_rank < kMaxRank && held_rank < kMaxRank &&
+                    g_edges[new_rank][held_rank].load(std::memory_order_relaxed);
+                abortWithStack(proven_cycle
+                                   ? "lock-order cycle (reverse order observed before)"
+                                   : "lock-rank inversion",
+                               name, new_rank);
+            }
+            if (held_rank < kMaxRank && new_rank < kMaxRank) {
+                g_edges[held_rank][new_rank].store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+    if (t_held_count >= kMaxHeld) {
+        abortWithStack("held-lock stack overflow", name, new_rank);
+    }
+    t_held[t_held_count++] = Held{handle, name, new_rank};
+}
+
+void onRelease(const void* handle) noexcept {
+    // Locks release in LIFO order in the common (scoped-guard) case; search
+    // from the top to also tolerate out-of-order releases.
+    for (std::size_t i = t_held_count; i > 0; --i) {
+        if (t_held[i - 1].handle == handle) {
+            for (std::size_t j = i - 1; j + 1 < t_held_count; ++j) {
+                t_held[j] = t_held[j + 1];
+            }
+            --t_held_count;
+            return;
+        }
+    }
+}
+
+std::size_t heldCount() noexcept {
+    return t_held_count;
+}
+
+#else  // !WM_LOCK_ORDER_CHECK
+
+void onAcquire(const void*, const char*, LockRank) {}
+void onRelease(const void*) noexcept {}
+std::size_t heldCount() noexcept {
+    return 0;
+}
+
+#endif
+
+}  // namespace wm::common::lockorder

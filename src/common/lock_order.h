@@ -1,0 +1,79 @@
+#pragma once
+
+// Runtime lock-order (deadlock) checking for the wm::common::Mutex wrappers.
+//
+// Every mutex in the framework carries a name and a LockRank. The ranks form
+// a global acquisition order: a thread may only acquire a mutex whose rank is
+// strictly greater than the ranks of every ranked mutex it already holds.
+// Debug builds (WM_LOCK_ORDER_CHECK, the default) maintain a per-thread
+// held-lock stack plus a global rank-pair acquired-after graph; a rank
+// inversion — the signature of a potential ABBA deadlock — aborts the
+// process, printing the full held stack and the offending acquisition.
+//
+// The rank table mirrors the framework's call topology (see
+// docs/STATIC_ANALYSIS.md for the full table and its derivation):
+//
+//   managers (operator manager, pusher, collect agent)
+//     -> execution plumbing (scheduler, thread pool, http server, router)
+//       -> operator/plugin state
+//         -> job manager -> broker -> query engine tree
+//           -> cache store -> sensor cache -> storage
+//             -> logger (leaf: logging is legal under any lock)
+//
+// kUnranked mutexes are tracked on the held stack (for diagnostics and
+// recursion detection) but exempt from the ordering constraint.
+
+#include <cstddef>
+
+namespace wm::common {
+
+enum class LockRank : int {
+    kUnranked = 0,
+
+    // Hosting entities: their lifecycle locks are acquired first.
+    kOperatorManager = 10,
+    kPusher = 12,
+    kCollectAgent = 14,
+
+    // Execution plumbing.
+    kScheduler = 20,
+    kThreadPool = 24,
+    kHttpServer = 28,
+    kRouter = 32,
+
+    // Operator framework and plugin-internal state.
+    kOperatorUnits = 40,
+    kSimFacility = 44,
+    kSimNode = 46,
+    kPluginState = 48,
+
+    // Data path: broker delivery feeds caches, caches fall back to storage.
+    kJobManager = 52,
+    kBroker = 56,
+    kBrokerQueue = 58,
+    kQueryEngineTree = 60,
+    kCacheStore = 64,
+    kSensorCache = 68,
+    kStorage = 72,
+
+    // Leaf: safe to acquire while holding anything above.
+    kLogger = 99,
+};
+
+namespace lockorder {
+
+/// Records the acquisition of `handle` on the calling thread's held stack
+/// and aborts (after printing both lock names and the held stack) on a rank
+/// inversion or recursive acquisition. No-op unless WM_LOCK_ORDER_CHECK.
+void onAcquire(const void* handle, const char* name, LockRank rank);
+
+/// Pops `handle` from the calling thread's held stack.
+void onRelease(const void* handle) noexcept;
+
+/// Number of locks the calling thread currently holds (0 when checking is
+/// disabled). Exposed for tests.
+std::size_t heldCount() noexcept;
+
+}  // namespace lockorder
+
+}  // namespace wm::common

@@ -40,17 +40,17 @@ Logger& Logger::instance() {
 }
 
 void Logger::setLevel(LogLevel level) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     level_ = level;
 }
 
 LogLevel Logger::level() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return level_;
 }
 
 bool Logger::setLogFile(const std::string& path) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (file_.is_open()) file_.close();
     if (path.empty()) return true;
     file_.open(path, std::ios::app);
@@ -58,12 +58,12 @@ bool Logger::setLogFile(const std::string& path) {
 }
 
 void Logger::setStderrEnabled(bool enabled) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stderr_enabled_ = enabled;
 }
 
 void Logger::log(LogLevel level, const std::string& module, const std::string& message) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (level < level_) return;
     const auto now = std::chrono::system_clock::now();
     const auto us =
@@ -85,7 +85,7 @@ void Logger::log(LogLevel level, const std::string& module, const std::string& m
 }
 
 std::uint64_t Logger::emittedCount() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return emitted_;
 }
 

@@ -6,9 +6,10 @@
 
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "common/mutex.h"
 
 namespace wm::common {
 
@@ -54,11 +55,12 @@ class Logger {
   private:
     Logger() = default;
 
-    mutable std::mutex mutex_;
-    LogLevel level_ = LogLevel::kInfo;
-    bool stderr_enabled_ = true;
-    std::ofstream file_;
-    std::uint64_t emitted_ = 0;
+    // kLogger is the leaf rank: WM_LOG is legal under any other lock.
+    mutable Mutex mutex_{"Logger", LockRank::kLogger};
+    LogLevel level_ WM_GUARDED_BY(mutex_) = LogLevel::kInfo;
+    bool stderr_enabled_ WM_GUARDED_BY(mutex_) = true;
+    std::ofstream file_ WM_GUARDED_BY(mutex_);
+    std::uint64_t emitted_ WM_GUARDED_BY(mutex_) = 0;
 };
 
 /// Stream-style log statement builder:

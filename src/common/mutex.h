@@ -1,0 +1,177 @@
+#pragma once
+
+// Capability-annotated mutex wrappers, the only locking primitives allowed
+// outside src/common/ (enforced by tools/lint.py). They combine:
+//
+//  * clang thread-safety analysis (common/thread_annotations.h) — guarded
+//    members and lock requirements are checked at compile time under the
+//    `thread-safety` CMake preset;
+//  * runtime lock-order checking (common/lock_order.h) — every mutex carries
+//    a name and a LockRank, and debug builds abort on rank inversions.
+//
+// Condition waits go through wm::common::ConditionVariable, which unlocks
+// and relocks through the wrapper so the held-lock stack stays balanced.
+// Predicate loops are written at the call site (`while (!pred) cv.wait(m);`)
+// so the thread-safety analysis sees the guarded reads under the lock.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define WM_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WM_TSAN_ENABLED 1
+#endif
+#endif
+#if defined(WM_TSAN_ENABLED)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace wm::common {
+
+/// Exclusive mutex with a name and a rank in the global lock order.
+class WM_CAPABILITY("mutex") Mutex {
+  public:
+    explicit Mutex(const char* name = "mutex", LockRank rank = LockRank::kUnranked)
+        : name_(name), rank_(rank) {}
+
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+#if defined(WM_TSAN_ENABLED)
+    // libstdc++'s std::mutex destructor is trivial (it never calls
+    // pthread_mutex_destroy), so TSan's deadlock detector keeps stale
+    // lock-order edges when a later mutex reuses this address and reports
+    // false inversions. Tell it explicitly that this mutex is gone.
+    ~Mutex() { __tsan_mutex_destroy(&mutex_, 0); }
+#endif
+
+    void lock() WM_ACQUIRE() {
+        lockorder::onAcquire(this, name_, rank_);
+        mutex_.lock();
+    }
+
+    void unlock() WM_RELEASE() {
+        mutex_.unlock();
+        lockorder::onRelease(this);
+    }
+
+    const char* name() const { return name_; }
+    LockRank rank() const { return rank_; }
+
+  private:
+    std::mutex mutex_;
+    const char* name_;
+    LockRank rank_;
+};
+
+/// Reader/writer mutex with a name and a rank in the global lock order.
+class WM_CAPABILITY("shared_mutex") SharedMutex {
+  public:
+    explicit SharedMutex(const char* name = "shared_mutex",
+                         LockRank rank = LockRank::kUnranked)
+        : name_(name), rank_(rank) {}
+
+    SharedMutex(const SharedMutex&) = delete;
+    SharedMutex& operator=(const SharedMutex&) = delete;
+
+    void lock() WM_ACQUIRE() {
+        lockorder::onAcquire(this, name_, rank_);
+        mutex_.lock();
+    }
+
+    void unlock() WM_RELEASE() {
+        mutex_.unlock();
+        lockorder::onRelease(this);
+    }
+
+    void lock_shared() WM_ACQUIRE_SHARED() {
+        lockorder::onAcquire(this, name_, rank_);
+        mutex_.lock_shared();
+    }
+
+    void unlock_shared() WM_RELEASE_SHARED() {
+        mutex_.unlock_shared();
+        lockorder::onRelease(this);
+    }
+
+    const char* name() const { return name_; }
+    LockRank rank() const { return rank_; }
+
+  private:
+    std::shared_mutex mutex_;
+    const char* name_;
+    LockRank rank_;
+};
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard replacement).
+class WM_SCOPED_CAPABILITY MutexLock {
+  public:
+    explicit MutexLock(Mutex& mutex) WM_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+    ~MutexLock() WM_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mutex_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class WM_SCOPED_CAPABILITY WriteLock {
+  public:
+    explicit WriteLock(SharedMutex& mutex) WM_ACQUIRE(mutex) : mutex_(mutex) {
+        mutex_.lock();
+    }
+    ~WriteLock() WM_RELEASE() { mutex_.unlock(); }
+
+    WriteLock(const WriteLock&) = delete;
+    WriteLock& operator=(const WriteLock&) = delete;
+
+  private:
+    SharedMutex& mutex_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class WM_SCOPED_CAPABILITY ReadLock {
+  public:
+    explicit ReadLock(SharedMutex& mutex) WM_ACQUIRE_SHARED(mutex) : mutex_(mutex) {
+        mutex_.lock_shared();
+    }
+    ~ReadLock() WM_RELEASE() { mutex_.unlock_shared(); }
+
+    ReadLock(const ReadLock&) = delete;
+    ReadLock& operator=(const ReadLock&) = delete;
+
+  private:
+    SharedMutex& mutex_;
+};
+
+/// Condition variable bound to wm::common::Mutex. Waits release and reacquire
+/// through the wrapper, so lock-order tracking stays balanced across waits.
+class ConditionVariable {
+  public:
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+    /// Caller must hold `mutex`; write the predicate loop at the call site.
+    void wait(Mutex& mutex) WM_REQUIRES(mutex) { cv_.wait(mutex); }
+
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(Mutex& mutex,
+                            const std::chrono::duration<Rep, Period>& timeout)
+        WM_REQUIRES(mutex) {
+        return cv_.wait_for(mutex, timeout);
+    }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+}  // namespace wm::common

@@ -25,7 +25,7 @@ PeriodicScheduler::~PeriodicScheduler() {
 TaskId PeriodicScheduler::schedulePeriodic(TimestampNs interval_ns,
                                            std::function<void(TimestampNs)> callback) {
     if (interval_ns <= 0) interval_ns = kNsPerSec;
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const TaskId id = next_id_++;
     const TimestampNs first = alignToGrid(nowNs(), interval_ns);
     tasks_[id] = Task{id, interval_ns, first, std::move(callback)};
@@ -36,7 +36,7 @@ TaskId PeriodicScheduler::schedulePeriodic(TimestampNs interval_ns,
 
 TaskId PeriodicScheduler::scheduleOnce(TimestampNs delay_ns,
                                        std::function<void(TimestampNs)> callback) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const TaskId id = next_id_++;
     const TimestampNs fire = nowNs() + (delay_ns > 0 ? delay_ns : 0);
     tasks_[id] = Task{id, 0, fire, std::move(callback)};
@@ -46,13 +46,13 @@ TaskId PeriodicScheduler::scheduleOnce(TimestampNs delay_ns,
 }
 
 bool PeriodicScheduler::cancel(TaskId id) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tasks_.erase(id) > 0;
 }
 
 void PeriodicScheduler::stop() {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         if (stopping_) return;
         stopping_ = true;
     }
@@ -61,43 +61,49 @@ void PeriodicScheduler::stop() {
 }
 
 std::size_t PeriodicScheduler::taskCount() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tasks_.size();
 }
 
 void PeriodicScheduler::timerLoop() {
-    std::unique_lock lock(mutex_);
-    while (!stopping_) {
-        if (queue_.empty()) {
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-            continue;
+    for (;;) {
+        std::function<void()> dispatch;
+        {
+            MutexLock lock(mutex_);
+            if (stopping_) return;
+            if (queue_.empty()) {
+                while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+                continue;
+            }
+            const QueueEntry entry = queue_.top();
+            const TimestampNs now = nowNs();
+            if (entry.fire_at > now) {
+                // Sleep in bounded slices so a VirtualClock driven externally
+                // still makes progress; real-time waits wake exactly on time.
+                const TimestampNs wait_ns =
+                    std::min<TimestampNs>(entry.fire_at - now, kNsPerMs * 50);
+                cv_.wait_for(mutex_, std::chrono::nanoseconds(wait_ns));
+                continue;
+            }
+            queue_.pop();
+            auto it = tasks_.find(entry.id);
+            if (it == tasks_.end()) continue;  // cancelled
+            Task& task = it->second;
+            if (entry.fire_at != task.next_fire) continue;  // stale queue entry
+            auto callback = task.callback;
+            const TimestampNs nominal = task.next_fire;
+            if (task.interval_ns > 0) {
+                // Skip missed ticks instead of bursting to catch up.
+                task.next_fire = alignToGrid(std::max(now, task.next_fire), task.interval_ns);
+                queue_.push({task.next_fire, task.id});
+            } else {
+                tasks_.erase(it);
+            }
+            dispatch = [callback = std::move(callback), nominal] { callback(nominal); };
         }
-        const QueueEntry entry = queue_.top();
-        const TimestampNs now = nowNs();
-        if (entry.fire_at > now) {
-            // Sleep in bounded slices so a VirtualClock driven externally
-            // still makes progress; real-time waits wake exactly on time.
-            const TimestampNs wait_ns = std::min<TimestampNs>(entry.fire_at - now, kNsPerMs * 50);
-            cv_.wait_for(lock, std::chrono::nanoseconds(wait_ns));
-            continue;
-        }
-        queue_.pop();
-        auto it = tasks_.find(entry.id);
-        if (it == tasks_.end()) continue;  // cancelled
-        Task& task = it->second;
-        if (entry.fire_at != task.next_fire) continue;  // stale queue entry
-        auto callback = task.callback;
-        const TimestampNs nominal = task.next_fire;
-        if (task.interval_ns > 0) {
-            // Skip missed ticks instead of bursting to catch up.
-            task.next_fire = alignToGrid(std::max(now, task.next_fire), task.interval_ns);
-            queue_.push({task.next_fire, task.id});
-        } else {
-            tasks_.erase(it);
-        }
-        lock.unlock();
-        pool_.post([callback, nominal] { callback(nominal); });
-        lock.lock();
+        // Dispatch outside the scheduler lock: the pool takes its own lock,
+        // and callbacks must be free to call back into the scheduler.
+        pool_.post(std::move(dispatch));
     }
 }
 

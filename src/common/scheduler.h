@@ -6,16 +6,14 @@
 // to the interval grid (DCDB aligns sampling to multiples of the interval so
 // readings from different entities share timestamps and can be correlated).
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
 
@@ -70,13 +68,14 @@ class PeriodicScheduler {
     void timerLoop();
 
     ThreadPool& pool_;
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::map<TaskId, Task> tasks_;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-    TaskId next_id_ = 1;
-    bool stopping_ = false;
-    std::thread timer_thread_;
+    mutable Mutex mutex_{"PeriodicScheduler", LockRank::kScheduler};
+    ConditionVariable cv_;
+    std::map<TaskId, Task> tasks_ WM_GUARDED_BY(mutex_);
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_
+        WM_GUARDED_BY(mutex_);
+    TaskId next_id_ WM_GUARDED_BY(mutex_) = 1;
+    bool stopping_ WM_GUARDED_BY(mutex_) = false;
+    std::thread timer_thread_;  // started in the constructor, joined in stop()
 };
 
 }  // namespace wm::common

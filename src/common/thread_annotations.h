@@ -1,0 +1,65 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute macros (no-ops on other compilers).
+// Enables `-Wthread-safety` static checking of lock discipline: members are
+// tagged WM_GUARDED_BY(mutex), private helpers that expect the caller to
+// hold a lock are tagged WM_REQUIRES(mutex), and the wrappers in
+// common/mutex.h are annotated as capabilities so violations become compile
+// errors under the `thread-safety` CMake preset.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && !defined(WM_NO_THREAD_SAFETY_ATTRIBUTES)
+#define WM_THREAD_ATTRIBUTE(x) __attribute__((x))
+#else
+#define WM_THREAD_ATTRIBUTE(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define WM_CAPABILITY(x) WM_THREAD_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define WM_SCOPED_CAPABILITY WM_THREAD_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define WM_GUARDED_BY(x) WM_THREAD_ATTRIBUTE(guarded_by(x))
+
+/// Declares that the pointee of a pointer member is protected by the given
+/// capability (the pointer itself may be read freely).
+#define WM_PT_GUARDED_BY(x) WM_THREAD_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that callers must hold the capability exclusively.
+#define WM_REQUIRES(...) WM_THREAD_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Declares that callers must hold the capability at least shared.
+#define WM_REQUIRES_SHARED(...) \
+    WM_THREAD_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the capability exclusively.
+#define WM_ACQUIRE(...) WM_THREAD_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the capability shared.
+#define WM_ACQUIRE_SHARED(...) \
+    WM_THREAD_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that the function releases the capability (exclusive or shared).
+#define WM_RELEASE(...) WM_THREAD_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Declares that the function releases a shared hold of the capability.
+#define WM_RELEASE_SHARED(...) \
+    WM_THREAD_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Declares that the function may acquire the capability (conditionally),
+/// returning `result` on success.
+#define WM_TRY_ACQUIRE(...) WM_THREAD_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the capability (deadlock prevention).
+#define WM_EXCLUDES(...) WM_THREAD_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability.
+#define WM_RETURN_CAPABILITY(x) WM_THREAD_ATTRIBUTE(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Use sparingly and document
+/// why the function is safe (e.g. a documented benign-staleness contract).
+#define WM_NO_THREAD_SAFETY_ANALYSIS WM_THREAD_ATTRIBUTE(no_thread_safety_analysis)

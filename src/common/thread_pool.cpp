@@ -12,9 +12,11 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
+    // Wake workers (to drain and exit) and any waitIdle() callers: the pool
+    // still drains accepted tasks, so waiters see the queue empty out.
     cv_.notify_all();
     for (auto& worker : workers_) {
         if (worker.joinable()) worker.join();
@@ -23,7 +25,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> func) {
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         if (stopping_) throw std::runtime_error("ThreadPool: post after shutdown");
         tasks_.push(std::move(func));
     }
@@ -31,12 +33,12 @@ void ThreadPool::post(std::function<void()> func) {
 }
 
 void ThreadPool::waitIdle() {
-    std::unique_lock lock(mutex_);
-    idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+    MutexLock lock(mutex_);
+    while (!(tasks_.empty() && active_ == 0)) idle_cv_.wait(mutex_);
 }
 
 std::size_t ThreadPool::pendingTasks() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return tasks_.size();
 }
 
@@ -44,8 +46,8 @@ void ThreadPool::workerLoop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stopping_ && tasks_.empty()) cv_.wait(mutex_);
             if (stopping_ && tasks_.empty()) return;
             task = std::move(tasks_.front());
             tasks_.pop();
@@ -58,7 +60,11 @@ void ThreadPool::workerLoop() {
             // future for submit(), and are swallowed for post().
         }
         {
-            std::lock_guard lock(mutex_);
+            // The decrement and the idle notification happen under one lock
+            // hold: a waitIdle() caller either observes active_ > 0 and goes
+            // (back) to sleep before the notify, or observes the final state
+            // directly — there is no window for a missed wakeup.
+            MutexLock lock(mutex_);
             --active_;
             if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
         }

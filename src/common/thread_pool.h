@@ -3,16 +3,22 @@
 // Fixed-size worker pool used by the Operator Manager to run operator
 // computations asynchronously (the paper's "parallel" unit-management mode)
 // and by the Pusher to decouple sampling from publishing.
+//
+// Shutdown semantics: the destructor marks the pool as stopping, wakes every
+// worker, drains the queue (already-accepted tasks always run), then joins.
+// submit()/post() called at or after the start of shutdown throw
+// std::runtime_error — acceptance is decided under the pool lock, so a task
+// either runs to completion or was never accepted.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace wm::common {
 
@@ -33,7 +39,7 @@ class ThreadPool {
         auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(func));
         auto future = task->get_future();
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
             tasks_.emplace([task] { (*task)(); });
         }
@@ -41,10 +47,12 @@ class ThreadPool {
         return future;
     }
 
-    /// Fire-and-forget variant without future overhead.
+    /// Fire-and-forget variant without future overhead. Throws
+    /// std::runtime_error if the pool is shutting down.
     void post(std::function<void()> func);
 
-    /// Blocks until the queue is empty and all workers are idle.
+    /// Blocks until the queue is empty and all workers are idle. Tasks
+    /// submitted after waitIdle() returns are not waited for.
     void waitIdle();
 
     std::size_t threadCount() const { return workers_.size(); }
@@ -53,13 +61,13 @@ class ThreadPool {
   private:
     void workerLoop();
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::condition_variable idle_cv_;
-    std::queue<std::function<void()>> tasks_;
-    std::vector<std::thread> workers_;
-    std::size_t active_ = 0;
-    bool stopping_ = false;
+    mutable Mutex mutex_{"ThreadPool", LockRank::kThreadPool};
+    ConditionVariable cv_;
+    ConditionVariable idle_cv_;
+    std::queue<std::function<void()>> tasks_ WM_GUARDED_BY(mutex_);
+    std::vector<std::thread> workers_;  // written only in the constructor
+    std::size_t active_ WM_GUARDED_BY(mutex_) = 0;
+    bool stopping_ WM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace wm::common

@@ -44,12 +44,12 @@ OperatorConfig parseOperatorConfig(const common::ConfigNode& node,
 }
 
 void OperatorTemplate::setUnits(std::vector<Unit> units) {
-    std::lock_guard lock(units_mutex_);
+    common::MutexLock lock(units_mutex_);
     units_ = std::move(units);
 }
 
 std::vector<Unit> OperatorTemplate::units() const {
-    std::lock_guard lock(units_mutex_);
+    common::MutexLock lock(units_mutex_);
     return units_;
 }
 
@@ -95,7 +95,7 @@ std::optional<std::vector<SensorValue>> OperatorTemplate::computeOnDemand(
     const std::string canonical = common::normalizePath(unit_name);
     std::optional<Unit> match;
     {
-        std::lock_guard lock(units_mutex_);
+        common::MutexLock lock(units_mutex_);
         for (const auto& unit : units_) {
             if (unit.name == canonical) {
                 match = unit;

@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/mutex.h"
 #include "common/time_utils.h"
 #include "core/query_engine.h"
 #include "core/unit_system.h"
@@ -159,8 +159,9 @@ class OperatorTemplate : public OperatorInterface {
                                       common::TimestampNs t) const;
 
     /// Units guarded for concurrent access (job operators rebuild them).
-    mutable std::mutex units_mutex_;
-    std::vector<Unit> units_;
+    mutable common::Mutex units_mutex_{"OperatorTemplate.units",
+                                       common::LockRank::kOperatorUnits};
+    std::vector<Unit> units_ WM_GUARDED_BY(units_mutex_);
 
   private:
     void computeUnitChecked(const Unit& unit, common::TimestampNs t,

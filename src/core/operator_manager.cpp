@@ -16,12 +16,12 @@ OperatorManager::~OperatorManager() {
 
 bool OperatorManager::registerPlugin(const std::string& plugin,
                                      ConfiguratorFn configurator) {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     return plugins_.emplace(plugin, std::move(configurator)).second;
 }
 
 std::vector<std::string> OperatorManager::pluginNames() const {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(plugins_.size());
     for (const auto& [name, fn] : plugins_) out.push_back(name);
@@ -32,7 +32,7 @@ int OperatorManager::loadPlugin(const std::string& plugin,
                                 const common::ConfigNode& root) {
     ConfiguratorFn configurator;
     {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         auto it = plugins_.find(plugin);
         if (it == plugins_.end()) return -1;
         configurator = it->second;
@@ -52,15 +52,14 @@ int OperatorManager::loadPlugin(const std::string& plugin,
 }
 
 void OperatorManager::addOperator(OperatorPtr op) {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     operators_.push_back(op);
-    if (running_ && op->config().mode == OperatorMode::kOnline) {
+    if (running() && op->config().mode == OperatorMode::kOnline) {
         scheduleOperator(op);
     }
 }
 
 void OperatorManager::scheduleOperator(const OperatorPtr& op) {
-    // Caller holds mutex_.
     std::weak_ptr<OperatorInterface> weak = op;
     task_ids_.push_back(scheduler_.schedulePeriodic(
         op->config().interval_ns, [weak](common::TimestampNs t) {
@@ -69,18 +68,18 @@ void OperatorManager::scheduleOperator(const OperatorPtr& op) {
 }
 
 void OperatorManager::start() {
-    std::lock_guard lock(mutex_);
-    if (running_) return;
-    running_ = true;
+    common::MutexLock lock(mutex_);
+    if (running()) return;
+    running_.store(true, std::memory_order_release);
     for (const auto& op : operators_) {
         if (op->config().mode == OperatorMode::kOnline) scheduleOperator(op);
     }
 }
 
 void OperatorManager::stop() {
-    std::lock_guard lock(mutex_);
-    if (!running_) return;
-    running_ = false;
+    common::MutexLock lock(mutex_);
+    if (!running()) return;
+    running_.store(false, std::memory_order_release);
     for (common::TaskId id : task_ids_) scheduler_.cancel(id);
     task_ids_.clear();
 }
@@ -94,12 +93,12 @@ void OperatorManager::tickAll(common::TimestampNs t) {
 }
 
 std::vector<OperatorPtr> OperatorManager::operators() const {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     return operators_;
 }
 
 OperatorPtr OperatorManager::findOperator(const std::string& name) const {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (const auto& op : operators_) {
         if (op->name() == name) return op;
     }

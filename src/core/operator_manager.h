@@ -6,14 +6,15 @@
 // exposes the ODA RESTful API (plugin listing, lifecycle actions, on-demand
 // unit computation).
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
+#include "common/mutex.h"
 #include "common/scheduler.h"
 #include "common/thread_pool.h"
 #include "core/operator.h"
@@ -54,7 +55,7 @@ class OperatorManager {
     void start();
     /// Cancels scheduling; running computations finish.
     void stop();
-    bool running() const { return running_; }
+    bool running() const { return running_.load(std::memory_order_acquire); }
 
     /// Synchronously ticks every enabled Online operator once at time `t`
     /// (deterministic virtual-time runs and benches).
@@ -74,16 +75,20 @@ class OperatorManager {
     const OperatorContext& context() const { return context_; }
 
   private:
-    void scheduleOperator(const OperatorPtr& op);
+    /// Registers an Online operator with the scheduler. Holding mutex_ while
+    /// calling into the scheduler is legal: kOperatorManager ranks below
+    /// kScheduler in the lock order.
+    void scheduleOperator(const OperatorPtr& op) WM_REQUIRES(mutex_);
 
     OperatorContext context_;
     common::ThreadPool pool_;
     common::PeriodicScheduler scheduler_;
-    mutable std::mutex mutex_;
-    std::map<std::string, ConfiguratorFn> plugins_;
-    std::vector<OperatorPtr> operators_;
-    std::vector<common::TaskId> task_ids_;
-    bool running_ = false;
+    mutable common::Mutex mutex_{"OperatorManager", common::LockRank::kOperatorManager};
+    std::map<std::string, ConfiguratorFn> plugins_ WM_GUARDED_BY(mutex_);
+    std::vector<OperatorPtr> operators_ WM_GUARDED_BY(mutex_);
+    std::vector<common::TaskId> task_ids_ WM_GUARDED_BY(mutex_);
+    // Atomic: running() reads it without the lock; transitions hold mutex_.
+    std::atomic<bool> running_{false};
 };
 
 }  // namespace wm::core

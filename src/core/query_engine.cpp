@@ -10,32 +10,39 @@ QueryEngine& QueryEngine::instance() {
 }
 
 void QueryEngine::setCacheStore(sensors::CacheStore* store) {
-    cache_store_ = store;
+    cache_store_.store(store, std::memory_order_release);
 }
 
 void QueryEngine::setStorage(storage::StorageBackend* storage) {
-    storage_ = storage;
+    storage_.store(storage, std::memory_order_release);
 }
 
 std::size_t QueryEngine::rebuildTree() {
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    storage::StorageBackend* storage = storage_.load(std::memory_order_acquire);
+    // Gather topics before taking the tree lock: CacheStore/StorageBackend
+    // locks rank above the tree lock, so nesting them underneath would
+    // invert the lock order.
     std::vector<std::string> topics;
-    if (cache_store_ != nullptr) topics = cache_store_->topics();
-    if (storage_ != nullptr) {
-        for (auto& topic : storage_->topics()) topics.push_back(std::move(topic));
+    if (cache_store != nullptr) topics = cache_store->topics();
+    if (storage != nullptr) {
+        for (auto& topic : storage->topics()) topics.push_back(std::move(topic));
     }
-    std::lock_guard lock(tree_mutex_);
+    common::MutexLock lock(tree_mutex_);
     return tree_.build(topics);
 }
 
 void QueryEngine::addTopics(const std::vector<std::string>& topics) {
-    std::lock_guard lock(tree_mutex_);
+    common::MutexLock lock(tree_mutex_);
     for (const auto& topic : topics) tree_.addSensor(topic);
 }
 
 sensors::ReadingVector QueryEngine::queryRelative(const std::string& topic,
                                                   common::TimestampNs offset_ns) const {
-    if (cache_store_ != nullptr) {
-        const sensors::SensorCache* cache = cache_store_->find(topic);
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    storage::StorageBackend* storage = storage_.load(std::memory_order_acquire);
+    if (cache_store != nullptr) {
+        const sensors::SensorCache* cache = cache_store->find(topic);
         // The cache covers the window only when the requested offset fits
         // inside its retention window.
         if (cache != nullptr && !cache->empty() && offset_ns <= cache->windowNs()) {
@@ -43,15 +50,15 @@ sensors::ReadingVector QueryEngine::queryRelative(const std::string& topic,
             return cache->viewRelative(offset_ns);
         }
     }
-    if (storage_ != nullptr) {
+    if (storage != nullptr) {
         storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-        const auto newest = storage_->latest(topic);
+        const auto newest = storage->latest(topic);
         if (!newest) return {};
-        return storage_->query(topic, newest->timestamp - offset_ns, newest->timestamp);
+        return storage->query(topic, newest->timestamp - offset_ns, newest->timestamp);
     }
     // Cache-only host with an over-long offset: serve what the cache has.
-    if (cache_store_ != nullptr) {
-        const sensors::SensorCache* cache = cache_store_->find(topic);
+    if (cache_store != nullptr) {
+        const sensors::SensorCache* cache = cache_store->find(topic);
         if (cache != nullptr) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
             return cache->viewRelative(offset_ns);
@@ -63,8 +70,10 @@ sensors::ReadingVector QueryEngine::queryRelative(const std::string& topic,
 sensors::ReadingVector QueryEngine::queryAbsolute(const std::string& topic,
                                                   common::TimestampNs t0,
                                                   common::TimestampNs t1) const {
-    if (cache_store_ != nullptr) {
-        const sensors::SensorCache* cache = cache_store_->find(topic);
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    storage::StorageBackend* storage = storage_.load(std::memory_order_acquire);
+    if (cache_store != nullptr) {
+        const sensors::SensorCache* cache = cache_store->find(topic);
         if (cache != nullptr && !cache->empty()) {
             // The cache can only answer if the range begins inside its
             // retained window.
@@ -75,12 +84,12 @@ sensors::ReadingVector QueryEngine::queryAbsolute(const std::string& topic,
             }
         }
     }
-    if (storage_ != nullptr) {
+    if (storage != nullptr) {
         storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-        return storage_->query(topic, t0, t1);
+        return storage->query(topic, t0, t1);
     }
-    if (cache_store_ != nullptr) {
-        const sensors::SensorCache* cache = cache_store_->find(topic);
+    if (cache_store != nullptr) {
+        const sensors::SensorCache* cache = cache_store->find(topic);
         if (cache != nullptr) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
             return cache->viewAbsolute(t0, t1);
@@ -90,8 +99,10 @@ sensors::ReadingVector QueryEngine::queryAbsolute(const std::string& topic,
 }
 
 std::optional<sensors::Reading> QueryEngine::latest(const std::string& topic) const {
-    if (cache_store_ != nullptr) {
-        const sensors::SensorCache* cache = cache_store_->find(topic);
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    storage::StorageBackend* storage = storage_.load(std::memory_order_acquire);
+    if (cache_store != nullptr) {
+        const sensors::SensorCache* cache = cache_store->find(topic);
         if (cache != nullptr) {
             const auto reading = cache->latest();
             if (reading) {
@@ -100,9 +111,9 @@ std::optional<sensors::Reading> QueryEngine::latest(const std::string& topic) co
             }
         }
     }
-    if (storage_ != nullptr) {
+    if (storage != nullptr) {
         storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-        return storage_->latest(topic);
+        return storage->latest(topic);
     }
     return std::nullopt;
 }

@@ -15,11 +15,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "core/sensor_tree.h"
 #include "sensors/sensor_cache.h"
 #include "storage/storage_backend.h"
@@ -49,8 +49,10 @@ class QueryEngine {
 
     /// Read access to the navigator. The reference remains valid; rebuilds
     /// happen in place under the engine's lock — callers resolving units
-    /// hold no readings, so brief staleness is acceptable.
-    const SensorTree& tree() const { return tree_; }
+    /// hold no readings, so brief staleness is acceptable. Because of that
+    /// documented benign-staleness contract the accessor deliberately skips
+    /// the tree lock (and the static analysis that would demand it).
+    const SensorTree& tree() const WM_NO_THREAD_SAFETY_ANALYSIS { return tree_; }
 
     /// Relative query: the last `offset_ns` of data for `topic`, ending at
     /// the most recent reading. Cache-first; falls back to storage using the
@@ -69,10 +71,12 @@ class QueryEngine {
     std::uint64_t storageFallbacks() const { return storage_fallbacks_.load(); }
 
   private:
-    mutable std::mutex tree_mutex_;
-    SensorTree tree_;
-    sensors::CacheStore* cache_store_ = nullptr;
-    storage::StorageBackend* storage_ = nullptr;
+    mutable common::Mutex tree_mutex_{"QueryEngine.tree", common::LockRank::kQueryEngineTree};
+    SensorTree tree_ WM_GUARDED_BY(tree_mutex_);
+    // Atomic pointers: the hosting entity wires these once at startup but the
+    // singleton makes unsynchronised set/read interleavings possible in tests.
+    std::atomic<sensors::CacheStore*> cache_store_{nullptr};
+    std::atomic<storage::StorageBackend*> storage_{nullptr};
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> storage_fallbacks_{0};
 };

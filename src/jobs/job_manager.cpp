@@ -7,7 +7,7 @@ namespace wm::jobs {
 
 bool JobManager::submit(const JobRecord& job) {
     if (job.job_id.empty() || job.nodes.empty()) return false;
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (const auto& existing : jobs_) {
         if (existing.job_id == job.job_id && existing.end_time == 0) return false;
     }
@@ -16,7 +16,7 @@ bool JobManager::submit(const JobRecord& job) {
 }
 
 bool JobManager::complete(const std::string& job_id, common::TimestampNs end_time) {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     for (auto& job : jobs_) {
         if (job.job_id == job_id && job.end_time == 0) {
             job.end_time = end_time;
@@ -27,7 +27,7 @@ bool JobManager::complete(const std::string& job_id, common::TimestampNs end_tim
 }
 
 std::optional<JobRecord> JobManager::find(const std::string& job_id) const {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     // Prefer the running instance; fall back to the most recent.
     const JobRecord* found = nullptr;
     for (const auto& job : jobs_) {
@@ -40,7 +40,7 @@ std::optional<JobRecord> JobManager::find(const std::string& job_id) const {
 }
 
 std::vector<JobRecord> JobManager::runningAt(common::TimestampNs t) const {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     std::vector<JobRecord> out;
     for (const auto& job : jobs_) {
         if (job.runningAt(t)) out.push_back(job);
@@ -52,7 +52,7 @@ std::vector<JobRecord> JobManager::runningAt(common::TimestampNs t) const {
 
 std::vector<JobRecord> JobManager::inInterval(common::TimestampNs t0,
                                               common::TimestampNs t1) const {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     std::vector<JobRecord> out;
     for (const auto& job : jobs_) {
         const common::TimestampNs end = job.end_time == 0
@@ -77,7 +77,7 @@ std::vector<JobRecord> JobManager::jobsOnNode(const std::string& node_path,
 }
 
 std::size_t JobManager::jobCount() const {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     return jobs_.size();
 }
 

@@ -6,11 +6,11 @@
 // or per-core sensors into job-level outputs.
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/time_utils.h"
 
 namespace wm::jobs {
@@ -55,8 +55,8 @@ class JobManager {
     std::size_t jobCount() const;
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<JobRecord> jobs_;
+    mutable common::Mutex mutex_{"JobManager", common::LockRank::kJobManager};
+    std::vector<JobRecord> jobs_ WM_GUARDED_BY(mutex_);
 };
 
 }  // namespace wm::jobs

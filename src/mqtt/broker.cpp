@@ -1,20 +1,23 @@
 #include "mqtt/broker.h"
 
 #include <algorithm>
-#include <mutex>
 
 namespace wm::mqtt {
 
+using common::MutexLock;
+using common::ReadLock;
+using common::WriteLock;
+
 SubscriptionId Broker::subscribe(const std::string& filter, MessageHandler handler) {
     if (!isValidFilter(filter)) return 0;
-    std::unique_lock lock(mutex_);
+    WriteLock lock(mutex_);
     const SubscriptionId id = next_id_.fetch_add(1);
     subscriptions_.push_back({id, filter, std::move(handler)});
     return id;
 }
 
 bool Broker::unsubscribe(SubscriptionId id) {
-    std::unique_lock lock(mutex_);
+    WriteLock lock(mutex_);
     auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
                            [id](const Subscription& s) { return s.id == id; });
     if (it == subscriptions_.end()) return false;
@@ -28,7 +31,7 @@ int Broker::publish(const Message& message) {
 }
 
 std::size_t Broker::subscriptionCount() const {
-    std::shared_lock lock(mutex_);
+    ReadLock lock(mutex_);
     return subscriptions_.size();
 }
 
@@ -38,7 +41,7 @@ int Broker::deliver(const Message& message) {
     // so handlers may themselves publish or (un)subscribe without deadlock.
     std::vector<MessageHandler> handlers;
     {
-        std::shared_lock lock(mutex_);
+        ReadLock lock(mutex_);
         for (const auto& sub : subscriptions_) {
             if (topicMatches(sub.filter, message.topic)) handlers.push_back(sub.handler);
         }
@@ -53,7 +56,7 @@ AsyncBroker::AsyncBroker(std::size_t max_queue) : max_queue_(max_queue) {
 
 AsyncBroker::~AsyncBroker() {
     {
-        std::lock_guard lock(queue_mutex_);
+        MutexLock lock(queue_mutex_);
         stopping_ = true;
     }
     queue_cv_.notify_all();
@@ -62,23 +65,25 @@ AsyncBroker::~AsyncBroker() {
 
 int AsyncBroker::publish(const Message& message) {
     if (!isValidTopic(message.topic)) return -1;
-    std::unique_lock lock(queue_mutex_);
-    queue_cv_.wait(lock, [this] { return stopping_ || queue_.size() < max_queue_; });
-    if (stopping_) return -1;
-    queue_.push(message);
-    const int depth = static_cast<int>(queue_.size());
-    lock.unlock();
+    int depth = -1;
+    {
+        MutexLock lock(queue_mutex_);
+        while (!stopping_ && queue_.size() >= max_queue_) queue_cv_.wait(queue_mutex_);
+        if (stopping_) return -1;
+        queue_.push(message);
+        depth = static_cast<int>(queue_.size());
+    }
     queue_cv_.notify_all();
     return depth;
 }
 
 void AsyncBroker::flush() {
-    std::unique_lock lock(queue_mutex_);
-    drained_cv_.wait(lock, [this] { return queue_.empty() && !dispatching_; });
+    MutexLock lock(queue_mutex_);
+    while (!queue_.empty() || dispatching_) drained_cv_.wait(queue_mutex_);
 }
 
 std::size_t AsyncBroker::queueDepth() const {
-    std::lock_guard lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     return queue_.size();
 }
 
@@ -86,8 +91,8 @@ void AsyncBroker::dispatchLoop() {
     for (;;) {
         Message message;
         {
-            std::unique_lock lock(queue_mutex_);
-            queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(queue_mutex_);
+            while (!stopping_ && queue_.empty()) queue_cv_.wait(queue_mutex_);
             if (queue_.empty()) {
                 if (stopping_) return;
                 continue;
@@ -99,7 +104,7 @@ void AsyncBroker::dispatchLoop() {
         queue_cv_.notify_all();  // wake publishers blocked on back-pressure
         deliver(message);
         {
-            std::lock_guard lock(queue_mutex_);
+            MutexLock lock(queue_mutex_);
             dispatching_ = false;
             if (queue_.empty()) drained_cv_.notify_all();
         }

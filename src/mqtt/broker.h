@@ -12,16 +12,14 @@
 //                       like a networked MQTT broker does.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "mqtt/topic.h"
 #include "sensors/reading.h"
 
@@ -65,8 +63,8 @@ class Broker {
         MessageHandler handler;
     };
 
-    mutable std::shared_mutex mutex_;
-    std::vector<Subscription> subscriptions_;
+    mutable common::SharedMutex mutex_{"Broker", common::LockRank::kBroker};
+    std::vector<Subscription> subscriptions_ WM_GUARDED_BY(mutex_);
     std::atomic<SubscriptionId> next_id_{1};
     std::atomic<std::uint64_t> published_{0};
 };
@@ -90,13 +88,13 @@ class AsyncBroker final : public Broker {
   private:
     void dispatchLoop();
 
-    mutable std::mutex queue_mutex_;
-    std::condition_variable queue_cv_;
-    std::condition_variable drained_cv_;
-    std::queue<Message> queue_;
-    std::size_t max_queue_;
-    bool stopping_ = false;
-    bool dispatching_ = false;
+    mutable common::Mutex queue_mutex_{"AsyncBroker.queue", common::LockRank::kBrokerQueue};
+    common::ConditionVariable queue_cv_;
+    common::ConditionVariable drained_cv_;
+    std::queue<Message> queue_ WM_GUARDED_BY(queue_mutex_);
+    std::size_t max_queue_;  // immutable after construction
+    bool stopping_ WM_GUARDED_BY(queue_mutex_) = false;
+    bool dispatching_ WM_GUARDED_BY(queue_mutex_) = false;
     std::thread dispatcher_;
 };
 

@@ -36,7 +36,7 @@ void ClusteringOperator::computeAll(common::TimestampNs t) {
     std::vector<analytics::Vector> points;
     std::vector<core::Unit> snapshot = units();
     {
-        std::lock_guard lock(points_mutex_);
+        common::MutexLock lock(points_mutex_);
         last_points_.clear();
         for (const auto& unit : snapshot) {
             analytics::Vector point = buildPoint(unit, t);
@@ -96,7 +96,7 @@ std::vector<core::SensorValue> ClusteringOperator::compute(const core::Unit& uni
 }
 
 analytics::Vector ClusteringOperator::lastPointOf(const std::string& unit_name) const {
-    std::lock_guard lock(points_mutex_);
+    common::MutexLock lock(points_mutex_);
     auto it = last_points_.find(unit_name);
     return it == last_points_.end() ? analytics::Vector{} : it->second;
 }

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "analytics/bayesian_gmm.h"
+#include "common/mutex.h"
 #include "core/operator.h"
 
 namespace wm::plugins {
@@ -73,8 +74,9 @@ class ClusteringOperator final : public core::OperatorTemplate {
 
     ClusteringSettings settings_;
     analytics::BayesianGmm model_;
-    mutable std::mutex points_mutex_;
-    std::map<std::string, analytics::Vector> last_points_;  // keyed by unit name
+    mutable common::Mutex points_mutex_{"ClusteringOperator.points",
+                                        common::LockRank::kPluginState};
+    std::map<std::string, analytics::Vector> last_points_ WM_GUARDED_BY(points_mutex_);  // keyed by unit name
 };
 
 std::vector<core::OperatorPtr> configureClustering(const common::ConfigNode& node,

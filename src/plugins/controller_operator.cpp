@@ -8,7 +8,7 @@
 namespace wm::plugins {
 
 double ControllerOperator::knobValueOf(const std::string& unit_name) const {
-    std::lock_guard lock(knob_mutex_);
+    common::MutexLock lock(knob_mutex_);
     auto it = knob_values_.find(unit_name);
     return it == knob_values_.end() ? settings_.knob_max : it->second;
 }
@@ -25,7 +25,7 @@ std::vector<core::SensorValue> ControllerOperator::compute(const core::Unit& uni
 
     double knob;
     {
-        std::lock_guard lock(knob_mutex_);
+        common::MutexLock lock(knob_mutex_);
         knob = knob_values_.count(unit.name) ? knob_values_[unit.name]
                                              : settings_.knob_max;
     }
@@ -36,7 +36,7 @@ std::vector<core::SensorValue> ControllerOperator::compute(const core::Unit& uni
         if (context_.actuate && context_.actuate(settings_.knob, unit.name, knob)) {
             actuations_.fetch_add(1, std::memory_order_relaxed);
         }
-        std::lock_guard lock(knob_mutex_);
+        common::MutexLock lock(knob_mutex_);
         knob_values_[unit.name] = knob;
     }
     for (const auto& topic : unit.outputs) {

@@ -25,6 +25,7 @@
 #include <map>
 #include <string>
 
+#include "common/mutex.h"
 #include "core/operator.h"
 
 namespace wm::plugins {
@@ -56,8 +57,9 @@ class ControllerOperator final : public core::OperatorTemplate {
 
   private:
     ControllerSettings settings_;
-    mutable std::mutex knob_mutex_;
-    std::map<std::string, double> knob_values_;  // keyed by unit name
+    mutable common::Mutex knob_mutex_{"ControllerOperator.knobs",
+                                      common::LockRank::kPluginState};
+    std::map<std::string, double> knob_values_ WM_GUARDED_BY(knob_mutex_);  // keyed by unit name
     std::atomic<std::uint64_t> actuations_{0};
 };
 

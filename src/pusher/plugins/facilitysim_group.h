@@ -8,9 +8,10 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 #include "pusher/sensor_group.h"
 #include "simulator/facility_model.h"
@@ -31,7 +32,7 @@ class SimulatedFacility {
         : model_(characteristics), it_power_source_(std::move(it_power_source)) {}
 
     simulator::FacilitySample sampleAt(common::TimestampNs t) {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         if (last_time_ == 0) {
             last_time_ = t;
             model_.advance(1.0, currentItPower());
@@ -49,12 +50,12 @@ class SimulatedFacility {
     }
 
     void setInletSetpoint(double temp_c) {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         model_.setInletSetpoint(temp_c);
     }
 
     double inletSetpoint() const {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         return model_.inletSetpoint();
     }
 
@@ -63,10 +64,13 @@ class SimulatedFacility {
         return it_power_source_ ? it_power_source_() : 0.0;
     }
 
-    mutable std::mutex mutex_;
-    simulator::FacilityModel model_;
-    std::function<double()> it_power_source_;
-    common::TimestampNs last_time_ = 0;
+    // kSimFacility ranks below kSimNode: sampleAt() invokes the IT power
+    // callback under this lock, and that callback typically reads the
+    // SimulatedNode models.
+    mutable common::Mutex mutex_{"SimulatedFacility", common::LockRank::kSimFacility};
+    simulator::FacilityModel model_ WM_GUARDED_BY(mutex_);
+    std::function<double()> it_power_source_;  // immutable after construction
+    common::TimestampNs last_time_ WM_GUARDED_BY(mutex_) = 0;
 };
 
 using SimulatedFacilityPtr = std::shared_ptr<SimulatedFacility>;

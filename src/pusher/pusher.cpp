@@ -23,7 +23,7 @@ void Pusher::addGroup(SensorGroupPtr group) {
         cache_store_.getOrCreate(metadata);
     }
     SensorGroup* raw = group.get();
-    std::lock_guard lock(groups_mutex_);
+    common::MutexLock lock(groups_mutex_);
     groups_.push_back(std::move(group));
     if (running_.load()) {
         task_ids_.push_back(scheduler_.schedulePeriodic(
@@ -33,7 +33,7 @@ void Pusher::addGroup(SensorGroupPtr group) {
 
 void Pusher::start() {
     if (running_.exchange(true)) return;
-    std::lock_guard lock(groups_mutex_);
+    common::MutexLock lock(groups_mutex_);
     for (const auto& group : groups_) {
         SensorGroup* raw = group.get();
         task_ids_.push_back(scheduler_.schedulePeriodic(
@@ -45,7 +45,7 @@ void Pusher::start() {
 
 void Pusher::stop() {
     if (!running_.exchange(false)) return;
-    std::lock_guard lock(groups_mutex_);
+    common::MutexLock lock(groups_mutex_);
     for (common::TaskId id : task_ids_) scheduler_.cancel(id);
     task_ids_.clear();
     pool_.waitIdle();
@@ -55,7 +55,7 @@ void Pusher::stop() {
 void Pusher::sampleOnce(common::TimestampNs t) {
     std::vector<SensorGroup*> groups;
     {
-        std::lock_guard lock(groups_mutex_);
+        common::MutexLock lock(groups_mutex_);
         groups.reserve(groups_.size());
         for (const auto& group : groups_) groups.push_back(group.get());
     }
@@ -80,7 +80,7 @@ void Pusher::tickGroup(SensorGroup& group, common::TimestampNs t) {
 }
 
 std::size_t Pusher::groupCount() const {
-    std::lock_guard lock(groups_mutex_);
+    common::MutexLock lock(groups_mutex_);
     return groups_.size();
 }
 

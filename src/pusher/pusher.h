@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/scheduler.h"
 #include "common/thread_pool.h"
 #include "mqtt/broker.h"
@@ -69,9 +70,9 @@ class Pusher {
     sensors::CacheStore cache_store_;
     common::ThreadPool pool_;
     common::PeriodicScheduler scheduler_;
-    mutable std::mutex groups_mutex_;
-    std::vector<SensorGroupPtr> groups_;
-    std::vector<common::TaskId> task_ids_;
+    mutable common::Mutex groups_mutex_{"Pusher.groups", common::LockRank::kPusher};
+    std::vector<SensorGroupPtr> groups_ WM_GUARDED_BY(groups_mutex_);
+    std::vector<common::TaskId> task_ids_ WM_GUARDED_BY(groups_mutex_);
     std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> readings_sampled_{0};
     std::atomic<std::uint64_t> messages_published_{0};

@@ -7,8 +7,8 @@
 // one physical node.
 
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/time_utils.h"
 #include "simulator/node_model.h"
 
@@ -23,7 +23,7 @@ class SimulatedNode {
     /// Advances the model to `t` (no-op if t is in the past) and returns a
     /// snapshot of the node state. Thread-safe.
     simulator::NodeSample sampleAt(common::TimestampNs t) {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         if (last_time_ == 0) {
             last_time_ = t;
             // Warm up so counters are non-zero on the first sample.
@@ -44,23 +44,23 @@ class SimulatedNode {
     }
 
     void startApp(simulator::AppKind kind) {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         model_.startApp(kind);
     }
 
     /// DVFS actuation entry point for feedback-loop operators.
     void setFrequencyScale(double scale) {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         model_.setFrequencyScale(scale);
     }
 
     double frequencyScale() const {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         return model_.frequencyScale();
     }
 
     simulator::AppKind currentApp() const {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         return model_.currentApp();
     }
 
@@ -68,13 +68,13 @@ class SimulatedNode {
 
   private:
     std::size_t core_count_cached() const {
-        std::lock_guard lock(mutex_);
+        common::MutexLock lock(mutex_);
         return model_.coreCount();
     }
 
-    mutable std::mutex mutex_;
-    simulator::NodeModel model_;
-    common::TimestampNs last_time_ = 0;
+    mutable common::Mutex mutex_{"SimulatedNode", common::LockRank::kSimNode};
+    simulator::NodeModel model_ WM_GUARDED_BY(mutex_);
+    common::TimestampNs last_time_ WM_GUARDED_BY(mutex_) = 0;
 };
 
 using SimulatedNodePtr = std::shared_ptr<SimulatedNode>;

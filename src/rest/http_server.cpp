@@ -87,23 +87,23 @@ HttpServer::~HttpServer() {
 
 bool HttpServer::start(std::uint16_t port) {
     if (running_.load()) return false;
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) return false;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
     const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-        ::listen(listen_fd_, 16) < 0) {
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, 16) < 0) {
+        ::close(fd);
         return false;
     }
     socklen_t len = sizeof(addr);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
     port_ = ntohs(addr.sin_port);
+    listen_fd_.store(fd);
     running_.store(true);
     acceptor_ = std::thread([this] { acceptLoop(); });
     WM_LOG(kInfo, "rest") << "HTTP server listening on 127.0.0.1:" << port_;
@@ -113,13 +113,13 @@ bool HttpServer::start(std::uint16_t port) {
 void HttpServer::stop() {
     if (!running_.exchange(false)) return;
     // Closing the listening socket unblocks accept().
-    if (listen_fd_ >= 0) {
-        ::shutdown(listen_fd_, SHUT_RDWR);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+    const int fd = listen_fd_.exchange(-1);
+    if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
     }
     if (acceptor_.joinable()) acceptor_.join();
-    std::lock_guard lock(workers_mutex_);
+    common::MutexLock lock(workers_mutex_);
     for (auto& worker : workers_) {
         if (worker.joinable()) worker.join();
     }
@@ -128,14 +128,16 @@ void HttpServer::stop() {
 
 void HttpServer::acceptLoop() {
     while (running_.load()) {
+        const int listen_fd = listen_fd_.load();
+        if (listen_fd < 0) return;
         sockaddr_in peer{};
         socklen_t len = sizeof(peer);
-        const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+        const int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&peer), &len);
         if (fd < 0) {
             if (!running_.load()) return;
             continue;
         }
-        std::lock_guard lock(workers_mutex_);
+        common::MutexLock lock(workers_mutex_);
         // Reap finished workers opportunistically to bound the vector.
         if (workers_.size() > 64) {
             for (auto& worker : workers_) {

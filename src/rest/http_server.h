@@ -9,11 +9,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "rest/router.h"
 
 namespace wm::rest {
@@ -45,11 +45,14 @@ class HttpServer {
 
     Router& router_;
     std::atomic<bool> running_{false};
-    int listen_fd_ = -1;
+    // Atomic: stop() closes and invalidates the fd while acceptLoop() reads
+    // it for accept(); accept() on the closed fd then fails and the loop
+    // observes running_ == false.
+    std::atomic<int> listen_fd_{-1};
     std::uint16_t port_ = 0;
     std::thread acceptor_;
-    std::mutex workers_mutex_;
-    std::vector<std::thread> workers_;
+    common::Mutex workers_mutex_{"HttpServer.workers", common::LockRank::kHttpServer};
+    std::vector<std::thread> workers_ WM_GUARDED_BY(workers_mutex_);
     std::atomic<std::uint64_t> requests_{0};
 };
 

@@ -1,6 +1,5 @@
 #include "rest/router.h"
 
-#include <mutex>
 #include <sstream>
 
 #include "common/string_utils.h"
@@ -25,41 +24,48 @@ bool Router::route(const std::string& method, const std::string& pattern, Handle
     entry.method = method;
     entry.segments = common::split(pattern, '/');
     entry.handler = std::move(handler);
-    std::unique_lock lock(mutex_);
+    common::WriteLock lock(mutex_);
     routes_.push_back(std::move(entry));
     return true;
 }
 
 Response Router::dispatch(Request request) const {
     const auto segments = common::split(request.path, '/');
-    std::shared_lock lock(mutex_);
-    // Later routes win: iterate in reverse registration order.
-    for (auto it = routes_.rbegin(); it != routes_.rend(); ++it) {
-        const Route& route = *it;
-        if (route.method != request.method) continue;
-        if (route.segments.size() != segments.size()) continue;
-        std::map<std::string, std::string> params;
-        bool match = true;
-        for (std::size_t i = 0; i < segments.size(); ++i) {
-            const std::string& pat = route.segments[i];
-            if (!pat.empty() && pat[0] == ':') {
-                params[pat.substr(1)] = segments[i];
-            } else if (pat != segments[i]) {
-                match = false;
-                break;
+    // Resolve the handler under the shared lock, then invoke it outside so
+    // handlers may register routes or dispatch recursively without deadlock.
+    Handler handler;
+    {
+        common::ReadLock lock(mutex_);
+        // Later routes win: iterate in reverse registration order.
+        for (auto it = routes_.rbegin(); it != routes_.rend(); ++it) {
+            const Route& route = *it;
+            if (route.method != request.method) continue;
+            if (route.segments.size() != segments.size()) continue;
+            std::map<std::string, std::string> params;
+            bool match = true;
+            for (std::size_t i = 0; i < segments.size(); ++i) {
+                const std::string& pat = route.segments[i];
+                if (!pat.empty() && pat[0] == ':') {
+                    params[pat.substr(1)] = segments[i];
+                } else if (pat != segments[i]) {
+                    match = false;
+                    break;
+                }
             }
-        }
-        if (!match) continue;
-        Handler handler = route.handler;
-        lock.unlock();
-        request.path_params = std::move(params);
-        try {
-            return handler(request);
-        } catch (const std::exception& e) {
-            return Response::error(e.what());
+            if (!match) continue;
+            handler = route.handler;
+            request.path_params = std::move(params);
+            break;
         }
     }
-    return Response::notFound("no route for " + request.method + " " + request.path);
+    if (!handler) {
+        return Response::notFound("no route for " + request.method + " " + request.path);
+    }
+    try {
+        return handler(request);
+    } catch (const std::exception& e) {
+        return Response::error(e.what());
+    }
 }
 
 std::map<std::string, std::string> Router::parseQuery(const std::string& query) {
@@ -91,7 +97,7 @@ std::map<std::string, std::string> Router::parseQuery(const std::string& query) 
 }
 
 std::size_t Router::routeCount() const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     return routes_.size();
 }
 

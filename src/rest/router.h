@@ -9,9 +9,10 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace wm::rest {
 
@@ -60,8 +61,8 @@ class Router {
         Handler handler;
     };
 
-    mutable std::shared_mutex mutex_;
-    std::vector<Route> routes_;
+    mutable common::SharedMutex mutex_{"Router", common::LockRank::kRouter};
+    std::vector<Route> routes_ WM_GUARDED_BY(mutex_);
 };
 
 /// Minimal JSON-ish escaping for string values embedded in responses.

@@ -1,7 +1,6 @@
 #include "sensors/sensor_cache.h"
 
 #include <algorithm>
-#include <mutex>
 
 namespace wm::sensors {
 
@@ -18,7 +17,7 @@ SensorCache::SensorCache(common::TimestampNs window_ns,
 }
 
 bool SensorCache::store(const Reading& reading) {
-    std::unique_lock lock(mutex_);
+    common::WriteLock lock(mutex_);
     if (count_ > 0) {
         const Reading& newest = at(count_ - 1);
         if (reading.timestamp < newest.timestamp - window_ns_) return false;
@@ -51,13 +50,13 @@ bool SensorCache::store(const Reading& reading) {
 }
 
 std::optional<Reading> SensorCache::latest() const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     if (count_ == 0) return std::nullopt;
     return at(count_ - 1);
 }
 
 ReadingVector SensorCache::viewRelative(common::TimestampNs offset_ns) const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     if (count_ == 0) return {};
     if (offset_ns <= 0) return {at(count_ - 1)};
     const common::TimestampNs newest = at(count_ - 1).timestamp;
@@ -74,7 +73,7 @@ ReadingVector SensorCache::viewRelative(common::TimestampNs offset_ns) const {
 
 ReadingVector SensorCache::viewAbsolute(common::TimestampNs t0,
                                         common::TimestampNs t1) const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     if (count_ == 0 || t1 < t0) return {};
     const std::size_t first = lowerBoundLocked(t0);
     std::size_t last = lowerBoundLocked(t1 + 1);
@@ -90,12 +89,12 @@ std::optional<double> SensorCache::averageRelative(common::TimestampNs offset_ns
 }
 
 std::size_t SensorCache::size() const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     return count_;
 }
 
 common::TimestampNs SensorCache::estimatedIntervalNs() const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     return interval_estimate_ns_;
 }
 
@@ -148,11 +147,11 @@ ReadingVector SensorCache::copyRangeLocked(std::size_t first, std::size_t last) 
 
 SensorCache& CacheStore::getOrCreate(const SensorMetadata& metadata) {
     {
-        std::shared_lock lock(mutex_);
+        common::ReadLock lock(mutex_);
         auto it = entries_.find(metadata.topic);
         if (it != entries_.end()) return *it->second.cache;
     }
-    std::unique_lock lock(mutex_);
+    common::WriteLock lock(mutex_);
     auto it = entries_.find(metadata.topic);
     if (it == entries_.end()) {
         Entry entry;
@@ -170,32 +169,32 @@ SensorCache& CacheStore::getOrCreate(const std::string& topic) {
 }
 
 const SensorCache* CacheStore::find(const std::string& topic) const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     auto it = entries_.find(topic);
     return it == entries_.end() ? nullptr : it->second.cache.get();
 }
 
 SensorCache* CacheStore::find(const std::string& topic) {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     auto it = entries_.find(topic);
     return it == entries_.end() ? nullptr : it->second.cache.get();
 }
 
 SensorMetadata CacheStore::metadataFor(const std::string& topic) const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     auto it = entries_.find(topic);
     return it == entries_.end() ? SensorMetadata{} : it->second.metadata;
 }
 
 bool CacheStore::publishAllowed(const std::string& topic) const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     auto it = entries_.find(topic);
     return it == entries_.end() || it->second.metadata.topic.empty() ||
            it->second.metadata.publish;
 }
 
 std::vector<std::string> CacheStore::topics() const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto& [topic, entry] : entries_) out.push_back(topic);
@@ -204,7 +203,7 @@ std::vector<std::string> CacheStore::topics() const {
 }
 
 std::size_t CacheStore::sensorCount() const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     return entries_.size();
 }
 

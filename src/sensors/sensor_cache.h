@@ -15,11 +15,11 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/time_utils.h"
 #include "sensors/metadata.h"
 #include "sensors/reading.h"
@@ -61,24 +61,30 @@ class SensorCache {
     common::TimestampNs estimatedIntervalNs() const;
 
   private:
-    // Index helpers; callers hold the lock.
-    std::size_t physicalIndex(std::size_t logical) const {
+    // Index helpers; callers hold the lock (shared suffices for reads).
+    std::size_t physicalIndex(std::size_t logical) const WM_REQUIRES_SHARED(mutex_) {
         return (head_ + logical) % buffer_.size();
     }
-    const Reading& at(std::size_t logical) const { return buffer_[physicalIndex(logical)]; }
-    Reading& at(std::size_t logical) { return buffer_[physicalIndex(logical)]; }
-    void evictExpiredLocked();
-    void ensureCapacityLocked();
+    const Reading& at(std::size_t logical) const WM_REQUIRES_SHARED(mutex_) {
+        return buffer_[physicalIndex(logical)];
+    }
+    Reading& at(std::size_t logical) WM_REQUIRES(mutex_) {
+        return buffer_[physicalIndex(logical)];
+    }
+    void evictExpiredLocked() WM_REQUIRES(mutex_);
+    void ensureCapacityLocked() WM_REQUIRES(mutex_);
     /// First logical index with timestamp >= t (binary search), or count_.
-    std::size_t lowerBoundLocked(common::TimestampNs t) const;
-    ReadingVector copyRangeLocked(std::size_t first, std::size_t last) const;
+    std::size_t lowerBoundLocked(common::TimestampNs t) const WM_REQUIRES_SHARED(mutex_);
+    ReadingVector copyRangeLocked(std::size_t first, std::size_t last) const
+        WM_REQUIRES_SHARED(mutex_);
 
-    mutable std::shared_mutex mutex_;
-    std::vector<Reading> buffer_;  // ring: logical order = insertion/time order
-    std::size_t head_ = 0;         // physical index of the oldest element
-    std::size_t count_ = 0;
-    common::TimestampNs window_ns_;
-    common::TimestampNs interval_estimate_ns_;
+    mutable common::SharedMutex mutex_{"SensorCache", common::LockRank::kSensorCache};
+    // Ring buffer: logical order = insertion/time order.
+    std::vector<Reading> buffer_ WM_GUARDED_BY(mutex_);
+    std::size_t head_ WM_GUARDED_BY(mutex_) = 0;  // physical index of the oldest element
+    std::size_t count_ WM_GUARDED_BY(mutex_) = 0;
+    common::TimestampNs window_ns_;  // immutable after construction
+    common::TimestampNs interval_estimate_ns_ WM_GUARDED_BY(mutex_);
 };
 
 /// Registry mapping sensor topics to their caches; shared between the
@@ -113,9 +119,12 @@ class CacheStore {
         std::unique_ptr<SensorCache> cache;
     };
 
-    mutable std::shared_mutex mutex_;
-    std::unordered_map<std::string, Entry> entries_;
-    common::TimestampNs default_window_ns_;
+    mutable common::SharedMutex mutex_{"CacheStore", common::LockRank::kCacheStore};
+    // The SensorCache objects are heap-allocated and never destroyed while
+    // the store lives, so references returned by getOrCreate()/find() stay
+    // valid outside the store lock.
+    std::unordered_map<std::string, Entry> entries_ WM_GUARDED_BY(mutex_);
+    common::TimestampNs default_window_ns_;  // immutable after construction
 };
 
 }  // namespace wm::sensors

@@ -1,7 +1,6 @@
 #include "storage/storage_backend.h"
 
 #include <algorithm>
-#include <mutex>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -28,37 +27,37 @@ void insertSorted(sensors::ReadingVector& readings, const sensors::Reading& read
 }  // namespace
 
 void StorageBackend::simulateLatency() const {
-    if (simulated_latency_ns_ <= 0) return;
+    const common::TimestampNs latency = simulated_latency_ns_.load(std::memory_order_relaxed);
+    if (latency <= 0) return;
     // Busy-wait: sleep granularity on most kernels is far coarser than the
     // sub-millisecond latencies being modelled.
-    const auto until = std::chrono::steady_clock::now() +
-                       std::chrono::nanoseconds(simulated_latency_ns_);
+    const auto until = std::chrono::steady_clock::now() + std::chrono::nanoseconds(latency);
     while (std::chrono::steady_clock::now() < until) {
     }
 }
 
 void StorageBackend::insert(const std::string& topic, const sensors::Reading& reading) {
-    std::unique_lock lock(mutex_);
+    common::WriteLock lock(mutex_);
     insertSorted(series_[topic].readings, reading);
-    ++inserts_;
+    inserts_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void StorageBackend::insertBatch(const std::string& topic,
                                  const sensors::ReadingVector& readings) {
-    std::unique_lock lock(mutex_);
+    common::WriteLock lock(mutex_);
     auto& series = series_[topic];
     for (const auto& reading : readings) insertSorted(series.readings, reading);
-    inserts_ += readings.size();
+    inserts_.fetch_add(readings.size(), std::memory_order_relaxed);
 }
 
 void StorageBackend::publishMetadata(const sensors::SensorMetadata& metadata) {
-    std::unique_lock lock(mutex_);
+    common::WriteLock lock(mutex_);
     series_[metadata.topic].metadata = metadata;
 }
 
 std::optional<sensors::SensorMetadata> StorageBackend::metadataFor(
     const std::string& topic) const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     auto it = series_.find(topic);
     if (it == series_.end() || it->second.metadata.topic.empty()) return std::nullopt;
     return it->second.metadata;
@@ -68,8 +67,8 @@ sensors::ReadingVector StorageBackend::query(const std::string& topic,
                                              common::TimestampNs t0,
                                              common::TimestampNs t1) const {
     simulateLatency();
-    std::shared_lock lock(mutex_);
-    ++queries_;
+    common::ReadLock lock(mutex_);
+    queries_.fetch_add(1, std::memory_order_relaxed);
     auto it = series_.find(topic);
     if (it == series_.end() || t1 < t0) return {};
     const auto& readings = it->second.readings;
@@ -86,15 +85,15 @@ sensors::ReadingVector StorageBackend::query(const std::string& topic,
 
 std::optional<sensors::Reading> StorageBackend::latest(const std::string& topic) const {
     simulateLatency();
-    std::shared_lock lock(mutex_);
-    ++queries_;
+    common::ReadLock lock(mutex_);
+    queries_.fetch_add(1, std::memory_order_relaxed);
     auto it = series_.find(topic);
     if (it == series_.end() || it->second.readings.empty()) return std::nullopt;
     return it->second.readings.back();
 }
 
 std::vector<std::string> StorageBackend::topics() const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(series_.size());
     for (const auto& [topic, series] : series_) out.push_back(topic);
@@ -102,7 +101,7 @@ std::vector<std::string> StorageBackend::topics() const {
 }
 
 std::vector<std::string> StorageBackend::topicsMatching(const std::string& filter) const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     std::vector<std::string> out;
     for (const auto& [topic, series] : series_) {
         if (mqtt::topicMatches(filter, topic)) out.push_back(topic);
@@ -111,7 +110,7 @@ std::vector<std::string> StorageBackend::topicsMatching(const std::string& filte
 }
 
 std::size_t StorageBackend::pruneExpired() {
-    std::unique_lock lock(mutex_);
+    common::WriteLock lock(mutex_);
     std::size_t removed = 0;
     for (auto& [topic, series] : series_) {
         common::TimestampNs ttl = series.metadata.ttl_ns;
@@ -128,22 +127,22 @@ std::size_t StorageBackend::pruneExpired() {
 }
 
 bool StorageBackend::dropSensor(const std::string& topic) {
-    std::unique_lock lock(mutex_);
+    common::WriteLock lock(mutex_);
     return series_.erase(topic) > 0;
 }
 
 StorageStats StorageBackend::stats() const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     StorageStats stats;
     stats.sensor_count = series_.size();
     for (const auto& [topic, series] : series_) stats.reading_count += series.readings.size();
-    stats.inserts = inserts_;
-    stats.queries = queries_;
+    stats.inserts = inserts_.load(std::memory_order_relaxed);
+    stats.queries = queries_.load(std::memory_order_relaxed);
     return stats;
 }
 
 bool StorageBackend::dumpCsv(const std::string& path) const {
-    std::shared_lock lock(mutex_);
+    common::ReadLock lock(mutex_);
     std::ofstream out(path);
     if (!out.is_open()) return false;
     out << "topic,timestamp,value\n";

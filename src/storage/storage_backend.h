@@ -8,13 +8,14 @@
 // persistence so long experiments (e.g. the 2-week clustering windows of
 // Case Study 3) can be checkpointed.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/time_utils.h"
 #include "sensors/metadata.h"
 #include "sensors/reading.h"
@@ -39,7 +40,7 @@ class StorageBackend {
     /// (the production deployment queries Cassandra over the network);
     /// applied to query()/latest(). 0 disables. For experiments only.
     void setSimulatedQueryLatency(common::TimestampNs latency_ns) {
-        simulated_latency_ns_ = latency_ns;
+        simulated_latency_ns_.store(latency_ns, std::memory_order_relaxed);
     }
 
     /// Inserts one reading for `topic`. Out-of-order inserts are supported.
@@ -85,12 +86,14 @@ class StorageBackend {
 
     void simulateLatency() const;
 
-    mutable std::shared_mutex mutex_;
-    std::map<std::string, Series> series_;
-    common::TimestampNs default_ttl_ns_;
-    common::TimestampNs simulated_latency_ns_ = 0;
-    mutable std::uint64_t inserts_ = 0;
-    mutable std::uint64_t queries_ = 0;
+    mutable common::SharedMutex mutex_{"StorageBackend", common::LockRank::kStorage};
+    std::map<std::string, Series> series_ WM_GUARDED_BY(mutex_);
+    common::TimestampNs default_ttl_ns_;  // immutable after construction
+    std::atomic<common::TimestampNs> simulated_latency_ns_{0};
+    // Atomics, not guarded: query()/latest() bump them under a *shared* lock,
+    // so plain integers would race between concurrent readers.
+    mutable std::atomic<std::uint64_t> inserts_{0};
+    mutable std::atomic<std::uint64_t> queries_{0};
 };
 
 }  // namespace wm::storage

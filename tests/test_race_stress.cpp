@@ -1,0 +1,166 @@
+// Concurrency stress regressions. These tests exist to give the sanitizer
+// builds (asan-ubsan / tsan presets) real interleavings to chew on: each one
+// hammers a hot shared structure from multiple threads and then checks a
+// conservative invariant. Run counts are sized for CI boxes with few cores.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/time_utils.h"
+#include "mqtt/broker.h"
+#include "sensors/sensor_cache.h"
+
+namespace wm {
+namespace {
+
+TEST(RaceStress, BrokerSubscribeUnsubscribeVsPublish) {
+    mqtt::Broker broker;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> delivered{0};
+
+    // A stable subscriber that must see every publish.
+    broker.subscribe("/stress/#", [&](const mqtt::Message&) {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    std::thread churn([&] {
+        // Subscription churn concurrent with delivery: exercises the
+        // snapshot-then-release discipline in Broker::deliver.
+        while (!stop.load(std::memory_order_relaxed)) {
+            const auto id = broker.subscribe("/stress/a", [](const mqtt::Message&) {});
+            ASSERT_NE(id, 0u);
+            broker.unsubscribe(id);
+        }
+    });
+
+    constexpr int kMessages = 2000;
+    for (int i = 0; i < kMessages; ++i) {
+        const int reached = broker.publish({"/stress/a", {{i, 1.0}}});
+        EXPECT_GE(reached, 1);  // the stable subscriber always matches
+    }
+    stop.store(true);
+    churn.join();
+
+    EXPECT_EQ(delivered.load(), static_cast<std::uint64_t>(kMessages));
+    EXPECT_EQ(broker.subscriptionCount(), 1u);
+}
+
+TEST(RaceStress, SensorCacheConcurrentReadInsertEvict) {
+    // A short retention window forces eviction on nearly every insert while
+    // readers traverse the ring buffer.
+    constexpr common::TimestampNs kWindow = 50 * common::kNsPerMs;
+    constexpr common::TimestampNs kInterval = common::kNsPerMs;
+    sensors::SensorCache cache(kWindow, kInterval);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto latest = cache.latest();
+                auto view = cache.viewRelative(kWindow / 2);
+                for (std::size_t i = 1; i < view.size(); ++i) {
+                    // Views must always come out time-ordered, mid-eviction
+                    // or not.
+                    ASSERT_LE(view[i - 1].timestamp, view[i].timestamp);
+                }
+                if (latest) {
+                    auto range = cache.viewAbsolute(latest->timestamp - kWindow,
+                                                    latest->timestamp);
+                    ASSERT_LE(range.size(), cache.size() + 1);
+                }
+                (void)cache.averageRelative(kWindow);
+            }
+        });
+    }
+
+    constexpr int kInserts = 5000;
+    for (int i = 0; i < kInserts; ++i) {
+        ASSERT_TRUE(cache.store({i * kInterval, static_cast<double>(i)}));
+    }
+    stop.store(true);
+    for (auto& reader : readers) reader.join();
+
+    const auto newest = cache.latest();
+    ASSERT_TRUE(newest.has_value());
+    EXPECT_EQ(newest->timestamp, (kInserts - 1) * kInterval);
+    // Retention: everything still cached is inside the window.
+    const auto all = cache.viewRelative(kWindow);
+    ASSERT_FALSE(all.empty());
+    EXPECT_GE(all.front().timestamp, newest->timestamp - kWindow);
+}
+
+TEST(RaceStress, ThreadPoolWaitIdleVsConcurrentSubmitters) {
+    common::ThreadPool pool(2);
+    std::atomic<int> executed{0};
+
+    constexpr int kSubmitters = 3;
+    constexpr int kTasksEach = 200;
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSubmitters; ++s) {
+        submitters.emplace_back([&] {
+            for (int i = 0; i < kTasksEach; ++i) {
+                pool.post([&] { executed.fetch_add(1, std::memory_order_relaxed); });
+                if (i % 32 == 0) {
+                    // waitIdle racing with other submitters: must return once
+                    // the queue it observed drains, and must not deadlock.
+                    pool.waitIdle();
+                }
+            }
+        });
+    }
+    for (auto& submitter : submitters) submitter.join();
+    pool.waitIdle();
+
+    EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(RaceStress, ThreadPoolWaitIdleSeesFuturesComplete) {
+    common::ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    futures.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([i] { return i * 2; }));
+    }
+    pool.waitIdle();
+    // After waitIdle every accepted task has fully run, so every future is
+    // ready without blocking.
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_EQ(futures[i].get(), i * 2);
+    }
+}
+
+TEST(RaceStress, AsyncBrokerBackPressureUnderChurn) {
+    // Tiny queue bound so publishers regularly block on back-pressure while
+    // the dispatcher drains; flush() must still terminate.
+    mqtt::AsyncBroker broker(4);
+    std::atomic<std::uint64_t> delivered{0};
+    broker.subscribe("#", [&](const mqtt::Message&) {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    constexpr int kPublishers = 2;
+    constexpr int kEach = 500;
+    std::vector<std::thread> publishers;
+    for (int p = 0; p < kPublishers; ++p) {
+        publishers.emplace_back([&] {
+            for (int i = 0; i < kEach; ++i) {
+                ASSERT_GE(broker.publish({"/async/stress", {{i, 0.0}}}), 0);
+            }
+        });
+    }
+    for (auto& publisher : publishers) publisher.join();
+    broker.flush();
+    EXPECT_EQ(delivered.load(), static_cast<std::uint64_t>(kPublishers * kEach));
+    EXPECT_EQ(broker.queueDepth(), 0u);
+}
+
+}  // namespace
+}  // namespace wm

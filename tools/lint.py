@@ -1,0 +1,278 @@
+#!/usr/bin/env python3
+"""Repository lint gate (stdlib only; wired into CTest and CI).
+
+Rules:
+  raw-lock        -- no raw std::mutex / std::lock_guard / std::unique_lock /
+                     std::shared_lock / std::shared_mutex /
+                     std::condition_variable outside src/common/. Everything
+                     else must use the capability-annotated wrappers in
+                     src/common/mutex.h so lock-order checking and clang
+                     thread-safety analysis see every acquisition.
+  include-cpp     -- no #include of a .cpp file.
+  pragma-once     -- every header starts its preprocessor life with
+                     #pragma once.
+  using-namespace -- no using-namespace directives at namespace scope in
+                     headers.
+  todo-tag        -- TODO/FIXME comments must carry an issue tag:
+                     TODO(#123) or TODO(issue-...).
+
+Usage:
+  tools/lint.py [--root DIR]     lint the repository (exit 1 on findings)
+  tools/lint.py --self-test      run the built-in rule tests
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+SOURCE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+SKIP_DIR_PARTS = {"CMakeFiles"}
+
+RAW_LOCK_RE = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable(_any)?)\b"
+)
+INCLUDE_CPP_RE = re.compile(r'^\s*#\s*include\s+["<][^">]+\.(cpp|cc)[">]')
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+PREPROC_RE = re.compile(r"^\s*#")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+TODO_RE = re.compile(r"\b(TODO|FIXME)\b")
+TODO_TAGGED_RE = re.compile(r"\b(?:TODO|FIXME)\s*\(\s*(?:#\d+|issue-[\w-]+)\s*\)")
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Removes string literals, // comments and /* */ comments from one line.
+
+    Returns the stripped code and whether a block comment continues past the
+    end of the line. Good enough for the regex rules here; not a C++ lexer.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            break
+        if ch == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch == '"':
+            match = STRING_RE.match(line, i)
+            if match:
+                out.append('""')
+                i = match.end()
+                continue
+        if ch == "'":
+            # Char literal; skip a possible escape.
+            j = i + 1
+            if j < n and line[j] == "\\":
+                j += 1
+            j += 1
+            if j < n and line[j] == "'":
+                i = j + 1
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def lint_file(rel_path: str, text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    posix_path = rel_path.replace("\\", "/")
+    suffix = "." + posix_path.rsplit(".", 1)[-1] if "." in posix_path else ""
+    is_header = suffix in HEADER_SUFFIXES
+    in_src = posix_path.startswith("src/")
+    in_common = posix_path.startswith("src/common/")
+
+    lines = text.splitlines()
+
+    # pragma-once: the first preprocessor directive of a header must be
+    # #pragma once (include guards and late pragmas both fail).
+    if is_header:
+        ok = False
+        for line in lines:
+            if PREPROC_RE.match(line):
+                ok = bool(PRAGMA_ONCE_RE.match(line))
+                break
+        if not ok:
+            findings.append(Finding(rel_path, 1, "pragma-once",
+                                    "header must start with '#pragma once'"))
+
+    in_block = False
+    for lineno, line in enumerate(lines, start=1):
+        # TODO tagging is checked on the raw line: TODOs live in comments.
+        todo = TODO_RE.search(line)
+        if todo and not TODO_TAGGED_RE.search(line):
+            findings.append(Finding(
+                rel_path, lineno, "todo-tag",
+                f"{todo.group(1)} must reference an issue, e.g. TODO(#42)"))
+
+        code, in_block = strip_comments_and_strings(line, in_block)
+        if not code.strip():
+            continue
+
+        # The include path is a string literal, so match the raw line — the
+        # stripped code gates on the directive being real (not commented out).
+        if code.lstrip().startswith("#") and INCLUDE_CPP_RE.match(line):
+            findings.append(Finding(rel_path, lineno, "include-cpp",
+                                    "do not #include implementation files"))
+
+        if is_header and USING_NAMESPACE_RE.match(code):
+            findings.append(Finding(
+                rel_path, lineno, "using-namespace",
+                "no 'using namespace' in headers; qualify or alias instead"))
+
+        if in_src and not in_common:
+            match = RAW_LOCK_RE.search(code)
+            if match:
+                findings.append(Finding(
+                    rel_path, lineno, "raw-lock",
+                    f"raw {match.group(0)} outside src/common/; use "
+                    "wm::common::Mutex/MutexLock (common/mutex.h)"))
+
+    return findings
+
+
+def iter_files(root: Path):
+    for top in SCAN_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if not path.is_file() or path.suffix not in SOURCE_SUFFIXES:
+                continue
+            parts = set(path.parts)
+            if parts & SKIP_DIR_PARTS:
+                continue
+            if any(part.startswith("build") for part in path.parts):
+                continue
+            yield path
+
+
+def lint_tree(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in iter_files(root):
+        rel = path.relative_to(root).as_posix()
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            findings.append(Finding(rel, 0, "io", f"unreadable: {err}"))
+            continue
+        findings.extend(lint_file(rel, text))
+    return findings
+
+
+def self_test() -> int:
+    def rules_of(rel_path, text):
+        return sorted({f.rule for f in lint_file(rel_path, text)})
+
+    cases = [
+        # (name, path, content, expected rules)
+        ("raw mutex in src", "src/core/x.cpp",
+         "#include <mutex>\nstd::mutex m;\n", ["raw-lock"]),
+        ("raw lock_guard in src", "src/core/x.cpp",
+         "void f() { std::lock_guard lock(m); }\n", ["raw-lock"]),
+        ("raw mutex allowed in common", "src/common/mutex.h",
+         "#pragma once\nstd::mutex m;\n", []),
+        ("raw mutex allowed in tests", "tests/t.cpp",
+         "std::mutex m;\n", []),
+        ("raw mutex in comment ignored", "src/core/x.cpp",
+         "// std::mutex is banned here\nint x;\n", []),
+        ("raw mutex in string ignored", "src/core/x.cpp",
+         'const char* s = "std::mutex";\n', []),
+        ("include cpp", "src/core/x.cpp",
+         '#include "other.cpp"\n', ["include-cpp"]),
+        ("include cpp angle", "tests/t.cpp",
+         "#include <impl.cc>\n", ["include-cpp"]),
+        ("header missing pragma once", "src/core/x.h",
+         "#ifndef X_H\n#define X_H\n#endif\n", ["pragma-once"]),
+        ("header with pragma once", "src/core/x.h",
+         "// comment first is fine\n#pragma once\nint x;\n", []),
+        ("cpp needs no pragma once", "src/core/x.cpp",
+         "int x;\n", []),
+        ("using namespace in header", "src/core/x.h",
+         "#pragma once\nusing namespace std;\n", ["using-namespace"]),
+        ("using namespace ok in cpp", "src/core/x.cpp",
+         "using namespace std::chrono_literals;\n", []),
+        ("using declaration ok in header", "src/core/x.h",
+         "#pragma once\nusing wm::common::Mutex;\n", []),
+        ("untagged TODO", "src/core/x.cpp",
+         "// TODO: fix this\n", ["todo-tag"]),
+        ("untagged FIXME in header", "src/core/x.h",
+         "#pragma once\n/* FIXME later */\n", ["todo-tag"]),
+        ("tagged TODO ok", "src/core/x.cpp",
+         "// TODO(#42): fix this\n", []),
+        ("tagged issue TODO ok", "src/core/x.cpp",
+         "// TODO(issue-lock-order): revisit\n", []),
+        ("block comment spans lines", "src/core/x.cpp",
+         "/*\nstd::mutex m;\n*/\nint x;\n", []),
+    ]
+
+    failures = 0
+    for name, path, text, expected in cases:
+        got = rules_of(path, text)
+        if got != sorted(expected):
+            print(f"SELF-TEST FAIL: {name}: expected {expected}, got {got}")
+            failures += 1
+    if failures:
+        print(f"self-test: {failures}/{len(cases)} cases failed")
+        return 1
+    print(f"self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in rule tests and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"lint: error: root is not a directory: {root}", file=sys.stderr)
+        return 2
+    findings = lint_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)")
+        return 1
+    print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
