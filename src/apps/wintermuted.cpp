@@ -23,7 +23,9 @@
 
 #include "collectagent/collect_agent.h"
 #include "common/config.h"
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "core/hosting.h"
 #include "core/operator_manager.h"
 #include "plugins/registry.h"
@@ -61,7 +63,58 @@ struct Daemon {
     std::unique_ptr<core::OperatorManager> agent_manager;
     rest::Router router;
     std::unique_ptr<rest::HttpServer> server;
+    std::unique_ptr<common::fault::FaultInjector> fault_injector;
 };
+
+/// Reads the `resilience` block into per-entity knobs (docs/RESILIENCE.md).
+struct ResilienceKnobs {
+    std::size_t publish_buffer_max = 4096;
+    common::RetryPolicy publish_retry{};
+    std::size_t subscriber_failure_budget = 0;
+    std::size_t quarantine_max = 4096;
+};
+
+ResilienceKnobs readResilience(const common::ConfigNode& root) {
+    ResilienceKnobs knobs;
+    const common::ConfigNode* block = root.child("resilience");
+    if (block == nullptr) return knobs;
+    knobs.publish_buffer_max =
+        static_cast<std::size_t>(block->getInt("publishBufferMax", 4096));
+    knobs.publish_retry.initial_backoff_ns =
+        block->getDurationNs("retryInitialBackoff", 100 * common::kNsPerMs);
+    knobs.publish_retry.max_backoff_ns =
+        block->getDurationNs("retryMaxBackoff", 5 * kNsPerSec);
+    knobs.publish_retry.multiplier = block->getDouble("retryMultiplier", 2.0);
+    knobs.publish_retry.jitter = block->getDouble("retryJitter", 0.1);
+    knobs.subscriber_failure_budget =
+        static_cast<std::size_t>(block->getInt("subscriberFailureBudget", 0));
+    knobs.quarantine_max = static_cast<std::size_t>(block->getInt("quarantineMax", 4096));
+    return knobs;
+}
+
+/// Arms the global fault injector from the `faults` block:
+///   faults {
+///       seed 1234
+///       point "broker.deliver" { spec "drop prob=0.01" }
+///   }
+bool installFaults(Daemon& daemon, const common::ConfigNode& root) {
+    const common::ConfigNode* block = root.child("faults");
+    if (block == nullptr) return true;
+    const auto seed = static_cast<std::uint64_t>(block->getInt("seed", 0xFA171EC7LL));
+    daemon.fault_injector = std::make_unique<common::fault::FaultInjector>(seed);
+    for (const auto* point : block->childrenOf("point")) {
+        const std::string spec_text = point->getString("spec");
+        if (!daemon.fault_injector->armFromText(point->value(), spec_text)) {
+            WM_LOG(kError, "wintermuted")
+                << "bad fault spec for point '" << point->value() << "': " << spec_text;
+            return false;
+        }
+        WM_LOG(kInfo, "wintermuted")
+            << "fault point armed: " << point->value() << " (" << spec_text << ")";
+    }
+    common::fault::FaultInjector::installGlobal(daemon.fault_injector.get());
+    return true;
+}
 
 /// Builds the cluster from the `cluster` and `pusher` config blocks.
 void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
@@ -88,8 +141,12 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
         window = pusher_cfg->getDurationNs("cacheWindow", 180 * kNsPerSec);
     }
 
+    const ResilienceKnobs knobs = readResilience(root);
+    daemon.broker.setSubscriberFailureBudget(knobs.subscriber_failure_budget);
+
     daemon.agent = std::make_unique<collectagent::CollectAgent>(
-        collectagent::CollectAgentConfig{"collectagent", "#", window, true},
+        collectagent::CollectAgentConfig{"collectagent", "#", window, true,
+                                         knobs.quarantine_max},
         daemon.broker, daemon.storage);
     daemon.agent->start();
 
@@ -99,8 +156,11 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
             std::make_shared<pusher::SimulatedNode>(topology.cpus_per_node, 1000 + n);
         node->startApp(app);
         daemon.nodes.push_back(node);
-        auto p = std::make_unique<pusher::Pusher>(
-            pusher::PusherConfig{node_path, window, 2}, &daemon.broker);
+        pusher::PusherConfig pusher_config{node_path, window, 2};
+        pusher_config.publish_buffer_max = knobs.publish_buffer_max;
+        pusher_config.publish_retry = knobs.publish_retry;
+        auto p = std::make_unique<pusher::Pusher>(std::move(pusher_config),
+                                                  &daemon.broker);
         pusher::PerfsimGroupConfig perf;
         perf.node_path = node_path;
         perf.interval_ns = sampling;
@@ -134,8 +194,11 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
                 }
                 return total;
             });
+        pusher::PusherConfig facility_config{"/facility", window, 2};
+        facility_config.publish_buffer_max = knobs.publish_buffer_max;
+        facility_config.publish_retry = knobs.publish_retry;
         auto facility_pusher = std::make_unique<pusher::Pusher>(
-            pusher::PusherConfig{"/facility", window, 2}, &daemon.broker);
+            std::move(facility_config), &daemon.broker);
         pusher::FacilitysimGroupConfig facility_group;
         facility_group.interval_ns = sampling;
         facility_pusher->addGroup(std::make_unique<pusher::FacilitysimGroup>(
@@ -264,14 +327,28 @@ void bindDataRest(Daemon& daemon) {
     });
     daemon.router.route("GET", "/status", [&daemon](const rest::Request&) {
         std::uint64_t sampled = 0;
-        for (const auto& p : daemon.pushers) sampled += p->readingsSampled();
+        std::uint64_t buffered = 0;
+        std::uint64_t pusher_dropped = 0;
+        for (const auto& p : daemon.pushers) {
+            sampled += p->readingsSampled();
+            buffered += p->bufferedReadings();
+            pusher_dropped += p->readingsDropped();
+        }
         const auto stats = daemon.storage.stats();
         std::ostringstream body;
         body << "{\"nodes\":" << daemon.nodes.size()
              << ",\"readingsSampled\":" << sampled
              << ",\"messagesReceived\":" << daemon.agent->messagesReceived()
              << ",\"storedReadings\":" << stats.reading_count
-             << ",\"sensors\":" << daemon.agent->cacheStore().sensorCount() << "}";
+             << ",\"sensors\":" << daemon.agent->cacheStore().sensorCount()
+             << ",\"resilience\":{"
+             << "\"pusherBuffered\":" << buffered
+             << ",\"pusherDropped\":" << pusher_dropped
+             << ",\"brokerDropped\":" << daemon.broker.droppedCount()
+             << ",\"evictedSubscribers\":" << daemon.broker.evictedSubscribers()
+             << ",\"quarantined\":" << daemon.agent->quarantinedReadings()
+             << ",\"storageErrors\":" << daemon.agent->storageErrorsTotal()
+             << ",\"rejectedInserts\":" << stats.rejected_inserts << "}}";
         return rest::Response::ok(body.str());
     });
 }
@@ -305,6 +382,7 @@ int main(int argc, char** argv) {
     }
 
     Daemon daemon;
+    if (!installFaults(daemon, config.root)) return 1;
     buildCluster(daemon, config.root);
     if (!loadWintermute(daemon, config.root)) return 1;
     bindDataRest(daemon);
@@ -327,6 +405,9 @@ int main(int argc, char** argv) {
     const auto started = std::chrono::steady_clock::now();
     while (g_stop == 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        // Drain readings parked by storage outages once the backend accepts
+        // inserts again (graceful-degradation loop, docs/RESILIENCE.md).
+        daemon.agent->retryQuarantined();
         if (duration_sec > 0 &&
             std::chrono::steady_clock::now() - started >=
                 std::chrono::seconds(duration_sec)) {

@@ -1,5 +1,6 @@
 #include "collectagent/collect_agent.h"
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace wm::collectagent {
@@ -36,13 +37,83 @@ void CollectAgent::stop() {
 }
 
 void CollectAgent::onMessage(const mqtt::Message& message) {
+    if (const auto fault = common::fault::check("collectagent.ingest")) {
+        if (fault.action == common::fault::Action::kDelay) {
+            common::fault::applyDelay(fault.delay_ns);
+        } else {  // a crashed/overloaded agent loses the message entirely
+            messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
     messages_received_.fetch_add(1, std::memory_order_relaxed);
     sensors::SensorCache& cache = cache_store_.getOrCreate(message.topic);
     for (const auto& reading : message.readings) cache.store(reading);
-    if (config_.forward_to_storage) {
-        storage_.insertBatch(message.topic, message.readings);
+    if (!config_.forward_to_storage) {
+        readings_stored_.fetch_add(message.readings.size(), std::memory_order_relaxed);
+        return;
     }
-    readings_stored_.fetch_add(message.readings.size(), std::memory_order_relaxed);
+    sensors::ReadingVector rejected;
+    const std::size_t inserted =
+        storage_.insertBatch(message.topic, message.readings, &rejected);
+    readings_stored_.fetch_add(inserted, std::memory_order_relaxed);
+    if (!rejected.empty()) quarantine(message.topic, rejected);
+}
+
+void CollectAgent::quarantine(const std::string& topic,
+                              const sensors::ReadingVector& readings) {
+    storage_errors_total_.fetch_add(readings.size(), std::memory_order_relaxed);
+    common::MutexLock lock(quarantine_mutex_);
+    storage_errors_[topic] += readings.size();
+    if (config_.quarantine_max == 0) {
+        quarantine_overflow_.fetch_add(readings.size(), std::memory_order_relaxed);
+        return;
+    }
+    for (const auto& reading : readings) {
+        while (quarantine_.size() >= config_.quarantine_max) {
+            quarantine_.pop_front();  // oldest-first drop
+            quarantine_overflow_.fetch_add(1, std::memory_order_relaxed);
+        }
+        quarantine_.push_back({topic, reading});
+    }
+    WM_LOG(kWarning, "collectagent")
+        << config_.name << ": storage refused " << readings.size()
+        << " reading(s) for " << topic << "; quarantined (" << quarantine_.size()
+        << " pending)";
+}
+
+std::size_t CollectAgent::retryQuarantined() {
+    common::MutexLock lock(quarantine_mutex_);
+    std::size_t drained = 0;
+    std::size_t remaining = quarantine_.size();
+    // One pass over the current contents: re-refused readings go back to
+    // the tail, preserving oldest-first order among survivors.
+    while (remaining-- > 0) {
+        QuarantinedReading entry = std::move(quarantine_.front());
+        quarantine_.pop_front();
+        if (storage_.insert(entry.topic, entry.reading)) {
+            readings_stored_.fetch_add(1, std::memory_order_relaxed);
+            ++drained;
+        } else {
+            quarantine_.push_back(std::move(entry));
+        }
+    }
+    if (drained > 0) {
+        WM_LOG(kInfo, "collectagent")
+            << config_.name << ": storage recovered, drained " << drained
+            << " quarantined reading(s), " << quarantine_.size() << " left";
+    }
+    return drained;
+}
+
+std::size_t CollectAgent::quarantinedReadings() const {
+    common::MutexLock lock(quarantine_mutex_);
+    return quarantine_.size();
+}
+
+std::uint64_t CollectAgent::storageErrors(const std::string& topic) const {
+    common::MutexLock lock(quarantine_mutex_);
+    auto it = storage_errors_.find(topic);
+    return it == storage_errors_.end() ? 0 : it->second;
 }
 
 }  // namespace wm::collectagent

@@ -7,6 +7,9 @@
 // cache-first/storage-fallback reads through the Query Engine.
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
 #include <string>
 
 #include "common/mutex.h"
@@ -23,6 +26,10 @@ struct CollectAgentConfig {
     common::TimestampNs cache_window_ns = 180 * common::kNsPerSec;
     /// Forward received readings to the storage backend.
     bool forward_to_storage = true;
+    /// Readings held in quarantine after storage refuses them, awaiting
+    /// retryQuarantined(); beyond this the oldest quarantined reading is
+    /// dropped (and counted). 0 disables quarantine entirely.
+    std::size_t quarantine_max = 4096;
 };
 
 class CollectAgent {
@@ -49,8 +56,28 @@ class CollectAgent {
     std::uint64_t messagesReceived() const { return messages_received_.load(); }
     std::uint64_t readingsStored() const { return readings_stored_.load(); }
 
+    // Graceful degradation (docs/RESILIENCE.md): a storage failure
+    // quarantines the refused readings and bumps a per-sensor error stat
+    // instead of losing the whole batch. Caches are always updated, so the
+    // Query Engine keeps serving recent data during a storage outage.
+
+    /// Re-attempts storage insertion of quarantined readings (oldest
+    /// first); returns how many drained. Call periodically, or after the
+    /// storage backend recovers.
+    std::size_t retryQuarantined();
+
+    std::size_t quarantinedReadings() const;
+    /// Storage insert failures recorded against one sensor topic.
+    std::uint64_t storageErrors(const std::string& topic) const;
+    std::uint64_t storageErrorsTotal() const { return storage_errors_total_.load(); }
+    /// Messages lost to the injected "collectagent.ingest" fault point.
+    std::uint64_t messagesDropped() const { return messages_dropped_.load(); }
+    /// Quarantined readings evicted because the quarantine overflowed.
+    std::uint64_t quarantineOverflow() const { return quarantine_overflow_.load(); }
+
   private:
     void onMessage(const mqtt::Message& message);
+    void quarantine(const std::string& topic, const sensors::ReadingVector& readings);
 
     CollectAgentConfig config_;
     mqtt::Broker& broker_;
@@ -64,6 +91,18 @@ class CollectAgent {
     std::atomic<mqtt::SubscriptionId> subscription_{0};
     std::atomic<std::uint64_t> messages_received_{0};
     std::atomic<std::uint64_t> readings_stored_{0};
+
+    struct QuarantinedReading {
+        std::string topic;
+        sensors::Reading reading;
+    };
+    mutable common::Mutex quarantine_mutex_{
+        "CollectAgent.quarantine", common::LockRank::kCollectAgentQuarantine};
+    std::deque<QuarantinedReading> quarantine_ WM_GUARDED_BY(quarantine_mutex_);
+    std::map<std::string, std::uint64_t> storage_errors_ WM_GUARDED_BY(quarantine_mutex_);
+    std::atomic<std::uint64_t> storage_errors_total_{0};
+    std::atomic<std::uint64_t> messages_dropped_{0};
+    std::atomic<std::uint64_t> quarantine_overflow_{0};
 };
 
 }  // namespace wm::collectagent

@@ -1,0 +1,181 @@
+#include "common/fault.h"
+
+#include <chrono>
+
+#include "common/string_utils.h"
+
+namespace wm::common::fault {
+
+std::atomic<FaultInjector*> FaultInjector::global_{nullptr};
+
+namespace {
+
+/// Parses "<dur>..<dur>" into a window; returns false on malformed input.
+bool parseWindow(const std::string& text, TimestampNs& start, TimestampNs& end) {
+    const std::size_t sep = text.find("..");
+    if (sep == std::string::npos) return false;
+    const auto lo = parseDuration(text.substr(0, sep));
+    const auto hi = parseDuration(text.substr(sep + 2));
+    if (!lo || !hi || *hi < *lo) return false;
+    start = *lo;
+    end = *hi;
+    return true;
+}
+
+}  // namespace
+
+std::optional<FaultSpec> parseFaultSpec(const std::string& text) {
+    const std::vector<std::string> tokens = split(trim(text), ' ');
+    if (tokens.empty() || tokens[0].empty()) return std::nullopt;
+
+    FaultSpec spec;
+    if (tokens[0] == "fail") {
+        spec.action = Action::kFail;
+    } else if (tokens[0] == "delay") {
+        spec.action = Action::kDelay;
+    } else if (tokens[0] == "drop") {
+        spec.action = Action::kDrop;
+    } else {
+        return std::nullopt;
+    }
+
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& token = tokens[i];
+        if (token.empty()) continue;
+        if (token == "once") {
+            spec.trigger = Trigger::kOnce;
+            continue;
+        }
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) return std::nullopt;
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (value.empty()) return std::nullopt;
+        try {
+            if (key == "prob") {
+                spec.trigger = Trigger::kProbability;
+                spec.probability = std::stod(value);
+                if (spec.probability < 0.0 || spec.probability > 1.0) return std::nullopt;
+            } else if (key == "every") {
+                spec.trigger = Trigger::kEveryN;
+                spec.every_n = std::stoull(value);
+                if (spec.every_n == 0) return std::nullopt;
+            } else if (key == "window") {
+                spec.trigger = Trigger::kWindow;
+                if (!parseWindow(value, spec.window_start_ns, spec.window_end_ns)) {
+                    return std::nullopt;
+                }
+            } else if (key == "delay") {
+                const auto parsed = parseDuration(value);
+                if (!parsed) return std::nullopt;
+                spec.delay_ns = *parsed;
+            } else if (key == "limit") {
+                spec.max_fires = std::stoull(value);
+                if (spec.max_fires == 0) return std::nullopt;
+            } else {
+                return std::nullopt;
+            }
+        } catch (...) {
+            return std::nullopt;
+        }
+    }
+    return spec;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, const ClockSource* clock)
+    : rng_(seed), clock_(clock) {}
+
+FaultInjector::~FaultInjector() {
+    // Never leave a dangling global pointer behind.
+    FaultInjector* self = this;
+    global_.compare_exchange_strong(self, nullptr);
+}
+
+void FaultInjector::arm(const std::string& point, FaultSpec spec) {
+    MutexLock lock(mutex_);
+    Point& entry = points_[point];
+    entry.spec = spec;
+    entry.armed = true;
+    entry.evaluations = 0;
+    entry.fires = 0;
+}
+
+bool FaultInjector::armFromText(const std::string& point, const std::string& spec_text) {
+    const auto spec = parseFaultSpec(spec_text);
+    if (!spec) return false;
+    arm(point, *spec);
+    return true;
+}
+
+void FaultInjector::disarm(const std::string& point) {
+    MutexLock lock(mutex_);
+    auto it = points_.find(point);
+    if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultInjector::reset() {
+    MutexLock lock(mutex_);
+    points_.clear();
+}
+
+Decision FaultInjector::evaluate(const std::string& point) {
+    MutexLock lock(mutex_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) return {};
+    Point& entry = it->second;
+    ++entry.evaluations;
+
+    const FaultSpec& spec = entry.spec;
+    if (spec.max_fires != 0 && entry.fires >= spec.max_fires) return {};
+
+    bool fire = false;
+    switch (spec.trigger) {
+        case Trigger::kAlways:
+            fire = true;
+            break;
+        case Trigger::kProbability:
+            fire = rng_.bernoulli(spec.probability);
+            break;
+        case Trigger::kOnce:
+            fire = entry.fires == 0;
+            break;
+        case Trigger::kEveryN:
+            fire = entry.evaluations % spec.every_n == 0;
+            break;
+        case Trigger::kWindow: {
+            const TimestampNs now =
+                clock_ != nullptr ? clock_->now() : globalClock().now();
+            fire = now >= spec.window_start_ns && now < spec.window_end_ns;
+            break;
+        }
+    }
+    if (!fire) return {};
+    ++entry.fires;
+    return {true, spec.action, spec.delay_ns};
+}
+
+PointStats FaultInjector::stats(const std::string& point) const {
+    MutexLock lock(mutex_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return {};
+    return {it->second.evaluations, it->second.fires};
+}
+
+std::size_t FaultInjector::armedCount() const {
+    MutexLock lock(mutex_);
+    std::size_t count = 0;
+    for (const auto& [name, entry] : points_) {
+        if (entry.armed) ++count;
+    }
+    return count;
+}
+
+void applyDelay(TimestampNs delay_ns) {
+    if (delay_ns <= 0) return;
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay_ns);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+}
+
+}  // namespace wm::common::fault

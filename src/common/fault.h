@@ -1,0 +1,181 @@
+#pragma once
+
+// Deterministic fault injection for the monitoring data path.
+//
+// Production ODA systems live or die by how they behave when components
+// fail: dropped MQTT connections, slow or refusing storage, crashing
+// subscribers (see docs/RESILIENCE.md). This header provides the harness
+// that lets tests *express* such failures reproducibly:
+//
+//  * a FaultInjector holds named fault points ("broker.deliver",
+//    "storage.insert", ...) armed with a FaultSpec: an action (fail /
+//    delay / drop) plus a trigger (always, probability, once, every-N,
+//    time-window);
+//  * all randomness comes from a seeded common::Rng and all time from an
+//    injectable ClockSource, so two runs with the same seed and virtual
+//    clock produce byte-identical fault schedules;
+//  * instrumented code calls fault::check("point.name") — a single relaxed
+//    atomic load when no injector is installed, so production builds pay
+//    nothing, and an unarmed point costs one map lookup.
+//
+// Fault points follow the `component.operation` naming convention; the
+// full registry and the trigger grammar are documented in
+// docs/RESILIENCE.md.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/time_utils.h"
+
+namespace wm::common::fault {
+
+/// What the instrumented call site should do when the point fires.
+/// The site gives each action its natural meaning: kFail surfaces an error
+/// to the caller (connection refused, insert rejected), kDrop silently
+/// loses the datum (lossy network), kDelay stalls the operation.
+enum class Action { kFail, kDelay, kDrop };
+
+enum class Trigger {
+    kAlways,       ///< fires on every evaluation
+    kProbability,  ///< fires with FaultSpec::probability per evaluation
+    kOnce,         ///< fires on the first evaluation only
+    kEveryN,       ///< fires on every Nth evaluation (N, 2N, 3N, ...)
+    kWindow,       ///< fires while window_start <= clock.now() < window_end
+};
+
+struct FaultSpec {
+    Action action = Action::kFail;
+    Trigger trigger = Trigger::kAlways;
+    double probability = 1.0;            // kProbability
+    std::uint64_t every_n = 1;           // kEveryN
+    TimestampNs window_start_ns = 0;     // kWindow
+    TimestampNs window_end_ns = 0;       // kWindow (exclusive)
+    TimestampNs delay_ns = 0;            // payload for Action::kDelay
+    std::uint64_t max_fires = 0;         // 0 = unlimited
+};
+
+/// Outcome of evaluating a fault point. Contextually convertible to bool:
+/// `if (const auto fault = fault::check("x")) ...` reads as "if x fired".
+struct Decision {
+    bool fire = false;
+    Action action = Action::kFail;
+    TimestampNs delay_ns = 0;
+    explicit operator bool() const { return fire; }
+};
+
+/// Per-point hit counters; the determinism contract of the resilience
+/// tests is asserted against these.
+struct PointStats {
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+};
+
+/// Parses the textual trigger grammar used by configuration files:
+///
+///   spec    := action [modifier]...
+///   action  := "fail" | "delay" | "drop"
+///   modifier:= "once" | "prob=<0..1>" | "every=<N>" | "limit=<N>"
+///            | "window=<dur>..<dur>" | "delay=<dur>"
+///
+/// Durations use parseDuration() ("250ms", "5s", ...). Examples:
+/// "drop prob=0.01", "fail every=3", "fail window=2s..5s",
+/// "delay delay=250ms limit=10". Returns std::nullopt on malformed input.
+std::optional<FaultSpec> parseFaultSpec(const std::string& text);
+
+/// A registry of named fault points. Thread-safe; typically one per test
+/// (installed globally via ScopedInjector) or one per daemon, armed from
+/// the `faults` configuration block.
+class FaultInjector {
+  public:
+    /// `clock` drives kWindow triggers; nullptr means globalClock().
+    explicit FaultInjector(std::uint64_t seed = 0xFA171EC7ULL,
+                           const ClockSource* clock = nullptr);
+
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+    ~FaultInjector();
+
+    /// Arms (or re-arms) a fault point; resets its counters.
+    void arm(const std::string& point, FaultSpec spec);
+
+    /// Arms from the textual grammar; returns false on a parse error.
+    bool armFromText(const std::string& point, const std::string& spec_text);
+
+    /// Disarms a point, keeping its counters readable.
+    void disarm(const std::string& point);
+
+    /// Disarms everything and clears all counters.
+    void reset();
+
+    /// Evaluates a fault point. Unarmed points never fire and keep no
+    /// per-evaluation state (no allocation, no counter).
+    Decision evaluate(const std::string& point);
+
+    PointStats stats(const std::string& point) const;
+    std::uint64_t fires(const std::string& point) const { return stats(point).fires; }
+    std::size_t armedCount() const;
+
+    /// The globally installed injector, or nullptr (the default).
+    static FaultInjector* global() {
+        return global_.load(std::memory_order_acquire);
+    }
+
+    /// Installs `injector` process-wide (nullptr uninstalls). The caller
+    /// keeps ownership; prefer ScopedInjector in tests.
+    static void installGlobal(FaultInjector* injector) {
+        global_.store(injector, std::memory_order_release);
+    }
+
+  private:
+    struct Point {
+        FaultSpec spec;
+        bool armed = false;
+        std::uint64_t evaluations = 0;
+        std::uint64_t fires = 0;
+    };
+
+    mutable Mutex mutex_{"FaultInjector", LockRank::kFaultInjector};
+    std::map<std::string, Point> points_ WM_GUARDED_BY(mutex_);
+    Rng rng_ WM_GUARDED_BY(mutex_);
+    const ClockSource* clock_;  // immutable after construction
+
+    static std::atomic<FaultInjector*> global_;
+};
+
+/// Evaluates a fault point against the global injector. This is the only
+/// call instrumented code should make: with no injector installed it is a
+/// single relaxed load and an immediate return.
+inline Decision check(const char* point) {
+    FaultInjector* injector = FaultInjector::global();
+    if (injector == nullptr) return {};
+    return injector->evaluate(point);
+}
+
+/// Busy-waits for `delay_ns` of wall-clock time; how call sites honour
+/// Action::kDelay on paths without a virtual clock (mirrors
+/// StorageBackend::simulateLatency — sleep granularity is too coarse).
+void applyDelay(TimestampNs delay_ns);
+
+/// RAII global installation: installs `injector` for the enclosing scope
+/// and restores the previous injector (usually none) on exit.
+class ScopedInjector {
+  public:
+    explicit ScopedInjector(FaultInjector& injector)
+        : previous_(FaultInjector::global()) {
+        FaultInjector::installGlobal(&injector);
+    }
+    ~ScopedInjector() { FaultInjector::installGlobal(previous_); }
+
+    ScopedInjector(const ScopedInjector&) = delete;
+    ScopedInjector& operator=(const ScopedInjector&) = delete;
+
+  private:
+    FaultInjector* previous_;
+};
+
+}  // namespace wm::common::fault

@@ -33,7 +33,9 @@ enum class LockRank : int {
     // Hosting entities: their lifecycle locks are acquired first.
     kOperatorManager = 10,
     kPusher = 12,
+    kPusherBuffer = 13,
     kCollectAgent = 14,
+    kCollectAgentQuarantine = 15,
 
     // Execution plumbing.
     kScheduler = 20,
@@ -56,7 +58,9 @@ enum class LockRank : int {
     kSensorCache = 68,
     kStorage = 72,
 
-    // Leaf: safe to acquire while holding anything above.
+    // Near-leaves: fault-point evaluation is legal under any data-path
+    // lock, and logging is legal absolutely everywhere.
+    kFaultInjector = 95,
     kLogger = 99,
 };
 

@@ -1,0 +1,108 @@
+#pragma once
+
+// Reusable retry policy: bounded exponential backoff with optional jitter.
+//
+// Built for the resilience layer (see docs/RESILIENCE.md): the Pusher
+// paces republish attempts of buffered readings with it, and any component
+// talking to a fallible peer can wrap the call in retryWithBackoff(). Two
+// design rules keep every user deterministic and testable:
+//
+//  * jitter comes from an explicit common::Rng (seeded by the caller), and
+//  * this header never sleeps — Backoff only *computes* delays. Callers
+//    either compare `now + delay` against an injectable ClockSource
+//    (non-blocking pacing, what the Pusher does) or hand
+//    retryWithBackoff() a sleep callable (tests advance a VirtualClock).
+
+#include <cstdint>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/time_utils.h"
+
+namespace wm::common {
+
+struct RetryPolicy {
+    /// Total tries including the first; <= 0 means retry forever.
+    int max_attempts = 5;
+    TimestampNs initial_backoff_ns = 100 * kNsPerMs;
+    /// Backoff grows by this factor per retry, capped at max_backoff_ns.
+    double multiplier = 2.0;
+    TimestampNs max_backoff_ns = 5 * kNsPerSec;
+    /// Uniform jitter fraction: each delay is scaled by a factor drawn
+    /// from [1 - jitter, 1 + jitter]. 0 disables (and needs no Rng).
+    double jitter = 0.0;
+};
+
+/// Backoff schedule for one logical operation. Not thread-safe; guard it
+/// with the owning component's lock.
+class Backoff {
+  public:
+    /// `rng` is only consulted when policy.jitter > 0; it must outlive
+    /// this object.
+    explicit Backoff(RetryPolicy policy, Rng* rng = nullptr)
+        : policy_(policy), rng_(rng) {}
+
+    /// Delay to wait before the next retry; advances the attempt count.
+    TimestampNs nextDelayNs() {
+        TimestampNs delay = policy_.initial_backoff_ns;
+        for (int i = 0; i < retries_; ++i) {
+            delay = static_cast<TimestampNs>(static_cast<double>(delay) *
+                                             policy_.multiplier);
+            if (delay >= policy_.max_backoff_ns) break;
+        }
+        if (delay > policy_.max_backoff_ns) delay = policy_.max_backoff_ns;
+        if (policy_.jitter > 0.0 && rng_ != nullptr) {
+            delay = static_cast<TimestampNs>(
+                static_cast<double>(delay) *
+                rng_->uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter));
+        }
+        ++retries_;
+        return delay;
+    }
+
+    /// True once the retry budget (max_attempts - 1 retries) is spent.
+    bool exhausted() const {
+        return policy_.max_attempts > 0 && retries_ >= policy_.max_attempts - 1;
+    }
+
+    /// Retries granted so far.
+    int retries() const { return retries_; }
+
+    /// Back to the initial delay (after a success).
+    void reset() { retries_ = 0; }
+
+  private:
+    RetryPolicy policy_;
+    Rng* rng_;
+    int retries_ = 0;
+};
+
+struct RetryResult {
+    bool ok = false;
+    int attempts = 0;
+    TimestampNs total_backoff_ns = 0;
+};
+
+/// Calls `fn` (returning truthy on success) up to policy.max_attempts
+/// times, invoking `sleep(delay_ns)` between attempts. The sleep callable
+/// owns the waiting strategy: wall-clock sleep in production, advancing a
+/// VirtualClock in tests.
+template <typename Fn, typename SleepFn>
+RetryResult retryWithBackoff(const RetryPolicy& policy, Rng& rng, Fn&& fn,
+                             SleepFn&& sleep) {
+    RetryResult result;
+    Backoff backoff(policy, &rng);
+    for (;;) {
+        ++result.attempts;
+        if (fn()) {
+            result.ok = true;
+            return result;
+        }
+        if (backoff.exhausted()) return result;
+        const TimestampNs delay = backoff.nextDelayNs();
+        result.total_backoff_ns += delay;
+        sleep(delay);
+    }
+}
+
+}  // namespace wm::common

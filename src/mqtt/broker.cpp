@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
+#include "common/logging.h"
+
 namespace wm::mqtt {
 
 using common::MutexLock;
@@ -27,7 +30,27 @@ bool Broker::unsubscribe(SubscriptionId id) {
 
 int Broker::publish(const Message& message) {
     if (!isValidTopic(message.topic)) return -1;
+    int result = 0;
+    if (publishFaulted(result)) return result;
     return deliver(message);
+}
+
+bool Broker::publishFaulted(int& result) {
+    const auto fault = common::fault::check("broker.publish");
+    if (!fault) return false;
+    switch (fault.action) {
+        case common::fault::Action::kFail:
+            result = -1;  // connection refused: the caller may buffer + retry
+            return true;
+        case common::fault::Action::kDrop:
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            result = 0;  // accepted, silently lost
+            return true;
+        case common::fault::Action::kDelay:
+            common::fault::applyDelay(fault.delay_ns);
+            return false;
+    }
+    return false;
 }
 
 std::size_t Broker::subscriptionCount() const {
@@ -37,17 +60,78 @@ std::size_t Broker::subscriptionCount() const {
 
 int Broker::deliver(const Message& message) {
     published_.fetch_add(1, std::memory_order_relaxed);
+    if (const auto fault = common::fault::check("broker.deliver")) {
+        if (fault.action == common::fault::Action::kDelay) {
+            common::fault::applyDelay(fault.delay_ns);
+        } else {  // kFail and kDrop both lose the message at delivery
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return 0;
+        }
+    }
     // Snapshot matching handlers under the shared lock, call them outside it
     // so handlers may themselves publish or (un)subscribe without deadlock.
-    std::vector<MessageHandler> handlers;
+    struct Target {
+        SubscriptionId id;
+        MessageHandler handler;
+        std::size_t prior_failures;
+    };
+    std::vector<Target> targets;
     {
         ReadLock lock(mutex_);
         for (const auto& sub : subscriptions_) {
-            if (topicMatches(sub.filter, message.topic)) handlers.push_back(sub.handler);
+            if (topicMatches(sub.filter, message.topic)) {
+                targets.push_back({sub.id, sub.handler, sub.consecutive_failures});
+            }
         }
     }
-    for (const auto& handler : handlers) handler(message);
-    return static_cast<int>(handlers.size());
+    int reached = 0;
+    std::vector<SubscriptionId> failed;
+    std::vector<SubscriptionId> recovered;
+    for (const auto& target : targets) {
+        try {
+            target.handler(message);
+            ++reached;
+            if (target.prior_failures > 0) recovered.push_back(target.id);
+        } catch (...) {
+            delivery_failures_.fetch_add(1, std::memory_order_relaxed);
+            failed.push_back(target.id);
+        }
+    }
+    // The hot path (every handler healthy) never takes the write lock.
+    if (!failed.empty() || !recovered.empty()) {
+        recordDeliveryOutcomes(failed, recovered);
+    }
+    return reached;
+}
+
+void Broker::recordDeliveryOutcomes(const std::vector<SubscriptionId>& failed,
+                                    const std::vector<SubscriptionId>& recovered) {
+    const std::size_t budget = failure_budget_.load(std::memory_order_relaxed);
+    std::vector<std::pair<SubscriptionId, std::string>> evicted;
+    {
+        WriteLock lock(mutex_);
+        for (SubscriptionId id : recovered) {
+            auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
+                                   [id](const Subscription& s) { return s.id == id; });
+            if (it != subscriptions_.end()) it->consecutive_failures = 0;
+        }
+        for (SubscriptionId id : failed) {
+            auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
+                                   [id](const Subscription& s) { return s.id == id; });
+            if (it == subscriptions_.end()) continue;
+            ++it->consecutive_failures;
+            if (budget != 0 && it->consecutive_failures >= budget) {
+                evicted.emplace_back(id, it->filter);
+                subscriptions_.erase(it);
+            }
+        }
+    }
+    for (const auto& [id, filter] : evicted) {
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        WM_LOG(kWarning, "mqtt") << "evicting dead subscriber " << id << " ('"
+                                 << filter << "') after " << failure_budget_.load()
+                                 << " consecutive delivery failures";
+    }
 }
 
 AsyncBroker::AsyncBroker(std::size_t max_queue) : max_queue_(max_queue) {
@@ -65,6 +149,8 @@ AsyncBroker::~AsyncBroker() {
 
 int AsyncBroker::publish(const Message& message) {
     if (!isValidTopic(message.topic)) return -1;
+    int fault_result = 0;
+    if (publishFaulted(fault_result)) return fault_result;
     int depth = -1;
     {
         MutexLock lock(queue_mutex_);

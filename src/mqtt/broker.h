@@ -35,6 +35,16 @@ using SubscriptionId = std::uint64_t;
 using MessageHandler = std::function<void(const Message&)>;
 
 /// Synchronous broker. Thread-safe; handlers run on the publishing thread.
+///
+/// Resilience semantics (docs/RESILIENCE.md):
+///  * fault point "broker.publish" — kFail refuses the publish (returns -1,
+///    a down connection: callers may buffer and retry), kDrop accepts but
+///    silently loses the message (lossy network).
+///  * fault point "broker.deliver" — kFail/kDrop lose the message at
+///    delivery time; counted in droppedCount().
+///  * a handler that throws counts one delivery failure against its
+///    subscription; after `failure budget` consecutive failures the
+///    subscriber is evicted (a dead MQTT client being disconnected).
 class Broker {
   public:
     virtual ~Broker() = default;
@@ -47,26 +57,51 @@ class Broker {
     bool unsubscribe(SubscriptionId id);
 
     /// Delivers `message` to matching subscribers. Returns the number of
-    /// subscribers reached, or -1 for an invalid topic.
+    /// subscribers reached, or -1 for an invalid topic or a refused
+    /// (injected-fault) publish.
     virtual int publish(const Message& message);
+
+    /// Consecutive delivery failures (handler exceptions) tolerated per
+    /// subscriber before eviction; 0 (the default) disables eviction.
+    void setSubscriberFailureBudget(std::size_t budget) {
+        failure_budget_.store(budget, std::memory_order_relaxed);
+    }
 
     std::size_t subscriptionCount() const;
     std::uint64_t publishedCount() const { return published_.load(); }
+    /// Messages lost to injected broker faults (publish- or deliver-side).
+    std::uint64_t droppedCount() const { return dropped_.load(); }
+    /// Individual handler invocations that threw.
+    std::uint64_t deliveryFailures() const { return delivery_failures_.load(); }
+    /// Subscriptions evicted after exhausting the failure budget.
+    std::uint64_t evictedSubscribers() const { return evicted_.load(); }
 
   protected:
     int deliver(const Message& message);
+
+    /// Applies the "broker.publish" fault point. Returns true when the
+    /// publish must be cut short, with `result` set to the return value.
+    bool publishFaulted(int& result);
 
   private:
     struct Subscription {
         SubscriptionId id;
         std::string filter;
         MessageHandler handler;
+        std::size_t consecutive_failures = 0;
     };
+
+    void recordDeliveryOutcomes(const std::vector<SubscriptionId>& failed,
+                                const std::vector<SubscriptionId>& recovered);
 
     mutable common::SharedMutex mutex_{"Broker", common::LockRank::kBroker};
     std::vector<Subscription> subscriptions_ WM_GUARDED_BY(mutex_);
     std::atomic<SubscriptionId> next_id_{1};
     std::atomic<std::uint64_t> published_{0};
+    std::atomic<std::size_t> failure_budget_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> delivery_failures_{0};
+    std::atomic<std::uint64_t> evicted_{0};
 };
 
 /// Asynchronous broker: a bounded queue plus one dispatcher thread.

@@ -1,5 +1,6 @@
 #include "pusher/pusher.h"
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace wm::pusher {
@@ -9,7 +10,9 @@ Pusher::Pusher(PusherConfig config, mqtt::Broker* broker)
       broker_(broker),
       cache_store_(config_.cache_window_ns),
       pool_(config_.worker_threads),
-      scheduler_(pool_) {}
+      scheduler_(pool_),
+      retry_rng_(config_.retry_seed),
+      backoff_(config_.publish_retry, &retry_rng_) {}
 
 Pusher::~Pusher() {
     stop();
@@ -63,6 +66,11 @@ void Pusher::sampleOnce(common::TimestampNs t) {
 }
 
 void Pusher::tickGroup(SensorGroup& group, common::TimestampNs t) {
+    if (const auto fault = common::fault::check("pusher.sample")) {
+        // A crashed or hung reader: this group contributes nothing this tick.
+        if (fault.action != common::fault::Action::kDelay) return;
+        common::fault::applyDelay(fault.delay_ns);
+    }
     const std::vector<SampledReading> sampled = group.read(t);
     for (const auto& item : sampled) {
         sensors::SensorCache* cache = cache_store_.find(item.topic);
@@ -70,13 +78,62 @@ void Pusher::tickGroup(SensorGroup& group, common::TimestampNs t) {
         cache->store(item.reading);
     }
     readings_sampled_.fetch_add(sampled.size(), std::memory_order_relaxed);
-    if (broker_ != nullptr) {
-        for (const auto& item : sampled) {
-            if (!cache_store_.publishAllowed(item.topic)) continue;
-            broker_->publish({item.topic, {item.reading}});
+    if (broker_ == nullptr) return;
+
+    common::MutexLock lock(buffer_mutex_);
+    // Buffered readings go first so the per-topic time order the Collect
+    // Agent sees is preserved; new readings queue behind a non-empty buffer.
+    bool broker_accepting = flushBuffered(t);
+    for (const auto& item : sampled) {
+        if (!cache_store_.publishAllowed(item.topic)) continue;
+        mqtt::Message message{item.topic, {item.reading}};
+        if (broker_accepting && broker_->publish(message) >= 0) {
             messages_published_.fetch_add(1, std::memory_order_relaxed);
+            continue;
         }
+        if (broker_accepting) {
+            // First refusal this tick: open the backoff window.
+            next_retry_ns_ = t + backoff_.nextDelayNs();
+            broker_accepting = false;
+        }
+        bufferReading(std::move(message));
     }
+}
+
+bool Pusher::flushBuffered(common::TimestampNs t) {
+    if (buffer_.empty()) return true;
+    if (t < next_retry_ns_) return false;
+    publish_retries_.fetch_add(1, std::memory_order_relaxed);
+    while (!buffer_.empty()) {
+        if (broker_->publish(buffer_.front()) < 0) {
+            // Still down: back off further (bounded, jittered).
+            next_retry_ns_ = t + backoff_.nextDelayNs();
+            return false;
+        }
+        messages_published_.fetch_add(1, std::memory_order_relaxed);
+        buffer_.pop_front();
+    }
+    backoff_.reset();
+    next_retry_ns_ = 0;
+    WM_LOG(kInfo, "pusher") << config_.name << ": broker recovered, buffer drained";
+    return true;
+}
+
+void Pusher::bufferReading(mqtt::Message message) {
+    if (config_.publish_buffer_max == 0) {
+        readings_dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    while (buffer_.size() >= config_.publish_buffer_max) {
+        buffer_.pop_front();  // oldest-first drop
+        readings_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    buffer_.push_back(std::move(message));
+}
+
+std::size_t Pusher::bufferedReadings() const {
+    common::MutexLock lock(buffer_mutex_);
+    return buffer_.size();
 }
 
 std::size_t Pusher::groupCount() const {

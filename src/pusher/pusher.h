@@ -7,11 +7,13 @@
 // in a Pusher see exactly the locally-sampled sensors.
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/retry.h"
 #include "common/scheduler.h"
 #include "common/thread_pool.h"
 #include "mqtt/broker.h"
@@ -27,6 +29,16 @@ struct PusherConfig {
     common::TimestampNs cache_window_ns = 180 * common::kNsPerSec;
     /// Worker threads for sampling dispatch.
     std::size_t worker_threads = 2;
+    /// Readings buffered while the broker refuses publishes; beyond this
+    /// the oldest buffered reading is dropped (and counted). 0 disables
+    /// buffering: refused publishes are dropped immediately.
+    std::size_t publish_buffer_max = 4096;
+    /// Pacing of republish attempts for buffered readings. max_attempts
+    /// is ignored here — the Pusher retries for as long as readings are
+    /// buffered, with the delay capped at max_backoff_ns.
+    common::RetryPolicy publish_retry{};
+    /// Seed for the retry jitter (determinism contract).
+    std::uint64_t retry_seed = 0x9E3779B9ULL;
 };
 
 class Pusher {
@@ -62,8 +74,23 @@ class Pusher {
     std::uint64_t messagesPublished() const { return messages_published_.load(); }
     std::size_t groupCount() const;
 
+    // Resilience counters (docs/RESILIENCE.md). Buffered readings are
+    // republished oldest-first once the broker recovers; every reading is
+    // either published exactly once or counted as dropped.
+    std::size_t bufferedReadings() const;
+    std::uint64_t readingsDropped() const { return readings_dropped_.load(); }
+    std::uint64_t publishRetries() const { return publish_retries_.load(); }
+
   private:
     void tickGroup(SensorGroup& group, common::TimestampNs t);
+
+    /// Republishes buffered readings (oldest first) if the backoff window
+    /// has elapsed at tick time `t`. Returns true when the buffer is empty
+    /// afterwards (the broker is accepting again).
+    bool flushBuffered(common::TimestampNs t) WM_REQUIRES(buffer_mutex_);
+
+    /// Buffers a refused reading, dropping the oldest beyond the cap.
+    void bufferReading(mqtt::Message message) WM_REQUIRES(buffer_mutex_);
 
     PusherConfig config_;
     mqtt::Broker* broker_;
@@ -76,6 +103,16 @@ class Pusher {
     std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> readings_sampled_{0};
     std::atomic<std::uint64_t> messages_published_{0};
+
+    // Publish buffer: ordered, bounded, shared by all group ticks.
+    mutable common::Mutex buffer_mutex_{"Pusher.buffer",
+                                        common::LockRank::kPusherBuffer};
+    std::deque<mqtt::Message> buffer_ WM_GUARDED_BY(buffer_mutex_);
+    common::Rng retry_rng_ WM_GUARDED_BY(buffer_mutex_);
+    common::Backoff backoff_ WM_GUARDED_BY(buffer_mutex_);
+    common::TimestampNs next_retry_ns_ WM_GUARDED_BY(buffer_mutex_) = 0;
+    std::atomic<std::uint64_t> readings_dropped_{0};
+    std::atomic<std::uint64_t> publish_retries_{0};
 };
 
 }  // namespace wm::pusher

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
 
@@ -153,6 +154,37 @@ void HttpServer::handleConnection(int fd) {
     std::string raw;
     Response response;
     if (!readRequest(fd, raw, 5000)) {
+        ::close(fd);
+        return;
+    }
+    // Fault point "rest.request": kDrop severs the connection without a
+    // response (a crashed handler thread), kFail answers 500, kDelay stalls
+    // the response like an overloaded server.
+    bool fault_fail = false;
+    if (const auto fault = common::fault::check("rest.request")) {
+        switch (fault.action) {
+            case common::fault::Action::kDrop:
+                ::shutdown(fd, SHUT_RDWR);
+                ::close(fd);
+                return;
+            case common::fault::Action::kFail:
+                fault_fail = true;
+                break;
+            case common::fault::Action::kDelay:
+                common::fault::applyDelay(fault.delay_ns);
+                break;
+        }
+    }
+    if (fault_fail) {
+        response = Response::error("injected fault");
+        std::ostringstream out;
+        out << "HTTP/1.1 " << response.status << ' ' << statusText(response.status)
+            << "\r\nContent-Type: " << response.content_type
+            << "\r\nContent-Length: " << response.body.size()
+            << "\r\nConnection: close\r\n\r\n"
+            << response.body;
+        writeAll(fd, out.str());
+        ::shutdown(fd, SHUT_RDWR);
         ::close(fd);
         return;
     }

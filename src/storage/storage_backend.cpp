@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
 #include "mqtt/topic.h"
 
 namespace wm::storage {
@@ -24,6 +25,19 @@ void insertSorted(sensors::ReadingVector& readings, const sensors::Reading& read
     readings.insert(it, reading);
 }
 
+/// Evaluates the "storage.insert" fault point for one reading. kFail and
+/// kDrop both refuse the insert (the caller decides whether to quarantine);
+/// kDelay stalls it like a slow backend, then accepts.
+bool insertFaulted() {
+    const auto fault = common::fault::check("storage.insert");
+    if (!fault) return false;
+    if (fault.action == common::fault::Action::kDelay) {
+        common::fault::applyDelay(fault.delay_ns);
+        return false;
+    }
+    return true;
+}
+
 }  // namespace
 
 void StorageBackend::simulateLatency() const {
@@ -36,18 +50,34 @@ void StorageBackend::simulateLatency() const {
     }
 }
 
-void StorageBackend::insert(const std::string& topic, const sensors::Reading& reading) {
+bool StorageBackend::insert(const std::string& topic, const sensors::Reading& reading) {
+    if (insertFaulted()) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
     common::WriteLock lock(mutex_);
     insertSorted(series_[topic].readings, reading);
     inserts_.fetch_add(1, std::memory_order_relaxed);
+    return true;
 }
 
-void StorageBackend::insertBatch(const std::string& topic,
-                                 const sensors::ReadingVector& readings) {
+std::size_t StorageBackend::insertBatch(const std::string& topic,
+                                        const sensors::ReadingVector& readings,
+                                        sensors::ReadingVector* rejected) {
+    std::size_t inserted = 0;
     common::WriteLock lock(mutex_);
     auto& series = series_[topic];
-    for (const auto& reading : readings) insertSorted(series.readings, reading);
-    inserts_.fetch_add(readings.size(), std::memory_order_relaxed);
+    for (const auto& reading : readings) {
+        if (insertFaulted()) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            if (rejected != nullptr) rejected->push_back(reading);
+            continue;
+        }
+        insertSorted(series.readings, reading);
+        ++inserted;
+    }
+    inserts_.fetch_add(inserted, std::memory_order_relaxed);
+    return inserted;
 }
 
 void StorageBackend::publishMetadata(const sensors::SensorMetadata& metadata) {
@@ -138,6 +168,7 @@ StorageStats StorageBackend::stats() const {
     for (const auto& [topic, series] : series_) stats.reading_count += series.readings.size();
     stats.inserts = inserts_.load(std::memory_order_relaxed);
     stats.queries = queries_.load(std::memory_order_relaxed);
+    stats.rejected_inserts = rejected_.load(std::memory_order_relaxed);
     return stats;
 }
 

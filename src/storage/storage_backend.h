@@ -27,6 +27,8 @@ struct StorageStats {
     std::size_t reading_count = 0;
     std::uint64_t inserts = 0;
     std::uint64_t queries = 0;
+    /// Inserts refused by the injected fault point "storage.insert".
+    std::uint64_t rejected_inserts = 0;
 };
 
 class StorageBackend {
@@ -44,10 +46,17 @@ class StorageBackend {
     }
 
     /// Inserts one reading for `topic`. Out-of-order inserts are supported.
-    void insert(const std::string& topic, const sensors::Reading& reading);
+    /// Returns false when the insert is refused (fault point
+    /// "storage.insert": a failing or overloaded backend).
+    bool insert(const std::string& topic, const sensors::Reading& reading);
 
     /// Inserts a batch for one topic (the MQTT message granularity).
-    void insertBatch(const std::string& topic, const sensors::ReadingVector& readings);
+    /// Each reading is accepted or refused individually; refused readings
+    /// are appended to `*rejected` when non-null so callers can quarantine
+    /// them instead of losing the whole batch. Returns the number inserted.
+    std::size_t insertBatch(const std::string& topic,
+                            const sensors::ReadingVector& readings,
+                            sensors::ReadingVector* rejected = nullptr);
 
     /// Records sensor metadata (idempotent).
     void publishMetadata(const sensors::SensorMetadata& metadata);
@@ -94,6 +103,7 @@ class StorageBackend {
     // so plain integers would race between concurrent readers.
     mutable std::atomic<std::uint64_t> inserts_{0};
     mutable std::atomic<std::uint64_t> queries_{0};
+    std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace wm::storage

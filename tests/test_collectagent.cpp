@@ -2,95 +2,75 @@
 
 #include <gtest/gtest.h>
 
-#include "pusher/plugins/tester_group.h"
-#include "pusher/pusher.h"
+#include "test_fixtures.h"
 
 namespace wm::collectagent {
 namespace {
 
 using common::kNsPerSec;
+using wm::testing::AgentHarness;
+using wm::testing::makeTesterPusher;
 
 TEST(CollectAgent, StoresAndForwardsReceivedReadings) {
-    mqtt::Broker broker;
-    storage::StorageBackend storage;
-    CollectAgent agent({}, broker, storage);
-    agent.start();
-    broker.publish({"/n0/power", {{kNsPerSec, 100.0}, {2 * kNsPerSec, 110.0}}});
-    EXPECT_EQ(agent.messagesReceived(), 1u);
-    EXPECT_EQ(agent.readingsStored(), 2u);
+    AgentHarness harness;
+    harness.broker.publish(
+        {"/n0/power", {{kNsPerSec, 100.0}, {2 * kNsPerSec, 110.0}}});
+    EXPECT_EQ(harness.agent.messagesReceived(), 1u);
+    EXPECT_EQ(harness.agent.readingsStored(), 2u);
     // Cache side.
-    const auto* cache = agent.cacheStore().find("/n0/power");
+    const auto* cache = harness.agent.cacheStore().find("/n0/power");
     ASSERT_NE(cache, nullptr);
     EXPECT_DOUBLE_EQ(cache->latest()->value, 110.0);
     // Storage side.
-    EXPECT_EQ(storage.query("/n0/power", 0, 10 * kNsPerSec).size(), 2u);
+    EXPECT_EQ(harness.storage.query("/n0/power", 0, 10 * kNsPerSec).size(), 2u);
 }
 
 TEST(CollectAgent, FilterRestrictsSubscription) {
-    mqtt::Broker broker;
-    storage::StorageBackend storage;
     CollectAgentConfig config;
     config.filter = "/rack0/#";
-    CollectAgent agent(config, broker, storage);
-    agent.start();
-    broker.publish({"/rack0/power", {{1, 1.0}}});
-    broker.publish({"/rack1/power", {{1, 1.0}}});
-    EXPECT_EQ(agent.messagesReceived(), 1u);
-    EXPECT_EQ(agent.cacheStore().find("/rack1/power"), nullptr);
+    AgentHarness harness(std::move(config));
+    harness.broker.publish({"/rack0/power", {{1, 1.0}}});
+    harness.broker.publish({"/rack1/power", {{1, 1.0}}});
+    EXPECT_EQ(harness.agent.messagesReceived(), 1u);
+    EXPECT_EQ(harness.agent.cacheStore().find("/rack1/power"), nullptr);
 }
 
 TEST(CollectAgent, StorageForwardingCanBeDisabled) {
-    mqtt::Broker broker;
-    storage::StorageBackend storage;
     CollectAgentConfig config;
     config.forward_to_storage = false;
-    CollectAgent agent(config, broker, storage);
-    agent.start();
-    broker.publish({"/s", {{1, 1.0}}});
-    EXPECT_NE(agent.cacheStore().find("/s"), nullptr);
-    EXPECT_TRUE(storage.topics().empty());
+    AgentHarness harness(std::move(config));
+    harness.broker.publish({"/s", {{1, 1.0}}});
+    EXPECT_NE(harness.agent.cacheStore().find("/s"), nullptr);
+    EXPECT_TRUE(harness.storage.topics().empty());
 }
 
 TEST(CollectAgent, StopUnsubscribes) {
-    mqtt::Broker broker;
-    storage::StorageBackend storage;
-    CollectAgent agent({}, broker, storage);
-    agent.start();
-    EXPECT_TRUE(agent.running());
-    agent.stop();
-    EXPECT_FALSE(agent.running());
-    broker.publish({"/s", {{1, 1.0}}});
-    EXPECT_EQ(agent.messagesReceived(), 0u);
+    AgentHarness harness;
+    EXPECT_TRUE(harness.agent.running());
+    harness.agent.stop();
+    EXPECT_FALSE(harness.agent.running());
+    harness.broker.publish({"/s", {{1, 1.0}}});
+    EXPECT_EQ(harness.agent.messagesReceived(), 0u);
 }
 
 TEST(CollectAgent, StartIsIdempotent) {
-    mqtt::Broker broker;
-    storage::StorageBackend storage;
-    CollectAgent agent({}, broker, storage);
-    agent.start();
-    agent.start();
-    broker.publish({"/s", {{1, 1.0}}});
-    EXPECT_EQ(agent.messagesReceived(), 1u);  // no duplicate subscription
+    AgentHarness harness;
+    harness.agent.start();  // second start: must not double-subscribe
+    harness.broker.publish({"/s", {{1, 1.0}}});
+    EXPECT_EQ(harness.agent.messagesReceived(), 1u);
 }
 
 TEST(CollectAgent, EndToEndFromPusher) {
     // The canonical DCDB data flow: Pusher -> broker -> Collect Agent ->
     // storage, all in-process.
-    mqtt::Broker broker;
-    storage::StorageBackend storage;
-    CollectAgent agent({}, broker, storage);
-    agent.start();
-
-    pusher::Pusher pusher({}, &broker);
-    pusher::TesterGroupConfig tester;
-    tester.num_sensors = 8;
-    pusher.addGroup(std::make_unique<pusher::TesterGroup>(tester));
+    AgentHarness harness;
+    auto pusher = makeTesterPusher(&harness.broker, 8);
     for (int tick = 1; tick <= 5; ++tick) {
-        pusher.sampleOnce(tick * kNsPerSec);
+        pusher->sampleOnce(tick * kNsPerSec);
     }
-    EXPECT_EQ(agent.messagesReceived(), 40u);
-    EXPECT_EQ(storage.stats().reading_count, 40u);
-    const auto series = storage.query("/test/test0", 0, 100 * kNsPerSec);
+    EXPECT_EQ(harness.agent.messagesReceived(), 40u);
+    EXPECT_EQ(harness.storage.stats().reading_count, 40u);
+    const auto series = harness.storage.query("/test/test0", 0, 100 * kNsPerSec);
     ASSERT_EQ(series.size(), 5u);
     EXPECT_DOUBLE_EQ(series.back().value, 5.0);
 }

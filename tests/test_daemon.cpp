@@ -118,9 +118,10 @@ TEST_F(DaemonTest, SensorsAndLatestReadings) {
 }
 
 TEST_F(DaemonTest, ConfiguredOperatorProducesOutputs) {
-    // The aggregator ticks at 500 ms; wait for one output.
+    // The aggregator ticks at 500 ms; wait for one output. The budget is
+    // generous because CI boxes run several test binaries per core.
     bool found = false;
-    for (int i = 0; i < 40 && !found; ++i) {
+    for (int i = 0; i < 100 && !found; ++i) {
         const auto result = rest::httpRequest(
             "127.0.0.1", kPort, "GET",
             "/sensors/latest?topic=/rack0/chassis0/server0/power-avg");

@@ -1,0 +1,215 @@
+// Unit tests for the deterministic fault-injection harness
+// (src/common/fault.h): trigger semantics, scoped global installation,
+// the zero-cost contract for unarmed points, and the textual grammar.
+
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time_utils.h"
+
+namespace wm::common::fault {
+namespace {
+
+using common::kNsPerMs;
+using common::kNsPerSec;
+
+TEST(FaultInjection, AlwaysTriggerFiresEveryEvaluation) {
+    FaultInjector injector(1);
+    injector.arm("p", {});
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(static_cast<bool>(injector.evaluate("p")));
+    }
+    EXPECT_EQ(injector.stats("p").evaluations, 10u);
+    EXPECT_EQ(injector.stats("p").fires, 10u);
+}
+
+TEST(FaultInjection, ProbabilityTriggerIsDeterministicWithFixedSeed) {
+    constexpr std::uint64_t kSeed = 42;
+    constexpr int kTrials = 10000;
+    FaultSpec spec;
+    spec.trigger = Trigger::kProbability;
+    spec.probability = 0.3;
+
+    std::uint64_t fires[2] = {0, 0};
+    for (int run = 0; run < 2; ++run) {
+        FaultInjector injector(kSeed);
+        injector.arm("p", spec);
+        for (int i = 0; i < kTrials; ++i) injector.evaluate("p");
+        fires[run] = injector.fires("p");
+    }
+    // Identical seed => identical schedule, and the rate is plausible.
+    EXPECT_EQ(fires[0], fires[1]);
+    EXPECT_NEAR(static_cast<double>(fires[0]) / kTrials, 0.3, 0.03);
+
+    FaultInjector other_seed(kSeed + 1);
+    other_seed.arm("p", spec);
+    for (int i = 0; i < kTrials; ++i) other_seed.evaluate("p");
+    EXPECT_NE(other_seed.fires("p"), fires[0]);  // schedule depends on seed
+}
+
+TEST(FaultInjection, OnceTriggerFiresExactlyOnce) {
+    FaultInjector injector(1);
+    FaultSpec spec;
+    spec.trigger = Trigger::kOnce;
+    injector.arm("p", spec);
+    EXPECT_TRUE(static_cast<bool>(injector.evaluate("p")));
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_FALSE(static_cast<bool>(injector.evaluate("p")));
+    }
+    EXPECT_EQ(injector.fires("p"), 1u);
+    EXPECT_EQ(injector.stats("p").evaluations, 6u);
+}
+
+TEST(FaultInjection, EveryNFiresOnSchedule) {
+    FaultInjector injector(1);
+    FaultSpec spec;
+    spec.trigger = Trigger::kEveryN;
+    spec.every_n = 3;
+    injector.arm("p", spec);
+    std::vector<int> fired_at;
+    for (int i = 1; i <= 10; ++i) {
+        if (injector.evaluate("p")) fired_at.push_back(i);
+    }
+    EXPECT_EQ(fired_at, (std::vector<int>{3, 6, 9}));
+}
+
+TEST(FaultInjection, WindowTriggerFollowsInjectedClock) {
+    VirtualClock clock;
+    FaultInjector injector(1, &clock);
+    FaultSpec spec;
+    spec.trigger = Trigger::kWindow;
+    spec.window_start_ns = 5 * kNsPerSec;
+    spec.window_end_ns = 8 * kNsPerSec;  // exclusive
+    injector.arm("p", spec);
+
+    std::vector<std::int64_t> fired_at;
+    for (std::int64_t t = 0; t <= 10; ++t) {
+        clock.set(t * kNsPerSec);
+        if (injector.evaluate("p")) fired_at.push_back(t);
+    }
+    EXPECT_EQ(fired_at, (std::vector<std::int64_t>{5, 6, 7}));
+}
+
+TEST(FaultInjection, MaxFiresCapsAnyTrigger) {
+    FaultInjector injector(1);
+    FaultSpec spec;
+    spec.max_fires = 2;
+    injector.arm("p", spec);
+    int fired = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (injector.evaluate("p")) ++fired;
+    }
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(injector.fires("p"), 2u);
+}
+
+TEST(FaultInjection, DecisionCarriesActionAndDelay) {
+    FaultInjector injector(1);
+    FaultSpec spec;
+    spec.action = Action::kDelay;
+    spec.delay_ns = 250 * kNsPerMs;
+    injector.arm("p", spec);
+    const Decision decision = injector.evaluate("p");
+    ASSERT_TRUE(static_cast<bool>(decision));
+    EXPECT_EQ(decision.action, Action::kDelay);
+    EXPECT_EQ(decision.delay_ns, 250 * kNsPerMs);
+}
+
+TEST(FaultInjection, UnregisteredPointNeverFiresAndKeepsNoState) {
+    FaultInjector injector(1);
+    injector.arm("armed", {});
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(static_cast<bool>(injector.evaluate("other")));
+    }
+    // The unarmed point accumulated nothing: no counters, no registry entry.
+    EXPECT_EQ(injector.stats("other").evaluations, 0u);
+    EXPECT_EQ(injector.stats("other").fires, 0u);
+    EXPECT_EQ(injector.armedCount(), 1u);
+}
+
+TEST(FaultInjection, CheckWithoutGlobalInjectorIsInert) {
+    ASSERT_EQ(FaultInjector::global(), nullptr);
+    EXPECT_FALSE(static_cast<bool>(check("anything")));
+}
+
+TEST(FaultInjection, ScopedInjectorInstallsAndRestores) {
+    ASSERT_EQ(FaultInjector::global(), nullptr);
+    {
+        FaultInjector injector(1);
+        injector.arm("p", {});
+        ScopedInjector scoped(injector);
+        EXPECT_EQ(FaultInjector::global(), &injector);
+        EXPECT_TRUE(static_cast<bool>(check("p")));
+    }
+    EXPECT_EQ(FaultInjector::global(), nullptr);
+    EXPECT_FALSE(static_cast<bool>(check("p")));
+}
+
+TEST(FaultInjection, DisarmStopsFiringButKeepsCounters) {
+    FaultInjector injector(1);
+    injector.arm("p", {});
+    injector.evaluate("p");
+    injector.disarm("p");
+    EXPECT_FALSE(static_cast<bool>(injector.evaluate("p")));
+    EXPECT_EQ(injector.fires("p"), 1u);
+    EXPECT_EQ(injector.armedCount(), 0u);
+}
+
+TEST(FaultInjection, DestructorUninstallsItselfFromGlobal) {
+    {
+        FaultInjector injector(1);
+        FaultInjector::installGlobal(&injector);
+    }
+    EXPECT_EQ(FaultInjector::global(), nullptr);
+}
+
+TEST(FaultInjection, ParsesGrammar) {
+    const auto drop = parseFaultSpec("drop prob=0.01");
+    ASSERT_TRUE(drop.has_value());
+    EXPECT_EQ(drop->action, Action::kDrop);
+    EXPECT_EQ(drop->trigger, Trigger::kProbability);
+    EXPECT_DOUBLE_EQ(drop->probability, 0.01);
+
+    const auto fail = parseFaultSpec("fail every=3 limit=2");
+    ASSERT_TRUE(fail.has_value());
+    EXPECT_EQ(fail->action, Action::kFail);
+    EXPECT_EQ(fail->trigger, Trigger::kEveryN);
+    EXPECT_EQ(fail->every_n, 3u);
+    EXPECT_EQ(fail->max_fires, 2u);
+
+    const auto delay = parseFaultSpec("delay delay=250ms once");
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_EQ(delay->action, Action::kDelay);
+    EXPECT_EQ(delay->trigger, Trigger::kOnce);
+    EXPECT_EQ(delay->delay_ns, 250 * kNsPerMs);
+
+    const auto window = parseFaultSpec("fail window=2s..5s");
+    ASSERT_TRUE(window.has_value());
+    EXPECT_EQ(window->trigger, Trigger::kWindow);
+    EXPECT_EQ(window->window_start_ns, 2 * kNsPerSec);
+    EXPECT_EQ(window->window_end_ns, 5 * kNsPerSec);
+}
+
+TEST(FaultInjection, RejectsMalformedSpecs) {
+    EXPECT_FALSE(parseFaultSpec("").has_value());
+    EXPECT_FALSE(parseFaultSpec("explode").has_value());
+    EXPECT_FALSE(parseFaultSpec("fail prob=1.5").has_value());
+    EXPECT_FALSE(parseFaultSpec("fail every=0").has_value());
+    EXPECT_FALSE(parseFaultSpec("fail window=5s..2s").has_value());
+    EXPECT_FALSE(parseFaultSpec("fail bogus=1").has_value());
+    EXPECT_FALSE(parseFaultSpec("fail delay=abc").has_value());
+}
+
+TEST(FaultInjection, ArmFromTextAndRearmResetsCounters) {
+    FaultInjector injector(1);
+    ASSERT_TRUE(injector.armFromText("p", "fail once"));
+    injector.evaluate("p");
+    EXPECT_EQ(injector.fires("p"), 1u);
+    ASSERT_TRUE(injector.armFromText("p", "fail once"));  // re-arm
+    EXPECT_EQ(injector.fires("p"), 0u);                   // counters reset
+    EXPECT_FALSE(injector.armFromText("p", "not-a-spec"));
+}
+
+}  // namespace
+}  // namespace wm::common::fault

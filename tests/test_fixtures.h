@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared test fixtures for data-path tests. The broker/storage/agent trio
+// and the counting subscriber used to be duplicated across
+// test_collectagent.cpp, test_race_stress.cpp and the resilience suite;
+// they live here once instead.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "collectagent/collect_agent.h"
+#include "mqtt/broker.h"
+#include "pusher/plugins/tester_group.h"
+#include "pusher/pusher.h"
+#include "storage/storage_backend.h"
+
+namespace wm::testing {
+
+/// The canonical receiving side of the DCDB data path: an in-process
+/// broker, a storage backend, and a started Collect Agent wired to both.
+struct AgentHarness {
+    explicit AgentHarness(collectagent::CollectAgentConfig config = {})
+        : agent(std::move(config), broker, storage) {
+        agent.start();
+    }
+
+    mqtt::Broker broker;
+    storage::StorageBackend storage;
+    collectagent::CollectAgent agent;
+};
+
+/// Subscribes to `filter` and counts delivered messages and readings.
+class CountingSubscriber {
+  public:
+    CountingSubscriber(mqtt::Broker& broker, const std::string& filter)
+        : broker_(broker),
+          id_(broker.subscribe(filter, [this](const mqtt::Message& message) {
+              messages_.fetch_add(1, std::memory_order_relaxed);
+              readings_.fetch_add(message.readings.size(), std::memory_order_relaxed);
+          })) {}
+
+    std::uint64_t messages() const { return messages_.load(); }
+    std::uint64_t readings() const { return readings_.load(); }
+    mqtt::SubscriptionId id() const { return id_; }
+    void unsubscribe() { broker_.unsubscribe(id_); }
+
+  private:
+    mqtt::Broker& broker_;
+    std::atomic<std::uint64_t> messages_{0};
+    std::atomic<std::uint64_t> readings_{0};
+    mqtt::SubscriptionId id_;
+};
+
+/// A Pusher backed by a TesterGroup (monotonically increasing values, one
+/// topic per sensor under /test/...), for deterministic tick-driven runs.
+inline std::unique_ptr<pusher::Pusher> makeTesterPusher(
+    mqtt::Broker* broker, std::size_t num_sensors,
+    pusher::PusherConfig config = {}) {
+    auto p = std::make_unique<pusher::Pusher>(std::move(config), broker);
+    pusher::TesterGroupConfig tester;
+    tester.num_sensors = num_sensors;
+    p->addGroup(std::make_unique<pusher::TesterGroup>(tester));
+    return p;
+}
+
+}  // namespace wm::testing

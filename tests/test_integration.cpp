@@ -13,6 +13,7 @@
 #include <cmath>
 
 #include "collectagent/collect_agent.h"
+#include "common/fault.h"
 #include "core/hosting.h"
 #include "core/operator_manager.h"
 #include "plugins/regressor_operator.h"
@@ -326,6 +327,63 @@ operator nodecl {
     ASSERT_TRUE(a.has_value());
     ASSERT_TRUE(b.has_value());
     EXPECT_NE(a->value, b->value);  // the two power groups separate
+}
+
+TEST(Integration, DegradedModeWithLossyBrokerDelivery) {
+    // The full pipeline under a lossy broker: 1% of deliveries are dropped
+    // (fixed seed, deterministic schedule). The system keeps operating —
+    // operator outputs stay plausible — and every published message is
+    // accounted for: published = delivered + dropped.
+    common::fault::FaultInjector injector(0xDE6FADED);
+    ASSERT_TRUE(injector.armFromText("broker.deliver", "drop prob=0.01"));
+    common::fault::ScopedInjector scoped(injector);
+
+    MiniCluster cluster(simulator::AppKind::kHpl);
+    cluster.tick(1 * kNsPerSec);
+    for (auto& engine : cluster.pusher_engines_) engine->rebuildTree();
+    for (auto& manager : cluster.pusher_managers_) {
+        ASSERT_EQ(loadConfig(*manager, "aggregator", R"(
+operator live {
+    interval 1s
+    window 2s
+    operation maximum
+    input {
+        sensor "<bottomup-1>power"
+    }
+    output {
+        sensor "<bottomup-1>power-peak"
+    }
+}
+)"),
+                  1);
+    }
+    for (TimestampNs t = 2; t <= 60; ++t) cluster.tick(t * kNsPerSec);
+
+    // Enough traffic flowed that the 1% drop actually fired.
+    const std::uint64_t published = cluster.broker_.publishedCount();
+    const std::uint64_t dropped = cluster.broker_.droppedCount();
+    EXPECT_GT(published, 1000u);
+    EXPECT_GT(dropped, 0u);
+    EXPECT_EQ(dropped, injector.fires("broker.deliver"));
+    // Message-level reconciliation: the agent is the only subscriber, so
+    // whatever was not dropped reached it.
+    EXPECT_EQ(cluster.agent_->messagesReceived() + dropped, published);
+    // Drop rate within tolerance of the armed 1%.
+    const double rate = static_cast<double>(dropped) / published;
+    EXPECT_GT(rate, 0.001);
+    EXPECT_LT(rate, 0.03);
+    // Nothing delivered was lost downstream: all readings received by the
+    // agent were persisted (no storage faults armed).
+    EXPECT_EQ(cluster.agent_->quarantinedReadings(), 0u);
+    EXPECT_EQ(cluster.storage_.stats().reading_count,
+              cluster.agent_->readingsStored());
+    // Operator outputs remain within physical tolerance despite the loss.
+    for (const auto& node : cluster.node_paths_) {
+        const auto peak = cluster.storage_.latest(node + "/power-peak");
+        ASSERT_TRUE(peak.has_value()) << node;
+        EXPECT_GT(peak->value, 50.0);
+        EXPECT_LT(peak->value, 500.0);
+    }
 }
 
 }  // namespace

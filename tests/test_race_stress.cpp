@@ -11,21 +11,20 @@
 
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
-#include "mqtt/broker.h"
 #include "sensors/sensor_cache.h"
+#include "test_fixtures.h"
 
 namespace wm {
 namespace {
 
+using wm::testing::CountingSubscriber;
+
 TEST(RaceStress, BrokerSubscribeUnsubscribeVsPublish) {
     mqtt::Broker broker;
     std::atomic<bool> stop{false};
-    std::atomic<std::uint64_t> delivered{0};
 
     // A stable subscriber that must see every publish.
-    broker.subscribe("/stress/#", [&](const mqtt::Message&) {
-        delivered.fetch_add(1, std::memory_order_relaxed);
-    });
+    CountingSubscriber stable(broker, "/stress/#");
 
     std::thread churn([&] {
         // Subscription churn concurrent with delivery: exercises the
@@ -45,7 +44,7 @@ TEST(RaceStress, BrokerSubscribeUnsubscribeVsPublish) {
     stop.store(true);
     churn.join();
 
-    EXPECT_EQ(delivered.load(), static_cast<std::uint64_t>(kMessages));
+    EXPECT_EQ(stable.messages(), static_cast<std::uint64_t>(kMessages));
     EXPECT_EQ(broker.subscriptionCount(), 1u);
 }
 
@@ -141,10 +140,7 @@ TEST(RaceStress, AsyncBrokerBackPressureUnderChurn) {
     // Tiny queue bound so publishers regularly block on back-pressure while
     // the dispatcher drains; flush() must still terminate.
     mqtt::AsyncBroker broker(4);
-    std::atomic<std::uint64_t> delivered{0};
-    broker.subscribe("#", [&](const mqtt::Message&) {
-        delivered.fetch_add(1, std::memory_order_relaxed);
-    });
+    CountingSubscriber delivered(broker, "#");
 
     constexpr int kPublishers = 2;
     constexpr int kEach = 500;
@@ -158,7 +154,7 @@ TEST(RaceStress, AsyncBrokerBackPressureUnderChurn) {
     }
     for (auto& publisher : publishers) publisher.join();
     broker.flush();
-    EXPECT_EQ(delivered.load(), static_cast<std::uint64_t>(kPublishers * kEach));
+    EXPECT_EQ(delivered.messages(), static_cast<std::uint64_t>(kPublishers * kEach));
     EXPECT_EQ(broker.queueDepth(), 0u);
 }
 

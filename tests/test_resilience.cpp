@@ -1,0 +1,371 @@
+// Resilience-layer tests (docs/RESILIENCE.md): broker outage with pusher
+// buffering and recovery, storage failures with collect-agent quarantine,
+// exact backoff schedules against a virtual clock, and dead-subscriber
+// eviction. Every scenario is deterministic: fixed seeds, injected clocks,
+// no sleeps — two consecutive runs produce identical fault-hit counters.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/retry.h"
+#include "common/time_utils.h"
+#include "test_fixtures.h"
+
+namespace wm {
+namespace {
+
+using common::kNsPerMs;
+using common::kNsPerSec;
+using common::TimestampNs;
+using common::VirtualClock;
+using wm::testing::AgentHarness;
+using wm::testing::CountingSubscriber;
+using wm::testing::makeTesterPusher;
+
+// ---------------------------------------------------------------------------
+// Backoff schedules
+// ---------------------------------------------------------------------------
+
+TEST(Resilience, BackoffProducesExactSequenceWithoutJitter) {
+    common::RetryPolicy policy;
+    policy.initial_backoff_ns = 100 * kNsPerMs;
+    policy.multiplier = 2.0;
+    policy.max_backoff_ns = 1 * kNsPerSec;
+    policy.jitter = 0.0;
+
+    common::Backoff backoff(policy);
+    std::vector<TimestampNs> delays;
+    for (int i = 0; i < 6; ++i) delays.push_back(backoff.nextDelayNs());
+    EXPECT_EQ(delays, (std::vector<TimestampNs>{
+                          100 * kNsPerMs, 200 * kNsPerMs, 400 * kNsPerMs,
+                          800 * kNsPerMs, 1 * kNsPerSec, 1 * kNsPerSec}));
+
+    backoff.reset();
+    EXPECT_EQ(backoff.nextDelayNs(), 100 * kNsPerMs);
+}
+
+TEST(Resilience, JitteredBackoffIsDeterministicAndBounded) {
+    common::RetryPolicy policy;
+    policy.initial_backoff_ns = 100 * kNsPerMs;
+    policy.max_backoff_ns = 5 * kNsPerSec;
+    policy.jitter = 0.1;
+
+    std::vector<TimestampNs> runs[2];
+    for (int run = 0; run < 2; ++run) {
+        common::Rng rng(7);
+        common::Backoff backoff(policy, &rng);
+        for (int i = 0; i < 5; ++i) runs[run].push_back(backoff.nextDelayNs());
+    }
+    EXPECT_EQ(runs[0], runs[1]);  // same seed, same schedule
+    TimestampNs nominal = 100 * kNsPerMs;
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_GE(runs[0][i], static_cast<TimestampNs>(0.9 * nominal));
+        EXPECT_LE(runs[0][i], static_cast<TimestampNs>(1.1 * nominal));
+        nominal = std::min<TimestampNs>(nominal * 2, policy.max_backoff_ns);
+    }
+}
+
+TEST(Resilience, RetryWithBackoffAdvancesVirtualClockOnly) {
+    common::RetryPolicy policy;
+    policy.max_attempts = 5;
+    policy.initial_backoff_ns = 100 * kNsPerMs;
+    policy.jitter = 0.0;
+
+    VirtualClock clock;
+    common::Rng rng(1);
+    int calls = 0;
+    std::vector<TimestampNs> sleeps;
+    const auto result = common::retryWithBackoff(
+        policy, rng,
+        [&] { return ++calls >= 3; },  // fails twice, then succeeds
+        [&](TimestampNs delay) {
+            sleeps.push_back(delay);
+            clock.advance(delay);
+        });
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.attempts, 3);
+    EXPECT_EQ(sleeps, (std::vector<TimestampNs>{100 * kNsPerMs, 200 * kNsPerMs}));
+    EXPECT_EQ(clock.now(), 300 * kNsPerMs);
+    EXPECT_EQ(result.total_backoff_ns, 300 * kNsPerMs);
+}
+
+TEST(Resilience, RetryWithBackoffGivesUpAfterMaxAttempts) {
+    common::RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.jitter = 0.0;
+    common::Rng rng(1);
+    int calls = 0;
+    const auto result = common::retryWithBackoff(
+        policy, rng, [&] { ++calls; return false; }, [](TimestampNs) {});
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.attempts, 4);
+    EXPECT_EQ(calls, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Pusher vs. broker outage
+// ---------------------------------------------------------------------------
+
+// Runs a 10-tick (1 Hz) pusher session against a broker whose publish path
+// fails during [2 s, 5 s). Writes the injector fire count to *fires for
+// determinism checks (void so gtest ASSERTs work).
+void runBrokerOutageScenario(std::size_t num_sensors, std::uint64_t* fires) {
+    VirtualClock clock;
+    common::fault::FaultInjector injector(0xD15EA5E, &clock);
+    ASSERT_TRUE(injector.armFromText("broker.publish", "fail window=2s..5s"));
+    common::fault::ScopedInjector scoped(injector);
+
+    AgentHarness harness;
+    auto pusher = makeTesterPusher(&harness.broker, num_sensors);
+
+    constexpr int kTicks = 10;
+    for (int tick = 0; tick < kTicks; ++tick) {
+        const TimestampNs t = tick * kNsPerSec;
+        clock.set(t);
+        pusher->sampleOnce(t);
+    }
+
+    // Outage ticks 2..4 buffered 3 * num_sensors readings; the tick at 5 s
+    // drained them. Nothing was lost and nothing was duplicated.
+    EXPECT_EQ(pusher->bufferedReadings(), 0u);
+    EXPECT_EQ(pusher->readingsDropped(), 0u);
+    EXPECT_GE(pusher->publishRetries(), 1u);
+    EXPECT_EQ(pusher->messagesPublished(), kTicks * num_sensors);
+    EXPECT_EQ(harness.agent.messagesReceived(), kTicks * num_sensors);
+    EXPECT_EQ(harness.agent.readingsStored(), kTicks * num_sensors);
+
+    // Per-sensor: every tick's reading arrived exactly once, in time order.
+    for (std::size_t i = 0; i < num_sensors; ++i) {
+        const std::string topic = "/test/test" + std::to_string(i);
+        const auto readings =
+            harness.storage.query(topic, 0, kTicks * kNsPerSec);
+        ASSERT_EQ(readings.size(), static_cast<std::size_t>(kTicks)) << topic;
+        for (std::size_t k = 1; k < readings.size(); ++k) {
+            EXPECT_LT(readings[k - 1].timestamp, readings[k].timestamp);
+            EXPECT_LT(readings[k - 1].value, readings[k].value);
+        }
+    }
+    *fires = injector.fires("broker.publish");
+}
+
+TEST(Resilience, PusherBuffersThroughBrokerOutageWithoutDuplicates) {
+    std::uint64_t first = 0;
+    std::uint64_t second = 0;
+    runBrokerOutageScenario(4, &first);
+    runBrokerOutageScenario(4, &second);
+    EXPECT_GT(first, 0u);
+    EXPECT_EQ(first, second);  // run-twice determinism (fixed seed + clock)
+}
+
+TEST(Resilience, PusherBufferDropsOldestBeyondCap) {
+    common::fault::FaultInjector injector(1);
+    ASSERT_TRUE(injector.armFromText("broker.publish", "fail"));
+    common::fault::ScopedInjector scoped(injector);
+
+    mqtt::Broker broker;
+    pusher::PusherConfig config;
+    config.publish_buffer_max = 5;
+    auto pusher = makeTesterPusher(&broker, 2, std::move(config));
+
+    for (int tick = 0; tick < 10; ++tick) {
+        pusher->sampleOnce(tick * kNsPerSec);
+    }
+    // 20 readings refused, 5 retained (newest), 15 dropped oldest-first.
+    EXPECT_EQ(pusher->bufferedReadings(), 5u);
+    EXPECT_EQ(pusher->readingsDropped(), 15u);
+    EXPECT_EQ(pusher->messagesPublished(), 0u);
+}
+
+TEST(Resilience, PusherWithBufferingDisabledDropsImmediately) {
+    common::fault::FaultInjector injector(1);
+    ASSERT_TRUE(injector.armFromText("broker.publish", "fail"));
+    common::fault::ScopedInjector scoped(injector);
+
+    mqtt::Broker broker;
+    pusher::PusherConfig config;
+    config.publish_buffer_max = 0;
+    auto pusher = makeTesterPusher(&broker, 3, std::move(config));
+    pusher->sampleOnce(0);
+    EXPECT_EQ(pusher->bufferedReadings(), 0u);
+    EXPECT_EQ(pusher->readingsDropped(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Collect agent vs. storage failures
+// ---------------------------------------------------------------------------
+
+TEST(Resilience, StorageFailingEveryThirdInsertQuarantinesOnlyRefused) {
+    common::fault::FaultInjector injector(1);
+    ASSERT_TRUE(injector.armFromText("storage.insert", "fail every=3"));
+    common::fault::ScopedInjector scoped(injector);
+
+    AgentHarness harness;
+    const std::string topic = "/node0/cpu/temp";
+    for (int i = 0; i < 9; ++i) {
+        mqtt::Message message{topic, {{i * kNsPerSec, static_cast<double>(i)}}};
+        EXPECT_GE(harness.broker.publish(message), 0);
+    }
+    // Inserts 3, 6, 9 were refused: 6 stored, 3 quarantined, none lost.
+    EXPECT_EQ(harness.agent.readingsStored(), 6u);
+    EXPECT_EQ(harness.agent.quarantinedReadings(), 3u);
+    EXPECT_EQ(harness.agent.storageErrors(topic), 3u);
+    EXPECT_EQ(harness.agent.storageErrorsTotal(), 3u);
+    EXPECT_EQ(harness.storage.stats().rejected_inserts, 3u);
+    EXPECT_EQ(harness.storage.query(topic, 0, 9 * kNsPerSec).size(), 6u);
+
+    // Storage recovers: the quarantine drains completely, nothing was lost.
+    injector.disarm("storage.insert");
+    EXPECT_EQ(harness.agent.retryQuarantined(), 3u);
+    EXPECT_EQ(harness.agent.quarantinedReadings(), 0u);
+    EXPECT_EQ(harness.agent.readingsStored(), 9u);
+    const auto readings = harness.storage.query(topic, 0, 9 * kNsPerSec);
+    ASSERT_EQ(readings.size(), 9u);
+    for (std::size_t k = 1; k < readings.size(); ++k) {
+        EXPECT_LT(readings[k - 1].timestamp, readings[k].timestamp);
+    }
+}
+
+TEST(Resilience, RetryQuarantinedKeepsRefusedReadingsQueued) {
+    common::fault::FaultInjector injector(1);
+    ASSERT_TRUE(injector.armFromText("storage.insert", "fail"));
+    common::fault::ScopedInjector scoped(injector);
+
+    AgentHarness harness;
+    mqtt::Message message{"/node0/s", {{1, 1.0}, {2, 2.0}}};
+    harness.broker.publish(message);
+    EXPECT_EQ(harness.agent.quarantinedReadings(), 2u);
+    // Storage still down: nothing drains, nothing is lost.
+    EXPECT_EQ(harness.agent.retryQuarantined(), 0u);
+    EXPECT_EQ(harness.agent.quarantinedReadings(), 2u);
+}
+
+TEST(Resilience, QuarantineOverflowDropsOldest) {
+    common::fault::FaultInjector injector(1);
+    ASSERT_TRUE(injector.armFromText("storage.insert", "fail"));
+    common::fault::ScopedInjector scoped(injector);
+
+    collectagent::CollectAgentConfig config;
+    config.quarantine_max = 4;
+    AgentHarness harness(std::move(config));
+    for (int i = 0; i < 6; ++i) {
+        mqtt::Message message{"/node0/s", {{i, static_cast<double>(i)}}};
+        harness.broker.publish(message);
+    }
+    EXPECT_EQ(harness.agent.quarantinedReadings(), 4u);
+    EXPECT_EQ(harness.agent.quarantineOverflow(), 2u);
+
+    // The survivors are the newest four readings (2..5).
+    injector.disarm("storage.insert");
+    EXPECT_EQ(harness.agent.retryQuarantined(), 4u);
+    const auto readings = harness.storage.query("/node0/s", 0, 10);
+    ASSERT_EQ(readings.size(), 4u);
+    EXPECT_EQ(readings.front().timestamp, 2);
+    EXPECT_EQ(readings.back().timestamp, 5);
+}
+
+TEST(Resilience, CachesStayFreshDuringStorageOutage) {
+    common::fault::FaultInjector injector(1);
+    ASSERT_TRUE(injector.armFromText("storage.insert", "fail"));
+    common::fault::ScopedInjector scoped(injector);
+
+    AgentHarness harness;
+    mqtt::Message message{"/node0/s", {{5 * kNsPerSec, 42.0}}};
+    harness.broker.publish(message);
+    // Storage refused the reading, but the agent-side cache still serves it
+    // (graceful degradation: the Query Engine keeps seeing recent data).
+    const auto* cache = harness.agent.cacheStore().find("/node0/s");
+    ASSERT_NE(cache, nullptr);
+    const auto latest = cache->latest();
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(latest->value, 42.0);
+    EXPECT_FALSE(harness.storage.latest("/node0/s").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Broker dead-subscriber eviction
+// ---------------------------------------------------------------------------
+
+TEST(Resilience, DeadSubscriberEvictedAfterFailureBudget) {
+    mqtt::Broker broker;
+    broker.setSubscriberFailureBudget(3);
+
+    CountingSubscriber healthy(broker, "#");
+    const auto dead = broker.subscribe(
+        "#", [](const mqtt::Message&) { throw std::runtime_error("dead client"); });
+    ASSERT_NE(dead, 0u);
+    EXPECT_EQ(broker.subscriptionCount(), 2u);
+
+    for (int i = 0; i < 5; ++i) {
+        mqtt::Message message{"/node0/s", {{i, static_cast<double>(i)}}};
+        broker.publish(message);
+    }
+    // The throwing handler failed on deliveries 1..3 and was then evicted;
+    // the healthy subscriber saw every message throughout.
+    EXPECT_EQ(broker.subscriptionCount(), 1u);
+    EXPECT_EQ(broker.evictedSubscribers(), 1u);
+    EXPECT_EQ(broker.deliveryFailures(), 3u);
+    EXPECT_EQ(healthy.messages(), 5u);
+    EXPECT_FALSE(broker.unsubscribe(dead));  // already gone
+}
+
+TEST(Resilience, FlakySubscriberSurvivesWhenFailuresAreNotConsecutive) {
+    mqtt::Broker broker;
+    broker.setSubscriberFailureBudget(3);
+
+    int calls = 0;
+    const auto flaky = broker.subscribe("#", [&calls](const mqtt::Message&) {
+        if (++calls % 2 == 1) throw std::runtime_error("flaky");
+    });
+    ASSERT_NE(flaky, 0u);
+    for (int i = 0; i < 10; ++i) {
+        mqtt::Message message{"/node0/s", {{i, 0.0}}};
+        broker.publish(message);
+    }
+    // Every other delivery succeeds, so the consecutive count resets and
+    // the subscriber is never evicted.
+    EXPECT_EQ(broker.subscriptionCount(), 1u);
+    EXPECT_EQ(broker.evictedSubscribers(), 0u);
+    EXPECT_EQ(broker.deliveryFailures(), 5u);
+}
+
+TEST(Resilience, ZeroBudgetDisablesEviction) {
+    mqtt::Broker broker;  // default budget: 0 (eviction off)
+    broker.subscribe("#",
+                     [](const mqtt::Message&) { throw std::runtime_error("dead"); });
+    for (int i = 0; i < 10; ++i) {
+        mqtt::Message message{"/node0/s", {{i, 0.0}}};
+        broker.publish(message);
+    }
+    EXPECT_EQ(broker.subscriptionCount(), 1u);
+    EXPECT_EQ(broker.deliveryFailures(), 10u);
+    EXPECT_EQ(broker.evictedSubscribers(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Broker-side drops are observable and reconcile
+// ---------------------------------------------------------------------------
+
+TEST(Resilience, BrokerDropIsAcceptedButCounted) {
+    common::fault::FaultInjector injector(1);
+    ASSERT_TRUE(injector.armFromText("broker.deliver", "drop every=2"));
+    common::fault::ScopedInjector scoped(injector);
+
+    mqtt::Broker broker;
+    CountingSubscriber subscriber(broker, "#");
+    for (int i = 0; i < 10; ++i) {
+        mqtt::Message message{"/node0/s", {{i, 0.0}}};
+        EXPECT_GE(broker.publish(message), 0);  // accepted, maybe dropped
+    }
+    // published = delivered + dropped reconciles exactly.
+    EXPECT_EQ(broker.publishedCount(), 10u);
+    EXPECT_EQ(broker.droppedCount(), 5u);
+    EXPECT_EQ(subscriber.messages(), 5u);
+    EXPECT_EQ(subscriber.messages() + broker.droppedCount(),
+              broker.publishedCount());
+}
+
+}  // namespace
+}  // namespace wm
