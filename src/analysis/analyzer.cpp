@@ -1,0 +1,579 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/dataflow.h"
+#include "common/fault.h"
+#include "common/string_utils.h"
+#include "common/time_utils.h"
+#include "core/operator.h"
+#include "core/sensor_tree.h"
+#include "core/unit_system.h"
+#include "mqtt/topic.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/facilitysim_group.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/plugins/procfssim_group.h"
+#include "pusher/plugins/sysfssim_group.h"
+#include "pusher/sim_node.h"
+#include "simulator/topology.h"
+
+namespace wm::analysis {
+
+namespace {
+
+using common::ConfigNode;
+using common::kNsPerSec;
+
+const std::set<std::string>& knownTopLevelBlocks() {
+    static const std::set<std::string> known = {"cluster",  "pusher",     "facility",
+                                                "plugin",   "resilience", "faults"};
+    return known;
+}
+
+/// Fault points instrumented in the data path (grep fault::check to extend).
+const std::set<std::string>& knownFaultPoints() {
+    static const std::set<std::string> known = {
+        "broker.deliver", "broker.publish", "collectagent.ingest",
+        "pusher.sample",  "rest.request",   "storage.insert"};
+    return known;
+}
+
+std::string formatDuration(common::TimestampNs ns) {
+    std::ostringstream out;
+    if (ns % kNsPerSec == 0) {
+        out << ns / kNsPerSec << "s";
+    } else {
+        out << ns << "ns";
+    }
+    return out.str();
+}
+
+/// The cluster the daemon would build: topology, sampling cadence, and the
+/// raw sensor inventory of every pusher — all from static group metadata;
+/// no sampling thread, no MQTT connection.
+struct ClusterModel {
+    simulator::Topology topology;
+    common::TimestampNs sampling_ns = kNsPerSec;
+    common::TimestampNs cache_window_ns = 180 * kNsPerSec;
+    /// One entry per pusher: its name (node path or "/facility") and raw
+    /// sensors, mirroring buildCluster() in wintermuted.cpp.
+    std::vector<std::pair<std::string, std::vector<sensors::SensorMetadata>>> pushers;
+};
+
+ClusterModel buildClusterModel(const ConfigNode& root, DiagnosticSink& sink) {
+    ClusterModel model;
+    const ConfigNode* cluster = root.child("cluster");
+    if (cluster != nullptr) {
+        const struct {
+            const char* key;
+            std::int64_t fallback;
+            std::size_t* target;
+        } kDimensions[] = {
+            {"racks", 2, &model.topology.racks},
+            {"chassisPerRack", 2, &model.topology.chassis_per_rack},
+            {"nodesPerChassis", 2, &model.topology.nodes_per_chassis},
+            {"cpusPerNode", 8, &model.topology.cpus_per_node},
+        };
+        bool valid = true;
+        for (const auto& dimension : kDimensions) {
+            const std::int64_t value = cluster->getInt(dimension.key, dimension.fallback);
+            if (value <= 0) {
+                const ConfigNode* child = cluster->child(dimension.key);
+                sink.error("WM0107",
+                           std::string("'") + dimension.key +
+                               "' must be positive; the cluster has no nodes",
+                           child != nullptr ? child->line() : cluster->line(),
+                           child != nullptr ? child->column() : cluster->column());
+                valid = false;
+            } else {
+                *dimension.target = static_cast<std::size_t>(value);
+            }
+        }
+        model.topology.max_nodes =
+            static_cast<std::size_t>(std::max<std::int64_t>(cluster->getInt("maxNodes", 0), 0));
+        if (!valid) model.topology.max_nodes = 0;
+        if (!valid) return model;
+    }
+
+    const ConfigNode* pusher_cfg = root.child("pusher");
+    if (pusher_cfg != nullptr) {
+        model.sampling_ns = pusher_cfg->getDurationNs("samplingInterval", kNsPerSec);
+        model.cache_window_ns = pusher_cfg->getDurationNs("cacheWindow", 180 * kNsPerSec);
+        if (model.sampling_ns <= 0) {
+            const ConfigNode* child = pusher_cfg->child("samplingInterval");
+            sink.error("WM0303", "'samplingInterval' must be a positive duration",
+                       child != nullptr ? child->line() : pusher_cfg->line(),
+                       child != nullptr ? child->column() : pusher_cfg->column());
+            model.sampling_ns = kNsPerSec;
+        }
+        if (model.cache_window_ns <= 0) {
+            const ConfigNode* child = pusher_cfg->child("cacheWindow");
+            sink.error("WM0303", "'cacheWindow' must be a positive duration",
+                       child != nullptr ? child->line() : pusher_cfg->line(),
+                       child != nullptr ? child->column() : pusher_cfg->column());
+            model.cache_window_ns = 180 * kNsPerSec;
+        } else if (model.cache_window_ns < model.sampling_ns) {
+            const ConfigNode* child = pusher_cfg->child("cacheWindow");
+            sink.warning("WM0301",
+                         "'cacheWindow' (" + formatDuration(model.cache_window_ns) +
+                             ") is shorter than 'samplingInterval' (" +
+                             formatDuration(model.sampling_ns) +
+                             "); caches hold at most one reading",
+                         child != nullptr ? child->line() : pusher_cfg->line(),
+                         child != nullptr ? child->column() : pusher_cfg->column());
+        }
+    }
+
+    // Raw sensor inventory, from the same group metadata the pushers would
+    // publish. One shared simulated node suffices: sensors() only reads the
+    // core count.
+    const auto node =
+        std::make_shared<pusher::SimulatedNode>(model.topology.cpus_per_node, 1);
+    for (std::size_t n = 0; n < model.topology.nodeCount(); ++n) {
+        const std::string node_path = model.topology.nodePath(n);
+        std::vector<sensors::SensorMetadata> sensors;
+        pusher::PerfsimGroupConfig perf;
+        perf.node_path = node_path;
+        perf.interval_ns = model.sampling_ns;
+        const pusher::PerfsimGroup perf_group(perf, node);
+        for (auto& metadata : perf_group.sensors()) sensors.push_back(std::move(metadata));
+        pusher::SysfssimGroupConfig sys;
+        sys.node_path = node_path;
+        sys.interval_ns = model.sampling_ns;
+        const pusher::SysfssimGroup sys_group(sys, node);
+        for (auto& metadata : sys_group.sensors()) sensors.push_back(std::move(metadata));
+        pusher::ProcfssimGroupConfig proc;
+        proc.node_path = node_path;
+        proc.interval_ns = model.sampling_ns;
+        const pusher::ProcfssimGroup proc_group(proc, node);
+        for (auto& metadata : proc_group.sensors()) sensors.push_back(std::move(metadata));
+        model.pushers.emplace_back(node_path, std::move(sensors));
+    }
+    if (model.pushers.empty()) {
+        sink.error("WM0107", "cluster topology yields zero nodes",
+                   cluster != nullptr ? cluster->line() : 0,
+                   cluster != nullptr ? cluster->column() : 0);
+    }
+
+    const ConfigNode* facility = root.child("facility");
+    if (facility == nullptr || facility->getBool("enabled", true)) {
+        pusher::FacilitysimGroupConfig facility_config;
+        facility_config.interval_ns = model.sampling_ns;
+        const pusher::FacilitysimGroup facility_group(
+            facility_config, std::make_shared<pusher::SimulatedFacility>());
+        model.pushers.emplace_back("/facility", facility_group.sensors());
+    }
+    return model;
+}
+
+/// One analyzed operator block (pusher-host blocks merged over all pushers).
+struct OperatorRecord {
+    std::string id;       // "plugin/name@host"
+    std::string subject;  // "plugin/name"
+    std::size_t line = 0;
+    std::size_t column = 0;
+    bool sink_plugin = false;
+    bool job_scoped = false;
+    bool publish = true;
+    std::vector<std::string> input_topics;
+    std::vector<std::string> output_topics;
+    std::vector<std::string> input_names;
+    std::vector<std::string> output_names;
+};
+
+struct AnalyzerState {
+    ClusterModel model;
+    /// Pusher-local sensor trees, grown operator by operator exactly as the
+    /// runtime Query Engines would be.
+    std::vector<std::pair<std::string, core::SensorTree>> pusher_trees;
+    /// The Collect Agent's global tree (everything published over MQTT).
+    core::SensorTree agent_tree;
+    /// Every produced topic -> producer, for double-publish detection.
+    std::map<std::string, std::string> topic_owners;
+    /// host + "|" + operator name, for duplicate detection.
+    std::set<std::string> names_on_host;
+    std::vector<OperatorRecord> records;
+};
+
+void seedRawSensors(AnalyzerState& state) {
+    for (const auto& [pusher_name, sensors] : state.model.pushers) {
+        core::SensorTree tree;
+        for (const auto& metadata : sensors) {
+            tree.addSensor(metadata.topic);
+            if (metadata.publish) state.agent_tree.addSensor(metadata.topic);
+            state.topic_owners.emplace(metadata.topic, "raw sensor");
+        }
+        state.pusher_trees.emplace_back(pusher_name, std::move(tree));
+    }
+}
+
+/// Registers a produced topic and reports WM0201/WM0202. Topics carrying
+/// MQTT wildcards are invalid as outputs; they are additionally matched
+/// against the registry with the overlap predicate so a wildcard cannot
+/// hide a double publish.
+void registerOutputTopic(const std::string& topic, const OperatorRecord& record,
+                         AnalyzerState& state, DiagnosticSink& sink) {
+    if (!mqtt::isValidTopic(topic)) {
+        sink.error("WM0201",
+                   "resolved output topic '" + topic + "' is not a valid MQTT topic",
+                   record.line, record.column, record.subject);
+        if (mqtt::isValidFilter(topic)) {
+            for (const auto& [existing, owner] : state.topic_owners) {
+                if (mqtt::filtersOverlap(topic, existing)) {
+                    sink.error("WM0202",
+                               "wildcard output '" + topic + "' overlaps topic '" +
+                                   existing + "' produced by " + owner,
+                               record.line, record.column, record.subject);
+                    break;
+                }
+            }
+        }
+        return;
+    }
+    const auto [it, inserted] = state.topic_owners.emplace(topic, record.subject);
+    if (!inserted && it->second != record.subject) {
+        sink.error("WM0202",
+                   "output topic '" + topic + "' is already produced by " + it->second +
+                       " (double publish)",
+                   record.line, record.column, record.subject);
+    }
+}
+
+void analyzeOperator(const std::string& plugin_name, const plugins::PluginStaticInfo* info,
+                     const ConfigNode& op_node, const std::string& host,
+                     AnalyzerState& state, DiagnosticSink& sink,
+                     AnalysisSummary& summary) {
+    ++summary.operators_analyzed;
+    OperatorRecord record;
+    record.subject = plugins::operatorSubject(op_node, plugin_name);
+    record.id = record.subject + "@" + host;
+    record.line = op_node.line();
+    record.column = op_node.column();
+    if (info != nullptr) {
+        record.sink_plugin = info->sink;
+        record.job_scoped = info->job_scoped;
+        if (info->validate) info->validate(op_node, sink);
+    }
+
+    const core::OperatorConfig config = info != nullptr && info->effective_config
+                                            ? info->effective_config(op_node)
+                                            : core::parseOperatorConfig(op_node, plugin_name);
+    record.publish = config.publish_outputs;
+    record.input_names = plugins::patternLeafNames(config.input_patterns);
+    record.output_names = plugins::patternLeafNames(config.output_patterns);
+
+    if (!state.names_on_host.insert(host + "|" + config.name).second) {
+        sink.error("WM0105",
+                   "duplicate operator name '" + config.name + "' on host '" + host + "'",
+                   record.line, record.column, record.subject);
+    }
+
+    // Interval/window feasibility. OnDemand operators have no tick interval.
+    if (config.mode == core::OperatorMode::kOnline && config.interval_ns <= 0) {
+        sink.error("WM0303", "'interval' must be a positive duration", record.line,
+                   record.column, record.subject);
+    }
+    if (!config.input_patterns.empty() && config.window_ns > 0 &&
+        config.window_ns < state.model.sampling_ns) {
+        sink.warning("WM0301",
+                     "'window' (" + formatDuration(config.window_ns) +
+                         ") is shorter than the input sampling interval (" +
+                         formatDuration(state.model.sampling_ns) +
+                         "); queries see at most one reading",
+                     record.line, record.column, record.subject);
+    }
+    if (config.window_ns > state.model.cache_window_ns) {
+        const std::string message =
+            "'window' (" + formatDuration(config.window_ns) +
+            ") exceeds the cache retention 'cacheWindow' (" +
+            formatDuration(state.model.cache_window_ns) + ")";
+        if (host == "pusher") {
+            // Pusher-hosted operators have no storage fallback.
+            sink.error("WM0302", message + "; the data can never be served", record.line,
+                       record.column, record.subject);
+        } else {
+            sink.warning("WM0302", message + "; queries fall back to storage",
+                         record.line, record.column, record.subject);
+        }
+    }
+
+    if (config.output_patterns.empty() && !record.sink_plugin) {
+        sink.error("WM0104", "operator has no output patterns", record.line,
+                   record.column, record.subject);
+        state.records.push_back(std::move(record));
+        return;
+    }
+
+    // Pattern syntax (WM0102), reported per malformed expression.
+    bool malformed = false;
+    for (const auto* patterns : {&config.input_patterns, &config.output_patterns}) {
+        for (const auto& pattern : *patterns) {
+            if (!core::parsePattern(pattern)) {
+                sink.error("WM0102", "malformed pattern expression '" + pattern + "'",
+                           record.line, record.column, record.subject);
+                malformed = true;
+            }
+        }
+    }
+    if (malformed) {
+        state.records.push_back(std::move(record));
+        return;
+    }
+    const auto unit_template =
+        core::makeUnitTemplate(config.input_patterns, config.output_patterns);
+    if (!unit_template) {
+        sink.error("WM0102", "malformed pattern expression", record.line, record.column,
+                   record.subject);
+        state.records.push_back(std::move(record));
+        return;
+    }
+
+    // Unit resolution, staged exactly like the runtime: pusher-host blocks
+    // resolve on every pusher's tree (outputs feed that tree, and the global
+    // tree when published); Collect Agent blocks resolve on the global tree.
+    std::set<std::string> inputs;
+    std::set<std::string> outputs;
+    std::size_t units = 0;
+    if (!record.job_scoped) {
+        if (host == "pusher") {
+            for (auto& [pusher_name, tree] : state.pusher_trees) {
+                const core::UnitResolver resolver(tree);
+                const std::vector<core::Unit> resolved =
+                    resolver.resolveUnits(*unit_template);
+                units += resolved.size();
+                std::set<std::string> local_outputs;
+                for (const auto& unit : resolved) {
+                    inputs.insert(unit.inputs.begin(), unit.inputs.end());
+                    local_outputs.insert(unit.outputs.begin(), unit.outputs.end());
+                }
+                for (const auto& topic : local_outputs) {
+                    tree.addSensor(topic);
+                    if (config.publish_outputs) state.agent_tree.addSensor(topic);
+                }
+                outputs.insert(local_outputs.begin(), local_outputs.end());
+            }
+        } else {
+            const core::UnitResolver resolver(state.agent_tree);
+            const std::vector<core::Unit> resolved = resolver.resolveUnits(*unit_template);
+            units += resolved.size();
+            for (const auto& unit : resolved) {
+                inputs.insert(unit.inputs.begin(), unit.inputs.end());
+                outputs.insert(unit.outputs.begin(), unit.outputs.end());
+            }
+            for (const auto& topic : outputs) state.agent_tree.addSensor(topic);
+        }
+        if (units == 0) {
+            sink.error("WM0103",
+                       "no units resolve: the patterns match nothing in the sensor tree",
+                       record.line, record.column, record.subject);
+        }
+    }
+    summary.units_resolved += units;
+
+    record.input_topics.assign(inputs.begin(), inputs.end());
+    record.output_topics.assign(outputs.begin(), outputs.end());
+    record.output_topics.insert(record.output_topics.end(),
+                                config.global_output_topics.begin(),
+                                config.global_output_topics.end());
+    if (!record.sink_plugin) {
+        for (const auto& topic : outputs) registerOutputTopic(topic, record, state, sink);
+        for (const auto& topic : config.global_output_topics) {
+            registerOutputTopic(topic, record, state, sink);
+        }
+    }
+    state.records.push_back(std::move(record));
+}
+
+void analyzePlugins(const ConfigNode& root, AnalyzerState& state, DiagnosticSink& sink,
+                    AnalysisSummary& summary) {
+    const auto& static_info = plugins::builtinPluginStaticInfo();
+    for (const auto* plugin : root.childrenOf("plugin")) {
+        const std::string name = plugin->value();
+        if (plugins::builtinConfigurators().count(name) == 0) {
+            sink.error("WM0101", "unknown plugin '" + name + "'", plugin->line(),
+                       plugin->column());
+            continue;
+        }
+        std::string host = plugin->getString("host", "collectagent");
+        if (host != "pusher" && host != "collectagent") {
+            const ConfigNode* child = plugin->child("host");
+            sink.error("WM0106",
+                       "invalid host '" + host +
+                           "' (expected 'pusher' or 'collectagent'); the runtime "
+                           "silently treats it as 'collectagent'",
+                       child != nullptr ? child->line() : plugin->line(),
+                       child != nullptr ? child->column() : plugin->column(),
+                       "plugin " + name);
+            host = "collectagent";
+        }
+        const auto info_it = static_info.find(name);
+        const plugins::PluginStaticInfo* info =
+            info_it != static_info.end() ? &info_it->second : nullptr;
+        for (const auto& child : plugin->children()) {
+            if (child.key() != "operator") continue;
+            analyzeOperator(name, info, child, host, state, sink, summary);
+        }
+    }
+}
+
+/// WM0204: operators whose outputs leave the process nowhere — not published
+/// over MQTT and not consumed by any other operator.
+void checkDeadOutputs(const AnalyzerState& state, DiagnosticSink& sink) {
+    for (const auto& record : state.records) {
+        if (record.publish || record.sink_plugin || record.job_scoped) continue;
+        // Nothing resolved (already WM0103) — no point piling on.
+        if (record.output_topics.empty()) continue;
+        bool consumed = false;
+        for (const auto& other : state.records) {
+            if (other.id == record.id) continue;
+            for (const auto& topic : record.output_topics) {
+                consumed = consumed ||
+                           std::find(other.input_topics.begin(), other.input_topics.end(),
+                                     topic) != other.input_topics.end();
+            }
+            for (const auto& name : record.output_names) {
+                consumed = consumed ||
+                           std::find(other.input_names.begin(), other.input_names.end(),
+                                     name) != other.input_names.end();
+            }
+            if (consumed) break;
+        }
+        if (!consumed) {
+            sink.warning("WM0204",
+                         "outputs are neither published (publish false) nor consumed "
+                         "by another operator; the results are unreachable",
+                         record.line, record.column, record.subject);
+        }
+    }
+}
+
+void checkCycles(const AnalyzerState& state, DiagnosticSink& sink) {
+    DataflowGraph graph;
+    for (const auto& record : state.records) {
+        graph.addNode({record.id, record.input_topics, record.output_topics,
+                       record.input_names, record.output_names});
+    }
+    for (const auto& cycle : graph.cycles()) {
+        std::ostringstream message;
+        message << "operator dependency cycle: ";
+        for (const auto& id : cycle) message << id << " -> ";
+        message << cycle.front();
+        sink.error("WM0203", message.str());
+    }
+}
+
+void checkFaults(const ConfigNode& root, DiagnosticSink& sink) {
+    const ConfigNode* block = root.child("faults");
+    if (block == nullptr) return;
+    for (const auto* point : block->childrenOf("point")) {
+        const std::string spec = point->getString("spec");
+        if (!common::fault::parseFaultSpec(spec)) {
+            sink.error("WM0501",
+                       "invalid fault spec '" + spec + "' for point '" + point->value() +
+                           "'",
+                       point->line(), point->column());
+        }
+        if (knownFaultPoints().count(point->value()) == 0) {
+            sink.warning("WM0502",
+                         "unknown fault point '" + point->value() +
+                             "'; no code path evaluates it",
+                         point->line(), point->column());
+        }
+    }
+}
+
+void checkResilience(const ConfigNode& root, DiagnosticSink& sink) {
+    const ConfigNode* block = root.child("resilience");
+    if (block == nullptr) return;
+    static const std::set<std::string> known = {
+        "publishBufferMax",  "retryInitialBackoff",     "retryMaxBackoff",
+        "retryMultiplier",   "retryJitter",             "subscriberFailureBudget",
+        "quarantineMax"};
+    for (const auto& child : block->children()) {
+        if (known.count(child.key()) == 0) {
+            sink.error("WM0503", "unknown resilience knob '" + child.key() + "'",
+                       child.line(), child.column());
+        }
+    }
+    for (const char* key : {"publishBufferMax", "subscriberFailureBudget", "quarantineMax"}) {
+        const ConfigNode* child = block->child(key);
+        if (child != nullptr && block->getInt(key, 0) < 0) {
+            sink.error("WM0503", std::string("'") + key + "' must be non-negative",
+                       child->line(), child->column());
+        }
+    }
+    for (const char* key : {"retryInitialBackoff", "retryMaxBackoff"}) {
+        const ConfigNode* child = block->child(key);
+        if (child != nullptr && block->getDurationNs(key, 1) <= 0) {
+            sink.error("WM0503", std::string("'") + key + "' must be a positive duration",
+                       child->line(), child->column());
+        }
+    }
+    if (const ConfigNode* multiplier = block->child("retryMultiplier")) {
+        if (block->getDouble("retryMultiplier", 2.0) < 1.0) {
+            sink.error("WM0503", "'retryMultiplier' must be >= 1", multiplier->line(),
+                       multiplier->column());
+        }
+    }
+    if (const ConfigNode* jitter = block->child("retryJitter")) {
+        const double value = block->getDouble("retryJitter", 0.1);
+        if (value < 0.0 || value > 1.0) {
+            sink.error("WM0503", "'retryJitter' must be within [0, 1]", jitter->line(),
+                       jitter->column());
+        }
+    }
+    const std::int64_t initial = block->getDurationNs("retryInitialBackoff", 0);
+    const std::int64_t max = block->getDurationNs("retryMaxBackoff", 0);
+    if (initial > 0 && max > 0 && initial > max) {
+        sink.error("WM0503", "'retryInitialBackoff' exceeds 'retryMaxBackoff'",
+                   block->line(), block->column());
+    }
+}
+
+}  // namespace
+
+AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
+                              DiagnosticSink& sink) {
+    sink.setFile(source);
+    AnalysisSummary summary;
+
+    for (const auto& child : root.children()) {
+        if (knownTopLevelBlocks().count(child.key()) == 0) {
+            sink.info("WM0601", "unknown top-level block '" + child.key() + "' is ignored",
+                      child.line(), child.column());
+        }
+    }
+
+    AnalyzerState state;
+    state.model = buildClusterModel(root, sink);
+    seedRawSensors(state);
+    summary.pusher_hosts = state.model.pushers.size();
+    summary.sensors_in_tree = state.topic_owners.size();
+
+    analyzePlugins(root, state, sink, summary);
+    checkDeadOutputs(state, sink);
+    checkCycles(state, sink);
+    checkFaults(root, sink);
+    checkResilience(root, sink);
+    return summary;
+}
+
+AnalysisSummary analyzeConfigFile(const std::string& path, DiagnosticSink& sink) {
+    const common::ConfigParseResult parsed = common::parseConfigFile(path);
+    sink.setFile(path);
+    if (!parsed.ok) {
+        if (parsed.error.find("cannot open") != std::string::npos) {
+            sink.error("WM0001", parsed.error);
+        } else {
+            sink.error("WM0002", parsed.error, parsed.error_line, parsed.error_column);
+        }
+        return {};
+    }
+    return analyzeConfig(parsed.root, path, sink);
+}
+
+}  // namespace wm::analysis

@@ -1,0 +1,44 @@
+#pragma once
+
+// wm-check: static configuration and dataflow analyzer for the
+// operator/unit/topic graph (docs/CONFIGURATION.md, "Static configuration
+// checking"). The analyzer performs a dry run of the daemon's configuration
+// pipeline — topology, simulated sensor inventory, per-pusher and Collect
+// Agent sensor trees, unit resolution for every configured operator —
+// WITHOUT starting any thread, opening any socket or file, or arming any
+// fault point. It then checks the resulting dataflow graph for the classes
+// of misconfiguration that are silent or fatal only at runtime: patterns
+// matching nothing, double-published topics, operator dependency cycles,
+// infeasible windows, dead outputs, invalid fault/resilience specs.
+
+#include <cstddef>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "common/config.h"
+
+namespace wm::analysis {
+
+/// What the dry run would have instantiated; reported by wm_check --verbose
+/// style output and asserted in tests.
+struct AnalysisSummary {
+    /// Pushers the config would start (per-node pushers + facility pusher).
+    std::size_t pusher_hosts = 0;
+    /// Raw simulated sensors over all pushers.
+    std::size_t sensors_in_tree = 0;
+    /// Operator blocks analyzed (excluding template_operator blocks).
+    std::size_t operators_analyzed = 0;
+    /// Units resolved over all operators and hosts.
+    std::size_t units_resolved = 0;
+};
+
+/// Analyzes a parsed configuration. `source` is recorded as the file of all
+/// findings (may be empty for in-memory configs).
+AnalysisSummary analyzeConfig(const common::ConfigNode& root, const std::string& source,
+                              DiagnosticSink& sink);
+
+/// Parses `path` and analyzes it. Unreadable files yield WM0001, syntax
+/// errors WM0002; both leave the summary empty.
+AnalysisSummary analyzeConfigFile(const std::string& path, DiagnosticSink& sink);
+
+}  // namespace wm::analysis

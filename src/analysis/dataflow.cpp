@@ -1,0 +1,107 @@
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <set>
+
+namespace wm::analysis {
+
+std::vector<std::vector<std::size_t>> DataflowGraph::buildEdges() const {
+    std::vector<std::set<std::string>> out_topics(nodes_.size());
+    std::vector<std::set<std::string>> out_names(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        out_topics[i] = {nodes_[i].output_topics.begin(), nodes_[i].output_topics.end()};
+        out_names[i] = {nodes_[i].output_names.begin(), nodes_[i].output_names.end()};
+    }
+    std::vector<std::vector<std::size_t>> adjacency(nodes_.size());
+    for (std::size_t producer = 0; producer < nodes_.size(); ++producer) {
+        for (std::size_t consumer = 0; consumer < nodes_.size(); ++consumer) {
+            const DataflowNode& node = nodes_[consumer];
+            const bool feeds =
+                std::any_of(node.input_topics.begin(), node.input_topics.end(),
+                            [&](const std::string& topic) {
+                                return out_topics[producer].count(topic) > 0;
+                            }) ||
+                std::any_of(node.input_names.begin(), node.input_names.end(),
+                            [&](const std::string& name) {
+                                return out_names[producer].count(name) > 0;
+                            });
+            if (feeds) adjacency[producer].push_back(consumer);
+        }
+    }
+    return adjacency;
+}
+
+namespace {
+
+/// Tarjan's strongly-connected-components algorithm (recursive; operator
+/// graphs are small).
+struct Tarjan {
+    const std::vector<std::vector<std::size_t>>& adjacency;
+    std::vector<int> index;
+    std::vector<int> lowlink;
+    std::vector<bool> on_stack;
+    std::vector<std::size_t> stack;
+    int next_index = 0;
+    std::vector<std::vector<std::size_t>> components;
+
+    explicit Tarjan(const std::vector<std::vector<std::size_t>>& adj)
+        : adjacency(adj),
+          index(adj.size(), -1),
+          lowlink(adj.size(), 0),
+          on_stack(adj.size(), false) {}
+
+    void run() {
+        for (std::size_t v = 0; v < adjacency.size(); ++v) {
+            if (index[v] < 0) strongConnect(v);
+        }
+    }
+
+    void strongConnect(std::size_t v) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+        for (std::size_t w : adjacency[v]) {
+            if (index[w] < 0) {
+                strongConnect(w);
+                lowlink[v] = std::min(lowlink[v], lowlink[w]);
+            } else if (on_stack[w]) {
+                lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+        }
+        if (lowlink[v] == index[v]) {
+            std::vector<std::size_t> component;
+            std::size_t w;
+            do {
+                w = stack.back();
+                stack.pop_back();
+                on_stack[w] = false;
+                component.push_back(w);
+            } while (w != v);
+            std::reverse(component.begin(), component.end());
+            components.push_back(std::move(component));
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<std::vector<std::string>> DataflowGraph::cycles() const {
+    const std::vector<std::vector<std::size_t>> adjacency = buildEdges();
+    Tarjan tarjan(adjacency);
+    tarjan.run();
+    std::vector<std::vector<std::string>> out;
+    for (const auto& component : tarjan.components) {
+        const bool self_loop =
+            component.size() == 1 &&
+            std::find(adjacency[component[0]].begin(), adjacency[component[0]].end(),
+                      component[0]) != adjacency[component[0]].end();
+        if (component.size() < 2 && !self_loop) continue;
+        std::vector<std::string> ids;
+        ids.reserve(component.size());
+        for (std::size_t v : component) ids.push_back(nodes_[v].id);
+        out.push_back(std::move(ids));
+    }
+    return out;
+}
+
+}  // namespace wm::analysis

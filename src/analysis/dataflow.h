@@ -1,0 +1,50 @@
+#pragma once
+
+// Operator dependency graph for the wm-check analyzer (WM0203). One node per
+// configured operator block; pusher-hosted operators are merged into a single
+// node whose topics are the union over all pushers, mirroring the fact that
+// the MQTT tree joins them into one namespace.
+//
+// Edges are the union of two relations:
+//  * resolved-topic edges — an input topic of B equals an output topic of A;
+//  * name-level edges — an input pattern leaf name of B equals an output
+//    pattern leaf name of A. This heuristic is load-bearing: configuration
+//    blocks are resolved in one pass, so a strict operator cycle always
+//    contains at least one link whose input cannot resolve yet (the upstream
+//    output does not exist when the downstream operator is configured) and
+//    would be invisible to resolved topics alone.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wm::analysis {
+
+struct DataflowNode {
+    /// Unique id, "plugin/name@host".
+    std::string id;
+    std::vector<std::string> input_topics;
+    std::vector<std::string> output_topics;
+    /// Pattern leaf names (see plugins::patternLeafNames).
+    std::vector<std::string> input_names;
+    std::vector<std::string> output_names;
+};
+
+class DataflowGraph {
+  public:
+    void addNode(DataflowNode node) { nodes_.push_back(std::move(node)); }
+    const std::vector<DataflowNode>& nodes() const { return nodes_; }
+
+    /// Dependency cycles: strongly connected components with more than one
+    /// node, plus single nodes that feed themselves. Each cycle lists its
+    /// member ids in discovery order.
+    std::vector<std::vector<std::string>> cycles() const;
+
+  private:
+    /// Adjacency producer -> consumer, including self-edges.
+    std::vector<std::vector<std::size_t>> buildEdges() const;
+
+    std::vector<DataflowNode> nodes_;
+};
+
+}  // namespace wm::analysis

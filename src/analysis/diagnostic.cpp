@@ -1,0 +1,125 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace wm::analysis {
+
+const char* severityName(Severity severity) {
+    switch (severity) {
+        case Severity::kError: return "error";
+        case Severity::kWarning: return "warning";
+        case Severity::kInfo: return "info";
+    }
+    return "error";
+}
+
+void DiagnosticSink::add(Diagnostic diagnostic) {
+    if (diagnostic.location.file.empty()) diagnostic.location.file = file_;
+    switch (diagnostic.severity) {
+        case Severity::kError: ++errors_; break;
+        case Severity::kWarning: ++warnings_; break;
+        case Severity::kInfo: ++infos_; break;
+    }
+    diagnostics_.push_back(std::move(diagnostic));
+}
+
+void DiagnosticSink::error(const std::string& code, const std::string& message,
+                           std::size_t line, std::size_t column,
+                           const std::string& subject) {
+    add({code, Severity::kError, message, {"", line, column}, subject});
+}
+
+void DiagnosticSink::warning(const std::string& code, const std::string& message,
+                             std::size_t line, std::size_t column,
+                             const std::string& subject) {
+    add({code, Severity::kWarning, message, {"", line, column}, subject});
+}
+
+void DiagnosticSink::info(const std::string& code, const std::string& message,
+                          std::size_t line, std::size_t column,
+                          const std::string& subject) {
+    add({code, Severity::kInfo, message, {"", line, column}, subject});
+}
+
+bool DiagnosticSink::hasCode(const std::string& code) const {
+    return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                       [&code](const Diagnostic& d) { return d.code == code; });
+}
+
+std::vector<std::string> DiagnosticSink::codes() const {
+    std::set<std::string> unique;
+    for (const auto& diagnostic : diagnostics_) unique.insert(diagnostic.code);
+    return {unique.begin(), unique.end()};
+}
+
+std::string renderText(const DiagnosticSink& sink) {
+    std::ostringstream out;
+    for (const auto& d : sink.diagnostics()) {
+        std::ostringstream prefix;
+        if (!d.location.file.empty()) prefix << d.location.file << ':';
+        if (d.location.line > 0) {
+            prefix << d.location.line << ':';
+            if (d.location.column > 0) prefix << d.location.column << ':';
+        }
+        const std::string prefix_text = prefix.str();
+        if (!prefix_text.empty()) out << prefix_text << ' ';
+        out << severityName(d.severity) << '[' << d.code << "] ";
+        if (!d.subject.empty()) out << d.subject << ": ";
+        out << d.message << '\n';
+    }
+    out << sink.errorCount() << (sink.errorCount() == 1 ? " error, " : " errors, ")
+        << sink.warningCount() << (sink.warningCount() == 1 ? " warning, " : " warnings, ")
+        << sink.infoCount() << (sink.infoCount() == 1 ? " info" : " infos") << '\n';
+    return out.str();
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                    out += buffer;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string renderJson(const DiagnosticSink& sink) {
+    std::ostringstream out;
+    out << "{\"diagnostics\":[";
+    bool first = true;
+    for (const auto& d : sink.diagnostics()) {
+        if (!first) out << ',';
+        first = false;
+        out << "{\"code\":\"" << jsonEscape(d.code) << "\",\"severity\":\""
+            << severityName(d.severity) << "\",\"message\":\"" << jsonEscape(d.message)
+            << "\",\"file\":\"" << jsonEscape(d.location.file)
+            << "\",\"line\":" << d.location.line << ",\"column\":" << d.location.column
+            << ",\"subject\":\"" << jsonEscape(d.subject) << "\"}";
+    }
+    out << "],\"summary\":{\"errors\":" << sink.errorCount()
+        << ",\"warnings\":" << sink.warningCount() << ",\"infos\":" << sink.infoCount()
+        << "}}";
+    return out.str();
+}
+
+}  // namespace wm::analysis

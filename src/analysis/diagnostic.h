@@ -1,0 +1,99 @@
+#pragma once
+
+// Diagnostics for the wm-check static configuration analyzer.
+//
+// A Diagnostic is one finding of the dry-run pipeline: a stable WM#### code,
+// a severity, a human-readable message, and (when known) the source location
+// of the configuration node it refers to. Codes are append-only and
+// documented in docs/CONFIGURATION.md; tools/lint.py fails the build when a
+// code is emitted but missing from that table.
+//
+// The DiagnosticSink collects findings from the analyzer core and from the
+// per-plugin validate() hooks (plugins/configurator_common.h); renderers
+// turn the collected list into the human text format
+// (`file:line:col: error[WM0103]: message`) or a machine-readable JSON
+// document for CI consumption.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wm::analysis {
+
+enum class Severity { kError, kWarning, kInfo };
+
+/// "error" / "warning" / "info".
+const char* severityName(Severity severity);
+
+/// Position of a finding inside a configuration file. Line/column are
+/// 1-based; 0 means unknown (e.g. a file-level finding).
+struct SourceLocation {
+    std::string file;
+    std::size_t line = 0;
+    std::size_t column = 0;
+};
+
+struct Diagnostic {
+    std::string code;     // stable "WM####" identifier
+    Severity severity = Severity::kError;
+    std::string message;  // one line, no trailing period needed
+    SourceLocation location;
+    /// What the finding is about — an operator ("plugin/name"), a topic, a
+    /// config block. Empty when the message says it all.
+    std::string subject;
+};
+
+/// Collector for analyzer findings. Also carries the "current file" context
+/// so emitters only supply line/column.
+class DiagnosticSink {
+  public:
+    /// Sets the file recorded in subsequently added diagnostics that do not
+    /// name one themselves.
+    void setFile(std::string file) { file_ = std::move(file); }
+    const std::string& file() const { return file_; }
+
+    void add(Diagnostic diagnostic);
+
+    /// Convenience emitters; `line`/`column` may be 0 when unknown.
+    void error(const std::string& code, const std::string& message,
+               std::size_t line = 0, std::size_t column = 0,
+               const std::string& subject = "");
+    void warning(const std::string& code, const std::string& message,
+                 std::size_t line = 0, std::size_t column = 0,
+                 const std::string& subject = "");
+    void info(const std::string& code, const std::string& message,
+              std::size_t line = 0, std::size_t column = 0,
+              const std::string& subject = "");
+
+    const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+    std::size_t errorCount() const { return errors_; }
+    std::size_t warningCount() const { return warnings_; }
+    std::size_t infoCount() const { return infos_; }
+    bool hasErrors() const { return errors_ > 0; }
+
+    /// True if any collected diagnostic carries `code`.
+    bool hasCode(const std::string& code) const;
+
+    /// Sorted unique list of collected codes (golden-test helper).
+    std::vector<std::string> codes() const;
+
+  private:
+    std::string file_;
+    std::vector<Diagnostic> diagnostics_;
+    std::size_t errors_ = 0;
+    std::size_t warnings_ = 0;
+    std::size_t infos_ = 0;
+};
+
+/// Human-readable rendering, one line per diagnostic plus a summary line:
+///   configs/x.cfg:12:5: error[WM0103] aggregator/avg: ...
+///   2 errors, 1 warning, 0 infos
+std::string renderText(const DiagnosticSink& sink);
+
+/// Machine-readable rendering:
+///   {"diagnostics":[{"code":...,"severity":...,"message":...,"file":...,
+///     "line":N,"column":N,"subject":...}, ...],
+///    "summary":{"errors":N,"warnings":N,"infos":N}}
+std::string renderJson(const DiagnosticSink& sink);
+
+}  // namespace wm::analysis

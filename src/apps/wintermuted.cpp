@@ -8,6 +8,8 @@
 // Usage:
 //   wintermuted --config configs/wintermuted.cfg [--port 8080]
 //               [--duration 60]     # seconds; 0 = run until SIGINT
+//               [--check [--json]]  # static analysis only (wm-check); no
+//                                   # threads are started, exit 1 on errors
 //
 // REST endpoints (on top of the Wintermute API of OperatorManager::bindRest):
 //   GET /sensors                     list all sensor topics
@@ -21,6 +23,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/analyzer.h"
 #include "collectagent/collect_agent.h"
 #include "common/config.h"
 #include "common/fault.h"
@@ -359,6 +362,8 @@ int main(int argc, char** argv) {
     std::string config_path = "configs/wintermuted.cfg";
     std::uint16_t port = 8080;
     int duration_sec = 0;
+    bool check_only = false;
+    bool check_json = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
             config_path = argv[++i];
@@ -366,12 +371,29 @@ int main(int argc, char** argv) {
             port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
             duration_sec = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check_only = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            check_json = true;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--config FILE] [--port N] [--duration SEC]\n",
+                         "usage: %s [--config FILE] [--port N] [--duration SEC] "
+                         "[--check [--json]]\n",
                          argv[0]);
             return 2;
         }
+    }
+
+    if (check_only) {
+        // Dry-run static analysis (wm-check): validate the configuration and
+        // its dataflow without bringing up any entity or thread.
+        analysis::DiagnosticSink sink;
+        analysis::analyzeConfigFile(config_path, sink);
+        std::fputs((check_json ? analysis::renderJson(sink) + "\n"
+                               : analysis::renderText(sink))
+                       .c_str(),
+                   stdout);
+        return sink.hasErrors() ? 1 : 0;
     }
 
     const auto config = common::parseConfigFile(config_path);

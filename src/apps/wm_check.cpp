@@ -1,0 +1,57 @@
+// wm_check — standalone static configuration analyzer (wm-check). Performs
+// the full dry run of src/analysis over one or more configuration files and
+// renders the findings, without starting threads, sockets, or operators.
+// The same analysis is available as `wintermuted --check`.
+//
+// Usage:
+//   wm_check [--json] [--strict] <config>...
+//
+//   --json     machine-readable output, one JSON document per file
+//   --strict   treat warnings as errors for the exit status
+//
+// Exit status: 0 = no errors (and no warnings with --strict), 1 = findings,
+// 2 = usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+
+int main(int argc, char** argv) {
+    bool json = false;
+    bool strict = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(argv[i], "--strict") == 0) {
+            strict = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "wm_check: unknown option %s\n", argv[i]);
+            std::fprintf(stderr, "usage: wm_check [--json] [--strict] <config>...\n");
+            return 2;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "usage: wm_check [--json] [--strict] <config>...\n");
+        return 2;
+    }
+
+    bool failed = false;
+    for (const std::string& path : paths) {
+        wm::analysis::DiagnosticSink sink;
+        wm::analysis::analyzeConfigFile(path, sink);
+        if (json) {
+            std::printf("%s\n", wm::analysis::renderJson(sink).c_str());
+        } else {
+            if (paths.size() > 1) std::printf("== %s ==\n", path.c_str());
+            std::fputs(wm::analysis::renderText(sink).c_str(), stdout);
+        }
+        failed = failed || sink.hasErrors() || (strict && sink.warningCount() > 0);
+    }
+    return failed ? 1 : 0;
+}

@@ -116,7 +116,8 @@ std::string ConfigNode::toString(int indent) const {
 namespace {
 
 // Token stream over the configuration text. Tokens are '{', '}', and words
-// (quoted or bare). Tracks line numbers for error reporting.
+// (quoted or bare). Tracks line and column numbers for error reporting and
+// for the source locations attached to parsed nodes.
 class Lexer {
   public:
     explicit Lexer(const std::string& text) : text_(text) {}
@@ -125,33 +126,41 @@ class Lexer {
         enum class Kind { kWord, kOpen, kClose, kEnd, kError } kind;
         std::string text;
         std::size_t line;
+        std::size_t column;
     };
 
     Token next() {
         skipSpaceAndComments();
-        if (pos_ >= text_.size()) return {Token::Kind::kEnd, "", line_};
+        if (pos_ >= text_.size()) return {Token::Kind::kEnd, "", line_, column()};
+        const std::size_t start_column = column();
         const char c = text_[pos_];
         if (c == '{') {
             ++pos_;
-            return {Token::Kind::kOpen, "{", line_};
+            return {Token::Kind::kOpen, "{", line_, start_column};
         }
         if (c == '}') {
             ++pos_;
-            return {Token::Kind::kClose, "}", line_};
+            return {Token::Kind::kClose, "}", line_, start_column};
         }
         if (c == '"') {
+            const std::size_t start_line = line_;
             ++pos_;
             std::string word;
             while (pos_ < text_.size() && text_[pos_] != '"') {
-                if (text_[pos_] == '\n') ++line_;
+                if (text_[pos_] == '\n') {
+                    ++line_;
+                    line_start_ = pos_ + 1;
+                }
                 if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
                     ++pos_;  // simple escape: take the next char literally
                 }
                 word.push_back(text_[pos_++]);
             }
-            if (pos_ >= text_.size()) return {Token::Kind::kError, "unterminated string", line_};
+            if (pos_ >= text_.size()) {
+                return {Token::Kind::kError, "unterminated string", start_line, start_column};
+            }
             ++pos_;  // closing quote
-            return {Token::Kind::kWord, word, line_};
+            return {Token::Kind::kWord, word, start_line, start_column};
         }
         std::string word;
         while (pos_ < text_.size()) {
@@ -163,7 +172,7 @@ class Lexer {
             word.push_back(d);
             ++pos_;
         }
-        return {Token::Kind::kWord, word, line_};
+        return {Token::Kind::kWord, word, line_, start_column};
     }
 
     /// True if the rest of the current line holds nothing but whitespace,
@@ -180,6 +189,8 @@ class Lexer {
     }
 
     std::size_t line() const { return line_; }
+    /// 1-based column of the current position within its line.
+    std::size_t column() const { return pos_ - line_start_ + 1; }
 
   private:
     void skipSpaceAndComments() {
@@ -188,6 +199,7 @@ class Lexer {
             if (c == '\n') {
                 ++line_;
                 ++pos_;
+                line_start_ = pos_;
             } else if (std::isspace(static_cast<unsigned char>(c))) {
                 ++pos_;
             } else if (c == '#' || c == ';') {
@@ -201,7 +213,24 @@ class Lexer {
     const std::string& text_;
     std::size_t pos_ = 0;
     std::size_t line_ = 1;
+    std::size_t line_start_ = 0;
 };
+
+}  // namespace
+
+namespace {
+
+/// Records a parse failure with its source position; the message embeds the
+/// line and column so callers that only print `error` still locate it.
+ConfigParseResult& fail(ConfigParseResult& result, const std::string& message,
+                        std::size_t line, std::size_t column) {
+    std::ostringstream out;
+    out << message << " (line " << line << ", column " << column << ")";
+    result.error = out.str();
+    result.error_line = line;
+    result.error_column = column;
+    return result;
+}
 
 }  // namespace
 
@@ -216,42 +245,35 @@ ConfigParseResult parseConfig(const std::string& text) {
         using Kind = Lexer::Token::Kind;
         if (token.kind == Kind::kEnd) break;
         if (token.kind == Kind::kError) {
-            result.error = token.text;
-            result.error_line = token.line;
-            return result;
+            return fail(result, token.text, token.line, token.column);
         }
         if (token.kind == Kind::kClose) {
             if (stack.size() <= 1) {
-                result.error = "unmatched '}'";
-                result.error_line = token.line;
-                return result;
+                return fail(result, "unmatched '}'", token.line, token.column);
             }
             stack.pop_back();
             continue;
         }
         if (token.kind == Kind::kOpen) {
-            result.error = "unexpected '{' without a key";
-            result.error_line = token.line;
-            return result;
+            return fail(result, "unexpected '{' without a key", token.line, token.column);
         }
         // A word: this is a key. It may be followed by a value word on the
         // same line, and/or an opening brace.
         ConfigNode& node = stack.back()->addChild(token.text);
+        node.setLocation(token.line, token.column);
         if (!lexer.atLineEnd()) {
             auto value_token = lexer.next();
             if (value_token.kind == Kind::kError) {
-                result.error = value_token.text;
-                result.error_line = value_token.line;
-                return result;
+                return fail(result, value_token.text, value_token.line,
+                            value_token.column);
             }
             if (value_token.kind == Kind::kOpen) {
                 stack.push_back(&node);
                 continue;
             }
             if (value_token.kind == Kind::kClose) {
-                result.error = "unexpected '}' after key";
-                result.error_line = value_token.line;
-                return result;
+                return fail(result, "unexpected '}' after key", value_token.line,
+                            value_token.column);
             }
             if (value_token.kind == Kind::kWord) {
                 node.setValue(value_token.text);
@@ -264,9 +286,8 @@ ConfigParseResult parseConfig(const std::string& text) {
                 stack.push_back(&node);
                 continue;
             }
-            result.error = "expected '{' or end of line after value";
-            result.error_line = brace.line;
-            return result;
+            return fail(result, "expected '{' or end of line after value", brace.line,
+                        brace.column);
         }
         // Peek across the newline: an opening brace may start the next line.
         // We emulate a one-token peek by tentatively reading and replaying is
@@ -274,9 +295,8 @@ ConfigParseResult parseConfig(const std::string& text) {
         // the common `key value {` / `key {` forms, which DCDB configs use.
     }
     if (stack.size() != 1) {
-        result.error = "unterminated block (missing '}')";
-        result.error_line = lexer.line();
-        return result;
+        return fail(result, "unterminated block (missing '}')", lexer.line(),
+                    lexer.column());
     }
     result.ok = true;
     return result;
@@ -287,11 +307,14 @@ ConfigParseResult parseConfigFile(const std::string& path) {
     if (!in.is_open()) {
         ConfigParseResult result;
         result.error = "cannot open file: " + path;
+        result.source = path;
         return result;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return parseConfig(buffer.str());
+    ConfigParseResult result = parseConfig(buffer.str());
+    result.source = path;
+    return result;
 }
 
 }  // namespace wm::common

@@ -41,6 +41,16 @@ class ConfigNode {
     void setKey(std::string key) { key_ = std::move(key); }
     void setValue(std::string value) { value_ = std::move(value); }
 
+    /// Source position of the node's key token (1-based; 0 = unknown, e.g.
+    /// for nodes built programmatically). Consumed by diagnostics so that
+    /// configuration findings point at the offending line.
+    std::size_t line() const { return line_; }
+    std::size_t column() const { return column_; }
+    void setLocation(std::size_t line, std::size_t column) {
+        line_ = line;
+        column_ = column;
+    }
+
     const std::vector<ConfigNode>& children() const { return children_; }
     std::vector<ConfigNode>& children() { return children_; }
     ConfigNode& addChild(std::string key, std::string value = "");
@@ -69,6 +79,8 @@ class ConfigNode {
     std::string key_;
     std::string value_;
     std::vector<ConfigNode> children_;
+    std::size_t line_ = 0;
+    std::size_t column_ = 0;
 };
 
 /// Result of a parse: either a root node (with empty key) or an error.
@@ -77,6 +89,9 @@ struct ConfigParseResult {
     bool ok = false;
     std::string error;      // human-readable message when !ok
     std::size_t error_line = 0;
+    std::size_t error_column = 0;
+    /// File path for parseConfigFile(); empty for in-memory parses.
+    std::string source;
 };
 
 /// Parses configuration text. The returned root node is an anonymous

@@ -32,6 +32,35 @@ bool isValidFilter(std::string_view filter) {
     return true;
 }
 
+namespace {
+
+bool segmentsOverlap(const std::vector<std::string>& a, const std::vector<std::string>& b,
+                     std::size_t ai, std::size_t bi) {
+    while (true) {
+        const bool a_done = ai >= a.size();
+        const bool b_done = bi >= b.size();
+        if (a_done && b_done) return true;
+        // '#' matches the remainder of the other filter, including the empty
+        // remainder — any topic the other side matches is also matched here.
+        if (!a_done && a[ai] == "#") return true;
+        if (!b_done && b[bi] == "#") return true;
+        if (a_done || b_done) return false;
+        // '+' on either side matches whatever single segment the other side
+        // requires; two literals must agree.
+        if (a[ai] != "+" && b[bi] != "+" && a[ai] != b[bi]) return false;
+        ++ai;
+        ++bi;
+    }
+}
+
+}  // namespace
+
+bool filtersOverlap(std::string_view a, std::string_view b) {
+    const auto aparts = common::split(a, '/', /*keep_empty=*/true);
+    const auto bparts = common::split(b, '/', /*keep_empty=*/true);
+    return segmentsOverlap(aparts, bparts, 0, 0);
+}
+
 bool topicMatches(std::string_view filter, std::string_view topic) {
     const auto fparts = common::split(filter, '/', /*keep_empty=*/true);
     const auto tparts = common::split(topic, '/', /*keep_empty=*/true);

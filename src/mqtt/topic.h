@@ -20,4 +20,11 @@ bool isValidFilter(std::string_view filter);
 /// MQTT matching: does `filter` (possibly with wildcards) match `topic`?
 bool topicMatches(std::string_view filter, std::string_view topic);
 
+/// Overlap predicate: is there at least one concrete topic matched by both
+/// `a` and `b`? Either argument may contain wildcards; two wildcard-free
+/// topics overlap iff they are equal. This is the double-publish detector
+/// used by the static duplicate-output check: two operators whose output
+/// topics overlap can deliver to the same subscription.
+bool filtersOverlap(std::string_view a, std::string_view b);
+
 }  // namespace wm::mqtt

@@ -1,5 +1,6 @@
 #include "plugins/aggregator_operator.h"
 
+#include "analysis/diagnostic.h"
 #include "analytics/stats.h"
 #include "common/string_utils.h"
 #include "plugins/configurator_common.h"
@@ -63,6 +64,37 @@ std::vector<core::OperatorPtr> configureAggregator(const common::ConfigNode& nod
             const bool delta = n.getBool("delta", false);
             return std::make_shared<AggregatorOperator>(config, ctx, kind, quantile, delta);
         });
+}
+
+void validateAggregator(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "aggregator");
+    std::string operation = "average";
+    if (const auto* op = node.child("operation")) {
+        operation = common::toLower(op->value());
+        static const char* kKnown[] = {"average", "sum",    "min",      "minimum",
+                                       "max",     "maximum", "median", "quantile"};
+        bool known = false;
+        for (const char* candidate : kKnown) known = known || operation == candidate;
+        if (!known) {
+            sink.error("WM0404",
+                       "unknown aggregation operation '" + op->value() +
+                           "' (silently treated as 'average' at runtime)",
+                       op->line(), op->column(), subject);
+        }
+    }
+    if (const auto* quantile = node.child("quantile")) {
+        const double q = node.getDouble("quantile", 0.5);
+        if (q < 0.0 || q > 1.0) {
+            sink.error("WM0404", "'quantile' must be within [0, 1]", quantile->line(),
+                       quantile->column(), subject);
+        }
+        if (operation != "quantile") {
+            sink.warning("WM0405",
+                         "'quantile' is set but 'operation' is '" + operation +
+                             "'; the value is ignored",
+                         quantile->line(), quantile->column(), subject);
+        }
+    }
 }
 
 }  // namespace wm::plugins

@@ -13,6 +13,10 @@
 
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 enum class AggregationKind {
@@ -47,5 +51,10 @@ class AggregatorOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configureAggregator(const common::ConfigNode& node,
                                                    const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateAggregator(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/diagnostic.h"
 #include "analytics/features.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
@@ -98,6 +99,29 @@ std::vector<core::OperatorPtr> configureClassifier(const common::ConfigNode& nod
             }
             return std::make_shared<ClassifierOperator>(config, ctx, std::move(settings));
         });
+}
+
+void validateClassifier(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "classifier");
+    for (const char* key : {"trees", "maxDepth", "trainingSamples"}) {
+        const auto* child = node.child(key);
+        if (child != nullptr && node.getInt(key, 1) <= 0) {
+            sink.error("WM0404", std::string("'") + key + "' must be positive",
+                       child->line(), child->column(), subject);
+        }
+    }
+    // The label sensor must be among the inputs or training never starts.
+    const core::OperatorConfig config = core::parseOperatorConfig(node, "classifier");
+    const std::vector<std::string> inputs = patternLeafNames(config.input_patterns);
+    const std::string label = node.getString("labelSensor", "app-label");
+    if (!inputs.empty() &&
+        std::find(inputs.begin(), inputs.end(), label) == inputs.end()) {
+        sink.warning("WM0405",
+                     "label sensor '" + label +
+                         "' is not among the configured inputs; the classifier "
+                         "never collects training labels",
+                     node.line(), node.column(), subject);
+    }
 }
 
 }  // namespace wm::plugins

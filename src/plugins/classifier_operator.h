@@ -25,6 +25,10 @@
 #include "analytics/classifier.h"
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 struct ClassifierSettings {
@@ -65,5 +69,10 @@ class ClassifierOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configureClassifier(const common::ConfigNode& node,
                                                    const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateClassifier(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

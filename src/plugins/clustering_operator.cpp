@@ -1,5 +1,6 @@
 #include "plugins/clustering_operator.h"
 
+#include "analysis/diagnostic.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
 #include "plugins/configurator_common.h"
@@ -121,6 +122,24 @@ std::vector<core::OperatorPtr> configureClustering(const common::ConfigNode& nod
             }
             return std::make_shared<ClusteringOperator>(config, ctx, std::move(settings));
         });
+}
+
+void validateClustering(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "clustering");
+    for (const char* key : {"maxComponents", "refinePasses"}) {
+        const auto* child = node.child(key);
+        if (child != nullptr && node.getInt(key, 1) <= 0) {
+            sink.error("WM0404", std::string("'") + key + "' must be positive",
+                       child->line(), child->column(), subject);
+        }
+    }
+    for (const char* key : {"outlierThreshold", "trimThreshold"}) {
+        const auto* child = node.child(key);
+        if (child != nullptr && node.getDouble(key, 0.5) <= 0.0) {
+            sink.error("WM0404", std::string("'") + key + "' must be positive",
+                       child->line(), child->column(), subject);
+        }
+    }
 }
 
 }  // namespace wm::plugins

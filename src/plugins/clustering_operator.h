@@ -28,6 +28,10 @@
 #include "common/mutex.h"
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 struct ClusteringSettings {
@@ -81,5 +85,10 @@ class ClusteringOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configureClustering(const common::ConfigNode& node,
                                                    const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateClustering(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

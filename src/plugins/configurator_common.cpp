@@ -1,8 +1,26 @@
 #include "plugins/configurator_common.h"
 
 #include "common/logging.h"
+#include "common/string_utils.h"
 
 namespace wm::plugins {
+
+std::vector<std::string> patternLeafNames(const std::vector<std::string>& patterns) {
+    std::vector<std::string> out;
+    out.reserve(patterns.size());
+    for (const auto& pattern : patterns) {
+        const auto expression = core::parsePattern(pattern);
+        if (!expression) continue;
+        out.push_back(expression->anchor == core::LevelAnchor::kAbsolute
+                          ? common::pathLeaf(expression->sensor_name)
+                          : expression->sensor_name);
+    }
+    return out;
+}
+
+std::string operatorSubject(const common::ConfigNode& node, const std::string& plugin) {
+    return plugin + "/" + (node.value().empty() ? plugin : node.value());
+}
 
 std::vector<core::OperatorPtr> configureStandard(const common::ConfigNode& node,
                                                  const core::OperatorContext& context,

@@ -15,6 +15,10 @@
 #include "common/config.h"
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 /// Factory invoked once per operator instance to be created; receives the
@@ -32,5 +36,42 @@ std::vector<core::OperatorPtr> configureStandard(const common::ConfigNode& node,
                                                  const core::OperatorContext& context,
                                                  const std::string& plugin,
                                                  const OperatorFactory& factory);
+
+/// Static-analysis hook of a plugin (wm-check, src/analysis): validates one
+/// operator configuration block without instantiating anything, reporting
+/// plugin-specific findings (threshold sanity, value ranges, grammar) into
+/// the sink. Must be side-effect free: no threads, no files, no logging.
+using PluginValidator = std::function<void(const common::ConfigNode& operator_node,
+                                           analysis::DiagnosticSink& sink)>;
+
+/// Computes the operator configuration exactly as the plugin's configurator
+/// would — including synthesized patterns (persyst's decile outputs, the
+/// filesink unit anchor) — again without side effects. The analyzer resolves
+/// units from this, so dry-run resolution matches runtime resolution.
+using EffectiveConfigFn =
+    std::function<core::OperatorConfig(const common::ConfigNode& operator_node)>;
+
+/// What a plugin contributes to static analysis. A null `validate` means
+/// "no plugin-specific checks"; a null `effective_config` means the plain
+/// core::parseOperatorConfig() result is authoritative.
+struct PluginStaticInfo {
+    PluginValidator validate;
+    EffectiveConfigFn effective_config;
+    /// Units materialise per running job at runtime (JobOperatorTemplate);
+    /// the analyzer cannot resolve them against the static sensor tree and
+    /// falls back to name-level dataflow edges.
+    bool job_scoped = false;
+    /// Outputs are synthetic unit anchors (e.g. filesink's "_filesink"),
+    /// never published — exempt from output-topic checks.
+    bool sink = false;
+};
+
+/// Leaf sensor names of pattern expressions: the pattern form yields its
+/// sensor name, the absolute form its last path segment. Malformed
+/// expressions are skipped (reported separately as WM0102).
+std::vector<std::string> patternLeafNames(const std::vector<std::string>& patterns);
+
+/// "plugin/name" display subject for diagnostics about an operator block.
+std::string operatorSubject(const common::ConfigNode& node, const std::string& plugin);
 
 }  // namespace wm::plugins

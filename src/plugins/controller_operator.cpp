@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/diagnostic.h"
 #include "plugins/configurator_common.h"
 
 namespace wm::plugins {
@@ -63,6 +64,35 @@ std::vector<core::OperatorPtr> configureController(const common::ConfigNode& nod
             }
             return std::make_shared<ControllerOperator>(config, ctx, std::move(settings));
         });
+}
+
+void validateController(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "controller");
+    if (node.getDouble("setpoint", 0.0) == 0.0) {
+        const auto* setpoint = node.child("setpoint");
+        sink.error("WM0404",
+                   "'setpoint' is zero or missing; the controller is silently "
+                   "discarded at runtime",
+                   setpoint != nullptr ? setpoint->line() : node.line(),
+                   setpoint != nullptr ? setpoint->column() : node.column(), subject);
+    }
+    const double knob_min = node.getDouble("knobMin", 0.5);
+    const double knob_max = node.getDouble("knobMax", 1.0);
+    if (knob_min > knob_max) {
+        const auto* anchor = node.child("knobMin");
+        sink.error("WM0404",
+                   "'knobMin' (" + std::to_string(knob_min) + ") > 'knobMax' (" +
+                       std::to_string(knob_max) +
+                       "); the controller is silently discarded at runtime",
+                   anchor != nullptr ? anchor->line() : node.line(),
+                   anchor != nullptr ? anchor->column() : node.column(), subject);
+    }
+    if (const auto* gain = node.child("gain")) {
+        if (node.getDouble("gain", 0.1) <= 0.0) {
+            sink.warning("WM0405", "'gain' is not positive; the knob never moves",
+                         gain->line(), gain->column(), subject);
+        }
+    }
 }
 
 }  // namespace wm::plugins

@@ -28,6 +28,10 @@
 #include "common/mutex.h"
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 struct ControllerSettings {
@@ -65,5 +69,10 @@ class ControllerOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configureController(const common::ConfigNode& node,
                                                    const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateController(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

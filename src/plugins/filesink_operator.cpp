@@ -1,5 +1,6 @@
 #include "plugins/filesink_operator.h"
 
+#include "analysis/diagnostic.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
 #include "plugins/configurator_common.h"
@@ -36,8 +37,7 @@ std::vector<core::SensorValue> FilesinkOperator::compute(const core::Unit& unit,
     return {};  // a sink has no sensor outputs
 }
 
-std::vector<core::OperatorPtr> configureFilesink(const common::ConfigNode& node,
-                                                 const core::OperatorContext& context) {
+common::ConfigNode filesinkPatchedNode(const common::ConfigNode& node) {
     // Sinks have no output sensors; synthesise a unit template from the
     // inputs alone by anchoring units at the inputs' own level.
     common::ConfigNode patched = node;
@@ -59,6 +59,12 @@ std::vector<core::OperatorPtr> configureFilesink(const common::ConfigNode& node,
             }
         }
     }
+    return patched;
+}
+
+std::vector<core::OperatorPtr> configureFilesink(const common::ConfigNode& node,
+                                                 const core::OperatorContext& context) {
+    const common::ConfigNode patched = filesinkPatchedNode(node);
     const std::string path = node.getString("path");
     const bool auto_flush = node.getBool("autoFlush", false);
     if (path.empty()) {
@@ -73,6 +79,14 @@ std::vector<core::OperatorPtr> configureFilesink(const common::ConfigNode& node,
             adjusted.publish_outputs = false;  // the synthetic output is never emitted
             return std::make_shared<FilesinkOperator>(adjusted, ctx, path, auto_flush);
         });
+}
+
+void validateFilesink(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "filesink");
+    if (node.getString("path").empty()) {
+        sink.error("WM0404", "missing 'path' configuration key; the sink is rejected",
+                   node.line(), node.column(), subject);
+    }
 }
 
 }  // namespace wm::plugins

@@ -20,6 +20,10 @@
 
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 class FilesinkOperator final : public core::OperatorTemplate {
@@ -44,5 +48,15 @@ class FilesinkOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configureFilesink(const common::ConfigNode& node,
                                                  const core::OperatorContext& context);
+
+/// The configuration node as configureFilesink() patches it: when no
+/// outputs are declared, a synthetic "_filesink" output anchors one unit
+/// per node matched by the first input pattern.
+common::ConfigNode filesinkPatchedNode(const common::ConfigNode& node);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateFilesink(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

@@ -1,9 +1,27 @@
 #include "plugins/healthchecker_operator.h"
 
+#include <algorithm>
+#include <optional>
+
+#include "analysis/diagnostic.h"
+#include "common/logging.h"
 #include "common/string_utils.h"
 #include "plugins/configurator_common.h"
 
 namespace wm::plugins {
+
+namespace {
+
+std::optional<double> parseBound(const common::ConfigNode* bound) {
+    if (bound == nullptr) return std::nullopt;
+    try {
+        return std::stod(bound->value());
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace
 
 std::vector<core::SensorValue> HealthcheckerOperator::compute(const core::Unit& unit,
                                                               common::TimestampNs t) {
@@ -31,30 +49,90 @@ std::vector<core::SensorValue> HealthcheckerOperator::compute(const core::Unit& 
 
 std::vector<core::OperatorPtr> configureHealthchecker(
     const common::ConfigNode& node, const core::OperatorContext& context) {
+    // Reject nonsensical threshold configurations at configure time instead of
+    // silently running checks that can never pass (min > max) or never check
+    // anything (no usable check blocks).
+    const std::string name = node.value().empty() ? "healthchecker" : node.value();
+    std::vector<HealthCheck> checks;
+    for (const auto* block : node.childrenOf("check")) {
+        HealthCheck check;
+        check.sensor_name = block->value();
+        check.min = parseBound(block->child("min"));
+        check.max = parseBound(block->child("max"));
+        if (check.sensor_name.empty() || (!check.min && !check.max)) {
+            WM_LOG(kError, "healthchecker")
+                << name << ": degenerate check block (needs a sensor name and at "
+                << "least one of min/max); rejecting operator";
+            return {};
+        }
+        if (check.min && check.max && *check.min > *check.max) {
+            WM_LOG(kError, "healthchecker")
+                << name << ": check '" << check.sensor_name << "' has min ("
+                << *check.min << ") > max (" << *check.max << "); rejecting operator";
+            return {};
+        }
+        checks.push_back(std::move(check));
+    }
+    if (checks.empty()) {
+        WM_LOG(kError, "healthchecker")
+            << name << ": no check blocks configured; rejecting operator";
+        return {};
+    }
     return configureStandard(
         node, context, "healthchecker",
-        [](const core::OperatorConfig& config, const core::OperatorContext& ctx,
-           const common::ConfigNode& n) {
-            std::vector<HealthCheck> checks;
-            for (const auto* block : n.childrenOf("check")) {
-                HealthCheck check;
-                check.sensor_name = block->value();
-                if (const auto* min = block->child("min")) {
-                    try {
-                        check.min = std::stod(min->value());
-                    } catch (...) {
-                    }
-                }
-                if (const auto* max = block->child("max")) {
-                    try {
-                        check.max = std::stod(max->value());
-                    } catch (...) {
-                    }
-                }
-                if (!check.sensor_name.empty()) checks.push_back(std::move(check));
-            }
-            return std::make_shared<HealthcheckerOperator>(config, ctx, std::move(checks));
+        [&checks](const core::OperatorConfig& config, const core::OperatorContext& ctx,
+                  const common::ConfigNode&) {
+            return std::make_shared<HealthcheckerOperator>(config, ctx, checks);
         });
+}
+
+void validateHealthchecker(const common::ConfigNode& node,
+                           analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "healthchecker");
+    const core::OperatorConfig config = core::parseOperatorConfig(node, "healthchecker");
+    const std::vector<std::string> inputs = patternLeafNames(config.input_patterns);
+    const auto blocks = node.childrenOf("check");
+    if (blocks.empty()) {
+        sink.error("WM0402", "no check blocks configured; the operator checks nothing",
+                   node.line(), node.column(), subject);
+        return;
+    }
+    for (const auto* block : blocks) {
+        const std::string label =
+            block->value().empty() ? "<unnamed>" : block->value();
+        const std::optional<double> min = parseBound(block->child("min"));
+        const std::optional<double> max = parseBound(block->child("max"));
+        if (block->value().empty() || (!min && !max)) {
+            sink.error("WM0402",
+                       "degenerate check block '" + label +
+                           "': needs a sensor name and at least one of min/max",
+                       block->line(), block->column(), subject);
+            continue;
+        }
+        if (block->child("min") != nullptr && !min) {
+            sink.error("WM0404", "check '" + label + "': 'min' is not a number",
+                       block->child("min")->line(), block->child("min")->column(),
+                       subject);
+        }
+        if (block->child("max") != nullptr && !max) {
+            sink.error("WM0404", "check '" + label + "': 'max' is not a number",
+                       block->child("max")->line(), block->child("max")->column(),
+                       subject);
+        }
+        if (min && max && *min > *max) {
+            sink.error("WM0401",
+                       "check '" + label + "': min (" + std::to_string(*min) +
+                           ") > max (" + std::to_string(*max) + ") can never pass",
+                       block->line(), block->column(), subject);
+        }
+        if (!inputs.empty() &&
+            std::find(inputs.begin(), inputs.end(), block->value()) == inputs.end()) {
+            sink.warning("WM0403",
+                         "check '" + label +
+                             "' matches no configured input sensor; it never fires",
+                         block->line(), block->column(), subject);
+        }
+    }
 }
 
 }  // namespace wm::plugins

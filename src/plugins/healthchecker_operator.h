@@ -18,6 +18,10 @@
 
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 struct HealthCheck {
@@ -43,5 +47,10 @@ class HealthcheckerOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configureHealthchecker(const common::ConfigNode& node,
                                                       const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateHealthchecker(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

@@ -1,7 +1,9 @@
 #include "plugins/perfmetrics_operator.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "analysis/diagnostic.h"
 #include "common/string_utils.h"
 #include "plugins/configurator_common.h"
 
@@ -93,6 +95,49 @@ std::vector<core::OperatorPtr> configurePerfmetrics(const common::ConfigNode& no
            const common::ConfigNode&) {
             return std::make_shared<PerfmetricsOperator>(config, ctx);
         });
+}
+
+void validatePerfmetrics(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "perfmetrics");
+    const core::OperatorConfig config = core::parseOperatorConfig(node, "perfmetrics");
+    const std::vector<std::string> inputs = patternLeafNames(config.input_patterns);
+    const std::vector<std::string> outputs = patternLeafNames(config.output_patterns);
+
+    // Metric selection happens by output leaf name; anything unknown is
+    // silently skipped at runtime (compute() emits no reading for it).
+    struct MetricCounters {
+        const char* metric;
+        std::vector<const char*> counters;
+    };
+    static const std::vector<MetricCounters> kMetrics = {
+        {"cpi", {"cpu-cycles", "instructions"}},
+        {"ips", {"instructions"}},
+        {"vecratio", {"vector-ops", "instructions"}},
+        {"missrate", {"cache-misses", "instructions"}},
+        {"branchrate", {"branch-misses", "instructions"}},
+        {"gflops", {"vector-ops"}},
+    };
+    for (const auto& output : outputs) {
+        const auto metric =
+            std::find_if(kMetrics.begin(), kMetrics.end(),
+                         [&output](const MetricCounters& m) { return output == m.metric; });
+        if (metric == kMetrics.end()) {
+            sink.error("WM0404",
+                       "output '" + output +
+                           "' is not a perfmetrics metric (known: cpi, ips, vecratio, "
+                           "missrate, branchrate, gflops); it would never produce a value",
+                       node.line(), node.column(), subject);
+            continue;
+        }
+        for (const char* counter : metric->counters) {
+            if (std::find(inputs.begin(), inputs.end(), counter) == inputs.end()) {
+                sink.warning("WM0405",
+                             "metric '" + output + "' needs input counter '" + counter +
+                                 "', which is not among the configured inputs",
+                             node.line(), node.column(), subject);
+            }
+        }
+    }
 }
 
 }  // namespace wm::plugins

@@ -15,6 +15,10 @@
 
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 class PerfmetricsOperator final : public core::OperatorTemplate {
@@ -29,5 +33,10 @@ class PerfmetricsOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configurePerfmetrics(const common::ConfigNode& node,
                                                     const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validatePerfmetrics(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

@@ -1,5 +1,6 @@
 #include "plugins/persyst_operator.h"
 
+#include "analysis/diagnostic.h"
 #include "analytics/stats.h"
 #include "common/logging.h"
 #include "plugins/configurator_common.h"
@@ -33,9 +34,7 @@ std::vector<core::SensorValue> PersystOperator::compute(const core::Unit& unit,
     return out;
 }
 
-std::vector<core::OperatorPtr> configurePersyst(const common::ConfigNode& node,
-                                                const core::OperatorContext& context) {
-    std::vector<core::OperatorPtr> out;
+core::OperatorConfig persystEffectiveConfig(const common::ConfigNode& node) {
     core::OperatorConfig config = core::parseOperatorConfig(node, "persyst");
     const std::string metric = node.getString("metric", "cpi");
 
@@ -51,6 +50,14 @@ std::vector<core::OperatorPtr> configurePersyst(const common::ConfigNode& node,
         config.output_patterns.push_back("<bottomup>" + metric + "-dec" + std::to_string(i));
     }
     config.output_patterns.push_back("<bottomup>" + metric + "-avg");
+    return config;
+}
+
+std::vector<core::OperatorPtr> configurePersyst(const common::ConfigNode& node,
+                                                const core::OperatorContext& context) {
+    std::vector<core::OperatorPtr> out;
+    const core::OperatorConfig config = persystEffectiveConfig(node);
+    const std::string metric = node.getString("metric", "cpi");
     const auto unit_template =
         core::makeUnitTemplate(config.input_patterns, config.output_patterns);
     if (!unit_template) {
@@ -61,6 +68,24 @@ std::vector<core::OperatorPtr> configurePersyst(const common::ConfigNode& node,
     out.push_back(
         std::make_shared<PersystOperator>(config, context, *unit_template, metric));
     return out;
+}
+
+void validatePersyst(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "persyst");
+    if (const auto* metric = node.child("metric")) {
+        if (metric->value().empty()) {
+            sink.error("WM0404", "'metric' must not be empty", metric->line(),
+                       metric->column(), subject);
+        }
+    }
+    // Explicit output patterns are discarded: persyst always synthesizes the
+    // decile + mean outputs from the metric name.
+    if (const auto* output = node.child("output")) {
+        sink.warning("WM0405",
+                     "explicit 'output' block is ignored; persyst synthesizes its "
+                     "decile and mean outputs from 'metric'",
+                     output->line(), output->column(), subject);
+    }
 }
 
 }  // namespace wm::plugins

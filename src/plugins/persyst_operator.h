@@ -18,6 +18,10 @@
 
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 class PersystOperator final : public core::JobOperatorTemplate {
@@ -40,5 +44,15 @@ class PersystOperator final : public core::JobOperatorTemplate {
 
 std::vector<core::OperatorPtr> configurePersyst(const common::ConfigNode& node,
                                                 const core::OperatorContext& context);
+
+/// The operator configuration exactly as configurePersyst() builds it:
+/// the default per-core input pattern and the synthesized decile/mean
+/// output patterns.
+core::OperatorConfig persystEffectiveConfig(const common::ConfigNode& node);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validatePersyst(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

@@ -14,18 +14,51 @@
 
 namespace wm::plugins {
 
+const std::map<std::string, core::ConfiguratorFn>& builtinConfigurators() {
+    static const std::map<std::string, core::ConfiguratorFn> configurators = {
+        {"tester", configureTester},
+        {"aggregator", configureAggregator},
+        {"smoothing", configureSmoothing},
+        {"perfmetrics", configurePerfmetrics},
+        {"healthchecker", configureHealthchecker},
+        {"regressor", configureRegressor},
+        {"persyst", configurePersyst},
+        {"clustering", configureClustering},
+        {"controller", configureController},
+        {"filesink", configureFilesink},
+        {"classifier", configureClassifier},
+    };
+    return configurators;
+}
+
+const std::map<std::string, PluginStaticInfo>& builtinPluginStaticInfo() {
+    static const std::map<std::string, PluginStaticInfo> info = {
+        {"tester", {validateTester, nullptr, false, false}},
+        {"aggregator", {validateAggregator, nullptr, false, false}},
+        {"smoothing", {validateSmoothing, nullptr, false, false}},
+        {"perfmetrics", {validatePerfmetrics, nullptr, false, false}},
+        {"healthchecker", {validateHealthchecker, nullptr, false, false}},
+        {"regressor", {validateRegressor, nullptr, false, false}},
+        // Units materialise per running job (paper Section VI-C); the static
+        // tree still resolves the synthesized decile outputs.
+        {"persyst", {validatePersyst, persystEffectiveConfig, true, false}},
+        {"clustering", {validateClustering, nullptr, false, false}},
+        {"controller", {validateController, nullptr, false, false}},
+        {"filesink",
+         {validateFilesink,
+          [](const common::ConfigNode& node) {
+              return core::parseOperatorConfig(filesinkPatchedNode(node), "filesink");
+          },
+          false, true}},
+        {"classifier", {validateClassifier, nullptr, false, false}},
+    };
+    return info;
+}
+
 void registerBuiltinPlugins(core::OperatorManager& manager) {
-    manager.registerPlugin("tester", configureTester);
-    manager.registerPlugin("aggregator", configureAggregator);
-    manager.registerPlugin("smoothing", configureSmoothing);
-    manager.registerPlugin("perfmetrics", configurePerfmetrics);
-    manager.registerPlugin("healthchecker", configureHealthchecker);
-    manager.registerPlugin("regressor", configureRegressor);
-    manager.registerPlugin("persyst", configurePersyst);
-    manager.registerPlugin("clustering", configureClustering);
-    manager.registerPlugin("controller", configureController);
-    manager.registerPlugin("filesink", configureFilesink);
-    manager.registerPlugin("classifier", configureClassifier);
+    for (const auto& [name, configurator] : builtinConfigurators()) {
+        manager.registerPlugin(name, configurator);
+    }
 }
 
 }  // namespace wm::plugins

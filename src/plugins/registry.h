@@ -6,7 +6,11 @@
 // dynamic-instantiation workflow (configuration blocks select plugins by
 // name at runtime).
 
+#include <map>
+#include <string>
+
 #include "core/operator_manager.h"
+#include "plugins/configurator_common.h"
 
 namespace wm::plugins {
 
@@ -14,5 +18,15 @@ namespace wm::plugins {
 /// perfmetrics, healthchecker, regressor, persyst, clustering, controller,
 /// filesink.
 void registerBuiltinPlugins(core::OperatorManager& manager);
+
+/// The configurators of all built-in plugins, keyed by plugin name — the
+/// single source of truth behind registerBuiltinPlugins().
+const std::map<std::string, core::ConfiguratorFn>& builtinConfigurators();
+
+/// Static-analysis contributions of the built-in plugins (wm-check): the
+/// validate() hook and, where the configurator synthesizes patterns, the
+/// effective-config function. Keyed by plugin name; every plugin in
+/// builtinConfigurators() has an entry.
+const std::map<std::string, PluginStaticInfo>& builtinPluginStaticInfo();
 
 }  // namespace wm::plugins

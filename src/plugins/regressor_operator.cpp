@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "analysis/diagnostic.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
 #include "plugins/configurator_common.h"
@@ -127,6 +128,26 @@ std::vector<core::OperatorPtr> configureRegressor(const common::ConfigNode& node
             }
             return std::make_shared<RegressorOperator>(config, ctx, std::move(settings));
         });
+}
+
+void validateRegressor(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "regressor");
+    if (const auto* model = node.child("model")) {
+        const std::string lower = common::toLower(model->value());
+        if (lower != "linear" && lower != "randomforest") {
+            sink.warning("WM0405",
+                         "unknown model '" + model->value() +
+                             "' (silently treated as 'randomforest' at runtime)",
+                         model->line(), model->column(), subject);
+        }
+    }
+    for (const char* key : {"trees", "maxDepth", "trainingSamples"}) {
+        const auto* child = node.child(key);
+        if (child != nullptr && node.getInt(key, 1) <= 0) {
+            sink.error("WM0404", std::string("'") + key + "' must be positive",
+                       child->line(), child->column(), subject);
+        }
+    }
 }
 
 }  // namespace wm::plugins

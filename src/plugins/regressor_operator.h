@@ -33,6 +33,10 @@
 #include "analytics/random_forest.h"
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 enum class RegressorModel { kRandomForest, kLinear };
@@ -106,5 +110,10 @@ class RegressorOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configureRegressor(const common::ConfigNode& node,
                                                   const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateRegressor(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

@@ -1,5 +1,6 @@
 #include "plugins/smoothing_operator.h"
 
+#include "analysis/diagnostic.h"
 #include "plugins/configurator_common.h"
 
 namespace wm::plugins {
@@ -29,6 +30,18 @@ std::vector<core::OperatorPtr> configureSmoothing(const common::ConfigNode& node
             if (alpha <= 0.0 || alpha > 1.0) alpha = 0.2;
             return std::make_shared<SmoothingOperator>(config, ctx, alpha);
         });
+}
+
+void validateSmoothing(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    if (const auto* alpha = node.child("alpha")) {
+        const double value = node.getDouble("alpha", 0.2);
+        if (value <= 0.0 || value > 1.0) {
+            sink.error("WM0404",
+                       "'alpha' must be within (0, 1] (silently reset to 0.2 at runtime)",
+                       alpha->line(), alpha->column(),
+                       operatorSubject(node, "smoothing"));
+        }
+    }
 }
 
 }  // namespace wm::plugins

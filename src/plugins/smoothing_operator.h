@@ -14,6 +14,10 @@
 #include "analytics/stats.h"
 #include "core/operator.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 class SmoothingOperator final : public core::OperatorTemplate {
@@ -33,5 +37,10 @@ class SmoothingOperator final : public core::OperatorTemplate {
 
 std::vector<core::OperatorPtr> configureSmoothing(const common::ConfigNode& node,
                                                   const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateSmoothing(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

@@ -1,5 +1,6 @@
 #include "plugins/tester_operator.h"
 
+#include "analysis/diagnostic.h"
 #include "plugins/configurator_common.h"
 
 namespace wm::plugins {
@@ -30,6 +31,16 @@ std::vector<core::OperatorPtr> configureTester(const common::ConfigNode& node,
             const auto queries = static_cast<std::size_t>(n.getInt("queries", 10));
             return std::make_shared<TesterOperator>(config, ctx, queries);
         });
+}
+
+void validateTester(const common::ConfigNode& node, analysis::DiagnosticSink& sink) {
+    const std::string subject = operatorSubject(node, "tester");
+    if (const auto* queries = node.child("queries")) {
+        if (node.getInt("queries", 10) <= 0) {
+            sink.error("WM0404", "'queries' must be positive", queries->line(),
+                       queries->column(), subject);
+        }
+    }
 }
 
 }  // namespace wm::plugins

@@ -15,6 +15,10 @@
 #include "core/operator.h"
 #include "core/operator_manager.h"
 
+namespace wm::analysis {
+class DiagnosticSink;
+}
+
 namespace wm::plugins {
 
 class TesterOperator final : public core::OperatorTemplate {
@@ -38,5 +42,10 @@ class TesterOperator final : public core::OperatorTemplate {
 /// Configurator for the Operator Manager's plugin registry.
 std::vector<core::OperatorPtr> configureTester(const common::ConfigNode& node,
                                                const core::OperatorContext& context);
+
+/// Static-analysis hook (wm-check): plugin-specific configuration
+/// checks over one operator block; side-effect free.
+void validateTester(const common::ConfigNode& node,
+                   analysis::DiagnosticSink& sink);
 
 }  // namespace wm::plugins

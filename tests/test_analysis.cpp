@@ -1,0 +1,319 @@
+// Tests for the wm-check static configuration analyzer (src/analysis):
+// diagnostic sink and renderers, the dataflow cycle detector, the dry-run
+// pipeline on good and bad configurations, and the no-threads guarantee.
+//
+// The bad-configuration corpus lives in tests/data/bad_*.cfg. Each file's
+// first line is a `# wm-check-expect: WM#### ...` header naming the exact
+// set of diagnostic codes the analyzer must emit for it; the golden test
+// below asserts the sets match. tools/config_check.py runs the same corpus
+// through the wm_check binary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
+#include "analysis/diagnostic.h"
+#include "common/config.h"
+
+namespace wm::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- sink ----
+
+TEST(DiagnosticSink, CountsAndCodes) {
+    DiagnosticSink sink;
+    sink.setFile("x.cfg");
+    sink.error("WM0103", "no units", 12, 5, "aggregator/avg");
+    sink.warning("WM0204", "dead output");
+    sink.info("WM0601", "unknown block");
+    sink.error("WM0103", "again");
+
+    EXPECT_EQ(sink.errorCount(), 2u);
+    EXPECT_EQ(sink.warningCount(), 1u);
+    EXPECT_EQ(sink.infoCount(), 1u);
+    EXPECT_TRUE(sink.hasErrors());
+    EXPECT_TRUE(sink.hasCode("WM0103"));
+    EXPECT_FALSE(sink.hasCode("WM0001"));
+    // Sorted and deduplicated.
+    EXPECT_EQ(sink.codes(),
+              (std::vector<std::string>{"WM0103", "WM0204", "WM0601"}));
+    EXPECT_EQ(sink.diagnostics().size(), 4u);
+    EXPECT_EQ(sink.diagnostics()[0].location.file, "x.cfg");
+    EXPECT_EQ(sink.diagnostics()[0].location.line, 12u);
+    EXPECT_EQ(sink.diagnostics()[0].location.column, 5u);
+}
+
+TEST(DiagnosticSink, EmptyHasNoErrors) {
+    DiagnosticSink sink;
+    EXPECT_FALSE(sink.hasErrors());
+    EXPECT_TRUE(sink.codes().empty());
+}
+
+// ----------------------------------------------------------- renderers ----
+
+TEST(Renderers, TextFormat) {
+    DiagnosticSink sink;
+    sink.setFile("demo.cfg");
+    sink.error("WM0101", "unknown plugin 'foo'", 3, 1);
+    sink.warning("WM0204", "nobody consumes it", 9, 5, "aggregator/avg");
+
+    std::string text = renderText(sink);
+    EXPECT_NE(text.find("demo.cfg:3:1: error[WM0101] unknown plugin 'foo'"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("demo.cfg:9:5: warning[WM0204] aggregator/avg: "
+                        "nobody consumes it"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("1 error, 1 warning, 0 infos"), std::string::npos)
+        << text;
+}
+
+TEST(Renderers, TextOmitsUnknownLocation) {
+    DiagnosticSink sink;
+    sink.setFile("demo.cfg");
+    sink.error("WM0203", "operator dependency cycle: a -> b -> a");
+    std::string text = renderText(sink);
+    // No ":0:0:" — file-level findings carry only the file name.
+    EXPECT_EQ(text.find(":0:"), std::string::npos) << text;
+    EXPECT_NE(text.find("demo.cfg: error[WM0203]"), std::string::npos) << text;
+}
+
+TEST(Renderers, JsonFormat) {
+    DiagnosticSink sink;
+    sink.setFile("demo.cfg");
+    sink.error("WM0103", "no units resolve", 12, 5, "aggregator/avg");
+    sink.warning("WM0301", "window too small");
+
+    std::string json = renderJson(sink);
+    EXPECT_NE(json.find("\"code\":\"WM0103\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"file\":\"demo.cfg\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"line\":12"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"column\":5"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"subject\":\"aggregator/avg\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"summary\":{\"errors\":1,\"warnings\":1,\"infos\":0}"),
+              std::string::npos)
+        << json;
+}
+
+TEST(Renderers, JsonEscapesStrings) {
+    DiagnosticSink sink;
+    sink.error("WM0404", "bad \"value\"\twith\nescapes");
+    std::string json = renderJson(sink);
+    EXPECT_NE(json.find("bad \\\"value\\\"\\twith\\nescapes"),
+              std::string::npos)
+        << json;
+}
+
+// ------------------------------------------------------------ dataflow ----
+
+TEST(Dataflow, DetectsTopicCycle) {
+    DataflowGraph graph;
+    DataflowNode a;
+    a.id = "p/a@collectagent";
+    a.input_topics = {"/r0/c0/s0/b-out"};
+    a.output_topics = {"/r0/c0/s0/a-out"};
+    DataflowNode b;
+    b.id = "p/b@collectagent";
+    b.input_topics = {"/r0/c0/s0/a-out"};
+    b.output_topics = {"/r0/c0/s0/b-out"};
+    graph.addNode(a);
+    graph.addNode(b);
+
+    auto cycles = graph.cycles();
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles[0].size(), 2u);
+}
+
+TEST(Dataflow, DetectsNameLevelSelfLoop) {
+    // Unresolvable output (empty topics) still cycles through leaf names.
+    DataflowGraph graph;
+    DataflowNode a;
+    a.id = "p/a@collectagent";
+    a.input_names = {"x"};
+    a.output_names = {"x"};
+    graph.addNode(a);
+    auto cycles = graph.cycles();
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles[0], std::vector<std::string>{"p/a@collectagent"});
+}
+
+TEST(Dataflow, AcyclicChainHasNoCycles) {
+    DataflowGraph graph;
+    DataflowNode a;
+    a.id = "p/a";
+    a.output_topics = {"/t/one"};
+    DataflowNode b;
+    b.id = "p/b";
+    b.input_topics = {"/t/one"};
+    b.output_topics = {"/t/two"};
+    graph.addNode(a);
+    graph.addNode(b);
+    EXPECT_TRUE(graph.cycles().empty());
+}
+
+// ---------------------------------------------------------- good paths ----
+
+TEST(Analyzer, MinimalConfigIsClean) {
+    const char* text =
+        "cluster {\n"
+        "    racks 1\n"
+        "    chassisPerRack 1\n"
+        "    nodesPerChassis 1\n"
+        "    cpusPerNode 2\n"
+        "}\n"
+        "plugin aggregator {\n"
+        "    host collectagent\n"
+        "    operator avg {\n"
+        "        input {\n"
+        "            sensor \"<bottomup-1>power\"\n"
+        "        }\n"
+        "        output {\n"
+        "            sensor \"<bottomup-1>power-avg\"\n"
+        "        }\n"
+        "    }\n"
+        "}\n";
+    auto parsed = common::parseConfig(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    DiagnosticSink sink;
+    AnalysisSummary summary = analyzeConfig(parsed.root, "", sink);
+    EXPECT_FALSE(sink.hasErrors()) << renderText(sink);
+    EXPECT_EQ(sink.warningCount(), 0u) << renderText(sink);
+    // 1 node pusher + the facility pusher.
+    EXPECT_EQ(summary.pusher_hosts, 2u);
+    // Node: 2 cpus x 5 perf counters + 2 sysfs + 2 procfs = 14; facility: 6.
+    EXPECT_EQ(summary.sensors_in_tree, 20u);
+    EXPECT_EQ(summary.operators_analyzed, 1u);
+    EXPECT_GE(summary.units_resolved, 1u);
+}
+
+TEST(Analyzer, UnknownTopLevelBlockIsInfoOnly) {
+    auto parsed = common::parseConfig(
+        "cluster {\n"
+        "    racks 1\n"
+        "    chassisPerRack 1\n"
+        "    nodesPerChassis 1\n"
+        "    cpusPerNode 2\n"
+        "}\n"
+        "mystery {\n"
+        "    key value\n"
+        "}\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    DiagnosticSink sink;
+    analyzeConfig(parsed.root, "", sink);
+    EXPECT_FALSE(sink.hasErrors()) << renderText(sink);
+    EXPECT_TRUE(sink.hasCode("WM0601")) << renderText(sink);
+}
+
+TEST(Analyzer, ShippedConfigIsClean) {
+    DiagnosticSink sink;
+    AnalysisSummary summary =
+        analyzeConfigFile(std::string(WM_CONFIG_DIR) + "/wintermuted.cfg", sink);
+    EXPECT_FALSE(sink.hasErrors()) << renderText(sink);
+    EXPECT_GT(summary.pusher_hosts, 0u);
+    EXPECT_GT(summary.sensors_in_tree, 0u);
+    EXPECT_GT(summary.operators_analyzed, 0u);
+    EXPECT_GT(summary.units_resolved, 0u);
+}
+
+TEST(Analyzer, MissingFileYieldsWm0001) {
+    DiagnosticSink sink;
+    analyzeConfigFile("/nonexistent/nowhere.cfg", sink);
+    EXPECT_TRUE(sink.hasCode("WM0001")) << renderText(sink);
+    EXPECT_TRUE(sink.hasErrors());
+}
+
+// The --check contract: the dry run must not start any thread. Parse the
+// Threads: line of /proc/self/status before and after a full analysis of the
+// shipped configuration.
+#ifdef __linux__
+namespace {
+int threadCount() {
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("Threads:", 0) == 0) {
+            return std::stoi(line.substr(8));
+        }
+    }
+    return -1;
+}
+}  // namespace
+
+TEST(Analyzer, DryRunStartsNoThreads) {
+    int before = threadCount();
+    ASSERT_GT(before, 0);
+    DiagnosticSink sink;
+    analyzeConfigFile(std::string(WM_CONFIG_DIR) + "/wintermuted.cfg", sink);
+    EXPECT_EQ(threadCount(), before);
+}
+#endif
+
+// -------------------------------------------------------- golden corpus ----
+
+std::vector<std::string> expectedCodes(const fs::path& config) {
+    std::ifstream in(config);
+    std::string first;
+    std::getline(in, first);
+    const std::string marker = "# wm-check-expect:";
+    EXPECT_EQ(first.rfind(marker, 0), 0u)
+        << config << " lacks a wm-check-expect header";
+    std::istringstream tokens(first.substr(marker.size()));
+    std::vector<std::string> codes;
+    std::string code;
+    while (tokens >> code) codes.push_back(code);
+    std::sort(codes.begin(), codes.end());
+    return codes;
+}
+
+TEST(GoldenCorpus, EveryBadConfigFailsWithExpectedCodes) {
+    std::vector<fs::path> corpus;
+    for (const auto& entry : fs::directory_iterator(WM_TEST_DATA_DIR)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("bad_", 0) == 0 &&
+            entry.path().extension() == ".cfg") {
+            corpus.push_back(entry.path());
+        }
+    }
+    std::sort(corpus.begin(), corpus.end());
+    ASSERT_GE(corpus.size(), 9u) << "bad-config corpus went missing";
+
+    for (const fs::path& config : corpus) {
+        SCOPED_TRACE(config.string());
+        std::vector<std::string> expected = expectedCodes(config);
+        ASSERT_FALSE(expected.empty());
+
+        DiagnosticSink sink;
+        analyzeConfigFile(config.string(), sink);
+        EXPECT_TRUE(sink.hasErrors()) << renderText(sink);
+        EXPECT_EQ(sink.codes(), expected) << renderText(sink);
+
+        // The same codes must round-trip through the JSON renderer.
+        std::string json = renderJson(sink);
+        for (const std::string& code : expected) {
+            EXPECT_NE(json.find("\"code\":\"" + code + "\""),
+                      std::string::npos)
+                << config << ": " << code << " missing from JSON";
+        }
+        // And appear in the text renderer as severity[code].
+        std::string text = renderText(sink);
+        for (const std::string& code : expected) {
+            EXPECT_NE(text.find("[" + code + "]"), std::string::npos)
+                << config << ": " << code << " missing from text";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace wm::analysis

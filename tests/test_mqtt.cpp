@@ -53,6 +53,60 @@ TEST(TopicValidation, SubscriptionFilters) {
     EXPECT_FALSE(isValidFilter("/a/b+/c"));  // '+' must be a whole segment
 }
 
+TEST(TopicValidation, WildcardEdgeCases) {
+    // '+' at the root level: a bare "+" is a valid one-level filter, and a
+    // leading "/+" matches exactly one (leading-slash-anchored) level.
+    EXPECT_TRUE(isValidFilter("+"));
+    EXPECT_TRUE(isValidFilter("/+"));
+    EXPECT_TRUE(isValidFilter("+/power"));
+    EXPECT_TRUE(topicMatches("+", "a"));
+    EXPECT_FALSE(topicMatches("+", "/a"));  // leading slash = empty root level
+    EXPECT_TRUE(topicMatches("/+", "/a"));
+    EXPECT_FALSE(topicMatches("/+", "/a/b"));
+
+    // '#' in a non-terminal position is invalid, as is a multi-char segment
+    // embedding a wildcard.
+    EXPECT_FALSE(isValidFilter("#/a"));
+    EXPECT_FALSE(isValidFilter("/a/#/b"));
+    EXPECT_FALSE(isValidFilter("/a/b#"));
+    EXPECT_FALSE(isValidFilter("/a/#b/c"));
+
+    // Empty levels: "//" produces an empty middle segment.
+    EXPECT_FALSE(isValidFilter("/a//b"));
+    EXPECT_FALSE(isValidFilter("//"));
+    EXPECT_FALSE(isValidTopic("//"));
+    EXPECT_FALSE(isValidTopic("/a//b"));
+    EXPECT_FALSE(isValidTopic("/a/"));  // trailing empty level
+}
+
+TEST(TopicOverlap, LiteralTopics) {
+    EXPECT_TRUE(filtersOverlap("/a/b/c", "/a/b/c"));
+    EXPECT_FALSE(filtersOverlap("/a/b/c", "/a/b/d"));
+    EXPECT_FALSE(filtersOverlap("/a/b", "/a/b/c"));  // different depth
+    EXPECT_FALSE(filtersOverlap("/a/b/c", "/a/b"));
+}
+
+TEST(TopicOverlap, WildcardPairs) {
+    // '+' vs literal and '+' vs '+'.
+    EXPECT_TRUE(filtersOverlap("/a/+/c", "/a/b/c"));
+    EXPECT_TRUE(filtersOverlap("/a/+/c", "/a/+/c"));
+    EXPECT_TRUE(filtersOverlap("/+/b/c", "/a/+/c"));
+    EXPECT_FALSE(filtersOverlap("/a/+/c", "/a/b/d"));
+    EXPECT_FALSE(filtersOverlap("/a/+", "/a/b/c"));
+
+    // '#' overlaps everything under its prefix, including the prefix itself.
+    EXPECT_TRUE(filtersOverlap("/a/#", "/a/b/c"));
+    EXPECT_TRUE(filtersOverlap("/a/#", "/a"));
+    EXPECT_TRUE(filtersOverlap("#", "/anything"));
+    EXPECT_TRUE(filtersOverlap("/a/#", "/a/+/c"));
+    EXPECT_FALSE(filtersOverlap("/a/#", "/b/c"));
+    EXPECT_FALSE(filtersOverlap("/rack0/#", "/rack1/#"));
+
+    // Symmetry spot checks.
+    EXPECT_EQ(filtersOverlap("/a/#", "/a/b"), filtersOverlap("/a/b", "/a/#"));
+    EXPECT_EQ(filtersOverlap("/a/+", "/a/b"), filtersOverlap("/a/b", "/a/+"));
+}
+
 TEST(Broker, DeliversToMatchingSubscribers) {
     Broker broker;
     std::vector<std::string> received;

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Configuration corpus gate (stdlib only; wired into CTest and CI).
+
+Runs the wm_check static analyzer binary over two corpora:
+
+  good corpus -- every .cfg under configs/ and examples/ must analyze with
+                 exit status 0 (no errors).
+  bad corpus  -- every tests/data/bad_*.cfg must fail (non-zero exit) and
+                 emit EXACTLY the diagnostic codes named in its first-line
+                 `# wm-check-expect: WM#### ...` header. Codes are extracted
+                 from the --json output, so this also exercises the JSON
+                 renderer end to end; the text renderer is checked for the
+                 same `[WM####]` markers.
+
+Usage:
+  tools/config_check.py --wm-check PATH [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+CODE_RE = re.compile(r'"code":"(WM\d{4})"')
+TEXT_CODE_RE = re.compile(r"\[(WM\d{4})\]")
+EXPECT_MARKER = "# wm-check-expect:"
+
+
+def run(wm_check: str, args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run([wm_check, *args], capture_output=True, text=True)
+
+
+def check_good(wm_check: str, config: Path) -> list[str]:
+    proc = run(wm_check, [str(config)])
+    if proc.returncode != 0:
+        return [f"{config}: expected clean analysis, exit {proc.returncode}:\n"
+                f"{proc.stdout.strip()}"]
+    return []
+
+
+def check_bad(wm_check: str, config: Path) -> list[str]:
+    errors: list[str] = []
+    first = config.read_text(encoding="utf-8").splitlines()[0]
+    if not first.startswith(EXPECT_MARKER):
+        return [f"{config}: first line must be '{EXPECT_MARKER} WM#### ...'"]
+    expected = sorted(set(first[len(EXPECT_MARKER):].split()))
+    if not expected:
+        return [f"{config}: wm-check-expect header names no codes"]
+
+    json_proc = run(wm_check, ["--json", str(config)])
+    if json_proc.returncode == 0:
+        errors.append(f"{config}: expected failure, but wm_check exited 0")
+    got = sorted(set(CODE_RE.findall(json_proc.stdout)))
+    if got != expected:
+        errors.append(f"{config}: expected codes {expected}, got {got} (json)")
+
+    text_proc = run(wm_check, [str(config)])
+    if text_proc.returncode == 0:
+        errors.append(f"{config}: expected failure in text mode, exit 0")
+    got_text = sorted(set(TEXT_CODE_RE.findall(text_proc.stdout)))
+    if got_text != expected:
+        errors.append(
+            f"{config}: expected codes {expected}, got {got_text} (text)")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--wm-check", required=True,
+                        help="path to the built wm_check binary")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    args = parser.parse_args()
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    wm_check = args.wm_check
+
+    good = sorted([*(root / "configs").glob("*.cfg"),
+                   *(root / "examples").glob("*.cfg")])
+    bad = sorted((root / "tests" / "data").glob("bad_*.cfg"))
+    if not good:
+        print("config-check: error: no good configs found", file=sys.stderr)
+        return 2
+    if not bad:
+        print("config-check: error: no bad_*.cfg corpus found", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    for config in good:
+        failures.extend(check_good(wm_check, config))
+    for config in bad:
+        failures.extend(check_bad(wm_check, config))
+
+    for failure in failures:
+        print(failure)
+    if failures:
+        print(f"config-check: {len(failures)} failure(s) over "
+              f"{len(good)} good + {len(bad)} bad configs")
+        return 1
+    print(f"config-check: {len(good)} good and {len(bad)} bad configs behave "
+          "as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

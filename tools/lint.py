@@ -15,6 +15,10 @@ Rules:
                      headers.
   todo-tag        -- TODO/FIXME comments must carry an issue tag:
                      TODO(#123) or TODO(issue-...).
+  diag-doc        -- every "WM####" diagnostic code literal emitted by
+                     src/analysis/ or src/plugins/ must be documented in the
+                     code table of docs/CONFIGURATION.md (codes are a stable,
+                     append-only vocabulary).
 
 Usage:
   tools/lint.py [--root DIR]     lint the repository (exit 1 on findings)
@@ -46,6 +50,12 @@ TODO_TAGGED_RE = re.compile(r"\b(?:TODO|FIXME)\s*\(\s*(?:#\d+|issue-[\w-]+)\s*\)
 
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+# diag-doc: quoted WM#### literals (the form the DiagnosticSink emitters take)
+# in these trees must appear in the documentation table.
+DIAG_CODE_RE = re.compile(r'"(WM\d{4})"')
+DIAG_SCAN_PREFIXES = ("src/analysis/", "src/plugins/")
+DIAG_DOC = "docs/CONFIGURATION.md"
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
@@ -161,6 +171,32 @@ def lint_file(rel_path: str, text: str) -> list[Finding]:
     return findings
 
 
+def collect_diag_codes(rel_path: str, text: str) -> dict[str, tuple[str, int]]:
+    """Maps each WM#### code literal in `text` to its first (path, line)."""
+    sites: dict[str, tuple[str, int]] = {}
+    if not rel_path.replace("\\", "/").startswith(DIAG_SCAN_PREFIXES):
+        return sites
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in DIAG_CODE_RE.finditer(line):
+            sites.setdefault(match.group(1), (rel_path, lineno))
+    return sites
+
+
+def diag_doc_findings(code_sites: dict[str, tuple[str, int]],
+                      doc_text: str) -> list[Finding]:
+    """diag-doc rule: every emitted code must appear in the doc table."""
+    documented = set(re.findall(r"WM\d{4}", doc_text))
+    findings = []
+    for code in sorted(code_sites):
+        if code not in documented:
+            path, line = code_sites[code]
+            findings.append(Finding(
+                path, line, "diag-doc",
+                f"diagnostic code {code} is emitted but missing from the "
+                f"code table in {DIAG_DOC}"))
+    return findings
+
+
 def iter_files(root: Path):
     for top in SCAN_DIRS:
         base = root / top
@@ -179,6 +215,7 @@ def iter_files(root: Path):
 
 def lint_tree(root: Path) -> list[Finding]:
     findings: list[Finding] = []
+    code_sites: dict[str, tuple[str, int]] = {}
     for path in iter_files(root):
         rel = path.relative_to(root).as_posix()
         try:
@@ -187,6 +224,14 @@ def lint_tree(root: Path) -> list[Finding]:
             findings.append(Finding(rel, 0, "io", f"unreadable: {err}"))
             continue
         findings.extend(lint_file(rel, text))
+        for code, site in collect_diag_codes(rel, text).items():
+            code_sites.setdefault(code, site)
+
+    doc_path = root / DIAG_DOC
+    doc_text = ""
+    if doc_path.is_file():
+        doc_text = doc_path.read_text(encoding="utf-8", errors="replace")
+    findings.extend(diag_doc_findings(code_sites, doc_text))
     return findings
 
 
@@ -242,10 +287,34 @@ def self_test() -> int:
         if got != sorted(expected):
             print(f"SELF-TEST FAIL: {name}: expected {expected}, got {got}")
             failures += 1
+
+    # diag-doc is a tree-level rule; exercise the helper pair directly.
+    diag_cases = [
+        ("documented code ok",
+         'sink.error("WM0103", "msg");\n', "| WM0103 | error | ... |\n", []),
+        ("undocumented code flagged",
+         'sink.error("WM9999", "msg");\n', "| WM0103 | error | ... |\n",
+         ["diag-doc"]),
+        ("codes outside scanned trees ignored",
+         "", "", []),
+        ("unquoted mention not collected",
+         "// WM0777 discussed in a comment\n", "", []),
+    ]
+    for name, src, doc, expected in diag_cases:
+        sites = collect_diag_codes("src/analysis/analyzer.cpp", src)
+        if name == "codes outside scanned trees ignored":
+            sites = collect_diag_codes("src/core/x.cpp",
+                                       'sink.error("WM9999", "msg");\n')
+        got = sorted({f.rule for f in diag_doc_findings(sites, doc)})
+        if got != sorted(expected):
+            print(f"SELF-TEST FAIL: {name}: expected {expected}, got {got}")
+            failures += 1
+
+    total = len(cases) + len(diag_cases)
     if failures:
-        print(f"self-test: {failures}/{len(cases)} cases failed")
+        print(f"self-test: {failures}/{total} cases failed")
         return 1
-    print(f"self-test: all {len(cases)} cases passed")
+    print(f"self-test: all {total} cases passed")
     return 0
 
 
