@@ -1,0 +1,77 @@
+#pragma once
+
+// Process-wide heap-allocation counter for benchmark binaries. Including
+// this header replaces the global operator new/delete with counting
+// versions, so a benchmark can report allocations per operation alongside
+// time — the copy-free cache views and the trie delivery snapshot are
+// about allocation avoidance as much as about cycles (docs/PERFORMANCE.md).
+//
+// Include from exactly one translation unit per binary (each micro bench is
+// a single TU). Counting is a relaxed atomic increment; the counter is only
+// read between timing loops.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace wm::bench {
+
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+/// Total operator-new calls since process start.
+inline std::uint64_t allocCount() {
+    return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+/// Helper for benchmark loops: allocations per iteration between two
+/// snapshots, as a double for benchmark counters.
+inline double allocsPerOp(std::uint64_t before, std::uint64_t after,
+                          std::uint64_t iterations) {
+    if (iterations == 0) return 0.0;
+    return static_cast<double>(after - before) / static_cast<double>(iterations);
+}
+
+}  // namespace wm::bench
+
+// GCC pairs an inlined `operator delete` body with the allocation site and
+// warns that free() mismatches `new` — but our `operator new` below is
+// malloc-backed too, so the pairing is correct at runtime.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+    wm::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    wm::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    wm::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+    wm::bench::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -20,12 +20,18 @@
 // measure exactly the quantity that manifests as wall-clock slowdown on a
 // dedicated node. The footprint section reports process RSS and the total
 // readings the tester operators retrieved.
+//
+// Flags:
+//   --quick        shrink the grid and repetitions for CI smoke runs
+//   --json <path>  additionally emit the full cell grid as JSON
+//                  (consumed by tools/bench_run.py into BENCH_*.json)
 
 #include <sys/resource.h>
 #include <time.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,10 +53,7 @@ using common::TimestampNs;
 
 namespace {
 
-constexpr std::size_t kSensors = 1000;
 constexpr std::size_t kMatrixSize = 160;
-constexpr int kRepetitionsPerCell = 3;
-constexpr double kKernelTargetSec = 1.5;
 
 double medianOf(std::vector<double> values) {
     std::sort(values.begin(), values.end());
@@ -89,25 +92,55 @@ double threadCpuSec() {
     return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
+struct Cell {
+    bool relative = false;
+    TimestampNs window_ns = 0;
+    std::size_t queries = 0;
+    double overhead_pct = 0.0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bool quick = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+            return 2;
+        }
+    }
+
     common::Logger::instance().setLevel(common::LogLevel::kError);
     std::printf("=== Figure 5: Query Engine overhead vs HPL-like kernel ===\n\n");
 
-    // Warm up, then calibrate the kernel to ~kKernelTargetSec per run.
+    const std::size_t sensors = quick ? 100 : 1000;
+    const int repetitions = quick ? 1 : 3;
+    const double kernel_target_sec = quick ? 0.3 : 1.5;
+
+    // Warm up, then calibrate the kernel to ~kernel_target_sec per run.
     simulator::runHplKernel(kMatrixSize, 4);
     const simulator::HplResult probe = simulator::runHplKernel(kMatrixSize, 8);
     const std::size_t kernel_reps = std::max<std::size_t>(
-        1, static_cast<std::size_t>(8.0 * kKernelTargetSec / probe.elapsed_sec));
-    std::printf("kernel: %.2f GFLOP/s, %zu repetitions per run (~%.1f s)\n\n",
+        1, static_cast<std::size_t>(8.0 * kernel_target_sec / probe.elapsed_sec));
+    std::printf("kernel: %.2f GFLOP/s, %zu repetitions per run (~%.1f s)%s\n\n",
                 probe.gflops, kernel_reps,
-                probe.elapsed_sec / 8.0 * static_cast<double>(kernel_reps));
+                probe.elapsed_sec / 8.0 * static_cast<double>(kernel_reps),
+                quick ? " [quick mode]" : "");
 
-    const std::vector<std::size_t> query_counts{2, 10, 100, 500, 1000};
-    const std::vector<TimestampNs> windows{0, 12500 * kNsPerMs, 25000 * kNsPerMs,
-                                           50000 * kNsPerMs, 100000 * kNsPerMs};
+    const std::vector<std::size_t> query_counts =
+        quick ? std::vector<std::size_t>{2, 100, 1000}
+              : std::vector<std::size_t>{2, 10, 100, 500, 1000};
+    const std::vector<TimestampNs> windows =
+        quick ? std::vector<TimestampNs>{0, 25000 * kNsPerMs, 100000 * kNsPerMs}
+              : std::vector<TimestampNs>{0, 12500 * kNsPerMs, 25000 * kNsPerMs,
+                                         50000 * kNsPerMs, 100000 * kNsPerMs};
     std::uint64_t total_readings_retrieved = 0;
+    std::vector<Cell> cells;
 
     for (const bool relative : {false, true}) {
         std::printf("--- %s mode: overhead [%%] ---\n",
@@ -119,10 +152,10 @@ int main() {
             std::printf("%10lldms", static_cast<long long>(window / kNsPerMs));
             for (std::size_t q : query_counts) {
                 std::vector<double> overheads;
-                for (int rep = 0; rep < kRepetitionsPerCell; ++rep) {
+                for (int rep = 0; rep < repetitions; ++rep) {
                     pusher::Pusher pusher(pusher::PusherConfig{"fig5"});
                     pusher::TesterGroupConfig tester;
-                    tester.num_sensors = kSensors;
+                    tester.num_sensors = sensors;
                     tester.interval_ns = kNsPerSec;
                     pusher.addGroup(std::make_unique<pusher::TesterGroup>(tester));
                     prefillCaches(pusher, common::nowNs());
@@ -133,10 +166,10 @@ int main() {
                     core::OperatorManager manager(core::makeHostContext(
                         engine, &pusher.cacheStore(), nullptr, nullptr));
                     plugins::registerBuiltinPlugins(manager);
-                    // All 1000 tester sensors are inputs of the single unit;
+                    // All tester sensors are inputs of the single unit;
                     // the operator cycles its queries across them.
                     std::string input_block = "    input {\n";
-                    for (std::size_t s = 0; s < kSensors; ++s) {
+                    for (std::size_t s = 0; s < sensors; ++s) {
                         input_block +=
                             "        sensor \"<topdown>test" + std::to_string(s) + "\"\n";
                     }
@@ -174,7 +207,9 @@ int main() {
                     overheads.push_back(std::max(0.0, monitoring_cpu) / kernel_cpu *
                                         100.0);
                 }
-                std::printf("%9.2f", medianOf(overheads));
+                const double median = medianOf(overheads);
+                cells.push_back({relative, window, q, median});
+                std::printf("%9.2f", median);
                 std::fflush(stdout);
             }
             std::printf("\n");
@@ -189,5 +224,34 @@ int main() {
                 static_cast<unsigned long long>(total_readings_retrieved));
     std::printf("\npaper shape: overhead < 0.5%% in all cells; absolute mode slightly\n"
                 "worse than relative at the peak; no growth with query volume.\n");
+
+    if (!json_path.empty()) {
+        std::FILE* out = std::fopen(json_path.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "fig5: cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(out, "{\n  \"benchmark\": \"fig5_query_overhead\",\n");
+        std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+        std::fprintf(out, "  \"sensors\": %zu,\n", sensors);
+        std::fprintf(out, "  \"repetitions\": %d,\n", repetitions);
+        std::fprintf(out, "  \"peak_rss_mb\": %.1f,\n", rssMegabytes());
+        std::fprintf(out, "  \"total_readings_retrieved\": %llu,\n",
+                     static_cast<unsigned long long>(total_readings_retrieved));
+        std::fprintf(out, "  \"cells\": [\n");
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const Cell& cell = cells[i];
+            std::fprintf(out,
+                         "    {\"mode\": \"%s\", \"window_ms\": %lld, "
+                         "\"queries\": %zu, \"overhead_pct\": %.4f}%s\n",
+                         cell.relative ? "relative" : "absolute",
+                         static_cast<long long>(cell.window_ns / kNsPerMs),
+                         cell.queries, cell.overhead_pct,
+                         i + 1 < cells.size() ? "," : "");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        std::fclose(out);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
     return 0;
 }

@@ -1,16 +1,30 @@
-// Microbenchmarks for the sensor cache: store throughput and the complexity
+// Microbenchmarks for the sensor cache: store throughput, the complexity
 // split between the two Query Engine view modes — relative views use O(1)
-// positioning, absolute views use O(log N) binary search (paper Section V-B).
+// positioning, absolute views use O(log N) binary search (paper Section
+// V-B) — and the copy-free access paths added for the hot data plane:
+// fused statsRelative vs view-then-reduce, forEachRelative vs the copying
+// viewRelative, and id-keyed CacheStore lookup vs string hashing
+// (docs/PERFORMANCE.md).
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "alloc_counter.h"
 #include "sensors/sensor_cache.h"
+#include "sensors/topic_table.h"
 
 namespace {
 
 using wm::common::kNsPerSec;
 using wm::common::TimestampNs;
+using wm::sensors::CacheHandle;
+using wm::sensors::CacheStore;
+using wm::sensors::RangeStats;
+using wm::sensors::Reading;
 using wm::sensors::SensorCache;
+using wm::sensors::TopicId;
 
 void fillCache(SensorCache& cache, std::size_t n) {
     for (std::size_t i = 1; i <= n; ++i) {
@@ -67,11 +81,64 @@ void BM_CacheViewRelativeWindow(benchmark::State& state) {
     SensorCache cache(200 * kNsPerSec, kNsPerSec);
     fillCache(cache, 180);
     const TimestampNs window = static_cast<TimestampNs>(state.range(0)) * kNsPerSec;
+    const std::uint64_t allocs_before = wm::bench::allocCount();
     for (auto _ : state) {
         benchmark::DoNotOptimize(cache.viewRelative(window));
     }
+    state.counters["allocs/op"] = wm::bench::allocsPerOp(
+        allocs_before, wm::bench::allocCount(), state.iterations());
 }
 BENCHMARK(BM_CacheViewRelativeWindow)->Arg(0)->Arg(12)->Arg(25)->Arg(50)->Arg(100);
+
+/// Copy-free counterpart of BM_CacheViewRelativeWindow: visits the same
+/// window in place under the shared lock. allocs/op should be 0.
+void BM_CacheForEachRelativeWindow(benchmark::State& state) {
+    SensorCache cache(200 * kNsPerSec, kNsPerSec);
+    fillCache(cache, 180);
+    const TimestampNs window = static_cast<TimestampNs>(state.range(0)) * kNsPerSec;
+    const std::uint64_t allocs_before = wm::bench::allocCount();
+    double sum = 0.0;
+    for (auto _ : state) {
+        cache.forEachRelative(window, [&sum](const Reading& r) { sum += r.value; });
+        benchmark::DoNotOptimize(sum);
+    }
+    state.counters["allocs/op"] = wm::bench::allocsPerOp(
+        allocs_before, wm::bench::allocCount(), state.iterations());
+}
+BENCHMARK(BM_CacheForEachRelativeWindow)->Arg(0)->Arg(12)->Arg(25)->Arg(50)->Arg(100);
+
+/// The pre-optimisation reduction shape: materialise the window vector,
+/// then reduce it. Baseline for BM_CacheStatsRelative.
+void BM_CacheViewThenReduce(benchmark::State& state) {
+    SensorCache cache(200 * kNsPerSec, kNsPerSec);
+    fillCache(cache, 180);
+    const TimestampNs window = static_cast<TimestampNs>(state.range(0)) * kNsPerSec;
+    const std::uint64_t allocs_before = wm::bench::allocCount();
+    for (auto _ : state) {
+        const auto readings = cache.viewRelative(window);
+        RangeStats stats;
+        for (const auto& reading : readings) stats.accumulate(reading);
+        benchmark::DoNotOptimize(stats);
+    }
+    state.counters["allocs/op"] = wm::bench::allocsPerOp(
+        allocs_before, wm::bench::allocCount(), state.iterations());
+}
+BENCHMARK(BM_CacheViewThenReduce)->Arg(12)->Arg(60)->Arg(100);
+
+/// Fused reduction: count/sum/min/max/first/last in one locked pass, no
+/// intermediate vector. This is what aggregator/perfmetrics ride.
+void BM_CacheStatsRelative(benchmark::State& state) {
+    SensorCache cache(200 * kNsPerSec, kNsPerSec);
+    fillCache(cache, 180);
+    const TimestampNs window = static_cast<TimestampNs>(state.range(0)) * kNsPerSec;
+    const std::uint64_t allocs_before = wm::bench::allocCount();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.statsRelative(window));
+    }
+    state.counters["allocs/op"] = wm::bench::allocsPerOp(
+        allocs_before, wm::bench::allocCount(), state.iterations());
+}
+BENCHMARK(BM_CacheStatsRelative)->Arg(12)->Arg(60)->Arg(100);
 
 void BM_CacheAverageRelative(benchmark::State& state) {
     SensorCache cache(200 * kNsPerSec, kNsPerSec);
@@ -81,6 +148,61 @@ void BM_CacheAverageRelative(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_CacheAverageRelative);
+
+/// Populates a store with n sensors named like a cluster topic space.
+std::vector<std::string> storeTopics(std::size_t n) {
+    std::vector<std::string> topics;
+    topics.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        topics.push_back("/rack" + std::to_string(i % 64) + "/chassis" +
+                         std::to_string((i / 64) % 8) + "/server" +
+                         std::to_string(i / 512) + "/sensor" + std::to_string(i));
+    }
+    return topics;
+}
+
+/// Baseline lookup: hash the topic string under the store's shared lock —
+/// what every operator read paid before interned handles.
+void BM_CacheStoreFindByString(benchmark::State& state) {
+    CacheStore store;
+    const auto topics = storeTopics(static_cast<std::size_t>(state.range(0)));
+    for (const auto& topic : topics) store.getOrCreate(topic);
+    const std::string& probe = topics[topics.size() / 2];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.find(probe));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CacheStoreFindByString)->Arg(64)->Arg(1000)->Arg(8192);
+
+/// Id-keyed lookup: two array indexations off atomic loads, no hashing, no
+/// lock. The steady-state read path of operators and the pusher.
+void BM_CacheStoreFindById(benchmark::State& state) {
+    CacheStore store;
+    const auto topics = storeTopics(static_cast<std::size_t>(state.range(0)));
+    for (const auto& topic : topics) store.getOrCreate(topic);
+    const TopicId id = store.idOf(topics[topics.size() / 2]);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.find(id));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CacheStoreFindById)->Arg(64)->Arg(1000)->Arg(8192);
+
+/// CacheHandle::resolve after the first (memoising) call: the form the
+/// operator hot loop actually uses.
+void BM_CacheHandleResolve(benchmark::State& state) {
+    CacheStore store;
+    const auto topics = storeTopics(static_cast<std::size_t>(state.range(0)));
+    for (const auto& topic : topics) store.getOrCreate(topic);
+    const CacheHandle handle(topics[topics.size() / 2]);
+    benchmark::DoNotOptimize(handle.resolve(store));  // memoise the id
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(handle.resolve(store));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CacheHandleResolve)->Arg(64)->Arg(1000)->Arg(8192);
 
 }  // namespace
 

@@ -1,15 +1,29 @@
-// Microbenchmarks for the MQTT substrate: topic matching and broker
-// publication fan-out, the per-reading costs of the DCDB data path.
+// Microbenchmarks for the MQTT substrate: topic matching, the trie-indexed
+// subscription lookup against the linear-scan baseline it replaced, and
+// broker publication fan-out — the per-reading costs of the DCDB data path
+// (docs/PERFORMANCE.md). tools/bench_run.py extracts the trie/linear ratio
+// at 1000 subscriptions into BENCH_PR4.json.
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc_counter.h"
 #include "mqtt/broker.h"
+#include "mqtt/subscription_index.h"
 #include "mqtt/topic.h"
 
 namespace {
 
 using wm::mqtt::Broker;
 using wm::mqtt::Message;
+using wm::mqtt::MessageHandler;
+using wm::mqtt::Subscription;
+using wm::mqtt::SubscriptionIndex;
+using wm::mqtt::SubscriptionPtr;
 using wm::mqtt::topicMatches;
 
 void BM_TopicMatchExact(benchmark::State& state) {
@@ -39,9 +53,107 @@ void BM_TopicMatchHash(benchmark::State& state) {
 }
 BENCHMARK(BM_TopicMatchHash);
 
-/// Publish cost against a broker with a growing number of subscriptions
-/// (the Collect Agent usually holds one catch-all; per-plugin filters add
-/// more).
+/// Deterministic filter corpus shaped like a monitoring deployment: mostly
+/// exact per-sensor filters, some single-level '+' selectors, a few '#'
+/// subtrees. Filter i is unique; only a bounded handful match the probe
+/// topic "/rack0/chassis0/server0/power" regardless of corpus size.
+std::vector<std::string> filterCorpus(std::size_t n) {
+    std::vector<std::string> filters;
+    filters.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string rack = std::to_string(i % 64);
+        const std::string chassis = std::to_string((i / 64) % 8);
+        const std::string server = std::to_string(i / 512);
+        if (i % 10 == 9) {
+            filters.push_back("/rack" + rack + "/chassis" + chassis + "/server" +
+                              server + "/#");
+        } else if (i % 10 == 5) {
+            filters.push_back("/rack" + rack + "/+/server" + server + "/power");
+        } else {
+            filters.push_back("/rack" + rack + "/chassis" + chassis + "/server" +
+                              server + "/power");
+        }
+    }
+    return filters;
+}
+
+const std::string kProbeTopic = "/rack0/chassis0/server0/power";
+
+/// Baseline: the linear scan the broker used before the trie — every
+/// publish tests the topic against every registered filter and copies the
+/// matching handlers' std::function state.
+void BM_MatchLinearScan(benchmark::State& state) {
+    const std::vector<std::string> filters =
+        filterCorpus(static_cast<std::size_t>(state.range(0)));
+    std::size_t sink = 0;
+    std::vector<std::pair<std::string, MessageHandler>> subscriptions;
+    subscriptions.reserve(filters.size());
+    for (const auto& filter : filters) {
+        subscriptions.emplace_back(filter, [&sink](const Message&) { ++sink; });
+    }
+    std::uint64_t matched = 0;
+    const std::uint64_t allocs_before = wm::bench::allocCount();
+    for (auto _ : state) {
+        std::vector<MessageHandler> targets;  // snapshot, as the old deliver()
+        for (const auto& [filter, handler] : subscriptions) {
+            if (topicMatches(filter, kProbeTopic)) targets.push_back(handler);
+        }
+        matched += targets.size();
+        benchmark::DoNotOptimize(targets);
+    }
+    state.counters["allocs/op"] = wm::bench::allocsPerOp(
+        allocs_before, wm::bench::allocCount(), state.iterations());
+    state.counters["matched"] =
+        static_cast<double>(matched) / static_cast<double>(state.iterations());
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatchLinearScan)
+    ->Arg(16)
+    ->Arg(148)
+    ->Arg(1000)
+    ->Arg(4096)
+    ->Complexity(benchmark::oN);
+
+/// The trie path: O(topic depth) walk independent of subscription count;
+/// the snapshot copies shared_ptr handles, never std::function state.
+void BM_MatchSubscriptionIndex(benchmark::State& state) {
+    const std::vector<std::string> filters =
+        filterCorpus(static_cast<std::size_t>(state.range(0)));
+    SubscriptionIndex index;
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+        auto subscription = std::make_shared<Subscription>();
+        subscription->id = i + 1;
+        subscription->filter = filters[i];
+        subscription->handler = std::make_shared<const MessageHandler>(
+            [&sink](const Message&) { ++sink; });
+        index.insert(std::move(subscription));
+    }
+    std::uint64_t matched = 0;
+    std::vector<SubscriptionPtr> targets;
+    const std::uint64_t allocs_before = wm::bench::allocCount();
+    for (auto _ : state) {
+        targets.clear();
+        index.match(kProbeTopic, targets);
+        matched += targets.size();
+        benchmark::DoNotOptimize(targets);
+    }
+    state.counters["allocs/op"] = wm::bench::allocsPerOp(
+        allocs_before, wm::bench::allocCount(), state.iterations());
+    state.counters["matched"] =
+        static_cast<double>(matched) / static_cast<double>(state.iterations());
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatchSubscriptionIndex)
+    ->Arg(16)
+    ->Arg(148)
+    ->Arg(1000)
+    ->Arg(4096)
+    ->Complexity(benchmark::o1);
+
+/// End-to-end publish cost against a broker with a growing number of
+/// subscriptions (the Collect Agent usually holds one catch-all;
+/// per-plugin filters add more). Rides the trie internally.
 void BM_BrokerPublish(benchmark::State& state) {
     Broker broker;
     std::size_t sink = 0;
@@ -50,12 +162,15 @@ void BM_BrokerPublish(benchmark::State& state) {
                          [&sink](const Message&) { ++sink; });
     }
     const Message message{"/rack0/chassis0/server0/power", {{1, 1.0}}};
+    const std::uint64_t allocs_before = wm::bench::allocCount();
     for (auto _ : state) {
         benchmark::DoNotOptimize(broker.publish(message));
     }
+    state.counters["allocs/op"] = wm::bench::allocsPerOp(
+        allocs_before, wm::bench::allocCount(), state.iterations());
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_BrokerPublish)->Arg(1)->Arg(16)->Arg(148);
+BENCHMARK(BM_BrokerPublish)->Arg(1)->Arg(16)->Arg(148)->Arg(1000);
 
 }  // namespace
 

@@ -80,6 +80,48 @@ void BM_UnitResolutionSingleNode(benchmark::State& state) {
 }
 BENCHMARK(BM_UnitResolutionSingleNode);
 
+/// One-time cost of binding cache handles to a resolved unit's inputs —
+/// paid at unit-resolution time so per-read queries can skip topic hashing
+/// (docs/PERFORMANCE.md).
+void BM_UnitBindHandles(benchmark::State& state) {
+    SensorTree tree;
+    tree.build(clusterTopics(148, 16));
+    const auto unit_template = wm::core::makeUnitTemplate(
+        {"<bottomup, filter cpu>cpu-cycles"}, {"<bottomup-1>out"});
+    const UnitResolver resolver(tree);
+    auto unit = resolver.resolveUnitAt(Topology::coolmuc3().nodePath(70), *unit_template);
+    for (auto _ : state) {
+        unit->bindHandles();
+        benchmark::DoNotOptimize(unit->input_handles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(unit->inputs.size()));
+}
+BENCHMARK(BM_UnitBindHandles);
+
+/// Steady-state resolution of a bound handle against a populated store:
+/// the per-read topic->cache step of every operator input query.
+void BM_UnitHandleResolve(benchmark::State& state) {
+    SensorTree tree;
+    const auto topics = clusterTopics(148, 16);
+    tree.build(topics);
+    wm::sensors::CacheStore store;
+    for (const auto& topic : topics) store.getOrCreate(topic);
+    const auto unit_template = wm::core::makeUnitTemplate(
+        {"<bottomup, filter cpu>cpu-cycles"}, {"<bottomup-1>out"});
+    const UnitResolver resolver(tree);
+    const auto unit =
+        resolver.resolveUnitAt(Topology::coolmuc3().nodePath(70), *unit_template);
+    for (auto _ : state) {
+        for (const auto& handle : unit->input_handles) {
+            benchmark::DoNotOptimize(handle->resolve(store));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(unit->input_handles.size()));
+}
+BENCHMARK(BM_UnitHandleResolve);
+
 }  // namespace
 
 BENCHMARK_MAIN();

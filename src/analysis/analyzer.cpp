@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 
@@ -12,6 +13,7 @@
 #include "core/operator.h"
 #include "core/sensor_tree.h"
 #include "core/unit_system.h"
+#include "mqtt/subscription_index.h"
 #include "mqtt/topic.h"
 #include "plugins/registry.h"
 #include "pusher/plugins/facilitysim_group.h"
@@ -29,8 +31,9 @@ using common::ConfigNode;
 using common::kNsPerSec;
 
 const std::set<std::string>& knownTopLevelBlocks() {
-    static const std::set<std::string> known = {"cluster",  "pusher",     "facility",
-                                                "plugin",   "resilience", "faults"};
+    static const std::set<std::string> known = {"cluster",    "pusher", "facility",
+                                                "plugin",     "resilience", "faults",
+                                                "collectagent"};
     return known;
 }
 
@@ -466,6 +469,55 @@ void checkCycles(const AnalyzerState& state, DiagnosticSink& sink) {
     }
 }
 
+/// WM0205/WM0206: the Collect Agent's subscription filter
+/// (`collectagent { filter "..." }`, default "#") must be a valid MQTT
+/// filter and should match at least one topic actually published over MQTT
+/// — published raw sensors plus operator outputs with publish enabled. A
+/// filter matching nothing means the agent stores nothing; that is almost
+/// always a typo in the filter's topic prefix.
+void checkCollectAgent(const ConfigNode& root, const AnalyzerState& state,
+                       DiagnosticSink& sink) {
+    const ConfigNode* block = root.child("collectagent");
+    if (block == nullptr) return;
+    const ConfigNode* filter_node = block->child("filter");
+    if (filter_node == nullptr) return;  // default "#" matches everything
+    const std::string filter = filter_node->value();
+    if (!mqtt::isValidFilter(filter)) {
+        sink.error("WM0205",
+                   "'" + filter + "' is not a valid MQTT subscription filter",
+                   filter_node->line(), filter_node->column(), "collectagent");
+        return;
+    }
+    // One-filter trie: matchesAny resolves each candidate in O(depth), the
+    // same index the broker itself would consult for this subscription.
+    mqtt::SubscriptionIndex index;
+    auto subscription = std::make_shared<mqtt::Subscription>();
+    subscription->id = 1;
+    subscription->filter = filter;
+    index.insert(std::move(subscription));
+    std::size_t published = 0;
+    for (const auto& [pusher_name, sensors] : state.model.pushers) {
+        for (const auto& metadata : sensors) {
+            if (!metadata.publish) continue;
+            ++published;
+            if (index.matchesAny(metadata.topic)) return;
+        }
+    }
+    for (const auto& record : state.records) {
+        if (!record.publish) continue;
+        for (const auto& topic : record.output_topics) {
+            ++published;
+            if (index.matchesAny(topic)) return;
+        }
+    }
+    sink.warning("WM0206",
+                 "filter '" + filter + "' matches none of the " +
+                     std::to_string(published) +
+                     " topics published over MQTT; the Collect Agent will "
+                     "receive nothing",
+                 filter_node->line(), filter_node->column(), "collectagent");
+}
+
 void checkFaults(const ConfigNode& root, DiagnosticSink& sink) {
     const ConfigNode* block = root.child("faults");
     if (block == nullptr) return;
@@ -557,6 +609,7 @@ AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
     analyzePlugins(root, state, sink, summary);
     checkDeadOutputs(state, sink);
     checkCycles(state, sink);
+    checkCollectAgent(root, state, sink);
     checkFaults(root, sink);
     checkResilience(root, sink);
     return summary;

@@ -147,8 +147,15 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
     const ResilienceKnobs knobs = readResilience(root);
     daemon.broker.setSubscriberFailureBudget(knobs.subscriber_failure_budget);
 
+    // `collectagent { filter "..." }` narrows what the agent subscribes to
+    // (default "#", everything). wm-check validates the filter statically
+    // (WM0205) and warns when it can never match a published topic (WM0206).
+    std::string agent_filter = "#";
+    if (const common::ConfigNode* agent_cfg = root.child("collectagent")) {
+        agent_filter = agent_cfg->getString("filter", "#");
+    }
     daemon.agent = std::make_unique<collectagent::CollectAgent>(
-        collectagent::CollectAgentConfig{"collectagent", "#", window, true,
+        collectagent::CollectAgentConfig{"collectagent", agent_filter, window, true,
                                          knobs.quarantine_max},
         daemon.broker, daemon.storage);
     daemon.agent->start();

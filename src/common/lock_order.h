@@ -56,6 +56,9 @@ enum class LockRank : int {
     kQueryEngineTree = 60,
     kCacheStore = 64,
     kSensorCache = 68,
+    // Topic interning is legal under the CacheStore lock (getOrCreate interns
+    // while registering the entry) but never holds anything itself.
+    kTopicTable = 70,
     kStorage = 72,
 
     // Near-leaves: fault-point evaluation is legal under any data-path

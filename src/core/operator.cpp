@@ -44,6 +44,11 @@ OperatorConfig parseOperatorConfig(const common::ConfigNode& node,
 }
 
 void OperatorTemplate::setUnits(std::vector<Unit> units) {
+    // Units assembled by hand (tests, host code) may lack bound handles;
+    // bind here so every per-read query goes through the interned-id path.
+    for (auto& unit : units) {
+        if (unit.input_handles.size() != unit.inputs.size()) unit.bindHandles();
+    }
     common::MutexLock lock(units_mutex_);
     units_ = std::move(units);
 }
@@ -118,6 +123,47 @@ sensors::ReadingVector OperatorTemplate::queryInput(const std::string& topic,
     return context_.query_engine->queryAbsolute(topic, t - config_.window_ns, t);
 }
 
+sensors::ReadingVector OperatorTemplate::queryInput(const Unit& unit, std::size_t index,
+                                                    common::TimestampNs t) const {
+    if (context_.query_engine == nullptr || index >= unit.inputs.size()) return {};
+    const sensors::CacheHandle* handle = unit.inputHandle(index);
+    if (handle == nullptr) return queryInput(unit.inputs[index], t);
+    if (config_.relative_queries) {
+        return context_.query_engine->queryRelative(*handle, config_.window_ns);
+    }
+    return context_.query_engine->queryAbsolute(*handle, t - config_.window_ns, t);
+}
+
+std::optional<sensors::RangeStats> OperatorTemplate::inputStats(
+    const Unit& unit, std::size_t index, common::TimestampNs t) const {
+    if (context_.query_engine == nullptr || index >= unit.inputs.size()) {
+        return std::nullopt;
+    }
+    const sensors::CacheHandle* handle = unit.inputHandle(index);
+    if (config_.relative_queries) {
+        if (handle != nullptr) {
+            return context_.query_engine->statsRelative(*handle, config_.window_ns);
+        }
+        return context_.query_engine->statsRelative(unit.inputs[index], config_.window_ns);
+    }
+    // Absolute mode has no fused cache path; reduce the queried window.
+    const sensors::ReadingVector window = queryInput(unit, index, t);
+    if (window.empty()) return std::nullopt;
+    sensors::RangeStats stats;
+    for (const auto& reading : window) stats.accumulate(reading);
+    return stats;
+}
+
+std::optional<sensors::Reading> OperatorTemplate::inputLatest(const Unit& unit,
+                                                              std::size_t index) const {
+    if (context_.query_engine == nullptr || index >= unit.inputs.size()) {
+        return std::nullopt;
+    }
+    const sensors::CacheHandle* handle = unit.inputHandle(index);
+    if (handle != nullptr) return context_.query_engine->latest(*handle);
+    return context_.query_engine->latest(unit.inputs[index]);
+}
+
 void OperatorTemplate::computeUnitChecked(const Unit& unit, common::TimestampNs t,
                                           std::vector<SensorValue>* collected) {
     try {
@@ -189,6 +235,7 @@ std::vector<Unit> JobOperatorTemplate::buildJobUnits(common::TimestampNs t) cons
         for (const auto& expression : unit_template_.outputs) {
             unit.outputs.push_back(common::pathJoin(unit.name, expression.sensor_name));
         }
+        unit.bindHandles();
         units.push_back(std::move(unit));
     }
     return units;

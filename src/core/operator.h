@@ -158,6 +158,22 @@ class OperatorTemplate : public OperatorInterface {
     sensors::ReadingVector queryInput(const std::string& topic,
                                       common::TimestampNs t) const;
 
+    /// Handle-keyed input query: uses unit.inputs[index]'s bound CacheHandle
+    /// (no per-read string hashing); falls back to the string path when the
+    /// unit carries no handles. Same results as queryInput(topic, t).
+    sensors::ReadingVector queryInput(const Unit& unit, std::size_t index,
+                                      common::TimestampNs t) const;
+
+    /// Fused input reduction over the configured window: count/sum/min/max/
+    /// first/last in one cache pass with no vector materialisation. Nullopt
+    /// when the input has no data.
+    std::optional<sensors::RangeStats> inputStats(const Unit& unit, std::size_t index,
+                                                  common::TimestampNs t) const;
+
+    /// Most recent reading of unit.inputs[index], through the handle.
+    std::optional<sensors::Reading> inputLatest(const Unit& unit,
+                                                std::size_t index) const;
+
     /// Units guarded for concurrent access (job operators rebuild them).
     mutable common::Mutex units_mutex_{"OperatorTemplate.units",
                                        common::LockRank::kOperatorUnits};

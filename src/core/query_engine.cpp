@@ -37,85 +37,156 @@ void QueryEngine::addTopics(const std::vector<std::string>& topics) {
     for (const auto& topic : topics) tree_.addSensor(topic);
 }
 
-sensors::ReadingVector QueryEngine::queryRelative(const std::string& topic,
-                                                  common::TimestampNs offset_ns) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    storage::StorageBackend* storage = storage_.load(std::memory_order_acquire);
-    if (cache_store != nullptr) {
-        const sensors::SensorCache* cache = cache_store->find(topic);
-        // The cache covers the window only when the requested offset fits
-        // inside its retention window.
-        if (cache != nullptr && !cache->empty() && offset_ns <= cache->windowNs()) {
-            cache_hits_.fetch_add(1, std::memory_order_relaxed);
-            return cache->viewRelative(offset_ns);
-        }
+sensors::ReadingVector QueryEngine::queryRelativeImpl(const sensors::SensorCache* cache,
+                                                      const std::string& topic,
+                                                      common::TimestampNs offset_ns) const {
+    // The cache covers the window only when the requested offset fits
+    // inside its retention window.
+    if (cache != nullptr && !cache->empty() && offset_ns <= cache->windowNs()) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return cache->viewRelative(offset_ns);
     }
-    if (storage != nullptr) {
+    if (storage::StorageBackend* storage = storage_.load(std::memory_order_acquire)) {
         storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         const auto newest = storage->latest(topic);
         if (!newest) return {};
         return storage->query(topic, newest->timestamp - offset_ns, newest->timestamp);
     }
     // Cache-only host with an over-long offset: serve what the cache has.
-    if (cache_store != nullptr) {
-        const sensors::SensorCache* cache = cache_store->find(topic);
-        if (cache != nullptr) {
-            cache_hits_.fetch_add(1, std::memory_order_relaxed);
-            return cache->viewRelative(offset_ns);
-        }
+    if (cache != nullptr) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return cache->viewRelative(offset_ns);
     }
     return {};
+}
+
+sensors::ReadingVector QueryEngine::queryAbsoluteImpl(const sensors::SensorCache* cache,
+                                                      const std::string& topic,
+                                                      common::TimestampNs t0,
+                                                      common::TimestampNs t1) const {
+    if (cache != nullptr && !cache->empty()) {
+        // The cache can only answer if the range begins inside its
+        // retained window.
+        const auto newest = cache->latest();
+        if (newest && t0 >= newest->timestamp - cache->windowNs()) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return cache->viewAbsolute(t0, t1);
+        }
+    }
+    if (storage::StorageBackend* storage = storage_.load(std::memory_order_acquire)) {
+        storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return storage->query(topic, t0, t1);
+    }
+    if (cache != nullptr) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return cache->viewAbsolute(t0, t1);
+    }
+    return {};
+}
+
+std::optional<sensors::Reading> QueryEngine::latestImpl(const sensors::SensorCache* cache,
+                                                        const std::string& topic) const {
+    if (cache != nullptr) {
+        const auto reading = cache->latest();
+        if (reading) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return reading;
+        }
+    }
+    if (storage::StorageBackend* storage = storage_.load(std::memory_order_acquire)) {
+        storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return storage->latest(topic);
+    }
+    return std::nullopt;
+}
+
+std::optional<sensors::RangeStats> QueryEngine::statsRelativeImpl(
+    const sensors::SensorCache* cache, const std::string& topic,
+    common::TimestampNs offset_ns) const {
+    if (cache != nullptr && !cache->empty() && offset_ns <= cache->windowNs()) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return cache->statsRelative(offset_ns);
+    }
+    if (storage::StorageBackend* storage = storage_.load(std::memory_order_acquire)) {
+        storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        const auto newest = storage->latest(topic);
+        if (!newest) return std::nullopt;
+        const sensors::ReadingVector window =
+            storage->query(topic, newest->timestamp - offset_ns, newest->timestamp);
+        if (window.empty()) return std::nullopt;
+        sensors::RangeStats stats;
+        for (const auto& reading : window) stats.accumulate(reading);
+        return stats;
+    }
+    if (cache != nullptr && !cache->empty()) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return cache->statsRelative(offset_ns);
+    }
+    return std::nullopt;
+}
+
+sensors::ReadingVector QueryEngine::queryRelative(const std::string& topic,
+                                                  common::TimestampNs offset_ns) const {
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    const sensors::SensorCache* cache =
+        cache_store != nullptr ? cache_store->find(topic) : nullptr;
+    return queryRelativeImpl(cache, topic, offset_ns);
+}
+
+sensors::ReadingVector QueryEngine::queryRelative(const sensors::CacheHandle& handle,
+                                                  common::TimestampNs offset_ns) const {
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    const sensors::SensorCache* cache =
+        cache_store != nullptr ? handle.resolve(*cache_store) : nullptr;
+    return queryRelativeImpl(cache, handle.topic(), offset_ns);
 }
 
 sensors::ReadingVector QueryEngine::queryAbsolute(const std::string& topic,
                                                   common::TimestampNs t0,
                                                   common::TimestampNs t1) const {
     sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    storage::StorageBackend* storage = storage_.load(std::memory_order_acquire);
-    if (cache_store != nullptr) {
-        const sensors::SensorCache* cache = cache_store->find(topic);
-        if (cache != nullptr && !cache->empty()) {
-            // The cache can only answer if the range begins inside its
-            // retained window.
-            const auto newest = cache->latest();
-            if (newest && t0 >= newest->timestamp - cache->windowNs()) {
-                cache_hits_.fetch_add(1, std::memory_order_relaxed);
-                return cache->viewAbsolute(t0, t1);
-            }
-        }
-    }
-    if (storage != nullptr) {
-        storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-        return storage->query(topic, t0, t1);
-    }
-    if (cache_store != nullptr) {
-        const sensors::SensorCache* cache = cache_store->find(topic);
-        if (cache != nullptr) {
-            cache_hits_.fetch_add(1, std::memory_order_relaxed);
-            return cache->viewAbsolute(t0, t1);
-        }
-    }
-    return {};
+    const sensors::SensorCache* cache =
+        cache_store != nullptr ? cache_store->find(topic) : nullptr;
+    return queryAbsoluteImpl(cache, topic, t0, t1);
+}
+
+sensors::ReadingVector QueryEngine::queryAbsolute(const sensors::CacheHandle& handle,
+                                                  common::TimestampNs t0,
+                                                  common::TimestampNs t1) const {
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    const sensors::SensorCache* cache =
+        cache_store != nullptr ? handle.resolve(*cache_store) : nullptr;
+    return queryAbsoluteImpl(cache, handle.topic(), t0, t1);
 }
 
 std::optional<sensors::Reading> QueryEngine::latest(const std::string& topic) const {
     sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    storage::StorageBackend* storage = storage_.load(std::memory_order_acquire);
-    if (cache_store != nullptr) {
-        const sensors::SensorCache* cache = cache_store->find(topic);
-        if (cache != nullptr) {
-            const auto reading = cache->latest();
-            if (reading) {
-                cache_hits_.fetch_add(1, std::memory_order_relaxed);
-                return reading;
-            }
-        }
-    }
-    if (storage != nullptr) {
-        storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-        return storage->latest(topic);
-    }
-    return std::nullopt;
+    const sensors::SensorCache* cache =
+        cache_store != nullptr ? cache_store->find(topic) : nullptr;
+    return latestImpl(cache, topic);
+}
+
+std::optional<sensors::Reading> QueryEngine::latest(const sensors::CacheHandle& handle) const {
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    const sensors::SensorCache* cache =
+        cache_store != nullptr ? handle.resolve(*cache_store) : nullptr;
+    return latestImpl(cache, handle.topic());
+}
+
+std::optional<sensors::RangeStats> QueryEngine::statsRelative(
+    const std::string& topic, common::TimestampNs offset_ns) const {
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    const sensors::SensorCache* cache =
+        cache_store != nullptr ? cache_store->find(topic) : nullptr;
+    return statsRelativeImpl(cache, topic, offset_ns);
+}
+
+std::optional<sensors::RangeStats> QueryEngine::statsRelative(
+    const sensors::CacheHandle& handle, common::TimestampNs offset_ns) const {
+    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
+    const sensors::SensorCache* cache =
+        cache_store != nullptr ? handle.resolve(*cache_store) : nullptr;
+    return statsRelativeImpl(cache, handle.topic(), offset_ns);
 }
 
 }  // namespace wm::core

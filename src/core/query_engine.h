@@ -67,10 +67,45 @@ class QueryEngine {
     /// Most recent reading of a topic (cache-first).
     std::optional<sensors::Reading> latest(const std::string& topic) const;
 
+    // Handle-keyed variants (the per-read hot path, docs/PERFORMANCE.md):
+    // operators bind a CacheHandle per input at unit-resolution time; each
+    // query then resolves topic -> cache through the interned id with no
+    // string hash and no CacheStore lock. Results agree exactly with the
+    // string-keyed variants (differential-tested).
+    sensors::ReadingVector queryRelative(const sensors::CacheHandle& handle,
+                                         common::TimestampNs offset_ns) const;
+    sensors::ReadingVector queryAbsolute(const sensors::CacheHandle& handle,
+                                         common::TimestampNs t0,
+                                         common::TimestampNs t1) const;
+    std::optional<sensors::Reading> latest(const sensors::CacheHandle& handle) const;
+
+    /// Fused relative-window reduction (count/sum/min/max/first/last) in a
+    /// single cache pass with no allocation; nullopt when no data. Storage
+    /// fallback reduces the queried vector.
+    std::optional<sensors::RangeStats> statsRelative(const sensors::CacheHandle& handle,
+                                                     common::TimestampNs offset_ns) const;
+    std::optional<sensors::RangeStats> statsRelative(const std::string& topic,
+                                                     common::TimestampNs offset_ns) const;
+
     std::uint64_t cacheHits() const { return cache_hits_.load(); }
     std::uint64_t storageFallbacks() const { return storage_fallbacks_.load(); }
 
   private:
+    // Shared bodies: `cache` is the already-resolved cache (may be null);
+    // `topic` is only used for the storage fallback.
+    sensors::ReadingVector queryRelativeImpl(const sensors::SensorCache* cache,
+                                             const std::string& topic,
+                                             common::TimestampNs offset_ns) const;
+    sensors::ReadingVector queryAbsoluteImpl(const sensors::SensorCache* cache,
+                                             const std::string& topic,
+                                             common::TimestampNs t0,
+                                             common::TimestampNs t1) const;
+    std::optional<sensors::Reading> latestImpl(const sensors::SensorCache* cache,
+                                               const std::string& topic) const;
+    std::optional<sensors::RangeStats> statsRelativeImpl(const sensors::SensorCache* cache,
+                                                         const std::string& topic,
+                                                         common::TimestampNs offset_ns) const;
+
     mutable common::Mutex tree_mutex_{"QueryEngine.tree", common::LockRank::kQueryEngineTree};
     SensorTree tree_ WM_GUARDED_BY(tree_mutex_);
     // Atomic pointers: the hosting entity wires these once at startup but the

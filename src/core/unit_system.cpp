@@ -192,7 +192,10 @@ std::vector<Unit> UnitResolver::resolveUnits(const UnitTemplate& unit_template) 
                 break;
             }
         }
-        if (complete) units.push_back(std::move(unit));
+        if (complete) {
+            unit.bindHandles();
+            units.push_back(std::move(unit));
+        }
     }
     return units;
 }
@@ -214,6 +217,7 @@ std::optional<Unit> UnitResolver::resolveUnitAt(const std::string& node_path,
         if (resolved.empty()) return std::nullopt;
         unit.outputs.insert(unit.outputs.end(), resolved.begin(), resolved.end());
     }
+    unit.bindHandles();
     return unit;
 }
 

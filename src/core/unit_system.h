@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/sensor_tree.h"
+#include "sensors/sensor_cache.h"
 
 namespace wm::core {
 
@@ -52,6 +53,25 @@ struct Unit {
     std::string name;                  // the node path the unit represents
     std::vector<std::string> inputs;   // resolved input sensor topics
     std::vector<std::string> outputs;  // resolved output sensor topics
+    /// Cache handles parallel to `inputs`, bound once at unit-resolution
+    /// time; per-read queries resolve topic -> cache through the interned
+    /// id instead of hashing the topic string (docs/PERFORMANCE.md).
+    std::vector<sensors::CacheHandlePtr> input_handles = {};
+
+    /// (Re)builds input_handles from inputs. Called by the resolver; units
+    /// assembled by hand (tests, job units) are re-bound by setUnits().
+    void bindHandles() {
+        input_handles.clear();
+        input_handles.reserve(inputs.size());
+        for (const auto& topic : inputs) {
+            input_handles.push_back(sensors::makeCacheHandle(topic));
+        }
+    }
+
+    /// Handle of inputs[index]; nullptr when handles were never bound.
+    const sensors::CacheHandle* inputHandle(std::size_t index) const {
+        return index < input_handles.size() ? input_handles[index].get() : nullptr;
+    }
 };
 
 /// A pattern unit: abstract I/O specification, instantiable anywhere in the

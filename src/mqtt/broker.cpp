@@ -1,6 +1,7 @@
 #include "mqtt/broker.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/fault.h"
 #include "common/logging.h"
@@ -13,18 +14,24 @@ using common::WriteLock;
 
 SubscriptionId Broker::subscribe(const std::string& filter, MessageHandler handler) {
     if (!isValidFilter(filter)) return 0;
+    auto subscription = std::make_shared<Subscription>();
+    subscription->id = next_id_.fetch_add(1);
+    subscription->filter = filter;
+    subscription->handler =
+        std::make_shared<const MessageHandler>(std::move(handler));
+    const SubscriptionId id = subscription->id;
     WriteLock lock(mutex_);
-    const SubscriptionId id = next_id_.fetch_add(1);
-    subscriptions_.push_back({id, filter, std::move(handler)});
+    by_id_.emplace(id, subscription);
+    index_.insert(std::move(subscription));
     return id;
 }
 
 bool Broker::unsubscribe(SubscriptionId id) {
     WriteLock lock(mutex_);
-    auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
-                           [id](const Subscription& s) { return s.id == id; });
-    if (it == subscriptions_.end()) return false;
-    subscriptions_.erase(it);
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    index_.erase(id, it->second->filter);
+    by_id_.erase(it);
     return true;
 }
 
@@ -55,7 +62,7 @@ bool Broker::publishFaulted(int& result) {
 
 std::size_t Broker::subscriptionCount() const {
     ReadLock lock(mutex_);
-    return subscriptions_.size();
+    return by_id_.size();
 }
 
 int Broker::deliver(const Message& message) {
@@ -68,20 +75,23 @@ int Broker::deliver(const Message& message) {
             return 0;
         }
     }
-    // Snapshot matching handlers under the shared lock, call them outside it
-    // so handlers may themselves publish or (un)subscribe without deadlock.
+    // Snapshot matching subscriptions under the shared lock — a trie walk
+    // plus shared_ptr copies, no std::function copies — then call handlers
+    // outside it so they may themselves publish or (un)subscribe without
+    // deadlock.
     struct Target {
         SubscriptionId id;
-        MessageHandler handler;
+        std::shared_ptr<const MessageHandler> handler;
         std::size_t prior_failures;
     };
     std::vector<Target> targets;
     {
         ReadLock lock(mutex_);
-        for (const auto& sub : subscriptions_) {
-            if (topicMatches(sub.filter, message.topic)) {
-                targets.push_back({sub.id, sub.handler, sub.consecutive_failures});
-            }
+        std::vector<SubscriptionPtr> matched;
+        index_.match(message.topic, matched);
+        targets.reserve(matched.size());
+        for (const auto& sub : matched) {
+            targets.push_back({sub->id, sub->handler, sub->consecutive_failures});
         }
     }
     int reached = 0;
@@ -89,7 +99,7 @@ int Broker::deliver(const Message& message) {
     std::vector<SubscriptionId> recovered;
     for (const auto& target : targets) {
         try {
-            target.handler(message);
+            (*target.handler)(message);
             ++reached;
             if (target.prior_failures > 0) recovered.push_back(target.id);
         } catch (...) {
@@ -111,18 +121,18 @@ void Broker::recordDeliveryOutcomes(const std::vector<SubscriptionId>& failed,
     {
         WriteLock lock(mutex_);
         for (SubscriptionId id : recovered) {
-            auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
-                                   [id](const Subscription& s) { return s.id == id; });
-            if (it != subscriptions_.end()) it->consecutive_failures = 0;
+            auto it = by_id_.find(id);
+            if (it != by_id_.end()) it->second->consecutive_failures = 0;
         }
         for (SubscriptionId id : failed) {
-            auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
-                                   [id](const Subscription& s) { return s.id == id; });
-            if (it == subscriptions_.end()) continue;
-            ++it->consecutive_failures;
-            if (budget != 0 && it->consecutive_failures >= budget) {
-                evicted.emplace_back(id, it->filter);
-                subscriptions_.erase(it);
+            auto it = by_id_.find(id);
+            if (it == by_id_.end()) continue;
+            Subscription& sub = *it->second;
+            ++sub.consecutive_failures;
+            if (budget != 0 && sub.consecutive_failures >= budget) {
+                evicted.emplace_back(id, sub.filter);
+                index_.erase(id, sub.filter);
+                by_id_.erase(it);
             }
         }
     }
@@ -148,6 +158,8 @@ AsyncBroker::~AsyncBroker() {
 }
 
 int AsyncBroker::publish(const Message& message) {
+    // The single isValidTopic check a message pays for: deliver() trusts
+    // what the dispatcher dequeues.
     if (!isValidTopic(message.topic)) return -1;
     int fault_result = 0;
     if (publishFaulted(fault_result)) return fault_result;

@@ -10,29 +10,27 @@
 //  * AsyncBroker      — queued: publish() enqueues and a dispatcher thread
 //                       delivers, decoupling producers from consumers exactly
 //                       like a networked MQTT broker does.
+//
+// Delivery is trie-indexed (mqtt/subscription_index.h): a publish resolves
+// its matching subscriptions in O(topic depth) instead of scanning every
+// filter, and the delivery snapshot copies shared_ptr handles, never
+// std::function state (docs/PERFORMANCE.md).
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/mutex.h"
+#include "mqtt/message.h"
+#include "mqtt/subscription_index.h"
 #include "mqtt/topic.h"
 #include "sensors/reading.h"
 
 namespace wm::mqtt {
-
-/// A published message: a sensor topic plus a batch of readings.
-struct Message {
-    std::string topic;
-    sensors::ReadingVector readings;
-};
-
-using SubscriptionId = std::uint64_t;
-using MessageHandler = std::function<void(const Message&)>;
 
 /// Synchronous broker. Thread-safe; handlers run on the publishing thread.
 ///
@@ -77,6 +75,9 @@ class Broker {
     std::uint64_t evictedSubscribers() const { return evicted_.load(); }
 
   protected:
+    /// Delivers to matching subscribers. The topic was validated by the
+    /// public publish() entry point — it is NOT re-checked here, so a message
+    /// pays for isValidTopic exactly once (AsyncBroker included).
     int deliver(const Message& message);
 
     /// Applies the "broker.publish" fault point. Returns true when the
@@ -84,18 +85,15 @@ class Broker {
     bool publishFaulted(int& result);
 
   private:
-    struct Subscription {
-        SubscriptionId id;
-        std::string filter;
-        MessageHandler handler;
-        std::size_t consecutive_failures = 0;
-    };
-
     void recordDeliveryOutcomes(const std::vector<SubscriptionId>& failed,
                                 const std::vector<SubscriptionId>& recovered);
 
     mutable common::SharedMutex mutex_{"Broker", common::LockRank::kBroker};
-    std::vector<Subscription> subscriptions_ WM_GUARDED_BY(mutex_);
+    /// Filter trie; resolves a topic to its subscriptions in O(depth).
+    SubscriptionIndex index_ WM_GUARDED_BY(mutex_);
+    /// Id -> subscription, for unsubscribe/eviction (needs the filter to
+    /// locate the trie entry).
+    std::unordered_map<SubscriptionId, SubscriptionPtr> by_id_ WM_GUARDED_BY(mutex_);
     std::atomic<SubscriptionId> next_id_{1};
     std::atomic<std::uint64_t> published_{0};
     std::atomic<std::size_t> failure_budget_{0};
@@ -112,7 +110,8 @@ class AsyncBroker final : public Broker {
 
     /// Enqueues the message for asynchronous delivery. Returns the current
     /// queue depth, or -1 for an invalid topic; blocks when the queue is full
-    /// (back-pressure, like a TCP-backed MQTT client would).
+    /// (back-pressure, like a TCP-backed MQTT client would). The topic is
+    /// validated here, once; the dequeued delivery trusts it.
     int publish(const Message& message) override;
 
     /// Blocks until the queue has drained and the dispatcher is idle.

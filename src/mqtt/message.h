@@ -1,0 +1,23 @@
+#pragma once
+
+// The MQTT message and subscriber-callback vocabulary shared by the broker
+// and the subscription index.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sensors/reading.h"
+
+namespace wm::mqtt {
+
+/// A published message: a sensor topic plus a batch of readings.
+struct Message {
+    std::string topic;
+    sensors::ReadingVector readings;
+};
+
+using SubscriptionId = std::uint64_t;
+using MessageHandler = std::function<void(const Message&)>;
+
+}  // namespace wm::mqtt

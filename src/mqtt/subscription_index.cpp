@@ -1,0 +1,161 @@
+#include "mqtt/subscription_index.h"
+
+#include <algorithm>
+
+#include "common/string_utils.h"
+
+namespace wm::mqtt {
+
+namespace {
+
+/// Splits with the same conventions as the `topicMatches` oracle: empty
+/// segments are kept, so "/a" -> {"", "a"} and the leading slash is a
+/// (matchable) empty root segment.
+std::vector<std::string> segmentsOf(std::string_view path) {
+    return common::split(path, '/', /*keep_empty=*/true);
+}
+
+}  // namespace
+
+struct SubscriptionIndex::Node {
+    /// Literal segment children (the empty string is a legal key: it is the
+    /// root segment of every leading-slash topic).
+    std::unordered_map<std::string, std::unique_ptr<Node>> children;
+    /// '+' child: matches exactly one segment of any content.
+    std::unique_ptr<Node> plus;
+    /// Filters ending exactly at this node.
+    std::vector<SubscriptionPtr> here;
+    /// Filters whose next (and last) segment is '#': match any remainder of
+    /// a topic that reached this node, including the empty remainder.
+    std::vector<SubscriptionPtr> hash;
+
+    bool empty() const {
+        return children.empty() && plus == nullptr && here.empty() && hash.empty();
+    }
+};
+
+SubscriptionIndex::SubscriptionIndex() : root_(std::make_unique<Node>()) {}
+SubscriptionIndex::~SubscriptionIndex() = default;
+
+void SubscriptionIndex::insert(SubscriptionPtr subscription) {
+    const std::vector<std::string> segments = segmentsOf(subscription->filter);
+    Node* node = root_.get();
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        const std::string& segment = segments[i];
+        if (segment == "#") {  // valid filters only carry '#' terminally
+            node->hash.push_back(std::move(subscription));
+            ++size_;
+            return;
+        }
+        if (segment == "+") {
+            if (node->plus == nullptr) node->plus = std::make_unique<Node>();
+            node = node->plus.get();
+        } else {
+            auto& child = node->children[segment];
+            if (child == nullptr) child = std::make_unique<Node>();
+            node = child.get();
+        }
+    }
+    node->here.push_back(std::move(subscription));
+    ++size_;
+}
+
+namespace {
+
+bool eraseFrom(std::vector<SubscriptionPtr>& list, SubscriptionId id,
+               SubscriptionPtr& removed) {
+    auto it = std::find_if(list.begin(), list.end(),
+                           [id](const SubscriptionPtr& s) { return s->id == id; });
+    if (it == list.end()) return false;
+    removed = std::move(*it);
+    list.erase(it);
+    return true;
+}
+
+}  // namespace
+
+SubscriptionPtr SubscriptionIndex::erase(SubscriptionId id, std::string_view filter) {
+    const std::vector<std::string> segments = segmentsOf(filter);
+    // Record the path so emptied branches can be pruned bottom-up.
+    std::vector<std::pair<Node*, const std::string*>> path;  // parent + edge taken
+    Node* node = root_.get();
+    SubscriptionPtr removed;
+    std::size_t depth = 0;
+    for (; depth < segments.size(); ++depth) {
+        const std::string& segment = segments[depth];
+        if (segment == "#") break;
+        path.emplace_back(node, &segment);
+        if (segment == "+") {
+            node = node->plus.get();
+        } else {
+            auto it = node->children.find(segment);
+            node = it == node->children.end() ? nullptr : it->second.get();
+        }
+        if (node == nullptr) return nullptr;
+    }
+    const bool terminal_hash = depth < segments.size();
+    if (!eraseFrom(terminal_hash ? node->hash : node->here, id, removed)) return nullptr;
+    --size_;
+    // Prune: walk back up, detaching nodes that became empty.
+    while (!path.empty() && node->empty() && node != root_.get()) {
+        auto [parent, edge] = path.back();
+        path.pop_back();
+        if (*edge == "+") {
+            parent->plus.reset();
+        } else {
+            parent->children.erase(*edge);
+        }
+        node = parent;
+    }
+    return removed;
+}
+
+void SubscriptionIndex::match(std::string_view topic,
+                              std::vector<SubscriptionPtr>& out) const {
+    const std::vector<std::string> segments = segmentsOf(topic);
+    // Iterative frontier walk: at most 2^levels in theory, but '+' branches
+    // are rare in practice so the frontier stays tiny; reused storage would
+    // need per-call state, and delivery already allocates the target vector.
+    std::vector<const Node*> frontier{root_.get()};
+    std::vector<const Node*> next;
+    for (const std::string& segment : segments) {
+        next.clear();
+        for (const Node* node : frontier) {
+            // '#' at this level matches the (non-empty) remainder.
+            out.insert(out.end(), node->hash.begin(), node->hash.end());
+            if (node->plus != nullptr) next.push_back(node->plus.get());
+            auto it = node->children.find(segment);
+            if (it != node->children.end()) next.push_back(it->second.get());
+        }
+        frontier.swap(next);
+        if (frontier.empty()) return;
+    }
+    for (const Node* node : frontier) {
+        // Exact-length matches plus '#' matching the empty remainder.
+        out.insert(out.end(), node->here.begin(), node->here.end());
+        out.insert(out.end(), node->hash.begin(), node->hash.end());
+    }
+}
+
+bool SubscriptionIndex::matchesAny(std::string_view topic) const {
+    const std::vector<std::string> segments = segmentsOf(topic);
+    std::vector<const Node*> frontier{root_.get()};
+    std::vector<const Node*> next;
+    for (const std::string& segment : segments) {
+        next.clear();
+        for (const Node* node : frontier) {
+            if (!node->hash.empty()) return true;
+            if (node->plus != nullptr) next.push_back(node->plus.get());
+            auto it = node->children.find(segment);
+            if (it != node->children.end()) next.push_back(it->second.get());
+        }
+        frontier.swap(next);
+        if (frontier.empty()) return false;
+    }
+    for (const Node* node : frontier) {
+        if (!node->here.empty() || !node->hash.empty()) return true;
+    }
+    return false;
+}
+
+}  // namespace wm::mqtt

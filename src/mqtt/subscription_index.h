@@ -1,0 +1,75 @@
+#pragma once
+
+// Topic-segment trie over subscription filters (hot-path data plane,
+// docs/PERFORMANCE.md). Replaces the broker's linear `topicMatches` scan:
+// a publish walks the trie once, O(topic depth) with a bounded '+' branch
+// per level, independent of the number of subscriptions. Handlers are held
+// by shared_ptr so a delivery snapshot copies pointers, never std::function
+// state.
+//
+// Semantics are pinned to the `topicMatches` oracle in mqtt/topic.h by a
+// randomized differential property test (tests/test_subscription_index.cpp):
+//  * '+' matches exactly one segment — including the empty root segment a
+//    leading '/' produces;
+//  * a trailing '#' matches the remainder of the topic, including the empty
+//    remainder ("/a/#" matches "/a" itself).
+//
+// The index is not internally synchronised; the broker guards it with its
+// subscription lock (shared for match, exclusive for insert/erase).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mqtt/message.h"
+
+namespace wm::mqtt {
+
+/// One live subscription. `consecutive_failures` is broker bookkeeping for
+/// dead-subscriber eviction, guarded by the broker's subscription lock.
+struct Subscription {
+    SubscriptionId id = 0;
+    std::string filter;
+    std::shared_ptr<const MessageHandler> handler;
+    std::size_t consecutive_failures = 0;
+};
+
+using SubscriptionPtr = std::shared_ptr<Subscription>;
+
+class SubscriptionIndex {
+  public:
+    SubscriptionIndex();
+    ~SubscriptionIndex();
+
+    SubscriptionIndex(const SubscriptionIndex&) = delete;
+    SubscriptionIndex& operator=(const SubscriptionIndex&) = delete;
+
+    /// Registers a subscription under its (pre-validated) filter.
+    void insert(SubscriptionPtr subscription);
+
+    /// Removes the subscription with `id` registered under `filter`; prunes
+    /// emptied trie branches. Returns the removed subscription (nullptr if
+    /// absent).
+    SubscriptionPtr erase(SubscriptionId id, std::string_view filter);
+
+    /// Appends every subscription whose filter matches `topic` to `out`.
+    /// The appended shared_ptrs keep handlers alive outside the lock.
+    void match(std::string_view topic, std::vector<SubscriptionPtr>& out) const;
+
+    /// True when at least one registered filter matches `topic` (used by
+    /// the wm-check dry-run analyzer; no subscription copies).
+    bool matchesAny(std::string_view topic) const;
+
+    std::size_t size() const { return size_; }
+
+  private:
+    struct Node;
+
+    std::unique_ptr<Node> root_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace wm::mqtt

@@ -19,33 +19,66 @@ AggregationKind aggregationFromName(const std::string& name) {
 
 std::vector<core::SensorValue> AggregatorOperator::compute(const core::Unit& unit,
                                                            common::TimestampNs t) {
-    std::vector<double> values;
-    for (const auto& topic : unit.inputs) {
-        const sensors::ReadingVector window = queryInput(topic, t);
-        if (window.empty()) continue;
-        if (delta_) {
-            values.push_back(window.back().value - window.front().value);
-        } else {
-            for (const auto& reading : window) values.push_back(reading.value);
+    std::vector<core::SensorValue> out;
+    double result = 0.0;
+    bool have_result = false;
+    const bool needs_values =
+        delta_ || kind_ == AggregationKind::kMedian || kind_ == AggregationKind::kQuantile;
+    if (!needs_values) {
+        // Fused hot path (docs/PERFORMANCE.md): average/sum/min/max need no
+        // materialised window — one RangeStats pass per input, merged.
+        sensors::RangeStats merged;
+        for (std::size_t i = 0; i < unit.inputs.size(); ++i) {
+            const auto stats = inputStats(unit, i, t);
+            if (stats) merged.merge(*stats);
+        }
+        if (merged.count > 0) {
+            have_result = true;
+            switch (kind_) {
+                case AggregationKind::kAverage: result = merged.average(); break;
+                case AggregationKind::kSum: result = merged.sum; break;
+                case AggregationKind::kMinimum: result = merged.min; break;
+                case AggregationKind::kMaximum: result = merged.max; break;
+                default: have_result = false; break;
+            }
+        }
+    } else {
+        // Order statistics need the individual values; delta mode reduces
+        // each input to one value first (fused — no window copy).
+        std::vector<double> values;
+        for (std::size_t i = 0; i < unit.inputs.size(); ++i) {
+            if (delta_) {
+                const auto stats = inputStats(unit, i, t);
+                if (stats && stats->count > 0) values.push_back(stats->delta());
+            } else {
+                const sensors::ReadingVector window = queryInput(unit, i, t);
+                values.reserve(values.size() + window.size());
+                for (const auto& reading : window) values.push_back(reading.value);
+            }
+        }
+        if (!values.empty()) {
+            have_result = true;
+            switch (kind_) {
+                case AggregationKind::kAverage:
+                    result = analytics::mean(values).value_or(0);
+                    break;
+                case AggregationKind::kSum: result = analytics::sum(values); break;
+                case AggregationKind::kMinimum:
+                    result = analytics::minimum(values).value_or(0);
+                    break;
+                case AggregationKind::kMaximum:
+                    result = analytics::maximum(values).value_or(0);
+                    break;
+                case AggregationKind::kMedian:
+                    result = analytics::median(values).value_or(0);
+                    break;
+                case AggregationKind::kQuantile:
+                    result = analytics::quantile(values, quantile_).value_or(0);
+                    break;
+            }
         }
     }
-    std::vector<core::SensorValue> out;
-    if (values.empty()) return out;
-    double result = 0.0;
-    switch (kind_) {
-        case AggregationKind::kAverage: result = analytics::mean(values).value_or(0); break;
-        case AggregationKind::kSum: result = analytics::sum(values); break;
-        case AggregationKind::kMinimum:
-            result = analytics::minimum(values).value_or(0);
-            break;
-        case AggregationKind::kMaximum:
-            result = analytics::maximum(values).value_or(0);
-            break;
-        case AggregationKind::kMedian: result = analytics::median(values).value_or(0); break;
-        case AggregationKind::kQuantile:
-            result = analytics::quantile(values, quantile_).value_or(0);
-            break;
-    }
+    if (!have_result) return out;
     for (const auto& topic : unit.outputs) {
         out.push_back({topic, {t, result}});
     }

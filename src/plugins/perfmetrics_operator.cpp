@@ -18,12 +18,11 @@ struct CounterDelta {
     bool valid = false;
 };
 
-CounterDelta deltaOf(const sensors::ReadingVector& window) {
+CounterDelta deltaOf(const std::optional<sensors::RangeStats>& stats) {
     CounterDelta out;
-    if (window.size() < 2) return out;
-    out.delta = window.back().value - window.front().value;
-    out.span_sec = static_cast<double>(window.back().timestamp - window.front().timestamp) /
-                   static_cast<double>(common::kNsPerSec);
+    if (!stats || stats->count < 2) return out;
+    out.delta = stats->delta();
+    out.span_sec = stats->spanSec();
     out.valid = out.delta >= 0.0 && out.span_sec > 0.0;
     return out;
 }
@@ -34,8 +33,8 @@ std::vector<core::SensorValue> PerfmetricsOperator::compute(const core::Unit& un
                                                             common::TimestampNs t) {
     // Locate the raw counters among the unit's inputs by sensor name.
     CounterDelta cycles, instructions, cache_misses, vector_ops, branch_misses;
-    for (const auto& topic : unit.inputs) {
-        const std::string name = common::pathLeaf(topic);
+    for (std::size_t i = 0; i < unit.inputs.size(); ++i) {
+        const std::string name = common::pathLeaf(unit.inputs[i]);
         CounterDelta* target = nullptr;
         if (name == "cpu-cycles") {
             target = &cycles;
@@ -48,7 +47,9 @@ std::vector<core::SensorValue> PerfmetricsOperator::compute(const core::Unit& un
         } else if (name == "branch-misses") {
             target = &branch_misses;
         }
-        if (target != nullptr) *target = deltaOf(queryInput(topic, t));
+        // Fused counter delta: first/last/count in one cache pass, no
+        // window materialisation (docs/PERFORMANCE.md).
+        if (target != nullptr) *target = deltaOf(inputStats(unit, i, t));
     }
 
     std::vector<core::SensorValue> out;

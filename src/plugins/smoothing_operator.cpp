@@ -10,8 +10,8 @@ std::vector<core::SensorValue> SmoothingOperator::compute(const core::Unit& unit
     std::vector<core::SensorValue> out;
     const std::size_t n = std::min(unit.inputs.size(), unit.outputs.size());
     for (std::size_t i = 0; i < n; ++i) {
-        if (context_.query_engine == nullptr) break;
-        const auto latest = context_.query_engine->latest(unit.inputs[i]);
+        // Handle-keyed read: no per-tick topic hashing (docs/PERFORMANCE.md).
+        const auto latest = inputLatest(unit, i);
         if (!latest) continue;
         auto it = state_.try_emplace(unit.inputs[i], analytics::Ewma(alpha_)).first;
         const double smoothed = it->second.update(latest->value);

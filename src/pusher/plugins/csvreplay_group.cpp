@@ -31,6 +31,7 @@ CsvReplayGroup::CsvReplayGroup(CsvReplayConfig config) : config_(std::move(confi
         } catch (...) {
             continue;  // skip malformed rows
         }
+        row.id = sensors::TopicTable::instance().intern(row.topic);
         rows_.push_back(std::move(row));
     }
     std::sort(rows_.begin(), rows_.end(),
@@ -66,7 +67,7 @@ std::vector<SampledReading> CsvReplayGroup::read(common::TimestampNs t) {
     // re-stamped onto the live timeline.
     const common::TimestampNs slice_end = replay_position_ + config_.slice_ns;
     while (cursor_ < rows_.size() && rows_[cursor_].timestamp < slice_end) {
-        out.push_back({rows_[cursor_].topic, {t, rows_[cursor_].value}});
+        out.push_back({rows_[cursor_].topic, {t, rows_[cursor_].value}, rows_[cursor_].id});
         ++cursor_;
     }
     replay_position_ = slice_end;

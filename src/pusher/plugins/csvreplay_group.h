@@ -51,6 +51,7 @@ class CsvReplayGroup final : public SensorGroup {
         std::string topic;
         common::TimestampNs timestamp;
         double value;
+        sensors::TopicId id = sensors::kInvalidTopicId;  // interned at load
     };
 
     CsvReplayConfig config_;

@@ -6,7 +6,14 @@ namespace wm::pusher {
 
 FacilitysimGroup::FacilitysimGroup(FacilitysimGroupConfig config,
                                    SimulatedFacilityPtr facility)
-    : config_(std::move(config)), facility_(std::move(facility)) {}
+    : config_(std::move(config)), facility_(std::move(facility)) {
+    static const char* kNames[] = {"inlet-temp",    "return-temp", "outdoor-temp",
+                                   "cooling-power", "it-power",    "pue"};
+    for (const char* name : kNames) {
+        topics_.push_back(common::pathJoin(config_.prefix, name));
+        ids_.push_back(sensors::TopicTable::instance().intern(topics_.back()));
+    }
+}
 
 std::vector<sensors::SensorMetadata> FacilitysimGroup::sensors() const {
     std::vector<sensors::SensorMetadata> out;
@@ -28,14 +35,15 @@ std::vector<sensors::SensorMetadata> FacilitysimGroup::sensors() const {
 
 std::vector<SampledReading> FacilitysimGroup::read(common::TimestampNs t) {
     const simulator::FacilitySample sample = facility_->sampleAt(t);
-    return {
-        {common::pathJoin(config_.prefix, "inlet-temp"), {t, sample.inlet_temp_c}},
-        {common::pathJoin(config_.prefix, "return-temp"), {t, sample.return_temp_c}},
-        {common::pathJoin(config_.prefix, "outdoor-temp"), {t, sample.outdoor_temp_c}},
-        {common::pathJoin(config_.prefix, "cooling-power"), {t, sample.cooling_power_w}},
-        {common::pathJoin(config_.prefix, "it-power"), {t, sample.it_power_w}},
-        {common::pathJoin(config_.prefix, "pue"), {t, sample.pue}},
-    };
+    const double values[] = {sample.inlet_temp_c,   sample.return_temp_c,
+                             sample.outdoor_temp_c, sample.cooling_power_w,
+                             sample.it_power_w,     sample.pue};
+    std::vector<SampledReading> out;
+    out.reserve(topics_.size());
+    for (std::size_t i = 0; i < topics_.size(); ++i) {
+        out.push_back({topics_[i], {t, values[i]}, ids_[i]});
+    }
+    return out;
 }
 
 }  // namespace wm::pusher

@@ -87,6 +87,9 @@ class FacilitysimGroup final : public SensorGroup {
   private:
     FacilitysimGroupConfig config_;
     SimulatedFacilityPtr facility_;
+    /// Topics and interned ids, precomputed once (one per facility sensor).
+    std::vector<std::string> topics_;
+    std::vector<sensors::TopicId> ids_;
 };
 
 }  // namespace wm::pusher

@@ -6,7 +6,19 @@
 namespace wm::pusher {
 
 PerfsimGroup::PerfsimGroup(PerfsimGroupConfig config, SimulatedNodePtr node)
-    : config_(std::move(config)), node_(std::move(node)) {}
+    : config_(std::move(config)), node_(std::move(node)) {
+    const std::size_t cores = node_->coreCount();
+    topics_.reserve(cores * counterNames().size());
+    ids_.reserve(cores * counterNames().size());
+    for (std::size_t core = 0; core < cores; ++core) {
+        const std::string cpu_path =
+            simulator::Topology::cpuPath(config_.node_path, core);
+        for (const auto& counter : counterNames()) {
+            topics_.push_back(common::pathJoin(cpu_path, counter));
+            ids_.push_back(sensors::TopicTable::instance().intern(topics_.back()));
+        }
+    }
+}
 
 const std::vector<std::string>& PerfsimGroup::counterNames() {
     static const std::vector<std::string> names = {
@@ -36,19 +48,18 @@ std::vector<sensors::SensorMetadata> PerfsimGroup::sensors() const {
 std::vector<SampledReading> PerfsimGroup::read(common::TimestampNs t) {
     const simulator::NodeSample sample = node_->sampleAt(t);
     std::vector<SampledReading> out;
-    out.reserve(sample.cores.size() * counterNames().size());
-    for (std::size_t core = 0; core < sample.cores.size(); ++core) {
-        const std::string cpu_path =
-            simulator::Topology::cpuPath(config_.node_path, core);
+    const std::size_t per_core = counterNames().size();
+    const std::size_t cores = std::min(sample.cores.size(), topics_.size() / per_core);
+    out.reserve(cores * per_core);
+    for (std::size_t core = 0; core < cores; ++core) {
         const simulator::CoreCounters& counters = sample.cores[core];
-        out.push_back({common::pathJoin(cpu_path, "cpu-cycles"), {t, counters.cycles}});
-        out.push_back(
-            {common::pathJoin(cpu_path, "instructions"), {t, counters.instructions}});
-        out.push_back(
-            {common::pathJoin(cpu_path, "cache-misses"), {t, counters.cache_misses}});
-        out.push_back({common::pathJoin(cpu_path, "vector-ops"), {t, counters.vector_ops}});
-        out.push_back(
-            {common::pathJoin(cpu_path, "branch-misses"), {t, counters.branch_misses}});
+        const double values[] = {counters.cycles, counters.instructions,
+                                 counters.cache_misses, counters.vector_ops,
+                                 counters.branch_misses};
+        const std::size_t base = core * per_core;
+        for (std::size_t i = 0; i < per_core; ++i) {
+            out.push_back({topics_[base + i], {t, values[i]}, ids_[base + i]});
+        }
     }
     return out;
 }

@@ -37,6 +37,10 @@ class PerfsimGroup final : public SensorGroup {
   private:
     PerfsimGroupConfig config_;
     SimulatedNodePtr node_;
+    /// Per-core, per-counter topics and interned ids, laid out
+    /// core-major in counterNames() order; precomputed once.
+    std::vector<std::string> topics_;
+    std::vector<sensors::TopicId> ids_;
 };
 
 }  // namespace wm::pusher

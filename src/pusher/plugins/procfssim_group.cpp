@@ -5,7 +5,12 @@
 namespace wm::pusher {
 
 ProcfssimGroup::ProcfssimGroup(ProcfssimGroupConfig config, SimulatedNodePtr node)
-    : config_(std::move(config)), node_(std::move(node)) {}
+    : config_(std::move(config)),
+      node_(std::move(node)),
+      memfree_topic_(common::pathJoin(config_.node_path, "memfree")),
+      idle_topic_(common::pathJoin(config_.node_path, "col_idle")),
+      memfree_id_(sensors::TopicTable::instance().intern(memfree_topic_)),
+      idle_id_(sensors::TopicTable::instance().intern(idle_topic_)) {}
 
 std::vector<sensors::SensorMetadata> ProcfssimGroup::sensors() const {
     std::vector<sensors::SensorMetadata> out;
@@ -26,8 +31,8 @@ std::vector<sensors::SensorMetadata> ProcfssimGroup::sensors() const {
 std::vector<SampledReading> ProcfssimGroup::read(common::TimestampNs t) {
     const simulator::NodeSample sample = node_->sampleAt(t);
     return {
-        {common::pathJoin(config_.node_path, "memfree"), {t, sample.memory_free_gb}},
-        {common::pathJoin(config_.node_path, "col_idle"), {t, sample.idle_time_total}},
+        {memfree_topic_, {t, sample.memory_free_gb}, memfree_id_},
+        {idle_topic_, {t, sample.idle_time_total}, idle_id_},
     };
 }
 

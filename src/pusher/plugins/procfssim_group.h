@@ -30,6 +30,10 @@ class ProcfssimGroup final : public SensorGroup {
   private:
     ProcfssimGroupConfig config_;
     SimulatedNodePtr node_;
+    std::string memfree_topic_;
+    std::string idle_topic_;
+    sensors::TopicId memfree_id_ = sensors::kInvalidTopicId;
+    sensors::TopicId idle_id_ = sensors::kInvalidTopicId;
 };
 
 }  // namespace wm::pusher

@@ -5,7 +5,12 @@
 namespace wm::pusher {
 
 SysfssimGroup::SysfssimGroup(SysfssimGroupConfig config, SimulatedNodePtr node)
-    : config_(std::move(config)), node_(std::move(node)) {}
+    : config_(std::move(config)),
+      node_(std::move(node)),
+      power_topic_(common::pathJoin(config_.node_path, "power")),
+      temp_topic_(common::pathJoin(config_.node_path, "temp")),
+      power_id_(sensors::TopicTable::instance().intern(power_topic_)),
+      temp_id_(sensors::TopicTable::instance().intern(temp_topic_)) {}
 
 std::vector<sensors::SensorMetadata> SysfssimGroup::sensors() const {
     std::vector<sensors::SensorMetadata> out;
@@ -25,8 +30,8 @@ std::vector<sensors::SensorMetadata> SysfssimGroup::sensors() const {
 std::vector<SampledReading> SysfssimGroup::read(common::TimestampNs t) {
     const simulator::NodeSample sample = node_->sampleAt(t);
     return {
-        {common::pathJoin(config_.node_path, "power"), {t, sample.power_w}},
-        {common::pathJoin(config_.node_path, "temp"), {t, sample.temperature_c}},
+        {power_topic_, {t, sample.power_w}, power_id_},
+        {temp_topic_, {t, sample.temperature_c}, temp_id_},
     };
 }
 

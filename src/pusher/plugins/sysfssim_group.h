@@ -30,6 +30,10 @@ class SysfssimGroup final : public SensorGroup {
   private:
     SysfssimGroupConfig config_;
     SimulatedNodePtr node_;
+    std::string power_topic_;
+    std::string temp_topic_;
+    sensors::TopicId power_id_ = sensors::kInvalidTopicId;
+    sensors::TopicId temp_id_ = sensors::kInvalidTopicId;
 };
 
 }  // namespace wm::pusher

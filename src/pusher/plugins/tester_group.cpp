@@ -6,8 +6,10 @@ namespace wm::pusher {
 
 TesterGroup::TesterGroup(TesterGroupConfig config) : config_(std::move(config)) {
     topics_.reserve(config_.num_sensors);
+    ids_.reserve(config_.num_sensors);
     for (std::size_t i = 0; i < config_.num_sensors; ++i) {
         topics_.push_back(common::pathJoin(config_.prefix, "test" + std::to_string(i)));
+        ids_.push_back(sensors::TopicTable::instance().intern(topics_.back()));
     }
 }
 
@@ -29,8 +31,8 @@ std::vector<SampledReading> TesterGroup::read(common::TimestampNs t) {
     ++ticks_;
     std::vector<SampledReading> out;
     out.reserve(topics_.size());
-    for (const auto& topic : topics_) {
-        out.push_back({topic, {t, value_}});
+    for (std::size_t i = 0; i < topics_.size(); ++i) {
+        out.push_back({topics_[i], {t, value_}, ids_[i]});
     }
     return out;
 }

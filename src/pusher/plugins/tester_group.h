@@ -37,6 +37,9 @@ class TesterGroup final : public SensorGroup {
   private:
     TesterGroupConfig config_;
     std::vector<std::string> topics_;
+    /// Interned handles parallel to topics_, resolved once here so every
+    /// sampled reading carries its TopicId (docs/PERFORMANCE.md).
+    std::vector<sensors::TopicId> ids_;
     double value_ = 0.0;
     std::uint64_t ticks_ = 0;
 };

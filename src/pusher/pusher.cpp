@@ -73,7 +73,10 @@ void Pusher::tickGroup(SensorGroup& group, common::TimestampNs t) {
     }
     const std::vector<SampledReading> sampled = group.read(t);
     for (const auto& item : sampled) {
-        sensors::SensorCache* cache = cache_store_.find(item.topic);
+        // Id-keyed hot path: two atomic loads, no hash, no store lock.
+        sensors::SensorCache* cache = item.id != sensors::kInvalidTopicId
+                                          ? cache_store_.find(item.id)
+                                          : cache_store_.find(item.topic);
         if (cache == nullptr) cache = &cache_store_.getOrCreate(item.topic);
         cache->store(item.reading);
     }
@@ -85,7 +88,12 @@ void Pusher::tickGroup(SensorGroup& group, common::TimestampNs t) {
     // Agent sees is preserved; new readings queue behind a non-empty buffer.
     bool broker_accepting = flushBuffered(t);
     for (const auto& item : sampled) {
-        if (!cache_store_.publishAllowed(item.topic)) continue;
+        // The publish flag lives in the interned-topic entry; the id path
+        // reads it lock-free (no per-reading hash + CacheStore lock).
+        const bool allowed = item.id != sensors::kInvalidTopicId
+                                 ? cache_store_.publishAllowed(item.id)
+                                 : cache_store_.publishAllowed(item.topic);
+        if (!allowed) continue;
         mqtt::Message message{item.topic, {item.reading}};
         if (broker_accepting && broker_->publish(message) >= 0) {
             messages_published_.fetch_add(1, std::memory_order_relaxed);

@@ -15,13 +15,19 @@
 #include "common/time_utils.h"
 #include "sensors/metadata.h"
 #include "sensors/reading.h"
+#include "sensors/topic_table.h"
 
 namespace wm::pusher {
 
-/// One sampled value bound to its sensor topic.
+/// One sampled value bound to its sensor topic. Groups that intern their
+/// topics once at construction fill `id`; the Pusher then stores and
+/// publish-checks the reading through the handle — no per-sample string
+/// hashing, no CacheStore lock (docs/PERFORMANCE.md). Groups that leave
+/// `id` invalid fall back to the string path.
 struct SampledReading {
     std::string topic;
     sensors::Reading reading;
+    sensors::TopicId id = sensors::kInvalidTopicId;
 };
 
 class SensorGroup {

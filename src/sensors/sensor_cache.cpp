@@ -58,17 +58,7 @@ std::optional<Reading> SensorCache::latest() const {
 ReadingVector SensorCache::viewRelative(common::TimestampNs offset_ns) const {
     common::ReadLock lock(mutex_);
     if (count_ == 0) return {};
-    if (offset_ns <= 0) return {at(count_ - 1)};
-    const common::TimestampNs newest = at(count_ - 1).timestamp;
-    const common::TimestampNs cutoff = newest - offset_ns;
-    // O(1) positioning: estimate how many readings fit in the offset, then
-    // fix up locally (a few steps at most when sampling is near-uniform).
-    std::size_t span = static_cast<std::size_t>(offset_ns / interval_estimate_ns_) + 1;
-    span = std::min(span, count_);
-    std::size_t first = count_ - span;
-    while (first > 0 && at(first - 1).timestamp >= cutoff) --first;
-    while (first < count_ && at(first).timestamp < cutoff) ++first;
-    return copyRangeLocked(first, count_);
+    return copyRangeLocked(relativeFirstLocked(offset_ns), count_);
 }
 
 ReadingVector SensorCache::viewAbsolute(common::TimestampNs t0,
@@ -80,12 +70,31 @@ ReadingVector SensorCache::viewAbsolute(common::TimestampNs t0,
     return copyRangeLocked(first, last);
 }
 
+std::optional<RangeStats> SensorCache::statsRelative(common::TimestampNs offset_ns) const {
+    common::ReadLock lock(mutex_);
+    if (count_ == 0) return std::nullopt;
+    RangeStats stats;
+    visitRangeLocked(relativeFirstLocked(offset_ns), count_,
+                     [&stats](const Reading& r) { stats.accumulate(r); });
+    return stats;
+}
+
+std::optional<RangeStats> SensorCache::statsAbsolute(common::TimestampNs t0,
+                                                     common::TimestampNs t1) const {
+    common::ReadLock lock(mutex_);
+    if (count_ == 0 || t1 < t0) return std::nullopt;
+    RangeStats stats;
+    visitRangeLocked(lowerBoundLocked(t0), lowerBoundLocked(t1 + 1),
+                     [&stats](const Reading& r) { stats.accumulate(r); });
+    if (stats.count == 0) return std::nullopt;
+    return stats;
+}
+
 std::optional<double> SensorCache::averageRelative(common::TimestampNs offset_ns) const {
-    const ReadingVector view = viewRelative(offset_ns);
-    if (view.empty()) return std::nullopt;
-    double sum = 0.0;
-    for (const auto& reading : view) sum += reading.value;
-    return sum / static_cast<double>(view.size());
+    // Fused path: one lock, one pass, no materialised vector.
+    const std::optional<RangeStats> stats = statsRelative(offset_ns);
+    if (!stats) return std::nullopt;
+    return stats->average();
 }
 
 std::size_t SensorCache::size() const {
@@ -129,6 +138,20 @@ std::size_t SensorCache::lowerBoundLocked(common::TimestampNs t) const {
     return lo;
 }
 
+std::size_t SensorCache::relativeFirstLocked(common::TimestampNs offset_ns) const {
+    if (offset_ns <= 0) return count_ - 1;  // just the newest reading
+    const common::TimestampNs newest = at(count_ - 1).timestamp;
+    const common::TimestampNs cutoff = newest - offset_ns;
+    // O(1) positioning: estimate how many readings fit in the offset, then
+    // fix up locally (a few steps at most when sampling is near-uniform).
+    std::size_t span = static_cast<std::size_t>(offset_ns / interval_estimate_ns_) + 1;
+    span = std::min(span, count_);
+    std::size_t first = count_ - span;
+    while (first > 0 && at(first - 1).timestamp >= cutoff) --first;
+    while (first < count_ && at(first).timestamp < cutoff) ++first;
+    return first;
+}
+
 ReadingVector SensorCache::copyRangeLocked(std::size_t first, std::size_t last) const {
     ReadingVector out;
     if (first >= last) return out;
@@ -145,21 +168,16 @@ ReadingVector SensorCache::copyRangeLocked(std::size_t first, std::size_t last) 
     return out;
 }
 
+CacheStore::~CacheStore() {
+    for (auto& slot : cache_chunks_) {
+        delete[] slot.load(std::memory_order_acquire);
+    }
+}
+
 SensorCache& CacheStore::getOrCreate(const SensorMetadata& metadata) {
-    {
-        common::ReadLock lock(mutex_);
-        auto it = entries_.find(metadata.topic);
-        if (it != entries_.end()) return *it->second.cache;
-    }
-    common::WriteLock lock(mutex_);
-    auto it = entries_.find(metadata.topic);
-    if (it == entries_.end()) {
-        Entry entry;
-        entry.metadata = metadata;
-        entry.cache = std::make_unique<SensorCache>(default_window_ns_, metadata.interval_ns);
-        it = entries_.emplace(metadata.topic, std::move(entry)).first;
-    }
-    return *it->second.cache;
+    // Interning takes the TopicTable lock only on first sight of the topic
+    // and never holds the store lock while doing so.
+    return getOrCreateInterned(table_->intern(metadata.topic), metadata);
 }
 
 SensorCache& CacheStore::getOrCreate(const std::string& topic) {
@@ -168,36 +186,59 @@ SensorCache& CacheStore::getOrCreate(const std::string& topic) {
     return getOrCreate(metadata);
 }
 
+SensorCache& CacheStore::getOrCreateInterned(TopicId id, const SensorMetadata& metadata) {
+    if (SensorCache* cache = find(id)) return *cache;  // lock-free fast path
+    common::WriteLock lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+        Entry entry;
+        entry.metadata = metadata;
+        entry.cache = std::make_unique<SensorCache>(default_window_ns_, metadata.interval_ns);
+        SensorCache* cache = entry.cache.get();
+        it = entries_.emplace(id, std::move(entry)).first;
+        table_->setPublishAllowed(id, metadata.topic.empty() || metadata.publish);
+        publishCachePointerLocked(id, cache);
+    }
+    return *it->second.cache;
+}
+
+void CacheStore::publishCachePointerLocked(TopicId id, SensorCache* cache) {
+    const std::size_t chunk_index = id >> kChunkBits;
+    std::atomic<SensorCache*>* chunk =
+        cache_chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+        chunk = new std::atomic<SensorCache*>[kChunkSize]();  // all-null slots
+        cache_chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    chunk[id & (kChunkSize - 1)].store(cache, std::memory_order_release);
+    TopicId limit = id_limit_.load(std::memory_order_relaxed);
+    while (limit <= id &&
+           !id_limit_.compare_exchange_weak(limit, id + 1, std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+    }
+}
+
 const SensorCache* CacheStore::find(const std::string& topic) const {
-    common::ReadLock lock(mutex_);
-    auto it = entries_.find(topic);
-    return it == entries_.end() ? nullptr : it->second.cache.get();
+    return find(table_->find(topic));
 }
 
 SensorCache* CacheStore::find(const std::string& topic) {
-    common::ReadLock lock(mutex_);
-    auto it = entries_.find(topic);
-    return it == entries_.end() ? nullptr : it->second.cache.get();
+    return find(table_->find(topic));
 }
 
 SensorMetadata CacheStore::metadataFor(const std::string& topic) const {
+    const TopicId id = table_->find(topic);
+    if (id == kInvalidTopicId) return SensorMetadata{};
     common::ReadLock lock(mutex_);
-    auto it = entries_.find(topic);
+    auto it = entries_.find(id);
     return it == entries_.end() ? SensorMetadata{} : it->second.metadata;
-}
-
-bool CacheStore::publishAllowed(const std::string& topic) const {
-    common::ReadLock lock(mutex_);
-    auto it = entries_.find(topic);
-    return it == entries_.end() || it->second.metadata.topic.empty() ||
-           it->second.metadata.publish;
 }
 
 std::vector<std::string> CacheStore::topics() const {
     common::ReadLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
-    for (const auto& [topic, entry] : entries_) out.push_back(topic);
+    for (const auto& [id, entry] : entries_) out.push_back(entry.metadata.topic);
     std::sort(out.begin(), out.end());
     return out;
 }

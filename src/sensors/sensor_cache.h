@@ -11,6 +11,13 @@
 //    exploiting the (near-)uniform sampling interval;
 //  * absolute mode — "[t0, t1] by wall-clock timestamp", resolved with a
 //    binary search over the ring, O(log N).
+//
+// Each mode comes in three read flavours (docs/PERFORMANCE.md):
+//  * view*     — materialises a ReadingVector copy (compatibility API);
+//  * forEach*  — copy-free visitation under the cache's shared lock;
+//  * stats*    — fused reduction (count/sum/min/max/first/last) in one pass
+//                with no allocation, covering the aggregator, smoothing and
+//                perfmetrics hot paths.
 
 #include <cstddef>
 #include <memory>
@@ -23,8 +30,57 @@
 #include "common/time_utils.h"
 #include "sensors/metadata.h"
 #include "sensors/reading.h"
+#include "sensors/topic_table.h"
 
 namespace wm::sensors {
+
+/// One-pass reduction over a time range of readings: everything the built-in
+/// operator plugins need from a window without materialising it.
+struct RangeStats {
+    std::size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    Reading first;  // oldest reading in the range
+    Reading last;   // newest reading in the range
+
+    double average() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+    /// Counter delta over the range (perfmetrics, aggregator delta mode).
+    double delta() const { return last.value - first.value; }
+    /// Covered wall-clock span in seconds.
+    double spanSec() const {
+        return static_cast<double>(last.timestamp - first.timestamp) /
+               static_cast<double>(common::kNsPerSec);
+    }
+
+    void accumulate(const Reading& reading) {
+        if (count == 0) {
+            min = max = reading.value;
+            first = reading;
+        } else {
+            if (reading.value < min) min = reading.value;
+            if (reading.value > max) max = reading.value;
+        }
+        last = reading;
+        sum += reading.value;
+        ++count;
+    }
+
+    /// Combines the reductions of two ranges (aggregation across inputs).
+    void merge(const RangeStats& other) {
+        if (other.count == 0) return;
+        if (count == 0) {
+            *this = other;
+            return;
+        }
+        sum += other.sum;
+        if (other.min < min) min = other.min;
+        if (other.max > max) max = other.max;
+        if (other.first.timestamp < first.timestamp) first = other.first;
+        if (other.last.timestamp > last.timestamp) last = other.last;
+        count += other.count;
+    }
+};
 
 class SensorCache {
   public:
@@ -49,6 +105,32 @@ class SensorCache {
 
     /// Absolute view: all readings with t0 <= timestamp <= t1. O(log N).
     ReadingVector viewAbsolute(common::TimestampNs t0, common::TimestampNs t1) const;
+
+    /// Copy-free relative view: invokes `visit` on each reading in time
+    /// order, under the cache's shared lock. `visit` must not call back
+    /// into the cache (the lock is held) and should be cheap.
+    template <typename Visitor>
+    void forEachRelative(common::TimestampNs offset_ns, Visitor&& visit) const {
+        common::ReadLock lock(mutex_);
+        if (count_ == 0) return;
+        visitRangeLocked(relativeFirstLocked(offset_ns), count_, visit);
+    }
+
+    /// Copy-free absolute view over [t0, t1], in time order.
+    template <typename Visitor>
+    void forEachAbsolute(common::TimestampNs t0, common::TimestampNs t1,
+                         Visitor&& visit) const {
+        common::ReadLock lock(mutex_);
+        if (count_ == 0 || t1 < t0) return;
+        visitRangeLocked(lowerBoundLocked(t0), lowerBoundLocked(t1 + 1), visit);
+    }
+
+    /// Fused one-pass reduction over the relative window; nullopt if empty.
+    std::optional<RangeStats> statsRelative(common::TimestampNs offset_ns) const;
+
+    /// Fused one-pass reduction over [t0, t1]; nullopt if empty.
+    std::optional<RangeStats> statsAbsolute(common::TimestampNs t0,
+                                            common::TimestampNs t1) const;
 
     /// Average of readings newer than (newest - offset_ns); nullopt if empty.
     std::optional<double> averageRelative(common::TimestampNs offset_ns) const;
@@ -75,8 +157,26 @@ class SensorCache {
     void ensureCapacityLocked() WM_REQUIRES(mutex_);
     /// First logical index with timestamp >= t (binary search), or count_.
     std::size_t lowerBoundLocked(common::TimestampNs t) const WM_REQUIRES_SHARED(mutex_);
+    /// First logical index inside the relative window ending at the newest
+    /// reading: O(1) interval arithmetic plus a bounded local fix-up.
+    /// Precondition: count_ > 0.
+    std::size_t relativeFirstLocked(common::TimestampNs offset_ns) const
+        WM_REQUIRES_SHARED(mutex_);
     ReadingVector copyRangeLocked(std::size_t first, std::size_t last) const
         WM_REQUIRES_SHARED(mutex_);
+    /// Visits logical range [first, last) as the (at most two) contiguous
+    /// physical spans of the ring — no per-element modulo indexing.
+    template <typename Visitor>
+    void visitRangeLocked(std::size_t first, std::size_t last,
+                          Visitor&& visit) const WM_REQUIRES_SHARED(mutex_) {
+        if (first >= last) return;
+        const std::size_t count = last - first;
+        const std::size_t start = physicalIndex(first);
+        const std::size_t first_chunk = std::min(count, buffer_.size() - start);
+        const Reading* data = buffer_.data();
+        for (std::size_t i = start; i < start + first_chunk; ++i) visit(data[i]);
+        for (std::size_t i = 0; i < count - first_chunk; ++i) visit(data[i]);
+    }
 
     mutable common::SharedMutex mutex_{"SensorCache", common::LockRank::kSensorCache};
     // Ring buffer: logical order = insertion/time order.
@@ -89,12 +189,28 @@ class SensorCache {
 
 /// Registry mapping sensor topics to their caches; shared between the
 /// sampling side (Pusher plugins) and the query side (Query Engine).
+///
+/// Topics are interned into a TopicTable (process-wide by default), and the
+/// id-keyed lookup path is lock-free: `find(TopicId)` reads the cache
+/// pointer from append-only chunked storage with two atomic loads — no
+/// string hash, no CacheStore lock. Consumers resolve `topic -> TopicId`
+/// once (unit-resolution time) and query through the handle afterwards.
 class CacheStore {
   public:
-    explicit CacheStore(common::TimestampNs default_window_ns = 180 * common::kNsPerSec)
-        : default_window_ns_(default_window_ns) {}
+    /// `table` is the interning table (defaults to the process-wide one);
+    /// not owned, must outlive the store.
+    explicit CacheStore(common::TimestampNs default_window_ns = 180 * common::kNsPerSec,
+                        TopicTable* table = nullptr)
+        : default_window_ns_(default_window_ns),
+          table_(table != nullptr ? table : &TopicTable::instance()) {}
+    ~CacheStore();
 
-    /// Returns the cache for `topic`, creating it on first use.
+    CacheStore(const CacheStore&) = delete;
+    CacheStore& operator=(const CacheStore&) = delete;
+
+    /// Returns the cache for `topic`, creating it on first use. Interns the
+    /// topic; the metadata overload records the publish flag in the
+    /// interned entry (read lock-free by the Pusher's publication loop).
     SensorCache& getOrCreate(const SensorMetadata& metadata);
     SensorCache& getOrCreate(const std::string& topic);
 
@@ -102,12 +218,30 @@ class CacheStore {
     const SensorCache* find(const std::string& topic) const;
     SensorCache* find(const std::string& topic);
 
+    /// Lock-free id-keyed lookup (the per-read hot path).
+    SensorCache* find(TopicId id) const {
+        if (id >= id_limit_.load(std::memory_order_acquire)) return nullptr;
+        const std::atomic<SensorCache*>* chunk =
+            cache_chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+        return chunk == nullptr ? nullptr
+                                : chunk[id & (kChunkSize - 1)].load(std::memory_order_acquire);
+    }
+
+    /// Interned id of `topic`, or kInvalidTopicId when never interned.
+    TopicId idOf(const std::string& topic) const { return table_->find(topic); }
+
     /// Metadata recorded at creation time (empty topic when unknown).
     SensorMetadata metadataFor(const std::string& topic) const;
 
-    /// Publish flag without copying the full metadata (hot path of the
-    /// Pusher's publication loop). Unknown topics default to publishable.
-    bool publishAllowed(const std::string& topic) const;
+    /// Publish flag without copying the full metadata. The id overload is
+    /// the hot path of the Pusher's publication loop: lock-free, no hash.
+    /// Unknown topics default to publishable.
+    bool publishAllowed(TopicId id) const { return table_->publishAllowed(id); }
+    bool publishAllowed(const std::string& topic) const {
+        return table_->publishAllowed(table_->find(topic));
+    }
+
+    TopicTable& topicTable() const { return *table_; }
 
     std::vector<std::string> topics() const;
     std::size_t sensorCount() const;
@@ -119,12 +253,65 @@ class CacheStore {
         std::unique_ptr<SensorCache> cache;
     };
 
+    // Chunked id -> cache pointers, published with release stores after the
+    // entry is fully constructed (same append-only scheme as TopicTable).
+    static constexpr std::size_t kChunkBits = 10;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+    static constexpr std::size_t kMaxChunks = 1 << 14;
+
+    SensorCache& getOrCreateInterned(TopicId id, const SensorMetadata& metadata);
+    /// Publishes `cache` under `id` in the chunked index (write lock held).
+    void publishCachePointerLocked(TopicId id, SensorCache* cache) WM_REQUIRES(mutex_);
+
     mutable common::SharedMutex mutex_{"CacheStore", common::LockRank::kCacheStore};
     // The SensorCache objects are heap-allocated and never destroyed while
     // the store lives, so references returned by getOrCreate()/find() stay
     // valid outside the store lock.
-    std::unordered_map<std::string, Entry> entries_ WM_GUARDED_BY(mutex_);
+    std::unordered_map<TopicId, Entry> entries_ WM_GUARDED_BY(mutex_);
+    std::vector<std::atomic<std::atomic<SensorCache*>*>> cache_chunks_{kMaxChunks};
+    /// Ids strictly below this limit are safe to index (monotone).
+    std::atomic<TopicId> id_limit_{0};
     common::TimestampNs default_window_ns_;  // immutable after construction
+    TopicTable* table_;                      // not owned
 };
+
+/// A resolved sensor handle: a topic string plus its lazily-interned id.
+/// Operators bind handles at unit-resolution time; per-read queries then go
+/// `handle -> find(TopicId)` with no hashing and no CacheStore lock.
+/// Handles memoise the id against the process-wide interning table the
+/// stores share, so one handle works across Pusher and Collect Agent.
+class CacheHandle {
+  public:
+    explicit CacheHandle(std::string topic) : topic_(std::move(topic)) {}
+
+    const std::string& topic() const { return topic_; }
+
+    /// Interned id, resolved once against `table` and memoised.
+    TopicId id(const TopicTable& table) const {
+        TopicId id = id_.load(std::memory_order_relaxed);
+        if (id == kInvalidTopicId) {
+            id = table.find(topic_);
+            if (id != kInvalidTopicId) id_.store(id, std::memory_order_relaxed);
+        }
+        return id;
+    }
+
+    /// Cache of this topic in `store`, or nullptr when absent. Lock-free
+    /// after the first call interned the id.
+    SensorCache* resolve(const CacheStore& store) const {
+        return store.find(id(store.topicTable()));
+    }
+
+  private:
+    std::string topic_;
+    mutable std::atomic<TopicId> id_{kInvalidTopicId};
+};
+
+using CacheHandlePtr = std::shared_ptr<const CacheHandle>;
+
+/// Builds a shared handle for `topic`.
+inline CacheHandlePtr makeCacheHandle(std::string topic) {
+    return std::make_shared<const CacheHandle>(std::move(topic));
+}
 
 }  // namespace wm::sensors

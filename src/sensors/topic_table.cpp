@@ -1,0 +1,49 @@
+#include "sensors/topic_table.h"
+
+namespace wm::sensors {
+
+TopicTable& TopicTable::instance() {
+    static TopicTable table;
+    return table;
+}
+
+TopicTable::~TopicTable() {
+    const std::size_t count = size_.load(std::memory_order_acquire);
+    for (std::size_t chunk = 0; chunk * kChunkSize < count; ++chunk) {
+        delete[] chunks_[chunk].load(std::memory_order_acquire);
+    }
+}
+
+TopicId TopicTable::intern(std::string_view topic) {
+    {
+        common::ReadLock lock(mutex_);
+        auto it = ids_.find(topic);
+        if (it != ids_.end()) return it->second;
+    }
+    common::WriteLock lock(mutex_);
+    auto it = ids_.find(topic);
+    if (it != ids_.end()) return it->second;
+    const std::size_t index = size_.load(std::memory_order_relaxed);
+    if (index >= kMaxChunks * kChunkSize) return kInvalidTopicId;  // table full
+    const std::size_t chunk_index = index >> kChunkBits;
+    Entry* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+        chunk = new Entry[kChunkSize];
+        chunks_[chunk_index].store(chunk, std::memory_order_release);
+    }
+    Entry& slot = chunk[index & (kChunkSize - 1)];
+    slot.name.assign(topic);
+    const auto id = static_cast<TopicId>(index);
+    // The map key views the entry's own string: stable storage, no copy.
+    ids_.emplace(std::string_view{slot.name}, id);
+    size_.store(index + 1, std::memory_order_release);
+    return id;
+}
+
+TopicId TopicTable::find(std::string_view topic) const {
+    common::ReadLock lock(mutex_);
+    auto it = ids_.find(topic);
+    return it == ids_.end() ? kInvalidTopicId : it->second;
+}
+
+}  // namespace wm::sensors

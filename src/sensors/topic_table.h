@@ -1,0 +1,105 @@
+#pragma once
+
+// Process-wide topic interning (hot-path data plane, docs/PERFORMANCE.md).
+//
+// Every sensor topic string is mapped once to a dense TopicId handle; all
+// per-reading paths afterwards carry the handle instead of re-hashing the
+// string. The table is append-only — topics are never removed — which makes
+// the id -> entry direction lock-free: entries live in fixed-size chunks
+// whose pointers are published with release stores, and readers only index
+// into chunks at ids below the published size. The string -> id direction
+// (interning) takes a shared/exclusive lock, but it runs once per topic per
+// process, at configuration or first-contact time, never per reading.
+//
+// Per-topic hot flags that the data plane reads on every sample (today: the
+// MQTT publish flag of the Pusher's publication loop) are folded into the
+// interned entry as atomics, so the loop reads them through the handle with
+// no lock and no hash.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace wm::sensors {
+
+/// Dense handle for an interned topic. Ids are assigned contiguously from 0
+/// in interning order and are stable for the lifetime of the process.
+using TopicId = std::uint32_t;
+
+inline constexpr TopicId kInvalidTopicId = std::numeric_limits<TopicId>::max();
+
+class TopicTable {
+  public:
+    TopicTable() = default;
+    TopicTable(const TopicTable&) = delete;
+    TopicTable& operator=(const TopicTable&) = delete;
+    ~TopicTable();
+
+    /// Process-wide instance. Hosts and caches intern against this table so
+    /// ids agree across Pusher, Collect Agent and Query Engine; tests may
+    /// construct private tables instead.
+    static TopicTable& instance();
+
+    /// Returns the id of `topic`, interning it on first sight.
+    TopicId intern(std::string_view topic);
+
+    /// Returns the id of `topic`, or kInvalidTopicId when never interned.
+    TopicId find(std::string_view topic) const;
+
+    /// Topic string of an interned id. The reference is stable forever
+    /// (append-only storage). Precondition: id came from this table.
+    const std::string& name(TopicId id) const {
+        return entry(id).name;
+    }
+
+    /// Publish flag of the topic (MQTT forwarding); lock-free read, used by
+    /// the Pusher's publication loop on every sample. Defaults to true.
+    bool publishAllowed(TopicId id) const {
+        return id < size() ? entry(id).publish.load(std::memory_order_relaxed) : true;
+    }
+
+    /// Updates the publish flag (sensor metadata registration).
+    void setPublishAllowed(TopicId id, bool allowed) {
+        if (id < size()) entry(id).publish.store(allowed, std::memory_order_relaxed);
+    }
+
+    /// Number of interned topics; ids [0, size) are valid.
+    std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  private:
+    struct Entry {
+        std::string name;
+        std::atomic<bool> publish{true};
+    };
+
+    // Chunked, append-only entry storage: 1024 entries per chunk, chunk
+    // pointers published with release stores. Readers never observe a
+    // partially-built entry because size_ is bumped (release) only after
+    // the entry is fully constructed.
+    static constexpr std::size_t kChunkBits = 10;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+    static constexpr std::size_t kMaxChunks = 1 << 14;  // 16M topics
+
+    const Entry& entry(TopicId id) const {
+        const Entry* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+        return chunk[id & (kChunkSize - 1)];
+    }
+    Entry& entry(TopicId id) {
+        Entry* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+        return chunk[id & (kChunkSize - 1)];
+    }
+
+    mutable common::SharedMutex mutex_{"TopicTable", common::LockRank::kTopicTable};
+    std::unordered_map<std::string_view, TopicId> ids_ WM_GUARDED_BY(mutex_);
+    std::vector<std::atomic<Entry*>> chunks_{kMaxChunks};
+    std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace wm::sensors

@@ -216,6 +216,51 @@ TEST(Analyzer, UnknownTopLevelBlockIsInfoOnly) {
     EXPECT_TRUE(sink.hasCode("WM0601")) << renderText(sink);
 }
 
+TEST(Analyzer, CollectAgentFilterDiagnostics) {
+    const char* cluster =
+        "cluster {\n"
+        "    racks 1\n"
+        "    chassisPerRack 1\n"
+        "    nodesPerChassis 1\n"
+        "    cpusPerNode 2\n"
+        "}\n";
+    // Invalid filter ('#' not last): WM0205, an error.
+    auto parsed = common::parseConfig(std::string(cluster) +
+                                      "collectagent {\n    filter \"/a/#/b\"\n}\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    DiagnosticSink invalid;
+    analyzeConfig(parsed.root, "", invalid);
+    EXPECT_TRUE(invalid.hasCode("WM0205")) << renderText(invalid);
+    EXPECT_TRUE(invalid.hasErrors());
+
+    // Valid filter that matches no published topic: WM0206, a warning.
+    parsed = common::parseConfig(std::string(cluster) +
+                                 "collectagent {\n    filter \"/rak0/#\"\n}\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    DiagnosticSink unmatched;
+    analyzeConfig(parsed.root, "", unmatched);
+    EXPECT_TRUE(unmatched.hasCode("WM0206")) << renderText(unmatched);
+    EXPECT_FALSE(unmatched.hasErrors()) << renderText(unmatched);
+
+    // A filter matching the simulated cluster's raw sensors: clean.
+    parsed = common::parseConfig(std::string(cluster) +
+                                 "collectagent {\n    filter \"/rack0/#\"\n}\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    DiagnosticSink matching;
+    analyzeConfig(parsed.root, "", matching);
+    EXPECT_FALSE(matching.hasCode("WM0205")) << renderText(matching);
+    EXPECT_FALSE(matching.hasCode("WM0206")) << renderText(matching);
+
+    // No filter key at all: the "#" default needs no diagnostics.
+    parsed = common::parseConfig(std::string(cluster) + "collectagent {\n}\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    DiagnosticSink silent;
+    analyzeConfig(parsed.root, "", silent);
+    EXPECT_FALSE(silent.hasCode("WM0205"));
+    EXPECT_FALSE(silent.hasCode("WM0206"));
+    EXPECT_FALSE(silent.hasCode("WM0601"));  // known top-level block
+}
+
 TEST(Analyzer, ShippedConfigIsClean) {
     DiagnosticSink sink;
     AnalysisSummary summary =

@@ -108,5 +108,45 @@ TEST(QueryEngineSingleton, IsStable) {
     EXPECT_EQ(&a, &b);
 }
 
+/// Handle-based (id-keyed) queries must return exactly what the
+/// string-keyed ones do — on cache hits, on storage fallbacks, and for
+/// unknown topics where the handle never resolves.
+TEST_F(QueryEngineTest, HandleQueriesMatchStringQueries) {
+    const sensors::CacheHandle power("/node/power");
+    const sensors::CacheHandle ghost("/ghost");
+    for (const TimestampNs offset :
+         {TimestampNs{0}, 10 * kNsPerSec, 150 * kNsPerSec, 500 * kNsPerSec}) {
+        EXPECT_EQ(engine_.queryRelative(power, offset),
+                  engine_.queryRelative("/node/power", offset))
+            << "offset " << offset;
+    }
+    EXPECT_EQ(engine_.queryAbsolute(power, 950 * kNsPerSec, 960 * kNsPerSec),
+              engine_.queryAbsolute("/node/power", 950 * kNsPerSec, 960 * kNsPerSec));
+    EXPECT_EQ(engine_.queryAbsolute(power, 0, 50 * kNsPerSec),
+              engine_.queryAbsolute("/node/power", 0, 50 * kNsPerSec));
+    EXPECT_EQ(engine_.latest(power), engine_.latest("/node/power"));
+    EXPECT_TRUE(engine_.queryRelative(ghost, kNsPerSec).empty());
+    EXPECT_FALSE(engine_.latest(ghost).has_value());
+}
+
+/// statsRelative agrees with reducing the equivalent query, both inside the
+/// cache window (fused path) and beyond it (storage fallback).
+TEST_F(QueryEngineTest, StatsRelativeMatchesQueryReduction) {
+    const sensors::CacheHandle power("/node/power");
+    for (const TimestampNs offset : {10 * kNsPerSec, 500 * kNsPerSec}) {
+        const auto stats = engine_.statsRelative(power, offset);
+        const auto view = engine_.queryRelative("/node/power", offset);
+        ASSERT_TRUE(stats.has_value()) << "offset " << offset;
+        ASSERT_EQ(stats->count, view.size());
+        double sum = 0;
+        for (const auto& r : view) sum += r.value;
+        EXPECT_DOUBLE_EQ(stats->sum, sum);
+        EXPECT_EQ(stats->first.timestamp, view.front().timestamp);
+        EXPECT_EQ(stats->last.timestamp, view.back().timestamp);
+        EXPECT_EQ(engine_.statsRelative("/node/power", offset)->count, view.size());
+    }
+    EXPECT_FALSE(engine_.statsRelative("/ghost", kNsPerSec).has_value());
+}
+
 }  // namespace
 }  // namespace wm::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 
 namespace wm::sensors {
@@ -169,6 +171,165 @@ TEST(CacheStore, TopicsAreSorted) {
     store.getOrCreate("/a");
     store.getOrCreate("/c");
     EXPECT_EQ(store.topics(), (std::vector<std::string>{"/a", "/b", "/c"}));
+}
+
+/// Collects a visitation into a vector for comparison against the copying
+/// view API.
+template <typename ForEach>
+ReadingVector collect(ForEach&& for_each) {
+    ReadingVector out;
+    for_each([&out](const Reading& r) { out.push_back(r); });
+    return out;
+}
+
+/// The copy-free visitation must produce exactly the readings (and order)
+/// of the vector-returning views — including after out-of-order inserts,
+/// which shift elements inside the ring buffer.
+TEST(SensorCache, ForEachMatchesViewAfterOutOfOrderInserts) {
+    SensorCache cache(100 * kNsPerSec, kNsPerSec);
+    fill(cache, 10, kNsPerSec);
+    // Late readings inside the window, placed into the middle of the ring.
+    EXPECT_TRUE(cache.store({3 * kNsPerSec + kNsPerMs, 30.5}));
+    EXPECT_TRUE(cache.store({7 * kNsPerSec + kNsPerMs, 70.5}));
+    for (const TimestampNs offset :
+         {TimestampNs{0}, 2 * kNsPerSec, 5 * kNsPerSec, 50 * kNsPerSec}) {
+        EXPECT_EQ(collect([&](auto&& v) { cache.forEachRelative(offset, v); }),
+                  cache.viewRelative(offset))
+            << "offset " << offset;
+    }
+    for (const TimestampNs t0 : {TimestampNs{0}, 3 * kNsPerSec, 8 * kNsPerSec}) {
+        const TimestampNs t1 = t0 + 4 * kNsPerSec;
+        EXPECT_EQ(collect([&](auto&& v) { cache.forEachAbsolute(t0, t1, v); }),
+                  cache.viewAbsolute(t0, t1))
+            << "t0 " << t0;
+    }
+}
+
+/// Same equivalence at the eviction boundary: a cache whose ring has
+/// wrapped (head > 0) visits the two physical spans in the right order.
+TEST(SensorCache, ForEachMatchesViewAcrossEviction) {
+    SensorCache cache(10 * kNsPerSec, kNsPerSec);
+    fill(cache, 50);  // window keeps ~11 readings; ring has wrapped
+    EXPECT_LE(cache.size(), 12u);
+    EXPECT_EQ(collect([&](auto&& v) { cache.forEachRelative(cache.windowNs(), v); }),
+              cache.viewRelative(cache.windowNs()));
+    EXPECT_EQ(collect([&](auto&& v) { cache.forEachAbsolute(0, 49 * kNsPerSec, v); }),
+              cache.viewAbsolute(0, 49 * kNsPerSec));
+    // Empty results: range entirely before the retained window.
+    EXPECT_TRUE(collect([&](auto&& v) { cache.forEachAbsolute(0, kNsPerSec, v); }).empty());
+    SensorCache empty;
+    EXPECT_TRUE(collect([&](auto&& v) { empty.forEachRelative(kNsPerSec, v); }).empty());
+}
+
+/// Fused reductions agree with reducing the materialised views, on jittered
+/// out-of-order data.
+TEST(SensorCache, StatsMatchViewReduction) {
+    common::Rng rng(42);
+    SensorCache cache(200 * kNsPerSec, kNsPerSec);
+    TimestampNs t = 0;
+    for (int i = 0; i < 150; ++i) {
+        t += static_cast<TimestampNs>(rng.uniform(0.5, 1.5) * kNsPerSec);
+        cache.store({t, rng.uniform(-50.0, 50.0)});
+        if (rng.uniformInt(10) == 0) {
+            cache.store({t - 2 * kNsPerSec, rng.uniform(-50.0, 50.0)});  // stragglers
+        }
+    }
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto offset = static_cast<TimestampNs>(rng.uniform(0.0, 180.0) * kNsPerSec);
+        const auto stats = cache.statsRelative(offset);
+        const ReadingVector view = cache.viewRelative(offset);
+        ASSERT_TRUE(stats.has_value());
+        ASSERT_EQ(stats->count, view.size());
+        double sum = 0, lo = view.front().value, hi = view.front().value;
+        for (const auto& r : view) {
+            sum += r.value;
+            lo = std::min(lo, r.value);
+            hi = std::max(hi, r.value);
+        }
+        EXPECT_DOUBLE_EQ(stats->sum, sum);
+        EXPECT_DOUBLE_EQ(stats->min, lo);
+        EXPECT_DOUBLE_EQ(stats->max, hi);
+        EXPECT_EQ(stats->first.timestamp, view.front().timestamp);
+        EXPECT_EQ(stats->last.timestamp, view.back().timestamp);
+        EXPECT_DOUBLE_EQ(stats->average(), sum / static_cast<double>(view.size()));
+    }
+    EXPECT_FALSE(SensorCache().statsRelative(kNsPerSec).has_value());
+    EXPECT_FALSE(cache.statsAbsolute(5, 1).has_value());  // t1 < t0
+}
+
+TEST(RangeStats, MergeCombinesRanges) {
+    RangeStats a, b, empty;
+    a.accumulate({1, 2.0});
+    a.accumulate({2, 6.0});
+    b.accumulate({5, -1.0});
+    a.merge(empty);
+    EXPECT_EQ(a.count, 2u);
+    a.merge(b);
+    EXPECT_EQ(a.count, 3u);
+    EXPECT_DOUBLE_EQ(a.sum, 7.0);
+    EXPECT_DOUBLE_EQ(a.min, -1.0);
+    EXPECT_DOUBLE_EQ(a.max, 6.0);
+    EXPECT_EQ(a.first.timestamp, 1);
+    EXPECT_EQ(a.last.timestamp, 5);
+    empty.merge(a);
+    EXPECT_EQ(empty.count, 3u);
+    EXPECT_DOUBLE_EQ(empty.delta(), a.last.value - a.first.value);
+}
+
+/// Id-keyed lookup is the string lookup without the hash: both must agree,
+/// and ids must be stable across stores sharing the process-wide table.
+TEST(CacheStore, IdKeyedLookupMatchesStringLookup) {
+    CacheStore store;
+    EXPECT_EQ(store.find(kInvalidTopicId), nullptr);
+    EXPECT_EQ(store.idOf("/nope"), kInvalidTopicId);
+    SensorCache& cache = store.getOrCreate("/id/a");
+    const TopicId id = store.idOf("/id/a");
+    ASSERT_NE(id, kInvalidTopicId);
+    EXPECT_EQ(store.find(id), &cache);
+    EXPECT_EQ(store.find(id), store.find(std::string("/id/a")));
+    // An id interned by another store resolves to nullptr here until the
+    // topic exists in this store too.
+    CacheStore other;
+    const TopicId foreign = TopicTable::instance().intern("/id/only-elsewhere");
+    EXPECT_EQ(store.find(foreign), nullptr);
+    other.getOrCreate("/id/only-elsewhere");
+    EXPECT_NE(other.find(foreign), nullptr);
+}
+
+TEST(CacheStore, CacheHandleResolvesLazily) {
+    CacheStore store;
+    const CacheHandle handle("/handle/x");
+    EXPECT_EQ(handle.resolve(store), nullptr);  // not interned yet
+    SensorCache& cache = store.getOrCreate("/handle/x");
+    EXPECT_EQ(handle.resolve(store), &cache);   // memoised from here on
+    EXPECT_EQ(handle.resolve(store), &cache);
+    EXPECT_EQ(handle.topic(), "/handle/x");
+    // Handles work across stores sharing the process-wide table.
+    CacheStore other;
+    EXPECT_EQ(handle.resolve(other), nullptr);
+    SensorCache& twin = other.getOrCreate("/handle/x");
+    EXPECT_EQ(handle.resolve(other), &twin);
+}
+
+/// The publish flag lives in the interned-topic entry and is readable
+/// lock-free through the id (the pusher publication loop's fast path).
+TEST(CacheStore, PublishFlagThroughInternedEntry) {
+    CacheStore store;
+    SensorMetadata hidden;
+    hidden.topic = "/flag/hidden";
+    hidden.publish = false;
+    store.getOrCreate(hidden);
+    SensorMetadata visible;
+    visible.topic = "/flag/visible";
+    visible.publish = true;
+    store.getOrCreate(visible);
+    EXPECT_FALSE(store.publishAllowed(store.idOf("/flag/hidden")));
+    EXPECT_TRUE(store.publishAllowed(store.idOf("/flag/visible")));
+    EXPECT_FALSE(store.publishAllowed("/flag/hidden"));
+    EXPECT_TRUE(store.publishAllowed("/flag/visible"));
+    // Unknown topics / invalid ids stay publishable (legacy semantics).
+    EXPECT_TRUE(store.publishAllowed("/flag/unknown"));
+    EXPECT_TRUE(store.publishAllowed(kInvalidTopicId));
 }
 
 }  // namespace

@@ -1,0 +1,246 @@
+// Differential property tests for the topic-segment trie
+// (mqtt/subscription_index.h): its matching semantics are pinned to the
+// `topicMatches` oracle in mqtt/topic.h over randomized topic/filter
+// corpora, through subscribe/unsubscribe churn, and under concurrent
+// publishes via the Broker (sanitizer fodder for the lock protocol).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "mqtt/broker.h"
+#include "mqtt/subscription_index.h"
+#include "mqtt/topic.h"
+
+namespace wm::mqtt {
+namespace {
+
+SubscriptionPtr makeSubscription(SubscriptionId id, std::string filter) {
+    auto subscription = std::make_shared<Subscription>();
+    subscription->id = id;
+    subscription->filter = std::move(filter);
+    subscription->handler = std::make_shared<const MessageHandler>([](const Message&) {});
+    return subscription;
+}
+
+/// Ids of the subscriptions the index matches for `topic`.
+std::set<SubscriptionId> indexMatches(const SubscriptionIndex& index,
+                                      const std::string& topic) {
+    std::vector<SubscriptionPtr> out;
+    index.match(topic, out);
+    std::set<SubscriptionId> ids;
+    for (const auto& subscription : out) ids.insert(subscription->id);
+    return ids;
+}
+
+/// Ids the linear `topicMatches` oracle says should match.
+std::set<SubscriptionId> oracleMatches(
+    const std::vector<std::pair<SubscriptionId, std::string>>& filters,
+    const std::string& topic) {
+    std::set<SubscriptionId> ids;
+    for (const auto& [id, filter] : filters) {
+        if (topicMatches(filter, topic)) ids.insert(id);
+    }
+    return ids;
+}
+
+/// Random topic over a tiny segment alphabet so collisions (and hence
+/// matches) are frequent. Always slash-rooted, like real sensor topics.
+std::string randomTopic(common::Rng& rng) {
+    static const char* kSegments[] = {"a", "b", "c", "rack0", "x"};
+    const std::size_t depth = 1 + rng.uniformInt(4);
+    std::string topic;
+    for (std::size_t i = 0; i < depth; ++i) {
+        topic += "/";
+        topic += kSegments[rng.uniformInt(std::size(kSegments))];
+    }
+    return topic;
+}
+
+/// Random valid filter: a topic shape where each segment may be '+' and the
+/// tail may be '#'. Occasionally the bare "#" or "+" filters.
+std::string randomFilter(common::Rng& rng) {
+    if (rng.uniformInt(20) == 0) return "#";
+    if (rng.uniformInt(20) == 0) return "+";
+    static const char* kSegments[] = {"a", "b", "c", "rack0", "x"};
+    const std::size_t depth = 1 + rng.uniformInt(4);
+    std::string filter;
+    for (std::size_t i = 0; i < depth; ++i) {
+        filter += "/";
+        if (i + 1 == depth && rng.uniformInt(5) == 0) {
+            filter += "#";
+            return filter;
+        }
+        filter += rng.uniformInt(4) == 0 ? "+" : kSegments[rng.uniformInt(std::size(kSegments))];
+    }
+    return filter;
+}
+
+TEST(SubscriptionIndex, WildcardEdgeCases) {
+    SubscriptionIndex index;
+    index.insert(makeSubscription(1, "#"));
+    index.insert(makeSubscription(2, "/a/#"));   // matches "/a" itself
+    index.insert(makeSubscription(3, "/+/b"));
+    index.insert(makeSubscription(4, "+"));      // one segment, no leading '/'
+    index.insert(makeSubscription(5, "/+"));     // empty root + one segment
+    index.insert(makeSubscription(6, "/a/b"));
+
+    EXPECT_EQ(indexMatches(index, "/a"), (std::set<SubscriptionId>{1, 2, 5}));
+    EXPECT_EQ(indexMatches(index, "/a/b"), (std::set<SubscriptionId>{1, 2, 3, 6}));
+    EXPECT_EQ(indexMatches(index, "/a/b/c"), (std::set<SubscriptionId>{1, 2}));
+    EXPECT_EQ(indexMatches(index, "/c/b"), (std::set<SubscriptionId>{1, 3}));
+    EXPECT_EQ(indexMatches(index, "bare"), (std::set<SubscriptionId>{1, 4}));
+    EXPECT_TRUE(index.matchesAny("/never/seen"));  // '#' catches everything
+}
+
+TEST(SubscriptionIndex, MatchesAnyWithoutCatchAll) {
+    SubscriptionIndex index;
+    index.insert(makeSubscription(1, "/a/+/c"));
+    EXPECT_TRUE(index.matchesAny("/a/b/c"));
+    EXPECT_FALSE(index.matchesAny("/a/b/d"));
+    EXPECT_FALSE(index.matchesAny("/a/b"));
+}
+
+/// The core differential property: for randomized filter corpora and
+/// topics, the trie returns exactly the oracle's match set.
+TEST(SubscriptionIndex, DifferentialVsTopicMatchesOracle) {
+    common::Rng rng(0xD1FFu);
+    for (int round = 0; round < 20; ++round) {
+        SubscriptionIndex index;
+        std::vector<std::pair<SubscriptionId, std::string>> filters;
+        const std::size_t n = 1 + rng.uniformInt(60);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::string filter = randomFilter(rng);
+            ASSERT_TRUE(isValidFilter(filter)) << filter;
+            filters.emplace_back(i + 1, filter);
+            index.insert(makeSubscription(i + 1, filter));
+        }
+        EXPECT_EQ(index.size(), n);
+        for (int probe = 0; probe < 200; ++probe) {
+            const std::string topic = randomTopic(rng);
+            const auto expected = oracleMatches(filters, topic);
+            EXPECT_EQ(indexMatches(index, topic), expected)
+                << "topic " << topic << " round " << round;
+            EXPECT_EQ(index.matchesAny(topic), !expected.empty()) << topic;
+        }
+    }
+}
+
+/// Same property through erase churn: removing a random subset must remove
+/// exactly those ids from every match set, and pruning must not detach
+/// branches still carrying subscriptions.
+TEST(SubscriptionIndex, DifferentialThroughEraseChurn) {
+    common::Rng rng(0xC0FFEEu);
+    for (int round = 0; round < 10; ++round) {
+        SubscriptionIndex index;
+        std::vector<std::pair<SubscriptionId, std::string>> filters;
+        for (std::size_t i = 0; i < 80; ++i) {
+            const std::string filter = randomFilter(rng);
+            filters.emplace_back(i + 1, filter);
+            index.insert(makeSubscription(i + 1, filter));
+        }
+        // Erase ~half, in random order.
+        std::vector<std::size_t> order(filters.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        for (std::size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[rng.uniformInt(i)]);
+        }
+        for (std::size_t k = 0; k < order.size() / 2; ++k) {
+            const auto& [id, filter] = filters[order[k]];
+            const SubscriptionPtr erased = index.erase(id, filter);
+            ASSERT_NE(erased, nullptr);
+            EXPECT_EQ(erased->id, id);
+            // A second erase of the same id is a no-op.
+            EXPECT_EQ(index.erase(id, filter), nullptr);
+        }
+        std::vector<std::pair<SubscriptionId, std::string>> remaining;
+        for (std::size_t k = order.size() / 2; k < order.size(); ++k) {
+            remaining.push_back(filters[order[k]]);
+        }
+        EXPECT_EQ(index.size(), remaining.size());
+        for (int probe = 0; probe < 100; ++probe) {
+            const std::string topic = randomTopic(rng);
+            EXPECT_EQ(indexMatches(index, topic), oracleMatches(remaining, topic))
+                << "topic " << topic << " round " << round;
+        }
+        // Erase the rest: the trie must end empty but stay functional.
+        for (const auto& [id, filter] : remaining) {
+            ASSERT_NE(index.erase(id, filter), nullptr);
+        }
+        EXPECT_EQ(index.size(), 0u);
+        EXPECT_FALSE(index.matchesAny("/a/b"));
+        index.insert(makeSubscription(999, "/a/b"));
+        EXPECT_TRUE(index.matchesAny("/a/b"));
+    }
+}
+
+/// Duplicate filters: several subscriptions can share one filter; erase
+/// removes only the targeted id.
+TEST(SubscriptionIndex, SharedFilterErasesOnlyTargetId) {
+    SubscriptionIndex index;
+    index.insert(makeSubscription(1, "/a/+"));
+    index.insert(makeSubscription(2, "/a/+"));
+    index.insert(makeSubscription(3, "/a/+"));
+    EXPECT_EQ(indexMatches(index, "/a/b"), (std::set<SubscriptionId>{1, 2, 3}));
+    ASSERT_NE(index.erase(2, "/a/+"), nullptr);
+    EXPECT_EQ(indexMatches(index, "/a/b"), (std::set<SubscriptionId>{1, 3}));
+    EXPECT_EQ(index.size(), 2u);
+}
+
+/// Subscribe/unsubscribe churn racing publishes through the Broker: the
+/// lock protocol must keep the trie consistent (run under TSan/ASan in CI).
+/// Deliveries hold the handler via shared_ptr, so a handler may run just
+/// after its subscription was removed — counts are therefore bounded, not
+/// exact.
+TEST(SubscriptionIndex, BrokerChurnUnderConcurrentPublish) {
+    Broker broker;
+    std::atomic<std::uint64_t> delivered{0};
+    const SubscriptionId stable = broker.subscribe(
+        "/stable/#", [&delivered](const Message&) { delivered.fetch_add(1); });
+    ASSERT_NE(stable, 0u);
+
+    constexpr int kPublishes = 2000;
+    std::atomic<bool> stop{false};
+    std::thread churn([&broker, &stop] {
+        common::Rng rng(7);
+        std::vector<SubscriptionId> live;
+        while (!stop.load(std::memory_order_relaxed)) {
+            if (live.size() < 20 || rng.uniformInt(2) == 0) {
+                const SubscriptionId id = broker.subscribe(
+                    "/churn/s" + std::to_string(rng.uniformInt(50)) + "/#",
+                    [](const Message&) {});
+                if (id != 0) live.push_back(id);
+            } else {
+                const std::size_t pick = rng.uniformInt(live.size());
+                broker.unsubscribe(live[pick]);
+                live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+            }
+        }
+        for (const SubscriptionId id : live) broker.unsubscribe(id);
+    });
+
+    common::Rng rng(11);
+    for (int i = 0; i < kPublishes; ++i) {
+        broker.publish({"/stable/t", {{i + 1, 1.0}}});
+        broker.publish({"/churn/s" + std::to_string(rng.uniformInt(50)) + "/v",
+                        {{i + 1, 2.0}}});
+    }
+    stop.store(true);
+    churn.join();
+
+    // The stable subscription saw every one of its publishes.
+    EXPECT_EQ(delivered.load(), static_cast<std::uint64_t>(kPublishes));
+    EXPECT_EQ(broker.subscriptionCount(), 1u);
+    broker.unsubscribe(stable);
+    EXPECT_EQ(broker.subscriptionCount(), 0u);
+}
+
+}  // namespace
+}  // namespace wm::mqtt

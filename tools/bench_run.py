@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Run the micro benchmark suite and collect one machine-readable report.
+
+Runs the Google-Benchmark micro benches (micro_mqtt, micro_cache,
+micro_unitsystem, micro_analytics) with --benchmark_format=json plus the
+fig5 query-overhead bench in --quick mode, and merges everything into a
+single BENCH_*.json document (see docs/PERFORMANCE.md for how to read it).
+
+Deliberately performs NO wall-clock assertions: the CI box has a single CPU
+and shares it with co-tenants, so absolute timings are noise there. The
+report carries ops/sec, allocation counters, and derived ratios (e.g.
+trie vs linear-scan subscription matching at 1000 subscriptions) for humans
+and for offline trend tracking; the only hard failures are benches that
+crash or emit unparsable output.
+
+Usage:
+    python3 tools/bench_run.py [--build-dir build] [--output BENCH_PR4.json]
+                               [--quick] [--skip-fig5]
+
+--quick shortens every benchmark repetition (the default mode used by the
+bench-smoke CI job); omit it for locally meaningful numbers on an idle
+multi-core machine.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+MICRO_BENCHES = ["micro_mqtt", "micro_cache", "micro_unitsystem", "micro_analytics"]
+
+
+def run_micro(binary: pathlib.Path, quick: bool) -> list:
+    """Runs one Google-Benchmark binary, returns its benchmark entries."""
+    cmd = [str(binary), "--benchmark_format=json"]
+    if quick:
+        cmd.append("--benchmark_min_time=0.005")
+    result = subprocess.run(cmd, capture_output=True, text=True, timeout=1800)
+    if result.returncode != 0:
+        sys.stderr.write(result.stderr)
+        raise RuntimeError(f"{binary.name} exited with {result.returncode}")
+    report = json.loads(result.stdout)
+    entries = []
+    for bench in report.get("benchmarks", []):
+        entry = {
+            "name": bench["name"],
+            "real_time_ns": bench.get("real_time"),
+            "cpu_time_ns": bench.get("cpu_time"),
+            "iterations": bench.get("iterations"),
+        }
+        # Google Benchmark flattens user counters into the entry itself.
+        for key in ("allocs/op", "matched", "items_per_second"):
+            if key in bench:
+                entry[key] = bench[key]
+        entries.append(entry)
+    return entries
+
+
+def time_of(entries: list, name: str):
+    for entry in entries:
+        if entry["name"] == name:
+            return entry.get("cpu_time_ns") or entry.get("real_time_ns")
+    return None
+
+
+def ratio(numerator, denominator):
+    if numerator is None or denominator in (None, 0):
+        return None
+    return numerator / denominator
+
+
+def derive_ratios(suites: dict) -> dict:
+    """Headline comparisons between the old and the new hot-path shapes."""
+    mqtt = suites.get("micro_mqtt", [])
+    cache = suites.get("micro_cache", [])
+    return {
+        # The tentpole number: linear-scan matching vs the trie at >= 1000
+        # subscriptions. > 1.0 means the trie is faster.
+        "match_linear_vs_trie_1000_subs": ratio(
+            time_of(mqtt, "BM_MatchLinearScan/1000"),
+            time_of(mqtt, "BM_MatchSubscriptionIndex/1000")),
+        "match_linear_vs_trie_4096_subs": ratio(
+            time_of(mqtt, "BM_MatchLinearScan/4096"),
+            time_of(mqtt, "BM_MatchSubscriptionIndex/4096")),
+        # String hashing under the store lock vs the id-keyed lock-free path.
+        "store_find_string_vs_id_1000_sensors": ratio(
+            time_of(cache, "BM_CacheStoreFindByString/1000"),
+            time_of(cache, "BM_CacheStoreFindById/1000")),
+        # Copying window extraction vs the in-place visitation, 100 s window.
+        "view_vs_foreach_100s_window": ratio(
+            time_of(cache, "BM_CacheViewRelativeWindow/100"),
+            time_of(cache, "BM_CacheForEachRelativeWindow/100")),
+        # Materialise-then-reduce vs the fused statsRelative, 100 s window.
+        "view_then_reduce_vs_stats_100s_window": ratio(
+            time_of(cache, "BM_CacheViewThenReduce/100"),
+            time_of(cache, "BM_CacheStatsRelative/100")),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build", type=pathlib.Path)
+    parser.add_argument("--output", default="BENCH_PR4.json", type=pathlib.Path)
+    parser.add_argument("--quick", action="store_true",
+                        help="short repetitions (CI smoke mode)")
+    parser.add_argument("--skip-fig5", action="store_true",
+                        help="skip the fig5 overhead grid (micro benches only)")
+    args = parser.parse_args()
+
+    bench_dir = args.build_dir / "bench"
+    suites = {}
+    for name in MICRO_BENCHES:
+        binary = bench_dir / name
+        if not binary.exists():
+            sys.stderr.write(f"bench_run: {binary} not built, skipping\n")
+            continue
+        print(f"bench_run: running {name} ...", flush=True)
+        suites[name] = run_micro(binary, args.quick)
+
+    fig5 = None
+    fig5_binary = bench_dir / "fig5_query_overhead"
+    if not args.skip_fig5 and fig5_binary.exists():
+        print("bench_run: running fig5_query_overhead --quick ...", flush=True)
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+            fig5_path = pathlib.Path(handle.name)
+        result = subprocess.run(
+            [str(fig5_binary), "--quick", "--json", str(fig5_path)],
+            capture_output=True, text=True, timeout=3600)
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr)
+            raise RuntimeError(f"fig5_query_overhead exited with {result.returncode}")
+        fig5 = json.loads(fig5_path.read_text())
+        fig5_path.unlink()
+
+    ratios = derive_ratios(suites)
+    report = {
+        "schema": "wintermute-bench-v1",
+        "mode": "quick" if args.quick else "full",
+        "ratios": ratios,
+        "suites": suites,
+    }
+    if fig5 is not None:
+        report["fig5_query_overhead"] = fig5
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"bench_run: wrote {args.output}")
+
+    headline = ratios.get("match_linear_vs_trie_1000_subs")
+    if headline is not None:
+        print(f"bench_run: trie vs linear scan @1000 subs: {headline:.1f}x")
+        if headline < 1.0:
+            # Informational only — never a CI failure (1-CPU box, noisy).
+            print("bench_run: WARNING: trie slower than linear scan in this run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
