@@ -1,6 +1,9 @@
 #include "analysis/analyzer.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <set>
@@ -31,17 +34,18 @@ using common::ConfigNode;
 using common::kNsPerSec;
 
 const std::set<std::string>& knownTopLevelBlocks() {
-    static const std::set<std::string> known = {"cluster",    "pusher", "facility",
-                                                "plugin",     "resilience", "faults",
-                                                "collectagent"};
+    static const std::set<std::string> known = {
+        "cluster", "pusher",      "facility",    "plugin",    "resilience",
+        "faults",  "collectagent", "persistence", "supervisor"};
     return known;
 }
 
 /// Fault points instrumented in the data path (grep fault::check to extend).
 const std::set<std::string>& knownFaultPoints() {
     static const std::set<std::string> known = {
-        "broker.deliver", "broker.publish", "collectagent.ingest",
-        "pusher.sample",  "rest.request",   "storage.insert"};
+        "broker.deliver", "broker.publish",    "collectagent.ingest",
+        "pusher.sample",  "rest.request",      "storage.insert",
+        "persist.wal_append", "persist.snapshot_write"};
     return known;
 }
 
@@ -586,6 +590,131 @@ void checkResilience(const ConfigNode& root, DiagnosticSink& sink) {
     }
 }
 
+/// True when `directory` either is a writable directory or could be created
+/// by the daemon (its nearest existing ancestor is a writable directory).
+bool persistenceDirWritable(const std::string& directory) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path probe = fs::absolute(fs::path(directory), ec);
+    if (ec) return false;
+    while (!fs::exists(probe, ec)) {
+        const fs::path parent = probe.parent_path();
+        if (parent.empty() || parent == probe) return false;
+        probe = parent;
+    }
+    if (!fs::is_directory(probe, ec)) return false;
+    return ::access(probe.c_str(), W_OK) == 0;
+}
+
+/// Mirrors StorageBackend's path resolution: file names are relative to the
+/// persistence directory unless absolute.
+std::string resolveInDirectory(const std::string& directory, const std::string& file) {
+    if (!file.empty() && file.front() == '/') return file;
+    return directory + "/" + file;
+}
+
+void checkPersistence(const ConfigNode& root, DiagnosticSink& sink) {
+    const ConfigNode* block = root.child("persistence");
+    if (block == nullptr) return;
+    static const std::set<std::string> known = {
+        "directory",     "walFile",           "snapshotFile",     "quarantineWal",
+        "snapshotEvery", "checkpointInterval", "quarantineJournal"};
+    for (const auto& child : block->children()) {
+        if (known.count(child.key()) == 0) {
+            sink.error("WM0703", "unknown persistence knob '" + child.key() + "'",
+                       child.line(), child.column());
+        }
+    }
+    const std::string directory = block->getString("directory");
+    if (directory.empty()) {
+        sink.error("WM0701",
+                   "persistence block without a 'directory'; durability would be "
+                   "disabled at runtime",
+                   block->line(), block->column());
+    } else if (!persistenceDirWritable(directory)) {
+        const ConfigNode* key = block->child("directory");
+        sink.error("WM0701",
+                   "snapshot directory '" + directory +
+                       "' is not writable and cannot be created",
+                   key->line(), key->column());
+    }
+    if (const ConfigNode* every = block->child("snapshotEvery")) {
+        if (block->getInt("snapshotEvery", 0) < 0) {
+            sink.error("WM0703", "'snapshotEvery' must be non-negative", every->line(),
+                       every->column());
+        }
+    }
+    if (const ConfigNode* interval = block->child("checkpointInterval")) {
+        if (block->getDurationNs("checkpointInterval", 1) <= 0) {
+            sink.error("WM0703", "'checkpointInterval' must be a positive duration",
+                       interval->line(), interval->column());
+        }
+    }
+    // One journal per component: two writers appending to the same WAL (or
+    // a snapshot clobbering a WAL) corrupt each other's framing.
+    if (directory.empty()) return;
+    const struct {
+        const char* key;
+        const char* fallback;
+        const char* what;
+    } files[] = {{"walFile", "storage.wal", "storage WAL"},
+                 {"snapshotFile", "storage.snap", "storage snapshot"},
+                 {"quarantineWal", "quarantine.wal", "quarantine journal"}};
+    for (std::size_t a = 0; a < 3; ++a) {
+        for (std::size_t b = a + 1; b < 3; ++b) {
+            const std::string path_a = resolveInDirectory(
+                directory, block->getString(files[a].key, files[a].fallback));
+            const std::string path_b = resolveInDirectory(
+                directory, block->getString(files[b].key, files[b].fallback));
+            if (path_a == path_b) {
+                sink.error("WM0702",
+                           std::string(files[a].what) + " and " + files[b].what +
+                               " share one path '" + path_a + "'",
+                           block->line(), block->column());
+            }
+        }
+    }
+}
+
+void checkSupervisor(const ConfigNode& root, DiagnosticSink& sink) {
+    const ConfigNode* block = root.child("supervisor");
+    if (block == nullptr) return;
+    static const std::set<std::string> known = {"checkInterval", "maxRestarts",
+                                                "restartInitialBackoff",
+                                                "restartMaxBackoff", "seed"};
+    for (const auto& child : block->children()) {
+        if (known.count(child.key()) == 0) {
+            sink.error("WM0704", "unknown supervisor knob '" + child.key() + "'",
+                       child.line(), child.column());
+        }
+    }
+    if (const ConfigNode* interval = block->child("checkInterval")) {
+        if (block->getDurationNs("checkInterval", 1) <= 0) {
+            sink.error("WM0704", "'checkInterval' must be a positive duration",
+                       interval->line(), interval->column());
+        }
+    }
+    if (const ConfigNode* restarts = block->child("maxRestarts")) {
+        if (block->getInt("maxRestarts", 0) < 0) {
+            sink.error("WM0704", "'maxRestarts' must be non-negative", restarts->line(),
+                       restarts->column());
+        }
+    }
+    for (const char* key : {"restartInitialBackoff", "restartMaxBackoff"}) {
+        const ConfigNode* child = block->child(key);
+        if (child != nullptr && block->getDurationNs(key, 1) <= 0) {
+            sink.error("WM0704", std::string("'") + key + "' must be a positive duration",
+                       child->line(), child->column());
+        }
+    }
+    const std::int64_t initial = block->getDurationNs("restartInitialBackoff", 0);
+    const std::int64_t max = block->getDurationNs("restartMaxBackoff", 0);
+    if (initial > 0 && max > 0 && initial > max) {
+        sink.error("WM0704", "'restartInitialBackoff' exceeds 'restartMaxBackoff'",
+                   block->line(), block->column());
+    }
+}
+
 }  // namespace
 
 AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
@@ -612,6 +741,8 @@ AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
     checkCollectAgent(root, state, sink);
     checkFaults(root, sink);
     checkResilience(root, sink);
+    checkPersistence(root, sink);
+    checkSupervisor(root, sink);
     return summary;
 }
 

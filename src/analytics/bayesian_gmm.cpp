@@ -7,6 +7,7 @@
 
 #include "analytics/kmeans.h"
 #include "analytics/stats.h"
+#include "persist/serializer.h"
 
 namespace wm::analytics {
 
@@ -299,6 +300,118 @@ double BayesianGmm::scoreLogLikelihood(const Vector& point) const {
     double total = 0.0;
     for (double v : ln) total += std::exp(v - max_ln);
     return max_ln + std::log(total) + std::log(density_jacobian_);
+}
+
+namespace {
+
+void encodeVector(persist::Encoder& encoder, const Vector& v) {
+    encoder.putSize(v.size());
+    for (double x : v) encoder.putF64(x);
+}
+
+bool decodeVector(persist::Decoder& decoder, Vector* v) {
+    std::size_t n = 0;
+    decoder.getSize(&n);
+    Vector out(decoder.ok() ? n : 0, 0.0);
+    for (std::size_t i = 0; i < out.size(); ++i) decoder.getF64(&out[i]);
+    if (!decoder.ok()) return false;
+    *v = std::move(out);
+    return true;
+}
+
+void encodeMatrix(persist::Encoder& encoder, const Matrix& m) {
+    encoder.putSize(m.rows());
+    encoder.putSize(m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) encoder.putF64(m(r, c));
+    }
+}
+
+bool decodeMatrix(persist::Decoder& decoder, Matrix* m) {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    decoder.getSize(&rows);
+    decoder.getSize(&cols);
+    if (!decoder.ok()) return false;
+    Matrix out(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) decoder.getF64(&out(r, c));
+    }
+    if (!decoder.ok()) return false;
+    *m = std::move(out);
+    return true;
+}
+
+}  // namespace
+
+void BayesianGmm::serialize(persist::Encoder& encoder) const {
+    encoder.putSize(components_.size());
+    for (const BgmmComponent& component : components_) {
+        encoder.putF64(component.weight);
+        encodeVector(encoder, component.mean);
+        encodeMatrix(encoder, component.covariance);
+    }
+    encoder.putSize(internal_.size());
+    for (const InternalComponent& component : internal_) {
+        encoder.putF64(component.weight);
+        encodeVector(encoder, component.mean);
+        encodeMatrix(encoder, component.cov_chol.lower());
+        encoder.putF64(component.log_norm);
+    }
+    encodeVector(encoder, feature_mean_);
+    encodeVector(encoder, feature_scale_);
+    encoder.putF64(density_jacobian_);
+    encoder.putSize(iterations_);
+    encoder.putBool(converged_);
+}
+
+bool BayesianGmm::deserialize(persist::Decoder& decoder) {
+    std::size_t count = 0;
+    decoder.getSize(&count);
+    std::vector<BgmmComponent> components;
+    for (std::size_t i = 0; i < count && decoder.ok(); ++i) {
+        BgmmComponent component;
+        decoder.getF64(&component.weight);
+        if (!decodeVector(decoder, &component.mean)) break;
+        if (!decodeMatrix(decoder, &component.covariance)) break;
+        components.push_back(std::move(component));
+    }
+    std::size_t internal_count = 0;
+    decoder.getSize(&internal_count);
+    std::vector<InternalComponent> internal;
+    for (std::size_t i = 0; i < internal_count && decoder.ok(); ++i) {
+        double weight = 0.0;
+        Vector mean;
+        Matrix lower;
+        double log_norm = 0.0;
+        decoder.getF64(&weight);
+        if (!decodeVector(decoder, &mean)) break;
+        if (!decodeMatrix(decoder, &lower)) break;
+        decoder.getF64(&log_norm);
+        internal.push_back(InternalComponent{weight, std::move(mean),
+                                             Cholesky::fromLower(std::move(lower)),
+                                             log_norm});
+    }
+    Vector feature_mean;
+    Vector feature_scale;
+    if (!decodeVector(decoder, &feature_mean)) return false;
+    if (!decodeVector(decoder, &feature_scale)) return false;
+    double density_jacobian = 1.0;
+    std::size_t iterations = 0;
+    bool converged = false;
+    decoder.getF64(&density_jacobian);
+    decoder.getSize(&iterations);
+    decoder.getBool(&converged);
+    if (!decoder.ok()) return false;
+    if (components.size() != count || internal.size() != internal_count) return false;
+    components_ = std::move(components);
+    internal_ = std::move(internal);
+    feature_mean_ = std::move(feature_mean);
+    feature_scale_ = std::move(feature_scale);
+    density_jacobian_ = density_jacobian;
+    iterations_ = iterations;
+    converged_ = converged;
+    return true;
 }
 
 }  // namespace wm::analytics

@@ -20,6 +20,11 @@
 
 #include "analytics/linalg.h"
 
+namespace wm::persist {
+class Encoder;
+class Decoder;
+}
+
 namespace wm::analytics {
 
 struct BgmmParams {
@@ -91,6 +96,13 @@ class BayesianGmm {
 
     std::size_t iterationsRun() const { return iterations_; }
     bool converged() const { return converged_; }
+
+    /// Checkpointing: the full fitted state (components, standardization
+    /// parameters, Cholesky factors) round-trips, so a restored model
+    /// labels, scores and outlier-tests identically without refitting a
+    /// two-week window (docs/RESILIENCE.md).
+    void serialize(persist::Encoder& encoder) const;
+    bool deserialize(persist::Decoder& decoder);
 
   private:
     /// Gaussian log-pdf under component k (in standardized space).

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "persist/serializer.h"
+
 namespace wm::analytics {
 
 namespace {
@@ -219,6 +221,66 @@ std::vector<double> RandomForestClassifier::predictProbabilities(
     for (const auto& tree : trees_) votes[tree.predict(features)] += 1.0;
     for (double& v : votes) v /= static_cast<double>(trees_.size());
     return votes;
+}
+
+void ClassificationTree::serialize(persist::Encoder& encoder) const {
+    encoder.putSize(nodes_.size());
+    for (const Node& node : nodes_) {
+        encoder.putI64(node.feature_index);
+        encoder.putF64(node.threshold);
+        encoder.putU32(node.label);
+        encoder.putI64(node.left);
+        encoder.putI64(node.right);
+    }
+}
+
+bool ClassificationTree::deserialize(persist::Decoder& decoder) {
+    std::size_t count = 0;
+    decoder.getSize(&count);
+    std::vector<Node> nodes;
+    for (std::size_t i = 0; i < count && decoder.ok(); ++i) {
+        Node node;
+        std::int64_t feature_index = 0;
+        std::int64_t left = 0;
+        std::int64_t right = 0;
+        decoder.getI64(&feature_index);
+        decoder.getF64(&node.threshold);
+        decoder.getU32(&node.label);
+        decoder.getI64(&left);
+        decoder.getI64(&right);
+        node.feature_index = static_cast<std::int32_t>(feature_index);
+        node.left = static_cast<std::int32_t>(left);
+        node.right = static_cast<std::int32_t>(right);
+        nodes.push_back(node);
+    }
+    if (!decoder.ok()) return false;
+    nodes_ = std::move(nodes);
+    return true;
+}
+
+void RandomForestClassifier::serialize(persist::Encoder& encoder) const {
+    encoder.putSize(num_classes_);
+    encoder.putF64(oob_accuracy_);
+    encoder.putSize(trees_.size());
+    for (const ClassificationTree& tree : trees_) tree.serialize(encoder);
+}
+
+bool RandomForestClassifier::deserialize(persist::Decoder& decoder) {
+    std::size_t num_classes = 0;
+    double oob_accuracy = 0.0;
+    std::size_t count = 0;
+    decoder.getSize(&num_classes);
+    decoder.getF64(&oob_accuracy);
+    decoder.getSize(&count);
+    std::vector<ClassificationTree> trees(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!trees[i].deserialize(decoder)) return false;
+    }
+    if (!decoder.ok()) return false;
+    num_classes_ = num_classes;
+    oob_accuracy_ = oob_accuracy;
+    trees_ = std::move(trees);
+    return true;
 }
 
 }  // namespace wm::analytics

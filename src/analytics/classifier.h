@@ -11,6 +11,11 @@
 
 #include "common/rng.h"
 
+namespace wm::persist {
+class Encoder;
+class Decoder;
+}
+
 namespace wm::analytics {
 
 struct ClassifierTreeParams {
@@ -35,6 +40,10 @@ class ClassificationTree {
 
     bool trained() const { return !nodes_.empty(); }
     std::size_t nodeCount() const { return nodes_.size(); }
+
+    /// Checkpointing: a deserialized tree predicts identically.
+    void serialize(persist::Encoder& encoder) const;
+    bool deserialize(persist::Decoder& decoder);
 
   private:
     struct Node {
@@ -80,6 +89,11 @@ class RandomForestClassifier {
 
     bool trained() const { return !trees_.empty(); }
     std::size_t classCount() const { return num_classes_; }
+
+    /// Checkpointing: a deserialized ensemble votes identically without
+    /// retraining (the property the crash-recovery tests pin).
+    void serialize(persist::Encoder& encoder) const;
+    bool deserialize(persist::Decoder& decoder);
 
   private:
     std::vector<ClassificationTree> trees_;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "persist/serializer.h"
+
 namespace wm::analytics {
 
 namespace {
@@ -168,6 +170,41 @@ std::size_t DecisionTree::depth() const {
         worst = std::max(worst, depth_of[i]);
     }
     return worst;
+}
+
+void DecisionTree::serialize(persist::Encoder& encoder) const {
+    encoder.putSize(nodes_.size());
+    for (const Node& node : nodes_) {
+        encoder.putI64(node.feature_index);
+        encoder.putF64(node.threshold);
+        encoder.putF64(node.value);
+        encoder.putI64(node.left);
+        encoder.putI64(node.right);
+    }
+}
+
+bool DecisionTree::deserialize(persist::Decoder& decoder) {
+    std::size_t count = 0;
+    decoder.getSize(&count);
+    std::vector<Node> nodes;
+    for (std::size_t i = 0; i < count && decoder.ok(); ++i) {
+        Node node;
+        std::int64_t feature_index = 0;
+        std::int64_t left = 0;
+        std::int64_t right = 0;
+        decoder.getI64(&feature_index);
+        decoder.getF64(&node.threshold);
+        decoder.getF64(&node.value);
+        decoder.getI64(&left);
+        decoder.getI64(&right);
+        node.feature_index = static_cast<std::int32_t>(feature_index);
+        node.left = static_cast<std::int32_t>(left);
+        node.right = static_cast<std::int32_t>(right);
+        nodes.push_back(node);
+    }
+    if (!decoder.ok()) return false;
+    nodes_ = std::move(nodes);
+    return true;
 }
 
 }  // namespace wm::analytics

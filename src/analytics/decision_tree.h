@@ -11,6 +11,11 @@
 
 #include "common/rng.h"
 
+namespace wm::persist {
+class Encoder;
+class Decoder;
+}
+
 namespace wm::analytics {
 
 struct TreeParams {
@@ -39,6 +44,11 @@ class DecisionTree {
     std::size_t nodeCount() const { return nodes_.size(); }
     std::size_t depth() const;
     bool trained() const { return !nodes_.empty(); }
+
+    /// Checkpointing (docs/RESILIENCE.md): a deserialized tree predicts
+    /// identically to the one serialized.
+    void serialize(persist::Encoder& encoder) const;
+    bool deserialize(persist::Decoder& decoder);
 
   private:
     struct Node {

@@ -62,6 +62,10 @@ class Cholesky {
     /// Returns std::nullopt when the matrix is not positive definite.
     static std::optional<Cholesky> decompose(const Matrix& a);
 
+    /// Rebuilds a factor from a previously computed lower-triangular matrix
+    /// (model deserialization); `l` is taken as-is, not re-validated.
+    static Cholesky fromLower(Matrix l) { return Cholesky(std::move(l)); }
+
     const Matrix& lower() const { return l_; }
     std::size_t dim() const { return l_.rows(); }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "analytics/stats.h"
+#include "persist/serializer.h"
 
 namespace wm::analytics {
 
@@ -81,6 +82,33 @@ double LinearRegression::predict(const std::vector<double>& features) const {
     const std::size_t dim = std::min(features.size(), weights_.size());
     for (std::size_t d = 0; d < dim; ++d) acc += weights_[d] * features[d];
     return acc;
+}
+
+void LinearRegression::serialize(persist::Encoder& encoder) const {
+    encoder.putBool(trained_);
+    encoder.putSize(weights_.size());
+    for (double w : weights_) encoder.putF64(w);
+    encoder.putF64(intercept_);
+    encoder.putF64(train_rmse_);
+}
+
+bool LinearRegression::deserialize(persist::Decoder& decoder) {
+    bool trained = false;
+    std::size_t dim = 0;
+    decoder.getBool(&trained);
+    decoder.getSize(&dim);
+    Vector weights(dim, 0.0);
+    for (std::size_t d = 0; d < dim; ++d) decoder.getF64(&weights[d]);
+    double intercept = 0.0;
+    double train_rmse = 0.0;
+    decoder.getF64(&intercept);
+    decoder.getF64(&train_rmse);
+    if (!decoder.ok()) return false;
+    trained_ = trained;
+    weights_ = std::move(weights);
+    intercept_ = intercept;
+    train_rmse_ = train_rmse;
+    return true;
 }
 
 }  // namespace wm::analytics

@@ -11,6 +11,11 @@
 
 #include "analytics/linalg.h"
 
+namespace wm::persist {
+class Encoder;
+class Decoder;
+}
+
 namespace wm::analytics {
 
 struct LinearRegressionParams {
@@ -38,6 +43,10 @@ class LinearRegression {
 
     /// In-sample root mean squared error recorded at fit time.
     double trainRmse() const { return train_rmse_; }
+
+    /// Checkpointing: coefficients round-trip exactly.
+    void serialize(persist::Encoder& encoder) const;
+    bool deserialize(persist::Decoder& decoder);
 
   private:
     bool trained_ = false;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "persist/serializer.h"
+
 namespace wm::analytics {
 
 bool RandomForest::fit(const std::vector<std::vector<double>>& features,
@@ -73,6 +75,27 @@ std::vector<double> RandomForest::predictBatch(
     out.reserve(features.size());
     for (const auto& row : features) out.push_back(predict(row));
     return out;
+}
+
+void RandomForest::serialize(persist::Encoder& encoder) const {
+    encoder.putF64(oob_rmse_);
+    encoder.putSize(trees_.size());
+    for (const DecisionTree& tree : trees_) tree.serialize(encoder);
+}
+
+bool RandomForest::deserialize(persist::Decoder& decoder) {
+    double oob_rmse = 0.0;
+    std::size_t count = 0;
+    decoder.getF64(&oob_rmse);
+    decoder.getSize(&count);
+    std::vector<DecisionTree> trees(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!trees[i].deserialize(decoder)) return false;
+    }
+    if (!decoder.ok()) return false;
+    oob_rmse_ = oob_rmse;
+    trees_ = std::move(trees);
+    return true;
 }
 
 }  // namespace wm::analytics

@@ -46,6 +46,11 @@ class RandomForest {
     bool trained() const { return !trees_.empty(); }
     std::size_t treeCount() const { return trees_.size(); }
 
+    /// Checkpointing: a deserialized forest predicts identically without
+    /// retraining.
+    void serialize(persist::Encoder& encoder) const;
+    bool deserialize(persist::Decoder& decoder);
+
   private:
     std::vector<DecisionTree> trees_;
     double oob_rmse_ = 0.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "persist/serializer.h"
+
 namespace wm::analytics {
 
 double sum(const std::vector<double>& values) {
@@ -121,6 +123,42 @@ double StreamingStats::variance() const {
 
 double StreamingStats::stddev() const {
     return std::sqrt(variance());
+}
+
+void StreamingStats::serialize(persist::Encoder& encoder) const {
+    encoder.putSize(count_);
+    encoder.putF64(mean_);
+    encoder.putF64(m2_);
+    encoder.putF64(min_);
+    encoder.putF64(max_);
+}
+
+bool StreamingStats::deserialize(persist::Decoder& decoder) {
+    StreamingStats restored;
+    decoder.getSize(&restored.count_);
+    decoder.getF64(&restored.mean_);
+    decoder.getF64(&restored.m2_);
+    decoder.getF64(&restored.min_);
+    decoder.getF64(&restored.max_);
+    if (!decoder.ok()) return false;
+    *this = restored;
+    return true;
+}
+
+void Ewma::serialize(persist::Encoder& encoder) const {
+    encoder.putF64(alpha_);
+    encoder.putF64(value_);
+    encoder.putBool(initialized_);
+}
+
+bool Ewma::deserialize(persist::Decoder& decoder) {
+    Ewma restored;
+    decoder.getF64(&restored.alpha_);
+    decoder.getF64(&restored.value_);
+    decoder.getBool(&restored.initialized_);
+    if (!decoder.ok()) return false;
+    *this = restored;
+    return true;
 }
 
 double Ewma::update(double value) {

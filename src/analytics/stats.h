@@ -10,6 +10,11 @@
 #include <optional>
 #include <vector>
 
+namespace wm::persist {
+class Encoder;
+class Decoder;
+}
+
 namespace wm::analytics {
 
 /// Batch helpers. All functions return std::nullopt / empty for empty input.
@@ -51,6 +56,11 @@ class StreamingStats {
     double min() const { return min_; }
     double max() const { return max_; }
 
+    /// Checkpointing: the accumulator state round-trips exactly, so a
+    /// restored operator's running error continues where it left off.
+    void serialize(persist::Encoder& encoder) const;
+    bool deserialize(persist::Decoder& decoder);
+
   private:
     std::size_t count_ = 0;
     double mean_ = 0.0;
@@ -66,6 +76,10 @@ class Ewma {
     double update(double value);
     double value() const { return value_; }
     bool initialized() const { return initialized_; }
+
+    /// Checkpointing: smoothing factor and running value round-trip.
+    void serialize(persist::Encoder& encoder) const;
+    bool deserialize(persist::Decoder& decoder);
 
   private:
     double alpha_;

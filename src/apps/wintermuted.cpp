@@ -31,6 +31,7 @@
 #include "common/retry.h"
 #include "core/hosting.h"
 #include "core/operator_manager.h"
+#include "core/supervisor.h"
 #include "plugins/registry.h"
 #include "pusher/plugins/facilitysim_group.h"
 #include "pusher/plugins/perfsim_group.h"
@@ -51,6 +52,19 @@ void onSignal(int) {
     g_stop = 1;
 }
 
+/// Reads the `persistence` block (docs/RESILIENCE.md, "Durability model").
+/// Durability is opt-in: it activates when the block names a directory.
+struct PersistenceKnobs {
+    bool enabled = false;
+    std::string directory;
+    std::string wal_file = "storage.wal";
+    std::string snapshot_file = "storage.snap";
+    std::string quarantine_wal_file = "quarantine.wal";
+    std::uint64_t snapshot_every = 4096;
+    common::TimestampNs checkpoint_interval_ns = 10 * kNsPerSec;
+    bool quarantine_journal = true;
+};
+
 struct Daemon {
     simulator::Topology topology;
     pusher::SimulatedFacilityPtr facility;
@@ -67,7 +81,96 @@ struct Daemon {
     rest::Router router;
     std::unique_ptr<rest::HttpServer> server;
     std::unique_ptr<common::fault::FaultInjector> fault_injector;
+    PersistenceKnobs persistence;
+    std::unique_ptr<core::Supervisor> supervisor;
 };
+
+PersistenceKnobs readPersistence(const common::ConfigNode& root) {
+    PersistenceKnobs knobs;
+    const common::ConfigNode* block = root.child("persistence");
+    if (block == nullptr) return knobs;
+    knobs.directory = block->getString("directory");
+    knobs.enabled = !knobs.directory.empty();
+    knobs.wal_file = block->getString("walFile", "storage.wal");
+    knobs.snapshot_file = block->getString("snapshotFile", "storage.snap");
+    knobs.quarantine_wal_file = block->getString("quarantineWal", "quarantine.wal");
+    knobs.snapshot_every =
+        static_cast<std::uint64_t>(block->getInt("snapshotEvery", 4096));
+    knobs.checkpoint_interval_ns =
+        block->getDurationNs("checkpointInterval", 10 * kNsPerSec);
+    knobs.quarantine_journal = block->getBool("quarantineJournal", true);
+    if (!knobs.enabled) {
+        WM_LOG(kWarning, "wintermuted")
+            << "persistence block without a directory; durability disabled";
+    }
+    return knobs;
+}
+
+/// Writes one operator-state snapshot set per hosting manager under
+/// `<directory>/operators/`. Returns how many snapshots were written.
+std::size_t checkpointOperators(Daemon& daemon) {
+    const std::string base = daemon.persistence.directory + "/operators";
+    std::size_t written = daemon.agent_manager->saveOperatorStates(base + "/collectagent");
+    for (std::size_t i = 0; i < daemon.pusher_managers.size(); ++i) {
+        written += daemon.pusher_managers[i]->saveOperatorStates(
+            base + "/pusher" + std::to_string(i));
+    }
+    return written;
+}
+
+/// Builds the component supervisor from the `supervisor` block (opt-in:
+/// absent block = no supervision) and registers every hosting entity.
+void buildSupervisor(Daemon& daemon, const common::ConfigNode& root) {
+    const common::ConfigNode* block = root.child("supervisor");
+    if (block == nullptr) return;
+    core::SupervisorConfig config;
+    config.check_interval_ns = block->getDurationNs("checkInterval", kNsPerSec);
+    config.restart_backoff.max_attempts =
+        static_cast<std::size_t>(block->getInt("maxRestarts", 5));
+    config.restart_backoff.initial_backoff_ns =
+        block->getDurationNs("restartInitialBackoff", 100 * common::kNsPerMs);
+    config.restart_backoff.max_backoff_ns =
+        block->getDurationNs("restartMaxBackoff", 5 * kNsPerSec);
+    config.rng_seed = static_cast<std::uint64_t>(block->getInt("seed", 42));
+    daemon.supervisor = std::make_unique<core::Supervisor>(config);
+    Daemon* self = &daemon;
+    // Dependencies first: a recovered storage backend lets the agent's
+    // quarantine drain instead of refilling.
+    daemon.supervisor->registerComponent(
+        {"storage", [self] { return self->storage.healthy(); },
+         // A checkpoint compacts the WAL into a fresh snapshot + journal;
+         // success proves the persistence directory is writable again.
+         [self] { return self->storage.checkpointNow(); }});
+    daemon.supervisor->registerComponent(
+        {"collectagent", [self] { return self->agent->running(); },
+         [self] {
+             self->agent->stop();
+             self->agent->start();
+             if (!self->agent->running()) return false;
+             // The agent may have missed publishes while unsubscribed:
+             // at-least-once replay from every pusher's ring, deduplicated
+             // downstream by per-topic sequence numbers.
+             for (auto& p : self->pushers) p->replayRecent();
+             return true;
+         }});
+    for (auto& pusher : daemon.pushers) {
+        pusher::Pusher* p = pusher.get();
+        daemon.supervisor->registerComponent(
+            {p->name(), [p] { return p->running(); },
+             [p] {
+                 p->stop();
+                 p->start();
+                 return p->running();
+             }});
+    }
+    daemon.supervisor->registerComponent(
+        {"operator-manager", [self] { return self->agent_manager->running(); },
+         [self] {
+             self->agent_manager->stop();
+             self->agent_manager->start();
+             return self->agent_manager->running();
+         }});
+}
 
 /// Reads the `resilience` block into per-entity knobs (docs/RESILIENCE.md).
 struct ResilienceKnobs {
@@ -147,6 +250,28 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
     const ResilienceKnobs knobs = readResilience(root);
     daemon.broker.setSubscriberFailureBudget(knobs.subscriber_failure_budget);
 
+    // Durability first: the storage backend must finish crash recovery
+    // (snapshot load + WAL replay) before the agent starts inserting.
+    daemon.persistence = readPersistence(root);
+    std::string quarantine_wal_path;
+    if (daemon.persistence.enabled) {
+        storage::DurabilityOptions durability;
+        durability.directory = daemon.persistence.directory;
+        durability.wal_file = daemon.persistence.wal_file;
+        durability.snapshot_file = daemon.persistence.snapshot_file;
+        durability.snapshot_every = daemon.persistence.snapshot_every;
+        if (!daemon.storage.enableDurability(durability)) {
+            WM_LOG(kError, "wintermuted")
+                << "cannot enable storage durability under "
+                << daemon.persistence.directory << "; running volatile";
+        } else if (daemon.persistence.quarantine_journal) {
+            const std::string& file = daemon.persistence.quarantine_wal_file;
+            quarantine_wal_path = (!file.empty() && file.front() == '/')
+                                      ? file
+                                      : daemon.persistence.directory + "/" + file;
+        }
+    }
+
     // `collectagent { filter "..." }` narrows what the agent subscribes to
     // (default "#", everything). wm-check validates the filter statically
     // (WM0205) and warns when it can never match a published topic (WM0206).
@@ -156,7 +281,7 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
     }
     daemon.agent = std::make_unique<collectagent::CollectAgent>(
         collectagent::CollectAgentConfig{"collectagent", agent_filter, window, true,
-                                         knobs.quarantine_max},
+                                         knobs.quarantine_max, quarantine_wal_path},
         daemon.broker, daemon.storage);
     daemon.agent->start();
 
@@ -285,6 +410,22 @@ bool loadWintermute(Daemon& daemon, const common::ConfigNode& root) {
         WM_LOG(kInfo, "wintermuted")
             << "plugin " << name << " on " << host << ": " << created << " operators";
     }
+
+    // Model recovery: restore checkpointed operator state (trained forests,
+    // mixture models, EWMA maps, ...) written by a previous incarnation.
+    if (daemon.persistence.enabled) {
+        const std::string base = daemon.persistence.directory + "/operators";
+        std::size_t restored =
+            daemon.agent_manager->restoreOperatorStates(base + "/collectagent");
+        for (std::size_t i = 0; i < daemon.pusher_managers.size(); ++i) {
+            restored += daemon.pusher_managers[i]->restoreOperatorStates(
+                base + "/pusher" + std::to_string(i));
+        }
+        if (restored > 0) {
+            WM_LOG(kInfo, "wintermuted")
+                << "restored " << restored << " operator state snapshot(s)";
+        }
+    }
     return true;
 }
 
@@ -358,7 +499,38 @@ void bindDataRest(Daemon& daemon) {
              << ",\"evictedSubscribers\":" << daemon.broker.evictedSubscribers()
              << ",\"quarantined\":" << daemon.agent->quarantinedReadings()
              << ",\"storageErrors\":" << daemon.agent->storageErrorsTotal()
-             << ",\"rejectedInserts\":" << stats.rejected_inserts << "}}";
+             << ",\"rejectedInserts\":" << stats.rejected_inserts << "}";
+        const auto durability = daemon.storage.durabilityStats();
+        std::uint64_t messages_replayed = 0;
+        for (const auto& p : daemon.pushers) messages_replayed += p->messagesReplayed();
+        std::uint64_t op_snapshots_written =
+            daemon.agent_manager->operatorSnapshotsWritten();
+        std::uint64_t op_snapshots_restored =
+            daemon.agent_manager->operatorSnapshotsRestored();
+        for (const auto& manager : daemon.pusher_managers) {
+            op_snapshots_written += manager->operatorSnapshotsWritten();
+            op_snapshots_restored += manager->operatorSnapshotsRestored();
+        }
+        body << ",\"durability\":{"
+             << "\"enabled\":" << (durability.enabled ? "true" : "false")
+             << ",\"recoveredFromSnapshot\":"
+             << (durability.recovered_from_snapshot ? "true" : "false")
+             << ",\"walRecordsLogged\":" << durability.wal_records_logged
+             << ",\"walRecordsReplayed\":" << durability.wal_records_replayed
+             << ",\"walAppendFailures\":" << durability.wal_append_failures
+             << ",\"tornTailTruncations\":" << durability.torn_tail_truncations
+             << ",\"snapshotsWritten\":" << durability.snapshots_written
+             << ",\"snapshotFailures\":" << durability.snapshot_failures
+             << ",\"operatorSnapshotsWritten\":" << op_snapshots_written
+             << ",\"operatorSnapshotsRestored\":" << op_snapshots_restored
+             << ",\"componentRestarts\":"
+             << (daemon.supervisor ? daemon.supervisor->restartsTotal() : 0)
+             << ",\"failedRestarts\":"
+             << (daemon.supervisor ? daemon.supervisor->failedRestartsTotal() : 0)
+             << ",\"dedupDrops\":" << daemon.agent->dedupDrops()
+             << ",\"messagesReplayed\":" << messages_replayed
+             << ",\"quarantineWalReplayed\":" << daemon.agent->quarantineWalReplayed()
+             << "}}";
         return rest::Response::ok(body.str());
     });
 }
@@ -425,6 +597,8 @@ int main(int argc, char** argv) {
     for (auto& p : daemon.pushers) p->start();
     for (auto& manager : daemon.pusher_managers) manager->start();
     daemon.agent_manager->start();
+    buildSupervisor(daemon, config.root);
+    if (daemon.supervisor) daemon.supervisor->start();
     std::printf("wintermuted: %zu nodes, REST on 127.0.0.1:%u, %s\n",
                 daemon.nodes.size(), daemon.server->port(),
                 duration_sec > 0 ? "timed run" : "Ctrl-C to stop");
@@ -432,11 +606,19 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     const auto started = std::chrono::steady_clock::now();
+    common::TimestampNs last_checkpoint_ns = common::nowNs();
     while (g_stop == 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(200));
         // Drain readings parked by storage outages once the backend accepts
         // inserts again (graceful-degradation loop, docs/RESILIENCE.md).
         daemon.agent->retryQuarantined();
+        if (daemon.persistence.enabled) {
+            const common::TimestampNs now = common::nowNs();
+            if (now - last_checkpoint_ns >= daemon.persistence.checkpoint_interval_ns) {
+                last_checkpoint_ns = now;
+                checkpointOperators(daemon);
+            }
+        }
         if (duration_sec > 0 &&
             std::chrono::steady_clock::now() - started >=
                 std::chrono::seconds(duration_sec)) {
@@ -445,10 +627,19 @@ int main(int argc, char** argv) {
     }
 
     std::printf("wintermuted: shutting down\n");
+    // Supervisor first: a stopped component must read as "shut down", not
+    // as a fault to restart.
+    if (daemon.supervisor) daemon.supervisor->stop();
     daemon.agent_manager->stop();
     for (auto& manager : daemon.pusher_managers) manager->stop();
     for (auto& p : daemon.pushers) p->stop();
     daemon.server->stop();
     daemon.agent->stop();
+    if (daemon.persistence.enabled) {
+        // Final checkpoint after every producer stopped: the snapshot pair
+        // (storage + operator state) is the exact shutdown state.
+        checkpointOperators(daemon);
+        daemon.storage.checkpointNow();
+    }
     return 0;
 }

@@ -2,15 +2,61 @@
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "persist/serializer.h"
 
 namespace wm::collectagent {
+
+namespace {
+
+std::string encodeQuarantineRecord(const std::string& topic,
+                                   const sensors::Reading& reading) {
+    persist::Encoder encoder;
+    encoder.putString(topic);
+    encoder.putI64(reading.timestamp);
+    encoder.putF64(reading.value);
+    return encoder.take();
+}
+
+}  // namespace
 
 CollectAgent::CollectAgent(CollectAgentConfig config, mqtt::Broker& broker,
                            storage::StorageBackend& storage)
     : config_(std::move(config)),
       broker_(broker),
       storage_(storage),
-      cache_store_(config_.cache_window_ns) {}
+      cache_store_(config_.cache_window_ns) {
+    if (config_.quarantine_wal_path.empty()) return;
+    common::MutexLock lock(quarantine_mutex_);
+    // Replay before opening the writer: a torn tail must be truncated while
+    // no writer holds an append offset past it.
+    std::deque<QuarantinedReading> recovered;
+    const persist::WalReplayStats stats =
+        persist::replayWal(config_.quarantine_wal_path, [&](std::string_view payload) {
+            persist::Decoder decoder(payload);
+            QuarantinedReading entry;
+            decoder.getString(&entry.topic);
+            decoder.getI64(&entry.reading.timestamp);
+            decoder.getF64(&entry.reading.value);
+            if (!decoder.ok()) return;
+            recovered.push_back(std::move(entry));
+        });
+    if (config_.quarantine_max > 0) {
+        while (recovered.size() > config_.quarantine_max) recovered.pop_front();
+        quarantine_ = std::move(recovered);
+    }
+    quarantine_wal_replayed_.store(stats.records_applied, std::memory_order_relaxed);
+    quarantine_wal_ = std::make_unique<persist::WalWriter>();
+    if (!quarantine_wal_->open(config_.quarantine_wal_path)) {
+        WM_LOG(kWarning, "collectagent")
+            << config_.name << ": cannot open quarantine journal at "
+            << config_.quarantine_wal_path << "; journaling disabled";
+        quarantine_wal_.reset();
+    } else if (stats.records_applied > 0) {
+        WM_LOG(kInfo, "collectagent")
+            << config_.name << ": recovered " << quarantine_.size()
+            << " quarantined reading(s) from journal";
+    }
+}
 
 CollectAgent::~CollectAgent() {
     stop();
@@ -46,6 +92,17 @@ void CollectAgent::onMessage(const mqtt::Message& message) {
         }
     }
     messages_received_.fetch_add(1, std::memory_order_relaxed);
+    if (message.sequence != 0) {
+        // Per-topic dedup: at-least-once replay (Pusher::replayRecent) and
+        // redelivery after a restart must not double-count readings.
+        common::MutexLock lock(quarantine_mutex_);
+        std::uint64_t& last = last_sequence_[message.topic];
+        if (message.sequence <= last) {
+            dedup_drops_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        last = message.sequence;
+    }
     sensors::SensorCache& cache = cache_store_.getOrCreate(message.topic);
     for (const auto& reading : message.readings) cache.store(reading);
     if (!config_.forward_to_storage) {
@@ -68,12 +125,24 @@ void CollectAgent::quarantine(const std::string& topic,
         quarantine_overflow_.fetch_add(readings.size(), std::memory_order_relaxed);
         return;
     }
+    bool overflowed = false;
     for (const auto& reading : readings) {
         while (quarantine_.size() >= config_.quarantine_max) {
             quarantine_.pop_front();  // oldest-first drop
             quarantine_overflow_.fetch_add(1, std::memory_order_relaxed);
+            overflowed = true;
         }
         quarantine_.push_back({topic, reading});
+    }
+    if (quarantine_wal_ != nullptr) {
+        if (overflowed) {
+            // Evictions invalidated the journal's prefix: rewrite it.
+            rewriteQuarantineWal();
+        } else {
+            for (const auto& reading : readings) {
+                quarantine_wal_->append(encodeQuarantineRecord(topic, reading));
+            }
+        }
     }
     WM_LOG(kWarning, "collectagent")
         << config_.name << ": storage refused " << readings.size()
@@ -98,11 +167,19 @@ std::size_t CollectAgent::retryQuarantined() {
         }
     }
     if (drained > 0) {
+        if (quarantine_wal_ != nullptr) rewriteQuarantineWal();
         WM_LOG(kInfo, "collectagent")
             << config_.name << ": storage recovered, drained " << drained
             << " quarantined reading(s), " << quarantine_.size() << " left";
     }
     return drained;
+}
+
+void CollectAgent::rewriteQuarantineWal() {
+    if (!quarantine_wal_->reset()) return;
+    for (const auto& entry : quarantine_) {
+        quarantine_wal_->append(encodeQuarantineRecord(entry.topic, entry.reading));
+    }
 }
 
 std::size_t CollectAgent::quarantinedReadings() const {

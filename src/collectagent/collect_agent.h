@@ -10,10 +10,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/mutex.h"
 #include "mqtt/broker.h"
+#include "persist/wal.h"
 #include "sensors/sensor_cache.h"
 #include "storage/storage_backend.h"
 
@@ -30,6 +32,10 @@ struct CollectAgentConfig {
     /// retryQuarantined(); beyond this the oldest quarantined reading is
     /// dropped (and counted). 0 disables quarantine entirely.
     std::size_t quarantine_max = 4096;
+    /// Journal for the quarantine: quarantined readings are logged here and
+    /// replayed into the quarantine on construction, so a crash between
+    /// refusal and drain loses nothing. Empty disables journaling.
+    std::string quarantine_wal_path;
 };
 
 class CollectAgent {
@@ -74,10 +80,20 @@ class CollectAgent {
     std::uint64_t messagesDropped() const { return messages_dropped_.load(); }
     /// Quarantined readings evicted because the quarantine overflowed.
     std::uint64_t quarantineOverflow() const { return quarantine_overflow_.load(); }
+    /// Sequenced messages dropped as duplicates of already-seen publishes
+    /// (at-least-once replay after a restart; docs/RESILIENCE.md).
+    std::uint64_t dedupDrops() const { return dedup_drops_.load(); }
+    /// Quarantined readings recovered from the quarantine journal at
+    /// construction.
+    std::uint64_t quarantineWalReplayed() const { return quarantine_wal_replayed_.load(); }
 
   private:
     void onMessage(const mqtt::Message& message);
     void quarantine(const std::string& topic, const sensors::ReadingVector& readings);
+
+    /// Rewrites the quarantine journal to match the in-memory quarantine
+    /// (after a drain or an overflow made appended history stale).
+    void rewriteQuarantineWal() WM_REQUIRES(quarantine_mutex_);
 
     CollectAgentConfig config_;
     mqtt::Broker& broker_;
@@ -103,6 +119,15 @@ class CollectAgent {
     std::atomic<std::uint64_t> storage_errors_total_{0};
     std::atomic<std::uint64_t> messages_dropped_{0};
     std::atomic<std::uint64_t> quarantine_overflow_{0};
+
+    /// Highest sequence seen per topic; deliberately kept across
+    /// stop()/start() so a supervisor restart of the agent still rejects
+    /// replayed duplicates.
+    std::map<std::string, std::uint64_t> last_sequence_ WM_GUARDED_BY(quarantine_mutex_);
+    std::atomic<std::uint64_t> dedup_drops_{0};
+
+    std::unique_ptr<persist::WalWriter> quarantine_wal_ WM_GUARDED_BY(quarantine_mutex_);
+    std::atomic<std::uint64_t> quarantine_wal_replayed_{0};
 };
 
 }  // namespace wm::collectagent

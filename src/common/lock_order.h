@@ -30,6 +30,10 @@ namespace wm::common {
 enum class LockRank : int {
     kUnranked = 0,
 
+    // The supervisor health-checks and restarts hosting entities while
+    // holding its own lock, so it ranks above (acquired before) them all.
+    kSupervisor = 5,
+
     // Hosting entities: their lifecycle locks are acquired first.
     kOperatorManager = 10,
     kPusher = 12,
@@ -43,7 +47,10 @@ enum class LockRank : int {
     kHttpServer = 28,
     kRouter = 32,
 
-    // Operator framework and plugin-internal state.
+    // Operator framework and plugin-internal state. The state lock
+    // serialises compute passes against saveState()/restoreState() and is
+    // taken before the units lock in every compute path.
+    kOperatorState = 38,
     kOperatorUnits = 40,
     kSimFacility = 44,
     kSimNode = 46,

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_utils.h"
+#include "persist/serializer.h"
 
 namespace wm::core {
 
@@ -60,6 +61,11 @@ std::vector<Unit> OperatorTemplate::units() const {
 
 void OperatorTemplate::computeAll(common::TimestampNs t) {
     if (!enabled_.load()) return;
+    common::MutexLock lock(state_mutex_);
+    computeAllLocked(t);
+}
+
+void OperatorTemplate::computeAllLocked(common::TimestampNs t) {
     const auto start = std::chrono::steady_clock::now();
     std::vector<Unit> snapshot = units();
     // Sequential processing shares the operator's model safely; Parallel
@@ -97,6 +103,8 @@ std::vector<double> OperatorTemplate::computeOperatorLevel(common::TimestampNs) 
 
 std::optional<std::vector<SensorValue>> OperatorTemplate::computeOnDemand(
     const std::string& unit_name, common::TimestampNs t) {
+    // State before units: same order as a computeAll pass.
+    common::MutexLock state_lock(state_mutex_);
     const std::string canonical = common::normalizePath(unit_name);
     std::optional<Unit> match;
     {
@@ -113,6 +121,26 @@ std::optional<std::vector<SensorValue>> OperatorTemplate::computeOnDemand(
     computeUnitChecked(*match, t, &collected);
     return collected;
 }
+
+bool OperatorTemplate::saveState(std::string* payload) {
+    if (payload == nullptr) return false;
+    common::MutexLock lock(state_mutex_);
+    persist::Encoder encoder;
+    if (!serializeState(encoder)) return false;
+    *payload = encoder.take();
+    return true;
+}
+
+bool OperatorTemplate::restoreState(const std::string& payload) {
+    common::MutexLock lock(state_mutex_);
+    persist::Decoder decoder(payload);
+    if (!deserializeState(decoder)) return false;
+    return decoder.ok();
+}
+
+bool OperatorTemplate::serializeState(persist::Encoder&) const { return false; }
+
+bool OperatorTemplate::deserializeState(persist::Decoder&) { return false; }
 
 sensors::ReadingVector OperatorTemplate::queryInput(const std::string& topic,
                                                     common::TimestampNs t) const {

@@ -29,6 +29,11 @@
 #include "jobs/job_manager.h"
 #include "sensors/reading.h"
 
+namespace wm::persist {
+class Encoder;
+class Decoder;
+}
+
 namespace wm::core {
 
 enum class OperatorMode { kOnline, kOnDemand };
@@ -106,6 +111,22 @@ class OperatorInterface {
     virtual std::optional<std::vector<SensorValue>> computeOnDemand(
         const std::string& unit_name, common::TimestampNs t) = 0;
 
+    /// Model checkpointing (docs/RESILIENCE.md, "Durability model"): an
+    /// operator with state worth persisting serialises it into `payload`
+    /// and returns true. The default has no durable state.
+    virtual bool saveState(std::string* payload) {
+        (void)payload;
+        return false;
+    }
+
+    /// Restores state captured by saveState. Returns false when the payload
+    /// is malformed or from an incompatible configuration; the operator is
+    /// then left in its freshly-constructed state.
+    virtual bool restoreState(const std::string& payload) {
+        (void)payload;
+        return false;
+    }
+
     /// Enabled state, togglable over the REST API.
     bool enabled() const { return enabled_.load(); }
     void setEnabled(bool enabled) { enabled_.store(enabled); }
@@ -142,7 +163,24 @@ class OperatorTemplate : public OperatorInterface {
     std::optional<std::vector<SensorValue>> computeOnDemand(
         const std::string& unit_name, common::TimestampNs t) override;
 
+    /// Checkpointing entry points: serialise under the state lock so a
+    /// snapshot never captures a model mid-update. Plugins participate by
+    /// overriding serializeState()/deserializeState().
+    bool saveState(std::string* payload) final;
+    bool restoreState(const std::string& payload) final;
+
   protected:
+    /// The computation body, invoked with state_mutex_ held; plugins that
+    /// need pre-pass work on their model (e.g. refitting a clustering model
+    /// before the unit iteration) override this instead of computeAll.
+    virtual void computeAllLocked(common::TimestampNs t) WM_REQUIRES(state_mutex_);
+
+    /// Plugin checkpoint hooks, called with state_mutex_ held. The defaults
+    /// persist nothing (stateless operators).
+    virtual bool serializeState(persist::Encoder& encoder) const
+        WM_REQUIRES(state_mutex_);
+    virtual bool deserializeState(persist::Decoder& decoder) WM_REQUIRES(state_mutex_);
+
     /// Plugin-specific computation for one unit: query inputs through the
     /// context's Query Engine, return output values (typically one per
     /// unit output topic). Exceptions are caught and counted by the base.
@@ -173,6 +211,12 @@ class OperatorTemplate : public OperatorInterface {
     /// Most recent reading of unit.inputs[index], through the handle.
     std::optional<sensors::Reading> inputLatest(const Unit& unit,
                                                 std::size_t index) const;
+
+    /// Serialises compute passes against saveState/restoreState: a model
+    /// checkpoint taken by the supervisor never observes a half-updated
+    /// model. Ranked before the units lock (compute passes take both).
+    mutable common::Mutex state_mutex_{"OperatorTemplate.state",
+                                       common::LockRank::kOperatorState};
 
     /// Units guarded for concurrent access (job operators rebuild them).
     mutable common::Mutex units_mutex_{"OperatorTemplate.units",

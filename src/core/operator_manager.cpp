@@ -1,10 +1,29 @@
 #include "core/operator_manager.h"
 
+#include <filesystem>
 #include <sstream>
 
 #include "common/logging.h"
+#include "persist/serializer.h"
+#include "persist/snapshot.h"
 
 namespace wm::core {
+
+namespace {
+
+constexpr std::uint32_t kOperatorSnapshotVersion = 1;
+
+/// Snapshot file name for one operator: "<plugin>.<name>.opsnap" with path
+/// separators flattened (operator names are sensor-tree paths).
+std::string snapshotFileName(const OperatorInterface& op) {
+    std::string name = op.plugin() + "." + op.name() + ".opsnap";
+    for (char& c : name) {
+        if (c == '/' || c == '\\') c = '_';
+    }
+    return name;
+}
+
+}  // namespace
 
 OperatorManager::OperatorManager(OperatorContext context, std::size_t worker_threads)
     : context_(std::move(context)), pool_(worker_threads), scheduler_(pool_) {}
@@ -111,6 +130,64 @@ std::optional<std::vector<SensorValue>> OperatorManager::computeOnDemand(
     const OperatorPtr op = findOperator(operator_name);
     if (!op) return std::nullopt;
     return op->computeOnDemand(unit_name, t);
+}
+
+std::size_t OperatorManager::saveOperatorStates(const std::string& directory) {
+    std::error_code ec;
+    std::filesystem::create_directories(directory, ec);
+    if (ec) {
+        WM_LOG(kWarning, "wintermute")
+            << "operator snapshots: cannot create " << directory << ": " << ec.message();
+        return 0;
+    }
+    std::size_t written = 0;
+    for (const auto& op : operators()) {
+        std::string blob;
+        if (!op->saveState(&blob)) continue;  // stateless operator
+        persist::Encoder encoder;
+        encoder.putString(op->plugin());
+        encoder.putString(op->name());
+        encoder.putString(blob);
+        const std::string path =
+            (std::filesystem::path(directory) / snapshotFileName(*op)).string();
+        if (persist::writeSnapshot(path, kOperatorSnapshotVersion, encoder.take())) {
+            ++written;
+            snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            WM_LOG(kWarning, "wintermute")
+                << "operator snapshot write failed for " << op->name();
+        }
+    }
+    return written;
+}
+
+std::size_t OperatorManager::restoreOperatorStates(const std::string& directory) {
+    std::size_t restored = 0;
+    for (const auto& op : operators()) {
+        const std::string path =
+            (std::filesystem::path(directory) / snapshotFileName(*op)).string();
+        const auto snapshot = persist::readSnapshot(path);
+        if (!snapshot || snapshot->version != kOperatorSnapshotVersion) continue;
+        persist::Decoder decoder(snapshot->payload);
+        std::string plugin;
+        std::string name;
+        std::string blob;
+        decoder.getString(&plugin);
+        decoder.getString(&name);
+        decoder.getString(&blob);
+        if (!decoder.ok() || plugin != op->plugin() || name != op->name()) continue;
+        if (op->restoreState(blob)) {
+            ++restored;
+            snapshots_restored_.fetch_add(1, std::memory_order_relaxed);
+            WM_LOG(kInfo, "wintermute")
+                << "operator " << op->name() << ": state restored from " << path;
+        } else {
+            WM_LOG(kWarning, "wintermute")
+                << "operator " << op->name() << ": stale or incompatible snapshot at "
+                << path << " ignored";
+        }
+    }
+    return restored;
 }
 
 void OperatorManager::bindRest(rest::Router& router) {

@@ -7,6 +7,7 @@
 // unit computation).
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -72,6 +73,25 @@ class OperatorManager {
     /// Publishes the ODA REST API on `router` under /wintermute/... .
     void bindRest(rest::Router& router);
 
+    /// Writes one snapshot file per operator with durable state into
+    /// `directory` (created on demand); files are named
+    /// "<plugin>.<operator>.opsnap" with '/' sanitised. Stateless operators
+    /// are skipped. Returns the number of snapshots written.
+    std::size_t saveOperatorStates(const std::string& directory);
+
+    /// Restores operator state from snapshots written by saveOperatorStates.
+    /// Missing files, stale payloads and configuration mismatches are
+    /// skipped (the operator keeps its fresh state). Returns the number of
+    /// operators restored.
+    std::size_t restoreOperatorStates(const std::string& directory);
+
+    std::uint64_t operatorSnapshotsWritten() const {
+        return snapshots_written_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t operatorSnapshotsRestored() const {
+        return snapshots_restored_.load(std::memory_order_relaxed);
+    }
+
     const OperatorContext& context() const { return context_; }
 
   private:
@@ -89,6 +109,8 @@ class OperatorManager {
     std::vector<common::TaskId> task_ids_ WM_GUARDED_BY(mutex_);
     // Atomic: running() reads it without the lock; transitions hold mutex_.
     std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> snapshots_written_{0};
+    std::atomic<std::uint64_t> snapshots_restored_{0};
 };
 
 }  // namespace wm::core

@@ -1,0 +1,111 @@
+#include "core/supervisor.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace wm::core {
+
+Supervisor::Supervisor(SupervisorConfig config)
+    : config_(config), rng_(config.rng_seed) {}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::registerComponent(SupervisedComponent component) {
+    common::MutexLock lock(mutex_);
+    Entry entry{std::move(component), common::Backoff(config_.restart_backoff, &rng_)};
+    entries_.push_back(std::move(entry));
+}
+
+void Supervisor::start() {
+    {
+        common::MutexLock lock(mutex_);
+        if (running_.load(std::memory_order_acquire)) return;
+        stop_requested_ = false;
+        running_.store(true, std::memory_order_release);
+    }
+    thread_ = std::thread([this] { threadMain(); });
+}
+
+void Supervisor::stop() {
+    {
+        common::MutexLock lock(mutex_);
+        if (!running_.load(std::memory_order_acquire)) return;
+        stop_requested_ = true;
+        wake_cv_.notify_all();
+    }
+    if (thread_.joinable()) thread_.join();
+    running_.store(false, std::memory_order_release);
+}
+
+void Supervisor::threadMain() {
+    for (;;) {
+        {
+            common::MutexLock lock(mutex_);
+            if (stop_requested_) return;
+            wake_cv_.wait_for(mutex_,
+                              std::chrono::nanoseconds(config_.check_interval_ns));
+            if (stop_requested_) return;
+        }
+        pollOnce(common::nowNs());
+    }
+}
+
+void Supervisor::pollOnce(common::TimestampNs now) {
+    common::MutexLock lock(mutex_);
+    for (Entry& entry : entries_) {
+        if (entry.gave_up) continue;
+        bool healthy = true;
+        if (entry.component.healthy) healthy = entry.component.healthy();
+        if (healthy) {
+            if (!entry.healthy) {
+                WM_LOG(kInfo, "supervisor")
+                    << entry.component.name << ": healthy again after "
+                    << entry.restarts << " restarts";
+            }
+            entry.healthy = true;
+            entry.backoff.reset();
+            entry.next_attempt_ns = 0;
+            continue;
+        }
+        entry.healthy = false;
+        if (now < entry.next_attempt_ns) continue;  // backoff window open
+        if (!entry.component.restart) continue;
+        WM_LOG(kWarning, "supervisor")
+            << entry.component.name << ": unhealthy, restarting (attempt "
+            << (entry.restarts + 1) << ")";
+        ++entry.restarts;
+        restarts_total_.fetch_add(1, std::memory_order_relaxed);
+        const bool restarted = entry.component.restart();
+        if (restarted) {
+            entry.healthy = true;
+            entry.backoff.reset();
+            entry.next_attempt_ns = 0;
+            WM_LOG(kInfo, "supervisor") << entry.component.name << ": restarted";
+            continue;
+        }
+        ++entry.failed_restarts;
+        failed_restarts_total_.fetch_add(1, std::memory_order_relaxed);
+        if (entry.backoff.exhausted()) {
+            entry.gave_up = true;
+            WM_LOG(kError, "supervisor")
+                << entry.component.name << ": restart budget exhausted after "
+                << entry.restarts << " attempts, giving up";
+            continue;
+        }
+        entry.next_attempt_ns = now + entry.backoff.nextDelayNs();
+    }
+}
+
+std::vector<ComponentStatus> Supervisor::components() const {
+    common::MutexLock lock(mutex_);
+    std::vector<ComponentStatus> out;
+    out.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+        out.push_back({entry.component.name, entry.healthy, entry.gave_up,
+                       entry.restarts, entry.failed_restarts});
+    }
+    return out;
+}
+
+}  // namespace wm::core

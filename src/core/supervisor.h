@@ -1,0 +1,125 @@
+#pragma once
+
+// Component supervisor (docs/RESILIENCE.md, "Durability model"): a small
+// watchdog that health-checks registered components — pusher, collect
+// agent, operator manager, storage — and restarts faulted ones with capped
+// exponential backoff. The paper's architecture assumes long-lived hosting
+// daemons; the supervisor closes the gap between "a component wedged
+// itself" and "an operator restarts the daemon hours later".
+//
+// Design rules, mirroring the rest of the resilience layer:
+//  * the supervisor never sleeps inside its lock-free callbacks; pacing is
+//    computed with common::Backoff and compared against the poll clock;
+//  * pollOnce(now) is the whole decision procedure, so tests drive it
+//    deterministically with a virtual clock — start()/stop() merely wrap it
+//    in a timer thread;
+//  * a component whose restart budget is exhausted is marked gave_up and
+//    left alone (restart storms are worse than a dead component), visible
+//    through components() and the /status endpoint.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/time_utils.h"
+
+namespace wm::core {
+
+struct SupervisorConfig {
+    common::TimestampNs check_interval_ns = common::kNsPerSec;
+    /// Backoff between restart attempts of one component; max_attempts
+    /// bounds the attempts per fault episode (reset on recovery).
+    common::RetryPolicy restart_backoff;
+    std::uint64_t rng_seed = 42;
+};
+
+/// Health/restart hooks for one supervised component. Both callbacks are
+/// invoked from the supervisor's poll (under its lock, which ranks before
+/// every component lock); they must not call back into the supervisor.
+struct SupervisedComponent {
+    std::string name;
+    /// True when the component is operating normally.
+    std::function<bool()> healthy;
+    /// Attempts to bring the component back (stop + restore + start).
+    /// Returns true when the component came back healthy.
+    std::function<bool()> restart;
+};
+
+struct ComponentStatus {
+    std::string name;
+    bool healthy = true;
+    bool gave_up = false;
+    std::uint64_t restarts = 0;
+    std::uint64_t failed_restarts = 0;
+};
+
+class Supervisor {
+  public:
+    explicit Supervisor(SupervisorConfig config = {});
+    ~Supervisor();
+
+    Supervisor(const Supervisor&) = delete;
+    Supervisor& operator=(const Supervisor&) = delete;
+
+    /// Registers a component; call before start(). Registration order is
+    /// check order (put dependencies first: storage before its consumers).
+    void registerComponent(SupervisedComponent component);
+
+    /// Starts the periodic health-check thread.
+    void start();
+    /// Stops the thread; a poll in flight completes first.
+    void stop();
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    /// One supervision pass at time `now`: health-check every component,
+    /// restart faulted ones whose backoff window has elapsed. Determinstic
+    /// entry point for tests; the timer thread calls exactly this.
+    void pollOnce(common::TimestampNs now);
+
+    std::uint64_t restartsTotal() const {
+        return restarts_total_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t failedRestartsTotal() const {
+        return failed_restarts_total_.load(std::memory_order_relaxed);
+    }
+
+    /// Status snapshot of every registered component.
+    std::vector<ComponentStatus> components() const;
+
+  private:
+    struct Entry {
+        SupervisedComponent component;
+        common::Backoff backoff;
+        /// Earliest time for the next restart attempt; 0 = immediately.
+        common::TimestampNs next_attempt_ns = 0;
+        bool healthy = true;
+        bool gave_up = false;
+        std::uint64_t restarts = 0;
+        std::uint64_t failed_restarts = 0;
+    };
+
+    void threadMain();
+
+    SupervisorConfig config_;
+    common::Rng rng_;
+
+    /// Ranks before every hosting-entity lock: the supervisor calls into
+    /// components while holding it, never the other way around.
+    mutable common::Mutex mutex_{"Supervisor", common::LockRank::kSupervisor};
+    common::ConditionVariable wake_cv_;
+    std::vector<Entry> entries_ WM_GUARDED_BY(mutex_);
+    bool stop_requested_ WM_GUARDED_BY(mutex_) = false;
+
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> restarts_total_{0};
+    std::atomic<std::uint64_t> failed_restarts_total_{0};
+    std::thread thread_;
+};
+
+}  // namespace wm::core

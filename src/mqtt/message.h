@@ -15,6 +15,11 @@ namespace wm::mqtt {
 struct Message {
     std::string topic;
     sensors::ReadingVector readings;
+    /// Per-topic publish sequence number stamped by the producer; consumers
+    /// drop messages at or below the highest sequence already seen, making
+    /// at-least-once replay after a restart free of duplicates. 0 means
+    /// unsequenced (legacy producers, tests): never deduplicated.
+    std::uint64_t sequence = 0;
 };
 
 using SubscriptionId = std::uint64_t;

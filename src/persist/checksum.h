@@ -1,0 +1,21 @@
+#pragma once
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) for the persistence layer's
+// record framing. Every WAL record and snapshot payload carries its
+// checksum so replay can distinguish a torn tail (a crash mid-write) from
+// silent corruption — both are detected, only the former is recoverable by
+// truncation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wm::persist {
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains incremental updates:
+/// crc32(ab) == crc32(b, crc32(a)).
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace wm::persist

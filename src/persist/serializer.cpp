@@ -1,0 +1,147 @@
+#include "persist/serializer.h"
+
+#include <cstring>
+
+namespace wm::persist {
+
+namespace {
+
+template <typename T>
+void putLittleEndian(std::string& buffer, T value) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        buffer.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+    }
+}
+
+template <typename T>
+T readLittleEndian(const char* bytes) {
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+        value |= static_cast<T>(static_cast<unsigned char>(bytes[i])) << (8 * i);
+    }
+    return value;
+}
+
+}  // namespace
+
+void Encoder::putU8(std::uint8_t value) {
+    buffer_.push_back(static_cast<char>(value));
+}
+
+void Encoder::putU32(std::uint32_t value) {
+    putLittleEndian(buffer_, value);
+}
+
+void Encoder::putU64(std::uint64_t value) {
+    putLittleEndian(buffer_, value);
+}
+
+void Encoder::putI64(std::int64_t value) {
+    putLittleEndian(buffer_, static_cast<std::uint64_t>(value));
+}
+
+void Encoder::putF64(double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    putLittleEndian(buffer_, bits);
+}
+
+void Encoder::putBool(bool value) {
+    putU8(value ? 1 : 0);
+}
+
+void Encoder::putString(std::string_view value) {
+    putU32(static_cast<std::uint32_t>(value.size()));
+    buffer_.append(value.data(), value.size());
+}
+
+void Encoder::putSize(std::size_t value) {
+    putU64(static_cast<std::uint64_t>(value));
+}
+
+bool Decoder::take(std::size_t n, const char** out) {
+    if (!ok_ || data_.size() - pos_ < n) {
+        ok_ = false;
+        return false;
+    }
+    *out = data_.data() + pos_;
+    pos_ += n;
+    return true;
+}
+
+bool Decoder::getU8(std::uint8_t* out) {
+    const char* bytes = nullptr;
+    *out = 0;
+    if (!take(1, &bytes)) return false;
+    *out = static_cast<std::uint8_t>(static_cast<unsigned char>(bytes[0]));
+    return true;
+}
+
+bool Decoder::getU32(std::uint32_t* out) {
+    const char* bytes = nullptr;
+    *out = 0;
+    if (!take(4, &bytes)) return false;
+    *out = readLittleEndian<std::uint32_t>(bytes);
+    return true;
+}
+
+bool Decoder::getU64(std::uint64_t* out) {
+    const char* bytes = nullptr;
+    *out = 0;
+    if (!take(8, &bytes)) return false;
+    *out = readLittleEndian<std::uint64_t>(bytes);
+    return true;
+}
+
+bool Decoder::getI64(std::int64_t* out) {
+    std::uint64_t raw = 0;
+    if (!getU64(&raw)) {
+        *out = 0;
+        return false;
+    }
+    *out = static_cast<std::int64_t>(raw);
+    return true;
+}
+
+bool Decoder::getF64(double* out) {
+    std::uint64_t bits = 0;
+    if (!getU64(&bits)) {
+        *out = 0.0;
+        return false;
+    }
+    std::memcpy(out, &bits, sizeof(bits));
+    return true;
+}
+
+bool Decoder::getBool(bool* out) {
+    std::uint8_t raw = 0;
+    if (!getU8(&raw)) {
+        *out = false;
+        return false;
+    }
+    *out = raw != 0;
+    return true;
+}
+
+bool Decoder::getString(std::string* out) {
+    out->clear();
+    std::uint32_t length = 0;
+    if (!getU32(&length)) return false;
+    const char* bytes = nullptr;
+    if (!take(length, &bytes)) return false;
+    out->assign(bytes, length);
+    return true;
+}
+
+bool Decoder::getSize(std::size_t* out) {
+    std::uint64_t raw = 0;
+    if (!getU64(&raw)) {
+        *out = 0;
+        return false;
+    }
+    *out = static_cast<std::size_t>(raw);
+    return true;
+}
+
+}  // namespace wm::persist

@@ -1,0 +1,69 @@
+#pragma once
+
+// Portable binary encoding for WAL records and snapshot payloads. Fixed-width
+// little-endian integers and IEEE-754 doubles, length-prefixed strings; no
+// varints, no alignment, no host-endianness leakage, so a snapshot written on
+// one machine replays bit-identically on another. The Decoder is fully
+// bounds-checked: any read past the end (or a malformed length) latches a
+// failure flag instead of throwing, which lets replay code treat a corrupt
+// record as "stop and report" rather than unwinding mid-apply.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wm::persist {
+
+/// Append-only encoder; the buffer is a plain byte string so payloads drop
+/// straight into WalWriter::append / writeSnapshot.
+class Encoder {
+  public:
+    void putU8(std::uint8_t value);
+    void putU32(std::uint32_t value);
+    void putU64(std::uint64_t value);
+    void putI64(std::int64_t value);
+    void putF64(double value);
+    void putBool(bool value);
+    /// Length-prefixed (u32) byte string.
+    void putString(std::string_view value);
+    /// std::size_t as u64 (portable across 32/64-bit size_t).
+    void putSize(std::size_t value);
+
+    const std::string& data() const { return buffer_; }
+    std::string take() { return std::move(buffer_); }
+    std::size_t size() const { return buffer_.size(); }
+
+  private:
+    std::string buffer_;
+};
+
+/// Bounds-checked reader over an encoded buffer. Every get*() returns false
+/// (and latches ok() == false) on underflow; values read after a failure are
+/// zero/empty. Callers check ok() once at the end of a record.
+class Decoder {
+  public:
+    explicit Decoder(std::string_view data) : data_(data) {}
+
+    bool getU8(std::uint8_t* out);
+    bool getU32(std::uint32_t* out);
+    bool getU64(std::uint64_t* out);
+    bool getI64(std::int64_t* out);
+    bool getF64(double* out);
+    bool getBool(bool* out);
+    bool getString(std::string* out);
+    bool getSize(std::size_t* out);
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+  private:
+    bool take(std::size_t n, const char** out);
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace wm::persist

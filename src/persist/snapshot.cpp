@@ -1,0 +1,104 @@
+#include "persist/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "persist/checksum.h"
+#include "persist/serializer.h"
+
+namespace wm::persist {
+
+namespace {
+
+// "WMSNAP" + a framing revision; bump only when the header layout changes
+// (payload versioning is the caller's `version` field).
+constexpr char kMagic[8] = {'W', 'M', 'S', 'N', 'A', 'P', '0', '1'};
+
+}  // namespace
+
+bool writeSnapshot(const std::string& path, std::uint32_t version,
+                   std::string_view payload) {
+    Encoder header;
+    header.putU32(version);
+    header.putU64(payload.size());
+    header.putU32(crc32(payload));
+
+    const std::string tmp_path = path + ".tmp";
+    std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+    if (file == nullptr) {
+        WM_LOG(kError, "persist") << "cannot open snapshot " << tmp_path << ": "
+                                  << std::strerror(errno);
+        return false;
+    }
+    const bool written =
+        std::fwrite(kMagic, 1, sizeof(kMagic), file) == sizeof(kMagic) &&
+        std::fwrite(header.data().data(), 1, header.size(), file) == header.size() &&
+        std::fwrite(payload.data(), 1, payload.size(), file) == payload.size() &&
+        std::fflush(file) == 0;
+    std::fclose(file);
+    if (!written) {
+        WM_LOG(kError, "persist") << "snapshot write failed on " << tmp_path;
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+    if (const auto fault = common::fault::check("persist.snapshot_write")) {
+        if (fault.action == common::fault::Action::kDelay) {
+            common::fault::applyDelay(fault.delay_ns);
+        } else {
+            // Simulated crash before the atomic rename: the previous
+            // snapshot (if any) stays authoritative.
+            std::remove(tmp_path.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        WM_LOG(kError, "persist") << "cannot rename snapshot into place at " << path
+                                  << ": " << std::strerror(errno);
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<SnapshotData> readSnapshot(const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return std::nullopt;
+
+    char magic[sizeof(kMagic)];
+    unsigned char header[16];  // u32 version + u64 length + u32 crc
+    SnapshotData data;
+    bool valid = std::fread(magic, 1, sizeof(magic), file) == sizeof(magic) &&
+                 std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+                 std::fread(header, 1, sizeof(header), file) == sizeof(header);
+    std::uint64_t length = 0;
+    if (valid) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            data.version |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+        }
+        for (std::size_t i = 0; i < 8; ++i) {
+            length |= static_cast<std::uint64_t>(header[4 + i]) << (8 * i);
+        }
+        std::uint32_t expected_crc = 0;
+        for (std::size_t i = 0; i < 4; ++i) {
+            expected_crc |= static_cast<std::uint32_t>(header[12 + i]) << (8 * i);
+        }
+        data.payload.resize(static_cast<std::size_t>(length));
+        valid = std::fread(data.payload.data(), 1, data.payload.size(), file) ==
+                    data.payload.size() &&
+                crc32(data.payload) == expected_crc;
+        // Trailing bytes mean the file is not a snapshot this code wrote.
+        if (valid && std::fgetc(file) != EOF) valid = false;
+    }
+    std::fclose(file);
+    if (!valid) {
+        WM_LOG(kWarning, "persist") << "snapshot " << path
+                                    << " is invalid or corrupt; ignoring it";
+        return std::nullopt;
+    }
+    return data;
+}
+
+}  // namespace wm::persist

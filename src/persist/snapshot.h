@@ -1,0 +1,35 @@
+#pragma once
+
+// Crash-consistent snapshot files: the compaction counterpart of the WAL.
+// A snapshot is written to "<path>.tmp" and atomically renamed over the
+// final path, so a crash mid-write leaves the previous snapshot (or no
+// snapshot) fully intact — never a half-written one. The file carries a
+// magic, a format version chosen by the caller, the payload length and a
+// CRC-32, all validated on read.
+//
+// Fault point "persist.snapshot_write" aborts the write before the rename
+// (a crash mid-snapshot), leaving the previous state untouched.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wm::persist {
+
+struct SnapshotData {
+    std::uint32_t version = 0;
+    std::string payload;
+};
+
+/// Atomically replaces the snapshot at `path`. Returns false on I/O errors
+/// or an injected "persist.snapshot_write" fault; on failure any previous
+/// snapshot at `path` is preserved.
+bool writeSnapshot(const std::string& path, std::uint32_t version,
+                   std::string_view payload);
+
+/// Reads and validates a snapshot. Nullopt when the file is missing,
+/// truncated, or fails its checksum.
+std::optional<SnapshotData> readSnapshot(const std::string& path);
+
+}  // namespace wm::persist

@@ -1,0 +1,153 @@
+#include "persist/wal.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "persist/checksum.h"
+#include "persist/serializer.h"
+
+namespace wm::persist {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+void encodeFrameHeader(std::string* out, std::uint32_t length, std::uint32_t crc) {
+    Encoder encoder;
+    encoder.putU32(length);
+    encoder.putU32(crc);
+    *out = encoder.take();
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() {
+    close();
+}
+
+bool WalWriter::open(const std::string& path) {
+    close();
+    std::FILE* file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) {
+        WM_LOG(kError, "persist") << "cannot open WAL " << path << ": "
+                                  << std::strerror(errno);
+        return false;
+    }
+    file_ = file;
+    path_ = path;
+    return true;
+}
+
+void WalWriter::close() {
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+bool WalWriter::append(std::string_view payload) {
+    if (file_ == nullptr) return false;
+    const std::uint32_t crc = crc32(payload);
+    std::string header;
+    encodeFrameHeader(&header, static_cast<std::uint32_t>(payload.size()), crc);
+    if (const auto fault = common::fault::check("persist.wal_append")) {
+        if (fault.action == common::fault::Action::kDelay) {
+            common::fault::applyDelay(fault.delay_ns);
+        } else if (fault.action == common::fault::Action::kFail) {
+            // Simulated crash mid-write: the frame header plus half the
+            // payload reach the file, then the process "dies". Replay must
+            // recognise and truncate this torn tail.
+            std::fwrite(header.data(), 1, header.size(), file_);
+            std::fwrite(payload.data(), 1, payload.size() / 2, file_);
+            std::fflush(file_);
+            ++failures_;
+            return false;
+        } else {  // kDrop: the write is lost before reaching the file
+            ++failures_;
+            return false;
+        }
+    }
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+        std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size() ||
+        std::fflush(file_) != 0) {
+        WM_LOG(kError, "persist") << "WAL append failed on " << path_ << ": "
+                                  << std::strerror(errno);
+        ++failures_;
+        return false;
+    }
+    ++records_;
+    return true;
+}
+
+bool WalWriter::reset() {
+    if (file_ == nullptr) return false;
+    std::fclose(file_);
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr) {
+        WM_LOG(kError, "persist") << "cannot reset WAL " << path_ << ": "
+                                  << std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+WalReplayStats replayWal(const std::string& path, const WalRecordFn& fn) {
+    WalReplayStats stats;
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return stats;  // missing file: a valid empty log
+
+    long good_offset = 0;
+    std::string payload;
+    for (;;) {
+        unsigned char header[kFrameHeaderBytes];
+        const std::size_t header_read = std::fread(header, 1, sizeof(header), file);
+        if (header_read == 0) break;          // clean end of log
+        if (header_read < sizeof(header)) {   // torn mid-header
+            stats.torn_tail_truncated = true;
+            break;
+        }
+        std::uint32_t length = 0;
+        std::uint32_t crc = 0;
+        for (std::size_t i = 0; i < 4; ++i) {
+            length |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+            crc |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+        }
+        payload.resize(length);
+        const std::size_t payload_read =
+            length == 0 ? 0 : std::fread(payload.data(), 1, length, file);
+        if (payload_read < length || crc32(payload) != crc) {
+            // Torn mid-payload, or a corrupt record: everything from this
+            // frame on is unusable.
+            stats.torn_tail_truncated = true;
+            break;
+        }
+        fn(std::string_view(payload.data(), payload.size()));
+        ++stats.records_applied;
+        good_offset = std::ftell(file);
+    }
+    std::fseek(file, 0, SEEK_END);
+    const long end_offset = std::ftell(file);
+    std::fclose(file);
+
+    if (stats.torn_tail_truncated && end_offset > good_offset) {
+        stats.truncated_bytes = static_cast<std::uint64_t>(end_offset - good_offset);
+        if (::truncate(path.c_str(), good_offset) != 0) {
+            WM_LOG(kError, "persist") << "cannot truncate torn WAL tail of " << path
+                                      << ": " << std::strerror(errno);
+            stats.ok = false;
+            return stats;
+        }
+        WM_LOG(kWarning, "persist")
+            << "WAL " << path << ": truncated torn tail (" << stats.truncated_bytes
+            << " bytes) after " << stats.records_applied << " intact record(s)";
+    }
+    return stats;
+}
+
+}  // namespace wm::persist

@@ -1,0 +1,87 @@
+#pragma once
+
+// Crash-consistent write-ahead log. The log is an append-only sequence of
+// framed records:
+//
+//   [u32 payload length][u32 crc32(payload)][payload bytes]
+//
+// Appends flush to the OS after every record, so a torn write — the daemon
+// killed mid-append — can only leave an incomplete *final* frame. Replay
+// walks the frames, validates each checksum, and truncates the file at the
+// first incomplete or corrupt frame (the torn tail), after which the log is
+// consistent again and new appends continue from the truncation point.
+// Replaying the same log twice therefore always yields the same record
+// sequence (the idempotence the recovery tests pin).
+//
+// WalWriter is not thread-safe: the owning component serialises access with
+// its own lock (StorageBackend under kStorage, the Collect Agent quarantine
+// under kCollectAgentQuarantine).
+//
+// Fault points (docs/RESILIENCE.md):
+//   persist.wal_append  — kFail writes a deliberately torn partial frame and
+//                         reports failure (a crash mid-write); kDrop skips
+//                         the write entirely (a lost write); kDelay stalls.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace wm::persist {
+
+struct WalReplayStats {
+    /// Intact records handed to the callback.
+    std::uint64_t records_applied = 0;
+    /// True when a torn/corrupt tail was cut off.
+    bool torn_tail_truncated = false;
+    /// Bytes removed by the truncation.
+    std::uint64_t truncated_bytes = 0;
+    /// False only when the file exists but cannot be read or truncated
+    /// (a missing file is a valid empty log: ok, 0 records).
+    bool ok = true;
+};
+
+class WalWriter {
+  public:
+    WalWriter() = default;
+    ~WalWriter();
+
+    WalWriter(const WalWriter&) = delete;
+    WalWriter& operator=(const WalWriter&) = delete;
+
+    /// Opens `path` for appending, creating it if absent. Replay the file
+    /// *before* opening a writer on it — truncating a torn tail must happen
+    /// while no writer holds an append offset past it.
+    bool open(const std::string& path);
+    bool isOpen() const { return file_ != nullptr; }
+    const std::string& path() const { return path_; }
+    void close();
+
+    /// Appends one framed record and flushes it to the OS. Returns false on
+    /// an I/O error or an injected "persist.wal_append" fault; the caller
+    /// must treat the logged operation as not durable (reject the insert).
+    bool append(std::string_view payload);
+
+    /// Truncates the log to zero length after a snapshot compaction; the
+    /// writer stays open and appends continue on the empty log.
+    bool reset();
+
+    std::uint64_t recordsAppended() const { return records_; }
+    std::uint64_t appendFailures() const { return failures_; }
+
+  private:
+    std::FILE* file_ = nullptr;
+    std::string path_;
+    std::uint64_t records_ = 0;
+    std::uint64_t failures_ = 0;
+};
+
+using WalRecordFn = std::function<void(std::string_view payload)>;
+
+/// Replays the log at `path`, invoking `fn` once per intact record in append
+/// order, and truncates any torn tail in place. A missing file is an empty
+/// log. Safe to call repeatedly; a replayed log replays identically.
+WalReplayStats replayWal(const std::string& path, const WalRecordFn& fn);
+
+}  // namespace wm::persist

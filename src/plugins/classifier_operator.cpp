@@ -7,6 +7,7 @@
 #include "analytics/features.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
+#include "persist/serializer.h"
 #include "plugins/configurator_common.h"
 
 namespace wm::plugins {
@@ -122,6 +123,74 @@ void validateClassifier(const common::ConfigNode& node, analysis::DiagnosticSink
                          "never collects training labels",
                      node.line(), node.column(), subject);
     }
+}
+
+namespace {
+
+/// Fingerprint of the knobs that shape the classifier's model and feature
+/// layout; a checkpoint from a different configuration is rejected.
+void encodeClassifierFingerprint(persist::Encoder& encoder,
+                                 const ClassifierSettings& settings) {
+    encoder.putString(settings.label_sensor);
+    encoder.putSize(settings.training_samples);
+    encoder.putSize(settings.forest.num_trees);
+    encoder.putSize(settings.forest.tree.max_depth);
+    encoder.putSize(settings.forest.tree.min_samples_split);
+    encoder.putSize(settings.forest.tree.min_samples_leaf);
+    encoder.putSize(settings.forest.tree.features_per_split);
+    encoder.putF64(settings.forest.bootstrap_fraction);
+    encoder.putU64(settings.forest.seed);
+    encoder.putSize(settings.counter_names.size());
+    for (const auto& name : settings.counter_names) encoder.putString(name);
+}
+
+}  // namespace
+
+bool ClassifierOperator::serializeState(persist::Encoder& encoder) const {
+    persist::Encoder fingerprint;
+    encodeClassifierFingerprint(fingerprint, settings_);
+    encoder.putString(fingerprint.take());
+    encoder.putSize(training_features_.size());
+    for (const auto& row : training_features_) {
+        encoder.putSize(row.size());
+        for (double x : row) encoder.putF64(x);
+    }
+    encoder.putSize(training_labels_.size());
+    for (std::size_t label : training_labels_) encoder.putSize(label);
+    forest_.serialize(encoder);
+    return true;
+}
+
+bool ClassifierOperator::deserializeState(persist::Decoder& decoder) {
+    persist::Encoder expected;
+    encodeClassifierFingerprint(expected, settings_);
+    std::string fingerprint;
+    decoder.getString(&fingerprint);
+    if (!decoder.ok() || fingerprint != expected.take()) return false;
+    std::size_t rows = 0;
+    decoder.getSize(&rows);
+    std::vector<std::vector<double>> features;
+    for (std::size_t i = 0; i < rows && decoder.ok(); ++i) {
+        std::size_t dim = 0;
+        decoder.getSize(&dim);
+        std::vector<double> row(decoder.ok() ? dim : 0, 0.0);
+        for (double& x : row) decoder.getF64(&x);
+        features.push_back(std::move(row));
+    }
+    std::size_t label_count = 0;
+    decoder.getSize(&label_count);
+    std::vector<std::size_t> labels(decoder.ok() ? label_count : 0, 0);
+    for (std::size_t& label : labels) decoder.getSize(&label);
+    analytics::RandomForestClassifier forest;
+    if (!forest.deserialize(decoder)) return false;
+    if (!decoder.ok() || features.size() != rows || labels.size() != label_count ||
+        features.size() != labels.size()) {
+        return false;
+    }
+    training_features_ = std::move(features);
+    training_labels_ = std::move(labels);
+    forest_ = std::move(forest);
+    return true;
 }
 
 }  // namespace wm::plugins

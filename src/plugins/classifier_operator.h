@@ -57,6 +57,11 @@ class ClassifierOperator final : public core::OperatorTemplate {
     std::vector<core::SensorValue> compute(const core::Unit& unit,
                                            common::TimestampNs t) override;
 
+    /// Checkpoints the training buffers and the fitted forest so the
+    /// fingerprinting model survives a host restart without re-teaching.
+    bool serializeState(persist::Encoder& encoder) const override;
+    bool deserializeState(persist::Decoder& decoder) override;
+
   private:
     std::vector<double> buildFeatures(const core::Unit& unit, common::TimestampNs t) const;
     std::optional<std::size_t> currentLabel(const core::Unit& unit) const;

@@ -3,6 +3,7 @@
 #include "analysis/diagnostic.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
+#include "persist/serializer.h"
 #include "plugins/configurator_common.h"
 
 namespace wm::plugins {
@@ -31,8 +32,7 @@ analytics::Vector ClusteringOperator::buildPoint(const core::Unit& unit,
     return point;
 }
 
-void ClusteringOperator::computeAll(common::TimestampNs t) {
-    if (!enabled_.load()) return;
+void ClusteringOperator::computeAllLocked(common::TimestampNs t) {
     // Phase 1: one point per unit (units with missing data are skipped).
     std::vector<analytics::Vector> points;
     std::vector<core::Unit> snapshot = units();
@@ -74,7 +74,7 @@ void ClusteringOperator::computeAll(common::TimestampNs t) {
     }
     // Phase 3: label each unit through the regular per-unit path (keeps
     // publication, error isolation and statistics uniform).
-    core::OperatorTemplate::computeAll(t);
+    core::OperatorTemplate::computeAllLocked(t);
 }
 
 std::vector<core::SensorValue> ClusteringOperator::compute(const core::Unit& unit,
@@ -100,6 +100,66 @@ analytics::Vector ClusteringOperator::lastPointOf(const std::string& unit_name) 
     common::MutexLock lock(points_mutex_);
     auto it = last_points_.find(unit_name);
     return it == last_points_.end() ? analytics::Vector{} : it->second;
+}
+
+namespace {
+
+/// Fingerprint of the knobs that shape the clustering model. A checkpoint
+/// taken under different settings must not be restored: the fitted mixture
+/// would not match what the current configuration would produce.
+void encodeClusteringFingerprint(persist::Encoder& encoder,
+                                 const ClusteringSettings& settings) {
+    encoder.putSize(settings.max_components);
+    encoder.putF64(settings.outlier_threshold);
+    encoder.putSize(settings.refine_passes);
+    encoder.putF64(settings.trim_threshold);
+    encoder.putU64(settings.seed);
+    encoder.putSize(settings.rate_sensors.size());
+    for (const auto& sensor : settings.rate_sensors) encoder.putString(sensor);
+}
+
+}  // namespace
+
+bool ClusteringOperator::serializeState(persist::Encoder& encoder) const {
+    persist::Encoder fingerprint;
+    encodeClusteringFingerprint(fingerprint, settings_);
+    encoder.putString(fingerprint.take());
+    model_.serialize(encoder);
+    common::MutexLock lock(points_mutex_);
+    encoder.putSize(last_points_.size());
+    for (const auto& [unit_name, point] : last_points_) {
+        encoder.putString(unit_name);
+        encoder.putSize(point.size());
+        for (double x : point) encoder.putF64(x);
+    }
+    return true;
+}
+
+bool ClusteringOperator::deserializeState(persist::Decoder& decoder) {
+    persist::Encoder expected;
+    encodeClusteringFingerprint(expected, settings_);
+    std::string fingerprint;
+    decoder.getString(&fingerprint);
+    if (!decoder.ok() || fingerprint != expected.take()) return false;
+    analytics::BayesianGmm model;
+    if (!model.deserialize(decoder)) return false;
+    std::size_t count = 0;
+    decoder.getSize(&count);
+    std::map<std::string, analytics::Vector> points;
+    for (std::size_t i = 0; i < count && decoder.ok(); ++i) {
+        std::string unit_name;
+        std::size_t dim = 0;
+        decoder.getString(&unit_name);
+        decoder.getSize(&dim);
+        analytics::Vector point(decoder.ok() ? dim : 0, 0.0);
+        for (double& x : point) decoder.getF64(&x);
+        points[unit_name] = std::move(point);
+    }
+    if (!decoder.ok()) return false;
+    model_ = std::move(model);
+    common::MutexLock lock(points_mutex_);
+    last_points_ = std::move(points);
+    return true;
 }
 
 std::vector<core::OperatorPtr> configureClustering(const common::ConfigNode& node,

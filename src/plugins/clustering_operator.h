@@ -55,9 +55,6 @@ class ClusteringOperator final : public core::OperatorTemplate {
         : core::OperatorTemplate(std::move(config), std::move(context)),
           settings_(std::move(settings)) {}
 
-    /// Fits the mixture over all units, then labels each unit.
-    void computeAll(common::TimestampNs t) override;
-
     const analytics::BayesianGmm& model() const { return model_; }
     bool modelTrained() const { return model_.trained(); }
 
@@ -66,10 +63,18 @@ class ClusteringOperator final : public core::OperatorTemplate {
     analytics::Vector lastPointOf(const std::string& unit_name) const;
 
   protected:
+    /// Fits the mixture over all units, then labels each unit.
+    void computeAllLocked(common::TimestampNs t) override;
+
     /// Labels one unit with the current model (used for per-unit and
     /// on-demand computation after a fit).
     std::vector<core::SensorValue> compute(const core::Unit& unit,
                                            common::TimestampNs t) override;
+
+    /// Checkpoints the fitted mixture and the last feature points so a
+    /// restarted host labels units without refitting the long window.
+    bool serializeState(persist::Encoder& encoder) const override;
+    bool deserializeState(persist::Decoder& decoder) override;
 
   private:
     /// Aggregates the unit's inputs over the configured window into a point.

@@ -5,6 +5,7 @@
 #include "analysis/diagnostic.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
+#include "persist/serializer.h"
 #include "plugins/configurator_common.h"
 
 namespace wm::plugins {
@@ -148,6 +149,83 @@ void validateRegressor(const common::ConfigNode& node, analysis::DiagnosticSink&
                        child->line(), child->column(), subject);
         }
     }
+}
+
+namespace {
+
+/// Fingerprint of the knobs that shape the regressor's model and feature
+/// layout; a checkpoint from a different configuration is rejected.
+void encodeRegressorFingerprint(persist::Encoder& encoder,
+                                const RegressorSettings& settings) {
+    encoder.putString(settings.target);
+    encoder.putSize(settings.training_samples);
+    encoder.putU8(settings.model == RegressorModel::kLinear ? 1 : 0);
+    encoder.putSize(settings.forest.num_trees);
+    encoder.putSize(settings.forest.tree.max_depth);
+    encoder.putSize(settings.forest.tree.min_samples_split);
+    encoder.putSize(settings.forest.tree.min_samples_leaf);
+    encoder.putSize(settings.forest.tree.features_per_split);
+    encoder.putF64(settings.forest.tree.min_impurity_decrease);
+    encoder.putF64(settings.forest.bootstrap_fraction);
+    encoder.putU64(settings.forest.seed);
+    encoder.putF64(settings.linear.l2);
+    encoder.putBool(settings.linear.standardize);
+    encoder.putSize(settings.counter_names.size());
+    for (const auto& name : settings.counter_names) encoder.putString(name);
+}
+
+}  // namespace
+
+bool RegressorOperator::serializeState(persist::Encoder& encoder) const {
+    persist::Encoder fingerprint;
+    encodeRegressorFingerprint(fingerprint, settings_);
+    encoder.putString(fingerprint.take());
+    const auto& features = training_set_.features();
+    const auto& responses = training_set_.responses();
+    encoder.putSize(features.size());
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        encoder.putSize(features[i].size());
+        for (double x : features[i]) encoder.putF64(x);
+        encoder.putF64(responses[i]);
+    }
+    forest_.serialize(encoder);
+    linear_.serialize(encoder);
+    online_error_.serialize(encoder);
+    return true;
+}
+
+bool RegressorOperator::deserializeState(persist::Decoder& decoder) {
+    persist::Encoder expected;
+    encodeRegressorFingerprint(expected, settings_);
+    std::string fingerprint;
+    decoder.getString(&fingerprint);
+    if (!decoder.ok() || fingerprint != expected.take()) return false;
+    std::size_t samples = 0;
+    decoder.getSize(&samples);
+    analytics::TrainingSet training_set(settings_.training_samples);
+    for (std::size_t i = 0; i < samples && decoder.ok(); ++i) {
+        std::size_t dim = 0;
+        decoder.getSize(&dim);
+        std::vector<double> row(decoder.ok() ? dim : 0, 0.0);
+        for (double& x : row) decoder.getF64(&x);
+        double response = 0.0;
+        decoder.getF64(&response);
+        if (decoder.ok()) training_set.add(std::move(row), response);
+    }
+    analytics::RandomForest forest;
+    analytics::LinearRegression linear;
+    analytics::StreamingStats online_error;
+    if (!forest.deserialize(decoder)) return false;
+    if (!linear.deserialize(decoder)) return false;
+    if (!online_error.deserialize(decoder)) return false;
+    if (!decoder.ok()) return false;
+    training_set_ = std::move(training_set);
+    forest_ = std::move(forest);
+    linear_ = std::move(linear);
+    online_error_ = online_error;
+    pending_features_.clear();
+    pending_predictions_.clear();
+    return true;
 }
 
 }  // namespace wm::plugins

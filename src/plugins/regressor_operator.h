@@ -87,6 +87,12 @@ class RegressorOperator final : public core::OperatorTemplate {
     /// from the paper's Section V-C.
     std::vector<double> computeOperatorLevel(common::TimestampNs t) override;
 
+    /// Checkpoints the training set, fitted model and running error. The
+    /// pending per-unit feature/prediction maps are transient (a one-
+    /// interval supervision horizon) and deliberately not persisted.
+    bool serializeState(persist::Encoder& encoder) const override;
+    bool deserializeState(persist::Decoder& decoder) override;
+
   private:
     /// Feature vector from the unit's current input windows.
     std::vector<double> buildFeatures(const core::Unit& unit, common::TimestampNs t) const;

@@ -1,6 +1,7 @@
 #include "plugins/smoothing_operator.h"
 
 #include "analysis/diagnostic.h"
+#include "persist/serializer.h"
 #include "plugins/configurator_common.h"
 
 namespace wm::plugins {
@@ -42,6 +43,35 @@ void validateSmoothing(const common::ConfigNode& node, analysis::DiagnosticSink&
                        operatorSubject(node, "smoothing"));
         }
     }
+}
+
+bool SmoothingOperator::serializeState(persist::Encoder& encoder) const {
+    encoder.putF64(alpha_);
+    encoder.putSize(state_.size());
+    for (const auto& [topic, ewma] : state_) {
+        encoder.putString(topic);
+        ewma.serialize(encoder);
+    }
+    return true;
+}
+
+bool SmoothingOperator::deserializeState(persist::Decoder& decoder) {
+    double alpha = 0.0;
+    decoder.getF64(&alpha);
+    if (!decoder.ok() || alpha != alpha_) return false;
+    std::size_t count = 0;
+    decoder.getSize(&count);
+    std::map<std::string, analytics::Ewma> state;
+    for (std::size_t i = 0; i < count && decoder.ok(); ++i) {
+        std::string topic;
+        decoder.getString(&topic);
+        analytics::Ewma ewma;
+        if (!ewma.deserialize(decoder)) return false;
+        state[topic] = ewma;
+    }
+    if (!decoder.ok()) return false;
+    state_ = std::move(state);
+    return true;
 }
 
 }  // namespace wm::plugins

@@ -30,6 +30,11 @@ class SmoothingOperator final : public core::OperatorTemplate {
     std::vector<core::SensorValue> compute(const core::Unit& unit,
                                            common::TimestampNs t) override;
 
+    /// Checkpoints the per-topic running averages: a restarted host resumes
+    /// the smoothed series instead of re-warming every filter.
+    bool serializeState(persist::Encoder& encoder) const override;
+    bool deserializeState(persist::Decoder& decoder) override;
+
   private:
     double alpha_;
     std::map<std::string, analytics::Ewma> state_;  // keyed by input topic

@@ -12,7 +12,8 @@ Pusher::Pusher(PusherConfig config, mqtt::Broker* broker)
       pool_(config_.worker_threads),
       scheduler_(pool_),
       retry_rng_(config_.retry_seed),
-      backoff_(config_.publish_retry, &retry_rng_) {}
+      backoff_(config_.publish_retry, &retry_rng_),
+      sequence_epoch_(static_cast<std::uint64_t>(common::nowNs())) {}
 
 Pusher::~Pusher() {
     stop();
@@ -95,8 +96,12 @@ void Pusher::tickGroup(SensorGroup& group, common::TimestampNs t) {
                                  : cache_store_.publishAllowed(item.topic);
         if (!allowed) continue;
         mqtt::Message message{item.topic, {item.reading}};
+        // Stamped once, here: a buffered or replayed copy of this message
+        // keeps its sequence, so downstream dedup recognises it.
+        message.sequence = sequence_epoch_ + ++topic_counters_[item.topic];
         if (broker_accepting && broker_->publish(message) >= 0) {
             messages_published_.fetch_add(1, std::memory_order_relaxed);
+            recordPublished(message);
             continue;
         }
         if (broker_accepting) {
@@ -119,6 +124,7 @@ bool Pusher::flushBuffered(common::TimestampNs t) {
             return false;
         }
         messages_published_.fetch_add(1, std::memory_order_relaxed);
+        recordPublished(buffer_.front());
         buffer_.pop_front();
     }
     backoff_.reset();
@@ -137,6 +143,27 @@ void Pusher::bufferReading(mqtt::Message message) {
         readings_dropped_.fetch_add(1, std::memory_order_relaxed);
     }
     buffer_.push_back(std::move(message));
+}
+
+void Pusher::recordPublished(const mqtt::Message& message) {
+    if (config_.replay_ring_max == 0) return;
+    while (replay_ring_.size() >= config_.replay_ring_max) replay_ring_.pop_front();
+    replay_ring_.push_back(message);
+}
+
+std::size_t Pusher::replayRecent() {
+    if (broker_ == nullptr) return 0;
+    common::MutexLock lock(buffer_mutex_);
+    std::size_t replayed = 0;
+    for (const auto& message : replay_ring_) {
+        if (broker_->publish(message) >= 0) ++replayed;
+    }
+    messages_replayed_.fetch_add(replayed, std::memory_order_relaxed);
+    if (replayed > 0) {
+        WM_LOG(kInfo, "pusher") << config_.name << ": replayed " << replayed
+                                << " recent message(s) for consumer recovery";
+    }
+    return replayed;
 }
 
 std::size_t Pusher::bufferedReadings() const {

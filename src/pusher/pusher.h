@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,10 @@ struct PusherConfig {
     common::RetryPolicy publish_retry{};
     /// Seed for the retry jitter (determinism contract).
     std::uint64_t retry_seed = 0x9E3779B9ULL;
+    /// Published messages retained for at-least-once replay after a
+    /// consumer restart (replayRecent()); 0 disables the ring. Replayed
+    /// duplicates are dropped downstream by per-topic sequence numbers.
+    std::size_t replay_ring_max = 1024;
 };
 
 class Pusher {
@@ -81,6 +86,14 @@ class Pusher {
     std::uint64_t readingsDropped() const { return readings_dropped_.load(); }
     std::uint64_t publishRetries() const { return publish_retries_.load(); }
 
+    /// At-least-once recovery hook: republishes the retained ring of
+    /// recently published messages (oldest first), e.g. after the Collect
+    /// Agent restarted and may have lost in-flight deliveries. Safe to call
+    /// any time — consumers deduplicate by sequence number. Returns how
+    /// many messages the broker accepted.
+    std::size_t replayRecent();
+    std::uint64_t messagesReplayed() const { return messages_replayed_.load(); }
+
   private:
     void tickGroup(SensorGroup& group, common::TimestampNs t);
 
@@ -91,6 +104,9 @@ class Pusher {
 
     /// Buffers a refused reading, dropping the oldest beyond the cap.
     void bufferReading(mqtt::Message message) WM_REQUIRES(buffer_mutex_);
+
+    /// Retains a successfully published message in the replay ring.
+    void recordPublished(const mqtt::Message& message) WM_REQUIRES(buffer_mutex_);
 
     PusherConfig config_;
     mqtt::Broker* broker_;
@@ -113,6 +129,16 @@ class Pusher {
     common::TimestampNs next_retry_ns_ WM_GUARDED_BY(buffer_mutex_) = 0;
     std::atomic<std::uint64_t> readings_dropped_{0};
     std::atomic<std::uint64_t> publish_retries_{0};
+
+    /// Sequence epoch: construction wall-clock, so sequences stay monotone
+    /// per topic across a daemon restart (a restarted Pusher's first
+    /// sequence exceeds anything the previous incarnation stamped).
+    const std::uint64_t sequence_epoch_;
+    std::map<std::string, std::uint64_t> topic_counters_ WM_GUARDED_BY(buffer_mutex_);
+    /// Recently published messages kept for replayRecent(), bounded by
+    /// config_.replay_ring_max.
+    std::deque<mqtt::Message> replay_ring_ WM_GUARDED_BY(buffer_mutex_);
+    std::atomic<std::uint64_t> messages_replayed_{0};
 };
 
 }  // namespace wm::pusher

@@ -2,15 +2,27 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/fault.h"
+#include "common/logging.h"
 #include "mqtt/topic.h"
+#include "persist/serializer.h"
+#include "persist/snapshot.h"
 
 namespace wm::storage {
 
 namespace {
+
+// WAL record tags; append-only (replay must keep decoding old logs).
+constexpr std::uint8_t kRecordReading = 1;
+constexpr std::uint8_t kRecordMetadata = 2;
+constexpr std::uint8_t kRecordDropSensor = 3;
+constexpr std::uint8_t kRecordPrune = 4;
+
+constexpr std::uint32_t kSnapshotVersion = 1;
 
 /// Inserts `reading` into the sorted vector, fast-pathing in-order appends.
 void insertSorted(sensors::ReadingVector& readings, const sensors::Reading& reading) {
@@ -22,6 +34,21 @@ void insertSorted(sensors::ReadingVector& readings, const sensors::Reading& read
                                [](const sensors::Reading& a, const sensors::Reading& b) {
                                    return a.timestamp < b.timestamp;
                                });
+    readings.insert(it, reading);
+}
+
+/// Replay-only insert that skips an exact duplicate (same timestamp and
+/// value): the idempotence that makes replaying a WAL twice converge.
+void insertSortedUnique(sensors::ReadingVector& readings,
+                        const sensors::Reading& reading) {
+    auto it = std::lower_bound(readings.begin(), readings.end(), reading.timestamp,
+                               [](const sensors::Reading& r, common::TimestampNs t) {
+                                   return r.timestamp < t;
+                               });
+    for (auto probe = it; probe != readings.end() && probe->timestamp == reading.timestamp;
+         ++probe) {
+        if (probe->value == reading.value) return;
+    }
     readings.insert(it, reading);
 }
 
@@ -38,6 +65,32 @@ bool insertFaulted() {
     return true;
 }
 
+std::string joinPath(const std::string& directory, const std::string& file) {
+    if (!file.empty() && file.front() == '/') return file;
+    return (std::filesystem::path(directory) / file).string();
+}
+
+void encodeMetadata(persist::Encoder& encoder, const sensors::SensorMetadata& metadata) {
+    encoder.putString(metadata.topic);
+    encoder.putString(metadata.unit);
+    encoder.putI64(metadata.interval_ns);
+    encoder.putF64(metadata.scale);
+    encoder.putBool(metadata.publish);
+    encoder.putBool(metadata.monotonic);
+    encoder.putI64(metadata.ttl_ns);
+}
+
+bool decodeMetadata(persist::Decoder& decoder, sensors::SensorMetadata* metadata) {
+    decoder.getString(&metadata->topic);
+    decoder.getString(&metadata->unit);
+    decoder.getI64(&metadata->interval_ns);
+    decoder.getF64(&metadata->scale);
+    decoder.getBool(&metadata->publish);
+    decoder.getBool(&metadata->monotonic);
+    decoder.getI64(&metadata->ttl_ns);
+    return decoder.ok();
+}
+
 }  // namespace
 
 void StorageBackend::simulateLatency() const {
@@ -50,14 +103,229 @@ void StorageBackend::simulateLatency() const {
     }
 }
 
+bool StorageBackend::enableDurability(const DurabilityOptions& options) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.directory, ec);
+    if (ec) {
+        WM_LOG(kError, "storage") << "cannot create durability directory "
+                                  << options.directory << ": " << ec.message();
+        return false;
+    }
+    const std::string wal_path = joinPath(options.directory, options.wal_file);
+
+    common::WriteLock lock(mutex_);
+    snapshot_path_ = joinPath(options.directory, options.snapshot_file);
+    snapshot_every_ = options.snapshot_every;
+
+    // Recovery, phase 1: the last completed snapshot.
+    if (const auto snapshot = persist::readSnapshot(snapshot_path_)) {
+        if (decodeState(snapshot->payload, snapshot->version)) {
+            recovered_from_snapshot_ = true;
+        } else {
+            WM_LOG(kError, "storage")
+                << "snapshot " << snapshot_path_ << " has unsupported version "
+                << snapshot->version << "; starting from the WAL alone";
+        }
+    }
+    // Recovery, phase 2: the WAL tail since that snapshot. Torn final
+    // records (a crash mid-append) are truncated before the writer reopens.
+    const persist::WalReplayStats replay = persist::replayWal(
+        wal_path, [this](std::string_view payload) { applyWalRecord(payload); });
+    wal_records_replayed_ += replay.records_applied;
+    if (replay.torn_tail_truncated) ++torn_tail_truncations_;
+    if (!replay.ok) {
+        WM_LOG(kError, "storage") << "WAL " << wal_path << " is unrecoverable";
+        return false;
+    }
+
+    auto wal = std::make_unique<persist::WalWriter>();
+    if (!wal->open(wal_path)) return false;
+    wal_ = std::move(wal);
+    records_since_checkpoint_ = replay.records_applied;
+    durable_.store(true, std::memory_order_release);
+    wal_healthy_.store(true, std::memory_order_release);
+    WM_LOG(kInfo, "storage") << "durability enabled in " << options.directory
+                             << ": replayed " << replay.records_applied
+                             << " WAL record(s)"
+                             << (recovered_from_snapshot_ ? " on top of a snapshot" : "");
+    return true;
+}
+
+bool StorageBackend::logRecord(const std::string& payload) {
+    if (wal_ == nullptr) return true;
+    if (!wal_->append(payload)) {
+        ++wal_append_failures_;
+        wal_healthy_.store(false, std::memory_order_release);
+        return false;
+    }
+    ++wal_records_logged_;
+    ++records_since_checkpoint_;
+    wal_healthy_.store(true, std::memory_order_release);
+    return true;
+}
+
+void StorageBackend::applyWalRecord(std::string_view payload) {
+    persist::Decoder decoder(payload);
+    std::uint8_t tag = 0;
+    decoder.getU8(&tag);
+    switch (tag) {
+        case kRecordReading: {
+            std::string topic;
+            sensors::Reading reading;
+            decoder.getString(&topic);
+            decoder.getI64(&reading.timestamp);
+            decoder.getF64(&reading.value);
+            if (!decoder.ok()) break;
+            insertSortedUnique(series_[topic].readings, reading);
+            inserts_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        case kRecordMetadata: {
+            sensors::SensorMetadata metadata;
+            if (!decodeMetadata(decoder, &metadata)) break;
+            series_[metadata.topic].metadata = metadata;
+            return;
+        }
+        case kRecordDropSensor: {
+            std::string topic;
+            decoder.getString(&topic);
+            if (!decoder.ok()) break;
+            series_.erase(topic);
+            return;
+        }
+        case kRecordPrune: {
+            std::string topic;
+            std::int64_t cutoff = 0;
+            decoder.getString(&topic);
+            decoder.getI64(&cutoff);
+            if (!decoder.ok()) break;
+            auto it = series_.find(topic);
+            if (it == series_.end()) return;
+            auto& readings = it->second.readings;
+            auto first_kept = std::lower_bound(
+                readings.begin(), readings.end(), cutoff,
+                [](const sensors::Reading& r, common::TimestampNs t) {
+                    return r.timestamp < t;
+                });
+            readings.erase(readings.begin(), first_kept);
+            return;
+        }
+        default:
+            break;
+    }
+    WM_LOG(kWarning, "storage") << "skipping undecodable WAL record (tag "
+                                << static_cast<int>(tag) << ", " << payload.size()
+                                << " bytes)";
+}
+
+std::string StorageBackend::encodeStateLocked() const {
+    persist::Encoder encoder;
+    encoder.putSize(series_.size());
+    for (const auto& [topic, series] : series_) {
+        encoder.putString(topic);
+        encodeMetadata(encoder, series.metadata);
+        encoder.putSize(series.readings.size());
+        for (const auto& reading : series.readings) {
+            encoder.putI64(reading.timestamp);
+            encoder.putF64(reading.value);
+        }
+    }
+    return encoder.take();
+}
+
+bool StorageBackend::decodeState(const std::string& payload, std::uint32_t version) {
+    if (version != kSnapshotVersion) return false;
+    persist::Decoder decoder(payload);
+    std::map<std::string, Series> loaded;
+    std::size_t series_count = 0;
+    decoder.getSize(&series_count);
+    for (std::size_t i = 0; i < series_count && decoder.ok(); ++i) {
+        std::string topic;
+        decoder.getString(&topic);
+        Series series;
+        decodeMetadata(decoder, &series.metadata);
+        std::size_t reading_count = 0;
+        decoder.getSize(&reading_count);
+        series.readings.reserve(reading_count);
+        for (std::size_t r = 0; r < reading_count && decoder.ok(); ++r) {
+            sensors::Reading reading;
+            decoder.getI64(&reading.timestamp);
+            decoder.getF64(&reading.value);
+            series.readings.push_back(reading);
+        }
+        loaded.emplace(std::move(topic), std::move(series));
+    }
+    if (!decoder.ok() || !decoder.atEnd()) {
+        WM_LOG(kError, "storage") << "snapshot payload is malformed; ignoring it";
+        return false;
+    }
+    for (auto& [topic, series] : loaded) {
+        series_[topic] = std::move(series);
+    }
+    return true;
+}
+
+bool StorageBackend::checkpointLocked() {
+    if (wal_ == nullptr) return false;
+    if (!persist::writeSnapshot(snapshot_path_, kSnapshotVersion, encodeStateLocked())) {
+        // The previous snapshot and the full WAL stay authoritative; state
+        // is unchanged, only the compaction is deferred.
+        ++snapshot_failures_;
+        return false;
+    }
+    ++snapshots_written_;
+    wal_->reset();
+    records_since_checkpoint_ = 0;
+    wal_healthy_.store(true, std::memory_order_release);
+    return true;
+}
+
+void StorageBackend::maybeCheckpointLocked() {
+    if (wal_ == nullptr || snapshot_every_ == 0) return;
+    if (records_since_checkpoint_ >= snapshot_every_) checkpointLocked();
+}
+
+bool StorageBackend::checkpointNow() {
+    common::WriteLock lock(mutex_);
+    return checkpointLocked();
+}
+
+DurabilityStats StorageBackend::durabilityStats() const {
+    common::ReadLock lock(mutex_);
+    DurabilityStats stats;
+    stats.enabled = durable_.load(std::memory_order_acquire);
+    stats.recovered_from_snapshot = recovered_from_snapshot_;
+    stats.wal_records_logged = wal_records_logged_;
+    stats.wal_records_replayed = wal_records_replayed_;
+    stats.wal_append_failures = wal_append_failures_;
+    stats.torn_tail_truncations = torn_tail_truncations_;
+    stats.snapshots_written = snapshots_written_;
+    stats.snapshot_failures = snapshot_failures_;
+    return stats;
+}
+
 bool StorageBackend::insert(const std::string& topic, const sensors::Reading& reading) {
     if (insertFaulted()) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
     common::WriteLock lock(mutex_);
+    if (wal_ != nullptr) {
+        persist::Encoder encoder;
+        encoder.putU8(kRecordReading);
+        encoder.putString(topic);
+        encoder.putI64(reading.timestamp);
+        encoder.putF64(reading.value);
+        // WAL-first: if the reading cannot be made durable it is rejected,
+        // so the caller's quarantine keeps it for a later retry.
+        if (!logRecord(encoder.data())) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+    }
     insertSorted(series_[topic].readings, reading);
     inserts_.fetch_add(1, std::memory_order_relaxed);
+    maybeCheckpointLocked();
     return true;
 }
 
@@ -73,15 +341,34 @@ std::size_t StorageBackend::insertBatch(const std::string& topic,
             if (rejected != nullptr) rejected->push_back(reading);
             continue;
         }
+        if (wal_ != nullptr) {
+            persist::Encoder encoder;
+            encoder.putU8(kRecordReading);
+            encoder.putString(topic);
+            encoder.putI64(reading.timestamp);
+            encoder.putF64(reading.value);
+            if (!logRecord(encoder.data())) {
+                rejected_.fetch_add(1, std::memory_order_relaxed);
+                if (rejected != nullptr) rejected->push_back(reading);
+                continue;
+            }
+        }
         insertSorted(series.readings, reading);
         ++inserted;
     }
     inserts_.fetch_add(inserted, std::memory_order_relaxed);
+    maybeCheckpointLocked();
     return inserted;
 }
 
 void StorageBackend::publishMetadata(const sensors::SensorMetadata& metadata) {
     common::WriteLock lock(mutex_);
+    if (wal_ != nullptr) {
+        persist::Encoder encoder;
+        encoder.putU8(kRecordMetadata);
+        encodeMetadata(encoder, metadata);
+        logRecord(encoder.data());
+    }
     series_[metadata.topic].metadata = metadata;
 }
 
@@ -150,7 +437,17 @@ std::size_t StorageBackend::pruneExpired() {
         auto first_kept = std::lower_bound(
             series.readings.begin(), series.readings.end(), cutoff,
             [](const sensors::Reading& r, common::TimestampNs t) { return r.timestamp < t; });
-        removed += static_cast<std::size_t>(first_kept - series.readings.begin());
+        const auto pruned = static_cast<std::size_t>(first_kept - series.readings.begin());
+        if (pruned == 0) continue;
+        if (wal_ != nullptr) {
+            // Logged so a replayed log reproduces the same retention state.
+            persist::Encoder encoder;
+            encoder.putU8(kRecordPrune);
+            encoder.putString(topic);
+            encoder.putI64(cutoff);
+            logRecord(encoder.data());
+        }
+        removed += pruned;
         series.readings.erase(series.readings.begin(), first_kept);
     }
     return removed;
@@ -158,6 +455,12 @@ std::size_t StorageBackend::pruneExpired() {
 
 bool StorageBackend::dropSensor(const std::string& topic) {
     common::WriteLock lock(mutex_);
+    if (wal_ != nullptr) {
+        persist::Encoder encoder;
+        encoder.putU8(kRecordDropSensor);
+        encoder.putString(topic);
+        logRecord(encoder.data());
+    }
     return series_.erase(topic) > 0;
 }
 
@@ -185,27 +488,57 @@ bool StorageBackend::dumpCsv(const std::string& path) const {
     return out.good();
 }
 
-bool StorageBackend::loadCsv(const std::string& path) {
+CsvLoadResult StorageBackend::loadCsv(const std::string& path) {
+    CsvLoadResult result;
     std::ifstream in(path);
-    if (!in.is_open()) return false;
+    if (!in.is_open()) {
+        WM_LOG(kError, "storage") << "cannot open CSV " << path;
+        return result;
+    }
+    result.ok = true;
     std::string line;
+    std::size_t line_number = 1;
     std::getline(in, line);  // header
     while (std::getline(in, line)) {
+        ++line_number;
         if (line.empty()) continue;
         const std::size_t c1 = line.find(',');
         const std::size_t c2 = line.find(',', c1 + 1);
-        if (c1 == std::string::npos || c2 == std::string::npos) return false;
-        try {
-            const std::string topic = line.substr(0, c1);
-            sensors::Reading reading;
-            reading.timestamp = std::stoll(line.substr(c1 + 1, c2 - c1 - 1));
-            reading.value = std::stod(line.substr(c2 + 1));
-            insert(topic, reading);
-        } catch (...) {
-            return false;
+        bool parsed = c1 != std::string::npos && c2 != std::string::npos && c1 > 0;
+        std::string topic;
+        sensors::Reading reading;
+        if (parsed) {
+            try {
+                topic = line.substr(0, c1);
+                std::size_t consumed = 0;
+                const std::string ts_text = line.substr(c1 + 1, c2 - c1 - 1);
+                reading.timestamp = std::stoll(ts_text, &consumed);
+                parsed = consumed == ts_text.size();
+                const std::string value_text = line.substr(c2 + 1);
+                reading.value = std::stod(value_text, &consumed);
+                parsed = parsed && consumed == value_text.size();
+            } catch (...) {
+                parsed = false;
+            }
+        }
+        if (!parsed) {
+            ++result.rows_malformed;
+            WM_LOG(kWarning, "storage")
+                << path << ":" << line_number << ": malformed CSV row skipped: " << line;
+            continue;
+        }
+        if (insert(topic, reading)) {
+            ++result.rows_loaded;
+        } else {
+            ++result.rows_rejected;
         }
     }
-    return true;
+    if (result.rows_malformed > 0) {
+        WM_LOG(kWarning, "storage")
+            << path << ": loaded " << result.rows_loaded << " row(s), skipped "
+            << result.rows_malformed << " malformed row(s)";
+    }
+    return result;
 }
 
 }  // namespace wm::storage

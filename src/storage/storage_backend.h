@@ -7,16 +7,27 @@
 // per sensor topic, supports range queries, TTL-based pruning, and CSV
 // persistence so long experiments (e.g. the 2-week clustering windows of
 // Case Study 3) can be checkpointed.
+//
+// Durability (docs/RESILIENCE.md, "Durability model"): with
+// enableDurability() the backend becomes crash-consistent — every mutation
+// is framed into a write-ahead log *before* it is applied (an insert whose
+// WAL append fails is rejected, so the caller's quarantine path keeps it),
+// and periodic snapshots compact the log. A restarted backend pointed at the
+// same directory replays snapshot + WAL back to the exact pre-crash state;
+// replay skips readings already present, so replaying twice (or a log with
+// a truncated torn tail) converges to the same state.
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/mutex.h"
 #include "common/time_utils.h"
+#include "persist/wal.h"
 #include "sensors/metadata.h"
 #include "sensors/reading.h"
 
@@ -29,6 +40,40 @@ struct StorageStats {
     std::uint64_t queries = 0;
     /// Inserts refused by the injected fault point "storage.insert".
     std::uint64_t rejected_inserts = 0;
+};
+
+/// Where and how the backend persists its state.
+struct DurabilityOptions {
+    /// Directory holding the WAL and snapshot (created if missing).
+    std::string directory;
+    /// File names, resolved inside `directory` unless absolute.
+    std::string wal_file = "storage.wal";
+    std::string snapshot_file = "storage.snap";
+    /// Compact (snapshot + WAL reset) after this many logged records;
+    /// 0 = only on explicit checkpointNow() calls.
+    std::uint64_t snapshot_every = 4096;
+};
+
+struct DurabilityStats {
+    bool enabled = false;
+    bool recovered_from_snapshot = false;
+    std::uint64_t wal_records_logged = 0;
+    std::uint64_t wal_records_replayed = 0;
+    std::uint64_t wal_append_failures = 0;
+    std::uint64_t torn_tail_truncations = 0;
+    std::uint64_t snapshots_written = 0;
+    std::uint64_t snapshot_failures = 0;
+};
+
+/// Outcome of loadCsv(): how many rows were ingested, how many were
+/// malformed (and skipped), how many well-formed rows the backend refused
+/// (fault injection / failed WAL append). Truthy when the file was readable.
+struct CsvLoadResult {
+    std::size_t rows_loaded = 0;
+    std::size_t rows_malformed = 0;
+    std::size_t rows_rejected = 0;
+    bool ok = false;
+    explicit operator bool() const { return ok; }
 };
 
 class StorageBackend {
@@ -45,9 +90,31 @@ class StorageBackend {
         simulated_latency_ns_.store(latency_ns, std::memory_order_relaxed);
     }
 
+    /// Turns on crash-consistent persistence: recovers any existing state in
+    /// `options.directory` (snapshot first, then WAL replay with torn-tail
+    /// truncation) into this backend, then starts logging every mutation.
+    /// Call before concurrent use. Returns false when the directory or WAL
+    /// cannot be set up (the backend stays volatile).
+    bool enableDurability(const DurabilityOptions& options);
+    bool durable() const { return durable_.load(std::memory_order_acquire); }
+
+    /// Writes a snapshot of the full state and, on success, resets the WAL
+    /// (compaction). False when durability is off or the snapshot failed —
+    /// a failed snapshot keeps the previous snapshot + WAL intact.
+    bool checkpointNow();
+
+    /// False while the WAL is refusing appends (inserts are being rejected);
+    /// a successful append or checkpoint clears it. Health-check hook for
+    /// the supervisor. Always true with durability off.
+    bool healthy() const { return wal_healthy_.load(std::memory_order_acquire); }
+
+    DurabilityStats durabilityStats() const;
+
     /// Inserts one reading for `topic`. Out-of-order inserts are supported.
     /// Returns false when the insert is refused (fault point
-    /// "storage.insert": a failing or overloaded backend).
+    /// "storage.insert": a failing or overloaded backend) or, with
+    /// durability on, when its WAL append fails (the reading would not
+    /// survive a crash, so it is not applied).
     bool insert(const std::string& topic, const sensors::Reading& reading);
 
     /// Inserts a batch for one topic (the MQTT message granularity).
@@ -85,7 +152,9 @@ class StorageBackend {
 
     /// CSV persistence: "topic,timestamp,value" rows.
     bool dumpCsv(const std::string& path) const;
-    bool loadCsv(const std::string& path);
+    /// Loads a CSV dump, tolerating malformed rows: each bad row is counted
+    /// and logged, the rest of the file still loads.
+    CsvLoadResult loadCsv(const std::string& path);
 
   private:
     struct Series {
@@ -94,6 +163,22 @@ class StorageBackend {
     };
 
     void simulateLatency() const;
+
+    /// WAL-first mutation logging; true when durability is off. A false
+    /// return means the mutation must not be applied.
+    bool logRecord(const std::string& payload) WM_REQUIRES(mutex_);
+    /// Applies one replayed WAL record (decoding failures are counted and
+    /// skipped, never fatal). Called with mutex_ held, but through the
+    /// replay std::function, which the static analysis cannot see through.
+    void applyWalRecord(std::string_view payload) WM_NO_THREAD_SAFETY_ANALYSIS;
+    /// Snapshot + WAL reset with the write lock already held.
+    bool checkpointLocked() WM_REQUIRES(mutex_);
+    /// Compacts when snapshot_every is reached.
+    void maybeCheckpointLocked() WM_REQUIRES(mutex_);
+
+    std::string encodeStateLocked() const WM_REQUIRES(mutex_);
+    bool decodeState(const std::string& payload, std::uint32_t version)
+        WM_REQUIRES(mutex_);
 
     mutable common::SharedMutex mutex_{"StorageBackend", common::LockRank::kStorage};
     std::map<std::string, Series> series_ WM_GUARDED_BY(mutex_);
@@ -104,6 +189,21 @@ class StorageBackend {
     mutable std::atomic<std::uint64_t> inserts_{0};
     mutable std::atomic<std::uint64_t> queries_{0};
     std::atomic<std::uint64_t> rejected_{0};
+
+    // Durability plumbing; all mutations happen under the write lock.
+    std::unique_ptr<persist::WalWriter> wal_ WM_GUARDED_BY(mutex_);
+    std::string snapshot_path_ WM_GUARDED_BY(mutex_);
+    std::uint64_t snapshot_every_ WM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t records_since_checkpoint_ WM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t wal_records_logged_ WM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t wal_records_replayed_ WM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t wal_append_failures_ WM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t torn_tail_truncations_ WM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t snapshots_written_ WM_GUARDED_BY(mutex_) = 0;
+    std::uint64_t snapshot_failures_ WM_GUARDED_BY(mutex_) = 0;
+    bool recovered_from_snapshot_ WM_GUARDED_BY(mutex_) = false;
+    std::atomic<bool> durable_{false};
+    std::atomic<bool> wal_healthy_{true};
 };
 
 }  // namespace wm::storage

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 
@@ -30,7 +31,19 @@ class DaemonTest : public ::testing::Test {
   protected:
     static void SetUpTestSuite() {
         config_path_ = ::testing::TempDir() + "/wintermuted_test.cfg";
+        // Fresh persistence directory so the durability counters are not
+        // inherited from a previous run of this suite.
+        const std::string persist_dir = ::testing::TempDir() + "/wm_daemon_persist";
+        std::filesystem::remove_all(persist_dir);
         std::ofstream out(config_path_);
+        out << "persistence {\n"
+            << "    directory \"" << persist_dir << "\"\n"
+            << "    snapshotEvery 256\n"
+            << "    checkpointInterval 2s\n"
+            << "}\n"
+            << "supervisor {\n"
+            << "    checkInterval 500ms\n"
+            << "}\n";
         out << R"(
 cluster {
     racks 1
@@ -102,6 +115,26 @@ TEST_F(DaemonTest, StatusReportsClusterActivity) {
     ASSERT_TRUE(result.ok) << result.error;
     EXPECT_EQ(result.status, 200);
     EXPECT_NE(result.body.find("\"nodes\":2"), std::string::npos) << result.body;
+}
+
+TEST_F(DaemonTest, StatusReportsDurabilityCounters) {
+    // The config enables persistence, so every stored reading is WAL-logged;
+    // wait until at least one record has been written.
+    std::string body;
+    bool logged = false;
+    for (int i = 0; i < 100 && !logged; ++i) {
+        const auto result = rest::httpRequest("127.0.0.1", kPort, "GET", "/status");
+        ASSERT_TRUE(result.ok) << result.error;
+        body = result.body;
+        logged = body.find("\"durability\":{\"enabled\":true") != std::string::npos &&
+                 body.find("\"walRecordsLogged\":0,") == std::string::npos;
+        if (!logged) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    EXPECT_TRUE(logged) << body;
+    EXPECT_NE(body.find("\"walRecordsReplayed\":"), std::string::npos);
+    EXPECT_NE(body.find("\"componentRestarts\":"), std::string::npos);
+    EXPECT_NE(body.find("\"dedupDrops\":"), std::string::npos);
+    EXPECT_NE(body.find("\"quarantineWalReplayed\":"), std::string::npos);
 }
 
 TEST_F(DaemonTest, SensorsAndLatestReadings) {

@@ -1,0 +1,551 @@
+// Crash-recovery integration suite (ISSUE: durability tentpole). Covers the
+// storage backend's WAL+snapshot recovery under injected crashes, operator
+// model checkpoint round trips, the supervisor's deterministic restart
+// policy, and at-least-once replay with sequence dedup on the data path.
+// Everything is deterministic: fixed seeds, explicit timestamps, no sleeps.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "core/supervisor.h"
+#include "plugins/classifier_operator.h"
+#include "plugins/registry.h"
+#include "plugins/smoothing_operator.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "simulator/topology.h"
+#include "storage/storage_backend.h"
+#include "test_fixtures.h"
+
+namespace wm {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+using storage::DurabilityOptions;
+using storage::StorageBackend;
+using wm::testing::AgentHarness;
+using wm::testing::makeTesterPusher;
+
+std::string freshDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+void expectSameReadings(StorageBackend& a, StorageBackend& b) {
+    const auto topics = a.topics();
+    ASSERT_EQ(topics, b.topics());
+    for (const auto& topic : topics) {
+        const auto lhs = a.query(topic, 0, 1000 * kNsPerSec);
+        const auto rhs = b.query(topic, 0, 1000 * kNsPerSec);
+        ASSERT_EQ(lhs.size(), rhs.size()) << topic;
+        for (std::size_t i = 0; i < lhs.size(); ++i) {
+            EXPECT_EQ(lhs[i].timestamp, rhs[i].timestamp) << topic;
+            EXPECT_DOUBLE_EQ(lhs[i].value, rhs[i].value) << topic;
+        }
+    }
+}
+
+// --- storage crash recovery ---------------------------------------------------
+
+TEST(StorageRecovery, RestartReplaysWalToIdenticalState) {
+    const std::string dir = freshDir("wm_recovery_wal");
+    StorageBackend original;
+    ASSERT_TRUE(original.enableDurability({dir}));
+    for (int i = 1; i <= 5; ++i) {
+        ASSERT_TRUE(original.insert("/n0/power", {i * kNsPerSec, 100.0 + i}));
+        ASSERT_TRUE(original.insert("/n1/temp", {i * kNsPerSec, 40.0 + 0.5 * i}));
+    }
+    // No checkpoint, no clean shutdown: recovery comes from the WAL alone.
+    StorageBackend restarted;
+    ASSERT_TRUE(restarted.enableDurability({dir}));
+    const auto stats = restarted.durabilityStats();
+    EXPECT_TRUE(stats.enabled);
+    EXPECT_GE(stats.wal_records_replayed, 10u);
+    EXPECT_FALSE(stats.recovered_from_snapshot);
+    expectSameReadings(original, restarted);
+    EXPECT_EQ(restarted.query("/n0/power", 0, 100 * kNsPerSec).size(), 5u);
+}
+
+TEST(StorageRecovery, CrashMidWalAppendTruncatesTornTail) {
+    common::fault::FaultInjector injector(1);
+    common::fault::ScopedInjector scoped(injector);
+    const std::string dir = freshDir("wm_recovery_torn");
+    {
+        StorageBackend victim;
+        ASSERT_TRUE(victim.enableDurability({dir}));
+        ASSERT_TRUE(victim.insert("/s", {1 * kNsPerSec, 1.0}));
+        ASSERT_TRUE(victim.insert("/s", {2 * kNsPerSec, 2.0}));
+        injector.armFromText("persist.wal_append", "fail once");
+        // The append dies mid-frame: the insert MUST be refused (it would
+        // not survive the crash) and the backend flags itself unhealthy.
+        EXPECT_FALSE(victim.insert("/s", {3 * kNsPerSec, 3.0}));
+        EXPECT_FALSE(victim.healthy());
+        EXPECT_EQ(victim.durabilityStats().wal_append_failures, 1u);
+    }  // killed here, torn frame on disk
+    StorageBackend restarted;
+    ASSERT_TRUE(restarted.enableDurability({dir}));
+    const auto stats = restarted.durabilityStats();
+    EXPECT_EQ(stats.torn_tail_truncations, 1u);
+    EXPECT_EQ(stats.wal_records_replayed, 2u);
+    EXPECT_TRUE(restarted.healthy());
+    // Only the durable inserts exist — exactly the pre-crash accepted state.
+    const auto readings = restarted.query("/s", 0, 100 * kNsPerSec);
+    ASSERT_EQ(readings.size(), 2u);
+    EXPECT_DOUBLE_EQ(readings[1].value, 2.0);
+
+    // Idempotence across a second restart: same state again.
+    StorageBackend third;
+    ASSERT_TRUE(third.enableDurability({dir}));
+    expectSameReadings(restarted, third);
+    EXPECT_EQ(third.durabilityStats().torn_tail_truncations, 0u);
+}
+
+TEST(StorageRecovery, CrashMidSnapshotPreservesPreviousState) {
+    common::fault::FaultInjector injector(1);
+    common::fault::ScopedInjector scoped(injector);
+    const std::string dir = freshDir("wm_recovery_snap");
+    {
+        DurabilityOptions options{dir};
+        options.snapshot_every = 0;  // checkpoint only on demand
+        StorageBackend victim;
+        ASSERT_TRUE(victim.enableDurability(options));
+        for (int i = 1; i <= 4; ++i) {
+            ASSERT_TRUE(victim.insert("/s", {i * kNsPerSec, 1.0 * i}));
+        }
+        ASSERT_TRUE(victim.checkpointNow());
+        EXPECT_EQ(victim.durabilityStats().snapshots_written, 1u);
+        for (int i = 5; i <= 7; ++i) {
+            ASSERT_TRUE(victim.insert("/s", {i * kNsPerSec, 1.0 * i}));
+        }
+        injector.armFromText("persist.snapshot_write", "fail");
+        EXPECT_FALSE(victim.checkpointNow());  // dies mid-snapshot
+        EXPECT_EQ(victim.durabilityStats().snapshot_failures, 1u);
+        injector.disarm("persist.snapshot_write");
+    }
+    StorageBackend restarted;
+    ASSERT_TRUE(restarted.enableDurability({dir}));
+    const auto stats = restarted.durabilityStats();
+    // The old snapshot survived the failed compaction; the WAL replays the
+    // readings logged after it.
+    EXPECT_TRUE(stats.recovered_from_snapshot);
+    EXPECT_GE(stats.wal_records_replayed, 3u);
+    EXPECT_EQ(restarted.query("/s", 0, 100 * kNsPerSec).size(), 7u);
+}
+
+TEST(StorageRecovery, AutomaticCompactionThenRecovery) {
+    const std::string dir = freshDir("wm_recovery_compact");
+    {
+        DurabilityOptions options{dir};
+        options.snapshot_every = 4;
+        StorageBackend victim;
+        ASSERT_TRUE(victim.enableDurability(options));
+        for (int i = 1; i <= 10; ++i) {
+            ASSERT_TRUE(victim.insert("/s", {i * kNsPerSec, 2.0 * i}));
+        }
+        EXPECT_GE(victim.durabilityStats().snapshots_written, 2u);
+    }
+    StorageBackend restarted;
+    DurabilityOptions options{dir};
+    options.snapshot_every = 4;
+    ASSERT_TRUE(restarted.enableDurability(options));
+    EXPECT_TRUE(restarted.durabilityStats().recovered_from_snapshot);
+    const auto readings = restarted.query("/s", 0, 100 * kNsPerSec);
+    ASSERT_EQ(readings.size(), 10u);
+    EXPECT_DOUBLE_EQ(readings[9].value, 20.0);
+}
+
+// --- operator state checkpoints -----------------------------------------------
+
+/// A host (caches + engine + manager) whose sensor content the test controls.
+struct Host {
+    sensors::CacheStore caches;
+    core::QueryEngine engine;
+    std::unique_ptr<core::OperatorManager> manager;
+
+    void finish() {
+        engine.setCacheStore(&caches);
+        engine.rebuildTree();
+        manager = std::make_unique<core::OperatorManager>(
+            core::makeHostContext(engine, &caches, nullptr, nullptr));
+        plugins::registerBuiltinPlugins(*manager);
+    }
+
+    int load(const std::string& plugin, const std::string& config_text) {
+        const auto parsed = common::parseConfig(config_text);
+        EXPECT_TRUE(parsed.ok) << parsed.error;
+        return manager->loadPlugin(plugin, parsed.root);
+    }
+
+    double output(const std::string& topic) {
+        const auto* cache = caches.find(topic);
+        EXPECT_NE(cache, nullptr) << topic;
+        return cache->latest()->value;
+    }
+};
+
+constexpr const char* kSmoothingConfig = R"(
+operator smooth {
+    interval 1s
+    alpha 0.25
+    input {
+        sensor "<bottomup>power"
+    }
+    output {
+        sensor "<bottomup>power-smooth"
+    }
+}
+)";
+
+void fillPower(Host& host) {
+    for (const std::string node : {"/n0", "/n1"}) {
+        auto& cache = host.caches.getOrCreate(node + "/power");
+        for (int i = 0; i <= 10; ++i) {
+            cache.store({i * kNsPerSec, 150.0 + ((i % 2 == 0) ? 5.0 : -5.0)});
+        }
+    }
+}
+
+TEST(OperatorCheckpoint, SmoothingStateSurvivesRestart) {
+    const std::string dir = freshDir("wm_opsnap_smooth");
+    Host original;
+    fillPower(original);
+    original.finish();
+    ASSERT_EQ(original.load("smoothing", kSmoothingConfig), 1);
+    for (int tick = 11; tick <= 20; ++tick) {
+        original.manager->tickAll(tick * kNsPerSec);
+    }
+    ASSERT_EQ(original.manager->saveOperatorStates(dir), 1u);
+    EXPECT_EQ(original.manager->operatorSnapshotsWritten(), 1u);
+
+    Host restarted;
+    fillPower(restarted);
+    restarted.finish();
+    ASSERT_EQ(restarted.load("smoothing", kSmoothingConfig), 1);
+    ASSERT_EQ(restarted.manager->restoreOperatorStates(dir), 1u);
+    EXPECT_EQ(restarted.manager->operatorSnapshotsRestored(), 1u);
+
+    // One more tick on fresh input: the restored EWMA must continue exactly
+    // where the original left off, not re-initialise from the new reading.
+    for (Host* host : {&original, &restarted}) {
+        for (const std::string node : {"/n0", "/n1"}) {
+            host->caches.getOrCreate(node + "/power").store({21 * kNsPerSec, 170.0});
+        }
+        host->manager->tickAll(21 * kNsPerSec);
+    }
+    EXPECT_DOUBLE_EQ(restarted.output("/n0/power-smooth"),
+                     original.output("/n0/power-smooth"));
+    EXPECT_DOUBLE_EQ(restarted.output("/n1/power-smooth"),
+                     original.output("/n1/power-smooth"));
+}
+
+TEST(OperatorCheckpoint, MismatchedSettingsRejectTheSnapshot) {
+    const std::string dir = freshDir("wm_opsnap_mismatch");
+    Host original;
+    fillPower(original);
+    original.finish();
+    ASSERT_EQ(original.load("smoothing", kSmoothingConfig), 1);
+    original.manager->tickAll(11 * kNsPerSec);
+    ASSERT_EQ(original.manager->saveOperatorStates(dir), 1u);
+
+    // Same operator name, different alpha: the fingerprint must reject the
+    // stale state instead of resuming a model shaped by other settings.
+    Host reconfigured;
+    fillPower(reconfigured);
+    reconfigured.finish();
+    const std::string changed = std::string(kSmoothingConfig).replace(
+        std::string(kSmoothingConfig).find("0.25"), 4, "0.50");
+    ASSERT_EQ(reconfigured.load("smoothing", changed), 1);
+    EXPECT_EQ(reconfigured.manager->restoreOperatorStates(dir), 0u);
+}
+
+TEST(OperatorCheckpoint, TrainedClassifierSurvivesRestartWithoutRetraining) {
+    const std::string dir = freshDir("wm_opsnap_classifier");
+    const std::string node_path = "/r0/c0/s0";
+    auto node = std::make_shared<pusher::SimulatedNode>(4, 99);
+    pusher::Pusher pusher(pusher::PusherConfig{node_path});
+    pusher::PerfsimGroupConfig perf;
+    perf.node_path = node_path;
+    pusher.addGroup(std::make_unique<pusher::PerfsimGroup>(perf, node));
+
+    core::QueryEngine engine;
+    engine.setCacheStore(&pusher.cacheStore());
+    auto& label_cache = pusher.cacheStore().getOrCreate(node_path + "/app-label");
+    pusher.sampleOnce(kNsPerSec);
+    label_cache.store({kNsPerSec, 0.0});
+    engine.rebuildTree();
+
+    const auto config = common::parseConfig(R"(
+operator fingerprint {
+    interval 1s
+    window 3s
+    trainingSamples 120
+    trees 12
+    maxDepth 8
+    input {
+        sensor "<bottomup-1>app-label"
+        sensor "<bottomup, filter cpu>cpu-cycles"
+        sensor "<bottomup, filter cpu>instructions"
+        sensor "<bottomup, filter cpu>cache-misses"
+        sensor "<bottomup, filter cpu>vector-ops"
+    }
+    output {
+        sensor "<bottomup-1>app-predicted"
+        sensor "<bottomup-1>app-confidence"
+    }
+}
+)");
+    ASSERT_TRUE(config.ok) << config.error;
+
+    double trained_accuracy = 0.0;
+    TimestampNs t = 2 * kNsPerSec;
+    {
+        core::OperatorManager trainer(
+            core::makeHostContext(engine, &pusher.cacheStore(), nullptr, nullptr));
+        plugins::registerBuiltinPlugins(trainer);
+        ASSERT_EQ(trainer.loadPlugin("classifier", config.root), 1);
+        auto op = std::dynamic_pointer_cast<plugins::ClassifierOperator>(
+            trainer.findOperator("fingerprint"));
+        ASSERT_NE(op, nullptr);
+        int phase = 0;
+        node->startApp(simulator::AppKind::kLammps);
+        while (!op->modelTrained() && t < 500 * kNsPerSec) {
+            if ((t / kNsPerSec) % 30 == 0) {
+                phase = 1 - phase;
+                node->startApp(phase == 0 ? simulator::AppKind::kLammps
+                                          : simulator::AppKind::kKripke);
+            }
+            pusher.sampleOnce(t);
+            label_cache.store({t, static_cast<double>(phase)});
+            trainer.tickAll(t);
+            t += kNsPerSec;
+        }
+        ASSERT_TRUE(op->modelTrained());
+        trained_accuracy = op->oobAccuracy();
+        ASSERT_EQ(trainer.saveOperatorStates(dir), 1u);
+    }  // daemon killed: the trained model only lives in the snapshot now
+
+    core::OperatorManager restarted(
+        core::makeHostContext(engine, &pusher.cacheStore(), nullptr, nullptr));
+    plugins::registerBuiltinPlugins(restarted);
+    ASSERT_EQ(restarted.loadPlugin("classifier", config.root), 1);
+    auto op = std::dynamic_pointer_cast<plugins::ClassifierOperator>(
+        restarted.findOperator("fingerprint"));
+    ASSERT_NE(op, nullptr);
+    EXPECT_FALSE(op->modelTrained());
+    ASSERT_EQ(restarted.restoreOperatorStates(dir), 1u);
+    ASSERT_TRUE(op->modelTrained());  // no retraining window
+    EXPECT_DOUBLE_EQ(op->oobAccuracy(), trained_accuracy);
+
+    // The restored forest classifies live counters, labels withheld.
+    auto classify = [&](simulator::AppKind app) {
+        node->startApp(app);
+        for (int i = 0; i < 6; ++i, t += kNsPerSec) {
+            pusher.sampleOnce(t);
+            restarted.tickAll(t);
+        }
+        return pusher.cacheStore().find(node_path + "/app-predicted")->latest()->value;
+    };
+    EXPECT_DOUBLE_EQ(classify(simulator::AppKind::kLammps), 0.0);
+    EXPECT_DOUBLE_EQ(classify(simulator::AppKind::kKripke), 1.0);
+}
+
+TEST(OperatorCheckpoint, SaveRestoreSaveIsStable) {
+    // Round-trip stability at the blob level: restoring a snapshot and
+    // saving again yields byte-identical state for every stateful plugin
+    // that collected some history.
+    const std::string dir = freshDir("wm_opsnap_stable");
+    Host original;
+    fillPower(original);
+    original.finish();
+    ASSERT_EQ(original.load("smoothing", kSmoothingConfig), 1);
+    for (int tick = 11; tick <= 15; ++tick) original.manager->tickAll(tick * kNsPerSec);
+    const auto op = original.manager->findOperator("smooth");
+    ASSERT_NE(op, nullptr);
+    std::string blob;
+    ASSERT_TRUE(op->saveState(&blob));
+
+    Host restarted;
+    fillPower(restarted);
+    restarted.finish();
+    ASSERT_EQ(restarted.load("smoothing", kSmoothingConfig), 1);
+    const auto op2 = restarted.manager->findOperator("smooth");
+    ASSERT_TRUE(op2->restoreState(blob));
+    std::string blob2;
+    ASSERT_TRUE(op2->saveState(&blob2));
+    EXPECT_EQ(blob, blob2);
+}
+
+// --- supervisor ---------------------------------------------------------------
+
+core::SupervisorConfig deterministicSupervisor() {
+    core::SupervisorConfig config;
+    config.restart_backoff.max_attempts = 3;
+    config.restart_backoff.initial_backoff_ns = 100 * common::kNsPerMs;
+    config.restart_backoff.multiplier = 2.0;
+    config.restart_backoff.max_backoff_ns = kNsPerSec;
+    config.restart_backoff.jitter = 0.0;
+    return config;
+}
+
+TEST(Supervisor, HealthyComponentIsLeftAlone) {
+    core::Supervisor supervisor(deterministicSupervisor());
+    int restarts = 0;
+    supervisor.registerComponent(
+        {"steady", [] { return true; }, [&] { ++restarts; return true; }});
+    for (int i = 0; i < 10; ++i) supervisor.pollOnce(i * kNsPerSec);
+    EXPECT_EQ(restarts, 0);
+    EXPECT_EQ(supervisor.restartsTotal(), 0u);
+}
+
+TEST(Supervisor, RestartsFaultedComponentAndResetsBackoff) {
+    core::Supervisor supervisor(deterministicSupervisor());
+    bool healthy = false;
+    int restarts = 0;
+    supervisor.registerComponent({"flappy", [&] { return healthy; },
+                                  [&] {
+                                      ++restarts;
+                                      healthy = true;
+                                      return true;
+                                  }});
+    supervisor.pollOnce(kNsPerSec);
+    EXPECT_EQ(restarts, 1);
+    EXPECT_EQ(supervisor.restartsTotal(), 1u);
+    ASSERT_EQ(supervisor.components().size(), 1u);
+    EXPECT_TRUE(supervisor.components()[0].healthy);
+
+    // Recovery reset the backoff: a later fault restarts immediately again.
+    healthy = false;
+    supervisor.pollOnce(60 * kNsPerSec);
+    EXPECT_EQ(restarts, 2);
+    EXPECT_TRUE(supervisor.components()[0].healthy);
+}
+
+TEST(Supervisor, BackoffPacesAttemptsThenGivesUp) {
+    core::Supervisor supervisor(deterministicSupervisor());
+    int attempts = 0;
+    supervisor.registerComponent(
+        {"doomed", [] { return false; }, [&] { ++attempts; return false; }});
+    // Dense polling: attempts must be paced by the backoff, not the poll rate.
+    TimestampNs now = kNsPerSec;
+    supervisor.pollOnce(now);
+    EXPECT_EQ(attempts, 1);
+    supervisor.pollOnce(now + 1);  // inside the 100 ms window
+    EXPECT_EQ(attempts, 1);
+    now += 100 * common::kNsPerMs;
+    supervisor.pollOnce(now);
+    EXPECT_EQ(attempts, 2);
+    now += 200 * common::kNsPerMs;
+    supervisor.pollOnce(now);
+    EXPECT_EQ(attempts, 3);
+    // Budget exhausted: the component is marked gave-up and left alone.
+    for (int i = 1; i <= 10; ++i) supervisor.pollOnce(now + i * 10 * kNsPerSec);
+    EXPECT_EQ(attempts, 3);
+    ASSERT_EQ(supervisor.components().size(), 1u);
+    EXPECT_TRUE(supervisor.components()[0].gave_up);
+    EXPECT_EQ(supervisor.failedRestartsTotal(), 3u);
+}
+
+TEST(Supervisor, RestartsStoppedCollectAgent) {
+    AgentHarness harness;
+    core::Supervisor supervisor(deterministicSupervisor());
+    auto* agent = &harness.agent;
+    supervisor.registerComponent({"collectagent", [agent] { return agent->running(); },
+                                  [agent] {
+                                      agent->stop();
+                                      agent->start();
+                                      return agent->running();
+                                  }});
+    harness.agent.stop();
+    EXPECT_FALSE(harness.agent.running());
+    supervisor.pollOnce(kNsPerSec);
+    EXPECT_TRUE(harness.agent.running());
+    EXPECT_EQ(supervisor.restartsTotal(), 1u);
+    harness.broker.publish({"/s", {{kNsPerSec, 1.0}}});
+    EXPECT_EQ(harness.agent.messagesReceived(), 1u);
+}
+
+// --- at-least-once replay + sequence dedup ------------------------------------
+
+TEST(ReplayDedup, AgentRestartLosesNothingAndDuplicatesNothing) {
+    AgentHarness harness;
+    auto pusher = makeTesterPusher(&harness.broker, 4);
+    pusher->sampleOnce(1 * kNsPerSec);
+    EXPECT_EQ(harness.agent.messagesReceived(), 4u);
+
+    // The agent dies; a tick's worth of publishes has no subscriber.
+    harness.agent.stop();
+    pusher->sampleOnce(2 * kNsPerSec);
+    EXPECT_EQ(harness.agent.messagesReceived(), 4u);
+
+    // Supervised recovery: restart, then at-least-once replay of the ring
+    // (both the delivered tick and the missed one).
+    harness.agent.start();
+    EXPECT_EQ(pusher->replayRecent(), 8u);
+
+    // The missed readings arrived exactly once; replayed duplicates of the
+    // first tick were dropped by their sequence numbers.
+    EXPECT_EQ(harness.agent.dedupDrops(), 4u);
+    for (const auto& topic : harness.storage.topics()) {
+        const auto readings = harness.storage.query(topic, 0, 100 * kNsPerSec);
+        EXPECT_EQ(readings.size(), 2u) << topic;  // t=1s and t=2s, no dups
+    }
+    EXPECT_EQ(harness.agent.readingsStored(), 8u);
+}
+
+TEST(ReplayDedup, UnsequencedMessagesAreNeverDeduplicated) {
+    AgentHarness harness;
+    // Hand-published messages carry sequence 0 (unsequenced): repeats are
+    // legitimate data, not replays.
+    harness.broker.publish({"/raw", {{1 * kNsPerSec, 1.0}}});
+    harness.broker.publish({"/raw", {{2 * kNsPerSec, 2.0}}});
+    EXPECT_EQ(harness.agent.dedupDrops(), 0u);
+    EXPECT_EQ(harness.agent.readingsStored(), 2u);
+}
+
+// --- quarantine journal -------------------------------------------------------
+
+TEST(QuarantineJournal, QuarantinedReadingsSurviveAgentCrash) {
+    common::fault::FaultInjector injector(1);
+    common::fault::ScopedInjector scoped(injector);
+    const std::string dir = freshDir("wm_quarantine_wal");
+    std::filesystem::create_directories(dir);
+    collectagent::CollectAgentConfig config;
+    config.quarantine_wal_path = dir + "/quarantine.wal";
+
+    mqtt::Broker broker;
+    StorageBackend storage;
+    auto agent = std::make_unique<collectagent::CollectAgent>(config, broker, storage);
+    agent->start();
+    injector.armFromText("storage.insert", "fail");
+    broker.publish({"/q", {{1 * kNsPerSec, 1.0}, {2 * kNsPerSec, 2.0}}});
+    broker.publish({"/q", {{3 * kNsPerSec, 3.0}}});
+    EXPECT_EQ(agent->quarantinedReadings(), 3u);
+
+    // The agent crashes before the quarantine drains.
+    agent.reset();
+    auto revived = std::make_unique<collectagent::CollectAgent>(config, broker, storage);
+    EXPECT_EQ(revived->quarantineWalReplayed(), 3u);
+    EXPECT_EQ(revived->quarantinedReadings(), 3u);
+
+    // Storage recovers; the journaled readings drain into it.
+    injector.disarm("storage.insert");
+    EXPECT_EQ(revived->retryQuarantined(), 3u);
+    EXPECT_EQ(storage.query("/q", 0, 100 * kNsPerSec).size(), 3u);
+
+    // A drained quarantine leaves an empty journal behind.
+    revived.reset();
+    collectagent::CollectAgent clean(config, broker, storage);
+    EXPECT_EQ(clean.quarantineWalReplayed(), 0u);
+    EXPECT_EQ(clean.quarantinedReadings(), 0u);
+}
+
+}  // namespace
+}  // namespace wm

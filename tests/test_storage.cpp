@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
+#include "common/fault.h"
+
 namespace wm::storage {
 namespace {
 
@@ -125,6 +129,56 @@ TEST(StorageBackend, CsvRoundTrip) {
     const auto b = loaded.query("/b", 0, 10);
     ASSERT_EQ(b.size(), 1u);
     EXPECT_DOUBLE_EQ(b[0].value, -4.0);
+}
+
+TEST(StorageBackend, LoadCsvSkipsAndCountsMalformedRows) {
+    const std::string path = ::testing::TempDir() + "/wm_storage_malformed.csv";
+    {
+        std::ofstream out(path);
+        out << "topic,timestamp,value\n";
+        out << "/a,1,1.5\n";
+        out << "not-a-row\n";       // no commas at all
+        out << "/a,two,2.5\n";      // non-numeric timestamp
+        out << "/a,3,nope\n";       // non-numeric value
+        out << ",4,1.0\n";          // empty topic
+        out << "/b,6,6.5junk\n";    // trailing garbage after the value
+        out << "/a,5,5.5\n";
+    }
+    StorageBackend storage;
+    const CsvLoadResult result = storage.loadCsv(path);
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result.rows_loaded, 2u);
+    EXPECT_EQ(result.rows_malformed, 5u);
+    EXPECT_EQ(result.rows_rejected, 0u);
+    const auto a = storage.query("/a", 0, 10);
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_DOUBLE_EQ(a[1].value, 5.5);
+}
+
+TEST(StorageBackend, LoadCsvMissingFileIsFalsy) {
+    StorageBackend storage;
+    const CsvLoadResult result = storage.loadCsv("/nonexistent/wm.csv");
+    EXPECT_FALSE(result);
+    EXPECT_EQ(result.rows_loaded, 0u);
+}
+
+TEST(StorageBackend, LoadCsvCountsRowsTheBackendRefused) {
+    const std::string path = ::testing::TempDir() + "/wm_storage_refused.csv";
+    {
+        std::ofstream out(path);
+        out << "topic,timestamp,value\n";
+        out << "/a,1,1.0\n";
+        out << "/a,2,2.0\n";
+    }
+    common::fault::FaultInjector injector(1);
+    injector.armFromText("storage.insert", "fail once");
+    common::fault::ScopedInjector scope(injector);
+    StorageBackend storage;
+    const CsvLoadResult result = storage.loadCsv(path);
+    ASSERT_TRUE(result);
+    EXPECT_EQ(result.rows_loaded, 1u);
+    EXPECT_EQ(result.rows_malformed, 0u);
+    EXPECT_EQ(result.rows_rejected, 1u);
 }
 
 TEST(StorageBackend, StatsCountEverything) {

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Kill-restart recovery smoke for wintermuted (stdlib only; wired into CI).
+
+Scenario (docs/RESILIENCE.md, "Durability model"):
+
+  1. start wintermuted with a persistence-enabled configuration,
+  2. wait until the storage WAL has logged real readings,
+  3. SIGKILL the daemon mid-run -- no shutdown hook, no final checkpoint,
+  4. restart it on the same directory,
+  5. assert via /status that the restarted daemon recovered state: the WAL
+     was replayed (and/or a snapshot loaded) and the pipeline is moving
+     again (new records are being logged on top of the recovered state).
+
+Usage:
+  tools/recovery_smoke.py --daemon build/src/apps/wintermuted [--port N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+POLL_INTERVAL_SEC = 0.1
+STARTUP_BUDGET_SEC = 15.0
+
+CONFIG_TEMPLATE = """
+cluster {{
+    racks 1
+    chassisPerRack 1
+    nodesPerChassis 2
+    cpusPerNode 2
+    app lammps
+}}
+pusher {{
+    samplingInterval 100ms
+    cacheWindow 60s
+}}
+persistence {{
+    directory "{directory}"
+    snapshotEvery 64
+    checkpointInterval 2s
+}}
+supervisor {{
+    checkInterval 500ms
+}}
+plugin smoothing {{
+    host collectagent
+    operator power-smooth {{
+        interval 200ms
+        window 5s
+        alpha 0.25
+        input {{
+            sensor "<bottomup-1>power"
+        }}
+        output {{
+            sensor "<bottomup-1>power-smooth"
+        }}
+    }}
+}}
+"""
+
+
+def fetch_status(port: int) -> dict | None:
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/status", timeout=2) as response:
+            return json.loads(response.read().decode())
+    except (urllib.error.URLError, ConnectionError, TimeoutError,
+            json.JSONDecodeError, OSError):
+        return None
+
+
+def wait_for(predicate, budget_sec: float = STARTUP_BUDGET_SEC):
+    """Polls `predicate` until it returns a truthy value or the budget ends."""
+    deadline = time.monotonic() + budget_sec
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(POLL_INTERVAL_SEC)
+    return None
+
+
+def start_daemon(binary: str, config: str, port: int) -> subprocess.Popen:
+    return subprocess.Popen(
+        [binary, "--config", config, "--port", str(port), "--duration", "120"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def durability(status: dict) -> dict:
+    return status.get("durability", {})
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--daemon", required=True, help="wintermuted binary")
+    parser.add_argument("--port", type=int, default=28517)
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="wm_recovery_smoke_")
+    config_path = os.path.join(workdir, "smoke.cfg")
+    persist_dir = os.path.join(workdir, "persist")
+    with open(config_path, "w", encoding="utf-8") as out:
+        out.write(CONFIG_TEMPLATE.format(directory=persist_dir))
+
+    # --- Phase 1: run until the WAL holds real data, then SIGKILL. ---------
+    first = start_daemon(args.daemon, config_path, args.port)
+    try:
+        status = wait_for(lambda: fetch_status(args.port))
+        if status is None:
+            print("FAIL: daemon did not come up", file=sys.stderr)
+            return 1
+        if not durability(status).get("enabled"):
+            print(f"FAIL: durability not enabled: {status}", file=sys.stderr)
+            return 1
+        status = wait_for(
+            lambda: (s := fetch_status(args.port)) is not None
+            and durability(s).get("walRecordsLogged", 0) >= 20 and s)
+        if status is None:
+            print("FAIL: WAL never accumulated records", file=sys.stderr)
+            return 1
+        logged_before_kill = durability(status)["walRecordsLogged"]
+    finally:
+        # Hard crash: no SIGTERM handler runs, no shutdown checkpoint.
+        first.send_signal(signal.SIGKILL)
+        first.wait()
+    print(f"phase 1: killed daemon with {logged_before_kill} WAL records logged")
+
+    # --- Phase 2: restart on the same directory and verify recovery. -------
+    second = start_daemon(args.daemon, config_path, args.port)
+    try:
+        status = wait_for(lambda: fetch_status(args.port))
+        if status is None:
+            print("FAIL: daemon did not come back up", file=sys.stderr)
+            return 1
+        recovered = durability(status)
+        replayed = recovered.get("walRecordsReplayed", 0)
+        from_snapshot = recovered.get("recoveredFromSnapshot", False)
+        if replayed == 0 and not from_snapshot:
+            print(f"FAIL: restart recovered nothing: {recovered}",
+                  file=sys.stderr)
+            return 1
+        # The pipeline must keep moving on top of the recovered state.
+        status = wait_for(
+            lambda: (s := fetch_status(args.port)) is not None
+            and durability(s).get("walRecordsLogged", 0) > 0 and s)
+        if status is None:
+            print("FAIL: no new WAL records after recovery", file=sys.stderr)
+            return 1
+        print(f"phase 2: recovered (snapshot={from_snapshot}, "
+              f"walRecordsReplayed={replayed}); pipeline logging again")
+    finally:
+        second.send_signal(signal.SIGTERM)
+        second.wait()
+
+    print("recovery smoke PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
