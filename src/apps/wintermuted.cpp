@@ -21,7 +21,6 @@
 #include <cstdio>
 #include <cstring>
 #include <sstream>
-#include <thread>
 
 #include "analysis/analyzer.h"
 #include "collectagent/collect_agent.h"
@@ -29,6 +28,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/retry.h"
+#include "common/thread.h"
 #include "core/hosting.h"
 #include "core/operator_manager.h"
 #include "core/supervisor.h"
@@ -608,7 +608,7 @@ int main(int argc, char** argv) {
     const auto started = std::chrono::steady_clock::now();
     common::TimestampNs last_checkpoint_ns = common::nowNs();
     while (g_stop == 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        common::Thread::sleepFor(std::chrono::milliseconds(200));
         // Drain readings parked by storage outages once the backend accepts
         // inserts again (graceful-degradation loop, docs/RESILIENCE.md).
         daemon.agent->retryQuarantined();

@@ -1,0 +1,56 @@
+#pragma once
+
+// Invariant checks inside model-test bodies. gtest's ASSERT/EXPECT machinery
+// is not usable there: bodies run on checker-controlled threads (not the
+// test's main thread) and a failure must abort the *schedule* with a
+// replayable trace, not the process. WM_MODEL_CHECK throws a
+// ModelAssertionError that the model-thread trampoline catches and converts
+// into a FailureKind::kAssertion outcome carrying the schedule trace.
+//
+// Place body-side checks after every child thread has been joined: an
+// exception unwinding past a joinable wm::common::Thread terminates, exactly
+// like std::thread. Checks inside child-thread bodies are always safe.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wm::sched {
+
+class ModelAssertionError : public std::runtime_error {
+  public:
+    explicit ModelAssertionError(const std::string& what)
+        : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void modelCheckFailed(const char* expr, const char* file, int line,
+                                          const std::string& detail) {
+    std::ostringstream out;
+    out << "model invariant failed: " << expr << " at " << file << ":" << line;
+    if (!detail.empty()) {
+        out << " (" << detail << ")";
+    }
+    throw ModelAssertionError(out.str());
+}
+
+}  // namespace detail
+}  // namespace wm::sched
+
+#define WM_MODEL_CHECK(cond)                                                      \
+    do {                                                                          \
+        if (!(cond)) {                                                            \
+            ::wm::sched::detail::modelCheckFailed(#cond, __FILE__, __LINE__, ""); \
+        }                                                                         \
+    } while (0)
+
+#define WM_MODEL_CHECK_MSG(cond, msg)                                        \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream wm_model_check_out;                           \
+            wm_model_check_out << msg;                                       \
+            ::wm::sched::detail::modelCheckFailed(#cond, __FILE__, __LINE__, \
+                                                  wm_model_check_out.str()); \
+        }                                                                    \
+    } while (0)

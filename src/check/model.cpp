@@ -1,0 +1,203 @@
+#include "check/model.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "check/assert.h"
+
+namespace wm::sched {
+
+namespace {
+
+std::string g_replay_file;
+
+// The model clock starts at a fixed, recognisable epoch (2021-01-01 UTC) so
+// timestamps inside model bodies are deterministic across schedules and
+// visibly virtual in logs.
+constexpr common::TimestampNs kModelEpochNs = 1609459200LL * common::kNsPerSec;
+
+std::string sanitizeName(const std::string& name) {
+    std::string out;
+    for (char c : name) {
+        const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' || c == '_';
+        out.push_back(keep ? c : '_');
+    }
+    return out.empty() ? "model" : out;
+}
+
+std::string traceDirectory(const Options& options) {
+    // The environment wins over Options::trace_dir: test helpers default
+    // trace_dir to a per-run temp directory, and CI must still be able to
+    // redirect failing traces into its artifact directory from outside.
+    if (const char* env = std::getenv("WM_SCHED_TRACE_DIR")) {
+        if (env[0] != '\0') {
+            return env;
+        }
+    }
+    if (!options.trace_dir.empty()) {
+        return options.trace_dir;
+    }
+    return ".";
+}
+
+}  // namespace
+
+bool available() {
+#ifdef WM_SCHED_CHECK
+    return true;
+#else
+    return false;
+#endif
+}
+
+void setGlobalReplayFile(const std::string& path) { g_replay_file = path; }
+
+const std::string& globalReplayFile() { return g_replay_file; }
+
+Result check(Options options, const std::function<void()>& body) {
+    return Model(std::move(options)).run(body);
+}
+
+#ifndef WM_SCHED_CHECK
+
+// Without instrumentation the hooks in src/common compile to no-ops, so the
+// best we can do is a single uncontrolled execution. Tests gate their
+// exploration assertions on wm::sched::available().
+Result Model::run(const std::function<void()>& body) {
+    Result result;
+    result.schedules = 1;
+    result.seed = options_.seed;
+    try {
+        body();
+    } catch (const std::exception& e) {
+        result.ok = false;
+        result.failure = FailureKind::kAssertion;
+        result.message = e.what();
+    } catch (...) {
+        result.ok = false;
+        result.failure = FailureKind::kAssertion;
+        result.message = "uncaught non-standard exception in model body";
+    }
+    return result;
+}
+
+#else  // WM_SCHED_CHECK
+
+Result Model::run(const std::function<void()>& body) {
+    Options options = options_;
+
+    // A --wm-sched-replay trace takes over the matching test and is ignored
+    // by every other test in the binary.
+    Trace replay_trace;
+    if (options.mode != Options::Mode::kReplay && !g_replay_file.empty()) {
+        std::ifstream in(g_replay_file);
+        if (in) {
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            std::string error;
+            Trace parsed;
+            if (Trace::parse(buffer.str(), &parsed, &error) &&
+                parsed.test == options.name) {
+                options.mode = Options::Mode::kReplay;
+                options.replay_trace = g_replay_file;
+                replay_trace = std::move(parsed);
+            }
+        }
+    }
+
+    Result result;
+    result.seed = options.seed;
+
+    std::unique_ptr<Strategy> strategy;
+    switch (options.mode) {
+        case Options::Mode::kExhaustive:
+            strategy = std::make_unique<DfsStrategy>(options.preemption_bound);
+            break;
+        case Options::Mode::kPct:
+            strategy = std::make_unique<PctStrategy>(
+                options.seed, options.pct_iterations, options.pct_depth);
+            break;
+        case Options::Mode::kReplay: {
+            if (replay_trace.events.empty() && !options.replay_trace.empty()) {
+                std::ifstream in(options.replay_trace);
+                std::stringstream buffer;
+                buffer << in.rdbuf();
+                std::string error;
+                if (!Trace::parse(buffer.str(), &replay_trace, &error)) {
+                    result.ok = false;
+                    result.failure = FailureKind::kNondeterminism;
+                    result.message = "cannot replay '" + options.replay_trace +
+                                     "': " + error;
+                    return result;
+                }
+            }
+            strategy = std::make_unique<ReplayStrategy>(std::move(replay_trace));
+            break;
+        }
+    }
+
+    Scheduler::Limits limits;
+    limits.max_steps = options.max_steps_per_schedule;
+    limits.max_threads = options.max_threads;
+
+    for (;;) {
+        strategy->beginSchedule();
+        auto scheduler = std::make_shared<Scheduler>(*strategy, limits, kModelEpochNs);
+        common::setGlobalClock(scheduler.get());
+        Scheduler::Outcome outcome = scheduler->runSchedule(body);
+        common::setGlobalClock(nullptr);
+        ++result.schedules;
+        result.max_steps = std::max(result.max_steps, outcome.steps);
+
+        if (outcome.failure.kind != FailureKind::kNone) {
+            result.ok = false;
+            result.failure = outcome.failure.kind;
+            result.message = outcome.failure.message;
+
+            Trace trace;
+            trace.test = options.name;
+            trace.mode = strategy->mode();
+            trace.seed = options.seed;
+            trace.preemption_bound =
+                options.mode == Options::Mode::kExhaustive ? options.preemption_bound
+                                                           : -1;
+            trace.failure = failureKindName(outcome.failure.kind);
+            trace.events = std::move(outcome.events);
+            result.trace = trace.serialize();
+
+            // Replay runs reproduce an existing trace; don't overwrite it —
+            // report the file the schedule came from instead.
+            if (options.mode == Options::Mode::kReplay) {
+                result.trace_path = options.replay_trace;
+                result.message += " [replayed from " + options.replay_trace + "]";
+            } else {
+                const std::string path = traceDirectory(options) + "/" +
+                                         sanitizeName(options.name) + ".trace";
+                std::ofstream out(path, std::ios::trunc);
+                if (out) {
+                    out << result.trace;
+                    result.trace_path = path;
+                    result.message += " [schedule " + std::to_string(result.schedules) +
+                                      "; trace: " + path +
+                                      "; replay with --wm-sched-replay " + path + "]";
+                }
+            }
+            return result;
+        }
+
+        if (!strategy->nextSchedule()) {
+            result.exhausted = strategy->exhausted();
+            return result;
+        }
+        if (result.schedules >= options.max_schedules) {
+            return result;  // budget exhausted without full enumeration
+        }
+    }
+}
+
+#endif  // WM_SCHED_CHECK
+
+}  // namespace wm::sched

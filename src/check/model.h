@@ -1,0 +1,86 @@
+#pragma once
+
+// Front-end of the wm::sched model checker. A model test hands Model::run a
+// body — ordinary code using wm::common::Thread / Mutex / ConditionVariable
+// and (optionally) wm::sched::Shared<T> cells — and the checker executes it
+// repeatedly under controlled schedules:
+//
+//   kExhaustive  DFS over every interleaving within `preemption_bound`
+//                preemptions (CHESS-style iterative context bounding);
+//   kPct         `pct_iterations` seeded random-priority schedules with
+//                pct_depth-1 priority change points each;
+//   kReplay      the single schedule recorded in `replay_trace`.
+//
+// The body must be deterministic apart from scheduling: given the same
+// decision prefix it must issue the same operations (fresh state per call,
+// no wall-clock or randomness — the model clock is virtual and starts at
+// the same epoch every schedule). Violations are detected and reported as
+// FailureKind::kNondeterminism rather than silently corrupting exploration.
+//
+// On the first failing schedule, exploration stops and the schedule trace
+// is written next to the test (WM_SCHED_TRACE_DIR overrides the directory);
+// rerunning the test binary with --wm-sched-replay <trace> reproduces that
+// exact schedule. The conductor (caller of run) is never a model thread, so
+// gtest assertions on the returned Result are safe.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "check/scheduler.h"
+
+namespace wm::sched {
+
+/// True when the library was built with model-checking support
+/// (WM_SCHED_CHECK); false means Model::run degrades to a single
+/// uncontrolled execution of the body.
+bool available();
+
+/// Process-wide replay override, set by the --wm-sched-replay flag of the
+/// model-test binary: a Model whose test name matches the trace header runs
+/// that single schedule instead of exploring.
+void setGlobalReplayFile(const std::string& path);
+const std::string& globalReplayFile();
+
+struct Options {
+    enum class Mode { kExhaustive, kPct, kReplay };
+
+    std::string name;  // test name: trace headers, file names, replay match
+    Mode mode = Mode::kExhaustive;
+    int preemption_bound = 2;
+    std::size_t max_schedules = 250000;     // exhaustive-mode safety valve
+    std::size_t pct_iterations = 200;
+    int pct_depth = 3;
+    std::uint64_t seed = 0x5EED;
+    std::size_t max_steps_per_schedule = 20000;
+    std::size_t max_threads = 32;
+    std::string trace_dir;     // "" -> $WM_SCHED_TRACE_DIR or "."
+    std::string replay_trace;  // trace file path for kReplay
+};
+
+struct Result {
+    bool ok = true;
+    FailureKind failure = FailureKind::kNone;
+    std::string message;
+    bool exhausted = false;     // DFS fully enumerated the bounded space
+    std::size_t schedules = 0;  // schedules executed
+    std::size_t max_steps = 0;  // longest schedule seen
+    std::uint64_t seed = 0;     // reproduces a PCT failure end-to-end
+    std::string trace;          // serialized failing schedule ("" when ok)
+    std::string trace_path;     // where the failing trace was written
+};
+
+class Model {
+  public:
+    explicit Model(Options options) : options_(std::move(options)) {}
+
+    Result run(const std::function<void()>& body);
+
+  private:
+    Options options_;
+};
+
+/// One-call convenience wrapper.
+Result check(Options options, const std::function<void()>& body);
+
+}  // namespace wm::sched

@@ -1,0 +1,737 @@
+#include "check/scheduler.h"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <sstream>
+
+#include "check/assert.h"
+
+namespace wm::sched {
+
+namespace {
+
+// Identifies the calling thread inside hook entry points. Set by
+// runModelThread; stale values on abandoned (forever-parked) threads are
+// harmless because those threads never execute hooks again.
+thread_local int t_current_tid = -1;
+
+}  // namespace
+
+const char* failureKindName(FailureKind kind) {
+    switch (kind) {
+        case FailureKind::kNone: return "none";
+        case FailureKind::kDeadlock: return "deadlock";
+        case FailureKind::kLostWakeup: return "lost_wakeup";
+        case FailureKind::kDataRace: return "data_race";
+        case FailureKind::kAssertion: return "assertion";
+        case FailureKind::kNondeterminism: return "nondeterminism";
+        case FailureKind::kLimit: return "limit";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------- helpers
+
+void Scheduler::joinVc(VectorClock& into, const VectorClock& from) {
+    if (into.size() < from.size()) {
+        into.resize(from.size(), 0);
+    }
+    for (std::size_t i = 0; i < from.size(); ++i) {
+        into[i] = std::max(into[i], from[i]);
+    }
+}
+
+std::uint32_t Scheduler::vcAt(const VectorClock& vc, int tid) {
+    return static_cast<std::size_t>(tid) < vc.size() ? vc[tid] : 0;
+}
+
+void Scheduler::bumpEpochLocked(ThreadRec& rec) {
+    if (rec.vc.size() <= static_cast<std::size_t>(rec.tid)) {
+        rec.vc.resize(rec.tid + 1, 0);
+    }
+    ++rec.vc[rec.tid];
+}
+
+Scheduler::ThreadRec& Scheduler::currentRecLocked() {
+    return *threads_[t_current_tid];
+}
+
+void Scheduler::recordEventLocked(int tid, Op op, const std::string& object,
+                                  std::int64_t arg) {
+    events_.push_back(TraceEvent{tid, op, object, arg});
+}
+
+// ---------------------------------------------------------------- eligibility
+
+bool Scheduler::executableLocked(const ThreadRec& rec) const {
+    if (rec.finished) {
+        return false;
+    }
+    switch (rec.pending.op) {
+        case Op::kStart:
+        case Op::kSpawn:
+        case Op::kUnlock:
+        case Op::kUnlockShared:
+        case Op::kCvWaitBegin:
+        case Op::kCvNotify:
+        case Op::kYield:
+        case Op::kExit:
+        case Op::kSharedRead:
+        case Op::kSharedWrite:
+            return true;
+        case Op::kLock: {
+            auto it = mutexes_.find(rec.pending.obj);
+            return it == mutexes_.end() ||
+                   (it->second.owner < 0 && it->second.readers.empty());
+        }
+        case Op::kLockShared: {
+            auto it = mutexes_.find(rec.pending.obj);
+            return it == mutexes_.end() || it->second.owner < 0;
+        }
+        case Op::kCvWaitResume: {
+            if (!rec.notified && !rec.timed_out) {
+                return false;  // still waiting for a notify or the deadline
+            }
+            auto it = mutexes_.find(rec.pending.obj2);
+            return it == mutexes_.end() ||
+                   (it->second.owner < 0 && it->second.readers.empty());
+        }
+        case Op::kJoin:
+            return threads_[rec.pending.target]->finished;
+        case Op::kSleep:
+            return virtual_now_.load(std::memory_order_relaxed) >= rec.pending.deadline;
+    }
+    return false;
+}
+
+std::vector<int> Scheduler::eligibleSetLocked() const {
+    std::vector<int> eligible;
+    for (const auto& rec : threads_) {
+        if (executableLocked(*rec)) {
+            eligible.push_back(rec->tid);
+        }
+    }
+    return eligible;
+}
+
+bool Scheduler::advanceVirtualTimeLocked() {
+    // Timed waits fire only when the system is otherwise idle: jump the
+    // model clock to the earliest pending deadline.
+    common::TimestampNs best = std::numeric_limits<common::TimestampNs>::max();
+    const common::TimestampNs now = virtual_now_.load(std::memory_order_relaxed);
+    for (const auto& rec : threads_) {
+        if (rec->finished) {
+            continue;
+        }
+        if (rec->pending.op == Op::kSleep && rec->pending.deadline > now) {
+            best = std::min(best, rec->pending.deadline);
+        } else if (rec->pending.op == Op::kCvWaitResume && !rec->notified &&
+                   !rec->timed_out && rec->pending.deadline >= 0) {
+            best = std::min(best, rec->pending.deadline);
+        }
+    }
+    if (best == std::numeric_limits<common::TimestampNs>::max()) {
+        return false;
+    }
+    virtual_now_.store(best, std::memory_order_relaxed);
+    for (auto& rec : threads_) {
+        if (rec->finished || rec->pending.op != Op::kCvWaitResume || rec->notified ||
+            rec->timed_out || rec->pending.deadline < 0 ||
+            rec->pending.deadline > best) {
+            continue;
+        }
+        rec->timed_out = true;
+        auto cv = cvs_.find(rec->pending.obj);
+        if (cv != cvs_.end()) {
+            auto& waiters = cv->second.waiters;
+            waiters.erase(std::remove(waiters.begin(), waiters.end(), rec->tid),
+                          waiters.end());
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------- failures
+
+void Scheduler::setFailureLocked(FailureKind kind, std::string message) {
+    if (failure_.kind == FailureKind::kNone) {
+        failure_ = Failure{kind, std::move(message)};
+    }
+}
+
+std::string Scheduler::describeBlockedLocked(const ThreadRec& rec) const {
+    std::ostringstream out;
+    out << "t" << rec.tid << "(" << rec.name << ") ";
+    switch (rec.pending.op) {
+        case Op::kLock:
+        case Op::kLockShared: {
+            out << "blocked acquiring mutex '" << rec.pending.obj_name << "'";
+            auto it = mutexes_.find(rec.pending.obj);
+            if (it != mutexes_.end() && it->second.owner >= 0) {
+                out << " held by t" << it->second.owner;
+            }
+            break;
+        }
+        case Op::kCvWaitResume:
+            if (!rec.notified && !rec.timed_out) {
+                out << "waiting on a condition variable (mutex '"
+                    << rec.pending.obj_name << "') with no pending notify";
+            } else {
+                out << "woken from a condition wait but blocked reacquiring mutex '"
+                    << rec.pending.obj_name << "'";
+            }
+            break;
+        case Op::kJoin:
+            out << "joining t" << rec.pending.target;
+            break;
+        default:
+            out << "blocked at " << opName(rec.pending.op);
+            break;
+    }
+    return out.str();
+}
+
+void Scheduler::reportStuckLocked() {
+    // Build the waits-for graph over unfinished threads.
+    std::map<int, std::vector<int>> waits_for;
+    bool has_cv_waiter = false;
+    for (const auto& rec : threads_) {
+        if (rec->finished) {
+            continue;
+        }
+        std::vector<int>& edges = waits_for[rec->tid];
+        switch (rec->pending.op) {
+            case Op::kLock:
+            case Op::kLockShared: {
+                auto it = mutexes_.find(rec->pending.obj);
+                if (it != mutexes_.end()) {
+                    if (it->second.owner >= 0) {
+                        edges.push_back(it->second.owner);
+                    }
+                    edges.insert(edges.end(), it->second.readers.begin(),
+                                 it->second.readers.end());
+                }
+                break;
+            }
+            case Op::kCvWaitResume:
+                if (!rec->notified && !rec->timed_out) {
+                    if (rec->pending.deadline < 0) {
+                        has_cv_waiter = true;
+                    }
+                } else {
+                    auto it = mutexes_.find(rec->pending.obj2);
+                    if (it != mutexes_.end() && it->second.owner >= 0) {
+                        edges.push_back(it->second.owner);
+                    }
+                }
+                break;
+            case Op::kJoin:
+                edges.push_back(rec->pending.target);
+                break;
+            default:
+                break;
+        }
+    }
+    // Look for a cycle (iterative DFS with colouring).
+    std::vector<int> cycle;
+    std::map<int, int> colour;  // 0 white, 1 grey, 2 black
+    std::function<bool(int, std::vector<int>&)> visit =
+        [&](int tid, std::vector<int>& path) -> bool {
+        colour[tid] = 1;
+        path.push_back(tid);
+        for (int next : waits_for[tid]) {
+            if (waits_for.find(next) == waits_for.end()) {
+                continue;
+            }
+            if (colour[next] == 1) {
+                auto at = std::find(path.begin(), path.end(), next);
+                cycle.assign(at, path.end());
+                return true;
+            }
+            if (colour[next] == 0 && visit(next, path)) {
+                return true;
+            }
+        }
+        path.pop_back();
+        colour[tid] = 2;
+        return false;
+    };
+    for (const auto& [tid, edges] : waits_for) {
+        (void)edges;
+        std::vector<int> path;
+        if (colour[tid] == 0 && visit(tid, path)) {
+            break;
+        }
+    }
+
+    std::ostringstream out;
+    FailureKind kind;
+    if (!cycle.empty()) {
+        kind = FailureKind::kDeadlock;
+        out << "deadlock: cycle ";
+        for (int tid : cycle) {
+            out << "t" << tid << " -> ";
+        }
+        out << "t" << cycle.front() << ". ";
+    } else if (has_cv_waiter) {
+        kind = FailureKind::kLostWakeup;
+        out << "lost wakeup: no thread is runnable and no notify is pending. ";
+    } else {
+        kind = FailureKind::kDeadlock;
+        out << "deadlock: no thread is runnable. ";
+    }
+    bool first = true;
+    for (const auto& rec : threads_) {
+        if (rec->finished) {
+            continue;
+        }
+        out << (first ? "" : "; ") << describeBlockedLocked(*rec);
+        first = false;
+    }
+    setFailureLocked(kind, out.str());
+    abandoned_ = true;
+    complete_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------- token flow
+
+void Scheduler::parkUntilGrantedLocked(std::unique_lock<std::mutex>& lk,
+                                       ThreadRec& me) {
+    while (!me.granted) {
+        me.park.wait(lk);
+    }
+    me.granted = false;
+    if (abandoned_) {
+        parkForeverLocked(lk, me);
+    }
+}
+
+void Scheduler::parkForeverLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me) {
+    // Terminal failure: this thread is never scheduled again. Its stack (and
+    // the shared_ptr<Scheduler> in its trampoline) stay live until process
+    // exit, which keeps all model state reachable.
+    me.granted = false;
+    for (;;) {
+        me.park.wait(lk);
+    }
+}
+
+void Scheduler::abandonLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me) {
+    abandoned_ = true;
+    complete_cv_.notify_all();
+    parkForeverLocked(lk, me);
+}
+
+void Scheduler::decideLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me) {
+    for (;;) {
+        if (abandoned_) {
+            parkForeverLocked(lk, me);
+        }
+        std::vector<int> eligible = eligibleSetLocked();
+        if (eligible.empty()) {
+            if (!advanceVirtualTimeLocked()) {
+                reportStuckLocked();
+                parkForeverLocked(lk, me);
+            }
+            continue;
+        }
+        if (steps_ >= limits_.max_steps) {
+            setFailureLocked(FailureKind::kLimit,
+                             "schedule exceeded " + std::to_string(limits_.max_steps) +
+                                 " steps (livelock or unbounded loop in the model)");
+            abandonLocked(lk, me);
+        }
+        const int chosen = strategy_.choose(steps_, eligible, me.tid);
+        if (chosen < 0) {
+            setFailureLocked(FailureKind::kNondeterminism, strategy_.divergenceMessage());
+            abandonLocked(lk, me);
+        }
+        ++steps_;
+        if (chosen == me.tid) {
+            return;  // keep the token; caller applies the pending op
+        }
+        ThreadRec& next = *threads_[chosen];
+        next.granted = true;
+        next.park.notify_all();
+        parkUntilGrantedLocked(lk, me);
+        return;  // re-granted: the chooser verified our op is executable
+    }
+}
+
+void Scheduler::finishAndPassLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me) {
+    for (;;) {
+        if (abandoned_) {
+            return;  // exploration is over; just let this thread die
+        }
+        if (std::all_of(threads_.begin(), threads_.end(),
+                        [](const auto& rec) { return rec->finished; })) {
+            complete_ = true;
+            complete_cv_.notify_all();
+            return;
+        }
+        std::vector<int> eligible = eligibleSetLocked();
+        if (eligible.empty()) {
+            if (!advanceVirtualTimeLocked()) {
+                reportStuckLocked();
+                return;
+            }
+            continue;
+        }
+        if (steps_ >= limits_.max_steps) {
+            setFailureLocked(FailureKind::kLimit,
+                             "schedule exceeded " + std::to_string(limits_.max_steps) +
+                                 " steps (livelock or unbounded loop in the model)");
+            abandoned_ = true;
+            complete_cv_.notify_all();
+            return;
+        }
+        const int chosen = strategy_.choose(steps_, eligible, me.tid);
+        if (chosen < 0) {
+            setFailureLocked(FailureKind::kNondeterminism, strategy_.divergenceMessage());
+            abandoned_ = true;
+            complete_cv_.notify_all();
+            return;
+        }
+        ++steps_;
+        ThreadRec& next = *threads_[chosen];
+        next.granted = true;
+        next.park.notify_all();
+        return;
+    }
+}
+
+// ---------------------------------------------------------------- run
+
+Scheduler::Outcome Scheduler::runSchedule(const std::function<void()>& body) {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto root = std::make_unique<ThreadRec>();
+        root->tid = 0;
+        root->name = "main";
+        root->is_root = true;
+        root->pending.op = Op::kStart;
+        root->vc.assign(1, 0);
+        threads_.push_back(std::move(root));
+    }
+    auto self = shared_from_this();
+    std::thread real([self, body] { self->runModelThread(0, body); });
+    Outcome out;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        complete_cv_.wait(lk, [&] { return complete_ || abandoned_; });
+        out.failure = failure_;
+        out.events = events_;
+        out.steps = steps_;
+        out.abandoned = abandoned_;
+    }
+    if (out.abandoned) {
+        real.detach();
+    } else {
+        real.join();
+    }
+    return out;
+}
+
+void Scheduler::runModelThread(int tid, std::function<void()> body) {
+    common::schedhooks::setCurrent(this);
+    t_current_tid = tid;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        ThreadRec& me = *threads_[tid];
+        if (me.is_root) {
+            decideLocked(lk, me);  // bootstraps the token (only thread so far)
+        } else {
+            parkUntilGrantedLocked(lk, me);
+        }
+        bumpEpochLocked(me);
+        recordEventLocked(tid, Op::kStart, me.name);
+    }
+
+    bool failed = false;
+    std::string error;
+    try {
+        body();
+    } catch (const ModelAssertionError& e) {
+        failed = true;
+        error = e.what();
+    } catch (const std::exception& e) {
+        failed = true;
+        error = std::string("uncaught exception in model thread: ") + e.what();
+    } catch (...) {
+        failed = true;
+        error = "uncaught non-standard exception in model thread";
+    }
+
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        ThreadRec& me = *threads_[tid];
+        me.pending = Pending{};
+        me.pending.op = Op::kExit;
+        decideLocked(lk, me);
+        me.finished = true;
+        me.final_vc = me.vc;
+        recordEventLocked(tid, Op::kExit, me.name);
+        if (failed) {
+            setFailureLocked(FailureKind::kAssertion, error);
+        }
+        finishAndPassLocked(lk, me);
+    }
+    t_current_tid = -1;
+    common::schedhooks::setCurrent(nullptr);
+}
+
+// ---------------------------------------------------------------- hooks
+
+void Scheduler::mutexLock(const void* mutex, const char* name, bool shared) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    MutexState& state = mutexes_[mutex];
+    state.name = name;
+    me.pending = Pending{};
+    me.pending.op = shared ? Op::kLockShared : Op::kLock;
+    me.pending.obj = mutex;
+    me.pending.obj_name = name;
+    decideLocked(lk, me);
+    if (shared) {
+        state.readers.push_back(me.tid);
+    } else {
+        state.owner = me.tid;
+    }
+    joinVc(me.vc, state.vc);
+    bumpEpochLocked(me);
+    recordEventLocked(me.tid, me.pending.op, name);
+}
+
+void Scheduler::mutexUnlock(const void* mutex, bool shared) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    MutexState& state = mutexes_[mutex];
+    me.pending = Pending{};
+    me.pending.op = shared ? Op::kUnlockShared : Op::kUnlock;
+    me.pending.obj = mutex;
+    me.pending.obj_name = state.name;
+    decideLocked(lk, me);
+    if (shared) {
+        auto at = std::find(state.readers.begin(), state.readers.end(), me.tid);
+        if (at == state.readers.end()) {
+            setFailureLocked(FailureKind::kAssertion,
+                             std::string("shared unlock of mutex '") + state.name +
+                                 "' not virtually held by the unlocking thread");
+            abandonLocked(lk, me);
+        }
+        state.readers.erase(at);
+    } else {
+        if (state.owner != me.tid) {
+            setFailureLocked(FailureKind::kAssertion,
+                             std::string("unlock of mutex '") + state.name +
+                                 "' not virtually held by the unlocking thread");
+            abandonLocked(lk, me);
+        }
+        state.owner = -1;
+    }
+    joinVc(state.vc, me.vc);
+    bumpEpochLocked(me);
+    recordEventLocked(me.tid, me.pending.op, state.name);
+}
+
+void Scheduler::cvWait(const void* cv, const void* mutex, const char* mutex_name) {
+    cvWaitCommon(cv, mutex, mutex_name, -1);
+}
+
+bool Scheduler::cvWaitFor(const void* cv, const void* mutex, const char* mutex_name,
+                          std::int64_t timeout_ns) {
+    return cvWaitCommon(cv, mutex, mutex_name, timeout_ns);
+}
+
+bool Scheduler::cvWaitCommon(const void* cv, const void* mutex,
+                             const char* mutex_name, std::int64_t timeout_ns) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    MutexState& mstate = mutexes_[mutex];
+    CvState& cstate = cvs_[cv];
+
+    me.pending = Pending{};
+    me.pending.op = Op::kCvWaitBegin;
+    me.pending.obj = cv;
+    me.pending.obj2 = mutex;
+    me.pending.obj_name = mutex_name;
+    decideLocked(lk, me);
+    if (mstate.owner != me.tid) {
+        setFailureLocked(FailureKind::kAssertion,
+                         std::string("condition wait without holding mutex '") +
+                             mutex_name + "'");
+        abandonLocked(lk, me);
+    }
+    mstate.owner = -1;
+    joinVc(mstate.vc, me.vc);
+    cstate.waiters.push_back(me.tid);
+    bumpEpochLocked(me);
+    recordEventLocked(me.tid, Op::kCvWaitBegin, mutex_name);
+
+    me.notified = false;
+    me.timed_out = false;
+    me.pending = Pending{};
+    me.pending.op = Op::kCvWaitResume;
+    me.pending.obj = cv;
+    me.pending.obj2 = mutex;
+    me.pending.obj_name = mutex_name;
+    me.pending.deadline =
+        timeout_ns < 0
+            ? -1
+            : virtual_now_.load(std::memory_order_relaxed) + timeout_ns;
+    decideLocked(lk, me);
+    mstate.owner = me.tid;
+    joinVc(me.vc, mstate.vc);
+    if (me.notified) {
+        joinVc(me.vc, cstate.vc);
+    }
+    const bool timed_out = me.timed_out;
+    me.notified = false;
+    me.timed_out = false;
+    bumpEpochLocked(me);
+    recordEventLocked(me.tid, Op::kCvWaitResume, mutex_name, timed_out ? 1 : 0);
+    return timed_out;
+}
+
+void Scheduler::cvNotify(const void* cv, bool notify_all) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    CvState& cstate = cvs_[cv];
+    me.pending = Pending{};
+    me.pending.op = Op::kCvNotify;
+    me.pending.obj = cv;
+    decideLocked(lk, me);
+    joinVc(cstate.vc, me.vc);
+    std::int64_t woken = 0;
+    while (!cstate.waiters.empty()) {
+        const int waiter = cstate.waiters.front();
+        cstate.waiters.erase(cstate.waiters.begin());
+        threads_[waiter]->notified = true;
+        ++woken;
+        if (!notify_all) {
+            break;
+        }
+    }
+    bumpEpochLocked(me);
+    recordEventLocked(me.tid, Op::kCvNotify, "", woken);
+}
+
+std::uint64_t Scheduler::threadSpawn(std::function<void()>& body, const char* name) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    if (threads_.size() >= limits_.max_threads) {
+        setFailureLocked(FailureKind::kLimit,
+                         "model spawned more than " +
+                             std::to_string(limits_.max_threads) + " threads");
+        abandonLocked(lk, me);
+    }
+    me.pending = Pending{};
+    me.pending.op = Op::kSpawn;
+    me.pending.obj_name = name;
+    decideLocked(lk, me);
+
+    const int child_tid = static_cast<int>(threads_.size());
+    auto child = std::make_unique<ThreadRec>();
+    child->tid = child_tid;
+    child->name = name;
+    child->pending.op = Op::kStart;
+    bumpEpochLocked(me);
+    child->vc = me.vc;  // spawn -> start happens-before
+    if (child->vc.size() <= static_cast<std::size_t>(child_tid)) {
+        child->vc.resize(child_tid + 1, 0);
+    }
+    threads_.push_back(std::move(child));
+    recordEventLocked(me.tid, Op::kSpawn, name);
+
+    auto self = shared_from_this();
+    std::function<void()> original = std::move(body);
+    body = [self, child_tid, original = std::move(original)] {
+        self->runModelThread(child_tid, original);
+    };
+    return kTokenBase + static_cast<std::uint64_t>(child_tid);
+}
+
+void Scheduler::threadJoin(std::uint64_t token) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    const int target = static_cast<int>(token - kTokenBase);
+    me.pending = Pending{};
+    me.pending.op = Op::kJoin;
+    me.pending.target = target;
+    decideLocked(lk, me);
+    joinVc(me.vc, threads_[target]->final_vc);  // exit -> join happens-before
+    bumpEpochLocked(me);
+    recordEventLocked(me.tid, Op::kJoin, threads_[target]->name);
+}
+
+void Scheduler::yield() {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    me.pending = Pending{};
+    me.pending.op = Op::kYield;
+    decideLocked(lk, me);
+    bumpEpochLocked(me);
+    recordEventLocked(me.tid, Op::kYield, "");
+}
+
+void Scheduler::sleepFor(std::int64_t ns) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    me.pending = Pending{};
+    me.pending.op = Op::kSleep;
+    me.pending.deadline = virtual_now_.load(std::memory_order_relaxed) + ns;
+    decideLocked(lk, me);
+    bumpEpochLocked(me);
+    recordEventLocked(me.tid, Op::kSleep, "", ns);
+}
+
+void Scheduler::sharedAccess(const void* cell, const char* name, bool write) {
+    std::unique_lock<std::mutex> lk(mu_);
+    ThreadRec& me = currentRecLocked();
+    me.pending = Pending{};
+    me.pending.op = write ? Op::kSharedWrite : Op::kSharedRead;
+    me.pending.obj = cell;
+    me.pending.obj_name = name;
+    decideLocked(lk, me);
+
+    CellState& cstate = cells_[cell];
+    cstate.name = name;
+    bumpEpochLocked(me);
+    const std::uint32_t epoch = me.vc[me.tid];
+    recordEventLocked(me.tid, me.pending.op, name);
+
+    std::ostringstream race;
+    bool racy = false;
+    if (cstate.writer_tid >= 0 && cstate.writer_tid != me.tid &&
+        vcAt(me.vc, cstate.writer_tid) < cstate.writer_epoch) {
+        racy = true;
+        race << "data race on cell '" << name << "': " << (write ? "write" : "read")
+             << " by t" << me.tid << "(" << me.name << ") is unordered with a prior"
+             << " write by t" << cstate.writer_tid;
+    }
+    if (!racy && write) {
+        for (const auto& [reader_tid, reader_epoch] : cstate.reader_epochs) {
+            if (reader_tid != me.tid && vcAt(me.vc, reader_tid) < reader_epoch) {
+                racy = true;
+                race << "data race on cell '" << name << "': write by t" << me.tid
+                     << "(" << me.name << ") is unordered with a prior read by t"
+                     << reader_tid;
+                break;
+            }
+        }
+    }
+    if (racy) {
+        setFailureLocked(FailureKind::kDataRace, race.str());
+        abandonLocked(lk, me);
+    }
+    if (write) {
+        cstate.writer_tid = me.tid;
+        cstate.writer_epoch = epoch;
+        cstate.reader_epochs.clear();
+    } else {
+        cstate.reader_epochs[me.tid] = epoch;
+    }
+}
+
+}  // namespace wm::sched

@@ -1,0 +1,213 @@
+#pragma once
+
+// The wm::sched controlled scheduler: runs one schedule of a concurrent
+// model body with execution fully serialised — exactly one model thread is
+// runnable at any moment, and every transfer of control happens at a
+// schedule point (mutex lock/unlock, condition wait/notify, thread
+// spawn/join/exit, yield, sleep, Shared<T> access), decided by a Strategy.
+//
+// Mechanics:
+//  * Real OS threads, virtual primitives. Each model thread is a real
+//    std::thread, but when it locks a wm::common::Mutex the scheduler only
+//    records *virtual* ownership — the real mutex is never touched (a real
+//    lock would block a suspended owner at OS level, outside our control).
+//    Serialisation guarantees mutual exclusion; the park/grant handshake
+//    below runs on a real mutex + per-thread condition variables, which
+//    also gives TSan the happens-before edges matching the virtual ones.
+//  * Token discipline. The one runnable thread executes user code until its
+//    next hook, then consults the Strategy: "which eligible thread executes
+//    its pending operation next?" Choosing itself, it continues; choosing
+//    another, it grants that thread's park token and parks. A thread whose
+//    pending operation is not executable (mutex held, cv not notified,
+//    child not finished) simply never appears in the eligible set.
+//  * Virtual time. Timed waits and sleeps fire only when nothing else is
+//    runnable: the clock jumps to the earliest deadline. The scheduler is a
+//    ClockSource, installed as the process-global clock for the duration of
+//    a run, so nowNs() is deterministic inside model bodies.
+//  * Failure handling without unwinding. On a terminal failure (deadlock,
+//    lost wakeup, data race, divergence, step limit) blocked threads cannot
+//    be unwound safely (exceptions escaping destructors would terminate),
+//    so the scheduler abandons the schedule: every model thread parks
+//    forever, the conductor (the thread that called runSchedule) collects
+//    the Outcome and detaches the root thread. Parked stacks keep the
+//    scheduler alive through shared_ptr captures, so nothing is leaked from
+//    a leak-sanitizer point of view — merely retained until process exit.
+//  * Race detection. Vector clocks per thread, joined through mutex
+//    release→acquire, cv notify→wake, spawn→start and exit→join edges;
+//    declared Shared<T> cells keep last-writer/last-reader epochs and any
+//    unordered conflicting pair is reported as a data race.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/strategy.h"
+#include "check/trace.h"
+#include "common/sched_hooks.h"
+#include "common/time_utils.h"
+
+namespace wm::sched {
+
+enum class FailureKind {
+    kNone,
+    kDeadlock,
+    kLostWakeup,
+    kDataRace,
+    kAssertion,       // WM_MODEL_CHECK failure or exception from a body
+    kNondeterminism,  // model behaved differently under an identical prefix
+    kLimit,           // step/thread limit exceeded (livelock guard)
+};
+
+const char* failureKindName(FailureKind kind);
+
+struct Failure {
+    FailureKind kind = FailureKind::kNone;
+    std::string message;
+};
+
+class Scheduler final : public common::schedhooks::ModelHooks,
+                        public common::ClockSource,
+                        public std::enable_shared_from_this<Scheduler> {
+  public:
+    struct Limits {
+        std::size_t max_steps = 200000;
+        std::size_t max_threads = 32;
+    };
+
+    struct Outcome {
+        Failure failure;
+        std::vector<TraceEvent> events;
+        std::size_t steps = 0;
+        bool abandoned = false;  // threads were parked forever (terminal failure)
+    };
+
+    Scheduler(Strategy& strategy, Limits limits, common::TimestampNs epoch_ns)
+        : strategy_(strategy), limits_(limits), virtual_now_(epoch_ns) {}
+
+    /// Runs one schedule of `body` on a controlled root thread; blocks the
+    /// calling (conductor) thread until the schedule completes or is
+    /// abandoned. The conductor must NOT itself be a model thread.
+    Outcome runSchedule(const std::function<void()>& body);
+
+    /// Virtual model clock (ClockSource).
+    common::TimestampNs now() const override {
+        return virtual_now_.load(std::memory_order_relaxed);
+    }
+
+    // ModelHooks — called from model threads at schedule points.
+    void mutexLock(const void* mutex, const char* name, bool shared) override;
+    void mutexUnlock(const void* mutex, bool shared) override;
+    void cvWait(const void* cv, const void* mutex, const char* mutex_name) override;
+    bool cvWaitFor(const void* cv, const void* mutex, const char* mutex_name,
+                   std::int64_t timeout_ns) override;
+    void cvNotify(const void* cv, bool notify_all) override;
+    std::uint64_t threadSpawn(std::function<void()>& body, const char* name) override;
+    void threadJoin(std::uint64_t token) override;
+    void yield() override;
+    void sleepFor(std::int64_t ns) override;
+    void sharedAccess(const void* cell, const char* name, bool write) override;
+
+  private:
+    using VectorClock = std::vector<std::uint32_t>;
+
+    struct Pending {
+        Op op = Op::kStart;
+        const void* obj = nullptr;        // mutex / cv / cell
+        const void* obj2 = nullptr;       // mutex of a cv wait
+        const char* obj_name = "";
+        std::int64_t deadline = -1;       // virtual-time deadline, -1 = none
+        bool shared = false;
+        int target = -1;                  // join target tid
+    };
+
+    struct ThreadRec {
+        int tid = -1;
+        std::string name;
+        bool is_root = false;
+        bool finished = false;
+        bool granted = false;
+        bool notified = false;   // cv wake pending
+        bool timed_out = false;  // cv deadline fired
+        Pending pending;
+        std::condition_variable park;
+        VectorClock vc;
+        VectorClock final_vc;
+    };
+
+    struct MutexState {
+        const char* name = "";
+        int owner = -1;            // exclusive holder
+        std::vector<int> readers;  // shared holders
+        VectorClock vc;            // released-with clock (release -> acquire HB)
+    };
+
+    struct CvState {
+        std::vector<int> waiters;  // FIFO
+        VectorClock vc;            // notify -> wake HB
+    };
+
+    struct CellState {
+        std::string name;
+        int writer_tid = -1;
+        std::uint32_t writer_epoch = 0;
+        std::map<int, std::uint32_t> reader_epochs;
+    };
+
+    void runModelThread(int tid, std::function<void()> body);
+    bool cvWaitCommon(const void* cv, const void* mutex, const char* mutex_name,
+                      std::int64_t timeout_ns);
+
+    // All *Locked methods require mu_.
+    ThreadRec& currentRecLocked();
+    bool executableLocked(const ThreadRec& rec) const;
+    std::vector<int> eligibleSetLocked() const;
+    bool advanceVirtualTimeLocked();
+    /// One scheduling decision by the token-owning thread `me` (whose
+    /// pending op is set). Returns once `me` has been (re)chosen with its
+    /// op executable; never returns if the schedule is abandoned.
+    void decideLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me);
+    /// Exit-path variant: `me` has finished; passes the token on (or
+    /// completes/abandons the schedule) and returns so the thread can die.
+    void finishAndPassLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me);
+    void parkUntilGrantedLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me);
+    [[noreturn]] void parkForeverLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me);
+    [[noreturn]] void abandonLocked(std::unique_lock<std::mutex>& lk, ThreadRec& me);
+    void setFailureLocked(FailureKind kind, std::string message);
+    /// No eligible thread and no timed waiter: classify and report the
+    /// deadlock / lost wakeup.
+    void reportStuckLocked();
+    void recordEventLocked(int tid, Op op, const std::string& object,
+                           std::int64_t arg = -1);
+    void bumpEpochLocked(ThreadRec& rec);
+    std::string describeBlockedLocked(const ThreadRec& rec) const;
+
+    static void joinVc(VectorClock& into, const VectorClock& from);
+    static std::uint32_t vcAt(const VectorClock& vc, int tid);
+
+    Strategy& strategy_;
+    Limits limits_;
+    std::atomic<common::TimestampNs> virtual_now_;
+
+    std::mutex mu_;
+    std::condition_variable complete_cv_;
+    bool complete_ = false;
+    bool abandoned_ = false;
+    Failure failure_;
+    std::size_t steps_ = 0;
+    std::vector<std::unique_ptr<ThreadRec>> threads_;
+    std::map<const void*, MutexState> mutexes_;
+    std::map<const void*, CvState> cvs_;
+    std::map<const void*, CellState> cells_;
+    std::vector<TraceEvent> events_;
+
+    static constexpr std::uint64_t kTokenBase = 1000;
+};
+
+}  // namespace wm::sched

@@ -1,0 +1,57 @@
+#pragma once
+
+// Declared shared cells for wm::sched model tests. A Shared<T> is a plain
+// value whose every access is (a) a schedule point and (b) registered with
+// the checker's vector-clock race detector: two accesses from different
+// threads, at least one a write, with no happens-before edge between them
+// (via mutexes, condition variables, or thread spawn/join) are reported as
+// a data race with a replayable trace. Because model execution is fully
+// serialised, the underlying accesses are physically safe even when racy —
+// the detector flags the *ordering* bug, not memory corruption.
+//
+// Outside a model run every operation degrades to a plain access.
+
+#include "common/sched_hooks.h"
+
+namespace wm::sched {
+
+template <typename T>
+class Shared {
+  public:
+    explicit Shared(T value = T{}, const char* name = "cell")
+        : value_(value), name_(name) {}
+
+    Shared(const Shared&) = delete;
+    Shared& operator=(const Shared&) = delete;
+
+    T load() const {
+        access(false);
+        return value_;
+    }
+
+    void store(const T& value) {
+        access(true);
+        value_ = value;
+    }
+
+    /// Read-modify-write, treated as a single atomic step by the scheduler
+    /// (one schedule point, one write access). Returns the previous value.
+    T fetchAdd(const T& delta) {
+        access(true);
+        T previous = value_;
+        value_ = static_cast<T>(value_ + delta);
+        return previous;
+    }
+
+  private:
+    void access(bool write) const {
+        if (auto* hooks = common::schedhooks::current()) {
+            hooks->sharedAccess(this, name_, write);
+        }
+    }
+
+    T value_;
+    const char* name_;
+};
+
+}  // namespace wm::sched

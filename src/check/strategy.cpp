@@ -1,0 +1,178 @@
+#include "check/strategy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wm::sched {
+
+namespace {
+
+bool contains(const std::vector<int>& v, int x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+std::string formatSet(const std::vector<int>& v) {
+    std::ostringstream out;
+    out << "{";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        out << (i ? "," : "") << "t" << v[i];
+    }
+    out << "}";
+    return out.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- DFS
+
+bool DfsStrategy::choiceIsPreemptive(const Frame& frame, int choice) const {
+    // A preemption is switching away from a thread that could have kept
+    // running. Forced switches (current blocked/finished) are free.
+    return choice != frame.current && contains(frame.eligible, frame.current);
+}
+
+int DfsStrategy::choose(std::size_t step, const std::vector<int>& eligible,
+                        int current) {
+    if (diverged_) {
+        return -1;
+    }
+    if (step < stack_.size()) {
+        // Forced prefix replay: the model must behave identically.
+        Frame& frame = stack_[step];
+        if (frame.eligible != eligible || frame.current != current) {
+            diverged_ = true;
+            std::ostringstream out;
+            out << "schedule diverged at step " << step << ": expected eligible "
+                << formatSet(frame.eligible) << " current t" << frame.current
+                << ", got " << formatSet(eligible) << " current t" << current
+                << " (model body is nondeterministic)";
+            divergence_ = out.str();
+            return -1;
+        }
+        return frame.alts[frame.alt_idx];
+    }
+    // New frontier: push a frame and take the default (non-preemptive first:
+    // keep running `current` when possible, else the lowest eligible tid).
+    Frame frame;
+    frame.eligible = eligible;
+    frame.current = current;
+    if (contains(eligible, current)) {
+        frame.alts.push_back(current);
+    }
+    for (int tid : eligible) {
+        if (tid != current) {
+            frame.alts.push_back(tid);
+        }
+    }
+    if (!stack_.empty()) {
+        const Frame& prev = stack_.back();
+        frame.preemptions_before =
+            prev.preemptions_before +
+            (choiceIsPreemptive(prev, prev.alts[prev.alt_idx]) ? 1 : 0);
+    }
+    stack_.push_back(std::move(frame));
+    return stack_.back().alts[0];
+}
+
+bool DfsStrategy::nextSchedule() {
+    if (diverged_) {
+        return false;
+    }
+    while (!stack_.empty()) {
+        Frame& frame = stack_.back();
+        ++frame.alt_idx;
+        while (frame.alt_idx < frame.alts.size()) {
+            const int candidate = frame.alts[frame.alt_idx];
+            const bool preemptive = choiceIsPreemptive(frame, candidate);
+            if (!preemptive || bound_ < 0 || frame.preemptions_before < bound_) {
+                return true;
+            }
+            ++frame.alt_idx;  // over budget; skip this alternative
+        }
+        stack_.pop_back();
+    }
+    exhausted_ = true;
+    return false;
+}
+
+// ---------------------------------------------------------------- PCT
+
+void PctStrategy::beginSchedule() {
+    // Mix the iteration into the seed (splitmix-style) so every schedule
+    // draws an independent but reproducible stream.
+    std::uint64_t mixed = base_seed_ + 0x9E3779B97F4A7C15ull * (iteration_ + 1);
+    mixed ^= mixed >> 30;
+    mixed *= 0xBF58476D1CE4E5B9ull;
+    mixed ^= mixed >> 27;
+    rng_.seed(mixed);
+
+    priority_.clear();
+    change_points_.clear();
+    // d-1 change points uniform over the estimated schedule length.
+    for (int i = 0; i < depth_ - 1; ++i) {
+        change_points_.push_back(rng_() % (horizon_ > 1 ? horizon_ : 1));
+    }
+    std::sort(change_points_.begin(), change_points_.end());
+    // Demoted priorities count down below every initial priority.
+    next_demoted_priority_ = static_cast<std::uint64_t>(depth_);
+    steps_last_run_ = 0;
+}
+
+int PctStrategy::choose(std::size_t step, const std::vector<int>& eligible,
+                        int current) {
+    steps_last_run_ = step + 1;
+    // Initial priorities: random values well above the demotion range,
+    // assigned on first sight (thread creation order is deterministic).
+    for (int tid : eligible) {
+        if (priority_.find(tid) == priority_.end()) {
+            priority_[tid] = (rng_() >> 16) + (static_cast<std::uint64_t>(depth_) + 1);
+        }
+    }
+    if (std::binary_search(change_points_.begin(), change_points_.end(), step) &&
+        priority_.count(current) != 0 && next_demoted_priority_ > 0) {
+        priority_[current] = --next_demoted_priority_;
+    }
+    int best = eligible.front();
+    for (int tid : eligible) {
+        if (priority_[tid] > priority_[best]) {
+            best = tid;
+        }
+    }
+    return best;
+}
+
+bool PctStrategy::nextSchedule() {
+    if (steps_last_run_ + 1 > horizon_) {
+        horizon_ = steps_last_run_ + 1;
+    }
+    ++iteration_;
+    return iteration_ < iterations_;
+}
+
+// ---------------------------------------------------------------- Replay
+
+int ReplayStrategy::choose(std::size_t step, const std::vector<int>& eligible,
+                           int current) {
+    (void)current;
+    if (diverged_) {
+        return -1;
+    }
+    if (step >= trace_.events.size()) {
+        diverged_ = true;
+        divergence_ = "replay ran past the end of the trace (" +
+                      std::to_string(trace_.events.size()) + " events)";
+        return -1;
+    }
+    const int forced = trace_.events[step].tid;
+    if (!std::binary_search(eligible.begin(), eligible.end(), forced)) {
+        diverged_ = true;
+        std::ostringstream out;
+        out << "replay diverged at step " << step << ": trace schedules t" << forced
+            << " but eligible set is " << formatSet(eligible);
+        divergence_ = out.str();
+        return -1;
+    }
+    return forced;
+}
+
+}  // namespace wm::sched

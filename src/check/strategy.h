@@ -1,0 +1,143 @@
+#pragma once
+
+// Scheduling strategies for wm::sched. The Scheduler serialises a model run
+// into a sequence of decisions — "which thread executes its next operation"
+// — and delegates each decision to a Strategy:
+//
+//  * DfsStrategy: exhaustive depth-first enumeration of all interleavings
+//    whose number of *preemptions* (switching away from a thread that could
+//    have continued) stays within a bound. This is the CHESS insight: most
+//    concurrency bugs manifest with very few preemptions, so a small bound
+//    covers the interesting space while keeping it finite and tractable.
+//  * PctStrategy: probabilistic concurrency testing — random thread
+//    priorities plus d-1 seeded priority-change points per schedule, giving
+//    a mathematically lower-bounded probability of hitting any bug of
+//    depth <= d. For spaces too large to exhaust.
+//  * ReplayStrategy: forces the decision sequence recorded in a trace file,
+//    reproducing a failing schedule byte-for-byte.
+//
+// Strategies are deterministic: identical eligible sets produce identical
+// choices for the same internal state. DfsStrategy additionally records the
+// eligible set of every decision and reports divergence (a model body whose
+// behaviour differs under an identical forced prefix), which would otherwise
+// silently corrupt the exploration.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/trace.h"
+
+namespace wm::sched {
+
+class Strategy {
+  public:
+    virtual ~Strategy() = default;
+
+    /// Called before each schedule (including the first).
+    virtual void beginSchedule() {}
+
+    /// Picks the next thread to run from `eligible` (non-empty, ascending
+    /// tid order). `current` is the thread that executed the previous
+    /// operation; it may or may not be eligible. Returns -1 on divergence
+    /// (the scheduler turns that into a kNondeterminism failure).
+    virtual int choose(std::size_t step, const std::vector<int>& eligible,
+                       int current) = 0;
+
+    /// Advances to the next schedule; false ends the exploration.
+    virtual bool nextSchedule() = 0;
+
+    /// Human-readable reason after choose() returned -1.
+    virtual std::string divergenceMessage() const { return "schedule divergence"; }
+
+    /// True when nextSchedule() returned false because the bounded space
+    /// was fully enumerated (DFS only).
+    virtual bool exhausted() const { return false; }
+
+    /// Mode string for trace headers: "dfs" | "pct" | "replay".
+    virtual std::string mode() const = 0;
+};
+
+/// Exhaustive DFS with a preemption bound. Maintains a persistent decision
+/// stack across schedules; each schedule replays the forced prefix and takes
+/// the next untried alternative at the deepest frame with one available.
+class DfsStrategy final : public Strategy {
+  public:
+    /// `preemption_bound` < 0 means unbounded.
+    explicit DfsStrategy(int preemption_bound) : bound_(preemption_bound) {}
+
+    int choose(std::size_t step, const std::vector<int>& eligible,
+               int current) override;
+    bool nextSchedule() override;
+    bool exhausted() const override { return exhausted_; }
+    std::string mode() const override { return "dfs"; }
+    std::string divergenceMessage() const override { return divergence_; }
+
+  private:
+    struct Frame {
+        std::vector<int> eligible;
+        int current = -1;
+        std::vector<int> alts;  // exploration order: current-first, then by tid
+        std::size_t alt_idx = 0;
+        int preemptions_before = 0;  // preemptions in the prefix up to here
+    };
+
+    bool choiceIsPreemptive(const Frame& frame, int choice) const;
+
+    int bound_;
+    std::vector<Frame> stack_;
+    bool exhausted_ = false;
+    bool diverged_ = false;
+    std::string divergence_;
+};
+
+/// Probabilistic concurrency testing (Burckhardt et al.): each schedule
+/// assigns seeded random priorities; the highest-priority eligible thread
+/// always runs; d-1 random change points demote the running thread, forcing
+/// a preemption. Finds depth-d bugs with probability >= 1/(n * k^(d-1)).
+class PctStrategy final : public Strategy {
+  public:
+    PctStrategy(std::uint64_t seed, std::size_t iterations, int depth)
+        : base_seed_(seed), iterations_(iterations),
+          depth_(depth < 1 ? 1 : depth) {}
+
+    void beginSchedule() override;
+    int choose(std::size_t step, const std::vector<int>& eligible,
+               int current) override;
+    bool nextSchedule() override;
+    std::string mode() const override { return "pct"; }
+
+  private:
+    std::uint64_t base_seed_;
+    std::size_t iterations_;
+    int depth_;
+
+    std::size_t iteration_ = 0;
+    std::mt19937_64 rng_;
+    std::unordered_map<int, std::uint64_t> priority_;
+    std::vector<std::size_t> change_points_;
+    std::uint64_t next_demoted_priority_ = 0;
+    std::size_t steps_last_run_ = 0;
+    std::size_t horizon_ = 64;  // schedule-length estimate for change points
+};
+
+/// Forces the decision sequence of a recorded trace.
+class ReplayStrategy final : public Strategy {
+  public:
+    explicit ReplayStrategy(Trace trace) : trace_(std::move(trace)) {}
+
+    int choose(std::size_t step, const std::vector<int>& eligible,
+               int current) override;
+    bool nextSchedule() override { return false; }
+    std::string mode() const override { return "replay"; }
+    std::string divergenceMessage() const override { return divergence_; }
+
+  private:
+    Trace trace_;
+    bool diverged_ = false;
+    std::string divergence_;
+};
+
+}  // namespace wm::sched

@@ -1,0 +1,156 @@
+#include "check/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace wm::sched {
+
+namespace {
+
+struct OpNameEntry {
+    Op op;
+    const char* name;
+};
+
+constexpr OpNameEntry kOpNames[] = {
+    {Op::kStart, "start"},
+    {Op::kExit, "exit"},
+    {Op::kSpawn, "spawn"},
+    {Op::kJoin, "join"},
+    {Op::kLock, "lock"},
+    {Op::kUnlock, "unlock"},
+    {Op::kLockShared, "lock_shared"},
+    {Op::kUnlockShared, "unlock_shared"},
+    {Op::kCvWaitBegin, "cv_wait"},
+    {Op::kCvWaitResume, "cv_resume"},
+    {Op::kCvNotify, "cv_notify"},
+    {Op::kYield, "yield"},
+    {Op::kSleep, "sleep"},
+    {Op::kSharedRead, "read"},
+    {Op::kSharedWrite, "write"},
+};
+
+bool opFromName(const std::string& name, Op* out) {
+    for (const auto& entry : kOpNames) {
+        if (name == entry.name) {
+            *out = entry.op;
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+const char* opName(Op op) {
+    for (const auto& entry : kOpNames) {
+        if (entry.op == op) {
+            return entry.name;
+        }
+    }
+    return "?";
+}
+
+std::string Trace::serialize() const {
+    std::ostringstream out;
+    out << "# wm-sched-trace v1\n";
+    out << "# test=" << test << " mode=" << mode << " seed=" << seed
+        << " preemption_bound=" << preemption_bound << "\n";
+    if (!failure.empty()) {
+        out << "# failure=" << failure << "\n";
+    }
+    std::size_t step = 0;
+    for (const auto& event : events) {
+        out << step++ << " t" << event.tid << " " << opName(event.op);
+        if (!event.object.empty()) {
+            out << " obj=" << event.object;
+        }
+        if (event.arg >= 0) {
+            out << " arg=" << event.arg;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+bool Trace::parse(const std::string& text, Trace* out, std::string* error) {
+    *out = Trace{};
+    std::istringstream in(text);
+    std::string line;
+    bool saw_magic = false;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) {
+            continue;
+        }
+        if (line[0] == '#') {
+            if (line.find("wm-sched-trace") != std::string::npos) {
+                saw_magic = true;
+                continue;
+            }
+            // Header key=value pairs.
+            std::istringstream header(line.substr(1));
+            std::string token;
+            while (header >> token) {
+                auto eq = token.find('=');
+                if (eq == std::string::npos) {
+                    continue;
+                }
+                const std::string key = token.substr(0, eq);
+                const std::string value = token.substr(eq + 1);
+                if (key == "test") {
+                    out->test = value;
+                } else if (key == "mode") {
+                    out->mode = value;
+                } else if (key == "seed") {
+                    out->seed = std::strtoull(value.c_str(), nullptr, 10);
+                } else if (key == "preemption_bound") {
+                    out->preemption_bound = std::atoi(value.c_str());
+                } else if (key == "failure") {
+                    out->failure = value;
+                }
+            }
+            continue;
+        }
+        // Event line: <step> t<tid> <op> [obj=...] [arg=...]
+        std::istringstream ev(line);
+        std::size_t step = 0;
+        std::string tid_token;
+        std::string op_token;
+        if (!(ev >> step >> tid_token >> op_token) || tid_token.size() < 2 ||
+            tid_token[0] != 't') {
+            if (error) {
+                *error = "malformed trace line " + std::to_string(line_no) + ": " + line;
+            }
+            return false;
+        }
+        TraceEvent event;
+        event.tid = std::atoi(tid_token.c_str() + 1);
+        if (!opFromName(op_token, &event.op)) {
+            if (error) {
+                *error = "unknown op '" + op_token + "' on trace line " +
+                         std::to_string(line_no);
+            }
+            return false;
+        }
+        std::string extra;
+        while (ev >> extra) {
+            if (extra.rfind("obj=", 0) == 0) {
+                event.object = extra.substr(4);
+            } else if (extra.rfind("arg=", 0) == 0) {
+                event.arg = std::strtoll(extra.c_str() + 4, nullptr, 10);
+            }
+        }
+        out->events.push_back(std::move(event));
+    }
+    if (!saw_magic) {
+        if (error) {
+            *error = "missing wm-sched-trace header";
+        }
+        return false;
+    }
+    return true;
+}
+
+}  // namespace wm::sched

@@ -1,0 +1,69 @@
+#pragma once
+
+// Compact schedule-trace format for wm::sched. A trace is the sequence of
+// scheduling decisions of one explored schedule: one line per decision,
+// carrying the chosen thread and the operation it executed. A failing
+// schedule serialised to this format replays byte-for-byte: feeding the
+// file back (Model::Options::replay_trace, or the test binary's
+// --wm-sched-replay flag) forces the scheduler to re-make exactly the same
+// choices, reproducing the failure deterministically.
+//
+//   # wm-sched-trace v1
+//   # test=broker_publish_vs_subscribe mode=dfs seed=0 preemption_bound=2
+//   # failure=deadlock
+//   0 t0 start
+//   1 t0 spawn obj=publisher
+//   2 t1 lock obj=Broker.subscriptions
+//   ...
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wm::sched {
+
+enum class Op : std::uint8_t {
+    kStart,         // first scheduling of a thread
+    kExit,          // thread body finished
+    kSpawn,         // wm::common::Thread construction
+    kJoin,          // wm::common::Thread::join
+    kLock,          // Mutex/SharedMutex exclusive acquire
+    kUnlock,        // exclusive release
+    kLockShared,    // SharedMutex shared acquire
+    kUnlockShared,  // shared release
+    kCvWaitBegin,   // condition wait: release mutex, start waiting
+    kCvWaitResume,  // condition wait: woken (or timed out), mutex reacquired
+    kCvNotify,      // notify_one / notify_all
+    kYield,         // Thread::yield
+    kSleep,         // Thread::sleepFor completed (virtual time reached)
+    kSharedRead,    // Shared<T> load
+    kSharedWrite,   // Shared<T> store / read-modify-write
+};
+
+const char* opName(Op op);
+
+/// One executed scheduling decision.
+struct TraceEvent {
+    int tid = -1;
+    Op op = Op::kYield;
+    std::string object;      // mutex/cv/cell/thread name, "" if n/a
+    std::int64_t arg = -1;   // op-specific: timeout flag, notify count, ...
+};
+
+struct Trace {
+    std::string test;
+    std::string mode;            // dfs | pct | replay
+    std::uint64_t seed = 0;
+    int preemption_bound = -1;   // -1 = unbounded / n/a
+    std::string failure;         // failure kind string, "" when passing
+    std::vector<TraceEvent> events;
+
+    std::string serialize() const;
+
+    /// Parses a serialized trace; returns false (with `error` set) on
+    /// malformed input. Unknown header keys are ignored so the format can
+    /// grow.
+    static bool parse(const std::string& text, Trace* out, std::string* error);
+};
+
+}  // namespace wm::sched

@@ -20,6 +20,7 @@
 #include <shared_mutex>
 
 #include "common/lock_order.h"
+#include "common/sched_hooks.h"
 #include "common/thread_annotations.h"
 
 #if defined(__SANITIZE_THREAD__)
@@ -53,11 +54,25 @@ class WM_CAPABILITY("mutex") Mutex {
 #endif
 
     void lock() WM_ACQUIRE() {
+        // Model threads acquire virtually: the checker serialises execution,
+        // so mutual exclusion holds without touching the real mutex (which
+        // would block a suspended owner at the OS level, outside the
+        // scheduler's control).
+        if (auto* hooks = schedhooks::current()) {
+            hooks->mutexLock(this, name_, /*shared=*/false);
+            lockorder::onAcquire(this, name_, rank_);
+            return;
+        }
         lockorder::onAcquire(this, name_, rank_);
         mutex_.lock();
     }
 
     void unlock() WM_RELEASE() {
+        if (auto* hooks = schedhooks::current()) {
+            lockorder::onRelease(this);
+            hooks->mutexUnlock(this, /*shared=*/false);
+            return;
+        }
         mutex_.unlock();
         lockorder::onRelease(this);
     }
@@ -82,21 +97,41 @@ class WM_CAPABILITY("shared_mutex") SharedMutex {
     SharedMutex& operator=(const SharedMutex&) = delete;
 
     void lock() WM_ACQUIRE() {
+        if (auto* hooks = schedhooks::current()) {
+            hooks->mutexLock(this, name_, /*shared=*/false);
+            lockorder::onAcquire(this, name_, rank_);
+            return;
+        }
         lockorder::onAcquire(this, name_, rank_);
         mutex_.lock();
     }
 
     void unlock() WM_RELEASE() {
+        if (auto* hooks = schedhooks::current()) {
+            lockorder::onRelease(this);
+            hooks->mutexUnlock(this, /*shared=*/false);
+            return;
+        }
         mutex_.unlock();
         lockorder::onRelease(this);
     }
 
     void lock_shared() WM_ACQUIRE_SHARED() {
+        if (auto* hooks = schedhooks::current()) {
+            hooks->mutexLock(this, name_, /*shared=*/true);
+            lockorder::onAcquire(this, name_, rank_);
+            return;
+        }
         lockorder::onAcquire(this, name_, rank_);
         mutex_.lock_shared();
     }
 
     void unlock_shared() WM_RELEASE_SHARED() {
+        if (auto* hooks = schedhooks::current()) {
+            lockorder::onRelease(this);
+            hooks->mutexUnlock(this, /*shared=*/true);
+            return;
+        }
         mutex_.unlock_shared();
         lockorder::onRelease(this);
     }
@@ -157,16 +192,47 @@ class WM_SCOPED_CAPABILITY ReadLock {
 /// through the wrapper, so lock-order tracking stays balanced across waits.
 class ConditionVariable {
   public:
-    void notify_one() noexcept { cv_.notify_one(); }
-    void notify_all() noexcept { cv_.notify_all(); }
+    void notify_one() {
+        if (auto* hooks = schedhooks::current()) {
+            hooks->cvNotify(this, /*notify_all=*/false);
+            return;
+        }
+        cv_.notify_one();
+    }
+
+    void notify_all() {
+        if (auto* hooks = schedhooks::current()) {
+            hooks->cvNotify(this, /*notify_all=*/true);
+            return;
+        }
+        cv_.notify_all();
+    }
 
     /// Caller must hold `mutex`; write the predicate loop at the call site.
-    void wait(Mutex& mutex) WM_REQUIRES(mutex) { cv_.wait(mutex); }
+    void wait(Mutex& mutex) WM_REQUIRES(mutex) {
+        if (auto* hooks = schedhooks::current()) {
+            // Mirror what a real condition wait does to the held-lock stack:
+            // the mutex is released for the duration of the wait.
+            lockorder::onRelease(&mutex);
+            hooks->cvWait(this, &mutex, mutex.name());
+            lockorder::onAcquire(&mutex, mutex.name(), mutex.rank());
+            return;
+        }
+        cv_.wait(mutex);
+    }
 
     template <typename Rep, typename Period>
     std::cv_status wait_for(Mutex& mutex,
                             const std::chrono::duration<Rep, Period>& timeout)
         WM_REQUIRES(mutex) {
+        if (auto* hooks = schedhooks::current()) {
+            lockorder::onRelease(&mutex);
+            const bool timed_out = hooks->cvWaitFor(
+                this, &mutex, mutex.name(),
+                std::chrono::duration_cast<std::chrono::nanoseconds>(timeout).count());
+            lockorder::onAcquire(&mutex, mutex.name(), mutex.rank());
+            return timed_out ? std::cv_status::timeout : std::cv_status::no_timeout;
+        }
         return cv_.wait_for(mutex, timeout);
     }
 

@@ -1,0 +1,11 @@
+#include "common/sched_hooks.h"
+
+namespace wm::common::schedhooks {
+
+#ifdef WM_SCHED_CHECK
+namespace detail {
+thread_local ModelHooks* t_current = nullptr;
+}  // namespace detail
+#endif
+
+}  // namespace wm::common::schedhooks

@@ -1,0 +1,94 @@
+#pragma once
+
+// Schedule-point seam between the concurrency primitives in src/common/ and
+// the wm::sched deterministic model checker (src/check/). When a model-check
+// run is active, every thread participating in the run carries a thread-local
+// pointer to the checker's hook table; wm::common::Mutex, SharedMutex,
+// ConditionVariable and Thread divert their operations through it so the
+// checker can (a) serialise execution under a controlled scheduler and
+// (b) virtualise ownership — the real OS primitives are never touched by
+// model threads, mutual exclusion being guaranteed by the one-runnable-thread
+// discipline instead.
+//
+// Cost when inactive: one thread-local load and a predictable branch per
+// operation (the pointer is null for every thread outside a model run).
+// Builds configured with -DWM_SCHED=OFF compile the hooks away entirely —
+// current() becomes a constant nullptr and every call site folds to the
+// plain primitive.
+//
+// src/common/ must not depend on src/check/ (wm_sched links against
+// wm_common, not the other way around), hence this pure-interface header:
+// the checker implements ModelHooks and installs itself via setCurrent()
+// from the trampoline of each model thread.
+
+#include <cstdint>
+#include <functional>
+
+namespace wm::common::schedhooks {
+
+/// Implemented by wm::sched::Scheduler. Every method is invoked from the
+/// *current* model thread at a schedule point; the implementation may block
+/// the calling thread (parking it while other model threads are scheduled)
+/// and returns once the operation has been performed virtually. The real
+/// primitive must NOT be touched afterwards.
+class ModelHooks {
+  public:
+    virtual ~ModelHooks() = default;
+
+    /// Acquire `mutex` (exclusive, or shared for the reader side of a
+    /// SharedMutex). Blocks under the model scheduler until the virtual
+    /// ownership is granted.
+    virtual void mutexLock(const void* mutex, const char* name, bool shared) = 0;
+    /// Release the virtual ownership taken by mutexLock.
+    virtual void mutexUnlock(const void* mutex, bool shared) = 0;
+
+    /// Condition wait: atomically releases the virtual `mutex`, blocks until
+    /// a virtual notify targets this waiter, then reacquires `mutex`.
+    virtual void cvWait(const void* cv, const void* mutex, const char* mutex_name) = 0;
+    /// Timed variant; virtual time advances to the deadline when the system
+    /// would otherwise be idle. Returns true when the wait timed out.
+    virtual bool cvWaitFor(const void* cv, const void* mutex, const char* mutex_name,
+                           std::int64_t timeout_ns) = 0;
+    virtual void cvNotify(const void* cv, bool notify_all) = 0;
+
+    /// Called by wm::common::Thread's constructor on the spawning model
+    /// thread: registers a child model thread and rewraps `body` in the
+    /// checker's trampoline (registration, parking, exit protocol). Returns
+    /// an opaque token for threadJoin().
+    virtual std::uint64_t threadSpawn(std::function<void()>& body, const char* name) = 0;
+    /// Blocks (under model scheduling) until the child identified by
+    /// `token` has finished executing its body.
+    virtual void threadJoin(std::uint64_t token) = 0;
+
+    /// Pure schedule point (wm::common::Thread::yield).
+    virtual void yield() = 0;
+    /// Virtual sleep: the thread becomes runnable once the model clock has
+    /// advanced past now + ns.
+    virtual void sleepFor(std::int64_t ns) = 0;
+
+    /// Declared shared-memory access (wm::sched::Shared<T>): a schedule
+    /// point plus vector-clock data-race detection on the cell.
+    virtual void sharedAccess(const void* cell, const char* name, bool write) = 0;
+};
+
+#ifdef WM_SCHED_CHECK
+
+namespace detail {
+extern thread_local ModelHooks* t_current;
+}  // namespace detail
+
+/// The active hook table of the calling thread; nullptr for every thread
+/// not participating in a model-check run.
+inline ModelHooks* current() noexcept { return detail::t_current; }
+
+/// Installed/cleared by the checker's thread trampolines.
+inline void setCurrent(ModelHooks* hooks) noexcept { detail::t_current = hooks; }
+
+#else  // !WM_SCHED_CHECK
+
+inline constexpr ModelHooks* current() noexcept { return nullptr; }
+inline void setCurrent(ModelHooks*) noexcept {}
+
+#endif
+
+}  // namespace wm::common::schedhooks

@@ -15,7 +15,7 @@ TimestampNs alignToGrid(TimestampNs now, TimestampNs interval) {
 }  // namespace
 
 PeriodicScheduler::PeriodicScheduler(ThreadPool& pool) : pool_(pool) {
-    timer_thread_ = std::thread([this] { timerLoop(); });
+    timer_thread_ = Thread([this] { timerLoop(); }, "PeriodicScheduler.timer");
 }
 
 PeriodicScheduler::~PeriodicScheduler() {

@@ -10,10 +10,10 @@
 #include <functional>
 #include <map>
 #include <queue>
-#include <thread>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/thread.h"
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
 
@@ -75,7 +75,7 @@ class PeriodicScheduler {
         WM_GUARDED_BY(mutex_);
     TaskId next_id_ WM_GUARDED_BY(mutex_) = 1;
     bool stopping_ WM_GUARDED_BY(mutex_) = false;
-    std::thread timer_thread_;  // started in the constructor, joined in stop()
+    Thread timer_thread_;  // started in the constructor, joined in stop()
 };
 
 }  // namespace wm::common

@@ -1,0 +1,99 @@
+#pragma once
+
+// wm::common::Thread — the only sanctioned way to spawn a thread outside
+// src/common/ (enforced by tools/lint.py rule `raw-thread`). A thin wrapper
+// over std::thread with std::thread semantics (terminate on destruction
+// while joinable), plus one extra property: when the *spawning* thread is
+// part of a wm::sched model-check run, the child is registered with the
+// checker and its body is rewrapped in the checker's trampoline, so the
+// child becomes a controlled model thread too. Outside model runs the
+// wrapper is a plain std::thread.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "common/sched_hooks.h"
+
+namespace wm::common {
+
+class Thread {
+  public:
+    Thread() noexcept = default;
+
+    /// Spawns a thread running `body`. `name` is a static string used in
+    /// model-checker traces and failure reports; it is ignored outside
+    /// model runs.
+    explicit Thread(std::function<void()> body, const char* name = "thread") {
+        if (auto* hooks = schedhooks::current()) {
+            model_token_ = hooks->threadSpawn(body, name);
+        }
+        thread_ = std::thread(std::move(body));
+    }
+
+    Thread(Thread&& other) noexcept
+        : thread_(std::move(other.thread_)), model_token_(other.model_token_) {
+        other.model_token_ = 0;
+    }
+
+    Thread& operator=(Thread&& other) {
+        thread_ = std::move(other.thread_);  // terminates if *this is joinable
+        model_token_ = other.model_token_;
+        other.model_token_ = 0;
+        return *this;
+    }
+
+    Thread(const Thread&) = delete;
+    Thread& operator=(const Thread&) = delete;
+
+    bool joinable() const noexcept { return thread_.joinable(); }
+
+    void join() {
+        if (model_token_ != 0) {
+            if (auto* hooks = schedhooks::current()) {
+                hooks->threadJoin(model_token_);
+            }
+            model_token_ = 0;
+        }
+        thread_.join();
+    }
+
+    void detach() {
+        model_token_ = 0;
+        thread_.detach();
+    }
+
+    std::thread::id getId() const noexcept { return thread_.get_id(); }
+
+    static unsigned hardwareConcurrency() noexcept {
+        return std::thread::hardware_concurrency();
+    }
+
+    /// Schedule point under a model run; std::this_thread::yield otherwise.
+    static void yield() {
+        if (auto* hooks = schedhooks::current()) {
+            hooks->yield();
+            return;
+        }
+        std::this_thread::yield();
+    }
+
+    /// Virtual sleep under a model run (the model clock advances only when
+    /// nothing else is runnable); a real sleep otherwise.
+    template <typename Rep, typename Period>
+    static void sleepFor(std::chrono::duration<Rep, Period> duration) {
+        if (auto* hooks = schedhooks::current()) {
+            hooks->sleepFor(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(duration).count());
+            return;
+        }
+        std::this_thread::sleep_for(duration);
+    }
+
+  private:
+    std::thread thread_;
+    std::uint64_t model_token_ = 0;
+};
+
+}  // namespace wm::common

@@ -6,7 +6,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     if (num_threads == 0) num_threads = 1;
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this] { workerLoop(); }, "ThreadPool.worker");
     }
 }
 

@@ -15,17 +15,17 @@
 #include <future>
 #include <memory>
 #include <queue>
-#include <thread>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/thread.h"
 
 namespace wm::common {
 
 class ThreadPool {
   public:
     /// Creates `num_threads` workers (at least 1).
-    explicit ThreadPool(std::size_t num_threads = std::thread::hardware_concurrency());
+    explicit ThreadPool(std::size_t num_threads = Thread::hardwareConcurrency());
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -65,7 +65,7 @@ class ThreadPool {
     ConditionVariable cv_;
     ConditionVariable idle_cv_;
     std::queue<std::function<void()>> tasks_ WM_GUARDED_BY(mutex_);
-    std::vector<std::thread> workers_;  // written only in the constructor
+    std::vector<Thread> workers_;  // written only in the constructor
     std::size_t active_ WM_GUARDED_BY(mutex_) = 0;
     bool stopping_ WM_GUARDED_BY(mutex_) = false;
 };

@@ -24,7 +24,7 @@ void Supervisor::start() {
         stop_requested_ = false;
         running_.store(true, std::memory_order_release);
     }
-    thread_ = std::thread([this] { threadMain(); });
+    thread_ = common::Thread([this] { threadMain(); }, "Supervisor");
 }
 
 void Supervisor::stop() {

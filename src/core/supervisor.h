@@ -21,7 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <thread>
+#include "common/thread.h"
 #include <vector>
 
 #include "common/mutex.h"
@@ -119,7 +119,7 @@ class Supervisor {
     std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> restarts_total_{0};
     std::atomic<std::uint64_t> failed_restarts_total_{0};
-    std::thread thread_;
+    common::Thread thread_;
 };
 
 }  // namespace wm::core

@@ -145,7 +145,7 @@ void Broker::recordDeliveryOutcomes(const std::vector<SubscriptionId>& failed,
 }
 
 AsyncBroker::AsyncBroker(std::size_t max_queue) : max_queue_(max_queue) {
-    dispatcher_ = std::thread([this] { dispatchLoop(); });
+    dispatcher_ = common::Thread([this] { dispatchLoop(); }, "AsyncBroker.dispatcher");
 }
 
 AsyncBroker::~AsyncBroker() {

@@ -20,7 +20,7 @@
 #include <cstdint>
 #include <queue>
 #include <string>
-#include <thread>
+#include "common/thread.h"
 #include <unordered_map>
 #include <vector>
 
@@ -129,7 +129,7 @@ class AsyncBroker final : public Broker {
     std::size_t max_queue_;  // immutable after construction
     bool stopping_ WM_GUARDED_BY(queue_mutex_) = false;
     bool dispatching_ WM_GUARDED_BY(queue_mutex_) = false;
-    std::thread dispatcher_;
+    common::Thread dispatcher_;
 };
 
 }  // namespace wm::mqtt

@@ -106,7 +106,7 @@ bool HttpServer::start(std::uint16_t port) {
     port_ = ntohs(addr.sin_port);
     listen_fd_.store(fd);
     running_.store(true);
-    acceptor_ = std::thread([this] { acceptLoop(); });
+    acceptor_ = common::Thread([this] { acceptLoop(); }, "HttpServer.acceptor");
     WM_LOG(kInfo, "rest") << "HTTP server listening on 127.0.0.1:" << port_;
     return true;
 }
@@ -146,7 +146,8 @@ void HttpServer::acceptLoop() {
             }
             workers_.clear();
         }
-        workers_.emplace_back([this, fd] { handleConnection(fd); });
+        workers_.emplace_back([this, fd] { handleConnection(fd); },
+                              "HttpServer.worker");
     }
 }
 

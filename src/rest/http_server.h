@@ -10,10 +10,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/thread.h"
 #include "rest/router.h"
 
 namespace wm::rest {
@@ -50,9 +50,9 @@ class HttpServer {
     // observes running_ == false.
     std::atomic<int> listen_fd_{-1};
     std::uint16_t port_ = 0;
-    std::thread acceptor_;
+    common::Thread acceptor_;
     common::Mutex workers_mutex_{"HttpServer.workers", common::LockRank::kHttpServer};
-    std::vector<std::thread> workers_ WM_GUARDED_BY(workers_mutex_);
+    std::vector<common::Thread> workers_ WM_GUARDED_BY(workers_mutex_);
     std::atomic<std::uint64_t> requests_{0};
 };
 

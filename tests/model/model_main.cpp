@@ -1,0 +1,48 @@
+// Custom gtest main for the model-check suite (ctest label `model`).
+//
+// The only difference from gtest_main: the binary understands
+// `--wm-sched-replay <trace>` (or the WM_SCHED_REPLAY environment
+// variable). A replay file turns the matching Model::run into a single
+// deterministic re-execution of the recorded schedule — the debugging
+// workflow for a failing trace artifact (docs/STATIC_ANALYSIS.md):
+//
+//   ./test_model_suite --wm-sched-replay subsystem_broker.trace
+//       --gtest_filter='ModelSubsystem.Broker*'
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/model.h"
+#include "common/logging.h"
+
+int main(int argc, char** argv) {
+    std::vector<char*> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--wm-sched-replay") == 0 && i + 1 < argc) {
+            wm::sched::setGlobalReplayFile(argv[++i]);
+        } else if (std::strncmp(argv[i], "--wm-sched-replay=", 18) == 0) {
+            wm::sched::setGlobalReplayFile(argv[i] + 18);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    if (wm::sched::globalReplayFile().empty()) {
+        if (const char* env = std::getenv("WM_SCHED_REPLAY")) {
+            if (*env != '\0') wm::sched::setGlobalReplayFile(env);
+        }
+    }
+    args.push_back(nullptr);
+    int filtered_argc = static_cast<int>(args.size()) - 1;
+
+    // Model bodies re-run hundreds to thousands of times; per-schedule INFO
+    // logs (supervisor restarts, server lifecycles) would drown the output.
+    wm::common::Logger::instance().setLevel(wm::common::LogLevel::kError);
+
+    ::testing::InitGoogleTest(&filtered_argc, args.data());
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,189 @@
+// Golden-bug corpus for wm-sched, mirroring the bad-config corpus idiom of
+// wm-check: each test plants a known concurrency bug behind a
+// fault-injection flag and asserts the checker finds it with a replayable
+// trace — and that the same code with the fault disarmed verifies clean.
+//
+// Bugs planted:
+//  * model.golden.abba        — lock-order inversion (ABBA deadlock) on two
+//                               kUnranked mutexes (exempt from the runtime
+//                               rank checker, so only wm-sched can see it);
+//  * model.golden.lost_wakeup — producer sets the predicate but skips the
+//                               notify, stranding an untimed waiter.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "check/assert.h"
+#include "check/model.h"
+#include "check/shared.h"
+#include "common/fault.h"
+#include "common/mutex.h"
+#include "common/thread.h"
+
+namespace wm {
+namespace {
+
+sched::Options goldenOptions(const std::string& name, int preemption_bound) {
+    sched::Options options;
+    options.name = name;
+    options.preemption_bound = preemption_bound;
+    options.trace_dir = ::testing::TempDir();
+    return options;
+}
+
+// The ABBA body: t1 always locks A then B; t2 inverts the order only when
+// the fault point fires. kAlways triggers keep every schedule identical.
+void abbaBody() {
+    common::Mutex mutex_a("golden.A");
+    common::Mutex mutex_b("golden.B");
+    const bool inverted = static_cast<bool>(common::fault::check("model.golden.abba"));
+    common::Thread t1(
+        [&] {
+            common::MutexLock lock_a(mutex_a);
+            common::Thread::yield();
+            common::MutexLock lock_b(mutex_b);
+        },
+        "t1");
+    common::Thread t2(
+        [&] {
+            if (inverted) {
+                common::MutexLock lock_b(mutex_b);
+                common::Thread::yield();
+                common::MutexLock lock_a(mutex_a);
+            } else {
+                common::MutexLock lock_a(mutex_a);
+                common::Thread::yield();
+                common::MutexLock lock_b(mutex_b);
+            }
+        },
+        "t2");
+    t1.join();
+    t2.join();
+}
+
+TEST(ModelGolden, AbbaDeadlockFoundAndReplayable) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    common::fault::FaultInjector injector;
+    ASSERT_TRUE(injector.armFromText("model.golden.abba", "fail"));
+    common::fault::ScopedInjector guard(injector);
+
+    // The deadlocking interleaving needs two preemptions (t1 between its
+    // lock(A) and lock(B), t2 between its lock(B) and lock(A)).
+    const auto result =
+        sched::check(goldenOptions("golden.abba_deadlock", 2), abbaBody);
+    ASSERT_FALSE(result.ok) << "checker missed the planted ABBA deadlock";
+    EXPECT_EQ(result.failure, sched::FailureKind::kDeadlock);
+    EXPECT_NE(result.message.find("golden."), std::string::npos) << result.message;
+    ASSERT_FALSE(result.trace.empty());
+    ASSERT_FALSE(result.trace_path.empty());
+    EXPECT_TRUE(std::ifstream(result.trace_path).good());
+
+    // The trace replays to the same deadlock, deterministically.
+    auto replay = goldenOptions("golden.abba_deadlock", 2);
+    replay.mode = sched::Options::Mode::kReplay;
+    replay.replay_trace = result.trace_path;
+    const auto replayed = sched::check(replay, abbaBody);
+    EXPECT_FALSE(replayed.ok);
+    EXPECT_EQ(replayed.failure, sched::FailureKind::kDeadlock);
+    EXPECT_EQ(replayed.schedules, 1u);
+}
+
+TEST(ModelGolden, AbbaBodyVerifiesCleanWithoutFault) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    // No injector installed: both threads lock A then B — no inversion.
+    const auto result =
+        sched::check(goldenOptions("golden.abba_clean", 2), abbaBody);
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_GT(result.schedules, 1u);
+}
+
+// The lost-wakeup body: consumer waits for `ready` under the mutex; the
+// producer sets it but — when the fault fires — forgets the notify.
+void lostWakeupBody() {
+    common::Mutex mutex("golden.lw");
+    common::ConditionVariable cv;
+    sched::Shared<int> ready(0, "golden.ready");
+    const bool skip_notify =
+        static_cast<bool>(common::fault::check("model.golden.lost_wakeup"));
+    common::Thread consumer(
+        [&] {
+            common::MutexLock lock(mutex);
+            while (ready.load() == 0) {
+                cv.wait(mutex);
+            }
+        },
+        "consumer");
+    common::Thread producer(
+        [&] {
+            common::MutexLock lock(mutex);
+            ready.store(1);
+            if (!skip_notify) {
+                cv.notify_one();
+            }
+        },
+        "producer");
+    consumer.join();
+    producer.join();
+    WM_MODEL_CHECK(ready.load() == 1);
+}
+
+TEST(ModelGolden, LostWakeupFoundAndReplayable) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    common::fault::FaultInjector injector;
+    ASSERT_TRUE(injector.armFromText("model.golden.lost_wakeup", "fail"));
+    common::fault::ScopedInjector guard(injector);
+
+    const auto result =
+        sched::check(goldenOptions("golden.lost_wakeup", 2), lostWakeupBody);
+    ASSERT_FALSE(result.ok) << "checker missed the planted lost wakeup";
+    EXPECT_EQ(result.failure, sched::FailureKind::kLostWakeup);
+    ASSERT_FALSE(result.trace_path.empty());
+
+    auto replay = goldenOptions("golden.lost_wakeup", 2);
+    replay.mode = sched::Options::Mode::kReplay;
+    replay.replay_trace = result.trace_path;
+    const auto replayed = sched::check(replay, lostWakeupBody);
+    EXPECT_FALSE(replayed.ok);
+    EXPECT_EQ(replayed.failure, sched::FailureKind::kLostWakeup);
+}
+
+TEST(ModelGolden, LostWakeupBodyVerifiesCleanWithoutFault) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    const auto result =
+        sched::check(goldenOptions("golden.lost_wakeup_clean", 2), lostWakeupBody);
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_TRUE(result.exhausted);
+    // The guarded Shared<int> accesses never report: mutex edges order them.
+    EXPECT_GT(result.schedules, 1u);
+}
+
+// Unsynchronised counter increments: the planted data race the acceptance
+// criteria call for, found by the vector-clock detector and reproducible
+// from the written trace.
+TEST(ModelGolden, DataRaceFoundAndReplayable) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    const auto body = [] {
+        sched::Shared<int> hits(0, "golden.hits");
+        common::Thread a([&] { hits.fetchAdd(1); }, "a");
+        common::Thread b([&] { hits.fetchAdd(1); }, "b");
+        a.join();
+        b.join();
+    };
+    const auto result = sched::check(goldenOptions("golden.race", 2), body);
+    ASSERT_FALSE(result.ok) << "checker missed the planted data race";
+    EXPECT_EQ(result.failure, sched::FailureKind::kDataRace);
+    ASSERT_FALSE(result.trace_path.empty());
+
+    auto replay = goldenOptions("golden.race", 2);
+    replay.mode = sched::Options::Mode::kReplay;
+    replay.replay_trace = result.trace_path;
+    const auto replayed = sched::check(replay, body);
+    EXPECT_FALSE(replayed.ok);
+    EXPECT_EQ(replayed.failure, sched::FailureKind::kDataRace);
+}
+
+}  // namespace
+}  // namespace wm

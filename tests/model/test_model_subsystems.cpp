@@ -1,0 +1,264 @@
+// Model checks of the framework's crown-jewel concurrent paths, run under
+// wm::sched exhaustive exploration. Every test states its preemption bound,
+// asserts the checker exhausted the bounded interleaving space
+// (result.exhausted), and checks invariants that must hold under EVERY
+// schedule — most importantly the PR5 exactly-once-storage dedup contract.
+//
+// Model-test determinism rules (docs/STATIC_ANALYSIS.md):
+//  * all mutable state is created fresh inside the body, per schedule;
+//  * topic interning against the process-wide TopicTable is warmed up by
+//    one plain run of the body before exploration (interning is
+//    append-only process state, so the first schedule would otherwise take
+//    different lock paths than later ones);
+//  * timestamps come from common::nowNs(), which the checker pins to a
+//    fixed virtual epoch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#include "check/assert.h"
+#include "check/model.h"
+#include "collectagent/collect_agent.h"
+#include "common/mutex.h"
+#include "common/thread.h"
+#include "common/time_utils.h"
+#include "core/supervisor.h"
+#include "mqtt/broker.h"
+#include "sensors/sensor_cache.h"
+#include "sensors/topic_table.h"
+#include "storage/storage_backend.h"
+#include "test_fixtures.h"
+
+namespace wm {
+namespace {
+
+sched::Options subsystemOptions(const std::string& name, int preemption_bound) {
+    sched::Options options;
+    options.name = name;
+    options.preemption_bound = preemption_bound;
+    options.trace_dir = ::testing::TempDir();
+    return options;
+}
+
+// Broker: a publisher delivering two messages races subscription churn and
+// the eviction of a dead (throwing) subscriber. The stable wildcard
+// subscriber must see both messages and the dead one must be evicted after
+// its single-failure budget, under every interleaving.
+TEST(ModelSubsystem, BrokerPublishVsSubscribeVsEviction) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    const auto result = sched::check(
+        subsystemOptions("subsystem.broker", 2), [] {
+            mqtt::Broker broker;
+            broker.setSubscriberFailureBudget(1);
+            std::atomic<int> stable_hits{0};
+            broker.subscribe("/m/#", [&](const mqtt::Message&) {
+                stable_hits.fetch_add(1, std::memory_order_relaxed);
+            });
+            broker.subscribe("/m/a", [](const mqtt::Message&) {
+                throw std::runtime_error("dead subscriber");
+            });
+            common::Thread publisher(
+                [&] {
+                    WM_MODEL_CHECK(broker.publish({"/m/a", {{1, 1.0}}}) >= 1);
+                    WM_MODEL_CHECK(broker.publish({"/m/a", {{2, 2.0}}}) >= 1);
+                },
+                "publisher");
+            common::Thread churn(
+                [&] {
+                    const auto id =
+                        broker.subscribe("/m/b", [](const mqtt::Message&) {});
+                    WM_MODEL_CHECK(id != 0u);
+                    WM_MODEL_CHECK(broker.unsubscribe(id));
+                },
+                "churn");
+            publisher.join();
+            churn.join();
+            WM_MODEL_CHECK_MSG(stable_hits.load() == 2,
+                               "stable subscriber saw " << stable_hits.load());
+            WM_MODEL_CHECK(broker.evictedSubscribers() == 1);
+            WM_MODEL_CHECK(broker.deliveryFailures() == 1);
+            WM_MODEL_CHECK(broker.subscriptionCount() == 1);
+        });
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_TRUE(result.exhausted) << "DFS hit the schedule budget";
+    EXPECT_GT(result.schedules, 1u);
+}
+
+// CacheStore/SensorCache: a writer inserting readings races a reader doing
+// copy-free visitation and lock-free id-keyed lookups. Visited readings
+// must always come out time-ordered, whatever the interleaving.
+TEST(ModelSubsystem, CacheStoreInsertVsCopyFreeVisitation) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    const auto result = sched::check(
+        subsystemOptions("subsystem.cache", 2), [] {
+            // Private interning table, fresh per schedule: the intern path
+            // (exclusive lock) is then identical in every schedule.
+            sensors::TopicTable table;
+            sensors::CacheStore store(180 * common::kNsPerSec, &table);
+            sensors::SensorCache& cache = store.getOrCreate("/model/cache");
+            const common::TimestampNs t0 = common::nowNs();
+            WM_MODEL_CHECK(cache.store({t0, 1.0}));
+            common::Thread writer(
+                [&] {
+                    WM_MODEL_CHECK(cache.store({t0 + common::kNsPerMs, 2.0}));
+                    WM_MODEL_CHECK(cache.store({t0 + 2 * common::kNsPerMs, 3.0}));
+                },
+                "writer");
+            common::Thread reader(
+                [&] {
+                    const sensors::TopicId id = store.idOf("/model/cache");
+                    WM_MODEL_CHECK(store.find(id) == &cache);
+                    for (int pass = 0; pass < 2; ++pass) {
+                        common::TimestampNs prev = 0;
+                        std::size_t visited = 0;
+                        cache.forEachRelative(
+                            10 * common::kNsPerSec,
+                            [&](const sensors::Reading& reading) {
+                                WM_MODEL_CHECK(reading.timestamp >= prev);
+                                prev = reading.timestamp;
+                                ++visited;
+                            });
+                        WM_MODEL_CHECK(visited >= 1);  // t0 is always there
+                        WM_MODEL_CHECK(cache.latest().has_value());
+                    }
+                },
+                "reader");
+            writer.join();
+            reader.join();
+            WM_MODEL_CHECK(cache.size() == 3);
+            const auto latest = cache.latest();
+            WM_MODEL_CHECK(latest.has_value() &&
+                           latest->timestamp == t0 + 2 * common::kNsPerMs);
+            const auto stats = cache.statsRelative(10 * common::kNsPerSec);
+            WM_MODEL_CHECK(stats.has_value() && stats->count == 3);
+        });
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_TRUE(result.exhausted) << "DFS hit the schedule budget";
+    EXPECT_GT(result.schedules, 1u);
+}
+
+// Pusher replay ring vs Collect Agent sequence dedup: the PR5 exactly-once
+// storage contract. A replayRecent() (at-least-once recovery) races a
+// concurrent sample tick; whatever the interleaving, storage must hold
+// exactly one copy of each published reading, with every duplicate dropped
+// by the agent's per-topic sequence tracking.
+TEST(ModelSubsystem, PusherReplayVsAgentSequenceDedup) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    const auto body = [] {
+        mqtt::Broker broker;  // synchronous: delivery on the publishing thread
+        storage::StorageBackend storage;
+        collectagent::CollectAgentConfig agent_config;
+        agent_config.filter = "/test/#";
+        collectagent::CollectAgent agent(agent_config, broker, storage);
+        agent.start();
+
+        pusher::PusherConfig pusher_config;
+        pusher_config.worker_threads = 1;
+        pusher_config.replay_ring_max = 8;
+        auto pusher = testing::makeTesterPusher(&broker, 1, pusher_config);
+
+        const common::TimestampNs t0 = common::nowNs();
+        const common::TimestampNs t1 = t0 + common::kNsPerSec;
+        pusher->sampleOnce(t0);  // sequence 1 published, stored once
+
+        common::Thread replayer([&] { pusher->replayRecent(); }, "replayer");
+        common::Thread sampler([&] { pusher->sampleOnce(t1); }, "sampler");
+        replayer.join();
+        sampler.join();
+
+        // Exactly-once storage: one row per published reading, no matter
+        // where the replay interleaved with the second sample.
+        const auto rows =
+            storage.query("/test/test0", 0, t1 + common::kNsPerSec);
+        WM_MODEL_CHECK_MSG(rows.size() == 2,
+                           "storage holds " << rows.size() << " rows");
+        WM_MODEL_CHECK(rows[0].timestamp == t0);
+        WM_MODEL_CHECK(rows[1].timestamp == t1);
+        WM_MODEL_CHECK(agent.readingsStored() == 2);
+        // The replayed sequence-1 message is always a duplicate; depending
+        // on the schedule the ring may also have replayed sequence 2.
+        WM_MODEL_CHECK(agent.dedupDrops() >= 1);
+        WM_MODEL_CHECK(agent.quarantinedReadings() == 0);
+        WM_MODEL_CHECK(pusher->messagesReplayed() >= 1);
+    };
+    // Warm the process-wide TopicTable (append-only state shared across
+    // schedules) so every explored schedule takes identical interning paths.
+    body();
+    const auto result =
+        sched::check(subsystemOptions("subsystem.dedup", 1), body);
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_TRUE(result.exhausted) << "DFS hit the schedule budget";
+    EXPECT_GT(result.schedules, 1u);
+}
+
+// Supervisor restart racing a storage checkpoint: the supervisor's poll
+// restarts an unhealthy component (which writes through to durable
+// storage) while another thread compacts the WAL into a snapshot. Every
+// interleaving must leave storage healthy and crash-recoverable with the
+// complete dataset.
+TEST(ModelSubsystem, SupervisorRestartVsCheckpoint) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / "wm_sched_supervisor")
+            .string();
+    const auto result = sched::check(
+        subsystemOptions("subsystem.supervisor", 2), [&dir] {
+            // Fresh on-disk state per schedule; filesystem calls are not
+            // schedule points, so this keeps every schedule identical.
+            std::filesystem::remove_all(dir);
+            std::filesystem::create_directories(dir);
+            storage::StorageBackend storage;
+            storage::DurabilityOptions durability;
+            durability.directory = dir;
+            WM_MODEL_CHECK(storage.enableDurability(durability));
+            const common::TimestampNs t0 = common::nowNs();
+            WM_MODEL_CHECK(storage.insert("/sup/s0", {t0, 1.0}));
+
+            std::atomic<bool> component_up{false};
+            core::SupervisorConfig config;
+            config.rng_seed = 7;
+            core::Supervisor supervisor(config);
+            supervisor.registerComponent(
+                {"agent", [&] { return component_up.load(); },
+                 [&] {
+                     // The restart path re-ingests the reading the wedged
+                     // component failed to persist.
+                     component_up.store(true);
+                     return storage.insert("/sup/s0",
+                                           {t0 + common::kNsPerSec, 2.0});
+                 }});
+
+            common::Thread poller([&] { supervisor.pollOnce(common::nowNs()); },
+                                  "poller");
+            common::Thread checkpointer(
+                [&] { WM_MODEL_CHECK(storage.checkpointNow()); },
+                "checkpointer");
+            poller.join();
+            checkpointer.join();
+
+            WM_MODEL_CHECK(supervisor.restartsTotal() == 1);
+            WM_MODEL_CHECK(component_up.load());
+            WM_MODEL_CHECK(storage.healthy());
+            WM_MODEL_CHECK(
+                storage.query("/sup/s0", 0, t0 + 2 * common::kNsPerSec).size() ==
+                2);
+
+            // Crash-consistency: whether each insert landed before or after
+            // the checkpoint, snapshot + WAL must recover both readings.
+            storage::StorageBackend recovered;
+            WM_MODEL_CHECK(recovered.enableDurability(durability));
+            WM_MODEL_CHECK(
+                recovered.query("/sup/s0", 0, t0 + 2 * common::kNsPerSec)
+                    .size() == 2);
+        });
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_TRUE(result.exhausted) << "DFS hit the schedule budget";
+    EXPECT_GT(result.schedules, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wm

@@ -2,13 +2,19 @@
 // builds (asan-ubsan / tsan presets) real interleavings to chew on: each one
 // hammers a hot shared structure from multiple threads and then checks a
 // conservative invariant. Run counts are sized for CI boxes with few cores.
+//
+// All threads are spawned through wm::common::Thread and pacing is purely
+// flag/queue-driven — no wall-clock sleeps. That keeps the suite flake-free
+// under TSan scheduling jitter, and means the same bodies are schedulable
+// under the wm::sched model checker's virtual clock (tests/model/ runs
+// distilled versions of these scenarios under exhaustive exploration).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <thread>
 #include <vector>
 
+#include "common/thread.h"
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
 #include "sensors/sensor_cache.h"
@@ -26,15 +32,18 @@ TEST(RaceStress, BrokerSubscribeUnsubscribeVsPublish) {
     // A stable subscriber that must see every publish.
     CountingSubscriber stable(broker, "/stress/#");
 
-    std::thread churn([&] {
-        // Subscription churn concurrent with delivery: exercises the
-        // snapshot-then-release discipline in Broker::deliver.
-        while (!stop.load(std::memory_order_relaxed)) {
-            const auto id = broker.subscribe("/stress/a", [](const mqtt::Message&) {});
-            ASSERT_NE(id, 0u);
-            broker.unsubscribe(id);
-        }
-    });
+    common::Thread churn(
+        [&] {
+            // Subscription churn concurrent with delivery: exercises the
+            // snapshot-then-release discipline in Broker::deliver.
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto id =
+                    broker.subscribe("/stress/a", [](const mqtt::Message&) {});
+                ASSERT_NE(id, 0u);
+                broker.unsubscribe(id);
+            }
+        },
+        "churn");
 
     constexpr int kMessages = 2000;
     for (int i = 0; i < kMessages; ++i) {
@@ -56,25 +65,27 @@ TEST(RaceStress, SensorCacheConcurrentReadInsertEvict) {
     sensors::SensorCache cache(kWindow, kInterval);
 
     std::atomic<bool> stop{false};
-    std::vector<std::thread> readers;
+    std::vector<common::Thread> readers;
     for (int r = 0; r < 2; ++r) {
-        readers.emplace_back([&] {
-            while (!stop.load(std::memory_order_relaxed)) {
-                const auto latest = cache.latest();
-                auto view = cache.viewRelative(kWindow / 2);
-                for (std::size_t i = 1; i < view.size(); ++i) {
-                    // Views must always come out time-ordered, mid-eviction
-                    // or not.
-                    ASSERT_LE(view[i - 1].timestamp, view[i].timestamp);
+        readers.emplace_back(
+            [&] {
+                while (!stop.load(std::memory_order_relaxed)) {
+                    const auto latest = cache.latest();
+                    auto view = cache.viewRelative(kWindow / 2);
+                    for (std::size_t i = 1; i < view.size(); ++i) {
+                        // Views must always come out time-ordered,
+                        // mid-eviction or not.
+                        ASSERT_LE(view[i - 1].timestamp, view[i].timestamp);
+                    }
+                    if (latest) {
+                        auto range = cache.viewAbsolute(
+                            latest->timestamp - kWindow, latest->timestamp);
+                        ASSERT_LE(range.size(), cache.size() + 1);
+                    }
+                    (void)cache.averageRelative(kWindow);
                 }
-                if (latest) {
-                    auto range = cache.viewAbsolute(latest->timestamp - kWindow,
-                                                    latest->timestamp);
-                    ASSERT_LE(range.size(), cache.size() + 1);
-                }
-                (void)cache.averageRelative(kWindow);
-            }
-        });
+            },
+            "reader");
     }
 
     constexpr int kInserts = 5000;
@@ -99,18 +110,22 @@ TEST(RaceStress, ThreadPoolWaitIdleVsConcurrentSubmitters) {
 
     constexpr int kSubmitters = 3;
     constexpr int kTasksEach = 200;
-    std::vector<std::thread> submitters;
+    std::vector<common::Thread> submitters;
     for (int s = 0; s < kSubmitters; ++s) {
-        submitters.emplace_back([&] {
-            for (int i = 0; i < kTasksEach; ++i) {
-                pool.post([&] { executed.fetch_add(1, std::memory_order_relaxed); });
-                if (i % 32 == 0) {
-                    // waitIdle racing with other submitters: must return once
-                    // the queue it observed drains, and must not deadlock.
-                    pool.waitIdle();
+        submitters.emplace_back(
+            [&] {
+                for (int i = 0; i < kTasksEach; ++i) {
+                    pool.post(
+                        [&] { executed.fetch_add(1, std::memory_order_relaxed); });
+                    if (i % 32 == 0) {
+                        // waitIdle racing with other submitters: must return
+                        // once the queue it observed drains, and must not
+                        // deadlock.
+                        pool.waitIdle();
+                    }
                 }
-            }
-        });
+            },
+            "submitter");
     }
     for (auto& submitter : submitters) submitter.join();
     pool.waitIdle();
@@ -144,13 +159,15 @@ TEST(RaceStress, AsyncBrokerBackPressureUnderChurn) {
 
     constexpr int kPublishers = 2;
     constexpr int kEach = 500;
-    std::vector<std::thread> publishers;
+    std::vector<common::Thread> publishers;
     for (int p = 0; p < kPublishers; ++p) {
-        publishers.emplace_back([&] {
-            for (int i = 0; i < kEach; ++i) {
-                ASSERT_GE(broker.publish({"/async/stress", {{i, 0.0}}}), 0);
-            }
-        });
+        publishers.emplace_back(
+            [&] {
+                for (int i = 0; i < kEach; ++i) {
+                    ASSERT_GE(broker.publish({"/async/stress", {{i, 0.0}}}), 0);
+                }
+            },
+            "publisher");
     }
     for (auto& publisher : publishers) publisher.join();
     broker.flush();

@@ -4,10 +4,20 @@
 Rules:
   raw-lock        -- no raw std::mutex / std::lock_guard / std::unique_lock /
                      std::shared_lock / std::shared_mutex /
-                     std::condition_variable outside src/common/. Everything
-                     else must use the capability-annotated wrappers in
-                     src/common/mutex.h so lock-order checking and clang
-                     thread-safety analysis see every acquisition.
+                     std::condition_variable outside src/common/ and
+                     src/check/. Everything else must use the
+                     capability-annotated wrappers in src/common/mutex.h so
+                     lock-order checking, clang thread-safety analysis and
+                     the wm::sched model checker see every acquisition.
+                     (src/check/ implements the model checker itself; its
+                     internals must use raw primitives, since going through
+                     the wrappers would recurse into its own hooks.)
+  raw-thread      -- no raw std::thread / std::jthread / std::this_thread
+                     outside src/common/ and src/check/. Spawn through
+                     wm::common::Thread (common/thread.h) so threads become
+                     controllable schedule points under wm::sched model
+                     runs; use Thread::yield/sleepFor/hardwareConcurrency
+                     for the std::this_thread equivalents.
   include-cpp     -- no #include of a .cpp file.
   pragma-once     -- every header starts its preprocessor life with
                      #pragma once.
@@ -41,6 +51,7 @@ RAW_LOCK_RE = re.compile(
     r"\bstd::(mutex|timed_mutex|recursive_mutex|shared_mutex|shared_timed_mutex|"
     r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable(_any)?)\b"
 )
+RAW_THREAD_RE = re.compile(r"\bstd::(thread|jthread|this_thread)\b")
 INCLUDE_CPP_RE = re.compile(r'^\s*#\s*include\s+["<][^">]+\.(cpp|cc)[">]')
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
 PREPROC_RE = re.compile(r"^\s*#")
@@ -120,7 +131,11 @@ def lint_file(rel_path: str, text: str) -> list[Finding]:
     suffix = "." + posix_path.rsplit(".", 1)[-1] if "." in posix_path else ""
     is_header = suffix in HEADER_SUFFIXES
     in_src = posix_path.startswith("src/")
-    in_common = posix_path.startswith("src/common/")
+    # src/common/ owns the primitives; src/check/ implements the model
+    # checker on top of raw primitives (the wrappers would recurse into the
+    # checker's own hooks).
+    in_primitive_layer = (posix_path.startswith("src/common/") or
+                          posix_path.startswith("src/check/"))
 
     lines = text.splitlines()
 
@@ -160,13 +175,20 @@ def lint_file(rel_path: str, text: str) -> list[Finding]:
                 rel_path, lineno, "using-namespace",
                 "no 'using namespace' in headers; qualify or alias instead"))
 
-        if in_src and not in_common:
+        if in_src and not in_primitive_layer:
             match = RAW_LOCK_RE.search(code)
             if match:
                 findings.append(Finding(
                     rel_path, lineno, "raw-lock",
                     f"raw {match.group(0)} outside src/common/; use "
                     "wm::common::Mutex/MutexLock (common/mutex.h)"))
+            match = RAW_THREAD_RE.search(code)
+            if match:
+                findings.append(Finding(
+                    rel_path, lineno, "raw-thread",
+                    f"raw {match.group(0)} outside src/common/; spawn through "
+                    "wm::common::Thread (common/thread.h) so wm::sched can "
+                    "schedule it"))
 
     return findings
 
@@ -247,8 +269,28 @@ def self_test() -> int:
          "void f() { std::lock_guard lock(m); }\n", ["raw-lock"]),
         ("raw mutex allowed in common", "src/common/mutex.h",
          "#pragma once\nstd::mutex m;\n", []),
+        ("raw mutex allowed in check", "src/check/scheduler.cpp",
+         "std::unique_lock<std::mutex> lk(mu_);\n", []),
         ("raw mutex allowed in tests", "tests/t.cpp",
          "std::mutex m;\n", []),
+        ("raw thread in src", "src/core/x.cpp",
+         "#include <thread>\nstd::thread t([] {});\n", ["raw-thread"]),
+        ("raw jthread in src", "src/mqtt/x.cpp",
+         "std::jthread t([] {});\n", ["raw-thread"]),
+        ("this_thread sleep in src", "src/rest/x.cpp",
+         "std::this_thread::sleep_for(d);\n", ["raw-thread"]),
+        ("hardware_concurrency via std::thread in src", "src/pusher/x.cpp",
+         "auto n = std::thread::hardware_concurrency();\n", ["raw-thread"]),
+        ("raw thread allowed in common", "src/common/thread.h",
+         "#pragma once\nstd::thread thread_;\n", []),
+        ("raw thread allowed in check", "src/check/scheduler.cpp",
+         "std::thread real([] {});\n", []),
+        ("raw thread allowed in tests", "tests/t.cpp",
+         "std::thread t([] {});\n", []),
+        ("raw thread in comment ignored", "src/core/x.cpp",
+         "// std::thread is banned here\nint x;\n", []),
+        ("wrapped thread ok in src", "src/core/x.cpp",
+         "common::Thread t([] {}, \"x\");\n", []),
         ("raw mutex in comment ignored", "src/core/x.cpp",
          "// std::mutex is banned here\nint x;\n", []),
         ("raw mutex in string ignored", "src/core/x.cpp",
