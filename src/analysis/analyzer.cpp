@@ -22,8 +22,10 @@
 #include "pusher/plugins/facilitysim_group.h"
 #include "pusher/plugins/perfsim_group.h"
 #include "pusher/plugins/procfssim_group.h"
+#include "pusher/plugins/scenariosim_group.h"
 #include "pusher/plugins/sysfssim_group.h"
 #include "pusher/sim_node.h"
+#include "scenario/script.h"
 #include "simulator/topology.h"
 
 namespace wm::analysis {
@@ -36,7 +38,7 @@ using common::kNsPerSec;
 const std::set<std::string>& knownTopLevelBlocks() {
     static const std::set<std::string> known = {
         "cluster", "pusher",      "facility",    "plugin",    "resilience",
-        "faults",  "collectagent", "persistence", "supervisor"};
+        "faults",  "collectagent", "persistence", "supervisor", "scenario"};
     return known;
 }
 
@@ -140,6 +142,9 @@ ClusterModel buildClusterModel(const ConfigNode& root, DiagnosticSink& sink) {
     // core count.
     const auto node =
         std::make_shared<pusher::SimulatedNode>(model.topology.cpus_per_node, 1);
+    // Scenario runs (wm_eval) add the ground-truth label stream per node;
+    // only then, so the sensor space of plain deployments is unchanged.
+    const bool has_scenario = root.child("scenario") != nullptr;
     for (std::size_t n = 0; n < model.topology.nodeCount(); ++n) {
         const std::string node_path = model.topology.nodePath(n);
         std::vector<sensors::SensorMetadata> sensors;
@@ -158,6 +163,16 @@ ClusterModel buildClusterModel(const ConfigNode& root, DiagnosticSink& sink) {
         proc.interval_ns = model.sampling_ns;
         const pusher::ProcfssimGroup proc_group(proc, node);
         for (auto& metadata : proc_group.sensors()) sensors.push_back(std::move(metadata));
+        if (has_scenario) {
+            pusher::ScenariosimGroupConfig scn;
+            scn.node_path = node_path;
+            scn.interval_ns = model.sampling_ns;
+            const pusher::ScenariosimGroup scn_group(
+                scn, [](common::TimestampNs) { return 0.0; });
+            for (auto& metadata : scn_group.sensors()) {
+                sensors.push_back(std::move(metadata));
+            }
+        }
         model.pushers.emplace_back(node_path, std::move(sensors));
     }
     if (model.pushers.empty()) {
@@ -743,6 +758,7 @@ AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
     checkResilience(root, sink);
     checkPersistence(root, sink);
     checkSupervisor(root, sink);
+    scenario::validateScenarios(root, sink);
     return summary;
 }
 

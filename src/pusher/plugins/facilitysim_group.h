@@ -54,6 +54,13 @@ class SimulatedFacility {
         model_.setInletSetpoint(temp_c);
     }
 
+    /// Anomaly-campaign entry point (src/scenario): the perturbation applies
+    /// to all loop physics integrated after this call.
+    void setPerturbation(const simulator::FacilityPerturbation& perturbation) {
+        common::MutexLock lock(mutex_);
+        model_.setPerturbation(perturbation);
+    }
+
     double inletSetpoint() const {
         common::MutexLock lock(mutex_);
         return model_.inletSetpoint();

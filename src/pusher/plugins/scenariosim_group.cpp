@@ -1,0 +1,28 @@
+#include "pusher/plugins/scenariosim_group.h"
+
+#include "common/string_utils.h"
+
+namespace wm::pusher {
+
+ScenariosimGroup::ScenariosimGroup(
+    ScenariosimGroupConfig config,
+    std::function<double(common::TimestampNs)> label_source)
+    : config_(std::move(config)),
+      label_source_(std::move(label_source)),
+      label_topic_(common::pathJoin(config_.node_path, "anomaly-label")),
+      label_id_(sensors::TopicTable::instance().intern(label_topic_)) {}
+
+std::vector<sensors::SensorMetadata> ScenariosimGroup::sensors() const {
+    sensors::SensorMetadata label;
+    label.topic = label_topic_;
+    label.unit = "class";
+    label.interval_ns = config_.interval_ns;
+    return {label};
+}
+
+std::vector<SampledReading> ScenariosimGroup::read(common::TimestampNs t) {
+    const double label = label_source_ ? label_source_(t) : 0.0;
+    return {{label_topic_, {t, label}, label_id_}};
+}
+
+}  // namespace wm::pusher

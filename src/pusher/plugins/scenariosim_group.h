@@ -1,0 +1,46 @@
+#pragma once
+
+// Scenario ground-truth monitoring plugin: publishes the label stream of an
+// anomaly campaign (src/scenario) as a per-node sensor
+// "<node>/anomaly-label" — 0 while the node is healthy, otherwise the
+// numeric id of the most severe anomaly class active on the node. Online
+// operators may consume it as a teaching signal (the classifier's
+// labelSensor), and the evaluation harness uses it to cross-check that
+// injected campaigns actually reached the sensor plane.
+//
+// The label source is a callback so the pusher layer stays independent of
+// the scenario library (which itself links the pusher).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pusher/sensor_group.h"
+
+namespace wm::pusher {
+
+struct ScenariosimGroupConfig {
+    std::string name = "scenariosim";
+    std::string node_path;
+    common::TimestampNs interval_ns = common::kNsPerSec;
+};
+
+class ScenariosimGroup final : public SensorGroup {
+  public:
+    /// `label_source` maps a sample timestamp to the node's current label.
+    ScenariosimGroup(ScenariosimGroupConfig config,
+                     std::function<double(common::TimestampNs)> label_source);
+
+    const std::string& name() const override { return config_.name; }
+    common::TimestampNs intervalNs() const override { return config_.interval_ns; }
+    std::vector<sensors::SensorMetadata> sensors() const override;
+    std::vector<SampledReading> read(common::TimestampNs t) override;
+
+  private:
+    ScenariosimGroupConfig config_;
+    std::function<double(common::TimestampNs)> label_source_;
+    std::string label_topic_;
+    sensors::TopicId label_id_ = sensors::kInvalidTopicId;
+};
+
+}  // namespace wm::pusher

@@ -54,6 +54,18 @@ class SimulatedNode {
         model_.setFrequencyScale(scale);
     }
 
+    /// Anomaly-campaign entry point (src/scenario): the perturbation applies
+    /// to all physics integrated after this call.
+    void setPerturbation(const simulator::NodePerturbation& perturbation) {
+        common::MutexLock lock(mutex_);
+        model_.setPerturbation(perturbation);
+    }
+
+    simulator::NodePerturbation perturbation() const {
+        common::MutexLock lock(mutex_);
+        return model_.perturbation();
+    }
+
     double frequencyScale() const {
         common::MutexLock lock(mutex_);
         return model_.frequencyScale();

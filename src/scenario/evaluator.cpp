@@ -1,0 +1,296 @@
+#include "scenario/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace wm::scenario {
+namespace {
+
+constexpr double kNsPerSec = 1e9;
+constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+// Fixed-precision rendering: BENCH_quality.json must be byte-stable across
+// runs at the same seed, so every double goes through the same printf path.
+std::string fmt(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+const char* triggerKindName(TriggerKind kind) {
+    switch (kind) {
+        case TriggerKind::kBelow: return "below";
+        case TriggerKind::kAbove: return "above";
+        case TriggerKind::kEquals: return "equals";
+        case TriggerKind::kNotEquals: return "not-equals";
+    }
+    return "below";
+}
+
+std::string expandTopic(const std::string& tmpl, const std::string& node_path) {
+    std::string out = tmpl;
+    const std::string placeholder = "%node";
+    for (std::size_t pos = out.find(placeholder); pos != std::string::npos;
+         pos = out.find(placeholder, pos)) {
+        out.replace(pos, placeholder.size(), node_path);
+        pos += node_path.size();
+    }
+    return out;
+}
+
+bool windowCoversNode(const GroundTruthWindow& window, std::size_t node) {
+    if (node == kNoNode) return true;  // facility-scope detector topic
+    if (window.nodes.empty()) return true;
+    return std::find(window.nodes.begin(), window.nodes.end(), node) != window.nodes.end();
+}
+
+bool eventOverlapsWindow(const DetectionEvent& event, const GroundTruthWindow& window,
+                         double tolerance_s) {
+    return event.start_s <= window.end_s + tolerance_s &&
+           event.end_s >= window.start_s - tolerance_s;
+}
+
+double median(std::vector<double> values) {
+    if (values.empty()) return -1.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1) return values[mid];
+    return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(ScenarioScript script, std::vector<std::string> node_paths)
+    : script_(std::move(script)), node_paths_(std::move(node_paths)) {}
+
+bool Evaluator::triggerFires(const DetectorRule& rule, double value) {
+    switch (rule.kind) {
+        case TriggerKind::kBelow: return value < rule.threshold;
+        case TriggerKind::kAbove: return value > rule.threshold;
+        case TriggerKind::kEquals:
+            return std::abs(value - rule.threshold) < 1e-9;
+        case TriggerKind::kNotEquals:
+            return std::abs(value - rule.threshold) >= 1e-9;
+    }
+    return false;
+}
+
+std::vector<DetectionEvent> Evaluator::extractEvents(const DetectorRule& rule,
+                                                     const std::string& topic,
+                                                     std::size_t node,
+                                                     const sensors::ReadingVector& readings,
+                                                     double warmup_s) {
+    std::vector<DetectionEvent> events;
+    bool open = false;
+    for (const sensors::Reading& r : readings) {
+        const double t_sec = static_cast<double>(r.timestamp) / kNsPerSec;
+        if (t_sec < warmup_s) continue;
+        if (triggerFires(rule, r.value)) {
+            if (!open) {
+                events.push_back({topic, node, t_sec, t_sec, false});
+                open = true;
+            } else {
+                events.back().end_s = t_sec;
+            }
+        } else {
+            open = false;
+        }
+    }
+    return events;
+}
+
+EvaluationReport Evaluator::evaluate(const core::QueryEngine& engine) const {
+    EvaluationReport report;
+    report.scenario = script_.name;
+    report.seed = script_.seed;
+    report.duration_s = script_.duration_s;
+    report.warmup_s = script_.warmup_s;
+    report.tolerance_s = script_.tolerance_s;
+
+    const std::vector<GroundTruthWindow> windows = script_.groundTruth();
+    for (const GroundTruthWindow& w : windows)
+        ++report.windows_by_class[anomalyClassName(w.cls)];
+
+    const common::TimestampNs t1 =
+        static_cast<common::TimestampNs>((script_.duration_s + 1.0) * kNsPerSec);
+
+    for (const DetectorRule& rule : script_.detectors) {
+        DetectorScore score;
+        score.detector = rule.name;
+        score.operator_name = rule.operator_name;
+        score.topic = rule.topic;
+        for (const AnomalyClass cls : allAnomalyClasses()) {
+            if (report.windows_by_class.count(anomalyClassName(cls)) != 0)
+                score.classes[anomalyClassName(cls)] = ClassScore{};
+        }
+
+        // Expand "%node" over the topology; absolute topics are one series
+        // matching windows on any node.
+        std::vector<std::pair<std::string, std::size_t>> topics;
+        if (rule.topic.find("%node") != std::string::npos) {
+            for (std::size_t n = 0; n < node_paths_.size(); ++n)
+                topics.emplace_back(expandTopic(rule.topic, node_paths_[n]), n);
+        } else {
+            topics.emplace_back(rule.topic, kNoNode);
+        }
+
+        // First observable timestamp per series, for the truncation check:
+        // a window is truncated when every series that could have witnessed
+        // it only begins after the window (plus tolerance) already passed.
+        std::vector<double> first_seen(topics.size(),
+                                       std::numeric_limits<double>::infinity());
+        std::vector<DetectionEvent> events;
+        for (std::size_t i = 0; i < topics.size(); ++i) {
+            const sensors::ReadingVector readings =
+                engine.queryAbsolute(topics[i].first, 0, t1);
+            if (!readings.empty())
+                first_seen[i] = static_cast<double>(readings.front().timestamp) / kNsPerSec;
+            auto topic_events = extractEvents(rule, topics[i].first, topics[i].second,
+                                              readings, script_.warmup_s);
+            events.insert(events.end(), topic_events.begin(), topic_events.end());
+        }
+        score.events_total = events.size();
+
+        for (const GroundTruthWindow& window : windows) {
+            ClassScore& cls_score = score.classes[anomalyClassName(window.cls)];
+            ++cls_score.windows;
+
+            double best_lag = -1.0;
+            for (DetectionEvent& event : events) {
+                if (!windowCoversNode(window, event.node)) continue;
+                if (!eventOverlapsWindow(event, window, script_.tolerance_s)) continue;
+                event.matched = true;
+                const double lag = std::max(0.0, event.start_s - window.start_s);
+                if (best_lag < 0.0 || lag < best_lag) best_lag = lag;
+            }
+            if (best_lag >= 0.0) {
+                ++cls_score.detected;
+                cls_score.lags_s.push_back(best_lag);
+                continue;
+            }
+
+            // Undetected: truncated when no targeted series reaches back to
+            // the window, missed otherwise.
+            bool observable = false;
+            for (std::size_t i = 0; i < topics.size(); ++i) {
+                if (!windowCoversNode(window, topics[i].second)) continue;
+                if (first_seen[i] <= window.end_s + script_.tolerance_s) {
+                    observable = true;
+                    break;
+                }
+            }
+            if (observable) {
+                ++cls_score.missed;
+            } else {
+                ++cls_score.truncated;
+                ++score.truncated_windows;
+            }
+        }
+
+        for (const DetectionEvent& event : events) {
+            if (event.matched)
+                ++score.events_matched;
+            else
+                ++score.false_positives;
+        }
+        const std::size_t matched_and_fp = score.events_matched + score.false_positives;
+        score.precision =
+            matched_and_fp == 0
+                ? 1.0
+                : static_cast<double>(score.events_matched) / static_cast<double>(matched_and_fp);
+
+        for (auto& [cls_name, cls_score] : score.classes) {
+            // tp_events: events matched to at least one window of this class.
+            const std::optional<AnomalyClass> cls = anomalyClassFromName(cls_name);
+            for (const DetectionEvent& event : events) {
+                if (!event.matched) continue;
+                bool of_class = false;
+                for (const GroundTruthWindow& window : windows) {
+                    if (cls && window.cls != *cls) continue;
+                    if (windowCoversNode(window, event.node) &&
+                        eventOverlapsWindow(event, window, script_.tolerance_s)) {
+                        of_class = true;
+                        break;
+                    }
+                }
+                if (of_class) ++cls_score.tp_events;
+            }
+            const std::size_t p_denom = cls_score.tp_events + score.false_positives;
+            cls_score.precision =
+                p_denom == 0 ? 1.0
+                             : static_cast<double>(cls_score.tp_events) /
+                                   static_cast<double>(p_denom);
+            const std::size_t scoreable = cls_score.windows - cls_score.truncated;
+            cls_score.recall = scoreable == 0 ? 0.0
+                                              : static_cast<double>(cls_score.detected) /
+                                                    static_cast<double>(scoreable);
+            const double pr = cls_score.precision + cls_score.recall;
+            cls_score.f1 = pr > 0.0 ? 2.0 * cls_score.precision * cls_score.recall / pr : 0.0;
+            cls_score.median_lag_s = median(cls_score.lags_s);
+        }
+
+        report.truncated_windows += score.truncated_windows;
+        report.detectors.push_back(std::move(score));
+    }
+    return report;
+}
+
+std::string renderReportJson(const EvaluationReport& report) {
+    std::ostringstream out;
+    out << "{\"scenario\":\"" << report.scenario << "\",\"seed\":" << report.seed
+        << ",\"duration_s\":" << fmt(report.duration_s)
+        << ",\"warmup_s\":" << fmt(report.warmup_s)
+        << ",\"tolerance_s\":" << fmt(report.tolerance_s) << ",\"ground_truth\":{";
+    std::size_t total = 0;
+    bool first = true;
+    for (const auto& [name, count] : report.windows_by_class) {
+        if (!first) out << ",";
+        first = false;
+        out << "\"" << name << "\":" << count;
+        total += count;
+    }
+    out << "},\"windows_total\":" << total
+        << ",\"truncated_windows\":" << report.truncated_windows << ",\"operators\":[";
+    for (std::size_t d = 0; d < report.detectors.size(); ++d) {
+        const DetectorScore& score = report.detectors[d];
+        if (d != 0) out << ",";
+        out << "{\"detector\":\"" << score.detector << "\",\"operator\":\""
+            << score.operator_name << "\",\"topic\":\"" << score.topic
+            << "\",\"events_total\":" << score.events_total
+            << ",\"events_matched\":" << score.events_matched
+            << ",\"false_positives\":" << score.false_positives
+            << ",\"precision\":" << fmt(score.precision)
+            << ",\"truncated_windows\":" << score.truncated_windows << ",\"classes\":[";
+        bool first_cls = true;
+        for (const auto& [cls_name, cls] : score.classes) {
+            if (!first_cls) out << ",";
+            first_cls = false;
+            out << "{\"class\":\"" << cls_name << "\",\"windows\":" << cls.windows
+                << ",\"detected\":" << cls.detected << ",\"missed\":" << cls.missed
+                << ",\"truncated\":" << cls.truncated << ",\"tp_events\":" << cls.tp_events
+                << ",\"precision\":" << fmt(cls.precision)
+                << ",\"recall\":" << fmt(cls.recall) << ",\"f1\":" << fmt(cls.f1)
+                << ",\"median_lag_s\":" << fmt(cls.median_lag_s) << "}";
+        }
+        out << "]}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string renderQualityJson(const std::vector<EvaluationReport>& reports) {
+    std::ostringstream out;
+    out << "{\"schema\":\"wintermute-quality-v1\",\"scenarios\":[";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i != 0) out << ",";
+        out << renderReportJson(reports[i]);
+    }
+    out << "]}\n";
+    return out.str();
+}
+
+}  // namespace wm::scenario

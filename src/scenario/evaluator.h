@@ -1,0 +1,115 @@
+#pragma once
+
+// Scores operator detections against a scenario's ground-truth label stream
+// (docs/SCENARIOS.md, "Scoring semantics"). The evaluator reads each
+// detector's output series through the Query Engine, folds it into
+// detection events (maximal runs of consecutive triggered readings at or
+// after the warmup mark), and matches events against ground-truth windows
+// with the configured tolerance:
+//
+//   * a window is DETECTED when any event on one of its nodes overlaps
+//     [start - tolerance, end + tolerance]; detection lag is the first
+//     matching event's onset minus the window start (clamped at 0);
+//   * an event matching no window at all is a FALSE POSITIVE;
+//   * a window whose observable history starts only after the window (plus
+//     tolerance) has already passed — series evicted from the retained
+//     cache window, or never stored — is TRUNCATED, reported separately
+//     and excluded from the recall denominator instead of silently
+//     scoring as missed.
+//
+// Per (detector, class): precision = tp_events / (tp_events + detector
+// false positives), recall = detected / (windows - truncated), F1, and the
+// median detection lag over detected windows.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "scenario/script.h"
+
+namespace wm::scenario {
+
+/// A maximal run of consecutive triggered readings on one detector topic.
+struct DetectionEvent {
+    std::string topic;
+    /// Node index for "%node"-expanded topics; npos for absolute topics
+    /// (facility-scope: matches windows on any node).
+    std::size_t node = static_cast<std::size_t>(-1);
+    double start_s = 0.0;
+    double end_s = 0.0;
+    bool matched = false;
+};
+
+struct ClassScore {
+    std::size_t windows = 0;
+    std::size_t detected = 0;
+    std::size_t missed = 0;
+    std::size_t truncated = 0;
+    std::size_t tp_events = 0;
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+    /// Median detection lag over detected windows; -1 when none detected.
+    double median_lag_s = -1.0;
+    std::vector<double> lags_s;
+};
+
+struct DetectorScore {
+    std::string detector;
+    std::string operator_name;
+    std::string topic;
+    std::size_t events_total = 0;
+    std::size_t events_matched = 0;
+    std::size_t false_positives = 0;
+    double precision = 0.0;
+    std::size_t truncated_windows = 0;
+    /// Keyed by stable class name for deterministic iteration.
+    std::map<std::string, ClassScore> classes;
+};
+
+struct EvaluationReport {
+    std::string scenario;
+    std::uint64_t seed = 0;
+    double duration_s = 0.0;
+    double warmup_s = 0.0;
+    double tolerance_s = 0.0;
+    std::map<std::string, std::size_t> windows_by_class;
+    /// Sum of per-detector truncated-window counts (satellite: label loss
+    /// must be visible, never scored as a miss).
+    std::size_t truncated_windows = 0;
+    std::vector<DetectorScore> detectors;
+};
+
+class Evaluator {
+  public:
+    /// `node_paths` in topology order — index i resolves "%node" for node i.
+    Evaluator(ScenarioScript script, std::vector<std::string> node_paths);
+
+    /// Scores every detector against `engine`'s view of the series history.
+    EvaluationReport evaluate(const core::QueryEngine& engine) const;
+
+    /// Fired/not-fired decision of one rule for a reading value.
+    static bool triggerFires(const DetectorRule& rule, double value);
+
+    /// Folds a series into detection events (testing seam; readings before
+    /// `warmup_s` are ignored).
+    static std::vector<DetectionEvent> extractEvents(
+        const DetectorRule& rule, const std::string& topic, std::size_t node,
+        const sensors::ReadingVector& readings, double warmup_s);
+
+  private:
+    ScenarioScript script_;
+    std::vector<std::string> node_paths_;
+};
+
+/// Deterministic JSON for one scenario (fixed 6-decimal formatting, sorted
+/// maps — byte-stable across runs at the same seed).
+std::string renderReportJson(const EvaluationReport& report);
+
+/// The BENCH_quality.json document: {"schema":"wintermute-quality-v1",
+/// "scenarios":[...]} over all evaluated scenarios.
+std::string renderQualityJson(const std::vector<EvaluationReport>& reports);
+
+}  // namespace wm::scenario

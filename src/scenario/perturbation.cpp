@@ -1,0 +1,71 @@
+#include "scenario/perturbation.h"
+
+#include <algorithm>
+
+namespace wm::scenario {
+
+double eventEnvelope(const AnomalyEvent& event, double t_sec) {
+    if (t_sec < event.start_s || t_sec > event.end_s) return 0.0;
+    if (event.ramp_s <= 0.0) return 1.0;
+    return std::min((t_sec - event.start_s) / event.ramp_s, 1.0);
+}
+
+bool eventTargetsNode(const AnomalyEvent& event, std::size_t node) {
+    if (event.nodes.empty()) return true;
+    return std::find(event.nodes.begin(), event.nodes.end(), node) != event.nodes.end();
+}
+
+simulator::NodePerturbation nodePerturbationAt(const ScenarioScript& script,
+                                               std::size_t node, double t_sec) {
+    simulator::NodePerturbation p;
+    double congestion_fraction = 0.0;
+    for (const AnomalyEvent& event : script.anomalies) {
+        if (!eventTargetsNode(event, node)) continue;
+        const double env = eventEnvelope(event, t_sec);
+        if (env <= 0.0) continue;
+        switch (event.cls) {
+            case AnomalyClass::kThermalRunaway:
+                p.temp_offset_c += event.magnitude * env;
+                break;
+            case AnomalyClass::kFanFailure:
+                // magnitude = degC/W multiplier at full onset.
+                p.cooling_factor *= 1.0 + (event.magnitude - 1.0) * env;
+                break;
+            case AnomalyClass::kMemoryLeak:
+                p.memory_leak_gb += event.magnitude * env;
+                break;
+            case AnomalyClass::kNetworkCongestion:
+                p.cpi_factor *= 1.0 + (event.magnitude - 1.0) * env;
+                // The widest configured tail wins when events overlap.
+                congestion_fraction = std::max(congestion_fraction, event.core_fraction);
+                break;
+            case AnomalyClass::kStraggler:
+                p.util_factor *= std::clamp(1.0 - event.magnitude * env, 0.0, 1.0);
+                break;
+        }
+    }
+    if (congestion_fraction > 0.0) p.core_fraction = congestion_fraction;
+    return p;
+}
+
+simulator::FacilityPerturbation facilityPerturbationAt(const ScenarioScript& script,
+                                                       double t_sec) {
+    simulator::FacilityPerturbation p;
+    for (const AnomalyEvent& event : script.anomalies) {
+        if (event.cls != AnomalyClass::kThermalRunaway || !event.facility) continue;
+        p.inlet_offset_c += event.magnitude / 3.0 * eventEnvelope(event, t_sec);
+    }
+    return p;
+}
+
+double anomalyLabelAt(const ScenarioScript& script, std::size_t node, double t_sec) {
+    int label = 0;
+    for (const AnomalyEvent& event : script.anomalies) {
+        if (!eventTargetsNode(event, node)) continue;
+        if (t_sec < event.start_s || t_sec > event.end_s) continue;
+        label = std::max(label, static_cast<int>(event.cls));
+    }
+    return static_cast<double>(label);
+}
+
+}  // namespace wm::scenario

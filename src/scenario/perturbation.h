@@ -1,0 +1,37 @@
+#pragma once
+
+// Maps a scenario's anomaly schedule to the physics perturbations of the
+// simulator at a point in virtual time. Pure functions of (script, node,
+// t): the runner calls them once per tick, and determinism tests replay
+// them against fixed seeds. Overlapping events compose — offsets add,
+// factors multiply — so a campaign day can stack failures.
+
+#include <cstddef>
+
+#include "scenario/script.h"
+#include "simulator/facility_model.h"
+#include "simulator/node_model.h"
+
+namespace wm::scenario {
+
+/// Linear-onset envelope of an event at time `t_sec`: 0 outside the window,
+/// ramping to 1 over `ramp_s`, 1 afterwards.
+double eventEnvelope(const AnomalyEvent& event, double t_sec);
+
+/// True when `event` targets node `node` (empty selector = every node).
+bool eventTargetsNode(const AnomalyEvent& event, std::size_t node);
+
+/// Combined perturbation of all events active on `node` at `t_sec`.
+simulator::NodePerturbation nodePerturbationAt(const ScenarioScript& script,
+                                               std::size_t node, double t_sec);
+
+/// Facility-side component (thermal_runaway events with `facility true`).
+simulator::FacilityPerturbation facilityPerturbationAt(const ScenarioScript& script,
+                                                       double t_sec);
+
+/// Ground-truth label for the "<node>/anomaly-label" sensor: 0 healthy,
+/// otherwise the numeric class id of the most severe active anomaly
+/// (highest class id wins on overlap).
+double anomalyLabelAt(const ScenarioScript& script, std::size_t node, double t_sec);
+
+}  // namespace wm::scenario

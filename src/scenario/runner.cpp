@@ -1,0 +1,195 @@
+#include "scenario/runner.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "core/hosting.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/plugins/procfssim_group.h"
+#include "pusher/plugins/scenariosim_group.h"
+#include "pusher/plugins/sysfssim_group.h"
+#include "scenario/perturbation.h"
+
+namespace wm::scenario {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+
+ScenarioRunner::ScenarioRunner(ScenarioScript script, const common::ConfigNode& root)
+    : script_(std::move(script)), root_(root) {}
+
+bool ScenarioRunner::build(const common::ConfigNode& root, std::string* error) {
+    // Topology and background app, as wintermuted reads them; the defaults
+    // match buildCluster() so a `.scn` without a cluster block behaves like
+    // the daemon's default deployment.
+    if (const common::ConfigNode* cluster = root.child("cluster")) {
+        topology_.racks = static_cast<std::size_t>(cluster->getInt("racks", 2));
+        topology_.chassis_per_rack =
+            static_cast<std::size_t>(cluster->getInt("chassisPerRack", 2));
+        topology_.nodes_per_chassis =
+            static_cast<std::size_t>(cluster->getInt("nodesPerChassis", 2));
+        topology_.cpus_per_node =
+            static_cast<std::size_t>(cluster->getInt("cpusPerNode", 8));
+        topology_.max_nodes = static_cast<std::size_t>(cluster->getInt("maxNodes", 0));
+    } else {
+        topology_ = simulator::Topology::tiny();
+    }
+    const common::ConfigNode* cluster = root.child("cluster");
+    const simulator::AppKind app = simulator::appFromName(
+        cluster != nullptr ? cluster->getString("app", "lammps") : "lammps");
+
+    TimestampNs sampling = kNsPerSec;
+    TimestampNs window = 180 * kNsPerSec;
+    if (const common::ConfigNode* pusher_cfg = root.child("pusher")) {
+        sampling = pusher_cfg->getDurationNs("samplingInterval", kNsPerSec);
+        window = pusher_cfg->getDurationNs("cacheWindow", 180 * kNsPerSec);
+    }
+
+    agent_ = std::make_unique<collectagent::CollectAgent>(
+        collectagent::CollectAgentConfig{"collectagent", "#", window, true},
+        broker_, storage_);
+    agent_->start();
+
+    for (std::size_t n = 0; n < topology_.nodeCount(); ++n) {
+        const std::string node_path = topology_.nodePath(n);
+        auto node = std::make_shared<pusher::SimulatedNode>(
+            topology_.cpus_per_node, script_.seed + 1000 + n);
+        node->startApp(app);
+        nodes_.push_back(node);
+
+        auto p = std::make_unique<pusher::Pusher>(
+            pusher::PusherConfig{node_path, window, 2}, &broker_);
+        pusher::PerfsimGroupConfig perf;
+        perf.node_path = node_path;
+        perf.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::PerfsimGroup>(perf, node));
+        pusher::SysfssimGroupConfig sys;
+        sys.node_path = node_path;
+        sys.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::SysfssimGroup>(sys, node));
+        pusher::ProcfssimGroupConfig proc;
+        proc.node_path = node_path;
+        proc.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::ProcfssimGroup>(proc, node));
+        // Ground-truth label stream, on the same sensor plane as the data it
+        // labels (the classifier can train on it, the evaluator audits it).
+        pusher::ScenariosimGroupConfig scn;
+        scn.node_path = node_path;
+        scn.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::ScenariosimGroup>(
+            scn, [this, n](TimestampNs t) {
+                return anomalyLabelAt(script_, n,
+                                      static_cast<double>(t) / static_cast<double>(kNsPerSec));
+            }));
+        pushers_.push_back(std::move(p));
+    }
+
+    // Facility loop fed by the nodes' latest power readings.
+    facility_ = std::make_shared<pusher::SimulatedFacility>(
+        simulator::FacilityCharacteristics{}, [this] {
+            double total = 0.0;
+            for (std::size_t i = 0; i < nodes_.size(); ++i) {
+                const auto* cache =
+                    pushers_[i]->cacheStore().find(pushers_[i]->name() + "/power");
+                if (cache != nullptr) {
+                    const auto latest = cache->latest();
+                    if (latest) total += latest->value;
+                }
+            }
+            return total;
+        });
+    auto facility_pusher = std::make_unique<pusher::Pusher>(
+        pusher::PusherConfig{"/facility", window, 2}, &broker_);
+    pusher::FacilitysimGroupConfig facility_group;
+    facility_group.interval_ns = sampling;
+    facility_pusher->addGroup(
+        std::make_unique<pusher::FacilitysimGroup>(facility_group, facility_));
+    pushers_.push_back(std::move(facility_pusher));
+
+    // Wintermute hosts on both sides of the broker.
+    for (auto& p : pushers_) {
+        auto engine = std::make_unique<core::QueryEngine>();
+        engine->setCacheStore(&p->cacheStore());
+        auto manager = std::make_unique<core::OperatorManager>(
+            core::makeHostContext(*engine, &p->cacheStore(), &broker_, nullptr));
+        plugins::registerBuiltinPlugins(*manager);
+        pusher_engines_.push_back(std::move(engine));
+        pusher_managers_.push_back(std::move(manager));
+    }
+    agent_engine_.setCacheStore(&agent_->cacheStore());
+    agent_engine_.setStorage(&storage_);
+    agent_manager_ = std::make_unique<core::OperatorManager>(core::makeHostContext(
+        agent_engine_, &agent_->cacheStore(), nullptr, &storage_, &jobs_));
+    plugins::registerBuiltinPlugins(*agent_manager_);
+
+    // One job spanning the cluster so job-scope operators resolve.
+    jobs::JobRecord job;
+    job.job_id = "scenario";
+    job.nodes = topology_.nodePaths();
+    job.start_time = 0;
+    jobs_.submit(job);
+
+    // Warm the sensor space at t=1 (healthy tick) so unit resolution sees
+    // every topic, then load the configured plugins.
+    tick(1 * kNsPerSec, 1.0);
+    for (const auto* plugin : root.childrenOf("plugin")) {
+        const std::string name = plugin->value();
+        const std::string host = plugin->getString("host", "collectagent");
+        if (host == "pusher") {
+            for (auto& manager : pusher_managers_) {
+                if (manager->loadPlugin(name, *plugin) < 0) {
+                    if (error != nullptr) *error = "unknown plugin: " + name;
+                    return false;
+                }
+            }
+        } else if (agent_manager_->loadPlugin(name, *plugin) < 0) {
+            if (error != nullptr) *error = "unknown plugin: " + name;
+            return false;
+        }
+    }
+    return true;
+}
+
+void ScenarioRunner::tick(TimestampNs t_ns, double t_sec) {
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        nodes_[n]->setPerturbation(nodePerturbationAt(script_, n, t_sec));
+    }
+    facility_->setPerturbation(facilityPerturbationAt(script_, t_sec));
+    for (auto& p : pushers_) p->sampleOnce(t_ns);
+    // Rebuild every tick: operator outputs (e.g. per-cpu cpi) appear in the
+    // sensor space as soon as published. Cheap at campaign scale.
+    for (auto& engine : pusher_engines_) engine->rebuildTree();
+    agent_engine_.rebuildTree();
+    for (auto& manager : pusher_managers_) manager->tickAll(t_ns);
+    if (agent_manager_) agent_manager_->tickAll(t_ns);
+}
+
+EvaluationReport ScenarioRunner::run(std::string* error) {
+    EvaluationReport empty;
+    empty.scenario = script_.name;
+    if (!build(root_, error)) return empty;
+    const auto duration = static_cast<TimestampNs>(script_.duration_s);
+    for (TimestampNs t = 2; t <= duration; ++t) {
+        tick(t * kNsPerSec, static_cast<double>(t));
+    }
+    return Evaluator(script_, topology_.nodePaths()).evaluate(agent_engine_);
+}
+
+std::vector<EvaluationReport> runScenarios(const common::ConfigNode& root) {
+    std::vector<EvaluationReport> reports;
+    for (const ScenarioScript& script : parseScenarios(root, nullptr)) {
+        ScenarioRunner runner(script, root);
+        std::string error;
+        EvaluationReport report = runner.run(&error);
+        if (!error.empty()) {
+            std::fprintf(stderr, "scenario %s: %s\n", script.name.c_str(),
+                         error.c_str());
+            continue;
+        }
+        reports.push_back(std::move(report));
+    }
+    return reports;
+}
+
+}  // namespace wm::scenario

@@ -1,0 +1,73 @@
+#pragma once
+
+// In-process end-to-end harness for scenario campaigns: stands up the full
+// data path (simulated nodes -> Pushers -> synchronous MQTT broker ->
+// Collect Agent -> storage) with Wintermute operators hosted on both sides,
+// replays the scenario's anomaly schedule on the deterministic virtual
+// clock, and scores the configured detectors with scenario::Evaluator.
+//
+// Everything is driven synchronously — no threads, no wall-clock reads —
+// so a run at a fixed seed is bit-reproducible, reading for reading
+// (BENCH_quality.json is byte-stable across runs).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collectagent/collect_agent.h"
+#include "common/config.h"
+#include "core/operator_manager.h"
+#include "core/query_engine.h"
+#include "jobs/job_manager.h"
+#include "mqtt/broker.h"
+#include "pusher/plugins/facilitysim_group.h"
+#include "pusher/pusher.h"
+#include "pusher/sim_node.h"
+#include "scenario/evaluator.h"
+#include "scenario/script.h"
+#include "simulator/topology.h"
+#include "storage/storage_backend.h"
+
+namespace wm::scenario {
+
+class ScenarioRunner {
+  public:
+    /// `root` supplies the surrounding deployment: `cluster` (topology and
+    /// background app), `pusher` (sampling interval, cache window) and
+    /// `plugin` blocks, exactly as wintermuted reads them.
+    ScenarioRunner(ScenarioScript script, const common::ConfigNode& root);
+
+    /// Builds the cluster, replays the campaign tick by tick, and scores the
+    /// detectors. `error` (when given) receives a message on failure.
+    EvaluationReport run(std::string* error = nullptr);
+
+    const simulator::Topology& topology() const { return topology_; }
+    const core::QueryEngine& agentEngine() const { return agent_engine_; }
+
+  private:
+    bool build(const common::ConfigNode& root, std::string* error);
+    void tick(common::TimestampNs t_ns, double t_sec);
+
+    ScenarioScript script_;
+    const common::ConfigNode root_;
+
+    simulator::Topology topology_;
+    mqtt::Broker broker_;
+    storage::StorageBackend storage_;
+    jobs::JobManager jobs_;
+    std::unique_ptr<collectagent::CollectAgent> agent_;
+    pusher::SimulatedFacilityPtr facility_;
+    std::vector<std::shared_ptr<pusher::SimulatedNode>> nodes_;
+    std::vector<std::unique_ptr<pusher::Pusher>> pushers_;
+    std::vector<std::unique_ptr<core::QueryEngine>> pusher_engines_;
+    std::vector<std::unique_ptr<core::OperatorManager>> pusher_managers_;
+    core::QueryEngine agent_engine_;
+    std::unique_ptr<core::OperatorManager> agent_manager_;
+};
+
+/// Parses and runs every `scenario` block under `root` in file order.
+/// Scenarios that fail to parse or build are skipped with a message on
+/// stderr; the returned reports preserve order.
+std::vector<EvaluationReport> runScenarios(const common::ConfigNode& root);
+
+}  // namespace wm::scenario

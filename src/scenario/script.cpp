@@ -1,0 +1,384 @@
+#include "scenario/script.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/string_utils.h"
+#include "common/time_utils.h"
+
+namespace wm::scenario {
+
+namespace {
+
+using common::ConfigNode;
+
+/// Counts errors for one scenario block while forwarding to the (optional)
+/// sink — parseScenario must know whether *this* block failed.
+struct Reporter {
+    analysis::DiagnosticSink* sink = nullptr;
+    std::size_t errors = 0;
+
+    void error(const std::string& code, const std::string& message,
+               const ConfigNode& at, const std::string& subject = "") {
+        ++errors;
+        if (sink != nullptr) {
+            sink->error(code, message, at.line(), at.column(), subject);
+        }
+    }
+    void warning(const std::string& code, const std::string& message,
+                 const ConfigNode& at, const std::string& subject = "") {
+        if (sink != nullptr) {
+            sink->warning(code, message, at.line(), at.column(), subject);
+        }
+    }
+};
+
+double durationSeconds(const ConfigNode& block, const std::string& key,
+                       double fallback_s) {
+    const std::int64_t ns = block.getDurationNs(
+        key, static_cast<std::int64_t>(fallback_s * common::kNsPerSec));
+    return static_cast<double>(ns) / static_cast<double>(common::kNsPerSec);
+}
+
+double defaultMagnitude(AnomalyClass cls) {
+    switch (cls) {
+        case AnomalyClass::kThermalRunaway: return 30.0;
+        case AnomalyClass::kFanFailure: return 2.5;
+        case AnomalyClass::kMemoryLeak: return 40.0;
+        case AnomalyClass::kNetworkCongestion: return 6.0;
+        case AnomalyClass::kStraggler: return 0.6;
+    }
+    return 1.0;
+}
+
+/// Parses "all", "1,3" or "0-2" (mixtures allowed: "0,2-4"). Returns false
+/// on malformed specs; an empty result means "all".
+bool parseNodeSpec(const std::string& spec, std::vector<std::size_t>& out) {
+    const std::string text = common::trim(spec);
+    if (text.empty() || text == "all") return true;
+    std::set<std::size_t> indices;
+    for (const std::string& raw : common::split(text, ',')) {
+        const std::string token = common::trim(raw);
+        if (token.empty()) return false;
+        const std::size_t dash = token.find('-');
+        std::size_t lo = 0;
+        std::size_t hi = 0;
+        try {
+            if (dash == std::string::npos) {
+                lo = hi = std::stoul(token);
+            } else {
+                lo = std::stoul(common::trim(token.substr(0, dash)));
+                hi = std::stoul(common::trim(token.substr(dash + 1)));
+            }
+        } catch (...) {
+            return false;
+        }
+        if (hi < lo || hi - lo > 100000) return false;
+        for (std::size_t i = lo; i <= hi; ++i) indices.insert(i);
+    }
+    out.assign(indices.begin(), indices.end());
+    return !out.empty();
+}
+
+std::optional<TriggerKind> triggerKindFromName(const std::string& name) {
+    if (name == "below") return TriggerKind::kBelow;
+    if (name == "above") return TriggerKind::kAbove;
+    if (name == "equals") return TriggerKind::kEquals;
+    if (name == "not-equals") return TriggerKind::kNotEquals;
+    return std::nullopt;
+}
+
+void parseAnomaly(const ConfigNode& node, const ScenarioScript& script,
+                  Reporter& reporter, std::vector<AnomalyEvent>& out) {
+    const std::string subject = "scenario/" + script.name;
+    const auto cls = anomalyClassFromName(node.value());
+    if (!cls) {
+        reporter.error("WM0802",
+                       "unknown anomaly class '" + node.value() +
+                           "' (known: thermal_runaway, fan_failure, memory_leak, "
+                           "network_congestion, straggler)",
+                       node, subject);
+        return;
+    }
+    static const std::set<std::string> known = {"start",     "end",         "ramp",
+                                                "magnitude", "nodes",       "coreFraction",
+                                                "facility"};
+    for (const auto& child : node.children()) {
+        if (known.count(child.key()) == 0) {
+            reporter.error("WM0803", "unknown anomaly knob '" + child.key() + "'", child,
+                           subject);
+        }
+    }
+    AnomalyEvent event;
+    event.cls = *cls;
+    event.start_s = durationSeconds(node, "start", 0.0);
+    event.end_s = durationSeconds(node, "end", 0.0);
+    event.ramp_s = durationSeconds(node, "ramp", 0.0);
+    event.magnitude = node.getDouble("magnitude", defaultMagnitude(*cls));
+    event.core_fraction = node.getDouble("coreFraction", 0.5);
+    event.facility = node.getBool("facility", false);
+
+    if (event.end_s <= event.start_s || event.start_s < 0.0) {
+        reporter.error("WM0803",
+                       "anomaly window must satisfy 0 <= start < end (got start=" +
+                           std::to_string(event.start_s) +
+                           "s, end=" + std::to_string(event.end_s) + "s)",
+                       node, subject);
+    } else if (event.end_s > script.duration_s) {
+        reporter.error("WM0803",
+                       "anomaly window ends after the scenario duration (" +
+                           std::to_string(event.end_s) + "s > " +
+                           std::to_string(script.duration_s) + "s)",
+                       node, subject);
+    }
+    if (event.ramp_s < 0.0) {
+        reporter.error("WM0803", "'ramp' must be non-negative", node, subject);
+    }
+    if (event.core_fraction <= 0.0 || event.core_fraction > 1.0) {
+        reporter.error("WM0803", "'coreFraction' must be in (0, 1]", node, subject);
+    }
+    const std::string node_spec = node.getString("nodes", "all");
+    if (!parseNodeSpec(node_spec, event.nodes)) {
+        reporter.error("WM0803",
+                       "bad node selector '" + node_spec +
+                           "' (expected \"all\", indices, or ranges like \"0-2\")",
+                       node, subject);
+    }
+    if (event.start_s < script.warmup_s && event.end_s > event.start_s) {
+        reporter.warning("WM0806",
+                         "anomaly starts inside the warmup period; readings before " +
+                             std::to_string(script.warmup_s) + "s are never scored",
+                         node, subject);
+    }
+    out.push_back(std::move(event));
+}
+
+void parseDetector(const ConfigNode& node, const ScenarioScript& script,
+                   Reporter& reporter, std::vector<DetectorRule>& out) {
+    const std::string subject = "scenario/" + script.name;
+    DetectorRule rule;
+    rule.name = node.value().empty() ? ("detector" + std::to_string(out.size()))
+                                     : node.value();
+    static const std::set<std::string> known = {"operator", "topic", "trigger"};
+    for (const auto& child : node.children()) {
+        if (known.count(child.key()) == 0) {
+            reporter.error("WM0804", "unknown detector knob '" + child.key() + "'", child,
+                           subject);
+        }
+    }
+    rule.operator_name = node.getString("operator");
+    rule.topic = node.getString("topic");
+    if (rule.operator_name.empty()) {
+        reporter.error("WM0804", "detector '" + rule.name + "' names no 'operator'",
+                       node, subject);
+    }
+    if (rule.topic.empty()) {
+        reporter.error("WM0804", "detector '" + rule.name + "' names no 'topic'", node,
+                       subject);
+    }
+    const std::string trigger = node.getString("trigger");
+    const std::vector<std::string> parts = common::split(common::trim(trigger), ' ');
+    bool trigger_ok = false;
+    if (parts.size() == 2) {
+        const auto kind = triggerKindFromName(parts[0]);
+        if (kind) {
+            try {
+                rule.threshold = std::stod(parts[1]);
+                rule.kind = *kind;
+                trigger_ok = true;
+            } catch (...) {
+            }
+        }
+    }
+    if (!trigger_ok) {
+        reporter.error("WM0804",
+                       "detector '" + rule.name + "' has a malformed trigger '" +
+                           trigger +
+                           "' (expected \"below|above|equals|not-equals <value>\")",
+                       node, subject);
+    }
+    out.push_back(std::move(rule));
+}
+
+std::optional<ScenarioScript> parseScenarioImpl(const ConfigNode& node,
+                                                Reporter& reporter) {
+    ScenarioScript script;
+    script.name = node.value().empty() ? "unnamed" : node.value();
+    const std::string subject = "scenario/" + script.name;
+
+    static const std::set<std::string> known = {"seed",      "duration", "warmup",
+                                                "tolerance", "anomaly",  "detector"};
+    for (const auto& child : node.children()) {
+        if (known.count(child.key()) == 0) {
+            reporter.error("WM0801", "unknown scenario knob '" + child.key() + "'", child,
+                           subject);
+        }
+    }
+
+    script.seed = static_cast<std::uint64_t>(node.getInt("seed", 42));
+    script.duration_s = durationSeconds(node, "duration", 0.0);
+    script.warmup_s = durationSeconds(node, "warmup", 20.0);
+    script.tolerance_s = durationSeconds(node, "tolerance", 20.0);
+    if (node.child("duration") == nullptr || script.duration_s <= 0.0) {
+        reporter.error("WM0801", "scenario needs a positive 'duration'", node, subject);
+    }
+    if (script.warmup_s < 0.0) {
+        reporter.error("WM0801", "'warmup' must be non-negative", node, subject);
+    }
+    if (script.tolerance_s < 0.0) {
+        reporter.error("WM0801", "'tolerance' must be non-negative", node, subject);
+    }
+    if (script.warmup_s >= script.duration_s && script.duration_s > 0.0) {
+        reporter.error("WM0801", "'warmup' consumes the whole scenario duration", node,
+                       subject);
+    }
+
+    for (const auto* anomaly : node.childrenOf("anomaly")) {
+        parseAnomaly(*anomaly, script, reporter, script.anomalies);
+    }
+    for (const auto* detector : node.childrenOf("detector")) {
+        parseDetector(*detector, script, reporter, script.detectors);
+    }
+    if (script.anomalies.empty() || script.detectors.empty()) {
+        reporter.warning("WM0806",
+                         "scenario schedules " + std::to_string(script.anomalies.size()) +
+                             " anomalies and " + std::to_string(script.detectors.size()) +
+                             " detectors; scoring needs at least one of each",
+                         node, subject);
+    }
+    if (reporter.errors > 0) return std::nullopt;
+    return script;
+}
+
+}  // namespace
+
+const char* anomalyClassName(AnomalyClass cls) {
+    switch (cls) {
+        case AnomalyClass::kThermalRunaway: return "thermal_runaway";
+        case AnomalyClass::kFanFailure: return "fan_failure";
+        case AnomalyClass::kMemoryLeak: return "memory_leak";
+        case AnomalyClass::kNetworkCongestion: return "network_congestion";
+        case AnomalyClass::kStraggler: return "straggler";
+    }
+    return "unknown";
+}
+
+std::optional<AnomalyClass> anomalyClassFromName(const std::string& name) {
+    for (const AnomalyClass cls : allAnomalyClasses()) {
+        if (name == anomalyClassName(cls)) return cls;
+    }
+    return std::nullopt;
+}
+
+const std::vector<AnomalyClass>& allAnomalyClasses() {
+    static const std::vector<AnomalyClass> all = {
+        AnomalyClass::kThermalRunaway, AnomalyClass::kFanFailure,
+        AnomalyClass::kMemoryLeak, AnomalyClass::kNetworkCongestion,
+        AnomalyClass::kStraggler};
+    return all;
+}
+
+const std::vector<std::string>& affectedSensors(AnomalyClass cls) {
+    static const std::vector<std::string> temp = {"temp"};
+    static const std::vector<std::string> memory = {"memfree"};
+    static const std::vector<std::string> counters = {"cpi", "instructions"};
+    static const std::vector<std::string> load = {"power", "col_idle"};
+    switch (cls) {
+        case AnomalyClass::kThermalRunaway: return temp;
+        case AnomalyClass::kFanFailure: return temp;
+        case AnomalyClass::kMemoryLeak: return memory;
+        case AnomalyClass::kNetworkCongestion: return counters;
+        case AnomalyClass::kStraggler: return load;
+    }
+    return temp;
+}
+
+std::vector<GroundTruthWindow> ScenarioScript::groundTruth() const {
+    std::vector<GroundTruthWindow> windows;
+    windows.reserve(anomalies.size());
+    for (const AnomalyEvent& event : anomalies) {
+        GroundTruthWindow window;
+        window.cls = event.cls;
+        window.nodes = event.nodes;
+        window.sensors = affectedSensors(event.cls);
+        window.start_s = event.start_s;
+        window.end_s = event.end_s;
+        windows.push_back(std::move(window));
+    }
+    return windows;
+}
+
+std::optional<ScenarioScript> parseScenario(const common::ConfigNode& scenario_node,
+                                            analysis::DiagnosticSink* sink) {
+    Reporter reporter{sink, 0};
+    return parseScenarioImpl(scenario_node, reporter);
+}
+
+std::vector<ScenarioScript> parseScenarios(const common::ConfigNode& root,
+                                           analysis::DiagnosticSink* sink) {
+    std::vector<ScenarioScript> scripts;
+    for (const auto* node : root.childrenOf("scenario")) {
+        auto script = parseScenario(*node, sink);
+        if (script) scripts.push_back(std::move(*script));
+    }
+    return scripts;
+}
+
+void validateScenarios(const common::ConfigNode& root, analysis::DiagnosticSink& sink) {
+    // Node count the daemon/runner would build, for index-range checks
+    // (mirrors buildCluster in wintermuted.cpp; bad dimensions are reported
+    // separately as WM0107 by the analyzer core).
+    std::size_t node_count = 0;
+    {
+        const ConfigNode* cluster = root.child("cluster");
+        std::int64_t racks = 2, chassis = 2, nodes = 2, max_nodes = 0;
+        if (cluster != nullptr) {
+            racks = cluster->getInt("racks", 2);
+            chassis = cluster->getInt("chassisPerRack", 2);
+            nodes = cluster->getInt("nodesPerChassis", 2);
+            max_nodes = cluster->getInt("maxNodes", 0);
+        }
+        if (racks > 0 && chassis > 0 && nodes > 0) {
+            node_count = static_cast<std::size_t>(racks * chassis * nodes);
+            if (max_nodes > 0) {
+                node_count = std::min(node_count, static_cast<std::size_t>(max_nodes));
+            }
+        }
+    }
+    std::set<std::string> operator_names;
+    for (const auto* plugin : root.childrenOf("plugin")) {
+        for (const auto* op : plugin->childrenOf("operator")) {
+            operator_names.insert(op->value());
+        }
+    }
+
+    for (const auto* node : root.childrenOf("scenario")) {
+        const auto script = parseScenario(*node, &sink);
+        if (!script) continue;
+        const std::string subject = "scenario/" + script->name;
+        for (const AnomalyEvent& event : script->anomalies) {
+            for (const std::size_t index : event.nodes) {
+                if (node_count > 0 && index >= node_count) {
+                    sink.error("WM0803",
+                               "anomaly targets node " + std::to_string(index) +
+                                   " but the cluster has " + std::to_string(node_count) +
+                                   " nodes",
+                               node->line(), node->column(), subject);
+                }
+            }
+        }
+        for (const DetectorRule& rule : script->detectors) {
+            if (operator_names.count(rule.operator_name) == 0) {
+                sink.warning("WM0805",
+                             "detector '" + rule.name + "' references operator '" +
+                                 rule.operator_name +
+                                 "' which no plugin block defines; its detections "
+                                 "cannot be attributed",
+                             node->line(), node->column(), subject);
+            }
+        }
+    }
+}
+
+}  // namespace wm::scenario

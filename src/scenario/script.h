@@ -1,0 +1,134 @@
+#pragma once
+
+// Scenario scripts (docs/SCENARIOS.md): labeled anomaly campaigns on the
+// deterministic virtual clock. A `.scn` file is a regular INFO-style
+// configuration (common/config) that combines the usual `cluster`/`pusher`/
+// `plugin` blocks with one or more `scenario` blocks:
+//
+//   scenario thermal-runaway-drill {
+//       seed 4242
+//       duration 180s         # virtual length of the campaign
+//       warmup 30s            # readings before this are never scored
+//       tolerance 20s         # detection window slack in both directions
+//       anomaly thermal_runaway {
+//           start 60s
+//           end 120s
+//           nodes 1           # "all", "1,3" or "0-2"; default all
+//           ramp 20s          # linear onset; 0 = step
+//           magnitude 30      # class-specific units, see the catalog
+//       }
+//       detector hc-temp {
+//           operator hc       # plugin block whose output this watches
+//           topic "%node/healthy"
+//           trigger "below 0.5"
+//       }
+//   }
+//
+// Each anomaly class maps to a composable physics perturbation
+// (simulator::NodePerturbation / FacilityPerturbation, see
+// scenario/perturbation.h); the ground-truth label stream derives from the
+// anomaly windows. wm-check validates scenario blocks statically with the
+// WM08xx diagnostic codes (docs/CONFIGURATION.md).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "common/config.h"
+
+namespace wm::scenario {
+
+/// The production failure classes of the ODA-in-practice catalog.
+enum class AnomalyClass {
+    kThermalRunaway = 1,
+    kFanFailure = 2,
+    kMemoryLeak = 3,
+    kNetworkCongestion = 4,
+    kStraggler = 5,
+};
+
+/// Stable config/JSON name ("thermal_runaway", ...).
+const char* anomalyClassName(AnomalyClass cls);
+std::optional<AnomalyClass> anomalyClassFromName(const std::string& name);
+/// All classes in id order (catalog iteration).
+const std::vector<AnomalyClass>& allAnomalyClasses();
+/// Leaf sensor names a class perturbs — the "sensor-set" of the label
+/// stream (e.g. thermal_runaway -> {"temp"}).
+const std::vector<std::string>& affectedSensors(AnomalyClass cls);
+
+/// One scheduled anomaly. `magnitude` is class-specific:
+///   thermal_runaway    degC of hot-spot offset at full ramp (default 30)
+///   fan_failure        multiplier on degC/W, i.e. cooling degradation
+///                      (default 2.5)
+///   memory_leak        GB of resident-set growth at full ramp (default 40)
+///   network_congestion CPI multiplier on the affected core tail
+///                      (default 6; `coreFraction` sizes the tail)
+///   straggler          fraction of utilization lost (default 0.6)
+struct AnomalyEvent {
+    AnomalyClass cls = AnomalyClass::kThermalRunaway;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    double ramp_s = 0.0;
+    double magnitude = 0.0;
+    /// Affected node indices (topology order); empty = every node.
+    std::vector<std::size_t> nodes;
+    /// Fraction of cores in the congestion tail (network_congestion only).
+    double core_fraction = 0.5;
+    /// thermal_runaway only: also drive the facility inlet upwards
+    /// (magnitude / 3 degC), so the excursion shows at the facility level.
+    bool facility = false;
+};
+
+/// How a detector reading is folded into a fired/not-fired decision.
+enum class TriggerKind { kBelow, kAbove, kEquals, kNotEquals };
+
+/// One operator output watched for detections. `topic` may contain the
+/// placeholder "%node", expanded to every node path of the topology.
+struct DetectorRule {
+    std::string name;
+    std::string operator_name;
+    std::string topic;
+    TriggerKind kind = TriggerKind::kBelow;
+    double threshold = 0.0;
+};
+
+/// Ground-truth label: (sensor-set, anomaly class, nodes, t_start, t_end).
+struct GroundTruthWindow {
+    AnomalyClass cls = AnomalyClass::kThermalRunaway;
+    std::vector<std::size_t> nodes;  // empty = every node
+    std::vector<std::string> sensors;
+    double start_s = 0.0;
+    double end_s = 0.0;
+};
+
+struct ScenarioScript {
+    std::string name;
+    std::uint64_t seed = 42;
+    double duration_s = 120.0;
+    double warmup_s = 20.0;
+    double tolerance_s = 20.0;
+    std::vector<AnomalyEvent> anomalies;
+    std::vector<DetectorRule> detectors;
+
+    /// The label stream the campaign emits: one window per anomaly event.
+    std::vector<GroundTruthWindow> groundTruth() const;
+};
+
+/// Parses one `scenario` block. Findings (WM08xx) go to `sink` when given;
+/// nullopt when the block has errors.
+std::optional<ScenarioScript> parseScenario(const common::ConfigNode& scenario_node,
+                                            analysis::DiagnosticSink* sink);
+
+/// Parses every `scenario` block under `root`, skipping malformed ones.
+std::vector<ScenarioScript> parseScenarios(const common::ConfigNode& root,
+                                           analysis::DiagnosticSink* sink);
+
+/// Static validation of all scenario blocks under `root` (wm-check):
+/// parse-level findings plus cross-checks against the cluster topology
+/// (node indices in range) and the plugin blocks (detector operators
+/// exist). Side-effect free.
+void validateScenarios(const common::ConfigNode& root, analysis::DiagnosticSink& sink);
+
+}  // namespace wm::scenario

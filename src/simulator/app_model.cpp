@@ -178,4 +178,21 @@ CoreActivity AppModel::coreActivity(double t_sec, std::size_t core,
     return out;
 }
 
+void applyCorePerturbation(CoreActivity& activity, double cpi_factor,
+                           double core_fraction, double util_factor,
+                           std::size_t core, std::size_t num_cores) {
+    if (util_factor != 1.0) {
+        activity.utilization =
+            std::clamp(activity.utilization * std::max(util_factor, 0.0), 0.0, 1.0);
+    }
+    if (cpi_factor != 1.0 && num_cores > 0) {
+        const double fraction = std::clamp(core_fraction, 0.0, 1.0);
+        const auto affected = static_cast<std::size_t>(
+            std::ceil(fraction * static_cast<double>(num_cores)));
+        if (core >= num_cores - affected) {
+            activity.cpi = std::max(activity.cpi * std::max(cpi_factor, 0.0), 0.2);
+        }
+    }
+}
+
 }  // namespace wm::simulator

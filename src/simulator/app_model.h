@@ -51,6 +51,16 @@ struct CoreActivity {
     double cache_miss_rate = 0.0;  // misses per instruction
 };
 
+/// Applies an anomaly-scenario perturbation to one core's activity
+/// (src/scenario): `cpi_factor` stretches the CPI of the affected core
+/// tail (the last ceil(core_fraction * num_cores) cores — network
+/// congestion hits the cores whose ranks wait on remote data), and
+/// `util_factor` scales the utilization of every core (a straggler node
+/// computes, but slowly). Factors of 1.0 leave the activity untouched.
+void applyCorePerturbation(CoreActivity& activity, double cpi_factor,
+                           double core_fraction, double util_factor,
+                           std::size_t core, std::size_t num_cores);
+
 class AppModel {
   public:
     /// `seed` individualises the run (e.g. per node), keeping determinism.

@@ -19,6 +19,10 @@ void FacilityModel::setInletSetpoint(double temp_c) {
                              characteristics_.max_inlet_c);
 }
 
+void FacilityModel::setPerturbation(const FacilityPerturbation& perturbation) {
+    perturbation_ = perturbation;
+}
+
 void FacilityModel::advance(double dt_sec, double it_power_w) {
     if (dt_sec <= 0.0) return;
     time_sec_ += dt_sec;
@@ -33,8 +37,11 @@ void FacilityModel::advance(double dt_sec, double it_power_w) {
     // The loop's inlet relaxes towards the setpoint with the loop time
     // constant; the return temperature follows from the IT heat load:
     //   dT = P / (flow * c_p).
+    // A perturbed plant relaxes towards the setpoint plus the excursion the
+    // controller cannot hold (cooling-plant anomaly, src/scenario).
     const double blend = 1.0 - std::exp(-dt_sec / characteristics_.loop_tau_sec);
-    sample_.inlet_temp_c += (setpoint_c_ - sample_.inlet_temp_c) * blend;
+    const double inlet_target = setpoint_c_ + perturbation_.inlet_offset_c;
+    sample_.inlet_temp_c += (inlet_target - sample_.inlet_temp_c) * blend;
     const double delta_t =
         sample_.it_power_w /
         (characteristics_.flow_kg_per_s * characteristics_.water_heat_capacity);
@@ -46,7 +53,9 @@ void FacilityModel::advance(double dt_sec, double it_power_w) {
     // the return temperature and cut the lift — the energy-aware knob.
     const double lift = std::max(sample_.outdoor_temp_c - sample_.return_temp_c, 0.0);
     const double cop = std::max(
-        characteristics_.cop_base - characteristics_.cop_per_kelvin_lift * lift, 1.2);
+        (characteristics_.cop_base - characteristics_.cop_per_kelvin_lift * lift) *
+            std::clamp(perturbation_.cop_factor, 0.05, 1.0),
+        1.2);
     const double chiller_w = lift > 0.0 ? sample_.it_power_w / cop : 0.0;
     // Free-cooling still costs fan power, folded into the fixed overhead.
     sample_.cooling_power_w =

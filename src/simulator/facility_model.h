@@ -31,6 +31,17 @@ struct FacilityCharacteristics {
     double outdoor_swing_c = 8.0;
 };
 
+/// Facility-side anomaly perturbation (src/scenario): an inlet offset models
+/// a cooling-plant excursion the setpoint controller cannot hold (the loop
+/// relaxes towards setpoint + offset), and a COP factor models degraded
+/// chillers. Neutral values leave the model bit-identical.
+struct FacilityPerturbation {
+    double inlet_offset_c = 0.0;
+    double cop_factor = 1.0;
+
+    bool active() const { return inlet_offset_c != 0.0 || cop_factor != 1.0; }
+};
+
 /// Instantaneous facility state exposed to monitoring.
 struct FacilitySample {
     double inlet_temp_c = 0.0;
@@ -51,6 +62,11 @@ class FacilityModel {
     void setInletSetpoint(double temp_c);
     double inletSetpoint() const { return setpoint_c_; }
 
+    /// Installs the anomaly perturbation applied by subsequent advance()
+    /// steps (scenario campaigns update it once per virtual tick).
+    void setPerturbation(const FacilityPerturbation& perturbation);
+    const FacilityPerturbation& perturbation() const { return perturbation_; }
+
     /// Advances the loop by `dt_sec` under `it_power_w` of IT load.
     void advance(double dt_sec, double it_power_w);
 
@@ -62,6 +78,7 @@ class FacilityModel {
     double setpoint_c_;
     double time_sec_ = 0.0;
     FacilitySample sample_;
+    FacilityPerturbation perturbation_;
 };
 
 }  // namespace wm::simulator

@@ -16,11 +16,16 @@ NodeModel::NodeModel(std::size_t num_cores, std::uint64_t node_seed,
     power_factor_ =
         std::clamp(1.0 + characteristics_.power_variability * rng_.gaussian(), 0.85, 1.15) *
         characteristics_.anomaly_power_factor;
-    sample_.temperature_c =
+    thermal_state_c_ =
         characteristics_.inlet_temp_c + characteristics_.idle_power_w *
                                             characteristics_.temp_per_watt;
+    sample_.temperature_c = thermal_state_c_;
     sample_.memory_free_gb = characteristics_.total_memory_gb - 4.0;  // OS baseline
     sample_.power_w = characteristics_.idle_power_w * power_factor_;
+}
+
+void NodeModel::setPerturbation(const NodePerturbation& perturbation) {
+    perturbation_ = perturbation;
 }
 
 void NodeModel::startApp(AppKind kind) {
@@ -41,7 +46,10 @@ void NodeModel::advance(double dt_sec) {
     double miss_rate_sum = 0.0;
     const double freq_scale = sample_.frequency_scale;
     for (std::size_t core = 0; core < num_cores; ++core) {
-        const CoreActivity activity = app_.coreActivity(app_time_sec_, core, num_cores);
+        CoreActivity activity = app_.coreActivity(app_time_sec_, core, num_cores);
+        applyCorePerturbation(activity, perturbation_.cpi_factor,
+                              perturbation_.core_fraction, perturbation_.util_factor,
+                              core, num_cores);
         const double busy_cycles =
             characteristics_.freq_hz * freq_scale * activity.utilization * dt_sec;
         const double instructions = busy_cycles / activity.cpi;
@@ -71,7 +79,7 @@ void NodeModel::advance(double dt_sec) {
                    characteristics_.max_dynamic_power_w * freq_scale * freq_scale *
                        avg_util * (0.55 + 0.45 * std::min(avg_ipc, 1.0)) +
                    420.0 * std::min(avg_miss, 0.08);
-    power *= power_factor_;
+    power *= power_factor_ * perturbation_.power_factor;
     // Turbo / power-management transients last ~250 ms: they touch a fixed
     // fraction of samples at any sub-second rate, show near-full amplitude
     // in short integration windows and average out in long ones.
@@ -83,11 +91,18 @@ void NodeModel::advance(double dt_sec) {
     power += rng_.gaussian(0.0, 3.0 * std::sqrt(std::clamp(0.25 / dt_sec, 0.5, 2.5)));
     sample_.power_w = std::max(power, characteristics_.idle_power_w * 0.9);
 
-    // RC thermal response towards the power-dependent steady state.
-    const double target_temp = characteristics_.inlet_temp_c +
-                               sample_.power_w * characteristics_.temp_per_watt;
+    // RC thermal response towards the power-dependent steady state. A
+    // degraded cooling path (fan failure) raises degC/W and heats up with
+    // the same RC lag as the real plant; the hot-spot offset of a thermal
+    // runaway sits on the measured value directly — the sensor is at the
+    // hot spot, not behind the heat sink.
+    const double target_temp =
+        characteristics_.inlet_temp_c +
+        sample_.power_w * characteristics_.temp_per_watt *
+            std::max(perturbation_.cooling_factor, 0.0);
     const double blend = 1.0 - std::exp(-dt_sec / characteristics_.thermal_tau_sec);
-    sample_.temperature_c += (target_temp - sample_.temperature_c) * blend;
+    thermal_state_c_ += (target_temp - thermal_state_c_) * blend;
+    sample_.temperature_c = thermal_state_c_ + perturbation_.temp_offset_c;
 
     // Memory occupancy: apps allocate towards a per-app working set.
     double target_free = characteristics_.total_memory_gb - 4.0;
@@ -103,6 +118,9 @@ void NodeModel::advance(double dt_sec) {
             break;
         case AppKind::kLammps: target_free -= 30.0; break;
     }
+    // A leaking process grows its resident set on top of the application's
+    // working set; free memory relaxes towards the reduced target.
+    target_free -= std::max(perturbation_.memory_leak_gb, 0.0);
     sample_.memory_free_gb +=
         (std::max(target_free, 1.0) - sample_.memory_free_gb) * std::min(dt_sec / 20.0, 1.0);
 

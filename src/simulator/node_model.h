@@ -34,6 +34,35 @@ struct NodeCharacteristics {
     double anomaly_power_factor = 1.0;
 };
 
+/// Composable anomaly perturbation applied to the node's physics
+/// (src/scenario schedules these on the virtual clock; all neutral values
+/// leave the model bit-identical to an unperturbed run). Each field maps to
+/// one production failure class:
+///   power_factor    — extra electrical draw (the Fig. 8 outlier, VR fault);
+///   temp_offset_c   — hot-spot offset on the measured temperature, applied
+///                     after the RC filter (thermal runaway reads fast);
+///   cooling_factor  — multiplies degC/W, i.e. degraded heat removal (fan
+///                     failure / clogged cold plate), RC-lagged like the
+///                     real plant;
+///   cpi_factor + core_fraction — CPI stretch on the affected core tail
+///                     (network congestion, see applyCorePerturbation);
+///   util_factor     — utilization scale on all cores (straggler node);
+///   memory_leak_gb  — resident-set growth eating into free memory.
+struct NodePerturbation {
+    double power_factor = 1.0;
+    double temp_offset_c = 0.0;
+    double cooling_factor = 1.0;
+    double cpi_factor = 1.0;
+    double core_fraction = 1.0;
+    double util_factor = 1.0;
+    double memory_leak_gb = 0.0;
+
+    bool active() const {
+        return power_factor != 1.0 || temp_offset_c != 0.0 || cooling_factor != 1.0 ||
+               cpi_factor != 1.0 || util_factor != 1.0 || memory_leak_gb != 0.0;
+    }
+};
+
 /// Monotonic per-core counters, in the style of perf events.
 struct CoreCounters {
     double cycles = 0.0;
@@ -73,6 +102,11 @@ class NodeModel {
     void setFrequencyScale(double scale);
     double frequencyScale() const { return sample_.frequency_scale; }
 
+    /// Installs the anomaly perturbation applied by subsequent advance()
+    /// steps (scenario campaigns update it once per virtual tick).
+    void setPerturbation(const NodePerturbation& perturbation);
+    const NodePerturbation& perturbation() const { return perturbation_; }
+
     /// Advances the model by `dt_sec` of simulated time, integrating the
     /// counters and updating power/thermal state.
     void advance(double dt_sec);
@@ -98,6 +132,10 @@ class NodeModel {
     double app_time_sec_ = 0.0;
     double total_time_sec_ = 0.0;
     NodeSample sample_;
+    NodePerturbation perturbation_;
+    /// RC thermal state before the sensor-level temp_offset_c is applied;
+    /// sample_.temperature_c is this plus the offset.
+    double thermal_state_c_ = 0.0;
 };
 
 }  // namespace wm::simulator

@@ -1,0 +1,642 @@
+// Scenario library tests (docs/SCENARIOS.md): `.scn` parsing and the WM08xx
+// diagnostics, perturbation composition and determinism against the node
+// physics, Evaluator scoring against hand-computed fixtures (including the
+// truncated-window rule), and the end-to-end campaign drills from
+// configs/scenarios/ through the full in-process pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "common/config.h"
+#include "core/query_engine.h"
+#include "scenario/evaluator.h"
+#include "scenario/perturbation.h"
+#include "scenario/runner.h"
+#include "scenario/script.h"
+#include "sensors/sensor_cache.h"
+#include "simulator/node_model.h"
+
+namespace wm {
+namespace {
+
+using common::kNsPerSec;
+using namespace wm::scenario;
+
+common::ConfigNode parse(const std::string& text) {
+    const auto parsed = common::parseConfig(text);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return parsed.root;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+TEST(ScenarioParse, FullBlockParsesAllFields) {
+    const auto root = parse(R"(
+scenario drill {
+    seed 99
+    duration 200s
+    warmup 25s
+    tolerance 15s
+    anomaly thermal_runaway {
+        start 60s
+        end 120s
+        ramp 20s
+        magnitude 28
+        nodes "0,2-3"
+        facility true
+    }
+    detector hc-temp {
+        operator hc
+        topic "%node/healthy"
+        trigger "below 0.5"
+    }
+}
+)");
+    analysis::DiagnosticSink sink;
+    const auto script = parseScenario(*root.child("scenario"), &sink);
+    ASSERT_TRUE(script.has_value());
+    EXPECT_FALSE(sink.hasErrors());
+    EXPECT_EQ(script->name, "drill");
+    EXPECT_EQ(script->seed, 99u);
+    EXPECT_DOUBLE_EQ(script->duration_s, 200.0);
+    EXPECT_DOUBLE_EQ(script->warmup_s, 25.0);
+    EXPECT_DOUBLE_EQ(script->tolerance_s, 15.0);
+    ASSERT_EQ(script->anomalies.size(), 1u);
+    const AnomalyEvent& event = script->anomalies[0];
+    EXPECT_EQ(event.cls, AnomalyClass::kThermalRunaway);
+    EXPECT_DOUBLE_EQ(event.start_s, 60.0);
+    EXPECT_DOUBLE_EQ(event.end_s, 120.0);
+    EXPECT_DOUBLE_EQ(event.ramp_s, 20.0);
+    EXPECT_DOUBLE_EQ(event.magnitude, 28.0);
+    EXPECT_EQ(event.nodes, (std::vector<std::size_t>{0, 2, 3}));
+    EXPECT_TRUE(event.facility);
+    ASSERT_EQ(script->detectors.size(), 1u);
+    EXPECT_EQ(script->detectors[0].operator_name, "hc");
+    EXPECT_EQ(script->detectors[0].topic, "%node/healthy");
+    EXPECT_EQ(script->detectors[0].kind, TriggerKind::kBelow);
+    EXPECT_DOUBLE_EQ(script->detectors[0].threshold, 0.5);
+
+    // Ground truth derives one labeled window per event, with the class's
+    // sensor-set attached.
+    const auto windows = script->groundTruth();
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0].cls, AnomalyClass::kThermalRunaway);
+    EXPECT_EQ(windows[0].sensors, std::vector<std::string>{"temp"});
+    EXPECT_DOUBLE_EQ(windows[0].start_s, 60.0);
+    EXPECT_DOUBLE_EQ(windows[0].end_s, 120.0);
+}
+
+TEST(ScenarioParse, ClassSpecificMagnitudeDefaults) {
+    const auto root = parse(R"(
+scenario defaults {
+    duration 100s
+    anomaly fan_failure {
+        start 30s
+        end 60s
+    }
+    anomaly straggler {
+        start 30s
+        end 60s
+    }
+    detector d {
+        operator hc
+        topic "%node/healthy"
+        trigger "below 0.5"
+    }
+}
+)");
+    const auto script = parseScenario(*root.child("scenario"), nullptr);
+    ASSERT_TRUE(script.has_value());
+    EXPECT_DOUBLE_EQ(script->anomalies[0].magnitude, 2.5);
+    EXPECT_DOUBLE_EQ(script->anomalies[1].magnitude, 0.6);
+    // Empty node selector means every node.
+    EXPECT_TRUE(script->anomalies[0].nodes.empty());
+}
+
+TEST(ScenarioParse, MalformedBlocksRejectedWithStableCodes) {
+    const auto root = parse(R"(
+scenario broken {
+    duration 60s
+    bogus 1
+    anomaly meteor_strike {
+        start 10s
+        end 20s
+    }
+    anomaly thermal_runaway {
+        start 50s
+        end 20s
+    }
+    detector d {
+        operator hc
+        topic "%node/healthy"
+        trigger "sideways"
+    }
+}
+)");
+    analysis::DiagnosticSink sink;
+    const auto script = parseScenario(*root.child("scenario"), &sink);
+    EXPECT_FALSE(script.has_value());
+    EXPECT_TRUE(sink.hasCode("WM0801")) << renderText(sink);  // unknown knob
+    EXPECT_TRUE(sink.hasCode("WM0802")) << renderText(sink);  // unknown class
+    EXPECT_TRUE(sink.hasCode("WM0803")) << renderText(sink);  // inverted window
+    EXPECT_TRUE(sink.hasCode("WM0804")) << renderText(sink);  // bad trigger
+}
+
+TEST(ScenarioParse, MissingDurationIsAnError) {
+    const auto root = parse(R"(
+scenario no-duration {
+    anomaly straggler {
+        start 10s
+        end 20s
+    }
+    detector d {
+        operator hc
+        topic "t"
+        trigger "below 0.5"
+    }
+}
+)");
+    analysis::DiagnosticSink sink;
+    EXPECT_FALSE(parseScenario(*root.child("scenario"), &sink).has_value());
+    EXPECT_TRUE(sink.hasCode("WM0801")) << renderText(sink);
+}
+
+TEST(ScenarioParse, ValidateScenariosCrossChecksTopologyAndOperators) {
+    const auto root = parse(R"(
+cluster {
+    racks 1
+    chassisPerRack 1
+    nodesPerChassis 2
+    cpusPerNode 4
+}
+scenario cross {
+    duration 60s
+    anomaly straggler {
+        start 30s
+        end 50s
+        nodes 7
+    }
+    detector ghost {
+        operator nobody
+        topic "%node/healthy"
+        trigger "below 0.5"
+    }
+}
+)");
+    analysis::DiagnosticSink sink;
+    validateScenarios(root, sink);
+    EXPECT_TRUE(sink.hasCode("WM0803")) << renderText(sink);  // node 7 of 2
+    EXPECT_TRUE(sink.hasCode("WM0805")) << renderText(sink);  // unknown operator
+}
+
+TEST(ScenarioParse, BadScenarioCorpusFailsThroughAnalyzer) {
+    // The full wm-check pipeline (as wm_check/wintermuted --check run it)
+    // must reject the golden bad corpus with the documented codes.
+    analysis::DiagnosticSink sink;
+    analysis::analyzeConfigFile(std::string(WM_TEST_DATA_DIR) + "/bad_scenario.scn",
+                                sink);
+    EXPECT_TRUE(sink.hasErrors());
+    for (const char* code : {"WM0801", "WM0802", "WM0803", "WM0804"}) {
+        EXPECT_TRUE(sink.hasCode(code)) << code << "\n" << renderText(sink);
+    }
+}
+
+TEST(ScenarioParse, ShippedScenarioConfigsAnalyzeClean) {
+    for (const char* name :
+         {"thermal_runaway.scn", "fan_failure.scn", "memory_leak.scn",
+          "network_congestion.scn", "straggler.scn", "campaign_day.scn"}) {
+        analysis::DiagnosticSink sink;
+        analysis::analyzeConfigFile(std::string(WM_SCENARIO_DIR) + "/" + name, sink);
+        EXPECT_FALSE(sink.hasErrors()) << name << "\n" << renderText(sink);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Perturbation mapping
+
+TEST(ScenarioPerturbation, EnvelopeRampsLinearlyInsideWindow) {
+    AnomalyEvent event;
+    event.start_s = 100.0;
+    event.end_s = 200.0;
+    event.ramp_s = 20.0;
+    EXPECT_DOUBLE_EQ(eventEnvelope(event, 99.0), 0.0);
+    EXPECT_DOUBLE_EQ(eventEnvelope(event, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(eventEnvelope(event, 110.0), 0.5);
+    EXPECT_DOUBLE_EQ(eventEnvelope(event, 120.0), 1.0);
+    EXPECT_DOUBLE_EQ(eventEnvelope(event, 200.0), 1.0);
+    EXPECT_DOUBLE_EQ(eventEnvelope(event, 201.0), 0.0);
+    event.ramp_s = 0.0;  // step onset
+    EXPECT_DOUBLE_EQ(eventEnvelope(event, 100.0), 1.0);
+}
+
+TEST(ScenarioPerturbation, ComposesOffsetsAndFactorsAcrossEvents) {
+    ScenarioScript script;
+    AnomalyEvent thermal;
+    thermal.cls = AnomalyClass::kThermalRunaway;
+    thermal.start_s = 0.0;
+    thermal.end_s = 100.0;
+    thermal.magnitude = 20.0;
+    script.anomalies.push_back(thermal);
+    AnomalyEvent fan = thermal;
+    fan.cls = AnomalyClass::kFanFailure;
+    fan.magnitude = 2.0;
+    script.anomalies.push_back(fan);
+    AnomalyEvent congestion = thermal;
+    congestion.cls = AnomalyClass::kNetworkCongestion;
+    congestion.magnitude = 6.0;
+    congestion.core_fraction = 0.25;
+    script.anomalies.push_back(congestion);
+
+    const auto p = nodePerturbationAt(script, 0, 50.0);
+    EXPECT_DOUBLE_EQ(p.temp_offset_c, 20.0);
+    EXPECT_DOUBLE_EQ(p.cooling_factor, 2.0);
+    EXPECT_DOUBLE_EQ(p.cpi_factor, 6.0);
+    EXPECT_DOUBLE_EQ(p.core_fraction, 0.25);
+    EXPECT_TRUE(p.active());
+    // Outside every window: neutral.
+    EXPECT_FALSE(nodePerturbationAt(script, 0, 150.0).active());
+}
+
+TEST(ScenarioPerturbation, NodeSelectorScopesEvents) {
+    ScenarioScript script;
+    AnomalyEvent event;
+    event.cls = AnomalyClass::kStraggler;
+    event.start_s = 0.0;
+    event.end_s = 100.0;
+    event.magnitude = 0.5;
+    event.nodes = {1};
+    script.anomalies.push_back(event);
+    EXPECT_FALSE(nodePerturbationAt(script, 0, 50.0).active());
+    EXPECT_DOUBLE_EQ(nodePerturbationAt(script, 1, 50.0).util_factor, 0.5);
+}
+
+TEST(ScenarioPerturbation, LabelStreamReportsMostSevereActiveClass) {
+    ScenarioScript script;
+    AnomalyEvent fan;
+    fan.cls = AnomalyClass::kFanFailure;  // class id 2
+    fan.start_s = 10.0;
+    fan.end_s = 60.0;
+    script.anomalies.push_back(fan);
+    AnomalyEvent straggler;
+    straggler.cls = AnomalyClass::kStraggler;  // class id 5
+    straggler.start_s = 40.0;
+    straggler.end_s = 80.0;
+    script.anomalies.push_back(straggler);
+    EXPECT_DOUBLE_EQ(anomalyLabelAt(script, 0, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(anomalyLabelAt(script, 0, 20.0), 2.0);
+    EXPECT_DOUBLE_EQ(anomalyLabelAt(script, 0, 50.0), 5.0);  // overlap: max id
+    EXPECT_DOUBLE_EQ(anomalyLabelAt(script, 0, 70.0), 5.0);
+    EXPECT_DOUBLE_EQ(anomalyLabelAt(script, 0, 90.0), 0.0);
+}
+
+TEST(ScenarioPerturbation, FacilityComponentOnlyFromFacilityFlaggedThermals) {
+    ScenarioScript script;
+    AnomalyEvent event;
+    event.cls = AnomalyClass::kThermalRunaway;
+    event.start_s = 0.0;
+    event.end_s = 100.0;
+    event.magnitude = 30.0;
+    script.anomalies.push_back(event);
+    EXPECT_DOUBLE_EQ(facilityPerturbationAt(script, 50.0).inlet_offset_c, 0.0);
+    script.anomalies[0].facility = true;
+    EXPECT_DOUBLE_EQ(facilityPerturbationAt(script, 50.0).inlet_offset_c, 10.0);
+}
+
+TEST(ScenarioPerturbation, NeutralPerturbationIsBitIdenticalToBaseline) {
+    // The healthy path must be unchanged by the perturbation plumbing: a
+    // default NodePerturbation run produces exactly the same samples as one
+    // that never touched setPerturbation.
+    simulator::NodeModel baseline(4, 12345);
+    simulator::NodeModel perturbed(4, 12345);
+    baseline.startApp(simulator::AppKind::kLammps);
+    perturbed.startApp(simulator::AppKind::kLammps);
+    for (int i = 0; i < 120; ++i) {
+        perturbed.setPerturbation(simulator::NodePerturbation{});
+        baseline.advance(1.0);
+        perturbed.advance(1.0);
+        const auto& a = baseline.sample();
+        const auto& b = perturbed.sample();
+        ASSERT_EQ(a.power_w, b.power_w);
+        ASSERT_EQ(a.temperature_c, b.temperature_c);
+        ASSERT_EQ(a.memory_free_gb, b.memory_free_gb);
+        ASSERT_EQ(a.idle_time_total, b.idle_time_total);
+        for (std::size_t c = 0; c < a.cores.size(); ++c) {
+            ASSERT_EQ(a.cores[c].cycles, b.cores[c].cycles);
+            ASSERT_EQ(a.cores[c].instructions, b.cores[c].instructions);
+        }
+    }
+}
+
+TEST(ScenarioPerturbation, PerturbedRunsAreDeterministicUnderFixedSeed) {
+    ScenarioScript script;
+    AnomalyEvent event;
+    event.cls = AnomalyClass::kNetworkCongestion;
+    event.start_s = 30.0;
+    event.end_s = 90.0;
+    event.ramp_s = 10.0;
+    event.magnitude = 6.0;
+    event.core_fraction = 0.5;
+    script.anomalies.push_back(event);
+
+    auto run = [&script] {
+        simulator::NodeModel model(4, 777);
+        model.startApp(simulator::AppKind::kLammps);
+        std::vector<double> trace;
+        for (int t = 1; t <= 120; ++t) {
+            model.setPerturbation(nodePerturbationAt(script, 0, t));
+            model.advance(1.0);
+            trace.push_back(model.sample().power_w);
+            trace.push_back(model.sample().cores.back().cycles);
+        }
+        return trace;
+    };
+    const auto first = run();
+    const auto second = run();
+    ASSERT_EQ(first, second);  // bit-identical replay
+
+    // And the congested tail actually stalls: over the full-envelope stretch
+    // (counters are cumulative, so compare deltas from after the ramp) the
+    // last core burns far more cycles per instruction than a healthy twin.
+    simulator::NodeModel healthy(4, 777);
+    healthy.startApp(simulator::AppKind::kLammps);
+    simulator::NodeModel congested(4, 777);
+    congested.startApp(simulator::AppKind::kLammps);
+    const auto tail = [](const simulator::NodeModel& model) {
+        return model.sample().cores.back();
+    };
+    simulator::CoreCounters healthy_at_40{};
+    simulator::CoreCounters congested_at_40{};
+    for (int t = 1; t <= 90; ++t) {
+        congested.setPerturbation(nodePerturbationAt(script, 0, t));
+        healthy.advance(1.0);
+        congested.advance(1.0);
+        if (t == 40) {  // ramp finished at t = 40
+            healthy_at_40 = tail(healthy);
+            congested_at_40 = tail(congested);
+        }
+    }
+    const double healthy_cpi = (tail(healthy).cycles - healthy_at_40.cycles) /
+                               (tail(healthy).instructions - healthy_at_40.instructions);
+    const double congested_cpi =
+        (tail(congested).cycles - congested_at_40.cycles) /
+        (tail(congested).instructions - congested_at_40.instructions);
+    EXPECT_GT(congested_cpi, 3.0 * healthy_cpi);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator fixtures
+
+TEST(ScenarioEvaluator, TriggerKindsFold) {
+    DetectorRule rule;
+    rule.threshold = 1.0;
+    rule.kind = TriggerKind::kBelow;
+    EXPECT_TRUE(Evaluator::triggerFires(rule, 0.5));
+    EXPECT_FALSE(Evaluator::triggerFires(rule, 1.5));
+    rule.kind = TriggerKind::kAbove;
+    EXPECT_TRUE(Evaluator::triggerFires(rule, 1.5));
+    EXPECT_FALSE(Evaluator::triggerFires(rule, 1.0));
+    rule.kind = TriggerKind::kEquals;
+    EXPECT_TRUE(Evaluator::triggerFires(rule, 1.0));
+    EXPECT_FALSE(Evaluator::triggerFires(rule, 1.5));
+    rule.kind = TriggerKind::kNotEquals;
+    EXPECT_TRUE(Evaluator::triggerFires(rule, 1.5));
+    EXPECT_FALSE(Evaluator::triggerFires(rule, 1.0));
+}
+
+TEST(ScenarioEvaluator, ExtractEventsFoldsRunsAndSkipsWarmup) {
+    DetectorRule rule;
+    rule.kind = TriggerKind::kBelow;
+    rule.threshold = 0.5;
+    sensors::ReadingVector readings;
+    // Fires at t=5 (inside warmup, ignored), 40-42 (one event), 50 (another).
+    for (const auto& [t, v] :
+         std::vector<std::pair<int, double>>{{5, 0.0}, {10, 1.0}, {40, 0.0},
+                                             {41, 0.0}, {42, 0.0}, {43, 1.0},
+                                             {50, 0.0}, {51, 1.0}}) {
+        readings.push_back({t * kNsPerSec, v});
+    }
+    const auto events = Evaluator::extractEvents(rule, "topic", 0, readings, 20.0);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_DOUBLE_EQ(events[0].start_s, 40.0);
+    EXPECT_DOUBLE_EQ(events[0].end_s, 42.0);
+    EXPECT_DOUBLE_EQ(events[1].start_s, 50.0);
+    EXPECT_DOUBLE_EQ(events[1].end_s, 50.0);
+}
+
+/// Hand-computed fixture: two thermal windows on node 0/1, a detector that
+/// catches both with known lags plus one spurious event far from any window.
+TEST(ScenarioEvaluator, ScoresMatchHandComputedFixture) {
+    ScenarioScript script;
+    script.name = "fixture";
+    script.duration_s = 200.0;
+    script.warmup_s = 10.0;
+    script.tolerance_s = 5.0;
+    for (const auto& [node, start, end] :
+         std::vector<std::tuple<std::size_t, double, double>>{{0, 40.0, 80.0},
+                                                              {1, 120.0, 160.0}}) {
+        AnomalyEvent event;
+        event.cls = AnomalyClass::kThermalRunaway;
+        event.start_s = start;
+        event.end_s = end;
+        event.nodes = {node};
+        script.anomalies.push_back(event);
+    }
+    DetectorRule rule;
+    rule.name = "hc-temp";
+    rule.operator_name = "hc";
+    rule.topic = "%node/healthy";
+    rule.kind = TriggerKind::kBelow;
+    rule.threshold = 0.5;
+    script.detectors.push_back(rule);
+
+    sensors::CacheStore store(1000 * kNsPerSec);
+    core::QueryEngine engine;
+    engine.setCacheStore(&store);
+    auto& n0 = store.getOrCreate("/n0/healthy");
+    auto& n1 = store.getOrCreate("/n1/healthy");
+    for (int t = 1; t <= 200; ++t) {
+        // Node 0: unhealthy 44..70 (lag 4) and spurious 190..191 (no window).
+        const bool bad0 = (t >= 44 && t <= 70) || t == 190 || t == 191;
+        // Node 1: unhealthy 126..150 (lag 6).
+        const bool bad1 = t >= 126 && t <= 150;
+        n0.store({t * kNsPerSec, bad0 ? 0.0 : 1.0});
+        n1.store({t * kNsPerSec, bad1 ? 0.0 : 1.0});
+    }
+
+    const Evaluator evaluator(script, {"/n0", "/n1"});
+    const EvaluationReport report = evaluator.evaluate(engine);
+    ASSERT_EQ(report.detectors.size(), 1u);
+    const DetectorScore& score = report.detectors[0];
+    EXPECT_EQ(score.events_total, 3u);
+    EXPECT_EQ(score.events_matched, 2u);
+    EXPECT_EQ(score.false_positives, 1u);
+    EXPECT_DOUBLE_EQ(score.precision, 2.0 / 3.0);
+    ASSERT_EQ(score.classes.count("thermal_runaway"), 1u);
+    const ClassScore& cls = score.classes.at("thermal_runaway");
+    EXPECT_EQ(cls.windows, 2u);
+    EXPECT_EQ(cls.detected, 2u);
+    EXPECT_EQ(cls.missed, 0u);
+    EXPECT_EQ(cls.truncated, 0u);
+    EXPECT_EQ(cls.tp_events, 2u);
+    EXPECT_DOUBLE_EQ(cls.precision, 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(cls.recall, 1.0);
+    EXPECT_DOUBLE_EQ(cls.f1, 2.0 * (2.0 / 3.0) * 1.0 / (2.0 / 3.0 + 1.0));
+    EXPECT_DOUBLE_EQ(cls.median_lag_s, 5.0);  // lags {4, 6}, even-count median
+    EXPECT_EQ(report.truncated_windows, 0u);
+}
+
+TEST(ScenarioEvaluator, TruncatedWindowExcludedFromRecallNotScoredAsMissed) {
+    // The anomaly window [30, 60] outlives the retained history: the series
+    // only starts at t=100 (> end + tolerance). The window must be reported
+    // as truncated and excluded from the recall denominator — while a second,
+    // observable window scores normally.
+    ScenarioScript script;
+    script.name = "trunc";
+    script.duration_s = 200.0;
+    script.warmup_s = 0.0;
+    script.tolerance_s = 10.0;
+    for (const auto& [start, end] :
+         std::vector<std::pair<double, double>>{{30.0, 60.0}, {120.0, 150.0}}) {
+        AnomalyEvent event;
+        event.cls = AnomalyClass::kMemoryLeak;
+        event.start_s = start;
+        event.end_s = end;
+        script.anomalies.push_back(event);
+    }
+    DetectorRule rule;
+    rule.name = "hc-mem";
+    rule.operator_name = "hc";
+    rule.topic = "%node/healthy";
+    rule.kind = TriggerKind::kBelow;
+    rule.threshold = 0.5;
+    script.detectors.push_back(rule);
+
+    sensors::CacheStore store(1000 * kNsPerSec);
+    core::QueryEngine engine;
+    engine.setCacheStore(&store);
+    auto& cache = store.getOrCreate("/n0/healthy");
+    for (int t = 100; t <= 200; ++t) {
+        cache.store({t * kNsPerSec, (t >= 125 && t <= 150) ? 0.0 : 1.0});
+    }
+
+    const Evaluator evaluator(script, {"/n0"});
+    const EvaluationReport report = evaluator.evaluate(engine);
+    const ClassScore& cls = report.detectors[0].classes.at("memory_leak");
+    EXPECT_EQ(cls.windows, 2u);
+    EXPECT_EQ(cls.detected, 1u);
+    EXPECT_EQ(cls.missed, 0u);
+    EXPECT_EQ(cls.truncated, 1u);
+    EXPECT_DOUBLE_EQ(cls.recall, 1.0);  // denominator excludes the truncated one
+    EXPECT_EQ(report.truncated_windows, 1u);
+
+    // An empty series (topic never stored) is truncation too, not a miss.
+    sensors::CacheStore empty_store(1000 * kNsPerSec);
+    core::QueryEngine empty_engine;
+    empty_engine.setCacheStore(&empty_store);
+    const EvaluationReport empty_report = evaluator.evaluate(empty_engine);
+    const ClassScore& empty_cls = empty_report.detectors[0].classes.at("memory_leak");
+    EXPECT_EQ(empty_cls.truncated, 2u);
+    EXPECT_EQ(empty_cls.missed, 0u);
+    EXPECT_EQ(empty_report.truncated_windows, 2u);
+}
+
+TEST(ScenarioEvaluator, JsonRenderingIsDeterministic) {
+    EvaluationReport report;
+    report.scenario = "render";
+    report.seed = 7;
+    report.duration_s = 100.0;
+    report.warmup_s = 10.0;
+    report.tolerance_s = 5.0;
+    report.windows_by_class["straggler"] = 1;
+    DetectorScore score;
+    score.detector = "d";
+    score.operator_name = "hc";
+    score.topic = "%node/healthy";
+    score.classes["straggler"] = ClassScore{};
+    report.detectors.push_back(score);
+    const std::string a = renderReportJson(report);
+    const std::string b = renderReportJson(report);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"scenario\":\"render\""), std::string::npos);
+    const std::string doc = renderQualityJson({report});
+    EXPECT_NE(doc.find("\"schema\":\"wintermute-quality-v1\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end drills (ctest -L scenario)
+
+ScenarioScript loadScript(const std::string& file, common::ConfigNode& root_out) {
+    const auto parsed = common::parseConfigFile(file);
+    EXPECT_TRUE(parsed.ok) << file << ": " << parsed.error;
+    root_out = parsed.root;
+    const auto scripts = parseScenarios(parsed.root, nullptr);
+    EXPECT_EQ(scripts.size(), 1u) << file;
+    return scripts.front();
+}
+
+TEST(ScenarioE2E, ThermalRunawayFlaggedWithinToleranceAndByteStable) {
+    common::ConfigNode root;
+    const ScenarioScript script =
+        loadScript(std::string(WM_SCENARIO_DIR) + "/thermal_runaway.scn", root);
+
+    auto run = [&] {
+        ScenarioRunner runner(script, root);
+        std::string error;
+        const EvaluationReport report = runner.run(&error);
+        EXPECT_TRUE(error.empty()) << error;
+        return renderReportJson(report);
+    };
+    const std::string first = run();
+    const std::string second = run();
+    EXPECT_EQ(first, second);  // byte-stable at fixed seed
+
+    ScenarioRunner runner(script, root);
+    std::string error;
+    const EvaluationReport report = runner.run(&error);
+    ASSERT_TRUE(error.empty()) << error;
+    ASSERT_EQ(report.detectors.size(), 1u);
+    const DetectorScore& score = report.detectors[0];
+    const ClassScore& cls = score.classes.at("thermal_runaway");
+    EXPECT_EQ(cls.detected, 1u);  // the healthchecker flags the labeled window
+    EXPECT_EQ(cls.missed, 0u);
+    EXPECT_EQ(score.false_positives, 0u);  // the healthy node stays quiet
+    EXPECT_DOUBLE_EQ(cls.recall, 1.0);
+    EXPECT_DOUBLE_EQ(cls.precision, 1.0);
+    // Detection inside the configured tolerance of the window start.
+    EXPECT_GE(cls.median_lag_s, 0.0);
+    EXPECT_LE(cls.median_lag_s, script.tolerance_s);
+}
+
+TEST(ScenarioE2E, GoldenExpectationsEveryClassDetectedBySomeOperator) {
+    // The scenario library contract: at the shipped seeds, every anomaly
+    // class in every campaign is detected by at least one operator (windows
+    // the operator could never have observed count as truncated, and the
+    // campaign-day classifier legitimately truncates the window that closes
+    // before it finishes training).
+    for (const char* name :
+         {"thermal_runaway.scn", "fan_failure.scn", "memory_leak.scn",
+          "network_congestion.scn", "straggler.scn", "campaign_day.scn"}) {
+        const auto parsed =
+            common::parseConfigFile(std::string(WM_SCENARIO_DIR) + "/" + name);
+        ASSERT_TRUE(parsed.ok) << name << ": " << parsed.error;
+        const auto reports = runScenarios(parsed.root);
+        ASSERT_EQ(reports.size(), 1u) << name;
+        const EvaluationReport& report = reports.front();
+        for (const auto& [cls_name, windows] : report.windows_by_class) {
+            std::size_t detected = 0;
+            for (const DetectorScore& score : report.detectors) {
+                const auto it = score.classes.find(cls_name);
+                if (it != score.classes.end()) detected += it->second.detected;
+            }
+            EXPECT_GE(detected, 1u)
+                << name << ": class " << cls_name << " detected by no operator";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace wm

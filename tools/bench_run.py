@@ -16,10 +16,20 @@ crash or emit unparsable output.
 Usage:
     python3 tools/bench_run.py [--build-dir build] [--output BENCH_PR4.json]
                                [--quick] [--skip-fig5]
+    python3 tools/bench_run.py --quality [--build-dir build]
+                               [--output BENCH_quality.json]
 
 --quick shortens every benchmark repetition (the default mode used by the
 bench-smoke CI job); omit it for locally meaningful numbers on an idle
 multi-core machine.
+
+--quality switches to the operator-quality lane (the `quality` CI job):
+instead of timing benches it runs wm_eval over every campaign under
+configs/scenarios/ TWICE, asserts the two wintermute-quality-v1 reports are
+byte-identical (the determinism contract of docs/SCENARIOS.md), validates
+the schema, and prints per-detector precision/recall/F1 headlines. Unlike
+the timing lane, quality failures ARE hard failures: scores are
+deterministic, so any drift is a real regression.
 """
 
 import argparse
@@ -99,15 +109,102 @@ def derive_ratios(suites: dict) -> dict:
     }
 
 
+def validate_quality_report(report: dict) -> list:
+    """Schema checks for a wintermute-quality-v1 document."""
+    problems = []
+    if report.get("schema") != "wintermute-quality-v1":
+        problems.append(f"unexpected schema: {report.get('schema')!r}")
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        return problems + ["no scenarios in report"]
+    for scenario in scenarios:
+        name = scenario.get("scenario", "<unnamed>")
+        for key in ("seed", "duration_s", "tolerance_s", "ground_truth",
+                    "truncated_windows", "operators"):
+            if key not in scenario:
+                problems.append(f"{name}: missing key '{key}'")
+        for detector in scenario.get("operators", []):
+            dname = f"{name}/{detector.get('detector', '<unnamed>')}"
+            if "classes" not in detector:
+                problems.append(f"{dname}: missing per-class scores")
+                continue
+            for cls in detector["classes"]:
+                cls_name = cls.get("class", "<unnamed>")
+                for key in ("precision", "recall", "f1", "median_lag_s",
+                            "truncated"):
+                    if key not in cls:
+                        problems.append(f"{dname}/{cls_name}: missing '{key}'")
+    return problems
+
+
+def run_quality(build_dir: pathlib.Path, output: pathlib.Path) -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    wm_eval = build_dir / "src" / "apps" / "wm_eval"
+    if not wm_eval.exists():
+        sys.stderr.write(f"bench_run: {wm_eval} not built\n")
+        return 2
+    scenarios = root / "configs" / "scenarios"
+
+    # Two full runs: the quality report must be byte-stable at fixed seeds.
+    texts = []
+    for attempt in (1, 2):
+        print(f"bench_run: quality run {attempt}/2 over {scenarios} ...",
+              flush=True)
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+            out_path = pathlib.Path(handle.name)
+        result = subprocess.run(
+            [str(wm_eval), "--output", str(out_path), str(scenarios)],
+            capture_output=True, text=True, timeout=3600)
+        if result.returncode != 0:
+            sys.stderr.write(result.stdout)
+            sys.stderr.write(result.stderr)
+            sys.stderr.write(f"bench_run: wm_eval exited {result.returncode}\n")
+            return 1
+        texts.append(out_path.read_text())
+        out_path.unlink()
+    if texts[0] != texts[1]:
+        sys.stderr.write("bench_run: FAIL: quality report not byte-stable "
+                         "across two runs at the same seeds\n")
+        return 1
+
+    report = json.loads(texts[0])
+    problems = validate_quality_report(report)
+    if problems:
+        for problem in problems:
+            sys.stderr.write(f"bench_run: schema: {problem}\n")
+        return 1
+
+    output.write_text(texts[0])
+    print(f"bench_run: wrote {output} (byte-stable across 2 runs)")
+    for scenario in report["scenarios"]:
+        for detector in scenario["operators"]:
+            for cls in detector["classes"]:
+                print(f"bench_run: {scenario['scenario']:>24} "
+                      f"{detector['detector']:>10} {cls['class']:<18} "
+                      f"P={cls['precision']:.2f} R={cls['recall']:.2f} "
+                      f"F1={cls['f1']:.2f} lag={cls['median_lag_s']:.1f}s "
+                      f"trunc={cls['truncated']}")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build", type=pathlib.Path)
-    parser.add_argument("--output", default="BENCH_PR4.json", type=pathlib.Path)
+    parser.add_argument("--output", default=None, type=pathlib.Path)
     parser.add_argument("--quick", action="store_true",
                         help="short repetitions (CI smoke mode)")
     parser.add_argument("--skip-fig5", action="store_true",
                         help="skip the fig5 overhead grid (micro benches only)")
+    parser.add_argument("--quality", action="store_true",
+                        help="run the wm_eval scenario-quality lane instead "
+                             "of the timing benches")
     args = parser.parse_args()
+
+    if args.quality:
+        return run_quality(args.build_dir,
+                           args.output or pathlib.Path("BENCH_quality.json"))
+    if args.output is None:
+        args.output = pathlib.Path("BENCH_PR4.json")
 
     bench_dir = args.build_dir / "bench"
     suites = {}

@@ -3,9 +3,11 @@
 
 Runs the wm_check static analyzer binary over two corpora:
 
-  good corpus -- every .cfg under configs/ and examples/ must analyze with
+  good corpus -- every .cfg under configs/ and examples/, plus every scenario
+                 script (.scn) under configs/scenarios/, must analyze with
                  exit status 0 (no errors).
-  bad corpus  -- every tests/data/bad_*.cfg must fail (non-zero exit) and
+  bad corpus  -- every tests/data/bad_*.cfg and bad_*.scn must fail (non-zero
+                 exit) and
                  emit EXACTLY the diagnostic codes named in its first-line
                  `# wm-check-expect: WM#### ...` header. Codes are extracted
                  from the --json output, so this also exercises the JSON
@@ -79,8 +81,10 @@ def main() -> int:
     wm_check = args.wm_check
 
     good = sorted([*(root / "configs").glob("*.cfg"),
+                   *(root / "configs" / "scenarios").glob("*.scn"),
                    *(root / "examples").glob("*.cfg")])
-    bad = sorted((root / "tests" / "data").glob("bad_*.cfg"))
+    bad = sorted([*(root / "tests" / "data").glob("bad_*.cfg"),
+                  *(root / "tests" / "data").glob("bad_*.scn")])
     if not good:
         print("config-check: error: no good configs found", file=sys.stderr)
         return 2
