@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/capacity.h"
 #include "analysis/dataflow.h"
 #include "common/fault.h"
 #include "common/string_utils.h"
@@ -38,7 +39,8 @@ using common::kNsPerSec;
 const std::set<std::string>& knownTopLevelBlocks() {
     static const std::set<std::string> known = {
         "cluster", "pusher",      "facility",    "plugin",    "resilience",
-        "faults",  "collectagent", "persistence", "supervisor", "scenario"};
+        "faults",  "collectagent", "persistence", "supervisor", "scenario",
+        "capacity"};
     return known;
 }
 
@@ -219,17 +221,36 @@ struct AnalyzerState {
     /// host + "|" + operator name, for duplicate detection.
     std::set<std::string> names_on_host;
     std::vector<OperatorRecord> records;
+    /// Rates/cardinalities fed to the capacity pass; `capacity.pushers` is
+    /// index-aligned with `pusher_trees`.
+    CapacityInputs capacity;
 };
 
 void seedRawSensors(AnalyzerState& state) {
+    state.capacity.sampling_ns = state.model.sampling_ns;
+    state.capacity.cache_window_ns = state.model.cache_window_ns;
+    state.capacity.node_count = state.model.topology.nodeCount();
+    const double raw_rate =
+        state.model.sampling_ns > 0
+            ? static_cast<double>(kNsPerSec) / static_cast<double>(state.model.sampling_ns)
+            : 0.0;
     for (const auto& [pusher_name, sensors] : state.model.pushers) {
         core::SensorTree tree;
+        CapacityInputs::PusherInfo pusher_info;
+        pusher_info.name = pusher_name;
         for (const auto& metadata : sensors) {
             tree.addSensor(metadata.topic);
-            if (metadata.publish) state.agent_tree.addSensor(metadata.topic);
+            ++pusher_info.sensors;
+            if (metadata.publish) {
+                state.agent_tree.addSensor(metadata.topic);
+                ++pusher_info.published;
+                state.capacity.published_topics.push_back(
+                    {metadata.topic, raw_rate, false});
+            }
             state.topic_owners.emplace(metadata.topic, "raw sensor");
         }
         state.pusher_trees.emplace_back(pusher_name, std::move(tree));
+        state.capacity.pushers.push_back(std::move(pusher_info));
     }
 }
 
@@ -360,9 +381,15 @@ void analyzeOperator(const std::string& plugin_name, const plugins::PluginStatic
     std::set<std::string> inputs;
     std::set<std::string> outputs;
     std::size_t units = 0;
+    const bool op_online = config.mode == core::OperatorMode::kOnline;
+    const double op_rate = op_online && config.interval_ns > 0
+                               ? static_cast<double>(kNsPerSec) /
+                                     static_cast<double>(config.interval_ns)
+                               : 0.0;
     if (!record.job_scoped) {
         if (host == "pusher") {
-            for (auto& [pusher_name, tree] : state.pusher_trees) {
+            for (std::size_t p = 0; p < state.pusher_trees.size(); ++p) {
+                core::SensorTree& tree = state.pusher_trees[p].second;
                 const core::UnitResolver resolver(tree);
                 const std::vector<core::Unit> resolved =
                     resolver.resolveUnits(*unit_template);
@@ -375,6 +402,17 @@ void analyzeOperator(const std::string& plugin_name, const plugins::PluginStatic
                 for (const auto& topic : local_outputs) {
                     tree.addSensor(topic);
                     if (config.publish_outputs) state.agent_tree.addSensor(topic);
+                }
+                if (!record.sink_plugin) {
+                    CapacityInputs::PusherInfo& pusher_info = state.capacity.pushers[p];
+                    pusher_info.op_outputs += local_outputs.size();
+                    if (config.publish_outputs) {
+                        pusher_info.published_op_outputs += local_outputs.size();
+                        for (const auto& topic : local_outputs) {
+                            state.capacity.published_topics.push_back(
+                                {topic, op_rate, true});
+                        }
+                    }
                 }
                 outputs.insert(local_outputs.begin(), local_outputs.end());
             }
@@ -407,6 +445,29 @@ void analyzeOperator(const std::string& plugin_name, const plugins::PluginStatic
             registerOutputTopic(topic, record, state, sink);
         }
     }
+
+    CapacityInputs::OperatorInput op_input;
+    op_input.id = record.id;
+    op_input.subject = record.subject;
+    op_input.plugin = plugin_name;
+    op_input.host = host;
+    op_input.line = record.line;
+    op_input.column = record.column;
+    op_input.online = op_online;
+    op_input.publish = config.publish_outputs;
+    op_input.sink_plugin = record.sink_plugin;
+    op_input.job_scoped = record.job_scoped;
+    op_input.interval_ns = config.interval_ns;
+    op_input.window_ns = config.window_ns;
+    op_input.units = units;
+    op_input.input_count = inputs.size();
+    op_input.output_count = outputs.size() + config.global_output_topics.size();
+    if (info != nullptr && info->cost) {
+        const plugins::PluginCostModel cost = info->cost(op_node, units, inputs.size());
+        op_input.state_bytes = cost.state_bytes;
+        op_input.ns_per_reading = cost.ns_per_reading;
+    }
+    state.capacity.op_inputs.push_back(std::move(op_input));
     state.records.push_back(std::move(record));
 }
 
@@ -733,7 +794,7 @@ void checkSupervisor(const ConfigNode& root, DiagnosticSink& sink) {
 }  // namespace
 
 AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
-                              DiagnosticSink& sink) {
+                              DiagnosticSink& sink, CapacityReport* capacity) {
     sink.setFile(source);
     AnalysisSummary summary;
 
@@ -759,10 +820,22 @@ AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
     checkPersistence(root, sink);
     checkSupervisor(root, sink);
     scenario::validateScenarios(root, sink);
+
+    // Capacity/cost pass (Layer 5): predictions from the dry-run resolution
+    // above, diagnostics against the `capacity { }` budgets.
+    if (const ConfigNode* resilience = root.child("resilience")) {
+        const std::int64_t buffer_max = resilience->getInt("publishBufferMax", 4096);
+        if (buffer_max > 0) {
+            state.capacity.publish_buffer_max = static_cast<std::size_t>(buffer_max);
+        }
+    }
+    CapacityReport report = analyzeCapacity(root, state.capacity, sink);
+    if (capacity != nullptr) *capacity = std::move(report);
     return summary;
 }
 
-AnalysisSummary analyzeConfigFile(const std::string& path, DiagnosticSink& sink) {
+AnalysisSummary analyzeConfigFile(const std::string& path, DiagnosticSink& sink,
+                                  CapacityReport* capacity) {
     const common::ConfigParseResult parsed = common::parseConfigFile(path);
     sink.setFile(path);
     if (!parsed.ok) {
@@ -773,7 +846,7 @@ AnalysisSummary analyzeConfigFile(const std::string& path, DiagnosticSink& sink)
         }
         return {};
     }
-    return analyzeConfig(parsed.root, path, sink);
+    return analyzeConfig(parsed.root, path, sink, capacity);
 }
 
 }  // namespace wm::analysis

@@ -32,13 +32,18 @@ struct AnalysisSummary {
     std::size_t units_resolved = 0;
 };
 
+struct CapacityReport;
+
 /// Analyzes a parsed configuration. `source` is recorded as the file of all
-/// findings (may be empty for in-memory configs).
+/// findings (may be empty for in-memory configs). When `capacity` is
+/// non-null it receives the capacity/cost prediction (analysis/capacity.h);
+/// the capacity diagnostics (WM09xx) are emitted either way.
 AnalysisSummary analyzeConfig(const common::ConfigNode& root, const std::string& source,
-                              DiagnosticSink& sink);
+                              DiagnosticSink& sink, CapacityReport* capacity = nullptr);
 
 /// Parses `path` and analyzes it. Unreadable files yield WM0001, syntax
 /// errors WM0002; both leave the summary empty.
-AnalysisSummary analyzeConfigFile(const std::string& path, DiagnosticSink& sink);
+AnalysisSummary analyzeConfigFile(const std::string& path, DiagnosticSink& sink,
+                                  CapacityReport* capacity = nullptr);
 
 }  // namespace wm::analysis

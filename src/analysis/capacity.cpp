@@ -1,0 +1,542 @@
+#include "analysis/capacity.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "mqtt/broker.h"
+#include "sensors/reading.h"
+#include "sensors/sensor_cache.h"
+
+namespace wm::analysis {
+
+namespace {
+
+using common::ConfigNode;
+using common::kNsPerMs;
+using common::kNsPerSec;
+using common::TimestampNs;
+
+/// Per-reading compute cost assumed when a plugin declares none: one cache
+/// visit + one accumulate per reading (docs/STATIC_ANALYSIS.md, Layer 5).
+constexpr double kDefaultNsPerReading = 100.0;
+/// Per-unit bookkeeping (unit vector entry, handles, output slots) assumed
+/// when a plugin declares no retained state.
+constexpr std::size_t kDefaultStateBytesPerUnit = 64;
+
+double secondsOf(TimestampNs ns) {
+    return static_cast<double>(ns) / static_cast<double>(kNsPerSec);
+}
+
+/// Readings retained by one cache at steady state: window / interval + 1.
+std::size_t retainedReadings(TimestampNs window_ns, double msgs_per_sec) {
+    if (msgs_per_sec <= 0.0) return 1;
+    return static_cast<std::size_t>(secondsOf(window_ns) * msgs_per_sec) + 1;
+}
+
+/// Bytes of one SensorCache as the runtime would size it: the ring is
+/// constructed for one window at the nominal 1s rate (plus slack) and
+/// doubles geometrically until it holds the steady-state retention
+/// (sensors/sensor_cache.cpp), plus the CacheStore entry overhead.
+std::size_t cacheBytes(TimestampNs window_ns, double msgs_per_sec) {
+    std::size_t capacity =
+        static_cast<std::size_t>(window_ns / kNsPerSec) + 8;  // as constructed
+    const std::size_t retained = retainedReadings(window_ns, msgs_per_sec);
+    while (capacity < retained + 1) capacity *= 2;
+    return sizeof(sensors::SensorCache) + capacity * sizeof(sensors::Reading) +
+           sensors::CacheStore::kEntryOverheadEstimateBytes;
+}
+
+/// First path segment of a topic ("/rack0/chassis0/node1/power" -> "rack0").
+std::string topPrefix(const std::string& topic) {
+    std::size_t begin = 0;
+    while (begin < topic.size() && topic[begin] == '/') ++begin;
+    const std::size_t end = topic.find('/', begin);
+    return topic.substr(begin, end == std::string::npos ? std::string::npos
+                                                        : end - begin);
+}
+
+/// Deterministic float formatting for the byte-stable report.
+std::string fmtDouble(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
+}
+
+std::string mb(double bytes) {
+    return fmtDouble(bytes / (1024.0 * 1024.0));
+}
+
+}  // namespace
+
+CapacityBudgets parseCapacityBudgets(const ConfigNode& root, DiagnosticSink& sink) {
+    CapacityBudgets budgets;
+    const ConfigNode* block = root.child("capacity");
+    if (block == nullptr) return budgets;
+    budgets.declared = true;
+
+    static const std::set<std::string> known = {
+        "maxRssMb",           "maxMsgsPerSec", "maxOperatorLagMs",
+        "maxSubtreeRateShare", "maxRestSeriesReadings", "growthHorizon",
+        "plugin"};
+    for (const auto& child : block->children()) {
+        if (known.count(child.key()) == 0) {
+            sink.error("WM0908", "unknown capacity knob '" + child.key() + "'",
+                       child.line(), child.column(), "capacity");
+        }
+    }
+
+    const struct {
+        const char* key;
+        double* target;
+    } kPositiveDoubles[] = {
+        {"maxRssMb", &budgets.max_rss_mb},
+        {"maxMsgsPerSec", &budgets.max_msgs_per_sec},
+        {"maxOperatorLagMs", &budgets.max_operator_lag_ms},
+    };
+    for (const auto& knob : kPositiveDoubles) {
+        const ConfigNode* child = block->child(knob.key);
+        if (child == nullptr) continue;
+        const double value = block->getDouble(knob.key, 0.0);
+        if (value <= 0.0) {
+            sink.error("WM0908", std::string("'") + knob.key + "' must be positive",
+                       child->line(), child->column(), "capacity");
+        } else {
+            *knob.target = value;
+        }
+    }
+    if (const ConfigNode* share = block->child("maxSubtreeRateShare")) {
+        const double value = block->getDouble("maxSubtreeRateShare", 0.5);
+        if (value <= 0.0 || value > 1.0) {
+            sink.error("WM0908", "'maxSubtreeRateShare' must be within (0, 1]",
+                       share->line(), share->column(), "capacity");
+        } else {
+            budgets.max_subtree_rate_share = value;
+        }
+    }
+    if (const ConfigNode* readings = block->child("maxRestSeriesReadings")) {
+        const std::int64_t value = block->getInt("maxRestSeriesReadings", 0);
+        if (value <= 0) {
+            sink.error("WM0908", "'maxRestSeriesReadings' must be positive",
+                       readings->line(), readings->column(), "capacity");
+        } else {
+            budgets.max_rest_series_readings = value;
+        }
+    }
+    if (const ConfigNode* horizon = block->child("growthHorizon")) {
+        const TimestampNs value = block->getDurationNs("growthHorizon", 0);
+        if (value <= 0) {
+            sink.error("WM0908", "'growthHorizon' must be a positive duration",
+                       horizon->line(), horizon->column(), "capacity");
+        } else {
+            budgets.growth_horizon_ns = value;
+        }
+    }
+    for (const auto* plugin : block->childrenOf("plugin")) {
+        for (const auto& child : plugin->children()) {
+            if (child.key() != "maxRssMb") {
+                sink.error("WM0908",
+                           "unknown capacity knob '" + child.key() +
+                               "' in plugin override '" + plugin->value() + "'",
+                           child.line(), child.column(), "capacity");
+            }
+        }
+        const double value = plugin->getDouble("maxRssMb", 0.0);
+        if (value <= 0.0) {
+            sink.error("WM0908",
+                       "plugin override '" + plugin->value() +
+                           "' must declare a positive maxRssMb",
+                       plugin->line(), plugin->column(), "capacity");
+        } else {
+            budgets.plugin_max_rss_mb.emplace_back(plugin->value(), value);
+        }
+    }
+    std::sort(budgets.plugin_max_rss_mb.begin(), budgets.plugin_max_rss_mb.end());
+    return budgets;
+}
+
+CapacityReport analyzeCapacity(const ConfigNode& root, const CapacityInputs& inputs,
+                               DiagnosticSink& sink) {
+    CapacityReport report;
+    report.budgets = parseCapacityBudgets(root, sink);
+    const ConfigNode* capacity_block = root.child("capacity");
+    const std::size_t block_line = capacity_block != nullptr ? capacity_block->line() : 0;
+    const std::size_t block_column =
+        capacity_block != nullptr ? capacity_block->column() : 0;
+
+    // `collectagent { storageTtl <duration> }` bounds storage retention; the
+    // knob feeds the growth model, so its sanity check lives here.
+    bool storage_ttl_set = inputs.storage_ttl_set;
+    TimestampNs storage_ttl_ns = inputs.storage_ttl_ns;
+    if (const ConfigNode* agent = root.child("collectagent")) {
+        if (const ConfigNode* ttl = agent->child("storageTtl")) {
+            const TimestampNs value = agent->getDurationNs("storageTtl", 0);
+            if (value <= 0) {
+                sink.error("WM0908", "'storageTtl' must be a positive duration",
+                           ttl->line(), ttl->column(), "collectagent");
+                storage_ttl_set = false;
+            } else {
+                storage_ttl_set = true;
+                storage_ttl_ns = value;
+            }
+        }
+    }
+
+    report.sampling_sec = secondsOf(inputs.sampling_ns);
+    report.cache_window_sec = secondsOf(inputs.cache_window_ns);
+    report.nodes = inputs.node_count;
+    report.pushers = inputs.pushers.size();
+    report.publish_buffer_max = inputs.publish_buffer_max;
+    report.agent_queue_limit = mqtt::AsyncBroker::kDefaultMaxQueue;
+
+    // --- Broker ingest rates, aggregated by top-level subtree. -------------
+    std::map<std::string, SubtreeRate> subtrees;
+    for (const auto& topic : inputs.published_topics) {
+        if (topic.from_operator) {
+            report.operator_msgs_per_sec += topic.msgs_per_sec;
+        } else {
+            report.raw_msgs_per_sec += topic.msgs_per_sec;
+        }
+        SubtreeRate& subtree = subtrees[topPrefix(topic.topic)];
+        subtree.prefix = topPrefix(topic.topic);
+        ++subtree.topics;
+        subtree.msgs_per_sec += topic.msgs_per_sec;
+    }
+    report.total_msgs_per_sec = report.raw_msgs_per_sec + report.operator_msgs_per_sec;
+    for (auto& [prefix, subtree] : subtrees) {
+        subtree.share = report.total_msgs_per_sec > 0.0
+                            ? subtree.msgs_per_sec / report.total_msgs_per_sec
+                            : 0.0;
+        report.subtrees.push_back(subtree);
+    }
+
+    // --- Cache memory, sized from the real structs. ------------------------
+    const double raw_rate = inputs.sampling_ns > 0
+                                ? 1.0 / secondsOf(inputs.sampling_ns)
+                                : 0.0;
+    for (const auto& pusher : inputs.pushers) {
+        report.raw_sensors += pusher.sensors;
+        report.pusher_cache_bytes +=
+            (pusher.sensors + pusher.op_outputs) *
+            cacheBytes(inputs.cache_window_ns, raw_rate);
+    }
+    std::size_t agent_caches = 0;
+    for (const auto& topic : inputs.published_topics) {
+        ++agent_caches;
+        report.agent_cache_bytes +=
+            cacheBytes(inputs.cache_window_ns, topic.msgs_per_sec);
+    }
+
+    // --- Operator costs. ---------------------------------------------------
+    std::map<std::string, std::size_t> per_plugin;
+    for (const auto& op : inputs.op_inputs) {
+        OperatorCapacity cost;
+        cost.id = op.id;
+        cost.plugin = op.plugin;
+        cost.units = op.units;
+        const bool ticks = op.online && !op.job_scoped && op.interval_ns > 0;
+        cost.invocations_per_sec = ticks ? 1.0 / secondsOf(op.interval_ns) : 0.0;
+        const TimestampNs window_ns =
+            op.window_ns > 0 ? op.window_ns : op.interval_ns;
+        cost.readings_per_pass =
+            op.input_count * retainedReadings(window_ns, raw_rate);
+        const double ns_per_reading =
+            op.ns_per_reading > 0.0 ? op.ns_per_reading : kDefaultNsPerReading;
+        cost.est_pass_ms =
+            static_cast<double>(cost.readings_per_pass) * ns_per_reading / 1e6;
+        cost.state_bytes = op.state_bytes > 0
+                               ? op.state_bytes
+                               : op.units * kDefaultStateBytesPerUnit;
+        if (op.host != "pusher" && !op.sink_plugin) {
+            // Collect Agent operators cache their outputs locally (they are
+            // not broker traffic, which op.publish governs on pushers).
+            agent_caches += op.output_count;
+            report.agent_cache_bytes +=
+                op.output_count *
+                cacheBytes(inputs.cache_window_ns, cost.invocations_per_sec);
+        }
+        if (ticks && op.host == "pusher" && op.publish) {
+            cost.output_msgs_per_sec =
+                static_cast<double>(op.output_count) * cost.invocations_per_sec;
+        }
+        report.operator_state_bytes += cost.state_bytes;
+        per_plugin[op.plugin] += cost.state_bytes;
+        report.op_costs.push_back(std::move(cost));
+    }
+    for (const auto& [plugin, bytes] : per_plugin) {
+        report.per_plugin.push_back({plugin, bytes});
+    }
+
+    // --- Storage growth. ---------------------------------------------------
+    report.storage_growth_bytes_per_sec =
+        report.total_msgs_per_sec * static_cast<double>(sizeof(sensors::Reading));
+    report.storage_bounded = storage_ttl_set;
+    if (storage_ttl_set) {
+        report.storage_steady_bytes = static_cast<std::size_t>(
+            report.storage_growth_bytes_per_sec * secondsOf(storage_ttl_ns));
+    }
+    report.data_rss_bytes = report.pusher_cache_bytes + report.agent_cache_bytes +
+                            report.operator_state_bytes + report.storage_steady_bytes;
+
+    // --- Occupancy bounds (worst case: every interval tick-aligned). -------
+    std::size_t agent_burst = 0;
+    for (const auto& pusher : inputs.pushers) {
+        const std::size_t burst = pusher.published + pusher.published_op_outputs;
+        report.max_pusher_burst_per_tick =
+            std::max(report.max_pusher_burst_per_tick, burst);
+        agent_burst += burst;
+    }
+    report.agent_queue_burst_per_tick = agent_burst;
+
+    // --- REST worst cases. -------------------------------------------------
+    const TimestampNs deepest_range =
+        storage_ttl_set ? std::max(storage_ttl_ns, inputs.cache_window_ns)
+                        : inputs.cache_window_ns;
+    report.rest_series_worst_readings = retainedReadings(deepest_range, raw_rate);
+    report.rest_sensor_list_entries = agent_caches;
+
+    // =======================================================================
+    // Diagnostics. WM0905/WM0909 are structural and always on; the budget
+    // family (WM0901-WM0904, WM0906, WM0907) requires a capacity block.
+    // =======================================================================
+
+    // WM0905: degenerate intervals.
+    if (inputs.sampling_ns > 0 && inputs.sampling_ns < kNsPerMs) {
+        const ConfigNode* pusher_block = root.child("pusher");
+        const ConfigNode* key =
+            pusher_block != nullptr ? pusher_block->child("samplingInterval") : nullptr;
+        sink.warning("WM0905",
+                     "sub-millisecond samplingInterval (" +
+                         std::to_string(inputs.sampling_ns) +
+                         "ns); the simulated sensors cannot produce meaningful "
+                         "data faster than 1ms and caches grow " +
+                         std::to_string(kNsPerSec / std::max<TimestampNs>(
+                                            inputs.sampling_ns, 1)) +
+                         "x over the nominal sizing",
+                     key != nullptr ? key->line() : 0,
+                     key != nullptr ? key->column() : 0, "pusher");
+    }
+    for (const auto& op : inputs.op_inputs) {
+        if (op.online && !op.job_scoped && op.input_count > 0 &&
+            op.interval_ns > 0 && op.interval_ns < inputs.sampling_ns) {
+            sink.warning("WM0905",
+                         "operator interval (" + fmtDouble(secondsOf(op.interval_ns)) +
+                             "s) is shorter than the input sampling interval (" +
+                             fmtDouble(secondsOf(inputs.sampling_ns)) +
+                             "s); every extra pass re-reads the same newest reading",
+                         op.line, op.column, op.subject);
+        }
+    }
+
+    // WM0909: a full tick of publishes cannot fit the resilience buffers.
+    if (report.max_pusher_burst_per_tick > report.publish_buffer_max) {
+        sink.warning("WM0909",
+                     "one sampling tick publishes up to " +
+                         std::to_string(report.max_pusher_burst_per_tick) +
+                         " readings per pusher but publishBufferMax is " +
+                         std::to_string(report.publish_buffer_max) +
+                         "; a single broker outage tick overflows the buffer",
+                     block_line, block_column, "resilience");
+    }
+    if (report.agent_queue_burst_per_tick > report.agent_queue_limit) {
+        sink.warning("WM0909",
+                     "one sampling tick enqueues " +
+                         std::to_string(report.agent_queue_burst_per_tick) +
+                         " messages at the Collect Agent but the broker queue "
+                         "holds " +
+                         std::to_string(report.agent_queue_limit) +
+                         "; publishers will stall on back-pressure",
+                     block_line, block_column, "collectagent");
+    }
+
+    if (!report.budgets.declared) return report;
+
+    // WM0901: memory budget overruns (global and per-plugin overrides).
+    const double rss_mb = static_cast<double>(report.data_rss_bytes) / (1024.0 * 1024.0);
+    if (report.budgets.max_rss_mb > 0.0 && rss_mb > report.budgets.max_rss_mb) {
+        sink.error("WM0901",
+                   "estimated steady-state data memory " + mb(static_cast<double>(
+                       report.data_rss_bytes)) +
+                       " MB exceeds the maxRssMb budget of " +
+                       fmtDouble(report.budgets.max_rss_mb) + " MB",
+                   block_line, block_column, "capacity");
+    }
+    for (const auto& [plugin, budget_mb] : report.budgets.plugin_max_rss_mb) {
+        if (per_plugin.count(plugin) == 0) {
+            sink.error("WM0908",
+                       "capacity override for plugin '" + plugin +
+                           "' which configures no operators",
+                       block_line, block_column, "capacity");
+            continue;
+        }
+        const double plugin_mb =
+            static_cast<double>(per_plugin[plugin]) / (1024.0 * 1024.0);
+        if (plugin_mb > budget_mb) {
+            sink.error("WM0901",
+                       "plugin '" + plugin + "' estimated state " +
+                           mb(static_cast<double>(per_plugin[plugin])) +
+                           " MB exceeds its maxRssMb override of " +
+                           fmtDouble(budget_mb) + " MB",
+                       block_line, block_column, "capacity");
+        }
+    }
+
+    // WM0902: ingest rate budget.
+    if (report.budgets.max_msgs_per_sec > 0.0 &&
+        report.total_msgs_per_sec > report.budgets.max_msgs_per_sec) {
+        sink.error("WM0902",
+                   "estimated broker ingest " + fmtDouble(report.total_msgs_per_sec) +
+                       " msgs/s exceeds the maxMsgsPerSec budget of " +
+                       fmtDouble(report.budgets.max_msgs_per_sec),
+                   block_line, block_column, "capacity");
+    }
+
+    // WM0903: operator lag (per-pass cost vs interval and budget).
+    for (const auto& cost : report.op_costs) {
+        if (cost.invocations_per_sec <= 0.0) continue;
+        const double interval_ms = 1000.0 / cost.invocations_per_sec;
+        if (cost.est_pass_ms > interval_ms) {
+            sink.error("WM0903",
+                       cost.id + ": estimated pass cost " +
+                           fmtDouble(cost.est_pass_ms) +
+                           "ms exceeds its own interval (" + fmtDouble(interval_ms) +
+                           "ms); the operator cannot keep up",
+                       block_line, block_column, "capacity");
+        } else if (report.budgets.max_operator_lag_ms > 0.0 &&
+                   cost.est_pass_ms > report.budgets.max_operator_lag_ms) {
+            sink.error("WM0903",
+                       cost.id + ": estimated pass cost " +
+                           fmtDouble(cost.est_pass_ms) +
+                           "ms exceeds the maxOperatorLagMs budget of " +
+                           fmtDouble(report.budgets.max_operator_lag_ms) + "ms",
+                       block_line, block_column, "capacity");
+        }
+    }
+
+    // WM0904: unbounded growth against a memory budget.
+    if (report.budgets.max_rss_mb > 0.0 && !storage_ttl_set &&
+        report.storage_growth_bytes_per_sec > 0.0) {
+        const double budget_bytes = report.budgets.max_rss_mb * 1024.0 * 1024.0;
+        const double headroom =
+            std::max(0.0, budget_bytes - static_cast<double>(report.data_rss_bytes));
+        const double exhausted_sec = headroom / report.storage_growth_bytes_per_sec;
+        sink.warning("WM0904",
+                     "storage retention is unbounded (no collectagent storageTtl); "
+                     "at " +
+                         fmtDouble(report.storage_growth_bytes_per_sec) +
+                         " B/s the maxRssMb budget of " +
+                         fmtDouble(report.budgets.max_rss_mb) +
+                         " MB is exhausted after ~" + fmtDouble(exhausted_sec) +
+                         "s",
+                     block_line, block_column, "capacity");
+    }
+
+    // WM0906: fan-in hot spots (shard-imbalance smell, ROADMAP item 1).
+    if (report.subtrees.size() > 1) {
+        for (const auto& subtree : report.subtrees) {
+            if (subtree.share > report.budgets.max_subtree_rate_share) {
+                sink.warning(
+                    "WM0906",
+                    "subtree '" + subtree.prefix + "' carries " +
+                        fmtDouble(subtree.share * 100.0) +
+                        "% of the broker ingest rate (threshold " +
+                        fmtDouble(report.budgets.max_subtree_rate_share * 100.0) +
+                        "%); one future shard would absorb most of the load",
+                    block_line, block_column, "capacity");
+            }
+        }
+    }
+
+    // WM0907: REST worst-case response cardinality.
+    if (report.budgets.max_rest_series_readings > 0 &&
+        static_cast<std::int64_t>(report.rest_series_worst_readings) >
+            report.budgets.max_rest_series_readings) {
+        sink.error("WM0907",
+                   "worst-case /sensors/series response holds " +
+                       std::to_string(report.rest_series_worst_readings) +
+                       " readings, over the maxRestSeriesReadings budget of " +
+                       std::to_string(report.budgets.max_rest_series_readings),
+                   block_line, block_column, "capacity");
+    }
+    return report;
+}
+
+std::string renderCapacityJson(const CapacityReport& report,
+                               const std::string& config_path) {
+    std::ostringstream out;
+    out << "{\"schema\":\"wintermute-capacity-v1\"";
+    out << ",\"config\":\"" << config_path << "\"";
+    out << ",\"topology\":{\"nodes\":" << report.nodes
+        << ",\"pushers\":" << report.pushers
+        << ",\"rawSensors\":" << report.raw_sensors
+        << ",\"samplingSec\":" << fmtDouble(report.sampling_sec)
+        << ",\"cacheWindowSec\":" << fmtDouble(report.cache_window_sec) << "}";
+    out << ",\"rates\":{\"rawMsgsPerSec\":" << fmtDouble(report.raw_msgs_per_sec)
+        << ",\"operatorMsgsPerSec\":" << fmtDouble(report.operator_msgs_per_sec)
+        << ",\"totalMsgsPerSec\":" << fmtDouble(report.total_msgs_per_sec)
+        << ",\"subtrees\":[";
+    for (std::size_t i = 0; i < report.subtrees.size(); ++i) {
+        const SubtreeRate& subtree = report.subtrees[i];
+        if (i > 0) out << ',';
+        out << "{\"prefix\":\"" << subtree.prefix << "\",\"topics\":" << subtree.topics
+            << ",\"msgsPerSec\":" << fmtDouble(subtree.msgs_per_sec)
+            << ",\"share\":" << fmtDouble(subtree.share) << "}";
+    }
+    out << "]}";
+    out << ",\"memory\":{\"pusherCacheBytes\":" << report.pusher_cache_bytes
+        << ",\"agentCacheBytes\":" << report.agent_cache_bytes
+        << ",\"operatorStateBytes\":" << report.operator_state_bytes
+        << ",\"storageBounded\":" << (report.storage_bounded ? "true" : "false")
+        << ",\"storageSteadyBytes\":" << report.storage_steady_bytes
+        << ",\"storageGrowthBytesPerSec\":"
+        << fmtDouble(report.storage_growth_bytes_per_sec)
+        << ",\"dataRssBytes\":" << report.data_rss_bytes << ",\"perPlugin\":[";
+    for (std::size_t i = 0; i < report.per_plugin.size(); ++i) {
+        if (i > 0) out << ',';
+        out << "{\"plugin\":\"" << report.per_plugin[i].plugin
+            << "\",\"stateBytes\":" << report.per_plugin[i].bytes << "}";
+    }
+    out << "]}";
+    out << ",\"operators\":[";
+    for (std::size_t i = 0; i < report.op_costs.size(); ++i) {
+        const OperatorCapacity& cost = report.op_costs[i];
+        if (i > 0) out << ',';
+        out << "{\"id\":\"" << cost.id << "\",\"plugin\":\"" << cost.plugin
+            << "\",\"units\":" << cost.units
+            << ",\"invocationsPerSec\":" << fmtDouble(cost.invocations_per_sec)
+            << ",\"readingsPerPass\":" << cost.readings_per_pass
+            << ",\"estPassMs\":" << fmtDouble(cost.est_pass_ms)
+            << ",\"outputMsgsPerSec\":" << fmtDouble(cost.output_msgs_per_sec)
+            << ",\"stateBytes\":" << cost.state_bytes << "}";
+    }
+    out << "]";
+    out << ",\"occupancy\":{\"publishBufferMax\":" << report.publish_buffer_max
+        << ",\"maxPusherBurstPerTick\":" << report.max_pusher_burst_per_tick
+        << ",\"agentQueueLimit\":" << report.agent_queue_limit
+        << ",\"agentQueueBurstPerTick\":" << report.agent_queue_burst_per_tick << "}";
+    out << ",\"rest\":{\"seriesWorstCaseReadings\":" << report.rest_series_worst_readings
+        << ",\"sensorListEntries\":" << report.rest_sensor_list_entries << "}";
+    out << ",\"budgets\":{\"declared\":" << (report.budgets.declared ? "true" : "false")
+        << ",\"maxRssMb\":" << fmtDouble(report.budgets.max_rss_mb)
+        << ",\"maxMsgsPerSec\":" << fmtDouble(report.budgets.max_msgs_per_sec)
+        << ",\"maxOperatorLagMs\":" << fmtDouble(report.budgets.max_operator_lag_ms)
+        << ",\"maxSubtreeRateShare\":"
+        << fmtDouble(report.budgets.max_subtree_rate_share)
+        << ",\"maxRestSeriesReadings\":" << report.budgets.max_rest_series_readings
+        << ",\"growthHorizonSec\":"
+        << fmtDouble(static_cast<double>(report.budgets.growth_horizon_ns) /
+                     static_cast<double>(kNsPerSec))
+        << ",\"perPlugin\":[";
+    for (std::size_t i = 0; i < report.budgets.plugin_max_rss_mb.size(); ++i) {
+        if (i > 0) out << ',';
+        out << "{\"plugin\":\"" << report.budgets.plugin_max_rss_mb[i].first
+            << "\",\"maxRssMb\":"
+            << fmtDouble(report.budgets.plugin_max_rss_mb[i].second) << "}";
+    }
+    out << "]}}\n";
+    return out.str();
+}
+
+}  // namespace wm::analysis

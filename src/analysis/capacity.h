@@ -1,0 +1,182 @@
+#pragma once
+
+// wm-cost: static capacity and cost-model pass of the wm-check analyzer
+// (docs/STATIC_ANALYSIS.md, "Layer 5: capacity analysis"). From the dry-run
+// topology and sensor-tree resolution alone — zero threads, nothing
+// instantiated — it predicts what the configured deployment would cost at
+// runtime: per-subtree message rates, cache/retention memory sized from the
+// actual SensorCache/Reading structs, operator per-pass input cardinality
+// and invocation rate, publish-buffer and agent-queue occupancy bounds, and
+// the worst-case REST response cardinality. Budgets declared in a
+// `capacity { }` block turn predictions into diagnostics (WM0901–WM0909);
+// without the block the pass still computes the report and flags degenerate
+// intervals (WM0905).
+//
+// The model is a *tested* predictor, not a guess: test_capacity.cpp runs the
+// real in-process pipeline on the shipped mini-cluster config and asserts
+// measured ingest rate and cache bytes land within 15% of this prediction.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "common/config.h"
+#include "common/time_utils.h"
+
+namespace wm::analysis {
+
+/// Budgets declared by the `capacity { }` block. A zero value means "not
+/// budgeted" (the corresponding diagnostic never fires).
+struct CapacityBudgets {
+    bool declared = false;
+    double max_rss_mb = 0.0;
+    double max_msgs_per_sec = 0.0;
+    double max_operator_lag_ms = 0.0;
+    /// Fan-in threshold: share of the total broker ingest rate one
+    /// top-level topic subtree may carry (default 0.5; WM0906).
+    double max_subtree_rate_share = 0.5;
+    std::int64_t max_rest_series_readings = 0;
+    /// Horizon over which unbounded storage growth is projected (WM0904).
+    common::TimestampNs growth_horizon_ns = 24 * 3600 * common::kNsPerSec;
+    /// Per-plugin memory overrides: `plugin <name> { maxRssMb N }`.
+    std::vector<std::pair<std::string, double>> plugin_max_rss_mb;
+};
+
+/// Broker ingest rate of one top-level topic subtree ("rack0", "facility").
+struct SubtreeRate {
+    std::string prefix;
+    std::size_t topics = 0;
+    double msgs_per_sec = 0.0;
+    double share = 0.0;  // of the total broker ingest rate
+};
+
+/// Cost prediction for one analyzed operator block (pusher-host blocks
+/// aggregated over all pushers, as in the dry run).
+struct OperatorCapacity {
+    std::string id;       // "plugin/name@host"
+    std::string plugin;
+    std::size_t units = 0;
+    double invocations_per_sec = 0.0;  // 0 for ondemand/job-scoped blocks
+    /// Readings visited per pass: input topics x (window / sampling + 1).
+    std::size_t readings_per_pass = 0;
+    double est_pass_ms = 0.0;
+    double output_msgs_per_sec = 0.0;  // broker traffic (published outputs)
+    std::size_t state_bytes = 0;       // retained model/training state
+};
+
+/// Memory attributed to one plugin: operator state + output caches.
+struct PluginMemory {
+    std::string plugin;
+    std::size_t bytes = 0;
+};
+
+/// The full static prediction, rendered byte-stable as
+/// `wintermute-capacity-v1` JSON by renderCapacityJson().
+struct CapacityReport {
+    // Topology echo.
+    std::size_t nodes = 0;
+    std::size_t pushers = 0;
+    std::size_t raw_sensors = 0;
+    double sampling_sec = 1.0;
+    double cache_window_sec = 180.0;
+
+    // Broker ingest rates (messages crossing pusher -> agent).
+    double raw_msgs_per_sec = 0.0;
+    double operator_msgs_per_sec = 0.0;
+    double total_msgs_per_sec = 0.0;
+    std::vector<SubtreeRate> subtrees;
+
+    // Memory model (bytes; docs/STATIC_ANALYSIS.md documents the formulas).
+    std::size_t pusher_cache_bytes = 0;
+    std::size_t agent_cache_bytes = 0;
+    std::size_t operator_state_bytes = 0;
+    bool storage_bounded = false;
+    std::size_t storage_steady_bytes = 0;  // rate x ttl when bounded
+    double storage_growth_bytes_per_sec = 0.0;
+    std::size_t data_rss_bytes = 0;  // caches + operator state + storage
+    std::vector<PluginMemory> per_plugin;
+
+    std::vector<OperatorCapacity> op_costs;
+
+    // Occupancy bounds.
+    std::size_t publish_buffer_max = 4096;
+    std::size_t max_pusher_burst_per_tick = 0;
+    std::size_t agent_queue_limit = 65536;
+    std::size_t agent_queue_burst_per_tick = 0;
+
+    // REST worst cases.
+    std::size_t rest_series_worst_readings = 0;
+    std::size_t rest_sensor_list_entries = 0;
+
+    CapacityBudgets budgets;
+};
+
+/// What the analyzer's dry run feeds the capacity pass.
+struct CapacityInputs {
+    common::TimestampNs sampling_ns = common::kNsPerSec;
+    common::TimestampNs cache_window_ns = 180 * common::kNsPerSec;
+    std::size_t node_count = 0;
+
+    struct PusherInfo {
+        std::string name;             // node path or "/facility"
+        std::size_t sensors = 0;      // raw sensors cached on this pusher
+        std::size_t published = 0;    // raw sensors published over MQTT
+        /// Pusher-host operator output topics cached locally / published.
+        std::size_t op_outputs = 0;
+        std::size_t published_op_outputs = 0;
+    };
+    std::vector<PusherInfo> pushers;
+
+    /// Every topic published over MQTT (raw sensors + pusher-host operator
+    /// outputs with publish enabled) with its message rate.
+    struct TopicRate {
+        std::string topic;
+        double msgs_per_sec = 0.0;
+        bool from_operator = false;
+    };
+    std::vector<TopicRate> published_topics;
+
+    struct OperatorInput {
+        std::string id;
+        std::string subject;
+        std::string plugin;
+        std::string host;  // "pusher" or "collectagent"
+        std::size_t line = 0;
+        std::size_t column = 0;
+        bool online = true;
+        bool publish = true;
+        bool sink_plugin = false;
+        bool job_scoped = false;
+        common::TimestampNs interval_ns = 0;
+        common::TimestampNs window_ns = 0;
+        std::size_t units = 0;
+        std::size_t input_count = 0;   // resolved input topics
+        std::size_t output_count = 0;  // resolved output topics
+        std::size_t state_bytes = 0;   // plugin cost hook (0 = default)
+        double ns_per_reading = 0.0;   // plugin cost hook (0 = default)
+    };
+    std::vector<OperatorInput> op_inputs;
+
+    std::size_t publish_buffer_max = 4096;  // resilience knob
+    bool storage_ttl_set = false;
+    common::TimestampNs storage_ttl_ns = 0;  // collectagent { storageTtl }
+};
+
+/// Parses the `capacity { }` block (WM0908 for unknown/invalid knobs).
+CapacityBudgets parseCapacityBudgets(const common::ConfigNode& root,
+                                     DiagnosticSink& sink);
+
+/// Runs the capacity pass: computes the report and emits WM0901–WM0909
+/// against the declared budgets. Always safe to call; without a `capacity`
+/// block only the degenerate-interval checks (WM0905) can fire.
+CapacityReport analyzeCapacity(const common::ConfigNode& root,
+                               const CapacityInputs& inputs, DiagnosticSink& sink);
+
+/// Byte-stable `wintermute-capacity-v1` JSON (sorted keys, fixed float
+/// formatting, trailing newline) — the planning artifact uploaded by CI.
+std::string renderCapacityJson(const CapacityReport& report,
+                               const std::string& config_path);
+
+}  // namespace wm::analysis

@@ -275,9 +275,13 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
     // `collectagent { filter "..." }` narrows what the agent subscribes to
     // (default "#", everything). wm-check validates the filter statically
     // (WM0205) and warns when it can never match a published topic (WM0206).
+    // `storageTtl` bounds storage retention; without it the backend grows
+    // without limit (wm-check flags that against a memory budget, WM0904).
     std::string agent_filter = "#";
     if (const common::ConfigNode* agent_cfg = root.child("collectagent")) {
         agent_filter = agent_cfg->getString("filter", "#");
+        const common::TimestampNs storage_ttl = agent_cfg->getDurationNs("storageTtl", 0);
+        if (storage_ttl > 0) daemon.storage.setDefaultTtl(storage_ttl);
     }
     daemon.agent = std::make_unique<collectagent::CollectAgent>(
         collectagent::CollectAgentConfig{"collectagent", agent_filter, window, true,
@@ -565,14 +569,15 @@ int main(int argc, char** argv) {
 
     if (check_only) {
         // Dry-run static analysis (wm-check): validate the configuration and
-        // its dataflow without bringing up any entity or thread.
+        // its dataflow without bringing up any entity or thread. Exit 2 on
+        // errors — the same contract as the standalone wm_check binary.
         analysis::DiagnosticSink sink;
         analysis::analyzeConfigFile(config_path, sink);
         std::fputs((check_json ? analysis::renderJson(sink) + "\n"
                                : analysis::renderText(sink))
                        .c_str(),
                    stdout);
-        return sink.hasErrors() ? 1 : 0;
+        return sink.hasErrors() ? 2 : 0;
     }
 
     const auto config = common::parseConfigFile(config_path);

@@ -4,54 +4,101 @@
 // The same analysis is available as `wintermuted --check`.
 //
 // Usage:
-//   wm_check [--json] [--strict] <config>...
+//   wm_check [--json] [--werror] [--capacity-report=<file>] <config>...
 //
-//   --json     machine-readable output, one JSON document per file
-//   --strict   treat warnings as errors for the exit status
+//   --json                    machine-readable output, one document per file
+//   --werror                  warnings fail the exit status (alias: --strict)
+//   --capacity-report=<file>  write the wintermute-capacity-v1 JSON report
+//                             for the (single) config; "-" writes to stdout
 //
-// Exit status: 0 = no errors (and no warnings with --strict), 1 = findings,
-// 2 = usage error.
+// Exit status contract (tools/config_check.py and CI depend on it):
+//   0 = clean, or warnings only without --werror
+//   1 = warnings only, under --werror
+//   2 = errors
+//   3 = usage error
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/capacity.h"
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: wm_check [--json] [--werror] "
+                 "[--capacity-report=<file>] <config>...\n");
+    return 3;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     bool json = false;
-    bool strict = false;
+    bool werror = false;
+    std::string capacity_path;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
-        } else if (std::strcmp(argv[i], "--strict") == 0) {
-            strict = true;
+        } else if (std::strcmp(argv[i], "--werror") == 0 ||
+                   std::strcmp(argv[i], "--strict") == 0) {
+            werror = true;
+        } else if (std::strncmp(argv[i], "--capacity-report=", 18) == 0) {
+            capacity_path = argv[i] + 18;
+            if (capacity_path.empty()) {
+                std::fprintf(stderr, "wm_check: --capacity-report needs a file\n");
+                return usage();
+            }
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "wm_check: unknown option %s\n", argv[i]);
-            std::fprintf(stderr, "usage: wm_check [--json] [--strict] <config>...\n");
-            return 2;
+            return usage();
         } else {
             paths.push_back(argv[i]);
         }
     }
-    if (paths.empty()) {
-        std::fprintf(stderr, "usage: wm_check [--json] [--strict] <config>...\n");
-        return 2;
+    if (paths.empty()) return usage();
+    if (!capacity_path.empty() && paths.size() != 1) {
+        std::fprintf(stderr,
+                     "wm_check: --capacity-report applies to exactly one config\n");
+        return usage();
     }
 
-    bool failed = false;
+    bool errors = false;
+    bool warnings = false;
     for (const std::string& path : paths) {
         wm::analysis::DiagnosticSink sink;
-        wm::analysis::analyzeConfigFile(path, sink);
+        wm::analysis::CapacityReport report;
+        wm::analysis::analyzeConfigFile(path, sink, &report);
         if (json) {
             std::printf("%s\n", wm::analysis::renderJson(sink).c_str());
         } else {
             if (paths.size() > 1) std::printf("== %s ==\n", path.c_str());
             std::fputs(wm::analysis::renderText(sink).c_str(), stdout);
         }
-        failed = failed || sink.hasErrors() || (strict && sink.warningCount() > 0);
+        errors = errors || sink.hasErrors();
+        warnings = warnings || sink.warningCount() > 0;
+        if (!capacity_path.empty()) {
+            const std::string rendered =
+                wm::analysis::renderCapacityJson(report, path);
+            if (capacity_path == "-") {
+                std::fputs(rendered.c_str(), stdout);
+            } else {
+                std::ofstream out(capacity_path, std::ios::binary | std::ios::trunc);
+                if (!out) {
+                    std::fprintf(stderr, "wm_check: cannot write %s\n",
+                                 capacity_path.c_str());
+                    return 3;
+                }
+                out << rendered;
+            }
+        }
     }
-    return failed ? 1 : 0;
+    if (errors) return 2;
+    if (warnings && werror) return 1;
+    return 0;
 }

@@ -105,7 +105,11 @@ class Broker {
 /// Asynchronous broker: a bounded queue plus one dispatcher thread.
 class AsyncBroker final : public Broker {
   public:
-    explicit AsyncBroker(std::size_t max_queue = 65536);
+    /// Default bound of the ingest queue; the wm-check capacity model
+    /// (src/analysis/capacity.cpp) checks per-tick bursts against it.
+    static constexpr std::size_t kDefaultMaxQueue = 65536;
+
+    explicit AsyncBroker(std::size_t max_queue = kDefaultMaxQueue);
     ~AsyncBroker() override;
 
     /// Enqueues the message for asynchronous delivery. Returns the current

@@ -125,6 +125,32 @@ void validateClassifier(const common::ConfigNode& node, analysis::DiagnosticSink
     }
 }
 
+PluginCostModel classifierCost(const common::ConfigNode& node, std::size_t units,
+                               std::size_t inputs) {
+    PluginCostModel cost;
+    const auto samples = static_cast<std::size_t>(
+        std::max<std::int64_t>(node.getInt("trainingSamples", 2000), 0));
+    const std::size_t inputs_per_unit =
+        units > 0 ? std::max<std::size_t>(inputs / units, 1)
+                  : std::max<std::size_t>(inputs, 1);
+    // The label input contributes no feature block.
+    const std::size_t feature_dim =
+        std::max<std::size_t>(inputs_per_unit, 2) - 1;
+    cost.state_bytes =
+        samples * (feature_dim * analytics::kFeaturesPerSensor * sizeof(double) +
+                   sizeof(std::size_t));
+    const auto trees = static_cast<std::size_t>(
+        std::max<std::int64_t>(node.getInt("trees", 32), 0));
+    const auto depth = static_cast<std::size_t>(
+        std::max<std::int64_t>(node.getInt("maxDepth", 12), 0));
+    const std::size_t nodes =
+        std::min<std::size_t>(std::size_t{1} << std::min<std::size_t>(depth + 1, 24),
+                              2 * std::max<std::size_t>(samples, 1));
+    cost.state_bytes += trees * nodes * 48;
+    cost.ns_per_reading = 150.0;
+    return cost;
+}
+
 namespace {
 
 /// Fingerprint of the knobs that shape the classifier's model and feature

@@ -80,4 +80,11 @@ std::vector<core::OperatorPtr> configureClassifier(const common::ConfigNode& nod
 void validateClassifier(const common::ConfigNode& node,
                    analysis::DiagnosticSink& sink);
 
+struct PluginCostModel;
+
+/// Capacity hook (wm-check): predicts the training-buffer and forest
+/// footprint from the configured trainingSamples/trees/maxDepth.
+PluginCostModel classifierCost(const common::ConfigNode& node, std::size_t units,
+                               std::size_t inputs);
+
 }  // namespace wm::plugins

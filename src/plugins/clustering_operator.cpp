@@ -1,5 +1,7 @@
 #include "plugins/clustering_operator.h"
 
+#include <algorithm>
+
 #include "analysis/diagnostic.h"
 #include "common/logging.h"
 #include "common/string_utils.h"
@@ -200,6 +202,22 @@ void validateClustering(const common::ConfigNode& node, analysis::DiagnosticSink
                        child->line(), child->column(), subject);
         }
     }
+}
+
+PluginCostModel clusteringCost(const common::ConfigNode& node, std::size_t units,
+                               std::size_t inputs) {
+    PluginCostModel cost;
+    const auto components = static_cast<std::size_t>(
+        std::max<std::int64_t>(node.getInt("maxComponents", 10), 1));
+    const std::size_t dims =
+        units > 0 ? std::max<std::size_t>(inputs / units, 1)
+                  : std::max<std::size_t>(inputs, 1);
+    // One feature point per unit plus the fitted mixture (mean + covariance
+    // + weight/precision scalars per component).
+    cost.state_bytes = units * dims * sizeof(double) +
+                       components * (dims * dims + dims + 2) * sizeof(double);
+    cost.ns_per_reading = 100.0;
+    return cost;
 }
 
 }  // namespace wm::plugins

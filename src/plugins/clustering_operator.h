@@ -96,4 +96,11 @@ std::vector<core::OperatorPtr> configureClustering(const common::ConfigNode& nod
 void validateClustering(const common::ConfigNode& node,
                    analysis::DiagnosticSink& sink);
 
+struct PluginCostModel;
+
+/// Capacity hook (wm-check): predicts the per-unit feature points and
+/// mixture-model footprint from maxComponents and the resolved units.
+PluginCostModel clusteringCost(const common::ConfigNode& node, std::size_t units,
+                               std::size_t inputs);
+
 }  // namespace wm::plugins

@@ -51,6 +51,23 @@ using PluginValidator = std::function<void(const common::ConfigNode& operator_no
 using EffectiveConfigFn =
     std::function<core::OperatorConfig(const common::ConfigNode& operator_node)>;
 
+/// Capacity/cost prediction a plugin contributes to the wm-check capacity
+/// pass (src/analysis/capacity.cpp). Zeroes mean "use the analyzer's
+/// defaults" (64 B of state per unit, 100 ns per visited reading).
+struct PluginCostModel {
+    /// Bytes of retained state (training buffers, models) across all units
+    /// of one operator block.
+    std::size_t state_bytes = 0;
+    /// Estimated compute cost per input reading visited in one pass.
+    double ns_per_reading = 0.0;
+};
+
+/// Cost hook of a plugin: predicts the retained state and per-reading cost
+/// of one operator block from its configuration alone. `units` and `inputs`
+/// are the dry-run resolution results. Must be side-effect free.
+using PluginCostFn = std::function<PluginCostModel(
+    const common::ConfigNode& operator_node, std::size_t units, std::size_t inputs)>;
+
 /// What a plugin contributes to static analysis. A null `validate` means
 /// "no plugin-specific checks"; a null `effective_config` means the plain
 /// core::parseOperatorConfig() result is authoritative.
@@ -64,6 +81,8 @@ struct PluginStaticInfo {
     /// Outputs are synthetic unit anchors (e.g. filesink's "_filesink"),
     /// never published — exempt from output-topic checks.
     bool sink = false;
+    /// Capacity/cost hook; null means the analyzer's defaults apply.
+    PluginCostFn cost;
 };
 
 /// Leaf sensor names of pattern expressions: the pattern form yields its

@@ -33,24 +33,27 @@ const std::map<std::string, core::ConfiguratorFn>& builtinConfigurators() {
 
 const std::map<std::string, PluginStaticInfo>& builtinPluginStaticInfo() {
     static const std::map<std::string, PluginStaticInfo> info = {
-        {"tester", {validateTester, nullptr, false, false}},
-        {"aggregator", {validateAggregator, nullptr, false, false}},
-        {"smoothing", {validateSmoothing, nullptr, false, false}},
-        {"perfmetrics", {validatePerfmetrics, nullptr, false, false}},
-        {"healthchecker", {validateHealthchecker, nullptr, false, false}},
-        {"regressor", {validateRegressor, nullptr, false, false}},
+        {"tester", {validateTester, nullptr, false, false, nullptr}},
+        {"aggregator", {validateAggregator, nullptr, false, false, nullptr}},
+        {"smoothing", {validateSmoothing, nullptr, false, false, nullptr}},
+        {"perfmetrics", {validatePerfmetrics, nullptr, false, false, nullptr}},
+        {"healthchecker", {validateHealthchecker, nullptr, false, false, nullptr}},
+        // The model-training plugins carry cost hooks: their retained state
+        // (training sets, forests, mixtures) dominates operator memory and
+        // is invisible to the analyzer's per-unit default.
+        {"regressor", {validateRegressor, nullptr, false, false, regressorCost}},
         // Units materialise per running job (paper Section VI-C); the static
         // tree still resolves the synthesized decile outputs.
-        {"persyst", {validatePersyst, persystEffectiveConfig, true, false}},
-        {"clustering", {validateClustering, nullptr, false, false}},
-        {"controller", {validateController, nullptr, false, false}},
+        {"persyst", {validatePersyst, persystEffectiveConfig, true, false, nullptr}},
+        {"clustering", {validateClustering, nullptr, false, false, clusteringCost}},
+        {"controller", {validateController, nullptr, false, false, nullptr}},
         {"filesink",
          {validateFilesink,
           [](const common::ConfigNode& node) {
               return core::parseOperatorConfig(filesinkPatchedNode(node), "filesink");
           },
-          false, true}},
-        {"classifier", {validateClassifier, nullptr, false, false}},
+          false, true, nullptr}},
+        {"classifier", {validateClassifier, nullptr, false, false, classifierCost}},
     };
     return info;
 }

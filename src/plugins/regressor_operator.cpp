@@ -1,5 +1,6 @@
 #include "plugins/regressor_operator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "analysis/diagnostic.h"
@@ -149,6 +150,33 @@ void validateRegressor(const common::ConfigNode& node, analysis::DiagnosticSink&
                        child->line(), child->column(), subject);
         }
     }
+}
+
+PluginCostModel regressorCost(const common::ConfigNode& node, std::size_t units,
+                              std::size_t inputs) {
+    PluginCostModel cost;
+    const auto samples = static_cast<std::size_t>(
+        std::max<std::int64_t>(node.getInt("trainingSamples", 30000), 0));
+    const std::size_t inputs_per_unit =
+        units > 0 ? std::max<std::size_t>(inputs / units, 1)
+                  : std::max<std::size_t>(inputs, 1);
+    const std::size_t feature_dim = inputs_per_unit * analytics::kFeaturesPerSensor;
+    // Training set: one feature vector + response per accumulated sample.
+    cost.state_bytes = samples * (feature_dim + 1) * sizeof(double);
+    if (common::toLower(node.getString("model", "randomforest")) != "linear") {
+        const auto trees = static_cast<std::size_t>(
+            std::max<std::int64_t>(node.getInt("trees", 32), 0));
+        const auto depth = static_cast<std::size_t>(
+            std::max<std::int64_t>(node.getInt("maxDepth", 12), 0));
+        // A fitted tree holds at most min(2^(depth+1), 2*samples) nodes.
+        const std::size_t nodes =
+            std::min<std::size_t>(std::size_t{1} << std::min<std::size_t>(depth + 1, 24),
+                                  2 * std::max<std::size_t>(samples, 1));
+        cost.state_bytes += trees * nodes * 48;
+    }
+    // Feature extraction walks each reading a couple of times (diff + stats).
+    cost.ns_per_reading = 150.0;
+    return cost;
 }
 
 namespace {

@@ -122,4 +122,11 @@ std::vector<core::OperatorPtr> configureRegressor(const common::ConfigNode& node
 void validateRegressor(const common::ConfigNode& node,
                    analysis::DiagnosticSink& sink);
 
+struct PluginCostModel;
+
+/// Capacity hook (wm-check): predicts the training-set and model footprint
+/// from the configured trainingSamples/trees/maxDepth; side-effect free.
+PluginCostModel regressorCost(const common::ConfigNode& node, std::size_t units,
+                              std::size_t inputs);
+
 }  // namespace wm::plugins

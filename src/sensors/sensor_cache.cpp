@@ -107,6 +107,11 @@ common::TimestampNs SensorCache::estimatedIntervalNs() const {
     return interval_estimate_ns_;
 }
 
+std::size_t SensorCache::memoryBytes() const {
+    common::ReadLock lock(mutex_);
+    return sizeof(SensorCache) + buffer_.capacity() * sizeof(Reading);
+}
+
 void SensorCache::evictExpiredLocked() {
     if (count_ == 0) return;
     const common::TimestampNs cutoff = at(count_ - 1).timestamp - window_ns_;
@@ -246,6 +251,21 @@ std::vector<std::string> CacheStore::topics() const {
 std::size_t CacheStore::sensorCount() const {
     common::ReadLock lock(mutex_);
     return entries_.size();
+}
+
+std::size_t CacheStore::memoryBytes() const {
+    // Snapshot the cache pointers under the store lock, then sum outside it
+    // so the store lock is not held across every per-cache lock; the caches
+    // are never destroyed while the store lives.
+    std::vector<const SensorCache*> caches;
+    {
+        common::ReadLock lock(mutex_);
+        caches.reserve(entries_.size());
+        for (const auto& [id, entry] : entries_) caches.push_back(entry.cache.get());
+    }
+    std::size_t total = caches.size() * kEntryOverheadEstimateBytes;
+    for (const SensorCache* cache : caches) total += cache->memoryBytes();
+    return total;
 }
 
 }  // namespace wm::sensors

@@ -139,6 +139,11 @@ class SensorCache {
     bool empty() const { return size() == 0; }
     common::TimestampNs windowNs() const { return window_ns_; }
 
+    /// Bytes held by this cache: the object itself plus the ring buffer's
+    /// current allocation. Compared against the wm-check capacity model
+    /// (src/analysis/capacity.cpp) by the cross-validation test.
+    std::size_t memoryBytes() const;
+
     /// Current estimate of the sampling interval (refined from data).
     common::TimestampNs estimatedIntervalNs() const;
 
@@ -246,6 +251,16 @@ class CacheStore {
     std::vector<std::string> topics() const;
     std::size_t sensorCount() const;
     common::TimestampNs defaultWindowNs() const { return default_window_ns_; }
+
+    /// Flat per-entry overhead charged on top of each cache's own bytes:
+    /// the hash-map node, metadata strings and the chunked-index slot. The
+    /// wm-check capacity model uses the same constant so the static
+    /// prediction and this measurement agree on what "cache memory" means.
+    static constexpr std::size_t kEntryOverheadEstimateBytes = 96;
+
+    /// Total bytes across all caches: sum of SensorCache::memoryBytes()
+    /// plus kEntryOverheadEstimateBytes per entry.
+    std::size_t memoryBytes() const;
 
   private:
     struct Entry {

@@ -83,6 +83,11 @@ class StorageBackend {
     explicit StorageBackend(common::TimestampNs default_ttl_ns = 0)
         : default_ttl_ns_(default_ttl_ns) {}
 
+    /// Sets the retention TTL (`collectagent { storageTtl }`). Call before
+    /// concurrent use: the TTL is read on every insert without a lock.
+    void setDefaultTtl(common::TimestampNs ttl_ns) { default_ttl_ns_ = ttl_ns; }
+    common::TimestampNs defaultTtlNs() const { return default_ttl_ns_; }
+
     /// Simulates the per-query round-trip latency of a networked backend
     /// (the production deployment queries Cassandra over the network);
     /// applied to query()/latest(). 0 disables. For experiments only.
@@ -182,7 +187,7 @@ class StorageBackend {
 
     mutable common::SharedMutex mutex_{"StorageBackend", common::LockRank::kStorage};
     std::map<std::string, Series> series_ WM_GUARDED_BY(mutex_);
-    common::TimestampNs default_ttl_ns_;  // immutable after construction
+    common::TimestampNs default_ttl_ns_;  // set before concurrent use
     std::atomic<common::TimestampNs> simulated_latency_ns_{0};
     // Atomics, not guarded: query()/latest() bump them under a *shared* lock,
     // so plain integers would race between concurrent readers.

@@ -1,0 +1,538 @@
+// wm-cost capacity model (src/analysis/capacity.*, docs/STATIC_ANALYSIS.md
+// "Layer 5: capacity analysis"):
+//
+//  * budget parsing and the WM0908 knob diagnostics,
+//  * the WM0901-WM0907 / WM0909 budget family on small in-memory configs,
+//  * byte-stability of the wintermute-capacity-v1 report, and
+//  * the cross-validation contract: the real in-process pipeline, stood up
+//    from configs/wintermuted.cfg exactly as ScenarioRunner wires it, must
+//    land within 15% of the static prediction for both broker ingest rate
+//    and cache memory. This is what keeps the model a predictor rather
+//    than a guess.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/capacity.h"
+#include "collectagent/collect_agent.h"
+#include "common/config.h"
+#include "common/time_utils.h"
+#include "core/hosting.h"
+#include "core/operator_manager.h"
+#include "core/query_engine.h"
+#include "jobs/job_manager.h"
+#include "mqtt/broker.h"
+#include "plugins/registry.h"
+#include "pusher/plugins/facilitysim_group.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/plugins/procfssim_group.h"
+#include "pusher/plugins/sysfssim_group.h"
+#include "pusher/pusher.h"
+#include "pusher/sim_node.h"
+#include "simulator/app_model.h"
+#include "simulator/topology.h"
+#include "storage/storage_backend.h"
+
+namespace wm::analysis {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+
+AnalysisSummary analyze(const std::string& text, DiagnosticSink& sink,
+                        CapacityReport* report = nullptr) {
+    auto parsed = common::parseConfig(text);
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    return analyzeConfig(parsed.root, "", sink, report);
+}
+
+// ---------------------------------------------------------------------------
+// Budget parsing (WM0908 family).
+// ---------------------------------------------------------------------------
+
+TEST(CapacityBudgets, ParsesEveryKnob) {
+    auto parsed = common::parseConfig(
+        "capacity {\n"
+        "    maxRssMb 512\n"
+        "    maxMsgsPerSec 1000\n"
+        "    maxOperatorLagMs 250\n"
+        "    maxSubtreeRateShare 0.7\n"
+        "    maxRestSeriesReadings 50000\n"
+        "    growthHorizon 12h\n"
+        "    plugin aggregator {\n"
+        "        maxRssMb 64\n"
+        "    }\n"
+        "}\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    DiagnosticSink sink;
+    CapacityBudgets budgets = parseCapacityBudgets(parsed.root, sink);
+    EXPECT_FALSE(sink.hasErrors()) << renderText(sink);
+    EXPECT_TRUE(budgets.declared);
+    EXPECT_DOUBLE_EQ(budgets.max_rss_mb, 512.0);
+    EXPECT_DOUBLE_EQ(budgets.max_msgs_per_sec, 1000.0);
+    EXPECT_DOUBLE_EQ(budgets.max_operator_lag_ms, 250.0);
+    EXPECT_DOUBLE_EQ(budgets.max_subtree_rate_share, 0.7);
+    EXPECT_EQ(budgets.max_rest_series_readings, 50000);
+    EXPECT_EQ(budgets.growth_horizon_ns, 12 * 3600 * kNsPerSec);
+    ASSERT_EQ(budgets.plugin_max_rss_mb.size(), 1u);
+    EXPECT_EQ(budgets.plugin_max_rss_mb[0].first, "aggregator");
+    EXPECT_DOUBLE_EQ(budgets.plugin_max_rss_mb[0].second, 64.0);
+}
+
+TEST(CapacityBudgets, AbsentBlockIsUndeclared) {
+    auto parsed = common::parseConfig("pusher {\n}\n");
+    ASSERT_TRUE(parsed.ok);
+    DiagnosticSink sink;
+    CapacityBudgets budgets = parseCapacityBudgets(parsed.root, sink);
+    EXPECT_FALSE(budgets.declared);
+    EXPECT_TRUE(sink.codes().empty());
+}
+
+TEST(CapacityBudgets, UnknownKnobIsWM0908) {
+    auto parsed = common::parseConfig("capacity {\n    frobnicate 3\n}\n");
+    ASSERT_TRUE(parsed.ok);
+    DiagnosticSink sink;
+    parseCapacityBudgets(parsed.root, sink);
+    EXPECT_TRUE(sink.hasErrors());
+    EXPECT_TRUE(sink.hasCode("WM0908"));
+}
+
+TEST(CapacityBudgets, NonPositiveValuesAreWM0908) {
+    DiagnosticSink sink;
+    analyze("capacity {\n    maxRssMb 0\n    maxSubtreeRateShare 1.5\n}\n", sink);
+    EXPECT_TRUE(sink.hasErrors());
+    EXPECT_TRUE(sink.hasCode("WM0908"));
+}
+
+TEST(CapacityBudgets, OverrideForUnconfiguredPluginIsWM0908) {
+    DiagnosticSink sink;
+    analyze("capacity {\n    plugin regressor {\n        maxRssMb 4\n    }\n}\n",
+            sink);
+    EXPECT_TRUE(sink.hasCode("WM0908"));
+}
+
+TEST(CapacityBudgets, NonPositiveStorageTtlIsWM0908) {
+    DiagnosticSink sink;
+    analyze("collectagent {\n    storageTtl 0s\n}\n", sink);
+    EXPECT_TRUE(sink.hasErrors());
+    EXPECT_TRUE(sink.hasCode("WM0908"));
+}
+
+// ---------------------------------------------------------------------------
+// Budget diagnostics on the default 8-node topology.
+// ---------------------------------------------------------------------------
+
+TEST(CapacityDiagnostics, MemoryOverrunIsWM0901) {
+    // ~700 caches of ~3 KB blow a 1 MB budget on the default topology.
+    DiagnosticSink sink;
+    CapacityReport report;
+    analyze("capacity {\n    maxRssMb 1\n}\n", sink, &report);
+    EXPECT_TRUE(sink.hasCode("WM0901"));
+    EXPECT_GT(report.data_rss_bytes, std::size_t{1024 * 1024});
+}
+
+TEST(CapacityDiagnostics, PluginOverrideOverrunIsWM0901) {
+    DiagnosticSink sink;
+    analyze("plugin aggregator {\n"
+            "    host collectagent\n"
+            "    operator avg {\n"
+            "        interval 2s\n"
+            "        window 30s\n"
+            "        operation average\n"
+            "        input {\n"
+            "            sensor \"<bottomup-1>power\"\n"
+            "        }\n"
+            "        output {\n"
+            "            sensor \"<bottomup-1>power-avg\"\n"
+            "        }\n"
+            "    }\n"
+            "}\n"
+            "capacity {\n"
+            "    plugin aggregator {\n"
+            "        maxRssMb 0.000001\n"  // ~1 byte: any state overruns
+            "    }\n"
+            "}\n",
+            sink);
+    EXPECT_TRUE(sink.hasCode("WM0901"));
+}
+
+TEST(CapacityDiagnostics, RateOverrunIsWM0902) {
+    DiagnosticSink sink;
+    CapacityReport report;
+    analyze("capacity {\n    maxMsgsPerSec 10\n}\n", sink, &report);
+    EXPECT_TRUE(sink.hasCode("WM0902"));
+    EXPECT_GT(report.total_msgs_per_sec, 10.0);
+}
+
+TEST(CapacityDiagnostics, OperatorLagIsWM0903) {
+    // 36000s window at 1s sampling: each pass visits ~36001 readings per
+    // input topic, far beyond a 10ms lag budget.
+    DiagnosticSink sink;
+    analyze("pusher {\n"
+            "    samplingInterval 1s\n"
+            "    cacheWindow 40000s\n"
+            "}\n"
+            "plugin perfmetrics {\n"
+            "    host pusher\n"
+            "    operator pm {\n"
+            "        interval 1s\n"
+            "        window 36000s\n"
+            "        input {\n"
+            "            sensor \"<bottomup>cpu-cycles\"\n"
+            "            sensor \"<bottomup>instructions\"\n"
+            "        }\n"
+            "        output {\n"
+            "            sensor \"<bottomup>cpi\"\n"
+            "        }\n"
+            "    }\n"
+            "}\n"
+            "capacity {\n"
+            "    maxOperatorLagMs 10\n"
+            "}\n",
+            sink);
+    EXPECT_TRUE(sink.hasCode("WM0903"));
+}
+
+TEST(CapacityDiagnostics, UnboundedGrowthIsWM0904) {
+    // Budget is generous (no WM0901), but without storageTtl the backend
+    // grows forever, so the budget is a matter of time.
+    DiagnosticSink sink;
+    CapacityReport report;
+    analyze("capacity {\n    maxRssMb 4096\n}\n", sink, &report);
+    EXPECT_FALSE(sink.hasCode("WM0901"));
+    EXPECT_TRUE(sink.hasCode("WM0904"));
+    EXPECT_FALSE(report.storage_bounded);
+    EXPECT_GT(report.storage_growth_bytes_per_sec, 0.0);
+}
+
+TEST(CapacityDiagnostics, StorageTtlBoundsGrowth) {
+    DiagnosticSink sink;
+    CapacityReport report;
+    analyze("collectagent {\n    storageTtl 600s\n}\n"
+            "capacity {\n    maxRssMb 4096\n}\n",
+            sink, &report);
+    EXPECT_FALSE(sink.hasCode("WM0904")) << renderText(sink);
+    EXPECT_TRUE(report.storage_bounded);
+    EXPECT_GT(report.storage_steady_bytes, 0u);
+}
+
+TEST(CapacityDiagnostics, SubMillisecondSamplingIsWM0905) {
+    // Structural: fires with no capacity block at all.
+    DiagnosticSink sink;
+    analyze("pusher {\n    samplingInterval 100us\n}\n", sink);
+    EXPECT_FALSE(sink.hasErrors());
+    EXPECT_TRUE(sink.hasCode("WM0905"));
+}
+
+TEST(CapacityDiagnostics, OperatorFasterThanSamplingIsWM0905) {
+    DiagnosticSink sink;
+    analyze("plugin aggregator {\n"
+            "    host collectagent\n"
+            "    operator avg {\n"
+            "        interval 100ms\n"
+            "        window 30s\n"
+            "        operation average\n"
+            "        input {\n"
+            "            sensor \"<bottomup-1>power\"\n"
+            "        }\n"
+            "        output {\n"
+            "            sensor \"<bottomup-1>power-avg\"\n"
+            "        }\n"
+            "    }\n"
+            "}\n",
+            sink);
+    EXPECT_FALSE(sink.hasErrors());
+    EXPECT_TRUE(sink.hasCode("WM0905"));
+}
+
+TEST(CapacityDiagnostics, FanInHotSpotIsWM0906) {
+    // Two racks of the mini-cluster carry ~49% each; a 0.4 threshold flags
+    // both (but not the tiny facility subtree).
+    DiagnosticSink sink;
+    CapacityReport report;
+    analyze("cluster {\n"
+            "    racks 2\n    chassisPerRack 2\n    nodesPerChassis 2\n"
+            "    cpusPerNode 8\n"
+            "}\n"
+            "capacity {\n    maxSubtreeRateShare 0.4\n}\n",
+            sink, &report);
+    EXPECT_TRUE(sink.hasCode("WM0906"));
+    EXPECT_GE(sink.warningCount(), 2u);
+    ASSERT_GT(report.subtrees.size(), 1u);
+    double total_share = 0.0;
+    for (const auto& subtree : report.subtrees) total_share += subtree.share;
+    EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(CapacityDiagnostics, FanInRequiresDeclaredBudgets) {
+    // A single-rack deployment is trivially lopsided (rack0 carries ~70%,
+    // the facility loop the rest); without a capacity block that must stay
+    // silent, or every small config would warn.
+    DiagnosticSink sink;
+    analyze("cluster {\n"
+            "    racks 1\n    chassisPerRack 1\n    nodesPerChassis 1\n"
+            "    cpusPerNode 2\n"
+            "}\n",
+            sink);
+    EXPECT_FALSE(sink.hasCode("WM0906")) << renderText(sink);
+}
+
+TEST(CapacityDiagnostics, RestWorstCaseIsWM0907) {
+    DiagnosticSink sink;
+    CapacityReport report;
+    analyze("capacity {\n    maxRestSeriesReadings 10\n}\n", sink, &report);
+    EXPECT_TRUE(sink.hasCode("WM0907"));
+    EXPECT_GT(report.rest_series_worst_readings, 10u);
+}
+
+TEST(CapacityDiagnostics, PublishBufferOverflowIsWM0909) {
+    // Structural: one tick of a 2-cpu node publishes more than an 8-slot
+    // resilience buffer holds; no capacity block required.
+    DiagnosticSink sink;
+    analyze("resilience {\n    publishBufferMax 8\n}\n", sink);
+    EXPECT_FALSE(sink.hasErrors());
+    EXPECT_TRUE(sink.hasCode("WM0909"));
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering.
+// ---------------------------------------------------------------------------
+
+TEST(CapacityReportJson, ShippedConfigIsCleanAndByteStable) {
+    const std::string path = std::string(WM_CONFIG_DIR) + "/wintermuted.cfg";
+    DiagnosticSink first_sink;
+    CapacityReport first;
+    analyzeConfigFile(path, first_sink, &first);
+    EXPECT_FALSE(first_sink.hasErrors()) << renderText(first_sink);
+    EXPECT_EQ(first_sink.warningCount(), 0u) << renderText(first_sink);
+
+    DiagnosticSink second_sink;
+    CapacityReport second;
+    analyzeConfigFile(path, second_sink, &second);
+
+    const std::string a = renderCapacityJson(first, path);
+    const std::string b = renderCapacityJson(second, path);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.rfind("{\"schema\":\"wintermute-capacity-v1\"", 0), 0u);
+    EXPECT_EQ(a.back(), '\n');
+
+    // Topology echo of the shipped mini-cluster (2x2x2 nodes + facility).
+    EXPECT_EQ(first.nodes, 8u);
+    EXPECT_EQ(first.pushers, 9u);
+    EXPECT_GT(first.raw_sensors, 0u);
+    EXPECT_TRUE(first.budgets.declared);
+    EXPECT_TRUE(first.storage_bounded);
+    // Rates are internally consistent: subtrees partition the total.
+    double subtree_sum = 0.0;
+    for (const auto& subtree : first.subtrees) subtree_sum += subtree.msgs_per_sec;
+    EXPECT_NEAR(subtree_sum, first.total_msgs_per_sec, 1e-6);
+    EXPECT_NEAR(first.raw_msgs_per_sec + first.operator_msgs_per_sec,
+                first.total_msgs_per_sec, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation: static prediction vs the real in-process pipeline.
+// ---------------------------------------------------------------------------
+
+// Stands up the full data path from the shipped config exactly as
+// ScenarioRunner::build does (simulated nodes -> Pushers -> synchronous
+// broker -> Collect Agent, Wintermute operators on both hosts), minus the
+// scenario-only label stream. Synchronous and single-threaded.
+class MiniPipeline {
+  public:
+    bool build(const common::ConfigNode& root, std::string* error) {
+        simulator::Topology topology;
+        if (const common::ConfigNode* cluster = root.child("cluster")) {
+            topology.racks = static_cast<std::size_t>(cluster->getInt("racks", 2));
+            topology.chassis_per_rack =
+                static_cast<std::size_t>(cluster->getInt("chassisPerRack", 2));
+            topology.nodes_per_chassis =
+                static_cast<std::size_t>(cluster->getInt("nodesPerChassis", 2));
+            topology.cpus_per_node =
+                static_cast<std::size_t>(cluster->getInt("cpusPerNode", 8));
+        }
+        const common::ConfigNode* cluster = root.child("cluster");
+        const simulator::AppKind app = simulator::appFromName(
+            cluster != nullptr ? cluster->getString("app", "lammps") : "lammps");
+
+        TimestampNs window = 180 * kNsPerSec;
+        if (const common::ConfigNode* pusher_cfg = root.child("pusher")) {
+            sampling_ = pusher_cfg->getDurationNs("samplingInterval", kNsPerSec);
+            window = pusher_cfg->getDurationNs("cacheWindow", 180 * kNsPerSec);
+        }
+
+        agent_ = std::make_unique<collectagent::CollectAgent>(
+            collectagent::CollectAgentConfig{"collectagent", "#", window, true},
+            broker_, storage_);
+        agent_->start();
+
+        for (std::size_t n = 0; n < topology.nodeCount(); ++n) {
+            const std::string node_path = topology.nodePath(n);
+            auto node = std::make_shared<pusher::SimulatedNode>(
+                topology.cpus_per_node, 4242 + n);
+            node->startApp(app);
+            nodes_.push_back(node);
+
+            auto p = std::make_unique<pusher::Pusher>(
+                pusher::PusherConfig{node_path, window, 2}, &broker_);
+            pusher::PerfsimGroupConfig perf;
+            perf.node_path = node_path;
+            perf.interval_ns = sampling_;
+            p->addGroup(std::make_unique<pusher::PerfsimGroup>(perf, node));
+            pusher::SysfssimGroupConfig sys;
+            sys.node_path = node_path;
+            sys.interval_ns = sampling_;
+            p->addGroup(std::make_unique<pusher::SysfssimGroup>(sys, node));
+            pusher::ProcfssimGroupConfig proc;
+            proc.node_path = node_path;
+            proc.interval_ns = sampling_;
+            p->addGroup(std::make_unique<pusher::ProcfssimGroup>(proc, node));
+            pushers_.push_back(std::move(p));
+        }
+
+        facility_ = std::make_shared<pusher::SimulatedFacility>(
+            simulator::FacilityCharacteristics{}, [this] {
+                double total = 0.0;
+                for (auto& p : pushers_) {
+                    const auto* cache = p->cacheStore().find(p->name() + "/power");
+                    if (cache != nullptr) {
+                        const auto latest = cache->latest();
+                        if (latest) total += latest->value;
+                    }
+                }
+                return total;
+            });
+        auto facility_pusher = std::make_unique<pusher::Pusher>(
+            pusher::PusherConfig{"/facility", window, 2}, &broker_);
+        pusher::FacilitysimGroupConfig facility_group;
+        facility_group.interval_ns = sampling_;
+        facility_pusher->addGroup(
+            std::make_unique<pusher::FacilitysimGroup>(facility_group, facility_));
+        pushers_.push_back(std::move(facility_pusher));
+
+        for (auto& p : pushers_) {
+            auto engine = std::make_unique<core::QueryEngine>();
+            engine->setCacheStore(&p->cacheStore());
+            auto manager = std::make_unique<core::OperatorManager>(
+                core::makeHostContext(*engine, &p->cacheStore(), &broker_, nullptr));
+            plugins::registerBuiltinPlugins(*manager);
+            pusher_engines_.push_back(std::move(engine));
+            pusher_managers_.push_back(std::move(manager));
+        }
+        agent_engine_.setCacheStore(&agent_->cacheStore());
+        agent_engine_.setStorage(&storage_);
+        agent_manager_ = std::make_unique<core::OperatorManager>(core::makeHostContext(
+            agent_engine_, &agent_->cacheStore(), nullptr, &storage_, &jobs_));
+        plugins::registerBuiltinPlugins(*agent_manager_);
+
+        tick(1 * kNsPerSec);  // warm the sensor space for unit resolution
+        for (const auto* plugin : root.childrenOf("plugin")) {
+            const std::string name = plugin->value();
+            const std::string host = plugin->getString("host", "collectagent");
+            if (host == "pusher") {
+                for (auto& manager : pusher_managers_) {
+                    if (manager->loadPlugin(name, *plugin) < 0) {
+                        if (error != nullptr) *error = "unknown plugin: " + name;
+                        return false;
+                    }
+                }
+            } else if (agent_manager_->loadPlugin(name, *plugin) < 0) {
+                if (error != nullptr) *error = "unknown plugin: " + name;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    void tick(TimestampNs t_ns) {
+        for (auto& p : pushers_) p->sampleOnce(t_ns);
+        for (auto& engine : pusher_engines_) engine->rebuildTree();
+        agent_engine_.rebuildTree();
+        for (auto& manager : pusher_managers_) manager->tickAll(t_ns);
+        if (agent_manager_) agent_manager_->tickAll(t_ns);
+    }
+
+    TimestampNs samplingNs() const { return sampling_; }
+    mqtt::Broker& broker() { return broker_; }
+    collectagent::CollectAgent& agent() { return *agent_; }
+    std::vector<std::unique_ptr<pusher::Pusher>>& pushers() { return pushers_; }
+
+  private:
+    TimestampNs sampling_ = kNsPerSec;
+    mqtt::Broker broker_;
+    storage::StorageBackend storage_;
+    jobs::JobManager jobs_;
+    std::unique_ptr<collectagent::CollectAgent> agent_;
+    pusher::SimulatedFacilityPtr facility_;
+    std::vector<std::shared_ptr<pusher::SimulatedNode>> nodes_;
+    std::vector<std::unique_ptr<pusher::Pusher>> pushers_;
+    std::vector<std::unique_ptr<core::QueryEngine>> pusher_engines_;
+    std::vector<std::unique_ptr<core::OperatorManager>> pusher_managers_;
+    core::QueryEngine agent_engine_;
+    std::unique_ptr<core::OperatorManager> agent_manager_;
+};
+
+double relativeError(double measured, double predicted) {
+    if (predicted == 0.0) return measured == 0.0 ? 0.0 : 1.0;
+    return std::abs(measured - predicted) / predicted;
+}
+
+TEST(CapacityCrossValidation, PredictionWithin15PercentOfPipeline) {
+    const std::string path = std::string(WM_CONFIG_DIR) + "/wintermuted.cfg";
+
+    // The static prediction, from config alone.
+    DiagnosticSink sink;
+    CapacityReport predicted;
+    analyzeConfigFile(path, sink, &predicted);
+    ASSERT_FALSE(sink.hasErrors()) << renderText(sink);
+    ASSERT_GT(predicted.total_msgs_per_sec, 0.0);
+
+    // The measurement: the same config driving the real data path.
+    auto parsed = common::parseConfigFile(path);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    MiniPipeline pipeline;
+    std::string error;
+    ASSERT_TRUE(pipeline.build(parsed.root, &error)) << error;
+
+    const std::uint64_t published_before = pipeline.broker().publishedCount();
+    constexpr TimestampNs kTicks = 60;
+    for (TimestampNs t = 2; t <= 1 + kTicks; ++t) {
+        pipeline.tick(t * kNsPerSec);
+    }
+    const std::uint64_t published_after = pipeline.broker().publishedCount();
+    const double elapsed_sec =
+        static_cast<double>(kTicks) *
+        (static_cast<double>(pipeline.samplingNs()) / static_cast<double>(kNsPerSec));
+    const double measured_rate =
+        static_cast<double>(published_after - published_before) / elapsed_sec;
+    EXPECT_LE(relativeError(measured_rate, predicted.total_msgs_per_sec), 0.15)
+        << "measured " << measured_rate << " msgs/s vs predicted "
+        << predicted.total_msgs_per_sec;
+
+    std::size_t measured_pusher_bytes = 0;
+    for (auto& p : pipeline.pushers()) {
+        measured_pusher_bytes += p->cacheStore().memoryBytes();
+    }
+    EXPECT_LE(relativeError(static_cast<double>(measured_pusher_bytes),
+                            static_cast<double>(predicted.pusher_cache_bytes)),
+              0.15)
+        << "measured pusher caches " << measured_pusher_bytes
+        << " B vs predicted " << predicted.pusher_cache_bytes << " B";
+
+    const std::size_t measured_agent_bytes =
+        pipeline.agent().cacheStore().memoryBytes();
+    EXPECT_LE(relativeError(static_cast<double>(measured_agent_bytes),
+                            static_cast<double>(predicted.agent_cache_bytes)),
+              0.15)
+        << "measured agent caches " << measured_agent_bytes
+        << " B vs predicted " << predicted.agent_cache_bytes << " B";
+}
+
+}  // namespace
+}  // namespace wm::analysis

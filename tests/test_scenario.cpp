@@ -208,7 +208,8 @@ TEST(ScenarioParse, BadScenarioCorpusFailsThroughAnalyzer) {
 TEST(ScenarioParse, ShippedScenarioConfigsAnalyzeClean) {
     for (const char* name :
          {"thermal_runaway.scn", "fan_failure.scn", "memory_leak.scn",
-          "network_congestion.scn", "straggler.scn", "campaign_day.scn"}) {
+          "network_congestion.scn", "straggler.scn", "campaign_day.scn",
+          "model_drift.scn"}) {
         analysis::DiagnosticSink sink;
         analysis::analyzeConfigFile(std::string(WM_SCENARIO_DIR) + "/" + name, sink);
         EXPECT_FALSE(sink.hasErrors()) << name << "\n" << renderText(sink);
@@ -619,7 +620,8 @@ TEST(ScenarioE2E, GoldenExpectationsEveryClassDetectedBySomeOperator) {
     // before it finishes training).
     for (const char* name :
          {"thermal_runaway.scn", "fan_failure.scn", "memory_leak.scn",
-          "network_congestion.scn", "straggler.scn", "campaign_day.scn"}) {
+          "network_congestion.scn", "straggler.scn", "campaign_day.scn",
+          "model_drift.scn"}) {
         const auto parsed =
             common::parseConfigFile(std::string(WM_SCENARIO_DIR) + "/" + name);
         ASSERT_TRUE(parsed.ok) << name << ": " << parsed.error;

@@ -6,13 +6,18 @@ Runs the wm_check static analyzer binary over two corpora:
   good corpus -- every .cfg under configs/ and examples/, plus every scenario
                  script (.scn) under configs/scenarios/, must analyze with
                  exit status 0 (no errors).
-  bad corpus  -- every tests/data/bad_*.cfg and bad_*.scn must fail (non-zero
-                 exit) and
-                 emit EXACTLY the diagnostic codes named in its first-line
+  bad corpus  -- every tests/data/bad_*.cfg and bad_*.scn must fail under
+                 `--werror` (exit 1 when only warnings fire, exit 2 when any
+                 error fires -- never anything else) and emit EXACTLY the
+                 diagnostic codes named in its first-line
                  `# wm-check-expect: WM#### ...` header. Codes are extracted
                  from the --json output, so this also exercises the JSON
                  renderer end to end; the text renderer is checked for the
                  same `[WM####]` markers.
+
+The bad corpus is also re-run WITHOUT --werror to pin the exit-code
+contract: errors still exit 2, while warning-only configs exit 0 (warnings
+never fail a plain run).
 
 Usage:
   tools/config_check.py --wm-check PATH [--root DIR]
@@ -52,20 +57,30 @@ def check_bad(wm_check: str, config: Path) -> list[str]:
     if not expected:
         return [f"{config}: wm-check-expect header names no codes"]
 
-    json_proc = run(wm_check, ["--json", str(config)])
-    if json_proc.returncode == 0:
-        errors.append(f"{config}: expected failure, but wm_check exited 0")
+    json_proc = run(wm_check, ["--werror", "--json", str(config)])
+    if json_proc.returncode not in (1, 2):
+        errors.append(f"{config}: expected exit 1 (warnings) or 2 (errors) "
+                      f"under --werror, got {json_proc.returncode}")
     got = sorted(set(CODE_RE.findall(json_proc.stdout)))
     if got != expected:
         errors.append(f"{config}: expected codes {expected}, got {got} (json)")
 
-    text_proc = run(wm_check, [str(config)])
-    if text_proc.returncode == 0:
-        errors.append(f"{config}: expected failure in text mode, exit 0")
+    text_proc = run(wm_check, ["--werror", str(config)])
+    if text_proc.returncode not in (1, 2):
+        errors.append(f"{config}: expected exit 1 or 2 in text mode under "
+                      f"--werror, got {text_proc.returncode}")
     got_text = sorted(set(TEXT_CODE_RE.findall(text_proc.stdout)))
     if got_text != expected:
         errors.append(
             f"{config}: expected codes {expected}, got {got_text} (text)")
+
+    # Exit-code contract without --werror: a run that found errors exits 2,
+    # a warnings-only run exits 0. Exit 1 is reserved for --werror.
+    plain_proc = run(wm_check, [str(config)])
+    want_plain = 2 if json_proc.returncode == 2 else 0
+    if plain_proc.returncode != want_plain:
+        errors.append(f"{config}: expected exit {want_plain} without "
+                      f"--werror, got {plain_proc.returncode}")
     return errors
 
 

@@ -25,10 +25,21 @@ Rules:
                      headers.
   todo-tag        -- TODO/FIXME comments must carry an issue tag:
                      TODO(#123) or TODO(issue-...).
-  diag-doc        -- every "WM####" diagnostic code literal emitted by
-                     src/analysis/ or src/plugins/ must be documented in the
-                     code table of docs/CONFIGURATION.md (codes are a stable,
-                     append-only vocabulary).
+  diag-doc        -- every "WM####" diagnostic code literal emitted anywhere
+                     under src/ must be documented in the code table of
+                     docs/CONFIGURATION.md (codes are a stable, append-only
+                     vocabulary).
+  diag-unique     -- every WM#### code is owned by exactly one source file:
+                     the same code emitted from two different files is a
+                     collision. WM0404/WM0405 are allowlisted — they are the
+                     shared model-plugin validator pair emitted by every
+                     operator plugin's config validation.
+  diag-corpus     -- every emitted WM#### code must be exercised by at least
+                     one golden bad-config corpus file (a
+                     `# wm-check-expect:` header in tests/data/bad_*.cfg or
+                     bad_*.scn), so no diagnostic can rot untested. WM0001
+                     (unreadable config file) is allowlisted: an I/O failure
+                     cannot be a checked-in corpus file.
 
 Usage:
   tools/lint.py [--root DIR]     lint the repository (exit 1 on findings)
@@ -62,11 +73,19 @@ TODO_TAGGED_RE = re.compile(r"\b(?:TODO|FIXME)\s*\(\s*(?:#\d+|issue-[\w-]+)\s*\)
 LINE_COMMENT_RE = re.compile(r"//.*$")
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 
-# diag-doc: quoted WM#### literals (the form the DiagnosticSink emitters take)
-# in these trees must appear in the documentation table.
+# diag-*: quoted WM#### literals (the form the DiagnosticSink emitters take)
+# anywhere under src/ must appear in the documentation table, belong to
+# exactly one owning source file, and be exercised by the golden corpus.
 DIAG_CODE_RE = re.compile(r'"(WM\d{4})"')
-DIAG_SCAN_PREFIXES = ("src/analysis/", "src/plugins/")
+DIAG_SCAN_PREFIXES = ("src/",)
 DIAG_DOC = "docs/CONFIGURATION.md"
+DIAG_CORPUS_GLOBS = ("tests/data/bad_*.cfg", "tests/data/bad_*.scn")
+DIAG_EXPECT_MARKER = "# wm-check-expect:"
+# The model-plugin validators share one code pair on purpose: every operator
+# plugin emits WM0404 (unknown config key) / WM0405 (invalid value).
+DIAG_SHARED_CODES = {"WM0404", "WM0405"}
+# WM0001 = config file unreadable; an I/O error cannot be a corpus file.
+DIAG_NO_CORPUS_CODES = {"WM0001"}
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
@@ -193,30 +212,85 @@ def lint_file(rel_path: str, text: str) -> list[Finding]:
     return findings
 
 
-def collect_diag_codes(rel_path: str, text: str) -> dict[str, tuple[str, int]]:
-    """Maps each WM#### code literal in `text` to its first (path, line)."""
-    sites: dict[str, tuple[str, int]] = {}
+def collect_diag_codes(rel_path: str,
+                       text: str) -> dict[str, list[tuple[str, int]]]:
+    """Maps each WM#### code literal in `text` to all its (path, line) sites."""
+    sites: dict[str, list[tuple[str, int]]] = {}
     if not rel_path.replace("\\", "/").startswith(DIAG_SCAN_PREFIXES):
         return sites
     for lineno, line in enumerate(text.splitlines(), start=1):
         for match in DIAG_CODE_RE.finditer(line):
-            sites.setdefault(match.group(1), (rel_path, lineno))
+            sites.setdefault(match.group(1), []).append((rel_path, lineno))
     return sites
 
 
-def diag_doc_findings(code_sites: dict[str, tuple[str, int]],
+def diag_doc_findings(code_sites: dict[str, list[tuple[str, int]]],
                       doc_text: str) -> list[Finding]:
     """diag-doc rule: every emitted code must appear in the doc table."""
     documented = set(re.findall(r"WM\d{4}", doc_text))
     findings = []
     for code in sorted(code_sites):
         if code not in documented:
-            path, line = code_sites[code]
+            path, line = code_sites[code][0]
             findings.append(Finding(
                 path, line, "diag-doc",
                 f"diagnostic code {code} is emitted but missing from the "
                 f"code table in {DIAG_DOC}"))
     return findings
+
+
+def diag_unique_findings(
+        code_sites: dict[str, list[tuple[str, int]]]) -> list[Finding]:
+    """diag-unique rule: one owning source file per code.
+
+    Re-emitting a code within its owning file is fine (many diagnostics have
+    several emission points); the same code appearing in a second file means
+    two subsystems claim the same slot of the append-only vocabulary.
+    """
+    findings = []
+    for code in sorted(code_sites):
+        if code in DIAG_SHARED_CODES:
+            continue
+        files = sorted({path for path, _ in code_sites[code]})
+        if len(files) > 1:
+            path, line = code_sites[code][0]
+            findings.append(Finding(
+                path, line, "diag-unique",
+                f"diagnostic code {code} is emitted from multiple files "
+                f"({', '.join(files)}); codes are owned by one file"))
+    return findings
+
+
+def diag_corpus_findings(code_sites: dict[str, list[tuple[str, int]]],
+                         corpus_codes: set[str]) -> list[Finding]:
+    """diag-corpus rule: every emitted code has a golden-corpus expectation."""
+    findings = []
+    for code in sorted(code_sites):
+        if code in DIAG_NO_CORPUS_CODES:
+            continue
+        if code not in corpus_codes:
+            path, line = code_sites[code][0]
+            findings.append(Finding(
+                path, line, "diag-corpus",
+                f"diagnostic code {code} is emitted but no tests/data/bad_* "
+                f"corpus file expects it ('{DIAG_EXPECT_MARKER} ...' header)"))
+    return findings
+
+
+def collect_corpus_codes(root: Path) -> set[str]:
+    """All WM#### codes named by `# wm-check-expect:` corpus headers."""
+    codes: set[str] = set()
+    for pattern in DIAG_CORPUS_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            try:
+                first = path.read_text(encoding="utf-8",
+                                       errors="replace").splitlines()
+            except OSError:
+                continue
+            if first and first[0].startswith(DIAG_EXPECT_MARKER):
+                codes.update(re.findall(
+                    r"WM\d{4}", first[0][len(DIAG_EXPECT_MARKER):]))
+    return codes
 
 
 def iter_files(root: Path):
@@ -237,7 +311,7 @@ def iter_files(root: Path):
 
 def lint_tree(root: Path) -> list[Finding]:
     findings: list[Finding] = []
-    code_sites: dict[str, tuple[str, int]] = {}
+    code_sites: dict[str, list[tuple[str, int]]] = {}
     for path in iter_files(root):
         rel = path.relative_to(root).as_posix()
         try:
@@ -246,14 +320,16 @@ def lint_tree(root: Path) -> list[Finding]:
             findings.append(Finding(rel, 0, "io", f"unreadable: {err}"))
             continue
         findings.extend(lint_file(rel, text))
-        for code, site in collect_diag_codes(rel, text).items():
-            code_sites.setdefault(code, site)
+        for code, sites in collect_diag_codes(rel, text).items():
+            code_sites.setdefault(code, []).extend(sites)
 
     doc_path = root / DIAG_DOC
     doc_text = ""
     if doc_path.is_file():
         doc_text = doc_path.read_text(encoding="utf-8", errors="replace")
     findings.extend(diag_doc_findings(code_sites, doc_text))
+    findings.extend(diag_unique_findings(code_sites))
+    findings.extend(diag_corpus_findings(code_sites, collect_corpus_codes(root)))
     return findings
 
 
@@ -345,14 +421,59 @@ def self_test() -> int:
     for name, src, doc, expected in diag_cases:
         sites = collect_diag_codes("src/analysis/analyzer.cpp", src)
         if name == "codes outside scanned trees ignored":
-            sites = collect_diag_codes("src/core/x.cpp",
+            sites = collect_diag_codes("tests/t.cpp",
                                        'sink.error("WM9999", "msg");\n')
         got = sorted({f.rule for f in diag_doc_findings(sites, doc)})
         if got != sorted(expected):
             print(f"SELF-TEST FAIL: {name}: expected {expected}, got {got}")
             failures += 1
 
-    total = len(cases) + len(diag_cases)
+    def merged_sites(*file_texts):
+        merged: dict[str, list[tuple[str, int]]] = {}
+        for rel, text in file_texts:
+            for code, sites in collect_diag_codes(rel, text).items():
+                merged.setdefault(code, []).extend(sites)
+        return merged
+
+    # diag-unique: cross-file collisions flagged, intra-file repeats and the
+    # shared validator pair allowed.
+    unique_cases = [
+        ("cross-file collision flagged",
+         [("src/analysis/a.cpp", 'sink.error("WM0150", "x");\n'),
+          ("src/scenario/b.cpp", 'sink.error("WM0150", "y");\n')],
+         ["diag-unique"]),
+        ("same-file repeat allowed",
+         [("src/analysis/a.cpp",
+           'sink.error("WM0150", "x");\nsink.error("WM0150", "y");\n')],
+         []),
+        ("shared validator pair allowlisted",
+         [("src/plugins/a_operator.cpp", 'sink.error("WM0404", "x");\n'),
+          ("src/plugins/b_operator.cpp", 'sink.error("WM0404", "y");\n')],
+         []),
+    ]
+    for name, files, expected in unique_cases:
+        got = sorted({f.rule for f in diag_unique_findings(merged_sites(*files))})
+        if got != sorted(expected):
+            print(f"SELF-TEST FAIL: {name}: expected {expected}, got {got}")
+            failures += 1
+
+    # diag-corpus: emitted codes need a wm-check-expect entry; WM0001 exempt.
+    corpus_cases = [
+        ("covered code ok",
+         'sink.error("WM0150", "x");\n', {"WM0150"}, []),
+        ("uncovered code flagged",
+         'sink.error("WM0150", "x");\n', set(), ["diag-corpus"]),
+        ("unreadable-file code exempt",
+         'sink.error("WM0001", "x");\n', set(), []),
+    ]
+    for name, src, corpus, expected in corpus_cases:
+        sites = collect_diag_codes("src/analysis/analyzer.cpp", src)
+        got = sorted({f.rule for f in diag_corpus_findings(sites, corpus)})
+        if got != sorted(expected):
+            print(f"SELF-TEST FAIL: {name}: expected {expected}, got {got}")
+            failures += 1
+
+    total = len(cases) + len(diag_cases) + len(unique_cases) + len(corpus_cases)
     if failures:
         print(f"self-test: {failures}/{total} cases failed")
         return 1
