@@ -9,6 +9,8 @@
 #include "mqtt/broker.h"
 #include "sensors/reading.h"
 #include "sensors/sensor_cache.h"
+#include "storage/shard_map.h"
+#include "storage/sharded_storage_backend.h"
 
 namespace wm::analysis {
 
@@ -182,6 +184,22 @@ CapacityReport analyzeCapacity(const ConfigNode& root, const CapacityInputs& inp
                 storage_ttl_ns = value;
             }
         }
+        // `collectagent { shards N }` partitions the ingest/storage planes;
+        // wintermuted clamps silently, the analyzer reports the lie (WM0911).
+        if (const ConfigNode* shards = agent->child("shards")) {
+            const std::int64_t value = agent->getInt("shards", 1);
+            const std::int64_t max_shards = static_cast<std::int64_t>(
+                storage::ShardedStorageBackend::kMaxShards);
+            if (value < 1 || value > max_shards) {
+                sink.error("WM0911",
+                           "'shards' must be within [1, " +
+                               std::to_string(max_shards) + "], got " +
+                               std::to_string(value),
+                           shards->line(), shards->column(), "collectagent");
+            } else {
+                report.shards = static_cast<std::size_t>(value);
+            }
+        }
     }
 
     report.sampling_sec = secondsOf(inputs.sampling_ns);
@@ -210,6 +228,38 @@ CapacityReport analyzeCapacity(const ConfigNode& root, const CapacityInputs& inp
                             ? subtree.msgs_per_sec / report.total_msgs_per_sec
                             : 0.0;
         report.subtrees.push_back(subtree);
+    }
+
+    // --- Per-shard load under the subtree round-robin ownership rule. ------
+    // assignSubtreeShards() is the exact function wintermuted deals Collect
+    // Agent subtrees with, so this prediction matches the deployment.
+    std::map<std::string, std::size_t> subtree_shard;
+    if (report.shards > 1) {
+        std::vector<std::string> prefixes;
+        prefixes.reserve(report.subtrees.size());
+        for (const auto& subtree : report.subtrees) prefixes.push_back(subtree.prefix);
+        subtree_shard = storage::assignSubtreeShards(std::move(prefixes), report.shards);
+        report.shard_loads.resize(report.shards);
+        for (std::size_t i = 0; i < report.shards; ++i) {
+            report.shard_loads[i].shard = i;
+        }
+        for (const auto& subtree : report.subtrees) {
+            ShardLoad& load = report.shard_loads[subtree_shard[subtree.prefix]];
+            ++load.subtrees;
+            load.topics += subtree.topics;
+            load.msgs_per_sec += subtree.msgs_per_sec;
+        }
+        for (auto& load : report.shard_loads) {
+            load.share = report.total_msgs_per_sec > 0.0
+                             ? load.msgs_per_sec / report.total_msgs_per_sec
+                             : 0.0;
+        }
+        for (const auto& topic : inputs.published_topics) {
+            const auto owner = subtree_shard.find(topPrefix(topic.topic));
+            if (owner == subtree_shard.end()) continue;
+            report.shard_loads[owner->second].cache_bytes +=
+                cacheBytes(inputs.cache_window_ns, topic.msgs_per_sec);
+        }
     }
 
     // --- Cache memory, sized from the real structs. ------------------------
@@ -449,6 +499,24 @@ CapacityReport analyzeCapacity(const ConfigNode& root, const CapacityInputs& inp
         }
     }
 
+    // WM0910: shard imbalance. Even when every subtree sits under the
+    // fan-in threshold (WM0906 silent), the round-robin deal can stack
+    // several hot subtrees onto one shard; the hottest shard's share is
+    // held to the same budget a single subtree is.
+    for (const auto& load : report.shard_loads) {
+        if (load.share > report.budgets.max_subtree_rate_share) {
+            sink.warning(
+                "WM0910",
+                "shard " + std::to_string(load.shard) + " would carry " +
+                    fmtDouble(load.share * 100.0) +
+                    "% of the broker ingest rate (" +
+                    std::to_string(load.subtrees) + " subtrees; threshold " +
+                    fmtDouble(report.budgets.max_subtree_rate_share * 100.0) +
+                    "%); rebalance subtrees or raise the shard count",
+                block_line, block_column, "capacity");
+        }
+    }
+
     // WM0907: REST worst-case response cardinality.
     if (report.budgets.max_rest_series_readings > 0 &&
         static_cast<std::int64_t>(report.rest_series_worst_readings) >
@@ -483,6 +551,17 @@ std::string renderCapacityJson(const CapacityReport& report,
         out << "{\"prefix\":\"" << subtree.prefix << "\",\"topics\":" << subtree.topics
             << ",\"msgsPerSec\":" << fmtDouble(subtree.msgs_per_sec)
             << ",\"share\":" << fmtDouble(subtree.share) << "}";
+    }
+    out << "]}";
+    out << ",\"sharding\":{\"shards\":" << report.shards << ",\"shardLoads\":[";
+    for (std::size_t i = 0; i < report.shard_loads.size(); ++i) {
+        const ShardLoad& load = report.shard_loads[i];
+        if (i > 0) out << ',';
+        out << "{\"shard\":" << load.shard << ",\"subtrees\":" << load.subtrees
+            << ",\"topics\":" << load.topics
+            << ",\"msgsPerSec\":" << fmtDouble(load.msgs_per_sec)
+            << ",\"share\":" << fmtDouble(load.share)
+            << ",\"cacheBytes\":" << load.cache_bytes << "}";
     }
     out << "]}";
     out << ",\"memory\":{\"pusherCacheBytes\":" << report.pusher_cache_bytes

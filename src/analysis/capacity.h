@@ -52,6 +52,20 @@ struct SubtreeRate {
     double share = 0.0;  // of the total broker ingest rate
 };
 
+/// Predicted load of one ingest/storage shard under the subtree round-robin
+/// ownership rule (`collectagent { shards N }`; storage::assignSubtreeShards
+/// is the same function wintermuted deals agents' subtrees with, so this
+/// prediction matches the deployment exactly).
+struct ShardLoad {
+    std::size_t shard = 0;
+    std::size_t subtrees = 0;
+    std::size_t topics = 0;
+    double msgs_per_sec = 0.0;
+    double share = 0.0;  // of the total broker ingest rate
+    /// Agent-side cache memory for the raw topics this shard owns.
+    std::size_t cache_bytes = 0;
+};
+
 /// Cost prediction for one analyzed operator block (pusher-host blocks
 /// aggregated over all pushers, as in the dry run).
 struct OperatorCapacity {
@@ -87,6 +101,10 @@ struct CapacityReport {
     double operator_msgs_per_sec = 0.0;
     double total_msgs_per_sec = 0.0;
     std::vector<SubtreeRate> subtrees;
+
+    // Sharding plan (`collectagent { shards N }`, default 1 = unsharded).
+    std::size_t shards = 1;
+    std::vector<ShardLoad> shard_loads;  // empty when shards == 1
 
     // Memory model (bytes; docs/STATIC_ANALYSIS.md documents the formulas).
     std::size_t pusher_cache_bytes = 0;

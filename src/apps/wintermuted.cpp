@@ -17,6 +17,7 @@
 //   GET /sensors/series?topic=T&window=10s   recent readings
 //   GET /status                      entity statistics
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -41,6 +42,9 @@
 #include "pusher/pusher.h"
 #include "rest/http_server.h"
 #include "simulator/topology.h"
+#include "storage/shard_map.h"
+#include "storage/sharded_storage_backend.h"
+#include "storage/storage_backend.h"
 
 using namespace wm;
 using common::kNsPerSec;
@@ -69,8 +73,13 @@ struct Daemon {
     simulator::Topology topology;
     pusher::SimulatedFacilityPtr facility;
     mqtt::AsyncBroker broker;
-    storage::StorageBackend storage;
-    std::unique_ptr<collectagent::CollectAgent> agent;
+    /// `collectagent { shards N }` with N > 1 builds a ShardedStorageBackend
+    /// (per-shard lock + WAL) and one Collect Agent per shard, each owning a
+    /// disjoint set of top-level topic subtrees. shards 1 (the default) keeps
+    /// the plain StorageBackend and its on-disk layout byte-compatible.
+    std::size_t shard_count = 1;
+    std::unique_ptr<storage::Storage> storage;
+    std::vector<std::unique_ptr<collectagent::CollectAgent>> agents;
     jobs::JobManager jobs;
     std::vector<std::shared_ptr<pusher::SimulatedNode>> nodes;
     std::vector<std::unique_ptr<pusher::Pusher>> pushers;
@@ -84,6 +93,19 @@ struct Daemon {
     PersistenceKnobs persistence;
     std::unique_ptr<core::Supervisor> supervisor;
 };
+
+/// Per-agent quarantine journal path for sharded runs: inserts "-<index>"
+/// before the file extension ("…/quarantine.wal" -> "…/quarantine-2.wal"),
+/// so every agent replays exactly its own journal after a restart.
+std::string shardQuarantineWal(const std::string& base, std::size_t index) {
+    if (base.empty()) return base;
+    const std::size_t slash = base.find_last_of('/');
+    const std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+        return base + "-" + std::to_string(index);
+    }
+    return base.substr(0, dot) + "-" + std::to_string(index) + base.substr(dot);
+}
 
 PersistenceKnobs readPersistence(const common::ConfigNode& root) {
     PersistenceKnobs knobs;
@@ -137,22 +159,26 @@ void buildSupervisor(Daemon& daemon, const common::ConfigNode& root) {
     // Dependencies first: a recovered storage backend lets the agent's
     // quarantine drain instead of refilling.
     daemon.supervisor->registerComponent(
-        {"storage", [self] { return self->storage.healthy(); },
+        {"storage", [self] { return self->storage->healthy(); },
          // A checkpoint compacts the WAL into a fresh snapshot + journal;
          // success proves the persistence directory is writable again.
-         [self] { return self->storage.checkpointNow(); }});
-    daemon.supervisor->registerComponent(
-        {"collectagent", [self] { return self->agent->running(); },
-         [self] {
-             self->agent->stop();
-             self->agent->start();
-             if (!self->agent->running()) return false;
-             // The agent may have missed publishes while unsubscribed:
-             // at-least-once replay from every pusher's ring, deduplicated
-             // downstream by per-topic sequence numbers.
-             for (auto& p : self->pushers) p->replayRecent();
-             return true;
-         }});
+         [self] { return self->storage->checkpointNow(); }});
+    for (auto& agent_ptr : daemon.agents) {
+        collectagent::CollectAgent* agent = agent_ptr.get();
+        daemon.supervisor->registerComponent(
+            {agent->name(), [agent] { return agent->running(); },
+             [agent, self] {
+                 agent->stop();
+                 agent->start();
+                 if (!agent->running()) return false;
+                 // The agent may have missed publishes while unsubscribed:
+                 // at-least-once replay from every pusher's ring, deduplicated
+                 // downstream by per-topic sequence numbers (each replayed
+                 // message reaches exactly one agent — filters are disjoint).
+                 for (auto& p : self->pushers) p->replayRecent();
+                 return true;
+             }});
+    }
     for (auto& pusher : daemon.pushers) {
         pusher::Pusher* p = pusher.get();
         daemon.supervisor->registerComponent(
@@ -250,8 +276,35 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
     const ResilienceKnobs knobs = readResilience(root);
     daemon.broker.setSubscriberFailureBudget(knobs.subscriber_failure_budget);
 
+    // `collectagent { filter "..." }` narrows what the agent subscribes to
+    // (default "#", everything). wm-check validates the filter statically
+    // (WM0205) and warns when it can never match a published topic (WM0206).
+    // `storageTtl` bounds storage retention; without it the backend grows
+    // without limit (wm-check flags that against a memory budget, WM0904).
+    // `shards N` (default 1) partitions both planes: storage becomes N
+    // hash-sharded stores and the ingest plane becomes N agents, each owning
+    // the topic subtrees assignSubtreeShards() deals to it — the same rule
+    // wm-check applies for its per-shard load prediction (WM0910).
+    std::string agent_filter = "#";
+    common::TimestampNs storage_ttl = 0;
+    if (const common::ConfigNode* agent_cfg = root.child("collectagent")) {
+        agent_filter = agent_cfg->getString("filter", "#");
+        storage_ttl = agent_cfg->getDurationNs("storageTtl", 0);
+        daemon.shard_count = std::clamp<std::size_t>(
+            static_cast<std::size_t>(agent_cfg->getInt("shards", 1)), 1,
+            storage::ShardedStorageBackend::kMaxShards);
+    }
+    if (daemon.shard_count > 1) {
+        daemon.storage =
+            std::make_unique<storage::ShardedStorageBackend>(daemon.shard_count);
+    } else {
+        daemon.storage = std::make_unique<storage::StorageBackend>();
+    }
+    if (storage_ttl > 0) daemon.storage->setDefaultTtl(storage_ttl);
+
     // Durability first: the storage backend must finish crash recovery
-    // (snapshot load + WAL replay) before the agent starts inserting.
+    // (snapshot load + WAL replay) before the agents start inserting. The
+    // sharded backend fans this out into per-shard `shard-NNN/` directories.
     daemon.persistence = readPersistence(root);
     std::string quarantine_wal_path;
     if (daemon.persistence.enabled) {
@@ -260,7 +313,7 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
         durability.wal_file = daemon.persistence.wal_file;
         durability.snapshot_file = daemon.persistence.snapshot_file;
         durability.snapshot_every = daemon.persistence.snapshot_every;
-        if (!daemon.storage.enableDurability(durability)) {
+        if (!daemon.storage->enableDurability(durability)) {
             WM_LOG(kError, "wintermuted")
                 << "cannot enable storage durability under "
                 << daemon.persistence.directory << "; running volatile";
@@ -272,22 +325,48 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
         }
     }
 
-    // `collectagent { filter "..." }` narrows what the agent subscribes to
-    // (default "#", everything). wm-check validates the filter statically
-    // (WM0205) and warns when it can never match a published topic (WM0206).
-    // `storageTtl` bounds storage retention; without it the backend grows
-    // without limit (wm-check flags that against a memory budget, WM0904).
-    std::string agent_filter = "#";
-    if (const common::ConfigNode* agent_cfg = root.child("collectagent")) {
-        agent_filter = agent_cfg->getString("filter", "#");
-        const common::TimestampNs storage_ttl = agent_cfg->getDurationNs("storageTtl", 0);
-        if (storage_ttl > 0) daemon.storage.setDefaultTtl(storage_ttl);
+    const bool facility_enabled = root.child("facility") == nullptr ||
+                                  root.child("facility")->getBool("enabled", true);
+    if (daemon.shard_count == 1) {
+        collectagent::CollectAgentConfig agent_config;
+        agent_config.name = "collectagent";
+        agent_config.filter = agent_filter;
+        agent_config.cache_window_ns = window;
+        agent_config.quarantine_max = knobs.quarantine_max;
+        agent_config.quarantine_wal_path = quarantine_wal_path;
+        daemon.agents.push_back(std::make_unique<collectagent::CollectAgent>(
+            std::move(agent_config), daemon.broker, *daemon.storage));
+    } else {
+        // Subtree ownership: the sorted unique top-level prefixes of every
+        // published topic, dealt round-robin. Derived from the topology the
+        // pushers will publish under, so the assignment is reproducible
+        // across restarts and matches the static capacity analysis.
+        std::vector<std::string> prefixes;
+        for (std::size_t n = 0; n < topology.nodeCount(); ++n) {
+            const std::string node_path = topology.nodePath(n);
+            prefixes.push_back(node_path.substr(0, node_path.find('/', 1)));
+        }
+        if (facility_enabled) prefixes.push_back("/facility");
+        const auto assignment =
+            storage::assignSubtreeShards(std::move(prefixes), daemon.shard_count);
+        std::vector<std::vector<std::string>> filters(daemon.shard_count);
+        for (const auto& [prefix, shard] : assignment) {
+            filters[shard].push_back(prefix + "/#");
+        }
+        for (std::size_t i = 0; i < daemon.shard_count; ++i) {
+            if (filters[i].empty()) continue;  // more shards than subtrees
+            collectagent::CollectAgentConfig agent_config;
+            agent_config.name = "collectagent-" + std::to_string(i);
+            agent_config.filters = std::move(filters[i]);
+            agent_config.cache_window_ns = window;
+            agent_config.quarantine_max = knobs.quarantine_max;
+            agent_config.quarantine_wal_path =
+                shardQuarantineWal(quarantine_wal_path, i);
+            daemon.agents.push_back(std::make_unique<collectagent::CollectAgent>(
+                std::move(agent_config), daemon.broker, *daemon.storage));
+        }
     }
-    daemon.agent = std::make_unique<collectagent::CollectAgent>(
-        collectagent::CollectAgentConfig{"collectagent", agent_filter, window, true,
-                                         knobs.quarantine_max, quarantine_wal_path},
-        daemon.broker, daemon.storage);
-    daemon.agent->start();
+    for (auto& agent : daemon.agents) agent->start();
 
     for (std::size_t n = 0; n < topology.nodeCount(); ++n) {
         const std::string node_path = topology.nodePath(n);
@@ -317,8 +396,7 @@ void buildCluster(Daemon& daemon, const common::ConfigNode& root) {
 
     // Facility level (holistic monitoring): one cooling circuit fed by the
     // sum of the nodes' most recent power readings.
-    if (root.child("facility") == nullptr ||
-        root.child("facility")->getBool("enabled", true)) {
+    if (facility_enabled) {
         Daemon* self = &daemon;
         daemon.facility = std::make_shared<pusher::SimulatedFacility>(
             simulator::FacilityCharacteristics{}, [self] {
@@ -357,11 +435,17 @@ bool loadWintermute(Daemon& daemon, const common::ConfigNode& root) {
         daemon.pusher_engines.push_back(std::move(engine));
         daemon.pusher_managers.push_back(std::move(manager));
     }
-    daemon.agent_engine.setCacheStore(&daemon.agent->cacheStore());
-    daemon.agent_engine.setStorage(&daemon.storage);
+    // The agent-side engine fans reads out across every agent's cache store
+    // (a topic lives in exactly one — filters are disjoint) with the sharded
+    // storage as fallback. Operator outputs land in the first agent's store.
+    daemon.agent_engine.setCacheStore(&daemon.agents.front()->cacheStore());
+    for (std::size_t i = 1; i < daemon.agents.size(); ++i) {
+        daemon.agent_engine.addCacheStore(&daemon.agents[i]->cacheStore());
+    }
+    daemon.agent_engine.setStorage(daemon.storage.get());
     auto agent_context = core::makeHostContext(
-        daemon.agent_engine, &daemon.agent->cacheStore(), nullptr, &daemon.storage,
-        &daemon.jobs);
+        daemon.agent_engine, &daemon.agents.front()->cacheStore(), nullptr,
+        daemon.storage.get(), &daemon.jobs);
     // Control authority: feedback-loop operators in the Collect Agent can
     // actuate the facility's inlet setpoint and per-node DVFS.
     Daemon* self = &daemon;
@@ -437,7 +521,15 @@ void bindDataRest(Daemon& daemon) {
     daemon.router.route("GET", "/sensors", [&daemon](const rest::Request&) {
         std::ostringstream body;
         body << "{\"sensors\":[";
-        const auto topics = daemon.agent->cacheStore().topics();
+        // Union across the agents' cache stores (disjoint by construction),
+        // sorted so the listing is shard-count independent.
+        std::vector<std::string> topics;
+        for (const auto& agent : daemon.agents) {
+            auto part = agent->cacheStore().topics();
+            topics.insert(topics.end(), std::make_move_iterator(part.begin()),
+                          std::make_move_iterator(part.end()));
+        }
+        std::sort(topics.begin(), topics.end());
         for (std::size_t i = 0; i < topics.size(); ++i) {
             if (i > 0) body << ',';
             body << '"' << rest::jsonEscape(topics[i]) << '"';
@@ -489,22 +581,39 @@ void bindDataRest(Daemon& daemon) {
             buffered += p->bufferedReadings();
             pusher_dropped += p->readingsDropped();
         }
-        const auto stats = daemon.storage.stats();
+        std::uint64_t messages_received = 0;
+        std::uint64_t sensor_count = 0;
+        std::uint64_t quarantined = 0;
+        std::uint64_t storage_errors = 0;
+        std::uint64_t dedup_drops = 0;
+        std::uint64_t quarantine_wal_replayed = 0;
+        for (const auto& agent : daemon.agents) {
+            messages_received += agent->messagesReceived();
+            sensor_count += agent->cacheStore().sensorCount();
+            quarantined += agent->quarantinedReadings();
+            storage_errors += agent->storageErrorsTotal();
+            dedup_drops += agent->dedupDrops();
+            quarantine_wal_replayed += agent->quarantineWalReplayed();
+        }
+        const auto stats = daemon.storage->stats();
         std::ostringstream body;
         body << "{\"nodes\":" << daemon.nodes.size()
+             << ",\"shards\":" << daemon.shard_count
+             << ",\"agents\":" << daemon.agents.size()
              << ",\"readingsSampled\":" << sampled
-             << ",\"messagesReceived\":" << daemon.agent->messagesReceived()
+             << ",\"messagesReceived\":" << messages_received
              << ",\"storedReadings\":" << stats.reading_count
-             << ",\"sensors\":" << daemon.agent->cacheStore().sensorCount()
+             << ",\"sensors\":" << sensor_count
+             << ",\"storageMemoryBytes\":" << daemon.storage->memoryBytes()
              << ",\"resilience\":{"
              << "\"pusherBuffered\":" << buffered
              << ",\"pusherDropped\":" << pusher_dropped
              << ",\"brokerDropped\":" << daemon.broker.droppedCount()
              << ",\"evictedSubscribers\":" << daemon.broker.evictedSubscribers()
-             << ",\"quarantined\":" << daemon.agent->quarantinedReadings()
-             << ",\"storageErrors\":" << daemon.agent->storageErrorsTotal()
+             << ",\"quarantined\":" << quarantined
+             << ",\"storageErrors\":" << storage_errors
              << ",\"rejectedInserts\":" << stats.rejected_inserts << "}";
-        const auto durability = daemon.storage.durabilityStats();
+        const auto durability = daemon.storage->durabilityStats();
         std::uint64_t messages_replayed = 0;
         for (const auto& p : daemon.pushers) messages_replayed += p->messagesReplayed();
         std::uint64_t op_snapshots_written =
@@ -531,9 +640,9 @@ void bindDataRest(Daemon& daemon) {
              << (daemon.supervisor ? daemon.supervisor->restartsTotal() : 0)
              << ",\"failedRestarts\":"
              << (daemon.supervisor ? daemon.supervisor->failedRestartsTotal() : 0)
-             << ",\"dedupDrops\":" << daemon.agent->dedupDrops()
+             << ",\"dedupDrops\":" << dedup_drops
              << ",\"messagesReplayed\":" << messages_replayed
-             << ",\"quarantineWalReplayed\":" << daemon.agent->quarantineWalReplayed()
+             << ",\"quarantineWalReplayed\":" << quarantine_wal_replayed
              << "}}";
         return rest::Response::ok(body.str());
     });
@@ -616,7 +725,7 @@ int main(int argc, char** argv) {
         common::Thread::sleepFor(std::chrono::milliseconds(200));
         // Drain readings parked by storage outages once the backend accepts
         // inserts again (graceful-degradation loop, docs/RESILIENCE.md).
-        daemon.agent->retryQuarantined();
+        for (auto& agent : daemon.agents) agent->retryQuarantined();
         if (daemon.persistence.enabled) {
             const common::TimestampNs now = common::nowNs();
             if (now - last_checkpoint_ns >= daemon.persistence.checkpoint_interval_ns) {
@@ -639,12 +748,12 @@ int main(int argc, char** argv) {
     for (auto& manager : daemon.pusher_managers) manager->stop();
     for (auto& p : daemon.pushers) p->stop();
     daemon.server->stop();
-    daemon.agent->stop();
+    for (auto& agent : daemon.agents) agent->stop();
     if (daemon.persistence.enabled) {
         // Final checkpoint after every producer stopped: the snapshot pair
         // (storage + operator state) is the exact shutdown state.
         checkpointOperators(daemon);
-        daemon.storage.checkpointNow();
+        daemon.storage->checkpointNow();
     }
     return 0;
 }

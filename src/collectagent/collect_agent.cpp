@@ -20,7 +20,7 @@ std::string encodeQuarantineRecord(const std::string& topic,
 }  // namespace
 
 CollectAgent::CollectAgent(CollectAgentConfig config, mqtt::Broker& broker,
-                           storage::StorageBackend& storage)
+                           storage::Storage& storage)
     : config_(std::move(config)),
       broker_(broker),
       storage_(storage),
@@ -64,21 +64,31 @@ CollectAgent::~CollectAgent() {
 
 void CollectAgent::start() {
     common::MutexLock lock(lifecycle_mutex_);
-    if (subscription_.load(std::memory_order_relaxed) != 0) return;
-    subscription_.store(
-        broker_.subscribe(config_.filter,
-                          [this](const mqtt::Message& message) { onMessage(message); }),
-        std::memory_order_release);
-    WM_LOG(kInfo, "collectagent")
-        << config_.name << ": subscribed to '" << config_.filter << "'";
+    if (!subscriptions_.empty()) return;
+    const std::vector<std::string> filters =
+        config_.filters.empty() ? std::vector<std::string>{config_.filter}
+                                : config_.filters;
+    for (const auto& filter : filters) {
+        const mqtt::SubscriptionId id = broker_.subscribe(
+            filter, [this](const mqtt::Message& message) { onMessage(message); });
+        if (id == 0) {
+            WM_LOG(kWarning, "collectagent")
+                << config_.name << ": invalid filter '" << filter << "' skipped";
+            continue;
+        }
+        subscriptions_.push_back(id);
+        WM_LOG(kInfo, "collectagent")
+            << config_.name << ": subscribed to '" << filter << "'";
+    }
+    running_.store(!subscriptions_.empty(), std::memory_order_release);
 }
 
 void CollectAgent::stop() {
     common::MutexLock lock(lifecycle_mutex_);
-    const mqtt::SubscriptionId id = subscription_.load(std::memory_order_relaxed);
-    if (id == 0) return;
-    broker_.unsubscribe(id);
-    subscription_.store(0, std::memory_order_release);
+    if (subscriptions_.empty()) return;
+    for (const mqtt::SubscriptionId id : subscriptions_) broker_.unsubscribe(id);
+    subscriptions_.clear();
+    running_.store(false, std::memory_order_release);
     WM_LOG(kInfo, "collectagent") << config_.name << ": stopped";
 }
 

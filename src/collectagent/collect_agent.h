@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/mutex.h"
 #include "mqtt/broker.h"
@@ -25,6 +26,12 @@ struct CollectAgentConfig {
     std::string name = "collectagent";
     /// MQTT subscription filter; "#" receives everything.
     std::string filter = "#";
+    /// When non-empty, the agent subscribes to these filters *instead of*
+    /// `filter` — sharded deployments give each agent its owned topic
+    /// subtrees (e.g. "/rack0/#", "/rack2/#"). The filters of the agents
+    /// sharing a broker must be disjoint so per-topic sequence dedup stays
+    /// exactly-once: a topic must be ingested by exactly one agent.
+    std::vector<std::string> filters;
     common::TimestampNs cache_window_ns = 180 * common::kNsPerSec;
     /// Forward received readings to the storage backend.
     bool forward_to_storage = true;
@@ -40,23 +47,25 @@ struct CollectAgentConfig {
 
 class CollectAgent {
   public:
-    /// The agent subscribes on `broker` and writes to `storage`; both must
-    /// outlive the agent.
+    /// The agent subscribes on `broker` and writes to `storage` (unsharded
+    /// or sharded, behind the Storage interface); both must outlive the
+    /// agent.
     CollectAgent(CollectAgentConfig config, mqtt::Broker& broker,
-                 storage::StorageBackend& storage);
+                 storage::Storage& storage);
     ~CollectAgent();
 
     CollectAgent(const CollectAgent&) = delete;
     CollectAgent& operator=(const CollectAgent&) = delete;
 
-    /// Subscribes to the broker; idempotent.
+    /// Subscribes to the broker (one subscription per configured filter);
+    /// idempotent.
     void start();
     /// Unsubscribes; already-delivered messages are fully processed.
     void stop();
-    bool running() const { return subscription_.load(std::memory_order_acquire) != 0; }
+    bool running() const { return running_.load(std::memory_order_acquire); }
 
     sensors::CacheStore& cacheStore() { return cache_store_; }
-    storage::StorageBackend& storage() { return storage_; }
+    storage::Storage& storage() { return storage_; }
     const std::string& name() const { return config_.name; }
 
     std::uint64_t messagesReceived() const { return messages_received_.load(); }
@@ -97,14 +106,15 @@ class CollectAgent {
 
     CollectAgentConfig config_;
     mqtt::Broker& broker_;
-    storage::StorageBackend& storage_;
+    storage::Storage& storage_;
     sensors::CacheStore cache_store_;
     /// Serialises start()/stop() so concurrent lifecycle calls cannot leak a
     /// subscription. Holding it across subscribe/unsubscribe is legal:
     /// kCollectAgent ranks below kBroker.
     common::Mutex lifecycle_mutex_{"CollectAgent", common::LockRank::kCollectAgent};
+    std::vector<mqtt::SubscriptionId> subscriptions_ WM_GUARDED_BY(lifecycle_mutex_);
     // Atomic: running() reads it without the lock.
-    std::atomic<mqtt::SubscriptionId> subscription_{0};
+    std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> messages_received_{0};
     std::atomic<std::uint64_t> readings_stored_{0};
 

@@ -4,7 +4,7 @@ namespace wm::core {
 
 OperatorContext makeHostContext(QueryEngine& query_engine,
                                 sensors::CacheStore* cache_store, mqtt::Broker* broker,
-                                storage::StorageBackend* storage,
+                                storage::Storage* storage,
                                 jobs::JobManager* job_manager) {
     OperatorContext context;
     context.query_engine = &query_engine;

@@ -10,21 +10,54 @@ QueryEngine& QueryEngine::instance() {
 }
 
 void QueryEngine::setCacheStore(sensors::CacheStore* store) {
-    cache_store_.store(store, std::memory_order_release);
+    cache_stores_[0].store(store, std::memory_order_release);
+    cache_store_count_.store(store != nullptr ? 1 : 0, std::memory_order_release);
 }
 
-void QueryEngine::setStorage(storage::StorageBackend* storage) {
+void QueryEngine::addCacheStore(sensors::CacheStore* store) {
+    if (store == nullptr) return;
+    const std::size_t count = cache_store_count_.load(std::memory_order_acquire);
+    if (count >= kMaxCacheStores) return;
+    cache_stores_[count].store(store, std::memory_order_release);
+    cache_store_count_.store(count + 1, std::memory_order_release);
+}
+
+void QueryEngine::setStorage(storage::Storage* storage) {
     storage_.store(storage, std::memory_order_release);
 }
 
+sensors::SensorCache* QueryEngine::findCache(const std::string& topic) const {
+    const std::size_t count = cache_store_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        sensors::CacheStore* store = cache_stores_[i].load(std::memory_order_acquire);
+        if (store == nullptr) continue;
+        if (sensors::SensorCache* cache = store->find(topic)) return cache;
+    }
+    return nullptr;
+}
+
+sensors::SensorCache* QueryEngine::resolveHandle(const sensors::CacheHandle& handle) const {
+    const std::size_t count = cache_store_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        sensors::CacheStore* store = cache_stores_[i].load(std::memory_order_acquire);
+        if (store == nullptr) continue;
+        if (sensors::SensorCache* cache = handle.resolve(*store)) return cache;
+    }
+    return nullptr;
+}
+
 std::size_t QueryEngine::rebuildTree() {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    storage::StorageBackend* storage = storage_.load(std::memory_order_acquire);
+    storage::Storage* storage = storage_.load(std::memory_order_acquire);
     // Gather topics before taking the tree lock: CacheStore/StorageBackend
     // locks rank above the tree lock, so nesting them underneath would
     // invert the lock order.
     std::vector<std::string> topics;
-    if (cache_store != nullptr) topics = cache_store->topics();
+    const std::size_t count = cache_store_count_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < count; ++i) {
+        sensors::CacheStore* store = cache_stores_[i].load(std::memory_order_acquire);
+        if (store == nullptr) continue;
+        for (auto& topic : store->topics()) topics.push_back(std::move(topic));
+    }
     if (storage != nullptr) {
         for (auto& topic : storage->topics()) topics.push_back(std::move(topic));
     }
@@ -46,7 +79,7 @@ sensors::ReadingVector QueryEngine::queryRelativeImpl(const sensors::SensorCache
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
         return cache->viewRelative(offset_ns);
     }
-    if (storage::StorageBackend* storage = storage_.load(std::memory_order_acquire)) {
+    if (storage::Storage* storage = storage_.load(std::memory_order_acquire)) {
         storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         const auto newest = storage->latest(topic);
         if (!newest) return {};
@@ -73,7 +106,7 @@ sensors::ReadingVector QueryEngine::queryAbsoluteImpl(const sensors::SensorCache
             return cache->viewAbsolute(t0, t1);
         }
     }
-    if (storage::StorageBackend* storage = storage_.load(std::memory_order_acquire)) {
+    if (storage::Storage* storage = storage_.load(std::memory_order_acquire)) {
         storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         return storage->query(topic, t0, t1);
     }
@@ -93,7 +126,7 @@ std::optional<sensors::Reading> QueryEngine::latestImpl(const sensors::SensorCac
             return reading;
         }
     }
-    if (storage::StorageBackend* storage = storage_.load(std::memory_order_acquire)) {
+    if (storage::Storage* storage = storage_.load(std::memory_order_acquire)) {
         storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         return storage->latest(topic);
     }
@@ -107,7 +140,7 @@ std::optional<sensors::RangeStats> QueryEngine::statsRelativeImpl(
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
         return cache->statsRelative(offset_ns);
     }
-    if (storage::StorageBackend* storage = storage_.load(std::memory_order_acquire)) {
+    if (storage::Storage* storage = storage_.load(std::memory_order_acquire)) {
         storage_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         const auto newest = storage->latest(topic);
         if (!newest) return std::nullopt;
@@ -127,65 +160,49 @@ std::optional<sensors::RangeStats> QueryEngine::statsRelativeImpl(
 
 sensors::ReadingVector QueryEngine::queryRelative(const std::string& topic,
                                                   common::TimestampNs offset_ns) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    const sensors::SensorCache* cache =
-        cache_store != nullptr ? cache_store->find(topic) : nullptr;
+    const sensors::SensorCache* cache = findCache(topic);
     return queryRelativeImpl(cache, topic, offset_ns);
 }
 
 sensors::ReadingVector QueryEngine::queryRelative(const sensors::CacheHandle& handle,
                                                   common::TimestampNs offset_ns) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    const sensors::SensorCache* cache =
-        cache_store != nullptr ? handle.resolve(*cache_store) : nullptr;
+    const sensors::SensorCache* cache = resolveHandle(handle);
     return queryRelativeImpl(cache, handle.topic(), offset_ns);
 }
 
 sensors::ReadingVector QueryEngine::queryAbsolute(const std::string& topic,
                                                   common::TimestampNs t0,
                                                   common::TimestampNs t1) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    const sensors::SensorCache* cache =
-        cache_store != nullptr ? cache_store->find(topic) : nullptr;
+    const sensors::SensorCache* cache = findCache(topic);
     return queryAbsoluteImpl(cache, topic, t0, t1);
 }
 
 sensors::ReadingVector QueryEngine::queryAbsolute(const sensors::CacheHandle& handle,
                                                   common::TimestampNs t0,
                                                   common::TimestampNs t1) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    const sensors::SensorCache* cache =
-        cache_store != nullptr ? handle.resolve(*cache_store) : nullptr;
+    const sensors::SensorCache* cache = resolveHandle(handle);
     return queryAbsoluteImpl(cache, handle.topic(), t0, t1);
 }
 
 std::optional<sensors::Reading> QueryEngine::latest(const std::string& topic) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    const sensors::SensorCache* cache =
-        cache_store != nullptr ? cache_store->find(topic) : nullptr;
+    const sensors::SensorCache* cache = findCache(topic);
     return latestImpl(cache, topic);
 }
 
 std::optional<sensors::Reading> QueryEngine::latest(const sensors::CacheHandle& handle) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    const sensors::SensorCache* cache =
-        cache_store != nullptr ? handle.resolve(*cache_store) : nullptr;
+    const sensors::SensorCache* cache = resolveHandle(handle);
     return latestImpl(cache, handle.topic());
 }
 
 std::optional<sensors::RangeStats> QueryEngine::statsRelative(
     const std::string& topic, common::TimestampNs offset_ns) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    const sensors::SensorCache* cache =
-        cache_store != nullptr ? cache_store->find(topic) : nullptr;
+    const sensors::SensorCache* cache = findCache(topic);
     return statsRelativeImpl(cache, topic, offset_ns);
 }
 
 std::optional<sensors::RangeStats> QueryEngine::statsRelative(
     const sensors::CacheHandle& handle, common::TimestampNs offset_ns) const {
-    sensors::CacheStore* cache_store = cache_store_.load(std::memory_order_acquire);
-    const sensors::SensorCache* cache =
-        cache_store != nullptr ? handle.resolve(*cache_store) : nullptr;
+    const sensors::SensorCache* cache = resolveHandle(handle);
     return statsRelativeImpl(cache, handle.topic(), offset_ns);
 }
 

@@ -12,7 +12,15 @@
 // The hosting entity (Pusher or Collect Agent) wires in its cache store and,
 // for Collect Agents, the storage backend, at startup. Plugins are thereby
 // isolated from where they run — the same plugin code works in both.
+//
+// Sharded deployments register one cache store per Collect Agent shard via
+// addCacheStore() and wire the sharded storage behind the same Storage
+// interface. A topic lives in exactly one shard, so reads probe the stores
+// in registration order and use the first cache that knows the topic —
+// results are bit-identical to the single-store build (differential-tested
+// in tests/test_sharding.cpp).
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <optional>
@@ -34,10 +42,19 @@ class QueryEngine {
     /// own instances instead).
     static QueryEngine& instance();
 
-    /// Wires the local sensor caches (the fast path). Not owned.
+    /// Wires the local sensor caches (the fast path), replacing any stores
+    /// registered so far. Not owned. Call before concurrent use.
     void setCacheStore(sensors::CacheStore* store);
-    /// Wires the storage backend fallback (Collect Agent only). Not owned.
-    void setStorage(storage::StorageBackend* storage);
+    /// Registers an additional cache store (one per Collect Agent shard in
+    /// sharded deployments). Not owned. Call before concurrent use.
+    void addCacheStore(sensors::CacheStore* store);
+    std::size_t cacheStoreCount() const {
+        return cache_store_count_.load(std::memory_order_acquire);
+    }
+    /// Wires the storage fallback (Collect Agent only) — the unsharded
+    /// backend or a ShardedStorageBackend, behind the same interface. Not
+    /// owned.
+    void setStorage(storage::Storage* storage);
 
     /// Rebuilds the sensor tree from every topic known to the cache store
     /// and (when wired) the storage backend. Returns the sensor count.
@@ -91,6 +108,11 @@ class QueryEngine {
     std::uint64_t storageFallbacks() const { return storage_fallbacks_.load(); }
 
   private:
+    /// First registered store whose cache knows `topic` (a topic lives in
+    /// exactly one shard's store); null when none does.
+    sensors::SensorCache* findCache(const std::string& topic) const;
+    sensors::SensorCache* resolveHandle(const sensors::CacheHandle& handle) const;
+
     // Shared bodies: `cache` is the already-resolved cache (may be null);
     // `topic` is only used for the storage fallback.
     sensors::ReadingVector queryRelativeImpl(const sensors::SensorCache* cache,
@@ -108,10 +130,15 @@ class QueryEngine {
 
     mutable common::Mutex tree_mutex_{"QueryEngine.tree", common::LockRank::kQueryEngineTree};
     SensorTree tree_ WM_GUARDED_BY(tree_mutex_);
+    /// Upper bound on registered cache stores; matches the storage plane's
+    /// ShardedStorageBackend::kMaxShards.
+    static constexpr std::size_t kMaxCacheStores = 64;
+
     // Atomic pointers: the hosting entity wires these once at startup but the
     // singleton makes unsynchronised set/read interleavings possible in tests.
-    std::atomic<sensors::CacheStore*> cache_store_{nullptr};
-    std::atomic<storage::StorageBackend*> storage_{nullptr};
+    std::array<std::atomic<sensors::CacheStore*>, kMaxCacheStores> cache_stores_{};
+    std::atomic<std::size_t> cache_store_count_{0};
+    std::atomic<storage::Storage*> storage_{nullptr};
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> storage_fallbacks_{0};
 };

@@ -47,7 +47,7 @@ bool ScenarioRunner::build(const common::ConfigNode& root, std::string* error) {
     }
 
     agent_ = std::make_unique<collectagent::CollectAgent>(
-        collectagent::CollectAgentConfig{"collectagent", "#", window, true},
+        collectagent::CollectAgentConfig{.cache_window_ns = window},
         broker_, storage_);
     agent_->start();
 

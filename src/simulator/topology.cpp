@@ -45,4 +45,14 @@ Topology Topology::coolmuc3() {
     return Topology{};
 }
 
+Topology Topology::production10k() {
+    Topology t;
+    t.racks = 50;
+    t.chassis_per_rack = 20;
+    t.nodes_per_chassis = 10;
+    t.cpus_per_node = 64;
+    t.max_nodes = 0;
+    return t;
+}
+
 }  // namespace wm::simulator

@@ -37,6 +37,12 @@ struct Topology {
 
     /// The CooLMUC-3-like default.
     static Topology coolmuc3();
+
+    /// A leadership-class layout for sharding/scale experiments: 50 racks x
+    /// 20 chassis x 10 nodes = 10,000 nodes, 64 CPUs each. With the default
+    /// perfsim/sysfssim/procfssim sensor groups this publishes over one
+    /// million distinct sensor topics.
+    static Topology production10k();
 };
 
 }  // namespace wm::simulator

@@ -1,0 +1,64 @@
+#include "storage/shard_map.h"
+
+#include <algorithm>
+
+namespace wm::storage {
+
+std::size_t shardOfTopic(std::string_view topic, std::size_t shard_count) {
+    if (shard_count <= 1) return 0;
+    // FNV-1a, 64-bit.
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char c : topic) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(hash % shard_count);
+}
+
+std::map<std::string, std::size_t> assignSubtreeShards(std::vector<std::string> prefixes,
+                                                       std::size_t shard_count) {
+    std::sort(prefixes.begin(), prefixes.end());
+    prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+    std::map<std::string, std::size_t> assignment;
+    if (shard_count == 0) return assignment;
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+        assignment[prefixes[i]] = i % shard_count;
+    }
+    return assignment;
+}
+
+ShardMap::ShardMap(std::size_t shard_count, sensors::TopicTable* table)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      table_(table != nullptr ? table : &sensors::TopicTable::instance()) {}
+
+ShardMap::~ShardMap() {
+    for (auto& slot : chunks_) {
+        delete slot.load(std::memory_order_acquire);
+    }
+}
+
+std::size_t ShardMap::shardOf(std::string_view topic) {
+    if (shard_count_ == 1) return 0;
+    const sensors::TopicId id = table_->intern(topic);
+    const std::size_t chunk_index = id >> kChunkBits;
+    if (chunk_index >= kMaxChunks) return shardOfTopic(topic, shard_count_);
+    Chunk* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+        auto* fresh = new Chunk();
+        if (chunks_[chunk_index].compare_exchange_strong(chunk, fresh,
+                                                         std::memory_order_acq_rel,
+                                                         std::memory_order_acquire)) {
+            chunk = fresh;
+        } else {
+            delete fresh;  // another thread won the publication race
+        }
+    }
+    std::atomic<std::uint32_t>& slot = chunk->slots[id & (kChunkSize - 1)];
+    const std::uint32_t memo = slot.load(std::memory_order_relaxed);
+    if (memo != 0) return memo - 1;
+    const std::size_t shard = shardOfTopic(topic, shard_count_);
+    slot.store(static_cast<std::uint32_t>(shard) + 1, std::memory_order_relaxed);
+    return shard;
+}
+
+}  // namespace wm::storage

@@ -1,0 +1,78 @@
+#pragma once
+
+// Topic -> shard routing for the sharded ingest and storage planes
+// (docs/PERFORMANCE.md, "Sharded ingest and storage").
+//
+// Shard key: FNV-1a over the topic *string*, reduced modulo the shard
+// count. Interned TopicIds are assigned in first-contact order, which
+// differs across restarts — hashing the id would re-deal every topic to a
+// different shard (and therefore a different WAL) after a crash, breaking
+// per-shard replay. Hashing the string keeps a topic's shard stable for
+// the lifetime of the deployment while the interned id still serves as the
+// lookup key: ShardMap memoizes the computed shard in a lock-free
+// id-indexed chunk array, so the per-reading hot path pays one acquire
+// load after a topic's first contact, never a re-hash.
+//
+// Subtree ownership (which Collect Agent ingests which top-level subtree)
+// uses a different, coarser rule — sorted unique top-level prefixes dealt
+// round-robin — shared between the daemon and the wm-cost capacity
+// analyzer via assignSubtreeShards() so the static per-shard load
+// prediction matches what wintermuted actually deploys.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sensors/topic_table.h"
+
+namespace wm::storage {
+
+/// FNV-1a(topic) % shard_count; the stable per-topic shard key.
+std::size_t shardOfTopic(std::string_view topic, std::size_t shard_count);
+
+/// Deterministic subtree -> shard assignment: `prefixes` is deduplicated
+/// and sorted lexicographically, then dealt round-robin (sorted index %
+/// shard_count). Both wintermuted (Collect Agent subtree ownership) and
+/// the capacity analyzer (per-shard rate prediction) use this exact rule.
+std::map<std::string, std::size_t> assignSubtreeShards(std::vector<std::string> prefixes,
+                                                       std::size_t shard_count);
+
+/// Memoizing topic -> shard resolver over an interned topic table.
+/// shardOf() interns the topic (once per topic per process) and caches the
+/// string-hash shard in a lock-free chunked array indexed by TopicId.
+class ShardMap {
+  public:
+    explicit ShardMap(std::size_t shard_count, sensors::TopicTable* table = nullptr);
+    ~ShardMap();
+
+    ShardMap(const ShardMap&) = delete;
+    ShardMap& operator=(const ShardMap&) = delete;
+
+    std::size_t shardCount() const { return shard_count_; }
+
+    /// Shard of `topic`; equals shardOfTopic(topic, shardCount()).
+    std::size_t shardOf(std::string_view topic);
+
+  private:
+    // Chunked memo mirroring TopicTable's layout: 1024 slots per chunk,
+    // chunk pointers published with CAS (the losing allocator frees its
+    // copy). Slots hold the shard + 1, 0 meaning "not yet computed" — the
+    // value is a pure function of the topic string, so racing writers
+    // store the same value and a relaxed read is safe.
+    static constexpr std::size_t kChunkBits = 10;
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+    static constexpr std::size_t kMaxChunks = 1 << 14;  // 16M topics
+
+    struct Chunk {
+        std::atomic<std::uint32_t> slots[kChunkSize] = {};
+    };
+
+    std::size_t shard_count_;
+    sensors::TopicTable* table_;
+    std::vector<std::atomic<Chunk*>> chunks_{kMaxChunks};
+};
+
+}  // namespace wm::storage

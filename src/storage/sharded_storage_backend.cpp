@@ -1,0 +1,196 @@
+#include "storage/sharded_storage_backend.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace wm::storage {
+
+namespace {
+
+std::string shardDirectory(const std::string& base, std::size_t index) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, "shard-%03zu", index);
+    return (std::filesystem::path(base) / suffix).string();
+}
+
+}  // namespace
+
+ShardedStorageBackend::ShardedStorageBackend(std::size_t shard_count,
+                                             common::TimestampNs default_ttl_ns,
+                                             sensors::TopicTable* table)
+    : map_(std::clamp<std::size_t>(shard_count, 1, kMaxShards), table) {
+    shards_.reserve(map_.shardCount());
+    for (std::size_t i = 0; i < map_.shardCount(); ++i) {
+        shards_.push_back(std::make_unique<StorageBackend>(default_ttl_ns));
+    }
+}
+
+bool ShardedStorageBackend::insert(const std::string& topic,
+                                   const sensors::Reading& reading) {
+    return shards_[map_.shardOf(topic)]->insert(topic, reading);
+}
+
+std::size_t ShardedStorageBackend::insertBatch(const std::string& topic,
+                                               const sensors::ReadingVector& readings,
+                                               sensors::ReadingVector* rejected) {
+    return shards_[map_.shardOf(topic)]->insertBatch(topic, readings, rejected);
+}
+
+void ShardedStorageBackend::publishMetadata(const sensors::SensorMetadata& metadata) {
+    shards_[map_.shardOf(metadata.topic)]->publishMetadata(metadata);
+}
+
+std::optional<sensors::SensorMetadata> ShardedStorageBackend::metadataFor(
+    const std::string& topic) const {
+    return shards_[map_.shardOf(topic)]->metadataFor(topic);
+}
+
+sensors::ReadingVector ShardedStorageBackend::query(const std::string& topic,
+                                                    common::TimestampNs t0,
+                                                    common::TimestampNs t1) const {
+    return shards_[map_.shardOf(topic)]->query(topic, t0, t1);
+}
+
+std::optional<sensors::Reading> ShardedStorageBackend::latest(
+    const std::string& topic) const {
+    return shards_[map_.shardOf(topic)]->latest(topic);
+}
+
+bool ShardedStorageBackend::dropSensor(const std::string& topic) {
+    return shards_[map_.shardOf(topic)]->dropSensor(topic);
+}
+
+std::vector<std::string> ShardedStorageBackend::topics() const {
+    std::vector<std::string> out;
+    for (const auto& shard : shards_) {
+        auto part = shard->topics();
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::string> ShardedStorageBackend::topicsMatching(
+    const std::string& filter) const {
+    std::vector<std::string> out;
+    for (const auto& shard : shards_) {
+        auto part = shard->topicsMatching(filter);
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::size_t ShardedStorageBackend::pruneExpired() {
+    std::size_t removed = 0;
+    for (const auto& shard : shards_) removed += shard->pruneExpired();
+    return removed;
+}
+
+StorageStats ShardedStorageBackend::stats() const {
+    StorageStats total;
+    for (const auto& shard : shards_) {
+        const StorageStats part = shard->stats();
+        total.sensor_count += part.sensor_count;
+        total.reading_count += part.reading_count;
+        total.inserts += part.inserts;
+        total.queries += part.queries;
+        total.rejected_inserts += part.rejected_inserts;
+    }
+    return total;
+}
+
+std::size_t ShardedStorageBackend::memoryBytes() const {
+    std::size_t total = sizeof(*this);
+    for (const auto& shard : shards_) total += shard->memoryBytes();
+    return total;
+}
+
+void ShardedStorageBackend::setDefaultTtl(common::TimestampNs ttl_ns) {
+    for (const auto& shard : shards_) shard->setDefaultTtl(ttl_ns);
+}
+
+common::TimestampNs ShardedStorageBackend::defaultTtlNs() const {
+    return shards_.front()->defaultTtlNs();
+}
+
+void ShardedStorageBackend::setSimulatedQueryLatency(common::TimestampNs latency_ns) {
+    for (const auto& shard : shards_) shard->setSimulatedQueryLatency(latency_ns);
+}
+
+bool ShardedStorageBackend::enableDurability(const DurabilityOptions& options) {
+    if ((!options.wal_file.empty() && options.wal_file.front() == '/') ||
+        (!options.snapshot_file.empty() && options.snapshot_file.front() == '/')) {
+        WM_LOG(kError, "storage")
+            << "sharded durability requires relative WAL/snapshot file names "
+            << "(per-shard directories), got " << options.wal_file << " / "
+            << options.snapshot_file;
+        return false;
+    }
+    bool ok = true;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        DurabilityOptions shard_options = options;
+        shard_options.directory = shardDirectory(options.directory, i);
+        ok = shards_[i]->enableDurability(shard_options) && ok;
+    }
+    return ok;
+}
+
+bool ShardedStorageBackend::durable() const {
+    for (const auto& shard : shards_) {
+        if (!shard->durable()) return false;
+    }
+    return true;
+}
+
+bool ShardedStorageBackend::checkpointNow() {
+    bool ok = true;
+    for (const auto& shard : shards_) ok = shard->checkpointNow() && ok;
+    return ok;
+}
+
+bool ShardedStorageBackend::healthy() const {
+    for (const auto& shard : shards_) {
+        if (!shard->healthy()) return false;
+    }
+    return true;
+}
+
+DurabilityStats ShardedStorageBackend::durabilityStats() const {
+    DurabilityStats total;
+    total.enabled = durable();
+    for (const auto& shard : shards_) {
+        const DurabilityStats part = shard->durabilityStats();
+        total.recovered_from_snapshot |= part.recovered_from_snapshot;
+        total.wal_records_logged += part.wal_records_logged;
+        total.wal_records_replayed += part.wal_records_replayed;
+        total.wal_append_failures += part.wal_append_failures;
+        total.torn_tail_truncations += part.torn_tail_truncations;
+        total.snapshots_written += part.snapshots_written;
+        total.snapshot_failures += part.snapshot_failures;
+    }
+    return total;
+}
+
+bool ShardedStorageBackend::dumpCsv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out.is_open()) return false;
+    out << "topic,timestamp,value\n";
+    constexpr common::TimestampNs kMin = std::numeric_limits<common::TimestampNs>::min();
+    constexpr common::TimestampNs kMax = std::numeric_limits<common::TimestampNs>::max();
+    for (const auto& topic : topics()) {
+        for (const auto& reading : query(topic, kMin, kMax)) {
+            out << topic << ',' << reading.timestamp << ',' << reading.value << '\n';
+        }
+    }
+    return out.good();
+}
+
+}  // namespace wm::storage

@@ -1,0 +1,97 @@
+#pragma once
+
+// Sharded storage plane (docs/PERFORMANCE.md, "Sharded ingest and
+// storage"): N independent StorageBackend shards behind the Storage
+// interface, with topics dealt to shards by the stable string-hash key in
+// shard_map.h. Each shard has its own reader/writer lock and — with
+// durability on — its own WAL and snapshot in a `shard-NNN/` subdirectory,
+// so one shard's long discovery scan (topics(), stats(), a tree rebuild)
+// or checkpoint no longer stalls ingest into the others. A topic lives in
+// exactly one shard, which keeps single-topic operations bit-identical to
+// the unsharded backend; whole-store operations aggregate shard by shard.
+//
+// Invariant: at most one shard lock is ever held at a time. Every shard
+// mutex carries LockRank::kStorage, so holding two would trip the runtime
+// lock-order checker — aggregation releases shard k before touching shard
+// k+1, trading a consistent point-in-time snapshot (which stats() never
+// promised) for ingest availability.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/shard_map.h"
+#include "storage/storage_backend.h"
+
+namespace wm::storage {
+
+class ShardedStorageBackend final : public Storage {
+  public:
+    static constexpr std::size_t kMaxShards = 64;
+
+    /// `shard_count` is clamped to [1, kMaxShards]. `table` is the topic
+    /// table used for shard memoization (the process-wide instance when
+    /// null); ids must agree with the cache plane's table.
+    explicit ShardedStorageBackend(std::size_t shard_count,
+                                   common::TimestampNs default_ttl_ns = 0,
+                                   sensors::TopicTable* table = nullptr);
+
+    std::size_t shardCount() const { return shards_.size(); }
+    StorageBackend& shard(std::size_t index) { return *shards_[index]; }
+    const StorageBackend& shard(std::size_t index) const { return *shards_[index]; }
+    /// Stable shard of `topic` (string-hash key, memoized by interned id).
+    std::size_t shardOf(const std::string& topic) const { return map_.shardOf(topic); }
+
+    // Single-topic operations: routed to the owning shard.
+    bool insert(const std::string& topic, const sensors::Reading& reading) override;
+    std::size_t insertBatch(const std::string& topic,
+                            const sensors::ReadingVector& readings,
+                            sensors::ReadingVector* rejected = nullptr) override;
+    void publishMetadata(const sensors::SensorMetadata& metadata) override;
+    std::optional<sensors::SensorMetadata> metadataFor(
+        const std::string& topic) const override;
+    sensors::ReadingVector query(const std::string& topic, common::TimestampNs t0,
+                                 common::TimestampNs t1) const override;
+    std::optional<sensors::Reading> latest(const std::string& topic) const override;
+    bool dropSensor(const std::string& topic) override;
+
+    // Whole-store operations: aggregated across shards, one shard lock at
+    // a time. Topic lists are re-sorted so results match the unsharded
+    // backend's sorted-map iteration order exactly.
+    std::vector<std::string> topics() const override;
+    std::vector<std::string> topicsMatching(const std::string& filter) const override;
+    std::size_t pruneExpired() override;
+    StorageStats stats() const override;
+    std::size_t memoryBytes() const override;
+
+    void setDefaultTtl(common::TimestampNs ttl_ns) override;
+    common::TimestampNs defaultTtlNs() const override;
+    /// Forwards the simulated per-query latency knob to every shard.
+    void setSimulatedQueryLatency(common::TimestampNs latency_ns);
+
+    /// Enables per-shard durability: shard i persists under
+    /// `options.directory`/shard-NNN/ with the configured file names
+    /// (absolute file names are rejected — they cannot be sharded). Shards
+    /// recover independently; false when any shard fails to come up.
+    bool enableDurability(const DurabilityOptions& options) override;
+    bool durable() const override;
+    /// Checkpoints every shard; true only when all succeed.
+    bool checkpointNow() override;
+    /// True only while every shard's WAL is accepting appends.
+    bool healthy() const override;
+    /// Aggregated counters; booleans are ORed (any shard recovered / any
+    /// shard truncated a torn tail shows up here).
+    DurabilityStats durabilityStats() const override;
+
+    /// Rows sorted by topic across all shards, matching the unsharded
+    /// dump byte for byte. Reads through query(), so it bumps the shards'
+    /// query counters.
+    bool dumpCsv(const std::string& path) const override;
+
+  private:
+    mutable ShardMap map_;
+    std::vector<std::unique_ptr<StorageBackend>> shards_;
+};
+
+}  // namespace wm::storage

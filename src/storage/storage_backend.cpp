@@ -38,16 +38,19 @@ void insertSorted(sensors::ReadingVector& readings, const sensors::Reading& read
 }
 
 /// Replay-only insert that skips an exact duplicate (same timestamp and
-/// value): the idempotence that makes replaying a WAL twice converge.
+/// value): the idempotence that makes replaying a WAL twice converge. A
+/// non-duplicate lands *after* any readings sharing its timestamp, the
+/// same tie order insertSorted() gives the live arrival stream — replaying
+/// a WAL reproduces the pre-crash store byte for byte, ties included.
 void insertSortedUnique(sensors::ReadingVector& readings,
                         const sensors::Reading& reading) {
     auto it = std::lower_bound(readings.begin(), readings.end(), reading.timestamp,
                                [](const sensors::Reading& r, common::TimestampNs t) {
                                    return r.timestamp < t;
                                });
-    for (auto probe = it; probe != readings.end() && probe->timestamp == reading.timestamp;
-         ++probe) {
-        if (probe->value == reading.value) return;
+    while (it != readings.end() && it->timestamp == reading.timestamp) {
+        if (it->value == reading.value) return;
+        ++it;
     }
     readings.insert(it, reading);
 }
@@ -475,6 +478,17 @@ StorageStats StorageBackend::stats() const {
     return stats;
 }
 
+std::size_t StorageBackend::memoryBytes() const {
+    common::ReadLock lock(mutex_);
+    std::size_t total = sizeof(*this);
+    for (const auto& [topic, series] : series_) {
+        total += kSeriesOverheadEstimateBytes + topic.capacity() +
+                 series.metadata.topic.capacity() + series.metadata.unit.capacity() +
+                 series.readings.capacity() * sizeof(sensors::Reading);
+    }
+    return total;
+}
+
 bool StorageBackend::dumpCsv(const std::string& path) const {
     common::ReadLock lock(mutex_);
     std::ofstream out(path);
@@ -488,7 +502,7 @@ bool StorageBackend::dumpCsv(const std::string& path) const {
     return out.good();
 }
 
-CsvLoadResult StorageBackend::loadCsv(const std::string& path) {
+CsvLoadResult Storage::loadCsv(const std::string& path) {
     CsvLoadResult result;
     std::ifstream in(path);
     if (!in.is_open()) {

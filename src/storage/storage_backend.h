@@ -76,7 +76,59 @@ struct CsvLoadResult {
     explicit operator bool() const { return ok; }
 };
 
-class StorageBackend {
+/// Abstract storage plane. The Collect Agent, Query Engine and daemon all
+/// program against this interface so the deployment can pick between the
+/// single-lock StorageBackend and the ShardedStorageBackend (per-shard
+/// locks and WALs, docs/PERFORMANCE.md "Sharded ingest") without touching
+/// the consumers. Virtual dispatch is noise next to the lock acquisition
+/// every one of these operations performs.
+class Storage {
+  public:
+    virtual ~Storage() = default;
+
+    /// Inserts one reading; false when refused (fault injection or a failed
+    /// WAL append — the caller's quarantine path keeps the reading).
+    virtual bool insert(const std::string& topic, const sensors::Reading& reading) = 0;
+
+    /// Inserts a batch for one topic (the MQTT message granularity);
+    /// refused readings are appended to `*rejected` when non-null.
+    virtual std::size_t insertBatch(const std::string& topic,
+                                    const sensors::ReadingVector& readings,
+                                    sensors::ReadingVector* rejected = nullptr) = 0;
+
+    virtual void publishMetadata(const sensors::SensorMetadata& metadata) = 0;
+    virtual std::optional<sensors::SensorMetadata> metadataFor(
+        const std::string& topic) const = 0;
+
+    virtual sensors::ReadingVector query(const std::string& topic, common::TimestampNs t0,
+                                         common::TimestampNs t1) const = 0;
+    virtual std::optional<sensors::Reading> latest(const std::string& topic) const = 0;
+    virtual std::vector<std::string> topics() const = 0;
+    virtual std::vector<std::string> topicsMatching(const std::string& filter) const = 0;
+
+    virtual std::size_t pruneExpired() = 0;
+    virtual bool dropSensor(const std::string& topic) = 0;
+    virtual StorageStats stats() const = 0;
+    /// Estimated heap footprint of the stored series (docs/PERFORMANCE.md,
+    /// cross-validated against the wm-cost capacity model).
+    virtual std::size_t memoryBytes() const = 0;
+
+    virtual void setDefaultTtl(common::TimestampNs ttl_ns) = 0;
+    virtual common::TimestampNs defaultTtlNs() const = 0;
+
+    virtual bool enableDurability(const DurabilityOptions& options) = 0;
+    virtual bool durable() const = 0;
+    virtual bool checkpointNow() = 0;
+    virtual bool healthy() const = 0;
+    virtual DurabilityStats durabilityStats() const = 0;
+
+    virtual bool dumpCsv(const std::string& path) const = 0;
+    /// Loads a CSV dump ("topic,timestamp,value" rows) through insert(),
+    /// tolerating malformed rows. Shared across implementations.
+    CsvLoadResult loadCsv(const std::string& path);
+};
+
+class StorageBackend : public Storage {
   public:
     /// `default_ttl_ns` prunes readings older than (newest - ttl) per sensor;
     /// 0 disables pruning.
@@ -85,8 +137,8 @@ class StorageBackend {
 
     /// Sets the retention TTL (`collectagent { storageTtl }`). Call before
     /// concurrent use: the TTL is read on every insert without a lock.
-    void setDefaultTtl(common::TimestampNs ttl_ns) { default_ttl_ns_ = ttl_ns; }
-    common::TimestampNs defaultTtlNs() const { return default_ttl_ns_; }
+    void setDefaultTtl(common::TimestampNs ttl_ns) override { default_ttl_ns_ = ttl_ns; }
+    common::TimestampNs defaultTtlNs() const override { return default_ttl_ns_; }
 
     /// Simulates the per-query round-trip latency of a networked backend
     /// (the production deployment queries Cassandra over the network);
@@ -100,27 +152,27 @@ class StorageBackend {
     /// truncation) into this backend, then starts logging every mutation.
     /// Call before concurrent use. Returns false when the directory or WAL
     /// cannot be set up (the backend stays volatile).
-    bool enableDurability(const DurabilityOptions& options);
-    bool durable() const { return durable_.load(std::memory_order_acquire); }
+    bool enableDurability(const DurabilityOptions& options) override;
+    bool durable() const override { return durable_.load(std::memory_order_acquire); }
 
     /// Writes a snapshot of the full state and, on success, resets the WAL
     /// (compaction). False when durability is off or the snapshot failed —
     /// a failed snapshot keeps the previous snapshot + WAL intact.
-    bool checkpointNow();
+    bool checkpointNow() override;
 
     /// False while the WAL is refusing appends (inserts are being rejected);
     /// a successful append or checkpoint clears it. Health-check hook for
     /// the supervisor. Always true with durability off.
-    bool healthy() const { return wal_healthy_.load(std::memory_order_acquire); }
+    bool healthy() const override { return wal_healthy_.load(std::memory_order_acquire); }
 
-    DurabilityStats durabilityStats() const;
+    DurabilityStats durabilityStats() const override;
 
     /// Inserts one reading for `topic`. Out-of-order inserts are supported.
     /// Returns false when the insert is refused (fault point
     /// "storage.insert": a failing or overloaded backend) or, with
     /// durability on, when its WAL append fails (the reading would not
     /// survive a crash, so it is not applied).
-    bool insert(const std::string& topic, const sensors::Reading& reading);
+    bool insert(const std::string& topic, const sensors::Reading& reading) override;
 
     /// Inserts a batch for one topic (the MQTT message granularity).
     /// Each reading is accepted or refused individually; refused readings
@@ -128,38 +180,44 @@ class StorageBackend {
     /// them instead of losing the whole batch. Returns the number inserted.
     std::size_t insertBatch(const std::string& topic,
                             const sensors::ReadingVector& readings,
-                            sensors::ReadingVector* rejected = nullptr);
+                            sensors::ReadingVector* rejected = nullptr) override;
 
     /// Records sensor metadata (idempotent).
-    void publishMetadata(const sensors::SensorMetadata& metadata);
-    std::optional<sensors::SensorMetadata> metadataFor(const std::string& topic) const;
+    void publishMetadata(const sensors::SensorMetadata& metadata) override;
+    std::optional<sensors::SensorMetadata> metadataFor(
+        const std::string& topic) const override;
 
     /// All readings of `topic` with t0 <= timestamp <= t1, in time order.
     sensors::ReadingVector query(const std::string& topic, common::TimestampNs t0,
-                                 common::TimestampNs t1) const;
+                                 common::TimestampNs t1) const override;
 
     /// Most recent reading of `topic`.
-    std::optional<sensors::Reading> latest(const std::string& topic) const;
+    std::optional<sensors::Reading> latest(const std::string& topic) const override;
 
     /// All known sensor topics, sorted.
-    std::vector<std::string> topics() const;
+    std::vector<std::string> topics() const override;
 
     /// Topics matching an MQTT-style filter (used by tree reconstruction).
-    std::vector<std::string> topicsMatching(const std::string& filter) const;
+    std::vector<std::string> topicsMatching(const std::string& filter) const override;
 
     /// Drops readings older than each sensor's TTL; returns readings removed.
-    std::size_t pruneExpired();
+    std::size_t pruneExpired() override;
 
     /// Removes all data for a topic; returns true if it existed.
-    bool dropSensor(const std::string& topic);
+    bool dropSensor(const std::string& topic) override;
 
-    StorageStats stats() const;
+    StorageStats stats() const override;
 
-    /// CSV persistence: "topic,timestamp,value" rows.
-    bool dumpCsv(const std::string& path) const;
-    /// Loads a CSV dump, tolerating malformed rows: each bad row is counted
-    /// and logged, the rest of the file still loads.
-    CsvLoadResult loadCsv(const std::string& path);
+    /// Per-series map-node/struct overhead assumed by memoryBytes(); kept in
+    /// sync with the wm-cost capacity model (src/analysis/capacity.cpp).
+    static constexpr std::size_t kSeriesOverheadEstimateBytes = 128;
+
+    /// Estimated heap bytes held by the series map (topic keys, metadata,
+    /// reading vectors). An estimate, not an allocator census.
+    std::size_t memoryBytes() const override;
+
+    /// CSV persistence: "topic,timestamp,value" rows, sorted by topic.
+    bool dumpCsv(const std::string& path) const override;
 
   private:
     struct Series {

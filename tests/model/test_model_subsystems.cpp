@@ -29,6 +29,7 @@
 #include "mqtt/broker.h"
 #include "sensors/sensor_cache.h"
 #include "sensors/topic_table.h"
+#include "storage/sharded_storage_backend.h"
 #include "storage/storage_backend.h"
 #include "test_fixtures.h"
 
@@ -258,6 +259,74 @@ TEST(ModelSubsystem, SupervisorRestartVsCheckpoint) {
     EXPECT_TRUE(result.exhausted) << "DFS hit the schedule budget";
     EXPECT_GT(result.schedules, 1u);
     std::filesystem::remove_all(dir);
+}
+
+// Sharded ingest plane: two Collect Agents with disjoint subtree filters
+// feed one ShardedStorageBackend while two publishers race original and
+// replayed (duplicate-sequence) deliveries of each topic. The PR5
+// exactly-once contract must survive sharding under every interleaving:
+// each agent's per-topic sequence dedup drops the duplicate, whichever
+// thread's copy arrives first, and each shard's store holds exactly one
+// row per published reading.
+TEST(ModelSubsystem, ShardedAgentsPreserveExactlyOnceDedup) {
+    if (!sched::available()) GTEST_SKIP() << "built with WM_SCHED=OFF";
+    const auto body = [] {
+        mqtt::Broker broker;  // synchronous: delivery on the publishing thread
+        storage::ShardedStorageBackend storage(2);
+        collectagent::CollectAgentConfig config_a;
+        config_a.name = "agent-a";
+        config_a.filters = {"/shard/a/#"};
+        collectagent::CollectAgentConfig config_b;
+        config_b.name = "agent-b";
+        config_b.filters = {"/shard/b/#"};
+        collectagent::CollectAgent agent_a(config_a, broker, storage);
+        collectagent::CollectAgent agent_b(config_b, broker, storage);
+        agent_a.start();
+        agent_b.start();
+
+        const common::TimestampNs t0 = common::nowNs();
+        const mqtt::Message msg_a{"/shard/a/s", {{t0, 1.0}}, 1};
+        const mqtt::Message msg_b{"/shard/b/s", {{t0, 2.0}}, 1};
+        common::Thread original(
+            [&] {
+                WM_MODEL_CHECK(broker.publish(msg_a) == 1);
+                WM_MODEL_CHECK(broker.publish(msg_b) == 1);
+            },
+            "original");
+        common::Thread replayer(  // at-least-once redelivery of both
+            [&] {
+                WM_MODEL_CHECK(broker.publish(msg_a) == 1);
+                WM_MODEL_CHECK(broker.publish(msg_b) == 1);
+            },
+            "replayer");
+        original.join();
+        replayer.join();
+
+        // Exactly-once per topic, whichever thread won each race.
+        const auto rows_a = storage.query("/shard/a/s", 0, t0 + 1);
+        const auto rows_b = storage.query("/shard/b/s", 0, t0 + 1);
+        WM_MODEL_CHECK_MSG(rows_a.size() == 1,
+                           "/shard/a/s holds " << rows_a.size() << " rows");
+        WM_MODEL_CHECK_MSG(rows_b.size() == 1,
+                           "/shard/b/s holds " << rows_b.size() << " rows");
+        WM_MODEL_CHECK(agent_a.dedupDrops() == 1);
+        WM_MODEL_CHECK(agent_b.dedupDrops() == 1);
+        WM_MODEL_CHECK(agent_a.readingsStored() == 1);
+        WM_MODEL_CHECK(agent_b.readingsStored() == 1);
+        WM_MODEL_CHECK(agent_a.quarantinedReadings() == 0);
+        WM_MODEL_CHECK(agent_b.quarantinedReadings() == 0);
+        WM_MODEL_CHECK(storage.stats().reading_count == 2);
+        agent_a.stop();
+        agent_b.stop();
+    };
+    // Warm the process-wide TopicTable (append-only state shared across
+    // schedules) so every explored schedule takes identical interning paths.
+    body();
+    const auto result =
+        sched::check(subsystemOptions("subsystem.sharded_dedup", 1), body);
+    ASSERT_TRUE(result.ok) << result.message;
+    EXPECT_TRUE(result.exhausted) << "DFS hit the schedule budget";
+    EXPECT_GT(result.schedules, 1u);
 }
 
 }  // namespace

@@ -37,6 +37,8 @@
 #include "pusher/sim_node.h"
 #include "simulator/app_model.h"
 #include "simulator/topology.h"
+#include "storage/shard_map.h"
+#include "storage/sharded_storage_backend.h"
 #include "storage/storage_backend.h"
 
 namespace wm::analysis {
@@ -367,10 +369,43 @@ class MiniPipeline {
             window = pusher_cfg->getDurationNs("cacheWindow", 180 * kNsPerSec);
         }
 
-        agent_ = std::make_unique<collectagent::CollectAgent>(
-            collectagent::CollectAgentConfig{"collectagent", "#", window, true},
-            broker_, storage_);
-        agent_->start();
+        // `collectagent { shards }` splits storage and agents exactly like
+        // wintermuted: sharded backend + one agent per non-empty shard of
+        // the sorted round-robin subtree deal.
+        std::size_t shards = 1;
+        if (const common::ConfigNode* agent_cfg = root.child("collectagent")) {
+            shards = static_cast<std::size_t>(agent_cfg->getInt("shards", 1));
+        }
+        if (shards > 1) {
+            storage_ = std::make_unique<storage::ShardedStorageBackend>(shards);
+            std::vector<std::string> prefixes;
+            for (std::size_t n = 0; n < topology.nodeCount(); ++n) {
+                const std::string node_path = topology.nodePath(n);
+                prefixes.push_back(node_path.substr(0, node_path.find('/', 1)));
+            }
+            prefixes.push_back("/facility");
+            const auto dealt =
+                storage::assignSubtreeShards(std::move(prefixes), shards);
+            std::vector<std::vector<std::string>> filters(shards);
+            for (const auto& [prefix, shard] : dealt) {
+                filters[shard].push_back(prefix + "/#");
+            }
+            for (std::size_t i = 0; i < shards; ++i) {
+                if (filters[i].empty()) continue;
+                collectagent::CollectAgentConfig config;
+                config.name = "collectagent-" + std::to_string(i);
+                config.filters = std::move(filters[i]);
+                config.cache_window_ns = window;
+                agents_.push_back(std::make_unique<collectagent::CollectAgent>(
+                    config, broker_, *storage_));
+            }
+        } else {
+            storage_ = std::make_unique<storage::StorageBackend>();
+            agents_.push_back(std::make_unique<collectagent::CollectAgent>(
+                collectagent::CollectAgentConfig{.cache_window_ns = window},
+                broker_, *storage_));
+        }
+        for (auto& agent : agents_) agent->start();
 
         for (std::size_t n = 0; n < topology.nodeCount(); ++n) {
             const std::string node_path = topology.nodePath(n);
@@ -425,10 +460,14 @@ class MiniPipeline {
             pusher_engines_.push_back(std::move(engine));
             pusher_managers_.push_back(std::move(manager));
         }
-        agent_engine_.setCacheStore(&agent_->cacheStore());
-        agent_engine_.setStorage(&storage_);
+        agent_engine_.setCacheStore(&agents_.front()->cacheStore());
+        for (std::size_t i = 1; i < agents_.size(); ++i) {
+            agent_engine_.addCacheStore(&agents_[i]->cacheStore());
+        }
+        agent_engine_.setStorage(storage_.get());
         agent_manager_ = std::make_unique<core::OperatorManager>(core::makeHostContext(
-            agent_engine_, &agent_->cacheStore(), nullptr, &storage_, &jobs_));
+            agent_engine_, &agents_.front()->cacheStore(), nullptr, storage_.get(),
+            &jobs_));
         plugins::registerBuiltinPlugins(*agent_manager_);
 
         tick(1 * kNsPerSec);  // warm the sensor space for unit resolution
@@ -460,15 +499,19 @@ class MiniPipeline {
 
     TimestampNs samplingNs() const { return sampling_; }
     mqtt::Broker& broker() { return broker_; }
-    collectagent::CollectAgent& agent() { return *agent_; }
+    collectagent::CollectAgent& agent() { return *agents_.front(); }
+    std::vector<std::unique_ptr<collectagent::CollectAgent>>& agents() {
+        return agents_;
+    }
+    storage::Storage& storage() { return *storage_; }
     std::vector<std::unique_ptr<pusher::Pusher>>& pushers() { return pushers_; }
 
   private:
     TimestampNs sampling_ = kNsPerSec;
     mqtt::Broker broker_;
-    storage::StorageBackend storage_;
+    std::unique_ptr<storage::Storage> storage_;
     jobs::JobManager jobs_;
-    std::unique_ptr<collectagent::CollectAgent> agent_;
+    std::vector<std::unique_ptr<collectagent::CollectAgent>> agents_;
     pusher::SimulatedFacilityPtr facility_;
     std::vector<std::shared_ptr<pusher::SimulatedNode>> nodes_;
     std::vector<std::unique_ptr<pusher::Pusher>> pushers_;
@@ -532,6 +575,92 @@ TEST(CapacityCrossValidation, PredictionWithin15PercentOfPipeline) {
               0.15)
         << "measured agent caches " << measured_agent_bytes
         << " B vs predicted " << predicted.agent_cache_bytes << " B";
+}
+
+// Sharded variant of the cross-validation contract: with
+// `collectagent { shards 2 }` the static per-shard load prediction
+// (assignSubtreeShards over the config's subtrees) must match the real
+// sharded pipeline — per-agent ingest shares within 15%, the per-shard
+// cache-bytes prediction summing to the whole-plane prediction, and the
+// sharded storage's aggregated accounting equal to the per-shard sums.
+TEST(CapacityCrossValidation, ShardedPredictionMatchesPipeline) {
+    const std::string config_text =
+        "cluster {\n"
+        "    racks 3\n"
+        "    chassisPerRack 1\n"
+        "    nodesPerChassis 2\n"
+        "    cpusPerNode 4\n"
+        "}\n"
+        "collectagent {\n"
+        "    shards 2\n"
+        "}\n";
+
+    DiagnosticSink sink;
+    CapacityReport predicted;
+    analyze(config_text, sink, &predicted);
+    ASSERT_FALSE(sink.hasErrors()) << renderText(sink);
+    ASSERT_EQ(predicted.shards, 2u);
+    ASSERT_EQ(predicted.shard_loads.size(), 2u);
+
+    // The shard loads partition the whole plane's prediction.
+    double share_sum = 0.0;
+    double rate_sum = 0.0;
+    std::size_t topic_sum = 0;
+    std::size_t cache_sum = 0;
+    for (const auto& load : predicted.shard_loads) {
+        share_sum += load.share;
+        rate_sum += load.msgs_per_sec;
+        topic_sum += load.topics;
+        cache_sum += load.cache_bytes;
+    }
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+    EXPECT_NEAR(rate_sum, predicted.total_msgs_per_sec, 1e-6);
+    std::size_t subtree_topic_sum = 0;
+    for (const auto& subtree : predicted.subtrees) subtree_topic_sum += subtree.topics;
+    EXPECT_EQ(topic_sum, subtree_topic_sum);
+    // No operators configured, so the shard cache predictions sum exactly
+    // to the agent-plane cache prediction.
+    EXPECT_EQ(cache_sum, predicted.agent_cache_bytes);
+
+    // Measurement: the same config driving the sharded pipeline.
+    auto parsed = common::parseConfig(config_text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    MiniPipeline pipeline;
+    std::string error;
+    ASSERT_TRUE(pipeline.build(parsed.root, &error)) << error;
+    ASSERT_EQ(pipeline.agents().size(), 2u);
+
+    for (TimestampNs t = 2; t <= 31; ++t) {
+        pipeline.tick(t * kNsPerSec);
+    }
+
+    std::uint64_t received_total = 0;
+    for (auto& agent : pipeline.agents()) {
+        received_total += agent->messagesReceived();
+    }
+    ASSERT_GT(received_total, 0u);
+    for (std::size_t i = 0; i < pipeline.agents().size(); ++i) {
+        const double measured_share =
+            static_cast<double>(pipeline.agents()[i]->messagesReceived()) /
+            static_cast<double>(received_total);
+        EXPECT_LE(std::abs(measured_share - predicted.shard_loads[i].share), 0.15)
+            << "agent " << i << " measured share " << measured_share
+            << " vs predicted " << predicted.shard_loads[i].share;
+    }
+
+    // /status-style aggregation: whole-store accounting is the per-shard sum.
+    auto& sharded =
+        dynamic_cast<storage::ShardedStorageBackend&>(pipeline.storage());
+    std::size_t per_shard_memory = 0;
+    std::size_t per_shard_readings = 0;
+    for (std::size_t i = 0; i < sharded.shardCount(); ++i) {
+        per_shard_memory += sharded.shard(i).memoryBytes();
+        per_shard_readings += sharded.shard(i).stats().reading_count;
+    }
+    EXPECT_EQ(sharded.memoryBytes(),
+              per_shard_memory + sizeof(storage::ShardedStorageBackend));
+    EXPECT_EQ(sharded.stats().reading_count, per_shard_readings);
+    EXPECT_GT(per_shard_readings, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,427 @@
+// Differential tests of the sharded ingest/storage plane
+// (docs/PERFORMANCE.md, "Sharding the ingest and storage planes"): for
+// every shard count the sharded deployment must be *bit-identical* to the
+// unsharded build on the read path — same query results, same latest, same
+// sorted topic lists, same CSV dump bytes, same RangeStats — because a
+// topic lives in exactly one shard and whole-store operations re-merge in
+// the unsharded order. Also covers the stable shard key, the subtree
+// round-robin deal shared with the capacity analyzer, per-shard WAL
+// recovery, and the end-to-end broker -> sharded-agents -> sharded-storage
+// pipeline against the single-agent reference.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collectagent/collect_agent.h"
+#include "core/query_engine.h"
+#include "mqtt/broker.h"
+#include "sensors/sensor_cache.h"
+#include "sensors/topic_table.h"
+#include "storage/shard_map.h"
+#include "storage/sharded_storage_backend.h"
+#include "storage/storage_backend.h"
+
+namespace wm::storage {
+namespace {
+
+using common::kNsPerSec;
+using common::TimestampNs;
+using sensors::Reading;
+
+/// Deterministic 64-bit LCG; the workload must be identical on both sides
+/// of every differential pair.
+struct Lcg {
+    std::uint64_t state = 0x853c49e6748fea9bULL;
+    std::uint64_t next() {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state >> 33;
+    }
+};
+
+/// A topic universe spanning several subtrees so every shard count in
+/// [1, 8] sees a non-trivial distribution.
+std::vector<std::string> workloadTopics() {
+    std::vector<std::string> topics;
+    for (int rack = 0; rack < 4; ++rack) {
+        for (int node = 0; node < 3; ++node) {
+            const std::string base = "/rack" + std::to_string(rack) +
+                                     "/chassis0/server" + std::to_string(node);
+            topics.push_back(base + "/power");
+            topics.push_back(base + "/temp");
+            topics.push_back(base + "/cpu0/instr");
+        }
+    }
+    topics.push_back("/facility/pdu0/power");
+    topics.push_back("/facility/crac0/temp");
+    return topics;
+}
+
+/// Applies the same pseudo-random insert stream (single inserts, batches,
+/// out-of-order timestamps) to any Storage implementation.
+void applyWorkload(Storage& storage, const std::vector<std::string>& topics) {
+    Lcg rng;
+    for (int round = 0; round < 20; ++round) {
+        for (std::size_t i = 0; i < topics.size(); ++i) {
+            const TimestampNs ts =
+                static_cast<TimestampNs>(1 + rng.next() % 1000) * kNsPerSec;
+            const double value = static_cast<double>(rng.next() % 100000) / 7.0;
+            if (round % 3 == 0) {
+                sensors::ReadingVector batch;
+                batch.push_back({ts, value});
+                batch.push_back({ts + kNsPerSec / 2, value + 1.0});
+                storage.insertBatch(topics[i], batch);
+            } else {
+                storage.insert(topics[i], {ts, value});
+            }
+        }
+    }
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string tempPath(const std::string& leaf) {
+    return (std::filesystem::path(::testing::TempDir()) / leaf).string();
+}
+
+void expectReadingsEqual(const sensors::ReadingVector& a,
+                         const sensors::ReadingVector& b,
+                         const std::string& context) {
+    ASSERT_EQ(a.size(), b.size()) << context;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].timestamp, b[i].timestamp) << context << " index " << i;
+        EXPECT_EQ(a[i].value, b[i].value) << context << " index " << i;
+    }
+}
+
+// For every shard count, the sharded backend must answer every read
+// exactly like the unsharded reference fed the same stream: range queries,
+// latest, sorted topic lists, wildcard matches, and the CSV dump bytes.
+TEST(ShardedStorage, BitIdenticalToUnshardedForEveryShardCount) {
+    const auto topics = workloadTopics();
+    StorageBackend reference;
+    applyWorkload(reference, topics);
+
+    for (std::size_t shard_count = 1; shard_count <= 8; ++shard_count) {
+        SCOPED_TRACE("shards=" + std::to_string(shard_count));
+        ShardedStorageBackend sharded(shard_count);
+        applyWorkload(sharded, topics);
+
+        EXPECT_EQ(sharded.topics(), reference.topics());
+        EXPECT_EQ(sharded.topicsMatching("/rack1/#"),
+                  reference.topicsMatching("/rack1/#"));
+        EXPECT_EQ(sharded.topicsMatching("/+/pdu0/power"),
+                  reference.topicsMatching("/+/pdu0/power"));
+
+        for (const auto& topic : topics) {
+            expectReadingsEqual(sharded.query(topic, 0, 2000 * kNsPerSec),
+                                reference.query(topic, 0, 2000 * kNsPerSec),
+                                topic + " full range");
+            expectReadingsEqual(
+                sharded.query(topic, 250 * kNsPerSec, 750 * kNsPerSec),
+                reference.query(topic, 250 * kNsPerSec, 750 * kNsPerSec),
+                topic + " partial range");
+            const auto sharded_latest = sharded.latest(topic);
+            const auto reference_latest = reference.latest(topic);
+            ASSERT_EQ(sharded_latest.has_value(), reference_latest.has_value());
+            if (sharded_latest) {
+                EXPECT_EQ(sharded_latest->timestamp, reference_latest->timestamp);
+                EXPECT_EQ(sharded_latest->value, reference_latest->value);
+            }
+        }
+
+        const auto sharded_stats = sharded.stats();
+        const auto reference_stats = reference.stats();
+        EXPECT_EQ(sharded_stats.sensor_count, reference_stats.sensor_count);
+        EXPECT_EQ(sharded_stats.reading_count, reference_stats.reading_count);
+        EXPECT_EQ(sharded_stats.inserts, reference_stats.inserts);
+
+        const std::string ref_csv = tempPath("shard_ref.csv");
+        const std::string sharded_csv =
+            tempPath("shard_" + std::to_string(shard_count) + ".csv");
+        ASSERT_TRUE(reference.dumpCsv(ref_csv));
+        ASSERT_TRUE(sharded.dumpCsv(sharded_csv));
+        EXPECT_EQ(slurp(sharded_csv), slurp(ref_csv)) << "CSV dump differs";
+    }
+}
+
+// Whole-store stats and memory accounting are the sums of the per-shard
+// backends (the /status endpoint and the wm-cost cross-validation consume
+// these).
+TEST(ShardedStorage, StatsAndMemoryAggregateAcrossShards) {
+    const auto topics = workloadTopics();
+    ShardedStorageBackend sharded(4);
+    applyWorkload(sharded, topics);
+
+    StorageStats sum;
+    std::size_t memory_sum = 0;
+    for (std::size_t i = 0; i < sharded.shardCount(); ++i) {
+        const auto shard_stats = sharded.shard(i).stats();
+        sum.sensor_count += shard_stats.sensor_count;
+        sum.reading_count += shard_stats.reading_count;
+        sum.inserts += shard_stats.inserts;
+        memory_sum += sharded.shard(i).memoryBytes();
+    }
+    const auto whole = sharded.stats();
+    EXPECT_EQ(whole.sensor_count, sum.sensor_count);
+    EXPECT_EQ(whole.reading_count, sum.reading_count);
+    EXPECT_EQ(whole.inserts, sum.inserts);
+    // Every backend counts its own struct in memoryBytes(); the sharded
+    // wrapper adds its footprint on top of the per-shard sums.
+    EXPECT_EQ(sharded.memoryBytes(), memory_sum + sizeof(ShardedStorageBackend));
+}
+
+// The shard key hashes the topic *string*, so it is stable across
+// processes, tables, and backend instances — the property per-shard WAL
+// replay depends on.
+TEST(ShardMapTest, ShardKeyIsStableAndTableIndependent) {
+    const auto topics = workloadTopics();
+    sensors::TopicTable table_a;
+    sensors::TopicTable table_b;
+    ShardMap map_a(4, &table_a);
+    ShardMap map_b(4, &table_b);
+    for (const auto& topic : topics) {
+        const std::size_t expected = shardOfTopic(topic, 4);
+        EXPECT_EQ(map_a.shardOf(topic), expected) << topic;
+        EXPECT_EQ(map_b.shardOf(topic), expected) << topic;
+        // Memoized second lookup answers the same.
+        EXPECT_EQ(map_a.shardOf(topic), expected) << topic;
+    }
+    // All shards of a 4-way map over this universe are populated.
+    std::vector<bool> seen(4, false);
+    for (const auto& topic : topics) seen[shardOfTopic(topic, 4)] = true;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_TRUE(seen[i]) << "shard " << i << " owns no workload topic";
+    }
+}
+
+// The subtree deal is sorted + round-robin, and must agree between the
+// daemon (slash-prefixed node paths) and the capacity analyzer (slashless
+// prefixes) — the leading '/' must not change the deal.
+TEST(ShardMapTest, AssignSubtreeShardsIsDeterministicRoundRobin) {
+    const auto dealt = assignSubtreeShards(
+        {"/rack2", "/rack0", "/facility", "/rack1", "/rack0"}, 2);
+    ASSERT_EQ(dealt.size(), 4u);  // deduplicated
+    EXPECT_EQ(dealt.at("/facility"), 0u);
+    EXPECT_EQ(dealt.at("/rack0"), 1u);
+    EXPECT_EQ(dealt.at("/rack1"), 0u);
+    EXPECT_EQ(dealt.at("/rack2"), 1u);
+
+    const auto slashless =
+        assignSubtreeShards({"rack2", "rack0", "facility", "rack1"}, 2);
+    for (const auto& [prefix, shard] : dealt) {
+        EXPECT_EQ(slashless.at(prefix.substr(1)), shard) << prefix;
+    }
+
+    // One shard, degenerate but legal: everything lands on shard 0.
+    for (const auto& [prefix, shard] : assignSubtreeShards({"a", "b"}, 1)) {
+        EXPECT_EQ(shard, 0u) << prefix;
+    }
+}
+
+// Per-shard durability: a sharded backend killed after ingest recovers the
+// exact dataset from its shard-NNN WALs, duplicate-free, and a second
+// recovery converges to the same state (replay idempotence).
+TEST(ShardedStorage, PerShardWalRecoveryRoundTrip) {
+    const auto topics = workloadTopics();
+    const std::string dir = tempPath("shard_recovery");
+    std::filesystem::remove_all(dir);
+
+    StorageBackend reference;
+    applyWorkload(reference, topics);
+
+    {
+        ShardedStorageBackend sharded(3);
+        DurabilityOptions options;
+        options.directory = dir;
+        ASSERT_TRUE(sharded.enableDurability(options));
+        applyWorkload(sharded, topics);
+        // No checkpoint: recovery must come purely from the per-shard WALs.
+    }
+    for (std::size_t i = 0; i < 3; ++i) {
+        char leaf[16];
+        std::snprintf(leaf, sizeof(leaf), "shard-%03zu", i);
+        EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / leaf))
+            << leaf;
+    }
+
+    for (int recovery = 0; recovery < 2; ++recovery) {
+        SCOPED_TRACE("recovery " + std::to_string(recovery));
+        ShardedStorageBackend recovered(3);
+        DurabilityOptions options;
+        options.directory = dir;
+        ASSERT_TRUE(recovered.enableDurability(options));
+        EXPECT_GT(recovered.durabilityStats().wal_records_replayed, 0u);
+        EXPECT_EQ(recovered.topics(), reference.topics());
+        const auto stats = recovered.stats();
+        EXPECT_EQ(stats.reading_count, reference.stats().reading_count)
+            << "duplicate or lost readings after replay";
+        for (const auto& topic : topics) {
+            expectReadingsEqual(recovered.query(topic, 0, 2000 * kNsPerSec),
+                                reference.query(topic, 0, 2000 * kNsPerSec),
+                                topic);
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// A topic must live in exactly one shard's WAL: re-dealing the same stream
+// into backends of *different* shard counts pointed at different
+// directories still converges to the same logical dataset.
+TEST(ShardedStorage, RecoveryAgreesAcrossShardCounts) {
+    const auto topics = workloadTopics();
+    const std::string dir2 = tempPath("shard_rec2");
+    const std::string dir5 = tempPath("shard_rec5");
+    std::filesystem::remove_all(dir2);
+    std::filesystem::remove_all(dir5);
+    for (const auto& [count, dir] :
+         std::vector<std::pair<std::size_t, std::string>>{{2, dir2}, {5, dir5}}) {
+        ShardedStorageBackend sharded(count);
+        DurabilityOptions options;
+        options.directory = dir;
+        ASSERT_TRUE(sharded.enableDurability(options));
+        applyWorkload(sharded, topics);
+        ASSERT_TRUE(sharded.checkpointNow());
+    }
+    ShardedStorageBackend rec2(2);
+    ShardedStorageBackend rec5(5);
+    DurabilityOptions opt2;
+    opt2.directory = dir2;
+    DurabilityOptions opt5;
+    opt5.directory = dir5;
+    ASSERT_TRUE(rec2.enableDurability(opt2));
+    ASSERT_TRUE(rec5.enableDurability(opt5));
+    EXPECT_EQ(rec2.topics(), rec5.topics());
+    for (const auto& topic : topics) {
+        expectReadingsEqual(rec2.query(topic, 0, 2000 * kNsPerSec),
+                            rec5.query(topic, 0, 2000 * kNsPerSec), topic);
+    }
+    std::filesystem::remove_all(dir2);
+    std::filesystem::remove_all(dir5);
+}
+
+// End-to-end differential of the full sharded pipeline: the same sequenced
+// publish stream through [broker -> 2 Collect Agents with disjoint subtree
+// filters -> ShardedStorageBackend(4)] and through the single-agent
+// unsharded reference must store bit-identical data, including replayed
+// duplicates being dropped exactly-once on both sides.
+TEST(ShardedPipeline, AgentsWithDisjointFiltersMatchSingleAgent) {
+    const auto topics = workloadTopics();
+
+    // Reference: one agent, whole-tree filter, unsharded storage.
+    mqtt::Broker ref_broker;
+    StorageBackend ref_storage;
+    collectagent::CollectAgent ref_agent(
+        collectagent::CollectAgentConfig{.name = "ref"}, ref_broker, ref_storage);
+    ref_agent.start();
+
+    // Sharded: rack agents split the subtrees the way wintermuted deals
+    // them (sorted prefixes, round-robin over 2 agents).
+    mqtt::Broker sharded_broker;
+    ShardedStorageBackend sharded_storage(4);
+    collectagent::CollectAgentConfig agent0;
+    agent0.name = "collectagent-0";
+    agent0.filters = {"/facility/#", "/rack1/#", "/rack3/#"};
+    collectagent::CollectAgentConfig agent1;
+    agent1.name = "collectagent-1";
+    agent1.filters = {"/rack0/#", "/rack2/#"};
+    collectagent::CollectAgent sharded_agent0(agent0, sharded_broker,
+                                              sharded_storage);
+    collectagent::CollectAgent sharded_agent1(agent1, sharded_broker,
+                                              sharded_storage);
+    sharded_agent0.start();
+    sharded_agent1.start();
+
+    // Identical sequenced stream into both brokers, with every third
+    // message replayed (at-least-once) to exercise the dedup path.
+    Lcg rng;
+    std::uint64_t sequence = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (const auto& topic : topics) {
+            mqtt::Message message;
+            message.topic = topic;
+            message.sequence = ++sequence;
+            const TimestampNs ts =
+                static_cast<TimestampNs>(1 + rng.next() % 500) * kNsPerSec;
+            message.readings.push_back(
+                {ts, static_cast<double>(rng.next() % 1000)});
+            ref_broker.publish(message);
+            sharded_broker.publish(message);
+            if (round % 3 == 0) {  // duplicate delivery
+                ref_broker.publish(message);
+                sharded_broker.publish(message);
+            }
+        }
+    }
+
+    EXPECT_EQ(sharded_agent0.dedupDrops() + sharded_agent1.dedupDrops(),
+              ref_agent.dedupDrops());
+    EXPECT_GT(ref_agent.dedupDrops(), 0u);
+    EXPECT_EQ(sharded_agent0.readingsStored() + sharded_agent1.readingsStored(),
+              ref_agent.readingsStored());
+
+    EXPECT_EQ(sharded_storage.topics(), ref_storage.topics());
+    const auto sharded_stats = sharded_storage.stats();
+    const auto ref_stats = ref_storage.stats();
+    EXPECT_EQ(sharded_stats.reading_count, ref_stats.reading_count);
+    for (const auto& topic : topics) {
+        expectReadingsEqual(sharded_storage.query(topic, 0, 1000 * kNsPerSec),
+                            ref_storage.query(topic, 0, 1000 * kNsPerSec), topic);
+    }
+
+    // Query Engine differential: one engine over the two shard agents'
+    // cache stores, one over the reference agent's single store. Reads of
+    // every topic must agree bit for bit, wherever the topic's cache lives.
+    core::QueryEngine sharded_engine;
+    sharded_engine.setCacheStore(&sharded_agent0.cacheStore());
+    sharded_engine.addCacheStore(&sharded_agent1.cacheStore());
+    sharded_engine.setStorage(&sharded_storage);
+    core::QueryEngine ref_engine;
+    ref_engine.setCacheStore(&ref_agent.cacheStore());
+    ref_engine.setStorage(&ref_storage);
+    EXPECT_EQ(sharded_engine.rebuildTree(), ref_engine.rebuildTree());
+    EXPECT_EQ(sharded_engine.cacheStoreCount(), 2u);
+
+    for (const auto& topic : topics) {
+        expectReadingsEqual(
+            sharded_engine.queryAbsolute(topic, 0, 1000 * kNsPerSec),
+            ref_engine.queryAbsolute(topic, 0, 1000 * kNsPerSec), topic);
+        const auto sharded_latest = sharded_engine.latest(topic);
+        const auto ref_latest = ref_engine.latest(topic);
+        ASSERT_EQ(sharded_latest.has_value(), ref_latest.has_value()) << topic;
+        if (sharded_latest) {
+            EXPECT_EQ(sharded_latest->timestamp, ref_latest->timestamp) << topic;
+            EXPECT_EQ(sharded_latest->value, ref_latest->value) << topic;
+        }
+        const auto sharded_range =
+            sharded_engine.statsRelative(topic, 1000 * kNsPerSec);
+        const auto ref_range = ref_engine.statsRelative(topic, 1000 * kNsPerSec);
+        ASSERT_EQ(sharded_range.has_value(), ref_range.has_value()) << topic;
+        if (sharded_range) {
+            EXPECT_EQ(sharded_range->count, ref_range->count) << topic;
+            EXPECT_EQ(sharded_range->sum, ref_range->sum) << topic;
+            EXPECT_EQ(sharded_range->min, ref_range->min) << topic;
+            EXPECT_EQ(sharded_range->max, ref_range->max) << topic;
+            EXPECT_EQ(sharded_range->first.timestamp, ref_range->first.timestamp)
+                << topic;
+            EXPECT_EQ(sharded_range->last.timestamp, ref_range->last.timestamp)
+                << topic;
+        }
+    }
+
+    sharded_agent0.stop();
+    sharded_agent1.stop();
+    ref_agent.stop();
+}
+
+}  // namespace
+}  // namespace wm::storage

@@ -18,10 +18,22 @@ Usage:
                                [--quick] [--skip-fig5]
     python3 tools/bench_run.py --quality [--build-dir build]
                                [--output BENCH_quality.json]
+    python3 tools/bench_run.py --shard [--quick] [--build-dir build]
+                               [--output BENCH_shard.json]
 
 --quick shortens every benchmark repetition (the default mode used by the
 bench-smoke CI job); omit it for locally meaningful numbers on an idle
 multi-core machine.
+
+--shard switches to the storage/ingest sharding lane (part of the
+`bench-smoke` CI job): it runs bench/micro_shard, which measures ingest
+throughput under concurrent whole-store /status-style scans at shard
+counts {1, 2, 4, 8}, and HARD-FAILS when 4 shards deliver less than 2.5x
+the 1-shard rate. Unlike the wall-clock numbers above, this gate is a
+*ratio* between two configurations measured back-to-back on the same box,
+so it is meaningful even on the 1-CPU CI runner — the contended baseline
+is reader-starved by design, and sharding must relieve that starvation
+(docs/PERFORMANCE.md, "Sharded ingest and storage").
 
 --quality switches to the operator-quality lane (the `quality` CI job):
 instead of timing benches it runs wm_eval over every campaign under
@@ -187,6 +199,54 @@ def run_quality(build_dir: pathlib.Path, output: pathlib.Path) -> int:
     return 0
 
 
+# The one hard performance gate in the repo: 4 storage/ingest shards must
+# deliver at least this multiple of the 1-shard ingest rate under scan
+# contention. A ratio, not a wall-clock bound, so it holds on shared CI.
+SHARD_SPEEDUP_GATE_4V1 = 2.5
+
+
+def run_shard(build_dir: pathlib.Path, output: pathlib.Path,
+              quick: bool) -> int:
+    binary = build_dir / "bench" / "micro_shard"
+    if not binary.exists():
+        sys.stderr.write(f"bench_run: {binary} not built\n")
+        return 2
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = pathlib.Path(handle.name)
+    cmd = [str(binary), "--json", str(json_path)]
+    if quick:
+        cmd.append("--quick")
+    mode = "quick" if quick else "full"
+    print(f"bench_run: running micro_shard ({mode}) ...", flush=True)
+    result = subprocess.run(cmd, text=True, timeout=3600)
+    if result.returncode != 0:
+        json_path.unlink(missing_ok=True)
+        sys.stderr.write(f"bench_run: micro_shard exited {result.returncode}\n")
+        return 1
+    report = json.loads(json_path.read_text())
+    json_path.unlink()
+
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"bench_run: wrote {output}")
+    for point in report.get("points", []):
+        print(f"bench_run: shards={point['shards']:<2} "
+              f"{point['msgs_per_sec']:>12.1f} msgs/s "
+              f"({point['scans']} scan passes)")
+    speedup = report.get("speedup_4v1")
+    if speedup is None:
+        sys.stderr.write("bench_run: FAIL: report carries no speedup_4v1\n")
+        return 1
+    print(f"bench_run: 4-shard vs 1-shard ingest speedup: {speedup:.2f}x "
+          f"(gate: >= {SHARD_SPEEDUP_GATE_4V1}x)")
+    if speedup < SHARD_SPEEDUP_GATE_4V1:
+        sys.stderr.write(
+            f"bench_run: FAIL: sharding gate: 4-shard speedup {speedup:.2f}x "
+            f"< {SHARD_SPEEDUP_GATE_4V1}x — sharding no longer relieves "
+            f"scan/ingest lock contention\n")
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--build-dir", default="build", type=pathlib.Path)
@@ -198,11 +258,21 @@ def main() -> int:
     parser.add_argument("--quality", action="store_true",
                         help="run the wm_eval scenario-quality lane instead "
                              "of the timing benches")
+    parser.add_argument("--shard", action="store_true",
+                        help="run the micro_shard sharding lane with the "
+                             "hard 4-shard >= 2.5x speedup gate")
     args = parser.parse_args()
 
+    if args.quality and args.shard:
+        sys.stderr.write("bench_run: --quality and --shard are exclusive\n")
+        return 2
     if args.quality:
         return run_quality(args.build_dir,
                            args.output or pathlib.Path("BENCH_quality.json"))
+    if args.shard:
+        return run_shard(args.build_dir,
+                         args.output or pathlib.Path("BENCH_shard.json"),
+                         args.quick)
     if args.output is None:
         args.output = pathlib.Path("BENCH_PR4.json")
 
