@@ -40,7 +40,7 @@ const std::set<std::string>& knownTopLevelBlocks() {
     static const std::set<std::string> known = {
         "cluster", "pusher",      "facility",    "plugin",    "resilience",
         "faults",  "collectagent", "persistence", "supervisor", "scenario",
-        "capacity"};
+        "capacity", "transport",   "remote"};
     return known;
 }
 
@@ -49,8 +49,16 @@ const std::set<std::string>& knownFaultPoints() {
     static const std::set<std::string> known = {
         "broker.deliver", "broker.publish",    "collectagent.ingest",
         "pusher.sample",  "rest.request",      "storage.insert",
-        "persist.wal_append", "persist.snapshot_write"};
+        "persist.wal_append", "persist.snapshot_write",
+        "net.accept", "net.frame_read", "net.frame_write", "net.partition"};
     return known;
+}
+
+/// True when the config opens the wire transport for remote pushers — a
+/// server in that shape legitimately runs with zero local nodes.
+bool transportListening(const ConfigNode& root) {
+    const ConfigNode* block = root.child("transport");
+    return block != nullptr && block->getBool("listen", false);
 }
 
 std::string formatDuration(common::TimestampNs ns) {
@@ -90,9 +98,14 @@ ClusterModel buildClusterModel(const ConfigNode& root, DiagnosticSink& sink) {
             {"cpusPerNode", 8, &model.topology.cpus_per_node},
         };
         bool valid = true;
+        const bool ingest_only = transportListening(root);
         for (const auto& dimension : kDimensions) {
             const std::int64_t value = cluster->getInt(dimension.key, dimension.fallback);
-            if (value <= 0) {
+            if (value == 0 && ingest_only) {
+                // An ingest-only server (transport { listen true }) may run a
+                // zero-node cluster: remote wm_pusherd processes feed it.
+                *dimension.target = 0;
+            } else if (value <= 0) {
                 const ConfigNode* child = cluster->child(dimension.key);
                 sink.error("WM0107",
                            std::string("'") + dimension.key +
@@ -177,7 +190,7 @@ ClusterModel buildClusterModel(const ConfigNode& root, DiagnosticSink& sink) {
         }
         model.pushers.emplace_back(node_path, std::move(sensors));
     }
-    if (model.pushers.empty()) {
+    if (model.pushers.empty() && !transportListening(root)) {
         sink.error("WM0107", "cluster topology yields zero nodes",
                    cluster != nullptr ? cluster->line() : 0,
                    cluster != nullptr ? cluster->column() : 0);
@@ -575,6 +588,10 @@ void checkCollectAgent(const ConfigNode& root, const AnalyzerState& state,
     subscription->id = 1;
     subscription->filter = filter;
     index.insert(std::move(subscription));
+    // An ingest-only server's topics arrive over the wire transport from
+    // remote wm_pusherd processes — invisible to the static model, so a
+    // "filter matches nothing" verdict would be unfounded.
+    if (transportListening(root)) return;
     std::size_t published = 0;
     for (const auto& [pusher_name, sensors] : state.model.pushers) {
         for (const auto& metadata : sensors) {
@@ -791,6 +808,146 @@ void checkSupervisor(const ConfigNode& root, DiagnosticSink& sink) {
     }
 }
 
+/// Smallest PUBLISH frame the wire can carry: type + frame_seq + counts +
+/// one registration + one single-reading message, with a realistically
+/// short topic. Anything below this rejects every publish as oversized.
+constexpr std::int64_t kMinUsefulFrameBytes = 128;
+
+void checkTransport(const ConfigNode& root, DiagnosticSink& sink) {
+    const ConfigNode* block = root.child("transport");
+    if (block == nullptr) return;
+    static const std::set<std::string> known = {
+        "listen",      "port",        "maxFrameBytes",
+        "heartbeatMs", "maxInflight", "maxConnections"};
+    for (const auto& child : block->children()) {
+        if (known.count(child.key()) == 0) {
+            sink.error("WM1001", "unknown transport knob '" + child.key() + "'",
+                       child.line(), child.column());
+        }
+    }
+    if (const ConfigNode* port = block->child("port")) {
+        const std::int64_t value = block->getInt("port", 0);
+        if (value < 0 || value > 65535) {
+            sink.error("WM1001", "'port' must be within [0, 65535] (0 = ephemeral)",
+                       port->line(), port->column());
+        }
+    }
+    if (const ConfigNode* frame = block->child("maxFrameBytes")) {
+        const std::int64_t value = block->getInt("maxFrameBytes", 1 << 20);
+        if (value <= 0) {
+            sink.error("WM1001", "'maxFrameBytes' must be positive", frame->line(),
+                       frame->column());
+        } else if (value < kMinUsefulFrameBytes) {
+            sink.warning("WM1003",
+                         "'maxFrameBytes' (" + std::to_string(value) +
+                             ") is below the " +
+                             std::to_string(kMinUsefulFrameBytes) +
+                             "-byte floor of a single-reading PUBLISH frame; "
+                             "every publish would be rejected oversized",
+                         frame->line(), frame->column());
+        }
+    }
+    if (const ConfigNode* heartbeat = block->child("heartbeatMs")) {
+        if (block->getDurationNs("heartbeatMs", 1) <= 0) {
+            sink.error("WM1001", "'heartbeatMs' must be a positive duration",
+                       heartbeat->line(), heartbeat->column());
+        }
+    }
+    for (const char* key : {"maxInflight", "maxConnections"}) {
+        const ConfigNode* child = block->child(key);
+        if (child != nullptr && block->getInt(key, 1) <= 0) {
+            sink.error("WM1001", std::string("'") + key + "' must be positive",
+                       child->line(), child->column());
+        }
+    }
+}
+
+void checkRemote(const ConfigNode& root, DiagnosticSink& sink) {
+    const ConfigNode* block = root.child("remote");
+    if (block == nullptr) return;
+    static const std::set<std::string> known = {
+        "host",        "port",        "prefix", "maxFrameBytes",
+        "heartbeatMs", "maxInflight", "reconnect"};
+    for (const auto& child : block->children()) {
+        if (known.count(child.key()) == 0) {
+            sink.error("WM1002", "unknown remote knob '" + child.key() + "'",
+                       child.line(), child.column());
+        }
+    }
+    if (const ConfigNode* port = block->child("port")) {
+        const std::int64_t value = block->getInt("port", 0);
+        if (value < 0 || value > 65535) {
+            sink.error("WM1002",
+                       "'port' must be within [0, 65535] (0 = set by "
+                       "--remote-port)",
+                       port->line(), port->column());
+        }
+    }
+    if (const ConfigNode* frame = block->child("maxFrameBytes")) {
+        if (block->getInt("maxFrameBytes", 1) <= 0) {
+            sink.error("WM1002", "'maxFrameBytes' must be positive", frame->line(),
+                       frame->column());
+        }
+    }
+    if (const ConfigNode* heartbeat = block->child("heartbeatMs")) {
+        if (block->getDurationNs("heartbeatMs", 1) <= 0) {
+            sink.error("WM1002", "'heartbeatMs' must be a positive duration",
+                       heartbeat->line(), heartbeat->column());
+        }
+    }
+    if (const ConfigNode* inflight = block->child("maxInflight")) {
+        if (block->getInt("maxInflight", 1) <= 0) {
+            sink.error("WM1002", "'maxInflight' must be positive", inflight->line(),
+                       inflight->column());
+        }
+    }
+    if (const ConfigNode* reconnect = block->child("reconnect")) {
+        static const std::set<std::string> reconnect_known = {"initialMs", "maxMs",
+                                                              "multiplier"};
+        for (const auto& child : reconnect->children()) {
+            if (reconnect_known.count(child.key()) == 0) {
+                sink.error("WM1002",
+                           "unknown reconnect knob '" + child.key() + "'",
+                           child.line(), child.column());
+            }
+        }
+        for (const char* key : {"initialMs", "maxMs"}) {
+            const ConfigNode* child = reconnect->child(key);
+            if (child != nullptr && reconnect->getDurationNs(key, 1) <= 0) {
+                sink.error("WM1002",
+                           std::string("'") + key + "' must be a positive duration",
+                           child->line(), child->column());
+            }
+        }
+        const std::int64_t initial = reconnect->getDurationNs("initialMs", 0);
+        const std::int64_t max = reconnect->getDurationNs("maxMs", 0);
+        if (initial > 0 && max > 0 && initial > max) {
+            sink.error("WM1002", "'initialMs' exceeds 'maxMs'", reconnect->line(),
+                       reconnect->column());
+        }
+        if (const ConfigNode* multiplier = reconnect->child("multiplier")) {
+            if (reconnect->getDouble("multiplier", 2.0) < 1.0) {
+                sink.error("WM1002", "'multiplier' must be >= 1",
+                           multiplier->line(), multiplier->column());
+            }
+        }
+    }
+    // The topic prefix keeps several pusherd processes from colliding on
+    // one server; a non-path or wildcard-bearing prefix breaks every topic
+    // this process publishes.
+    if (const ConfigNode* prefix_node = block->child("prefix")) {
+        const std::string prefix = prefix_node->value();
+        if (prefix.empty() || prefix.front() != '/' ||
+            prefix.find_first_of("+# ") != std::string::npos) {
+            sink.warning("WM1004",
+                         "remote prefix '" + prefix +
+                             "' should start with '/' and contain no "
+                             "wildcards or spaces",
+                         prefix_node->line(), prefix_node->column());
+        }
+    }
+}
+
 }  // namespace
 
 AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
@@ -819,6 +976,8 @@ AnalysisSummary analyzeConfig(const ConfigNode& root, const std::string& source,
     checkResilience(root, sink);
     checkPersistence(root, sink);
     checkSupervisor(root, sink);
+    checkTransport(root, sink);
+    checkRemote(root, sink);
     scenario::validateScenarios(root, sink);
 
     // Capacity/cost pass (Layer 5): predictions from the dry-run resolution

@@ -17,10 +17,14 @@
 //   GET /sensors/series?topic=T&window=10s   recent readings
 //   GET /status                      entity statistics
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "analysis/analyzer.h"
@@ -33,6 +37,7 @@
 #include "core/hosting.h"
 #include "core/operator_manager.h"
 #include "core/supervisor.h"
+#include "net/listener.h"
 #include "plugins/registry.h"
 #include "pusher/plugins/facilitysim_group.h"
 #include "pusher/plugins/perfsim_group.h"
@@ -92,7 +97,29 @@ struct Daemon {
     std::unique_ptr<common::fault::FaultInjector> fault_injector;
     PersistenceKnobs persistence;
     std::unique_ptr<core::Supervisor> supervisor;
+    /// Wire transport (`transport { listen true }`): remote wm_pusherd
+    /// processes stream PUBLISH frames into the same AsyncBroker the local
+    /// pushers use, so the sharded agent plane and dedup work unchanged.
+    std::unique_ptr<net::Listener> listener;
 };
+
+/// Reads the `transport` block; the listener activates on `listen true`.
+std::unique_ptr<net::Listener> buildTransport(Daemon& daemon,
+                                              const common::ConfigNode& root) {
+    const common::ConfigNode* block = root.child("transport");
+    if (block == nullptr || !block->getBool("listen", false)) return nullptr;
+    net::ListenerConfig config;
+    config.port = static_cast<std::uint16_t>(block->getInt("port", 0));
+    config.max_frame_bytes =
+        static_cast<std::size_t>(block->getInt("maxFrameBytes", 1 << 20));
+    config.heartbeat_ns =
+        block->getDurationNs("heartbeatMs", 500 * common::kNsPerMs);
+    config.max_inflight =
+        static_cast<std::size_t>(block->getInt("maxInflight", 4096));
+    config.max_connections =
+        static_cast<std::size_t>(block->getInt("maxConnections", 64));
+    return std::make_unique<net::Listener>(config, daemon.broker);
+}
 
 /// Per-agent quarantine journal path for sharded runs: inserts "-<index>"
 /// before the file extension ("…/quarantine.wal" -> "…/quarantine-2.wal"),
@@ -572,6 +599,27 @@ void bindDataRest(Daemon& daemon) {
         body << "]}";
         return rest::Response::ok(body.str());
     });
+    daemon.router.route("GET", "/storage/dump", [&daemon](const rest::Request&) {
+        // Full storage dump as CSV (topic,timestamp,value) — the chaos
+        // driver diffs this against its ground-truth publish logs. The
+        // backend only dumps to a file, so round-trip through a temp file.
+        char path[] = "/tmp/wm_dump_XXXXXX";
+        const int fd = ::mkstemp(path);
+        if (fd < 0) return rest::Response::error("cannot create dump file");
+        ::close(fd);
+        std::string csv;
+        if (daemon.storage->dumpCsv(path)) {
+            std::ifstream in(path);
+            std::ostringstream content;
+            content << in.rdbuf();
+            csv = content.str();
+        }
+        ::unlink(path);
+        if (csv.empty()) return rest::Response::error("storage dump failed");
+        rest::Response response = rest::Response::ok(std::move(csv));
+        response.content_type = "text/csv";
+        return response;
+    });
     daemon.router.route("GET", "/status", [&daemon](const rest::Request&) {
         std::uint64_t sampled = 0;
         std::uint64_t buffered = 0;
@@ -612,7 +660,30 @@ void bindDataRest(Daemon& daemon) {
              << ",\"evictedSubscribers\":" << daemon.broker.evictedSubscribers()
              << ",\"quarantined\":" << quarantined
              << ",\"storageErrors\":" << storage_errors
-             << ",\"rejectedInserts\":" << stats.rejected_inserts << "}";
+             << ",\"rejectedInserts\":" << stats.rejected_inserts
+             << ",\"duplicateDrops\":" << stats.duplicate_drops << "}";
+        body << ",\"transport\":{";
+        if (daemon.listener) {
+            const auto wire = daemon.listener->counters();
+            body << "\"enabled\":true"
+                 << ",\"port\":" << daemon.listener->port()
+                 << ",\"connectionsAccepted\":" << wire.connections_accepted
+                 << ",\"connectionsActive\":" << wire.connections_active
+                 << ",\"framesIn\":" << wire.frames_in
+                 << ",\"framesOut\":" << wire.frames_out
+                 << ",\"crcRejects\":" << wire.crc_rejects
+                 << ",\"decodeErrors\":" << wire.decode_errors
+                 << ",\"oversizedRejects\":" << wire.oversized_rejects
+                 << ",\"publishesForwarded\":" << wire.publishes_forwarded
+                 << ",\"frameGaps\":" << wire.frame_gaps
+                 << ",\"heartbeatTimeouts\":" << wire.heartbeat_timeouts
+                 << ",\"evictedSlow\":" << wire.evicted_slow
+                 << ",\"evictedInflight\":" << wire.evicted_inflight
+                 << ",\"acceptFaults\":" << wire.accept_faults;
+        } else {
+            body << "\"enabled\":false";
+        }
+        body << "}";
         const auto durability = daemon.storage->durabilityStats();
         std::uint64_t messages_replayed = 0;
         for (const auto& p : daemon.pushers) messages_replayed += p->messagesReplayed();
@@ -708,6 +779,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "wintermuted: cannot bind port %u\n", port);
         return 1;
     }
+    daemon.listener = buildTransport(daemon, config.root);
+    if (daemon.listener && !daemon.listener->start()) {
+        std::fprintf(stderr, "wintermuted: cannot bind transport port\n");
+        return 1;
+    }
+    if (daemon.listener) {
+        std::printf("wintermuted: transport on 127.0.0.1:%u\n",
+                    daemon.listener->port());
+        std::fflush(stdout);
+    }
     for (auto& p : daemon.pushers) p->start();
     for (auto& manager : daemon.pusher_managers) manager->start();
     daemon.agent_manager->start();
@@ -744,6 +825,7 @@ int main(int argc, char** argv) {
     // Supervisor first: a stopped component must read as "shut down", not
     // as a fault to restart.
     if (daemon.supervisor) daemon.supervisor->stop();
+    if (daemon.listener) daemon.listener->stop();
     daemon.agent_manager->stop();
     for (auto& manager : daemon.pusher_managers) manager->stop();
     for (auto& p : daemon.pushers) p->stop();

@@ -1,0 +1,354 @@
+// wm_pusherd — standalone per-host Pusher daemon speaking the wire
+// transport (src/net/) to a remote wintermuted. This is the multi-process
+// deployment shape of the paper's Fig. 3: one pusherd per (simulated)
+// host, a TCP connection to the collect-agent plane, exactly-once storage
+// guaranteed end to end by per-topic sequence dedup + replay-on-reconnect
+// (docs/RESILIENCE.md, "Wire transport").
+//
+// Usage:
+//   wm_pusherd --config configs/pusherd.cfg
+//              [--name NAME]          # client name in CONNECT (logs)
+//              [--prefix /p0]         # prepended to every topic, so several
+//                                     # pusherd processes never collide
+//              [--remote-port N]      # overrides remote { port } (the
+//                                     # chaos driver learns the server's
+//                                     # ephemeral port at runtime)
+//              [--publish-log FILE]   # ground-truth log for the chaos
+//                                     # driver (PUB/ACK lines, see below)
+//              [--duration SEC]       # 0 = run until SIGINT/SIGTERM
+//
+// Publish-log format (one record per line, flushed line-by-line):
+//   PUB <topic> <sequence> <timestamp> <value>   intent-logged BEFORE the
+//                                                wire write; duplicates
+//                                                (retries, replays) are
+//                                                expected — dedup by
+//                                                (topic, sequence)
+//   ACK <topic> <sequence>                       cumulative server ack
+//                                                watermark at log time
+// The driver's exactly-once check: every PUB with sequence <= the final
+// ACK watermark of its topic must appear in the server's storage dump
+// exactly once, and no (topic, timestamp) may appear twice at all.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/retry.h"
+#include "common/thread.h"
+#include "common/time_utils.h"
+#include "net/connection.h"
+#include "pusher/plugins/perfsim_group.h"
+#include "pusher/plugins/procfssim_group.h"
+#include "pusher/plugins/sysfssim_group.h"
+#include "pusher/pusher.h"
+#include "simulator/topology.h"
+
+using namespace wm;
+using common::kNsPerMs;
+using common::kNsPerSec;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void onSignal(int) {
+    g_stop = 1;
+}
+
+/// Ground-truth publish log: PUB lines from pusher worker threads and the
+/// reconnect-replay hook, ACK lines from the main stats loop. Values are
+/// written with default ostream formatting — the same the storage dump
+/// uses — so the driver can compare rows as strings.
+class PublishLog {
+  public:
+    explicit PublishLog(const std::string& path) {
+        if (!path.empty()) out_.open(path, std::ios::app);
+    }
+
+    void logPublish(const mqtt::Message& message) {
+        if (!out_.is_open()) return;
+        common::MutexLock lock(mutex_);
+        for (const auto& reading : message.readings) {
+            out_ << "PUB " << message.topic << ' ' << message.sequence << ' '
+                 << reading.timestamp << ' ' << reading.value << '\n';
+        }
+        out_.flush();
+    }
+
+    void logAcks(const std::map<std::string, std::uint64_t>& watermarks) {
+        if (!out_.is_open()) return;
+        common::MutexLock lock(mutex_);
+        for (const auto& [topic, sequence] : watermarks) {
+            out_ << "ACK " << topic << ' ' << sequence << '\n';
+        }
+        out_.flush();
+    }
+
+  private:
+    // Held while a pusher tick holds its buffer lock (rank 13) — kLogger
+    // (99) nests safely under nothing and over everything.
+    common::Mutex mutex_{"pusherd.publishlog", common::LockRank::kLogger};
+    std::ofstream out_;
+};
+
+struct PusherdOptions {
+    std::string config_path = "configs/pusherd.cfg";
+    std::string name = "pusherd";
+    std::string prefix;
+    std::string publish_log;
+    int duration_sec = 0;
+    int remote_port_override = 0;
+};
+
+bool installFaults(const common::ConfigNode& root,
+                   std::unique_ptr<common::fault::FaultInjector>* injector) {
+    const common::ConfigNode* block = root.child("faults");
+    if (block == nullptr) return true;
+    const auto seed = static_cast<std::uint64_t>(block->getInt("seed", 0xFA171EC7LL));
+    *injector = std::make_unique<common::fault::FaultInjector>(seed);
+    for (const auto* point : block->childrenOf("point")) {
+        const std::string spec_text = point->getString("spec");
+        if (!(*injector)->armFromText(point->value(), spec_text)) {
+            std::fprintf(stderr, "wm_pusherd: bad fault spec for point '%s': %s\n",
+                         point->value().c_str(), spec_text.c_str());
+            return false;
+        }
+    }
+    common::fault::FaultInjector::installGlobal(injector->get());
+    return true;
+}
+
+net::ConnectionConfig readRemote(const common::ConfigNode& root,
+                                 const PusherdOptions& options,
+                                 std::uint64_t epoch) {
+    net::ConnectionConfig config;
+    config.client_name = options.name;
+    config.epoch = epoch;
+    if (const common::ConfigNode* remote = root.child("remote")) {
+        config.host = remote->getString("host", "127.0.0.1");
+        config.port = static_cast<std::uint16_t>(remote->getInt("port", 0));
+        config.max_frame_bytes =
+            static_cast<std::size_t>(remote->getInt("maxFrameBytes", 1 << 20));
+        config.heartbeat_ns = remote->getDurationNs("heartbeatMs", 500 * kNsPerMs);
+        config.max_inflight =
+            static_cast<std::size_t>(remote->getInt("maxInflight", 256));
+        if (const common::ConfigNode* reconnect = remote->child("reconnect")) {
+            config.reconnect.initial_backoff_ns =
+                reconnect->getDurationNs("initialMs", 100 * kNsPerMs);
+            config.reconnect.max_backoff_ns =
+                reconnect->getDurationNs("maxMs", 2 * kNsPerSec);
+            config.reconnect.multiplier = reconnect->getDouble("multiplier", 2.0);
+        }
+    }
+    if (options.remote_port_override > 0) {
+        config.port = static_cast<std::uint16_t>(options.remote_port_override);
+    }
+    return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    PusherdOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+            options.config_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+            options.name = argv[++i];
+        } else if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
+            options.prefix = argv[++i];
+        } else if (std::strcmp(argv[i], "--publish-log") == 0 && i + 1 < argc) {
+            options.publish_log = argv[++i];
+        } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+            options.duration_sec = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--remote-port") == 0 && i + 1 < argc) {
+            options.remote_port_override = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--config FILE] [--name NAME] [--prefix /pN] "
+                         "[--remote-port N] [--publish-log FILE] [--duration SEC]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const auto config = common::parseConfigFile(options.config_path);
+    if (!config.ok) {
+        std::fprintf(stderr, "wm_pusherd: config error in %s: %s (line %zu)\n",
+                     options.config_path.c_str(), config.error.c_str(),
+                     config.error_line);
+        return 1;
+    }
+
+    std::unique_ptr<common::fault::FaultInjector> fault_injector;
+    if (!installFaults(config.root, &fault_injector)) return 1;
+
+    if (options.prefix.empty()) {
+        if (const common::ConfigNode* remote_cfg = config.root.child("remote")) {
+            options.prefix = remote_cfg->getString("prefix", "");
+        }
+    }
+
+    // Cluster shape: same knobs as wintermuted's `cluster` block, but every
+    // topic gets the per-process prefix so N pusherd processes feeding one
+    // server never collide.
+    simulator::Topology topology;
+    if (const common::ConfigNode* cluster = config.root.child("cluster")) {
+        topology.racks = static_cast<std::size_t>(cluster->getInt("racks", 1));
+        topology.chassis_per_rack =
+            static_cast<std::size_t>(cluster->getInt("chassisPerRack", 1));
+        topology.nodes_per_chassis =
+            static_cast<std::size_t>(cluster->getInt("nodesPerChassis", 2));
+        topology.cpus_per_node =
+            static_cast<std::size_t>(cluster->getInt("cpusPerNode", 4));
+        topology.max_nodes = static_cast<std::size_t>(cluster->getInt("maxNodes", 0));
+    }
+    const simulator::AppKind app = simulator::appFromName(
+        config.root.child("cluster") != nullptr
+            ? config.root.child("cluster")->getString("app", "lammps")
+            : "lammps");
+
+    common::TimestampNs sampling = kNsPerSec;
+    common::TimestampNs window = 180 * kNsPerSec;
+    std::size_t buffer_max = 65536;
+    if (const common::ConfigNode* pusher_cfg = config.root.child("pusher")) {
+        sampling = pusher_cfg->getDurationNs("samplingInterval", kNsPerSec);
+        window = pusher_cfg->getDurationNs("cacheWindow", 180 * kNsPerSec);
+        buffer_max =
+            static_cast<std::size_t>(pusher_cfg->getInt("bufferMax", 65536));
+    }
+
+    PublishLog publish_log(options.publish_log);
+
+    // The wire. The on_connected hook replays every pusher's ring BEFORE
+    // the publish gate opens (net::Connection header comment) — replayed
+    // old sequences must hit the wire before freshly buffered new ones.
+    std::vector<std::unique_ptr<pusher::Pusher>> pushers;
+    net::ConnectionConfig remote = readRemote(
+        config.root, options, static_cast<std::uint64_t>(common::nowNs()));
+    if (remote.port == 0) {
+        std::fprintf(stderr,
+                     "wm_pusherd: no remote port (remote { port } or "
+                     "--remote-port)\n");
+        return 1;
+    }
+    net::Connection connection(remote, [&pushers] {
+        for (auto& p : pushers) p->replayRecent();
+    });
+    net::RemoteBroker broker(
+        connection,
+        [&publish_log](const mqtt::Message& message) {
+            publish_log.logPublish(message);
+        });
+
+    // Buffered readings must flush promptly after a reconnect: a snappy
+    // retry cap, not the in-process default.
+    common::RetryPolicy publish_retry;
+    publish_retry.initial_backoff_ns = 50 * kNsPerMs;
+    publish_retry.max_backoff_ns = 500 * kNsPerMs;
+
+    std::vector<std::shared_ptr<pusher::SimulatedNode>> nodes;
+    for (std::size_t n = 0; n < topology.nodeCount(); ++n) {
+        const std::string node_path = options.prefix + topology.nodePath(n);
+        auto node = std::make_shared<pusher::SimulatedNode>(topology.cpus_per_node,
+                                                            1000 + n);
+        node->startApp(app);
+        nodes.push_back(node);
+        pusher::PusherConfig pusher_config{node_path, window, 2};
+        pusher_config.publish_buffer_max = buffer_max;
+        pusher_config.publish_retry = publish_retry;
+        auto p = std::make_unique<pusher::Pusher>(std::move(pusher_config), &broker);
+        pusher::PerfsimGroupConfig perf;
+        perf.node_path = node_path;
+        perf.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::PerfsimGroup>(perf, node));
+        pusher::SysfssimGroupConfig sys;
+        sys.node_path = node_path;
+        sys.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::SysfssimGroup>(sys, node));
+        pusher::ProcfssimGroupConfig proc;
+        proc.node_path = node_path;
+        proc.interval_ns = sampling;
+        p->addGroup(std::make_unique<pusher::ProcfssimGroup>(proc, node));
+        pushers.push_back(std::move(p));
+    }
+    if (pushers.empty()) {
+        std::fprintf(stderr, "wm_pusherd: empty cluster topology\n");
+        return 1;
+    }
+
+    connection.start();
+    for (auto& p : pushers) p->start();
+    std::fprintf(stderr, "wm_pusherd %s: %zu nodes -> %s:%u (prefix '%s')\n",
+                 options.name.c_str(), nodes.size(), remote.host.c_str(),
+                 remote.port, options.prefix.c_str());
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    const common::TimestampNs started = common::nowNs();
+    common::TimestampNs next_stats = started + kNsPerSec;
+    while (g_stop == 0) {
+        common::Thread::sleepFor(std::chrono::milliseconds(100));
+        const common::TimestampNs now = common::nowNs();
+        if (now >= next_stats) {
+            next_stats = now + kNsPerSec;
+            publish_log.logAcks(connection.ackedWatermarks());
+            const net::ConnectionCounters wire = connection.counters();
+            std::size_t buffered = 0;
+            std::uint64_t dropped = 0;
+            for (const auto& p : pushers) {
+                buffered += p->bufferedReadings();
+                dropped += p->readingsDropped();
+            }
+            // Stable one-line stats contract for the chaos driver.
+            std::fprintf(stderr,
+                         "pusherd-stats name=%s connected=%d sent=%llu "
+                         "acked=%llu refused=%llu reconnects=%llu "
+                         "heartbeat_timeouts=%llu buffered=%zu dropped=%llu "
+                         "inflight=%zu\n",
+                         options.name.c_str(), connection.connected() ? 1 : 0,
+                         static_cast<unsigned long long>(wire.publishes_sent),
+                         static_cast<unsigned long long>(wire.messages_acked),
+                         static_cast<unsigned long long>(wire.publishes_refused),
+                         static_cast<unsigned long long>(wire.reconnects),
+                         static_cast<unsigned long long>(wire.heartbeat_timeouts),
+                         buffered, static_cast<unsigned long long>(dropped),
+                         connection.inflight());
+            std::fflush(stderr);
+        }
+        if (options.duration_sec > 0 &&
+            now - started >=
+                static_cast<common::TimestampNs>(options.duration_sec) * kNsPerSec) {
+            break;
+        }
+    }
+
+    std::fprintf(stderr, "wm_pusherd %s: shutting down\n", options.name.c_str());
+    for (auto& p : pushers) p->stop();
+    // Drain: give outstanding publishes a moment to be acked so the final
+    // ACK watermark is as complete as possible (the driver only requires
+    // acked readings to be stored).
+    const common::TimestampNs drain_deadline = common::nowNs() + 3 * kNsPerSec;
+    while (connection.connected() && connection.inflight() > 0 &&
+           common::nowNs() < drain_deadline) {
+        common::Thread::sleepFor(std::chrono::milliseconds(50));
+    }
+    publish_log.logAcks(connection.ackedWatermarks());
+    connection.stop();
+    const net::ConnectionCounters wire = connection.counters();
+    std::fprintf(stderr,
+                 "pusherd-final name=%s sent=%llu acked=%llu reconnects=%llu\n",
+                 options.name.c_str(),
+                 static_cast<unsigned long long>(wire.publishes_sent),
+                 static_cast<unsigned long long>(wire.messages_acked),
+                 static_cast<unsigned long long>(wire.reconnects));
+    return 0;
+}

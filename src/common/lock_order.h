@@ -40,10 +40,16 @@ enum class LockRank : int {
     kPusherBuffer = 13,
     kCollectAgent = 14,
     kCollectAgentQuarantine = 15,
+    // The wire client: Pusher publish paths (holding kPusherBuffer) forward
+    // into net::Connection, so its state lock ranks below them.
+    kNetConnection = 17,
 
     // Execution plumbing.
     kScheduler = 20,
     kThreadPool = 24,
+    // The wire server's worker bookkeeping; connection threads publish into
+    // the broker (kBroker/kBrokerQueue) without holding it.
+    kNetListener = 27,
     kHttpServer = 28,
     kRouter = 32,
 

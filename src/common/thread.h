@@ -18,6 +18,11 @@
 
 namespace wm::common {
 
+/// Thread identity for code outside src/common/ (where the raw
+/// std::thread vocabulary is lint-banned); compare against
+/// Thread::currentId().
+using ThreadId = std::thread::id;
+
 class Thread {
   public:
     Thread() noexcept = default;
@@ -64,7 +69,11 @@ class Thread {
         thread_.detach();
     }
 
-    std::thread::id getId() const noexcept { return thread_.get_id(); }
+    ThreadId getId() const noexcept { return thread_.get_id(); }
+
+    /// Id of the calling thread; the sanctioned std::this_thread::get_id()
+    /// (the raw form is lint-banned outside src/common|check).
+    static ThreadId currentId() noexcept { return std::this_thread::get_id(); }
 
     static unsigned hardwareConcurrency() noexcept {
         return std::thread::hardware_concurrency();

@@ -1,0 +1,370 @@
+#include "net/connection.h"
+
+#include <chrono>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace wm::net {
+
+namespace {
+
+/// Sleeps `delay_ns` in small slices so stop() stays responsive.
+void slicedSleep(common::TimestampNs delay_ns, const std::atomic<bool>& keep) {
+    const common::TimestampNs deadline = common::nowNs() + delay_ns;
+    while (keep.load() && common::nowNs() < deadline) {
+        common::Thread::sleepFor(std::chrono::milliseconds(20));
+    }
+}
+
+}  // namespace
+
+Connection::Connection(ConnectionConfig config,
+                       std::function<void()> on_connected)
+    : config_(std::move(config)), on_connected_(std::move(on_connected)) {}
+
+Connection::~Connection() { stop(); }
+
+void Connection::start() {
+    if (running_.exchange(true)) return;
+    manager_ = common::Thread([this] { managerLoop(); }, "net::Connection.manager");
+}
+
+void Connection::stop() {
+    if (!running_.exchange(false)) return;
+    if (connected_.load()) {
+        common::MutexLock lock(mutex_);
+        sendFrameLocked(encodeDisconnect({"shutdown"}));
+    }
+    closeSocket(fd_.exchange(-1));  // unblocks the manager's read loop
+    if (manager_.joinable()) manager_.join();
+    connected_.store(false);
+    accepting_.store(false);
+}
+
+bool Connection::publish(const mqtt::Message& message) {
+    if (!running_.load() || !connected_.load()) {
+        publishes_refused_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    // The replay gate: until the on_connected hook (ring replay) finishes,
+    // only publishes issued from the manager thread itself pass.
+    const bool hook_context =
+        !accepting_.load() && common::Thread::currentId() == manager_id_;
+    if (!accepting_.load() && !hook_context) {
+        publishes_refused_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    common::MutexLock lock(mutex_);
+    // Inflight backpressure does not apply to the hook: the ring replay
+    // must reach the wire in full and in order before the gate opens. A
+    // ring entry refused for a transient reason while a later same-topic
+    // entry goes through would be covered by the later entry's cumulative
+    // ack and dedup-dropped on every future redelivery — a permanent loss.
+    // Waiting for ack room is not an option either: the manager thread IS
+    // the read thread, so no PUBACK can drain while the hook runs. TCP
+    // flow control is the only cap a replay burst needs; after the hook, a
+    // refusal here means the wire itself died, which is safe (nothing
+    // newer can be delivered on this connection afterwards).
+    if (!hook_context && unacked_.size() >= config_.max_inflight) {
+        publishes_refused_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    PublishFrame frame;
+    std::uint32_t topic_id = 0;
+    const auto it = topic_ids_.find(message.topic);
+    if (it != topic_ids_.end()) {
+        topic_id = it->second;
+    } else {
+        topic_id = next_topic_id_++;
+        topic_ids_.emplace(message.topic, topic_id);
+        if (id_topics_.size() <= topic_id) id_topics_.resize(topic_id + 1);
+        id_topics_[topic_id] = message.topic;
+        frame.registrations.push_back({topic_id, message.topic});
+    }
+    frame.frame_seq = ++frame_seq_;
+    frame.messages.push_back({topic_id, message.sequence, message.readings});
+    if (!sendFrameLocked(encodePublish(frame))) {
+        // The socket is broken: sever it so the manager's read loop
+        // notices immediately and starts reconnecting.
+        publishes_refused_.fetch_add(1, std::memory_order_relaxed);
+        closeSocket(fd_.exchange(-1));
+        connected_.store(false);
+        return false;
+    }
+    unacked_.emplace_back(topic_id, message.sequence);
+    publishes_sent_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool Connection::sendFrameLocked(const std::string& payload) {
+    const int fd = fd_.load();
+    if (fd < 0) return false;
+    // A partitioned wire swallows outbound frames without an error — TCP
+    // buffers them locally, the peer never sees them. The missing acks and
+    // pongs then trip the heartbeat timeout, which is the point.
+    if (const auto fault = common::fault::check("net.partition")) {
+        if (fault.action == common::fault::Action::kDelay) {
+            common::fault::applyDelay(fault.delay_ns);
+        } else {
+            partition_drops_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    if (const auto fault = common::fault::check("net.frame_write")) {
+        if (fault.action == common::fault::Action::kDelay) {
+            common::fault::applyDelay(fault.delay_ns);
+        } else if (fault.action == common::fault::Action::kDrop) {
+            return true;  // lost in transit
+        } else {
+            return false;  // failed write: connection is dead
+        }
+    }
+    if (!sendAll(fd, frameEncode(payload), config_.write_timeout_ms)) {
+        return false;
+    }
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void Connection::managerLoop() {
+    manager_id_ = common::Thread::currentId();
+    common::Rng rng(config_.retry_seed);
+    common::Backoff backoff(config_.reconnect, &rng);
+    while (running_.load()) {
+        const int fd = tcpConnect(config_.host, config_.port,
+                                  config_.connect_timeout_ms);
+        if (fd < 0) {
+            connect_failures_.fetch_add(1, std::memory_order_relaxed);
+            slicedSleep(backoff.nextDelayNs(), running_);
+            continue;
+        }
+        const std::uint64_t before = connects_.load();
+        runConnection(fd);
+        if (connects_.load() > before) {
+            backoff.reset();  // the handshake succeeded; next outage starts over
+        }
+        if (!running_.load()) break;
+        slicedSleep(backoff.nextDelayNs(), running_);
+    }
+}
+
+void Connection::runConnection(int fd) {
+    fd_.store(fd);
+    {
+        common::MutexLock lock(mutex_);
+        // Fresh connection, fresh interning; unacked messages from the
+        // previous connection live on in the Pusher's replay ring and are
+        // re-delivered by the on_connected hook.
+        topic_ids_.clear();
+        id_topics_.clear();
+        id_acked_.clear();
+        unacked_.clear();
+        next_topic_id_ = 1;
+        frame_seq_ = 0;
+        ConnectFrame connect;
+        connect.version = kProtocolVersion;
+        connect.client = config_.client_name;
+        connect.epoch = config_.epoch;
+        if (!sendFrameLocked(encodeConnect(connect))) {
+            connect_failures_.fetch_add(1, std::memory_order_relaxed);
+            closeSocket(fd_.exchange(-1));
+            return;
+        }
+    }
+
+    // Await CONNACK within the connect budget.
+    std::string buffer;
+    bool accepted = false;
+    const common::TimestampNs ack_deadline =
+        common::nowNs() +
+        static_cast<common::TimestampNs>(config_.connect_timeout_ms) *
+            common::kNsPerMs;
+    while (running_.load() && common::nowNs() < ack_deadline && !accepted) {
+        const int rv = recvSome(fd, &buffer, 50);
+        if (rv < 0) break;
+        std::string_view payload;
+        std::size_t consumed = 0;
+        const FrameStatus status =
+            frameDecode(buffer, config_.max_frame_bytes, &payload, &consumed);
+        if (status == FrameStatus::kNeedMore) continue;
+        if (status != FrameStatus::kOk) break;
+        Frame frame;
+        if (!decodePayload(payload, &frame) ||
+            frame.type != FrameType::kConnack || !frame.connack.accepted) {
+            break;
+        }
+        buffer.erase(0, consumed);
+        accepted = true;
+    }
+    if (!accepted) {
+        connect_failures_.fetch_add(1, std::memory_order_relaxed);
+        closeSocket(fd_.exchange(-1));
+        return;
+    }
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    connected_.store(true);
+    accepting_.store(false);
+    WM_LOG(kInfo, "net") << config_.client_name << ": connected to "
+                         << config_.host << ":" << config_.port;
+    // Replay-before-resume: the hook republishes the Pusher's ring (old
+    // sequences) while the gate still refuses everyone else; see header.
+    if (on_connected_) on_connected_();
+    accepting_.store(true);
+
+    common::TimestampNs last_rx = common::nowNs();
+    common::TimestampNs next_ping = last_rx + config_.heartbeat_ns;
+    const common::TimestampNs dead_after = 3 * config_.heartbeat_ns;
+    int poll_ms = static_cast<int>(config_.heartbeat_ns / (4 * common::kNsPerMs));
+    if (poll_ms < 10) poll_ms = 10;
+    if (poll_ms > 500) poll_ms = 500;
+
+    bool alive = true;
+    while (alive && running_.load()) {
+        const common::TimestampNs now = common::nowNs();
+        if (now >= next_ping) {
+            common::MutexLock lock(mutex_);
+            if (!sendFrameLocked(encodePingreq())) break;
+            next_ping = now + config_.heartbeat_ns;
+        }
+        if (const auto fault = common::fault::check("net.partition")) {
+            // Inbound blackhole: whatever the kernel buffered stays there.
+            if (fault.action == common::fault::Action::kDelay) {
+                common::fault::applyDelay(fault.delay_ns);
+            }
+            common::Thread::sleepFor(std::chrono::milliseconds(10));
+            if (common::nowNs() - last_rx > dead_after) {
+                heartbeat_timeouts_.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+            continue;
+        }
+        const int current = fd_.load();
+        if (current < 0) break;  // severed by publish() or stop()
+        const int rv = recvSome(current, &buffer, poll_ms);
+        if (rv < 0) break;
+        if (rv == 0) {
+            if (common::nowNs() - last_rx > dead_after) {
+                heartbeat_timeouts_.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+            continue;
+        }
+        last_rx = common::nowNs();
+        while (alive) {
+            std::string_view payload;
+            std::size_t consumed = 0;
+            const FrameStatus status = frameDecode(
+                buffer, config_.max_frame_bytes, &payload, &consumed);
+            if (status == FrameStatus::kNeedMore) break;
+            if (status == FrameStatus::kCrcMismatch) {
+                crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+                alive = false;
+                break;
+            }
+            if (status != FrameStatus::kOk) {
+                decode_errors_.fetch_add(1, std::memory_order_relaxed);
+                alive = false;
+                break;
+            }
+            frames_in_.fetch_add(1, std::memory_order_relaxed);
+            handleServerFrame(payload, &alive);
+            buffer.erase(0, consumed);
+        }
+    }
+    connected_.store(false);
+    accepting_.store(false);
+    closeSocket(fd_.exchange(-1));
+    WM_LOG(kInfo, "net") << config_.client_name << ": connection lost";
+}
+
+void Connection::handleServerFrame(std::string_view payload, bool* alive) {
+    Frame frame;
+    if (!decodePayload(payload, &frame)) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        *alive = false;
+        return;
+    }
+    switch (frame.type) {
+        case FrameType::kPuback: {
+            common::MutexLock lock(mutex_);
+            for (const auto& ack : frame.puback.acks) {
+                if (ack.topic_id >= id_topics_.size() ||
+                    id_topics_[ack.topic_id].empty()) {
+                    continue;  // ack for a topic this connection never sent
+                }
+                std::uint64_t& per_id = id_acked_[ack.topic_id];
+                if (ack.sequence > per_id) per_id = ack.sequence;
+                std::uint64_t& per_topic = acked_[id_topics_[ack.topic_id]];
+                if (ack.sequence > per_topic) per_topic = ack.sequence;
+            }
+            // Cumulative acks release the send-ordered unacked window from
+            // the front (acks arrive in send order, so the front clears
+            // first in the common case).
+            while (!unacked_.empty()) {
+                const auto [topic_id, sequence] = unacked_.front();
+                const auto it = id_acked_.find(topic_id);
+                if (it == id_acked_.end() || it->second < sequence) break;
+                unacked_.pop_front();
+                messages_acked_.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+        }
+        case FrameType::kPingresp:
+        case FrameType::kConnack:
+            break;  // heartbeat answer / duplicate handshake ack
+        case FrameType::kDisconnect:
+            *alive = false;
+            break;
+        default:
+            decode_errors_.fetch_add(1, std::memory_order_relaxed);
+            *alive = false;
+            break;
+    }
+}
+
+ConnectionCounters Connection::counters() const {
+    ConnectionCounters out;
+    out.connects = connects_.load();
+    out.reconnects = out.connects > 0 ? out.connects - 1 : 0;
+    out.connect_failures = connect_failures_.load();
+    out.frames_out = frames_out_.load();
+    out.frames_in = frames_in_.load();
+    out.crc_rejects = crc_rejects_.load();
+    out.decode_errors = decode_errors_.load();
+    out.heartbeat_timeouts = heartbeat_timeouts_.load();
+    out.publishes_sent = publishes_sent_.load();
+    out.publishes_refused = publishes_refused_.load();
+    out.messages_acked = messages_acked_.load();
+    out.partition_drops = partition_drops_.load();
+    return out;
+}
+
+std::map<std::string, std::uint64_t> Connection::ackedWatermarks() const {
+    common::MutexLock lock(mutex_);
+    return acked_;
+}
+
+std::size_t Connection::inflight() const {
+    common::MutexLock lock(mutex_);
+    return unacked_.size();
+}
+
+RemoteBroker::RemoteBroker(Connection& connection,
+                           std::function<void(const mqtt::Message&)> on_publish)
+    : connection_(connection), on_publish_(std::move(on_publish)) {}
+
+int RemoteBroker::publish(const mqtt::Message& message) {
+    // Intent-log BEFORE the wire write: if the process is SIGKILLed between
+    // send and log, the ground-truth log must still cover everything the
+    // server could have stored. A logged-but-refused publish is harmless —
+    // the Pusher retries it (another log line) and the chaos driver
+    // deduplicates by (topic, sequence).
+    if (on_publish_) on_publish_(message);
+    if (!connection_.publish(message)) return -1;
+    return 1;
+}
+
+}  // namespace wm::net

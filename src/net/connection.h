@@ -1,0 +1,179 @@
+#pragma once
+
+// net::Connection — the client half of the wire transport, used by
+// wm_pusherd to carry Pusher publishes to a remote wintermuted.
+//
+// A manager thread owns the socket lifecycle: connect (with
+// common::Backoff capped exponential delays), CONNECT/CONNACK handshake,
+// then a read loop consuming PUBACK watermarks and PINGRESP heartbeats
+// until the connection dies — at which point it loops back to
+// reconnecting. Dead peers are detected by heartbeat: if no frame arrives
+// within 3x heartbeat_ns the socket is torn down.
+//
+// Delivery-order gate (docs/RESILIENCE.md, "Wire transport"): after every
+// (re)connect the on_connected hook runs BEFORE regular publishes are
+// accepted again. wm_pusherd uses the hook to republish the Pusher replay
+// ring, and only publishes issued from the hook's own thread pass the
+// gate while it runs. This guarantees ring replays (old sequences,
+// possibly lost server-side) always reach the wire before freshly
+// buffered readings (newer sequences) — with the collect agent's
+// cumulative per-topic dedup, flushing new sequences first would turn a
+// lost-but-replayable reading into a permanent gap. The wm-sched model
+// test (tests/model/test_model_net.cpp) proves both directions: gated
+// delivery is exactly-once under every schedule, and the ungated
+// interleaving loses a reading.
+//
+// publish() returns false (so the Pusher buffers and paces retries) when
+// the wire is down, the gate is closed, or max_inflight unacked messages
+// are outstanding (backpressure).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/thread.h"
+#include "common/time_utils.h"
+#include "mqtt/broker.h"
+#include "mqtt/message.h"
+
+namespace wm::net {
+
+struct ConnectionConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Client identifier sent in CONNECT (the pusherd name).
+    std::string client_name = "pusherd";
+    /// The Pusher's sequence epoch, forwarded in CONNECT.
+    std::uint64_t epoch = 0;
+    std::size_t max_frame_bytes = 1 << 20;
+    /// PINGREQ cadence; no frame for 3x this declares the peer dead.
+    common::TimestampNs heartbeat_ns = 500 * common::kNsPerMs;
+    /// Unacked published messages tolerated before publish() refuses
+    /// (backpressure into the Pusher's bounded buffer).
+    std::size_t max_inflight = 256;
+    /// Reconnect pacing; max_attempts <= 0 retries forever.
+    common::RetryPolicy reconnect{0, 100 * common::kNsPerMs, 2.0,
+                                  2 * common::kNsPerSec, 0.1};
+    std::uint64_t retry_seed = 0xC0FFEEULL;
+    int connect_timeout_ms = 1000;
+    int write_timeout_ms = 2000;
+};
+
+struct ConnectionCounters {
+    std::uint64_t connects = 0;    ///< successful handshakes
+    std::uint64_t reconnects = 0;  ///< successful handshakes after the first
+    std::uint64_t connect_failures = 0;
+    std::uint64_t frames_out = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t crc_rejects = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t heartbeat_timeouts = 0;
+    std::uint64_t publishes_sent = 0;
+    std::uint64_t publishes_refused = 0;  ///< gate closed / down / inflight-full
+    std::uint64_t messages_acked = 0;
+    std::uint64_t partition_drops = 0;  ///< frames blackholed by net.partition
+};
+
+class Connection {
+  public:
+    /// `on_connected` runs on the manager thread after every successful
+    /// handshake, before the publish gate opens (see header comment).
+    Connection(ConnectionConfig config, std::function<void()> on_connected);
+    ~Connection();
+
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    /// Spawns the manager thread; it keeps (re)connecting until stop().
+    void start();
+    /// Graceful shutdown: DISCONNECT if connected, then join.
+    void stop();
+
+    /// Sends one message as a single-entry PUBLISH batch. False when the
+    /// wire is down, the replay gate is closed, or inflight is full —
+    /// callers (the Pusher) buffer and retry with backoff.
+    bool publish(const mqtt::Message& message);
+
+    bool connected() const { return connected_.load(); }
+    ConnectionCounters counters() const;
+    /// Highest acked sequence per topic (cumulative, across reconnects).
+    std::map<std::string, std::uint64_t> ackedWatermarks() const;
+    std::size_t inflight() const;
+
+  private:
+    void managerLoop();
+    /// One connection lifetime: handshake, hook, read loop. Returns when
+    /// the connection died (or stop() was requested).
+    void runConnection(int fd);
+    bool sendFrameLocked(const std::string& payload) WM_REQUIRES(mutex_);
+    void handleServerFrame(std::string_view payload, bool* alive);
+
+    ConnectionConfig config_;
+    std::function<void()> on_connected_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> connected_{false};
+    /// Replay gate: regular publishes pass only when open; the manager
+    /// thread (running the on_connected hook) bypasses it.
+    std::atomic<bool> accepting_{false};
+    std::atomic<int> fd_{-1};
+    common::Thread manager_;
+    common::ThreadId manager_id_{};
+
+    mutable common::Mutex mutex_{"net::Connection",
+                                 common::LockRank::kNetConnection};
+    /// topic -> interned id on the current connection (reset on reconnect).
+    std::map<std::string, std::uint32_t> topic_ids_ WM_GUARDED_BY(mutex_);
+    std::vector<std::string> id_topics_ WM_GUARDED_BY(mutex_);
+    std::uint32_t next_topic_id_ WM_GUARDED_BY(mutex_) = 1;
+    /// Dense per-connection PUBLISH counter (PublishFrame::frame_seq);
+    /// reset to 0 on every reconnect, pre-incremented per send.
+    std::uint64_t frame_seq_ WM_GUARDED_BY(mutex_) = 0;
+    /// Send-ordered (topic id, sequence) pairs awaiting cumulative acks.
+    std::deque<std::pair<std::uint32_t, std::uint64_t>> unacked_
+        WM_GUARDED_BY(mutex_);
+    /// topic id -> highest acked sequence on the current connection.
+    std::map<std::uint32_t, std::uint64_t> id_acked_ WM_GUARDED_BY(mutex_);
+    /// topic -> highest acked sequence, preserved across reconnects.
+    std::map<std::string, std::uint64_t> acked_ WM_GUARDED_BY(mutex_);
+
+    std::atomic<std::uint64_t> connects_{0};
+    std::atomic<std::uint64_t> connect_failures_{0};
+    std::atomic<std::uint64_t> frames_out_{0};
+    std::atomic<std::uint64_t> frames_in_{0};
+    std::atomic<std::uint64_t> crc_rejects_{0};
+    std::atomic<std::uint64_t> decode_errors_{0};
+    std::atomic<std::uint64_t> heartbeat_timeouts_{0};
+    std::atomic<std::uint64_t> publishes_sent_{0};
+    std::atomic<std::uint64_t> publishes_refused_{0};
+    std::atomic<std::uint64_t> messages_acked_{0};
+    std::atomic<std::uint64_t> partition_drops_{0};
+};
+
+/// Broker facade over a Connection: lets the unmodified Pusher publish
+/// into the wire. publish() returns 1 when the frame went out (the remote
+/// collect-agent plane counts real deliveries) and -1 on refusal, which
+/// triggers the Pusher's buffering + paced-retry machinery.
+class RemoteBroker final : public mqtt::Broker {
+  public:
+    /// `on_publish(message)` observes every publish attempt BEFORE the wire
+    /// write (wm_pusherd's ground-truth publish log: intent-logged so a
+    /// SIGKILL between send and log cannot leave a stored reading without a
+    /// log line); may be null.
+    explicit RemoteBroker(Connection& connection,
+                          std::function<void(const mqtt::Message&)> on_publish = {});
+
+    int publish(const mqtt::Message& message) override;
+
+  private:
+    Connection& connection_;
+    std::function<void(const mqtt::Message&)> on_publish_;
+};
+
+}  // namespace wm::net

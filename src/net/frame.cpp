@@ -1,0 +1,244 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "persist/checksum.h"
+#include "persist/serializer.h"
+
+namespace wm::net {
+
+namespace {
+
+/// Smallest possible encoding of one element of a counted sequence; used
+/// to reject hostile counts before reserving memory. A registration is at
+/// least id(4) + empty string length(4); a message at least id(4) +
+/// sequence(8) + reading count(4); a reading is exactly ts(8) + value(8);
+/// an ack exactly id(4) + sequence(8).
+constexpr std::size_t kMinRegistrationBytes = 8;
+constexpr std::size_t kMinMessageBytes = 16;
+constexpr std::size_t kReadingBytes = 16;
+constexpr std::size_t kAckBytes = 12;
+
+bool plausibleCount(const persist::Decoder& decoder, std::uint32_t count,
+                    std::size_t min_element_bytes) {
+    return static_cast<std::size_t>(count) <=
+           decoder.remaining() / min_element_bytes;
+}
+
+void putReadings(persist::Encoder& enc, const sensors::ReadingVector& readings) {
+    enc.putU32(static_cast<std::uint32_t>(readings.size()));
+    for (const auto& reading : readings) {
+        enc.putI64(reading.timestamp);
+        enc.putF64(reading.value);
+    }
+}
+
+bool getReadings(persist::Decoder& dec, sensors::ReadingVector* out) {
+    std::uint32_t count = 0;
+    if (!dec.getU32(&count) || !plausibleCount(dec, count, kReadingBytes)) {
+        return false;
+    }
+    out->reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        sensors::Reading reading{};
+        if (!dec.getI64(&reading.timestamp) || !dec.getF64(&reading.value)) {
+            return false;
+        }
+        out->push_back(reading);
+    }
+    return true;
+}
+
+std::string finish(persist::Encoder& enc) { return enc.take(); }
+
+}  // namespace
+
+std::string encodeConnect(const ConnectFrame& frame) {
+    persist::Encoder enc;
+    enc.putU8(static_cast<std::uint8_t>(FrameType::kConnect));
+    enc.putU32(frame.version);
+    enc.putString(frame.client);
+    enc.putU64(frame.epoch);
+    return finish(enc);
+}
+
+std::string encodeConnack(const ConnackFrame& frame) {
+    persist::Encoder enc;
+    enc.putU8(static_cast<std::uint8_t>(FrameType::kConnack));
+    enc.putBool(frame.accepted);
+    enc.putU32(frame.version);
+    enc.putString(frame.reason);
+    return finish(enc);
+}
+
+std::string encodePublish(const PublishFrame& frame) {
+    persist::Encoder enc;
+    enc.putU8(static_cast<std::uint8_t>(FrameType::kPublish));
+    enc.putU64(frame.frame_seq);
+    enc.putU32(static_cast<std::uint32_t>(frame.registrations.size()));
+    for (const auto& reg : frame.registrations) {
+        enc.putU32(reg.id);
+        enc.putString(reg.topic);
+    }
+    enc.putU32(static_cast<std::uint32_t>(frame.messages.size()));
+    for (const auto& message : frame.messages) {
+        enc.putU32(message.topic_id);
+        enc.putU64(message.sequence);
+        putReadings(enc, message.readings);
+    }
+    return finish(enc);
+}
+
+std::string encodePuback(const PubackFrame& frame) {
+    persist::Encoder enc;
+    enc.putU8(static_cast<std::uint8_t>(FrameType::kPuback));
+    enc.putU32(static_cast<std::uint32_t>(frame.acks.size()));
+    for (const auto& ack : frame.acks) {
+        enc.putU32(ack.topic_id);
+        enc.putU64(ack.sequence);
+    }
+    return finish(enc);
+}
+
+std::string encodePingreq() {
+    persist::Encoder enc;
+    enc.putU8(static_cast<std::uint8_t>(FrameType::kPingreq));
+    return finish(enc);
+}
+
+std::string encodePingresp() {
+    persist::Encoder enc;
+    enc.putU8(static_cast<std::uint8_t>(FrameType::kPingresp));
+    return finish(enc);
+}
+
+std::string encodeDisconnect(const DisconnectFrame& frame) {
+    persist::Encoder enc;
+    enc.putU8(static_cast<std::uint8_t>(FrameType::kDisconnect));
+    enc.putString(frame.reason);
+    return finish(enc);
+}
+
+bool decodePayload(std::string_view payload, Frame* out) {
+    persist::Decoder dec(payload);
+    std::uint8_t type_byte = 0;
+    if (!dec.getU8(&type_byte)) return false;
+    *out = Frame{};
+    switch (static_cast<FrameType>(type_byte)) {
+        case FrameType::kConnect: {
+            out->type = FrameType::kConnect;
+            if (!dec.getU32(&out->connect.version) ||
+                !dec.getString(&out->connect.client) ||
+                !dec.getU64(&out->connect.epoch)) {
+                return false;
+            }
+            break;
+        }
+        case FrameType::kConnack: {
+            out->type = FrameType::kConnack;
+            if (!dec.getBool(&out->connack.accepted) ||
+                !dec.getU32(&out->connack.version) ||
+                !dec.getString(&out->connack.reason)) {
+                return false;
+            }
+            break;
+        }
+        case FrameType::kPublish: {
+            out->type = FrameType::kPublish;
+            std::uint32_t reg_count = 0;
+            if (!dec.getU64(&out->publish.frame_seq) || !dec.getU32(&reg_count) ||
+                !plausibleCount(dec, reg_count, kMinRegistrationBytes)) {
+                return false;
+            }
+            out->publish.registrations.reserve(reg_count);
+            for (std::uint32_t i = 0; i < reg_count; ++i) {
+                TopicRegistration reg;
+                if (!dec.getU32(&reg.id) || !dec.getString(&reg.topic)) {
+                    return false;
+                }
+                out->publish.registrations.push_back(std::move(reg));
+            }
+            std::uint32_t msg_count = 0;
+            if (!dec.getU32(&msg_count) ||
+                !plausibleCount(dec, msg_count, kMinMessageBytes)) {
+                return false;
+            }
+            out->publish.messages.reserve(msg_count);
+            for (std::uint32_t i = 0; i < msg_count; ++i) {
+                WireMessage message;
+                if (!dec.getU32(&message.topic_id) ||
+                    !dec.getU64(&message.sequence) ||
+                    !getReadings(dec, &message.readings)) {
+                    return false;
+                }
+                out->publish.messages.push_back(std::move(message));
+            }
+            break;
+        }
+        case FrameType::kPuback: {
+            out->type = FrameType::kPuback;
+            std::uint32_t ack_count = 0;
+            if (!dec.getU32(&ack_count) ||
+                !plausibleCount(dec, ack_count, kAckBytes)) {
+                return false;
+            }
+            out->puback.acks.reserve(ack_count);
+            for (std::uint32_t i = 0; i < ack_count; ++i) {
+                TopicAck ack;
+                if (!dec.getU32(&ack.topic_id) || !dec.getU64(&ack.sequence)) {
+                    return false;
+                }
+                out->puback.acks.push_back(ack);
+            }
+            break;
+        }
+        case FrameType::kPingreq:
+            out->type = FrameType::kPingreq;
+            break;
+        case FrameType::kPingresp:
+            out->type = FrameType::kPingresp;
+            break;
+        case FrameType::kDisconnect: {
+            out->type = FrameType::kDisconnect;
+            if (!dec.getString(&out->disconnect.reason)) return false;
+            break;
+        }
+        default:
+            return false;
+    }
+    // A valid frame consumes its payload exactly: trailing bytes mean the
+    // peer speaks a different dialect, and decoding must not guess.
+    return dec.ok() && dec.atEnd();
+}
+
+std::string frameEncode(std::string_view payload) {
+    persist::Encoder enc;
+    enc.putU32(static_cast<std::uint32_t>(payload.size()));
+    enc.putU32(persist::crc32(payload));
+    std::string out = enc.take();
+    out.append(payload.data(), payload.size());
+    return out;
+}
+
+FrameStatus frameDecode(std::string_view buffer, std::size_t max_frame_bytes,
+                        std::string_view* payload, std::size_t* consumed) {
+    if (buffer.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+    persist::Decoder dec(buffer.substr(0, kFrameHeaderBytes));
+    std::uint32_t length = 0;
+    std::uint32_t crc = 0;
+    dec.getU32(&length);
+    dec.getU32(&crc);
+    if (length == 0) return FrameStatus::kMalformed;
+    if (max_frame_bytes > 0 &&
+        static_cast<std::size_t>(length) > max_frame_bytes) {
+        return FrameStatus::kOversized;
+    }
+    if (buffer.size() < kFrameHeaderBytes + length) return FrameStatus::kNeedMore;
+    const std::string_view body = buffer.substr(kFrameHeaderBytes, length);
+    if (persist::crc32(body) != crc) return FrameStatus::kCrcMismatch;
+    *payload = body;
+    *consumed = kFrameHeaderBytes + length;
+    return FrameStatus::kOk;
+}
+
+}  // namespace wm::net

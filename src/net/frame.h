@@ -1,0 +1,159 @@
+#pragma once
+
+// Wire frames for the wm transport: a length-framed binary MQTT-ish
+// protocol carrying sensor readings from wm_pusherd processes to a
+// wintermuted collect-agent plane over TCP (docs/RESILIENCE.md, "Wire
+// transport").
+//
+// Outer framing reuses the WAL record layout byte-for-byte
+// (src/persist/wal.h):
+//
+//     [u32 payload length][u32 crc32(payload)][payload bytes]
+//
+// and the payload is encoded with the same persist::Encoder/Decoder used
+// for WAL records and snapshots: fixed-width little-endian integers,
+// IEEE-754 doubles, length-prefixed strings — no host-endianness leakage,
+// fully bounds-checked decoding. The first payload byte is the FrameType;
+// the rest is type-specific.
+//
+// The decoder half of this header is pure (buffers in, structs out) so it
+// can be fuzzed without sockets: any truncated, bit-flipped or oversized
+// input must come back as a clean reject, never a crash or an over-read.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sensors/reading.h"
+
+namespace wm::net {
+
+/// Protocol version carried in CONNECT/CONNACK; bumped on any frame-layout
+/// change so mismatched peers refuse each other instead of misparsing.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Bytes of outer framing preceding every payload: u32 length + u32 crc.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+enum class FrameType : std::uint8_t {
+    kConnect = 1,     ///< client -> server: version, client name, pusher epoch
+    kConnack = 2,     ///< server -> client: accept/refuse + server version
+    kPublish = 3,     ///< client -> server: interned-topic message batch
+    kPuback = 4,      ///< server -> client: cumulative per-topic sequence acks
+    kPingreq = 5,     ///< client -> server: heartbeat probe
+    kPingresp = 6,    ///< server -> client: heartbeat answer
+    kDisconnect = 7,  ///< either way: graceful close with a reason
+};
+
+struct ConnectFrame {
+    std::uint32_t version = kProtocolVersion;
+    /// Client identifier for logs (the pusherd name).
+    std::string client;
+    /// The Pusher's sequence epoch (Pusher::sequenceEpoch()): lets the
+    /// server distinguish a restarted pusher (higher epoch) from a
+    /// reconnecting one in logs; dedup itself needs only the absolute
+    /// sequence numbers stamped into messages.
+    std::uint64_t epoch = 0;
+};
+
+struct ConnackFrame {
+    bool accepted = false;
+    std::uint32_t version = kProtocolVersion;
+    std::string reason;  ///< empty when accepted
+};
+
+/// First use of a topic on a connection registers it under a small id;
+/// subsequent messages carry only the id (interned-topic batches).
+struct TopicRegistration {
+    std::uint32_t id = 0;
+    std::string topic;
+};
+
+struct WireMessage {
+    std::uint32_t topic_id = 0;
+    /// Absolute per-topic sequence (epoch + counter) stamped by the Pusher;
+    /// the collect agent dedups on it (at-least-once wire, exactly-once
+    /// storage).
+    std::uint64_t sequence = 0;
+    sensors::ReadingVector readings;
+};
+
+struct PublishFrame {
+    /// Dense per-connection frame counter, starting at 1, incremented by
+    /// the client for every PUBLISH it sends. Topic sequences are sparse
+    /// (a pusher's bounded buffer drops stamped readings under pressure),
+    /// so the server cannot use them to detect a frame silently lost
+    /// mid-connection — but a gap in this counter is unambiguous: the
+    /// server drops the connection WITHOUT acking, and the client's
+    /// replay-on-reconnect redelivers the lost messages. Without this, a
+    /// dropped frame would be "covered" by the next cumulative ack and its
+    /// readings lost forever.
+    std::uint64_t frame_seq = 0;
+    std::vector<TopicRegistration> registrations;
+    std::vector<WireMessage> messages;
+};
+
+/// Cumulative ack: the highest sequence the server has accepted for this
+/// topic on this connection. Acking sequence S acks everything <= S.
+struct TopicAck {
+    std::uint32_t topic_id = 0;
+    std::uint64_t sequence = 0;
+};
+
+struct PubackFrame {
+    std::vector<TopicAck> acks;
+};
+
+struct DisconnectFrame {
+    std::string reason;
+};
+
+/// A decoded frame: `type` selects which member is meaningful.
+struct Frame {
+    FrameType type = FrameType::kPingreq;
+    ConnectFrame connect;
+    ConnackFrame connack;
+    PublishFrame publish;
+    PubackFrame puback;
+    DisconnectFrame disconnect;
+};
+
+// --- Payload encoding (type byte + body) ---------------------------------
+
+std::string encodeConnect(const ConnectFrame& frame);
+std::string encodeConnack(const ConnackFrame& frame);
+std::string encodePublish(const PublishFrame& frame);
+std::string encodePuback(const PubackFrame& frame);
+std::string encodePingreq();
+std::string encodePingresp();
+std::string encodeDisconnect(const DisconnectFrame& frame);
+
+/// Decodes a payload (as produced by the encode* functions) into `out`.
+/// Returns false on any malformation: unknown type, short buffer, trailing
+/// garbage, or an element count that could not possibly fit the remaining
+/// bytes (so a hostile count can never drive a huge allocation).
+bool decodePayload(std::string_view payload, Frame* out);
+
+// --- Outer framing -------------------------------------------------------
+
+/// Wraps a payload in the `[len][crc][payload]` outer framing.
+std::string frameEncode(std::string_view payload);
+
+enum class FrameStatus {
+    kOk,           ///< a complete, checksummed payload was extracted
+    kNeedMore,     ///< buffer holds only a prefix of the frame; read more
+    kCrcMismatch,  ///< framing intact but the payload failed its checksum
+    kOversized,    ///< declared length exceeds max_frame_bytes
+    kMalformed,    ///< impossible header (zero length)
+};
+
+/// Extracts the first frame from `buffer`. On kOk, `*payload` views the
+/// payload bytes inside `buffer` and `*consumed` is the total frame size
+/// (header + payload) to erase. On kCrcMismatch/kOversized/kMalformed the
+/// connection is unrecoverable (framing lost): drop it and count the error.
+FrameStatus frameDecode(std::string_view buffer, std::size_t max_frame_bytes,
+                        std::string_view* payload, std::size_t* consumed);
+
+}  // namespace wm::net

@@ -1,0 +1,338 @@
+#include "net/listener.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "mqtt/message.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace wm::net {
+
+namespace {
+
+/// Topic-id table cap: ids are client-assigned small integers; anything
+/// beyond this is a protocol violation, not a reason to allocate.
+constexpr std::uint32_t kMaxTopicId = 1 << 20;
+
+}  // namespace
+
+struct ConnState {
+    bool connected = false;
+    std::string client;
+    std::uint64_t epoch = 0;
+    /// id -> topic, filled by PUBLISH registrations.
+    std::map<std::uint32_t, std::string> topics;
+    /// id -> highest sequence accepted (cumulative ack watermarks).
+    std::map<std::uint32_t, std::uint64_t> watermarks;
+    /// Expected PublishFrame::frame_seq of the next PUBLISH; a gap means a
+    /// frame was lost on a live connection (fatal, dropped unacked).
+    std::uint64_t next_frame_seq = 1;
+};
+
+Listener::Listener(ListenerConfig config, mqtt::Broker& broker)
+    : config_(config), broker_(broker) {}
+
+Listener::~Listener() { stop(); }
+
+bool Listener::start() {
+    if (running_.load()) return false;
+    std::uint16_t bound = 0;
+    const int fd = tcpListen(config_.port, &bound);
+    if (fd < 0) return false;
+    port_ = bound;
+    listen_fd_.store(fd);
+    running_.store(true);
+    acceptor_ = common::Thread([this] { acceptLoop(); }, "net::Listener.acceptor");
+    WM_LOG(kInfo, "net") << "transport listening on 127.0.0.1:" << port_;
+    return true;
+}
+
+void Listener::stop() {
+    if (!running_.exchange(false)) return;
+    closeSocket(listen_fd_.exchange(-1));
+    if (acceptor_.joinable()) acceptor_.join();
+    common::MutexLock lock(workers_mutex_);
+    for (auto& worker : workers_) {
+        if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+}
+
+ListenerCounters Listener::counters() const {
+    ListenerCounters out;
+    out.connections_accepted = connections_accepted_.load();
+    out.connections_active = connections_active_.load();
+    out.frames_in = frames_in_.load();
+    out.frames_out = frames_out_.load();
+    out.crc_rejects = crc_rejects_.load();
+    out.decode_errors = decode_errors_.load();
+    out.oversized_rejects = oversized_rejects_.load();
+    out.publishes_forwarded = publishes_forwarded_.load();
+    out.frame_gaps = frame_gaps_.load();
+    out.heartbeat_timeouts = heartbeat_timeouts_.load();
+    out.evicted_slow = evicted_slow_.load();
+    out.evicted_inflight = evicted_inflight_.load();
+    out.accept_faults = accept_faults_.load();
+    return out;
+}
+
+void Listener::acceptLoop() {
+    while (running_.load()) {
+        const int listen_fd = listen_fd_.load();
+        if (listen_fd < 0) return;
+        sockaddr peer{};
+        socklen_t len = sizeof(peer);
+        const int fd = ::accept(listen_fd, &peer, &len);
+        if (fd < 0) {
+            if (!running_.load()) return;
+            continue;
+        }
+        // Fault point "net.accept": a refusing or overloaded acceptor.
+        if (const auto fault = common::fault::check("net.accept")) {
+            if (fault.action == common::fault::Action::kDelay) {
+                common::fault::applyDelay(fault.delay_ns);
+            } else {
+                accept_faults_.fetch_add(1, std::memory_order_relaxed);
+                closeSocket(fd);
+                continue;
+            }
+        }
+        if (connections_active_.load() >= config_.max_connections) {
+            closeSocket(fd);
+            continue;
+        }
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        common::MutexLock lock(workers_mutex_);
+        if (workers_.size() > 64) {
+            for (auto& worker : workers_) {
+                if (worker.joinable()) worker.join();
+            }
+            workers_.clear();
+        }
+        workers_.emplace_back([this, fd] { serveConnection(fd); },
+                              "net::Listener.conn");
+    }
+}
+
+void Listener::serveConnection(int fd) {
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    std::string buffer;
+    ConnState state;
+    common::TimestampNs last_activity = common::nowNs();
+    const common::TimestampNs dead_after = 3 * config_.heartbeat_ns;
+    int poll_ms = static_cast<int>(config_.heartbeat_ns / common::kNsPerMs);
+    if (poll_ms < 10) poll_ms = 10;
+    if (poll_ms > 1000) poll_ms = 1000;
+
+    bool open = true;
+    while (open && running_.load()) {
+        // Fault point "net.partition": the peer is unreachable — nothing
+        // arrives, nothing leaves. A long enough partition trips the same
+        // dead-peer eviction a silent client would.
+        if (const auto fault = common::fault::check("net.partition")) {
+            if (fault.action == common::fault::Action::kDelay) {
+                common::fault::applyDelay(fault.delay_ns);
+            }
+            common::Thread::sleepFor(std::chrono::milliseconds(10));
+            if (common::nowNs() - last_activity > dead_after) {
+                heartbeat_timeouts_.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+            continue;
+        }
+        const int rv = recvSome(fd, &buffer, poll_ms);
+        if (rv < 0) break;  // EOF or socket error
+        if (rv == 0) {
+            if (common::nowNs() - last_activity > dead_after) {
+                heartbeat_timeouts_.fetch_add(1, std::memory_order_relaxed);
+                break;
+            }
+            continue;
+        }
+        last_activity = common::nowNs();
+        while (open) {
+            std::string_view payload;
+            std::size_t consumed = 0;
+            const FrameStatus status =
+                frameDecode(buffer, config_.max_frame_bytes, &payload, &consumed);
+            if (status == FrameStatus::kNeedMore) break;
+            if (status == FrameStatus::kOversized) {
+                oversized_rejects_.fetch_add(1, std::memory_order_relaxed);
+                open = false;
+                break;
+            }
+            if (status == FrameStatus::kCrcMismatch) {
+                crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+                open = false;
+                break;
+            }
+            if (status == FrameStatus::kMalformed) {
+                decode_errors_.fetch_add(1, std::memory_order_relaxed);
+                open = false;
+                break;
+            }
+            frames_in_.fetch_add(1, std::memory_order_relaxed);
+            // Fault point "net.frame_read": kFail models corruption below
+            // the checksum (treated exactly like a CRC reject: framing can
+            // no longer be trusted, the connection drops and the client's
+            // replay ring re-delivers); kDrop loses the frame in transit.
+            if (const auto fault = common::fault::check("net.frame_read")) {
+                if (fault.action == common::fault::Action::kDelay) {
+                    common::fault::applyDelay(fault.delay_ns);
+                } else if (fault.action == common::fault::Action::kDrop) {
+                    buffer.erase(0, consumed);
+                    continue;
+                } else {
+                    crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+                    open = false;
+                    break;
+                }
+            }
+            const bool keep = handleFrame(fd, payload, state);
+            buffer.erase(0, consumed);
+            if (!keep) open = false;
+        }
+    }
+    closeSocket(fd);
+    connections_active_.fetch_sub(1, std::memory_order_relaxed);
+    if (!state.client.empty()) {
+        WM_LOG(kInfo, "net") << "connection closed: " << state.client;
+    }
+}
+
+bool Listener::handleFrame(int fd, std::string_view payload, ConnState& state) {
+    Frame frame;
+    if (!decodePayload(payload, &frame)) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    switch (frame.type) {
+        case FrameType::kConnect: {
+            ConnackFrame ack;
+            ack.version = kProtocolVersion;
+            if (frame.connect.version != kProtocolVersion) {
+                ack.accepted = false;
+                ack.reason = "protocol version mismatch";
+                sendFrame(fd, encodeConnack(ack));
+                return false;
+            }
+            state.connected = true;
+            state.client = frame.connect.client;
+            state.epoch = frame.connect.epoch;
+            ack.accepted = true;
+            WM_LOG(kInfo, "net") << "client connected: " << state.client
+                                 << " (epoch " << state.epoch << ")";
+            return sendFrame(fd, encodeConnack(ack));
+        }
+        case FrameType::kPublish: {
+            if (!state.connected) return false;
+            if (frame.publish.frame_seq != state.next_frame_seq) {
+                // A frame vanished on a live connection (lossy link). Topic
+                // sequences cannot reveal this — the pusher's bounded buffer
+                // legitimately drops stamped readings, so topic-seq gaps are
+                // normal. The dense frame counter is unambiguous: drop the
+                // connection WITHOUT acking; the client replays on
+                // reconnect, restoring exactly-once.
+                frame_gaps_.fetch_add(1, std::memory_order_relaxed);
+                WM_LOG(kWarning, "net")
+                    << "frame gap from " << state.client << ": expected "
+                    << state.next_frame_seq << ", got "
+                    << frame.publish.frame_seq << "; dropping connection";
+                return false;
+            }
+            ++state.next_frame_seq;
+            if (frame.publish.messages.size() > config_.max_inflight) {
+                evicted_inflight_.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
+            for (auto& reg : frame.publish.registrations) {
+                if (reg.id == 0 || reg.id > kMaxTopicId) {
+                    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+                    return false;
+                }
+                state.topics[reg.id] = std::move(reg.topic);
+            }
+            PubackFrame acks;
+            for (const auto& message : frame.publish.messages) {
+                const auto topic_it = state.topics.find(message.topic_id);
+                if (topic_it == state.topics.end()) {
+                    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+                    return false;
+                }
+                mqtt::Message out{topic_it->second, message.readings,
+                                  message.sequence};
+                if (broker_.publish(out) < 0) {
+                    // The broker refused (invalid topic or injected ingest
+                    // fault). Nothing past this point was accepted: drop
+                    // the connection WITHOUT acking, so the client's
+                    // replay-on-reconnect re-delivers everything unacked.
+                    return false;
+                }
+                publishes_forwarded_.fetch_add(1, std::memory_order_relaxed);
+                std::uint64_t& mark = state.watermarks[message.topic_id];
+                if (message.sequence > mark) mark = message.sequence;
+            }
+            for (const auto& message : frame.publish.messages) {
+                // One cumulative ack per topic touched by this batch.
+                bool seen = false;
+                for (const auto& ack : acks.acks) {
+                    if (ack.topic_id == message.topic_id) {
+                        seen = true;
+                        break;
+                    }
+                }
+                if (!seen) {
+                    acks.acks.push_back(
+                        {message.topic_id, state.watermarks[message.topic_id]});
+                }
+            }
+            return sendFrame(fd, encodePuback(acks));
+        }
+        case FrameType::kPingreq:
+            return sendFrame(fd, encodePingresp());
+        case FrameType::kDisconnect:
+            WM_LOG(kInfo, "net") << "client disconnecting: " << state.client
+                                 << " (" << frame.disconnect.reason << ")";
+            return false;
+        default:
+            // CONNACK/PUBACK/PINGRESP are server-to-client only.
+            decode_errors_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+    }
+}
+
+bool Listener::sendFrame(int fd, const std::string& payload) {
+    // A partitioned wire swallows outbound traffic silently; the client's
+    // heartbeat timeout notices, not this send.
+    if (const auto fault = common::fault::check("net.partition")) {
+        if (fault.action == common::fault::Action::kDelay) {
+            common::fault::applyDelay(fault.delay_ns);
+        } else {
+            return true;
+        }
+    }
+    if (const auto fault = common::fault::check("net.frame_write")) {
+        if (fault.action == common::fault::Action::kDelay) {
+            common::fault::applyDelay(fault.delay_ns);
+        } else if (fault.action == common::fault::Action::kDrop) {
+            return true;  // lost in transit
+        } else {
+            evicted_slow_.fetch_add(1, std::memory_order_relaxed);
+            return false;  // failed write: evict
+        }
+    }
+    if (!sendAll(fd, frameEncode(payload), config_.write_timeout_ms)) {
+        evicted_slow_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+}  // namespace wm::net

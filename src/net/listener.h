@@ -1,0 +1,132 @@
+#pragma once
+
+// net::Listener — the server half of the wire transport. Accepts
+// wm_pusherd connections, decodes frames, and feeds every PUBLISH message
+// into an mqtt::Broker (in wintermuted: the AsyncBroker fronting the
+// sharded CollectAgent plane), answering with cumulative per-topic PUBACKs
+// and PINGRESP heartbeats.
+//
+// Protections (docs/RESILIENCE.md, "Wire transport"):
+//  * per-connection read timeouts: a peer silent for longer than
+//    3 x heartbeat_ns is declared dead and evicted;
+//  * max_frame_bytes: an oversized frame drops the connection before any
+//    allocation happens;
+//  * max_inflight: a PUBLISH batch carrying more messages than the server
+//    is willing to hold unacked is a protocol violation — evicted;
+//  * slow-client eviction: a peer that cannot drain its acks within
+//    write_timeout_ms is evicted rather than wedging the worker;
+//  * any CRC mismatch or undecodable payload drops the connection and
+//    counts the error (framing is lost; at-least-once replay on the
+//    client side re-delivers).
+//
+// Fault points: "net.accept" (refuse/delay an accepted connection),
+// "net.frame_read" (kFail corrupts the received frame -> CRC reject,
+// kDrop loses it, kDelay stalls), "net.frame_write" (kFail fails the
+// ack write -> eviction, kDrop suppresses it), "net.partition" (while
+// firing, the socket behaves blackholed: nothing is read or written).
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread.h"
+#include "common/time_utils.h"
+#include "mqtt/broker.h"
+
+namespace wm::net {
+
+struct ListenerConfig {
+    /// 0 = ephemeral (port() after start()).
+    std::uint16_t port = 0;
+    /// Frames larger than this are rejected before allocation.
+    std::size_t max_frame_bytes = 1 << 20;
+    /// Expected client heartbeat interval; a connection with no traffic
+    /// for 3x this is evicted as a dead peer.
+    common::TimestampNs heartbeat_ns = 500 * common::kNsPerMs;
+    /// Max messages in one PUBLISH batch (the server's unacked window).
+    std::size_t max_inflight = 4096;
+    /// Budget for draining one ack/pong write to a slow client.
+    int write_timeout_ms = 2000;
+    /// Concurrent connections; further accepts are refused.
+    std::size_t max_connections = 64;
+};
+
+/// Monotonically increasing transport counters, surfaced via /status.
+struct ListenerCounters {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_active = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    std::uint64_t crc_rejects = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t oversized_rejects = 0;
+    std::uint64_t publishes_forwarded = 0;
+    /// Connections dropped because a PUBLISH arrived with a gap in the
+    /// dense per-connection frame counter — a frame was lost on a live
+    /// connection (see PublishFrame::frame_seq). Dropped unacked, so the
+    /// client replays on reconnect.
+    std::uint64_t frame_gaps = 0;
+    std::uint64_t heartbeat_timeouts = 0;
+    std::uint64_t evicted_slow = 0;
+    std::uint64_t evicted_inflight = 0;
+    std::uint64_t accept_faults = 0;
+};
+
+/// Per-connection protocol state (defined in listener.cpp; owned by the
+/// serving thread, so it needs no lock).
+struct ConnState;
+
+class Listener {
+  public:
+    /// `broker` receives every decoded PUBLISH message; must outlive the
+    /// listener.
+    Listener(ListenerConfig config, mqtt::Broker& broker);
+    ~Listener();
+
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    bool start();
+    void stop();
+    bool running() const { return running_.load(); }
+
+    /// Bound port (after start()).
+    std::uint16_t port() const { return port_; }
+
+    ListenerCounters counters() const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    /// Handles one decoded frame; returns false when the connection must
+    /// close (protocol violation, forced eviction, graceful disconnect).
+    bool handleFrame(int fd, std::string_view payload, ConnState& state);
+    bool sendFrame(int fd, const std::string& payload);
+
+    ListenerConfig config_;
+    mqtt::Broker& broker_;
+    std::atomic<int> listen_fd_{-1};
+    std::atomic<bool> running_{false};
+    std::uint16_t port_ = 0;
+    common::Thread acceptor_;
+    mutable common::Mutex workers_mutex_{"net::Listener.workers",
+                                         common::LockRank::kNetListener};
+    std::vector<common::Thread> workers_ WM_GUARDED_BY(workers_mutex_);
+
+    std::atomic<std::uint64_t> connections_accepted_{0};
+    std::atomic<std::uint64_t> connections_active_{0};
+    std::atomic<std::uint64_t> frames_in_{0};
+    std::atomic<std::uint64_t> frames_out_{0};
+    std::atomic<std::uint64_t> crc_rejects_{0};
+    std::atomic<std::uint64_t> decode_errors_{0};
+    std::atomic<std::uint64_t> oversized_rejects_{0};
+    std::atomic<std::uint64_t> publishes_forwarded_{0};
+    std::atomic<std::uint64_t> frame_gaps_{0};
+    std::atomic<std::uint64_t> heartbeat_timeouts_{0};
+    std::atomic<std::uint64_t> evicted_slow_{0};
+    std::atomic<std::uint64_t> evicted_inflight_{0};
+    std::atomic<std::uint64_t> accept_faults_{0};
+};
+
+}  // namespace wm::net

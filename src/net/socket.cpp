@@ -1,0 +1,104 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wm::net {
+
+int tcpConnect(const std::string& host, std::uint16_t port, int timeout_ms) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return -1;
+    }
+    // Non-blocking connect so the attempt is poll-bounded.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int rv = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rv < 0) {
+        if (errno != EINPROGRESS) {
+            ::close(fd);
+            return -1;
+        }
+        struct pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, timeout_ms) <= 0) {
+            ::close(fd);
+            return -1;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+            ::close(fd);
+            return -1;
+        }
+    }
+    ::fcntl(fd, F_SETFL, flags);  // back to blocking; all I/O is poll-gated
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+int tcpListen(std::uint16_t port, std::uint16_t* bound_port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        ::listen(fd, 16) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+    return fd;
+}
+
+bool sendAll(int fd, std::string_view data, int timeout_ms) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        struct pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+        const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+int recvSome(int fd, std::string* buffer, int timeout_ms) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int rv = ::poll(&pfd, 1, timeout_ms);
+    if (rv == 0) return 0;
+    if (rv < 0) return -1;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return -1;
+    buffer->append(chunk, static_cast<std::size_t>(n));
+    return static_cast<int>(n);
+}
+
+void closeSocket(int fd) {
+    if (fd < 0) return;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+}
+
+}  // namespace wm::net

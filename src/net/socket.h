@@ -1,0 +1,35 @@
+#pragma once
+
+// Minimal blocking-socket helpers shared by net::Listener and
+// net::Connection. Loopback/IPv4 only (the transport links processes of
+// one mini-cluster, matching the rest/http_server.cpp idiom); every
+// operation is poll-bounded so a dead peer can never wedge a thread
+// forever.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wm::net {
+
+/// Connects to host:port with a bounded wait. Returns the fd, or -1.
+int tcpConnect(const std::string& host, std::uint16_t port, int timeout_ms);
+
+/// Creates a listening socket bound to 127.0.0.1:port (0 = ephemeral).
+/// Returns the fd (with *bound_port filled in) or -1.
+int tcpListen(std::uint16_t port, std::uint16_t* bound_port);
+
+/// Sends all of `data`, waiting at most `timeout_ms` for each chunk to
+/// become writable. Returns false on error or timeout (a slow or dead
+/// peer: callers evict).
+bool sendAll(int fd, std::string_view data, int timeout_ms);
+
+/// Waits up to `timeout_ms` for readable data and appends whatever is
+/// available to `buffer`. Returns: >0 bytes appended, 0 on timeout (no
+/// data), -1 on EOF or error.
+int recvSome(int fd, std::string* buffer, int timeout_ms);
+
+/// shutdown(SHUT_RDWR) + close, ignoring errors; safe on -1.
+void closeSocket(int fd);
+
+}  // namespace wm::net

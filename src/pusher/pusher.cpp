@@ -156,7 +156,14 @@ std::size_t Pusher::replayRecent() {
     common::MutexLock lock(buffer_mutex_);
     std::size_t replayed = 0;
     for (const auto& message : replay_ring_) {
-        if (broker_->publish(message) >= 0) ++replayed;
+        // A refusal means the broker is down again: stop HERE, keeping ring
+        // order intact. Skipping past a refusal to deliver a later message
+        // would let the consumer's cumulative per-topic watermark cover the
+        // skipped one, turning every future redelivery into a dedup drop —
+        // a permanent loss dressed up as a duplicate. The undelivered tail
+        // stays in the ring for the next replay.
+        if (broker_->publish(message) < 0) break;
+        ++replayed;
     }
     messages_replayed_.fetch_add(replayed, std::memory_order_relaxed);
     if (replayed > 0) {

@@ -94,6 +94,11 @@ class Pusher {
     std::size_t replayRecent();
     std::uint64_t messagesReplayed() const { return messages_replayed_.load(); }
 
+    /// The epoch baked into every stamped sequence; wm_pusherd forwards it
+    /// in the wire CONNECT so the server can tell a restarted pusher (new,
+    /// higher epoch) from a reconnecting one.
+    std::uint64_t sequenceEpoch() const { return sequence_epoch_; }
+
   private:
     void tickGroup(SensorGroup& group, common::TimestampNs t);
 

@@ -103,6 +103,7 @@ StorageStats ShardedStorageBackend::stats() const {
         total.inserts += part.inserts;
         total.queries += part.queries;
         total.rejected_inserts += part.rejected_inserts;
+        total.duplicate_drops += part.duplicate_drops;
     }
     return total;
 }

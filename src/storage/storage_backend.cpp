@@ -55,6 +55,28 @@ void insertSortedUnique(sensors::ReadingVector& readings,
     readings.insert(it, reading);
 }
 
+/// True when `reading` is already present byte-for-byte (same timestamp,
+/// same value). Live inserts use this as the idempotence backstop for
+/// wire-level redelivery: the collect agent's per-topic sequence watermark
+/// dies with the process, so after a crash+restart a client replaying its
+/// unacked ring re-delivers readings the WAL already recovered — those
+/// must converge to one stored row, not two. In-order appends (the hot
+/// path) never pay the scan: a fresh reading's timestamp is past the tail.
+bool isDuplicate(const sensors::ReadingVector& readings,
+                 const sensors::Reading& reading) {
+    if (readings.empty() || reading.timestamp > readings.back().timestamp) {
+        return false;
+    }
+    auto it = std::lower_bound(readings.begin(), readings.end(), reading.timestamp,
+                               [](const sensors::Reading& r, common::TimestampNs t) {
+                                   return r.timestamp < t;
+                               });
+    for (; it != readings.end() && it->timestamp == reading.timestamp; ++it) {
+        if (it->value == reading.value) return true;
+    }
+    return false;
+}
+
 /// Evaluates the "storage.insert" fault point for one reading. kFail and
 /// kDrop both refuse the insert (the caller decides whether to quarantine);
 /// kDelay stalls it like a slow backend, then accepts.
@@ -313,6 +335,13 @@ bool StorageBackend::insert(const std::string& topic, const sensors::Reading& re
         return false;
     }
     common::WriteLock lock(mutex_);
+    auto& series = series_[topic];
+    if (isDuplicate(series.readings, reading)) {
+        // Idempotent success: the reading is already durably stored (and
+        // already in the WAL), so the redelivery is absorbed, not re-logged.
+        duplicate_drops_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
     if (wal_ != nullptr) {
         persist::Encoder encoder;
         encoder.putU8(kRecordReading);
@@ -326,7 +355,7 @@ bool StorageBackend::insert(const std::string& topic, const sensors::Reading& re
             return false;
         }
     }
-    insertSorted(series_[topic].readings, reading);
+    insertSorted(series.readings, reading);
     inserts_.fetch_add(1, std::memory_order_relaxed);
     maybeCheckpointLocked();
     return true;
@@ -342,6 +371,11 @@ std::size_t StorageBackend::insertBatch(const std::string& topic,
         if (insertFaulted()) {
             rejected_.fetch_add(1, std::memory_order_relaxed);
             if (rejected != nullptr) rejected->push_back(reading);
+            continue;
+        }
+        if (isDuplicate(series.readings, reading)) {
+            // Absorbed as already stored — neither rejected nor re-inserted.
+            duplicate_drops_.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
         if (wal_ != nullptr) {
@@ -475,6 +509,7 @@ StorageStats StorageBackend::stats() const {
     stats.inserts = inserts_.load(std::memory_order_relaxed);
     stats.queries = queries_.load(std::memory_order_relaxed);
     stats.rejected_inserts = rejected_.load(std::memory_order_relaxed);
+    stats.duplicate_drops = duplicate_drops_.load(std::memory_order_relaxed);
     return stats;
 }
 

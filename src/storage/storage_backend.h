@@ -40,6 +40,9 @@ struct StorageStats {
     std::uint64_t queries = 0;
     /// Inserts refused by the injected fault point "storage.insert".
     std::uint64_t rejected_inserts = 0;
+    /// Exact (timestamp, value) redeliveries absorbed as already stored —
+    /// the idempotence backstop for wire replay after a crash+restart.
+    std::uint64_t duplicate_drops = 0;
 };
 
 /// Where and how the backend persists its state.
@@ -252,6 +255,7 @@ class StorageBackend : public Storage {
     mutable std::atomic<std::uint64_t> inserts_{0};
     mutable std::atomic<std::uint64_t> queries_{0};
     std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> duplicate_drops_{0};
 
     // Durability plumbing; all mutations happen under the write lock.
     std::unique_ptr<persist::WalWriter> wal_ WM_GUARDED_BY(mutex_);

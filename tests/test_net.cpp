@@ -1,0 +1,598 @@
+// Wire-transport tests (src/net/, docs/RESILIENCE.md "Wire transport").
+//
+// Three layers, mirroring the decoder's purity guarantee:
+//  * codec — encode*/decodePayload/frameEncode/frameDecode round-trips and
+//    rejections, no sockets involved;
+//  * fuzz — seeded random truncation, bit-flipping and garbage against
+//    frameDecode, decodePayload and the underlying persist::Decoder: every
+//    hostile input must come back as a clean reject, never a crash, an
+//    over-read, or a count-driven huge allocation;
+//  * sockets — Listener + Connection end-to-end over real loopback TCP:
+//    delivery, cumulative acks, reconnect-with-replay exactly-once, the
+//    dense frame_seq gap detection, and the net.* fault points.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/time_utils.h"
+#include "mqtt/broker.h"
+#include "mqtt/message.h"
+#include "net/connection.h"
+#include "net/frame.h"
+#include "net/listener.h"
+#include "net/socket.h"
+#include "persist/serializer.h"
+
+namespace wm::net {
+namespace {
+
+bool waitUntil(const std::function<bool()>& predicate, int budget_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(budget_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (predicate()) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return predicate();
+}
+
+mqtt::Message makeMessage(const std::string& topic, std::uint64_t seq) {
+    mqtt::Message message;
+    message.topic = topic;
+    message.sequence = seq;
+    message.readings.push_back(
+        {static_cast<common::TimestampNs>(seq) * 1000, double(seq) * 0.5});
+    return message;
+}
+
+// --- Codec ----------------------------------------------------------------
+
+TEST(NetFrameCodec, ConnectRoundTrip) {
+    ConnectFrame in;
+    in.client = "pusherd-7";
+    in.epoch = 0xDEADBEEFCAFEULL;
+    Frame out;
+    ASSERT_TRUE(decodePayload(encodeConnect(in), &out));
+    EXPECT_EQ(out.type, FrameType::kConnect);
+    EXPECT_EQ(out.connect.version, kProtocolVersion);
+    EXPECT_EQ(out.connect.client, "pusherd-7");
+    EXPECT_EQ(out.connect.epoch, 0xDEADBEEFCAFEULL);
+}
+
+TEST(NetFrameCodec, ConnackRoundTrip) {
+    ConnackFrame in;
+    in.accepted = false;
+    in.reason = "version mismatch";
+    Frame out;
+    ASSERT_TRUE(decodePayload(encodeConnack(in), &out));
+    EXPECT_EQ(out.type, FrameType::kConnack);
+    EXPECT_FALSE(out.connack.accepted);
+    EXPECT_EQ(out.connack.reason, "version mismatch");
+}
+
+TEST(NetFrameCodec, PublishRoundTripCarriesFrameSeqRegistrationsAndBatch) {
+    PublishFrame in;
+    in.frame_seq = 41;
+    in.registrations.push_back({1, "/r0/c0/s0/power"});
+    in.registrations.push_back({2, "/r0/c0/s0/temp"});
+    in.messages.push_back({1, 100, {{10, 1.5}, {20, 2.5}}});
+    in.messages.push_back({2, 200, {{30, 3.5}}});
+    Frame out;
+    ASSERT_TRUE(decodePayload(encodePublish(in), &out));
+    EXPECT_EQ(out.type, FrameType::kPublish);
+    EXPECT_EQ(out.publish.frame_seq, 41u);
+    ASSERT_EQ(out.publish.registrations.size(), 2u);
+    EXPECT_EQ(out.publish.registrations[0].topic, "/r0/c0/s0/power");
+    EXPECT_EQ(out.publish.registrations[1].id, 2u);
+    ASSERT_EQ(out.publish.messages.size(), 2u);
+    EXPECT_EQ(out.publish.messages[0].sequence, 100u);
+    ASSERT_EQ(out.publish.messages[0].readings.size(), 2u);
+    EXPECT_EQ(out.publish.messages[0].readings[1], (sensors::Reading{20, 2.5}));
+    EXPECT_EQ(out.publish.messages[1].topic_id, 2u);
+}
+
+TEST(NetFrameCodec, PubackRoundTrip) {
+    PubackFrame in;
+    in.acks.push_back({1, 100});
+    in.acks.push_back({7, 900});
+    Frame out;
+    ASSERT_TRUE(decodePayload(encodePuback(in), &out));
+    EXPECT_EQ(out.type, FrameType::kPuback);
+    ASSERT_EQ(out.puback.acks.size(), 2u);
+    EXPECT_EQ(out.puback.acks[1].topic_id, 7u);
+    EXPECT_EQ(out.puback.acks[1].sequence, 900u);
+}
+
+TEST(NetFrameCodec, PingAndDisconnectRoundTrip) {
+    Frame out;
+    ASSERT_TRUE(decodePayload(encodePingreq(), &out));
+    EXPECT_EQ(out.type, FrameType::kPingreq);
+    ASSERT_TRUE(decodePayload(encodePingresp(), &out));
+    EXPECT_EQ(out.type, FrameType::kPingresp);
+    ASSERT_TRUE(decodePayload(encodeDisconnect({"shutdown"}), &out));
+    EXPECT_EQ(out.type, FrameType::kDisconnect);
+    EXPECT_EQ(out.disconnect.reason, "shutdown");
+}
+
+TEST(NetFrameCodec, RejectsEmptyUnknownTypeAndTrailingGarbage) {
+    Frame out;
+    EXPECT_FALSE(decodePayload("", &out));
+    EXPECT_FALSE(decodePayload(std::string(1, '\x63'), &out));
+    std::string trailing = encodePingreq();
+    trailing += "junk";
+    EXPECT_FALSE(decodePayload(trailing, &out));
+}
+
+TEST(NetFrameCodec, EveryTruncationOfAPublishRejectsCleanly) {
+    PublishFrame in;
+    in.frame_seq = 1;
+    in.registrations.push_back({1, "/a/b"});
+    in.messages.push_back({1, 5, {{10, 1.0}}});
+    const std::string payload = encodePublish(in);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        Frame out;
+        EXPECT_FALSE(decodePayload(std::string_view(payload).substr(0, len), &out))
+            << "truncation to " << len << " bytes decoded";
+    }
+}
+
+TEST(NetFrameCodec, HostileCountsCannotDriveHugeAllocations) {
+    // A PUBLISH claiming 2^32-1 registrations in a 30-byte payload: the
+    // plausibility guard must reject it before any reserve() happens.
+    persist::Encoder enc;
+    enc.putU8(static_cast<std::uint8_t>(FrameType::kPublish));
+    enc.putU64(1);           // frame_seq
+    enc.putU32(0xFFFFFFFF);  // registration count
+    Frame out;
+    EXPECT_FALSE(decodePayload(enc.data(), &out));
+
+    persist::Encoder enc2;
+    enc2.putU8(static_cast<std::uint8_t>(FrameType::kPublish));
+    enc2.putU64(1);
+    enc2.putU32(0);           // no registrations
+    enc2.putU32(0xFFFFFFFF);  // message count
+    EXPECT_FALSE(decodePayload(enc2.data(), &out));
+}
+
+// --- Outer framing --------------------------------------------------------
+
+TEST(NetFraming, RoundTrip) {
+    const std::string framed = frameEncode("payload-bytes");
+    std::string_view payload;
+    std::size_t consumed = 0;
+    ASSERT_EQ(frameDecode(framed, 1 << 20, &payload, &consumed),
+              FrameStatus::kOk);
+    EXPECT_EQ(payload, "payload-bytes");
+    EXPECT_EQ(consumed, framed.size());
+}
+
+TEST(NetFraming, EveryPrefixNeedsMore) {
+    const std::string framed = frameEncode("abcdef");
+    for (std::size_t len = 0; len < framed.size(); ++len) {
+        std::string_view payload;
+        std::size_t consumed = 0;
+        EXPECT_EQ(frameDecode(std::string_view(framed).substr(0, len), 1 << 20,
+                              &payload, &consumed),
+                  FrameStatus::kNeedMore)
+            << "prefix of " << len << " bytes";
+    }
+}
+
+TEST(NetFraming, EverySingleBitFlipIsRejected) {
+    const std::string framed = frameEncode("sensor payload");
+    for (std::size_t byte = 0; byte < framed.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string mutated = framed;
+            mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+            std::string_view payload;
+            std::size_t consumed = 0;
+            const FrameStatus status =
+                frameDecode(mutated, 1 << 20, &payload, &consumed);
+            // A flipped length byte may yield kNeedMore/kOversized/
+            // kMalformed; any flip reaching CRC comparison must mismatch.
+            EXPECT_NE(status, FrameStatus::kOk)
+                << "bit " << bit << " of byte " << byte << " went unnoticed";
+        }
+    }
+}
+
+TEST(NetFraming, OversizedAndZeroLengthAreRejected) {
+    const std::string framed = frameEncode(std::string(256, 'x'));
+    std::string_view payload;
+    std::size_t consumed = 0;
+    EXPECT_EQ(frameDecode(framed, 64, &payload, &consumed),
+              FrameStatus::kOversized);
+    const std::string zero(kFrameHeaderBytes, '\0');
+    EXPECT_EQ(frameDecode(zero, 64, &payload, &consumed),
+              FrameStatus::kMalformed);
+}
+
+// --- Fuzz -----------------------------------------------------------------
+
+TEST(NetFuzz, RandomBuffersNeverCrashFrameDecode) {
+    common::Rng rng(0xF0221);
+    for (int i = 0; i < 20000; ++i) {
+        const std::size_t len = rng.uniformInt(96);
+        std::string buffer(len, '\0');
+        for (auto& c : buffer) c = static_cast<char>(rng.next() & 0xFF);
+        std::string_view payload;
+        std::size_t consumed = 0;
+        const FrameStatus status = frameDecode(buffer, 1 << 12, &payload, &consumed);
+        if (status == FrameStatus::kOk) {
+            // Never an over-read: the extracted view lies inside the buffer.
+            EXPECT_LE(consumed, buffer.size());
+            EXPECT_LE(payload.size() + kFrameHeaderBytes, buffer.size());
+        }
+    }
+}
+
+TEST(NetFuzz, MutatedPublishPayloadsRejectOrDecodeSanely) {
+    PublishFrame in;
+    in.frame_seq = 3;
+    in.registrations.push_back({1, "/fuzz/topic"});
+    in.messages.push_back({1, 42, {{100, 1.0}, {200, 2.0}}});
+    const std::string valid = encodePublish(in);
+    common::Rng rng(0xF0222);
+    for (int i = 0; i < 20000; ++i) {
+        std::string mutated = valid;
+        const int mutations = 1 + static_cast<int>(rng.uniformInt(4));
+        for (int m = 0; m < mutations; ++m) {
+            const std::size_t pos = rng.uniformInt(mutated.size());
+            mutated[pos] = static_cast<char>(rng.next() & 0xFF);
+        }
+        Frame out;
+        if (decodePayload(mutated, &out) && out.type == FrameType::kPublish) {
+            // If a mutation survives decoding, the element counts must still
+            // be plausible for the byte budget (no hostile-count blowup).
+            EXPECT_LE(out.publish.messages.size(), mutated.size());
+            EXPECT_LE(out.publish.registrations.size(), mutated.size());
+        }
+    }
+}
+
+TEST(NetFuzz, PersistDecoderLatchesFailureOnRandomOperations) {
+    common::Rng rng(0xF0223);
+    for (int i = 0; i < 5000; ++i) {
+        const std::size_t len = rng.uniformInt(48);
+        std::string buffer(len, '\0');
+        for (auto& c : buffer) c = static_cast<char>(rng.next() & 0xFF);
+        persist::Decoder dec(buffer);
+        bool failed = false;
+        for (int op = 0; op < 12; ++op) {
+            bool ok = true;
+            switch (rng.uniformInt(7)) {
+                case 0: { std::uint8_t v; ok = dec.getU8(&v); break; }
+                case 1: { std::uint32_t v; ok = dec.getU32(&v); break; }
+                case 2: { std::uint64_t v; ok = dec.getU64(&v); break; }
+                case 3: { std::int64_t v; ok = dec.getI64(&v); break; }
+                case 4: { double v; ok = dec.getF64(&v); break; }
+                case 5: { bool v; ok = dec.getBool(&v); break; }
+                default: { std::string v; ok = dec.getString(&v); break; }
+            }
+            if (!ok) failed = true;
+            // Once any read fails, ok() must stay latched false forever.
+            if (failed) {
+                EXPECT_FALSE(dec.ok());
+            }
+        }
+    }
+}
+
+// --- Sockets: delivery, acks, replay, faults ------------------------------
+
+/// Counts accepted messages behind a cumulative per-topic watermark — the
+/// same dedup rule CollectAgent::onMessage applies — so the socket tests
+/// assert exactly-once end to end, replays included.
+class DedupRecorder {
+  public:
+    explicit DedupRecorder(mqtt::Broker& broker) {
+        broker.subscribe("#", [this](const mqtt::Message& message) {
+            common::MutexLock lock(mutex_);
+            std::uint64_t& last = watermark_[message.topic];
+            if (message.sequence != 0 && message.sequence <= last) {
+                ++dedup_drops_;
+                return;
+            }
+            last = message.sequence;
+            accepted_[message.topic].push_back(message.sequence);
+        });
+    }
+
+    std::size_t acceptedCount() const {
+        common::MutexLock lock(mutex_);
+        std::size_t n = 0;
+        for (const auto& [topic, seqs] : accepted_) n += seqs.size();
+        return n;
+    }
+
+    std::vector<std::uint64_t> accepted(const std::string& topic) const {
+        common::MutexLock lock(mutex_);
+        const auto it = accepted_.find(topic);
+        return it == accepted_.end() ? std::vector<std::uint64_t>{} : it->second;
+    }
+
+    std::uint64_t dedupDrops() const {
+        common::MutexLock lock(mutex_);
+        return dedup_drops_;
+    }
+
+  private:
+    mutable common::Mutex mutex_{"test.DedupRecorder", common::LockRank::kLogger};
+    std::map<std::string, std::vector<std::uint64_t>> accepted_ WM_GUARDED_BY(mutex_);
+    std::map<std::string, std::uint64_t> watermark_ WM_GUARDED_BY(mutex_);
+    std::uint64_t dedup_drops_ WM_GUARDED_BY(mutex_) = 0;
+};
+
+ConnectionConfig fastClient(std::uint16_t port) {
+    ConnectionConfig config;
+    config.port = port;
+    config.client_name = "test-client";
+    config.heartbeat_ns = 100 * common::kNsPerMs;
+    config.reconnect = {0, 20 * common::kNsPerMs, 2.0, 200 * common::kNsPerMs, 0.1};
+    config.connect_timeout_ms = 500;
+    return config;
+}
+
+TEST(NetSocket, PublishesFlowThroughRealSocketsAndGetAcked) {
+    mqtt::Broker broker;
+    DedupRecorder recorder(broker);
+    ListenerConfig server_config;
+    server_config.heartbeat_ns = 100 * common::kNsPerMs;
+    Listener listener(server_config, broker);
+    ASSERT_TRUE(listener.start());
+
+    Connection connection(fastClient(listener.port()), nullptr);
+    connection.start();
+    ASSERT_TRUE(waitUntil([&] { return connection.connected(); }));
+
+    for (std::uint64_t seq = 1; seq <= 50; ++seq) {
+        ASSERT_TRUE(waitUntil([&] {
+            return connection.publish(makeMessage("/t/a", seq)) &&
+                   connection.publish(makeMessage("/t/b", seq + 1000));
+        }));
+    }
+    ASSERT_TRUE(waitUntil([&] { return recorder.acceptedCount() == 100; }));
+
+    // In-order per topic, no duplicates, and cumulative acks catch up.
+    std::vector<std::uint64_t> expect_a(50);
+    for (std::uint64_t i = 0; i < 50; ++i) expect_a[i] = i + 1;
+    EXPECT_EQ(recorder.accepted("/t/a"), expect_a);
+    ASSERT_TRUE(waitUntil([&] {
+        const auto acks = connection.ackedWatermarks();
+        const auto a = acks.find("/t/a");
+        const auto b = acks.find("/t/b");
+        return a != acks.end() && a->second == 50 && b != acks.end() &&
+               b->second == 1050;
+    }));
+    EXPECT_EQ(connection.counters().publishes_sent, 100u);
+    EXPECT_EQ(connection.counters().messages_acked, 100u);
+    const auto wire = listener.counters();
+    EXPECT_EQ(wire.publishes_forwarded, 100u);
+    EXPECT_EQ(wire.crc_rejects, 0u);
+    EXPECT_EQ(wire.frame_gaps, 0u);
+    EXPECT_GE(wire.frames_in, 100u);
+
+    connection.stop();
+    listener.stop();
+}
+
+TEST(NetSocket, ReconnectReplayDeliversExactlyOnce) {
+    mqtt::Broker broker;
+    DedupRecorder recorder(broker);
+    ListenerConfig server_config;
+    server_config.heartbeat_ns = 100 * common::kNsPerMs;
+    auto first = std::make_unique<Listener>(server_config, broker);
+    ASSERT_TRUE(first->start());
+    const std::uint16_t port = first->port();
+
+    // The hook mimics Pusher::replayRecent: the whole ring, oldest first,
+    // on every (re)connect. Seqs 1..5 make up the ring.
+    std::vector<mqtt::Message> ring;
+    for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+        ring.push_back(makeMessage("/t/replay", seq));
+    }
+    Connection* conn_ptr = nullptr;
+    Connection replaying(fastClient(port), [&ring, &conn_ptr] {
+        for (const auto& message : ring) {
+            if (!conn_ptr->publish(message)) break;
+        }
+    });
+    conn_ptr = &replaying;
+    replaying.start();
+    ASSERT_TRUE(waitUntil([&] { return replaying.connected(); }));
+    ASSERT_TRUE(waitUntil([&] { return recorder.acceptedCount() == 5; }));
+
+    // Server dies; a new listener takes over the same port. The client must
+    // reconnect on its own and re-run the replay hook — the recorder's
+    // watermark proves the replays dedup to zero new deliveries.
+    first->stop();
+    first.reset();
+    Listener second({.port = port, .heartbeat_ns = 100 * common::kNsPerMs},
+                    broker);
+    ASSERT_TRUE(waitUntil([&] { return second.start(); }, 2000));
+    ASSERT_TRUE(waitUntil([&] {
+        return replaying.counters().reconnects >= 1 && replaying.connected();
+    }));
+    ASSERT_TRUE(waitUntil([&] { return replaying.counters().connects >= 2; }));
+
+    // New traffic after the replay keeps flowing.
+    ASSERT_TRUE(waitUntil(
+        [&] { return replaying.publish(makeMessage("/t/replay", 6)); }));
+    ASSERT_TRUE(waitUntil([&] { return recorder.acceptedCount() == 6; }));
+    EXPECT_EQ(recorder.accepted("/t/replay"),
+              (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+    EXPECT_GE(recorder.dedupDrops(), 5u) << "replays should have been deduped";
+
+    replaying.stop();
+    second.stop();
+}
+
+TEST(NetSocket, FrameSeqGapDropsConnectionWithoutForwarding) {
+    mqtt::Broker broker;
+    DedupRecorder recorder(broker);
+    Listener listener({.heartbeat_ns = 200 * common::kNsPerMs}, broker);
+    ASSERT_TRUE(listener.start());
+
+    // A raw hand-rolled client so the dense frame counter can be violated
+    // deliberately (net::Connection never does).
+    const int fd = tcpConnect("127.0.0.1", listener.port(), 1000);
+    ASSERT_GE(fd, 0);
+    ConnectFrame hello;
+    hello.client = "gap-client";
+    ASSERT_TRUE(sendAll(fd, frameEncode(encodeConnect(hello)), 1000));
+    std::string buffer;
+    ASSERT_TRUE(waitUntil([&] {
+        recvSome(fd, &buffer, 50);
+        std::string_view payload;
+        std::size_t consumed = 0;
+        return frameDecode(buffer, 1 << 20, &payload, &consumed) ==
+               FrameStatus::kOk;
+    }));
+
+    PublishFrame ok_frame;
+    ok_frame.frame_seq = 1;
+    ok_frame.registrations.push_back({1, "/gap/topic"});
+    ok_frame.messages.push_back({1, 10, {{100, 1.0}}});
+    ASSERT_TRUE(sendAll(fd, frameEncode(encodePublish(ok_frame)), 1000));
+    ASSERT_TRUE(waitUntil([&] { return recorder.acceptedCount() == 1; }));
+
+    // frame_seq jumps 2 -> 3: a frame was lost on a live connection. The
+    // server must drop the connection WITHOUT acking or forwarding, so the
+    // client's replay-on-reconnect can redeliver the lost reading.
+    PublishFrame gap_frame;
+    gap_frame.frame_seq = 3;
+    gap_frame.messages.push_back({1, 11, {{200, 2.0}}});
+    ASSERT_TRUE(sendAll(fd, frameEncode(encodePublish(gap_frame)), 1000));
+    ASSERT_TRUE(waitUntil([&] { return listener.counters().frame_gaps == 1; }));
+    ASSERT_TRUE(waitUntil([&] {
+        std::string drain;
+        return recvSome(fd, &drain, 50) < 0;  // server closed the socket
+    }));
+    EXPECT_EQ(recorder.acceptedCount(), 1u) << "the gapped frame leaked through";
+    closeSocket(fd);
+    listener.stop();
+}
+
+TEST(NetSocket, CorruptFrameCountsCrcRejectAndDropsConnection) {
+    mqtt::Broker broker;
+    Listener listener({.heartbeat_ns = 200 * common::kNsPerMs}, broker);
+    ASSERT_TRUE(listener.start());
+    const int fd = tcpConnect("127.0.0.1", listener.port(), 1000);
+    ASSERT_GE(fd, 0);
+
+    std::string framed = frameEncode(encodeConnect({}));
+    framed.back() = static_cast<char>(framed.back() ^ 0x01);
+    ASSERT_TRUE(sendAll(fd, framed, 1000));
+    ASSERT_TRUE(waitUntil([&] { return listener.counters().crc_rejects == 1; }));
+    ASSERT_TRUE(waitUntil([&] {
+        std::string drain;
+        return recvSome(fd, &drain, 50) < 0;
+    }));
+    closeSocket(fd);
+    listener.stop();
+}
+
+TEST(NetSocket, FrameReadFaultForcesReconnectAndReplayKeepsExactlyOnce) {
+    common::fault::FaultInjector injector(0xBADF00D);
+    // The 3rd received frame is corrupted server-side (a flaky NIC): the
+    // server must count a CRC reject and cut the connection; the client
+    // must reconnect and its replay hook redeliver — with zero loss and
+    // zero duplicates surviving the dedup watermark.
+    ASSERT_TRUE(injector.armFromText("net.frame_read", "fail every=3 limit=1"));
+    common::fault::ScopedInjector scoped(injector);
+
+    mqtt::Broker broker;
+    DedupRecorder recorder(broker);
+    Listener listener({.heartbeat_ns = 100 * common::kNsPerMs}, broker);
+    ASSERT_TRUE(listener.start());
+
+    std::vector<mqtt::Message> ring;
+    Connection* conn_ptr = nullptr;
+    // Held across publish() like the Pusher's buffer lock, so it must rank
+    // below kNetConnection in the global lock order.
+    common::Mutex ring_mutex{"test.ring", common::LockRank::kPusherBuffer};
+    Connection connection(fastClient(listener.port()), [&] {
+        common::MutexLock lock(ring_mutex);
+        for (const auto& message : ring) {
+            if (!conn_ptr->publish(message)) break;
+        }
+    });
+    conn_ptr = &connection;
+    connection.start();
+    ASSERT_TRUE(waitUntil([&] { return connection.connected(); }));
+
+    for (std::uint64_t seq = 1; seq <= 20; ++seq) {
+        const auto message = makeMessage("/flaky/topic", seq);
+        {
+            common::MutexLock lock(ring_mutex);
+            ring.push_back(message);
+        }
+        ASSERT_TRUE(waitUntil([&] { return connection.publish(message); }));
+    }
+
+    ASSERT_TRUE(waitUntil([&] { return listener.counters().crc_rejects >= 1; }));
+    ASSERT_TRUE(waitUntil([&] { return connection.counters().reconnects >= 1; }));
+    ASSERT_TRUE(waitUntil([&] { return recorder.acceptedCount() == 20; }));
+    std::vector<std::uint64_t> expect(20);
+    for (std::uint64_t i = 0; i < 20; ++i) expect[i] = i + 1;
+    EXPECT_EQ(recorder.accepted("/flaky/topic"), expect);
+
+    connection.stop();
+    listener.stop();
+}
+
+TEST(NetSocket, PartitionBlackholeTripsHeartbeatAndRecovers) {
+    common::fault::FaultInjector injector(0x5EA);
+    // While armed, net.partition blackholes the wire in both directions
+    // (frames swallowed, nothing read): only the heartbeat machinery can
+    // notice. limit bounds the outage so the test can assert recovery.
+    ASSERT_TRUE(injector.armFromText("net.partition", "drop limit=60"));
+    common::fault::ScopedInjector scoped(injector);
+
+    mqtt::Broker broker;
+    DedupRecorder recorder(broker);
+    Listener listener({.heartbeat_ns = 80 * common::kNsPerMs}, broker);
+    ASSERT_TRUE(listener.start());
+    ConnectionConfig client = fastClient(listener.port());
+    client.heartbeat_ns = 80 * common::kNsPerMs;
+    Connection connection(client, nullptr);
+    connection.start();
+
+    // Publishes during the partition are refused or swallowed; afterwards
+    // the dead-peer detection must have fired on at least one side and the
+    // client must have re-established a working wire.
+    ASSERT_TRUE(waitUntil([&] {
+        connection.publish(makeMessage("/part/topic", 1));
+        return connection.counters().partition_drops > 0 ||
+               listener.counters().heartbeat_timeouts > 0;
+    }));
+    ASSERT_TRUE(waitUntil(
+        [&] {
+            return connection.connected() &&
+                   connection.publish(makeMessage("/part/topic", 2)) &&
+                   recorder.acceptedCount() >= 1;
+        },
+        10000));
+
+    const auto counters = connection.counters();
+    EXPECT_GT(counters.partition_drops + counters.heartbeat_timeouts +
+                  listener.counters().heartbeat_timeouts,
+              0u);
+    connection.stop();
+    listener.stop();
+}
+
+}  // namespace
+}  // namespace wm::net

@@ -48,6 +48,35 @@ TEST(StorageBackend, BatchInsert) {
     EXPECT_EQ(storage.stats().inserts, 3u);
 }
 
+// The idempotence backstop for wire-level redelivery (docs/RESILIENCE.md,
+// "Wire transport"): the collect agent's sequence watermark dies with the
+// process, so after a server crash+restart a client's ring replay
+// re-delivers readings the WAL already recovered. An exact
+// (timestamp, value) duplicate must be absorbed as already-stored.
+TEST(StorageBackend, ExactDuplicateInsertIsIdempotent) {
+    StorageBackend storage;
+    EXPECT_TRUE(storage.insert("/s", {10, 1.0}));
+    EXPECT_TRUE(storage.insert("/s", {10, 1.0}));  // absorbed, not doubled
+    EXPECT_EQ(storage.query("/s", 0, 100).size(), 1u);
+    EXPECT_EQ(storage.stats().duplicate_drops, 1u);
+    // Same timestamp with a DIFFERENT value is a distinct reading (two
+    // sensors legitimately colliding on a coarse clock), not a duplicate.
+    EXPECT_TRUE(storage.insert("/s", {10, 2.0}));
+    EXPECT_EQ(storage.query("/s", 0, 100).size(), 2u);
+    EXPECT_EQ(storage.stats().duplicate_drops, 1u);
+}
+
+TEST(StorageBackend, BatchInsertAbsorbsExactDuplicates) {
+    StorageBackend storage;
+    EXPECT_EQ(storage.insertBatch("/s", {{1, 1.0}, {2, 2.0}}), 2u);
+    // One duplicate, one fresh: the duplicate is neither rejected nor
+    // counted as inserted.
+    EXPECT_EQ(storage.insertBatch("/s", {{2, 2.0}, {3, 3.0}}), 1u);
+    EXPECT_EQ(storage.query("/s", 0, 10).size(), 3u);
+    EXPECT_EQ(storage.stats().duplicate_drops, 1u);
+    EXPECT_EQ(storage.stats().rejected_inserts, 0u);
+}
+
 TEST(StorageBackend, LatestReading) {
     StorageBackend storage;
     storage.insert("/s", {5, 50.0});

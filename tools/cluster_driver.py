@@ -1,0 +1,543 @@
+#!/usr/bin/env python3
+"""Multi-process chaos harness for the wire transport (stdlib only).
+
+Spawns one ingest-only wintermuted (zero local nodes, `transport { listen
+true }`, persistence on) and N wm_pusherd processes as separate OS
+processes, each connected through a driver-owned TCP proxy so the driver
+can induce netsplits (pause relaying; both sides see a blackholed wire
+and time out on heartbeats) and abrupt socket severing without touching
+the daemons.
+
+Chaos phases (per campaign), every one against live traffic:
+  * SIGKILL a pusherd mid-stream, restart it (fresh epoch, fresh topics);
+  * SIGKILL the server, restart it on the same persistence directory --
+    WAL/snapshot recovery plus client replay-on-reconnect must reassemble
+    the store;
+  * netsplit >= 2s through the proxy, then heal;
+  * (full) SIGSTOP/SIGCONT a pusherd (a peer that is alive but wedged);
+  * (full) sever every proxied socket abruptly;
+  * (full) restart the server with `net.frame_read` drop faults armed --
+    the dense PUBLISH frame counter must convert silent frame loss into
+    connection drops + replay, never into data loss.
+
+Exactly-once oracle: every pusherd intent-logs `PUB topic seq ts value`
+lines BEFORE each wire write and `ACK topic seq` cumulative watermark
+lines (see src/apps/wm_pusherd.cpp). After quiescing, the driver fetches
+the server's full storage dump (`GET /storage/dump`, CSV) and asserts:
+
+  1. no (topic, timestamp) pair appears twice in the store (no duplicate
+     deliveries survived dedup -- not across replays, restarts or splits);
+  2. every reading whose sequence is covered by its topic's final ACK
+     watermark is present in the store (nothing acknowledged was lost);
+  3. every stored reading for a pusherd prefix appears in some PUB line
+     (nothing materialized out of thin air).
+
+Usage:
+  tools/cluster_driver.py --server build/src/apps/wintermuted \\
+      --pusherd build/src/apps/wm_pusherd --campaign smoke \\
+      [--pushers 2] [--port-base 28700] [--artifacts DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import socket
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from procutil import (  # noqa: E402  (path bootstrap above)
+    Proc, fetch_json, fetch_text, run_phase, spawn, wait_for)
+
+SERVER_CONFIG = """
+cluster {{
+    racks 0
+    chassisPerRack 0
+    nodesPerChassis 0
+    cpusPerNode 0
+}}
+facility {{
+    enabled false
+}}
+transport {{
+    listen true
+    port {transport_port}
+    heartbeatMs 200
+}}
+collectagent {{
+    filter "#"
+}}
+persistence {{
+    directory "{persist_dir}"
+    snapshotEvery 256
+    checkpointInterval 2s
+}}
+{faults}
+"""
+
+FRAME_DROP_FAULTS = """
+faults {
+    seed 1337
+    point "net.frame_read" {
+        spec "drop prob=0.02"
+    }
+}
+"""
+
+PUSHERD_CONFIG = """
+cluster {{
+    racks 1
+    chassisPerRack 1
+    nodesPerChassis 2
+    cpusPerNode 2
+}}
+pusher {{
+    samplingInterval 100ms
+}}
+remote {{
+    host "127.0.0.1"
+    port {proxy_port}
+    heartbeatMs 200
+    reconnect {{
+        initialMs 50
+        maxMs 500ms
+    }}
+}}
+"""
+
+
+class TcpProxy:
+    """A relaying TCP proxy the driver can blackhole or sever.
+
+    pause(): stops relaying in both directions without closing sockets --
+    to both peers the wire looks partitioned (TCP up, nothing flows), so
+    heartbeat dead-peer detection is what notices, exactly like a real
+    netsplit. resume() heals it. sever() abruptly closes every proxied
+    socket (RST-ish failure). New connections during a pause are accepted
+    and immediately dropped, so reconnect attempts keep failing until the
+    split heals.
+    """
+
+    def __init__(self, listen_port: int, target_port: int):
+        self.listen_port = listen_port
+        self.target_port = target_port
+        self.paused = False
+        self._stopping = False
+        self._links: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", listen_port))
+        self._listener.listen(16)
+        self._listener.settimeout(0.2)
+        self._accept_thread = threading.Thread(target=self._accept_loop,
+                                               daemon=True)
+        self._accept_thread.start()
+
+    def _accept_loop(self):
+        while not self._stopping:
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if self.paused or self._stopping:
+                client.close()
+                continue
+            try:
+                upstream = socket.create_connection(
+                    ("127.0.0.1", self.target_port), timeout=2)
+            except OSError:
+                client.close()
+                continue
+            for sock in (client, upstream):
+                sock.settimeout(0.1)
+            with self._lock:
+                self._links.extend((client, upstream))
+            threading.Thread(target=self._pump, args=(client, upstream),
+                             daemon=True).start()
+            threading.Thread(target=self._pump, args=(upstream, client),
+                             daemon=True).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket):
+        try:
+            while not self._stopping:
+                if self.paused:
+                    time.sleep(0.05)
+                    continue
+                try:
+                    data = src.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                try:
+                    dst.sendall(data)
+                except OSError:
+                    break
+        finally:
+            for sock in (src, dst):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def pause(self):
+        self.paused = True
+
+    def resume(self):
+        self.paused = False
+
+    def sever(self):
+        """Abruptly closes every live proxied socket (both halves)."""
+        with self._lock:
+            links, self._links = self._links, []
+        for sock in links:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def stop(self):
+        self._stopping = True
+        self.sever()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+class Cluster:
+    """One server + N proxied pusherds, plus their on-disk artifacts."""
+
+    def __init__(self, args, workdir: str):
+        self.args = args
+        self.workdir = workdir
+        self.rest_port = args.port_base
+        self.transport_port = args.port_base + 1
+        self.persist_dir = os.path.join(workdir, "persist")
+        self.server: Proc | None = None
+        self.proxies: list[TcpProxy] = []
+        self.pushers: list[Proc | None] = [None] * args.pushers
+        for i in range(args.pushers):
+            self.proxies.append(
+                TcpProxy(args.port_base + 10 + i, self.transport_port))
+
+    def server_config(self, faults: str = "") -> str:
+        path = os.path.join(self.workdir, "server.cfg")
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(SERVER_CONFIG.format(transport_port=self.transport_port,
+                                           persist_dir=self.persist_dir,
+                                           faults=faults))
+        return path
+
+    def start_server(self, faults: str = "") -> Proc:
+        self.server = spawn(
+            "wintermuted",
+            [self.args.server, "--config", self.server_config(faults),
+             "--port", str(self.rest_port), "--duration", "600"],
+            log_path=os.path.join(self.workdir, "server.log"))
+        return self.server
+
+    def start_pusher(self, index: int) -> Proc:
+        config = os.path.join(self.workdir, f"pusherd{index}.cfg")
+        with open(config, "w", encoding="utf-8") as out:
+            out.write(PUSHERD_CONFIG.format(
+                proxy_port=self.proxies[index].listen_port))
+        proc = spawn(
+            f"pusherd{index}",
+            [self.args.pusherd, "--config", config, "--name", f"p{index}",
+             "--prefix", f"/p{index}",
+             "--publish-log", os.path.join(self.workdir, f"p{index}.pub"),
+             "--duration", "600"],
+            log_path=os.path.join(self.workdir, f"p{index}.log"))
+        self.pushers[index] = proc
+        return proc
+
+    def live_procs(self) -> list[Proc]:
+        procs = [p for p in self.pushers if p is not None]
+        if self.server is not None:
+            procs.append(self.server)
+        return procs
+
+    def transport_counter(self, key: str) -> int:
+        status = fetch_json(self.rest_port, "/status")
+        if status is None:
+            return -1
+        return status.get("transport", {}).get(key, -1)
+
+    def forwarded(self) -> int:
+        return self.transport_counter("publishesForwarded")
+
+
+def wait_traffic(cluster: Cluster, more: int = 50,
+                 budget: float = 20.0) -> str | None:
+    """Waits until the server has forwarded `more` additional publishes."""
+    base = max(0, cluster.forwarded())
+    ok = wait_for(lambda: cluster.forwarded() >= base + more, budget)
+    if not ok:
+        return (f"traffic stalled: publishesForwarded stuck near {base} "
+                f"(wanted +{more})")
+    return None
+
+
+def parse_publish_logs(cluster: Cluster):
+    """Returns (pub, acks): pub maps (topic, seq) -> set of "ts value"
+    strings; acks maps topic -> highest acked sequence."""
+    pub: dict[tuple[str, int], set[str]] = {}
+    acks: dict[str, int] = {}
+    for i in range(cluster.args.pushers):
+        path = os.path.join(cluster.workdir, f"p{i}.pub")
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8") as log:
+            for line in log:
+                parts = line.split()
+                # A SIGKILL can truncate the final line; ignore short tails.
+                if len(parts) == 5 and parts[0] == "PUB":
+                    key = (parts[1], int(parts[2]))
+                    pub.setdefault(key, set()).add(f"{parts[3]} {parts[4]}")
+                elif len(parts) == 3 and parts[0] == "ACK":
+                    seq = int(parts[2])
+                    if seq > acks.get(parts[1], 0):
+                        acks[parts[1]] = seq
+    return pub, acks
+
+
+def verify_exactly_once(cluster: Cluster) -> str | None:
+    """The oracle: storage dump vs ground-truth publish logs."""
+    dump = fetch_text(cluster.rest_port, "/storage/dump")
+    if dump is None:
+        return "GET /storage/dump failed"
+    with open(os.path.join(cluster.workdir, "storage_dump.csv"), "w",
+              encoding="utf-8") as out:
+        out.write(dump)
+
+    prefixes = tuple(f"/p{i}/" for i in range(cluster.args.pushers))
+    stored: dict[tuple[str, str], int] = {}
+    stored_rows: dict[str, set[str]] = {}
+    for line in dump.splitlines()[1:]:  # skip "topic,timestamp,value"
+        topic, timestamp, value = line.split(",", 2)
+        if not topic.startswith(prefixes):
+            continue
+        key = (topic, timestamp)
+        stored[key] = stored.get(key, 0) + 1
+        stored_rows.setdefault(topic, set()).add(f"{timestamp} {value}")
+
+    # 1. No duplicates: per-topic sequence dedup must have caught every
+    #    replayed/retried delivery.
+    duplicates = [key for key, count in stored.items() if count > 1]
+    if duplicates:
+        return (f"{len(duplicates)} duplicated (topic, timestamp) rows in "
+                f"storage, e.g. {duplicates[:3]}")
+
+    pub, acks = parse_publish_logs(cluster)
+    if not pub:
+        return "ground-truth publish logs are empty"
+
+    # 2. Acked => stored: a reading covered by its topic's final cumulative
+    #    ack watermark must have survived every crash and split.
+    missing = []
+    for (topic, seq), readings in pub.items():
+        if seq > acks.get(topic, 0):
+            continue  # never acked; the contract makes no promise
+        for reading in readings:
+            if reading not in stored_rows.get(topic, set()):
+                missing.append((topic, seq, reading))
+    if missing:
+        return (f"{len(missing)} acked readings missing from storage, "
+                f"e.g. {missing[:3]}")
+
+    # 3. Stored => published: nothing in the store lacks a ground-truth
+    #    PUB line (intent logging happens before the wire write).
+    published_rows: dict[str, set[str]] = {}
+    for (topic, _seq), readings in pub.items():
+        published_rows.setdefault(topic, set()).update(readings)
+    phantom = []
+    for topic, rows in stored_rows.items():
+        for row in rows - published_rows.get(topic, set()):
+            phantom.append((topic, row))
+    if phantom:
+        return (f"{len(phantom)} stored readings have no ground-truth PUB "
+                f"line, e.g. {phantom[:3]}")
+
+    acked_checked = sum(
+        len(readings) for (topic, seq), readings in pub.items()
+        if seq <= acks.get(topic, 0))
+    total_stored = sum(len(rows) for rows in stored_rows.values())
+    print(f"exactly-once verified: {total_stored} stored readings, "
+          f"{acked_checked} acked ground-truth readings all present, "
+          f"0 duplicates, 0 phantoms")
+    return None
+
+
+def campaign_smoke(cluster: Cluster) -> str | None:
+    """2 pushers; SIGKILL+restart each side once; one >= 2s netsplit."""
+    cluster.start_server()
+    if not wait_for(lambda: fetch_json(cluster.rest_port, "/status")):
+        return "server did not come up"
+    for i in range(cluster.args.pushers):
+        cluster.start_pusher(i)
+    error = wait_traffic(cluster, more=100)
+    if error:
+        return f"warmup: {error}"
+    print("phase warmup: traffic flowing through the proxies")
+
+    # --- SIGKILL a pusher mid-stream, restart it. -------------------------
+    cluster.pushers[0].sigkill()
+    error = wait_traffic(cluster, more=30)  # survivors keep publishing
+    if error:
+        return f"pusher-kill: {error}"
+    cluster.start_pusher(0)
+    error = wait_traffic(cluster, more=100)
+    if error:
+        return f"pusher-restart: {error}"
+    print("phase pusher-kill: pusherd0 SIGKILLed and restarted, "
+          "traffic recovered")
+
+    # --- SIGKILL the server, restart on the same persistence dir. ---------
+    cluster.server.sigkill()
+    time.sleep(1.0)  # clients notice the dead wire and start retrying
+    cluster.start_server()
+    if not wait_for(lambda: fetch_json(cluster.rest_port, "/status")):
+        return "server did not come back after SIGKILL"
+    error = wait_traffic(cluster, more=100)
+    if error:
+        return f"server-restart: {error}"
+    reconnects = sum(
+        1 for i in range(cluster.args.pushers))  # cosmetic; logs carry detail
+    print(f"phase server-kill: server SIGKILLed and restarted, "
+          f"{reconnects} pushers reconnected, traffic recovered")
+
+    # --- Netsplit >= 2s against live traffic, then heal. ------------------
+    cluster.proxies[1].pause()
+    split_started = time.monotonic()
+    error = wait_traffic(cluster, more=30)  # the unsplit pusher still flows
+    if error:
+        return f"netsplit: {error}"
+    remaining = 2.0 - (time.monotonic() - split_started)
+    if remaining > 0:
+        time.sleep(remaining)
+    cluster.proxies[1].resume()
+    error = wait_traffic(cluster, more=100)
+    if error:
+        return f"netsplit-heal: {error}"
+    print("phase netsplit: >= 2s blackhole on pusherd1 healed, "
+          "traffic recovered")
+    return None
+
+
+def campaign_full(cluster: Cluster) -> str | None:
+    """Smoke plus SIGSTOP wedging, abrupt severing, and a frame-dropping
+    server restart (the dense frame counter must keep exactly-once)."""
+    error = campaign_smoke(cluster)
+    if error:
+        return error
+
+    # --- SIGSTOP: alive-but-wedged peer; heartbeats must evict it, and it
+    # must recover after SIGCONT. -----------------------------------------
+    cluster.pushers[0].sigstop()
+    time.sleep(1.5)  # > 3x heartbeat: the server declares it dead
+    cluster.pushers[0].sigcont()
+    error = wait_traffic(cluster, more=100)
+    if error:
+        return f"sigstop: {error}"
+    print("phase sigstop: wedged pusherd evicted and recovered")
+
+    # --- Abrupt socket severing (RST-ish), all links at once. -------------
+    for proxy in cluster.proxies:
+        proxy.sever()
+    error = wait_traffic(cluster, more=100)
+    if error:
+        return f"sever: {error}"
+    print("phase sever: all sockets cut, all pushers reconnected")
+
+    # --- Frame-dropping server: silent in-connection loss must become
+    # connection drops + replay (PublishFrame::frame_seq), never data loss.
+    cluster.server.terminate()
+    cluster.start_server(faults=FRAME_DROP_FAULTS)
+    if not wait_for(lambda: fetch_json(cluster.rest_port, "/status")):
+        return "server did not come back with frame-drop faults"
+    error = wait_traffic(cluster, more=200, budget=60.0)
+    if error:
+        return f"frame-drop: {error}"
+    gaps = cluster.transport_counter("frameGaps")
+    if gaps <= 0:
+        return f"frame-drop: fault armed but frameGaps={gaps} (never fired)"
+    print(f"phase frame-drop: {gaps} dropped frames detected as gaps, "
+          "traffic kept flowing")
+    # Restart clean so the quiesce phase is not racing armed faults.
+    cluster.server.terminate()
+    cluster.start_server()
+    if not wait_for(lambda: fetch_json(cluster.rest_port, "/status")):
+        return "server did not come back after the frame-drop phase"
+    error = wait_traffic(cluster, more=50)
+    if error:
+        return f"frame-drop-heal: {error}"
+    return None
+
+
+CAMPAIGNS = {"smoke": campaign_smoke, "full": campaign_full}
+CAMPAIGN_BUDGET_SEC = {"smoke": 180, "full": 420}
+
+
+def save_artifacts(cluster: Cluster, directory: str):
+    os.makedirs(directory, exist_ok=True)
+    for name in os.listdir(cluster.workdir):
+        if name.endswith((".log", ".pub", ".cfg", ".csv")):
+            shutil.copy2(os.path.join(cluster.workdir, name), directory)
+    print(f"artifacts saved under {directory}", file=sys.stderr)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--server", required=True, help="wintermuted binary")
+    parser.add_argument("--pusherd", required=True, help="wm_pusherd binary")
+    parser.add_argument("--campaign", choices=sorted(CAMPAIGNS),
+                        default="smoke")
+    parser.add_argument("--pushers", type=int, default=2)
+    parser.add_argument("--port-base", type=int, default=28700)
+    parser.add_argument("--artifacts",
+                        help="directory for logs + dump on failure")
+    args = parser.parse_args()
+
+    workdir = tempfile.mkdtemp(prefix="wm_cluster_driver_")
+    cluster = Cluster(args, workdir)
+    error: str | None = None
+    try:
+        error = run_phase(args.campaign, lambda: CAMPAIGNS[args.campaign](cluster),
+                          CAMPAIGN_BUDGET_SEC[args.campaign])
+        if error is None:
+            # Quiesce: stop the pushers gracefully (drain + final ACK
+            # watermarks), let the server absorb the tail, then judge.
+            for pusher in cluster.pushers:
+                if pusher is not None:
+                    pusher.terminate()
+            time.sleep(1.0)
+            error = run_phase("verify", lambda: verify_exactly_once(cluster),
+                              60)
+    finally:
+        from procutil import reap_all
+        reap_all(cluster.live_procs())
+        for proxy in cluster.proxies:
+            proxy.stop()
+
+    if error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        if args.artifacts:
+            save_artifacts(cluster, args.artifacts)
+        return 1
+    print(f"cluster driver campaign '{args.campaign}' PASSED")
+    shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

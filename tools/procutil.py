@@ -1,0 +1,151 @@
+"""Shared subprocess + HTTP polling helpers for the multi-process drivers
+(recovery_smoke.py, cluster_driver.py). Stdlib only; wired into CI.
+
+The one rule: never leak a child. Every spawn goes through `Proc`, whose
+`reap()` escalates SIGTERM -> SIGKILL with bounded waits, and
+`reap_all()` is safe to call from `finally:` regardless of how far a
+phase got.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+POLL_INTERVAL_SEC = 0.1
+STARTUP_BUDGET_SEC = 15.0
+REAP_GRACE_SEC = 5.0
+
+
+def fetch_json(port: int, path: str) -> dict | None:
+    """GET http://127.0.0.1:port/path as JSON; None on any failure."""
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=5) as response:
+            return json.loads(response.read().decode())
+    except (urllib.error.URLError, ConnectionError, TimeoutError,
+            json.JSONDecodeError, OSError):
+        return None
+
+
+def fetch_text(port: int, path: str) -> str | None:
+    """GET http://127.0.0.1:port/path as text; None on any failure."""
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=10) as response:
+            return response.read().decode()
+    except (urllib.error.URLError, ConnectionError, TimeoutError, OSError):
+        return None
+
+
+def fetch_status(port: int) -> dict | None:
+    return fetch_json(port, "/status")
+
+
+def wait_for(predicate, budget_sec: float = STARTUP_BUDGET_SEC):
+    """Polls `predicate` until it returns a truthy value or the budget ends."""
+    deadline = time.monotonic() + budget_sec
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(POLL_INTERVAL_SEC)
+    return None
+
+
+class Proc:
+    """A supervised child process with hardened teardown."""
+
+    def __init__(self, label: str, argv: list[str], log_path: str | None = None):
+        self.label = label
+        self.log_path = log_path
+        self._log = open(log_path, "ab") if log_path else subprocess.DEVNULL
+        self.popen = subprocess.Popen(argv, stdout=self._log, stderr=self._log)
+
+    @property
+    def pid(self) -> int:
+        return self.popen.pid
+
+    def alive(self) -> bool:
+        return self.popen.poll() is None
+
+    def sigkill(self):
+        """Hard crash: no handler runs, no shutdown hook, then reap."""
+        if self.alive():
+            self.popen.send_signal(signal.SIGKILL)
+        self.popen.wait()
+        self._close_log()
+
+    def sigstop(self):
+        if self.alive():
+            self.popen.send_signal(signal.SIGSTOP)
+
+    def sigcont(self):
+        if self.alive():
+            self.popen.send_signal(signal.SIGCONT)
+
+    def terminate(self, budget_sec: float = REAP_GRACE_SEC) -> bool:
+        """Graceful stop: SIGTERM, bounded wait, SIGKILL as last resort.
+        Returns True when the child exited within the graceful budget."""
+        graceful = True
+        if self.alive():
+            # A SIGSTOPped child cannot handle SIGTERM; wake it first.
+            self.popen.send_signal(signal.SIGCONT)
+            self.popen.send_signal(signal.SIGTERM)
+            try:
+                self.popen.wait(timeout=budget_sec)
+            except subprocess.TimeoutExpired:
+                graceful = False
+                print(f"procutil: {self.label} ignored SIGTERM for "
+                      f"{budget_sec}s; escalating to SIGKILL", file=sys.stderr)
+                self.popen.send_signal(signal.SIGKILL)
+                self.popen.wait()
+        else:
+            self.popen.wait()
+        self._close_log()
+        return graceful
+
+    def _close_log(self):
+        if self._log is not subprocess.DEVNULL and not self._log.closed:
+            self._log.close()
+
+
+def spawn(label: str, argv: list[str], log_path: str | None = None) -> Proc:
+    return Proc(label, argv, log_path)
+
+
+def reap_all(procs: list[Proc]):
+    """Terminates every child that is still around; safe from `finally:`."""
+    for proc in procs:
+        try:
+            proc.terminate()
+        except OSError:
+            pass
+
+
+def run_phase(label: str, fn, budget_sec: float) -> str | None:
+    """Runs `fn()` (returning an error string or None) under a wall-clock
+    budget enforced by SIGALRM, so a wedged phase fails instead of hanging
+    the whole campaign. Returns fn's verdict, or a timeout message."""
+
+    class _Timeout(Exception):
+        pass
+
+    def _on_alarm(_sig, _frame):
+        raise _Timeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(max(1, int(budget_sec)))
+    try:
+        return fn()
+    except _Timeout:
+        return f"phase '{label}' exceeded its {budget_sec}s budget"
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -30,18 +30,13 @@ Usage:
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import signal
-import subprocess
 import sys
 import tempfile
-import time
-import urllib.error
-import urllib.request
 
-POLL_INTERVAL_SEC = 0.1
-STARTUP_BUDGET_SEC = 15.0
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from procutil import (  # noqa: E402  (path bootstrap above)
+    Proc, fetch_json, fetch_status, spawn, wait_for)
 
 CONFIG_TEMPLATE = """
 cluster {{
@@ -103,35 +98,10 @@ persistence {{
 """
 
 
-def fetch_json(port: int, path: str) -> dict | None:
-    try:
-        with urllib.request.urlopen(
-                f"http://127.0.0.1:{port}{path}", timeout=2) as response:
-            return json.loads(response.read().decode())
-    except (urllib.error.URLError, ConnectionError, TimeoutError,
-            json.JSONDecodeError, OSError):
-        return None
-
-
-def fetch_status(port: int) -> dict | None:
-    return fetch_json(port, "/status")
-
-
-def wait_for(predicate, budget_sec: float = STARTUP_BUDGET_SEC):
-    """Polls `predicate` until it returns a truthy value or the budget ends."""
-    deadline = time.monotonic() + budget_sec
-    while time.monotonic() < deadline:
-        value = predicate()
-        if value:
-            return value
-        time.sleep(POLL_INTERVAL_SEC)
-    return None
-
-
-def start_daemon(binary: str, config: str, port: int) -> subprocess.Popen:
-    return subprocess.Popen(
-        [binary, "--config", config, "--port", str(port), "--duration", "120"],
-        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+def start_daemon(binary: str, config: str, port: int) -> Proc:
+    return spawn(f"wintermuted:{port}",
+                 [binary, "--config", config, "--port", str(port),
+                  "--duration", "120"])
 
 
 def durability(status: dict) -> dict:
@@ -169,8 +139,7 @@ def kill_restart_cycle(binary: str, template: str, port: int, label: str,
         logged_before_kill = durability(status)["walRecordsLogged"]
     finally:
         # Hard crash: no SIGTERM handler runs, no shutdown checkpoint.
-        first.send_signal(signal.SIGKILL)
-        first.wait()
+        first.sigkill()
     print(f"{label}: killed daemon with {logged_before_kill} "
           "WAL records logged")
 
@@ -205,8 +174,7 @@ def kill_restart_cycle(binary: str, template: str, port: int, label: str,
                 print(f"FAIL: {label}: {problem}", file=sys.stderr)
                 return 1
     finally:
-        second.send_signal(signal.SIGTERM)
-        second.wait()
+        second.terminate()
     return 0
 
 
